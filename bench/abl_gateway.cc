@@ -1,0 +1,75 @@
+// Ablation A3 — gateway machinery: TEE-pool load balancing and per-request
+// HTTP cost.
+//
+// §III-A: the gateway load-balances across TEE pools; operators tune the
+// policy. This bench runs a burst of requests against a 3-host TDX pool
+// under each policy and reports the per-host distribution, plus the
+// gateway-side network/HTTP cost per request (which the paper's in-guest
+// timings deliberately exclude).
+#include <cstdio>
+
+#include "core/confbench.h"
+#include "metrics/table.h"
+
+using namespace confbench;
+
+namespace {
+
+core::GatewayConfig three_host_config(core::LoadBalancePolicy policy) {
+  core::GatewayConfig cfg;
+  cfg.policy = policy;
+  cfg.endpoints = {
+      {"tdx", "host-tdx-a", 8100, 8200},
+      {"tdx", "host-tdx-b", 8100, 8200},
+      {"tdx", "host-tdx-c", 8100, 8200},
+  };
+  return cfg;
+}
+
+}  // namespace
+
+int main() {
+  constexpr int kRequests = 300;
+  std::printf(
+      "Ablation — gateway: load-balancing policies over a 3-host TDX pool "
+      "(%d requests)\n\n",
+      kRequests);
+
+  metrics::Table table({"policy", "host-a", "host-b", "host-c", "spread",
+                        "gw us/req"});
+  for (const auto policy : {core::LoadBalancePolicy::kRoundRobin,
+                            core::LoadBalancePolicy::kLeastLoaded,
+                            core::LoadBalancePolicy::kRandom}) {
+    core::ConfBench system(three_host_config(policy));
+    auto& gw = system.gateway();
+    for (int i = 0; i < kRequests; ++i) {
+      const auto rec = gw.invoke("fib", "lua", "tdx", i % 2 == 0,
+                                 static_cast<std::uint64_t>(i));
+      if (!rec.ok()) {
+        std::fprintf(stderr, "request failed: %s\n", rec.error.c_str());
+        return 1;
+      }
+    }
+    const auto& members = gw.pool("tdx")->members();
+    std::uint64_t lo = ~0ULL, hi = 0;
+    std::vector<std::string> row{std::string(to_string(policy))};
+    for (const auto& m : members) {
+      row.push_back(std::to_string(m.served));
+      lo = std::min(lo, m.served);
+      hi = std::max(hi, m.served);
+    }
+    row.push_back(std::to_string(hi - lo));
+    const double us_per_req =
+        system.network().elapsed() / 1e3 /
+        static_cast<double>(system.network().requests_sent());
+    row.push_back(metrics::Table::num(us_per_req, 1));
+    table.add_row(row);
+  }
+  std::printf("%s\n", table.render().c_str());
+  std::printf(
+      "round-robin/least-loaded spread evenly; random is close under "
+      "deterministic seeding.\nGateway HTTP+network cost per request stays "
+      "in the sub-millisecond range and is excluded from in-guest timings, "
+      "as in the paper.\n");
+  return 0;
+}

@@ -1,0 +1,73 @@
+// Ablation A5 — first-generation process TEE (SGX) vs second-generation VM
+// TEEs (paper §I motivation, §VI future work).
+//
+// The introduction argues that VM TEEs "lower the barriers to entry" vs
+// SGX's intrusive model; this bench quantifies the *performance* side of
+// that argument by running the same FaaS functions in an SGX enclave model
+// versus TDX/SEV-SNP confidential VMs. Expect the enclave to be competitive
+// on pure compute but to fall off a cliff on syscall- and memory-heavy
+// work (OCALL world switches, MEE integrity-tree walks, EPC paging).
+#include <cstdio>
+
+#include "bench/common.h"
+#include "core/launcher.h"
+#include "metrics/table.h"
+#include "rt/profile.h"
+#include "tee/registry.h"
+#include "wl/faas.h"
+
+using namespace confbench;
+
+namespace {
+
+double secure_over_normal(const char* platform, const wl::FaasWorkload& fn,
+                          int trials) {
+  auto p = tee::Registry::instance().create(platform);
+  const core::FunctionLauncher launcher(core::native_profile());
+  double secure = 0, normal = 0;
+  for (const bool is_secure : {true, false}) {
+    vm::VmConfig cfg{std::string(platform), p, is_secure, vm::UnitKind::kVm, 8, 16ULL << 30};
+    vm::GuestVm unit(cfg);
+    unit.boot();
+    double sum = 0;
+    for (int t = 0; t < trials; ++t)
+      sum += launcher.launch(unit, fn, static_cast<std::uint64_t>(t))
+                 .function_ns;
+    (is_secure ? secure : normal) = sum;
+  }
+  return secure / normal;
+}
+
+}  // namespace
+
+int main() {
+  const int n = bench::trials();
+  std::printf(
+      "Ablation — SGX enclave vs confidential VMs (native binaries, %d "
+      "trials)\nsecure/normal execution-time ratio per platform\n\n",
+      n);
+
+  metrics::Table table({"function", "category", "sgx", "tdx", "sev-snp"});
+  double sgx_sum = 0, tdx_sum = 0;
+  int rows = 0;
+  for (const char* name : {"cpustress", "fib", "primes", "hashtable",
+                           "memstress", "json", "logging", "kvstore",
+                           "iostress", "filesystem"}) {
+    const auto* fn = wl::find_faas(name);
+    const double sgx = secure_over_normal("sgx", *fn, n);
+    const double tdx = secure_over_normal("tdx", *fn, n);
+    const double snp = secure_over_normal("sev-snp", *fn, n);
+    sgx_sum += sgx;
+    tdx_sum += tdx;
+    ++rows;
+    table.add_row({name, std::string(to_string(fn->category)),
+                   metrics::Table::num(sgx), metrics::Table::num(tdx),
+                   metrics::Table::num(snp)});
+  }
+  std::printf("%s\n", table.render().c_str());
+  std::printf(
+      "mean ratio: sgx %.2f vs tdx %.2f — the gap is the paper's case for "
+      "second-generation VM TEEs (§I)\n",
+      sgx_sum / rows, tdx_sum / rows);
+  return 0;
+}

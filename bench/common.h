@@ -1,0 +1,70 @@
+// Shared helpers for the figure-reproduction benches.
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "tee/registry.h"
+#include "vm/guest_vm.h"
+
+namespace confbench::bench {
+
+/// Trial count per measurement; the paper uses 10 independent trials
+/// (§IV-D). Override with CONFBENCH_TRIALS for quick runs.
+inline int trials() {
+  if (const char* env = std::getenv("CONFBENCH_TRIALS")) {
+    const int t = std::atoi(env);
+    if (t > 0) return t;
+  }
+  return 10;
+}
+
+/// A booted secure+normal VM pair on one platform (the twin-VM setup of
+/// §IV-A).
+struct VmPair {
+  tee::PlatformPtr platform;
+  std::unique_ptr<vm::GuestVm> secure;
+  std::unique_ptr<vm::GuestVm> normal;
+};
+
+inline VmPair make_vm_pair(const std::string& platform_name) {
+  VmPair pair;
+  pair.platform = tee::Registry::instance().create(platform_name);
+  if (!pair.platform) {
+    std::fprintf(stderr, "unknown platform %s\n", platform_name.c_str());
+    std::abort();
+  }
+  vm::VmConfig sc{platform_name + "/secure", pair.platform, true, vm::UnitKind::kVm, 8,
+                  16ULL << 30};
+  vm::VmConfig nc{platform_name + "/normal", pair.platform, false, vm::UnitKind::kVm, 8,
+                  16ULL << 30};
+  pair.secure = std::make_unique<vm::GuestVm>(sc);
+  pair.normal = std::make_unique<vm::GuestVm>(nc);
+  pair.secure->boot();
+  pair.normal->boot();
+  return pair;
+}
+
+/// Runs `fn` for `n` trials in the given VM and returns wall times (ns).
+inline std::vector<double> run_trials(vm::GuestVm& vm,
+                                      const vm::GuestVm::WorkloadFn& fn,
+                                      int n) {
+  std::vector<double> out;
+  out.reserve(static_cast<std::size_t>(n));
+  for (int t = 0; t < n; ++t)
+    out.push_back(vm.run(fn, static_cast<std::uint64_t>(t)).raw.wall_ns);
+  return out;
+}
+
+inline double mean(const std::vector<double>& xs) {
+  if (xs.empty()) return 0;
+  double s = 0;
+  for (double x : xs) s += x;
+  return s / static_cast<double>(xs.size());
+}
+
+}  // namespace confbench::bench

@@ -1,0 +1,124 @@
+// A4 — google-benchmark microbenches for ConfBench's own components.
+//
+// These measure the *host* cost of the simulation substrates (how fast the
+// tool itself runs), complementing the virtual-time figure benches.
+#include <benchmark/benchmark.h>
+
+#include "attest/service.h"
+#include "attest/sha256.h"
+#include "net/http.h"
+#include "sim/cache.h"
+#include "sim/rng.h"
+#include "tee/registry.h"
+#include "vm/exec_context.h"
+#include "wl/db/btree.h"
+#include "wl/ml/tensor.h"
+
+using namespace confbench;
+
+static void BM_Sha256_1KiB(benchmark::State& state) {
+  std::vector<std::uint8_t> data(1024, 0xAB);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(attest::Sha256::hash(data));
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) * 1024);
+}
+BENCHMARK(BM_Sha256_1KiB);
+
+static void BM_CacheSim_StreamMiB(benchmark::State& state) {
+  sim::CacheSim cache;
+  std::uint64_t base = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        cache.access_range({base, 1 << 20, 64, false}));
+    base += 1 << 20;
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) << 20);
+}
+BENCHMARK(BM_CacheSim_StreamMiB);
+
+static void BM_HttpParseRequest(benchmark::State& state) {
+  const std::string wire =
+      net::HttpRequest{
+          "POST", "/invoke",
+          "function=fib&lang=lua&platform=tdx&secure=1&trial=3",
+          {{"Host", "gateway"}, {"User-Agent", "confbench"}},
+          "payload-body"}
+          .serialize();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(net::parse_request(wire));
+  }
+}
+BENCHMARK(BM_HttpParseRequest);
+
+static void BM_BTreeInsert(benchmark::State& state) {
+  sim::Rng rng(7);
+  for (auto _ : state) {
+    state.PauseTiming();
+    wl::db::BPlusTree tree;
+    state.ResumeTiming();
+    for (int i = 0; i < state.range(0); ++i)
+      tree.insert(rng.next_u64(), static_cast<std::uint64_t>(i));
+    benchmark::DoNotOptimize(tree.size());
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_BTreeInsert)->Arg(1000)->Arg(10000);
+
+static void BM_BTreeFind(benchmark::State& state) {
+  wl::db::BPlusTree tree;
+  sim::Rng rng(7);
+  std::vector<std::uint64_t> keys;
+  for (int i = 0; i < 10000; ++i) {
+    keys.push_back(rng.next_u64());
+    tree.insert(keys.back(), static_cast<std::uint64_t>(i));
+  }
+  std::size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(tree.find(keys[i++ % keys.size()]));
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()));
+}
+BENCHMARK(BM_BTreeFind);
+
+static void BM_Conv2d_Pointwise(benchmark::State& state) {
+  wl::ml::Tensor in(14, 14, 64);
+  for (std::size_t i = 0; i < in.data.size(); ++i)
+    in.data[i] = static_cast<float>(i % 7) * 0.1f;
+  std::vector<float> w(128 * 64, 0.01f), b(128, 0.0f);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(wl::ml::pointwise_conv2d(in, w, b, 128));
+  }
+}
+BENCHMARK(BM_Conv2d_Pointwise);
+
+static void BM_ExecContext_Syscall(benchmark::State& state) {
+  auto platform = tee::Registry::instance().create("tdx");
+  vm::ExecutionContext ctx(platform, /*secure=*/true, 1);
+  for (auto _ : state) {
+    ctx.syscall();
+    benchmark::DoNotOptimize(ctx.now());
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()));
+}
+BENCHMARK(BM_ExecContext_Syscall);
+
+static void BM_AttestRoundTrip_Snp(benchmark::State& state) {
+  attest::AttestationService service;
+  auto platform = tee::Registry::instance().create("sev-snp");
+  std::uint64_t trial = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(service.run_snp(*platform, trial++));
+  }
+}
+BENCHMARK(BM_AttestRoundTrip_Snp);
+
+static void BM_Rng_U64(benchmark::State& state) {
+  sim::Rng rng(42);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(rng.next_u64());
+  }
+}
+BENCHMARK(BM_Rng_U64);
+
+BENCHMARK_MAIN();

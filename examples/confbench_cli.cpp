@@ -1,0 +1,173 @@
+// confbench_cli: command-line front end for a ConfBench deployment.
+//
+//   confbench_cli platforms
+//   confbench_cli functions <lang>
+//   confbench_cli invoke <function> <lang> <platform> [--secure] [--trials N]
+//   confbench_cli measure <function> <lang> <platform> [--trials N]
+//   confbench_cli config [path]      # print (or load) the gateway INI
+//
+// Everything goes through the gateway's REST interface, exactly as a remote
+// user of the tool would drive it (§III-C).
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+
+#include "core/confbench.h"
+#include "metrics/json.h"
+#include "metrics/stats.h"
+
+using namespace confbench;
+
+namespace {
+
+int usage() {
+  std::fprintf(stderr,
+               "usage:\n"
+               "  confbench_cli platforms\n"
+               "  confbench_cli functions <lang>\n"
+               "  confbench_cli invoke <function> <lang> <platform> "
+               "[--secure] [--json]\n"
+               "  confbench_cli measure <function> <lang> <platform> "
+               "[--trials N] [--json]\n"
+               "  confbench_cli config [path]\n");
+  return 2;
+}
+
+core::GatewayConfig load_config(const char* path) {
+  if (!path) return core::GatewayConfig::standard();
+  std::ifstream in(path);
+  if (!in) {
+    std::fprintf(stderr, "cannot read %s; using the standard deployment\n",
+                 path);
+    return core::GatewayConfig::standard();
+  }
+  std::stringstream ss;
+  ss << in.rdbuf();
+  std::string err;
+  const auto ini = core::IniFile::parse(ss.str(), &err);
+  if (!ini) {
+    std::fprintf(stderr, "config parse error: %s\n", err.c_str());
+    std::exit(2);
+  }
+  const auto cfg = core::GatewayConfig::from_ini(*ini, &err);
+  if (!cfg) {
+    std::fprintf(stderr, "config error: %s\n", err.c_str());
+    std::exit(2);
+  }
+  return *cfg;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) return usage();
+  const std::string cmd = argv[1];
+
+  if (cmd == "config") {
+    const auto cfg = load_config(argc > 2 ? argv[2] : nullptr);
+    std::printf("%s", cfg.to_ini().serialize().c_str());
+    return 0;
+  }
+
+  core::ConfBench system(core::GatewayConfig::standard());
+  auto& gw = system.gateway();
+
+  if (cmd == "platforms") {
+    for (const auto& p : gw.platforms()) std::printf("%s\n", p.c_str());
+    return 0;
+  }
+  if (cmd == "functions") {
+    if (argc < 3) return usage();
+    for (const auto& f : gw.functions(argv[2])) std::printf("%s\n", f.c_str());
+    return 0;
+  }
+
+  if (cmd != "invoke" && cmd != "measure") return usage();
+  if (argc < 5) return usage();
+  const std::string function = argv[2];
+  const std::string lang = argv[3];
+  const std::string platform = argv[4];
+  bool secure = false;
+  bool json = false;
+  int trials = 10;
+  for (int i = 5; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--secure") == 0) {
+      secure = true;
+    } else if (std::strcmp(argv[i], "--json") == 0) {
+      json = true;
+    } else if (std::strcmp(argv[i], "--trials") == 0 && i + 1 < argc) {
+      trials = std::atoi(argv[++i]);
+      if (trials <= 0) return usage();
+    } else {
+      return usage();
+    }
+  }
+
+  if (cmd == "invoke") {
+    const auto rec = gw.invoke(function, lang, platform, secure, 0);
+    if (!rec.ok()) {
+      std::fprintf(stderr, "HTTP %d: %s", rec.http_status, rec.error.c_str());
+      return 1;
+    }
+    if (json) {
+      metrics::JsonWriter w;
+      w.begin_object()
+          .key("function").value(rec.function)
+          .key("language").value(rec.language)
+          .key("platform").value(rec.platform)
+          .key("secure").value(rec.secure)
+          .key("output").value(rec.output)
+          .key("served_by").value(rec.served_by)
+          .key("function_ms").value(rec.function_ns / 1e6)
+          .key("bootstrap_ms").value(rec.bootstrap_ns / 1e6)
+          .key("perf_source").value(rec.perf_from_pmu ? "pmu" : "custom")
+          .key("perf").begin_object()
+              .key("instructions").value(rec.perf.instructions)
+              .key("cache_misses").value(rec.perf.cache_misses)
+              .key("syscalls").value(rec.perf.syscalls)
+              .key("vm_exits").value(rec.perf.vm_exits)
+              .key("wall_ms").value(rec.perf.wall_ns / 1e6)
+          .end_object()
+          .end_object();
+      std::printf("%s\n", w.str().c_str());
+      return 0;
+    }
+    std::printf("output:       %s\n", rec.output.c_str());
+    std::printf("served by:    %s\n", rec.served_by.c_str());
+    std::printf("function:     %.3f ms (bootstrap %.3f ms excluded)\n",
+                rec.function_ns / 1e6, rec.bootstrap_ns / 1e6);
+    std::printf("perf source:  %s\n", rec.perf_from_pmu ? "pmu" : "custom");
+    std::printf("%s", rec.perf.to_perf_stat_string().c_str());
+    return 0;
+  }
+
+  // measure: secure vs normal over N trials.
+  const auto m = system.measure(function, lang, platform, trials);
+  const auto s = metrics::Summary::of(m.secure_ns);
+  const auto n = metrics::Summary::of(m.normal_ns);
+  if (json) {
+    metrics::JsonWriter w;
+    w.begin_object()
+        .key("function").value(function)
+        .key("language").value(lang)
+        .key("platform").value(platform)
+        .key("trials").value(trials)
+        .key("ratio").value(m.ratio())
+        .key("secure_ms").begin_array();
+    for (const double x : m.secure_ns) w.value(x / 1e6);
+    w.end_array().key("normal_ms").begin_array();
+    for (const double x : m.normal_ns) w.value(x / 1e6);
+    w.end_array().end_object();
+    std::printf("%s\n", w.str().c_str());
+    return 0;
+  }
+  std::printf("%s/%s on %s, %d trials\n", function.c_str(), lang.c_str(),
+              platform.c_str(), trials);
+  std::printf("  secure: median %.3f ms  (min %.3f, max %.3f)\n",
+              s.median / 1e6, s.min / 1e6, s.max / 1e6);
+  std::printf("  normal: median %.3f ms  (min %.3f, max %.3f)\n",
+              n.median / 1e6, n.min / 1e6, n.max / 1e6);
+  std::printf("  secure/normal mean ratio: %.3f\n", m.ratio());
+  return 0;
+}

@@ -1,0 +1,62 @@
+// faas_compare: the paper's core use case — compare FaaS overheads across
+// TEEs and language runtimes through the full gateway pipeline.
+//
+//   ./build/examples/faas_compare [function ...]
+//
+// Runs the given functions (default: the six from §IV-D) in all seven
+// languages on TDX, SEV-SNP and CCA, printing one mini-heatmap per platform
+// plus the per-language mean ratio, which makes the "heavier runtimes hurt
+// more" trend directly visible.
+#include <cstdio>
+#include <vector>
+
+#include "core/confbench.h"
+#include "metrics/heatmap.h"
+#include "rt/profile.h"
+#include "wl/faas.h"
+
+using namespace confbench;
+
+int main(int argc, char** argv) {
+  std::vector<std::string> functions;
+  for (int i = 1; i < argc; ++i) {
+    if (!wl::find_faas(argv[i])) {
+      std::fprintf(stderr, "unknown function '%s'; available:\n", argv[i]);
+      for (const auto& w : wl::faas_workloads())
+        std::fprintf(stderr, "  %s\n", w.name.c_str());
+      return 1;
+    }
+    functions.push_back(argv[i]);
+  }
+  if (functions.empty()) {
+    functions = {"cpustress", "memstress", "iostress",
+                 "logging",   "factors",   "filesystem"};
+  }
+
+  auto bench = core::ConfBench::standard();
+  std::vector<std::string> langs;
+  for (const auto& p : rt::builtin_profiles()) langs.push_back(p.name);
+
+  constexpr int kTrials = 5;
+  for (const char* platform : {"tdx", "sev-snp", "cca"}) {
+    metrics::Heatmap map(functions, langs);
+    std::vector<double> lang_sums(langs.size(), 0.0);
+    for (std::size_t r = 0; r < functions.size(); ++r) {
+      for (std::size_t c = 0; c < langs.size(); ++c) {
+        const auto m =
+            bench->measure(functions[r], langs[c], platform, kTrials);
+        map.set(r, c, m.ratio());
+        lang_sums[c] += m.ratio();
+      }
+    }
+    std::printf("== %s: secure/normal mean-time ratio (%d trials) ==\n%s",
+                platform, kTrials,
+                map.render({.lo = 0.95, .hi = 3.0}).c_str());
+    std::printf("per-language mean:");
+    for (std::size_t c = 0; c < langs.size(); ++c)
+      std::printf(" %s=%.2f", langs[c].c_str(),
+                  lang_sums[c] / static_cast<double>(functions.size()));
+    std::printf("\n\n");
+  }
+  return 0;
+}

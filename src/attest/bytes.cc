@@ -1,0 +1,68 @@
+#include "attest/bytes.h"
+
+#include <cstring>
+
+namespace confbench::attest {
+
+void ByteWriter::u16(std::uint16_t v) {
+  u8(static_cast<std::uint8_t>(v));
+  u8(static_cast<std::uint8_t>(v >> 8));
+}
+void ByteWriter::u32(std::uint32_t v) {
+  u16(static_cast<std::uint16_t>(v));
+  u16(static_cast<std::uint16_t>(v >> 16));
+}
+void ByteWriter::u64(std::uint64_t v) {
+  u32(static_cast<std::uint32_t>(v));
+  u32(static_cast<std::uint32_t>(v >> 32));
+}
+void ByteWriter::bytes(const void* data, std::size_t len) {
+  const auto* p = static_cast<const std::uint8_t*>(data);
+  buf_.insert(buf_.end(), p, p + len);
+}
+void ByteWriter::str(const std::string& s) {
+  u32(static_cast<std::uint32_t>(s.size()));
+  bytes(s.data(), s.size());
+}
+
+std::uint8_t ByteReader::u8() {
+  if (pos_ + 1 > buf_.size()) {
+    ok_ = false;
+    return 0;
+  }
+  return buf_[pos_++];
+}
+std::uint16_t ByteReader::u16() {
+  const std::uint16_t lo = u8();
+  return static_cast<std::uint16_t>(lo | (std::uint16_t(u8()) << 8));
+}
+std::uint32_t ByteReader::u32() {
+  const std::uint32_t lo = u16();
+  return lo | (std::uint32_t(u16()) << 16);
+}
+std::uint64_t ByteReader::u64() {
+  const std::uint64_t lo = u32();
+  return lo | (std::uint64_t(u32()) << 32);
+}
+bool ByteReader::bytes(void* out, std::size_t len) {
+  if (pos_ + len > buf_.size()) {
+    ok_ = false;
+    std::memset(out, 0, len);
+    return false;
+  }
+  std::memcpy(out, buf_.data() + pos_, len);
+  pos_ += len;
+  return true;
+}
+std::string ByteReader::str() {
+  const std::uint32_t n = u32();
+  if (pos_ + n > buf_.size()) {
+    ok_ = false;
+    return {};
+  }
+  std::string s(reinterpret_cast<const char*>(buf_.data() + pos_), n);
+  pos_ += n;
+  return s;
+}
+
+}  // namespace confbench::attest

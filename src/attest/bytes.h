@@ -1,0 +1,61 @@
+// Little-endian binary (de)serialisation helpers for attestation evidence.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace confbench::attest {
+
+class ByteWriter {
+ public:
+  void u8(std::uint8_t v) { buf_.push_back(v); }
+  void u16(std::uint16_t v);
+  void u32(std::uint32_t v);
+  void u64(std::uint64_t v);
+  void bytes(const void* data, std::size_t len);
+  void bytes(const std::vector<std::uint8_t>& v) { bytes(v.data(), v.size()); }
+  template <std::size_t N>
+  void array(const std::array<std::uint8_t, N>& a) {
+    bytes(a.data(), N);
+  }
+  /// Length-prefixed string (u32 length).
+  void str(const std::string& s);
+
+  [[nodiscard]] const std::vector<std::uint8_t>& data() const { return buf_; }
+  std::vector<std::uint8_t> take() { return std::move(buf_); }
+
+ private:
+  std::vector<std::uint8_t> buf_;
+};
+
+/// Reader with explicit failure state: any read past the end sets ok() to
+/// false and returns zeros, so parsers can check once at the end.
+class ByteReader {
+ public:
+  explicit ByteReader(const std::vector<std::uint8_t>& buf) : buf_(buf) {}
+
+  std::uint8_t u8();
+  std::uint16_t u16();
+  std::uint32_t u32();
+  std::uint64_t u64();
+  bool bytes(void* out, std::size_t len);
+  template <std::size_t N>
+  std::array<std::uint8_t, N> array() {
+    std::array<std::uint8_t, N> a{};
+    bytes(a.data(), N);
+    return a;
+  }
+  std::string str();
+
+  [[nodiscard]] bool ok() const { return ok_; }
+  [[nodiscard]] bool at_end() const { return pos_ == buf_.size(); }
+
+ private:
+  const std::vector<std::uint8_t>& buf_;
+  std::size_t pos_ = 0;
+  bool ok_ = true;
+};
+
+}  // namespace confbench::attest

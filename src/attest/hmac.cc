@@ -1,0 +1,35 @@
+#include "attest/hmac.h"
+
+namespace confbench::attest {
+
+Digest hmac_sha256(const std::vector<std::uint8_t>& key, const void* msg,
+                   std::size_t len) {
+  std::array<std::uint8_t, 64> k{};
+  if (key.size() > 64) {
+    const Digest kd = Sha256::hash(key);
+    std::copy(kd.begin(), kd.end(), k.begin());
+  } else {
+    std::copy(key.begin(), key.end(), k.begin());
+  }
+  std::array<std::uint8_t, 64> ipad{}, opad{};
+  for (int i = 0; i < 64; ++i) {
+    ipad[i] = static_cast<std::uint8_t>(k[i] ^ 0x36);
+    opad[i] = static_cast<std::uint8_t>(k[i] ^ 0x5c);
+  }
+  Sha256 inner;
+  inner.update(ipad.data(), ipad.size());
+  inner.update(msg, len);
+  const Digest inner_d = inner.finalize();
+  Sha256 outer;
+  outer.update(opad.data(), opad.size());
+  outer.update(inner_d.data(), inner_d.size());
+  return outer.finalize();
+}
+
+bool digest_equal(const Digest& a, const Digest& b) {
+  unsigned char diff = 0;
+  for (std::size_t i = 0; i < a.size(); ++i) diff |= a[i] ^ b[i];
+  return diff == 0;
+}
+
+}  // namespace confbench::attest

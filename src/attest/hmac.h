@@ -1,0 +1,22 @@
+// HMAC-SHA256 (RFC 2104).
+#pragma once
+
+#include <vector>
+
+#include "attest/sha256.h"
+
+namespace confbench::attest {
+
+/// Computes HMAC-SHA256(key, msg).
+Digest hmac_sha256(const std::vector<std::uint8_t>& key, const void* msg,
+                   std::size_t len);
+
+inline Digest hmac_sha256(const std::vector<std::uint8_t>& key,
+                          const std::vector<std::uint8_t>& msg) {
+  return hmac_sha256(key, msg.data(), msg.size());
+}
+
+/// Constant-time digest comparison.
+bool digest_equal(const Digest& a, const Digest& b);
+
+}  // namespace confbench::attest

@@ -1,0 +1,61 @@
+#include "attest/measurement.h"
+
+namespace confbench::attest {
+
+void MeasurementRegister::extend(const Digest& event) {
+  Sha256 h;
+  h.update(value_.data(), value_.size());
+  h.update(event.data(), event.size());
+  value_ = h.finalize();
+}
+
+void MeasurementRegister::extend(const std::string& event_data) {
+  extend(Sha256::hash(event_data));
+}
+
+Digest TdMeasurements::compose() const {
+  Sha256 h;
+  h.update(mrtd.data(), mrtd.size());
+  for (const auto& r : rtmr) h.update(r.value().data(), r.value().size());
+  return h.finalize();
+}
+
+Digest SnpMeasurements::compose() const {
+  Sha256 h;
+  h.update(launch_digest.data(), launch_digest.size());
+  h.update(host_data.data(), host_data.size());
+  return h.finalize();
+}
+
+Digest RealmMeasurements::compose() const {
+  Sha256 h;
+  h.update(rim.data(), rim.size());
+  for (const auto& r : rem) h.update(r.value().data(), r.value().size());
+  return h.finalize();
+}
+
+TdMeasurements golden_td_measurements(const std::string& image_tag) {
+  TdMeasurements m;
+  m.mrtd = Sha256::hash("tdx-mrtd:" + image_tag);
+  m.rtmr[0].extend("kernel:" + image_tag);
+  m.rtmr[1].extend("initrd:" + image_tag);
+  m.rtmr[2].extend("cmdline:" + image_tag);
+  // rtmr[3] is left for application use, zero by default.
+  return m;
+}
+
+SnpMeasurements golden_snp_measurements(const std::string& image_tag) {
+  SnpMeasurements m;
+  m.launch_digest = Sha256::hash("snp-launch:" + image_tag);
+  m.host_data = Sha256::hash("snp-hostdata:" + image_tag);
+  return m;
+}
+
+RealmMeasurements golden_realm_measurements(const std::string& image_tag) {
+  RealmMeasurements m;
+  m.rim = Sha256::hash("cca-rim:" + image_tag);
+  m.rem[0].extend("realm-kernel:" + image_tag);
+  return m;
+}
+
+}  // namespace confbench::attest

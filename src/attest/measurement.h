@@ -1,0 +1,68 @@
+// Measurement registers for the three TEE families.
+//
+// TDX: MRTD (build-time measurement) + 4 run-time-extendable RTMRs.
+// SEV-SNP: launch digest + HOST_DATA. CCA: RIM + 4 REMs. Extension follows
+// the hardware semantics: new = H(old || event).
+#pragma once
+
+#include <array>
+#include <string>
+
+#include "attest/sha256.h"
+
+namespace confbench::attest {
+
+/// One extendable measurement register.
+class MeasurementRegister {
+ public:
+  MeasurementRegister() : value_{} {}
+
+  /// Extends the register with an event digest: v = H(v || event).
+  void extend(const Digest& event);
+  void extend(const std::string& event_data);
+
+  [[nodiscard]] const Digest& value() const { return value_; }
+
+  /// Reconstructs a register from a serialized value (deserialization only;
+  /// regular code must go through extend()).
+  static MeasurementRegister from_raw(const Digest& d) {
+    MeasurementRegister r;
+    r.value_ = d;
+    return r;
+  }
+
+ private:
+  Digest value_;
+};
+
+/// TDX-style measurement set.
+struct TdMeasurements {
+  Digest mrtd{};                           ///< static TD measurement
+  std::array<MeasurementRegister, 4> rtmr;  ///< run-time registers
+
+  /// Canonical digest over all registers (used as quote body content).
+  [[nodiscard]] Digest compose() const;
+};
+
+/// SNP-style measurement set.
+struct SnpMeasurements {
+  Digest launch_digest{};
+  Digest host_data{};
+  [[nodiscard]] Digest compose() const;
+};
+
+/// CCA-style measurement set.
+struct RealmMeasurements {
+  Digest rim{};                             ///< realm initial measurement
+  std::array<MeasurementRegister, 4> rem;   ///< realm extendable registers
+  [[nodiscard]] Digest compose() const;
+};
+
+/// Deterministically produces the measurements of a "golden" guest image,
+/// e.g. the Ubuntu guests of §IV-A. Used both by the attester (to populate
+/// evidence) and the verifier (as its reference policy values).
+TdMeasurements golden_td_measurements(const std::string& image_tag);
+SnpMeasurements golden_snp_measurements(const std::string& image_tag);
+RealmMeasurements golden_realm_measurements(const std::string& image_tag);
+
+}  // namespace confbench::attest

@@ -1,0 +1,3 @@
+#include "attest/pcs.h"
+
+// Header-only; anchors the translation unit.

@@ -1,0 +1,48 @@
+// Simulated Intel Provisioning Certification Service (PCS).
+//
+// The go-tdx-guest verification path fetches TCB info and CRLs from the PCS
+// over the network ([20], §IV-C) — this is exactly why TDX's "check" phase
+// is slower than SEV-SNP's in Fig. 5. The PCS here serves real collateral
+// (trust anchor, revocation list, current TCB level); the *latency* of
+// talking to it is charged by the attestation service using the platform's
+// AttestationCosts.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "attest/signer.h"
+
+namespace confbench::attest {
+
+struct PcsCollateral {
+  PubKey root{};                 ///< Intel root trust anchor
+  std::vector<PubKey> crl;       ///< revoked keys
+  std::uint16_t current_tcb = 5; ///< latest TCB level for the platform
+};
+
+class PcsService {
+ public:
+  explicit PcsService(PubKey intel_root) : root_(intel_root) {}
+
+  /// Collateral returned to verifiers. The caller charges
+  /// `AttestationCosts::collateral_round_trips` network RTTs per fetch.
+  [[nodiscard]] PcsCollateral fetch_collateral() const {
+    return {root_, crl_, current_tcb_};
+  }
+
+  /// Marks a key as revoked (it will appear in subsequent CRLs).
+  void revoke(const PubKey& key) { crl_.push_back(key); }
+
+  void set_current_tcb(std::uint16_t tcb) { current_tcb_ = tcb; }
+
+  /// go-tdx-guest performs: TCB info, QE identity and two CRL fetches.
+  [[nodiscard]] static int round_trips_per_verification() { return 4; }
+
+ private:
+  PubKey root_;
+  std::vector<PubKey> crl_;
+  std::uint16_t current_tcb_ = 5;
+};
+
+}  // namespace confbench::attest

@@ -1,0 +1,138 @@
+#include "attest/quote.h"
+
+#include "attest/hmac.h"
+
+namespace confbench::attest {
+
+std::vector<std::uint8_t> TdReport::serialize() const {
+  ByteWriter w;
+  w.u32(version);
+  w.array(meas.mrtd);
+  for (const auto& r : meas.rtmr) w.array(r.value());
+  w.array(report_data);
+  return w.take();
+}
+
+std::vector<std::uint8_t> TdxQuote::signed_body() const {
+  ByteWriter w;
+  w.u16(header_version);
+  w.u32(tee_type);
+  w.u16(tcb_level);
+  w.bytes(report.serialize());
+  return w.take();
+}
+
+std::vector<std::uint8_t> TdxQuote::serialize() const {
+  ByteWriter w;
+  w.u16(header_version);
+  w.u32(tee_type);
+  w.u16(tcb_level);
+  w.u32(report.version);
+  w.array(report.meas.mrtd);
+  for (const auto& r : report.meas.rtmr) w.array(r.value());
+  w.array(report.report_data);
+  w.array(signature);
+  w.array(attestation_key);
+  w.u32(static_cast<std::uint32_t>(pck_chain.size()));
+  for (const auto& c : pck_chain) {
+    const auto blob = c.serialize();
+    w.u32(static_cast<std::uint32_t>(blob.size()));
+    w.bytes(blob);
+  }
+  return w.take();
+}
+
+std::optional<TdxQuote> TdxQuote::deserialize(
+    const std::vector<std::uint8_t>& buf) {
+  ByteReader r(buf);
+  TdxQuote q;
+  q.header_version = r.u16();
+  q.tee_type = r.u32();
+  q.tcb_level = r.u16();
+  q.report.version = r.u32();
+  q.report.meas.mrtd = r.array<32>();
+  for (auto& reg : q.report.meas.rtmr)
+    reg = MeasurementRegister::from_raw(r.array<32>());
+  q.report.report_data = r.array<32>();
+  q.signature = r.array<32>();
+  q.attestation_key = r.array<32>();
+  const std::uint32_t n_certs = r.u32();
+  if (n_certs > 16) return std::nullopt;
+  for (std::uint32_t i = 0; i < n_certs; ++i) {
+    const std::uint32_t len = r.u32();
+    std::vector<std::uint8_t> blob(len);
+    if (!r.bytes(blob.data(), len)) return std::nullopt;
+    auto cert = Certificate::deserialize(blob);
+    if (!cert) return std::nullopt;
+    q.pck_chain.push_back(std::move(*cert));
+  }
+  if (!r.ok() || !r.at_end()) return std::nullopt;
+  return q;
+}
+
+TdxQuoteGenerator::TdxQuoteGenerator(const std::string& platform_tag)
+    : root_(SimSigner::keygen("intel-root")),
+      intermediate_(SimSigner::keygen("intel-platform-ca:" + platform_tag)),
+      pck_(SimSigner::keygen("pck:" + platform_tag)),
+      ak_(SimSigner::keygen("tdqe-ak:" + platform_tag)) {
+  // Leaf-first chain: AK certified by PCK, PCK by the platform CA, the
+  // platform CA by the Intel root (the root itself is the trust anchor and
+  // is not shipped in the quote).
+  chain_.push_back(issue_certificate("tdqe-ak", ak_, "pck", pck_));
+  chain_.push_back(
+      issue_certificate("pck", pck_, "intel-platform-ca", intermediate_));
+  chain_.push_back(issue_certificate("intel-platform-ca", intermediate_,
+                                     "intel-root", root_));
+}
+
+TdxQuote TdxQuoteGenerator::generate(const TdMeasurements& meas,
+                                     const Digest& report_data) const {
+  TdxQuote q;
+  q.report.meas = meas;
+  q.report.report_data = report_data;
+  q.attestation_key = ak_.pub;
+  q.pck_chain = chain_;
+  q.signature = SimSigner::sign(ak_, q.signed_body());
+  return q;
+}
+
+VerifyOutcome verify_tdx_quote(const TdxQuote& quote, const PubKey& root,
+                               const std::vector<PubKey>& revoked,
+                               const TdxVerifyPolicy& policy) {
+  VerifyOutcome out;
+  if (quote.tee_type != 0x81) {
+    out.failure = "not a TDX quote";
+    return out;
+  }
+  if (!verify_chain(quote.pck_chain, root, revoked)) {
+    out.failure = "PCK certificate chain invalid or revoked";
+    return out;
+  }
+  if (quote.pck_chain.empty() ||
+      !digest_equal(quote.pck_chain.front().subject_key,
+                    quote.attestation_key)) {
+    out.failure = "attestation key not certified by chain";
+    return out;
+  }
+  if (!SimSigner::verify(quote.attestation_key, quote.signed_body(),
+                         quote.signature)) {
+    out.failure = "quote signature invalid";
+    return out;
+  }
+  if (quote.tcb_level < policy.min_tcb_level) {
+    out.failure = "TCB level below policy";
+    return out;
+  }
+  if (!digest_equal(quote.report.meas.compose(), policy.expected.compose())) {
+    out.failure = "measurement mismatch";
+    return out;
+  }
+  if (!digest_equal(quote.report.report_data, policy.expected_report_data)) {
+    out.failure = "report_data (nonce) mismatch";
+    return out;
+  }
+  out.ok = true;
+  return out;
+}
+
+}  // namespace confbench::attest

@@ -1,0 +1,80 @@
+// TDX quote structures (DCAP-shaped).
+//
+// A TD requests a TDREPORT via TDCALL; the host-side Quoting Enclave turns
+// it into a quote signed with the PCK-certified attestation key. The
+// verifier checks the PCK chain against the Intel root, TCB status from the
+// PCS, CRLs, and finally the quote signature and measurement policy.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "attest/measurement.h"
+#include "attest/signer.h"
+
+namespace confbench::attest {
+
+struct TdReport {
+  std::uint32_t version = 4;
+  TdMeasurements meas;
+  Digest report_data{};  ///< user-supplied nonce / freshness binding
+
+  [[nodiscard]] std::vector<std::uint8_t> serialize() const;
+};
+
+struct TdxQuote {
+  std::uint16_t header_version = 4;
+  std::uint32_t tee_type = 0x81;  ///< TDX
+  std::uint16_t tcb_level = 5;    ///< platform TCB as attested
+  TdReport report;
+  Signature signature{};          ///< attestation-key signature over body
+  PubKey attestation_key{};
+  std::vector<Certificate> pck_chain;  ///< PCK -> Intel intermediate
+
+  /// The signed body (header + report + tcb).
+  [[nodiscard]] std::vector<std::uint8_t> signed_body() const;
+  [[nodiscard]] std::vector<std::uint8_t> serialize() const;
+  static std::optional<TdxQuote> deserialize(
+      const std::vector<std::uint8_t>& buf);
+};
+
+/// The platform-side quote generation machinery (TDX module + QE).
+class TdxQuoteGenerator {
+ public:
+  /// `platform_tag` seeds the PCK hierarchy; quotes from the same platform
+  /// share keys, like real machines.
+  explicit TdxQuoteGenerator(const std::string& platform_tag);
+
+  [[nodiscard]] TdxQuote generate(const TdMeasurements& meas,
+                                  const Digest& report_data) const;
+
+  [[nodiscard]] const PubKey& intel_root() const { return root_.pub; }
+
+ private:
+  Keypair root_;          ///< Intel SGX/TDX root CA (trust anchor)
+  Keypair intermediate_;  ///< platform CA
+  Keypair pck_;           ///< per-platform PCK
+  Keypair ak_;            ///< QE attestation key (certified by PCK)
+  std::vector<Certificate> chain_;
+};
+
+/// Verification policy + result.
+struct TdxVerifyPolicy {
+  TdMeasurements expected;
+  Digest expected_report_data{};
+  std::uint16_t min_tcb_level = 5;
+};
+
+struct VerifyOutcome {
+  bool ok = false;
+  std::string failure;  ///< empty on success
+};
+
+/// Pure verification logic (no timing); collateral (root key + CRLs) is
+/// passed in by the service layer, which charges PCS round trips.
+VerifyOutcome verify_tdx_quote(const TdxQuote& quote, const PubKey& root,
+                               const std::vector<PubKey>& revoked,
+                               const TdxVerifyPolicy& policy);
+
+}  // namespace confbench::attest

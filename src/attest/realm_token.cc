@@ -1,0 +1,148 @@
+#include "attest/realm_token.h"
+
+#include "attest/bytes.h"
+#include "attest/hmac.h"
+
+namespace confbench::attest {
+
+std::vector<std::uint8_t> PlatformToken::signed_body() const {
+  ByteWriter w;
+  w.u16(profile);
+  w.array(platform_measurement);
+  w.array(rak_pub_hash);
+  w.u8(lifecycle);
+  return w.take();
+}
+
+std::vector<std::uint8_t> RealmToken::signed_body() const {
+  ByteWriter w;
+  w.array(meas.rim);
+  for (const auto& r : meas.rem) w.array(r.value());
+  w.array(personalization);
+  w.array(challenge);
+  return w.take();
+}
+
+std::vector<std::uint8_t> CcaToken::serialize() const {
+  ByteWriter w;
+  w.u16(platform.profile);
+  w.array(platform.platform_measurement);
+  w.array(platform.rak_pub_hash);
+  w.u8(platform.lifecycle);
+  w.array(platform.signature);
+  w.array(realm.meas.rim);
+  for (const auto& r : realm.meas.rem) w.array(r.value());
+  w.array(realm.personalization);
+  w.array(realm.challenge);
+  w.array(realm.signature);
+  w.array(rak_pub);
+  w.u32(static_cast<std::uint32_t>(cpak_chain.size()));
+  for (const auto& c : cpak_chain) {
+    const auto blob = c.serialize();
+    w.u32(static_cast<std::uint32_t>(blob.size()));
+    w.bytes(blob);
+  }
+  return w.take();
+}
+
+std::optional<CcaToken> CcaToken::deserialize(
+    const std::vector<std::uint8_t>& buf) {
+  ByteReader r(buf);
+  CcaToken t;
+  t.platform.profile = r.u16();
+  t.platform.platform_measurement = r.array<32>();
+  t.platform.rak_pub_hash = r.array<32>();
+  t.platform.lifecycle = r.u8();
+  t.platform.signature = r.array<32>();
+  t.realm.meas.rim = r.array<32>();
+  for (auto& reg : t.realm.meas.rem)
+    reg = MeasurementRegister::from_raw(r.array<32>());
+  t.realm.personalization = r.array<32>();
+  t.realm.challenge = r.array<32>();
+  t.realm.signature = r.array<32>();
+  t.rak_pub = r.array<32>();
+  const std::uint32_t n = r.u32();
+  if (n > 8) return std::nullopt;
+  for (std::uint32_t i = 0; i < n; ++i) {
+    const std::uint32_t len = r.u32();
+    std::vector<std::uint8_t> blob(len);
+    if (!r.bytes(blob.data(), len)) return std::nullopt;
+    auto cert = Certificate::deserialize(blob);
+    if (!cert) return std::nullopt;
+    t.cpak_chain.push_back(std::move(*cert));
+  }
+  if (!r.ok() || !r.at_end()) return std::nullopt;
+  return t;
+}
+
+CcaTokenGenerator::CcaTokenGenerator(const std::string& platform_tag)
+    : root_(SimSigner::keygen("arm-cca-root")),
+      cpak_(SimSigner::keygen("cpak:" + platform_tag)),
+      rak_(SimSigner::keygen("rak:" + platform_tag)),
+      platform_measurement_(Sha256::hash("cca-fw:" + platform_tag)) {
+  chain_.push_back(issue_certificate("cpak", cpak_, "arm-cca-root", root_));
+}
+
+CcaToken CcaTokenGenerator::generate(const RealmMeasurements& meas,
+                                     const Digest& challenge,
+                                     const Digest& personalization) const {
+  CcaToken t;
+  t.platform.platform_measurement = platform_measurement_;
+  t.platform.rak_pub_hash =
+      Sha256::hash(rak_.pub.data(), rak_.pub.size());
+  t.platform.signature = SimSigner::sign(cpak_, t.platform.signed_body());
+  t.realm.meas = meas;
+  t.realm.personalization = personalization;
+  t.realm.challenge = challenge;
+  t.realm.signature = SimSigner::sign(rak_, t.realm.signed_body());
+  t.rak_pub = rak_.pub;
+  t.cpak_chain = chain_;
+  return t;
+}
+
+CcaVerifyOutcome verify_cca_token(const CcaToken& token, const PubKey& root,
+                                  const CcaVerifyPolicy& policy) {
+  CcaVerifyOutcome out;
+  // 1. Platform trust: CPAK chain to the Arm root.
+  if (!verify_chain(token.cpak_chain, root, /*revoked=*/{})) {
+    out.failure = "CPAK certificate chain invalid";
+    return out;
+  }
+  if (token.cpak_chain.empty() ||
+      !SimSigner::verify(token.cpak_chain.front().subject_key,
+                         token.platform.signed_body(),
+                         token.platform.signature)) {
+    out.failure = "platform token signature invalid";
+    return out;
+  }
+  if (!digest_equal(token.platform.platform_measurement,
+                    policy.expected_platform_measurement)) {
+    out.failure = "platform measurement mismatch";
+    return out;
+  }
+  // 2. Key binding: the RAK must be the one the platform vouched for.
+  if (!digest_equal(
+          Sha256::hash(token.rak_pub.data(), token.rak_pub.size()),
+          token.platform.rak_pub_hash)) {
+    out.failure = "RAK not bound to the platform token";
+    return out;
+  }
+  // 3. Realm evidence under the RAK.
+  if (!SimSigner::verify(token.rak_pub, token.realm.signed_body(),
+                         token.realm.signature)) {
+    out.failure = "realm token signature invalid";
+    return out;
+  }
+  if (!digest_equal(token.realm.meas.compose(), policy.expected.compose())) {
+    out.failure = "realm measurement mismatch";
+    return out;
+  }
+  if (!digest_equal(token.realm.challenge, policy.expected_challenge)) {
+    out.failure = "challenge (nonce) mismatch";
+    return out;
+  }
+  out.ok = true;
+  return out;
+}
+
+}  // namespace confbench::attest

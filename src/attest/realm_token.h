@@ -1,0 +1,89 @@
+// Arm CCA realm attestation token (structures + verification logic).
+//
+// The paper excludes CCA from Fig. 5 because the FVP lacks attestation
+// hardware (§IV-B); ConfBench nevertheless ships the evidence structures so
+// the flow is ready when silicon arrives (§VI). A CCA token is a *pair*:
+//
+//   platform token — signed by the CPAK (platform key, chained to the Arm
+//       root), carrying platform measurements and a hash of the RAK;
+//   realm token — signed by the RAK (realm attestation key), carrying the
+//       RIM, the four REMs, the personalization value and the challenge.
+//
+// Verification checks the CPAK chain, the RAK binding (its hash must match
+// the platform token's claim), the realm signature, and the measurement
+// policy — the same claim-binding topology as the real RMM spec.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "attest/measurement.h"
+#include "attest/signer.h"
+
+namespace confbench::attest {
+
+struct PlatformToken {
+  std::uint16_t profile = 1;        ///< CCA platform profile version
+  Digest platform_measurement{};    ///< boot firmware measurements
+  Digest rak_pub_hash{};            ///< binds the realm key to this platform
+  std::uint8_t lifecycle = 3;       ///< secured state
+  Signature signature{};            ///< CPAK signature over the body
+
+  [[nodiscard]] std::vector<std::uint8_t> signed_body() const;
+};
+
+struct RealmToken {
+  RealmMeasurements meas;
+  Digest personalization{};         ///< RPV
+  Digest challenge{};               ///< verifier nonce
+  Signature signature{};            ///< RAK signature over the body
+
+  [[nodiscard]] std::vector<std::uint8_t> signed_body() const;
+};
+
+struct CcaToken {
+  PlatformToken platform;
+  RealmToken realm;
+  PubKey rak_pub{};
+  std::vector<Certificate> cpak_chain;  ///< CPAK -> Arm root
+
+  [[nodiscard]] std::vector<std::uint8_t> serialize() const;
+  static std::optional<CcaToken> deserialize(
+      const std::vector<std::uint8_t>& buf);
+};
+
+/// RMM-side token issuance for one platform.
+class CcaTokenGenerator {
+ public:
+  explicit CcaTokenGenerator(const std::string& platform_tag);
+
+  [[nodiscard]] CcaToken generate(const RealmMeasurements& meas,
+                                  const Digest& challenge,
+                                  const Digest& personalization) const;
+
+  [[nodiscard]] const PubKey& arm_root() const { return root_.pub; }
+
+ private:
+  Keypair root_;  ///< Arm CCA root (trust anchor)
+  Keypair cpak_;  ///< platform attestation key
+  Keypair rak_;   ///< realm attestation key
+  std::vector<Certificate> chain_;
+  Digest platform_measurement_{};
+};
+
+struct CcaVerifyPolicy {
+  RealmMeasurements expected;
+  Digest expected_challenge{};
+  Digest expected_platform_measurement{};
+};
+
+struct CcaVerifyOutcome {
+  bool ok = false;
+  std::string failure;
+};
+
+CcaVerifyOutcome verify_cca_token(const CcaToken& token, const PubKey& root,
+                                  const CcaVerifyPolicy& policy);
+
+}  // namespace confbench::attest

@@ -1,0 +1,100 @@
+#include "attest/report.h"
+
+#include "attest/hmac.h"
+
+namespace confbench::attest {
+
+std::vector<std::uint8_t> SnpReport::signed_body() const {
+  ByteWriter w;
+  w.u32(version);
+  w.u8(vmpl);
+  w.u64(guest_svn);
+  w.u64(platform_tcb);
+  w.array(meas.launch_digest);
+  w.array(meas.host_data);
+  w.array(report_data);
+  w.array(chip_id);
+  return w.take();
+}
+
+std::vector<std::uint8_t> SnpReport::serialize() const {
+  ByteWriter w;
+  w.bytes(signed_body());
+  w.array(signature);
+  return w.take();
+}
+
+std::optional<SnpReport> SnpReport::deserialize(
+    const std::vector<std::uint8_t>& buf) {
+  ByteReader r(buf);
+  SnpReport rep;
+  rep.version = r.u32();
+  rep.vmpl = r.u8();
+  rep.guest_svn = r.u64();
+  rep.platform_tcb = r.u64();
+  rep.meas.launch_digest = r.array<32>();
+  rep.meas.host_data = r.array<32>();
+  rep.report_data = r.array<32>();
+  rep.chip_id = r.array<32>();
+  rep.signature = r.array<32>();
+  if (!r.ok() || !r.at_end()) return std::nullopt;
+  return rep;
+}
+
+SnpReportGenerator::SnpReportGenerator(const std::string& chip_tag)
+    : ark_(SimSigner::keygen("amd-ark")),
+      ask_(SimSigner::keygen("amd-ask")),
+      vcek_(SimSigner::keygen("vcek:" + chip_tag)),
+      chip_id_(Sha256::hash("chip:" + chip_tag)) {
+  chain_.push_back(issue_certificate("vcek", vcek_, "amd-ask", ask_));
+  chain_.push_back(issue_certificate("amd-ask", ask_, "amd-ark", ark_));
+}
+
+SnpReport SnpReportGenerator::generate(const SnpMeasurements& meas,
+                                       const Digest& report_data) const {
+  SnpReport rep;
+  rep.meas = meas;
+  rep.report_data = report_data;
+  rep.chip_id = chip_id_;
+  rep.signature = SimSigner::sign(vcek_, rep.signed_body());
+  return rep;
+}
+
+SnpVerifyOutcome verify_snp_report(const SnpReport& report,
+                                   const std::vector<Certificate>& chain,
+                                   const PubKey& ark,
+                                   const SnpVerifyPolicy& policy) {
+  SnpVerifyOutcome out;
+  // Step 1 of the snpguest flow: validate the certificate chain.
+  if (!verify_chain(chain, ark, /*revoked=*/{})) {
+    out.failure = "VCEK chain invalid";
+    return out;
+  }
+  if (chain.empty() || chain.front().subject != "vcek") {
+    out.failure = "leaf is not a VCEK certificate";
+    return out;
+  }
+  // Step 2: report signature under the VCEK.
+  if (!SimSigner::verify(chain.front().subject_key, report.signed_body(),
+                         report.signature)) {
+    out.failure = "report signature invalid";
+    return out;
+  }
+  // Step 3: policy checks (TCB + measurement + nonce).
+  if (report.platform_tcb < policy.min_tcb) {
+    out.failure = "platform TCB below policy";
+    return out;
+  }
+  if (!digest_equal(report.meas.compose(), policy.expected.compose())) {
+    out.failure = "launch measurement mismatch";
+    return out;
+  }
+  if (!digest_equal(report.report_data, policy.expected_report_data)) {
+    out.failure = "report_data (nonce) mismatch";
+    return out;
+  }
+  out.ok = true;
+  return out;
+}
+
+}  // namespace confbench::attest

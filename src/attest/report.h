@@ -1,0 +1,74 @@
+// SEV-SNP attestation report (snpguest-shaped).
+//
+// The guest sends MSG_REPORT_REQ to the AMD Secure Processor, which returns
+// a report signed with the chip-unique VCEK. Verification walks the
+// ARK -> ASK -> VCEK chain — retrieved from the platform itself via the
+// extended report, not the network — then checks the report signature and
+// launch measurement ([46], [50]).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "attest/measurement.h"
+#include "attest/signer.h"
+
+namespace confbench::attest {
+
+struct SnpReport {
+  std::uint32_t version = 2;
+  std::uint8_t vmpl = 0;
+  std::uint64_t guest_svn = 3;
+  std::uint64_t platform_tcb = 7;
+  SnpMeasurements meas;
+  Digest report_data{};
+  Digest chip_id{};
+  Signature signature{};  ///< VCEK signature over the body
+
+  [[nodiscard]] std::vector<std::uint8_t> signed_body() const;
+  [[nodiscard]] std::vector<std::uint8_t> serialize() const;
+  static std::optional<SnpReport> deserialize(
+      const std::vector<std::uint8_t>& buf);
+};
+
+/// The AMD-SP firmware side.
+class SnpReportGenerator {
+ public:
+  explicit SnpReportGenerator(const std::string& chip_tag);
+
+  [[nodiscard]] SnpReport generate(const SnpMeasurements& meas,
+                                   const Digest& report_data) const;
+
+  /// The extended-report certificate chain (VCEK -> ASK), exposed by the
+  /// platform so verification needs no network.
+  [[nodiscard]] const std::vector<Certificate>& cert_chain() const {
+    return chain_;
+  }
+  [[nodiscard]] const PubKey& ark() const { return ark_.pub; }
+
+ private:
+  Keypair ark_;   ///< AMD Root Key (trust anchor)
+  Keypair ask_;   ///< AMD Signing Key
+  Keypair vcek_;  ///< chip + TCB-specific key
+  Digest chip_id_{};
+  std::vector<Certificate> chain_;
+};
+
+struct SnpVerifyPolicy {
+  SnpMeasurements expected;
+  Digest expected_report_data{};
+  std::uint64_t min_tcb = 7;
+};
+
+struct SnpVerifyOutcome {
+  bool ok = false;
+  std::string failure;
+};
+
+SnpVerifyOutcome verify_snp_report(const SnpReport& report,
+                                   const std::vector<Certificate>& chain,
+                                   const PubKey& ark,
+                                   const SnpVerifyPolicy& policy);
+
+}  // namespace confbench::attest

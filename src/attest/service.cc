@@ -1,0 +1,106 @@
+#include "attest/service.h"
+
+#include "sim/rng.h"
+
+namespace confbench::attest {
+
+namespace {
+constexpr double kAttestJitterSigma = 0.06;
+constexpr double kNetworkJitterSigma = 0.18;  // WAN latencies vary widely
+
+sim::Rng trial_rng(std::string_view flow, std::uint64_t trial) {
+  return sim::Rng(
+      sim::hash_combine(sim::stable_hash(std::string(flow)), trial));
+}
+}  // namespace
+
+AttestationService::AttestationService(std::string image_tag)
+    : image_tag_(std::move(image_tag)),
+      tdx_gen_("xeon-5515p-host"),
+      snp_gen_("epyc-9124-chip"),
+      pcs_(tdx_gen_.intel_root()) {}
+
+AttestTiming AttestationService::run_tdx(const tee::Platform& platform,
+                                         std::uint64_t trial, bool tamper) {
+  AttestTiming t;
+  const tee::AttestationCosts costs = platform.attestation();
+  if (!costs.supported) {
+    t.failure = "attestation not supported on " + std::string(platform.name());
+    return t;
+  }
+  auto rng = trial_rng("tdx-attest", trial);
+
+  // --- attest phase: TDREPORT + quote generation -------------------------
+  const TdMeasurements meas = golden_td_measurements(image_tag_);
+  const Digest nonce =
+      Sha256::hash("nonce:" + std::to_string(trial) + ":" + image_tag_);
+  t.attest_ns = (costs.report_request + costs.measurement + costs.sign) *
+                rng.jitter(kAttestJitterSigma);
+  const TdxQuote quote = tdx_gen_.generate(meas, nonce);
+  std::vector<std::uint8_t> wire = quote.serialize();
+  if (tamper) wire[wire.size() / 2] ^= 0x40;
+
+  // --- check phase: collateral fetch + verification ----------------------
+  sim::Ns check = 0;
+  for (int i = 0; i < costs.collateral_round_trips; ++i)
+    check += costs.collateral_rtt * rng.jitter(kNetworkJitterSigma);
+  check += costs.verify_compute * rng.jitter(kAttestJitterSigma);
+  t.check_ns = check;
+
+  const auto parsed = TdxQuote::deserialize(wire);
+  if (!parsed) {
+    t.failure = "quote failed to parse";
+    return t;
+  }
+  const PcsCollateral coll = pcs_.fetch_collateral();
+  TdxVerifyPolicy policy;
+  policy.expected = meas;
+  policy.expected_report_data = nonce;
+  policy.min_tcb_level = coll.current_tcb;
+  const VerifyOutcome v =
+      verify_tdx_quote(*parsed, coll.root, coll.crl, policy);
+  t.ok = v.ok;
+  t.failure = v.failure;
+  return t;
+}
+
+AttestTiming AttestationService::run_snp(const tee::Platform& platform,
+                                         std::uint64_t trial, bool tamper) {
+  AttestTiming t;
+  const tee::AttestationCosts costs = platform.attestation();
+  if (!costs.supported) {
+    t.failure = "attestation not supported on " + std::string(platform.name());
+    return t;
+  }
+  auto rng = trial_rng("snp-attest", trial);
+
+  // --- attest phase: MSG_REPORT_REQ to the AMD-SP -------------------------
+  const SnpMeasurements meas = golden_snp_measurements(image_tag_);
+  const Digest nonce =
+      Sha256::hash("snp-nonce:" + std::to_string(trial) + ":" + image_tag_);
+  t.attest_ns = (costs.report_request + costs.measurement + costs.sign) *
+                rng.jitter(kAttestJitterSigma);
+  const SnpReport report = snp_gen_.generate(meas, nonce);
+  std::vector<std::uint8_t> wire = report.serialize();
+  if (tamper) wire[wire.size() / 3] ^= 0x08;
+
+  // --- check phase: local cert retrieval + 3-step verification -----------
+  t.check_ns = (costs.collateral_local_fetch + costs.verify_compute) *
+               rng.jitter(kAttestJitterSigma);
+
+  const auto parsed = SnpReport::deserialize(wire);
+  if (!parsed) {
+    t.failure = "report failed to parse";
+    return t;
+  }
+  SnpVerifyPolicy policy;
+  policy.expected = meas;
+  policy.expected_report_data = nonce;
+  const SnpVerifyOutcome v = verify_snp_report(
+      *parsed, snp_gen_.cert_chain(), snp_gen_.ark(), policy);
+  t.ok = v.ok;
+  t.failure = v.failure;
+  return t;
+}
+
+}  // namespace confbench::attest

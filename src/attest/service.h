@@ -1,0 +1,56 @@
+// End-to-end, timed attestation flows (Fig. 5).
+//
+// Splits each flow into the two phases the paper measures: "attest" (the
+// guest obtains signed evidence) and "check" (a remote verifier validates
+// it). All evidence crosses the attester/verifier boundary in serialized
+// form, so codecs and signatures are exercised for real; time is charged
+// from the platform's AttestationCosts with per-trial lognormal jitter.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "attest/pcs.h"
+#include "attest/quote.h"
+#include "attest/report.h"
+#include "sim/time.h"
+#include "tee/platform.h"
+
+namespace confbench::attest {
+
+struct AttestTiming {
+  sim::Ns attest_ns = 0;  ///< evidence generation latency
+  sim::Ns check_ns = 0;   ///< verification latency
+  bool ok = false;
+  std::string failure;
+};
+
+class AttestationService {
+ public:
+  /// `image_tag` selects the golden guest image whose measurements both
+  /// sides agree on.
+  explicit AttestationService(std::string image_tag = "ubuntu-24.04-guest");
+
+  /// Runs one TDX attest+verify round. `tamper` flips a byte of the
+  /// serialized quote in flight (the outcome must then be !ok).
+  AttestTiming run_tdx(const tee::Platform& platform, std::uint64_t trial,
+                       bool tamper = false);
+
+  /// Runs one SEV-SNP round.
+  AttestTiming run_snp(const tee::Platform& platform, std::uint64_t trial,
+                       bool tamper = false);
+
+  /// Access to the simulated PCS (tests use it to revoke keys).
+  PcsService& pcs() { return pcs_; }
+  const TdxQuoteGenerator& tdx_generator() const { return tdx_gen_; }
+  const SnpReportGenerator& snp_generator() const { return snp_gen_; }
+
+ private:
+  std::string image_tag_;
+  TdxQuoteGenerator tdx_gen_;
+  SnpReportGenerator snp_gen_;
+  PcsService pcs_;
+};
+
+}  // namespace confbench::attest

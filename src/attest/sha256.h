@@ -1,0 +1,49 @@
+// SHA-256 (FIPS 180-4).
+//
+// A real, self-contained implementation: attestation structures are hashed
+// and their digests actually checked during verification, so tampering with
+// a serialised quote makes verification fail in tests.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace confbench::attest {
+
+using Digest = std::array<std::uint8_t, 32>;
+
+class Sha256 {
+ public:
+  Sha256();
+
+  void update(const void* data, std::size_t len);
+  void update(const std::vector<std::uint8_t>& v) {
+    update(v.data(), v.size());
+  }
+  void update(const std::string& s) { update(s.data(), s.size()); }
+
+  /// Finalises and returns the digest; the object must not be reused.
+  Digest finalize();
+
+  static Digest hash(const void* data, std::size_t len);
+  static Digest hash(const std::vector<std::uint8_t>& v) {
+    return hash(v.data(), v.size());
+  }
+  static Digest hash(const std::string& s) { return hash(s.data(), s.size()); }
+
+ private:
+  void process_block(const std::uint8_t* block);
+
+  std::array<std::uint32_t, 8> state_;
+  std::uint64_t bit_len_ = 0;
+  std::array<std::uint8_t, 64> buf_{};
+  std::size_t buf_len_ = 0;
+  bool finalized_ = false;
+};
+
+/// Lower-case hex encoding of a digest.
+std::string to_hex(const Digest& d);
+
+}  // namespace confbench::attest

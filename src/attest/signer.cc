@@ -1,0 +1,118 @@
+#include "attest/signer.h"
+
+#include "attest/hmac.h"
+
+namespace confbench::attest {
+
+namespace {
+/// Global verification authority: pub -> secret. Guarded for safety even
+/// though the simulation is single-threaded today.
+class Authority {
+ public:
+  static Authority& instance() {
+    static Authority a;
+    return a;
+  }
+  void put(const PubKey& pub, std::vector<std::uint8_t> secret) {
+    std::lock_guard<std::mutex> lk(mu_);
+    keys_[pub] = std::move(secret);
+  }
+  std::optional<std::vector<std::uint8_t>> get(const PubKey& pub) {
+    std::lock_guard<std::mutex> lk(mu_);
+    auto it = keys_.find(pub);
+    if (it == keys_.end()) return std::nullopt;
+    return it->second;
+  }
+
+ private:
+  std::mutex mu_;
+  std::map<PubKey, std::vector<std::uint8_t>> keys_;
+};
+}  // namespace
+
+Keypair SimSigner::keygen(const std::string& seed_label) {
+  Keypair kp;
+  const Digest d = Sha256::hash("confbench-key:" + seed_label);
+  kp.secret.assign(d.begin(), d.end());
+  Sha256 h;
+  h.update("pub:", 4);
+  h.update(kp.secret.data(), kp.secret.size());
+  kp.pub = h.finalize();
+  Authority::instance().put(kp.pub, kp.secret);
+  return kp;
+}
+
+Signature SimSigner::sign(const Keypair& kp, const void* msg,
+                          std::size_t len) {
+  return hmac_sha256(kp.secret, msg, len);
+}
+
+bool SimSigner::verify(const PubKey& pub, const void* msg, std::size_t len,
+                       const Signature& sig) {
+  const auto secret = Authority::instance().get(pub);
+  if (!secret) return false;
+  const Signature expect = hmac_sha256(*secret, msg, len);
+  return digest_equal(expect, sig);
+}
+
+std::vector<std::uint8_t> Certificate::tbs() const {
+  ByteWriter w;
+  w.str(subject);
+  w.array(subject_key);
+  w.str(issuer);
+  return w.take();
+}
+
+std::vector<std::uint8_t> Certificate::serialize() const {
+  ByteWriter w;
+  w.str(subject);
+  w.array(subject_key);
+  w.str(issuer);
+  w.array(issuer_key);
+  w.array(signature);
+  return w.take();
+}
+
+std::optional<Certificate> Certificate::deserialize(
+    const std::vector<std::uint8_t>& buf) {
+  ByteReader r(buf);
+  Certificate c;
+  c.subject = r.str();
+  c.subject_key = r.array<32>();
+  c.issuer = r.str();
+  c.issuer_key = r.array<32>();
+  c.signature = r.array<32>();
+  if (!r.ok() || !r.at_end()) return std::nullopt;
+  return c;
+}
+
+Certificate issue_certificate(const std::string& subject,
+                              const Keypair& subject_kp,
+                              const std::string& issuer,
+                              const Keypair& issuer_kp) {
+  Certificate c;
+  c.subject = subject;
+  c.subject_key = subject_kp.pub;
+  c.issuer = issuer;
+  c.issuer_key = issuer_kp.pub;
+  c.signature = SimSigner::sign(issuer_kp, c.tbs());
+  return c;
+}
+
+bool verify_chain(const std::vector<Certificate>& chain, const PubKey& root,
+                  const std::vector<PubKey>& revoked) {
+  if (chain.empty()) return false;
+  for (std::size_t i = 0; i < chain.size(); ++i) {
+    const Certificate& c = chain[i];
+    for (const PubKey& r : revoked) {
+      if (digest_equal(c.subject_key, r)) return false;
+    }
+    const PubKey expected_issuer =
+        (i + 1 < chain.size()) ? chain[i + 1].subject_key : root;
+    if (!digest_equal(c.issuer_key, expected_issuer)) return false;
+    if (!SimSigner::verify(c.issuer_key, c.tbs(), c.signature)) return false;
+  }
+  return true;
+}
+
+}  // namespace confbench::attest

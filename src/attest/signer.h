@@ -1,0 +1,81 @@
+// Simulated digital signatures and certificate chains.
+//
+// DESIGN.md §6: we do not ship real ECDSA. SimSigner provides keypairs with
+// public-key *semantics* — sign with the secret, verify with the public key
+// — implemented as HMAC over the message with the secret key, where a
+// process-global authority maps public-key ids to their secrets for
+// verification. The trust topology (roots of trust, intermediate and leaf
+// certificates, revocation lists, what exactly is signed) is faithful, and
+// any bit-flip in a signed message makes verification fail for real.
+#pragma once
+
+#include <map>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "attest/bytes.h"
+#include "attest/sha256.h"
+
+namespace confbench::attest {
+
+/// Public key identifier (32 bytes, derived from the secret).
+using PubKey = Digest;
+using Signature = Digest;
+
+struct Keypair {
+  PubKey pub{};
+  std::vector<std::uint8_t> secret;
+};
+
+class SimSigner {
+ public:
+  /// Deterministically derives a keypair from a seed label (e.g.
+  /// "intel-root", "amd-ark") and registers it with the verification
+  /// authority.
+  static Keypair keygen(const std::string& seed_label);
+
+  static Signature sign(const Keypair& kp, const void* msg, std::size_t len);
+  static Signature sign(const Keypair& kp,
+                        const std::vector<std::uint8_t>& msg) {
+    return sign(kp, msg.data(), msg.size());
+  }
+
+  /// Verifies `sig` over `msg` against `pub`. Unknown keys fail.
+  static bool verify(const PubKey& pub, const void* msg, std::size_t len,
+                     const Signature& sig);
+  static bool verify(const PubKey& pub, const std::vector<std::uint8_t>& msg,
+                     const Signature& sig) {
+    return verify(pub, msg.data(), msg.size(), sig);
+  }
+};
+
+/// An X.509-like certificate: binds a subject key to a name, signed by an
+/// issuer key.
+struct Certificate {
+  std::string subject;
+  PubKey subject_key{};
+  std::string issuer;
+  PubKey issuer_key{};
+  Signature signature{};  ///< issuer's signature over (subject, subject_key)
+
+  [[nodiscard]] std::vector<std::uint8_t> tbs() const;  ///< to-be-signed blob
+  [[nodiscard]] std::vector<std::uint8_t> serialize() const;
+  static std::optional<Certificate> deserialize(
+      const std::vector<std::uint8_t>& buf);
+};
+
+/// Issues a certificate for `subject_kp` signed by `issuer_kp`.
+Certificate issue_certificate(const std::string& subject,
+                              const Keypair& subject_kp,
+                              const std::string& issuer,
+                              const Keypair& issuer_kp);
+
+/// Verifies a chain leaf-first: chain[i] must be signed by chain[i+1]'s
+/// subject key, and the last certificate must be signed by `root` (a trust
+/// anchor, typically self-signed). `revoked` lists revoked subject keys.
+bool verify_chain(const std::vector<Certificate>& chain, const PubKey& root,
+                  const std::vector<PubKey>& revoked);
+
+}  // namespace confbench::attest

@@ -1,0 +1,73 @@
+#include "core/confbench.h"
+
+#include <stdexcept>
+
+namespace confbench::core {
+
+double OverheadMeasurement::ratio() const {
+  if (secure_ns.empty() || normal_ns.empty()) return 0.0;
+  double s = 0, n = 0;
+  for (double x : secure_ns) s += x;
+  for (double x : normal_ns) n += x;
+  s /= static_cast<double>(secure_ns.size());
+  n /= static_cast<double>(normal_ns.size());
+  return n > 0 ? s / n : 0.0;
+}
+
+ConfBench::ConfBench(GatewayConfig cfg) {
+  for (const auto& ep : cfg.endpoints) {
+    if (hosts_.count(ep.host)) continue;  // one machine, many pool entries
+    tee::PlatformPtr platform = tee::Registry::instance().create(ep.tee);
+    if (!platform)
+      throw std::invalid_argument("unknown TEE platform: " + ep.tee);
+    auto host = std::make_unique<vm::Host>(ep.host, platform);
+    host->add_vm("normal", /*secure=*/false, ep.normal_port);
+    host->add_vm("secure", /*secure=*/true, ep.secure_port);
+    agents_.push_back(std::make_unique<HostAgent>(*host, ep.host, net_));
+    hosts_.emplace(ep.host, std::move(host));
+  }
+  gateway_ = std::make_unique<Gateway>(net_, std::move(cfg));
+  gateway_->upload_all_builtin();
+}
+
+std::unique_ptr<ConfBench> ConfBench::standard() {
+  return std::make_unique<ConfBench>(GatewayConfig::standard());
+}
+
+vm::Host* ConfBench::host(const std::string& hostname) {
+  const auto it = hosts_.find(hostname);
+  return it == hosts_.end() ? nullptr : it->second.get();
+}
+
+std::vector<std::string> ConfBench::hostnames() const {
+  std::vector<std::string> out;
+  out.reserve(hosts_.size());
+  for (const auto& [name, _] : hosts_) out.push_back(name);
+  return out;
+}
+
+OverheadMeasurement ConfBench::measure(const std::string& function,
+                                       const std::string& language,
+                                       const std::string& platform,
+                                       int trials) {
+  OverheadMeasurement m;
+  m.function = function;
+  m.language = language;
+  m.platform = platform;
+  for (int t = 0; t < trials; ++t) {
+    const auto secure = gateway_->invoke(function, language, platform,
+                                         /*secure=*/true,
+                                         static_cast<std::uint64_t>(t));
+    const auto normal = gateway_->invoke(function, language, platform,
+                                         /*secure=*/false,
+                                         static_cast<std::uint64_t>(t));
+    if (!secure.ok() || !normal.ok())
+      throw std::runtime_error("invocation failed: " + secure.error +
+                               normal.error);
+    m.secure_ns.push_back(secure.function_ns);
+    m.normal_ns.push_back(normal.function_ns);
+  }
+  return m;
+}
+
+}  // namespace confbench::core

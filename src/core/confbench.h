@@ -1,0 +1,62 @@
+// ConfBench facade: a complete deployment in one object.
+//
+// Builds the full paper topology — a gateway machine plus one TEE-enabled
+// host per configured platform, each running a confidential and a normal VM
+// — wires host agents into the network fabric, uploads the built-in
+// workloads, and offers the measurement loops the evaluation section uses
+// (N independent trials per function, secure vs normal, ratio of means).
+#pragma once
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/config.h"
+#include "core/gateway.h"
+#include "core/host_agent.h"
+#include "net/network.h"
+#include "tee/registry.h"
+#include "vm/host.h"
+
+namespace confbench::core {
+
+/// One function's secure-vs-normal measurement (the unit behind every cell
+/// of Figs. 6/7 and every bar of Figs. 3/4).
+struct OverheadMeasurement {
+  std::string function;
+  std::string language;
+  std::string platform;
+  std::vector<double> secure_ns;  ///< per-trial function times
+  std::vector<double> normal_ns;
+  /// Ratio of mean execution times, secure / normal (§IV-B).
+  [[nodiscard]] double ratio() const;
+};
+
+class ConfBench {
+ public:
+  /// Deploys from a config. Unknown TEE names throw.
+  explicit ConfBench(GatewayConfig cfg);
+
+  /// The standard four-platform deployment (tdx, sev-snp, cca, none).
+  static std::unique_ptr<ConfBench> standard();
+
+  [[nodiscard]] Gateway& gateway() { return *gateway_; }
+  [[nodiscard]] net::Network& network() { return net_; }
+  [[nodiscard]] vm::Host* host(const std::string& hostname);
+  [[nodiscard]] std::vector<std::string> hostnames() const;
+
+  /// Runs `trials` secure and normal invocations of a function and returns
+  /// the timing series (through the full gateway + HTTP + launcher path).
+  OverheadMeasurement measure(const std::string& function,
+                              const std::string& language,
+                              const std::string& platform, int trials = 10);
+
+ private:
+  net::Network net_;
+  std::map<std::string, std::unique_ptr<vm::Host>> hosts_;
+  std::vector<std::unique_ptr<HostAgent>> agents_;
+  std::unique_ptr<Gateway> gateway_;
+};
+
+}  // namespace confbench::core

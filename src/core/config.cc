@@ -1,0 +1,206 @@
+#include "core/config.h"
+
+#include <sstream>
+
+namespace confbench::core {
+
+namespace {
+std::string trim(const std::string& s) {
+  const auto b = s.find_first_not_of(" \t\r");
+  if (b == std::string::npos) return "";
+  const auto e = s.find_last_not_of(" \t\r");
+  return s.substr(b, e - b + 1);
+}
+}  // namespace
+
+std::optional<IniFile> IniFile::parse(const std::string& text,
+                                      std::string* err) {
+  IniFile ini;
+  std::istringstream is(text);
+  std::string line;
+  std::string section;
+  int lineno = 0;
+  auto fail = [&](const std::string& what) -> std::optional<IniFile> {
+    if (err) *err = "line " + std::to_string(lineno) + ": " + what;
+    return std::nullopt;
+  };
+  while (std::getline(is, line)) {
+    ++lineno;
+    const std::string t = trim(line);
+    if (t.empty() || t[0] == '#' || t[0] == ';') continue;
+    if (t.front() == '[') {
+      if (t.back() != ']') return fail("unterminated section header");
+      std::string inner = trim(t.substr(1, t.size() - 2));
+      // [type "label"] -> type.label
+      const auto quote = inner.find('"');
+      if (quote != std::string::npos) {
+        if (inner.back() != '"') return fail("bad quoted section label");
+        const std::string type = trim(inner.substr(0, quote));
+        const std::string label =
+            inner.substr(quote + 1, inner.size() - quote - 2);
+        if (type.empty() || label.empty()) return fail("empty section parts");
+        section = type + "." + label;
+      } else {
+        if (inner.empty()) return fail("empty section name");
+        section = inner;
+      }
+      ini.data_[section];  // materialise even if the section stays empty
+      continue;
+    }
+    const auto eq = t.find('=');
+    if (eq == std::string::npos) return fail("expected key = value");
+    const std::string key = trim(t.substr(0, eq));
+    const std::string value = trim(t.substr(eq + 1));
+    if (key.empty()) return fail("empty key");
+    if (section.empty()) return fail("key outside any section");
+    ini.data_[section][key] = value;
+  }
+  return ini;
+}
+
+std::optional<std::string> IniFile::get(const std::string& section,
+                                        const std::string& key) const {
+  const auto s = data_.find(section);
+  if (s == data_.end()) return std::nullopt;
+  const auto k = s->second.find(key);
+  if (k == s->second.end()) return std::nullopt;
+  return k->second;
+}
+
+std::vector<std::string> IniFile::sections_with_prefix(
+    const std::string& prefix) const {
+  std::vector<std::string> out;
+  for (const auto& [name, _] : data_) {
+    if (name.rfind(prefix, 0) == 0) out.push_back(name);
+  }
+  return out;
+}
+
+void IniFile::set(const std::string& section, const std::string& key,
+                  const std::string& value) {
+  data_[section][key] = value;
+}
+
+std::string IniFile::serialize() const {
+  std::ostringstream os;
+  for (const auto& [section, kv] : data_) {
+    const auto dot = section.find('.');
+    if (dot == std::string::npos) {
+      os << '[' << section << "]\n";
+    } else {
+      os << '[' << section.substr(0, dot) << " \""
+         << section.substr(dot + 1) << "\"]\n";
+    }
+    for (const auto& [k, v] : kv) os << k << " = " << v << "\n";
+    os << "\n";
+  }
+  return os.str();
+}
+
+std::optional<LoadBalancePolicy> parse_policy(const std::string& s) {
+  if (s == "round-robin") return LoadBalancePolicy::kRoundRobin;
+  if (s == "least-loaded") return LoadBalancePolicy::kLeastLoaded;
+  if (s == "random") return LoadBalancePolicy::kRandom;
+  return std::nullopt;
+}
+
+std::string_view to_string(LoadBalancePolicy p) {
+  switch (p) {
+    case LoadBalancePolicy::kRoundRobin:
+      return "round-robin";
+    case LoadBalancePolicy::kLeastLoaded:
+      return "least-loaded";
+    case LoadBalancePolicy::kRandom:
+      return "random";
+  }
+  return "?";
+}
+
+std::optional<GatewayConfig> GatewayConfig::from_ini(const IniFile& ini,
+                                                     std::string* err) {
+  GatewayConfig cfg;
+  if (auto v = ini.get("gateway", "host")) cfg.gateway_host = *v;
+  if (auto v = ini.get("gateway", "port")) {
+    try {
+      cfg.gateway_port = static_cast<std::uint16_t>(std::stoul(*v));
+    } catch (...) {
+      if (err) *err = "bad gateway port: " + *v;
+      return std::nullopt;
+    }
+  }
+  if (auto v = ini.get("gateway", "retries")) {
+    try {
+      cfg.max_retries = std::stoi(*v);
+      if (cfg.max_retries < 0) throw std::invalid_argument("negative");
+    } catch (...) {
+      if (err) *err = "bad retries: " + *v;
+      return std::nullopt;
+    }
+  }
+  if (auto v = ini.get("gateway", "policy")) {
+    const auto p = parse_policy(*v);
+    if (!p) {
+      if (err) *err = "unknown policy: " + *v;
+      return std::nullopt;
+    }
+    cfg.policy = *p;
+  }
+  for (const std::string& section : ini.sections_with_prefix("tee.")) {
+    TeeEndpoint ep;
+    ep.tee = section.substr(4);
+    const auto host = ini.get(section, "host");
+    if (!host) {
+      if (err) *err = section + ": missing host";
+      return std::nullopt;
+    }
+    ep.host = *host;
+    auto port_of = [&](const char* key,
+                       std::uint16_t fallback) -> std::optional<std::uint16_t> {
+      const auto v = ini.get(section, key);
+      if (!v) return fallback;
+      try {
+        return static_cast<std::uint16_t>(std::stoul(*v));
+      } catch (...) {
+        return std::nullopt;
+      }
+    };
+    const auto np = port_of("normal_port", 8100);
+    const auto sp = port_of("secure_port", 8200);
+    if (!np || !sp) {
+      if (err) *err = section + ": bad port";
+      return std::nullopt;
+    }
+    ep.normal_port = *np;
+    ep.secure_port = *sp;
+    cfg.endpoints.push_back(ep);
+  }
+  return cfg;
+}
+
+IniFile GatewayConfig::to_ini() const {
+  IniFile ini;
+  ini.set("gateway", "host", gateway_host);
+  ini.set("gateway", "port", std::to_string(gateway_port));
+  ini.set("gateway", "policy", std::string(to_string(policy)));
+  ini.set("gateway", "retries", std::to_string(max_retries));
+  for (const auto& ep : endpoints) {
+    const std::string s = "tee." + ep.tee;
+    ini.set(s, "host", ep.host);
+    ini.set(s, "normal_port", std::to_string(ep.normal_port));
+    ini.set(s, "secure_port", std::to_string(ep.secure_port));
+  }
+  return ini;
+}
+
+GatewayConfig GatewayConfig::standard() {
+  GatewayConfig cfg;
+  cfg.endpoints = {
+      {"tdx", "host-tdx", 8100, 8200},
+      {"sev-snp", "host-snp", 8100, 8200},
+      {"cca", "host-cca", 8100, 8200},
+      {"none", "host-none", 8100, 8200},
+  };
+  return cfg;
+}
+
+}  // namespace confbench::core

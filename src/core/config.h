@@ -1,0 +1,76 @@
+// Gateway configuration: INI-style parser + typed config.
+//
+// §III-A: "a dedicated gateway configuration file maps TEEs and their
+// interface ports". The format is git-config-flavoured INI:
+//
+//   [gateway]
+//   host = gateway
+//   policy = round-robin
+//
+//   [tee "tdx"]
+//   host = host-tdx
+//   normal_port = 8100
+//   secure_port = 8200
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace confbench::core {
+
+/// Raw parsed INI: section -> key -> value. Sections of the form
+/// [type "label"] become "type.label".
+class IniFile {
+ public:
+  /// Parses INI text. Returns nullopt on malformed lines (with the line
+  /// number in `err` when provided).
+  static std::optional<IniFile> parse(const std::string& text,
+                                      std::string* err = nullptr);
+
+  [[nodiscard]] std::optional<std::string> get(const std::string& section,
+                                               const std::string& key) const;
+  [[nodiscard]] std::vector<std::string> sections_with_prefix(
+      const std::string& prefix) const;
+  void set(const std::string& section, const std::string& key,
+           const std::string& value);
+  [[nodiscard]] std::string serialize() const;
+
+ private:
+  std::map<std::string, std::map<std::string, std::string>> data_;
+};
+
+enum class LoadBalancePolicy { kRoundRobin, kLeastLoaded, kRandom };
+
+std::optional<LoadBalancePolicy> parse_policy(const std::string& s);
+std::string_view to_string(LoadBalancePolicy p);
+
+struct TeeEndpoint {
+  std::string tee;        ///< platform name in the tee:: registry
+  std::string host;       ///< network hostname of the TEE machine
+  std::uint16_t normal_port = 8100;
+  std::uint16_t secure_port = 8200;
+};
+
+struct GatewayConfig {
+  std::string gateway_host = "gateway";
+  std::uint16_t gateway_port = 8080;
+  LoadBalancePolicy policy = LoadBalancePolicy::kRoundRobin;
+  /// Transport-level failures (timeouts, corrupted responses) are retried
+  /// this many times, re-running pool selection each attempt.
+  int max_retries = 2;
+  std::vector<TeeEndpoint> endpoints;
+
+  /// Typed view over an IniFile; reports the first problem in `err`.
+  static std::optional<GatewayConfig> from_ini(const IniFile& ini,
+                                               std::string* err = nullptr);
+  [[nodiscard]] IniFile to_ini() const;
+
+  /// The default three-TEE deployment of §IV-A (tdx, sev-snp, cca) plus a
+  /// plain "none" host for baselines.
+  static GatewayConfig standard();
+};
+
+}  // namespace confbench::core

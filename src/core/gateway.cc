@@ -1,0 +1,234 @@
+#include "core/gateway.h"
+
+#include <sstream>
+
+#include "core/native.h"
+#include "wasm/text.h"
+#include "rt/profile.h"
+#include "wl/faas.h"
+
+namespace confbench::core {
+
+Gateway::Gateway(net::Network& net, GatewayConfig cfg)
+    : net_(net), cfg_(std::move(cfg)) {
+  for (const auto& ep : cfg_.endpoints) {
+    auto [it, fresh] = pools_.try_emplace(ep.tee, ep.tee, cfg_.policy);
+    it->second.add_member({ep.host, ep.normal_port, ep.secure_port, 0, 0});
+  }
+  build_routes();
+  net_.bind(cfg_.gateway_host, cfg_.gateway_port,
+            [this](const net::HttpRequest& req) { return handle(req); });
+}
+
+Gateway::~Gateway() { net_.unbind(cfg_.gateway_host, cfg_.gateway_port); }
+
+bool Gateway::upload_function(const std::string& language,
+                              const std::string& name,
+                              const std::string& source) {
+  if (language == "miniwasm") {
+    // User-supplied bytecode modules in the MiniWasm text format: the
+    // module must parse, validate, and export a nullary i64 function with
+    // the uploaded name.
+    const wasm::ParseResult parsed = wasm::parse_text(source);
+    if (!parsed.ok()) return false;
+    if (!wasm::validate(*parsed.module).ok) return false;
+    const wasm::Function* entry = parsed.module->find(name);
+    if (!entry || !entry->params.empty() ||
+        entry->result != wasm::ValType::kI64)
+      return false;
+    function_db_[language][name] = source;
+    return true;
+  }
+  const bool native = language == "native";
+  if (!native && rt::find_profile(language) == nullptr) return false;
+  const bool known =
+      native ? find_native(name) != nullptr : wl::find_faas(name) != nullptr;
+  if (!known) return false;
+  function_db_[language][name] = source;
+  return true;
+}
+
+bool Gateway::has_function(const std::string& language,
+                           const std::string& name) const {
+  const auto lang = function_db_.find(language);
+  return lang != function_db_.end() && lang->second.count(name) > 0;
+}
+
+std::vector<std::string> Gateway::functions(const std::string& language) const {
+  std::vector<std::string> out;
+  const auto lang = function_db_.find(language);
+  if (lang == function_db_.end()) return out;
+  out.reserve(lang->second.size());
+  for (const auto& [name, _] : lang->second) out.push_back(name);
+  return out;
+}
+
+void Gateway::upload_all_builtin() {
+  for (const auto& profile : rt::builtin_profiles()) {
+    for (const auto& fn : wl::faas_workloads())
+      upload_function(profile.name, fn.name, "builtin:" + fn.name);
+  }
+  for (const auto& fn : native_workloads())
+    upload_function("native", fn.name, "builtin:" + fn.name);
+}
+
+std::vector<std::string> Gateway::platforms() const {
+  std::vector<std::string> out;
+  out.reserve(pools_.size());
+  for (const auto& [name, _] : pools_) out.push_back(name);
+  return out;
+}
+
+TeePool* Gateway::pool(const std::string& platform) {
+  auto it = pools_.find(platform);
+  return it == pools_.end() ? nullptr : &it->second;
+}
+
+InvocationRecord Gateway::invoke(const std::string& function,
+                                 const std::string& language,
+                                 const std::string& platform, bool secure,
+                                 std::uint64_t trial) {
+  InvocationRecord rec;
+  rec.function = function;
+  rec.language = language;
+  rec.platform = platform;
+  rec.secure = secure;
+  rec.trial = trial;
+
+  if (!has_function(language, function)) {
+    rec.http_status = 404;
+    rec.error = "function not uploaded for language";
+    return rec;
+  }
+  TeePool* p = pool(platform);
+  if (!p) {
+    rec.http_status = 404;
+    rec.error = "no pool for platform " + platform;
+    return rec;
+  }
+
+  net::HttpRequest req;
+  req.method = "POST";
+  req.path = "/run";
+  req.query = "function=" + net::url_encode(function) +
+              "&lang=" + net::url_encode(language) +
+              "&trial=" + std::to_string(trial);
+  // User-supplied modules travel with the request; built-in workloads are
+  // pre-installed on every VM (the shared-filesystem convention, §III-B).
+  if (language == "miniwasm") req.body = function_db_[language][function];
+
+  // Transport-level failures (timeout / corrupted response) are retried
+  // with fresh pool selection; application errors (4xx) are not.
+  net::HttpResponse resp;
+  for (int attempt = 0; attempt <= cfg_.max_retries; ++attempt) {
+    PoolMember* member = p->acquire();
+    if (!member) {
+      rec.http_status = 503;
+      rec.error = "empty pool";
+      return rec;
+    }
+    // The gateway selects the VM by rewriting the destination port (§III-B).
+    const std::uint16_t port =
+        secure ? member->secure_port : member->normal_port;
+    resp = net_.roundtrip(member->host, port, req);
+    p->release(member);
+    rec.http_status = resp.status;
+    rec.served_by = member->host + ":" + std::to_string(port);
+    rec.retries = attempt;
+    const bool transport_failure = resp.status == 504 || resp.status == 502;
+    if (!transport_failure) break;
+  }
+  if (resp.status != 200) {
+    rec.error = resp.body;
+    return rec;
+  }
+  rec.output = resp.body;
+  if (!rec.output.empty() && rec.output.back() == '\n') rec.output.pop_back();
+  if (const auto it = resp.headers.find("X-Perf"); it != resp.headers.end()) {
+    if (!metrics::PerfCounters::from_kv_string(it->second, &rec.perf))
+      rec.error = "unparseable X-Perf header";
+  }
+  if (const auto it = resp.headers.find("X-Perf-Source");
+      it != resp.headers.end())
+    rec.perf_from_pmu = (it->second == "pmu");
+  auto ns_header = [&](const char* name) -> sim::Ns {
+    const auto it = resp.headers.find(name);
+    if (it == resp.headers.end()) return 0;
+    try {
+      return std::stod(it->second);
+    } catch (...) {
+      return 0;
+    }
+  };
+  rec.function_ns = ns_header("X-Function-Ns");
+  rec.bootstrap_ns = ns_header("X-Bootstrap-Ns");
+  return rec;
+}
+
+void Gateway::build_routes() {
+  router_.add("GET", "/platforms",
+              [this](const net::HttpRequest&, const net::PathParams&) {
+                std::ostringstream os;
+                for (const auto& p : platforms()) os << p << "\n";
+                return net::HttpResponse::make(200, os.str());
+              });
+  router_.add("GET", "/functions/:lang",
+              [this](const net::HttpRequest&, const net::PathParams& params) {
+                std::ostringstream os;
+                for (const auto& f : functions(params.at("lang")))
+                  os << f << "\n";
+                return net::HttpResponse::make(200, os.str());
+              });
+  router_.add(
+      "POST", "/upload",
+      [this](const net::HttpRequest& req, const net::PathParams&) {
+        const auto params = req.query_params();
+        const auto lang = params.find("lang");
+        const auto name = params.find("function");
+        if (lang == params.end() || name == params.end())
+          return net::HttpResponse::make(400, "missing lang/function\n");
+        if (!upload_function(lang->second, name->second, req.body))
+          return net::HttpResponse::make(400, "unsupported function\n");
+        return net::HttpResponse::make(201, "uploaded\n");
+      });
+  router_.add(
+      "POST", "/invoke",
+      [this](const net::HttpRequest& req, const net::PathParams&) {
+        const auto params = req.query_params();
+        auto get = [&](const char* k) -> std::string {
+          const auto it = params.find(k);
+          return it == params.end() ? "" : it->second;
+        };
+        const std::string fn = get("function");
+        const std::string lang = get("lang");
+        const std::string platform = get("platform");
+        const bool secure = get("secure") == "1" || get("secure") == "true";
+        std::uint64_t trial = 0;
+        try {
+          if (!get("trial").empty()) trial = std::stoull(get("trial"));
+        } catch (...) {
+          return net::HttpResponse::make(400, "bad trial\n");
+        }
+        if (fn.empty() || lang.empty() || platform.empty())
+          return net::HttpResponse::make(
+              400, "missing function/lang/platform\n");
+        const InvocationRecord rec = invoke(fn, lang, platform, secure, trial);
+        if (!rec.ok())
+          return net::HttpResponse::make(rec.http_status, rec.error + "\n");
+        net::HttpResponse resp = net::HttpResponse::make(200, rec.output + "\n");
+        resp.headers["X-Perf"] = rec.perf.to_kv_string();
+        resp.headers["X-Function-Ns"] = std::to_string(rec.function_ns);
+        resp.headers["X-Served-By"] = rec.served_by;
+        return resp;
+      });
+  router_.add("GET", "/health",
+              [](const net::HttpRequest&, const net::PathParams&) {
+                return net::HttpResponse::make(200, "ok\n");
+              });
+}
+
+net::HttpResponse Gateway::handle(const net::HttpRequest& req) {
+  return router_.dispatch(req);
+}
+
+}  // namespace confbench::core

@@ -1,0 +1,93 @@
+// The ConfBench gateway: single entry point for all requests (§III-A).
+//
+// Users upload functions and submit invocation requests with the runtime
+// parameters (language, target TEE, confidential-or-not). The gateway keeps
+// a per-language function database, maintains TEE pools for load balancing,
+// rewrites the destination port to select the confidential vs. normal VM on
+// the chosen host, performs the HTTP round trip and returns the output with
+// the piggybacked perf metrics.
+#pragma once
+
+#include <map>
+#include <optional>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "core/config.h"
+#include "core/pool.h"
+#include "metrics/counters.h"
+#include "net/network.h"
+#include "net/router.h"
+
+namespace confbench::core {
+
+struct InvocationRecord {
+  std::string function;
+  std::string language;
+  std::string platform;
+  bool secure = false;
+  std::uint64_t trial = 0;
+  int http_status = 0;
+  std::string output;
+  metrics::PerfCounters perf;
+  bool perf_from_pmu = true;
+  sim::Ns function_ns = 0;
+  sim::Ns bootstrap_ns = 0;
+  std::string served_by;  ///< host that executed the request
+  int retries = 0;        ///< transport-level retries performed
+  std::string error;      ///< non-empty on failure
+  [[nodiscard]] bool ok() const { return http_status == 200; }
+};
+
+class Gateway {
+ public:
+  Gateway(net::Network& net, GatewayConfig cfg);
+  ~Gateway();
+
+  Gateway(const Gateway&) = delete;
+  Gateway& operator=(const Gateway&) = delete;
+
+  // --- function database ---------------------------------------------------
+  /// Registers `name` as available for `language`. `source` is stored as
+  /// the uploaded artefact. Fails (false) if the body is not a known
+  /// workload implementation or the language is unsupported.
+  bool upload_function(const std::string& language, const std::string& name,
+                       const std::string& source);
+  [[nodiscard]] bool has_function(const std::string& language,
+                                  const std::string& name) const;
+  [[nodiscard]] std::vector<std::string> functions(
+      const std::string& language) const;
+
+  /// Convenience: uploads every built-in workload for every language (and
+  /// the classic natives).
+  void upload_all_builtin();
+
+  // --- invocation ------------------------------------------------------------
+  /// Dispatches one invocation; `platform` must name a configured pool.
+  InvocationRecord invoke(const std::string& function,
+                          const std::string& language,
+                          const std::string& platform, bool secure,
+                          std::uint64_t trial = 0);
+
+  // --- introspection -----------------------------------------------------------
+  [[nodiscard]] std::vector<std::string> platforms() const;
+  [[nodiscard]] TeePool* pool(const std::string& platform);
+  [[nodiscard]] const GatewayConfig& config() const { return cfg_; }
+
+  /// The gateway's own REST surface (bound on the network at
+  /// cfg.gateway_host:cfg.gateway_port).
+  net::HttpResponse handle(const net::HttpRequest& req);
+
+ private:
+  void build_routes();
+
+  net::Network& net_;
+  GatewayConfig cfg_;
+  std::map<std::string, TeePool> pools_;  ///< platform -> pool
+  /// language -> function name -> uploaded source.
+  std::map<std::string, std::map<std::string, std::string>> function_db_;
+  net::Router router_;
+};
+
+}  // namespace confbench::core

@@ -1,0 +1,139 @@
+#include "core/host_agent.h"
+
+#include <sstream>
+
+#include "core/launcher.h"
+#include "core/native.h"
+#include "rt/profile.h"
+#include "wl/faas.h"
+#include "wasm/interp.h"
+#include "wasm/text.h"
+
+namespace confbench::core {
+
+HostAgent::HostAgent(vm::Host& host, std::string hostname, net::Network& net)
+    : host_(host), hostname_(std::move(hostname)), net_(net) {
+  for (const std::uint16_t port : host_.ports()) {
+    net_.bind(hostname_, port, [this, port](const net::HttpRequest& req) {
+      return handle(port, req);
+    });
+    bound_ports_.push_back(port);
+  }
+}
+
+net::HttpResponse HostAgent::run_miniwasm(vm::GuestVm& vm,
+                                          const std::string& function,
+                                          const std::string& source,
+                                          std::uint64_t trial) {
+  const wasm::ParseResult parsed = wasm::parse_text(source);
+  if (!parsed.ok())
+    return net::HttpResponse::make(
+        400, "module parse error (line " + std::to_string(parsed.line) +
+                 "): " + parsed.error + "\n");
+  const wasm::ValidationResult valid = wasm::validate(*parsed.module);
+  if (!valid.ok)
+    return net::HttpResponse::make(400, "invalid module: " + valid.error +
+                                            "\n");
+  sim::Ns function_ns = 0;
+  sim::Ns bootstrap_ns = 0;
+  bool trapped = false;
+  std::string trap_text;
+  const vm::InvocationOutcome outcome = vm.run(
+      [&](vm::ExecutionContext& ctx) -> std::string {
+        // Engine instantiation (validation + memory setup) is the wasm
+        // equivalent of runtime bootstrap and is excluded from timing.
+        ctx.charge(3.1 * sim::kMs * ctx.costs().cpu.sim_slowdown);
+        bootstrap_ns = ctx.now();
+        wasm::Interpreter interp(*parsed.module);
+        const sim::Ns start = ctx.now();
+        const wasm::RunResult r = interp.invoke(function, {}, &ctx);
+        function_ns = ctx.now() - start;
+        if (!r.ok) {
+          trapped = true;
+          trap_text = std::string(to_string(r.trap));
+          return "trap";
+        }
+        return function + ":" + std::to_string(r.i64());
+      },
+      trial);
+  if (trapped)
+    return net::HttpResponse::make(500, "wasm trap: " + trap_text + "\n");
+  net::HttpResponse resp = net::HttpResponse::make(200, outcome.output + "\n");
+  resp.headers["X-Perf"] = outcome.perf.to_kv_string();
+  resp.headers["X-Perf-Source"] = outcome.perf_from_pmu ? "pmu" : "custom";
+  resp.headers["X-Function-Ns"] = std::to_string(function_ns);
+  resp.headers["X-Bootstrap-Ns"] = std::to_string(bootstrap_ns);
+  resp.headers["X-Runtime-Version"] = "miniwasm-1";
+  resp.headers["X-Vm"] = vm.config().name;
+  return resp;
+}
+
+HostAgent::~HostAgent() {
+  for (const std::uint16_t port : bound_ports_) net_.unbind(hostname_, port);
+}
+
+net::HttpResponse HostAgent::handle(std::uint16_t port,
+                                    const net::HttpRequest& req) {
+  vm::GuestVm* vm = host_.route(port);
+  if (!vm) return net::HttpResponse::make(503, "no VM on port\n");
+
+  if (req.method == "GET" && req.path == "/health") {
+    std::ostringstream os;
+    os << "vm=" << vm->config().name << " state=" << to_string(vm->state())
+       << " secure=" << (vm->config().secure ? 1 : 0)
+       << " invocations=" << vm->invocations() << "\n";
+    return net::HttpResponse::make(200, os.str());
+  }
+
+  if (req.method != "POST" || req.path != "/run")
+    return net::HttpResponse::make(404, "no such route\n");
+
+  const auto params = req.query_params();
+  const auto fn_it = params.find("function");
+  const auto lang_it = params.find("lang");
+  if (fn_it == params.end() || lang_it == params.end())
+    return net::HttpResponse::make(400, "missing function/lang\n");
+  std::uint64_t trial = 0;
+  if (const auto t = params.find("trial"); t != params.end()) {
+    try {
+      trial = std::stoull(t->second);
+    } catch (...) {
+      return net::HttpResponse::make(400, "bad trial\n");
+    }
+  }
+
+  if (lang_it->second == "miniwasm") {
+    return run_miniwasm(*vm, fn_it->second, req.body, trial);
+  }
+
+  const rt::RuntimeProfile* profile = nullptr;
+  const wl::FaasWorkload* fn = nullptr;
+  if (lang_it->second == "native") {
+    profile = &native_profile();
+    fn = find_native(fn_it->second);
+  } else {
+    profile = rt::find_profile(lang_it->second);
+    fn = wl::find_faas(fn_it->second);
+  }
+  if (!profile)
+    return net::HttpResponse::make(400,
+                                   "unknown language: " + lang_it->second + "\n");
+  if (!fn)
+    return net::HttpResponse::make(404,
+                                   "unknown function: " + fn_it->second + "\n");
+
+  const FunctionLauncher launcher(*profile);
+  const LaunchResult r = launcher.launch(*vm, *fn, trial);
+
+  net::HttpResponse resp = net::HttpResponse::make(200, r.output + "\n");
+  resp.headers["X-Perf"] = r.perf.to_kv_string();
+  resp.headers["X-Perf-Source"] = r.perf_from_pmu ? "pmu" : "custom";
+  resp.headers["X-Function-Ns"] = std::to_string(r.function_ns);
+  resp.headers["X-Bootstrap-Ns"] = std::to_string(r.bootstrap_ns);
+  resp.headers["X-Runtime-Version"] =
+      profile->version_for(host_.platform().kind());
+  resp.headers["X-Vm"] = vm->config().name;
+  return resp;
+}
+
+}  // namespace confbench::core

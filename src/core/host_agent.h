@@ -1,0 +1,43 @@
+// Host-side agent: receives gateway requests and runs them in the VM
+// listening on the destination port (§III-A).
+//
+// One agent per TEE host. It binds an HTTP handler on every VM port of the
+// host (the socat steering role), resolves the requested function and
+// language, executes it through the FunctionLauncher and piggybacks the
+// perf counters on the response headers (§III-B).
+#pragma once
+
+#include <string>
+
+#include "net/network.h"
+#include "vm/host.h"
+
+namespace confbench::core {
+
+class HostAgent {
+ public:
+  /// Binds handlers for all currently-mapped ports of `host` under the
+  /// network name `hostname`.
+  HostAgent(vm::Host& host, std::string hostname, net::Network& net);
+  ~HostAgent();
+
+  HostAgent(const HostAgent&) = delete;
+  HostAgent& operator=(const HostAgent&) = delete;
+
+  [[nodiscard]] const std::string& hostname() const { return hostname_; }
+
+ private:
+  net::HttpResponse handle(std::uint16_t port, const net::HttpRequest& req);
+  /// Executes a user-uploaded MiniWasm module (shipped in the request body)
+  /// through the real interpreter inside the target VM.
+  net::HttpResponse run_miniwasm(vm::GuestVm& vm, const std::string& function,
+                                 const std::string& source,
+                                 std::uint64_t trial);
+
+  vm::Host& host_;
+  std::string hostname_;
+  net::Network& net_;
+  std::vector<std::uint16_t> bound_ports_;
+};
+
+}  // namespace confbench::core

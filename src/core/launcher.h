@@ -1,0 +1,49 @@
+// Function launcher (§III-A, §IV-D).
+//
+// One launcher exists per supported language. It bootstraps the runtime
+// inside the target VM, executes the function body under the language's
+// RtContext and normalises the output. Following the paper's methodology,
+// the reported function time *excludes* the launcher's runtime bootstrap.
+#pragma once
+
+#include <cstdint>
+
+#include "metrics/counters.h"
+#include "rt/profile.h"
+#include "vm/guest_vm.h"
+#include "wl/faas.h"
+
+namespace confbench::core {
+
+struct LaunchResult {
+  std::string output;
+  metrics::PerfCounters perf;  ///< what perf-stat (or the custom collector)
+                               ///< reports — piggybacked on HTTP responses
+  metrics::PerfCounters raw;   ///< simulation truth (debugging/tests)
+  bool perf_from_pmu = true;
+  sim::Ns function_ns = 0;   ///< function body only (bootstrap excluded)
+  sim::Ns bootstrap_ns = 0;  ///< runtime startup inside the VM
+};
+
+class FunctionLauncher {
+ public:
+  explicit FunctionLauncher(const rt::RuntimeProfile& profile)
+      : profile_(profile) {}
+
+  /// Runs one invocation of `fn` inside `vm`.
+  [[nodiscard]] LaunchResult launch(vm::GuestVm& vm,
+                                    const wl::FaasWorkload& fn,
+                                    std::uint64_t trial) const;
+
+  [[nodiscard]] const rt::RuntimeProfile& profile() const { return profile_; }
+
+ private:
+  const rt::RuntimeProfile& profile_;
+};
+
+/// The pass-through "native" profile for classic (non-FaaS) workloads: the
+/// user cross-compiles and submits a binary (§III-A), so there is no
+/// interpreter expansion, boxing or GC.
+const rt::RuntimeProfile& native_profile();
+
+}  // namespace confbench::core

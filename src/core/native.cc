@@ -1,0 +1,65 @@
+#include "core/native.h"
+
+#include <sstream>
+
+#include "wl/db/speedtest.h"
+#include "wl/ml/model.h"
+#include "wl/ub/unixbench.h"
+
+namespace confbench::core {
+
+namespace {
+
+std::string ml_inference(rt::RtContext& env) {
+  // A trimmed confidential-ML run: 4 images through the MobileNet-shaped
+  // model (the Fig. 3 bench drives the full 40-image dataset directly).
+  auto& ctx = env.raw();
+  auto& fs = env.fs();
+  wl::ml::install_image_dataset(fs, /*count=*/4);
+  const wl::ml::MobileNetModel model(/*seed=*/7, /*reduced_scale=*/16);
+  std::ostringstream os;
+  os << "ml-inference:";
+  for (int i = 0; i < 4; ++i) {
+    const auto img = wl::ml::load_and_decode(ctx, fs, i, model.input_hw());
+    const auto r = model.classify(ctx, img);
+    os << r.label << (i == 3 ? "" : ",");
+  }
+  return os.str();
+}
+
+std::string db_speedtest(rt::RtContext& env) {
+  const auto results =
+      wl::db::run_speedtest(env.raw(), env.fs(), /*size=*/20);
+  std::uint64_t checksum = 0;
+  for (const auto& r : results) checksum ^= r.checksum;
+  return "db-speedtest:" + std::to_string(results.size()) + ":" +
+         std::to_string(checksum);
+}
+
+std::string unixbench(rt::RtContext& env) {
+  const auto results = wl::ub::run_unixbench(env.raw(), env.fs());
+  const double index = wl::ub::aggregate_index(results);
+  std::ostringstream os;
+  os << "unixbench:" << results.size() << ":index=" << index;
+  return os.str();
+}
+
+}  // namespace
+
+const std::vector<wl::FaasWorkload>& native_workloads() {
+  static const std::vector<wl::FaasWorkload> kNative = {
+      {"ml-inference", wl::Category::kCpu, ml_inference},
+      {"db-speedtest", wl::Category::kMixed, db_speedtest},
+      {"unixbench", wl::Category::kMixed, unixbench},
+  };
+  return kNative;
+}
+
+const wl::FaasWorkload* find_native(const std::string& name) {
+  for (const auto& w : native_workloads()) {
+    if (w.name == name) return &w;
+  }
+  return nullptr;
+}
+
+}  // namespace confbench::core

@@ -1,0 +1,20 @@
+// Classic (non-FaaS) workloads packaged as native functions.
+//
+// §III-A: for non-FaaS scenarios the user cross-compiles and submits an
+// executable. These adapters wrap the ML, DBMS and UnixBench substrates as
+// native workloads so the same gateway/launcher machinery serves them.
+#pragma once
+
+#include <vector>
+
+#include "wl/faas.h"
+
+namespace confbench::core {
+
+/// "ml-inference", "db-speedtest", "unixbench" — run through the native
+/// (pass-through) profile.
+const std::vector<wl::FaasWorkload>& native_workloads();
+
+const wl::FaasWorkload* find_native(const std::string& name);
+
+}  // namespace confbench::core

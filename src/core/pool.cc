@@ -1,0 +1,39 @@
+#include "core/pool.h"
+
+#include <algorithm>
+#include <utility>
+
+namespace confbench::core {
+
+PoolMember* TeePool::acquire() {
+  if (members_.empty()) return nullptr;
+  PoolMember* picked = nullptr;
+  switch (policy_) {
+    case LoadBalancePolicy::kRoundRobin:
+      picked = &members_[rr_next_ % members_.size()];
+      ++rr_next_;
+      break;
+    case LoadBalancePolicy::kLeastLoaded: {
+      picked = &members_[0];
+      for (auto& m : members_) {
+        // Tie-break on lifetime counts so sequential traffic still spreads.
+        if (std::pair(m.in_flight, m.served) <
+            std::pair(picked->in_flight, picked->served))
+          picked = &m;
+      }
+      break;
+    }
+    case LoadBalancePolicy::kRandom:
+      picked = &members_[rng_.next_below(members_.size())];
+      break;
+  }
+  ++picked->in_flight;
+  ++picked->served;
+  return picked;
+}
+
+void TeePool::release(PoolMember* m) {
+  if (m && m->in_flight > 0) --m->in_flight;
+}
+
+}  // namespace confbench::core

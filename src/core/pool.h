@@ -1,0 +1,54 @@
+// TEE pools with pluggable load balancing (§III-A).
+//
+// The gateway maintains one pool per TEE type; each pool holds the TEE
+// hosts able to serve that platform and picks one per request according to
+// the configured policy. Cloud operators would tune the policy to their
+// SLAs; we ship round-robin, least-loaded and (deterministic) random.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/config.h"
+#include "sim/rng.h"
+
+namespace confbench::core {
+
+struct PoolMember {
+  std::string host;
+  std::uint16_t normal_port = 8100;
+  std::uint16_t secure_port = 8200;
+  std::uint64_t in_flight = 0;   ///< currently assigned requests
+  std::uint64_t served = 0;      ///< lifetime counter
+};
+
+class TeePool {
+ public:
+  TeePool(std::string tee, LoadBalancePolicy policy)
+      : tee_(std::move(tee)), policy_(policy), rng_(tee_) {}
+
+  void add_member(PoolMember m) { members_.push_back(std::move(m)); }
+
+  /// Picks a member per the policy; nullptr when the pool is empty.
+  /// The caller must pair every acquire() with a release().
+  PoolMember* acquire();
+  void release(PoolMember* m);
+
+  [[nodiscard]] const std::string& tee() const { return tee_; }
+  [[nodiscard]] std::size_t size() const { return members_.size(); }
+  [[nodiscard]] const std::vector<PoolMember>& members() const {
+    return members_;
+  }
+  [[nodiscard]] LoadBalancePolicy policy() const { return policy_; }
+  void set_policy(LoadBalancePolicy p) { policy_ = p; }
+
+ private:
+  std::string tee_;
+  LoadBalancePolicy policy_;
+  std::vector<PoolMember> members_;
+  std::size_t rr_next_ = 0;
+  sim::Rng rng_;
+};
+
+}  // namespace confbench::core

@@ -1,0 +1,67 @@
+#include "metrics/boxplot.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <sstream>
+
+namespace confbench::metrics {
+
+std::string render_boxplots(const std::vector<BoxSeries>& series, int width,
+                            bool log_scale, const std::string& unit) {
+  if (series.empty()) return "(no data)\n";
+
+  auto xf = [&](double v) {
+    return log_scale ? std::log10(std::max(v, 1e-12)) : v;
+  };
+
+  double lo = xf(series.front().summary.min);
+  double hi = xf(series.front().summary.max);
+  for (const auto& s : series) {
+    lo = std::min(lo, xf(s.summary.min));
+    hi = std::max(hi, xf(s.summary.max));
+  }
+  if (hi <= lo) hi = lo + 1.0;
+
+  std::size_t label_w = 0;
+  for (const auto& s : series) label_w = std::max(label_w, s.label.size());
+
+  auto pos = [&](double v) {
+    const double t = (xf(v) - lo) / (hi - lo);
+    return static_cast<int>(t * (width - 1));
+  };
+
+  std::ostringstream os;
+  for (const auto& s : series) {
+    std::string line(static_cast<std::size_t>(width), ' ');
+    const int a = pos(s.summary.min);
+    const int q1 = pos(s.summary.p25);
+    const int med = pos(s.summary.median);
+    const int q3 = pos(s.summary.p75);
+    const int b = pos(s.summary.max);
+    for (int i = a; i <= b; ++i) line[static_cast<std::size_t>(i)] = '-';
+    for (int i = q1; i <= q3; ++i) line[static_cast<std::size_t>(i)] = '=';
+    line[static_cast<std::size_t>(a)] = '|';
+    line[static_cast<std::size_t>(b)] = '|';
+    line[static_cast<std::size_t>(med)] = 'M';
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "  med=%.3g%s", s.summary.median,
+                  unit.c_str());
+    os << s.label << std::string(label_w - s.label.size(), ' ') << " ["
+       << line << "]" << buf << "\n";
+  }
+  char axis[128];
+  if (log_scale) {
+    std::snprintf(axis, sizeof(axis),
+                  "%*s  axis: log10 from %.3g to %.3g %s\n",
+                  static_cast<int>(label_w), "", std::pow(10.0, lo),
+                  std::pow(10.0, hi), unit.c_str());
+  } else {
+    std::snprintf(axis, sizeof(axis), "%*s  axis: %.3g to %.3g %s\n",
+                  static_cast<int>(label_w), "", lo, hi, unit.c_str());
+  }
+  os << axis;
+  return os.str();
+}
+
+}  // namespace confbench::metrics

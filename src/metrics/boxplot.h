@@ -1,0 +1,22 @@
+// ASCII box-and-whisker renderer (Fig. 8 style).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "metrics/stats.h"
+
+namespace confbench::metrics {
+
+struct BoxSeries {
+  std::string label;
+  Summary summary;
+};
+
+/// Renders a group of box plots sharing one horizontal axis. `log_scale`
+/// plots log10(value) positions, as in the paper's latency figures.
+std::string render_boxplots(const std::vector<BoxSeries>& series,
+                            int width = 72, bool log_scale = false,
+                            const std::string& unit = "");
+
+}  // namespace confbench::metrics

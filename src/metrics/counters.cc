@@ -1,0 +1,124 @@
+#include "metrics/counters.h"
+
+#include <cstdio>
+#include <sstream>
+#include <vector>
+
+namespace confbench::metrics {
+
+PerfCounters& PerfCounters::operator+=(const PerfCounters& o) {
+  instructions += o.instructions;
+  cycles += o.cycles;
+  cache_references += o.cache_references;
+  cache_misses += o.cache_misses;
+  branches += o.branches;
+  branch_misses += o.branch_misses;
+  syscalls += o.syscalls;
+  vm_exits += o.vm_exits;
+  page_faults += o.page_faults;
+  context_switches += o.context_switches;
+  io_bytes += o.io_bytes;
+  net_bytes += o.net_bytes;
+  alloc_bytes += o.alloc_bytes;
+  gc_cycles += o.gc_cycles;
+  mem_protection_ns += o.mem_protection_ns;
+  wall_ns += o.wall_ns;
+  t_compute_ns += o.t_compute_ns;
+  t_memory_ns += o.t_memory_ns;
+  t_os_ns += o.t_os_ns;
+  t_io_ns += o.t_io_ns;
+  t_other_ns += o.t_other_ns;
+  for (std::size_t i = 0; i < exits_by_reason.size(); ++i)
+    exits_by_reason[i] += o.exits_by_reason[i];
+  return *this;
+}
+
+namespace {
+void line(std::ostringstream& os, double v, const char* label) {
+  char buf[96];
+  std::snprintf(buf, sizeof(buf), "%18.0f      %s\n", v, label);
+  os << buf;
+}
+}  // namespace
+
+std::string PerfCounters::to_perf_stat_string() const {
+  std::ostringstream os;
+  os << " Performance counter stats (simulated):\n\n";
+  line(os, instructions, "instructions");
+  line(os, cycles, "cycles");
+  line(os, cache_references, "cache-references");
+  line(os, cache_misses, "cache-misses");
+  line(os, branches, "branches");
+  line(os, branch_misses, "branch-misses");
+  line(os, syscalls, "raw_syscalls:sys_enter");
+  line(os, context_switches, "context-switches");
+  line(os, page_faults, "page-faults");
+  line(os, vm_exits, "vm-exits");
+  char buf[96];
+  std::snprintf(buf, sizeof(buf), "\n%18.6f seconds time elapsed\n",
+                wall_ns / sim::kSec);
+  os << buf;
+  return os.str();
+}
+
+std::string PerfCounters::to_kv_string() const {
+  std::ostringstream os;
+  os.precision(17);
+  os << "ins=" << instructions << ";cyc=" << cycles
+     << ";cref=" << cache_references << ";cmiss=" << cache_misses
+     << ";br=" << branches << ";brmiss=" << branch_misses
+     << ";sys=" << syscalls << ";exits=" << vm_exits << ";pf=" << page_faults
+     << ";cs=" << context_switches << ";io=" << io_bytes
+     << ";net=" << net_bytes << ";alloc=" << alloc_bytes
+     << ";gc=" << gc_cycles << ";prot_ns=" << mem_protection_ns
+     << ";wall_ns=" << wall_ns << ";t_cpu=" << t_compute_ns
+     << ";t_mem=" << t_memory_ns << ";t_os=" << t_os_ns
+     << ";t_io=" << t_io_ns << ";t_other=" << t_other_ns;
+  return os.str();
+}
+
+bool PerfCounters::from_kv_string(const std::string& s, PerfCounters* out) {
+  PerfCounters c;
+  std::istringstream is(s);
+  std::string tok;
+  int parsed = 0;
+  while (std::getline(is, tok, ';')) {
+    const auto eq = tok.find('=');
+    if (eq == std::string::npos) return false;
+    const std::string key = tok.substr(0, eq);
+    double val = 0;
+    try {
+      val = std::stod(tok.substr(eq + 1));
+    } catch (...) {
+      return false;
+    }
+    ++parsed;
+    if (key == "ins") c.instructions = val;
+    else if (key == "cyc") c.cycles = val;
+    else if (key == "cref") c.cache_references = val;
+    else if (key == "cmiss") c.cache_misses = val;
+    else if (key == "br") c.branches = val;
+    else if (key == "brmiss") c.branch_misses = val;
+    else if (key == "sys") c.syscalls = val;
+    else if (key == "exits") c.vm_exits = val;
+    else if (key == "pf") c.page_faults = val;
+    else if (key == "cs") c.context_switches = val;
+    else if (key == "io") c.io_bytes = val;
+    else if (key == "net") c.net_bytes = val;
+    else if (key == "alloc") c.alloc_bytes = val;
+    else if (key == "gc") c.gc_cycles = val;
+    else if (key == "prot_ns") c.mem_protection_ns = val;
+    else if (key == "wall_ns") c.wall_ns = val;
+    else if (key == "t_cpu") c.t_compute_ns = val;
+    else if (key == "t_mem") c.t_memory_ns = val;
+    else if (key == "t_os") c.t_os_ns = val;
+    else if (key == "t_io") c.t_io_ns = val;
+    else if (key == "t_other") c.t_other_ns = val;
+    else --parsed;  // unknown keys are ignored but do not count
+  }
+  if (parsed == 0) return false;
+  *out = c;
+  return true;
+}
+
+}  // namespace confbench::metrics

@@ -1,0 +1,67 @@
+// perf-stat-style counters.
+//
+// ConfBench invokes (simulated) `perf stat` around every dispatched workload
+// and piggybacks the counters on the response (§III-B). Counters are doubles
+// because sampled cache simulation produces fractional event counts.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string>
+
+#include "sim/time.h"
+#include "tee/platform.h"
+
+namespace confbench::metrics {
+
+struct PerfCounters {
+  double instructions = 0;
+  double cycles = 0;
+  double cache_references = 0;
+  double cache_misses = 0;     ///< LLC misses (DRAM fills)
+  double branches = 0;
+  double branch_misses = 0;
+  double syscalls = 0;
+  double vm_exits = 0;
+  double page_faults = 0;
+  double context_switches = 0;
+  double io_bytes = 0;
+  double net_bytes = 0;
+  double alloc_bytes = 0;
+  double gc_cycles = 0;              ///< collector runs in managed runtimes
+  sim::Ns mem_protection_ns = 0;     ///< time inside the memory-crypto engine
+  sim::Ns wall_ns = 0;               ///< virtual wall-clock of the run
+  /// Where the (pre-jitter) time went — a built-in profile of the run.
+  /// Invariant: the five categories sum to the unjittered wall clock.
+  sim::Ns t_compute_ns = 0;  ///< ALU/FP work incl. interpreter dispatch
+  sim::Ns t_memory_ns = 0;   ///< cache hierarchy + DRAM + protection
+  sim::Ns t_os_ns = 0;       ///< syscalls, exits, faults, scheduling
+  sim::Ns t_io_ns = 0;       ///< block/network device time
+  sim::Ns t_other_ns = 0;    ///< direct charges (bootstrap, sleeps)
+  /// Per-reason VM-exit breakdown (TEE-specific naming comes from the
+  /// platform's exit_primitive()).
+  std::array<double, static_cast<std::size_t>(tee::ExitReason::kCount)>
+      exits_by_reason{};
+
+  PerfCounters& operator+=(const PerfCounters& o);
+
+  [[nodiscard]] double exit_count(tee::ExitReason r) const {
+    return exits_by_reason[static_cast<std::size_t>(r)];
+  }
+  void add_exit(tee::ExitReason r, double n = 1.0) {
+    exits_by_reason[static_cast<std::size_t>(r)] += n;
+    vm_exits += n;
+  }
+
+  /// Renders the counters in the style of `perf stat` output.
+  [[nodiscard]] std::string to_perf_stat_string() const;
+
+  /// Serialises to a single-line key=value record (piggybacked in HTTP
+  /// responses by the gateway).
+  [[nodiscard]] std::string to_kv_string() const;
+
+  /// Parses a record produced by to_kv_string(); returns false on garbage.
+  static bool from_kv_string(const std::string& s, PerfCounters* out);
+};
+
+}  // namespace confbench::metrics

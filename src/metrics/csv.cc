@@ -1,0 +1,47 @@
+#include "metrics/csv.h"
+
+#include <fstream>
+#include <stdexcept>
+
+namespace confbench::metrics {
+
+CsvWriter::CsvWriter(std::vector<std::string> headers)
+    : columns_(headers.size()) {
+  for (std::size_t i = 0; i < headers.size(); ++i) {
+    if (i) buf_ += ',';
+    buf_ += escape(headers[i]);
+  }
+  buf_ += '\n';
+}
+
+std::string CsvWriter::escape(const std::string& f) {
+  if (f.find_first_of(",\"\n") == std::string::npos) return f;
+  std::string out = "\"";
+  for (char c : f) {
+    if (c == '"') out += '"';
+    out += c;
+  }
+  out += '"';
+  return out;
+}
+
+void CsvWriter::add_row(const std::vector<std::string>& cells) {
+  if (cells.size() != columns_)
+    throw std::invalid_argument("CSV row width mismatch");
+  for (std::size_t i = 0; i < cells.size(); ++i) {
+    if (i) buf_ += ',';
+    buf_ += escape(cells[i]);
+  }
+  buf_ += '\n';
+}
+
+std::string CsvWriter::str() const { return buf_; }
+
+bool CsvWriter::write_file(const std::string& path) const {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) return false;
+  out << buf_;
+  return static_cast<bool>(out);
+}
+
+}  // namespace confbench::metrics

@@ -1,0 +1,27 @@
+// CSV export for raw benchmark data (the paper ships its raw datasets).
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace confbench::metrics {
+
+class CsvWriter {
+ public:
+  explicit CsvWriter(std::vector<std::string> headers);
+
+  void add_row(const std::vector<std::string>& cells);
+
+  /// RFC-4180-ish: quotes fields containing comma, quote or newline.
+  [[nodiscard]] std::string str() const;
+
+  /// Writes to `path`; returns false on I/O error.
+  bool write_file(const std::string& path) const;
+
+ private:
+  static std::string escape(const std::string& f);
+  std::string buf_;
+  std::size_t columns_;
+};
+
+}  // namespace confbench::metrics

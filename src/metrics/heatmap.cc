@@ -1,0 +1,70 @@
+#include "metrics/heatmap.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <sstream>
+#include <stdexcept>
+
+namespace confbench::metrics {
+
+Heatmap::Heatmap(std::vector<std::string> row_labels,
+                 std::vector<std::string> col_labels)
+    : row_labels_(std::move(row_labels)),
+      col_labels_(std::move(col_labels)),
+      cells_(row_labels_.size() * col_labels_.size(), 0.0) {}
+
+void Heatmap::set(std::size_t row, std::size_t col, double value) {
+  if (row >= rows() || col >= cols())
+    throw std::out_of_range("Heatmap::set out of range");
+  cells_[row * cols() + col] = value;
+}
+
+double Heatmap::at(std::size_t row, std::size_t col) const {
+  if (row >= rows() || col >= cols())
+    throw std::out_of_range("Heatmap::at out of range");
+  return cells_[row * cols() + col];
+}
+
+namespace {
+// 5 buckets from "ratio ~1, good" to "large overhead".
+const char* kShade[] = {"  ", ". ", "o ", "O ", "# "};
+const char* kAnsi[] = {"\x1b[48;5;17m", "\x1b[48;5;25m", "\x1b[48;5;68m",
+                       "\x1b[48;5;180m", "\x1b[48;5;167m"};
+}  // namespace
+
+std::string Heatmap::render(const HeatmapOptions& opt) const {
+  std::size_t label_w = 0;
+  for (const auto& r : row_labels_) label_w = std::max(label_w, r.size());
+
+  std::ostringstream os;
+  const int cell_w = 7;
+  os << std::string(label_w, ' ') << "  ";
+  for (const auto& c : col_labels_) {
+    std::string h = c.substr(0, cell_w - 1);
+    os << h << std::string(cell_w - h.size(), ' ');
+  }
+  os << "\n";
+  for (std::size_t r = 0; r < rows(); ++r) {
+    os << row_labels_[r] << std::string(label_w - row_labels_[r].size(), ' ')
+       << "  ";
+    for (std::size_t c = 0; c < cols(); ++c) {
+      const double v = at(r, c);
+      const double t =
+          std::clamp((v - opt.lo) / (opt.hi - opt.lo), 0.0, 0.999);
+      const int bucket = static_cast<int>(t * 5.0);
+      char buf[32];
+      std::snprintf(buf, sizeof(buf), "%5.2f", v);
+      if (opt.ansi_color) {
+        os << kAnsi[bucket] << buf << "\x1b[0m  ";
+      } else {
+        os << buf << kShade[bucket];
+      }
+    }
+    os << "\n";
+  }
+  os << "\nscale: '  ' <= " << opt.lo << "  '. ' 'o ' 'O '  '# ' >= " << opt.hi
+     << "  (secure/normal time ratio; lower is better)\n";
+  return os.str();
+}
+
+}  // namespace confbench::metrics

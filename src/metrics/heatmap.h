@@ -1,0 +1,39 @@
+// ASCII heatmap renderer for the FaaS overhead grids (Figs. 6 and 7).
+//
+// Rows are workloads, columns are languages, cells are secure/normal mean
+// ratios. Like the paper's figures, the renderer maps "good" ratios (≈1) to
+// dark tones and high overheads to light/red tones; in plain mode it uses
+// shade characters instead of ANSI colour so output stays readable in logs.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace confbench::metrics {
+
+struct HeatmapOptions {
+  bool ansi_color = false;  ///< default: log-friendly shading
+  double lo = 0.9;          ///< ratio mapped to the darkest bucket
+  double hi = 3.0;          ///< ratio mapped to the hottest bucket
+};
+
+class Heatmap {
+ public:
+  Heatmap(std::vector<std::string> row_labels,
+          std::vector<std::string> col_labels);
+
+  void set(std::size_t row, std::size_t col, double value);
+  [[nodiscard]] double at(std::size_t row, std::size_t col) const;
+
+  [[nodiscard]] std::string render(const HeatmapOptions& opt = {}) const;
+
+  [[nodiscard]] std::size_t rows() const { return row_labels_.size(); }
+  [[nodiscard]] std::size_t cols() const { return col_labels_.size(); }
+
+ private:
+  std::vector<std::string> row_labels_;
+  std::vector<std::string> col_labels_;
+  std::vector<double> cells_;
+};
+
+}  // namespace confbench::metrics

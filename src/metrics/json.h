@@ -1,0 +1,47 @@
+// Minimal JSON writer for machine-readable results export.
+//
+// The paper ships its raw datasets alongside the tool; CSV covers the
+// tabular data and this writer covers structured records (invocation
+// results with nested perf counters). Emission only — ConfBench never needs
+// to parse JSON.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace confbench::metrics {
+
+/// Streaming JSON value builder with correct string escaping and
+/// deterministic number formatting (shortest round-trippable doubles).
+class JsonWriter {
+ public:
+  JsonWriter& begin_object();
+  JsonWriter& end_object();
+  JsonWriter& begin_array();
+  JsonWriter& end_array();
+  /// Introduces a member inside an object; follow with a value call.
+  JsonWriter& key(const std::string& k);
+  JsonWriter& value(const std::string& v);
+  JsonWriter& value(const char* v);
+  JsonWriter& value(double v);
+  JsonWriter& value(std::int64_t v);
+  JsonWriter& value(int v) { return value(static_cast<std::int64_t>(v)); }
+  JsonWriter& value(std::uint64_t v);
+  JsonWriter& value(bool v);
+  JsonWriter& null();
+
+  [[nodiscard]] const std::string& str() const { return out_; }
+  /// True when every opened object/array has been closed.
+  [[nodiscard]] bool complete() const;
+
+  static std::string escape(const std::string& s);
+
+ private:
+  void comma_if_needed();
+  std::string out_;
+  // Per-nesting-level "needs a comma before the next element" flags.
+  std::vector<bool> needs_comma_{false};
+  bool after_key_ = false;
+};
+
+}  // namespace confbench::metrics

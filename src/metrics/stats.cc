@@ -1,0 +1,73 @@
+#include "metrics/stats.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace confbench::metrics {
+
+double percentile(std::vector<double> xs, double p) {
+  if (xs.empty()) return 0.0;
+  std::sort(xs.begin(), xs.end());
+  if (p <= 0) return xs.front();
+  if (p >= 100) return xs.back();
+  const double rank = (p / 100.0) * static_cast<double>(xs.size() - 1);
+  const auto lo = static_cast<std::size_t>(rank);
+  const double frac = rank - static_cast<double>(lo);
+  if (lo + 1 >= xs.size()) return xs.back();
+  return xs[lo] * (1.0 - frac) + xs[lo + 1] * frac;
+}
+
+Summary Summary::of(const std::vector<double>& xs) {
+  Summary s;
+  s.n = xs.size();
+  if (xs.empty()) return s;
+  std::vector<double> sorted = xs;
+  std::sort(sorted.begin(), sorted.end());
+  s.min = sorted.front();
+  s.max = sorted.back();
+  auto pct = [&](double p) {
+    const double rank = (p / 100.0) * static_cast<double>(sorted.size() - 1);
+    const auto lo = static_cast<std::size_t>(rank);
+    const double frac = rank - static_cast<double>(lo);
+    if (lo + 1 >= sorted.size()) return sorted.back();
+    return sorted[lo] * (1.0 - frac) + sorted[lo + 1] * frac;
+  };
+  s.p25 = pct(25);
+  s.median = pct(50);
+  s.p75 = pct(75);
+  s.p95 = pct(95);
+  double sum = 0;
+  for (double x : xs) sum += x;
+  s.mean = sum / static_cast<double>(xs.size());
+  if (xs.size() > 1) {
+    double sq = 0;
+    for (double x : xs) sq += (x - s.mean) * (x - s.mean);
+    s.stddev = std::sqrt(sq / static_cast<double>(xs.size() - 1));
+  }
+  return s;
+}
+
+double geometric_mean(const std::vector<double>& xs) {
+  double log_sum = 0;
+  std::size_t n = 0;
+  for (double x : xs) {
+    if (x <= 0) continue;
+    log_sum += std::log(x);
+    ++n;
+  }
+  if (n == 0) return 0.0;
+  return std::exp(log_sum / static_cast<double>(n));
+}
+
+double ratio_of_means(const std::vector<double>& numer,
+                      const std::vector<double>& denom) {
+  if (numer.empty() || denom.empty()) return 0.0;
+  double a = 0, b = 0;
+  for (double x : numer) a += x;
+  for (double x : denom) b += x;
+  a /= static_cast<double>(numer.size());
+  b /= static_cast<double>(denom.size());
+  return b == 0.0 ? 0.0 : a / b;
+}
+
+}  // namespace confbench::metrics

@@ -1,0 +1,33 @@
+// Descriptive statistics over trial samples.
+//
+// The paper reports mean ratios (Figs. 4, 6, 7), stacked percentiles
+// min/p25/median/p95/max (Fig. 3) and box-and-whisker plots (Fig. 8); this
+// module computes exactly those summaries.
+#pragma once
+
+#include <vector>
+
+namespace confbench::metrics {
+
+/// Percentile with linear interpolation between order statistics;
+/// p in [0, 100]. Input need not be sorted. Empty input returns 0.
+double percentile(std::vector<double> xs, double p);
+
+struct Summary {
+  std::size_t n = 0;
+  double min = 0, p25 = 0, median = 0, p75 = 0, p95 = 0, max = 0;
+  double mean = 0;
+  double stddev = 0;  ///< sample standard deviation (n-1)
+
+  static Summary of(const std::vector<double>& xs);
+};
+
+/// Geometric mean; used by UnixBench's index computation. Non-positive
+/// inputs are skipped (they would be ill-formed index scores).
+double geometric_mean(const std::vector<double>& xs);
+
+/// Ratio of means: mean(numer) / mean(denom); 0 if denom degenerates.
+double ratio_of_means(const std::vector<double>& numer,
+                      const std::vector<double>& denom);
+
+}  // namespace confbench::metrics

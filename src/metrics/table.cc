@@ -1,0 +1,47 @@
+#include "metrics/table.h"
+
+#include <cstdio>
+#include <sstream>
+
+namespace confbench::metrics {
+
+void Table::add_row(std::vector<std::string> cells) {
+  cells.resize(headers_.size());
+  rows_.push_back(std::move(cells));
+}
+
+std::string Table::num(double v, int prec) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f", prec, v);
+  return buf;
+}
+
+std::string Table::render() const {
+  std::vector<std::size_t> widths(headers_.size());
+  for (std::size_t c = 0; c < headers_.size(); ++c)
+    widths[c] = headers_[c].size();
+  for (const auto& row : rows_)
+    for (std::size_t c = 0; c < row.size(); ++c)
+      widths[c] = std::max(widths[c], row[c].size());
+
+  std::ostringstream os;
+  auto emit = [&](const std::vector<std::string>& row) {
+    for (std::size_t c = 0; c < headers_.size(); ++c) {
+      const std::string& cell = c < row.size() ? row[c] : std::string{};
+      if (c == 0) {
+        os << cell << std::string(widths[c] - cell.size(), ' ');
+      } else {
+        os << std::string(widths[c] - cell.size(), ' ') << cell;
+      }
+      os << (c + 1 == headers_.size() ? "\n" : "  ");
+    }
+  };
+  emit(headers_);
+  for (std::size_t c = 0; c < headers_.size(); ++c) {
+    os << std::string(widths[c], '-') << (c + 1 == headers_.size() ? "\n" : "  ");
+  }
+  for (const auto& row : rows_) emit(row);
+  return os.str();
+}
+
+}  // namespace confbench::metrics

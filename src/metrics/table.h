@@ -1,0 +1,30 @@
+// Minimal ASCII table renderer for bench output.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace confbench::metrics {
+
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers)
+      : headers_(std::move(headers)) {}
+
+  void add_row(std::vector<std::string> cells);
+
+  /// Renders with column alignment; first column left-aligned, the rest
+  /// right-aligned (numeric convention).
+  [[nodiscard]] std::string render() const;
+
+  [[nodiscard]] std::size_t rows() const { return rows_.size(); }
+
+  /// Formats a double with `prec` decimals.
+  static std::string num(double v, int prec = 2);
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace confbench::metrics

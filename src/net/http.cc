@@ -1,0 +1,218 @@
+#include "net/http.h"
+
+#include <algorithm>
+#include <cctype>
+#include <sstream>
+
+namespace confbench::net {
+
+bool CaseInsensitiveLess::operator()(const std::string& a,
+                                     const std::string& b) const {
+  return std::lexicographical_compare(
+      a.begin(), a.end(), b.begin(), b.end(), [](char x, char y) {
+        return std::tolower(static_cast<unsigned char>(x)) <
+               std::tolower(static_cast<unsigned char>(y));
+      });
+}
+
+std::string url_decode(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (std::size_t i = 0; i < s.size(); ++i) {
+    if (s[i] == '+') {
+      out += ' ';
+    } else if (s[i] == '%' && i + 2 < s.size() &&
+               std::isxdigit(static_cast<unsigned char>(s[i + 1])) &&
+               std::isxdigit(static_cast<unsigned char>(s[i + 2]))) {
+      const auto hex = [](char c) {
+        if (c >= '0' && c <= '9') return c - '0';
+        return std::tolower(static_cast<unsigned char>(c)) - 'a' + 10;
+      };
+      out += static_cast<char>(hex(s[i + 1]) * 16 + hex(s[i + 2]));
+      i += 2;
+    } else {
+      out += s[i];
+    }
+  }
+  return out;
+}
+
+std::string url_encode(const std::string& s) {
+  static const char* kHex = "0123456789ABCDEF";
+  std::string out;
+  for (unsigned char c : s) {
+    if (std::isalnum(c) || c == '-' || c == '_' || c == '.' || c == '~') {
+      out += static_cast<char>(c);
+    } else {
+      out += '%';
+      out += kHex[c >> 4];
+      out += kHex[c & 0xF];
+    }
+  }
+  return out;
+}
+
+std::map<std::string, std::string> HttpRequest::query_params() const {
+  std::map<std::string, std::string> out;
+  std::istringstream is(query);
+  std::string pair;
+  while (std::getline(is, pair, '&')) {
+    if (pair.empty()) continue;
+    const auto eq = pair.find('=');
+    if (eq == std::string::npos) {
+      out[url_decode(pair)] = "";
+    } else {
+      out[url_decode(pair.substr(0, eq))] = url_decode(pair.substr(eq + 1));
+    }
+  }
+  return out;
+}
+
+std::string reason_for_status(int status) {
+  switch (status) {
+    case 200: return "OK";
+    case 201: return "Created";
+    case 204: return "No Content";
+    case 400: return "Bad Request";
+    case 404: return "Not Found";
+    case 405: return "Method Not Allowed";
+    case 409: return "Conflict";
+    case 500: return "Internal Server Error";
+    case 502: return "Bad Gateway";
+    case 503: return "Service Unavailable";
+    default: return "Unknown";
+  }
+}
+
+std::string HttpRequest::serialize() const {
+  std::ostringstream os;
+  os << method << ' ' << path;
+  if (!query.empty()) os << '?' << query;
+  os << " HTTP/1.1\r\n";
+  Headers h = headers;
+  h["Content-Length"] = std::to_string(body.size());
+  for (const auto& [k, v] : h) os << k << ": " << v << "\r\n";
+  os << "\r\n" << body;
+  return os.str();
+}
+
+std::string HttpResponse::serialize() const {
+  std::ostringstream os;
+  os << "HTTP/1.1 " << status << ' '
+     << (reason.empty() ? reason_for_status(status) : reason) << "\r\n";
+  Headers h = headers;
+  h["Content-Length"] = std::to_string(body.size());
+  for (const auto& [k, v] : h) os << k << ": " << v << "\r\n";
+  os << "\r\n" << body;
+  return os.str();
+}
+
+HttpResponse HttpResponse::make(int status, std::string body,
+                                std::string content_type) {
+  HttpResponse r;
+  r.status = status;
+  r.reason = reason_for_status(status);
+  r.headers["Content-Type"] = std::move(content_type);
+  r.body = std::move(body);
+  return r;
+}
+
+namespace {
+
+/// Parses headers starting at `pos` (first header line); returns false on
+/// malformed framing. On success `pos` points just past the blank line.
+bool parse_headers(const std::string& raw, std::size_t& pos, Headers* out) {
+  while (true) {
+    const auto eol = raw.find("\r\n", pos);
+    if (eol == std::string::npos) return false;
+    if (eol == pos) {  // blank line: end of headers
+      pos = eol + 2;
+      return true;
+    }
+    const std::string line = raw.substr(pos, eol - pos);
+    const auto colon = line.find(':');
+    if (colon == std::string::npos || colon == 0) return false;
+    std::string key = line.substr(0, colon);
+    std::string value = line.substr(colon + 1);
+    // Trim optional whitespace around the value.
+    const auto b = value.find_first_not_of(" \t");
+    const auto e = value.find_last_not_of(" \t");
+    value = (b == std::string::npos) ? "" : value.substr(b, e - b + 1);
+    (*out)[key] = value;
+    pos = eol + 2;
+  }
+}
+
+bool read_body(const std::string& raw, std::size_t& pos, const Headers& h,
+               std::string* body) {
+  auto it = h.find("Content-Length");
+  std::size_t len = 0;
+  if (it != h.end()) {
+    try {
+      len = static_cast<std::size_t>(std::stoull(it->second));
+    } catch (...) {
+      return false;
+    }
+  }
+  if (pos + len > raw.size()) return false;  // incomplete
+  *body = raw.substr(pos, len);
+  pos += len;
+  return true;
+}
+
+}  // namespace
+
+std::optional<HttpRequest> parse_request(const std::string& raw,
+                                         std::size_t* consumed) {
+  const auto eol = raw.find("\r\n");
+  if (eol == std::string::npos) return std::nullopt;
+  const std::string line = raw.substr(0, eol);
+  const auto sp1 = line.find(' ');
+  const auto sp2 = line.rfind(' ');
+  if (sp1 == std::string::npos || sp2 == sp1) return std::nullopt;
+  HttpRequest req;
+  req.method = line.substr(0, sp1);
+  std::string target = line.substr(sp1 + 1, sp2 - sp1 - 1);
+  const std::string version = line.substr(sp2 + 1);
+  if (version.rfind("HTTP/1.", 0) != 0) return std::nullopt;
+  if (req.method.empty() || target.empty()) return std::nullopt;
+  const auto qmark = target.find('?');
+  if (qmark == std::string::npos) {
+    req.path = target;
+  } else {
+    req.path = target.substr(0, qmark);
+    req.query = target.substr(qmark + 1);
+  }
+  std::size_t pos = eol + 2;
+  if (!parse_headers(raw, pos, &req.headers)) return std::nullopt;
+  if (!read_body(raw, pos, req.headers, &req.body)) return std::nullopt;
+  if (consumed) *consumed = pos;
+  return req;
+}
+
+std::optional<HttpResponse> parse_response(const std::string& raw,
+                                           std::size_t* consumed) {
+  const auto eol = raw.find("\r\n");
+  if (eol == std::string::npos) return std::nullopt;
+  const std::string line = raw.substr(0, eol);
+  if (line.rfind("HTTP/1.", 0) != 0) return std::nullopt;
+  const auto sp1 = line.find(' ');
+  if (sp1 == std::string::npos) return std::nullopt;
+  const auto sp2 = line.find(' ', sp1 + 1);
+  HttpResponse resp;
+  try {
+    resp.status = std::stoi(line.substr(
+        sp1 + 1, sp2 == std::string::npos ? std::string::npos : sp2 - sp1 - 1));
+  } catch (...) {
+    return std::nullopt;
+  }
+  if (resp.status < 100 || resp.status > 599) return std::nullopt;
+  resp.reason = sp2 == std::string::npos ? "" : line.substr(sp2 + 1);
+  std::size_t pos = eol + 2;
+  if (!parse_headers(raw, pos, &resp.headers)) return std::nullopt;
+  if (!read_body(raw, pos, resp.headers, &resp.body)) return std::nullopt;
+  if (consumed) *consumed = pos;
+  return resp;
+}
+
+}  // namespace confbench::net

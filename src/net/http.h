@@ -1,0 +1,61 @@
+// Minimal HTTP/1.1 message model, parser and serializer.
+//
+// The ConfBench gateway exposes a REST interface (§III-A); this module
+// implements enough of HTTP/1.1 — request line, status line, headers,
+// Content-Length framing, query strings — to drive it for real. The parser
+// is strict about framing (tests feed it truncated and malformed inputs)
+// and transport-agnostic: bytes in, message out.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+
+namespace confbench::net {
+
+/// Case-insensitive header map (HTTP header names are case-insensitive).
+struct CaseInsensitiveLess {
+  bool operator()(const std::string& a, const std::string& b) const;
+};
+using Headers = std::map<std::string, std::string, CaseInsensitiveLess>;
+
+struct HttpRequest {
+  std::string method = "GET";
+  std::string path = "/";      ///< path without the query string
+  std::string query;           ///< raw query string (no leading '?')
+  Headers headers;
+  std::string body;
+
+  /// Decoded query parameters (k=v&k2=v2, %XX unescaped).
+  [[nodiscard]] std::map<std::string, std::string> query_params() const;
+  [[nodiscard]] std::string serialize() const;
+};
+
+struct HttpResponse {
+  int status = 200;
+  std::string reason = "OK";
+  Headers headers;
+  std::string body;
+
+  [[nodiscard]] std::string serialize() const;
+
+  static HttpResponse make(int status, std::string body,
+                           std::string content_type = "text/plain");
+};
+
+/// Parses a complete request (returns nullopt on malformed or incomplete
+/// input). `consumed` (optional) receives the number of bytes used, for
+/// pipelined streams.
+std::optional<HttpRequest> parse_request(const std::string& raw,
+                                         std::size_t* consumed = nullptr);
+std::optional<HttpResponse> parse_response(const std::string& raw,
+                                           std::size_t* consumed = nullptr);
+
+/// Percent-decoding for query values ("%2F" -> "/", "+" -> ' ').
+std::string url_decode(const std::string& s);
+std::string url_encode(const std::string& s);
+
+std::string reason_for_status(int status);
+
+}  // namespace confbench::net

@@ -1,0 +1,63 @@
+#include "net/network.h"
+
+#include <stdexcept>
+
+namespace confbench::net {
+
+Network::Network(double rtt_us, double per_kb_us)
+    : rtt_us_(rtt_us), per_kb_us_(per_kb_us) {}
+
+std::string Network::key(const std::string& host, std::uint16_t port) {
+  return host + ":" + std::to_string(port);
+}
+
+void Network::bind(const std::string& host, std::uint16_t port,
+                   EndpointHandler handler) {
+  const std::string k = key(host, port);
+  if (endpoints_.count(k))
+    throw std::invalid_argument("endpoint already bound: " + k);
+  endpoints_[k] = std::move(handler);
+}
+
+void Network::unbind(const std::string& host, std::uint16_t port) {
+  endpoints_.erase(key(host, port));
+}
+
+bool Network::bound(const std::string& host, std::uint16_t port) const {
+  return endpoints_.count(key(host, port)) > 0;
+}
+
+HttpResponse Network::roundtrip(const std::string& host, std::uint16_t port,
+                                const HttpRequest& req) {
+  ++requests_;
+  const std::string wire = req.serialize();
+  const auto it = endpoints_.find(key(host, port));
+  if (it == endpoints_.end()) {
+    elapsed_ += rtt_us_ * sim::kUs;  // connection attempt timeout path
+    return HttpResponse::make(502, "no endpoint at " + key(host, port) + "\n");
+  }
+  if (faults_.drop_rate > 0 && rng_.next_double() < faults_.drop_rate) {
+    ++faults_injected_;
+    elapsed_ += faults_.timeout_us * sim::kUs;
+    return HttpResponse::make(504, "request timed out\n");
+  }
+  // Re-parse on the "server" side: the wire format is load-bearing.
+  const auto parsed = parse_request(wire);
+  if (!parsed) return HttpResponse::make(400, "malformed request\n");
+  const HttpResponse resp = it->second(*parsed);
+  std::string resp_wire = resp.serialize();
+  if (faults_.corrupt_rate > 0 && rng_.next_double() < faults_.corrupt_rate) {
+    ++faults_injected_;
+    // Mangle the status line so the damage is always detectable.
+    resp_wire[0] ^= 0x7F;
+  }
+  const double kb =
+      static_cast<double>(wire.size() + resp_wire.size()) / 1024.0;
+  elapsed_ += (rtt_us_ + kb * per_kb_us_) * sim::kUs *
+              rng_.jitter(0.08);
+  const auto reparsed = parse_response(resp_wire);
+  if (!reparsed) return HttpResponse::make(502, "malformed response\n");
+  return *reparsed;
+}
+
+}  // namespace confbench::net

@@ -1,0 +1,73 @@
+// Deterministic in-process network fabric.
+//
+// Endpoints ("host:port") register request handlers; clients perform HTTP
+// round trips through serialized bytes, so the wire format is exercised end
+// to end. A host registering one handler per port is exactly the socat
+// port-steering role of the prototype (§III-B): the gateway only rewrites
+// the destination port to pick the confidential or the normal VM.
+//
+// The fabric keeps its own virtual latency accounting (gateway-side time is
+// *not* part of the in-VM perf measurements, matching the paper's
+// methodology of measuring inside the guest).
+#pragma once
+
+#include <functional>
+#include <map>
+#include <string>
+
+#include "net/http.h"
+#include "sim/rng.h"
+#include "sim/time.h"
+
+namespace confbench::net {
+
+using EndpointHandler = std::function<HttpResponse(const HttpRequest&)>;
+
+/// Deterministic fault injection for resilience testing: a fraction of
+/// round trips time out (drop) or deliver corrupted response bytes.
+struct FaultConfig {
+  double drop_rate = 0.0;     ///< P(request times out)
+  double corrupt_rate = 0.0;  ///< P(response bytes corrupted in flight)
+  double timeout_us = 2000.0; ///< client-side timeout charged on a drop
+};
+
+class Network {
+ public:
+  explicit Network(double rtt_us = 180.0, double per_kb_us = 0.8);
+
+  /// Installs (or clears, with a default-constructed config) fault
+  /// injection. Faults are drawn from the network's deterministic RNG.
+  void set_faults(const FaultConfig& f) { faults_ = f; }
+  [[nodiscard]] std::uint64_t faults_injected() const {
+    return faults_injected_;
+  }
+
+  /// Binds a handler to "host:port". Throws if already bound.
+  void bind(const std::string& host, std::uint16_t port,
+            EndpointHandler handler);
+  void unbind(const std::string& host, std::uint16_t port);
+  [[nodiscard]] bool bound(const std::string& host, std::uint16_t port) const;
+
+  /// Performs one HTTP round trip: serializes the request, delivers it to
+  /// the endpoint, parses the response bytes. Unbound endpoints yield 502.
+  HttpResponse roundtrip(const std::string& host, std::uint16_t port,
+                         const HttpRequest& req);
+
+  /// Virtual network time accumulated by this client (gateway-side).
+  [[nodiscard]] sim::Ns elapsed() const { return elapsed_; }
+  [[nodiscard]] std::uint64_t requests_sent() const { return requests_; }
+
+ private:
+  static std::string key(const std::string& host, std::uint16_t port);
+
+  std::map<std::string, EndpointHandler> endpoints_;
+  double rtt_us_;
+  double per_kb_us_;
+  FaultConfig faults_;
+  std::uint64_t faults_injected_ = 0;
+  sim::Ns elapsed_ = 0;
+  std::uint64_t requests_ = 0;
+  sim::Rng rng_{0xBEEF5EEDULL};
+};
+
+}  // namespace confbench::net

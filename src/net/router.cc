@@ -1,0 +1,53 @@
+#include "net/router.h"
+
+#include <sstream>
+
+namespace confbench::net {
+
+std::vector<std::string> Router::split(const std::string& path) {
+  std::vector<std::string> out;
+  std::istringstream is(path);
+  std::string seg;
+  while (std::getline(is, seg, '/')) {
+    if (!seg.empty()) out.push_back(seg);
+  }
+  return out;
+}
+
+void Router::add(const std::string& method, const std::string& pattern,
+                 Handler handler) {
+  routes_.push_back({method, split(pattern), std::move(handler)});
+}
+
+bool Router::match(const Route& r, const std::vector<std::string>& segs,
+                   PathParams* params) {
+  if (r.segments.size() != segs.size()) return false;
+  PathParams captured;
+  for (std::size_t i = 0; i < segs.size(); ++i) {
+    const std::string& pat = r.segments[i];
+    if (!pat.empty() && pat[0] == ':') {
+      captured[pat.substr(1)] = url_decode(segs[i]);
+    } else if (pat != segs[i]) {
+      return false;
+    }
+  }
+  *params = std::move(captured);
+  return true;
+}
+
+HttpResponse Router::dispatch(const HttpRequest& req) const {
+  const auto segs = split(req.path);
+  bool path_matched = false;
+  for (const auto& r : routes_) {
+    PathParams params;
+    if (!match(r, segs, &params)) continue;
+    path_matched = true;
+    if (r.method != req.method) continue;
+    return r.handler(req, params);
+  }
+  return HttpResponse::make(path_matched ? 405 : 404,
+                            path_matched ? "method not allowed\n"
+                                         : "no such route\n");
+}
+
+}  // namespace confbench::net

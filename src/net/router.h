@@ -1,0 +1,45 @@
+// Tiny path router (Axum-flavoured, §III-B).
+//
+// Routes are method + path patterns; a pattern segment starting with ':'
+// captures the corresponding request segment into the params map handed to
+// the handler.
+#pragma once
+
+#include <functional>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "net/http.h"
+
+namespace confbench::net {
+
+using PathParams = std::map<std::string, std::string>;
+using Handler =
+    std::function<HttpResponse(const HttpRequest&, const PathParams&)>;
+
+class Router {
+ public:
+  void add(const std::string& method, const std::string& pattern,
+           Handler handler);
+
+  /// Dispatches a request; 404 if no pattern matches, 405 if the path
+  /// matches but the method does not.
+  [[nodiscard]] HttpResponse dispatch(const HttpRequest& req) const;
+
+  [[nodiscard]] std::size_t route_count() const { return routes_.size(); }
+
+ private:
+  struct Route {
+    std::string method;
+    std::vector<std::string> segments;
+    Handler handler;
+  };
+  static std::vector<std::string> split(const std::string& path);
+  static bool match(const Route& r, const std::vector<std::string>& segs,
+                    PathParams* params);
+
+  std::vector<Route> routes_;
+};
+
+}  // namespace confbench::net

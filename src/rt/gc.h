@@ -1,0 +1,36 @@
+// Mark-sweep collector model.
+//
+// When the allocation window exceeds the profile's nursery size, the
+// collector traverses the live heap (reads through the cache hierarchy,
+// with a pointer-chasing stride that defeats prefetching) and copies
+// survivors (writes). On secure VMs this traffic pays the platform's
+// memory-encryption surcharge — the mechanism behind heavier runtimes
+// showing larger TEE overheads (§IV-B, §IV-D).
+#pragma once
+
+#include "rt/heap.h"
+#include "rt/profile.h"
+
+namespace confbench::rt {
+
+class MarkSweepGc {
+ public:
+  MarkSweepGc(SimHeap& heap, const RuntimeProfile& profile)
+      : heap_(heap), profile_(profile) {}
+
+  /// Runs a collection if the allocation window exceeded the nursery.
+  /// Returns true if a collection ran.
+  bool maybe_collect();
+
+  /// Unconditional collection.
+  void collect();
+
+  [[nodiscard]] std::uint64_t collections() const { return collections_; }
+
+ private:
+  SimHeap& heap_;
+  const RuntimeProfile& profile_;
+  std::uint64_t collections_ = 0;
+};
+
+}  // namespace confbench::rt

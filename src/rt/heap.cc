@@ -1,0 +1,44 @@
+#include "rt/heap.h"
+
+#include <algorithm>
+
+namespace confbench::rt {
+
+SimHeap::SimHeap(vm::ExecutionContext& ctx, std::uint64_t segment_bytes)
+    : ctx_(ctx), segment_bytes_(segment_bytes) {
+  new_segment();
+}
+
+void SimHeap::new_segment() {
+  seg_base_ = ctx_.alloc_region(segment_bytes_, 4096);
+  seg_used_ = 0;
+  // Heap segments are overwhelmingly pre-faulted by the runtime bootstrap;
+  // only allocator metadata pages fault here.
+  ctx_.page_fault(static_cast<double>(segment_bytes_) / 4096.0 * 0.002);
+}
+
+std::uint64_t SimHeap::allocate(std::uint64_t bytes) {
+  const std::uint64_t need = std::max<std::uint64_t>(bytes, 16);
+  if (seg_used_ + need > segment_bytes_) new_segment();
+  const std::uint64_t addr = seg_base_ + seg_used_;
+  seg_used_ += need;
+  live_ += need;
+  since_gc_ += need;
+  ctx_.counters().alloc_bytes += static_cast<double>(need);
+  // Object header + zero-init of the first cache lines.
+  ctx_.mem_write(addr, std::min<std::uint64_t>(need, 256), 64);
+  return addr;
+}
+
+void SimHeap::release(std::uint64_t bytes) {
+  live_ -= std::min(live_, bytes);
+}
+
+void SimHeap::reclaim_garbage(std::uint64_t live_after) {
+  live_ = live_after;
+  since_gc_ = 0;
+  // Fresh allocations restart from a compacted segment.
+  seg_used_ = std::min(seg_used_, live_after % segment_bytes_);
+}
+
+}  // namespace confbench::rt

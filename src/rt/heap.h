@@ -1,0 +1,52 @@
+// Simulated managed heap.
+//
+// Allocations carve simulated address space out of contiguous segments and
+// charge the header/initialisation traffic through the cache model. The
+// heap tracks live bytes so the collector (rt/gc.h) knows what to traverse.
+#pragma once
+
+#include <cstdint>
+
+#include "vm/exec_context.h"
+
+namespace confbench::rt {
+
+class SimHeap {
+ public:
+  /// `segment_bytes` is the granularity at which address space is reserved.
+  explicit SimHeap(vm::ExecutionContext& ctx,
+                   std::uint64_t segment_bytes = 8ULL << 20);
+
+  /// Allocates `bytes`, charging header-write traffic; returns the address.
+  std::uint64_t allocate(std::uint64_t bytes);
+
+  /// Marks `bytes` as dead (unreachable); they are reclaimed at the next
+  /// collection.
+  void release(std::uint64_t bytes);
+
+  /// Called by the collector after a sweep: compacts accounting.
+  void reclaim_garbage(std::uint64_t live_after);
+
+  [[nodiscard]] std::uint64_t live_bytes() const { return live_; }
+  [[nodiscard]] std::uint64_t allocated_since_gc() const {
+    return since_gc_;
+  }
+  void reset_allocation_window() { since_gc_ = 0; }
+
+  /// Base address of the most recently active segment (collector walks
+  /// from here).
+  [[nodiscard]] std::uint64_t segment_base() const { return seg_base_; }
+  [[nodiscard]] vm::ExecutionContext& ctx() { return ctx_; }
+
+ private:
+  void new_segment();
+
+  vm::ExecutionContext& ctx_;
+  std::uint64_t segment_bytes_;
+  std::uint64_t seg_base_ = 0;
+  std::uint64_t seg_used_ = 0;
+  std::uint64_t live_ = 0;
+  std::uint64_t since_gc_ = 0;
+};
+
+}  // namespace confbench::rt

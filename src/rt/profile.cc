@@ -1,0 +1,149 @@
+#include "rt/profile.h"
+
+#include "sim/time.h"
+
+namespace confbench::rt {
+
+using sim::kMs;
+
+const std::string& RuntimeProfile::version_for(tee::TeeKind k) const {
+  switch (k) {
+    case tee::TeeKind::kTdx:
+      return version_tdx;
+    case tee::TeeKind::kSevSnp:
+      return version_snp;
+    case tee::TeeKind::kCca:
+      return version_cca;
+    case tee::TeeKind::kNone:
+      break;
+  }
+  return version_tdx;
+}
+
+const std::vector<RuntimeProfile>& builtin_profiles() {
+  static const std::vector<RuntimeProfile> kProfiles = [] {
+    std::vector<RuntimeProfile> v;
+
+    RuntimeProfile python;
+    python.name = "python";
+    python.version_tdx = "3.12.3";
+    python.version_snp = "3.10.12";
+    python.version_cca = "3.11.8";
+    python.bootstrap_ns = 28 * kMs;
+    python.op_expansion = 28;
+    python.box_bytes_per_op = 14;     // PyObject headers, refcount churn
+    python.alloc_fault_rate = 0.030;  // pymalloc arena churn
+    python.gc_nursery_bytes = 24e6;
+    python.gc_survivor_fraction = 0.35;
+    python.mem_inflation = 3.4;
+    python.syscall_amplification = 1.35;
+    v.push_back(python);
+
+    RuntimeProfile node;
+    node.name = "node";
+    node.version_tdx = "22.2.0";
+    node.version_snp = "22.2.0";
+    node.version_cca = "20.12.2";
+    node.bootstrap_ns = 52 * kMs;
+    node.op_expansion = 20;           // ignition interpreter pre-JIT
+    node.jit = true;
+    node.jit_expansion = 2.1;         // turbofan
+    node.jit_warmup_ops = 2.5e6;
+    node.box_bytes_per_op = 9;        // V8 small objects + hidden classes
+    node.alloc_fault_rate = 0.024;    // new-space growth
+    node.gc_nursery_bytes = 32e6;
+    node.gc_survivor_fraction = 0.3;
+    node.mem_inflation = 2.2;
+    node.syscall_amplification = 1.25;
+    v.push_back(node);
+
+    RuntimeProfile ruby;
+    ruby.name = "ruby";
+    ruby.version_tdx = "3.2";
+    ruby.version_snp = "3.0";
+    ruby.version_cca = "3.3";
+    ruby.bootstrap_ns = 21 * kMs;
+    ruby.op_expansion = 31;
+    ruby.box_bytes_per_op = 12;
+    ruby.alloc_fault_rate = 0.028;
+    ruby.gc_nursery_bytes = 18e6;
+    ruby.gc_survivor_fraction = 0.35;
+    ruby.mem_inflation = 3.0;
+    ruby.syscall_amplification = 1.3;
+    v.push_back(ruby);
+
+    RuntimeProfile lua;
+    lua.name = "lua";
+    lua.version_tdx = "5.4.6";
+    lua.version_snp = "5.4.6";
+    lua.version_cca = "5.4.6";
+    lua.bootstrap_ns = 1.1 * kMs;
+    lua.op_expansion = 13;
+    lua.box_bytes_per_op = 2.5;       // TValue slots, small tables
+    lua.alloc_fault_rate = 0.016;
+    lua.gc_nursery_bytes = 4e6;
+    lua.gc_survivor_fraction = 0.2;
+    lua.mem_inflation = 1.7;
+    lua.syscall_amplification = 1.0;
+    v.push_back(lua);
+
+    RuntimeProfile luajit;
+    luajit.name = "luajit";
+    luajit.version_tdx = "2.1";
+    luajit.version_snp = "2.1";
+    luajit.version_cca = "2.1";
+    luajit.bootstrap_ns = 1.4 * kMs;
+    luajit.op_expansion = 7;
+    luajit.jit = true;
+    luajit.jit_expansion = 1.5;
+    luajit.jit_warmup_ops = 0.8e6;
+    luajit.box_bytes_per_op = 1.6;
+    luajit.alloc_fault_rate = 0.010;
+    luajit.gc_nursery_bytes = 6e6;
+    luajit.gc_survivor_fraction = 0.2;
+    luajit.mem_inflation = 1.25;
+    luajit.syscall_amplification = 1.0;
+    v.push_back(luajit);
+
+    RuntimeProfile go;
+    go.name = "go";
+    go.version_tdx = "1.20.3";
+    go.version_snp = "1.20.3";
+    go.version_cca = "1.20.3";
+    go.bootstrap_ns = 2.3 * kMs;
+    go.op_expansion = 1.15;           // AOT compiled
+    go.box_bytes_per_op = 1.1;        // escape-analysed heap traffic
+    go.alloc_fault_rate = 0.004;      // spans recycled by the runtime
+    go.gc_nursery_bytes = 16e6;
+    go.gc_survivor_fraction = 0.15;   // concurrent mark-sweep, low copy
+    go.mem_inflation = 1.1;
+    go.syscall_amplification = 1.05;
+    v.push_back(go);
+
+    RuntimeProfile wasm;
+    wasm.name = "wasm";
+    wasm.version_tdx = "wasmi-0.32";
+    wasm.version_snp = "wasmi-0.32";
+    wasm.version_cca = "wasmi-0.32";
+    wasm.bootstrap_ns = 3.1 * kMs;   // module validation + instantiation
+    wasm.op_expansion = 8;            // wasmi's tail-dispatch interpreter
+    wasm.box_bytes_per_op = 0.4;      // linear memory, no boxing
+    wasm.alloc_fault_rate = 0.002;    // linear memory grows monotonically
+    wasm.gc_nursery_bytes = 0;        // no collector
+    wasm.mem_inflation = 1.0;
+    wasm.syscall_amplification = 1.0;
+    v.push_back(wasm);
+
+    return v;
+  }();
+  return kProfiles;
+}
+
+const RuntimeProfile* find_profile(const std::string& name) {
+  for (const auto& p : builtin_profiles()) {
+    if (p.name == name) return &p;
+  }
+  return nullptr;
+}
+
+}  // namespace confbench::rt

@@ -1,0 +1,80 @@
+// Language runtime profiles.
+//
+// The paper runs every FaaS function in 7 languages (§IV-A) and observes
+// that heavier managed runtimes amplify TEE overheads (§IV-D). A profile
+// captures the runtime traits that *mechanistically* produce that effect
+// when run through the simulation:
+//
+//  - op_expansion / jit: interpreter dispatch multiplies executed
+//    instructions (hits both secure and normal VMs equally);
+//  - box_bytes_per_op + gc nursery: allocation and collector traffic adds
+//    DRAM transfers, which secure VMs pay memory-encryption surcharges on —
+//    this is what differentiates the *ratio* per language;
+//  - mem_inflation: boxed objects and pointer indirection blow up the
+//    working set, adding cache misses;
+//  - syscall_amplification: buffered I/O layers issue extra syscalls,
+//    adding VM exits on the secure side.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "tee/platform.h"
+
+namespace confbench::rt {
+
+struct RuntimeProfile {
+  std::string name;
+
+  /// Interpreter versions deployed per testbed (from §IV-A), reported in
+  /// results metadata.
+  std::string version_tdx;
+  std::string version_snp;
+  std::string version_cca;
+
+  /// Runtime bootstrap latency (ns); per §IV-D this is *excluded* from the
+  /// reported function timing but the launcher still models it.
+  double bootstrap_ns = 0;
+
+  /// Machine ops executed per abstract workload op (interpreter dispatch).
+  double op_expansion = 1.0;
+
+  /// JIT runtimes start at op_expansion and drop to jit_expansion after
+  /// jit_warmup_ops abstract ops.
+  bool jit = false;
+  double jit_expansion = 1.0;
+  double jit_warmup_ops = 0;
+
+  /// Bytes of boxing/allocation traffic per abstract op.
+  double box_bytes_per_op = 0;
+
+  /// Minor page faults per 4-KiB page of allocated memory: how often the
+  /// allocator touches fresh (mmap'd) pages instead of recycling arenas.
+  /// Secure VMs pay page-accept/RMP/GPT costs on these (the mechanism
+  /// behind heavier runtimes showing larger TEE ratios, §IV-B).
+  double alloc_fault_rate = 0.0;
+
+  /// Nursery size; exceeding it triggers a collection.
+  double gc_nursery_bytes = 0;
+
+  /// Fraction of heap that survives a collection (copied/ traversed).
+  double gc_survivor_fraction = 0.25;
+
+  /// Working-set inflation for data accessed through the runtime.
+  double mem_inflation = 1.0;
+
+  /// Extra syscalls issued by runtime I/O layers per workload syscall.
+  double syscall_amplification = 1.0;
+
+  /// Resolves the version string for a platform kind.
+  [[nodiscard]] const std::string& version_for(tee::TeeKind k) const;
+};
+
+/// The 7 built-in profiles, in the paper's order:
+/// python, node, ruby, lua, luajit, go, wasm.
+const std::vector<RuntimeProfile>& builtin_profiles();
+
+/// Lookup by name; nullptr if unknown.
+const RuntimeProfile* find_profile(const std::string& name);
+
+}  // namespace confbench::rt

@@ -1,0 +1,129 @@
+#include "rt/runtime.h"
+
+#include <algorithm>
+
+namespace confbench::rt {
+
+RtContext::RtContext(vm::ExecutionContext& ctx, const RuntimeProfile& profile)
+    : ctx_(ctx),
+      profile_(profile),
+      heap_(ctx),
+      gc_(heap_, profile),
+      vfs_(std::make_unique<vm::Vfs>(ctx)) {}
+
+RtContext::~RtContext() = default;
+
+double RtContext::effective_expansion() const {
+  if (!profile_.jit) return profile_.op_expansion;
+  if (ops_done_ >= profile_.jit_warmup_ops) return profile_.jit_expansion;
+  // Linear ramp from interpreter to JIT'd code as hot paths compile.
+  const double t = profile_.jit_warmup_ops > 0
+                       ? ops_done_ / profile_.jit_warmup_ops
+                       : 1.0;
+  return profile_.op_expansion +
+         (profile_.jit_expansion - profile_.op_expansion) * t;
+}
+
+void RtContext::accrue_boxing(double ops) {
+  pending_box_bytes_ += ops * profile_.box_bytes_per_op;
+  // Materialise boxing traffic in allocator-chunk granularity to bound the
+  // number of model calls.
+  constexpr double kChunk = 16 * 1024;
+  while (pending_box_bytes_ >= kChunk) {
+    heap_.allocate(static_cast<std::uint64_t>(kChunk));
+    ctx_.page_fault(kChunk / 4096.0 * profile_.alloc_fault_rate);
+    pending_box_bytes_ -= kChunk;
+    gc_.maybe_collect();
+  }
+}
+
+void RtContext::op(double n, double branches) {
+  const double expansion = effective_expansion();
+  ctx_.compute(n * expansion, branches * std::min(expansion, 4.0));
+  ops_done_ += n;
+  accrue_boxing(n);
+}
+
+void RtContext::fop(double n) {
+  // FP goes through the same dispatch but unboxes to machine floats; charge
+  // half the dispatch expansion on top of the raw FLOPs.
+  const double expansion = effective_expansion();
+  ctx_.compute_fp(n);
+  ctx_.compute(n * expansion * 0.5, 0);
+  ops_done_ += n;
+  accrue_boxing(n * 0.5);
+}
+
+std::uint64_t RtContext::alloc(std::uint64_t bytes) {
+  const auto inflated = static_cast<std::uint64_t>(
+      static_cast<double>(bytes) * profile_.mem_inflation);
+  const std::uint64_t addr = heap_.allocate(std::max<std::uint64_t>(
+      inflated, 16));
+  ctx_.page_fault(static_cast<double>(inflated) / 4096.0 *
+                  profile_.alloc_fault_rate);
+  gc_.maybe_collect();
+  return addr;
+}
+
+void RtContext::release(std::uint64_t bytes) {
+  heap_.release(static_cast<std::uint64_t>(static_cast<double>(bytes) *
+                                           profile_.mem_inflation));
+}
+
+void RtContext::read(std::uint64_t addr, std::uint64_t bytes,
+                     std::uint64_t stride) {
+  const auto inflated = static_cast<std::uint64_t>(
+      static_cast<double>(bytes) * profile_.mem_inflation);
+  ctx_.mem_read(addr, inflated, stride);
+  // Boxed representations add scattered header touches off the main range.
+  if (profile_.mem_inflation > 1.2) {
+    ctx_.mem_read(heap_.segment_base(),
+                  static_cast<std::uint64_t>(
+                      static_cast<double>(bytes) *
+                      (profile_.mem_inflation - 1.0) * 0.4),
+                  128);
+  }
+}
+
+void RtContext::write(std::uint64_t addr, std::uint64_t bytes,
+                      std::uint64_t stride) {
+  const auto inflated = static_cast<std::uint64_t>(
+      static_cast<double>(bytes) * profile_.mem_inflation);
+  ctx_.mem_write(addr, inflated, stride);
+}
+
+void RtContext::print(const std::string& line) {
+  // Format + copy into the runtime's stdio buffer.
+  op(static_cast<double>(line.size()) * 0.6, 4);
+  log_bytes_ += line.size() + 1;
+  if (++buffered_log_lines_ >= kLogFlushLines) {
+    buffered_log_lines_ = 0;
+    syscall();  // write(2) on the console fd
+    // Console output travels through a pty/log pipe to the host side.
+    ctx_.pipe_transfer(log_bytes_);
+    ctx_.mem_write(ctx_.alloc_region(log_bytes_, 64), log_bytes_, 64);
+    log_bytes_ = 0;
+  }
+}
+
+void RtContext::syscall() {
+  ctx_.syscall();
+  // Runtime I/O layers (buffered file objects, event loops) issue extra
+  // syscalls; charge the fractional surplus.
+  const double extra = profile_.syscall_amplification - 1.0;
+  if (extra > 0) {
+    ctx_.counters().syscalls += extra;
+    ctx_.charge(extra * ctx_.costs().exit.syscall_ns *
+                ctx_.costs().cpu.sim_slowdown);
+    const double exits = extra * ctx_.costs().exit.exit_rate_per_syscall;
+    if (exits > 0) {
+      ctx_.counters().add_exit(tee::ExitReason::kSyscallAssist, exits);
+      ctx_.charge(exits *
+                  (ctx_.costs().exit.vmexit_ns +
+                   ctx_.costs().exit.secure_exit_extra_ns) *
+                  ctx_.costs().cpu.sim_slowdown);
+    }
+  }
+}
+
+}  // namespace confbench::rt

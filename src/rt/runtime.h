@@ -1,0 +1,84 @@
+// RtContext: the environment a FaaS function body executes in.
+//
+// Workloads are written once against this API and run under any language
+// profile, mirroring how the paper ports each function across languages
+// while "maintaining as much as possible the original logic" (§IV-B).
+// Abstract ops are expanded by the interpreter/JIT model; allocations flow
+// through the managed heap and may trigger collections; data accesses are
+// inflated by the boxing model; I/O goes through the guest VFS with the
+// profile's syscall amplification.
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "rt/gc.h"
+#include "rt/heap.h"
+#include "rt/profile.h"
+#include "vm/exec_context.h"
+#include "vm/vfs.h"
+
+namespace confbench::rt {
+
+class RtContext {
+ public:
+  RtContext(vm::ExecutionContext& ctx, const RuntimeProfile& profile);
+  ~RtContext();
+
+  RtContext(const RtContext&) = delete;
+  RtContext& operator=(const RtContext&) = delete;
+
+  /// `n` abstract integer ops (+ branches). Expanded by the dispatch model;
+  /// boxing traffic accrues per op.
+  void op(double n, double branches = 0.0);
+  /// Abstract floating-point ops.
+  void fop(double n);
+
+  /// Managed allocation; returns a simulated address.
+  std::uint64_t alloc(std::uint64_t bytes);
+  /// Releases (for runtimes with manual/arena storage semantics).
+  void release(std::uint64_t bytes);
+
+  /// Data accesses through runtime representations (inflated working set).
+  void read(std::uint64_t addr, std::uint64_t bytes, std::uint64_t stride = 64);
+  void write(std::uint64_t addr, std::uint64_t bytes,
+             std::uint64_t stride = 64);
+
+  /// Console logging (the `logging` workload): buffered, flushed to the log
+  /// file every kLogFlushLines lines.
+  void print(const std::string& line);
+
+  /// Runtime-level syscall (amplified by the profile's I/O layers).
+  void syscall();
+
+  void sleep(sim::Ns d) { ctx_.sleep(d); }
+
+  /// Guest filesystem (shared launcher conventions: same paths in every VM,
+  /// §III-B).
+  [[nodiscard]] vm::Vfs& fs() { return *vfs_; }
+
+  [[nodiscard]] vm::ExecutionContext& raw() { return ctx_; }
+  [[nodiscard]] sim::Rng& rng() { return ctx_.rng(); }
+  [[nodiscard]] const RuntimeProfile& profile() const { return profile_; }
+  [[nodiscard]] std::uint64_t gc_collections() const {
+    return gc_.collections();
+  }
+
+ private:
+  static constexpr int kLogFlushLines = 16;
+
+  [[nodiscard]] double effective_expansion() const;
+  void accrue_boxing(double ops);
+
+  vm::ExecutionContext& ctx_;
+  const RuntimeProfile& profile_;
+  SimHeap heap_;
+  MarkSweepGc gc_;
+  std::unique_ptr<vm::Vfs> vfs_;
+  double ops_done_ = 0;
+  double pending_box_bytes_ = 0;
+  int buffered_log_lines_ = 0;
+  std::uint64_t log_bytes_ = 0;
+};
+
+}  // namespace confbench::rt

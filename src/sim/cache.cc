@@ -1,0 +1,167 @@
+#include "sim/cache.h"
+
+#include <bit>
+#include <cassert>
+
+namespace confbench::sim {
+
+namespace {
+std::uint32_t log2_u64(std::uint64_t v) {
+  assert(v != 0 && (v & (v - 1)) == 0 && "must be a power of two");
+  return static_cast<std::uint32_t>(std::countr_zero(v));
+}
+}  // namespace
+
+void CacheSim::Level::init(const CacheLevelConfig& c) {
+  ways = c.ways;
+  line_shift = log2_u64(c.line_bytes);
+  const std::uint64_t lines = c.size_bytes / c.line_bytes;
+  sets = static_cast<std::uint32_t>(lines / c.ways);
+  assert(sets > 0 && (sets & (sets - 1)) == 0 && "sets must be a power of 2");
+  tags.assign(static_cast<std::size_t>(sets) * ways, 0);
+  lru.assign(tags.size(), 0);
+  dirty.assign(tags.size(), 0);
+  stamp = 0;
+}
+
+void CacheSim::Level::clear() {
+  std::fill(tags.begin(), tags.end(), 0);
+  std::fill(lru.begin(), lru.end(), 0);
+  std::fill(dirty.begin(), dirty.end(), 0);
+  stamp = 0;
+}
+
+bool CacheSim::Level::lookup_fill(std::uint64_t line_addr, bool write,
+                                  bool* evicted_dirty) {
+  *evicted_dirty = false;
+  const std::uint64_t tag = (line_addr << 1) | 1;
+  const std::uint32_t set = static_cast<std::uint32_t>(line_addr) & (sets - 1);
+  const std::size_t base = static_cast<std::size_t>(set) * ways;
+  ++stamp;
+  std::size_t victim = base;
+  std::uint32_t victim_stamp = ~0u;
+  for (std::size_t i = base; i < base + ways; ++i) {
+    if (tags[i] == tag) {
+      lru[i] = stamp;
+      if (write) dirty[i] = 1;
+      return true;
+    }
+    if (tags[i] == 0) {
+      // Prefer empty slots; stamp 0 guarantees they win the LRU scan below
+      // only if no earlier empty slot was chosen, so short-circuit here.
+      victim = i;
+      victim_stamp = 0;
+      break;
+    }
+    if (lru[i] < victim_stamp) {
+      victim_stamp = lru[i];
+      victim = i;
+    }
+  }
+  if (tags[victim] != 0 && dirty[victim]) *evicted_dirty = true;
+  tags[victim] = tag;
+  lru[victim] = stamp;
+  dirty[victim] = write ? 1 : 0;
+  return false;
+}
+
+CacheSim::CacheSim(const CacheConfig& cfg) : cfg_(cfg) {
+  l1_.init(cfg_.l1);
+  l2_.init(cfg_.l2);
+  llc_.init(cfg_.llc);
+}
+
+void CacheSim::flush() {
+  l1_.clear();
+  l2_.clear();
+  llc_.clear();
+  reset_counts();
+}
+
+void CacheSim::access_line(std::uint64_t line_addr, bool write,
+                           CacheCounts* out) {
+  out->accesses += 1;
+  bool dirty_evict = false;
+  if (l1_.lookup_fill(line_addr, write, &dirty_evict)) {
+    out->l1_hits += 1;
+    return;
+  }
+  // A dirty L1 victim propagates into L2 in hardware; we approximate by
+  // counting only DRAM-bound write-backs (dirty LLC victims) below, plus
+  // dirty L1/L2 victims as LLC writes (free in our model).
+  if (l2_.lookup_fill(line_addr, write, &dirty_evict)) {
+    out->l2_hits += 1;
+    return;
+  }
+  if (llc_.lookup_fill(line_addr, write, &dirty_evict)) {
+    out->llc_hits += 1;
+    return;
+  }
+  out->dram_fills += 1;
+  if (dirty_evict) out->writebacks += 1;
+}
+
+CacheCounts CacheSim::access(std::uint64_t addr, bool write) {
+  CacheCounts out;
+  access_line(addr >> l1_.line_shift, write, &out);
+  totals_ += out;
+  return out;
+}
+
+CacheCounts CacheSim::access_range(const RangeAccess& a) {
+  CacheCounts out;
+  if (a.bytes == 0) return out;
+  const std::uint64_t line = cfg_.l1.line_bytes;
+  const std::uint64_t stride = a.stride == 0 ? line : a.stride;
+
+  // Number of distinct touches issued by the pattern.
+  const std::uint64_t touches = (a.bytes + stride - 1) / stride;
+  // Collapse sub-line strides: successive touches within one line hit L1
+  // trivially; issue one access per line instead and record the rest as
+  // L1 hits directly (they cannot miss).
+  if (stride < line) {
+    const std::uint64_t lines = (a.bytes + line - 1) / line;
+    const std::uint64_t folded = touches > lines ? touches - lines : 0;
+    out.accesses += static_cast<double>(folded);
+    out.l1_hits += static_cast<double>(folded);
+    RangeAccess per_line{a.base, a.bytes, line, a.write};
+    CacheCounts sub = access_range_sampled(per_line, lines, &out);
+    (void)sub;
+    totals_ += out;
+    return out;
+  }
+  access_range_sampled(a, touches, &out);
+  totals_ += out;
+  return out;
+}
+
+CacheCounts CacheSim::access_range_sampled(const RangeAccess& a,
+                                           std::uint64_t touches,
+                                           CacheCounts* out) {
+  const std::uint64_t stride = a.stride;
+  if (touches <= cfg_.sample_limit) {
+    for (std::uint64_t i = 0; i < touches; ++i) {
+      access_line((a.base + i * stride) >> l1_.line_shift, a.write, out);
+    }
+    return *out;
+  }
+  // Deterministic systematic sampling: simulate `sample_limit` touches
+  // evenly spread over the range, then scale the event deltas.
+  CacheCounts sampled;
+  const std::uint64_t n = cfg_.sample_limit;
+  const double step = static_cast<double>(touches) / static_cast<double>(n);
+  for (std::uint64_t i = 0; i < n; ++i) {
+    const auto idx = static_cast<std::uint64_t>(static_cast<double>(i) * step);
+    access_line((a.base + idx * stride) >> l1_.line_shift, a.write, &sampled);
+  }
+  const double scale = static_cast<double>(touches) / static_cast<double>(n);
+  out->accesses += sampled.accesses * scale;
+  out->l1_hits += sampled.l1_hits * scale;
+  out->l2_hits += sampled.l2_hits * scale;
+  out->llc_hits += sampled.llc_hits * scale;
+  out->dram_fills += sampled.dram_fills * scale;
+  out->writebacks += sampled.writebacks * scale;
+  return *out;
+}
+
+}  // namespace confbench::sim

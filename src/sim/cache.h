@@ -1,0 +1,113 @@
+// Set-associative multi-level cache hierarchy simulator.
+//
+// The simulator models a single-core L1d/L2/LLC hierarchy with LRU
+// replacement, write-allocate and write-back semantics. Workloads describe
+// their memory traffic as strided range accesses; very large ranges are
+// sampled deterministically and the resulting counts scaled, which keeps
+// simulation cost bounded while preserving hit-rate structure.
+//
+// The simulator produces *event counts* (hits per level, DRAM fills,
+// write-backs). Translating counts into virtual time — including the extra
+// latency of TEE memory encryption / integrity checking on DRAM traffic —
+// is the job of the platform cost model (see sim/costs.h), keeping the
+// cache model TEE-agnostic.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace confbench::sim {
+
+/// Geometry of one cache level.
+struct CacheLevelConfig {
+  std::uint64_t size_bytes = 0;
+  std::uint32_t ways = 0;
+  std::uint32_t line_bytes = 64;
+};
+
+/// Geometry of the whole hierarchy.
+struct CacheConfig {
+  CacheLevelConfig l1{48 * 1024, 12, 64};
+  CacheLevelConfig l2{2 * 1024 * 1024, 16, 64};
+  CacheLevelConfig llc{32 * 1024 * 1024, 16, 64};
+  /// Maximum line touches simulated exactly per range access before the
+  /// simulator switches to deterministic sampling.
+  std::uint32_t sample_limit = 8192;
+};
+
+/// Aggregated event counts. Doubles because sampled ranges scale counts.
+struct CacheCounts {
+  double accesses = 0;    ///< line-granular accesses issued
+  double l1_hits = 0;
+  double l2_hits = 0;
+  double llc_hits = 0;
+  double dram_fills = 0;  ///< misses at every level (line fills from DRAM)
+  double writebacks = 0;  ///< dirty evictions written back to DRAM
+
+  CacheCounts& operator+=(const CacheCounts& o) {
+    accesses += o.accesses;
+    l1_hits += o.l1_hits;
+    l2_hits += o.l2_hits;
+    llc_hits += o.llc_hits;
+    dram_fills += o.dram_fills;
+    writebacks += o.writebacks;
+    return *this;
+  }
+};
+
+/// One strided access pattern over [base, base + bytes).
+struct RangeAccess {
+  std::uint64_t base = 0;
+  std::uint64_t bytes = 0;
+  std::uint64_t stride = 1;  ///< byte stride between successive touches
+  bool write = false;
+};
+
+class CacheSim {
+ public:
+  explicit CacheSim(const CacheConfig& cfg = CacheConfig{});
+
+  /// Simulates a strided range access and returns the event deltas.
+  CacheCounts access_range(const RangeAccess& a);
+
+  /// Simulates a single line-granular access at `addr`.
+  CacheCounts access(std::uint64_t addr, bool write);
+
+  /// Cumulative counts since construction / last reset.
+  [[nodiscard]] const CacheCounts& totals() const { return totals_; }
+
+  void reset_counts() { totals_ = CacheCounts{}; }
+
+  /// Drops all cached lines (cold caches) in addition to the counters.
+  void flush();
+
+  [[nodiscard]] const CacheConfig& config() const { return cfg_; }
+
+ private:
+  struct Level {
+    std::uint32_t sets = 0;
+    std::uint32_t ways = 0;
+    std::uint32_t line_shift = 0;
+    // tags[set * ways + way]; 0 means empty (tags store line addr | 1).
+    std::vector<std::uint64_t> tags;
+    std::vector<std::uint32_t> lru;   // recency stamp per way slot
+    std::vector<std::uint8_t> dirty;
+    std::uint32_t stamp = 0;
+
+    void init(const CacheLevelConfig& c);
+    // Returns true on hit; on miss installs the line and reports whether a
+    // dirty victim was evicted.
+    bool lookup_fill(std::uint64_t line_addr, bool write, bool* evicted_dirty);
+    void clear();
+  };
+
+  void access_line(std::uint64_t line_addr, bool write, CacheCounts* out);
+  CacheCounts access_range_sampled(const RangeAccess& a, std::uint64_t touches,
+                                   CacheCounts* out);
+
+  CacheConfig cfg_;
+  Level l1_, l2_, llc_;
+  CacheCounts totals_;
+};
+
+}  // namespace confbench::sim

@@ -1,0 +1,3 @@
+#include "sim/clock.h"
+
+// VirtualClock is header-only; this translation unit anchors the library.

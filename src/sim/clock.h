@@ -1,0 +1,49 @@
+// Deterministic virtual clock.
+#pragma once
+
+#include <cassert>
+
+#include "sim/time.h"
+
+namespace confbench::sim {
+
+/// A monotonically advancing virtual clock. The clock only moves when a cost
+/// model charges time to it, which makes every simulated run reproducible.
+class VirtualClock {
+ public:
+  VirtualClock() = default;
+
+  /// Advances the clock by `d` nanoseconds. Negative charges are a logic
+  /// error (cost models must never produce them) and are clamped in release.
+  void advance(Ns d) {
+    assert(d >= 0.0 && "negative time charge");
+    if (d > 0.0) now_ += d;
+  }
+
+  /// Current virtual time since clock creation, in nanoseconds.
+  [[nodiscard]] Ns now() const { return now_; }
+
+  /// Resets the clock to zero (used between benchmark trials).
+  void reset() { now_ = 0.0; }
+
+ private:
+  Ns now_ = 0.0;
+};
+
+/// RAII helper measuring the virtual time elapsed across a scope.
+class ScopedTimer {
+ public:
+  explicit ScopedTimer(const VirtualClock& clock, Ns& out)
+      : clock_(clock), out_(out), start_(clock.now()) {}
+  ~ScopedTimer() { out_ = clock_.now() - start_; }
+
+  ScopedTimer(const ScopedTimer&) = delete;
+  ScopedTimer& operator=(const ScopedTimer&) = delete;
+
+ private:
+  const VirtualClock& clock_;
+  Ns& out_;
+  Ns start_;
+};
+
+}  // namespace confbench::sim

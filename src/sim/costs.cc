@@ -1,0 +1,34 @@
+#include "sim/costs.h"
+
+namespace confbench::sim {
+
+Ns compute_time_ns(double ops, const CpuCostModel& cpu) {
+  return cycles_to_ns(ops * cpu.cpi, cpu.freq_ghz) * cpu.sim_slowdown;
+}
+
+Ns fp_time_ns(double ops, const CpuCostModel& cpu) {
+  return cycles_to_ns(ops * cpu.fp_cpi, cpu.freq_ghz) * cpu.sim_slowdown;
+}
+
+Ns mem_protection_time_ns(const CacheCounts& c, const MemCostModel& mem) {
+  const double dram_transfers = c.dram_fills + c.writebacks;
+  return dram_transfers * (mem.enc_extra_ns) +
+         c.dram_fills * mem.integrity_extra_ns;
+}
+
+Ns mem_time_ns(const CacheCounts& c, const MemCostModel& mem,
+               const CpuCostModel& cpu) {
+  const double hit_cycles = c.l1_hits * mem.l1_lat_cy +
+                            c.l2_hits * mem.l2_lat_cy +
+                            c.llc_hits * mem.llc_lat_cy;
+  // Overlapped DRAM accesses: divide by the effective MLP. Write-backs are
+  // posted and mostly hidden; charge a quarter of a fill for bandwidth.
+  const double mlp = mem.mlp > 1.0 ? mem.mlp : 1.0;
+  const double dram_ns =
+      (c.dram_fills + 0.25 * c.writebacks) * mem.dram_lat_ns / mlp;
+  const Ns protection = mem_protection_time_ns(c, mem) / mlp;
+  return (cycles_to_ns(hit_cycles, cpu.freq_ghz) + dram_ns + protection) *
+         cpu.sim_slowdown;
+}
+
+}  // namespace confbench::sim

@@ -1,0 +1,91 @@
+// Cost-model tables that translate simulated events into virtual time.
+//
+// Each TEE platform (src/tee) instantiates one `PlatformCosts` table for its
+// secure VMs and one for its normal VMs. The tables are the single place
+// where "how expensive is X on platform Y" lives; workloads and the VM layer
+// only emit events.
+#pragma once
+
+#include "sim/cache.h"
+#include "sim/time.h"
+
+namespace confbench::sim {
+
+/// Core execution costs.
+struct CpuCostModel {
+  double freq_ghz = 3.0;      ///< nominal core frequency
+  double cpi = 0.5;           ///< cycles per abstract ALU op (superscalar)
+  double fp_cpi = 1.0;        ///< cycles per floating-point op
+  double sim_slowdown = 1.0;  ///< multiplicative simulator penalty (FVP)
+};
+
+/// Memory hierarchy latency + TEE memory-protection costs.
+struct MemCostModel {
+  double l1_lat_cy = 4;
+  double l2_lat_cy = 14;
+  double llc_lat_cy = 42;
+  double dram_lat_ns = 85;
+  /// Effective memory-level parallelism: DRAM latency is divided by this to
+  /// model overlapped misses in streaming code.
+  double mlp = 4.0;
+  /// Extra nanoseconds per DRAM line transfer for inline memory encryption
+  /// (AES-XTS in the memory controller). Zero on non-secure VMs.
+  double enc_extra_ns = 0.0;
+  /// Extra nanoseconds per DRAM line fill for integrity verification
+  /// (TDX logical-integrity / CCA GPT+MEC checks).
+  double integrity_extra_ns = 0.0;
+};
+
+/// Guest/host transition costs.
+struct ExitCostModel {
+  double syscall_ns = 120;          ///< in-guest syscall (no exit)
+  double exit_rate_per_syscall = 0.08;  ///< fraction of syscalls causing exits
+  double vmexit_ns = 0.0;           ///< cost of one VM exit + resume
+  double secure_exit_extra_ns = 0;  ///< added on secure VMs (TDCALL/RMI path)
+  double timer_wake_exit = 1.0;     ///< exits per sleep/wake event
+  double ctx_switch_ns = 1100;      ///< in-guest context switch
+  double exit_rate_per_ctx_switch = 0.35;  ///< idle/wake exits per switch
+  double page_fault_ns = 1900;      ///< minor-fault handling in guest
+  double page_fault_extra_ns = 0;   ///< secure page-accept / RMP / GPT cost
+  double spawn_ns = 230 * kUs;      ///< fork+exec of a small process
+};
+
+/// Storage and network I/O costs.
+struct IoCostModel {
+  double blk_fixed_ns = 18 * kUs;  ///< per block-device request (virtio)
+  double blk_byte_ns = 0.25;       ///< per byte transferred (~4 GB/s)
+  double flush_ns = 110 * kUs;     ///< device write-barrier (fsync) latency
+  /// Bounce-buffer (swiotlb) penalty applied on secure VMs that cannot DMA
+  /// into private memory (Intel TDX): extra copies + re-encryption.
+  double bounce_fixed_ns = 0.0;
+  double bounce_byte_ns = 0.0;
+  double net_rtt_ns = 120 * kUs;   ///< LAN round-trip
+  double net_byte_ns = 0.085;      ///< ~11.7 GB/s effective on-wire copy rate
+};
+
+/// The complete per-(platform, secure?) cost table.
+struct PlatformCosts {
+  CpuCostModel cpu;
+  MemCostModel mem;
+  ExitCostModel exit;
+  IoCostModel io;
+  /// Lognormal sigma applied once per trial to model run-to-run variance.
+  double trial_jitter_sigma = 0.01;
+};
+
+/// Time for `ops` abstract integer/ALU operations.
+Ns compute_time_ns(double ops, const CpuCostModel& cpu);
+
+/// Time for `ops` floating-point operations.
+Ns fp_time_ns(double ops, const CpuCostModel& cpu);
+
+/// Time for a batch of cache events under the given model, including the
+/// memory-encryption and integrity surcharges on DRAM traffic.
+Ns mem_time_ns(const CacheCounts& c, const MemCostModel& mem,
+               const CpuCostModel& cpu);
+
+/// Extra DRAM-side time attributable only to memory protection (used by the
+/// metrics layer to expose "encryption overhead" as a counter).
+Ns mem_protection_time_ns(const CacheCounts& c, const MemCostModel& mem);
+
+}  // namespace confbench::sim

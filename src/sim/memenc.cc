@@ -1,0 +1,3 @@
+#include "sim/memenc.h"
+
+// Header-only; anchors the translation unit.

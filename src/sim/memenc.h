@@ -1,0 +1,52 @@
+// Inline memory-encryption engine accounting.
+//
+// Models the memory-controller crypto unit (Intel TME-MK for TDX, AMD
+// SME/SNP AES engine, Arm MEC for CCA). The engine itself only *counts*
+// protected DRAM traffic and reports the protection time computed by the
+// cost model; it exists so the metrics layer can expose encryption work as a
+// first-class counter, mirroring how the paper reasons about overheads.
+#pragma once
+
+#include <cstdint>
+
+#include "sim/cache.h"
+#include "sim/costs.h"
+
+namespace confbench::sim {
+
+class MemoryEncryptionEngine {
+ public:
+  /// `enabled` is false on non-confidential VMs: traffic passes through
+  /// unencrypted and no protection time accrues.
+  explicit MemoryEncryptionEngine(bool enabled) : enabled_(enabled) {}
+
+  /// Records the DRAM-side traffic of a batch of cache events and returns
+  /// the protection time to charge (0 when disabled).
+  Ns record(const CacheCounts& c, const MemCostModel& mem) {
+    if (!enabled_) return 0.0;
+    lines_decrypted_ += c.dram_fills;
+    lines_encrypted_ += c.writebacks;
+    const Ns t = mem_protection_time_ns(c, mem);
+    protection_time_ += t;
+    return t;
+  }
+
+  [[nodiscard]] bool enabled() const { return enabled_; }
+  [[nodiscard]] double lines_encrypted() const { return lines_encrypted_; }
+  [[nodiscard]] double lines_decrypted() const { return lines_decrypted_; }
+  [[nodiscard]] Ns protection_time() const { return protection_time_; }
+
+  void reset() {
+    lines_encrypted_ = 0;
+    lines_decrypted_ = 0;
+    protection_time_ = 0;
+  }
+
+ private:
+  bool enabled_;
+  double lines_encrypted_ = 0;  ///< write-backs through the AES engine
+  double lines_decrypted_ = 0;  ///< line fills through the AES engine
+  Ns protection_time_ = 0;
+};
+
+}  // namespace confbench::sim

@@ -1,0 +1,60 @@
+// Deterministic random number generation for the simulation.
+//
+// Everything stochastic in ConfBench (trial jitter, sampling, synthetic
+// datasets) derives from SplitMix64 / xoshiro256** seeded from stable string
+// hashes, so runs are bit-reproducible across machines and compilers.
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+
+namespace confbench::sim {
+
+/// SplitMix64: used to seed xoshiro and for cheap one-shot hashing.
+class SplitMix64 {
+ public:
+  explicit SplitMix64(std::uint64_t seed) : state_(seed) {}
+
+  std::uint64_t next() {
+    std::uint64_t z = (state_ += 0x9e3779b97f4a7c15ULL);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+  }
+
+ private:
+  std::uint64_t state_;
+};
+
+/// Stable FNV-1a hash of a string; independent of std::hash implementation.
+std::uint64_t stable_hash(std::string_view s);
+
+/// Combines two 64-bit values into one (used for derived seeds).
+std::uint64_t hash_combine(std::uint64_t a, std::uint64_t b);
+
+/// xoshiro256**: the workhorse generator.
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed);
+  explicit Rng(std::string_view seed_string) : Rng(stable_hash(seed_string)) {}
+
+  std::uint64_t next_u64();
+
+  /// Uniform double in [0, 1).
+  double next_double();
+
+  /// Uniform integer in [0, bound) using Lemire's method. bound must be > 0.
+  std::uint64_t next_below(std::uint64_t bound);
+
+  /// Standard normal via Box-Muller (deterministic, no cached spare).
+  double next_gaussian();
+
+  /// Lognormal multiplicative jitter centred on 1.0 with the given sigma
+  /// (sigma == 0 returns exactly 1.0). Used to model trial-to-trial noise.
+  double jitter(double sigma);
+
+ private:
+  std::uint64_t s_[4];
+};
+
+}  // namespace confbench::sim

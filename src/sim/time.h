@@ -1,0 +1,23 @@
+// Virtual time units used across the ConfBench simulation.
+//
+// All simulated durations are expressed in (double) nanoseconds of virtual
+// time. Virtual time is fully deterministic: it is advanced only by explicit
+// charges from cost models, never by the wall clock.
+#pragma once
+
+#include <cstdint>
+
+namespace confbench::sim {
+
+/// Virtual duration in nanoseconds.
+using Ns = double;
+
+constexpr Ns kNs = 1.0;
+constexpr Ns kUs = 1e3;
+constexpr Ns kMs = 1e6;
+constexpr Ns kSec = 1e9;
+
+/// Converts a cycle count at frequency `ghz` into nanoseconds.
+constexpr Ns cycles_to_ns(double cycles, double ghz) { return cycles / ghz; }
+
+}  // namespace confbench::sim

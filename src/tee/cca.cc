@@ -1,0 +1,57 @@
+#include "tee/cca.h"
+
+namespace confbench::tee {
+
+using sim::kMs;
+using sim::kUs;
+
+CcaPlatform::CcaPlatform() {
+  // --- Normal VM inside the FVP simulator ---------------------------------
+  // The FVP is functionally accurate but not cycle-accurate; we model it as
+  // a uniform slowdown with wide run-to-run variance.
+  normal_.cpu = {.freq_ghz = 2.0, .cpi = 0.62, .fp_cpi = 1.3,
+                 .sim_slowdown = 7.5};
+  normal_.mem = {.l1_lat_cy = 4, .l2_lat_cy = 15, .llc_lat_cy = 50,
+                 .dram_lat_ns = 100, .mlp = 3.0,
+                 .enc_extra_ns = 0.0, .integrity_extra_ns = 0.0};
+  normal_.exit = {.syscall_ns = 140, .exit_rate_per_syscall = 0.05,
+                  .vmexit_ns = 9000, .secure_exit_extra_ns = 0,
+                  .timer_wake_exit = 1.0, .ctx_switch_ns = 1600};
+  normal_.io = {.blk_fixed_ns = 55 * kUs, .blk_byte_ns = 0.9,
+                .flush_ns = 140 * kUs,
+                .bounce_fixed_ns = 0, .bounce_byte_ns = 0,
+                .net_rtt_ns = 900 * kUs, .net_byte_ns = 0.6};
+  normal_.trial_jitter_sigma = 0.055;
+
+  // --- Realm (confidential VM) ---------------------------------------------
+  secure_ = normal_;
+  // Realm-side execution interposes the RMM on faults, timers and IPIs;
+  // under simulation this shows up as a broad compute penalty.
+  secure_.cpu.cpi = 0.95;
+  secure_.cpu.fp_cpi = 1.62;
+  // Granule Protection Table walks + MEC-style protection on DRAM traffic.
+  secure_.mem.enc_extra_ns = 3.0;
+  secure_.mem.integrity_extra_ns = 9.0;
+  secure_.mem.mlp = 2.2;  // simulator serialises misses more aggressively
+  // REC enter/exit through the RMM is extremely slow on the FVP.
+  secure_.exit.secure_exit_extra_ns = 58 * kUs;
+  secure_.exit.exit_rate_per_syscall = 0.10;  // stage-2 assists are frequent
+  // Two abstraction layers for I/O (tap + tun + virtio, §III-B) plus
+  // realm shared-memory copies.
+  secure_.io.bounce_fixed_ns = 3000 * kUs;
+  secure_.io.bounce_byte_ns = 2.6;
+  // Granule delegation through the RMM on realm page faults (FVP).
+  secure_.exit.page_fault_extra_ns = 26 * kUs;
+  secure_.trial_jitter_sigma = 0.11;  // Fig. 8: realms show wide whiskers
+}
+
+AttestationCosts CcaPlatform::attestation() const {
+  // The FVP lacks the hardware needed for end-to-end attestation (§IV-B):
+  // ConfBench reports it as unsupported, as the paper leaves CCA out of
+  // Fig. 5.
+  AttestationCosts a;
+  a.supported = false;
+  return a;
+}
+
+}  // namespace confbench::tee

@@ -1,0 +1,40 @@
+// Arm CCA platform model (FVP-simulated).
+//
+// No CCA silicon exists (§IV-A); like the paper we model execution inside
+// the Arm Fixed Virtual Platform simulator. Both the realm (secure) and the
+// co-located normal VM run *inside* the simulator, so both tables carry the
+// FVP slowdown; the realm additionally pays RMI/RSI world switches through
+// the RMM, granule-protection + MEC checks on memory traffic, and a heavily
+// penalised two-hop virtio path (host tap -> simulator tun -> VM, §III-B).
+// Realms expose no PMU, which is why has_perf_counters() is false for the
+// secure side — exercising ConfBench's custom-collector hook.
+#pragma once
+
+#include "tee/platform.h"
+
+namespace confbench::tee {
+
+class CcaPlatform final : public Platform {
+ public:
+  CcaPlatform();
+
+  [[nodiscard]] TeeKind kind() const override { return TeeKind::kCca; }
+  [[nodiscard]] std::string_view name() const override { return "cca"; }
+  [[nodiscard]] const sim::PlatformCosts& costs(bool secure) const override {
+    return secure ? secure_ : normal_;
+  }
+  [[nodiscard]] bool has_perf_counters(bool secure) const override {
+    return !secure;  // no PMU inside realms (§III-B)
+  }
+  [[nodiscard]] AttestationCosts attestation() const override;
+  [[nodiscard]] std::string_view exit_primitive() const override {
+    return "RMI";
+  }
+  [[nodiscard]] bool simulated() const override { return true; }
+
+ private:
+  sim::PlatformCosts normal_;
+  sim::PlatformCosts secure_;
+};
+
+}  // namespace confbench::tee

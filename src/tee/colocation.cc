@@ -1,0 +1,42 @@
+#include "tee/colocation.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace confbench::tee {
+
+ColocatedPlatform::ColocatedPlatform(PlatformPtr base, int tenants)
+    : base_(std::move(base)), tenants_(tenants) {
+  if (!base_) throw std::invalid_argument("null base platform");
+  if (tenants_ < 1) throw std::invalid_argument("tenants must be >= 1");
+  name_ = std::string(base_->name()) + "-x" + std::to_string(tenants_);
+  normal_ = contend(base_->costs(false), tenants_, /*secure=*/false);
+  secure_ = contend(base_->costs(true), tenants_, /*secure=*/true);
+}
+
+sim::PlatformCosts ColocatedPlatform::contend(const sim::PlatformCosts& base,
+                                              int tenants, bool secure) {
+  sim::PlatformCosts c = base;
+  const double extra = static_cast<double>(tenants - 1);
+  // Memory-system pressure: DRAM queueing and reduced effective MLP.
+  c.mem.dram_lat_ns *= 1.0 + 0.13 * extra;
+  c.mem.mlp = std::max(1.0, c.mem.mlp * (1.0 - 0.06 * extra));
+  // The shared memory-crypto engine queues protected lines; the protection
+  // surcharge grows super-linearly relative to plain DRAM pressure.
+  c.mem.enc_extra_ns *= 1.0 + 0.22 * extra;
+  c.mem.integrity_extra_ns *= 1.0 + 0.22 * extra;
+  // Hypervisor exit handling contends on shared state.
+  c.exit.vmexit_ns *= 1.0 + 0.10 * extra;
+  c.exit.secure_exit_extra_ns *= 1.0 + 0.14 * extra;
+  c.exit.page_fault_extra_ns *= 1.0 + 0.14 * extra;
+  // Device queues shared across tenants.
+  c.io.blk_fixed_ns *= 1.0 + 0.18 * extra;
+  c.io.blk_byte_ns *= 1.0 + 0.10 * extra;
+  c.io.flush_ns *= 1.0 + 0.12 * extra;
+  c.io.bounce_fixed_ns *= 1.0 + 0.10 * extra;
+  // Noisy neighbours: wider run-to-run spread, more so for secure VMs.
+  c.trial_jitter_sigma *= 1.0 + (secure ? 0.30 : 0.22) * extra;
+  return c;
+}
+
+}  // namespace confbench::tee

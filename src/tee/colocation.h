@@ -1,0 +1,54 @@
+// Co-located confidential VMs (paper §VI, future work).
+//
+// "We intend to study the overheads of co-locating and executing several
+// TEE-aware VMs inside the same host, as it happens in a typical
+// cloud-based multi-tenant scenario." ColocatedPlatform decorates any base
+// platform with contention from `tenants` concurrently active VMs:
+// shared-LLC pressure raises effective DRAM latency and trims MLP, the
+// shared crypto engine's per-line surcharge grows with queueing, block and
+// network devices serve more queues, and the hypervisor's exit handling
+// slows under load. Secure VMs suffer slightly more than normal ones
+// because the memory-protection hardware is itself the shared bottleneck.
+#pragma once
+
+#include <memory>
+
+#include "tee/platform.h"
+
+namespace confbench::tee {
+
+class ColocatedPlatform final : public Platform {
+ public:
+  /// `tenants` >= 1; 1 reproduces the base platform exactly.
+  ColocatedPlatform(PlatformPtr base, int tenants);
+
+  [[nodiscard]] TeeKind kind() const override { return base_->kind(); }
+  [[nodiscard]] std::string_view name() const override { return name_; }
+  [[nodiscard]] const sim::PlatformCosts& costs(bool secure) const override {
+    return secure ? secure_ : normal_;
+  }
+  [[nodiscard]] bool has_perf_counters(bool secure) const override {
+    return base_->has_perf_counters(secure);
+  }
+  [[nodiscard]] AttestationCosts attestation() const override {
+    return base_->attestation();
+  }
+  [[nodiscard]] std::string_view exit_primitive() const override {
+    return base_->exit_primitive();
+  }
+  [[nodiscard]] bool simulated() const override { return base_->simulated(); }
+
+  [[nodiscard]] int tenants() const { return tenants_; }
+
+ private:
+  static sim::PlatformCosts contend(const sim::PlatformCosts& base,
+                                    int tenants, bool secure);
+
+  PlatformPtr base_;
+  int tenants_;
+  std::string name_;
+  sim::PlatformCosts normal_;
+  sim::PlatformCosts secure_;
+};
+
+}  // namespace confbench::tee

@@ -1,0 +1,23 @@
+#include "tee/none.h"
+
+namespace confbench::tee {
+
+using sim::kUs;
+
+NonePlatform::NonePlatform() {
+  costs_.cpu = {.freq_ghz = 3.1, .cpi = 0.5, .fp_cpi = 1.0,
+                .sim_slowdown = 1.0};
+  costs_.mem = {.l1_lat_cy = 4, .l2_lat_cy = 14, .llc_lat_cy = 44,
+                .dram_lat_ns = 88, .mlp = 4.0,
+                .enc_extra_ns = 0.0, .integrity_extra_ns = 0.0};
+  costs_.exit = {.syscall_ns = 112, .exit_rate_per_syscall = 0.05,
+                 .vmexit_ns = 1450, .secure_exit_extra_ns = 0,
+                 .timer_wake_exit = 1.0, .ctx_switch_ns = 1120};
+  costs_.io = {.blk_fixed_ns = 16 * kUs, .blk_byte_ns = 0.24,
+               .flush_ns = 108 * kUs,
+               .bounce_fixed_ns = 0, .bounce_byte_ns = 0,
+               .net_rtt_ns = 112 * kUs, .net_byte_ns = 0.085};
+  costs_.trial_jitter_sigma = 0.012;
+}
+
+}  // namespace confbench::tee

@@ -1,0 +1,37 @@
+// Baseline "no TEE" platform: a plain KVM host.
+//
+// Used for sanity baselines and for tests; its secure table equals its
+// normal table, so every ratio is 1.0 modulo jitter.
+#pragma once
+
+#include "tee/platform.h"
+
+namespace confbench::tee {
+
+class NonePlatform final : public Platform {
+ public:
+  NonePlatform();
+
+  [[nodiscard]] TeeKind kind() const override { return TeeKind::kNone; }
+  [[nodiscard]] std::string_view name() const override { return "none"; }
+  [[nodiscard]] const sim::PlatformCosts& costs(bool /*secure*/) const
+      override {
+    return costs_;
+  }
+  [[nodiscard]] bool has_perf_counters(bool /*secure*/) const override {
+    return true;
+  }
+  [[nodiscard]] AttestationCosts attestation() const override {
+    AttestationCosts a;
+    a.supported = false;
+    return a;
+  }
+  [[nodiscard]] std::string_view exit_primitive() const override {
+    return "VMEXIT";
+  }
+
+ private:
+  sim::PlatformCosts costs_;
+};
+
+}  // namespace confbench::tee

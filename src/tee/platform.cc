@@ -1,0 +1,37 @@
+#include "tee/platform.h"
+
+namespace confbench::tee {
+
+std::string_view to_string(TeeKind k) {
+  switch (k) {
+    case TeeKind::kNone:
+      return "none";
+    case TeeKind::kTdx:
+      return "tdx";
+    case TeeKind::kSevSnp:
+      return "sev-snp";
+    case TeeKind::kCca:
+      return "cca";
+  }
+  return "?";
+}
+
+std::string_view to_string(ExitReason r) {
+  switch (r) {
+    case ExitReason::kSyscallAssist:
+      return "syscall-assist";
+    case ExitReason::kMmio:
+      return "mmio";
+    case ExitReason::kTimer:
+      return "timer";
+    case ExitReason::kInterrupt:
+      return "interrupt";
+    case ExitReason::kPageAccept:
+      return "page-accept";
+    case ExitReason::kCount:
+      break;
+  }
+  return "?";
+}
+
+}  // namespace confbench::tee

@@ -1,0 +1,83 @@
+// TEE platform abstraction.
+//
+// A `Platform` bundles everything ConfBench needs to know about one TEE
+// technology: the cost tables for its secure and normal VMs, its VM-exit
+// taxonomy, whether guests can use hardware perf counters, and the latency
+// profile of its attestation machinery. Adding a new TEE to ConfBench means
+// implementing this interface and registering it (see tee/registry.h) —
+// mirroring the extensibility claim of the paper (§III-A).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <string_view>
+
+#include "sim/costs.h"
+#include "sim/time.h"
+
+namespace confbench::tee {
+
+enum class TeeKind : std::uint8_t { kNone, kTdx, kSevSnp, kCca };
+
+std::string_view to_string(TeeKind k);
+
+/// VM-exit classes tracked by the metrics layer. Names differ per platform
+/// (TDCALL / VMEXIT / RMI) but the classes are common.
+enum class ExitReason : std::uint8_t {
+  kSyscallAssist,  ///< syscall needing hypervisor help (vmcall/tdvmcall)
+  kMmio,           ///< device MMIO / virtio kick
+  kTimer,          ///< timer programming and wake-up
+  kInterrupt,      ///< external interrupt delivery
+  kPageAccept,     ///< private-page conversion / acceptance
+  kCount
+};
+
+std::string_view to_string(ExitReason r);
+
+/// Latency profile of the platform's attestation flow; consumed by the
+/// attest:: module to produce Fig. 5.
+struct AttestationCosts {
+  sim::Ns report_request = 0;  ///< guest -> firmware/module report request
+  sim::Ns measurement = 0;     ///< collecting and hashing claims
+  sim::Ns sign = 0;            ///< signing by QE / AMD-SP / RMM
+  /// Verification-side collateral fetch: number of network round-trips and
+  /// per-trip latency. Zero trips means collateral comes from the hardware
+  /// (the SNP model) or a local cache.
+  int collateral_round_trips = 0;
+  sim::Ns collateral_rtt = 0;
+  sim::Ns collateral_local_fetch = 0;  ///< local/hardware cert retrieval
+  sim::Ns verify_compute = 0;          ///< signature + TCB checks
+  bool supported = true;               ///< CCA/FVP: no attestation hardware
+};
+
+class Platform {
+ public:
+  virtual ~Platform() = default;
+
+  [[nodiscard]] virtual TeeKind kind() const = 0;
+  [[nodiscard]] virtual std::string_view name() const = 0;
+
+  /// Cost table for a VM on this platform. `secure` selects the
+  /// confidential-VM table; false selects the co-located normal VM.
+  [[nodiscard]] virtual const sim::PlatformCosts& costs(bool secure) const = 0;
+
+  /// Whether guests of this kind can read PMU counters (perf). CCA realms
+  /// cannot (§III-B), forcing the custom-collector path.
+  [[nodiscard]] virtual bool has_perf_counters(bool secure) const = 0;
+
+  [[nodiscard]] virtual AttestationCosts attestation() const = 0;
+
+  /// Human-readable name of the world-switch primitive, for reports
+  /// (e.g. "TDCALL", "VMEXIT", "RMI").
+  [[nodiscard]] virtual std::string_view exit_primitive() const = 0;
+
+  /// True when the platform runs under a software simulator (FVP): timing
+  /// has extra variance and absolute numbers are only comparable within the
+  /// same simulator (§IV-A).
+  [[nodiscard]] virtual bool simulated() const { return false; }
+};
+
+using PlatformPtr = std::shared_ptr<const Platform>;
+
+}  // namespace confbench::tee

@@ -1,0 +1,53 @@
+#include "tee/registry.h"
+
+#include <algorithm>
+
+#include "tee/cca.h"
+#include "tee/sgx.h"
+#include "tee/none.h"
+#include "tee/sev_snp.h"
+#include "tee/tdx.h"
+
+namespace confbench::tee {
+
+Registry::Registry() {
+  register_platform("none", [] { return std::make_shared<NonePlatform>(); });
+  register_platform("tdx", [] { return std::make_shared<TdxPlatform>(); });
+  register_platform("sev-snp",
+                    [] { return std::make_shared<SevSnpPlatform>(); });
+  register_platform("cca", [] { return std::make_shared<CcaPlatform>(); });
+  // First-generation process TEE, kept out of the standard deployment but
+  // available for the enclave-vs-VM comparison (paper SVI future work).
+  register_platform("sgx", [] { return std::make_shared<SgxPlatform>(); });
+}
+
+Registry& Registry::instance() {
+  static Registry r;
+  return r;
+}
+
+void Registry::register_platform(std::string name, Factory f) {
+  for (auto& [n, factory] : entries_) {
+    if (n == name) {
+      factory = std::move(f);
+      return;
+    }
+  }
+  entries_.emplace_back(std::move(name), std::move(f));
+}
+
+PlatformPtr Registry::create(std::string_view name) const {
+  for (const auto& [n, factory] : entries_) {
+    if (n == name) return factory();
+  }
+  return nullptr;
+}
+
+std::vector<std::string> Registry::names() const {
+  std::vector<std::string> out;
+  out.reserve(entries_.size());
+  for (const auto& [n, _] : entries_) out.push_back(n);
+  return out;
+}
+
+}  // namespace confbench::tee

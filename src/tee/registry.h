@@ -1,0 +1,37 @@
+// Name -> platform factory registry.
+//
+// The gateway resolves the platform requested in a query ("tdx", "sev-snp",
+// "cca", "none") through this registry; third parties can register new TEEs
+// without touching core code.
+#pragma once
+
+#include <functional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "tee/platform.h"
+
+namespace confbench::tee {
+
+class Registry {
+ public:
+  using Factory = std::function<PlatformPtr()>;
+
+  /// The process-wide registry, pre-populated with the built-in platforms.
+  static Registry& instance();
+
+  /// Registers (or replaces) a factory under `name`.
+  void register_platform(std::string name, Factory f);
+
+  /// Creates the platform registered under `name`; nullptr if unknown.
+  [[nodiscard]] PlatformPtr create(std::string_view name) const;
+
+  [[nodiscard]] std::vector<std::string> names() const;
+
+ private:
+  Registry();
+  std::vector<std::pair<std::string, Factory>> entries_;
+};
+
+}  // namespace confbench::tee

@@ -1,0 +1,35 @@
+// AMD SEV-SNP platform model.
+//
+// Models the testbed of §IV-A: 16-core EPYC 9124 @ 3.0 GHz. Secure VMs pay
+// SME-class memory encryption on DRAM traffic and RMP ownership checks, but
+// I/O through explicitly shared (unencrypted) buffers is cheaper than TDX's
+// bounce-buffer path — producing the paper's CPU-vs-I/O crossover (§IV-D).
+#pragma once
+
+#include "tee/platform.h"
+
+namespace confbench::tee {
+
+class SevSnpPlatform final : public Platform {
+ public:
+  SevSnpPlatform();
+
+  [[nodiscard]] TeeKind kind() const override { return TeeKind::kSevSnp; }
+  [[nodiscard]] std::string_view name() const override { return "sev-snp"; }
+  [[nodiscard]] const sim::PlatformCosts& costs(bool secure) const override {
+    return secure ? secure_ : normal_;
+  }
+  [[nodiscard]] bool has_perf_counters(bool /*secure*/) const override {
+    return true;
+  }
+  [[nodiscard]] AttestationCosts attestation() const override;
+  [[nodiscard]] std::string_view exit_primitive() const override {
+    return "VMEXIT";
+  }
+
+ private:
+  sim::PlatformCosts normal_;
+  sim::PlatformCosts secure_;
+};
+
+}  // namespace confbench::tee

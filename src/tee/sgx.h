@@ -1,0 +1,40 @@
+// Intel SGX platform model (first-generation, process-level TEE).
+//
+// §VI lists "support [for] native processes (for Intel SGX enclaves)" as
+// future work, and the introduction motivates second-generation VM TEEs by
+// SGX's burdens. This model lets ConfBench quantify that motivation: the
+// "secure" unit is an enclave process, with expensive ECALL/OCALL world
+// switches on every syscall (enclaves cannot issue syscalls directly), EPC
+// paging costs once the working set exceeds the ~192-MiB EPC, and MEE
+// memory encryption with a steeper latency than TME-class engines.
+#pragma once
+
+#include "tee/platform.h"
+
+namespace confbench::tee {
+
+class SgxPlatform final : public Platform {
+ public:
+  SgxPlatform();
+
+  [[nodiscard]] TeeKind kind() const override { return TeeKind::kNone; }
+  [[nodiscard]] std::string_view name() const override { return "sgx"; }
+  [[nodiscard]] const sim::PlatformCosts& costs(bool secure) const override {
+    return secure ? secure_ : normal_;
+  }
+  /// Enclaves cannot be profiled with standard PMU access (anti side-channel
+  /// measures); like CCA realms, the custom-collector path applies.
+  [[nodiscard]] bool has_perf_counters(bool secure) const override {
+    return !secure;
+  }
+  [[nodiscard]] AttestationCosts attestation() const override;
+  [[nodiscard]] std::string_view exit_primitive() const override {
+    return "EOCALL";
+  }
+
+ private:
+  sim::PlatformCosts normal_;
+  sim::PlatformCosts secure_;
+};
+
+}  // namespace confbench::tee

@@ -1,0 +1,69 @@
+#include "tee/tdx.h"
+
+namespace confbench::tee {
+
+using sim::kMs;
+using sim::kUs;
+
+TdxPlatform::TdxPlatform(TdxFirmware fw) : fw_(fw) {
+  // --- Normal (legacy) VM on the TDX host -------------------------------
+  normal_.cpu = {.freq_ghz = 3.2, .cpi = 0.50, .fp_cpi = 1.0,
+                 .sim_slowdown = 1.0};
+  normal_.mem = {.l1_lat_cy = 4, .l2_lat_cy = 14, .llc_lat_cy = 42,
+                 .dram_lat_ns = 85, .mlp = 4.0,
+                 .enc_extra_ns = 0.0, .integrity_extra_ns = 0.0};
+  normal_.exit = {.syscall_ns = 110, .exit_rate_per_syscall = 0.05,
+                  .vmexit_ns = 1400, .secure_exit_extra_ns = 0,
+                  .timer_wake_exit = 1.0, .ctx_switch_ns = 1100};
+  normal_.io = {.blk_fixed_ns = 16 * kUs, .blk_byte_ns = 0.24,
+                .flush_ns = 105 * kUs,
+                .bounce_fixed_ns = 0, .bounce_byte_ns = 0,
+                .net_rtt_ns = 110 * kUs, .net_byte_ns = 0.085};
+  normal_.trial_jitter_sigma = 0.012;
+
+  // --- Trust Domain (secure VM) ------------------------------------------
+  secure_ = normal_;
+  // TME-MK AES-XTS on every DRAM transfer + logical integrity on fills.
+  secure_.mem.enc_extra_ns = 1.4;
+  secure_.mem.integrity_extra_ns = 0.6;
+  // Assisted syscalls take the TDCALL -> TDX module -> host -> SEAMRET
+  // path, which is considerably longer than a plain VMEXIT.
+  secure_.exit.secure_exit_extra_ns = 2600;
+  // DMA must round-trip through shared swiotlb bounce buffers: one extra
+  // copy out, one in, both through the crypto engine (§IV-D, [34]).
+  secure_.io.bounce_fixed_ns = 11 * kUs;
+  secure_.io.bounce_byte_ns = 0.95;
+  // TDG.MEM.PAGE.ACCEPT on first touch of private pages.
+  secure_.exit.page_fault_extra_ns = 2700;
+  secure_.trial_jitter_sigma = 0.018;
+
+  if (fw_ == TdxFirmware::kPreFix) {
+    // Pre-TDX_1.5.05.46.698 behaviour: pathological SEAM transition costs
+    // and per-fill stalls that slowed some workloads up to 10x (§III-B).
+    secure_.exit.secure_exit_extra_ns *= 40.0;
+    secure_.mem.enc_extra_ns *= 14.0;
+    secure_.mem.integrity_extra_ns *= 14.0;
+    secure_.io.bounce_fixed_ns *= 22.0;
+    secure_.io.bounce_byte_ns *= 14.0;
+    secure_.exit.page_fault_extra_ns *= 12.0;
+    secure_.trial_jitter_sigma = 0.05;
+  }
+}
+
+AttestationCosts TdxPlatform::attestation() const {
+  // DCAP path (§IV-C): TDCALL TDG.MR.REPORT, then the host-side Quoting
+  // Enclave turns the report into a signed quote. Verification must fetch
+  // TCB info and CRLs from the Intel PCS over the network [20].
+  AttestationCosts a;
+  a.report_request = 3.2 * kMs;       // TDREPORT via TDCALL + module
+  a.measurement = 1.1 * kMs;          // RTMR collection + hashing
+  a.sign = 92 * kMs;                  // QE quote generation (ECDSA, enclave)
+  a.collateral_round_trips = 4;       // TCB info, QE identity, 2x CRL
+  a.collateral_rtt = 310 * kMs;       // WAN RTT + PCS service time
+  a.collateral_local_fetch = 0;
+  a.verify_compute = 41 * kMs;        // chain + quote signature + TCB checks
+  a.supported = true;
+  return a;
+}
+
+}  // namespace confbench::tee

@@ -1,0 +1,45 @@
+// Intel TDX platform model.
+//
+// Models the testbed of §IV-A: 8-core Xeon Gold 5515+ @ 3.2 GHz. The secure
+// table charges SEAM transitions (TDCALL/SEAMCALL) on assisted syscalls,
+// TME-MK memory encryption plus logical-integrity checks on DRAM traffic,
+// and — crucially for the paper's I/O findings — swiotlb bounce-buffer
+// copies on every block/network DMA, because devices cannot access TD
+// private memory.
+//
+// §III-B reports that a firmware upgrade (TDX_1.5.05.46.698) improved
+// runtimes "up to a 10x factor"; `Firmware::kPreFix` reproduces the broken
+// behaviour for the ablation bench.
+#pragma once
+
+#include "tee/platform.h"
+
+namespace confbench::tee {
+
+enum class TdxFirmware { kPreFix, kFixed };
+
+class TdxPlatform final : public Platform {
+ public:
+  explicit TdxPlatform(TdxFirmware fw = TdxFirmware::kFixed);
+
+  [[nodiscard]] TeeKind kind() const override { return TeeKind::kTdx; }
+  [[nodiscard]] std::string_view name() const override { return "tdx"; }
+  [[nodiscard]] const sim::PlatformCosts& costs(bool secure) const override {
+    return secure ? secure_ : normal_;
+  }
+  [[nodiscard]] bool has_perf_counters(bool /*secure*/) const override {
+    return true;
+  }
+  [[nodiscard]] AttestationCosts attestation() const override;
+  [[nodiscard]] std::string_view exit_primitive() const override {
+    return "TDCALL";
+  }
+  [[nodiscard]] TdxFirmware firmware() const { return fw_; }
+
+ private:
+  TdxFirmware fw_;
+  sim::PlatformCosts normal_;
+  sim::PlatformCosts secure_;
+};
+
+}  // namespace confbench::tee

@@ -1,0 +1,21 @@
+#include "vm/block_device.h"
+
+namespace confbench::vm {
+
+void BlockDevice::read(std::uint64_t bytes) {
+  if (bytes == 0) return;
+  const std::uint64_t n = round_up(bytes);
+  ++reads_;
+  bytes_read_ += n;
+  ctx_.block_read(n);
+}
+
+void BlockDevice::write(std::uint64_t bytes) {
+  if (bytes == 0) return;
+  const std::uint64_t n = round_up(bytes);
+  ++writes_;
+  bytes_written_ += n;
+  ctx_.block_write(n);
+}
+
+}  // namespace confbench::vm

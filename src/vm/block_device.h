@@ -1,0 +1,40 @@
+// Virtual block device.
+//
+// Rounds transfers to 4 KiB sectors, tracks request statistics, and charges
+// I/O through the ExecutionContext, which applies the platform's virtio and
+// bounce-buffer costs (the TDX swiotlb path of §IV-D).
+#pragma once
+
+#include <cstdint>
+
+#include "vm/exec_context.h"
+
+namespace confbench::vm {
+
+class BlockDevice {
+ public:
+  static constexpr std::uint64_t kSector = 4096;
+
+  explicit BlockDevice(ExecutionContext& ctx) : ctx_(ctx) {}
+
+  void read(std::uint64_t bytes);
+  void write(std::uint64_t bytes);
+
+  [[nodiscard]] std::uint64_t reads() const { return reads_; }
+  [[nodiscard]] std::uint64_t writes() const { return writes_; }
+  [[nodiscard]] std::uint64_t bytes_read() const { return bytes_read_; }
+  [[nodiscard]] std::uint64_t bytes_written() const { return bytes_written_; }
+
+ private:
+  static std::uint64_t round_up(std::uint64_t bytes) {
+    return (bytes + kSector - 1) / kSector * kSector;
+  }
+
+  ExecutionContext& ctx_;
+  std::uint64_t reads_ = 0;
+  std::uint64_t writes_ = 0;
+  std::uint64_t bytes_read_ = 0;
+  std::uint64_t bytes_written_ = 0;
+};
+
+}  // namespace confbench::vm

@@ -1,0 +1,119 @@
+// ExecutionContext: the charging API workloads run against.
+//
+// Every ConfBench workload performs its *real* computation in C++ and, as it
+// goes, reports the operations it performed to an ExecutionContext. The
+// context routes each event through the active platform's cost tables — the
+// cache hierarchy + memory-encryption engine for memory traffic, the VM-exit
+// model for syscalls/faults/context switches, the block/bounce-buffer model
+// for I/O — and advances a deterministic virtual clock. Secure and normal
+// VMs differ only in the cost table they carry, exactly like the paper's
+// twin-VM setup (§IV-A).
+//
+// The address-space salt gives secure and normal VMs different physical
+// layouts, so cache-set conflicts differ slightly between them; this is the
+// mechanism behind the occasional below-1.0 ratios the paper traces back to
+// cache-hit differences (§IV-D).
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "metrics/counters.h"
+#include "sim/cache.h"
+#include "sim/clock.h"
+#include "sim/costs.h"
+#include "sim/memenc.h"
+#include "sim/rng.h"
+#include "tee/platform.h"
+
+namespace confbench::vm {
+
+class ExecutionContext {
+ public:
+  ExecutionContext(tee::PlatformPtr platform, bool secure, std::uint64_t seed);
+
+  // --- compute -------------------------------------------------------------
+  /// Charges `int_ops` abstract ALU operations plus branch handling.
+  void compute(double int_ops, double branches = 0.0);
+  /// Charges floating-point operations.
+  void compute_fp(double fp_ops);
+
+  // --- memory --------------------------------------------------------------
+  /// Reserves `bytes` of simulated address space (no time charge) and
+  /// returns its base address. Layout is salted per-(platform, secure).
+  std::uint64_t alloc_region(std::uint64_t bytes,
+                             std::uint64_t align = 64);
+  /// Strided read/write over [base, base+bytes) through the cache model.
+  void mem_read(std::uint64_t base, std::uint64_t bytes,
+                std::uint64_t stride = 64);
+  void mem_write(std::uint64_t base, std::uint64_t bytes,
+                 std::uint64_t stride = 64);
+  void mem_access(const sim::RangeAccess& a);
+  /// memcpy-style: read src, write dst.
+  void mem_copy(std::uint64_t dst, std::uint64_t src, std::uint64_t bytes);
+
+  // --- OS interaction --------------------------------------------------------
+  /// One generic syscall (expected-value VM-exit charging).
+  void syscall(tee::ExitReason reason = tee::ExitReason::kSyscallAssist);
+  /// Timer sleep: programs the timer and wakes up — always exits.
+  void sleep(sim::Ns duration);
+  /// Scheduler context switch (pipe-based context switching etc.).
+  void context_switch();
+  /// Minor page faults; secure VMs add page-accept/RMP/GPT work.
+  void page_fault(double faults = 1.0);
+  /// fork+exec of a small process.
+  void spawn_process();
+  /// One write+read round trip through a pipe.
+  void pipe_transfer(std::uint64_t bytes);
+
+  // --- devices ---------------------------------------------------------------
+  /// Block-device transfer; secure VMs route through bounce buffers when the
+  /// platform requires them. Charged via the block model, counted in
+  /// io_bytes. The page-cache logic lives in vm::Vfs, which calls these.
+  void block_read(std::uint64_t bytes);
+  void block_write(std::uint64_t bytes);
+  /// Device write barrier (fsync): latency is dominated by the device-side
+  /// flush, which secure and normal VMs pay alike.
+  void block_flush();
+  /// Network send+receive round trip of `bytes` payload.
+  void net_transfer(std::uint64_t bytes);
+
+  // --- direct access ---------------------------------------------------------
+  void charge(sim::Ns t) {
+    counters_.t_other_ns += t;
+    clock_.advance(t);
+  }
+
+  [[nodiscard]] sim::Ns now() const { return clock_.now(); }
+  [[nodiscard]] const sim::PlatformCosts& costs() const { return costs_; }
+  [[nodiscard]] bool secure() const { return secure_; }
+  [[nodiscard]] const tee::Platform& platform() const { return *platform_; }
+  [[nodiscard]] metrics::PerfCounters& counters() { return counters_; }
+  [[nodiscard]] const metrics::PerfCounters& counters() const {
+    return counters_;
+  }
+  [[nodiscard]] sim::Rng& rng() { return rng_; }
+  [[nodiscard]] sim::CacheSim& cache() { return cache_; }
+
+  /// Finalises the trial: applies the platform's lognormal trial jitter to
+  /// the accumulated virtual time and fills derived counters (cycles,
+  /// wall_ns). Call exactly once, after the workload returns.
+  metrics::PerfCounters finish();
+
+ private:
+  void charge_exits(double exits, tee::ExitReason reason);
+
+  tee::PlatformPtr platform_;
+  bool secure_;
+  sim::PlatformCosts costs_;
+  sim::VirtualClock clock_;
+  sim::Rng rng_;
+  sim::CacheSim cache_;
+  sim::MemoryEncryptionEngine memenc_;
+  metrics::PerfCounters counters_;
+  std::uint64_t next_addr_;
+  std::uint64_t layout_state_;  ///< per-VM allocation-placement stream
+  bool finished_ = false;
+};
+
+}  // namespace confbench::vm

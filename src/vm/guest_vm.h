@@ -1,0 +1,81 @@
+// Guest VM lifecycle and workload execution.
+//
+// Each TEE host in ConfBench runs two VMs — one confidential, one normal —
+// with identical file locations, libraries and interpreters (§III-B). A
+// GuestVm owns its platform cost tables, charges a boot latency (secure VMs
+// pay extra for initial memory acceptance/measurement) and executes
+// dispatched workloads, returning the perf counters ConfBench piggybacks on
+// responses. On platforms whose confidential guests lack PMU access (CCA
+// realms), the reported counters contain only what the custom collector
+// scripts can observe (§III-B); the full simulation-truth counters remain
+// available for debugging via InvocationOutcome::raw.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+
+#include "metrics/counters.h"
+#include "tee/platform.h"
+#include "vm/exec_context.h"
+
+namespace confbench::vm {
+
+/// Execution-unit kinds (§V-§VI: ConfBench's design "can accommodate new
+/// types of confidential virtual machines, including containers").
+enum class UnitKind : std::uint8_t {
+  kVm,         ///< full virtual machine (firmware + kernel boot)
+  kContainer,  ///< confidential container (Kata/CoCo-style pod micro-VM)
+};
+
+std::string_view to_string(UnitKind k);
+
+struct VmConfig {
+  std::string name;
+  tee::PlatformPtr platform;
+  bool secure = false;
+  UnitKind unit = UnitKind::kVm;
+  int vcpus = 8;
+  std::uint64_t ram_bytes = 16ULL << 30;
+};
+
+enum class VmState { kCreated, kRunning, kStopped };
+
+std::string_view to_string(VmState s);
+
+struct InvocationOutcome {
+  std::string output;            ///< workload's textual result
+  metrics::PerfCounters perf;    ///< what ConfBench reports to the user
+  metrics::PerfCounters raw;     ///< full simulation-truth counters
+  bool perf_from_pmu = true;     ///< false => custom-collector path (CCA)
+};
+
+class GuestVm {
+ public:
+  /// A workload body: performs its computation against the context and
+  /// returns its textual output.
+  using WorkloadFn = std::function<std::string(ExecutionContext&)>;
+
+  explicit GuestVm(VmConfig cfg);
+
+  /// Boots the VM; idempotent. Returns the virtual boot latency.
+  sim::Ns boot();
+  void stop();
+
+  /// Runs one workload invocation. `trial` seeds the trial-specific RNG so
+  /// repeated invocations see independent (but reproducible) jitter.
+  InvocationOutcome run(const WorkloadFn& fn, std::uint64_t trial = 0);
+
+  [[nodiscard]] const VmConfig& config() const { return cfg_; }
+  [[nodiscard]] VmState state() const { return state_; }
+  [[nodiscard]] sim::Ns boot_time() const { return boot_time_; }
+  [[nodiscard]] std::uint64_t invocations() const { return invocations_; }
+
+ private:
+  VmConfig cfg_;
+  VmState state_ = VmState::kCreated;
+  sim::Ns boot_time_ = 0;
+  std::uint64_t invocations_ = 0;
+};
+
+}  // namespace confbench::vm

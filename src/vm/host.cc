@@ -1,0 +1,49 @@
+#include "vm/host.h"
+
+#include <stdexcept>
+
+namespace confbench::vm {
+
+Host::Host(std::string name, tee::PlatformPtr platform)
+    : name_(std::move(name)), platform_(std::move(platform)) {
+  if (!platform_) throw std::invalid_argument("host without platform");
+}
+
+GuestVm& Host::add_vm(const std::string& vm_name, bool secure,
+                      std::uint16_t port) {
+  if (port_map_.count(port))
+    throw std::invalid_argument("port already mapped on host " + name_);
+  VmConfig cfg;
+  cfg.name = name_ + "/" + vm_name;
+  cfg.platform = platform_;
+  cfg.secure = secure;
+  vms_.push_back(std::make_unique<GuestVm>(cfg));
+  GuestVm& vm = *vms_.back();
+  vm.boot();
+  port_map_[port] = &vm;
+  return vm;
+}
+
+void Host::add_standard_pair() {
+  add_vm("normal", /*secure=*/false, kNormalPort);
+  add_vm("secure", /*secure=*/true, kSecurePort);
+}
+
+GuestVm* Host::route(std::uint16_t port) {
+  auto it = port_map_.find(port);
+  return it == port_map_.end() ? nullptr : it->second;
+}
+
+const GuestVm* Host::route(std::uint16_t port) const {
+  auto it = port_map_.find(port);
+  return it == port_map_.end() ? nullptr : it->second;
+}
+
+std::vector<std::uint16_t> Host::ports() const {
+  std::vector<std::uint16_t> out;
+  out.reserve(port_map_.size());
+  for (const auto& [p, _] : port_map_) out.push_back(p);
+  return out;
+}
+
+}  // namespace confbench::vm

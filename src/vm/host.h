@@ -1,0 +1,52 @@
+// TEE-enabled host machine.
+//
+// Hosts receive requests from the gateway and route them to a local VM
+// based on the destination port (§III-A): the prototype uses socat to steer
+// traffic, which we model as an explicit port -> VM map. By convention a
+// host exposes its normal VM on kNormalPort and its confidential VM on
+// kSecurePort, but arbitrary mappings are supported.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "tee/platform.h"
+#include "vm/guest_vm.h"
+
+namespace confbench::vm {
+
+class Host {
+ public:
+  static constexpr std::uint16_t kNormalPort = 8100;
+  static constexpr std::uint16_t kSecurePort = 8200;
+
+  Host(std::string name, tee::PlatformPtr platform);
+
+  /// Creates (and boots) a VM on this host and maps it to `port`.
+  GuestVm& add_vm(const std::string& vm_name, bool secure,
+                  std::uint16_t port);
+
+  /// Convenience: creates the standard normal+secure VM pair.
+  void add_standard_pair();
+
+  /// socat-style routing: resolves the VM listening on `port`.
+  [[nodiscard]] GuestVm* route(std::uint16_t port);
+  [[nodiscard]] const GuestVm* route(std::uint16_t port) const;
+
+  [[nodiscard]] const std::string& name() const { return name_; }
+  [[nodiscard]] const tee::Platform& platform() const { return *platform_; }
+  [[nodiscard]] tee::PlatformPtr platform_ptr() const { return platform_; }
+  [[nodiscard]] std::vector<std::uint16_t> ports() const;
+  [[nodiscard]] std::size_t vm_count() const { return vms_.size(); }
+
+ private:
+  std::string name_;
+  tee::PlatformPtr platform_;
+  std::vector<std::unique_ptr<GuestVm>> vms_;
+  std::map<std::uint16_t, GuestVm*> port_map_;
+};
+
+}  // namespace confbench::vm

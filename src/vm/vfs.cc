@@ -1,0 +1,224 @@
+#include "vm/vfs.h"
+
+#include <algorithm>
+#include <sstream>
+
+namespace confbench::vm {
+
+namespace {
+std::vector<std::string> split_path(const std::string& path) {
+  std::vector<std::string> parts;
+  std::istringstream is(path);
+  std::string part;
+  while (std::getline(is, part, '/')) {
+    if (!part.empty() && part != ".") parts.push_back(part);
+  }
+  return parts;
+}
+}  // namespace
+
+Vfs::Vfs(ExecutionContext& ctx, std::uint64_t dirty_threshold)
+    : ctx_(ctx),
+      dev_(ctx),
+      dirty_threshold_(dirty_threshold),
+      root_(std::make_unique<Node>()) {
+  root_->dir = true;
+}
+
+Vfs::~Vfs() { sync_all(); }
+
+Vfs::Node* Vfs::lookup(const std::string& path) const {
+  Node* n = root_.get();
+  for (const auto& part : split_path(path)) {
+    if (!n->dir) return nullptr;
+    auto it = n->children.find(part);
+    if (it == n->children.end()) return nullptr;
+    n = it->second.get();
+  }
+  return n;
+}
+
+Vfs::Node* Vfs::parent_of(const std::string& path, std::string* leaf) const {
+  auto parts = split_path(path);
+  if (parts.empty()) return nullptr;
+  *leaf = parts.back();
+  parts.pop_back();
+  Node* n = root_.get();
+  for (const auto& part : parts) {
+    if (!n->dir) return nullptr;
+    auto it = n->children.find(part);
+    if (it == n->children.end()) return nullptr;
+    n = it->second.get();
+  }
+  return n->dir ? n : nullptr;
+}
+
+bool Vfs::mkdir(const std::string& path) {
+  ctx_.syscall();
+  std::string leaf;
+  Node* parent = parent_of(path, &leaf);
+  if (!parent || parent->children.count(leaf)) return false;
+  auto node = std::make_unique<Node>();
+  node->dir = true;
+  parent->children.emplace(leaf, std::move(node));
+  return true;
+}
+
+bool Vfs::rmdir(const std::string& path) {
+  ctx_.syscall();
+  std::string leaf;
+  Node* parent = parent_of(path, &leaf);
+  if (!parent) return false;
+  auto it = parent->children.find(leaf);
+  if (it == parent->children.end() || !it->second->dir ||
+      !it->second->children.empty())
+    return false;
+  parent->children.erase(it);
+  return true;
+}
+
+bool Vfs::create(const std::string& path) {
+  ctx_.syscall();
+  std::string leaf;
+  Node* parent = parent_of(path, &leaf);
+  if (!parent || parent->children.count(leaf)) return false;
+  parent->children.emplace(leaf, std::make_unique<Node>());
+  // Inode allocation touches a metadata block asynchronously; charge a
+  // small journal write once in a while via the dirty mechanism instead.
+  return true;
+}
+
+bool Vfs::unlink(const std::string& path) {
+  ctx_.syscall();
+  std::string leaf;
+  Node* parent = parent_of(path, &leaf);
+  if (!parent) return false;
+  auto it = parent->children.find(leaf);
+  if (it == parent->children.end() || it->second->dir) return false;
+  parent->children.erase(it);
+  return true;
+}
+
+bool Vfs::exists(const std::string& path) const {
+  ctx_.syscall();
+  return lookup(path) != nullptr;
+}
+
+bool Vfs::is_dir(const std::string& path) const {
+  const Node* n = lookup(path);
+  return n && n->dir;
+}
+
+std::uint64_t Vfs::file_size(const std::string& path) const {
+  ctx_.syscall();
+  const Node* n = lookup(path);
+  return (n && !n->dir) ? n->size : 0;
+}
+
+std::vector<std::string> Vfs::list_dir(const std::string& path) const {
+  ctx_.syscall();
+  std::vector<std::string> out;
+  const Node* n = lookup(path);
+  if (!n || !n->dir) return out;
+  out.reserve(n->children.size());
+  for (const auto& [name, _] : n->children) out.push_back(name);
+  return out;
+}
+
+void Vfs::ensure_region(Node* n, std::uint64_t min_bytes) {
+  if (n->region_cap >= min_bytes) return;
+  // Grow geometrically so appends are amortised; only the newly mapped
+  // pages fault in.
+  std::uint64_t cap = std::max<std::uint64_t>(n->region_cap, 1 << 20);
+  while (cap < min_bytes) cap *= 2;
+  const std::uint64_t new_bytes = cap - n->region_cap;
+  n->region = ctx_.alloc_region(cap, 4096);
+  n->region_cap = cap;
+  ctx_.page_fault(static_cast<double>(new_bytes) / 4096.0 * 0.25);
+}
+
+void Vfs::writeback(Node* n) {
+  if (n->dirty == 0) return;
+  dev_.write(n->dirty);
+  n->dirty = 0;  // pages stay resident, now clean
+}
+
+std::uint64_t Vfs::write(const std::string& path, std::uint64_t bytes) {
+  ctx_.syscall();
+  Node* n = lookup(path);
+  if (!n) {
+    if (!create(path)) return 0;
+    n = lookup(path);
+  }
+  if (!n || n->dir) return 0;
+  ensure_region(n, n->size + bytes);
+  // Data is copied into the page cache through the CPU caches.
+  ctx_.mem_write(n->region + n->size, bytes, 64);
+  n->size += bytes;
+  n->resident = n->size;  // freshly written pages are resident
+  n->dirty += bytes;
+  if (n->dirty >= dirty_threshold_) writeback(n);
+  return bytes;
+}
+
+std::uint64_t Vfs::read(const std::string& path, std::uint64_t offset,
+                        std::uint64_t bytes) {
+  ctx_.syscall();
+  Node* n = lookup(path);
+  if (!n || n->dir || offset >= n->size) return 0;
+  const std::uint64_t len = std::min(bytes, n->size - offset);
+  if (offset + len > n->resident) {
+    // Page in the missing suffix from the device, with 128-KiB readahead
+    // (sequential reads should not pay one device request per syscall).
+    constexpr std::uint64_t kReadahead = 128 * 1024;
+    const std::uint64_t missing = offset + len - n->resident;
+    const std::uint64_t fetch =
+        std::min(std::max(missing, kReadahead), n->size - n->resident);
+    dev_.read(fetch);
+    ensure_region(n, n->size);
+    n->resident += fetch;
+  }
+  ctx_.mem_read(n->region + offset, len, 64);
+  return len;
+}
+
+bool Vfs::truncate(const std::string& path) {
+  ctx_.syscall();
+  Node* n = lookup(path);
+  if (!n || n->dir) return false;
+  n->size = 0;
+  n->resident = 0;
+  n->dirty = 0;
+  return true;
+}
+
+bool Vfs::fsync(const std::string& path) {
+  ctx_.syscall();
+  Node* n = lookup(path);
+  if (!n || n->dir) return false;
+  writeback(n);
+  ctx_.block_flush();
+  return true;
+}
+
+void Vfs::drop_caches() {
+  ctx_.syscall();
+  sync_tree(root_.get());
+  // Mark everything non-resident.
+  struct Walker {
+    static void drop(Node* n) {
+      if (!n->dir) n->resident = 0;
+      for (auto& [_, c] : n->children) drop(c.get());
+    }
+  };
+  Walker::drop(root_.get());
+}
+
+void Vfs::sync_tree(Node* n) {
+  if (!n->dir) writeback(n);
+  for (auto& [_, c] : n->children) sync_tree(c.get());
+}
+
+void Vfs::sync_all() { sync_tree(root_.get()); }
+
+}  // namespace confbench::vm

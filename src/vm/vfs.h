@@ -1,0 +1,90 @@
+// In-guest virtual filesystem with a page-cache model.
+//
+// Backs the iostress / filesystem FaaS workloads, the UnixBench file-copy
+// tests and MiniDB's storage layer. Semantics follow POSIX closely enough
+// for the workloads: a tree of directories and size-tracked files, reads
+// served from the page cache when the data is resident, write-back caching
+// with a dirty threshold and explicit fsync. Every operation charges a
+// syscall; cache-missing reads and dirty write-backs go to the virtual
+// block device, which on secure VMs rides the platform's bounce-buffer
+// path.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "vm/block_device.h"
+#include "vm/exec_context.h"
+
+namespace confbench::vm {
+
+class Vfs {
+ public:
+  /// `dirty_threshold` is the amount of dirty data that triggers background
+  /// write-back (Linux's dirty ratio, scaled down to our workloads).
+  explicit Vfs(ExecutionContext& ctx,
+               std::uint64_t dirty_threshold = 4 * 1024 * 1024);
+  ~Vfs();
+
+  Vfs(const Vfs&) = delete;
+  Vfs& operator=(const Vfs&) = delete;
+
+  // All paths are absolute, '/'-separated.
+  bool mkdir(const std::string& path);
+  bool rmdir(const std::string& path);                 ///< must be empty
+  bool create(const std::string& path);                ///< empty regular file
+  bool unlink(const std::string& path);
+  [[nodiscard]] bool exists(const std::string& path) const;
+  [[nodiscard]] bool is_dir(const std::string& path) const;
+  [[nodiscard]] std::uint64_t file_size(const std::string& path) const;
+  [[nodiscard]] std::vector<std::string> list_dir(const std::string& path)
+      const;
+
+  /// Appends `bytes` to the file (creating it if absent); data lands in the
+  /// page cache and is written back lazily. Returns bytes written, 0 on
+  /// error.
+  std::uint64_t write(const std::string& path, std::uint64_t bytes);
+  /// Reads `bytes` starting at `offset`; short reads at EOF. Cache-missing
+  /// spans hit the block device.
+  std::uint64_t read(const std::string& path, std::uint64_t offset,
+                     std::uint64_t bytes);
+  /// Flushes the file's dirty pages to the device.
+  bool fsync(const std::string& path);
+  /// Truncates the file to zero length (WAL checkpointing).
+  bool truncate(const std::string& path);
+  /// Drops clean cached pages (echo 3 > drop_caches), forcing device reads.
+  void drop_caches();
+  /// Flushes everything (called by the destructor as well).
+  void sync_all();
+
+  [[nodiscard]] const BlockDevice& device() const { return dev_; }
+
+ private:
+  struct Node;
+  using NodePtr = std::unique_ptr<Node>;
+  struct Node {
+    bool dir = false;
+    std::uint64_t size = 0;
+    std::uint64_t resident = 0;  ///< prefix of the file in the page cache
+    std::uint64_t dirty = 0;     ///< dirty bytes awaiting write-back
+    std::uint64_t region = 0;  ///< simulated address of the cache pages
+    std::uint64_t region_cap = 0;
+    std::map<std::string, NodePtr> children;
+  };
+
+  Node* lookup(const std::string& path) const;
+  Node* parent_of(const std::string& path, std::string* leaf) const;
+  void ensure_region(Node* n, std::uint64_t min_bytes);
+  void writeback(Node* n);
+  void sync_tree(Node* n);
+
+  ExecutionContext& ctx_;
+  BlockDevice dev_;
+  std::uint64_t dirty_threshold_;
+  NodePtr root_;
+};
+
+}  // namespace confbench::vm

@@ -1,0 +1,138 @@
+#include "wasm/builder.h"
+
+namespace confbench::wasm::programs {
+
+Module fib_recursive() {
+  Module m;
+  FuncBuilder fb("fib");
+  const int n = fb.param(ValType::kI64);
+  fb.result(ValType::kI64);
+  // if (n < 2) return n;
+  fb.get(n).i64_const(2).lt_s().if_();
+  fb.get(n).ret();
+  fb.end();
+  // return fib(n-1) + fib(n-2);
+  fb.get(n).i64_const(1).sub().call(0);
+  fb.get(n).i64_const(2).sub().call(0);
+  fb.add();
+  fb.end();
+  m.functions.push_back(fb.build());
+  return m;
+}
+
+Module sum_loop() {
+  Module m;
+  FuncBuilder fb("sum");
+  const int n = fb.param(ValType::kI64);
+  fb.result(ValType::kI64);
+  const int i = fb.local(ValType::kI64);
+  const int acc = fb.local(ValType::kI64);
+  fb.block().loop();
+  fb.get(i).get(n).ge_s().br_if(1);
+  fb.get(acc).get(i).add().set(acc);
+  fb.get(i).i64_const(1).add().set(i);
+  fb.br(0);
+  fb.end().end();
+  fb.get(acc);
+  fb.end();
+  m.functions.push_back(fb.build());
+  return m;
+}
+
+Module sieve() {
+  Module m;
+  m.memory_pages = 2;  // 16384 i64 flag slots
+  FuncBuilder fb("sieve");
+  const int limit = fb.param(ValType::kI64);
+  fb.result(ValType::kI64);
+  const int p = fb.local(ValType::kI64);
+  const int q = fb.local(ValType::kI64);
+  const int count = fb.local(ValType::kI64);
+
+  // Mark composites: for (p = 2; p*p <= limit; ++p) if (!flags[p]) ...
+  fb.i64_const(2).set(p);
+  fb.block().loop();
+  fb.get(p).get(p).mul().get(limit).gt_s().br_if(1);
+  fb.get(p).i64_const(8).mul().i64_load().eqz().if_();
+  fb.get(p).get(p).mul().set(q);
+  fb.block().loop();
+  fb.get(q).get(limit).gt_s().br_if(1);
+  fb.get(q).i64_const(8).mul().i64_const(1).i64_store();
+  fb.get(q).get(p).add().set(q);
+  fb.br(0);
+  fb.end().end();
+  fb.end();  // if
+  fb.get(p).i64_const(1).add().set(p);
+  fb.br(0);
+  fb.end().end();
+
+  // Count primes in [2, limit].
+  fb.i64_const(2).set(p);
+  fb.i64_const(0).set(count);
+  fb.block().loop();
+  fb.get(p).get(limit).gt_s().br_if(1);
+  fb.get(p).i64_const(8).mul().i64_load().eqz().if_();
+  fb.get(count).i64_const(1).add().set(count);
+  fb.end();
+  fb.get(p).i64_const(1).add().set(p);
+  fb.br(0);
+  fb.end().end();
+
+  fb.get(count);
+  fb.end();
+  m.functions.push_back(fb.build());
+  return m;
+}
+
+Module gcd() {
+  Module m;
+  FuncBuilder fb("gcd");
+  const int a = fb.param(ValType::kI64);
+  const int b = fb.param(ValType::kI64);
+  fb.result(ValType::kI64);
+  const int t = fb.local(ValType::kI64);
+  fb.block().loop();
+  fb.get(b).eqz().br_if(1);
+  fb.get(a).get(b).rem_s().set(t);
+  fb.get(b).set(a);
+  fb.get(t).set(b);
+  fb.br(0);
+  fb.end().end();
+  fb.get(a);
+  fb.end();
+  m.functions.push_back(fb.build());
+  return m;
+}
+
+Module memfill() {
+  Module m;
+  m.memory_pages = 1;  // 8192 slots
+  FuncBuilder fb("memfill");
+  const int n = fb.param(ValType::kI64);
+  fb.result(ValType::kI64);
+  const int i = fb.local(ValType::kI64);
+  const int acc = fb.local(ValType::kI64);
+  // Fill slots[i] = i * 7.
+  fb.block().loop();
+  fb.get(i).get(n).ge_s().br_if(1);
+  fb.get(i).i64_const(8).mul();
+  fb.get(i).i64_const(7).mul();
+  fb.i64_store();
+  fb.get(i).i64_const(1).add().set(i);
+  fb.br(0);
+  fb.end().end();
+  // Sum them back.
+  fb.i64_const(0).set(i);
+  fb.block().loop();
+  fb.get(i).get(n).ge_s().br_if(1);
+  fb.get(acc).get(i).i64_const(8).mul().i64_load().add().set(acc);
+  fb.get(i).i64_const(1).add().set(i);
+  fb.br(0);
+  fb.end().end();
+  fb.get(acc);
+  fb.end();
+  m.functions.push_back(fb.build());
+  return m;
+}
+
+}  // namespace confbench::wasm::programs

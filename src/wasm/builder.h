@@ -1,0 +1,93 @@
+// Fluent bytecode builder for MiniWasm functions.
+#pragma once
+
+#include <string>
+#include <utility>
+
+#include "wasm/module.h"
+
+namespace confbench::wasm {
+
+class FuncBuilder {
+ public:
+  explicit FuncBuilder(std::string name) { fn_.name = std::move(name); }
+
+  /// Declares a parameter; returns its local index.
+  int param(ValType t) {
+    fn_.params.push_back(t);
+    return static_cast<int>(fn_.params.size()) - 1;
+  }
+  /// Declares an extra local; returns its local index.
+  int local(ValType t) {
+    fn_.locals.push_back(t);
+    return static_cast<int>(fn_.params.size() + fn_.locals.size()) - 1;
+  }
+  FuncBuilder& result(ValType t) {
+    fn_.result = t;
+    return *this;
+  }
+
+  FuncBuilder& emit(Op op, std::int64_t imm = 0) {
+    fn_.body.push_back({op, imm, 0.0});
+    return *this;
+  }
+  FuncBuilder& i64_const(std::int64_t v) { return emit(Op::kI64Const, v); }
+  FuncBuilder& f64_const(double v) {
+    fn_.body.push_back({Op::kF64Const, 0, v});
+    return *this;
+  }
+  FuncBuilder& get(int local_idx) { return emit(Op::kLocalGet, local_idx); }
+  FuncBuilder& set(int local_idx) { return emit(Op::kLocalSet, local_idx); }
+  FuncBuilder& tee(int local_idx) { return emit(Op::kLocalTee, local_idx); }
+  FuncBuilder& add() { return emit(Op::kI64Add); }
+  FuncBuilder& sub() { return emit(Op::kI64Sub); }
+  FuncBuilder& mul() { return emit(Op::kI64Mul); }
+  FuncBuilder& rem_s() { return emit(Op::kI64RemS); }
+  FuncBuilder& div_s() { return emit(Op::kI64DivS); }
+  FuncBuilder& eq() { return emit(Op::kI64Eq); }
+  FuncBuilder& ne() { return emit(Op::kI64Ne); }
+  FuncBuilder& lt_s() { return emit(Op::kI64LtS); }
+  FuncBuilder& gt_s() { return emit(Op::kI64GtS); }
+  FuncBuilder& le_s() { return emit(Op::kI64LeS); }
+  FuncBuilder& ge_s() { return emit(Op::kI64GeS); }
+  FuncBuilder& eqz() { return emit(Op::kI64Eqz); }
+  FuncBuilder& block() { return emit(Op::kBlock); }
+  FuncBuilder& loop() { return emit(Op::kLoop); }
+  FuncBuilder& if_() { return emit(Op::kIf); }
+  FuncBuilder& else_() { return emit(Op::kElse); }
+  FuncBuilder& end() { return emit(Op::kEnd); }
+  FuncBuilder& br(int depth) { return emit(Op::kBr, depth); }
+  FuncBuilder& br_if(int depth) { return emit(Op::kBrIf, depth); }
+  FuncBuilder& ret() { return emit(Op::kReturn); }
+  FuncBuilder& call(int fn_index) { return emit(Op::kCall, fn_index); }
+  FuncBuilder& i64_load(std::int64_t offset = 0) {
+    return emit(Op::kI64Load, offset);
+  }
+  FuncBuilder& i64_store(std::int64_t offset = 0) {
+    return emit(Op::kI64Store, offset);
+  }
+
+  [[nodiscard]] Function build() const { return fn_; }
+
+ private:
+  Function fn_;
+};
+
+/// Ready-made benchmark programs (the wasmi-benchmarks flavour, [36]).
+namespace programs {
+
+/// fib(n), naive recursion — call-dispatch heavy.
+Module fib_recursive();
+/// sum of 0..n-1 in a tight loop — branch/arith heavy.
+Module sum_loop();
+/// Sieve of Eratosthenes over `limit` bytes of linear memory; returns the
+/// prime count — memory heavy. Module declares 2 pages.
+Module sieve();
+/// gcd(a, b) via Euclid — loop + rem.
+Module gcd();
+/// memory_fill(base, count): writes a pattern then checksums it.
+Module memfill();
+
+}  // namespace programs
+
+}  // namespace confbench::wasm

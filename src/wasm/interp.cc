@@ -1,0 +1,396 @@
+#include "wasm/interp.h"
+
+#include <cmath>
+#include <cstring>
+#include <limits>
+#include <stdexcept>
+
+#include "vm/exec_context.h"
+
+namespace confbench::wasm {
+
+std::string_view to_string(TrapKind k) {
+  switch (k) {
+    case TrapKind::kNone: return "none";
+    case TrapKind::kDivideByZero: return "integer divide by zero";
+    case TrapKind::kOutOfBoundsMemory: return "out-of-bounds memory access";
+    case TrapKind::kStackExhausted: return "call stack exhausted";
+    case TrapKind::kFuelExhausted: return "fuel exhausted";
+    case TrapKind::kUnknownFunction: return "unknown function";
+  }
+  return "?";
+}
+
+Interpreter::Interpreter(Module module, InterpConfig cfg)
+    : module_(std::move(module)), cfg_(cfg) {
+  const ValidationResult v = validate(module_);
+  if (!v.ok) throw std::invalid_argument("invalid module: " + v.error);
+  memory_.assign(static_cast<std::size_t>(module_.memory_pages) *
+                     Module::kPageBytes,
+                 0);
+  targets_.resize(module_.functions.size());
+  for (std::size_t i = 0; i < module_.functions.size(); ++i)
+    resolve_control(module_.functions[i], &targets_[i]);
+}
+
+void Interpreter::resolve_control(const Function& fn,
+                                  ControlTargets* out) const {
+  constexpr std::size_t kNpos = static_cast<std::size_t>(-1);
+  out->end_of.assign(fn.body.size(), kNpos);
+  out->else_of.assign(fn.body.size(), kNpos);
+  std::vector<std::size_t> opens;
+  for (std::size_t pc = 0; pc < fn.body.size(); ++pc) {
+    switch (fn.body[pc].op) {
+      case Op::kBlock:
+      case Op::kLoop:
+      case Op::kIf:
+        opens.push_back(pc);
+        break;
+      case Op::kElse:
+        if (!opens.empty()) out->else_of[opens.back()] = pc;
+        break;
+      case Op::kEnd:
+        if (!opens.empty()) {
+          out->end_of[opens.back()] = pc;
+          // An Else also needs to know its End to skip over the else-arm.
+          if (out->else_of[opens.back()] != kNpos)
+            out->end_of[out->else_of[opens.back()]] = pc;
+          opens.pop_back();
+        }
+        break;
+      default:
+        break;
+    }
+  }
+}
+
+std::int64_t Interpreter::read_i64(std::uint64_t addr) const {
+  std::int64_t v = 0;
+  if (addr + 8 <= memory_.size()) std::memcpy(&v, memory_.data() + addr, 8);
+  return v;
+}
+
+void Interpreter::write_i64(std::uint64_t addr, std::int64_t v) {
+  if (addr + 8 <= memory_.size()) std::memcpy(memory_.data() + addr, &v, 8);
+}
+
+RunResult Interpreter::invoke(const std::string& function,
+                              const std::vector<Value>& args,
+                              vm::ExecutionContext* ctx) {
+  fuel_used_ = 0;
+  const int idx = module_.index_of(function);
+  if (idx < 0) {
+    RunResult r;
+    r.trap = TrapKind::kUnknownFunction;
+    return r;
+  }
+  RunResult r = call(static_cast<std::size_t>(idx), args, ctx, 0);
+  r.instructions = fuel_used_;
+  return r;
+}
+
+RunResult Interpreter::call(std::size_t fn_index,
+                            const std::vector<Value>& args,
+                            vm::ExecutionContext* ctx, std::uint64_t depth) {
+  RunResult result;
+  if (depth >= cfg_.max_call_depth) {
+    result.trap = TrapKind::kStackExhausted;
+    return result;
+  }
+  const Function& fn = module_.functions[fn_index];
+  const ControlTargets& tg = targets_[fn_index];
+  if (args.size() != fn.params.size()) {
+    result.trap = TrapKind::kUnknownFunction;  // arity mismatch
+    return result;
+  }
+
+  std::vector<Value> locals(fn.params.size() + fn.locals.size());
+  for (std::size_t i = 0; i < args.size(); ++i) locals[i] = args[i];
+  for (std::size_t i = 0; i < fn.locals.size(); ++i)
+    locals[args.size() + i] = fn.locals[i] == ValType::kF64
+                                  ? Value::make_f64(0.0)
+                                  : Value::make_i64(0);
+
+  std::vector<Value> stack;
+  stack.reserve(32);
+  // Control stack: entry pc of each open frame (to find loop backedges).
+  std::vector<std::size_t> frames;
+  // Charged-cost accumulators, flushed in batches.
+  std::uint64_t batch_instrs = 0;
+  const std::uint64_t mem_region =
+      ctx && !memory_.empty() ? ctx->alloc_region(memory_.size(), 4096) : 0;
+  auto flush = [&] {
+    if (ctx && batch_instrs > 0) {
+      ctx->compute(static_cast<double>(batch_instrs) *
+                       cfg_.dispatch_ops_per_instr,
+                   static_cast<double>(batch_instrs) * 1.2);
+    }
+    batch_instrs = 0;
+  };
+  auto trap = [&](TrapKind k) {
+    flush();
+    result.trap = k;
+    return result;
+  };
+
+  auto pop = [&] {
+    const Value v = stack.back();
+    stack.pop_back();
+    return v;
+  };
+
+  for (std::size_t pc = 0; pc < fn.body.size(); ++pc) {
+    const Instr& in = fn.body[pc];
+    ++fuel_used_;
+    ++batch_instrs;
+    if (batch_instrs >= 4096) flush();
+    if (cfg_.fuel != 0 && fuel_used_ > cfg_.fuel)
+      return trap(TrapKind::kFuelExhausted);
+
+    switch (in.op) {
+      case Op::kI64Const:
+        stack.push_back(Value::make_i64(in.imm_i));
+        break;
+      case Op::kF64Const:
+        stack.push_back(Value::make_f64(in.imm_f));
+        break;
+      case Op::kLocalGet:
+        stack.push_back(locals[static_cast<std::size_t>(in.imm_i)]);
+        break;
+      case Op::kLocalSet:
+        locals[static_cast<std::size_t>(in.imm_i)] = pop();
+        break;
+      case Op::kLocalTee:
+        locals[static_cast<std::size_t>(in.imm_i)] = stack.back();
+        break;
+
+#define CB_I64_BINOP(OP, EXPR)                                   \
+  case Op::OP: {                                                 \
+    const std::int64_t b = pop().i64;                            \
+    const std::int64_t a = pop().i64;                            \
+    stack.push_back(Value::make_i64(EXPR));                      \
+    break;                                                       \
+  }
+      CB_I64_BINOP(kI64Add, a + b)
+      CB_I64_BINOP(kI64Sub, a - b)
+      CB_I64_BINOP(kI64Mul, a * b)
+      CB_I64_BINOP(kI64And, a & b)
+      CB_I64_BINOP(kI64Or, a | b)
+      CB_I64_BINOP(kI64Xor, a ^ b)
+      CB_I64_BINOP(kI64Shl, a << (b & 63))
+      CB_I64_BINOP(kI64ShrS, a >> (b & 63))
+      CB_I64_BINOP(kI64Eq, a == b ? 1 : 0)
+      CB_I64_BINOP(kI64Ne, a != b ? 1 : 0)
+      CB_I64_BINOP(kI64LtS, a < b ? 1 : 0)
+      CB_I64_BINOP(kI64GtS, a > b ? 1 : 0)
+      CB_I64_BINOP(kI64LeS, a <= b ? 1 : 0)
+      CB_I64_BINOP(kI64GeS, a >= b ? 1 : 0)
+#undef CB_I64_BINOP
+
+      case Op::kI64DivS: {
+        const std::int64_t b = pop().i64;
+        const std::int64_t a = pop().i64;
+        if (b == 0) return trap(TrapKind::kDivideByZero);
+        stack.push_back(Value::make_i64(a / b));
+        break;
+      }
+      case Op::kI64RemS: {
+        const std::int64_t b = pop().i64;
+        const std::int64_t a = pop().i64;
+        if (b == 0) return trap(TrapKind::kDivideByZero);
+        stack.push_back(Value::make_i64(a % b));
+        break;
+      }
+      case Op::kI64Eqz:
+        stack.back() = Value::make_i64(stack.back().i64 == 0 ? 1 : 0);
+        break;
+
+#define CB_F64_BINOP(OP, EXPR)                                   \
+  case Op::OP: {                                                 \
+    const double b = pop().f64;                                  \
+    const double a = pop().f64;                                  \
+    stack.push_back(EXPR);                                       \
+    break;                                                       \
+  }
+      CB_F64_BINOP(kF64Add, Value::make_f64(a + b))
+      CB_F64_BINOP(kF64Sub, Value::make_f64(a - b))
+      CB_F64_BINOP(kF64Mul, Value::make_f64(a * b))
+      CB_F64_BINOP(kF64Div, Value::make_f64(a / b))
+      CB_F64_BINOP(kF64Eq, Value::make_i64(a == b ? 1 : 0))
+      CB_F64_BINOP(kF64Lt, Value::make_i64(a < b ? 1 : 0))
+      CB_F64_BINOP(kF64Gt, Value::make_i64(a > b ? 1 : 0))
+#undef CB_F64_BINOP
+
+      case Op::kF64Sqrt:
+        stack.back() = Value::make_f64(std::sqrt(stack.back().f64));
+        break;
+      case Op::kF64Abs:
+        stack.back() = Value::make_f64(std::fabs(stack.back().f64));
+        break;
+      case Op::kF64Neg:
+        stack.back() = Value::make_f64(-stack.back().f64);
+        break;
+      case Op::kI64TruncF64:
+        stack.back() =
+            Value::make_i64(static_cast<std::int64_t>(stack.back().f64));
+        break;
+      case Op::kF64ConvertI64:
+        stack.back() =
+            Value::make_f64(static_cast<double>(stack.back().i64));
+        break;
+
+      case Op::kDrop:
+        stack.pop_back();
+        break;
+      case Op::kSelect: {
+        const std::int64_t c = pop().i64;
+        const Value b = pop();
+        const Value a = pop();
+        stack.push_back(c != 0 ? a : b);
+        break;
+      }
+
+      case Op::kI64Load: {
+        const auto addr = static_cast<std::uint64_t>(pop().i64) +
+                          static_cast<std::uint64_t>(in.imm_i);
+        if (addr + 8 > memory_.size())
+          return trap(TrapKind::kOutOfBoundsMemory);
+        std::int64_t v;
+        std::memcpy(&v, memory_.data() + addr, 8);
+        stack.push_back(Value::make_i64(v));
+        if (ctx) ctx->mem_read(mem_region + addr, 8, 8);
+        break;
+      }
+      case Op::kF64Load: {
+        const auto addr = static_cast<std::uint64_t>(pop().i64) +
+                          static_cast<std::uint64_t>(in.imm_i);
+        if (addr + 8 > memory_.size())
+          return trap(TrapKind::kOutOfBoundsMemory);
+        double v;
+        std::memcpy(&v, memory_.data() + addr, 8);
+        stack.push_back(Value::make_f64(v));
+        if (ctx) ctx->mem_read(mem_region + addr, 8, 8);
+        break;
+      }
+      case Op::kI64Store: {
+        const std::int64_t v = pop().i64;
+        const auto addr = static_cast<std::uint64_t>(pop().i64) +
+                          static_cast<std::uint64_t>(in.imm_i);
+        if (addr + 8 > memory_.size())
+          return trap(TrapKind::kOutOfBoundsMemory);
+        std::memcpy(memory_.data() + addr, &v, 8);
+        if (ctx) ctx->mem_write(mem_region + addr, 8, 8);
+        break;
+      }
+      case Op::kF64Store: {
+        const double v = pop().f64;
+        const auto addr = static_cast<std::uint64_t>(pop().i64) +
+                          static_cast<std::uint64_t>(in.imm_i);
+        if (addr + 8 > memory_.size())
+          return trap(TrapKind::kOutOfBoundsMemory);
+        std::memcpy(memory_.data() + addr, &v, 8);
+        if (ctx) ctx->mem_write(mem_region + addr, 8, 8);
+        break;
+      }
+      case Op::kMemorySize:
+        stack.push_back(Value::make_i64(
+            static_cast<std::int64_t>(memory_.size() / Module::kPageBytes)));
+        break;
+      case Op::kMemoryGrow: {
+        const std::int64_t delta = pop().i64;
+        const std::uint64_t old_pages = memory_.size() / Module::kPageBytes;
+        const std::uint64_t want =
+            old_pages + static_cast<std::uint64_t>(delta < 0 ? 0 : delta);
+        if (delta < 0 || want > Module::kMaxPages) {
+          stack.push_back(Value::make_i64(-1));
+        } else {
+          memory_.resize(want * Module::kPageBytes, 0);
+          stack.push_back(
+              Value::make_i64(static_cast<std::int64_t>(old_pages)));
+          if (ctx)
+            ctx->page_fault(static_cast<double>(delta) *
+                            Module::kPageBytes / 4096.0);
+        }
+        break;
+      }
+
+      case Op::kBlock:
+      case Op::kLoop:
+      case Op::kIf: {
+        if (in.op == Op::kIf) {
+          const std::int64_t cond = pop().i64;
+          if (cond == 0) {
+            const std::size_t else_pc = tg.else_of[pc];
+            if (else_pc != static_cast<std::size_t>(-1)) {
+              frames.push_back(pc);
+              pc = else_pc;  // jump into the else-arm
+            } else {
+              pc = tg.end_of[pc];  // skip the whole if
+            }
+            break;
+          }
+        }
+        frames.push_back(pc);
+        break;
+      }
+      case Op::kElse:
+        // Falling into Else after a taken if-arm: skip to End.
+        pc = tg.end_of[pc];
+        if (!frames.empty()) frames.pop_back();
+        break;
+      case Op::kEnd:
+        if (!frames.empty()) frames.pop_back();
+        break;
+      case Op::kBr:
+      case Op::kBrIf: {
+        if (in.op == Op::kBrIf && pop().i64 == 0) break;
+        const auto depth_imm = static_cast<std::size_t>(in.imm_i);
+        if (depth_imm >= frames.size()) {
+          // Branch to the function frame: return.
+          flush();
+          result.ok = true;
+          if (fn.result && !stack.empty()) result.value = stack.back();
+          return result;
+        }
+        const std::size_t target_open =
+            frames[frames.size() - 1 - depth_imm];
+        if (fn.body[target_open].op == Op::kLoop) {
+          // Back-edge: continue from the loop header; the frame stays.
+          frames.resize(frames.size() - depth_imm);
+          pc = target_open;
+        } else {
+          // Forward branch: exit the frame.
+          frames.resize(frames.size() - depth_imm - 1);
+          pc = tg.end_of[target_open];
+        }
+        break;
+      }
+      case Op::kReturn:
+        flush();
+        result.ok = true;
+        if (fn.result && !stack.empty()) result.value = stack.back();
+        return result;
+      case Op::kCall: {
+        const auto callee = static_cast<std::size_t>(in.imm_i);
+        const Function& cf = module_.functions[callee];
+        std::vector<Value> call_args(cf.params.size());
+        for (std::size_t i = cf.params.size(); i-- > 0;)
+          call_args[i] = pop();
+        flush();
+        RunResult sub = call(callee, call_args, ctx, depth + 1);
+        if (!sub.ok) return sub;
+        if (cf.result) stack.push_back(*sub.value);
+        break;
+      }
+      case Op::kCount:
+        return trap(TrapKind::kUnknownFunction);
+    }
+  }
+
+  flush();
+  result.ok = true;
+  if (fn.result && !stack.empty()) result.value = stack.back();
+  return result;
+}
+
+}  // namespace confbench::wasm

@@ -1,0 +1,91 @@
+// MiniWasm interpreter.
+//
+// A classic switch-dispatch interpreter over validated modules, with a
+// bounds-checked linear memory. When given an ExecutionContext it charges
+// the simulation for its dispatch work and memory traffic, so MiniWasm
+// programs run "inside" a confidential VM like every other workload — this
+// is the executable ground truth behind the `wasm` runtime profile's
+// op-expansion parameter (checked by a unit test).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "wasm/module.h"
+
+namespace confbench::vm {
+class ExecutionContext;
+}
+
+namespace confbench::wasm {
+
+enum class TrapKind : std::uint8_t {
+  kNone,
+  kDivideByZero,
+  kOutOfBoundsMemory,
+  kStackExhausted,
+  kFuelExhausted,
+  kUnknownFunction,
+};
+
+std::string_view to_string(TrapKind k);
+
+struct RunResult {
+  bool ok = false;
+  TrapKind trap = TrapKind::kNone;
+  std::optional<Value> value;
+  std::uint64_t instructions = 0;  ///< bytecode instructions retired
+  [[nodiscard]] std::int64_t i64() const { return value ? value->i64 : 0; }
+  [[nodiscard]] double f64() const { return value ? value->f64 : 0; }
+};
+
+struct InterpConfig {
+  std::uint64_t max_call_depth = 2048;
+  /// 0 = unlimited. Counts bytecode instructions.
+  std::uint64_t fuel = 0;
+  /// Native ops charged to the ExecutionContext per bytecode instruction —
+  /// MiniWasm's dispatch loop cost (wasmi-class interpreter).
+  double dispatch_ops_per_instr = 8.0;
+};
+
+class Interpreter {
+ public:
+  /// The module must have been validated; constructing an interpreter over
+  /// an invalid module throws std::invalid_argument.
+  explicit Interpreter(Module module, InterpConfig cfg = {});
+
+  /// Invokes `function` with `args`. If `ctx` is non-null, dispatch work
+  /// and linear-memory traffic are charged to the simulation.
+  RunResult invoke(const std::string& function,
+                   const std::vector<Value>& args,
+                   vm::ExecutionContext* ctx = nullptr);
+
+  [[nodiscard]] const Module& module() const { return module_; }
+  [[nodiscard]] std::uint64_t memory_bytes() const { return memory_.size(); }
+
+  /// Direct linear-memory access (for tests and host data exchange).
+  [[nodiscard]] std::int64_t read_i64(std::uint64_t addr) const;
+  void write_i64(std::uint64_t addr, std::int64_t v);
+
+ private:
+  struct ControlTargets {
+    // For each instruction index: the matching End (for Block/If) and the
+    // Else (for If, or npos).
+    std::vector<std::size_t> end_of;
+    std::vector<std::size_t> else_of;
+  };
+  void resolve_control(const Function& fn, ControlTargets* out) const;
+
+  RunResult call(std::size_t fn_index, const std::vector<Value>& args,
+                 vm::ExecutionContext* ctx, std::uint64_t depth);
+
+  Module module_;
+  InterpConfig cfg_;
+  std::vector<std::uint8_t> memory_;
+  std::vector<ControlTargets> targets_;  ///< per function
+  std::uint64_t fuel_used_ = 0;
+};
+
+}  // namespace confbench::wasm

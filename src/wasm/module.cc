@@ -1,0 +1,425 @@
+#include "wasm/module.h"
+
+#include <sstream>
+
+namespace confbench::wasm {
+
+std::string_view to_string(ValType t) {
+  return t == ValType::kI64 ? "i64" : "f64";
+}
+
+std::string_view to_string(Op op) {
+  switch (op) {
+    case Op::kI64Const: return "i64.const";
+    case Op::kF64Const: return "f64.const";
+    case Op::kLocalGet: return "local.get";
+    case Op::kLocalSet: return "local.set";
+    case Op::kLocalTee: return "local.tee";
+    case Op::kI64Add: return "i64.add";
+    case Op::kI64Sub: return "i64.sub";
+    case Op::kI64Mul: return "i64.mul";
+    case Op::kI64DivS: return "i64.div_s";
+    case Op::kI64RemS: return "i64.rem_s";
+    case Op::kI64And: return "i64.and";
+    case Op::kI64Or: return "i64.or";
+    case Op::kI64Xor: return "i64.xor";
+    case Op::kI64Shl: return "i64.shl";
+    case Op::kI64ShrS: return "i64.shr_s";
+    case Op::kI64Eqz: return "i64.eqz";
+    case Op::kI64Eq: return "i64.eq";
+    case Op::kI64Ne: return "i64.ne";
+    case Op::kI64LtS: return "i64.lt_s";
+    case Op::kI64GtS: return "i64.gt_s";
+    case Op::kI64LeS: return "i64.le_s";
+    case Op::kI64GeS: return "i64.ge_s";
+    case Op::kF64Add: return "f64.add";
+    case Op::kF64Sub: return "f64.sub";
+    case Op::kF64Mul: return "f64.mul";
+    case Op::kF64Div: return "f64.div";
+    case Op::kF64Sqrt: return "f64.sqrt";
+    case Op::kF64Abs: return "f64.abs";
+    case Op::kF64Neg: return "f64.neg";
+    case Op::kF64Eq: return "f64.eq";
+    case Op::kF64Lt: return "f64.lt";
+    case Op::kF64Gt: return "f64.gt";
+    case Op::kI64TruncF64: return "i64.trunc_f64_s";
+    case Op::kF64ConvertI64: return "f64.convert_i64_s";
+    case Op::kDrop: return "drop";
+    case Op::kSelect: return "select";
+    case Op::kI64Load: return "i64.load";
+    case Op::kI64Store: return "i64.store";
+    case Op::kF64Load: return "f64.load";
+    case Op::kF64Store: return "f64.store";
+    case Op::kMemorySize: return "memory.size";
+    case Op::kMemoryGrow: return "memory.grow";
+    case Op::kBlock: return "block";
+    case Op::kLoop: return "loop";
+    case Op::kIf: return "if";
+    case Op::kElse: return "else";
+    case Op::kEnd: return "end";
+    case Op::kBr: return "br";
+    case Op::kBrIf: return "br_if";
+    case Op::kReturn: return "return";
+    case Op::kCall: return "call";
+    case Op::kCount: break;
+  }
+  return "?";
+}
+
+const Function* Module::find(const std::string& name) const {
+  for (const auto& f : functions) {
+    if (f.name == name) return &f;
+  }
+  return nullptr;
+}
+
+int Module::index_of(const std::string& name) const {
+  for (std::size_t i = 0; i < functions.size(); ++i) {
+    if (functions[i].name == name) return static_cast<int>(i);
+  }
+  return -1;
+}
+
+namespace {
+
+/// Per-function type checker. Control frames are void-typed (a deliberate
+/// MiniWasm simplification — values may not flow out of blocks; function
+/// results are produced at the function's final End). Code after an
+/// unconditional br/return is skipped until the enclosing frame closes.
+class Validator {
+ public:
+  Validator(const Module& module, const Function& fn)
+      : module_(module), fn_(fn) {}
+
+  std::string check() {
+    frames_.push_back({false, 0});  // implicit function frame
+    for (pc_ = 0; pc_ < fn_.body.size(); ++pc_) {
+      const Instr& in = fn_.body[pc_];
+      if (unreachable_) {
+        if (!step_unreachable(in)) continue;
+        if (!err_.empty()) return err_;
+        continue;
+      }
+      step(in);
+      if (!err_.empty())
+        return "at " + std::to_string(pc_) + " (" +
+               std::string(to_string(in.op)) + "): " + err_;
+    }
+    if (!frames_.empty())
+      return "unbalanced control frames: " + std::to_string(frames_.size()) +
+             " unclosed";
+    if (!done_) return "function body missing final end";
+    return "";
+  }
+
+ private:
+  struct Frame {
+    bool is_loop;
+    std::size_t height;
+    bool saw_else = false;
+    bool is_if = false;
+  };
+
+  void fail(const std::string& what) {
+    if (err_.empty()) err_ = what;
+  }
+
+  void push(ValType t) { stack_.push_back(t); }
+
+  std::optional<ValType> pop() {
+    if (frames_.empty()) {
+      fail("pop outside any frame");
+      return std::nullopt;
+    }
+    if (stack_.size() <= frames_.back().height) {
+      fail("stack underflow");
+      return std::nullopt;
+    }
+    const ValType t = stack_.back();
+    stack_.pop_back();
+    return t;
+  }
+
+  void expect(ValType want) {
+    const auto got = pop();
+    if (got && *got != want)
+      fail(std::string("expected ") + std::string(to_string(want)) +
+           ", found " + std::string(to_string(*got)));
+  }
+
+  void binop(ValType t) {
+    expect(t);
+    expect(t);
+    push(t);
+  }
+
+  void cmp(ValType t) {
+    expect(t);
+    expect(t);
+    push(ValType::kI64);
+  }
+
+  ValType local_type(std::int64_t idx) {
+    if (idx < 0 ||
+        static_cast<std::size_t>(idx) >= fn_.params.size() + fn_.locals.size()) {
+      fail("unknown local " + std::to_string(idx));
+      return ValType::kI64;
+    }
+    const auto u = static_cast<std::size_t>(idx);
+    return u < fn_.params.size() ? fn_.params[u]
+                                 : fn_.locals[u - fn_.params.size()];
+  }
+
+  void check_branch_depth(std::int64_t depth) {
+    if (depth < 0 || static_cast<std::size_t>(depth) >= frames_.size())
+      fail("branch depth " + std::to_string(depth) + " exceeds " +
+           std::to_string(frames_.size()) + " frames");
+  }
+
+  // Skips unreachable code; returns true if the instruction was structural
+  // and handled here.
+  bool step_unreachable(const Instr& in) {
+    switch (in.op) {
+      case Op::kBlock:
+      case Op::kLoop:
+      case Op::kIf:
+        ++skip_depth_;
+        return true;
+      case Op::kElse:
+        if (skip_depth_ == 0) {
+          // The else-arm of the frame that went unreachable is reachable.
+          unreachable_ = false;
+          handle_else();
+        }
+        return true;
+      case Op::kEnd:
+        if (skip_depth_ > 0) {
+          --skip_depth_;
+          return true;
+        }
+        unreachable_ = false;
+        if (frames_.size() == 1) {
+          // Function end reached via unconditional br/return: the result
+          // was already produced at the branch site.
+          frames_.pop_back();
+          done_ = true;
+          if (pc_ + 1 != fn_.body.size()) fail("code after final end");
+          stack_.clear();
+          return true;
+        }
+        stack_.resize(frames_.back().height);
+        handle_end();
+        return true;
+      default:
+        return true;  // skipped
+    }
+  }
+
+  void handle_else() {
+    if (frames_.empty() || !frames_.back().is_if || frames_.back().saw_else) {
+      fail("else without matching if");
+      return;
+    }
+    frames_.back().saw_else = true;
+    stack_.resize(frames_.back().height);
+  }
+
+  void handle_end() {
+    if (frames_.empty()) {
+      fail("end without open frame");
+      return;
+    }
+    const Frame frame = frames_.back();
+    frames_.pop_back();
+    if (frames_.empty()) {
+      // Function end: the stack must carry exactly the declared result.
+      done_ = true;
+      const std::size_t want = fn_.result ? 1 : 0;
+      if (stack_.size() != want) {
+        fail("function leaves " + std::to_string(stack_.size()) +
+             " values, declared " + std::to_string(want));
+        return;
+      }
+      if (fn_.result && stack_.back() != *fn_.result)
+        fail("result type mismatch");
+      if (pc_ + 1 != fn_.body.size()) fail("code after final end");
+      return;
+    }
+    if (stack_.size() != frame.height)
+      fail("block leaves " +
+           std::to_string(stack_.size() - frame.height) +
+           " values (blocks are void in MiniWasm)");
+  }
+
+  void step(const Instr& in) {
+    switch (in.op) {
+      case Op::kI64Const:
+        push(ValType::kI64);
+        break;
+      case Op::kF64Const:
+        push(ValType::kF64);
+        break;
+      case Op::kLocalGet:
+        push(local_type(in.imm_i));
+        break;
+      case Op::kLocalSet:
+        expect(local_type(in.imm_i));
+        break;
+      case Op::kLocalTee: {
+        const ValType t = local_type(in.imm_i);
+        expect(t);
+        push(t);
+        break;
+      }
+      case Op::kI64Add: case Op::kI64Sub: case Op::kI64Mul:
+      case Op::kI64DivS: case Op::kI64RemS: case Op::kI64And:
+      case Op::kI64Or: case Op::kI64Xor: case Op::kI64Shl:
+      case Op::kI64ShrS:
+        binop(ValType::kI64);
+        break;
+      case Op::kI64Eqz:
+        expect(ValType::kI64);
+        push(ValType::kI64);
+        break;
+      case Op::kI64Eq: case Op::kI64Ne: case Op::kI64LtS:
+      case Op::kI64GtS: case Op::kI64LeS: case Op::kI64GeS:
+        cmp(ValType::kI64);
+        break;
+      case Op::kF64Add: case Op::kF64Sub: case Op::kF64Mul:
+      case Op::kF64Div:
+        binop(ValType::kF64);
+        break;
+      case Op::kF64Sqrt: case Op::kF64Abs: case Op::kF64Neg:
+        expect(ValType::kF64);
+        push(ValType::kF64);
+        break;
+      case Op::kF64Eq: case Op::kF64Lt: case Op::kF64Gt:
+        cmp(ValType::kF64);
+        break;
+      case Op::kI64TruncF64:
+        expect(ValType::kF64);
+        push(ValType::kI64);
+        break;
+      case Op::kF64ConvertI64:
+        expect(ValType::kI64);
+        push(ValType::kF64);
+        break;
+      case Op::kDrop:
+        pop();
+        break;
+      case Op::kSelect: {
+        expect(ValType::kI64);  // condition
+        const auto b = pop();
+        const auto a = pop();
+        if (a && b && *a != *b) fail("select arms differ in type");
+        if (a) push(*a);
+        break;
+      }
+      case Op::kI64Load:
+        expect(ValType::kI64);
+        push(ValType::kI64);
+        break;
+      case Op::kF64Load:
+        expect(ValType::kI64);
+        push(ValType::kF64);
+        break;
+      case Op::kI64Store:
+        expect(ValType::kI64);  // value
+        expect(ValType::kI64);  // address
+        break;
+      case Op::kF64Store:
+        expect(ValType::kF64);
+        expect(ValType::kI64);
+        break;
+      case Op::kMemorySize:
+        push(ValType::kI64);
+        break;
+      case Op::kMemoryGrow:
+        expect(ValType::kI64);
+        push(ValType::kI64);
+        break;
+      case Op::kBlock:
+        frames_.push_back({false, stack_.size()});
+        break;
+      case Op::kLoop:
+        frames_.push_back({true, stack_.size()});
+        break;
+      case Op::kIf:
+        expect(ValType::kI64);
+        frames_.push_back({false, stack_.size(), false, true});
+        break;
+      case Op::kElse:
+        handle_else();
+        break;
+      case Op::kEnd:
+        handle_end();
+        break;
+      case Op::kBr:
+        check_branch_depth(in.imm_i);
+        unreachable_ = true;
+        break;
+      case Op::kBrIf:
+        expect(ValType::kI64);
+        check_branch_depth(in.imm_i);
+        break;
+      case Op::kReturn: {
+        if (fn_.result) expect(*fn_.result);
+        unreachable_ = true;
+        break;
+      }
+      case Op::kCall: {
+        if (in.imm_i < 0 ||
+            static_cast<std::size_t>(in.imm_i) >= module_.functions.size()) {
+          fail("call to unknown function " + std::to_string(in.imm_i));
+          break;
+        }
+        const Function& callee =
+            module_.functions[static_cast<std::size_t>(in.imm_i)];
+        for (auto it = callee.params.rbegin(); it != callee.params.rend();
+             ++it)
+          expect(*it);
+        if (callee.result) push(*callee.result);
+        break;
+      }
+      case Op::kCount:
+        fail("invalid opcode");
+        break;
+    }
+  }
+
+  const Module& module_;
+  const Function& fn_;
+  std::vector<Frame> frames_;
+  std::vector<ValType> stack_;
+  std::size_t pc_ = 0;
+  bool unreachable_ = false;
+  int skip_depth_ = 0;
+  bool done_ = false;
+  std::string err_;
+};
+
+}  // namespace
+
+ValidationResult validate(const Module& module) {
+  ValidationResult out;
+  if (module.memory_pages > Module::kMaxPages) {
+    out.error = "memory exceeds the 64-MiB cap";
+    return out;
+  }
+  for (const auto& fn : module.functions) {
+    if (fn.body.empty() || fn.body.back().op != Op::kEnd) {
+      out.error = fn.name + ": body must end with 'end'";
+      return out;
+    }
+    Validator v(module, fn);
+    const std::string err = v.check();
+    if (!err.empty()) {
+      out.error = fn.name + ": " + err;
+      return out;
+    }
+  }
+  out.ok = true;
+  return out;
+}
+
+}  // namespace confbench::wasm

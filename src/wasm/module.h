@@ -1,0 +1,78 @@
+// MiniWasm module model: instructions, functions, validation.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "wasm/value.h"
+
+namespace confbench::wasm {
+
+enum class Op : std::uint8_t {
+  // constants
+  kI64Const, kF64Const,
+  // locals
+  kLocalGet, kLocalSet, kLocalTee,
+  // i64 arithmetic / logic
+  kI64Add, kI64Sub, kI64Mul, kI64DivS, kI64RemS,
+  kI64And, kI64Or, kI64Xor, kI64Shl, kI64ShrS,
+  // i64 comparisons (produce i64 0/1)
+  kI64Eqz, kI64Eq, kI64Ne, kI64LtS, kI64GtS, kI64LeS, kI64GeS,
+  // f64 arithmetic
+  kF64Add, kF64Sub, kF64Mul, kF64Div, kF64Sqrt, kF64Abs, kF64Neg,
+  // f64 comparisons
+  kF64Eq, kF64Lt, kF64Gt,
+  // conversions
+  kI64TruncF64, kF64ConvertI64,
+  // parametric
+  kDrop, kSelect,
+  // memory (byte-addressed, bounds-checked)
+  kI64Load, kI64Store, kF64Load, kF64Store, kMemorySize, kMemoryGrow,
+  // control
+  kBlock, kLoop, kIf, kElse, kEnd, kBr, kBrIf, kReturn, kCall,
+  kCount
+};
+
+std::string_view to_string(Op op);
+
+/// One instruction: opcode + immediate. `imm_i` carries local indices,
+/// branch depths, function indices or i64 constants; `imm_f` carries f64
+/// constants.
+struct Instr {
+  Op op;
+  std::int64_t imm_i = 0;
+  double imm_f = 0.0;
+};
+
+struct Function {
+  std::string name;
+  std::vector<ValType> params;
+  std::vector<ValType> locals;  ///< additional locals (zero-initialised)
+  std::optional<ValType> result;
+  std::vector<Instr> body;      ///< must end with kEnd
+};
+
+struct Module {
+  std::vector<Function> functions;
+  std::uint32_t memory_pages = 0;  ///< 64-KiB pages
+  static constexpr std::uint32_t kPageBytes = 64 * 1024;
+  static constexpr std::uint32_t kMaxPages = 1024;  // 64 MiB cap
+
+  [[nodiscard]] const Function* find(const std::string& name) const;
+  [[nodiscard]] int index_of(const std::string& name) const;
+};
+
+/// Validation result: empty error means the module is well-formed.
+struct ValidationResult {
+  bool ok = false;
+  std::string error;
+};
+
+/// Structural + type validation: balanced control frames, known branch
+/// depths, known locals/functions, stack-effect consistency on every path,
+/// and result-type agreement.
+ValidationResult validate(const Module& module);
+
+}  // namespace confbench::wasm

@@ -1,0 +1,469 @@
+#include "wasm/text.h"
+
+#include <cctype>
+#include <map>
+#include <sstream>
+#include <vector>
+
+namespace confbench::wasm {
+
+namespace {
+
+// ---------------------------------------------------------------- tokenizer
+
+struct Token {
+  enum class Kind { kLParen, kRParen, kAtom, kEof } kind;
+  std::string text;
+  int line;
+};
+
+class Tokenizer {
+ public:
+  explicit Tokenizer(const std::string& src) : src_(src) {}
+
+  // Returns false on lexical error (error_ set).
+  bool tokenize(std::vector<Token>* out) {
+    while (pos_ < src_.size()) {
+      const char c = src_[pos_];
+      if (c == '\n') {
+        ++line_;
+        ++pos_;
+      } else if (std::isspace(static_cast<unsigned char>(c))) {
+        ++pos_;
+      } else if (c == ';' && peek(1) == ';') {
+        while (pos_ < src_.size() && src_[pos_] != '\n') ++pos_;
+      } else if (c == '(' && peek(1) == ';') {
+        if (!skip_block_comment()) return false;
+      } else if (c == '(') {
+        out->push_back({Token::Kind::kLParen, "(", line_});
+        ++pos_;
+      } else if (c == ')') {
+        out->push_back({Token::Kind::kRParen, ")", line_});
+        ++pos_;
+      } else {
+        std::string atom;
+        const int start_line = line_;
+        while (pos_ < src_.size() && !std::isspace(static_cast<unsigned char>(
+                                         src_[pos_])) &&
+               src_[pos_] != '(' && src_[pos_] != ')') {
+          atom += src_[pos_++];
+        }
+        out->push_back({Token::Kind::kAtom, atom, start_line});
+      }
+    }
+    out->push_back({Token::Kind::kEof, "", line_});
+    return true;
+  }
+
+  [[nodiscard]] const std::string& error() const { return error_; }
+  [[nodiscard]] int error_line() const { return line_; }
+
+ private:
+  char peek(std::size_t ahead) const {
+    return pos_ + ahead < src_.size() ? src_[pos_ + ahead] : '\0';
+  }
+  bool skip_block_comment() {
+    int depth = 0;
+    while (pos_ < src_.size()) {
+      if (src_[pos_] == '(' && peek(1) == ';') {
+        ++depth;
+        pos_ += 2;
+      } else if (src_[pos_] == ';' && peek(1) == ')') {
+        --depth;
+        pos_ += 2;
+        if (depth == 0) return true;
+      } else {
+        if (src_[pos_] == '\n') ++line_;
+        ++pos_;
+      }
+    }
+    error_ = "unterminated block comment";
+    return false;
+  }
+
+  const std::string& src_;
+  std::size_t pos_ = 0;
+  int line_ = 1;
+  std::string error_;
+};
+
+// ------------------------------------------------------------------- parser
+
+const std::map<std::string, Op>& op_table() {
+  static const std::map<std::string, Op> kTable = [] {
+    std::map<std::string, Op> t;
+    for (int i = 0; i < static_cast<int>(Op::kCount); ++i) {
+      const Op op = static_cast<Op>(i);
+      t.emplace(std::string(to_string(op)), op);
+    }
+    return t;
+  }();
+  return kTable;
+}
+
+bool op_takes_index_imm(Op op) {
+  switch (op) {
+    case Op::kLocalGet:
+    case Op::kLocalSet:
+    case Op::kLocalTee:
+    case Op::kBr:
+    case Op::kBrIf:
+    case Op::kCall:
+      return true;
+    default:
+      return false;
+  }
+}
+
+bool op_takes_optional_offset(Op op) {
+  switch (op) {
+    case Op::kI64Load:
+    case Op::kI64Store:
+    case Op::kF64Load:
+    case Op::kF64Store:
+      return true;
+    default:
+      return false;
+  }
+}
+
+class Parser {
+ public:
+  explicit Parser(std::vector<Token> tokens) : tokens_(std::move(tokens)) {}
+
+  ParseResult parse() {
+    ParseResult result;
+    Module module;
+    if (!expect(Token::Kind::kLParen) || !expect_atom("module")) {
+      return fail_result();
+    }
+    // First pass over function names happens inline: function indices are
+    // assigned in declaration order, and forward calls by $name are patched
+    // at the end.
+    while (peek().kind == Token::Kind::kLParen) {
+      const Token& next = tokens_[pos_ + 1];
+      if (next.kind != Token::Kind::kAtom) return fail_result("expected form");
+      if (next.text == "memory") {
+        if (!parse_memory(&module)) return fail_result();
+      } else if (next.text == "func") {
+        if (!parse_func(&module)) return fail_result();
+      } else {
+        return fail_result("unknown form '" + next.text + "'");
+      }
+    }
+    if (!expect(Token::Kind::kRParen)) return fail_result();
+    if (!patch_forward_calls(&module)) return fail_result();
+    result.module = std::move(module);
+    return result;
+  }
+
+ private:
+  ParseResult fail_result(const std::string& msg = "") {
+    if (!msg.empty()) set_error(msg);
+    ParseResult r;
+    r.error = error_.empty() ? "parse error" : error_;
+    r.line = error_line_ ? error_line_ : peek().line;
+    return r;
+  }
+
+  void set_error(const std::string& msg) {
+    if (error_.empty()) {
+      error_ = msg;
+      error_line_ = peek().line;
+    }
+  }
+
+  const Token& peek(std::size_t ahead = 0) const {
+    const std::size_t i = std::min(pos_ + ahead, tokens_.size() - 1);
+    return tokens_[i];
+  }
+  const Token& take() { return tokens_[std::min(pos_++, tokens_.size() - 1)]; }
+
+  bool expect(Token::Kind kind) {
+    if (peek().kind != kind) {
+      set_error("unexpected token '" + peek().text + "'");
+      return false;
+    }
+    ++pos_;
+    return true;
+  }
+  bool expect_atom(const std::string& text) {
+    if (peek().kind != Token::Kind::kAtom || peek().text != text) {
+      set_error("expected '" + text + "'");
+      return false;
+    }
+    ++pos_;
+    return true;
+  }
+
+  static std::optional<ValType> parse_valtype(const std::string& s) {
+    if (s == "i64") return ValType::kI64;
+    if (s == "f64") return ValType::kF64;
+    return std::nullopt;
+  }
+
+  bool parse_int(const std::string& s, std::int64_t* out) {
+    try {
+      std::size_t used = 0;
+      *out = std::stoll(s, &used, 0);
+      return used == s.size();
+    } catch (...) {
+      return false;
+    }
+  }
+
+  bool parse_memory(Module* module) {
+    ++pos_;  // (
+    ++pos_;  // memory
+    std::int64_t pages = 0;
+    if (peek().kind != Token::Kind::kAtom ||
+        !parse_int(take().text, &pages) || pages < 0) {
+      set_error("memory needs a page count");
+      return false;
+    }
+    module->memory_pages = static_cast<std::uint32_t>(pages);
+    return expect(Token::Kind::kRParen);
+  }
+
+  bool parse_func(Module* module) {
+    ++pos_;  // (
+    ++pos_;  // func
+    Function fn;
+    std::map<std::string, int> local_names;
+
+    if (peek().kind == Token::Kind::kAtom && peek().text[0] == '$') {
+      fn.name = take().text.substr(1);
+    } else {
+      fn.name = "f" + std::to_string(module->functions.size());
+    }
+    if (fn_indices_.count(fn.name)) {
+      set_error("duplicate function $" + fn.name);
+      return false;
+    }
+    fn_indices_[fn.name] = static_cast<int>(module->functions.size());
+
+    // (param [$name] type)* (result type)? (local [$name] type)*
+    while (peek().kind == Token::Kind::kLParen &&
+           peek(1).kind == Token::Kind::kAtom &&
+           (peek(1).text == "param" || peek(1).text == "result" ||
+            peek(1).text == "local")) {
+      ++pos_;
+      const std::string what = take().text;
+      std::string name;
+      if (peek().kind == Token::Kind::kAtom && peek().text[0] == '$')
+        name = take().text.substr(1);
+      if (what == "result") {
+        const auto t = peek().kind == Token::Kind::kAtom
+                           ? parse_valtype(take().text)
+                           : std::nullopt;
+        if (!t) {
+          set_error("result needs a type");
+          return false;
+        }
+        fn.result = *t;
+      } else {
+        const auto t = peek().kind == Token::Kind::kAtom
+                           ? parse_valtype(take().text)
+                           : std::nullopt;
+        if (!t) {
+          set_error(what + " needs a type");
+          return false;
+        }
+        int index;
+        if (what == "param") {
+          if (!fn.locals.empty() || fn.result) {
+            set_error("params must precede result and locals");
+            return false;
+          }
+          fn.params.push_back(*t);
+          index = static_cast<int>(fn.params.size()) - 1;
+        } else {
+          fn.locals.push_back(*t);
+          index =
+              static_cast<int>(fn.params.size() + fn.locals.size()) - 1;
+        }
+        if (!name.empty()) {
+          if (local_names.count(name)) {
+            set_error("duplicate local $" + name);
+            return false;
+          }
+          local_names[name] = index;
+        }
+      }
+      if (!expect(Token::Kind::kRParen)) return false;
+    }
+
+    // Linear instruction sequence until the function's closing paren.
+    while (peek().kind == Token::Kind::kAtom) {
+      if (!parse_instr(&fn, local_names)) return false;
+    }
+    if (!expect(Token::Kind::kRParen)) {
+      set_error("expected instruction or ')'");
+      return false;
+    }
+    // The implicit function end.
+    if (fn.body.empty() || fn.body.back().op != Op::kEnd)
+      fn.body.push_back({Op::kEnd, 0, 0.0});
+    module->functions.push_back(std::move(fn));
+    return true;
+  }
+
+  bool parse_instr(Function* fn, const std::map<std::string, int>& locals) {
+    const Token tok = take();
+    const auto it = op_table().find(tok.text);
+    if (it == op_table().end()) {
+      set_error("unknown instruction '" + tok.text + "'");
+      return false;
+    }
+    Instr in{it->second, 0, 0.0};
+    if (in.op == Op::kI64Const) {
+      if (peek().kind != Token::Kind::kAtom ||
+          !parse_int(take().text, &in.imm_i)) {
+        set_error("i64.const needs an integer");
+        return false;
+      }
+    } else if (in.op == Op::kF64Const) {
+      if (peek().kind != Token::Kind::kAtom) {
+        set_error("f64.const needs a number");
+        return false;
+      }
+      try {
+        in.imm_f = std::stod(take().text);
+      } catch (...) {
+        set_error("bad f64 literal");
+        return false;
+      }
+    } else if (op_takes_index_imm(in.op)) {
+      if (peek().kind != Token::Kind::kAtom) {
+        set_error(std::string(to_string(in.op)) + " needs an operand");
+        return false;
+      }
+      const std::string operand = take().text;
+      if (!operand.empty() && operand[0] == '$') {
+        const std::string name = operand.substr(1);
+        if (in.op == Op::kCall) {
+          // Defer: forward references are patched after all functions parse.
+          pending_calls_.push_back(
+              {current_instr_slot(fn), name, tok.line});
+          in.imm_i = -1;
+        } else {
+          const auto lit = locals.find(name);
+          if (lit == locals.end()) {
+            set_error("unknown local $" + name);
+            return false;
+          }
+          in.imm_i = lit->second;
+        }
+      } else if (!parse_int(operand, &in.imm_i) || in.imm_i < 0) {
+        set_error("bad index '" + operand + "'");
+        return false;
+      }
+    } else if (op_takes_optional_offset(in.op)) {
+      if (peek().kind == Token::Kind::kAtom) {
+        // offset=N attribute (optional).
+        const std::string& text = peek().text;
+        if (text.rfind("offset=", 0) == 0) {
+          if (!parse_int(text.substr(7), &in.imm_i)) {
+            set_error("bad offset");
+            return false;
+          }
+          ++pos_;
+        }
+      }
+    }
+    fn->body.push_back(in);
+    return true;
+  }
+
+  struct PendingCall {
+    std::pair<std::size_t, std::size_t> slot;  // function idx, instr idx
+    std::string callee;
+    int line;
+  };
+
+  std::pair<std::size_t, std::size_t> current_instr_slot(Function* fn) const {
+    return {fn_indices_.size() - 1, fn->body.size()};
+  }
+
+  bool patch_forward_calls(Module* module) {
+    for (const auto& call : pending_calls_) {
+      const auto it = fn_indices_.find(call.callee);
+      if (it == fn_indices_.end()) {
+        error_ = "call to unknown function $" + call.callee;
+        error_line_ = call.line;
+        return false;
+      }
+      module->functions[call.slot.first].body[call.slot.second].imm_i =
+          it->second;
+    }
+    return true;
+  }
+
+  std::vector<Token> tokens_;
+  std::size_t pos_ = 0;
+  std::map<std::string, int> fn_indices_;
+  std::vector<PendingCall> pending_calls_;
+  std::string error_;
+  int error_line_ = 0;
+};
+
+}  // namespace
+
+ParseResult parse_text(const std::string& source) {
+  Tokenizer tokenizer(source);
+  std::vector<Token> tokens;
+  if (!tokenizer.tokenize(&tokens)) {
+    ParseResult r;
+    r.error = tokenizer.error();
+    r.line = tokenizer.error_line();
+    return r;
+  }
+  Parser parser(std::move(tokens));
+  return parser.parse();
+}
+
+std::string to_text(const Module& module) {
+  std::ostringstream os;
+  os << "(module\n";
+  if (module.memory_pages > 0)
+    os << "  (memory " << module.memory_pages << ")\n";
+  for (const auto& fn : module.functions) {
+    os << "  (func $" << fn.name;
+    for (const ValType p : fn.params) os << " (param " << to_string(p) << ")";
+    if (fn.result) os << " (result " << to_string(*fn.result) << ")";
+    for (const ValType l : fn.locals) os << " (local " << to_string(l) << ")";
+    os << "\n";
+    int indent = 2;
+    for (std::size_t i = 0; i < fn.body.size(); ++i) {
+      const Instr& in = fn.body[i];
+      const bool last = i + 1 == fn.body.size();
+      if (last && in.op == Op::kEnd) break;  // implicit function end
+      if (in.op == Op::kEnd || in.op == Op::kElse) indent = std::max(1, indent - 1);
+      os << std::string(static_cast<std::size_t>(indent) * 2, ' ')
+         << to_string(in.op);
+      if (in.op == Op::kI64Const) {
+        os << ' ' << in.imm_i;
+      } else if (in.op == Op::kF64Const) {
+        os << ' ' << in.imm_f;
+      } else if (op_takes_index_imm(in.op)) {
+        if (in.op == Op::kCall) {
+          os << " $"
+             << module.functions[static_cast<std::size_t>(in.imm_i)].name;
+        } else {
+          os << ' ' << in.imm_i;
+        }
+      } else if (op_takes_optional_offset(in.op) && in.imm_i != 0) {
+        os << " offset=" << in.imm_i;
+      }
+      os << "\n";
+      if (in.op == Op::kBlock || in.op == Op::kLoop || in.op == Op::kIf ||
+          in.op == Op::kElse)
+        ++indent;
+    }
+    os << "  )\n";
+  }
+  os << ")\n";
+  return os.str();
+}
+
+}  // namespace confbench::wasm

@@ -1,0 +1,46 @@
+// MiniWasm text format (a WAT-flavoured s-expression syntax).
+//
+// Lets users ship MiniWasm functions to ConfBench as source text — the
+// FaaS upload path of §III-C — instead of building modules in C++:
+//
+//   (module
+//     (memory 2)
+//     (func $sum (param $n i64) (result i64)
+//       (local $i i64) (local $acc i64)
+//       block loop
+//         local.get $i  local.get $n  i64.ge_s  br_if 1
+//         local.get $acc  local.get $i  i64.add  local.set $acc
+//         local.get $i  i64.const 1  i64.add  local.set $i
+//         br 0
+//       end end
+//       local.get $acc))
+//
+// Instructions are written in linear (stack) order using the canonical
+// names of wasm::to_string(Op). `$name` identifiers are resolved for
+// functions, params and locals; plain integers work everywhere too.
+// `;; line` and `(; block ;)` comments are supported.
+#pragma once
+
+#include <optional>
+#include <string>
+
+#include "wasm/module.h"
+
+namespace confbench::wasm {
+
+struct ParseResult {
+  std::optional<Module> module;
+  std::string error;  ///< empty on success
+  int line = 0;       ///< 1-based line of the first error
+  [[nodiscard]] bool ok() const { return module.has_value(); }
+};
+
+/// Parses text into a module. The module is *not* validated — callers run
+/// wasm::validate (the Interpreter constructor does so anyway).
+ParseResult parse_text(const std::string& source);
+
+/// Prints a module in the text format; parse_text(to_text(m)) reproduces
+/// the module (names are synthesised as $f0, $f1, ...).
+std::string to_text(const Module& module);
+
+}  // namespace confbench::wasm

@@ -1,0 +1,46 @@
+// Value model for the MiniWasm interpreter.
+//
+// MiniWasm is ConfBench's stand-in for the Wasmi engine the paper uses for
+// its WebAssembly FaaS runtime (§IV-B, [36], [37]): a validated, stack-based
+// bytecode VM with linear memory. It supports the i64/f64 subset the
+// benchmark programs need.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace confbench::wasm {
+
+enum class ValType : std::uint8_t { kI64, kF64 };
+
+std::string_view to_string(ValType t);
+
+/// A tagged runtime value.
+struct Value {
+  ValType type = ValType::kI64;
+  union {
+    std::int64_t i64;
+    double f64;
+  };
+
+  Value() : i64(0) {}
+  static Value make_i64(std::int64_t v) {
+    Value out;
+    out.type = ValType::kI64;
+    out.i64 = v;
+    return out;
+  }
+  static Value make_f64(double v) {
+    Value out;
+    out.type = ValType::kF64;
+    out.f64 = v;
+    return out;
+  }
+
+  [[nodiscard]] bool operator==(const Value& o) const {
+    if (type != o.type) return false;
+    return type == ValType::kI64 ? i64 == o.i64 : f64 == o.f64;
+  }
+};
+
+}  // namespace confbench::wasm

@@ -1,0 +1,197 @@
+#include "wl/db/btree.h"
+
+#include <algorithm>
+
+namespace confbench::wl::db {
+
+BPlusTree::BPlusTree() { root_.reset(new_node(/*leaf=*/true)); }
+BPlusTree::~BPlusTree() = default;
+
+BPlusTree::Node* BPlusTree::new_node(bool leaf) {
+  auto* n = new Node;
+  n->leaf = leaf;
+  n->sim_addr = next_sim_addr_;
+  next_sim_addr_ += 4096;  // one simulated page per node
+  ++node_count_;
+  return n;
+}
+
+std::optional<BPlusTree::SplitResult> BPlusTree::insert_rec(
+    Node* n, std::uint64_t key, std::uint64_t value, bool* was_new) {
+  touch(n);
+  if (n->leaf) {
+    const auto it = std::lower_bound(n->keys.begin(), n->keys.end(), key);
+    const auto idx = static_cast<std::size_t>(it - n->keys.begin());
+    if (it != n->keys.end() && *it == key) {
+      n->values[idx] = value;
+      *was_new = false;
+      return std::nullopt;
+    }
+    n->keys.insert(it, key);
+    n->values.insert(n->values.begin() + static_cast<std::ptrdiff_t>(idx),
+                     value);
+    *was_new = true;
+    if (n->keys.size() < kOrder) return std::nullopt;
+    // Split the leaf.
+    NodePtr right(new_node(/*leaf=*/true));
+    const std::size_t half = n->keys.size() / 2;
+    right->keys.assign(n->keys.begin() + static_cast<std::ptrdiff_t>(half),
+                       n->keys.end());
+    right->values.assign(n->values.begin() + static_cast<std::ptrdiff_t>(half),
+                         n->values.end());
+    n->keys.resize(half);
+    n->values.resize(half);
+    right->next = n->next;
+    n->next = right.get();
+    return SplitResult{right->keys.front(), std::move(right)};
+  }
+  // Inner node: descend.
+  const auto it = std::upper_bound(n->keys.begin(), n->keys.end(), key);
+  const auto idx = static_cast<std::size_t>(it - n->keys.begin());
+  auto split = insert_rec(n->children[idx].get(), key, value, was_new);
+  if (!split) return std::nullopt;
+  n->keys.insert(n->keys.begin() + static_cast<std::ptrdiff_t>(idx),
+                 split->sep_key);
+  n->children.insert(
+      n->children.begin() + static_cast<std::ptrdiff_t>(idx) + 1,
+      std::move(split->right));
+  if (n->children.size() <= kOrder) return std::nullopt;
+  // Split the inner node: middle key moves up.
+  NodePtr right(new_node(/*leaf=*/false));
+  const std::size_t mid = n->keys.size() / 2;
+  const std::uint64_t up = n->keys[mid];
+  right->keys.assign(n->keys.begin() + static_cast<std::ptrdiff_t>(mid) + 1,
+                     n->keys.end());
+  for (std::size_t i = mid + 1; i < n->children.size(); ++i)
+    right->children.push_back(std::move(n->children[i]));
+  n->keys.resize(mid);
+  n->children.resize(mid + 1);
+  return SplitResult{up, std::move(right)};
+}
+
+bool BPlusTree::insert(std::uint64_t key, std::uint64_t value) {
+  bool was_new = false;
+  auto split = insert_rec(root_.get(), key, value, &was_new);
+  if (split) {
+    NodePtr new_root(new_node(/*leaf=*/false));
+    new_root->keys.push_back(split->sep_key);
+    new_root->children.push_back(std::move(root_));
+    new_root->children.push_back(std::move(split->right));
+    root_ = std::move(new_root);
+  }
+  if (was_new) ++size_;
+  return was_new;
+}
+
+std::optional<std::uint64_t> BPlusTree::find(std::uint64_t key) const {
+  const Node* n = root_.get();
+  while (true) {
+    touch(n);
+    if (n->leaf) {
+      const auto it = std::lower_bound(n->keys.begin(), n->keys.end(), key);
+      if (it != n->keys.end() && *it == key)
+        return n->values[static_cast<std::size_t>(it - n->keys.begin())];
+      return std::nullopt;
+    }
+    const auto it = std::upper_bound(n->keys.begin(), n->keys.end(), key);
+    n = n->children[static_cast<std::size_t>(it - n->keys.begin())].get();
+  }
+}
+
+bool BPlusTree::erase(std::uint64_t key) {
+  Node* n = root_.get();
+  while (true) {
+    touch(n);
+    if (n->leaf) {
+      const auto it = std::lower_bound(n->keys.begin(), n->keys.end(), key);
+      if (it == n->keys.end() || *it != key) return false;
+      const auto idx = static_cast<std::size_t>(it - n->keys.begin());
+      n->keys.erase(it);
+      n->values.erase(n->values.begin() + static_cast<std::ptrdiff_t>(idx));
+      --size_;
+      return true;
+    }
+    const auto it = std::upper_bound(n->keys.begin(), n->keys.end(), key);
+    n = n->children[static_cast<std::size_t>(it - n->keys.begin())].get();
+  }
+}
+
+void BPlusTree::scan(
+    std::uint64_t lo, std::uint64_t hi,
+    const std::function<void(std::uint64_t, std::uint64_t)>& fn) const {
+  if (lo > hi) return;
+  const Node* n = root_.get();
+  while (!n->leaf) {
+    touch(n);
+    const auto it = std::upper_bound(n->keys.begin(), n->keys.end(), lo);
+    n = n->children[static_cast<std::size_t>(it - n->keys.begin())].get();
+  }
+  while (n) {
+    touch(n);
+    for (std::size_t i = 0; i < n->keys.size(); ++i) {
+      if (n->keys[i] < lo) continue;
+      if (n->keys[i] > hi) return;
+      fn(n->keys[i], n->values[i]);
+    }
+    n = n->next;
+  }
+}
+
+int BPlusTree::height() const {
+  int h = 1;
+  const Node* n = root_.get();
+  while (!n->leaf) {
+    n = n->children.front().get();
+    ++h;
+  }
+  return h;
+}
+
+int BPlusTree::leaf_depth() const { return height(); }
+
+bool BPlusTree::validate_rec(const Node* n, int depth, int leaf_d,
+                             std::uint64_t lo, std::uint64_t hi) const {
+  if (!std::is_sorted(n->keys.begin(), n->keys.end())) return false;
+  for (std::uint64_t k : n->keys) {
+    if (k < lo || k > hi) return false;
+  }
+  if (n->leaf) {
+    if (n->keys.size() != n->values.size()) return false;
+    return depth == leaf_d;
+  }
+  if (n->children.size() != n->keys.size() + 1) return false;
+  for (std::size_t i = 0; i < n->children.size(); ++i) {
+    const std::uint64_t child_lo = (i == 0) ? lo : n->keys[i - 1];
+    const std::uint64_t child_hi =
+        (i == n->keys.size()) ? hi : n->keys[i] - 1;
+    // Right subtree keys must be >= separator; left strictly below.
+    if (!validate_rec(n->children[i].get(), depth + 1, leaf_d, child_lo,
+                      child_hi))
+      return false;
+  }
+  return true;
+}
+
+bool BPlusTree::validate() const {
+  const bool structure =
+      validate_rec(root_.get(), 1, leaf_depth(), 0, ~0ULL);
+  if (!structure) return false;
+  // Leaf chain must reproduce an ascending full scan of `size_` entries.
+  const Node* n = root_.get();
+  while (!n->leaf) n = n->children.front().get();
+  std::size_t seen = 0;
+  std::uint64_t prev = 0;
+  bool first = true;
+  while (n) {
+    for (std::uint64_t k : n->keys) {
+      if (!first && k <= prev) return false;
+      prev = k;
+      first = false;
+      ++seen;
+    }
+    n = n->next;
+  }
+  return seen == size_;
+}
+
+}  // namespace confbench::wl::db

@@ -1,0 +1,92 @@
+// A real in-memory B+-tree: MiniDB's storage engine.
+//
+// Keys are 64-bit integers, values are opaque 64-bit row references. Leaf
+// nodes are chained for range scans. Every node carries a simulated address
+// so the database layer can charge node-touch traffic through the cache
+// model; the tree itself is a plain data structure with invariants that the
+// test suite checks (ordering, fill factors, leaf chaining, depth balance).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <optional>
+#include <vector>
+
+namespace confbench::wl::db {
+
+class BPlusTree {
+ public:
+  static constexpr int kOrder = 32;  ///< max children per inner node
+
+  BPlusTree();
+  ~BPlusTree();
+
+  BPlusTree(const BPlusTree&) = delete;
+  BPlusTree& operator=(const BPlusTree&) = delete;
+
+  /// Inserts or overwrites. Returns true if the key was new. `touched`
+  /// (optional) receives the simulated address of every node visited.
+  bool insert(std::uint64_t key, std::uint64_t value);
+
+  [[nodiscard]] std::optional<std::uint64_t> find(std::uint64_t key) const;
+
+  /// Removes a key; returns true if it existed. (Simple deletion: leaves
+  /// may underflow, which mirrors SQLite's lazy vacuuming.)
+  bool erase(std::uint64_t key);
+
+  /// Visits [lo, hi] in ascending key order.
+  void scan(std::uint64_t lo, std::uint64_t hi,
+            const std::function<void(std::uint64_t, std::uint64_t)>& fn) const;
+
+  [[nodiscard]] std::size_t size() const { return size_; }
+  [[nodiscard]] int height() const;
+
+  /// Structural invariants (for tests): sorted keys, children counts,
+  /// uniform leaf depth, correct leaf chain. Returns false on violation.
+  [[nodiscard]] bool validate() const;
+
+  /// Node-touch accounting: addresses of nodes visited since the last
+  /// drain. The DB layer converts these into cache-model charges.
+  std::vector<std::uint64_t> drain_touched() const {
+    auto out = std::move(touched_);
+    touched_.clear();
+    return out;
+  }
+
+  /// Total node count (inner + leaf).
+  [[nodiscard]] std::size_t node_count() const { return node_count_; }
+
+ private:
+  struct Node;
+  using NodePtr = std::unique_ptr<Node>;
+  struct Node {
+    bool leaf = true;
+    std::uint64_t sim_addr = 0;
+    std::vector<std::uint64_t> keys;
+    std::vector<std::uint64_t> values;  // leaf payload
+    std::vector<NodePtr> children;      // inner fan-out
+    Node* next = nullptr;               // leaf chain
+  };
+
+  Node* new_node(bool leaf);
+  void touch(const Node* n) const { touched_.push_back(n->sim_addr); }
+  // Returns the separator key + new right sibling if the child split.
+  struct SplitResult {
+    std::uint64_t sep_key;
+    NodePtr right;
+  };
+  std::optional<SplitResult> insert_rec(Node* n, std::uint64_t key,
+                                        std::uint64_t value, bool* was_new);
+  bool validate_rec(const Node* n, int depth, int leaf_depth,
+                    std::uint64_t lo, std::uint64_t hi) const;
+  int leaf_depth() const;
+
+  NodePtr root_;
+  std::size_t size_ = 0;
+  std::size_t node_count_ = 0;
+  std::uint64_t next_sim_addr_ = 0x4000000000ULL;
+  mutable std::vector<std::uint64_t> touched_;
+};
+
+}  // namespace confbench::wl::db

@@ -1,0 +1,177 @@
+#include "wl/db/db.h"
+
+#include <stdexcept>
+
+namespace confbench::wl::db {
+
+namespace {
+constexpr std::uint64_t kNodeBytes = 4096;    // one simulated page per node
+constexpr double kRowEncodeOpsPerByte = 1.6;  // record (de)serialisation
+// SQL front-end + VDBE interpretation per statement (parse, plan lookup,
+// opcode dispatch) — the bulk of SQLite's per-statement CPU cost.
+constexpr double kStatementOps = 5200;
+constexpr double kStatementBranches = 700;
+}  // namespace
+
+Table::Table(std::string name, vm::ExecutionContext& ctx)
+    : name_(std::move(name)),
+      ctx_(ctx),
+      row_region_(ctx.alloc_region(64ULL << 20, 4096)) {}
+
+void Table::charge_touches() const {
+  // Convert B+-tree node visits into page-sized cache traffic.
+  for (std::uint64_t addr : index_.drain_touched())
+    ctx_.mem_read(addr, kNodeBytes / 8, 64);  // binary search touches ~1/8
+}
+
+void Table::insert(const Row& row) {
+  ctx_.compute(kStatementOps, kStatementBranches);
+  Row stored = row;
+  stored.checksum = row.key * 0x9E3779B97F4A7C15ULL + row.payload_bytes;
+  const std::uint64_t rowid = next_rowid_++;
+  heap_[rowid] = stored;
+  index_.insert(row.key, rowid);
+  charge_touches();
+  // Row encode + copy into the row store.
+  ctx_.compute(row.payload_bytes * kRowEncodeOpsPerByte,
+               row.payload_bytes * 0.1);
+  ctx_.mem_write(row_region_ + (rowid * 128) % (64ULL << 20),
+                 row.payload_bytes, 64);
+  if (db_ != nullptr)
+    db_->log_mutation(row.payload_bytes + 24);
+}
+
+std::optional<Row> Table::lookup(std::uint64_t key) const {
+  ctx_.compute(kStatementOps * 0.6, kStatementBranches * 0.6);
+  const auto rowid = index_.find(key);
+  charge_touches();
+  if (!rowid) return std::nullopt;
+  const auto it = heap_.find(*rowid);
+  if (it == heap_.end()) return std::nullopt;
+  ctx_.mem_read(row_region_ + (*rowid * 128) % (64ULL << 20),
+                it->second.payload_bytes, 64);
+  ctx_.compute(it->second.payload_bytes * kRowEncodeOpsPerByte * 0.6,
+               it->second.payload_bytes * 0.05);
+  return it->second;
+}
+
+bool Table::erase(std::uint64_t key) {
+  ctx_.compute(kStatementOps, kStatementBranches);
+  const auto rowid = index_.find(key);
+  const bool existed = index_.erase(key);
+  charge_touches();
+  if (existed && rowid) heap_.erase(*rowid);
+  ctx_.compute(200, 20);
+  if (existed && db_ != nullptr)
+    db_->log_mutation(32);
+  return existed;
+}
+
+std::pair<std::size_t, std::uint64_t> Table::scan(std::uint64_t lo,
+                                                  std::uint64_t hi) const {
+  ctx_.compute(kStatementOps * 0.8, kStatementBranches * 0.8);
+  std::size_t count = 0;
+  std::uint64_t checksum = 0;
+  index_.scan(lo, hi, [&](std::uint64_t /*key*/, std::uint64_t rowid) {
+    const auto it = heap_.find(rowid);
+    if (it == heap_.end()) return;
+    checksum ^= it->second.checksum;
+    ++count;
+    ctx_.mem_read(row_region_ + (rowid * 128) % (64ULL << 20),
+                  it->second.payload_bytes, 64);
+  });
+  charge_touches();
+  ctx_.compute(static_cast<double>(count) * 40.0,
+               static_cast<double>(count) * 6.0);
+  return {count, checksum};
+}
+
+std::size_t Table::update_range(std::uint64_t lo, std::uint64_t hi,
+                                std::uint32_t new_payload) {
+  ctx_.compute(kStatementOps, kStatementBranches);
+  std::size_t count = 0;
+  std::vector<std::uint64_t> rowids;
+  index_.scan(lo, hi, [&](std::uint64_t, std::uint64_t rowid) {
+    rowids.push_back(rowid);
+  });
+  charge_touches();
+  for (std::uint64_t rowid : rowids) {
+    auto it = heap_.find(rowid);
+    if (it == heap_.end()) continue;
+    it->second.payload_bytes = new_payload;
+    it->second.checksum ^= new_payload;
+    ++count;
+    ctx_.compute(kStatementOps * 0.4, kStatementBranches * 0.4);  // per-row VDBE
+    ctx_.mem_write(row_region_ + (rowid * 128) % (64ULL << 20), new_payload,
+                   64);
+    ctx_.compute(new_payload * kRowEncodeOpsPerByte, new_payload * 0.1);
+    if (db_ != nullptr)
+      db_->log_mutation(new_payload + 24);
+  }
+  return count;
+}
+
+Database::Database(vm::ExecutionContext& ctx, vm::Vfs& fs,
+                   std::string wal_path)
+    : ctx_(ctx), fs_(fs), wal_path_(std::move(wal_path)) {
+  fs_.mkdir("/db");
+  fs_.create(wal_path_);
+}
+
+Table& Database::create_table(const std::string& name) {
+  auto [it, inserted] =
+      tables_.emplace(name, std::make_unique<Table>(name, ctx_));
+  if (!inserted) throw std::invalid_argument("table exists: " + name);
+  it->second->db_ = this;
+  // Schema bookkeeping + root page allocation.
+  ctx_.compute(4000, 300);
+  log_mutation(512);
+  return *it->second;
+}
+
+void Database::drop_table(const std::string& name) {
+  if (tables_.erase(name) == 0)
+    throw std::invalid_argument("no such table: " + name);
+  ctx_.compute(3000, 200);
+  log_mutation(256);
+}
+
+Table* Database::table(const std::string& name) {
+  auto it = tables_.find(name);
+  return it == tables_.end() ? nullptr : it->second.get();
+}
+
+void Database::begin() { in_txn_ = true; }
+
+void Database::commit() {
+  // Flush accumulated WAL records and fsync — the durable point.
+  if (pending_wal_bytes_ > 0) {
+    fs_.write(wal_path_, pending_wal_bytes_);
+    pending_wal_bytes_ = 0;
+  }
+  fs_.fsync(wal_path_);
+  in_txn_ = false;
+  maybe_checkpoint();
+}
+
+void Database::maybe_checkpoint() {
+  // WAL checkpoint: once the log outgrows the threshold, pages migrate to
+  // the main database file and the log restarts (SQLite's behaviour).
+  if (fs_.file_size(wal_path_) < kCheckpointBytes) return;
+  fs_.truncate(wal_path_);
+  ctx_.compute(20000, 1500);
+}
+
+void Database::log_mutation(std::uint64_t bytes) {
+  if (in_txn_) {
+    pending_wal_bytes_ += bytes;
+    return;
+  }
+  // Autocommit: every statement is its own durable transaction, like the
+  // non-batched speedtest1 phases.
+  fs_.write(wal_path_, bytes);
+  fs_.fsync(wal_path_);
+  maybe_checkpoint();
+}
+
+}  // namespace confbench::wl::db

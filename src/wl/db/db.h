@@ -1,0 +1,100 @@
+// MiniDB: a small embedded relational-ish database over BPlusTree + VFS.
+//
+// Plays the role of SQLite in the paper's DBMS stress test (§IV-C). Tables
+// store fixed-schema rows keyed by an integer primary key, with optional
+// secondary indexes. Mutations go through a write-ahead log in the guest
+// VFS; COMMIT fsyncs it (this is where the TDX bounce-buffer path bites).
+// All node and row traffic is charged through the cache model.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <utility>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "vm/exec_context.h"
+#include "vm/vfs.h"
+#include "wl/db/btree.h"
+
+namespace confbench::wl::db {
+
+/// A row: key + a packed payload (we model, not store, column data; the
+/// payload size drives memory traffic like SQLite record encoding does).
+struct Row {
+  std::uint64_t key = 0;
+  std::uint32_t payload_bytes = 64;
+  std::uint64_t checksum = 0;  ///< real content proxy, verified by tests
+};
+
+class Table {
+ public:
+  Table(std::string name, vm::ExecutionContext& ctx);
+
+  /// Inserts (or replaces) a row; charges index traversal + row encoding.
+  void insert(const Row& row);
+  [[nodiscard]] std::optional<Row> lookup(std::uint64_t key) const;
+  bool erase(std::uint64_t key);
+  /// Inclusive range scan; returns matching row count and accumulates
+  /// checksum (so the work cannot be optimised away).
+  std::pair<std::size_t, std::uint64_t> scan(std::uint64_t lo,
+                                             std::uint64_t hi) const;
+  /// In-place payload update for all keys in [lo, hi]; returns count.
+  std::size_t update_range(std::uint64_t lo, std::uint64_t hi,
+                           std::uint32_t new_payload);
+
+  [[nodiscard]] std::size_t rows() const { return index_.size(); }
+  [[nodiscard]] const std::string& name() const { return name_; }
+  [[nodiscard]] const BPlusTree& index() const { return index_; }
+
+ private:
+  friend class Database;
+  void charge_touches() const;
+
+  class Database* db_ = nullptr;  ///< owning DB, for WAL logging
+
+  std::string name_;
+  vm::ExecutionContext& ctx_;
+  BPlusTree index_;
+  std::map<std::uint64_t, Row> heap_;  ///< row store (by rowid)
+  std::uint64_t next_rowid_ = 1;
+  std::uint64_t row_region_;
+};
+
+class Database {
+ public:
+  Database(vm::ExecutionContext& ctx, vm::Vfs& fs,
+           std::string wal_path = "/db/wal.log");
+
+  Table& create_table(const std::string& name);
+  void drop_table(const std::string& name);
+  [[nodiscard]] Table* table(const std::string& name);
+
+  /// Transactions batch WAL traffic; COMMIT appends + fsyncs the log.
+  void begin();
+  void commit();
+
+  /// Appends `bytes` of WAL records for a mutation (called by tests and by
+  /// Table mutators through the active database).
+  void log_mutation(std::uint64_t bytes);
+
+  /// WAL size that triggers a checkpoint (log truncation).
+  static constexpr std::uint64_t kCheckpointBytes = 4 << 20;
+
+  [[nodiscard]] bool in_transaction() const { return in_txn_; }
+  [[nodiscard]] vm::ExecutionContext& ctx() { return ctx_; }
+
+ private:
+  vm::ExecutionContext& ctx_;
+  vm::Vfs& fs_;
+  std::string wal_path_;
+  std::map<std::string, std::unique_ptr<Table>> tables_;
+  void maybe_checkpoint();
+
+  bool in_txn_ = false;
+  std::uint64_t pending_wal_bytes_ = 0;
+};
+
+}  // namespace confbench::wl::db

@@ -1,0 +1,195 @@
+#include "wl/db/speedtest.h"
+
+#include "sim/rng.h"
+#include "wl/db/db.h"
+
+namespace confbench::wl::db {
+
+namespace {
+
+struct Bench {
+  vm::ExecutionContext& ctx;
+  std::vector<SpeedtestResult>& out;
+
+  /// Runs one named test, timing it on the virtual clock.
+  template <typename Fn>
+  void run(const std::string& id, const std::string& name, Fn&& fn) {
+    const sim::Ns start = ctx.now();
+    const std::uint64_t checksum = fn();
+    out.push_back({id, name, ctx.now() - start, checksum});
+  }
+};
+
+}  // namespace
+
+std::vector<std::string> speedtest_test_names() {
+  std::vector<std::string> names;
+  // Keep in sync with run_speedtest below (checked by a unit test).
+  names = {"100 INSERTs into table with no index",
+           "110 ordered INSERTs with one index/PK",
+           "120 unordered INSERTs with one index/PK",
+           "130 SELECTs, numeric BETWEEN, unindexed",
+           "142 random SELECTs by rowid",
+           "160 SELECTs, numeric BETWEEN, indexed",
+           "230 UPDATEs, numeric BETWEEN, indexed",
+           "240 UPDATEs of individual rows",
+           "250 one big UPDATE of the whole table",
+           "270 DELETEs, numeric BETWEEN, indexed",
+           "280 DELETEs of individual rows",
+           "290 refill table after bulk DELETE",
+           "300 full-table ORDER BY scan",
+           "310 DROP TABLE and recreate"};
+  return names;
+}
+
+std::vector<SpeedtestResult> run_speedtest(vm::ExecutionContext& ctx,
+                                           vm::Vfs& fs, int size) {
+  std::vector<SpeedtestResult> results;
+  Bench bench{ctx, results};
+  Database database(ctx, fs);
+  sim::Rng rng(sim::stable_hash("speedtest1"));
+
+  const auto n = static_cast<std::uint64_t>(size) * 30;   // bulk row count
+  const auto q = static_cast<std::uint64_t>(size) * 6;    // query count
+
+  // 100: autocommit inserts, no explicit transaction (fsync per statement).
+  bench.run("100", "INSERTs into table with no index", [&] {
+    Table& t = database.create_table("t100");
+    for (std::uint64_t i = 0; i < n / 6; ++i)
+      t.insert({i, static_cast<std::uint32_t>(40 + i % 80), 0});
+    return static_cast<std::uint64_t>(t.rows());
+  });
+
+  // 110: ordered inserts inside one transaction.
+  bench.run("110", "ordered INSERTs with one index/PK", [&] {
+    Table& t = database.create_table("t110");
+    database.begin();
+    for (std::uint64_t i = 0; i < n; ++i)
+      t.insert({i, static_cast<std::uint32_t>(40 + i % 80), 0});
+    database.commit();
+    return static_cast<std::uint64_t>(t.rows());
+  });
+
+  // 120: random-key inserts inside one transaction (worse tree locality).
+  bench.run("120", "unordered INSERTs with one index/PK", [&] {
+    Table& t = database.create_table("t120");
+    database.begin();
+    for (std::uint64_t i = 0; i < n; ++i)
+      t.insert({rng.next_u64() % (n * 8),
+                static_cast<std::uint32_t>(40 + i % 80), 0});
+    database.commit();
+    return static_cast<std::uint64_t>(t.rows());
+  });
+
+  Table& main_table = *database.table("t110");
+
+  // 130: range scans standing in for unindexed BETWEEN (full scans).
+  bench.run("130", "SELECTs, numeric BETWEEN, unindexed", [&] {
+    std::uint64_t acc = 0;
+    for (std::uint64_t i = 0; i < q / 8; ++i) {
+      auto [count, sum] = main_table.scan(0, n);  // full scan
+      acc ^= sum + count;
+    }
+    return acc;
+  });
+
+  // 142: random point lookups by PK.
+  bench.run("142", "random SELECTs by rowid", [&] {
+    std::uint64_t hits = 0;
+    for (std::uint64_t i = 0; i < q * 4; ++i) {
+      const auto row = main_table.lookup(rng.next_u64() % n);
+      hits += row.has_value();
+    }
+    return hits;
+  });
+
+  // 160: narrow indexed range queries.
+  bench.run("160", "SELECTs, numeric BETWEEN, indexed", [&] {
+    std::uint64_t acc = 0;
+    for (std::uint64_t i = 0; i < q * 2; ++i) {
+      const std::uint64_t lo = rng.next_u64() % n;
+      auto [count, sum] = main_table.scan(lo, lo + 50);
+      acc ^= sum + count;
+    }
+    return acc;
+  });
+
+  // 230: range updates inside a transaction.
+  bench.run("230", "UPDATEs, numeric BETWEEN, indexed", [&] {
+    database.begin();
+    std::uint64_t updated = 0;
+    for (std::uint64_t i = 0; i < q / 2; ++i) {
+      const std::uint64_t lo = rng.next_u64() % n;
+      updated += main_table.update_range(lo, lo + 40, 72);
+    }
+    database.commit();
+    return updated;
+  });
+
+  // 240: individual-row updates (autocommit — durable each time).
+  bench.run("240", "UPDATEs of individual rows", [&] {
+    std::uint64_t updated = 0;
+    for (std::uint64_t i = 0; i < q; ++i) {
+      const std::uint64_t k = rng.next_u64() % n;
+      updated += main_table.update_range(k, k, 80);
+    }
+    return updated;
+  });
+
+  // 250: one whole-table update.
+  bench.run("250", "one big UPDATE of the whole table", [&] {
+    database.begin();
+    const std::size_t updated = main_table.update_range(0, n, 96);
+    database.commit();
+    return static_cast<std::uint64_t>(updated);
+  });
+
+  // 270: indexed range deletes.
+  bench.run("270", "DELETEs, numeric BETWEEN, indexed", [&] {
+    database.begin();
+    std::uint64_t deleted = 0;
+    for (std::uint64_t base = 0; base < n / 4; base += 16) {
+      for (std::uint64_t k = base; k < base + 8; ++k)
+        deleted += main_table.erase(k);
+    }
+    database.commit();
+    return deleted;
+  });
+
+  // 280: individual deletes (autocommit).
+  bench.run("280", "DELETEs of individual rows", [&] {
+    std::uint64_t deleted = 0;
+    for (std::uint64_t i = 0; i < q; ++i)
+      deleted += main_table.erase(n / 4 + i * 3);
+    return deleted;
+  });
+
+  // 290: refill after bulk deletion.
+  bench.run("290", "refill table after bulk DELETE", [&] {
+    database.begin();
+    for (std::uint64_t i = 0; i < n / 2; ++i)
+      main_table.insert({i, 64, 0});
+    database.commit();
+    return static_cast<std::uint64_t>(main_table.rows());
+  });
+
+  // 300: full ordered scan (ORDER BY via the index).
+  bench.run("300", "full-table ORDER BY scan", [&] {
+    auto [count, sum] = main_table.scan(0, ~0ULL);
+    return sum + count;
+  });
+
+  // 310: drop + recreate.
+  bench.run("310", "DROP TABLE and recreate", [&] {
+    database.drop_table("t120");
+    Table& t = database.create_table("t120");
+    database.begin();
+    for (std::uint64_t i = 0; i < n / 4; ++i) t.insert({i, 48, 0});
+    database.commit();
+    return static_cast<std::uint64_t>(t.rows());
+  });
+
+  return results;
+}
+
+}  // namespace confbench::wl::db

@@ -1,0 +1,33 @@
+// MiniDB speedtest: a suite mirroring SQLite's speedtest1 test mix (§IV-C).
+//
+// Test ids and names follow speedtest1.c's numbering; row counts are scaled
+// from the --size 100 defaults so the simulation stays fast while keeping
+// each test's character (autocommit vs transactional inserts, indexed vs
+// unindexed lookups, ordered vs random key patterns, bulk updates/deletes).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "sim/time.h"
+#include "vm/exec_context.h"
+#include "vm/vfs.h"
+
+namespace confbench::wl::db {
+
+struct SpeedtestResult {
+  std::string id;      ///< speedtest1-style test number, e.g. "110"
+  std::string name;
+  sim::Ns elapsed = 0;
+  std::uint64_t checksum = 0;  ///< result digest; must match across VMs
+};
+
+/// Runs the full suite in the given context. `size` follows speedtest1's
+/// relative test-size convention (the paper keeps the default, 100).
+std::vector<SpeedtestResult> run_speedtest(vm::ExecutionContext& ctx,
+                                           vm::Vfs& fs, int size = 100);
+
+/// Names of all tests in suite order (for table headers).
+std::vector<std::string> speedtest_test_names();
+
+}  // namespace confbench::wl::db

@@ -1,0 +1,37 @@
+#include "wl/faas.h"
+
+namespace confbench::wl {
+
+std::string_view to_string(Category c) {
+  switch (c) {
+    case Category::kCpu:
+      return "cpu";
+    case Category::kMemory:
+      return "memory";
+    case Category::kIo:
+      return "io";
+    case Category::kMixed:
+      return "mixed";
+  }
+  return "?";
+}
+
+const std::vector<FaasWorkload>& faas_workloads() {
+  static const std::vector<FaasWorkload> kAll = [] {
+    std::vector<FaasWorkload> v;
+    register_cpu_workloads(v);
+    register_mem_workloads(v);
+    register_io_workloads(v);
+    return v;
+  }();
+  return kAll;
+}
+
+const FaasWorkload* find_faas(const std::string& name) {
+  for (const auto& w : faas_workloads()) {
+    if (w.name == name) return &w;
+  }
+  return nullptr;
+}
+
+}  // namespace confbench::wl

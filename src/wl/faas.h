@@ -1,0 +1,42 @@
+// FaaS workload catalogue.
+//
+// 25 functions drawn from the suites the paper uses (FaaSdom,
+// FaaS-benchmark, Lua-Benchmarks, wasmi-benchmarks; §IV-B) plus the six
+// functions described in §IV-D (cpustress, memstress, iostress, logging,
+// factors, filesystem). Each function performs its real computation in C++
+// and reports its work to the RtContext, so one implementation runs under
+// every language profile — like the paper's cross-language ports.
+#pragma once
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "rt/runtime.h"
+
+namespace confbench::wl {
+
+enum class Category { kCpu, kMemory, kIo, kMixed };
+
+std::string_view to_string(Category c);
+
+struct FaasWorkload {
+  std::string name;
+  Category category;
+  /// The function body; returns its textual output (the launcher makes
+  /// outputs uniform across languages, §IV-B).
+  std::function<std::string(rt::RtContext&)> body;
+};
+
+/// All 25 workloads, in heatmap row order.
+const std::vector<FaasWorkload>& faas_workloads();
+
+/// Lookup by name; nullptr if unknown.
+const FaasWorkload* find_faas(const std::string& name);
+
+// Internal: category registration helpers (one per translation unit).
+void register_cpu_workloads(std::vector<FaasWorkload>& out);
+void register_mem_workloads(std::vector<FaasWorkload>& out);
+void register_io_workloads(std::vector<FaasWorkload>& out);
+
+}  // namespace confbench::wl

@@ -1,0 +1,344 @@
+// CPU-bound FaaS workloads. Each performs real computation and charges the
+// RtContext for the operations actually executed.
+#include <array>
+#include <cmath>
+#include <cstdint>
+#include <numeric>
+#include <sstream>
+#include <vector>
+
+#include "wl/faas.h"
+
+namespace confbench::wl {
+
+namespace {
+
+// --- cpustress: trigonometric + arithmetic loop (§IV-D) --------------------
+std::string cpustress(rt::RtContext& env) {
+  double acc = 0.0;
+  constexpr int kIters = 120000;
+  for (int i = 1; i <= kIters; ++i) {
+    const double x = static_cast<double>(i) * 0.001;
+    acc += std::sin(x) * std::cos(x / 2.0) + std::sqrt(x);
+    acc -= std::fmod(acc, 7.0);
+  }
+  // ~6 transcendental-equivalent FLOPs + 4 int ops per iteration.
+  env.fop(kIters * 22.0);
+  env.op(kIters * 4.0, kIters);
+  std::ostringstream os;
+  os << "cpustress:" << static_cast<long long>(acc);
+  return os.str();
+}
+
+// --- factors: factorisation of a composite (§IV-D) --------------------------
+std::string factors(rt::RtContext& env) {
+  // Trial division over numbers with a large prime factor, so the loop
+  // really runs to sqrt(n) (8 numbers around 5e9).
+  std::uint64_t divisions = 0;
+  std::size_t total_factors = 0;
+  std::uint64_t last = 0;
+  for (std::uint64_t k = 0; k < 8; ++k) {
+    std::uint64_t m = 4999999937ULL + k * 2;  // 4999999937 is prime
+    std::vector<std::uint64_t> fs;
+    for (std::uint64_t d = 2; d * d <= m; ++d) {
+      while (m % d == 0) {
+        fs.push_back(d);
+        m /= d;
+        ++divisions;
+      }
+      ++divisions;
+    }
+    if (m > 1) fs.push_back(m);
+    total_factors += fs.size();
+    last = fs.back();
+  }
+  env.op(static_cast<double>(divisions) * 6.0,
+         static_cast<double>(divisions));
+  std::ostringstream os;
+  os << "factors:" << total_factors << ":" << last;
+  return os.str();
+}
+
+// --- ack: Ackermann function ('ack' in Fig. 6) ------------------------------
+std::uint64_t ack_calls;
+std::uint64_t ackermann(std::uint64_t m, std::uint64_t n) {
+  ++ack_calls;
+  if (m == 0) return n + 1;
+  if (n == 0) return ackermann(m - 1, 1);
+  return ackermann(m - 1, ackermann(m, n - 1));
+}
+
+std::string ack(rt::RtContext& env) {
+  ack_calls = 0;
+  std::uint64_t r = 0;
+  for (int rep = 0; rep < 4; ++rep) r = ackermann(3, 6);  // ~172k calls each
+  // Each call: compare+branch+call frame traffic.
+  env.op(static_cast<double>(ack_calls) * 8.0,
+         static_cast<double>(ack_calls) * 2.0);
+  const std::uint64_t stack = env.alloc(1 << 16);
+  env.read(stack, static_cast<std::uint64_t>(ack_calls) / 2, 64);
+  return "ack:" + std::to_string(r);
+}
+
+// --- fib: iterative big-step Fibonacci ---------------------------------------
+std::string fib(rt::RtContext& env) {
+  constexpr int kN = 90;
+  constexpr int kReps = 20000;
+  std::uint64_t last = 0;
+  for (int rep = 0; rep < kReps; ++rep) {
+    std::uint64_t a = 0, b = 1;
+    for (int i = 0; i < kN; ++i) {
+      const std::uint64_t t = a + b;
+      a = b;
+      b = t;
+    }
+    last = a;
+  }
+  env.op(static_cast<double>(kReps) * kN * 3.0,
+         static_cast<double>(kReps) * kN);
+  return "fib:" + std::to_string(last % 1000000007ULL);
+}
+
+// --- primes: sieve of Eratosthenes -------------------------------------------
+std::string primes(rt::RtContext& env) {
+  constexpr std::uint32_t kLimit = 400000;
+  std::vector<std::uint8_t> sieve(kLimit + 1, 1);
+  sieve[0] = sieve[1] = 0;
+  std::uint64_t marks = 0;
+  for (std::uint32_t p = 2; p * p <= kLimit; ++p) {
+    if (!sieve[p]) continue;
+    for (std::uint32_t q = p * p; q <= kLimit; q += p) {
+      sieve[q] = 0;
+      ++marks;
+    }
+  }
+  const auto count = static_cast<std::uint64_t>(
+      std::accumulate(sieve.begin(), sieve.end(), 0u));
+  env.op(static_cast<double>(marks) * 2.0 + kLimit,
+         static_cast<double>(marks));
+  const std::uint64_t buf = env.alloc(kLimit);
+  env.write(buf, kLimit, 64);   // sieve array traffic
+  env.read(buf, kLimit, 64);    // final count pass
+  return "primes:" + std::to_string(count);
+}
+
+// --- mandelbrot ---------------------------------------------------------------
+std::string mandelbrot(rt::RtContext& env) {
+  constexpr int kW = 160, kH = 120, kMaxIter = 60;
+  std::uint64_t inside = 0;
+  std::uint64_t total_iters = 0;
+  for (int py = 0; py < kH; ++py) {
+    for (int px = 0; px < kW; ++px) {
+      const double cx = -2.0 + 3.0 * px / kW;
+      const double cy = -1.2 + 2.4 * py / kH;
+      double zx = 0, zy = 0;
+      int it = 0;
+      while (zx * zx + zy * zy < 4.0 && it < kMaxIter) {
+        const double t = zx * zx - zy * zy + cx;
+        zy = 2 * zx * zy + cy;
+        zx = t;
+        ++it;
+        ++total_iters;
+      }
+      if (it == kMaxIter) ++inside;
+    }
+  }
+  env.fop(static_cast<double>(total_iters) * 10.0);
+  env.op(static_cast<double>(total_iters) * 2.0,
+         static_cast<double>(total_iters));
+  const std::uint64_t img = env.alloc(kW * kH);
+  env.write(img, kW * kH, 64);
+  return "mandelbrot:" + std::to_string(inside);
+}
+
+// --- nbody: planetary system energy ------------------------------------------
+std::string nbody(rt::RtContext& env) {
+  struct Body {
+    double x, y, z, vx, vy, vz, m;
+  };
+  std::array<Body, 5> bodies{{{0, 0, 0, 0, 0, 0, 39.47},
+                              {4.84, -1.16, -0.10, 0.60, 2.81, -0.02, 0.037},
+                              {8.34, 4.12, -0.40, -1.01, 1.82, 0.008, 0.011},
+                              {12.89, -15.11, -0.22, 1.08, 0.86, -0.010, 0.0017},
+                              {15.38, -25.92, 0.17, 0.97, 0.59, -0.034, 0.0020}}};
+  constexpr int kSteps = 40000;
+  constexpr double kDt = 0.01;
+  for (int s = 0; s < kSteps; ++s) {
+    for (std::size_t i = 0; i < bodies.size(); ++i) {
+      for (std::size_t j = i + 1; j < bodies.size(); ++j) {
+        const double dx = bodies[i].x - bodies[j].x;
+        const double dy = bodies[i].y - bodies[j].y;
+        const double dz = bodies[i].z - bodies[j].z;
+        const double d2 = dx * dx + dy * dy + dz * dz;
+        const double mag = kDt / (d2 * std::sqrt(d2));
+        bodies[i].vx -= dx * bodies[j].m * mag;
+        bodies[i].vy -= dy * bodies[j].m * mag;
+        bodies[i].vz -= dz * bodies[j].m * mag;
+        bodies[j].vx += dx * bodies[i].m * mag;
+        bodies[j].vy += dy * bodies[i].m * mag;
+        bodies[j].vz += dz * bodies[i].m * mag;
+      }
+      bodies[i].x += kDt * bodies[i].vx;
+      bodies[i].y += kDt * bodies[i].vy;
+      bodies[i].z += kDt * bodies[i].vz;
+    }
+  }
+  double energy = 0;
+  for (const auto& b : bodies)
+    energy += 0.5 * b.m * (b.vx * b.vx + b.vy * b.vy + b.vz * b.vz);
+  const double pair_flops = 10.0 * bodies.size() * (bodies.size() - 1) / 2;
+  env.fop(kSteps * (pair_flops + 6.0 * bodies.size()));
+  env.op(kSteps * 30.0, kSteps * 12.0);
+  std::ostringstream os;
+  os << "nbody:" << static_cast<long long>(energy * 1e6);
+  return os.str();
+}
+
+// --- spectralnorm -------------------------------------------------------------
+std::string spectralnorm(rt::RtContext& env) {
+  constexpr int kN = 220;
+  auto a = [](int i, int j) {
+    return 1.0 / ((i + j) * (i + j + 1) / 2.0 + i + 1);
+  };
+  std::vector<double> u(kN, 1.0), v(kN, 0.0), tmp(kN, 0.0);
+  for (int iter = 0; iter < 10; ++iter) {
+    for (int i = 0; i < kN; ++i) {
+      double s = 0;
+      for (int j = 0; j < kN; ++j) s += a(i, j) * u[j];
+      tmp[i] = s;
+    }
+    for (int i = 0; i < kN; ++i) {
+      double s = 0;
+      for (int j = 0; j < kN; ++j) s += a(j, i) * tmp[j];
+      v[i] = s;
+    }
+    u = v;
+  }
+  double vbv = 0, vv = 0;
+  for (int i = 0; i < kN; ++i) {
+    vbv += u[i] * v[i];
+    vv += v[i] * v[i];
+  }
+  const double flops = 10.0 * 2 * kN * static_cast<double>(kN) * 6;
+  env.fop(flops);
+  env.op(flops * 0.3, flops * 0.1);
+  const std::uint64_t vec = env.alloc(kN * 8 * 3);
+  env.read(vec, kN * 8 * 3 * 20, 8);
+  std::ostringstream os;
+  os << "spectralnorm:" << static_cast<long long>(std::sqrt(vbv / vv) * 1e9);
+  return os.str();
+}
+
+// --- fannkuch -----------------------------------------------------------------
+std::string fannkuch(rt::RtContext& env) {
+  constexpr int kN = 8;
+  std::array<int, kN> perm, perm1, count;
+  for (int i = 0; i < kN; ++i) perm1[i] = i;
+  int max_flips = 0, checksum = 0, perm_count = 0;
+  std::uint64_t total_flips = 0;
+  int r = kN;
+  while (true) {
+    while (r != 1) {
+      count[r - 1] = r;
+      --r;
+    }
+    perm = perm1;
+    int flips = 0;
+    int k = perm[0];
+    while (k != 0) {
+      for (int i = 0, j = k; i < j; ++i, --j) std::swap(perm[i], perm[j]);
+      ++flips;
+      k = perm[0];
+    }
+    total_flips += flips;
+    max_flips = std::max(max_flips, flips);
+    checksum += (perm_count % 2 == 0) ? flips : -flips;
+    ++perm_count;
+    while (true) {
+      if (r == kN) {
+        env.op(static_cast<double>(total_flips) * kN * 2.0,
+               static_cast<double>(total_flips) * 2.0);
+        return "fannkuch:" + std::to_string(max_flips) + ":" +
+               std::to_string(checksum);
+      }
+      const int p0 = perm1[0];
+      for (int i = 0; i < r; ++i) perm1[i] = perm1[i + 1];
+      perm1[r] = p0;
+      if (--count[r] > 0) break;
+      ++r;
+    }
+  }
+}
+
+// --- matrix: dense matmul ------------------------------------------------------
+std::string matrix(rt::RtContext& env) {
+  constexpr int kN = 120;
+  std::vector<double> a(kN * kN), b(kN * kN), c(kN * kN, 0.0);
+  for (int i = 0; i < kN * kN; ++i) {
+    a[i] = (i % 17) * 0.25;
+    b[i] = (i % 13) * 0.5;
+  }
+  for (int i = 0; i < kN; ++i) {
+    for (int k = 0; k < kN; ++k) {
+      const double aik = a[i * kN + k];
+      for (int j = 0; j < kN; ++j) c[i * kN + j] += aik * b[k * kN + j];
+    }
+  }
+  double trace = 0;
+  for (int i = 0; i < kN; ++i) trace += c[i * kN + i];
+  const double n3 = static_cast<double>(kN) * kN * kN;
+  env.fop(2.0 * n3);
+  env.op(n3 * 0.5, n3 / kN);
+  const std::uint64_t ma = env.alloc(kN * kN * 8);
+  const std::uint64_t mb = env.alloc(kN * kN * 8);
+  const std::uint64_t mc = env.alloc(kN * kN * 8);
+  // Row-major A and C streams, column-ish B reuse.
+  for (int pass = 0; pass < 8; ++pass) {
+    env.read(ma, kN * kN * 8, 8);
+    env.read(mb, kN * kN * 8, 64);
+    env.write(mc, kN * kN * 8, 8);
+  }
+  std::ostringstream os;
+  os << "matrix:" << static_cast<long long>(trace);
+  return os.str();
+}
+
+// --- crc32 ----------------------------------------------------------------------
+std::string crc32ws(rt::RtContext& env) {
+  constexpr std::size_t kBytes = 2 << 20;
+  std::uint32_t table[256];
+  for (std::uint32_t i = 0; i < 256; ++i) {
+    std::uint32_t c = i;
+    for (int k = 0; k < 8; ++k) c = (c & 1) ? 0xEDB88320u ^ (c >> 1) : c >> 1;
+    table[i] = c;
+  }
+  std::uint32_t crc = 0xFFFFFFFFu;
+  std::uint8_t byte = 0x5A;
+  for (std::size_t i = 0; i < kBytes; ++i) {
+    byte = static_cast<std::uint8_t>(byte * 31 + i);
+    crc = table[(crc ^ byte) & 0xFF] ^ (crc >> 8);
+  }
+  crc ^= 0xFFFFFFFFu;
+  env.op(static_cast<double>(kBytes) * 6.0, static_cast<double>(kBytes));
+  const std::uint64_t buf = env.alloc(kBytes);
+  env.read(buf, kBytes, 64);
+  return "crc32:" + std::to_string(crc);
+}
+
+}  // namespace
+
+void register_cpu_workloads(std::vector<FaasWorkload>& out) {
+  out.push_back({"cpustress", Category::kCpu, cpustress});
+  out.push_back({"factors", Category::kCpu, factors});
+  out.push_back({"ack", Category::kCpu, ack});
+  out.push_back({"fib", Category::kCpu, fib});
+  out.push_back({"primes", Category::kCpu, primes});
+  out.push_back({"mandelbrot", Category::kCpu, mandelbrot});
+  out.push_back({"nbody", Category::kCpu, nbody});
+  out.push_back({"spectralnorm", Category::kCpu, spectralnorm});
+  out.push_back({"fannkuch", Category::kCpu, fannkuch});
+  out.push_back({"matrix", Category::kCpu, matrix});
+  out.push_back({"crc32", Category::kCpu, crc32ws});
+}
+
+}  // namespace confbench::wl

@@ -1,0 +1,105 @@
+// I/O-bound FaaS workloads — the ones where the TDX bounce-buffer path and
+// the CCA double-virtualised I/O show their cost (§IV-D).
+#include <sstream>
+#include <string>
+
+#include "wl/faas.h"
+
+namespace confbench::wl {
+
+namespace {
+
+// --- iostress: dd-style 1-MB file writes/reads (§IV-D) -----------------------
+std::string iostress(rt::RtContext& env) {
+  constexpr std::uint64_t kFile = 1 << 20;
+  constexpr std::uint64_t kBlock = 64 * 1024;
+  constexpr int kFiles = 8;
+  std::uint64_t written = 0, read_back = 0;
+  auto& fs = env.fs();
+  fs.mkdir("/tmp");
+  for (int f = 0; f < kFiles; ++f) {
+    const std::string path = "/tmp/io_" + std::to_string(f) + ".dat";
+    fs.create(path);
+    for (std::uint64_t off = 0; off < kFile; off += kBlock) {
+      written += fs.write(path, kBlock);
+      env.syscall();  // dd issues an extra stat/seek pattern
+    }
+    fs.fsync(path);          // dd conv=fsync
+    fs.drop_caches();        // force device reads on the way back
+    for (std::uint64_t off = 0; off < kFile; off += kBlock)
+      read_back += fs.read(path, off, kBlock);
+    fs.unlink(path);
+  }
+  env.op(kFiles * 3000.0, kFiles * 400.0);
+  std::ostringstream os;
+  os << "iostress:" << written << ":" << read_back;
+  return os.str();
+}
+
+// --- logging: print 3000 messages (§IV-D) -------------------------------------
+std::string logging(rt::RtContext& env) {
+  constexpr int kLines = 3000;
+  for (int i = 0; i < kLines; ++i) {
+    env.print("[worker] processed request id=" + std::to_string(i) +
+              " status=ok latency_ms=" + std::to_string((i * 7) % 113));
+  }
+  return "logging:" + std::to_string(kLines);
+}
+
+// --- filesystem: nested folders, 1-MB file, read/write, cleanup (§IV-D) --------
+std::string filesystem(rt::RtContext& env) {
+  auto& fs = env.fs();
+  constexpr std::uint64_t kFile = 1 << 20;
+  constexpr int kReps = 6;
+  int ops_ok = 0;
+  for (int r = 0; r < kReps; ++r) {
+    const std::string outer = "/work/outer" + std::to_string(r);
+    const std::string inner = outer + "/inner";
+    const std::string file = inner + "/data.bin";
+    if (r == 0) fs.mkdir("/work");
+    ops_ok += fs.mkdir(outer);
+    ops_ok += fs.mkdir(inner);
+    ops_ok += fs.create(file);
+    ops_ok += fs.write(file, kFile) == kFile;
+    ops_ok += fs.fsync(file);
+    ops_ok += fs.read(file, 0, kFile) == kFile;
+    ops_ok += fs.unlink(file);
+    ops_ok += fs.rmdir(inner);
+    ops_ok += fs.rmdir(outer);
+  }
+  env.op(kReps * 1200.0, kReps * 150.0);
+  return "filesystem:" + std::to_string(ops_ok) + "/" +
+         std::to_string(kReps * 9);
+}
+
+// --- kvstore: small-record persistence (FaaSdom-style dynamic workload) --------
+std::string kvstore(rt::RtContext& env) {
+  auto& fs = env.fs();
+  constexpr int kRecords = 600;
+  constexpr std::uint64_t kRecordBytes = 512;
+  fs.mkdir("/kv");
+  std::uint64_t stored = 0, fetched = 0;
+  for (int i = 0; i < kRecords; ++i) {
+    const std::string path = "/kv/rec" + std::to_string(i % 50) + ".log";
+    stored += fs.write(path, kRecordBytes);
+    if (i % 4 == 0) fs.fsync(path);  // durability every 4th put
+    env.op(900, 90);                 // serialise record
+  }
+  for (int i = 0; i < kRecords; ++i) {
+    const std::string path = "/kv/rec" + std::to_string(i % 50) + ".log";
+    fetched += fs.read(path, (i % 10) * kRecordBytes, kRecordBytes) > 0;
+    env.op(500, 60);  // deserialise
+  }
+  return "kvstore:" + std::to_string(stored) + ":" + std::to_string(fetched);
+}
+
+}  // namespace
+
+void register_io_workloads(std::vector<FaasWorkload>& out) {
+  out.push_back({"iostress", Category::kIo, iostress});
+  out.push_back({"logging", Category::kIo, logging});
+  out.push_back({"filesystem", Category::kIo, filesystem});
+  out.push_back({"kvstore", Category::kIo, kvstore});
+}
+
+}  // namespace confbench::wl

@@ -1,0 +1,294 @@
+// Memory-bound FaaS workloads.
+#include <algorithm>
+#include <array>
+#include <cstdint>
+#include <map>
+#include <sstream>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "attest/sha256.h"
+#include "wl/faas.h"
+
+namespace confbench::wl {
+
+namespace {
+
+// --- memstress: repeated 1-MB allocations (§IV-D) ----------------------------
+std::string memstress(rt::RtContext& env) {
+  constexpr std::uint64_t kBuf = 1 << 20;
+  constexpr int kRounds = 256;  // covers "half of available memory" at scale
+  std::uint64_t checksum = 0;
+  std::vector<std::uint8_t> touch(4096);
+  for (int r = 0; r < kRounds; ++r) {
+    const std::uint64_t buf = env.alloc(kBuf);
+    env.write(buf, kBuf, 64);  // memset-style fill
+    for (auto& b : touch) b = static_cast<std::uint8_t>(b + r);
+    checksum += touch[r % touch.size()];
+    env.raw().page_fault(static_cast<double>(kBuf) / 4096.0 * 0.5);
+    env.release(kBuf);  // dropped each round; GC pressure builds
+  }
+  env.op(kRounds * 600.0, kRounds * 40.0);
+  return "memstress:" + std::to_string(checksum);
+}
+
+// --- binarytrees (benchmarksgame-style) ---------------------------------------
+int build_check(int item, int depth) {
+  if (depth == 0) return item;
+  return item + build_check(2 * item - 1, depth - 1) -
+         build_check(2 * item, depth - 1);
+}
+
+std::string binarytrees(rt::RtContext& env) {
+  constexpr int kDepth = 14;
+  long check = 0;
+  const std::uint64_t nodes = (2ULL << kDepth) - 1;
+  for (int rep = 0; rep < 6; ++rep) check += build_check(1, kDepth);
+  const double total_nodes = static_cast<double>(nodes) * 6;
+  env.op(total_nodes * 6.0, total_nodes * 2.0);
+  // Node allocations dominate: ~32 bytes each, pointer-chased on traversal.
+  const std::uint64_t heap = env.alloc(nodes * 32);
+  for (int rep = 0; rep < 6; ++rep) env.read(heap, nodes * 32, 96);
+  return "binarytrees:" + std::to_string(check);
+}
+
+// --- quicksort ------------------------------------------------------------------
+std::string quicksort(rt::RtContext& env) {
+  constexpr std::size_t kN = 300000;
+  std::vector<std::uint32_t> xs(kN);
+  std::uint32_t v = 12345;
+  for (auto& x : xs) {
+    v = v * 1664525u + 1013904223u;
+    x = v;
+  }
+  std::sort(xs.begin(), xs.end());
+  const double nlogn = static_cast<double>(kN) * 18.0;  // log2(300k) ~ 18.2
+  env.op(nlogn * 4.0, nlogn);
+  const std::uint64_t arr = env.alloc(kN * 4);
+  for (int pass = 0; pass < 18; ++pass) env.read(arr, kN * 4, 64);
+  env.write(arr, kN * 4, 64);
+  const bool sorted = std::is_sorted(xs.begin(), xs.end());
+  return std::string("quicksort:") + (sorted ? "ok" : "fail") + ":" +
+         std::to_string(xs[kN / 2]);
+}
+
+// --- mergesort (stable, extra buffer => more memory traffic) --------------------
+std::string mergesort(rt::RtContext& env) {
+  constexpr std::size_t kN = 250000;
+  std::vector<std::uint32_t> xs(kN);
+  std::uint32_t v = 99991;
+  for (auto& x : xs) {
+    v ^= v << 13;
+    v ^= v >> 17;
+    v ^= v << 5;
+    x = v;
+  }
+  std::stable_sort(xs.begin(), xs.end());
+  const double nlogn = static_cast<double>(kN) * 18.0;
+  env.op(nlogn * 3.5, nlogn);
+  const std::uint64_t arr = env.alloc(kN * 4);
+  const std::uint64_t tmp = env.alloc(kN * 4);
+  for (int pass = 0; pass < 9; ++pass) {
+    env.read(arr, kN * 4, 64);
+    env.write(tmp, kN * 4, 64);
+    env.read(tmp, kN * 4, 64);
+    env.write(arr, kN * 4, 64);
+  }
+  return "mergesort:" + std::to_string(xs[0]) + ":" +
+         std::to_string(xs[kN - 1]);
+}
+
+// --- hashtable: build + probe --------------------------------------------------
+std::string hashtable(rt::RtContext& env) {
+  constexpr std::size_t kN = 120000;
+  std::unordered_map<std::uint64_t, std::uint64_t> map;
+  map.reserve(kN);
+  std::uint64_t v = 7;
+  for (std::size_t i = 0; i < kN; ++i) {
+    v = v * 6364136223846793005ULL + 1442695040888963407ULL;
+    map[v >> 16] = i;
+  }
+  std::uint64_t hits = 0;
+  v = 7;
+  for (std::size_t i = 0; i < kN; ++i) {
+    v = v * 6364136223846793005ULL + 1442695040888963407ULL;
+    hits += map.count(v >> 16);
+  }
+  env.op(static_cast<double>(kN) * 2 * 12.0, static_cast<double>(kN) * 4);
+  // Random-access probes: stride larger than a line, poor locality.
+  const std::uint64_t tbl = env.alloc(kN * 48);
+  env.read(tbl, kN * 48, 192);
+  env.write(tbl, kN * 24, 192);
+  return "hashtable:" + std::to_string(hits);
+}
+
+// --- strmatch: naive substring search over generated text -----------------------
+std::string strmatch(rt::RtContext& env) {
+  std::string text;
+  text.reserve(1 << 20);
+  std::uint32_t v = 31337;
+  for (std::size_t i = 0; i < (1 << 20); ++i) {
+    v = v * 1103515245u + 12345u;
+    text += static_cast<char>('a' + (v >> 16) % 6);
+  }
+  const std::string pattern = "abcabd";
+  std::size_t found = 0, pos = 0;
+  while ((pos = text.find(pattern, pos)) != std::string::npos) {
+    ++found;
+    ++pos;
+  }
+  env.op(static_cast<double>(text.size()) * 3.0,
+         static_cast<double>(text.size()));
+  const std::uint64_t buf = env.alloc(text.size());
+  env.read(buf, text.size(), 64);
+  return "strmatch:" + std::to_string(found);
+}
+
+// --- base64 -----------------------------------------------------------------------
+std::string base64(rt::RtContext& env) {
+  static const char* kTab =
+      "ABCDEFGHIJKLMNOPQRSTUVWXYZabcdefghijklmnopqrstuvwxyz0123456789+/";
+  constexpr std::size_t kBytes = 3 << 19;  // 1.5 MB payload
+  std::string out;
+  out.reserve(kBytes * 4 / 3 + 4);
+  std::uint32_t v = 555;
+  std::uint8_t trio[3];
+  for (std::size_t i = 0; i < kBytes; i += 3) {
+    for (int k = 0; k < 3; ++k) {
+      v = v * 22695477u + 1u;
+      trio[k] = static_cast<std::uint8_t>(v >> 23);
+    }
+    const std::uint32_t n = (trio[0] << 16) | (trio[1] << 8) | trio[2];
+    out += kTab[(n >> 18) & 63];
+    out += kTab[(n >> 12) & 63];
+    out += kTab[(n >> 6) & 63];
+    out += kTab[n & 63];
+  }
+  env.op(static_cast<double>(kBytes) * 5.0, static_cast<double>(kBytes) / 3);
+  const std::uint64_t src = env.alloc(kBytes);
+  const std::uint64_t dst = env.alloc(out.size());
+  env.read(src, kBytes, 64);
+  env.write(dst, out.size(), 64);
+  return "base64:" + std::to_string(out.size()) + ":" + out.substr(0, 8);
+}
+
+// --- json: tokenize + parse a synthetic document ---------------------------------
+std::string json_parse(rt::RtContext& env) {
+  // Build a realistic document, then parse it with a real recursive-descent
+  // pass counting structure.
+  std::string doc = "{\"records\":[";
+  for (int i = 0; i < 4000; ++i) {
+    doc += "{\"id\":" + std::to_string(i) +
+           ",\"name\":\"user" + std::to_string(i * 7 % 997) +
+           "\",\"score\":" + std::to_string((i * 31) % 100) + "." +
+           std::to_string(i % 10) + ",\"active\":" +
+           ((i % 3) ? "true" : "false") + "}";
+    if (i != 3999) doc += ",";
+  }
+  doc += "]}";
+
+  std::size_t objects = 0, numbers = 0, strings = 0, depth = 0, max_depth = 0;
+  for (std::size_t i = 0; i < doc.size(); ++i) {
+    const char c = doc[i];
+    if (c == '{') {
+      ++objects;
+      ++depth;
+      max_depth = std::max(max_depth, depth);
+    } else if (c == '}') {
+      --depth;
+    } else if (c == '"') {
+      ++strings;
+      while (++i < doc.size() && doc[i] != '"') {
+      }
+    } else if ((c >= '0' && c <= '9') || c == '-') {
+      ++numbers;
+      while (i + 1 < doc.size() &&
+             ((doc[i + 1] >= '0' && doc[i + 1] <= '9') || doc[i + 1] == '.'))
+        ++i;
+    }
+  }
+  env.op(static_cast<double>(doc.size()) * 4.0,
+         static_cast<double>(doc.size()) * 1.5);
+  // Parsed trees allocate per node — heavy boxing in managed runtimes.
+  const double nodes = static_cast<double>(objects + numbers + strings);
+  for (int chunk = 0; chunk < 16; ++chunk)
+    env.alloc(static_cast<std::uint64_t>(nodes * 40 / 16));
+  const std::uint64_t buf = env.alloc(doc.size());
+  env.read(buf, doc.size(), 64);
+  std::ostringstream os;
+  os << "json:" << objects << ":" << strings / 2 << ":" << max_depth;
+  return os.str();
+}
+
+// --- sha256 over a generated payload ----------------------------------------------
+std::string sha256ws(rt::RtContext& env) {
+  constexpr std::size_t kBytes = 1 << 20;
+  std::vector<std::uint8_t> payload(kBytes);
+  std::uint32_t v = 42;
+  for (auto& b : payload) {
+    v = v * 747796405u + 2891336453u;
+    b = static_cast<std::uint8_t>(v >> 24);
+  }
+  const attest::Digest d = attest::Sha256::hash(payload);
+  // ~14 ops per byte for a portable SHA-256.
+  env.op(static_cast<double>(kBytes) * 14.0,
+         static_cast<double>(kBytes) / 8.0);
+  const std::uint64_t buf = env.alloc(kBytes);
+  env.read(buf, kBytes, 64);
+  return "sha256:" + attest::to_hex(d).substr(0, 16);
+}
+
+// --- huffman: frequency analysis + encoding ----------------------------------------
+std::string huffman(rt::RtContext& env) {
+  constexpr std::size_t kBytes = 1 << 20;
+  std::vector<std::uint8_t> data(kBytes);
+  std::uint32_t v = 2024;
+  for (auto& b : data) {
+    v = v * 134775813u + 1u;
+    b = static_cast<std::uint8_t>((v >> 24) & 0x3F);  // skewed alphabet
+  }
+  std::array<std::uint64_t, 256> freq{};
+  for (std::uint8_t b : data) ++freq[b];
+  // Build code lengths with a simple two-queue method over sorted leaves.
+  std::vector<std::pair<std::uint64_t, int>> nodes;  // (weight, depth proxy)
+  for (int i = 0; i < 256; ++i)
+    if (freq[i]) nodes.push_back({freq[i], 0});
+  std::sort(nodes.begin(), nodes.end());
+  double merge_ops = 0;
+  while (nodes.size() > 1) {
+    auto a = nodes[0], b = nodes[1];
+    nodes.erase(nodes.begin(), nodes.begin() + 2);
+    std::pair<std::uint64_t, int> m{a.first + b.first,
+                                    std::max(a.second, b.second) + 1};
+    nodes.insert(std::lower_bound(nodes.begin(), nodes.end(), m), m);
+    merge_ops += 40;
+  }
+  const int tree_depth = nodes.empty() ? 0 : nodes[0].second;
+  // Encoding pass: table lookup per byte.
+  env.op(static_cast<double>(kBytes) * 8.0 + merge_ops,
+         static_cast<double>(kBytes));
+  const std::uint64_t in = env.alloc(kBytes);
+  const std::uint64_t out = env.alloc(kBytes);
+  env.read(in, kBytes, 64);
+  env.read(in, kBytes, 64);  // freq pass + encode pass
+  env.write(out, kBytes * 3 / 4, 64);
+  return "huffman:" + std::to_string(tree_depth);
+}
+
+}  // namespace
+
+void register_mem_workloads(std::vector<FaasWorkload>& out) {
+  out.push_back({"memstress", Category::kMemory, memstress});
+  out.push_back({"binarytrees", Category::kMemory, binarytrees});
+  out.push_back({"quicksort", Category::kMemory, quicksort});
+  out.push_back({"mergesort", Category::kMemory, mergesort});
+  out.push_back({"hashtable", Category::kMemory, hashtable});
+  out.push_back({"strmatch", Category::kMemory, strmatch});
+  out.push_back({"base64", Category::kMemory, base64});
+  out.push_back({"json", Category::kMemory, json_parse});
+  out.push_back({"sha256", Category::kMemory, sha256ws});
+  out.push_back({"huffman", Category::kMemory, huffman});
+}
+
+}  // namespace confbench::wl

@@ -1,0 +1,200 @@
+#include "wl/ml/model.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "sim/rng.h"
+
+namespace confbench::wl::ml {
+
+double LayerSpec::macs() const {
+  const int out_hw = (in_hw + stride - 1) / stride;
+  const double spatial = static_cast<double>(out_hw) * out_hw;
+  switch (kind) {
+    case Kind::kConv:
+      return spatial * out_c * 9.0 * in_c;
+    case Kind::kDepthwise:
+      return spatial * in_c * 9.0;
+    case Kind::kPointwise:
+      return spatial * static_cast<double>(in_c) * out_c;
+  }
+  return 0;
+}
+
+double LayerSpec::weight_bytes() const {
+  switch (kind) {
+    case Kind::kConv:
+      return 4.0 * out_c * 9.0 * in_c;
+    case Kind::kDepthwise:
+      return 4.0 * 9.0 * in_c;
+    case Kind::kPointwise:
+      return 4.0 * static_cast<double>(in_c) * out_c;
+  }
+  return 0;
+}
+
+double LayerSpec::out_act_bytes() const {
+  const int out_hw = (in_hw + stride - 1) / stride;
+  return 4.0 * out_hw * out_hw * out_c;
+}
+
+const std::vector<LayerSpec>& mobilenet_v1_layers() {
+  using K = LayerSpec::Kind;
+  static const std::vector<LayerSpec> kLayers = {
+      {K::kConv, 224, 3, 32, 2},
+      {K::kDepthwise, 112, 32, 32, 1},   {K::kPointwise, 112, 32, 64, 1},
+      {K::kDepthwise, 112, 64, 64, 2},   {K::kPointwise, 56, 64, 128, 1},
+      {K::kDepthwise, 56, 128, 128, 1},  {K::kPointwise, 56, 128, 128, 1},
+      {K::kDepthwise, 56, 128, 128, 2},  {K::kPointwise, 28, 128, 256, 1},
+      {K::kDepthwise, 28, 256, 256, 1},  {K::kPointwise, 28, 256, 256, 1},
+      {K::kDepthwise, 28, 256, 256, 2},  {K::kPointwise, 14, 256, 512, 1},
+      {K::kDepthwise, 14, 512, 512, 1},  {K::kPointwise, 14, 512, 512, 1},
+      {K::kDepthwise, 14, 512, 512, 1},  {K::kPointwise, 14, 512, 512, 1},
+      {K::kDepthwise, 14, 512, 512, 1},  {K::kPointwise, 14, 512, 512, 1},
+      {K::kDepthwise, 14, 512, 512, 1},  {K::kPointwise, 14, 512, 512, 1},
+      {K::kDepthwise, 14, 512, 512, 1},  {K::kPointwise, 14, 512, 512, 1},
+      {K::kDepthwise, 14, 512, 512, 2},  {K::kPointwise, 7, 512, 1024, 1},
+      {K::kDepthwise, 7, 1024, 1024, 1}, {K::kPointwise, 7, 1024, 1024, 1},
+  };
+  return kLayers;
+}
+
+namespace {
+std::vector<float> random_weights(sim::Rng& rng, std::size_t n,
+                                  double stddev) {
+  std::vector<float> w(n);
+  for (auto& v : w)
+    v = static_cast<float>(rng.next_gaussian() * stddev);
+  return w;
+}
+
+int reduced_channels(int full, int scale) {
+  return std::max(2, full / scale);
+}
+}  // namespace
+
+MobileNetModel::MobileNetModel(std::uint64_t seed, int reduced_scale)
+    : scale_(reduced_scale), reduced_hw_(224 / reduced_scale) {
+  sim::Rng rng(sim::hash_combine(seed, sim::stable_hash("mobilenet-v1")));
+  const auto& layers = mobilenet_v1_layers();
+  layer_weights_.reserve(layers.size());
+  layer_bias_.reserve(layers.size());
+  for (const auto& l : layers) {
+    const int ic = reduced_channels(l.in_c, scale_);
+    const int oc = reduced_channels(l.out_c, scale_);
+    std::size_t n = 0;
+    int bias_n = oc;
+    switch (l.kind) {
+      case LayerSpec::Kind::kConv:
+        n = static_cast<std::size_t>(oc) * 9 *
+            (l.in_c == 3 ? 3 : ic);  // RGB stem keeps 3 input channels
+        break;
+      case LayerSpec::Kind::kDepthwise:
+        n = 9ULL * ic;
+        bias_n = ic;
+        break;
+      case LayerSpec::Kind::kPointwise:
+        n = static_cast<std::size_t>(oc) * ic;
+        break;
+    }
+    const double fan_in = std::max<std::size_t>(n / std::max(1, bias_n), 1);
+    layer_weights_.push_back(random_weights(rng, n, 1.0 / std::sqrt(fan_in)));
+    layer_bias_.push_back(
+        random_weights(rng, static_cast<std::size_t>(bias_n), 0.01));
+  }
+  const int feat = reduced_channels(1024, scale_);
+  fc_weights_ = random_weights(rng, static_cast<std::size_t>(kClasses) * feat,
+                               1.0 / std::sqrt(feat));
+  fc_bias_ = random_weights(rng, kClasses, 0.01);
+}
+
+MlResult MobileNetModel::classify(vm::ExecutionContext& ctx,
+                                  const Tensor& input) const {
+  const auto& layers = mobilenet_v1_layers();
+  // Charge full-scale costs: weights + activations regions.
+  const std::uint64_t weights_region = ctx.alloc_region(18ULL << 20, 4096);
+  const std::uint64_t act_a = ctx.alloc_region(4ULL << 20, 4096);
+  const std::uint64_t act_b = ctx.alloc_region(4ULL << 20, 4096);
+
+  Tensor t = input;
+  double weight_off = 0;
+  for (std::size_t i = 0; i < layers.size(); ++i) {
+    const LayerSpec& l = layers[i];
+    // --- real (reduced-scale) math -------------------------------------
+    switch (l.kind) {
+      case LayerSpec::Kind::kConv:
+        t = conv2d(t, layer_weights_[i], layer_bias_[i], 3,
+                   static_cast<int>(layer_bias_[i].size()), l.stride);
+        break;
+      case LayerSpec::Kind::kDepthwise:
+        t = depthwise_conv2d(t, layer_weights_[i], layer_bias_[i], 3,
+                             l.stride);
+        break;
+      case LayerSpec::Kind::kPointwise:
+        t = pointwise_conv2d(t, layer_weights_[i], layer_bias_[i],
+                             static_cast<int>(layer_bias_[i].size()));
+        break;
+    }
+    relu6(t);
+    // --- full-scale cost charges ----------------------------------------
+    ctx.compute_fp(2.0 * l.macs());
+    ctx.compute(l.macs() * 0.15, l.macs() * 0.02);  // addressing + loops
+    const std::uint64_t src = (i % 2 == 0) ? act_a : act_b;
+    const std::uint64_t dst = (i % 2 == 0) ? act_b : act_a;
+    const auto in_bytes = static_cast<std::uint64_t>(
+        4.0 * l.in_hw * l.in_hw * l.in_c);
+    ctx.mem_read(src, in_bytes, 64);
+    ctx.mem_read(weights_region + static_cast<std::uint64_t>(weight_off),
+                 static_cast<std::uint64_t>(l.weight_bytes()), 64);
+    ctx.mem_write(dst, static_cast<std::uint64_t>(l.out_act_bytes()), 64);
+    weight_off += l.weight_bytes();
+  }
+
+  // Head: global average pool + FC(1024 -> 1000) + softmax.
+  const Tensor pooled = global_avg_pool(t);
+  const std::vector<float> logits =
+      dense(pooled.data, fc_weights_, fc_bias_, kClasses);
+  const std::vector<float> probs = softmax(logits);
+  ctx.compute_fp(2.0 * 1024.0 * kClasses + 3.0 * kClasses);
+  ctx.mem_read(weights_region + static_cast<std::uint64_t>(weight_off),
+               4ULL * 1024 * kClasses, 64);
+
+  MlResult r;
+  const auto it = std::max_element(probs.begin(), probs.end());
+  r.label = static_cast<int>(it - probs.begin());
+  r.confidence = *it;
+  return r;
+}
+
+void install_image_dataset(vm::Vfs& fs, int count, std::uint64_t bytes_each) {
+  fs.mkdir("/data");
+  for (int i = 0; i < count; ++i) {
+    const std::string path = "/data/img_" + std::to_string(i) + ".bin";
+    fs.create(path);
+    fs.write(path, bytes_each);
+    fs.fsync(path);
+  }
+  fs.drop_caches();  // images start cold, as if freshly uploaded
+}
+
+Tensor load_and_decode(vm::ExecutionContext& ctx, vm::Vfs& fs, int index,
+                       int target_hw) {
+  const std::string path = "/data/img_" + std::to_string(index) + ".bin";
+  const std::uint64_t size = fs.file_size(path);
+  // Read the compressed blob in 256-KiB chunks.
+  for (std::uint64_t off = 0; off < size; off += 256 * 1024)
+    fs.read(path, off, std::min<std::uint64_t>(256 * 1024, size - off));
+  // JPEG-style decode: ~90 ops per output pixel at full 224x224x3.
+  const double full_pixels = 224.0 * 224 * 3;
+  ctx.compute(full_pixels * 90.0, full_pixels * 4.0);
+  ctx.compute_fp(full_pixels * 12.0);  // IDCT + colour conversion
+
+  // Deterministic pixels derived from the image index (the real math input).
+  Tensor t(target_hw, target_hw, 3);
+  sim::Rng rng(sim::hash_combine(0xD9A7ALL, static_cast<std::uint64_t>(index)));
+  for (auto& v : t.data)
+    v = static_cast<float>(rng.next_double() * 2.0 - 1.0);
+  return t;
+}
+
+}  // namespace confbench::wl::ml

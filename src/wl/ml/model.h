@@ -1,0 +1,78 @@
+// MobileNet-v1-shaped classifier for the confidential-ML experiment (Fig. 3).
+//
+// The paper classifies 40 diversified 1-MB images with TensorFlow Lite
+// MobileNet [51], [54]. We run a real depthwise-separable CNN with the
+// exact MobileNetV1 layer topology, executed at a reduced spatial/channel
+// scale (so the real arithmetic stays laptop-fast) while the simulation is
+// charged at the *full* 224x224 model scale — full MAC counts, weight and
+// activation traffic per layer. Images are synthetic 1-MB blobs stored in
+// the guest VFS and decoded for real, so the I/O and preprocessing phases
+// of the pipeline are exercised too.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "vm/exec_context.h"
+#include "vm/vfs.h"
+#include "wl/ml/tensor.h"
+
+namespace confbench::wl::ml {
+
+/// One layer of the full-scale MobileNetV1 topology.
+struct LayerSpec {
+  enum class Kind { kConv, kDepthwise, kPointwise } kind;
+  int in_hw;    ///< input spatial size at 224-scale
+  int in_c;     ///< input channels at full scale
+  int out_c;    ///< output channels at full scale
+  int stride;
+  [[nodiscard]] double macs() const;          ///< full-scale multiply-accumulates
+  [[nodiscard]] double weight_bytes() const;  ///< float32 weights
+  [[nodiscard]] double out_act_bytes() const;
+};
+
+/// The standard MobileNetV1 stack (~569M MACs, ~4.2M params).
+const std::vector<LayerSpec>& mobilenet_v1_layers();
+
+struct MlResult {
+  int label = -1;
+  float confidence = 0;
+};
+
+class MobileNetModel {
+ public:
+  /// `seed` initialises deterministic pseudo-trained weights;
+  /// `reduced_scale` divides spatial dims and channels for the real math.
+  explicit MobileNetModel(std::uint64_t seed = 1, int reduced_scale = 8);
+
+  /// Classifies one decoded image tensor, charging the context at full
+  /// model scale.
+  [[nodiscard]] MlResult classify(vm::ExecutionContext& ctx,
+                                  const Tensor& input) const;
+
+  /// Number of classes in the head.
+  [[nodiscard]] int num_classes() const { return kClasses; }
+  [[nodiscard]] int input_hw() const { return reduced_hw_; }
+
+ private:
+  static constexpr int kClasses = 1000;
+  int scale_;
+  int reduced_hw_;
+  std::vector<std::vector<float>> layer_weights_;
+  std::vector<std::vector<float>> layer_bias_;
+  std::vector<float> fc_weights_;
+  std::vector<float> fc_bias_;
+};
+
+/// Writes the 40-image dataset (1 MB each, deterministic contents) into the
+/// VFS under /data/img_<i>.bin, mirroring the GuaranTEE dataset [51].
+void install_image_dataset(vm::Vfs& fs, int count = 40,
+                           std::uint64_t bytes_each = 1 << 20);
+
+/// Loads + decodes image `index` from the VFS into a model-ready tensor,
+/// charging I/O and per-pixel decode work.
+Tensor load_and_decode(vm::ExecutionContext& ctx, vm::Vfs& fs, int index,
+                       int target_hw);
+
+}  // namespace confbench::wl::ml

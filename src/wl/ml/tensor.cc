@@ -1,0 +1,124 @@
+#include "wl/ml/tensor.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace confbench::wl::ml {
+
+namespace {
+int out_dim(int in, int stride) { return (in + stride - 1) / stride; }
+}  // namespace
+
+Tensor conv2d(const Tensor& in, const std::vector<float>& weights,
+              const std::vector<float>& bias, int k, int out_c, int stride) {
+  const int oh = out_dim(in.h, stride), ow = out_dim(in.w, stride);
+  Tensor out(oh, ow, out_c);
+  const int pad = (k - 1) / 2;
+  for (int oy = 0; oy < oh; ++oy) {
+    for (int ox = 0; ox < ow; ++ox) {
+      for (int oc = 0; oc < out_c; ++oc) {
+        float acc = bias[oc];
+        for (int ky = 0; ky < k; ++ky) {
+          const int iy = oy * stride + ky - pad;
+          if (iy < 0 || iy >= in.h) continue;
+          for (int kx = 0; kx < k; ++kx) {
+            const int ix = ox * stride + kx - pad;
+            if (ix < 0 || ix >= in.w) continue;
+            const std::size_t wbase =
+                ((static_cast<std::size_t>(oc) * k + ky) * k + kx) * in.c;
+            for (int ic = 0; ic < in.c; ++ic)
+              acc += in.at(iy, ix, ic) * weights[wbase + ic];
+          }
+        }
+        out.at(oy, ox, oc) = acc;
+      }
+    }
+  }
+  return out;
+}
+
+Tensor depthwise_conv2d(const Tensor& in, const std::vector<float>& weights,
+                        const std::vector<float>& bias, int k, int stride) {
+  const int oh = out_dim(in.h, stride), ow = out_dim(in.w, stride);
+  Tensor out(oh, ow, in.c);
+  const int pad = (k - 1) / 2;
+  for (int oy = 0; oy < oh; ++oy) {
+    for (int ox = 0; ox < ow; ++ox) {
+      for (int ch = 0; ch < in.c; ++ch) {
+        float acc = bias[ch];
+        for (int ky = 0; ky < k; ++ky) {
+          const int iy = oy * stride + ky - pad;
+          if (iy < 0 || iy >= in.h) continue;
+          for (int kx = 0; kx < k; ++kx) {
+            const int ix = ox * stride + kx - pad;
+            if (ix < 0 || ix >= in.w) continue;
+            acc += in.at(iy, ix, ch) *
+                   weights[(static_cast<std::size_t>(ky) * k + kx) * in.c + ch];
+          }
+        }
+        out.at(oy, ox, ch) = acc;
+      }
+    }
+  }
+  return out;
+}
+
+Tensor pointwise_conv2d(const Tensor& in, const std::vector<float>& weights,
+                        const std::vector<float>& bias, int out_c) {
+  Tensor out(in.h, in.w, out_c);
+  for (int y = 0; y < in.h; ++y) {
+    for (int x = 0; x < in.w; ++x) {
+      for (int oc = 0; oc < out_c; ++oc) {
+        float acc = bias[oc];
+        const std::size_t wbase = static_cast<std::size_t>(oc) * in.c;
+        for (int ic = 0; ic < in.c; ++ic)
+          acc += in.at(y, x, ic) * weights[wbase + ic];
+        out.at(y, x, oc) = acc;
+      }
+    }
+  }
+  return out;
+}
+
+void relu6(Tensor& t) {
+  for (float& v : t.data) v = std::clamp(v, 0.0f, 6.0f);
+}
+
+Tensor global_avg_pool(const Tensor& in) {
+  Tensor out(1, 1, in.c);
+  const float inv = 1.0f / (static_cast<float>(in.h) * in.w);
+  for (int y = 0; y < in.h; ++y)
+    for (int x = 0; x < in.w; ++x)
+      for (int ch = 0; ch < in.c; ++ch) out.at(0, 0, ch) += in.at(y, x, ch);
+  for (float& v : out.data) v *= inv;
+  return out;
+}
+
+std::vector<float> dense(const std::vector<float>& in,
+                         const std::vector<float>& weights,
+                         const std::vector<float>& bias, int out_n) {
+  std::vector<float> out(static_cast<std::size_t>(out_n));
+  for (int o = 0; o < out_n; ++o) {
+    float acc = bias[o];
+    const std::size_t wbase = static_cast<std::size_t>(o) * in.size();
+    for (std::size_t i = 0; i < in.size(); ++i)
+      acc += in[i] * weights[wbase + i];
+    out[o] = acc;
+  }
+  return out;
+}
+
+std::vector<float> softmax(const std::vector<float>& logits) {
+  std::vector<float> out(logits.size());
+  if (logits.empty()) return out;
+  const float mx = *std::max_element(logits.begin(), logits.end());
+  float sum = 0;
+  for (std::size_t i = 0; i < logits.size(); ++i) {
+    out[i] = std::exp(logits[i] - mx);
+    sum += out[i];
+  }
+  for (float& v : out) v /= sum;
+  return out;
+}
+
+}  // namespace confbench::wl::ml

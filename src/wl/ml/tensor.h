@@ -1,0 +1,60 @@
+// Minimal NHWC float tensor + the convolution kernels MobileNet needs.
+//
+// These do real arithmetic: tests check numeric properties (shape algebra,
+// ReLU clamping, softmax normalisation, depthwise vs dense equivalence on
+// identity kernels). The simulation charges costs separately at the paper's
+// full model scale (see wl/ml/model.h).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace confbench::wl::ml {
+
+struct Tensor {
+  int h = 0, w = 0, c = 0;
+  std::vector<float> data;  // NHWC, single batch
+
+  Tensor() = default;
+  Tensor(int h_, int w_, int c_) : h(h_), w(w_), c(c_) {
+    data.assign(static_cast<std::size_t>(h) * w * c, 0.0f);
+  }
+
+  [[nodiscard]] float& at(int y, int x, int ch) {
+    return data[(static_cast<std::size_t>(y) * w + x) * c + ch];
+  }
+  [[nodiscard]] float at(int y, int x, int ch) const {
+    return data[(static_cast<std::size_t>(y) * w + x) * c + ch];
+  }
+  [[nodiscard]] std::size_t size() const { return data.size(); }
+};
+
+/// Standard KxK convolution, stride s, SAME padding.
+/// weights layout: [out_c][k][k][in_c]; bias: [out_c].
+Tensor conv2d(const Tensor& in, const std::vector<float>& weights,
+              const std::vector<float>& bias, int k, int out_c, int stride);
+
+/// Depthwise KxK convolution, stride s, SAME padding.
+/// weights layout: [k][k][c]; bias: [c].
+Tensor depthwise_conv2d(const Tensor& in, const std::vector<float>& weights,
+                        const std::vector<float>& bias, int k, int stride);
+
+/// 1x1 (pointwise) convolution. weights: [out_c][in_c].
+Tensor pointwise_conv2d(const Tensor& in, const std::vector<float>& weights,
+                        const std::vector<float>& bias, int out_c);
+
+/// ReLU6 in place (MobileNet's activation).
+void relu6(Tensor& t);
+
+/// Global average pooling to a 1x1xC tensor.
+Tensor global_avg_pool(const Tensor& in);
+
+/// Dense layer on a flattened tensor. weights: [out][in].
+std::vector<float> dense(const std::vector<float>& in,
+                         const std::vector<float>& weights,
+                         const std::vector<float>& bias, int out_n);
+
+/// Numerically-stable softmax.
+std::vector<float> softmax(const std::vector<float>& logits);
+
+}  // namespace confbench::wl::ml

@@ -1,0 +1,183 @@
+#include "wl/ub/unixbench.h"
+
+#include <cmath>
+
+#include "metrics/stats.h"
+
+namespace confbench::wl::ub {
+
+namespace {
+
+/// Helper: measures `fn` and converts `work_units` into units/second.
+template <typename Fn>
+double rate_per_sec(vm::ExecutionContext& ctx, double work_units, Fn&& fn) {
+  const sim::Ns start = ctx.now();
+  fn();
+  const sim::Ns elapsed = ctx.now() - start;
+  return elapsed > 0 ? work_units / (elapsed / sim::kSec) : 0.0;
+}
+
+// --- Dhrystone 2: integer/string register workout ---------------------------
+double dhrystone(vm::ExecutionContext& ctx) {
+  constexpr int kLoops = 400000;
+  // A token real computation keeping the loop honest.
+  std::uint32_t v = 1;
+  for (int i = 0; i < kLoops / 1000; ++i) v = v * 69069u + 1u;
+  // One dhrystone loop ~ 100 simple ops + a handful of branches.
+  return rate_per_sec(ctx, kLoops, [&] {
+    ctx.compute(kLoops * 100.0, kLoops * 18.0);
+    const std::uint64_t rec = ctx.alloc_region(1 << 16);
+    ctx.mem_read(rec, (1 << 16) * 8, 64);
+    ctx.mem_write(rec, (1 << 16) * 4, 64);
+    if (v == 0) ctx.compute(1, 0);  // consume v
+  });
+}
+
+// --- Whetstone: double-precision FP -----------------------------------------
+double whetstone(vm::ExecutionContext& ctx) {
+  constexpr double kMflop = 60.0;  // millions of Whetstone instructions
+  double x = 1.0;
+  for (int i = 0; i < 2000; ++i) x = std::sin(x) + 1.001;
+  const sim::Ns start = ctx.now();
+  ctx.compute_fp(kMflop * 1e6);
+  ctx.compute(kMflop * 1e6 * 0.2, kMflop * 1e6 * 0.05);
+  const sim::Ns elapsed = ctx.now() - start;
+  if (x > 1e12) return 0;  // never taken; defeats optimisation
+  return kMflop / (elapsed / sim::kSec);  // MWIPS
+}
+
+// --- Execl Throughput ---------------------------------------------------------
+double execl_tp(vm::ExecutionContext& ctx) {
+  constexpr int kLoops = 400;
+  return rate_per_sec(ctx, kLoops, [&] {
+    for (int i = 0; i < kLoops; ++i) ctx.spawn_process();
+  });
+}
+
+// --- File copy with a given buffer size ----------------------------------------
+// UnixBench's file-copy tests copy a small file repeatedly; the working set
+// lives in the page cache, so the cost is syscalls + kernel memcpy (which in
+// confidential VMs rides the memory-encryption engine), not device DMA.
+double file_copy(vm::ExecutionContext& ctx, vm::Vfs& fs, std::uint64_t bufsize,
+                 std::uint64_t max_blocks) {
+  const std::uint64_t file_bytes = bufsize * max_blocks;
+  const std::string src = "/ub/src_" + std::to_string(bufsize);
+  const std::string dst = "/ub/dst_" + std::to_string(bufsize);
+  fs.mkdir("/ub");
+  fs.create(src);
+  fs.write(src, file_bytes);
+  fs.create(dst);
+  // Warm-up pass: fault the working set in (UnixBench measures steady state).
+  for (std::uint64_t off = 0; off < file_bytes; off += bufsize) {
+    fs.read(src, off, bufsize);
+    fs.write(dst, bufsize);
+  }
+  fs.truncate(dst);
+  constexpr int kPasses = 3;
+  const sim::Ns start = ctx.now();
+  for (int pass = 0; pass < kPasses; ++pass) {
+    for (std::uint64_t off = 0; off < file_bytes; off += bufsize) {
+      fs.read(src, off, bufsize);
+      fs.write(dst, bufsize);
+    }
+    fs.truncate(dst);
+  }
+  const sim::Ns elapsed = ctx.now() - start;
+  fs.unlink(src);
+  fs.unlink(dst);
+  const double copied_kb =
+      static_cast<double>(file_bytes) * kPasses / 1024.0;
+  return copied_kb / (elapsed / sim::kSec);  // KBps
+}
+
+// --- Pipe Throughput -------------------------------------------------------------
+double pipe_tp(vm::ExecutionContext& ctx) {
+  constexpr int kLoops = 30000;
+  return rate_per_sec(ctx, kLoops, [&] {
+    for (int i = 0; i < kLoops; ++i) ctx.pipe_transfer(512);
+  });
+}
+
+// --- Pipe-based Context Switching ---------------------------------------------
+double pipe_ctx_switch(vm::ExecutionContext& ctx) {
+  constexpr int kLoops = 12000;
+  return rate_per_sec(ctx, kLoops, [&] {
+    for (int i = 0; i < kLoops; ++i) {
+      ctx.pipe_transfer(4);   // token ping
+      ctx.context_switch();   // scheduler hands over
+      ctx.pipe_transfer(4);   // token pong
+      ctx.context_switch();
+    }
+  });
+}
+
+// --- Process Creation -------------------------------------------------------------
+double process_creation(vm::ExecutionContext& ctx) {
+  constexpr int kLoops = 600;
+  return rate_per_sec(ctx, kLoops, [&] {
+    for (int i = 0; i < kLoops; ++i) {
+      ctx.spawn_process();
+      ctx.context_switch();  // parent wait + child exit
+    }
+  });
+}
+
+// --- Shell Scripts (1 concurrent) ------------------------------------------------
+double shell_scripts(vm::ExecutionContext& ctx, vm::Vfs& fs) {
+  constexpr int kLoops = 60;
+  fs.mkdir("/ub_sh");
+  const double lps = rate_per_sec(ctx, kLoops, [&] {
+    for (int i = 0; i < kLoops; ++i) {
+      // One script: sh + sort|od|grep|tee pipeline -> ~6 spawns, file churn.
+      for (int p = 0; p < 6; ++p) ctx.spawn_process();
+      const std::string tmp = "/ub_sh/t" + std::to_string(i % 4);
+      fs.write(tmp, 2048);
+      fs.read(tmp, 0, 2048);
+      fs.unlink(tmp);
+      ctx.compute(60000, 9000);
+    }
+  });
+  return lps * 60.0;  // loops per minute
+}
+
+// --- System Call Overhead ----------------------------------------------------------
+double syscall_overhead(vm::ExecutionContext& ctx) {
+  constexpr int kLoops = 80000;
+  return rate_per_sec(ctx, kLoops, [&] {
+    for (int i = 0; i < kLoops; ++i) ctx.syscall();
+  });
+}
+
+}  // namespace
+
+std::vector<UbResult> run_unixbench(vm::ExecutionContext& ctx, vm::Vfs& fs) {
+  std::vector<UbResult> r;
+  r.push_back({"Dhrystone 2 using register variables", dhrystone(ctx),
+               116700.0, "lps"});
+  r.push_back({"Double-Precision Whetstone", whetstone(ctx), 55.0, "MWIPS"});
+  r.push_back({"Execl Throughput", execl_tp(ctx), 43.0, "lps"});
+  r.push_back({"File Copy 1024 bufsize 2000 maxblocks",
+               file_copy(ctx, fs, 1024, 2000), 3960.0, "KBps"});
+  r.push_back({"File Copy 256 bufsize 500 maxblocks",
+               file_copy(ctx, fs, 256, 500), 1655.0, "KBps"});
+  r.push_back({"File Copy 4096 bufsize 8000 maxblocks",
+               file_copy(ctx, fs, 4096, 800), 5800.0, "KBps"});
+  r.push_back({"Pipe Throughput", pipe_tp(ctx), 12440.0, "lps"});
+  r.push_back({"Pipe-based Context Switching", pipe_ctx_switch(ctx), 4000.0,
+               "lps"});
+  r.push_back({"Process Creation", process_creation(ctx), 126.0, "lps"});
+  r.push_back({"Shell Scripts (1 concurrent)", shell_scripts(ctx, fs), 42.4,
+               "lpm"});
+  r.push_back({"System Call Overhead", syscall_overhead(ctx), 15000.0,
+               "lps"});
+  return r;
+}
+
+double aggregate_index(const std::vector<UbResult>& results) {
+  std::vector<double> idx;
+  idx.reserve(results.size());
+  for (const auto& r : results) idx.push_back(r.index());
+  return metrics::geometric_mean(idx);
+}
+
+}  // namespace confbench::wl::ub

@@ -1,0 +1,34 @@
+// Byte-UnixBench-style OS microbenchmark suite (Fig. 4).
+//
+// Eleven single-threaded tests mirroring the classic suite. Each test runs
+// a bounded workload, measures virtual elapsed time and converts it into
+// the suite's native unit (lps / KBps / MWIPS / lpm); the index score
+// divides by the reference system's score — a SPARCstation 20-61 with
+// Solaris 2.3, exactly as UnixBench and the paper describe — times 10.
+// The aggregate index is the geometric mean of per-test indexes.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "vm/exec_context.h"
+#include "vm/vfs.h"
+
+namespace confbench::wl::ub {
+
+struct UbResult {
+  std::string name;
+  double score = 0;     ///< in the test's native unit
+  double baseline = 1;  ///< SPARCstation 20-61 reference score
+  std::string unit;
+
+  [[nodiscard]] double index() const { return score / baseline * 10.0; }
+};
+
+/// Runs the whole suite (single-threaded configuration, as in §IV-C).
+std::vector<UbResult> run_unixbench(vm::ExecutionContext& ctx, vm::Vfs& fs);
+
+/// Geometric mean of the per-test indexes: the headline UnixBench score.
+double aggregate_index(const std::vector<UbResult>& results);
+
+}  // namespace confbench::wl::ub

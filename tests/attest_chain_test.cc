@@ -1,0 +1,130 @@
+#include <gtest/gtest.h>
+
+#include "attest/signer.h"
+
+namespace confbench::attest {
+namespace {
+
+TEST(SimSigner, KeygenDeterministicPerLabel) {
+  const Keypair a = SimSigner::keygen("label-1");
+  const Keypair b = SimSigner::keygen("label-1");
+  const Keypair c = SimSigner::keygen("label-2");
+  EXPECT_EQ(a.pub, b.pub);
+  EXPECT_NE(a.pub, c.pub);
+}
+
+TEST(SimSigner, SignVerifyRoundTrip) {
+  const Keypair kp = SimSigner::keygen("signer");
+  const std::string msg = "attest me";
+  const Signature sig = SimSigner::sign(kp, msg.data(), msg.size());
+  EXPECT_TRUE(SimSigner::verify(kp.pub, msg.data(), msg.size(), sig));
+}
+
+TEST(SimSigner, TamperedMessageFails) {
+  const Keypair kp = SimSigner::keygen("signer2");
+  std::string msg = "original content";
+  const Signature sig = SimSigner::sign(kp, msg.data(), msg.size());
+  msg[3] ^= 0x01;
+  EXPECT_FALSE(SimSigner::verify(kp.pub, msg.data(), msg.size(), sig));
+}
+
+TEST(SimSigner, WrongKeyFails) {
+  const Keypair a = SimSigner::keygen("key-a");
+  const Keypair b = SimSigner::keygen("key-b");
+  const std::string msg = "msg";
+  const Signature sig = SimSigner::sign(a, msg.data(), msg.size());
+  EXPECT_FALSE(SimSigner::verify(b.pub, msg.data(), msg.size(), sig));
+}
+
+TEST(SimSigner, UnknownPublicKeyFails) {
+  PubKey unknown{};
+  unknown[0] = 0xFF;
+  const std::string msg = "msg";
+  Signature sig{};
+  EXPECT_FALSE(SimSigner::verify(unknown, msg.data(), msg.size(), sig));
+}
+
+TEST(Certificate, SerializeDeserializeRoundTrip) {
+  const Keypair issuer = SimSigner::keygen("root-ca");
+  const Keypair subject = SimSigner::keygen("leaf");
+  const Certificate cert =
+      issue_certificate("leaf", subject, "root-ca", issuer);
+  const auto blob = cert.serialize();
+  const auto parsed = Certificate::deserialize(blob);
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(parsed->subject, "leaf");
+  EXPECT_EQ(parsed->issuer, "root-ca");
+  EXPECT_EQ(parsed->subject_key, subject.pub);
+  EXPECT_EQ(parsed->signature, cert.signature);
+}
+
+TEST(Certificate, DeserializeRejectsTruncatedAndTrailing) {
+  const Keypair kp = SimSigner::keygen("x");
+  const Certificate cert = issue_certificate("x", kp, "x", kp);
+  auto blob = cert.serialize();
+  auto truncated = blob;
+  truncated.resize(truncated.size() - 5);
+  EXPECT_FALSE(Certificate::deserialize(truncated).has_value());
+  auto padded = blob;
+  padded.push_back(0);
+  EXPECT_FALSE(Certificate::deserialize(padded).has_value());
+}
+
+struct ChainFixture : ::testing::Test {
+  ChainFixture()
+      : root(SimSigner::keygen("chain-root")),
+        intermediate(SimSigner::keygen("chain-int")),
+        leaf(SimSigner::keygen("chain-leaf")) {
+    chain.push_back(issue_certificate("leaf", leaf, "int", intermediate));
+    chain.push_back(issue_certificate("int", intermediate, "root", root));
+  }
+  Keypair root, intermediate, leaf;
+  std::vector<Certificate> chain;
+};
+
+TEST_F(ChainFixture, ValidChainVerifies) {
+  EXPECT_TRUE(verify_chain(chain, root.pub, {}));
+}
+
+TEST_F(ChainFixture, EmptyChainFails) {
+  EXPECT_FALSE(verify_chain({}, root.pub, {}));
+}
+
+TEST_F(ChainFixture, WrongRootFails) {
+  const Keypair other = SimSigner::keygen("other-root");
+  EXPECT_FALSE(verify_chain(chain, other.pub, {}));
+}
+
+TEST_F(ChainFixture, RevokedLeafFails) {
+  EXPECT_FALSE(verify_chain(chain, root.pub, {leaf.pub}));
+}
+
+TEST_F(ChainFixture, RevokedIntermediateFails) {
+  EXPECT_FALSE(verify_chain(chain, root.pub, {intermediate.pub}));
+}
+
+TEST_F(ChainFixture, UnrelatedRevocationStillVerifies) {
+  const Keypair bystander = SimSigner::keygen("bystander");
+  EXPECT_TRUE(verify_chain(chain, root.pub, {bystander.pub}));
+}
+
+TEST_F(ChainFixture, ReorderedChainFails) {
+  std::vector<Certificate> reversed{chain[1], chain[0]};
+  EXPECT_FALSE(verify_chain(reversed, root.pub, {}));
+}
+
+TEST_F(ChainFixture, ForgedCertificateFails) {
+  // An attacker swaps the subject key but cannot re-sign.
+  std::vector<Certificate> forged = chain;
+  const Keypair attacker = SimSigner::keygen("attacker");
+  forged[0].subject_key = attacker.pub;
+  EXPECT_FALSE(verify_chain(forged, root.pub, {}));
+}
+
+TEST_F(ChainFixture, SelfSignedSingleCertChain) {
+  std::vector<Certificate> self{issue_certificate("root", root, "root", root)};
+  EXPECT_TRUE(verify_chain(self, root.pub, {}));
+}
+
+}  // namespace
+}  // namespace confbench::attest

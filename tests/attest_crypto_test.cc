@@ -1,0 +1,155 @@
+#include <gtest/gtest.h>
+
+#include "attest/bytes.h"
+#include "attest/hmac.h"
+#include "attest/sha256.h"
+
+namespace confbench::attest {
+namespace {
+
+// --- SHA-256 against FIPS 180-4 / NIST test vectors ---------------------------
+
+TEST(Sha256, EmptyString) {
+  EXPECT_EQ(to_hex(Sha256::hash(std::string(""))),
+            "e3b0c44298fc1c149afbf4c8996fb92427ae41e4649b934ca495991b7852b855");
+}
+
+TEST(Sha256, Abc) {
+  EXPECT_EQ(to_hex(Sha256::hash(std::string("abc"))),
+            "ba7816bf8f01cfea414140de5dae2223b00361a396177a9cb410ff61f20015ad");
+}
+
+TEST(Sha256, TwoBlockMessage) {
+  EXPECT_EQ(to_hex(Sha256::hash(std::string(
+                "abcdbcdecdefdefgefghfghighijhijkijkljklmklmnlmnomnopnopq"))),
+            "248d6a61d20638b8e5c026930c3e6039a33ce45964ff2167f6ecedd419db06c1");
+}
+
+TEST(Sha256, MillionAs) {
+  Sha256 h;
+  const std::string chunk(1000, 'a');
+  for (int i = 0; i < 1000; ++i) h.update(chunk);
+  EXPECT_EQ(to_hex(h.finalize()),
+            "cdc76e5c9914fb9281a1c7e284d73e67f1809a48a497200e046d39ccc7112cd0");
+}
+
+TEST(Sha256, PaddingBoundaries) {
+  // 55/56/57 bytes straddle the length-field boundary; 63/64/65 straddle
+  // the block boundary.
+  for (std::size_t n : {55u, 56u, 57u, 63u, 64u, 65u}) {
+    const Digest d1 = Sha256::hash(std::string(n, 'y'));
+    const Digest d2 = Sha256::hash(std::string(n, 'y'));
+    EXPECT_TRUE(digest_equal(d1, d2)) << n;
+    EXPECT_FALSE(digest_equal(d1, Sha256::hash(std::string(n + 1, 'y'))))
+        << n;
+  }
+}
+
+TEST(Sha256, IncrementalMatchesOneShot) {
+  const std::string msg = "The quick brown fox jumps over the lazy dog";
+  Sha256 h;
+  h.update(msg.substr(0, 10));
+  h.update(msg.substr(10, 20));
+  h.update(msg.substr(30));
+  EXPECT_TRUE(digest_equal(h.finalize(), Sha256::hash(msg)));
+}
+
+TEST(Sha256, HexIsLowercase64Chars) {
+  const std::string hex = to_hex(Sha256::hash(std::string("x")));
+  EXPECT_EQ(hex.size(), 64u);
+  for (char c : hex)
+    EXPECT_TRUE((c >= '0' && c <= '9') || (c >= 'a' && c <= 'f'));
+}
+
+// --- HMAC-SHA256 against RFC 4231 ------------------------------------------------
+
+TEST(Hmac, Rfc4231Case1) {
+  const std::vector<std::uint8_t> key(20, 0x0b);
+  const std::string msg = "Hi There";
+  EXPECT_EQ(to_hex(hmac_sha256(key, msg.data(), msg.size())),
+            "b0344c61d8db38535ca8afceaf0bf12b881dc200c9833da726e9376c2e32cff7");
+}
+
+TEST(Hmac, Rfc4231Case2) {
+  const std::string key_s = "Jefe";
+  const std::vector<std::uint8_t> key(key_s.begin(), key_s.end());
+  const std::string msg = "what do ya want for nothing?";
+  EXPECT_EQ(to_hex(hmac_sha256(key, msg.data(), msg.size())),
+            "5bdcc146bf60754e6a042426089575c75a003f089d2739839dec58b964ec3843");
+}
+
+TEST(Hmac, LongKeyIsHashedFirst) {
+  // RFC 4231 case 6: 131-byte key.
+  const std::vector<std::uint8_t> key(131, 0xaa);
+  const std::string msg = "Test Using Larger Than Block-Size Key - Hash Key First";
+  EXPECT_EQ(to_hex(hmac_sha256(key, msg.data(), msg.size())),
+            "60e431591ee0b67f0d8a26aacbf5b77f8e0bc6213728c5140546040f0ee37f54");
+}
+
+TEST(Hmac, KeySensitivity) {
+  const std::vector<std::uint8_t> k1(16, 1), k2(16, 2);
+  const std::string msg = "same message";
+  EXPECT_FALSE(digest_equal(hmac_sha256(k1, msg.data(), msg.size()),
+                            hmac_sha256(k2, msg.data(), msg.size())));
+}
+
+TEST(DigestEqual, ExactComparison) {
+  Digest a{}, b{};
+  EXPECT_TRUE(digest_equal(a, b));
+  b[31] = 1;
+  EXPECT_FALSE(digest_equal(a, b));
+}
+
+// --- byte codecs -------------------------------------------------------------------
+
+TEST(Bytes, WriterReaderRoundTrip) {
+  ByteWriter w;
+  w.u8(0xAB);
+  w.u16(0x1234);
+  w.u32(0xDEADBEEF);
+  w.u64(0x0123456789ABCDEFULL);
+  w.str("hello");
+  const auto buf = w.take();
+  ByteReader r(buf);
+  EXPECT_EQ(r.u8(), 0xAB);
+  EXPECT_EQ(r.u16(), 0x1234);
+  EXPECT_EQ(r.u32(), 0xDEADBEEFu);
+  EXPECT_EQ(r.u64(), 0x0123456789ABCDEFULL);
+  EXPECT_EQ(r.str(), "hello");
+  EXPECT_TRUE(r.ok());
+  EXPECT_TRUE(r.at_end());
+}
+
+TEST(Bytes, ReaderDetectsTruncation) {
+  ByteWriter w;
+  w.u32(7);
+  const auto buf = w.take();
+  ByteReader r(buf);
+  r.u32();
+  r.u32();  // past the end
+  EXPECT_FALSE(r.ok());
+}
+
+TEST(Bytes, StringLengthBeyondBufferFails) {
+  ByteWriter w;
+  w.u32(1000);  // claims a 1000-byte string that is not there
+  const auto buf = w.take();
+  ByteReader r(buf);
+  EXPECT_EQ(r.str(), "");
+  EXPECT_FALSE(r.ok());
+}
+
+TEST(Bytes, ArrayRoundTrip) {
+  ByteWriter w;
+  std::array<std::uint8_t, 32> arr{};
+  for (std::size_t i = 0; i < arr.size(); ++i)
+    arr[i] = static_cast<std::uint8_t>(i * 3);
+  w.array(arr);
+  const auto buf = w.take();
+  ByteReader r(buf);
+  EXPECT_EQ(r.array<32>(), arr);
+  EXPECT_TRUE(r.at_end());
+}
+
+}  // namespace
+}  // namespace confbench::attest

@@ -1,0 +1,250 @@
+#include <gtest/gtest.h>
+
+#include "attest/pcs.h"
+#include "attest/quote.h"
+#include "attest/report.h"
+#include "attest/service.h"
+#include "tee/registry.h"
+
+namespace confbench::attest {
+namespace {
+
+// --- TDX quote flow ------------------------------------------------------------
+
+struct TdxFlow : ::testing::Test {
+  TdxFlow() : gen("test-platform") {
+    meas = golden_td_measurements("img-1");
+    nonce = Sha256::hash(std::string("nonce"));
+    policy.expected = meas;
+    policy.expected_report_data = nonce;
+    policy.min_tcb_level = 5;
+  }
+  TdxQuoteGenerator gen;
+  TdMeasurements meas;
+  Digest nonce;
+  TdxVerifyPolicy policy;
+};
+
+TEST_F(TdxFlow, GenerateAndVerify) {
+  const TdxQuote quote = gen.generate(meas, nonce);
+  const auto v = verify_tdx_quote(quote, gen.intel_root(), {}, policy);
+  EXPECT_TRUE(v.ok) << v.failure;
+}
+
+TEST_F(TdxFlow, SerializationRoundTrip) {
+  const TdxQuote quote = gen.generate(meas, nonce);
+  const auto wire = quote.serialize();
+  const auto parsed = TdxQuote::deserialize(wire);
+  ASSERT_TRUE(parsed.has_value());
+  const auto v = verify_tdx_quote(*parsed, gen.intel_root(), {}, policy);
+  EXPECT_TRUE(v.ok) << v.failure;
+}
+
+TEST_F(TdxFlow, EveryBitFlipBreaksTheQuote) {
+  const TdxQuote quote = gen.generate(meas, nonce);
+  const auto wire = quote.serialize();
+  // Flip one bit in several structurally different places.
+  for (const std::size_t pos :
+       {std::size_t{10}, wire.size() / 3, wire.size() / 2,
+        wire.size() - 20}) {
+    auto tampered = wire;
+    tampered[pos] ^= 0x10;
+    const auto parsed = TdxQuote::deserialize(tampered);
+    if (!parsed.has_value()) continue;  // framing destroyed: also fine
+    const auto v = verify_tdx_quote(*parsed, gen.intel_root(), {}, policy);
+    EXPECT_FALSE(v.ok) << "byte " << pos;
+  }
+}
+
+TEST_F(TdxFlow, MeasurementMismatchRejected) {
+  TdMeasurements wrong = meas;
+  wrong.rtmr[3].extend("unexpected event");
+  const TdxQuote quote = gen.generate(wrong, nonce);
+  const auto v = verify_tdx_quote(quote, gen.intel_root(), {}, policy);
+  EXPECT_FALSE(v.ok);
+  EXPECT_EQ(v.failure, "measurement mismatch");
+}
+
+TEST_F(TdxFlow, StaleNonceRejected) {
+  const TdxQuote quote = gen.generate(meas, Sha256::hash(std::string("old")));
+  const auto v = verify_tdx_quote(quote, gen.intel_root(), {}, policy);
+  EXPECT_FALSE(v.ok);
+  EXPECT_EQ(v.failure, "report_data (nonce) mismatch");
+}
+
+TEST_F(TdxFlow, TcbBelowPolicyRejected) {
+  TdxQuote quote = gen.generate(meas, nonce);
+  policy.min_tcb_level = quote.tcb_level + 1;
+  const auto v = verify_tdx_quote(quote, gen.intel_root(), {}, policy);
+  EXPECT_FALSE(v.ok);
+  EXPECT_EQ(v.failure, "TCB level below policy");
+}
+
+TEST_F(TdxFlow, RevokedPckRejected) {
+  const TdxQuote quote = gen.generate(meas, nonce);
+  ASSERT_GE(quote.pck_chain.size(), 2u);
+  const PubKey pck = quote.pck_chain[1].subject_key;
+  const auto v = verify_tdx_quote(quote, gen.intel_root(), {pck}, policy);
+  EXPECT_FALSE(v.ok);
+}
+
+TEST_F(TdxFlow, WrongTeeTypeRejected) {
+  TdxQuote quote = gen.generate(meas, nonce);
+  quote.tee_type = 0x00;  // SGX, not TDX
+  const auto v = verify_tdx_quote(quote, gen.intel_root(), {}, policy);
+  EXPECT_FALSE(v.ok);
+}
+
+// --- SNP report flow ---------------------------------------------------------------
+
+struct SnpFlow : ::testing::Test {
+  SnpFlow() : gen("test-chip") {
+    meas = golden_snp_measurements("img-1");
+    nonce = Sha256::hash(std::string("snp-nonce"));
+    policy.expected = meas;
+    policy.expected_report_data = nonce;
+  }
+  SnpReportGenerator gen;
+  SnpMeasurements meas;
+  Digest nonce;
+  SnpVerifyPolicy policy;
+};
+
+TEST_F(SnpFlow, GenerateAndVerify) {
+  const SnpReport report = gen.generate(meas, nonce);
+  const auto v =
+      verify_snp_report(report, gen.cert_chain(), gen.ark(), policy);
+  EXPECT_TRUE(v.ok) << v.failure;
+}
+
+TEST_F(SnpFlow, SerializationRoundTrip) {
+  const SnpReport report = gen.generate(meas, nonce);
+  const auto parsed = SnpReport::deserialize(report.serialize());
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_TRUE(
+      verify_snp_report(*parsed, gen.cert_chain(), gen.ark(), policy).ok);
+}
+
+TEST_F(SnpFlow, TamperedReportRejected) {
+  auto wire = gen.generate(meas, nonce).serialize();
+  wire[wire.size() / 2] ^= 0x04;
+  const auto parsed = SnpReport::deserialize(wire);
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_FALSE(
+      verify_snp_report(*parsed, gen.cert_chain(), gen.ark(), policy).ok);
+}
+
+TEST_F(SnpFlow, LaunchDigestMismatchRejected) {
+  SnpMeasurements wrong = meas;
+  wrong.launch_digest[0] ^= 1;
+  const SnpReport report = gen.generate(wrong, nonce);
+  const auto v =
+      verify_snp_report(report, gen.cert_chain(), gen.ark(), policy);
+  EXPECT_FALSE(v.ok);
+  EXPECT_EQ(v.failure, "launch measurement mismatch");
+}
+
+TEST_F(SnpFlow, TcbPolicyEnforced) {
+  SnpReport report = gen.generate(meas, nonce);
+  policy.min_tcb = report.platform_tcb + 1;
+  EXPECT_FALSE(
+      verify_snp_report(report, gen.cert_chain(), gen.ark(), policy).ok);
+}
+
+TEST_F(SnpFlow, WrongArkRejected) {
+  const SnpReport report = gen.generate(meas, nonce);
+  const Keypair fake = SimSigner::keygen("fake-ark");
+  EXPECT_FALSE(
+      verify_snp_report(report, gen.cert_chain(), fake.pub, policy).ok);
+}
+
+// --- measurement registers -----------------------------------------------------------
+
+TEST(Measurements, ExtendIsOrderSensitive) {
+  MeasurementRegister a, b;
+  a.extend("first");
+  a.extend("second");
+  b.extend("second");
+  b.extend("first");
+  EXPECT_NE(a.value(), b.value());
+}
+
+TEST(Measurements, GoldenValuesStablePerImage) {
+  EXPECT_EQ(golden_td_measurements("img").compose(),
+            golden_td_measurements("img").compose());
+  EXPECT_NE(golden_td_measurements("img-a").compose(),
+            golden_td_measurements("img-b").compose());
+  EXPECT_NE(golden_snp_measurements("img").compose(),
+            golden_realm_measurements("img").compose());
+}
+
+// --- timed end-to-end service (Fig. 5 semantics) --------------------------------------
+
+struct ServiceFlow : ::testing::Test {
+  AttestationService service;
+  tee::PlatformPtr tdx = tee::Registry::instance().create("tdx");
+  tee::PlatformPtr snp = tee::Registry::instance().create("sev-snp");
+  tee::PlatformPtr cca = tee::Registry::instance().create("cca");
+};
+
+TEST_F(ServiceFlow, TdxRoundSucceeds) {
+  const auto t = service.run_tdx(*tdx, 0);
+  EXPECT_TRUE(t.ok) << t.failure;
+  EXPECT_GT(t.attest_ns, 0);
+  EXPECT_GT(t.check_ns, 0);
+}
+
+TEST_F(ServiceFlow, SnpRoundSucceeds) {
+  const auto t = service.run_snp(*snp, 0);
+  EXPECT_TRUE(t.ok) << t.failure;
+}
+
+TEST_F(ServiceFlow, SnpFasterThanTdxInBothPhases) {
+  double tdx_attest = 0, tdx_check = 0, snp_attest = 0, snp_check = 0;
+  for (std::uint64_t trial = 0; trial < 5; ++trial) {
+    const auto t = service.run_tdx(*tdx, trial);
+    const auto s = service.run_snp(*snp, trial);
+    tdx_attest += t.attest_ns;
+    tdx_check += t.check_ns;
+    snp_attest += s.attest_ns;
+    snp_check += s.check_ns;
+  }
+  EXPECT_GT(tdx_attest, snp_attest);
+  EXPECT_GT(tdx_check, snp_check);
+  // TDX verification is dominated by PCS network round trips.
+  EXPECT_GT(tdx_check, 4 * tdx_attest);
+}
+
+TEST_F(ServiceFlow, TamperedEvidenceFailsBothFlows) {
+  EXPECT_FALSE(service.run_tdx(*tdx, 1, /*tamper=*/true).ok);
+  EXPECT_FALSE(service.run_snp(*snp, 1, /*tamper=*/true).ok);
+}
+
+TEST_F(ServiceFlow, CcaUnsupported) {
+  const auto t = service.run_tdx(*cca, 0);
+  EXPECT_FALSE(t.ok);
+  EXPECT_NE(t.failure.find("not supported"), std::string::npos);
+}
+
+TEST_F(ServiceFlow, TimingDeterministicPerTrial) {
+  AttestationService s2;
+  EXPECT_DOUBLE_EQ(service.run_tdx(*tdx, 3).check_ns,
+                   s2.run_tdx(*tdx, 3).check_ns);
+  EXPECT_NE(service.run_tdx(*tdx, 3).check_ns,
+            service.run_tdx(*tdx, 4).check_ns);
+}
+
+TEST_F(ServiceFlow, PcsRevocationBreaksVerification) {
+  AttestationService fresh;
+  ASSERT_TRUE(fresh.run_tdx(*tdx, 0).ok);
+  // Revoke the platform's PCK via the PCS: subsequent checks fail.
+  const auto& chain = fresh.tdx_generator();
+  TdxQuote quote = chain.generate(golden_td_measurements("ubuntu-24.04-guest"),
+                                  Sha256::hash(std::string("n")));
+  ASSERT_GE(quote.pck_chain.size(), 2u);
+  fresh.pcs().revoke(quote.pck_chain[1].subject_key);
+  EXPECT_FALSE(fresh.run_tdx(*tdx, 1).ok);
+}
+
+}  // namespace
+}  // namespace confbench::attest

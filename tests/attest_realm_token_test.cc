@@ -1,0 +1,94 @@
+#include <gtest/gtest.h>
+
+#include "attest/realm_token.h"
+
+namespace confbench::attest {
+namespace {
+
+struct CcaTokenFlow : ::testing::Test {
+  CcaTokenFlow() : gen("fvp-rev-c") {
+    meas = golden_realm_measurements("realm-img");
+    challenge = Sha256::hash(std::string("verifier-nonce"));
+    rpv = Sha256::hash(std::string("tenant-42"));
+    policy.expected = meas;
+    policy.expected_challenge = challenge;
+    policy.expected_platform_measurement = Sha256::hash("cca-fw:fvp-rev-c");
+  }
+  CcaTokenGenerator gen;
+  RealmMeasurements meas;
+  Digest challenge, rpv;
+  CcaVerifyPolicy policy;
+};
+
+TEST_F(CcaTokenFlow, GenerateAndVerify) {
+  const CcaToken token = gen.generate(meas, challenge, rpv);
+  const auto v = verify_cca_token(token, gen.arm_root(), policy);
+  EXPECT_TRUE(v.ok) << v.failure;
+}
+
+TEST_F(CcaTokenFlow, SerializationRoundTrip) {
+  const CcaToken token = gen.generate(meas, challenge, rpv);
+  const auto parsed = CcaToken::deserialize(token.serialize());
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_TRUE(verify_cca_token(*parsed, gen.arm_root(), policy).ok);
+  EXPECT_EQ(parsed->realm.personalization, rpv);
+}
+
+TEST_F(CcaTokenFlow, TamperedWireRejected) {
+  auto wire = gen.generate(meas, challenge, rpv).serialize();
+  for (const std::size_t pos : {std::size_t{8}, wire.size() / 2,
+                                wire.size() - 16}) {
+    auto tampered = wire;
+    tampered[pos] ^= 0x20;
+    const auto parsed = CcaToken::deserialize(tampered);
+    if (!parsed) continue;  // framing destroyed: also a rejection
+    EXPECT_FALSE(verify_cca_token(*parsed, gen.arm_root(), policy).ok)
+        << "byte " << pos;
+  }
+}
+
+TEST_F(CcaTokenFlow, SwappedRakRejected) {
+  // An attacker substitutes their own realm key + self-signed realm token;
+  // the platform token's RAK hash exposes the swap.
+  CcaToken token = gen.generate(meas, challenge, rpv);
+  const Keypair attacker = SimSigner::keygen("attacker-rak");
+  token.rak_pub = attacker.pub;
+  token.realm.signature =
+      SimSigner::sign(attacker, token.realm.signed_body());
+  const auto v = verify_cca_token(token, gen.arm_root(), policy);
+  EXPECT_FALSE(v.ok);
+  EXPECT_EQ(v.failure, "RAK not bound to the platform token");
+}
+
+TEST_F(CcaTokenFlow, RealmMeasurementMismatchRejected) {
+  RealmMeasurements wrong = meas;
+  wrong.rem[2].extend("unexpected module");
+  const CcaToken token = gen.generate(wrong, challenge, rpv);
+  const auto v = verify_cca_token(token, gen.arm_root(), policy);
+  EXPECT_FALSE(v.ok);
+  EXPECT_EQ(v.failure, "realm measurement mismatch");
+}
+
+TEST_F(CcaTokenFlow, StaleChallengeRejected) {
+  const CcaToken token =
+      gen.generate(meas, Sha256::hash(std::string("old-nonce")), rpv);
+  EXPECT_FALSE(verify_cca_token(token, gen.arm_root(), policy).ok);
+}
+
+TEST_F(CcaTokenFlow, WrongPlatformRejected) {
+  CcaTokenGenerator other("different-board");
+  const CcaToken token = other.generate(meas, challenge, rpv);
+  // Same Arm root, but the platform firmware measurement differs.
+  const auto v = verify_cca_token(token, other.arm_root(), policy);
+  EXPECT_FALSE(v.ok);
+  EXPECT_EQ(v.failure, "platform measurement mismatch");
+}
+
+TEST_F(CcaTokenFlow, WrongRootRejected) {
+  const CcaToken token = gen.generate(meas, challenge, rpv);
+  const Keypair fake = SimSigner::keygen("fake-arm-root");
+  EXPECT_FALSE(verify_cca_token(token, fake.pub, policy).ok);
+}
+
+}  // namespace
+}  // namespace confbench::attest

@@ -1,0 +1,131 @@
+#include <gtest/gtest.h>
+
+#include "core/config.h"
+
+namespace confbench::core {
+namespace {
+
+TEST(Ini, ParsesSectionsAndKeys) {
+  const auto ini = IniFile::parse(
+      "# comment\n"
+      "[gateway]\n"
+      "host = gw\n"
+      "port = 8080\n"
+      "\n"
+      "; another comment\n"
+      "[tee \"tdx\"]\n"
+      "host = host-tdx\n");
+  ASSERT_TRUE(ini.has_value());
+  EXPECT_EQ(ini->get("gateway", "host"), "gw");
+  EXPECT_EQ(ini->get("gateway", "port"), "8080");
+  EXPECT_EQ(ini->get("tee.tdx", "host"), "host-tdx");
+  EXPECT_FALSE(ini->get("gateway", "missing").has_value());
+  EXPECT_FALSE(ini->get("missing", "host").has_value());
+}
+
+TEST(Ini, WhitespaceTolerant) {
+  const auto ini = IniFile::parse("  [s]  \n  key =   value with spaces  \n");
+  ASSERT_TRUE(ini.has_value());
+  EXPECT_EQ(ini->get("s", "key"), "value with spaces");
+}
+
+TEST(Ini, ErrorsCarryLineNumbers) {
+  std::string err;
+  EXPECT_FALSE(IniFile::parse("[s]\nkey-without-value\n", &err).has_value());
+  EXPECT_NE(err.find("line 2"), std::string::npos);
+  EXPECT_FALSE(IniFile::parse("key = before-any-section\n", &err).has_value());
+  EXPECT_NE(err.find("line 1"), std::string::npos);
+  EXPECT_FALSE(IniFile::parse("[unterminated\n", &err).has_value());
+  EXPECT_FALSE(IniFile::parse("[tee \"broken]\n", &err).has_value());
+  EXPECT_FALSE(IniFile::parse("[]\n", &err).has_value());
+}
+
+TEST(Ini, SectionsWithPrefix) {
+  const auto ini = IniFile::parse(
+      "[tee \"tdx\"]\nhost = a\n[tee \"cca\"]\nhost = b\n[gateway]\nhost = "
+      "g\n");
+  ASSERT_TRUE(ini.has_value());
+  const auto tees = ini->sections_with_prefix("tee.");
+  EXPECT_EQ(tees.size(), 2u);
+}
+
+TEST(Ini, SerializeParseRoundTrip) {
+  IniFile ini;
+  ini.set("gateway", "host", "gw");
+  ini.set("tee.tdx", "normal_port", "8100");
+  const auto reparsed = IniFile::parse(ini.serialize());
+  ASSERT_TRUE(reparsed.has_value());
+  EXPECT_EQ(reparsed->get("gateway", "host"), "gw");
+  EXPECT_EQ(reparsed->get("tee.tdx", "normal_port"), "8100");
+}
+
+TEST(Policy, ParseAndPrint) {
+  EXPECT_EQ(parse_policy("round-robin"), LoadBalancePolicy::kRoundRobin);
+  EXPECT_EQ(parse_policy("least-loaded"), LoadBalancePolicy::kLeastLoaded);
+  EXPECT_EQ(parse_policy("random"), LoadBalancePolicy::kRandom);
+  EXPECT_FALSE(parse_policy("chaotic").has_value());
+  EXPECT_EQ(to_string(LoadBalancePolicy::kRoundRobin), "round-robin");
+}
+
+TEST(GatewayConfig, FromIniFullExample) {
+  const auto ini = IniFile::parse(
+      "[gateway]\n"
+      "host = the-gateway\n"
+      "port = 9999\n"
+      "policy = least-loaded\n"
+      "[tee \"tdx\"]\n"
+      "host = host-tdx\n"
+      "normal_port = 7100\n"
+      "secure_port = 7200\n"
+      "[tee \"cca\"]\n"
+      "host = host-cca\n");
+  ASSERT_TRUE(ini.has_value());
+  const auto cfg = GatewayConfig::from_ini(*ini);
+  ASSERT_TRUE(cfg.has_value());
+  EXPECT_EQ(cfg->gateway_host, "the-gateway");
+  EXPECT_EQ(cfg->gateway_port, 9999);
+  EXPECT_EQ(cfg->policy, LoadBalancePolicy::kLeastLoaded);
+  ASSERT_EQ(cfg->endpoints.size(), 2u);
+  EXPECT_EQ(cfg->endpoints[0].tee, "cca");  // map order: cca < tdx
+  EXPECT_EQ(cfg->endpoints[1].normal_port, 7100);
+  EXPECT_EQ(cfg->endpoints[0].normal_port, 8100);  // default
+}
+
+TEST(GatewayConfig, BadValuesReportErrors) {
+  std::string err;
+  auto bad_policy =
+      IniFile::parse("[gateway]\npolicy = chaotic\n");
+  EXPECT_FALSE(GatewayConfig::from_ini(*bad_policy, &err).has_value());
+  EXPECT_NE(err.find("chaotic"), std::string::npos);
+  auto bad_port = IniFile::parse("[gateway]\nport = lots\n");
+  EXPECT_FALSE(GatewayConfig::from_ini(*bad_port, &err).has_value());
+  auto missing_host = IniFile::parse("[tee \"tdx\"]\nnormal_port = 1\n");
+  EXPECT_FALSE(GatewayConfig::from_ini(*missing_host, &err).has_value());
+  EXPECT_NE(err.find("missing host"), std::string::npos);
+  auto bad_tee_port = IniFile::parse(
+      "[tee \"tdx\"]\nhost = h\nsecure_port = banana\n");
+  EXPECT_FALSE(GatewayConfig::from_ini(*bad_tee_port, &err).has_value());
+}
+
+TEST(GatewayConfig, ToIniRoundTrip) {
+  const GatewayConfig cfg = GatewayConfig::standard();
+  const auto round = GatewayConfig::from_ini(cfg.to_ini());
+  ASSERT_TRUE(round.has_value());
+  EXPECT_EQ(round->endpoints.size(), cfg.endpoints.size());
+  EXPECT_EQ(round->gateway_host, cfg.gateway_host);
+  EXPECT_EQ(round->policy, cfg.policy);
+}
+
+TEST(GatewayConfig, StandardHasAllFourPlatforms) {
+  const GatewayConfig cfg = GatewayConfig::standard();
+  ASSERT_EQ(cfg.endpoints.size(), 4u);
+  std::set<std::string> tees;
+  for (const auto& ep : cfg.endpoints) tees.insert(ep.tee);
+  EXPECT_TRUE(tees.count("tdx"));
+  EXPECT_TRUE(tees.count("sev-snp"));
+  EXPECT_TRUE(tees.count("cca"));
+  EXPECT_TRUE(tees.count("none"));
+}
+
+}  // namespace
+}  // namespace confbench::core

@@ -1,0 +1,355 @@
+#include <gtest/gtest.h>
+
+#include "core/confbench.h"
+#include "core/launcher.h"
+#include "core/native.h"
+
+namespace confbench::core {
+namespace {
+
+struct GatewayTest : ::testing::Test {
+  GatewayTest() : system(GatewayConfig::standard()) {
+    system.gateway().upload_all_builtin();
+  }
+  ConfBench system;
+};
+
+TEST_F(GatewayTest, PlatformsFromConfig) {
+  const auto platforms = system.gateway().platforms();
+  EXPECT_EQ(platforms.size(), 4u);
+  EXPECT_NE(system.gateway().pool("tdx"), nullptr);
+  EXPECT_EQ(system.gateway().pool("sgx"), nullptr);
+}
+
+TEST_F(GatewayTest, FunctionDatabasePerLanguage) {
+  EXPECT_EQ(system.gateway().functions("python").size(), 25u);
+  EXPECT_EQ(system.gateway().functions("native").size(), 3u);
+  EXPECT_TRUE(system.gateway().has_function("lua", "fib"));
+  EXPECT_FALSE(system.gateway().has_function("lua", "nope"));
+  EXPECT_TRUE(system.gateway().functions("cobol").empty());
+}
+
+TEST_F(GatewayTest, UploadValidation) {
+  EXPECT_FALSE(system.gateway().upload_function("cobol", "fib", "src"));
+  EXPECT_FALSE(system.gateway().upload_function("python", "nope", "src"));
+  EXPECT_TRUE(system.gateway().upload_function("python", "fib", "def f():"));
+}
+
+TEST_F(GatewayTest, InvokeHappyPath) {
+  const auto rec = system.gateway().invoke("fib", "lua", "tdx", true, 3);
+  ASSERT_TRUE(rec.ok()) << rec.error;
+  EXPECT_EQ(rec.output.rfind("fib:", 0), 0u);
+  EXPECT_GT(rec.function_ns, 0);
+  EXPECT_GT(rec.bootstrap_ns, 0);
+  EXPECT_GT(rec.perf.instructions, 0);  // piggybacked perf parsed
+  EXPECT_TRUE(rec.perf_from_pmu);
+  EXPECT_EQ(rec.served_by, "host-tdx:8200");  // secure port selected
+}
+
+TEST_F(GatewayTest, NormalVmUsesNormalPort) {
+  const auto rec = system.gateway().invoke("fib", "lua", "tdx", false, 0);
+  ASSERT_TRUE(rec.ok());
+  EXPECT_EQ(rec.served_by, "host-tdx:8100");
+}
+
+TEST_F(GatewayTest, CcaRealmInvocationUsesCustomCollector) {
+  const auto rec = system.gateway().invoke("fib", "lua", "cca", true, 0);
+  ASSERT_TRUE(rec.ok());
+  EXPECT_FALSE(rec.perf_from_pmu);
+  EXPECT_DOUBLE_EQ(rec.perf.instructions, 0);
+  EXPECT_GT(rec.perf.wall_ns, 0);
+}
+
+TEST_F(GatewayTest, InvokeErrorsAreDescriptive) {
+  EXPECT_EQ(system.gateway().invoke("nope", "lua", "tdx", true).http_status,
+            404);
+  EXPECT_EQ(system.gateway().invoke("fib", "lua", "sgx", true).http_status,
+            404);
+}
+
+TEST_F(GatewayTest, NativeClassicWorkloads) {
+  const auto rec =
+      system.gateway().invoke("db-speedtest", "native", "sev-snp", true, 0);
+  ASSERT_TRUE(rec.ok()) << rec.error;
+  EXPECT_EQ(rec.output.rfind("db-speedtest:", 0), 0u);
+}
+
+TEST_F(GatewayTest, RestEndpointsOverTheWire) {
+  auto& net = system.network();
+  // GET /platforms
+  net::HttpRequest req;
+  req.method = "GET";
+  req.path = "/platforms";
+  auto resp = net.roundtrip("gateway", 8080, req);
+  EXPECT_EQ(resp.status, 200);
+  EXPECT_NE(resp.body.find("tdx"), std::string::npos);
+  // GET /functions/lua
+  req.path = "/functions/lua";
+  resp = net.roundtrip("gateway", 8080, req);
+  EXPECT_NE(resp.body.find("fib"), std::string::npos);
+  // GET /health
+  req.path = "/health";
+  EXPECT_EQ(net.roundtrip("gateway", 8080, req).status, 200);
+  // POST /invoke
+  req.method = "POST";
+  req.path = "/invoke";
+  req.query = "function=fib&lang=lua&platform=tdx&secure=1&trial=2";
+  resp = net.roundtrip("gateway", 8080, req);
+  EXPECT_EQ(resp.status, 200);
+  EXPECT_EQ(resp.body.rfind("fib:", 0), 0u);
+  EXPECT_EQ(resp.headers.count("X-Perf"), 1u);
+  EXPECT_EQ(resp.headers.count("X-Function-Ns"), 1u);
+  // POST /upload
+  req.path = "/upload";
+  req.query = "lang=python&function=fib";
+  req.body = "def handler(): ...";
+  EXPECT_EQ(net.roundtrip("gateway", 8080, req).status, 201);
+  // Bad invoke
+  req.path = "/invoke";
+  req.query = "function=fib";
+  EXPECT_EQ(net.roundtrip("gateway", 8080, req).status, 400);
+  // Unknown route
+  req.path = "/nope";
+  EXPECT_EQ(net.roundtrip("gateway", 8080, req).status, 404);
+}
+
+TEST_F(GatewayTest, HostHealthEndpoint) {
+  net::HttpRequest req;
+  req.method = "GET";
+  req.path = "/health";
+  const auto resp = system.network().roundtrip("host-tdx", 8200, req);
+  EXPECT_EQ(resp.status, 200);
+  EXPECT_NE(resp.body.find("secure=1"), std::string::npos);
+  EXPECT_NE(resp.body.find("state=running"), std::string::npos);
+}
+
+TEST_F(GatewayTest, HostRejectsUnknownFunctionAndLanguage) {
+  net::HttpRequest req;
+  req.method = "POST";
+  req.path = "/run";
+  req.query = "function=fib&lang=cobol";
+  EXPECT_EQ(system.network().roundtrip("host-tdx", 8100, req).status, 400);
+  req.query = "function=missing&lang=lua";
+  EXPECT_EQ(system.network().roundtrip("host-tdx", 8100, req).status, 404);
+  req.query = "lang=lua";
+  EXPECT_EQ(system.network().roundtrip("host-tdx", 8100, req).status, 400);
+  req.query = "function=fib&lang=lua&trial=banana";
+  EXPECT_EQ(system.network().roundtrip("host-tdx", 8100, req).status, 400);
+}
+
+TEST_F(GatewayTest, MeasureProducesConsistentSeries) {
+  const auto m = system.measure("fib", "lua", "sev-snp", 4);
+  EXPECT_EQ(m.secure_ns.size(), 4u);
+  EXPECT_EQ(m.normal_ns.size(), 4u);
+  EXPECT_GT(m.ratio(), 0.8);
+  EXPECT_LT(m.ratio(), 2.0);
+}
+
+TEST_F(GatewayTest, PoolCountsRequests) {
+  for (int i = 0; i < 6; ++i)
+    system.gateway().invoke("fib", "lua", "tdx", i % 2 == 0, 0);
+  const auto& members = system.gateway().pool("tdx")->members();
+  ASSERT_EQ(members.size(), 1u);
+  EXPECT_EQ(members[0].served, 6u);
+  EXPECT_EQ(members[0].in_flight, 0u);  // all released
+}
+
+TEST(Launcher, BootstrapExcludedFromFunctionTime) {
+  auto platform = tee::Registry::instance().create("tdx");
+  vm::VmConfig cfg{"vm", platform, false, vm::UnitKind::kVm, 8, 1ULL << 30};
+  vm::GuestVm vm(cfg);
+  vm.boot();
+  const FunctionLauncher launcher(*rt::find_profile("python"));
+  const auto* fn = wl::find_faas("fib");
+  const LaunchResult r = launcher.launch(vm, *fn, 0);
+  EXPECT_GT(r.bootstrap_ns, 0);
+  EXPECT_GT(r.function_ns, 0);
+  EXPECT_LT(r.function_ns, r.raw.wall_ns);
+  // The function span plus the (unjittered) bootstrap roughly compose the
+  // full wall time; allow the trial-jitter margin.
+  EXPECT_NEAR(r.function_ns + r.bootstrap_ns, r.raw.wall_ns,
+              r.raw.wall_ns * 0.15);
+}
+
+TEST(Launcher, HeavierRuntimeLongerBootstrap) {
+  auto platform = tee::Registry::instance().create("tdx");
+  vm::VmConfig cfg{"vm", platform, false, vm::UnitKind::kVm, 8, 1ULL << 30};
+  vm::GuestVm vm(cfg);
+  vm.boot();
+  const auto* fn = wl::find_faas("fib");
+  const FunctionLauncher py(*rt::find_profile("python"));
+  const FunctionLauncher lua(*rt::find_profile("lua"));
+  EXPECT_GT(py.launch(vm, *fn, 0).bootstrap_ns,
+            lua.launch(vm, *fn, 0).bootstrap_ns);
+}
+
+TEST(Native, ThreeClassicWorkloads) {
+  EXPECT_EQ(native_workloads().size(), 3u);
+  EXPECT_NE(find_native("ml-inference"), nullptr);
+  EXPECT_NE(find_native("unixbench"), nullptr);
+  EXPECT_EQ(find_native("fib"), nullptr);
+}
+
+TEST(ConfBenchFacade, UnknownTeeThrows) {
+  GatewayConfig cfg;
+  cfg.endpoints = {{"sgx-classic", "host-x", 8100, 8200}};
+  EXPECT_THROW(ConfBench{cfg}, std::invalid_argument);
+}
+
+TEST(ConfBenchFacade, HostsBootedAndAddressable) {
+  ConfBench system(GatewayConfig::standard());
+  EXPECT_EQ(system.hostnames().size(), 4u);
+  ASSERT_NE(system.host("host-tdx"), nullptr);
+  EXPECT_EQ(system.host("host-tdx")->vm_count(), 2u);
+  EXPECT_EQ(system.host("nope"), nullptr);
+}
+
+}  // namespace
+}  // namespace confbench::core
+// (appended) --- retry behaviour under network faults -----------------------------
+
+namespace confbench::core {
+namespace {
+
+TEST(GatewayRetries, TransientDropsAreRetried) {
+  ConfBench system(GatewayConfig::standard());
+  system.gateway().upload_all_builtin();
+  system.network().set_faults(
+      {.drop_rate = 0.4, .corrupt_rate = 0, .timeout_us = 500});
+  int ok = 0, retried = 0;
+  for (int i = 0; i < 30; ++i) {
+    const auto rec = system.gateway().invoke("fib", "lua", "tdx", true,
+                                             static_cast<std::uint64_t>(i));
+    ok += rec.ok();
+    retried += rec.retries > 0;
+  }
+  EXPECT_GT(ok, 25);      // retries mask most 40% drops
+  EXPECT_GT(retried, 3);  // and some invocations did need them
+}
+
+TEST(GatewayRetries, ZeroRetriesSurfacesFailures) {
+  GatewayConfig cfg = GatewayConfig::standard();
+  cfg.max_retries = 0;
+  ConfBench system(cfg);
+  system.gateway().upload_all_builtin();
+  system.network().set_faults(
+      {.drop_rate = 1.0, .corrupt_rate = 0, .timeout_us = 500});
+  const auto rec = system.gateway().invoke("fib", "lua", "tdx", true, 0);
+  EXPECT_FALSE(rec.ok());
+  EXPECT_EQ(rec.http_status, 504);
+  EXPECT_EQ(rec.retries, 0);
+}
+
+TEST(GatewayRetries, ApplicationErrorsAreNotRetried) {
+  ConfBench system(GatewayConfig::standard());
+  system.gateway().upload_all_builtin();
+  // Unknown function reaches the host and 404s; no retries should happen.
+  system.gateway().upload_function("lua", "fib", "src");
+  const auto before = system.network().requests_sent();
+  const auto rec = system.gateway().invoke("fib", "lua", "tdx", true, 0);
+  EXPECT_TRUE(rec.ok());
+  EXPECT_EQ(system.network().requests_sent(), before + 1);
+}
+
+TEST(GatewayRetries, ConfigRoundTripsRetries) {
+  GatewayConfig cfg;
+  cfg.max_retries = 7;
+  const auto round = GatewayConfig::from_ini(cfg.to_ini());
+  ASSERT_TRUE(round.has_value());
+  EXPECT_EQ(round->max_retries, 7);
+  std::string err;
+  auto bad = IniFile::parse("[gateway]\nretries = -3\n");
+  EXPECT_FALSE(GatewayConfig::from_ini(*bad, &err).has_value());
+}
+
+}  // namespace
+}  // namespace confbench::core
+// (appended) --- user-uploaded MiniWasm modules through the REST pipeline -----
+
+namespace confbench::core {
+namespace {
+
+constexpr const char* kCollatzWat = R"((module
+  (func $collatz (result i64) (local $n i64) (local $steps i64)
+    i64.const 27 local.set $n
+    block loop
+      local.get $n i64.const 1 i64.le_s br_if 1
+      local.get $n i64.const 2 i64.rem_s i64.eqz if
+        local.get $n i64.const 2 i64.div_s local.set $n
+      else
+        local.get $n i64.const 3 i64.mul i64.const 1 i64.add local.set $n
+      end
+      local.get $steps i64.const 1 i64.add local.set $steps
+      br 0
+    end end
+    local.get $steps)))";
+
+struct MiniWasmUpload : ::testing::Test {
+  MiniWasmUpload() : system(GatewayConfig::standard()) {}
+  ConfBench system;
+};
+
+TEST_F(MiniWasmUpload, UploadValidatesModules) {
+  auto& gw = system.gateway();
+  EXPECT_TRUE(gw.upload_function("miniwasm", "collatz", kCollatzWat));
+  EXPECT_TRUE(gw.has_function("miniwasm", "collatz"));
+  // Unparseable, invalid, missing entry, wrong signature: all rejected.
+  EXPECT_FALSE(gw.upload_function("miniwasm", "x", "(garbage"));
+  EXPECT_FALSE(gw.upload_function("miniwasm", "x",
+                                  "(module (func $x i64.add))"));
+  EXPECT_FALSE(gw.upload_function("miniwasm", "missing", kCollatzWat));
+  EXPECT_FALSE(gw.upload_function(
+      "miniwasm", "f",
+      "(module (func $f (param i64) (result i64) local.get 0))"));
+}
+
+TEST_F(MiniWasmUpload, InvokeRunsRealBytecodeInTheSecureVm) {
+  auto& gw = system.gateway();
+  ASSERT_TRUE(gw.upload_function("miniwasm", "collatz", kCollatzWat));
+  const auto rec = gw.invoke("collatz", "miniwasm", "tdx", true, 0);
+  ASSERT_TRUE(rec.ok()) << rec.error;
+  EXPECT_EQ(rec.output, "collatz:111");  // collatz(27) takes 111 steps
+  EXPECT_GT(rec.function_ns, 0);
+  EXPECT_GT(rec.bootstrap_ns, 0);          // engine instantiation excluded
+  EXPECT_GT(rec.perf.instructions, 1000);  // dispatch work was charged
+}
+
+TEST_F(MiniWasmUpload, SecureCostsMoreOnCca) {
+  auto& gw = system.gateway();
+  ASSERT_TRUE(gw.upload_function("miniwasm", "collatz", kCollatzWat));
+  double secure = 0, normal = 0;
+  for (std::uint64_t t = 0; t < 3; ++t) {
+    secure += gw.invoke("collatz", "miniwasm", "cca", true, t).function_ns;
+    normal += gw.invoke("collatz", "miniwasm", "cca", false, t).function_ns;
+  }
+  EXPECT_GT(secure, normal * 1.2);
+}
+
+TEST_F(MiniWasmUpload, RestUploadAndInvoke) {
+  net::HttpRequest req;
+  req.method = "POST";
+  req.path = "/upload";
+  req.query = "lang=miniwasm&function=collatz";
+  req.body = kCollatzWat;
+  EXPECT_EQ(system.network().roundtrip("gateway", 8080, req).status, 201);
+  req.path = "/invoke";
+  req.query = "function=collatz&lang=miniwasm&platform=sev-snp&secure=1";
+  req.body.clear();
+  const auto resp = system.network().roundtrip("gateway", 8080, req);
+  EXPECT_EQ(resp.status, 200);
+  EXPECT_EQ(resp.body, "collatz:111\n");
+}
+
+TEST_F(MiniWasmUpload, TrapsSurfaceAsServerErrors) {
+  auto& gw = system.gateway();
+  ASSERT_TRUE(gw.upload_function(
+      "miniwasm", "boom",
+      "(module (func $boom (result i64) i64.const 1 i64.const 0 "
+      "i64.div_s))"));
+  const auto rec = gw.invoke("boom", "miniwasm", "tdx", true, 0);
+  EXPECT_FALSE(rec.ok());
+  EXPECT_NE(rec.error.find("divide by zero"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace confbench::core

@@ -1,0 +1,103 @@
+// Cross-stack consistency: the same function must compute the same answer
+// everywhere — across TEEs, VM kinds and language runtimes — with only the
+// timing differing. This is the correctness backbone of the paper's
+// methodology: ratios are meaningless unless both sides did the same work.
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "core/confbench.h"
+#include "rt/profile.h"
+#include "wl/faas.h"
+
+namespace confbench {
+namespace {
+
+core::ConfBench& system_instance() {
+  static auto instance = [] {
+    auto s = std::make_unique<core::ConfBench>(
+        core::GatewayConfig::standard());
+    return s;
+  }();
+  return *instance;
+}
+
+TEST(CrossStack, OutputsIdenticalAcrossPlatformsAndVmKinds) {
+  auto& gw = system_instance().gateway();
+  for (const char* fn : {"factors", "fib", "primes", "json", "sha256"}) {
+    std::string reference;
+    for (const char* platform : {"tdx", "sev-snp", "cca", "none"}) {
+      for (const bool secure : {false, true}) {
+        const auto rec = gw.invoke(fn, "lua", platform, secure, 0);
+        ASSERT_TRUE(rec.ok()) << fn << " on " << platform << ": "
+                              << rec.error;
+        if (reference.empty()) {
+          reference = rec.output;
+        } else {
+          EXPECT_EQ(rec.output, reference)
+              << fn << " diverged on " << platform
+              << (secure ? " secure" : " normal");
+        }
+      }
+    }
+  }
+}
+
+TEST(CrossStack, OutputsIdenticalAcrossLanguages) {
+  // The launcher normalises outputs across languages (§IV-B): the paper's
+  // cross-language ports "maintain the original logic".
+  auto& gw = system_instance().gateway();
+  for (const char* fn : {"fib", "primes", "quicksort", "huffman"}) {
+    std::string reference;
+    for (const auto& profile : rt::builtin_profiles()) {
+      const auto rec = gw.invoke(fn, profile.name, "tdx", true, 0);
+      ASSERT_TRUE(rec.ok()) << fn << "/" << profile.name;
+      if (reference.empty()) {
+        reference = rec.output;
+      } else {
+        EXPECT_EQ(rec.output, reference) << fn << "/" << profile.name;
+      }
+    }
+  }
+}
+
+TEST(CrossStack, TimingsDifferEvenWhenOutputsMatch) {
+  auto& gw = system_instance().gateway();
+  std::map<std::string, double> times;
+  for (const char* platform : {"tdx", "cca"}) {
+    const auto rec = gw.invoke("fib", "lua", platform, true, 0);
+    ASSERT_TRUE(rec.ok());
+    times[platform] = rec.function_ns;
+  }
+  EXPECT_GT(times["cca"], 2.0 * times["tdx"]);  // FVP slowdown
+}
+
+TEST(CrossStack, PerfCountersSurviveTheWireExactly) {
+  // The kv piggyback format must not lose precision through HTTP.
+  auto& gw = system_instance().gateway();
+  const auto a = gw.invoke("primes", "go", "sev-snp", true, 4);
+  const auto b = gw.invoke("primes", "go", "sev-snp", true, 4);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_DOUBLE_EQ(a.perf.instructions, b.perf.instructions);
+  EXPECT_DOUBLE_EQ(a.perf.wall_ns, b.perf.wall_ns);
+  EXPECT_DOUBLE_EQ(a.function_ns, b.function_ns);
+}
+
+TEST(CrossStack, EveryLanguageReportsItsPaperVersion) {
+  auto& system = system_instance();
+  for (const auto& profile : rt::builtin_profiles()) {
+    net::HttpRequest req;
+    req.method = "POST";
+    req.path = "/run";
+    req.query = "function=fib&lang=" + profile.name;
+    const auto resp = system.network().roundtrip("host-tdx", 8200, req);
+    ASSERT_EQ(resp.status, 200) << profile.name;
+    EXPECT_EQ(resp.headers.at("X-Runtime-Version"),
+              profile.version_for(tee::TeeKind::kTdx))
+        << profile.name;
+  }
+}
+
+}  // namespace
+}  // namespace confbench

@@ -1,0 +1,216 @@
+// Integration tests asserting the *shapes* of the paper's findings — who
+// wins, by roughly what factor, where crossovers fall — end to end through
+// the full ConfBench stack (reduced trial counts for speed). Each test maps
+// to an entry of DESIGN.md's experiment index.
+#include <gtest/gtest.h>
+
+#include "attest/service.h"
+#include "core/confbench.h"
+#include "tee/registry.h"
+#include "tee/tdx.h"
+#include "vm/vfs.h"
+#include "wl/db/speedtest.h"
+#include "wl/ml/model.h"
+#include "wl/ub/unixbench.h"
+
+namespace confbench {
+namespace {
+
+double suite_time(const char* platform, bool secure,
+                  const std::function<void(vm::ExecutionContext&, vm::Vfs&)>&
+                      body) {
+  vm::ExecutionContext ctx(tee::Registry::instance().create(platform),
+                           secure, 1);
+  vm::Vfs fs(ctx);
+  body(ctx, fs);
+  return ctx.now();
+}
+
+// --- E1 / Fig. 3: confidential ML ----------------------------------------------
+
+TEST(Fig3Ml, TdxAndSnpNearNativeCcaClearlySlower) {
+  auto ml_time = [](const char* platform, bool secure) {
+    return suite_time(platform, secure,
+                      [](vm::ExecutionContext& ctx, vm::Vfs& fs) {
+                        wl::ml::install_image_dataset(fs, 4);
+                        const wl::ml::MobileNetModel model(1, 16);
+                        for (int i = 0; i < 4; ++i) {
+                          const auto img = wl::ml::load_and_decode(
+                              ctx, fs, i, model.input_hw());
+                          [[maybe_unused]] auto r = model.classify(ctx, img);
+                        }
+                      });
+  };
+  const double tdx = ml_time("tdx", true) / ml_time("tdx", false);
+  const double snp = ml_time("sev-snp", true) / ml_time("sev-snp", false);
+  const double cca = ml_time("cca", true) / ml_time("cca", false);
+  // CPU-intensive: near-native on the bare-metal TEEs, TDX slightly ahead.
+  EXPECT_LT(tdx, 1.10);
+  EXPECT_LT(snp, 1.10);
+  EXPECT_LE(tdx, snp + 0.02);
+  // CCA: clearly slower, up to ~1.33x in the paper.
+  EXPECT_GT(cca, 1.12);
+  EXPECT_LT(cca, 1.6);
+}
+
+// --- E2 / DBMS -------------------------------------------------------------------
+
+TEST(DbmsTable, TdxSnpCloseToOneCcaLargest) {
+  auto db_ratios = [](const char* platform) {
+    auto run = [&](bool secure) {
+      std::vector<wl::db::SpeedtestResult> rs;
+      suite_time(platform, secure,
+                 [&](vm::ExecutionContext& ctx, vm::Vfs& fs) {
+                   rs = wl::db::run_speedtest(ctx, fs, 20);
+                 });
+      return rs;
+    };
+    const auto sec = run(true);
+    const auto nrm = run(false);
+    double sum = 0;
+    for (std::size_t i = 0; i < sec.size(); ++i)
+      sum += sec[i].elapsed / nrm[i].elapsed;
+    return sum / static_cast<double>(sec.size());
+  };
+  const double tdx = db_ratios("tdx");
+  const double snp = db_ratios("sev-snp");
+  const double cca = db_ratios("cca");
+  EXPECT_LT(tdx, 1.5);   // "very similar and close to 1"
+  EXPECT_LT(snp, 1.25);
+  EXPECT_GT(cca, 3.0);   // "the largest ones, on average up to 10x"
+  EXPECT_GT(cca, 2.0 * tdx);
+}
+
+// --- E3 / Fig. 4: UnixBench --------------------------------------------------------
+
+TEST(Fig4UnixBench, OverheadsLargerThanMlAndOrderedTdxSnpCca) {
+  auto ub_slowdown = [](const char* platform) {
+    auto idx = [&](bool secure) {
+      double out = 0;
+      suite_time(platform, secure,
+                 [&](vm::ExecutionContext& ctx, vm::Vfs& fs) {
+                   out = wl::ub::aggregate_index(wl::ub::run_unixbench(ctx, fs));
+                 });
+      return out;
+    };
+    return idx(false) / idx(true);
+  };
+  const double tdx = ub_slowdown("tdx");
+  const double snp = ub_slowdown("sev-snp");
+  const double cca = ub_slowdown("cca");
+  EXPECT_GT(tdx, 1.15);  // larger than the ML overheads
+  EXPECT_LE(tdx, snp);   // TDX introduces the least overhead
+  EXPECT_GT(cca, 2.0 * snp);  // CCA by far the most
+}
+
+// --- E4 / Fig. 5: attestation -------------------------------------------------------
+
+TEST(Fig5Attestation, SnpWinsBothPhasesAndTdxCheckIsNetworkBound) {
+  attest::AttestationService service;
+  auto tdx = tee::Registry::instance().create("tdx");
+  auto snp = tee::Registry::instance().create("sev-snp");
+  double tdx_attest = 0, tdx_check = 0, snp_attest = 0, snp_check = 0;
+  constexpr int kTrials = 3;
+  for (std::uint64_t t = 0; t < kTrials; ++t) {
+    const auto a = service.run_tdx(*tdx, t);
+    const auto b = service.run_snp(*snp, t);
+    ASSERT_TRUE(a.ok) << a.failure;
+    ASSERT_TRUE(b.ok) << b.failure;
+    tdx_attest += a.attest_ns;
+    tdx_check += a.check_ns;
+    snp_attest += b.attest_ns;
+    snp_check += b.check_ns;
+  }
+  EXPECT_GT(tdx_attest, 2.0 * snp_attest);
+  EXPECT_GT(tdx_check, 10.0 * snp_check);
+}
+
+// --- E5-E6 / Figs. 6-7: FaaS grids ---------------------------------------------------
+
+struct FaasGrid : ::testing::Test {
+  static core::ConfBench& system() {
+    static auto instance = core::ConfBench::standard();
+    return *instance;
+  }
+  static double ratio(const char* fn, const char* lang, const char* platform) {
+    return system().measure(fn, lang, platform, 3).ratio();
+  }
+};
+
+TEST_F(FaasGrid, IoCrossoverTdxLosesSnpWins) {
+  const double tdx_io = ratio("iostress", "go", "tdx");
+  const double snp_io = ratio("iostress", "go", "sev-snp");
+  EXPECT_GT(tdx_io, 1.8);           // bounce buffers (§IV-D)
+  EXPECT_LT(snp_io, tdx_io * 0.7);  // SEV-SNP faster with I/O
+  EXPECT_GT(snp_io, 1.05);
+}
+
+TEST_F(FaasGrid, CpuCellsNearNativeOnBareMetalTees) {
+  for (const char* platform : {"tdx", "sev-snp"}) {
+    const double r = ratio("cpustress", "wasm", platform);
+    EXPECT_GT(r, 0.95) << platform;
+    EXPECT_LT(r, 1.10) << platform;
+  }
+}
+
+TEST_F(FaasGrid, HeavierRuntimesAmplifyTdxOverheads) {
+  // §IV-B: lightweight runtimes (lua) lower overhead; python/node heavier.
+  double heavy = 0, light = 0;
+  for (const char* fn : {"fib", "primes", "json"}) {
+    heavy += ratio(fn, "python", "tdx");
+    light += ratio(fn, "lua", "tdx");
+  }
+  EXPECT_GT(heavy, light + 0.02);
+}
+
+TEST_F(FaasGrid, CcaUniformlyWorseThanTdx) {
+  for (const char* fn : {"cpustress", "logging", "iostress"}) {
+    EXPECT_GT(ratio(fn, "python", "cca"), ratio(fn, "python", "tdx") + 0.2)
+        << fn;
+  }
+}
+
+TEST_F(FaasGrid, SecureCanOccasionallyBeFasterWithinJitter) {
+  // The paper observed a few ratios below 1 (cache effects); our grid must
+  // at least allow sub-1.02 cells for the lightest configurations.
+  double min_ratio = 10;
+  for (const char* fn : {"quicksort", "sha256", "crc32"}) {
+    min_ratio = std::min(min_ratio, ratio(fn, "wasm", "sev-snp"));
+  }
+  EXPECT_LT(min_ratio, 1.02);
+}
+
+// --- E7 / Fig. 8: CCA distributions --------------------------------------------------
+
+TEST_F(FaasGrid, CcaRealmShowsWiderSpread) {
+  const auto m = system().measure("factors", "lua", "cca", 8);
+  auto spread = [](const std::vector<double>& xs) {
+    const auto [mn, mx] = std::minmax_element(xs.begin(), xs.end());
+    const double mid = (*mn + *mx) / 2;
+    return (*mx - *mn) / mid;
+  };
+  EXPECT_GT(spread(m.secure_ns), spread(m.normal_ns));
+}
+
+// --- A1: firmware ablation ------------------------------------------------------------
+
+TEST(FirmwareAblation, PreFixUpToTenTimesSlower) {
+  auto pre = std::make_shared<tee::TdxPlatform>(tee::TdxFirmware::kPreFix);
+  auto fixed = std::make_shared<tee::TdxPlatform>(tee::TdxFirmware::kFixed);
+  auto io_time = [](tee::PlatformPtr p) {
+    vm::ExecutionContext ctx(p, true, 1);
+    vm::Vfs fs(ctx);
+    fs.create("/f");
+    fs.write("/f", 1 << 20);
+    fs.fsync("/f");
+    fs.drop_caches();
+    fs.read("/f", 0, 1 << 20);
+    return ctx.now();
+  };
+  const double speedup = io_time(pre) / io_time(fixed);
+  EXPECT_GT(speedup, 4.0);
+  EXPECT_LT(speedup, 20.0);
+}
+
+}  // namespace
+}  // namespace confbench

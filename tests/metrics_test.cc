@@ -1,0 +1,320 @@
+#include <gtest/gtest.h>
+#include <cmath>
+#include <cstdio>
+
+#include "metrics/boxplot.h"
+#include "metrics/counters.h"
+#include "metrics/csv.h"
+#include "metrics/heatmap.h"
+#include "metrics/json.h"
+#include "metrics/stats.h"
+#include "metrics/table.h"
+
+namespace confbench::metrics {
+namespace {
+
+// --- stats -------------------------------------------------------------------
+
+TEST(Percentile, EmptyInputReturnsZero) {
+  EXPECT_DOUBLE_EQ(percentile({}, 50), 0.0);
+}
+
+TEST(Percentile, SingleElement) {
+  EXPECT_DOUBLE_EQ(percentile({7.0}, 0), 7.0);
+  EXPECT_DOUBLE_EQ(percentile({7.0}, 50), 7.0);
+  EXPECT_DOUBLE_EQ(percentile({7.0}, 100), 7.0);
+}
+
+TEST(Percentile, InterpolatesLinearly) {
+  const std::vector<double> xs{10, 20, 30, 40};
+  EXPECT_DOUBLE_EQ(percentile(xs, 0), 10);
+  EXPECT_DOUBLE_EQ(percentile(xs, 100), 40);
+  EXPECT_DOUBLE_EQ(percentile(xs, 50), 25);
+  EXPECT_DOUBLE_EQ(percentile(xs, 25), 17.5);
+}
+
+TEST(Percentile, UnsortedInputHandled) {
+  EXPECT_DOUBLE_EQ(percentile({30, 10, 40, 20}, 50), 25);
+}
+
+TEST(Summary, ComputesAllFields) {
+  const auto s = Summary::of({4, 1, 3, 2, 5});
+  EXPECT_EQ(s.n, 5u);
+  EXPECT_DOUBLE_EQ(s.min, 1);
+  EXPECT_DOUBLE_EQ(s.max, 5);
+  EXPECT_DOUBLE_EQ(s.median, 3);
+  EXPECT_DOUBLE_EQ(s.mean, 3);
+  EXPECT_DOUBLE_EQ(s.p25, 2);
+  EXPECT_DOUBLE_EQ(s.p75, 4);
+  EXPECT_NEAR(s.stddev, 1.5811, 1e-3);
+}
+
+TEST(Summary, EmptyIsZeroed) {
+  const auto s = Summary::of({});
+  EXPECT_EQ(s.n, 0u);
+  EXPECT_DOUBLE_EQ(s.mean, 0);
+}
+
+TEST(Summary, SingleElementNoStddev) {
+  const auto s = Summary::of({42});
+  EXPECT_DOUBLE_EQ(s.stddev, 0);
+  EXPECT_DOUBLE_EQ(s.p95, 42);
+}
+
+TEST(GeometricMean, KnownValue) {
+  EXPECT_DOUBLE_EQ(geometric_mean({1, 4}), 2.0);
+  EXPECT_NEAR(geometric_mean({2, 8, 4}), 4.0, 1e-12);
+}
+
+TEST(GeometricMean, SkipsNonPositive) {
+  EXPECT_DOUBLE_EQ(geometric_mean({0, -3, 4}), 4.0);
+  EXPECT_DOUBLE_EQ(geometric_mean({0, -3}), 0.0);
+}
+
+TEST(RatioOfMeans, Basics) {
+  EXPECT_DOUBLE_EQ(ratio_of_means({2, 4}, {1, 1}), 3.0);
+  EXPECT_DOUBLE_EQ(ratio_of_means({}, {1}), 0.0);
+  EXPECT_DOUBLE_EQ(ratio_of_means({1}, {0}), 0.0);
+}
+
+// --- counters -----------------------------------------------------------------
+
+TEST(PerfCounters, AccumulateOperator) {
+  PerfCounters a, b;
+  a.instructions = 10;
+  a.add_exit(tee::ExitReason::kTimer, 2);
+  b.instructions = 5;
+  b.add_exit(tee::ExitReason::kTimer, 3);
+  b.add_exit(tee::ExitReason::kMmio, 1);
+  a += b;
+  EXPECT_DOUBLE_EQ(a.instructions, 15);
+  EXPECT_DOUBLE_EQ(a.vm_exits, 6);
+  EXPECT_DOUBLE_EQ(a.exit_count(tee::ExitReason::kTimer), 5);
+  EXPECT_DOUBLE_EQ(a.exit_count(tee::ExitReason::kMmio), 1);
+}
+
+TEST(PerfCounters, KvRoundTripPreservesEverything) {
+  PerfCounters c;
+  c.instructions = 1.25e9;
+  c.cycles = 3e9;
+  c.cache_references = 1e7;
+  c.cache_misses = 54321.5;
+  c.branches = 2e8;
+  c.branch_misses = 4e6;
+  c.syscalls = 123;
+  c.vm_exits = 45.5;
+  c.page_faults = 67;
+  c.context_switches = 8;
+  c.io_bytes = 1 << 20;
+  c.net_bytes = 999;
+  c.alloc_bytes = 4096;
+  c.gc_cycles = 3;
+  c.mem_protection_ns = 1234.5;
+  c.wall_ns = 9.87654e8;
+  PerfCounters parsed;
+  ASSERT_TRUE(PerfCounters::from_kv_string(c.to_kv_string(), &parsed));
+  EXPECT_DOUBLE_EQ(parsed.instructions, c.instructions);
+  EXPECT_DOUBLE_EQ(parsed.cache_misses, c.cache_misses);
+  EXPECT_DOUBLE_EQ(parsed.vm_exits, c.vm_exits);
+  EXPECT_DOUBLE_EQ(parsed.gc_cycles, c.gc_cycles);
+  EXPECT_DOUBLE_EQ(parsed.mem_protection_ns, c.mem_protection_ns);
+  EXPECT_DOUBLE_EQ(parsed.wall_ns, c.wall_ns);
+}
+
+TEST(PerfCounters, KvParseRejectsGarbage) {
+  PerfCounters out;
+  EXPECT_FALSE(PerfCounters::from_kv_string("", &out));
+  EXPECT_FALSE(PerfCounters::from_kv_string("not-a-kv-string", &out));
+  EXPECT_FALSE(PerfCounters::from_kv_string("ins=abc", &out));
+}
+
+TEST(PerfCounters, KvParseIgnoresUnknownKeys) {
+  PerfCounters out;
+  EXPECT_TRUE(PerfCounters::from_kv_string("ins=5;future_key=1", &out));
+  EXPECT_DOUBLE_EQ(out.instructions, 5);
+}
+
+TEST(PerfCounters, PerfStatStringMentionsEvents) {
+  PerfCounters c;
+  c.instructions = 1000;
+  c.wall_ns = 2e9;
+  const std::string s = c.to_perf_stat_string();
+  EXPECT_NE(s.find("instructions"), std::string::npos);
+  EXPECT_NE(s.find("cache-misses"), std::string::npos);
+  EXPECT_NE(s.find("2.000000 seconds"), std::string::npos);
+}
+
+// --- table ----------------------------------------------------------------------
+
+TEST(Table, RendersAlignedColumns) {
+  Table t({"name", "value"});
+  t.add_row({"short", "1.00"});
+  t.add_row({"a-much-longer-name", "42.50"});
+  const std::string out = t.render();
+  EXPECT_NE(out.find("a-much-longer-name"), std::string::npos);
+  EXPECT_NE(out.find("-----"), std::string::npos);
+  EXPECT_EQ(t.rows(), 2u);
+}
+
+TEST(Table, ShortRowsArePadded) {
+  Table t({"a", "b", "c"});
+  t.add_row({"only-one"});
+  EXPECT_NE(t.render().find("only-one"), std::string::npos);
+}
+
+TEST(Table, NumFormatsPrecision) {
+  EXPECT_EQ(Table::num(1.23456, 2), "1.23");
+  EXPECT_EQ(Table::num(1.0, 0), "1");
+  EXPECT_EQ(Table::num(2.5, 3), "2.500");
+}
+
+// --- heatmap ---------------------------------------------------------------------
+
+TEST(Heatmap, SetAndGet) {
+  Heatmap h({"r1", "r2"}, {"c1", "c2", "c3"});
+  h.set(1, 2, 3.5);
+  EXPECT_DOUBLE_EQ(h.at(1, 2), 3.5);
+  EXPECT_DOUBLE_EQ(h.at(0, 0), 0.0);
+  EXPECT_EQ(h.rows(), 2u);
+  EXPECT_EQ(h.cols(), 3u);
+}
+
+TEST(Heatmap, OutOfRangeThrows) {
+  Heatmap h({"r"}, {"c"});
+  EXPECT_THROW(h.set(1, 0, 1.0), std::out_of_range);
+  EXPECT_THROW([[maybe_unused]] double v = h.at(0, 1), std::out_of_range);
+}
+
+TEST(Heatmap, RenderContainsLabelsAndValues) {
+  Heatmap h({"iostress"}, {"python"});
+  h.set(0, 0, 2.74);
+  const std::string out = h.render();
+  EXPECT_NE(out.find("iostress"), std::string::npos);
+  EXPECT_NE(out.find("python"), std::string::npos);
+  EXPECT_NE(out.find("2.74"), std::string::npos);
+}
+
+TEST(Heatmap, AnsiModeEmitsEscapes) {
+  Heatmap h({"r"}, {"c"});
+  h.set(0, 0, 1.0);
+  EXPECT_NE(h.render({.ansi_color = true}).find("\x1b["), std::string::npos);
+  EXPECT_EQ(h.render({.ansi_color = false}).find("\x1b["),
+            std::string::npos);
+}
+
+// --- boxplot ---------------------------------------------------------------------
+
+TEST(Boxplot, RendersSeriesWithMarkers) {
+  BoxSeries s{"tdx attest", Summary::of({90, 95, 100, 105, 120})};
+  const std::string out = render_boxplots({s});
+  EXPECT_NE(out.find("tdx attest"), std::string::npos);
+  EXPECT_NE(out.find('M'), std::string::npos);
+  EXPECT_NE(out.find('='), std::string::npos);
+}
+
+TEST(Boxplot, EmptyInputSafe) {
+  EXPECT_EQ(render_boxplots({}), "(no data)\n");
+}
+
+TEST(Boxplot, LogScaleHandlesWideRanges) {
+  BoxSeries fast{"fast", Summary::of({1, 2, 3})};
+  BoxSeries slow{"slow", Summary::of({1000, 2000, 3000})};
+  const std::string out =
+      render_boxplots({fast, slow}, 60, /*log_scale=*/true, "ms");
+  EXPECT_NE(out.find("log10"), std::string::npos);
+}
+
+// --- csv --------------------------------------------------------------------------
+
+TEST(Csv, HeaderAndRows) {
+  CsvWriter w({"a", "b"});
+  w.add_row({"1", "2"});
+  EXPECT_EQ(w.str(), "a,b\n1,2\n");
+}
+
+TEST(Csv, EscapesSpecialCharacters) {
+  CsvWriter w({"x"});
+  w.add_row({"has,comma"});
+  w.add_row({"has\"quote"});
+  w.add_row({"has\nnewline"});
+  const std::string out = w.str();
+  EXPECT_NE(out.find("\"has,comma\""), std::string::npos);
+  EXPECT_NE(out.find("\"has\"\"quote\""), std::string::npos);
+  EXPECT_NE(out.find("\"has\nnewline\""), std::string::npos);
+}
+
+TEST(Csv, RowWidthMismatchThrows) {
+  CsvWriter w({"a", "b"});
+  EXPECT_THROW(w.add_row({"only-one"}), std::invalid_argument);
+}
+
+TEST(Csv, WritesFile) {
+  CsvWriter w({"k", "v"});
+  w.add_row({"x", "1"});
+  const std::string path = ::testing::TempDir() + "/confbench_csv_test.csv";
+  ASSERT_TRUE(w.write_file(path));
+  EXPECT_FALSE(w.write_file("/no/such/dir/file.csv"));
+}
+
+}  // namespace
+}  // namespace confbench::metrics
+// (appended) --- JSON writer -------------------------------------------------
+
+namespace confbench::metrics {
+namespace {
+
+TEST(Json, ObjectWithMixedValues) {
+  JsonWriter w;
+  w.begin_object()
+      .key("name").value("fib")
+      .key("ratio").value(1.25)
+      .key("trials").value(10)
+      .key("secure").value(true)
+      .key("error").null()
+      .end_object();
+  EXPECT_TRUE(w.complete());
+  EXPECT_EQ(w.str(),
+            R"({"name":"fib","ratio":1.25,"trials":10,"secure":true,"error":null})");
+}
+
+TEST(Json, NestedArraysAndObjects) {
+  JsonWriter w;
+  w.begin_object().key("xs").begin_array();
+  w.value(1).value(2).begin_object().key("k").value("v").end_object();
+  w.end_array().end_object();
+  EXPECT_EQ(w.str(), R"({"xs":[1,2,{"k":"v"}]})");
+  EXPECT_TRUE(w.complete());
+}
+
+TEST(Json, StringEscaping) {
+  EXPECT_EQ(JsonWriter::escape("a\"b\\c\nd\te"), "a\\\"b\\\\c\\nd\\te");
+  EXPECT_EQ(JsonWriter::escape(std::string(1, '\x01')), "\\u0001");
+}
+
+TEST(Json, DoublesRoundTripShortest) {
+  JsonWriter w;
+  w.begin_array().value(0.5).value(1e20).value(1.0 / 3.0).end_array();
+  EXPECT_EQ(w.str().substr(0, 10), "[0.5,1e+20");
+  double back = 0;
+  sscanf(w.str().c_str() + w.str().rfind(',') + 1, "%lf", &back);
+  EXPECT_DOUBLE_EQ(back, 1.0 / 3.0);
+}
+
+TEST(Json, NonFiniteBecomesNull) {
+  JsonWriter w;
+  w.begin_array().value(std::nan("")).end_array();
+  EXPECT_EQ(w.str(), "[null]");
+}
+
+TEST(Json, IncompleteDetected) {
+  JsonWriter w;
+  w.begin_object().key("a");
+  EXPECT_FALSE(w.complete());
+  w.value(1);
+  EXPECT_FALSE(w.complete());
+  w.end_object();
+  EXPECT_TRUE(w.complete());
+}
+
+}  // namespace
+}  // namespace confbench::metrics

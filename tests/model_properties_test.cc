@@ -1,0 +1,167 @@
+// Property tests over the simulation's cost model: invariants that must
+// hold for every platform and VM kind, independent of tuning constants.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "tee/registry.h"
+#include "vm/exec_context.h"
+#include "vm/vfs.h"
+
+namespace confbench::vm {
+namespace {
+
+struct Config {
+  const char* platform;
+  bool secure;
+};
+
+std::string config_name(const ::testing::TestParamInfo<Config>& info) {
+  std::string name = info.param.platform;
+  for (auto& c : name)
+    if (c == '-') c = '_';
+  return name + (info.param.secure ? "_secure" : "_normal");
+}
+
+class EveryVmKind : public ::testing::TestWithParam<Config> {
+ protected:
+  ExecutionContext ctx(std::uint64_t seed = 1) const {
+    return ExecutionContext(
+        tee::Registry::instance().create(GetParam().platform),
+        GetParam().secure, seed);
+  }
+};
+
+TEST_P(EveryVmKind, TimeIsMonotoneInComputeWork) {
+  auto a = ctx(), b = ctx(), c = ctx();
+  a.compute(1e5);
+  b.compute(2e5);
+  c.compute(4e5);
+  EXPECT_LT(a.now(), b.now());
+  EXPECT_LT(b.now(), c.now());
+}
+
+TEST_P(EveryVmKind, ComputeChargesAreAdditive) {
+  auto whole = ctx(), split = ctx();
+  whole.compute(3e5, 2e4);
+  split.compute(1e5, 1e4);
+  split.compute(2e5, 1e4);
+  EXPECT_NEAR(whole.now(), split.now(), whole.now() * 1e-12);
+}
+
+TEST_P(EveryVmKind, TimeIsMonotoneInMemoryTraffic) {
+  auto a = ctx(), b = ctx();
+  const std::uint64_t ra = a.alloc_region(8 << 20);
+  const std::uint64_t rb = b.alloc_region(8 << 20);
+  a.mem_read(ra, 1 << 20, 64);
+  b.mem_read(rb, 8 << 20, 64);
+  EXPECT_LT(a.now(), b.now());
+}
+
+TEST_P(EveryVmKind, EverySyscallCostsTime) {
+  auto c = ctx();
+  const double before = c.now();
+  c.syscall();
+  EXPECT_GT(c.now(), before);
+}
+
+TEST_P(EveryVmKind, CountersNeverGoNegative) {
+  auto c = ctx();
+  c.compute(1000, 100);
+  const std::uint64_t r = c.alloc_region(1 << 16);
+  c.mem_read(r, 1 << 16, 64);
+  c.syscall();
+  c.block_write(4096);
+  c.page_fault(3);
+  const auto& counters = c.counters();
+  for (const double v :
+       {counters.instructions, counters.cache_references,
+        counters.cache_misses, counters.syscalls, counters.vm_exits,
+        counters.page_faults, counters.io_bytes, counters.branch_misses}) {
+    EXPECT_GE(v, 0.0);
+  }
+  EXPECT_GE(counters.cache_references, counters.cache_misses);
+}
+
+TEST_P(EveryVmKind, WallClockScalesWithAndOnlyWithCharges) {
+  // Address-space reservations and counter reads are free.
+  auto c = ctx();
+  c.alloc_region(1 << 30);
+  (void)c.counters();
+  EXPECT_DOUBLE_EQ(c.now(), 0.0);
+}
+
+TEST_P(EveryVmKind, TenTrialMeanJitterIsSmall) {
+  // The lognormal trial jitter must average out near 1 over trials.
+  double sum = 0;
+  constexpr int kTrials = 10;
+  double base = 0;
+  for (std::uint64_t t = 0; t < kTrials; ++t) {
+    auto c = ctx(t);
+    c.compute(1e6);
+    base = c.now();
+    sum += c.finish().wall_ns;
+  }
+  const double mean = sum / kTrials;
+  const double sigma =
+      tee::Registry::instance()
+          .create(GetParam().platform)
+          ->costs(GetParam().secure)
+          .trial_jitter_sigma;
+  EXPECT_NEAR(mean / base, 1.0, 4 * sigma / std::sqrt(10.0) + 0.01);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, EveryVmKind,
+    ::testing::Values(Config{"none", false}, Config{"none", true},
+                      Config{"tdx", false}, Config{"tdx", true},
+                      Config{"sev-snp", false}, Config{"sev-snp", true},
+                      Config{"cca", false}, Config{"cca", true},
+                      Config{"sgx", false}, Config{"sgx", true}),
+    config_name);
+
+// --- cross-VM-kind invariants ------------------------------------------------------
+
+class EveryTee : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(EveryTee, SecureNeverBeatsNormalOnSyscallStorms) {
+  auto platform = tee::Registry::instance().create(GetParam());
+  ExecutionContext nrm(platform, false, 1), sec(platform, true, 1);
+  for (int i = 0; i < 10000; ++i) {
+    nrm.syscall();
+    sec.syscall();
+  }
+  EXPECT_GE(sec.now(), nrm.now());
+}
+
+TEST_P(EveryTee, SecureNeverBeatsNormalOnColdIo) {
+  auto platform = tee::Registry::instance().create(GetParam());
+  ExecutionContext nrm(platform, false, 1), sec(platform, true, 1);
+  for (auto* c : {&nrm, &sec}) {
+    Vfs fs(*c);
+    fs.create("/f");
+    fs.write("/f", 4 << 20);
+    fs.fsync("/f");
+    fs.drop_caches();
+    fs.read("/f", 0, 4 << 20);
+  }
+  EXPECT_GE(sec.now(), nrm.now());
+}
+
+TEST_P(EveryTee, PureComputeRatioStaysNearOne) {
+  // Before trial jitter, pure ALU work differs only via the secure table's
+  // cpi (CCA realms) — never by more than the FVP-class factor.
+  auto platform = tee::Registry::instance().create(GetParam());
+  ExecutionContext nrm(platform, false, 1), sec(platform, true, 1);
+  nrm.compute(1e7);
+  sec.compute(1e7);
+  const double ratio = sec.now() / nrm.now();
+  EXPECT_GE(ratio, 1.0);
+  EXPECT_LE(ratio, 1.6);
+}
+
+INSTANTIATE_TEST_SUITE_P(Tees, EveryTee,
+                         ::testing::Values("tdx", "sev-snp", "cca", "sgx"));
+
+}  // namespace
+}  // namespace confbench::vm

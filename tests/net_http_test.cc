@@ -1,0 +1,163 @@
+#include <gtest/gtest.h>
+
+#include "net/http.h"
+
+namespace confbench::net {
+namespace {
+
+TEST(UrlCodec, EncodeDecodeRoundTrip) {
+  const std::string raw = "a b/c?d=e&f%g";
+  EXPECT_EQ(url_decode(url_encode(raw)), raw);
+}
+
+TEST(UrlCodec, DecodeKnownSequences) {
+  EXPECT_EQ(url_decode("a%20b"), "a b");
+  EXPECT_EQ(url_decode("a+b"), "a b");
+  EXPECT_EQ(url_decode("%2F%3d"), "/=");
+  EXPECT_EQ(url_decode("%zz"), "%zz");  // invalid escapes pass through
+  EXPECT_EQ(url_decode("%2"), "%2");    // truncated escape
+}
+
+TEST(UrlCodec, EncodePreservesUnreserved) {
+  EXPECT_EQ(url_encode("AZaz09-_.~"), "AZaz09-_.~");
+  EXPECT_EQ(url_encode("a b"), "a%20b");
+}
+
+TEST(HttpRequest, SerializeHasRequestLineAndLength) {
+  HttpRequest req;
+  req.method = "POST";
+  req.path = "/invoke";
+  req.query = "function=fib&lang=lua";
+  req.body = "payload";
+  const std::string wire = req.serialize();
+  EXPECT_EQ(wire.rfind("POST /invoke?function=fib&lang=lua HTTP/1.1\r\n", 0),
+            0u);
+  EXPECT_NE(wire.find("Content-Length: 7\r\n"), std::string::npos);
+  EXPECT_NE(wire.find("\r\n\r\npayload"), std::string::npos);
+}
+
+TEST(HttpRequest, ParseRoundTrip) {
+  HttpRequest req;
+  req.method = "PUT";
+  req.path = "/a/b";
+  req.query = "x=1&y=two%20words";
+  req.headers["X-Custom"] = "value";
+  req.body = "the body";
+  const auto parsed = parse_request(req.serialize());
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(parsed->method, "PUT");
+  EXPECT_EQ(parsed->path, "/a/b");
+  EXPECT_EQ(parsed->query, "x=1&y=two%20words");
+  EXPECT_EQ(parsed->headers.at("X-Custom"), "value");
+  EXPECT_EQ(parsed->body, "the body");
+}
+
+TEST(HttpRequest, QueryParamsDecoded) {
+  HttpRequest req;
+  req.query = "function=fib&lang=lua&note=two%20words&flag";
+  const auto params = req.query_params();
+  EXPECT_EQ(params.at("function"), "fib");
+  EXPECT_EQ(params.at("note"), "two words");
+  EXPECT_EQ(params.at("flag"), "");
+  EXPECT_EQ(params.size(), 4u);
+}
+
+TEST(HttpRequest, HeadersCaseInsensitive) {
+  HttpRequest req;
+  req.headers["content-type"] = "text/plain";
+  EXPECT_EQ(req.headers.count("Content-Type"), 1u);
+  EXPECT_EQ(req.headers.count("CONTENT-TYPE"), 1u);
+}
+
+TEST(HttpParse, RejectsMalformedInputs) {
+  EXPECT_FALSE(parse_request("").has_value());
+  EXPECT_FALSE(parse_request("garbage").has_value());
+  EXPECT_FALSE(parse_request("GET /\r\n\r\n").has_value());  // no version
+  EXPECT_FALSE(parse_request("GET / SPDY/3\r\n\r\n").has_value());
+  EXPECT_FALSE(
+      parse_request("GET / HTTP/1.1\r\nBadHeaderNoColon\r\n\r\n").has_value());
+  EXPECT_FALSE(
+      parse_request("GET / HTTP/1.1\r\n: empty-name\r\n\r\n").has_value());
+}
+
+TEST(HttpParse, RejectsIncompleteBody) {
+  EXPECT_FALSE(
+      parse_request("POST / HTTP/1.1\r\nContent-Length: 10\r\n\r\nshort")
+          .has_value());
+  EXPECT_FALSE(
+      parse_request("POST / HTTP/1.1\r\nContent-Length: zebra\r\n\r\n")
+          .has_value());
+}
+
+TEST(HttpParse, HeaderValueTrimmed) {
+  const auto req =
+      parse_request("GET / HTTP/1.1\r\nX-K:   spaced value  \r\n\r\n");
+  ASSERT_TRUE(req.has_value());
+  EXPECT_EQ(req->headers.at("X-K"), "spaced value");
+}
+
+TEST(HttpParse, ConsumedSupportsPipelining) {
+  HttpRequest a, b;
+  a.path = "/first";
+  b.path = "/second";
+  const std::string stream = a.serialize() + b.serialize();
+  std::size_t used = 0;
+  const auto first = parse_request(stream, &used);
+  ASSERT_TRUE(first.has_value());
+  EXPECT_EQ(first->path, "/first");
+  const auto second = parse_request(stream.substr(used));
+  ASSERT_TRUE(second.has_value());
+  EXPECT_EQ(second->path, "/second");
+}
+
+TEST(HttpResponse, MakeFillsReason) {
+  const auto r = HttpResponse::make(404, "nope\n");
+  EXPECT_EQ(r.status, 404);
+  EXPECT_EQ(r.reason, "Not Found");
+  EXPECT_EQ(r.headers.at("Content-Type"), "text/plain");
+}
+
+TEST(HttpResponse, ParseRoundTrip) {
+  HttpResponse resp = HttpResponse::make(200, "result");
+  resp.headers["X-Perf"] = "ins=5";
+  const auto parsed = parse_response(resp.serialize());
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(parsed->status, 200);
+  EXPECT_EQ(parsed->reason, "OK");
+  EXPECT_EQ(parsed->body, "result");
+  EXPECT_EQ(parsed->headers.at("X-Perf"), "ins=5");
+}
+
+TEST(HttpResponse, ParseRejectsBadStatusLine) {
+  EXPECT_FALSE(parse_response("HTTP/1.1\r\n\r\n").has_value());
+  EXPECT_FALSE(parse_response("HTTP/1.1 banana OK\r\n\r\n").has_value());
+  EXPECT_FALSE(parse_response("HTTP/1.1 999999 ?\r\n\r\n").has_value());
+  EXPECT_FALSE(parse_response("FTP/1.1 200 OK\r\n\r\n").has_value());
+}
+
+TEST(HttpResponse, ReasonStringsKnown) {
+  EXPECT_EQ(reason_for_status(200), "OK");
+  EXPECT_EQ(reason_for_status(502), "Bad Gateway");
+  EXPECT_EQ(reason_for_status(418), "Unknown");
+}
+
+TEST(HttpParse, FuzzishInputsDontCrash) {
+  // Deterministic mutation sweep over a valid request.
+  HttpRequest req;
+  req.method = "POST";
+  req.path = "/run";
+  req.query = "a=1";
+  req.body = "xyz";
+  const std::string wire = req.serialize();
+  for (std::size_t i = 0; i < wire.size(); ++i) {
+    for (const char c : {'\0', '\r', '\n', ' ', ':', '?'}) {
+      std::string mutated = wire;
+      mutated[i] = c;
+      (void)parse_request(mutated);  // must not crash or hang
+    }
+  }
+  SUCCEED();
+}
+
+}  // namespace
+}  // namespace confbench::net

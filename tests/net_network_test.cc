@@ -1,0 +1,138 @@
+#include <gtest/gtest.h>
+
+#include "net/network.h"
+
+namespace confbench::net {
+namespace {
+
+TEST(Network, BindAndRoundTrip) {
+  Network net;
+  net.bind("host-a", 8100, [](const HttpRequest& req) {
+    return HttpResponse::make(200, "echo:" + req.path);
+  });
+  HttpRequest req;
+  req.path = "/hello";
+  const auto resp = net.roundtrip("host-a", 8100, req);
+  EXPECT_EQ(resp.status, 200);
+  EXPECT_EQ(resp.body, "echo:/hello");
+}
+
+TEST(Network, UnboundEndpointIs502) {
+  Network net;
+  const auto resp = net.roundtrip("ghost", 1, HttpRequest{});
+  EXPECT_EQ(resp.status, 502);
+  EXPECT_NE(resp.body.find("ghost:1"), std::string::npos);
+}
+
+TEST(Network, DuplicateBindThrows) {
+  Network net;
+  auto handler = [](const HttpRequest&) { return HttpResponse::make(200, ""); };
+  net.bind("h", 80, handler);
+  EXPECT_THROW(net.bind("h", 80, handler), std::invalid_argument);
+  net.bind("h", 81, handler);  // different port is fine
+}
+
+TEST(Network, UnbindFreesEndpoint) {
+  Network net;
+  auto handler = [](const HttpRequest&) { return HttpResponse::make(200, ""); };
+  net.bind("h", 80, handler);
+  EXPECT_TRUE(net.bound("h", 80));
+  net.unbind("h", 80);
+  EXPECT_FALSE(net.bound("h", 80));
+  EXPECT_EQ(net.roundtrip("h", 80, HttpRequest{}).status, 502);
+  net.bind("h", 80, handler);  // can rebind
+}
+
+TEST(Network, ServerSeesWireParsedRequest) {
+  // The handler must observe exactly what survived serialization.
+  Network net;
+  net.bind("h", 80, [](const HttpRequest& req) {
+    return HttpResponse::make(200, req.query_params().at("key"));
+  });
+  HttpRequest req;
+  req.method = "POST";
+  req.path = "/x";
+  req.query = "key=round%20trip";
+  req.body = "ignored";
+  EXPECT_EQ(net.roundtrip("h", 80, req).body, "round trip");
+}
+
+TEST(Network, LatencyAccumulatesPerRequest) {
+  Network net;
+  net.bind("h", 80,
+           [](const HttpRequest&) { return HttpResponse::make(200, "x"); });
+  EXPECT_DOUBLE_EQ(net.elapsed(), 0.0);
+  net.roundtrip("h", 80, HttpRequest{});
+  const double one = net.elapsed();
+  EXPECT_GT(one, 0);
+  net.roundtrip("h", 80, HttpRequest{});
+  EXPECT_GT(net.elapsed(), one);
+  EXPECT_EQ(net.requests_sent(), 2u);
+}
+
+TEST(Network, LargerPayloadsCostMore) {
+  Network a, b;
+  auto echo = [](const HttpRequest& r) {
+    return HttpResponse::make(200, r.body);
+  };
+  a.bind("h", 80, echo);
+  b.bind("h", 80, echo);
+  HttpRequest small, big;
+  small.body = "x";
+  big.body = std::string(512 * 1024, 'x');
+  a.roundtrip("h", 80, small);
+  b.roundtrip("h", 80, big);
+  EXPECT_GT(b.elapsed(), a.elapsed());
+}
+
+TEST(Network, HeadersSurviveTheWire) {
+  Network net;
+  net.bind("h", 80, [](const HttpRequest&) {
+    auto resp = HttpResponse::make(200, "ok");
+    resp.headers["X-Perf"] = "ins=123;wall_ns=456";
+    return resp;
+  });
+  const auto resp = net.roundtrip("h", 80, HttpRequest{});
+  EXPECT_EQ(resp.headers.at("X-Perf"), "ins=123;wall_ns=456");
+}
+
+}  // namespace
+}  // namespace confbench::net
+// (appended) --- fault injection -------------------------------------------------
+
+namespace confbench::net {
+namespace {
+
+TEST(NetworkFaults, DropsTimeOutDeterministically) {
+  Network net;
+  net.bind("h", 80,
+           [](const HttpRequest&) { return HttpResponse::make(200, "x"); });
+  net.set_faults({.drop_rate = 0.5, .corrupt_rate = 0, .timeout_us = 1000});
+  int drops = 0;
+  for (int i = 0; i < 200; ++i)
+    drops += net.roundtrip("h", 80, HttpRequest{}).status == 504;
+  EXPECT_GT(drops, 60);
+  EXPECT_LT(drops, 140);
+  EXPECT_EQ(net.faults_injected(), static_cast<std::uint64_t>(drops));
+}
+
+TEST(NetworkFaults, CorruptionYields502) {
+  Network net;
+  net.bind("h", 80,
+           [](const HttpRequest&) { return HttpResponse::make(200, "x"); });
+  net.set_faults({.drop_rate = 0, .corrupt_rate = 1.0, .timeout_us = 1000});
+  EXPECT_EQ(net.roundtrip("h", 80, HttpRequest{}).status, 502);
+}
+
+TEST(NetworkFaults, ClearingFaultsRestoresService) {
+  Network net;
+  net.bind("h", 80,
+           [](const HttpRequest&) { return HttpResponse::make(200, "x"); });
+  net.set_faults({.drop_rate = 1.0, .corrupt_rate = 0, .timeout_us = 1});
+  EXPECT_EQ(net.roundtrip("h", 80, HttpRequest{}).status, 504);
+  net.set_faults({});
+  EXPECT_EQ(net.roundtrip("h", 80, HttpRequest{}).status, 200);
+}
+
+}  // namespace
+}  // namespace confbench::net

@@ -1,0 +1,89 @@
+#include <gtest/gtest.h>
+
+#include "net/router.h"
+
+namespace confbench::net {
+namespace {
+
+HttpRequest get(const std::string& path) {
+  HttpRequest r;
+  r.method = "GET";
+  r.path = path;
+  return r;
+}
+
+TEST(Router, ExactMatch) {
+  Router router;
+  router.add("GET", "/health", [](const HttpRequest&, const PathParams&) {
+    return HttpResponse::make(200, "ok");
+  });
+  EXPECT_EQ(router.dispatch(get("/health")).status, 200);
+  EXPECT_EQ(router.dispatch(get("/other")).status, 404);
+}
+
+TEST(Router, MethodMismatchIs405) {
+  Router router;
+  router.add("POST", "/upload", [](const HttpRequest&, const PathParams&) {
+    return HttpResponse::make(201, "");
+  });
+  EXPECT_EQ(router.dispatch(get("/upload")).status, 405);
+}
+
+TEST(Router, ParamCapture) {
+  Router router;
+  router.add("GET", "/functions/:lang",
+             [](const HttpRequest&, const PathParams& p) {
+               return HttpResponse::make(200, p.at("lang"));
+             });
+  EXPECT_EQ(router.dispatch(get("/functions/python")).body, "python");
+  EXPECT_EQ(router.dispatch(get("/functions")).status, 404);
+  EXPECT_EQ(router.dispatch(get("/functions/python/extra")).status, 404);
+}
+
+TEST(Router, ParamsAreUrlDecoded) {
+  Router router;
+  router.add("GET", "/f/:name", [](const HttpRequest&, const PathParams& p) {
+    return HttpResponse::make(200, p.at("name"));
+  });
+  EXPECT_EQ(router.dispatch(get("/f/two%20words")).body, "two words");
+}
+
+TEST(Router, MultipleParams) {
+  Router router;
+  router.add("GET", "/t/:a/x/:b", [](const HttpRequest&, const PathParams& p) {
+    return HttpResponse::make(200, p.at("a") + "," + p.at("b"));
+  });
+  EXPECT_EQ(router.dispatch(get("/t/1/x/2")).body, "1,2");
+}
+
+TEST(Router, FirstMatchingRouteWins) {
+  Router router;
+  router.add("GET", "/a/:x", [](const HttpRequest&, const PathParams&) {
+    return HttpResponse::make(200, "param");
+  });
+  router.add("GET", "/a/literal", [](const HttpRequest&, const PathParams&) {
+    return HttpResponse::make(200, "literal");
+  });
+  EXPECT_EQ(router.dispatch(get("/a/literal")).body, "param");
+}
+
+TEST(Router, TrailingSlashNormalised) {
+  Router router;
+  router.add("GET", "/p", [](const HttpRequest&, const PathParams&) {
+    return HttpResponse::make(200, "p");
+  });
+  EXPECT_EQ(router.dispatch(get("/p/")).status, 200);
+  EXPECT_EQ(router.dispatch(get("//p")).status, 200);
+}
+
+TEST(Router, RouteCount) {
+  Router router;
+  EXPECT_EQ(router.route_count(), 0u);
+  router.add("GET", "/a", [](const HttpRequest&, const PathParams&) {
+    return HttpResponse::make(200, "");
+  });
+  EXPECT_EQ(router.route_count(), 1u);
+}
+
+}  // namespace
+}  // namespace confbench::net

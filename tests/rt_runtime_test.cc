@@ -1,0 +1,271 @@
+#include <gtest/gtest.h>
+
+#include "core/launcher.h"
+#include "rt/gc.h"
+#include "rt/heap.h"
+#include "rt/profile.h"
+#include "rt/runtime.h"
+#include "tee/registry.h"
+
+namespace confbench::rt {
+namespace {
+
+vm::ExecutionContext make_ctx(const char* platform = "tdx",
+                              bool secure = false, std::uint64_t seed = 1) {
+  return vm::ExecutionContext(tee::Registry::instance().create(platform),
+                              secure, seed);
+}
+
+// --- profiles -------------------------------------------------------------------
+
+TEST(Profiles, SevenBuiltinLanguages) {
+  const auto& ps = builtin_profiles();
+  ASSERT_EQ(ps.size(), 7u);
+  const char* expected[] = {"python", "node", "ruby",
+                            "lua",    "luajit", "go", "wasm"};
+  for (std::size_t i = 0; i < 7; ++i) EXPECT_EQ(ps[i].name, expected[i]);
+}
+
+TEST(Profiles, FindByName) {
+  EXPECT_NE(find_profile("python"), nullptr);
+  EXPECT_NE(find_profile("wasm"), nullptr);
+  EXPECT_EQ(find_profile("cobol"), nullptr);
+}
+
+TEST(Profiles, PaperVersionsPerTestbed) {
+  // §IV-A lists per-testbed interpreter versions.
+  const auto* py = find_profile("python");
+  EXPECT_EQ(py->version_for(tee::TeeKind::kTdx), "3.12.3");
+  EXPECT_EQ(py->version_for(tee::TeeKind::kSevSnp), "3.10.12");
+  EXPECT_EQ(py->version_for(tee::TeeKind::kCca), "3.11.8");
+  const auto* node = find_profile("node");
+  EXPECT_EQ(node->version_for(tee::TeeKind::kCca), "20.12.2");
+  const auto* lua = find_profile("lua");
+  EXPECT_EQ(lua->version_for(tee::TeeKind::kTdx), "5.4.6");
+}
+
+TEST(Profiles, ComplexityOrderingHolds) {
+  // The traits that burden TEEs must rank heavy > light (§IV-B).
+  const auto* py = find_profile("python");
+  const auto* lua = find_profile("lua");
+  const auto* go = find_profile("go");
+  const auto* wasm = find_profile("wasm");
+  EXPECT_GT(py->op_expansion, lua->op_expansion);
+  EXPECT_GT(lua->op_expansion, go->op_expansion);
+  EXPECT_GT(py->box_bytes_per_op, lua->box_bytes_per_op);
+  EXPECT_GT(py->alloc_fault_rate, go->alloc_fault_rate);
+  EXPECT_GT(py->mem_inflation, wasm->mem_inflation);
+}
+
+TEST(Profiles, JitRuntimesConfigured) {
+  EXPECT_TRUE(find_profile("node")->jit);
+  EXPECT_TRUE(find_profile("luajit")->jit);
+  EXPECT_FALSE(find_profile("python")->jit);
+  EXPECT_LT(find_profile("luajit")->jit_expansion,
+            find_profile("luajit")->op_expansion);
+}
+
+// --- heap + GC -------------------------------------------------------------------
+
+TEST(SimHeap, AllocationsTracked) {
+  auto ctx = make_ctx();
+  SimHeap heap(ctx);
+  const std::uint64_t a = heap.allocate(100);
+  const std::uint64_t b = heap.allocate(100);
+  EXPECT_NE(a, b);
+  EXPECT_GE(heap.live_bytes(), 200u);
+  EXPECT_GE(heap.allocated_since_gc(), 200u);
+  EXPECT_GT(ctx.counters().alloc_bytes, 0);
+}
+
+TEST(SimHeap, ReleaseReducesLive) {
+  auto ctx = make_ctx();
+  SimHeap heap(ctx);
+  heap.allocate(1000);
+  heap.release(600);
+  EXPECT_EQ(heap.live_bytes(), 400u);
+  heap.release(10000);  // over-release clamps at zero
+  EXPECT_EQ(heap.live_bytes(), 0u);
+}
+
+TEST(SimHeap, SegmentRolloverGivesFreshAddresses) {
+  auto ctx = make_ctx();
+  SimHeap heap(ctx, /*segment_bytes=*/64 * 1024);
+  const std::uint64_t first_base = heap.segment_base();
+  heap.allocate(60 * 1024);
+  heap.allocate(60 * 1024);  // forces a new segment
+  EXPECT_NE(heap.segment_base(), first_base);
+}
+
+TEST(MarkSweepGc, TriggersOnNurseryOverflow) {
+  auto ctx = make_ctx();
+  SimHeap heap(ctx);
+  RuntimeProfile profile;
+  profile.gc_nursery_bytes = 32 * 1024;
+  profile.gc_survivor_fraction = 0.25;
+  MarkSweepGc gc(heap, profile);
+  EXPECT_FALSE(gc.maybe_collect());  // nothing allocated yet
+  heap.allocate(64 * 1024);
+  EXPECT_TRUE(gc.maybe_collect());
+  EXPECT_EQ(gc.collections(), 1u);
+  EXPECT_EQ(heap.allocated_since_gc(), 0u);
+  EXPECT_DOUBLE_EQ(ctx.counters().gc_cycles, 1);
+}
+
+TEST(MarkSweepGc, NoCollectorWhenNurseryZero) {
+  auto ctx = make_ctx();
+  SimHeap heap(ctx);
+  RuntimeProfile no_gc;  // wasm-style
+  no_gc.gc_nursery_bytes = 0;
+  MarkSweepGc gc(heap, no_gc);
+  heap.allocate(10 << 20);
+  EXPECT_FALSE(gc.maybe_collect());
+}
+
+TEST(MarkSweepGc, SurvivorsRemainLive) {
+  auto ctx = make_ctx();
+  SimHeap heap(ctx);
+  RuntimeProfile profile;
+  profile.gc_nursery_bytes = 1024;
+  profile.gc_survivor_fraction = 0.5;
+  MarkSweepGc gc(heap, profile);
+  heap.allocate(4096);
+  gc.collect();
+  EXPECT_NEAR(static_cast<double>(heap.live_bytes()), 2048, 8);
+}
+
+TEST(MarkSweepGc, CollectionChargesMemoryTraffic) {
+  auto ctx = make_ctx();
+  SimHeap heap(ctx);
+  RuntimeProfile profile;
+  profile.gc_nursery_bytes = 1;
+  MarkSweepGc gc(heap, profile);
+  heap.allocate(1 << 20);
+  const double refs_before = ctx.counters().cache_references;
+  gc.collect();
+  EXPECT_GT(ctx.counters().cache_references, refs_before);
+}
+
+// --- RtContext --------------------------------------------------------------------
+
+TEST(RtContext, OpExpandsInstructions) {
+  auto ctx = make_ctx();
+  {
+    RtContext env(ctx, *find_profile("python"));
+    env.op(1000);
+  }
+  // 28x dispatch expansion dominates the instruction count.
+  EXPECT_GE(ctx.counters().instructions, 28000);
+}
+
+TEST(RtContext, HeavierRuntimeBurnsMoreTimeForSameWork) {
+  auto t_for = [](const char* lang) {
+    auto ctx = make_ctx();
+    RtContext env(ctx, *find_profile(lang));
+    env.op(100000, 10000);
+    return ctx.now();
+  };
+  EXPECT_GT(t_for("python"), t_for("lua"));
+  EXPECT_GT(t_for("lua"), t_for("go"));
+}
+
+TEST(RtContext, JitWarmupMakesLaterOpsCheaper) {
+  auto ctx = make_ctx();
+  RtContext env(ctx, *find_profile("luajit"));
+  const auto* p = find_profile("luajit");
+  env.op(p->jit_warmup_ops * 2);  // fully warm
+  const double t0 = ctx.now();
+  env.op(100000);
+  const double warm_cost = ctx.now() - t0;
+
+  auto ctx2 = make_ctx();
+  RtContext cold(ctx2, *p);
+  const double t1 = ctx2.now();
+  cold.op(100000);
+  const double cold_cost = ctx2.now() - t1;
+  EXPECT_LT(warm_cost, cold_cost);
+}
+
+TEST(RtContext, BoxingAllocatesProportionally) {
+  auto run = [](const char* lang) {
+    auto ctx = make_ctx();
+    RtContext env(ctx, *find_profile(lang));
+    env.op(1e6);
+    return ctx.counters().alloc_bytes;
+  };
+  EXPECT_GT(run("python"), run("lua"));
+  EXPECT_GT(run("lua"), run("wasm"));
+}
+
+TEST(RtContext, SustainedAllocationTriggersGc) {
+  auto ctx = make_ctx();
+  RtContext env(ctx, *find_profile("python"));
+  for (int i = 0; i < 40; ++i) env.alloc(1 << 20);
+  EXPECT_GT(env.gc_collections(), 0u);
+  EXPECT_GT(ctx.counters().gc_cycles, 0);
+}
+
+TEST(RtContext, MemInflationGrowsTraffic) {
+  auto traffic = [](const char* lang) {
+    auto ctx = make_ctx();
+    RtContext env(ctx, *find_profile(lang));
+    const std::uint64_t buf = env.alloc(1 << 20);
+    env.read(buf, 1 << 20, 64);
+    return ctx.counters().cache_references;
+  };
+  EXPECT_GT(traffic("python"), 2.5 * traffic("wasm"));
+}
+
+TEST(RtContext, SyscallAmplification) {
+  auto ctx = make_ctx();
+  {
+    RtContext env(ctx, *find_profile("python"));  // amplification 1.35
+    for (int i = 0; i < 100; ++i) env.syscall();
+  }
+  EXPECT_NEAR(ctx.counters().syscalls, 135, 1);
+}
+
+TEST(RtContext, PrintFlushesInBatches) {
+  auto ctx = make_ctx();
+  RtContext env(ctx, *find_profile("go"));
+  const double sys0 = ctx.counters().syscalls;
+  for (int i = 0; i < 64; ++i) env.print("log line " + std::to_string(i));
+  // 64 lines at a 16-line flush interval: 4 flushes, each a write + pipe.
+  EXPECT_GE(ctx.counters().syscalls - sys0, 4);
+  EXPECT_LT(ctx.counters().syscalls - sys0, 64);
+}
+
+TEST(RtContext, FilesystemAccessible) {
+  auto ctx = make_ctx();
+  RtContext env(ctx, *find_profile("lua"));
+  env.fs().mkdir("/w");
+  EXPECT_EQ(env.fs().write("/w/f", 128), 128u);
+  EXPECT_EQ(env.fs().read("/w/f", 0, 128), 128u);
+}
+
+TEST(RtContext, AllocFaultsFollowProfileRate) {
+  auto faults = [](const char* lang) {
+    auto ctx = make_ctx();
+    RtContext env(ctx, *find_profile(lang));
+    const double before = ctx.counters().page_faults;
+    env.alloc(8 << 20);
+    return ctx.counters().page_faults - before;
+  };
+  EXPECT_GT(faults("python"), faults("go"));
+}
+
+// --- native profile ------------------------------------------------------------------
+
+TEST(NativeProfile, PassThrough) {
+  const auto& native = core::native_profile();
+  EXPECT_DOUBLE_EQ(native.op_expansion, 1.0);
+  EXPECT_DOUBLE_EQ(native.box_bytes_per_op, 0.0);
+  EXPECT_DOUBLE_EQ(native.mem_inflation, 1.0);
+  auto ctx = make_ctx();
+  RtContext env(ctx, native);
+  env.op(1000);
+  EXPECT_NEAR(ctx.counters().instructions, 1000, 1);
+}
+
+}  // namespace
+}  // namespace confbench::rt

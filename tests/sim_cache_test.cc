@@ -1,0 +1,190 @@
+#include "sim/cache.h"
+
+#include <gtest/gtest.h>
+
+namespace confbench::sim {
+namespace {
+
+CacheConfig tiny_config() {
+  // 4-way 1-KiB L1 (16 sets? no: 1024/64/4 = 4 sets), small L2/LLC so
+  // eviction paths are easy to exercise.
+  CacheConfig cfg;
+  cfg.l1 = {1024, 4, 64};
+  cfg.l2 = {4096, 4, 64};
+  cfg.llc = {16384, 4, 64};
+  cfg.sample_limit = 1 << 20;  // exact simulation in unit tests
+  return cfg;
+}
+
+TEST(CacheSim, FirstAccessMissesThenHits) {
+  CacheSim cache(tiny_config());
+  const CacheCounts first = cache.access(0x1000, false);
+  EXPECT_EQ(first.dram_fills, 1);
+  EXPECT_EQ(first.l1_hits, 0);
+  const CacheCounts second = cache.access(0x1000, false);
+  EXPECT_EQ(second.l1_hits, 1);
+  EXPECT_EQ(second.dram_fills, 0);
+}
+
+TEST(CacheSim, SubLineAccessesShareALine) {
+  CacheSim cache(tiny_config());
+  cache.access(0x2000, false);
+  const CacheCounts c = cache.access(0x2010, false);  // same 64B line
+  EXPECT_EQ(c.l1_hits, 1);
+}
+
+TEST(CacheSim, DistinctLinesDistinctFills) {
+  CacheSim cache(tiny_config());
+  CacheCounts total;
+  for (int i = 0; i < 8; ++i) total += cache.access(0x4000 + i * 64, false);
+  EXPECT_EQ(total.dram_fills, 8);
+}
+
+TEST(CacheSim, AssociativityConflictEvicts) {
+  CacheSim cache(tiny_config());
+  // L1: 4 sets, 4 ways. Addresses with identical set index, 5 distinct tags:
+  // the 5th must evict the LRU (first) line.
+  const std::uint64_t set_stride = 4 * 64;  // sets * line
+  for (int i = 0; i < 5; ++i)
+    cache.access(0x10000 + i * set_stride, false);
+  // The 16-set L2 spreads these addresses across different sets, so the
+  // line evicted from L1 is still resident in L2.
+  const CacheCounts c = cache.access(0x10000, false);
+  EXPECT_EQ(c.l1_hits, 0);
+  EXPECT_EQ(c.l2_hits, 1);
+}
+
+TEST(CacheSim, LruKeepsRecentlyUsed) {
+  CacheSim cache(tiny_config());
+  const std::uint64_t set_stride = 4 * 64;
+  for (int i = 0; i < 4; ++i) cache.access(0x20000 + i * set_stride, false);
+  cache.access(0x20000, false);  // refresh line 0
+  cache.access(0x20000 + 4 * set_stride, false);  // evicts line 1, not 0
+  EXPECT_EQ(cache.access(0x20000, false).l1_hits, 1);
+  EXPECT_EQ(cache.access(0x20000 + 1 * set_stride, false).l1_hits, 0);
+}
+
+TEST(CacheSim, DirtyEvictionCountsWriteback) {
+  CacheConfig cfg = tiny_config();
+  CacheSim cache(cfg);
+  // Write a working set far larger than the whole hierarchy, then stream
+  // over a second one: dirty victims must be written back.
+  cache.access_range({0, 1 << 20, 64, /*write=*/true});
+  const CacheCounts c =
+      cache.access_range({1 << 24, 1 << 20, 64, /*write=*/false});
+  EXPECT_GT(c.writebacks, 0);
+}
+
+TEST(CacheSim, CleanEvictionNoWriteback) {
+  CacheSim cache(tiny_config());
+  cache.access_range({0, 1 << 20, 64, /*write=*/false});
+  const CacheCounts c =
+      cache.access_range({1 << 24, 1 << 20, 64, /*write=*/false});
+  EXPECT_EQ(c.writebacks, 0);
+}
+
+TEST(CacheSim, RangeCountsTouches) {
+  CacheSim cache(tiny_config());
+  const CacheCounts c = cache.access_range({0, 64 * 10, 64, false});
+  EXPECT_EQ(c.accesses, 10);
+  EXPECT_EQ(c.dram_fills, 10);
+}
+
+TEST(CacheSim, SubLineStrideFoldsIntoL1Hits) {
+  CacheSim cache(tiny_config());
+  // 8-byte stride over 640 bytes: 80 touches, 10 lines.
+  const CacheCounts c = cache.access_range({0, 640, 8, false});
+  EXPECT_EQ(c.accesses, 80);
+  EXPECT_EQ(c.dram_fills, 10);
+  EXPECT_EQ(c.l1_hits, 70);
+}
+
+TEST(CacheSim, EmptyRangeIsFree) {
+  CacheSim cache(tiny_config());
+  const CacheCounts c = cache.access_range({0, 0, 64, false});
+  EXPECT_EQ(c.accesses, 0);
+}
+
+TEST(CacheSim, WorkingSetFitsInLlcStopsMissing) {
+  CacheSim cache(tiny_config());
+  const RangeAccess pass{0, 8192, 64, false};  // half the LLC
+  cache.access_range(pass);
+  const CacheCounts warm = cache.access_range(pass);
+  EXPECT_EQ(warm.dram_fills, 0);
+}
+
+TEST(CacheSim, MissRateGrowsWithWorkingSet) {
+  // Property: repeated passes over larger working sets never hit more.
+  double prev_hit_rate = 1.1;
+  for (std::uint64_t ws : {1024ULL, 4096ULL, 16384ULL, 1ULL << 20}) {
+    CacheSim cache(tiny_config());
+    cache.access_range({0, ws, 64, false});  // warm
+    const CacheCounts c = cache.access_range({0, ws, 64, false});
+    const double hit_rate =
+        (c.l1_hits + c.l2_hits + c.llc_hits) / c.accesses;
+    EXPECT_LE(hit_rate, prev_hit_rate + 1e-9) << "ws=" << ws;
+    prev_hit_rate = hit_rate;
+  }
+}
+
+TEST(CacheSim, SamplingApproximatesExactCounts) {
+  CacheConfig exact_cfg = tiny_config();
+  CacheConfig sampled_cfg = tiny_config();
+  sampled_cfg.sample_limit = 512;
+  CacheSim exact(exact_cfg), sampled(sampled_cfg);
+  const RangeAccess big{0, 4 << 20, 64, false};  // 65536 touches
+  const CacheCounts e = exact.access_range(big);
+  const CacheCounts s = sampled.access_range(big);
+  EXPECT_NEAR(s.accesses, e.accesses, e.accesses * 0.01);
+  // A cold streaming pass misses everywhere in both modes.
+  EXPECT_NEAR(s.dram_fills / s.accesses, e.dram_fills / e.accesses, 0.05);
+}
+
+TEST(CacheSim, TotalsAccumulateAndReset) {
+  CacheSim cache(tiny_config());
+  cache.access(0, false);
+  cache.access(64, false);
+  EXPECT_EQ(cache.totals().accesses, 2);
+  cache.reset_counts();
+  EXPECT_EQ(cache.totals().accesses, 0);
+}
+
+TEST(CacheSim, FlushColdsTheCache) {
+  CacheSim cache(tiny_config());
+  cache.access(0x77, false);
+  cache.flush();
+  EXPECT_EQ(cache.access(0x77, false).dram_fills, 1);
+}
+
+TEST(CacheSim, DefaultGeometryIsSane) {
+  CacheSim cache;
+  EXPECT_EQ(cache.config().l1.line_bytes, 64u);
+  EXPECT_GT(cache.config().llc.size_bytes, cache.config().l2.size_bytes);
+  EXPECT_GT(cache.config().l2.size_bytes, cache.config().l1.size_bytes);
+}
+
+// Parameterised sweep: all strides produce exactly the expected number of
+// line-granular fills on a cold cache.
+class StrideSweep : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(StrideSweep, ColdFillsMatchLineMath) {
+  const std::uint64_t stride = GetParam();
+  CacheSim cache(tiny_config());
+  const std::uint64_t bytes = 1 << 20;  // exceeds the hierarchy
+  const CacheCounts c = cache.access_range({0, bytes, stride, false});
+  const std::uint64_t touches = (bytes + stride - 1) / stride;
+  std::uint64_t expected_lines;
+  if (stride < 64) {
+    expected_lines = (bytes + 63) / 64;
+  } else {
+    expected_lines = touches;
+  }
+  EXPECT_DOUBLE_EQ(c.accesses, static_cast<double>(touches));
+  EXPECT_DOUBLE_EQ(c.dram_fills, static_cast<double>(expected_lines));
+}
+
+INSTANTIATE_TEST_SUITE_P(Strides, StrideSweep,
+                         ::testing::Values(8, 16, 32, 64, 128, 256, 4096));
+
+}  // namespace
+}  // namespace confbench::sim

@@ -1,0 +1,151 @@
+#include "sim/costs.h"
+
+#include <gtest/gtest.h>
+
+#include "sim/clock.h"
+#include "sim/memenc.h"
+
+namespace confbench::sim {
+namespace {
+
+TEST(Clock, StartsAtZeroAndAdvances) {
+  VirtualClock clock;
+  EXPECT_DOUBLE_EQ(clock.now(), 0.0);
+  clock.advance(12.5);
+  clock.advance(7.5);
+  EXPECT_DOUBLE_EQ(clock.now(), 20.0);
+}
+
+TEST(Clock, ResetReturnsToZero) {
+  VirtualClock clock;
+  clock.advance(1e9);
+  clock.reset();
+  EXPECT_DOUBLE_EQ(clock.now(), 0.0);
+}
+
+TEST(Clock, ScopedTimerMeasuresSpan) {
+  VirtualClock clock;
+  clock.advance(5);
+  Ns span = 0;
+  {
+    ScopedTimer timer(clock, span);
+    clock.advance(37);
+  }
+  EXPECT_DOUBLE_EQ(span, 37.0);
+}
+
+TEST(Units, Conversions) {
+  EXPECT_DOUBLE_EQ(kUs, 1e3);
+  EXPECT_DOUBLE_EQ(kMs, 1e6);
+  EXPECT_DOUBLE_EQ(kSec, 1e9);
+  EXPECT_DOUBLE_EQ(cycles_to_ns(3.0, 3.0), 1.0);
+}
+
+TEST(ComputeTime, ScalesWithOpsAndCpi) {
+  CpuCostModel cpu{.freq_ghz = 2.0, .cpi = 0.5, .fp_cpi = 1.0,
+                   .sim_slowdown = 1.0};
+  EXPECT_DOUBLE_EQ(compute_time_ns(1000, cpu), 250.0);
+  cpu.cpi = 1.0;
+  EXPECT_DOUBLE_EQ(compute_time_ns(1000, cpu), 500.0);
+}
+
+TEST(ComputeTime, SlowdownMultiplies) {
+  CpuCostModel cpu{.freq_ghz = 2.0, .cpi = 0.5, .fp_cpi = 1.0,
+                   .sim_slowdown = 8.0};
+  EXPECT_DOUBLE_EQ(compute_time_ns(1000, cpu), 2000.0);
+  EXPECT_DOUBLE_EQ(fp_time_ns(1000, cpu), 4000.0);
+}
+
+TEST(MemTime, HitLatenciesPerLevel) {
+  CpuCostModel cpu{.freq_ghz = 1.0, .cpi = 1.0, .fp_cpi = 1.0,
+                   .sim_slowdown = 1.0};
+  MemCostModel mem;
+  mem.l1_lat_cy = 4;
+  mem.l2_lat_cy = 10;
+  mem.llc_lat_cy = 40;
+  mem.mlp = 1.0;
+  CacheCounts c;
+  c.l1_hits = 1;
+  EXPECT_DOUBLE_EQ(mem_time_ns(c, mem, cpu), 4.0);
+  c = CacheCounts{};
+  c.l2_hits = 2;
+  EXPECT_DOUBLE_EQ(mem_time_ns(c, mem, cpu), 20.0);
+}
+
+TEST(MemTime, DramDividedByMlp) {
+  CpuCostModel cpu{.freq_ghz = 1.0, .cpi = 1.0, .fp_cpi = 1.0,
+                   .sim_slowdown = 1.0};
+  MemCostModel mem;
+  mem.dram_lat_ns = 100;
+  mem.mlp = 4.0;
+  CacheCounts c;
+  c.dram_fills = 8;
+  EXPECT_DOUBLE_EQ(mem_time_ns(c, mem, cpu), 200.0);
+}
+
+TEST(MemTime, ProtectionAddsOnlyWhenConfigured) {
+  CpuCostModel cpu{.freq_ghz = 1.0, .cpi = 1.0, .fp_cpi = 1.0,
+                   .sim_slowdown = 1.0};
+  MemCostModel plain;
+  plain.dram_lat_ns = 100;
+  plain.mlp = 1.0;
+  MemCostModel enc = plain;
+  enc.enc_extra_ns = 3.0;
+  enc.integrity_extra_ns = 2.0;
+  CacheCounts c;
+  c.dram_fills = 10;
+  EXPECT_GT(mem_time_ns(c, enc, cpu), mem_time_ns(c, plain, cpu));
+  EXPECT_DOUBLE_EQ(mem_protection_time_ns(c, plain), 0.0);
+  EXPECT_DOUBLE_EQ(mem_protection_time_ns(c, enc), 10 * 3.0 + 10 * 2.0);
+}
+
+TEST(MemTime, WritebacksChargeEncryptionBothWays) {
+  MemCostModel enc;
+  enc.enc_extra_ns = 2.0;
+  enc.integrity_extra_ns = 1.0;
+  CacheCounts c;
+  c.writebacks = 5;
+  // Write-backs are encrypted but not integrity-checked on the way out.
+  EXPECT_DOUBLE_EQ(mem_protection_time_ns(c, enc), 5 * 2.0);
+}
+
+TEST(MemEnc, DisabledEngineIsFree) {
+  MemoryEncryptionEngine engine(false);
+  MemCostModel mem;
+  mem.enc_extra_ns = 5.0;
+  CacheCounts c;
+  c.dram_fills = 100;
+  EXPECT_DOUBLE_EQ(engine.record(c, mem), 0.0);
+  EXPECT_DOUBLE_EQ(engine.protection_time(), 0.0);
+}
+
+TEST(MemEnc, EnabledEngineTracksTraffic) {
+  MemoryEncryptionEngine engine(true);
+  MemCostModel mem;
+  mem.enc_extra_ns = 2.0;
+  mem.integrity_extra_ns = 0.0;
+  CacheCounts c;
+  c.dram_fills = 10;
+  c.writebacks = 4;
+  const Ns t = engine.record(c, mem);
+  EXPECT_DOUBLE_EQ(t, 28.0);
+  EXPECT_DOUBLE_EQ(engine.lines_decrypted(), 10);
+  EXPECT_DOUBLE_EQ(engine.lines_encrypted(), 4);
+  engine.reset();
+  EXPECT_DOUBLE_EQ(engine.protection_time(), 0.0);
+}
+
+TEST(CacheCounts, AccumulateOperator) {
+  CacheCounts a, b;
+  a.accesses = 1;
+  a.dram_fills = 2;
+  b.accesses = 3;
+  b.writebacks = 4;
+  a += b;
+  EXPECT_DOUBLE_EQ(a.accesses, 4);
+  EXPECT_DOUBLE_EQ(a.dram_fills, 2);
+  EXPECT_DOUBLE_EQ(a.writebacks, 4);
+}
+
+}  // namespace
+}  // namespace confbench::sim

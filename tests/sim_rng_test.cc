@@ -1,0 +1,133 @@
+#include "sim/rng.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+#include <vector>
+
+namespace confbench::sim {
+namespace {
+
+TEST(StableHash, KnownValues) {
+  // FNV-1a 64-bit reference values.
+  EXPECT_EQ(stable_hash(""), 0xcbf29ce484222325ULL);
+  EXPECT_EQ(stable_hash("a"), 0xaf63dc4c8601ec8cULL);
+  EXPECT_EQ(stable_hash("foobar"), 0x85944171f73967e8ULL);
+}
+
+TEST(StableHash, DistinctInputsDistinctHashes) {
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 1000; ++i)
+    seen.insert(stable_hash("key-" + std::to_string(i)));
+  EXPECT_EQ(seen.size(), 1000u);
+}
+
+TEST(HashCombine, OrderMatters) {
+  EXPECT_NE(hash_combine(1, 2), hash_combine(2, 1));
+}
+
+TEST(HashCombine, Deterministic) {
+  EXPECT_EQ(hash_combine(42, 7), hash_combine(42, 7));
+}
+
+TEST(SplitMix64, MatchesReference) {
+  // Reference outputs for seed 1234567 (from the public-domain reference
+  // implementation).
+  SplitMix64 mix(1234567);
+  EXPECT_EQ(mix.next(), 6457827717110365317ULL);
+  EXPECT_EQ(mix.next(), 3203168211198807973ULL);
+}
+
+TEST(Rng, DeterministicForSeed) {
+  Rng a(99), b(99);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next_u64(), b.next_u64());
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) same += (a.next_u64() == b.next_u64());
+  EXPECT_LT(same, 2);
+}
+
+TEST(Rng, StringSeedMatchesHash) {
+  Rng a(stable_hash("hello")), b(std::string_view("hello"));
+  EXPECT_EQ(a.next_u64(), b.next_u64());
+}
+
+TEST(Rng, DoubleInUnitInterval) {
+  Rng rng(3);
+  for (int i = 0; i < 10000; ++i) {
+    const double d = rng.next_double();
+    EXPECT_GE(d, 0.0);
+    EXPECT_LT(d, 1.0);
+  }
+}
+
+TEST(Rng, DoubleMeanNearHalf) {
+  Rng rng(4);
+  double sum = 0;
+  constexpr int kN = 100000;
+  for (int i = 0; i < kN; ++i) sum += rng.next_double();
+  EXPECT_NEAR(sum / kN, 0.5, 0.01);
+}
+
+TEST(Rng, NextBelowRespectsBound) {
+  Rng rng(5);
+  for (std::uint64_t bound : {1ULL, 2ULL, 3ULL, 10ULL, 1000ULL, 1ULL << 40}) {
+    for (int i = 0; i < 200; ++i) EXPECT_LT(rng.next_below(bound), bound);
+  }
+}
+
+TEST(Rng, NextBelowCoversAllResidues) {
+  Rng rng(6);
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 500; ++i) seen.insert(rng.next_below(7));
+  EXPECT_EQ(seen.size(), 7u);
+}
+
+TEST(Rng, GaussianMoments) {
+  Rng rng(7);
+  constexpr int kN = 200000;
+  double sum = 0, sq = 0;
+  for (int i = 0; i < kN; ++i) {
+    const double g = rng.next_gaussian();
+    sum += g;
+    sq += g * g;
+  }
+  EXPECT_NEAR(sum / kN, 0.0, 0.02);
+  EXPECT_NEAR(sq / kN, 1.0, 0.03);
+}
+
+TEST(Rng, JitterZeroSigmaIsExactlyOne) {
+  Rng rng(8);
+  EXPECT_DOUBLE_EQ(rng.jitter(0.0), 1.0);
+  EXPECT_DOUBLE_EQ(rng.jitter(-1.0), 1.0);
+}
+
+TEST(Rng, JitterIsPositiveAndCentered) {
+  Rng rng(9);
+  constexpr int kN = 50000;
+  double log_sum = 0;
+  for (int i = 0; i < kN; ++i) {
+    const double j = rng.jitter(0.1);
+    ASSERT_GT(j, 0.0);
+    log_sum += std::log(j);
+  }
+  // Lognormal(0, sigma): median 1 => mean of logs ~ 0.
+  EXPECT_NEAR(log_sum / kN, 0.0, 0.01);
+}
+
+TEST(Rng, JitterSpreadGrowsWithSigma) {
+  Rng a(10), b(10);
+  double small_dev = 0, large_dev = 0;
+  for (int i = 0; i < 10000; ++i) {
+    small_dev += std::abs(a.jitter(0.01) - 1.0);
+    large_dev += std::abs(b.jitter(0.2) - 1.0);
+  }
+  EXPECT_LT(small_dev, large_dev);
+}
+
+}  // namespace
+}  // namespace confbench::sim

@@ -1,0 +1,277 @@
+#include "tee/platform.h"
+
+#include <gtest/gtest.h>
+
+#include "tee/cca.h"
+#include "tee/colocation.h"
+#include "tee/sgx.h"
+#include "tee/none.h"
+#include "tee/registry.h"
+#include "tee/sev_snp.h"
+#include "tee/tdx.h"
+
+namespace confbench::tee {
+namespace {
+
+TEST(Registry, BuiltinPlatformsPresent) {
+  const auto names = Registry::instance().names();
+  ASSERT_GE(names.size(), 5u);
+  for (const char* expected : {"none", "tdx", "sev-snp", "cca", "sgx"}) {
+    bool found = false;
+    for (const auto& n : names) found |= (n == expected);
+    EXPECT_TRUE(found) << expected;
+  }
+}
+
+TEST(Registry, CreateByName) {
+  auto tdx = Registry::instance().create("tdx");
+  ASSERT_NE(tdx, nullptr);
+  EXPECT_EQ(tdx->kind(), TeeKind::kTdx);
+  EXPECT_EQ(Registry::instance().create("no-such-tee"), nullptr);
+}
+
+TEST(Registry, RegisterCustomPlatform) {
+  Registry::instance().register_platform(
+      "tdx-test-custom", [] { return std::make_shared<TdxPlatform>(); });
+  EXPECT_NE(Registry::instance().create("tdx-test-custom"), nullptr);
+}
+
+TEST(TeeKind, Names) {
+  EXPECT_EQ(to_string(TeeKind::kNone), "none");
+  EXPECT_EQ(to_string(TeeKind::kTdx), "tdx");
+  EXPECT_EQ(to_string(TeeKind::kSevSnp), "sev-snp");
+  EXPECT_EQ(to_string(TeeKind::kCca), "cca");
+}
+
+TEST(ExitReason, AllNamed) {
+  for (int i = 0; i < static_cast<int>(ExitReason::kCount); ++i) {
+    EXPECT_NE(to_string(static_cast<ExitReason>(i)), "?");
+  }
+}
+
+class AllPlatforms : public ::testing::TestWithParam<const char*> {
+ protected:
+  PlatformPtr platform() const {
+    auto p = Registry::instance().create(GetParam());
+    EXPECT_NE(p, nullptr);
+    return p;
+  }
+};
+
+TEST_P(AllPlatforms, SecureVmNeverCheaperThanNormal) {
+  auto p = platform();
+  const auto& n = p->costs(false);
+  const auto& s = p->costs(true);
+  EXPECT_GE(s.mem.enc_extra_ns, n.mem.enc_extra_ns);
+  EXPECT_GE(s.exit.secure_exit_extra_ns, n.exit.secure_exit_extra_ns);
+  EXPECT_GE(s.exit.page_fault_extra_ns, n.exit.page_fault_extra_ns);
+  EXPECT_GE(s.io.bounce_fixed_ns, n.io.bounce_fixed_ns);
+  EXPECT_GE(s.io.bounce_byte_ns, n.io.bounce_byte_ns);
+}
+
+TEST_P(AllPlatforms, NormalVmHasNoTeeCharges) {
+  auto p = platform();
+  const auto& n = p->costs(false);
+  EXPECT_DOUBLE_EQ(n.mem.enc_extra_ns, 0.0);
+  EXPECT_DOUBLE_EQ(n.mem.integrity_extra_ns, 0.0);
+  EXPECT_DOUBLE_EQ(n.exit.secure_exit_extra_ns, 0.0);
+  EXPECT_DOUBLE_EQ(n.io.bounce_fixed_ns, 0.0);
+}
+
+TEST_P(AllPlatforms, SaneBasics) {
+  auto p = platform();
+  for (bool secure : {false, true}) {
+    const auto& c = p->costs(secure);
+    EXPECT_GT(c.cpu.freq_ghz, 0);
+    EXPECT_GT(c.cpu.cpi, 0);
+    EXPECT_GE(c.cpu.sim_slowdown, 1.0);
+    EXPECT_GT(c.mem.dram_lat_ns, 0);
+    EXPECT_GT(c.exit.syscall_ns, 0);
+    EXPECT_GE(c.trial_jitter_sigma, 0);
+  }
+  EXPECT_FALSE(p->name().empty());
+  EXPECT_FALSE(p->exit_primitive().empty());
+}
+
+INSTANTIATE_TEST_SUITE_P(Builtin, AllPlatforms,
+                         ::testing::Values("none", "tdx", "sev-snp", "cca",
+                                           "sgx"));
+
+TEST(Tdx, SecureChargesMemoryProtectionAndBounce) {
+  TdxPlatform tdx;
+  const auto& s = tdx.costs(true);
+  EXPECT_GT(s.mem.enc_extra_ns, 0);
+  EXPECT_GT(s.mem.integrity_extra_ns, 0);
+  EXPECT_GT(s.io.bounce_byte_ns, 0);
+  EXPECT_EQ(tdx.exit_primitive(), "TDCALL");
+  EXPECT_TRUE(tdx.has_perf_counters(true));
+  EXPECT_FALSE(tdx.simulated());
+}
+
+TEST(Tdx, PreFixFirmwareIsUniformlyWorse) {
+  TdxPlatform pre(TdxFirmware::kPreFix), fixed(TdxFirmware::kFixed);
+  const auto& p = pre.costs(true);
+  const auto& f = fixed.costs(true);
+  EXPECT_GT(p.exit.secure_exit_extra_ns, f.exit.secure_exit_extra_ns * 10);
+  EXPECT_GT(p.mem.enc_extra_ns, f.mem.enc_extra_ns);
+  EXPECT_GT(p.io.bounce_byte_ns, f.io.bounce_byte_ns);
+  // Normal VMs are unaffected by the TDX module version.
+  EXPECT_DOUBLE_EQ(pre.costs(false).exit.syscall_ns,
+                   fixed.costs(false).exit.syscall_ns);
+}
+
+TEST(Tdx, IoPathWorseThanSnp) {
+  // The paper's crossover: TDX loses on I/O (bounce buffers)...
+  TdxPlatform tdx;
+  SevSnpPlatform snp;
+  EXPECT_GT(tdx.costs(true).io.bounce_byte_ns,
+            snp.costs(true).io.bounce_byte_ns);
+  EXPECT_GT(tdx.costs(true).io.bounce_fixed_ns,
+            snp.costs(true).io.bounce_fixed_ns);
+}
+
+TEST(Tdx, MemoryPathBetterThanSnp) {
+  // ...and wins on CPU/memory-intensive work.
+  TdxPlatform tdx;
+  SevSnpPlatform snp;
+  const double tdx_mem = tdx.costs(true).mem.enc_extra_ns +
+                         tdx.costs(true).mem.integrity_extra_ns;
+  const double snp_mem = snp.costs(true).mem.enc_extra_ns +
+                         snp.costs(true).mem.integrity_extra_ns;
+  EXPECT_LT(tdx_mem, snp_mem);
+  EXPECT_LT(tdx.costs(true).exit.secure_exit_extra_ns,
+            snp.costs(true).exit.secure_exit_extra_ns);
+}
+
+TEST(SevSnp, Basics) {
+  SevSnpPlatform snp;
+  EXPECT_EQ(snp.kind(), TeeKind::kSevSnp);
+  EXPECT_EQ(snp.exit_primitive(), "VMEXIT");
+  EXPECT_FALSE(snp.simulated());
+  EXPECT_TRUE(snp.has_perf_counters(true));
+}
+
+TEST(Cca, SimulatedAndNoRealmPmu) {
+  CcaPlatform cca;
+  EXPECT_TRUE(cca.simulated());
+  EXPECT_TRUE(cca.has_perf_counters(false));
+  EXPECT_FALSE(cca.has_perf_counters(true));  // §III-B: no perf in realms
+  EXPECT_EQ(cca.exit_primitive(), "RMI");
+  EXPECT_GT(cca.costs(false).cpu.sim_slowdown, 1.0);
+}
+
+TEST(Cca, RealmOverheadsDwarfBareMetalTees) {
+  CcaPlatform cca;
+  TdxPlatform tdx;
+  EXPECT_GT(cca.costs(true).exit.secure_exit_extra_ns,
+            10 * tdx.costs(true).exit.secure_exit_extra_ns);
+  EXPECT_GT(cca.costs(true).trial_jitter_sigma,
+            tdx.costs(true).trial_jitter_sigma);
+}
+
+TEST(Attestation, SnpFasterThanTdxInBothPhases) {
+  TdxPlatform tdx;
+  SevSnpPlatform snp;
+  const auto t = tdx.attestation();
+  const auto s = snp.attestation();
+  ASSERT_TRUE(t.supported);
+  ASSERT_TRUE(s.supported);
+  const double tdx_attest = t.report_request + t.measurement + t.sign;
+  const double snp_attest = s.report_request + s.measurement + s.sign;
+  EXPECT_GT(tdx_attest, snp_attest);
+  const double tdx_check =
+      t.collateral_round_trips * t.collateral_rtt + t.verify_compute;
+  const double snp_check = s.collateral_local_fetch + s.verify_compute;
+  EXPECT_GT(tdx_check, snp_check);
+}
+
+TEST(Attestation, TdxNeedsNetworkSnpDoesNot) {
+  TdxPlatform tdx;
+  SevSnpPlatform snp;
+  EXPECT_GT(tdx.attestation().collateral_round_trips, 0);
+  EXPECT_EQ(snp.attestation().collateral_round_trips, 0);
+  EXPECT_GT(snp.attestation().collateral_local_fetch, 0);
+}
+
+TEST(Attestation, CcaUnsupported) {
+  CcaPlatform cca;
+  EXPECT_FALSE(cca.attestation().supported);
+}
+
+TEST(Sgx, ProcessTeeIsHarsherThanVmTees) {
+  // The intro's motivation for second-generation TEEs, quantified: SGX
+  // pays a full world switch per syscall and MEE integrity-tree walks.
+  SgxPlatform sgx;
+  TdxPlatform tdx;
+  EXPECT_DOUBLE_EQ(sgx.costs(true).exit.exit_rate_per_syscall, 1.0);
+  EXPECT_GT(sgx.costs(true).exit.secure_exit_extra_ns,
+            tdx.costs(true).exit.secure_exit_extra_ns);
+  EXPECT_GT(sgx.costs(true).mem.integrity_extra_ns,
+            10 * tdx.costs(true).mem.integrity_extra_ns);
+  EXPECT_FALSE(sgx.has_perf_counters(true));
+  EXPECT_TRUE(sgx.has_perf_counters(false));
+  EXPECT_EQ(sgx.exit_primitive(), "EOCALL");
+}
+
+TEST(Sgx, NormalProcessHasNoVirtualisationExits) {
+  SgxPlatform sgx;
+  EXPECT_DOUBLE_EQ(sgx.costs(false).exit.exit_rate_per_syscall, 0.0);
+  EXPECT_DOUBLE_EQ(sgx.costs(false).exit.vmexit_ns, 0.0);
+}
+
+TEST(Colocation, OneTenantIsIdentity) {
+  auto base = Registry::instance().create("tdx");
+  ColocatedPlatform solo(base, 1);
+  EXPECT_DOUBLE_EQ(solo.costs(true).mem.dram_lat_ns,
+                   base->costs(true).mem.dram_lat_ns);
+  EXPECT_DOUBLE_EQ(solo.costs(false).io.blk_fixed_ns,
+                   base->costs(false).io.blk_fixed_ns);
+  EXPECT_EQ(solo.name(), "tdx-x1");
+  EXPECT_EQ(solo.kind(), TeeKind::kTdx);
+}
+
+TEST(Colocation, ContentionGrowsWithTenants) {
+  auto base = Registry::instance().create("tdx");
+  ColocatedPlatform two(base, 2), eight(base, 8);
+  EXPECT_GT(two.costs(true).mem.dram_lat_ns,
+            base->costs(true).mem.dram_lat_ns);
+  EXPECT_GT(eight.costs(true).mem.dram_lat_ns,
+            two.costs(true).mem.dram_lat_ns);
+  EXPECT_LT(eight.costs(true).mem.mlp, base->costs(true).mem.mlp);
+  EXPECT_GT(eight.costs(true).trial_jitter_sigma,
+            base->costs(true).trial_jitter_sigma);
+}
+
+TEST(Colocation, SecureSideContendsHarderOnTheCryptoEngine) {
+  auto base = Registry::instance().create("sev-snp");
+  ColocatedPlatform four(base, 4);
+  const double enc_growth = four.costs(true).mem.enc_extra_ns /
+                            base->costs(true).mem.enc_extra_ns;
+  const double dram_growth = four.costs(true).mem.dram_lat_ns /
+                             base->costs(true).mem.dram_lat_ns;
+  EXPECT_GT(enc_growth, dram_growth);
+}
+
+TEST(Colocation, RejectsBadArguments) {
+  auto base = Registry::instance().create("tdx");
+  EXPECT_THROW(ColocatedPlatform(nullptr, 2), std::invalid_argument);
+  EXPECT_THROW(ColocatedPlatform(base, 0), std::invalid_argument);
+}
+
+TEST(Colocation, DelegatesPlatformTraits) {
+  ColocatedPlatform cca(Registry::instance().create("cca"), 3);
+  EXPECT_TRUE(cca.simulated());
+  EXPECT_FALSE(cca.has_perf_counters(true));
+  EXPECT_FALSE(cca.attestation().supported);
+  EXPECT_EQ(cca.tenants(), 3);
+}
+
+TEST(None, SecureEqualsNormal) {
+  NonePlatform none;
+  EXPECT_DOUBLE_EQ(none.costs(true).exit.secure_exit_extra_ns,
+                   none.costs(false).exit.secure_exit_extra_ns);
+  EXPECT_FALSE(none.attestation().supported);
+}
+
+}  // namespace
+}  // namespace confbench::tee

@@ -1,0 +1,114 @@
+// Tests for the built-in time profile: the five t_* categories must account
+// for every charged nanosecond (pre-jitter), and the per-category shares
+// must reflect what the workload actually did.
+#include <gtest/gtest.h>
+
+#include "core/confbench.h"
+#include "tee/registry.h"
+#include "vm/exec_context.h"
+#include "vm/vfs.h"
+#include "wl/faas.h"
+
+namespace confbench::vm {
+namespace {
+
+double category_sum(const metrics::PerfCounters& c) {
+  return c.t_compute_ns + c.t_memory_ns + c.t_os_ns + c.t_io_ns +
+         c.t_other_ns;
+}
+
+class BreakdownOnEveryPlatform : public ::testing::TestWithParam<const char*> {
+};
+
+TEST_P(BreakdownOnEveryPlatform, CategoriesSumToTheClockExactly) {
+  for (const bool secure : {false, true}) {
+    ExecutionContext ctx(tee::Registry::instance().create(GetParam()),
+                         secure, 1);
+    ctx.compute(1e6, 1e5);
+    ctx.compute_fp(5e5);
+    const std::uint64_t r = ctx.alloc_region(4 << 20);
+    ctx.mem_read(r, 4 << 20, 64);
+    ctx.mem_write(r, 1 << 20, 64);
+    for (int i = 0; i < 50; ++i) ctx.syscall();
+    ctx.context_switch();
+    ctx.page_fault(10);
+    ctx.spawn_process();
+    ctx.pipe_transfer(512);
+    ctx.block_read(1 << 16);
+    ctx.block_flush();
+    ctx.net_transfer(2048);
+    ctx.sleep(5000);
+    ctx.charge(1234.5);
+    EXPECT_NEAR(category_sum(ctx.counters()), ctx.now(),
+                ctx.now() * 1e-12 + 1e-9)
+        << GetParam() << (secure ? " secure" : " normal");
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Tees, BreakdownOnEveryPlatform,
+                         ::testing::Values("none", "tdx", "sev-snp", "cca",
+                                           "sgx"));
+
+TEST(Breakdown, PureComputeLandsInCompute) {
+  ExecutionContext ctx(tee::Registry::instance().create("tdx"), false, 1);
+  ctx.compute(1e6);
+  EXPECT_GT(ctx.counters().t_compute_ns, 0);
+  EXPECT_DOUBLE_EQ(ctx.counters().t_memory_ns, 0);
+  EXPECT_DOUBLE_EQ(ctx.counters().t_io_ns, 0);
+  EXPECT_DOUBLE_EQ(ctx.counters().t_os_ns, 0);
+}
+
+TEST(Breakdown, IoStressIsIoDominatedOnSecureTdx) {
+  ExecutionContext ctx(tee::Registry::instance().create("tdx"), true, 1);
+  {
+    Vfs fs(ctx);
+    fs.create("/f");
+    fs.write("/f", 4 << 20);
+    fs.fsync("/f");
+    fs.drop_caches();
+    fs.read("/f", 0, 4 << 20);
+  }
+  const auto& c = ctx.counters();
+  EXPECT_GT(c.t_io_ns, c.t_compute_ns);
+  EXPECT_GT(c.t_io_ns, 0.4 * category_sum(c));
+}
+
+TEST(Breakdown, SyscallStormIsOsDominated) {
+  ExecutionContext ctx(tee::Registry::instance().create("sev-snp"), true, 1);
+  for (int i = 0; i < 10000; ++i) ctx.syscall();
+  const auto& c = ctx.counters();
+  EXPECT_GT(c.t_os_ns, 0.99 * category_sum(c));
+}
+
+TEST(Breakdown, SurvivesTheHttpWire) {
+  core::ConfBench system(core::GatewayConfig::standard());
+  system.gateway().upload_all_builtin();
+  const auto rec = system.gateway().invoke("iostress", "go", "tdx", true, 0);
+  ASSERT_TRUE(rec.ok());
+  EXPECT_GT(rec.perf.t_io_ns, 0);
+  EXPECT_GT(rec.perf.t_compute_ns, 0);
+  // The piggybacked categories still cover the whole (unjittered) run.
+  const double sum = category_sum(rec.perf);
+  EXPECT_GT(sum, rec.perf.wall_ns * 0.9);
+  EXPECT_LT(sum, rec.perf.wall_ns * 1.1);
+}
+
+TEST(Breakdown, SecureTdxShiftsShareTowardsIoVsNormal) {
+  // The bounce-buffer penalty shows up as a *larger I/O share*, which is
+  // exactly how a user of the tool would diagnose the paper's iostress
+  // finding from the piggybacked counters alone.
+  auto io_share = [](bool secure) {
+    ExecutionContext ctx(tee::Registry::instance().create("tdx"), secure, 1);
+    Vfs fs(ctx);
+    fs.create("/f");
+    fs.write("/f", 2 << 20);
+    fs.fsync("/f");
+    const auto& c = ctx.counters();
+    return c.t_io_ns / (c.t_compute_ns + c.t_memory_ns + c.t_os_ns +
+                        c.t_io_ns + c.t_other_ns);
+  };
+  EXPECT_GT(io_share(true), io_share(false));
+}
+
+}  // namespace
+}  // namespace confbench::vm

@@ -1,0 +1,217 @@
+#include "vm/exec_context.h"
+
+#include <gtest/gtest.h>
+#include <cmath>
+
+#include "tee/registry.h"
+
+namespace confbench::vm {
+namespace {
+
+tee::PlatformPtr plat(const char* name) {
+  auto p = tee::Registry::instance().create(name);
+  EXPECT_NE(p, nullptr);
+  return p;
+}
+
+TEST(ExecContext, RejectsNullPlatform) {
+  EXPECT_THROW(ExecutionContext(nullptr, false, 1), std::invalid_argument);
+}
+
+TEST(ExecContext, ComputeAdvancesClockAndCounters) {
+  ExecutionContext ctx(plat("tdx"), false, 1);
+  EXPECT_DOUBLE_EQ(ctx.now(), 0.0);
+  ctx.compute(1000, 100);
+  EXPECT_GT(ctx.now(), 0.0);
+  EXPECT_DOUBLE_EQ(ctx.counters().instructions, 1100);
+  EXPECT_DOUBLE_EQ(ctx.counters().branches, 100);
+  EXPECT_GT(ctx.counters().branch_misses, 0);
+}
+
+TEST(ExecContext, FpOpsSlowerThanIntOps) {
+  ExecutionContext a(plat("tdx"), false, 1);
+  ExecutionContext b(plat("tdx"), false, 1);
+  a.compute(1e6);
+  b.compute_fp(1e6);
+  EXPECT_GT(b.now(), a.now());
+}
+
+TEST(ExecContext, DeterministicForSameSeed) {
+  auto run = [](std::uint64_t seed) {
+    ExecutionContext ctx(plat("sev-snp"), true, seed);
+    ctx.compute(12345, 678);
+    const std::uint64_t r = ctx.alloc_region(1 << 16);
+    ctx.mem_read(r, 1 << 16, 64);
+    ctx.syscall();
+    ctx.block_write(8192);
+    return ctx.finish().wall_ns;
+  };
+  EXPECT_DOUBLE_EQ(run(7), run(7));
+  EXPECT_NE(run(7), run(8));  // trial jitter differs
+}
+
+TEST(ExecContext, MemTrafficFillsCounters) {
+  ExecutionContext ctx(plat("tdx"), false, 1);
+  const std::uint64_t r = ctx.alloc_region(1 << 20);
+  ctx.mem_read(r, 1 << 20, 64);
+  EXPECT_GT(ctx.counters().cache_references, 0);
+  EXPECT_GT(ctx.counters().cache_misses, 0);
+  EXPECT_GE(ctx.counters().cache_references, ctx.counters().cache_misses);
+}
+
+TEST(ExecContext, SecureMemoryTrafficCostsMore) {
+  ExecutionContext nrm(plat("tdx"), false, 1);
+  ExecutionContext sec(plat("tdx"), true, 1);
+  for (auto* ctx : {&nrm, &sec}) {
+    const std::uint64_t r = ctx->alloc_region(8 << 20);
+    ctx->mem_read(r, 8 << 20, 64);
+  }
+  EXPECT_GT(sec.now(), nrm.now());
+  EXPECT_GT(sec.counters().mem_protection_ns, 0);
+  EXPECT_DOUBLE_EQ(nrm.counters().mem_protection_ns, 0);
+}
+
+TEST(ExecContext, SyscallChargesExpectedExitFraction) {
+  ExecutionContext ctx(plat("tdx"), true, 1);
+  for (int i = 0; i < 100; ++i) ctx.syscall();
+  EXPECT_DOUBLE_EQ(ctx.counters().syscalls, 100);
+  const double rate = ctx.costs().exit.exit_rate_per_syscall;
+  EXPECT_NEAR(ctx.counters().vm_exits, 100 * rate, 1e-9);
+  EXPECT_NEAR(ctx.counters().exit_count(tee::ExitReason::kSyscallAssist),
+              100 * rate, 1e-9);
+}
+
+TEST(ExecContext, SecureSyscallSlower) {
+  ExecutionContext nrm(plat("tdx"), false, 1);
+  ExecutionContext sec(plat("tdx"), true, 1);
+  for (int i = 0; i < 1000; ++i) {
+    nrm.syscall();
+    sec.syscall();
+  }
+  EXPECT_GT(sec.now(), nrm.now());
+}
+
+TEST(ExecContext, SleepChargesDurationPlusTimerExit) {
+  ExecutionContext ctx(plat("sev-snp"), true, 1);
+  ctx.sleep(1000.0);
+  EXPECT_GE(ctx.now(), 1000.0);
+  EXPECT_GT(ctx.counters().exit_count(tee::ExitReason::kTimer), 0);
+}
+
+TEST(ExecContext, PageFaultsSecureExtra) {
+  ExecutionContext nrm(plat("tdx"), false, 1);
+  ExecutionContext sec(plat("tdx"), true, 1);
+  nrm.page_fault(100);
+  sec.page_fault(100);
+  EXPECT_DOUBLE_EQ(nrm.counters().page_faults, 100);
+  EXPECT_DOUBLE_EQ(sec.counters().page_faults, 100);
+  EXPECT_GT(sec.now(), nrm.now());
+  EXPECT_GT(sec.counters().exit_count(tee::ExitReason::kPageAccept), 0);
+  EXPECT_DOUBLE_EQ(nrm.counters().exit_count(tee::ExitReason::kPageAccept),
+                   0);
+}
+
+TEST(ExecContext, ZeroAndNegativeFaultsAreNoOps) {
+  ExecutionContext ctx(plat("tdx"), true, 1);
+  ctx.page_fault(0);
+  ctx.page_fault(-5);
+  EXPECT_DOUBLE_EQ(ctx.counters().page_faults, 0);
+  EXPECT_DOUBLE_EQ(ctx.now(), 0.0);
+}
+
+TEST(ExecContext, BlockIoBounceOnlyOnSecureTdx) {
+  ExecutionContext nrm(plat("tdx"), false, 1);
+  ExecutionContext sec(plat("tdx"), true, 1);
+  nrm.block_read(1 << 20);
+  sec.block_read(1 << 20);
+  const double nrm_t = nrm.now();
+  const double sec_t = sec.now();
+  // The bounce copies should dominate the difference.
+  const auto& io = sec.costs().io;
+  const double expected_extra =
+      io.bounce_fixed_ns + (1 << 20) * io.bounce_byte_ns;
+  EXPECT_NEAR(sec_t - nrm_t, expected_extra,
+              expected_extra * 0.2 + 5000.0);
+  EXPECT_DOUBLE_EQ(sec.counters().io_bytes, 1 << 20);
+}
+
+TEST(ExecContext, BlockFlushChargesBarrier) {
+  ExecutionContext ctx(plat("tdx"), false, 1);
+  ctx.block_flush();
+  EXPECT_GE(ctx.now(), ctx.costs().io.flush_ns);
+}
+
+TEST(ExecContext, NetTransferCountsBytes) {
+  ExecutionContext ctx(plat("sev-snp"), false, 1);
+  ctx.net_transfer(5000);
+  EXPECT_DOUBLE_EQ(ctx.counters().net_bytes, 5000);
+  EXPECT_GE(ctx.now(), ctx.costs().io.net_rtt_ns);
+}
+
+TEST(ExecContext, PipeAndContextSwitchAccounting) {
+  ExecutionContext ctx(plat("tdx"), true, 1);
+  ctx.pipe_transfer(512);
+  ctx.context_switch();
+  EXPECT_DOUBLE_EQ(ctx.counters().syscalls, 2);
+  EXPECT_DOUBLE_EQ(ctx.counters().context_switches, 1);
+}
+
+TEST(ExecContext, SpawnProcessChargesFaultsAndSyscalls) {
+  ExecutionContext ctx(plat("tdx"), false, 1);
+  ctx.spawn_process();
+  EXPECT_GE(ctx.counters().syscalls, 3);
+  EXPECT_GT(ctx.counters().page_faults, 0);
+  EXPECT_GE(ctx.now(), ctx.costs().exit.spawn_ns);
+}
+
+TEST(ExecContext, AllocRegionsDoNotOverlap) {
+  ExecutionContext ctx(plat("tdx"), false, 1);
+  const std::uint64_t a = ctx.alloc_region(4096);
+  const std::uint64_t b = ctx.alloc_region(4096);
+  EXPECT_GE(b, a + 4096);
+  EXPECT_DOUBLE_EQ(ctx.now(), 0.0);  // address space is free
+}
+
+TEST(ExecContext, AllocRegionRespectsAlignment) {
+  ExecutionContext ctx(plat("tdx"), false, 1);
+  EXPECT_EQ(ctx.alloc_region(100, 4096) % 4096, 0u);
+  EXPECT_EQ(ctx.alloc_region(100, 64) % 64, 0u);
+}
+
+TEST(ExecContext, SecureAndNormalLayoutsDiffer) {
+  ExecutionContext nrm(plat("tdx"), false, 1);
+  ExecutionContext sec(plat("tdx"), true, 1);
+  EXPECT_NE(nrm.alloc_region(4096), sec.alloc_region(4096));
+}
+
+TEST(ExecContext, FinishFillsDerivedCounters) {
+  ExecutionContext ctx(plat("tdx"), false, 42);
+  ctx.compute(1e6);
+  const auto c = ctx.finish();
+  EXPECT_GT(c.wall_ns, 0);
+  EXPECT_NEAR(c.cycles, c.wall_ns * ctx.costs().cpu.freq_ghz, 1e-6);
+}
+
+TEST(ExecContext, TrialJitterBounded) {
+  // 6-sigma event would flag a modelling bug.
+  for (std::uint64_t seed = 0; seed < 200; ++seed) {
+    ExecutionContext ctx(plat("tdx"), true, seed);
+    ctx.compute(1e6);
+    const double base = ctx.now();
+    const auto c = ctx.finish();
+    const double sigma = ctx.costs().trial_jitter_sigma;
+    EXPECT_GT(c.wall_ns, base * std::exp(-6 * sigma));
+    EXPECT_LT(c.wall_ns, base * std::exp(6 * sigma));
+  }
+}
+
+TEST(ExecContext, CcaSimulationSlowdownApplies) {
+  ExecutionContext cca(plat("cca"), false, 1);
+  ExecutionContext tdx(plat("tdx"), false, 1);
+  cca.compute(1e6);
+  tdx.compute(1e6);
+  EXPECT_GT(cca.now(), 3.0 * tdx.now());
+}
+
+}  // namespace
+}  // namespace confbench::vm

@@ -1,0 +1,219 @@
+#include <gtest/gtest.h>
+
+#include "tee/registry.h"
+#include "vm/guest_vm.h"
+#include "vm/host.h"
+
+namespace confbench::vm {
+namespace {
+
+tee::PlatformPtr plat(const char* name) {
+  return tee::Registry::instance().create(name);
+}
+
+VmConfig config(const char* platform, bool secure) {
+  VmConfig cfg;
+  cfg.name = std::string(platform) + (secure ? "-s" : "-n");
+  cfg.platform = plat(platform);
+  cfg.secure = secure;
+  return cfg;
+}
+
+TEST(GuestVm, RejectsBadConfig) {
+  VmConfig cfg = config("tdx", false);
+  cfg.platform = nullptr;
+  EXPECT_THROW(GuestVm{cfg}, std::invalid_argument);
+  cfg = config("tdx", false);
+  cfg.vcpus = 0;
+  EXPECT_THROW(GuestVm{cfg}, std::invalid_argument);
+}
+
+TEST(GuestVm, LifecycleStates) {
+  GuestVm vm(config("tdx", false));
+  EXPECT_EQ(vm.state(), VmState::kCreated);
+  vm.boot();
+  EXPECT_EQ(vm.state(), VmState::kRunning);
+  vm.stop();
+  EXPECT_EQ(vm.state(), VmState::kStopped);
+  EXPECT_EQ(to_string(VmState::kRunning), "running");
+}
+
+TEST(GuestVm, BootIsIdempotent) {
+  GuestVm vm(config("tdx", false));
+  const sim::Ns t1 = vm.boot();
+  const sim::Ns t2 = vm.boot();
+  EXPECT_DOUBLE_EQ(t1, t2);
+}
+
+TEST(GuestVm, SecureBootSlowerThanNormal) {
+  GuestVm normal(config("tdx", false));
+  GuestVm secure(config("tdx", true));
+  EXPECT_GT(secure.boot(), normal.boot());
+}
+
+TEST(GuestVm, RunRequiresRunningState) {
+  GuestVm vm(config("tdx", false));
+  EXPECT_THROW(vm.run([](ExecutionContext&) { return "x"; }),
+               std::logic_error);
+  vm.boot();
+  EXPECT_EQ(vm.run([](ExecutionContext&) { return "x"; }).output, "x");
+  vm.stop();
+  EXPECT_THROW(vm.run([](ExecutionContext&) { return "x"; }),
+               std::logic_error);
+}
+
+TEST(GuestVm, RunCountsInvocations) {
+  GuestVm vm(config("sev-snp", true));
+  vm.boot();
+  for (int i = 0; i < 3; ++i)
+    vm.run([](ExecutionContext& ctx) {
+      ctx.compute(1000);
+      return "ok";
+    });
+  EXPECT_EQ(vm.invocations(), 3u);
+}
+
+TEST(GuestVm, TrialsAreIndependentButDeterministic) {
+  GuestVm vm(config("tdx", true));
+  vm.boot();
+  auto body = [](ExecutionContext& ctx) {
+    ctx.compute(1e6);
+    return "ok";
+  };
+  const double t0 = vm.run(body, 0).raw.wall_ns;
+  const double t1 = vm.run(body, 1).raw.wall_ns;
+  const double t0_again = vm.run(body, 0).raw.wall_ns;
+  EXPECT_NE(t0, t1);            // different trial jitter
+  EXPECT_DOUBLE_EQ(t0, t0_again);  // same trial reproduces exactly
+}
+
+TEST(GuestVm, PmuCountersVisibleOnBareMetalTees) {
+  GuestVm vm(config("tdx", true));
+  vm.boot();
+  const auto out = vm.run([](ExecutionContext& ctx) {
+    ctx.compute(1e5, 1e4);
+    return "ok";
+  });
+  EXPECT_TRUE(out.perf_from_pmu);
+  EXPECT_GT(out.perf.instructions, 0);
+  EXPECT_GT(out.perf.cycles, 0);
+}
+
+TEST(GuestVm, CcaRealmUsesCustomCollector) {
+  GuestVm vm(config("cca", true));
+  vm.boot();
+  const auto out = vm.run([](ExecutionContext& ctx) {
+    ctx.compute(1e5, 1e4);
+    const std::uint64_t r = ctx.alloc_region(1 << 16);
+    ctx.mem_read(r, 1 << 16, 64);
+    ctx.syscall();
+    return "ok";
+  });
+  // §III-B: no perf inside realms — PMU-derived counters are absent...
+  EXPECT_FALSE(out.perf_from_pmu);
+  EXPECT_DOUBLE_EQ(out.perf.instructions, 0);
+  EXPECT_DOUBLE_EQ(out.perf.cache_misses, 0);
+  // ...but the custom scripts still observe wall time and syscalls.
+  EXPECT_GT(out.perf.wall_ns, 0);
+  EXPECT_GT(out.perf.syscalls, 0);
+  // Simulation truth remains available for debugging.
+  EXPECT_GT(out.raw.instructions, 0);
+}
+
+TEST(GuestVm, CcaNormalVmStillHasPmu) {
+  GuestVm vm(config("cca", false));
+  vm.boot();
+  const auto out = vm.run([](ExecutionContext& ctx) {
+    ctx.compute(100);
+    return "ok";
+  });
+  EXPECT_TRUE(out.perf_from_pmu);
+}
+
+TEST(Host, RoutesByPort) {
+  Host host("h1", plat("tdx"));
+  host.add_standard_pair();
+  ASSERT_NE(host.route(Host::kNormalPort), nullptr);
+  ASSERT_NE(host.route(Host::kSecurePort), nullptr);
+  EXPECT_FALSE(host.route(Host::kNormalPort)->config().secure);
+  EXPECT_TRUE(host.route(Host::kSecurePort)->config().secure);
+  EXPECT_EQ(host.route(9999), nullptr);
+}
+
+TEST(Host, VmsBootOnAdd) {
+  Host host("h2", plat("sev-snp"));
+  GuestVm& vm = host.add_vm("extra", true, 9000);
+  EXPECT_EQ(vm.state(), VmState::kRunning);
+  EXPECT_EQ(host.vm_count(), 1u);
+}
+
+TEST(Host, DuplicatePortRejected) {
+  Host host("h3", plat("tdx"));
+  host.add_vm("a", false, 8100);
+  EXPECT_THROW(host.add_vm("b", true, 8100), std::invalid_argument);
+}
+
+TEST(Host, PortListSorted) {
+  Host host("h4", plat("cca"));
+  host.add_vm("a", false, 9100);
+  host.add_vm("b", true, 8100);
+  const auto ports = host.ports();
+  ASSERT_EQ(ports.size(), 2u);
+  EXPECT_EQ(ports[0], 8100);
+  EXPECT_EQ(ports[1], 9100);
+}
+
+TEST(Host, VmNamesIncludeHost) {
+  Host host("rack7", plat("tdx"));
+  host.add_standard_pair();
+  EXPECT_EQ(host.route(Host::kSecurePort)->config().name, "rack7/secure");
+}
+
+TEST(Host, NullPlatformRejected) {
+  EXPECT_THROW(Host("h", nullptr), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace confbench::vm
+// (appended) --- confidential containers (SV/SVI execution units) ------------
+
+namespace confbench::vm {
+namespace {
+
+VmConfig container_config(const char* platform, bool secure) {
+  VmConfig cfg;
+  cfg.name = "pod";
+  cfg.platform = tee::Registry::instance().create(platform);
+  cfg.secure = secure;
+  cfg.unit = UnitKind::kContainer;
+  return cfg;
+}
+
+TEST(Container, BootsMuchFasterThanAVm) {
+  VmConfig vm_cfg = container_config("tdx", true);
+  vm_cfg.unit = UnitKind::kVm;
+  GuestVm vm(vm_cfg);
+  GuestVm pod(container_config("tdx", true));
+  EXPECT_LT(pod.boot(), vm.boot() * 0.5);
+  EXPECT_EQ(to_string(UnitKind::kContainer), "container");
+}
+
+TEST(Container, SecureBootStillPaysPageAcceptance) {
+  GuestVm secure(container_config("sev-snp", true));
+  GuestVm normal(container_config("sev-snp", false));
+  EXPECT_GT(secure.boot(), normal.boot());
+}
+
+TEST(Container, RunsWorkloadsLikeAVm) {
+  GuestVm pod(container_config("tdx", true));
+  pod.boot();
+  const auto out = pod.run([](ExecutionContext& ctx) {
+    ctx.compute(1000);
+    return "pod-ok";
+  });
+  EXPECT_EQ(out.output, "pod-ok");
+  EXPECT_TRUE(out.perf_from_pmu);
+}
+
+}  // namespace
+}  // namespace confbench::vm

@@ -1,0 +1,217 @@
+#include "vm/vfs.h"
+
+#include <gtest/gtest.h>
+
+#include "tee/registry.h"
+
+namespace confbench::vm {
+namespace {
+
+struct VfsTest : ::testing::Test {
+  VfsTest()
+      : ctx(tee::Registry::instance().create("none"), false, 1), fs(ctx) {}
+  ExecutionContext ctx;
+  Vfs fs;
+};
+
+TEST_F(VfsTest, MkdirAndExists) {
+  EXPECT_TRUE(fs.mkdir("/a"));
+  EXPECT_TRUE(fs.exists("/a"));
+  EXPECT_TRUE(fs.is_dir("/a"));
+  EXPECT_FALSE(fs.exists("/b"));
+}
+
+TEST_F(VfsTest, MkdirFailsWithoutParent) {
+  EXPECT_FALSE(fs.mkdir("/a/b/c"));
+  EXPECT_TRUE(fs.mkdir("/a"));
+  EXPECT_TRUE(fs.mkdir("/a/b"));
+  EXPECT_TRUE(fs.mkdir("/a/b/c"));
+}
+
+TEST_F(VfsTest, MkdirFailsOnDuplicate) {
+  EXPECT_TRUE(fs.mkdir("/a"));
+  EXPECT_FALSE(fs.mkdir("/a"));
+}
+
+TEST_F(VfsTest, CreateFileAndSize) {
+  EXPECT_TRUE(fs.create("/f"));
+  EXPECT_TRUE(fs.exists("/f"));
+  EXPECT_FALSE(fs.is_dir("/f"));
+  EXPECT_EQ(fs.file_size("/f"), 0u);
+}
+
+TEST_F(VfsTest, CreateFailsOnExisting) {
+  EXPECT_TRUE(fs.create("/f"));
+  EXPECT_FALSE(fs.create("/f"));
+}
+
+TEST_F(VfsTest, WriteAppendsAndGrowsSize) {
+  fs.create("/f");
+  EXPECT_EQ(fs.write("/f", 1000), 1000u);
+  EXPECT_EQ(fs.write("/f", 500), 500u);
+  EXPECT_EQ(fs.file_size("/f"), 1500u);
+}
+
+TEST_F(VfsTest, WriteCreatesMissingFile) {
+  fs.mkdir("/d");
+  EXPECT_EQ(fs.write("/d/new", 64), 64u);
+  EXPECT_TRUE(fs.exists("/d/new"));
+}
+
+TEST_F(VfsTest, WriteFailsWithoutParentDir) {
+  EXPECT_EQ(fs.write("/nodir/f", 64), 0u);
+}
+
+TEST_F(VfsTest, ReadRespectsEof) {
+  fs.write("/f", 100);
+  EXPECT_EQ(fs.read("/f", 0, 100), 100u);
+  EXPECT_EQ(fs.read("/f", 50, 100), 50u);   // short read
+  EXPECT_EQ(fs.read("/f", 100, 10), 0u);    // at EOF
+  EXPECT_EQ(fs.read("/f", 200, 10), 0u);    // past EOF
+}
+
+TEST_F(VfsTest, ReadMissingFileFails) {
+  EXPECT_EQ(fs.read("/nope", 0, 10), 0u);
+}
+
+TEST_F(VfsTest, UnlinkRemovesFilesOnly) {
+  fs.create("/f");
+  fs.mkdir("/d");
+  EXPECT_TRUE(fs.unlink("/f"));
+  EXPECT_FALSE(fs.exists("/f"));
+  EXPECT_FALSE(fs.unlink("/d"));  // directories need rmdir
+  EXPECT_FALSE(fs.unlink("/f"));  // already gone
+}
+
+TEST_F(VfsTest, RmdirOnlyEmptyDirs) {
+  fs.mkdir("/d");
+  fs.create("/d/f");
+  EXPECT_FALSE(fs.rmdir("/d"));
+  fs.unlink("/d/f");
+  EXPECT_TRUE(fs.rmdir("/d"));
+  EXPECT_FALSE(fs.exists("/d"));
+}
+
+TEST_F(VfsTest, ListDirSorted) {
+  fs.mkdir("/d");
+  fs.create("/d/b");
+  fs.create("/d/a");
+  fs.mkdir("/d/c");
+  const auto entries = fs.list_dir("/d");
+  ASSERT_EQ(entries.size(), 3u);
+  EXPECT_EQ(entries[0], "a");
+  EXPECT_EQ(entries[1], "b");
+  EXPECT_EQ(entries[2], "c");
+}
+
+TEST_F(VfsTest, CachedReadAvoidsDevice) {
+  fs.write("/f", 64 * 1024);
+  fs.fsync("/f");
+  const auto before = fs.device().reads();
+  fs.read("/f", 0, 64 * 1024);  // resident: written pages stay cached
+  EXPECT_EQ(fs.device().reads(), before);
+}
+
+TEST_F(VfsTest, DropCachesForcesDeviceReads) {
+  fs.write("/f", 64 * 1024);
+  fs.fsync("/f");
+  fs.drop_caches();
+  const auto before = fs.device().reads();
+  fs.read("/f", 0, 4096);
+  EXPECT_GT(fs.device().reads(), before);
+}
+
+TEST_F(VfsTest, ReadaheadBatchesSequentialReads) {
+  fs.write("/f", 1 << 20);
+  fs.fsync("/f");
+  fs.drop_caches();
+  const auto before = fs.device().reads();
+  for (std::uint64_t off = 0; off < (1 << 20); off += 4096)
+    fs.read("/f", off, 4096);
+  const auto device_reads = fs.device().reads() - before;
+  // 1 MiB at 128-KiB readahead: 8 device requests, not 256.
+  EXPECT_LE(device_reads, 10u);
+  EXPECT_GE(device_reads, 8u);
+}
+
+TEST_F(VfsTest, DirtyThresholdTriggersWriteback) {
+  ExecutionContext ctx2(tee::Registry::instance().create("none"), false, 2);
+  Vfs small(ctx2, /*dirty_threshold=*/64 * 1024);
+  small.create("/f");
+  const auto before = small.device().writes();
+  small.write("/f", 128 * 1024);  // exceeds the 64-KiB dirty threshold
+  EXPECT_GT(small.device().writes(), before);
+}
+
+TEST_F(VfsTest, FsyncWritesDirtyDataOnce) {
+  fs.write("/f", 10000);
+  const auto w0 = fs.device().bytes_written();
+  fs.fsync("/f");
+  const auto w1 = fs.device().bytes_written();
+  EXPECT_GE(w1 - w0, 10000u);  // rounded up to sectors
+  fs.fsync("/f");  // nothing dirty: no new data written
+  EXPECT_EQ(fs.device().bytes_written(), w1);
+}
+
+TEST_F(VfsTest, FsyncOnMissingFileFails) {
+  EXPECT_FALSE(fs.fsync("/ghost"));
+}
+
+TEST_F(VfsTest, TruncateResetsFile) {
+  fs.write("/f", 5000);
+  EXPECT_TRUE(fs.truncate("/f"));
+  EXPECT_EQ(fs.file_size("/f"), 0u);
+  EXPECT_EQ(fs.read("/f", 0, 10), 0u);
+  EXPECT_FALSE(fs.truncate("/ghost"));
+}
+
+TEST_F(VfsTest, SyncAllFlushesEverything) {
+  fs.mkdir("/d");
+  fs.write("/d/a", 1000);
+  fs.write("/d/b", 2000);
+  fs.sync_all();
+  const auto w = fs.device().bytes_written();
+  fs.sync_all();  // idempotent
+  EXPECT_EQ(fs.device().bytes_written(), w);
+}
+
+TEST_F(VfsTest, OperationsChargeSyscalls) {
+  const double before = ctx.counters().syscalls;
+  fs.mkdir("/x");
+  fs.create("/x/f");
+  fs.write("/x/f", 10);
+  fs.read("/x/f", 0, 10);
+  fs.unlink("/x/f");
+  EXPECT_GE(ctx.counters().syscalls, before + 5);
+}
+
+TEST_F(VfsTest, SecureIoCostsMoreOnTdx) {
+  auto tdx = tee::Registry::instance().create("tdx");
+  ExecutionContext nrm(tdx, false, 3), sec(tdx, true, 3);
+  sim::Ns nrm_t = 0, sec_t = 0;
+  for (auto* c : {&nrm, &sec}) {
+    Vfs f(*c);
+    f.create("/f");
+    const sim::Ns t0 = c->now();
+    f.write("/f", 1 << 20);
+    f.fsync("/f");
+    f.drop_caches();
+    f.read("/f", 0, 1 << 20);
+    (c == &nrm ? nrm_t : sec_t) = c->now() - t0;
+  }
+  EXPECT_GT(sec_t, nrm_t * 1.3);  // bounce buffers bite
+}
+
+TEST(BlockDevice, RoundsToSectors) {
+  ExecutionContext ctx(tee::Registry::instance().create("none"), false, 1);
+  BlockDevice dev(ctx);
+  dev.read(1);
+  EXPECT_EQ(dev.bytes_read(), BlockDevice::kSector);
+  dev.write(BlockDevice::kSector + 1);
+  EXPECT_EQ(dev.bytes_written(), 2 * BlockDevice::kSector);
+  dev.read(0);  // no-op
+  EXPECT_EQ(dev.reads(), 1u);
+}
+
+}  // namespace
+}  // namespace confbench::vm

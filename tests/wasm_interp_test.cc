@@ -1,0 +1,360 @@
+#include <gtest/gtest.h>
+
+#include "tee/registry.h"
+#include "vm/exec_context.h"
+#include "wasm/builder.h"
+#include "wasm/interp.h"
+
+namespace confbench::wasm {
+namespace {
+
+Value i64(std::int64_t v) { return Value::make_i64(v); }
+
+// --- validation -------------------------------------------------------------------
+
+TEST(Validate, AcceptsAllSamplePrograms) {
+  for (const Module& m :
+       {programs::fib_recursive(), programs::sum_loop(), programs::sieve(),
+        programs::gcd(), programs::memfill()}) {
+    const auto v = validate(m);
+    EXPECT_TRUE(v.ok) << v.error;
+  }
+}
+
+TEST(Validate, RejectsMissingEnd) {
+  Module m;
+  FuncBuilder fb("f");
+  fb.result(ValType::kI64).i64_const(1);
+  m.functions.push_back(fb.build());
+  EXPECT_FALSE(validate(m).ok);
+}
+
+TEST(Validate, RejectsStackUnderflow) {
+  Module m;
+  FuncBuilder fb("f");
+  fb.result(ValType::kI64).i64_const(1).add().end();  // add needs 2 values
+  m.functions.push_back(fb.build());
+  const auto v = validate(m);
+  EXPECT_FALSE(v.ok);
+  EXPECT_NE(v.error.find("underflow"), std::string::npos);
+}
+
+TEST(Validate, RejectsTypeMismatch) {
+  Module m;
+  FuncBuilder fb("f");
+  fb.result(ValType::kI64).i64_const(1).f64_const(2.0).add().end();
+  m.functions.push_back(fb.build());
+  EXPECT_FALSE(validate(m).ok);
+}
+
+TEST(Validate, RejectsUnknownLocal) {
+  Module m;
+  FuncBuilder fb("f");
+  fb.get(3).emit(Op::kDrop).end();
+  m.functions.push_back(fb.build());
+  const auto v = validate(m);
+  EXPECT_FALSE(v.ok);
+  EXPECT_NE(v.error.find("local"), std::string::npos);
+}
+
+TEST(Validate, RejectsBadBranchDepth) {
+  Module m;
+  FuncBuilder fb("f");
+  fb.block().i64_const(1).br_if(7).end().end();
+  m.functions.push_back(fb.build());
+  const auto v = validate(m);
+  EXPECT_FALSE(v.ok);
+  EXPECT_NE(v.error.find("depth"), std::string::npos);
+}
+
+TEST(Validate, RejectsUnbalancedFrames) {
+  Module m;
+  FuncBuilder fb("f");
+  fb.block().block().end().end();  // missing the function's own end
+  m.functions.push_back(fb.build());
+  // The last end closes the function frame, leaving one block unclosed...
+  // Actually: block block end end -> both blocks closed, function frame
+  // remains open => "missing final end" style error.
+  EXPECT_FALSE(validate(m).ok);
+}
+
+TEST(Validate, RejectsCallToUnknownFunction) {
+  Module m;
+  FuncBuilder fb("f");
+  fb.call(9).end();
+  m.functions.push_back(fb.build());
+  EXPECT_FALSE(validate(m).ok);
+}
+
+TEST(Validate, RejectsResultTypeMismatch) {
+  Module m;
+  FuncBuilder fb("f");
+  fb.result(ValType::kF64).i64_const(1).end();
+  m.functions.push_back(fb.build());
+  EXPECT_FALSE(validate(m).ok);
+}
+
+TEST(Validate, RejectsLeakyBlock) {
+  Module m;
+  FuncBuilder fb("f");
+  fb.result(ValType::kI64).block().i64_const(5).end().i64_const(1).end();
+  m.functions.push_back(fb.build());
+  const auto v = validate(m);
+  EXPECT_FALSE(v.ok);
+  EXPECT_NE(v.error.find("void"), std::string::npos);
+}
+
+TEST(Validate, RejectsElseWithoutIf) {
+  Module m;
+  FuncBuilder fb("f");
+  fb.block().else_().end().end();
+  m.functions.push_back(fb.build());
+  EXPECT_FALSE(validate(m).ok);
+}
+
+TEST(Validate, RejectsOversizedMemory) {
+  Module m;
+  m.memory_pages = Module::kMaxPages + 1;
+  EXPECT_FALSE(validate(m).ok);
+}
+
+TEST(Interpreter, ConstructorRejectsInvalidModule) {
+  Module m;
+  FuncBuilder fb("f");
+  fb.add().end();
+  m.functions.push_back(fb.build());
+  EXPECT_THROW(Interpreter{m}, std::invalid_argument);
+}
+
+// --- execution semantics -------------------------------------------------------------
+
+TEST(Exec, ConstantsAndArithmetic) {
+  Module m;
+  FuncBuilder fb("f");
+  fb.result(ValType::kI64);
+  fb.i64_const(20).i64_const(3).mul().i64_const(9).sub();  // 51
+  fb.end();
+  m.functions.push_back(fb.build());
+  Interpreter interp(m);
+  const auto r = interp.invoke("f", {});
+  ASSERT_TRUE(r.ok);
+  EXPECT_EQ(r.i64(), 51);
+}
+
+TEST(Exec, DivisionAndRemainderSemantics) {
+  Module m;
+  FuncBuilder fb("f");
+  const int a = fb.param(ValType::kI64);
+  const int b = fb.param(ValType::kI64);
+  fb.result(ValType::kI64);
+  fb.get(a).get(b).div_s().end();
+  m.functions.push_back(fb.build());
+  Interpreter interp(m);
+  EXPECT_EQ(interp.invoke("f", {i64(17), i64(5)}).i64(), 3);
+  EXPECT_EQ(interp.invoke("f", {i64(-17), i64(5)}).i64(), -3);  // trunc
+}
+
+TEST(Exec, DivideByZeroTraps) {
+  Module m;
+  FuncBuilder fb("f");
+  fb.result(ValType::kI64).i64_const(5).i64_const(0).div_s().end();
+  m.functions.push_back(fb.build());
+  const auto r = Interpreter(m).invoke("f", {});
+  EXPECT_FALSE(r.ok);
+  EXPECT_EQ(r.trap, TrapKind::kDivideByZero);
+  Module m2;
+  FuncBuilder fb2("f");
+  fb2.result(ValType::kI64).i64_const(5).i64_const(0).rem_s().end();
+  m2.functions.push_back(fb2.build());
+  EXPECT_EQ(Interpreter(m2).invoke("f", {}).trap, TrapKind::kDivideByZero);
+}
+
+TEST(Exec, IfElseBothArms) {
+  Module m;
+  FuncBuilder fb("f");
+  const int c = fb.param(ValType::kI64);
+  fb.result(ValType::kI64);
+  const int out = fb.local(ValType::kI64);
+  fb.get(c).if_();
+  fb.i64_const(111).set(out);
+  fb.else_();
+  fb.i64_const(222).set(out);
+  fb.end();
+  fb.get(out).end();
+  m.functions.push_back(fb.build());
+  Interpreter interp(m);
+  EXPECT_EQ(interp.invoke("f", {i64(1)}).i64(), 111);
+  EXPECT_EQ(interp.invoke("f", {i64(0)}).i64(), 222);
+}
+
+TEST(Exec, IfWithoutElseSkipsWhenFalse) {
+  Module m;
+  FuncBuilder fb("f");
+  const int c = fb.param(ValType::kI64);
+  fb.result(ValType::kI64);
+  const int out = fb.local(ValType::kI64);
+  fb.i64_const(7).set(out);
+  fb.get(c).if_().i64_const(42).set(out).end();
+  fb.get(out).end();
+  m.functions.push_back(fb.build());
+  Interpreter interp(m);
+  EXPECT_EQ(interp.invoke("f", {i64(0)}).i64(), 7);
+  EXPECT_EQ(interp.invoke("f", {i64(5)}).i64(), 42);
+}
+
+TEST(Exec, SelectPicksByCondition) {
+  Module m;
+  FuncBuilder fb("f");
+  const int c = fb.param(ValType::kI64);
+  fb.result(ValType::kI64);
+  fb.i64_const(10).i64_const(20).get(c).emit(Op::kSelect).end();
+  m.functions.push_back(fb.build());
+  Interpreter interp(m);
+  EXPECT_EQ(interp.invoke("f", {i64(1)}).i64(), 10);
+  EXPECT_EQ(interp.invoke("f", {i64(0)}).i64(), 20);
+}
+
+TEST(Exec, SumLoop) {
+  Interpreter interp(programs::sum_loop());
+  EXPECT_EQ(interp.invoke("sum", {i64(10)}).i64(), 45);
+  EXPECT_EQ(interp.invoke("sum", {i64(1000)}).i64(), 499500);
+  EXPECT_EQ(interp.invoke("sum", {i64(0)}).i64(), 0);
+}
+
+TEST(Exec, FibRecursive) {
+  Interpreter interp(programs::fib_recursive());
+  EXPECT_EQ(interp.invoke("fib", {i64(0)}).i64(), 0);
+  EXPECT_EQ(interp.invoke("fib", {i64(1)}).i64(), 1);
+  EXPECT_EQ(interp.invoke("fib", {i64(10)}).i64(), 55);
+  EXPECT_EQ(interp.invoke("fib", {i64(20)}).i64(), 6765);
+}
+
+TEST(Exec, Gcd) {
+  Interpreter interp(programs::gcd());
+  EXPECT_EQ(interp.invoke("gcd", {i64(48), i64(36)}).i64(), 12);
+  EXPECT_EQ(interp.invoke("gcd", {i64(17), i64(13)}).i64(), 1);
+  EXPECT_EQ(interp.invoke("gcd", {i64(100), i64(0)}).i64(), 100);
+}
+
+TEST(Exec, SievePrimeCounts) {
+  Interpreter interp(programs::sieve());
+  EXPECT_EQ(interp.invoke("sieve", {i64(100)}).i64(), 25);
+  EXPECT_EQ(interp.invoke("sieve", {i64(10000)}).i64(), 1229);
+}
+
+TEST(Exec, MemfillChecksum) {
+  Interpreter interp(programs::memfill());
+  // sum(i*7, i<100) = 7 * 4950
+  EXPECT_EQ(interp.invoke("memfill", {i64(100)}).i64(), 7 * 4950);
+  EXPECT_EQ(interp.read_i64(8), 7);  // slot 1 holds 1*7
+}
+
+TEST(Exec, OutOfBoundsMemoryTraps) {
+  Module m;
+  m.memory_pages = 1;
+  FuncBuilder fb("f");
+  fb.result(ValType::kI64);
+  fb.i64_const(Module::kPageBytes - 4).i64_load().end();  // straddles end
+  m.functions.push_back(fb.build());
+  const auto r = Interpreter(m).invoke("f", {});
+  EXPECT_FALSE(r.ok);
+  EXPECT_EQ(r.trap, TrapKind::kOutOfBoundsMemory);
+}
+
+TEST(Exec, MemoryGrowExtendsBounds) {
+  Module m;
+  m.memory_pages = 1;
+  FuncBuilder fb("f");
+  fb.result(ValType::kI64);
+  fb.i64_const(1).emit(Op::kMemoryGrow).emit(Op::kDrop);
+  fb.i64_const(Module::kPageBytes + 16).i64_const(99).i64_store();
+  fb.i64_const(Module::kPageBytes + 16).i64_load();
+  fb.end();
+  m.functions.push_back(fb.build());
+  Interpreter interp(m);
+  const auto r = interp.invoke("f", {});
+  ASSERT_TRUE(r.ok) << to_string(r.trap);
+  EXPECT_EQ(r.i64(), 99);
+  EXPECT_EQ(interp.memory_bytes(), 2u * Module::kPageBytes);
+}
+
+TEST(Exec, DeepRecursionTrapsCleanly) {
+  Module m;
+  FuncBuilder fb("f");
+  const int n = fb.param(ValType::kI64);
+  fb.result(ValType::kI64);
+  fb.get(n).i64_const(1).add().call(0).end();  // infinite recursion
+  m.functions.push_back(fb.build());
+  const auto r = Interpreter(m).invoke("f", {i64(0)});
+  EXPECT_FALSE(r.ok);
+  EXPECT_EQ(r.trap, TrapKind::kStackExhausted);
+}
+
+TEST(Exec, FuelLimitStopsRunawayLoops) {
+  Module m;
+  FuncBuilder fb("f");
+  fb.result(ValType::kI64);
+  fb.block().loop().br(0).end().end().i64_const(1).end();
+  m.functions.push_back(fb.build());
+  InterpConfig cfg;
+  cfg.fuel = 10000;
+  const auto r = Interpreter(m, cfg).invoke("f", {});
+  EXPECT_FALSE(r.ok);
+  EXPECT_EQ(r.trap, TrapKind::kFuelExhausted);
+}
+
+TEST(Exec, UnknownFunctionAndArityMismatch) {
+  Interpreter interp(programs::gcd());
+  EXPECT_EQ(interp.invoke("nope", {}).trap, TrapKind::kUnknownFunction);
+  EXPECT_FALSE(interp.invoke("gcd", {i64(1)}).ok);
+}
+
+TEST(Exec, InstructionCountReported) {
+  Interpreter interp(programs::sum_loop());
+  const auto small = interp.invoke("sum", {i64(10)});
+  const auto large = interp.invoke("sum", {i64(1000)});
+  EXPECT_GT(small.instructions, 50u);
+  EXPECT_GT(large.instructions, 50 * small.instructions / 10);
+}
+
+// --- simulation charging ---------------------------------------------------------------
+
+TEST(Charging, DispatchWorkChargedToContext) {
+  auto platform = tee::Registry::instance().create("tdx");
+  vm::ExecutionContext ctx(platform, false, 1);
+  Interpreter interp(programs::sum_loop());
+  const auto r = interp.invoke("sum", {i64(50000)}, &ctx);
+  ASSERT_TRUE(r.ok);
+  // ~8 native ops per bytecode instruction (the wasm profile's expansion).
+  EXPECT_NEAR(ctx.counters().instructions,
+              static_cast<double>(r.instructions) * 8.0,
+              static_cast<double>(r.instructions) * 8.0 * 0.25);
+  EXPECT_GT(ctx.now(), 0);
+}
+
+TEST(Charging, MemoryProgramsTouchTheCacheModel) {
+  auto platform = tee::Registry::instance().create("tdx");
+  vm::ExecutionContext ctx(platform, false, 1);
+  Interpreter interp(programs::memfill());
+  interp.invoke("memfill", {i64(4000)}, &ctx);
+  EXPECT_GE(ctx.counters().cache_references, 8000);  // load+store per slot
+}
+
+TEST(Charging, SecureVmSlowerForSameProgram) {
+  auto platform = tee::Registry::instance().create("cca");
+  vm::ExecutionContext nrm(platform, false, 1), sec(platform, true, 1);
+  Interpreter a(programs::sieve()), b(programs::sieve());
+  a.invoke("sieve", {i64(10000)}, &nrm);
+  b.invoke("sieve", {i64(10000)}, &sec);
+  EXPECT_GT(sec.now(), nrm.now());
+}
+
+TEST(Charging, MatchesWasmProfileExpansion) {
+  // The rt 'wasm' profile models wasmi with op_expansion 8; MiniWasm's
+  // default dispatch cost is the same constant — keep them in sync.
+  InterpConfig cfg;
+  EXPECT_DOUBLE_EQ(cfg.dispatch_ops_per_instr, 8.0);
+}
+
+}  // namespace
+}  // namespace confbench::wasm

@@ -1,0 +1,181 @@
+#include <gtest/gtest.h>
+
+#include "wasm/builder.h"
+#include "wasm/interp.h"
+#include "wasm/text.h"
+
+namespace confbench::wasm {
+namespace {
+
+Value i64(std::int64_t v) { return Value::make_i64(v); }
+
+TEST(WasmText, ParsesMinimalModule) {
+  const auto r = parse_text("(module)");
+  ASSERT_TRUE(r.ok()) << r.error;
+  EXPECT_TRUE(r.module->functions.empty());
+  EXPECT_EQ(r.module->memory_pages, 0u);
+}
+
+TEST(WasmText, ParsesMemoryAndFunction) {
+  const auto r = parse_text(R"((module
+    (memory 2)
+    (func $answer (result i64)
+      i64.const 42)))");
+  ASSERT_TRUE(r.ok()) << r.error;
+  EXPECT_EQ(r.module->memory_pages, 2u);
+  ASSERT_EQ(r.module->functions.size(), 1u);
+  EXPECT_EQ(r.module->functions[0].name, "answer");
+  Interpreter interp(*r.module);
+  EXPECT_EQ(interp.invoke("answer", {}).i64(), 42);
+}
+
+TEST(WasmText, NamedParamsAndLocalsResolve) {
+  const auto r = parse_text(R"((module
+    (func $sum (param $n i64) (result i64) (local $i i64) (local $acc i64)
+      block loop
+        local.get $i  local.get $n  i64.ge_s  br_if 1
+        local.get $acc  local.get $i  i64.add  local.set $acc
+        local.get $i  i64.const 1  i64.add  local.set $i
+        br 0
+      end end
+      local.get $acc)))");
+  ASSERT_TRUE(r.ok()) << r.error;
+  Interpreter interp(*r.module);
+  EXPECT_EQ(interp.invoke("sum", {i64(100)}).i64(), 4950);
+}
+
+TEST(WasmText, RecursionWithForwardAndSelfCalls) {
+  const auto r = parse_text(R"((module
+    (func $even (param $n i64) (result i64)
+      local.get $n i64.eqz if i64.const 1 return end
+      local.get $n i64.const 1 i64.sub call $odd)
+    (func $odd (param $n i64) (result i64)
+      local.get $n i64.eqz if i64.const 0 return end
+      local.get $n i64.const 1 i64.sub call $even)))");
+  ASSERT_TRUE(r.ok()) << r.error;
+  Interpreter interp(*r.module);
+  EXPECT_EQ(interp.invoke("even", {i64(10)}).i64(), 1);
+  EXPECT_EQ(interp.invoke("even", {i64(7)}).i64(), 0);
+  EXPECT_EQ(interp.invoke("odd", {i64(7)}).i64(), 1);
+}
+
+TEST(WasmText, CommentsAreSkipped) {
+  const auto r = parse_text(R"((module
+    ;; line comment
+    (func $f (result i64)
+      (; block
+         comment ;) i64.const 7)))");
+  ASSERT_TRUE(r.ok()) << r.error;
+  Interpreter interp(*r.module);
+  EXPECT_EQ(interp.invoke("f", {}).i64(), 7);
+}
+
+TEST(WasmText, MemoryOpsWithOffsets) {
+  const auto r = parse_text(R"((module
+    (memory 1)
+    (func $f (result i64)
+      i64.const 0  i64.const 99  i64.store offset=64
+      i64.const 64 i64.load)))");
+  ASSERT_TRUE(r.ok()) << r.error;
+  Interpreter interp(*r.module);
+  EXPECT_EQ(interp.invoke("f", {}).i64(), 99);
+}
+
+TEST(WasmText, FloatLiterals) {
+  const auto r = parse_text(R"((module
+    (func $f (result i64)
+      f64.const 2.25 f64.const 4.0 f64.mul i64.trunc_f64_s)))");
+  ASSERT_TRUE(r.ok()) << r.error;
+  Interpreter interp(*r.module);
+  EXPECT_EQ(interp.invoke("f", {}).i64(), 9);
+}
+
+TEST(WasmText, HexAndNegativeIntegers) {
+  const auto r = parse_text(
+      "(module (func $f (result i64) i64.const 0x10 i64.const -6 i64.add))");
+  ASSERT_TRUE(r.ok()) << r.error;
+  Interpreter interp(*r.module);
+  EXPECT_EQ(interp.invoke("f", {}).i64(), 10);
+}
+
+// --- error reporting -------------------------------------------------------------
+
+TEST(WasmTextErrors, UnknownInstruction) {
+  const auto r = parse_text("(module (func $f i64.frobnicate))");
+  ASSERT_FALSE(r.ok());
+  EXPECT_NE(r.error.find("i64.frobnicate"), std::string::npos);
+}
+
+TEST(WasmTextErrors, UnknownLocalName) {
+  const auto r = parse_text("(module (func $f local.get $nope))");
+  ASSERT_FALSE(r.ok());
+  EXPECT_NE(r.error.find("$nope"), std::string::npos);
+}
+
+TEST(WasmTextErrors, UnknownCallee) {
+  const auto r = parse_text("(module (func $f call $ghost))");
+  ASSERT_FALSE(r.ok());
+  EXPECT_NE(r.error.find("$ghost"), std::string::npos);
+}
+
+TEST(WasmTextErrors, DuplicateFunctionName) {
+  const auto r = parse_text("(module (func $f) (func $f))");
+  ASSERT_FALSE(r.ok());
+  EXPECT_NE(r.error.find("duplicate"), std::string::npos);
+}
+
+TEST(WasmTextErrors, LineNumbersReported) {
+  const auto r = parse_text("(module\n(func $f\nbogus.op))");
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.line, 3);
+}
+
+TEST(WasmTextErrors, MalformedStructures) {
+  EXPECT_FALSE(parse_text("").ok());
+  EXPECT_FALSE(parse_text("(mod)").ok());
+  EXPECT_FALSE(parse_text("(module").ok());
+  EXPECT_FALSE(parse_text("(module (memory))").ok());
+  EXPECT_FALSE(parse_text("(module (widget 1))").ok());
+  EXPECT_FALSE(parse_text("(module (func $f i64.const))").ok());
+  EXPECT_FALSE(parse_text("(module (func $f (param banana)))").ok());
+  EXPECT_FALSE(parse_text("(module (; unterminated").ok());
+}
+
+// --- printer round trips ------------------------------------------------------------
+
+TEST(WasmTextRoundTrip, BuilderProgramsSurviveBothDirections) {
+  for (const Module& original :
+       {programs::fib_recursive(), programs::sum_loop(), programs::sieve(),
+        programs::gcd(), programs::memfill()}) {
+    const std::string text = to_text(original);
+    const auto reparsed = parse_text(text);
+    ASSERT_TRUE(reparsed.ok()) << reparsed.error << "\n" << text;
+    ASSERT_TRUE(validate(*reparsed.module).ok);
+    ASSERT_EQ(reparsed.module->functions.size(),
+              original.functions.size());
+    const auto& a = original.functions[0];
+    const auto& b = reparsed.module->functions[0];
+    EXPECT_EQ(a.name, b.name);
+    EXPECT_EQ(a.params, b.params);
+    EXPECT_EQ(a.body.size(), b.body.size());
+  }
+}
+
+TEST(WasmTextRoundTrip, ReparsedProgramsComputeTheSameResults) {
+  const auto sieve_text = to_text(programs::sieve());
+  const auto parsed = parse_text(sieve_text);
+  ASSERT_TRUE(parsed.ok()) << parsed.error;
+  Interpreter a(programs::sieve()), b(*parsed.module);
+  EXPECT_EQ(a.invoke("sieve", {i64(1000)}).i64(),
+            b.invoke("sieve", {i64(1000)}).i64());
+}
+
+TEST(WasmTextRoundTrip, TextIsStableUnderReprinting) {
+  const std::string once = to_text(programs::gcd());
+  const auto parsed = parse_text(once);
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(to_text(*parsed.module), once);
+}
+
+}  // namespace
+}  // namespace confbench::wasm

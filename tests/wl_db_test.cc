@@ -1,0 +1,299 @@
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+
+#include "sim/rng.h"
+#include "tee/registry.h"
+#include "vm/vfs.h"
+#include "wl/db/btree.h"
+#include "wl/db/db.h"
+#include "wl/db/speedtest.h"
+
+namespace confbench::wl::db {
+namespace {
+
+// --- B+-tree -------------------------------------------------------------------
+
+TEST(BTree, EmptyTree) {
+  BPlusTree t;
+  EXPECT_EQ(t.size(), 0u);
+  EXPECT_FALSE(t.find(42).has_value());
+  EXPECT_FALSE(t.erase(42));
+  EXPECT_TRUE(t.validate());
+  EXPECT_EQ(t.height(), 1);
+}
+
+TEST(BTree, InsertAndFind) {
+  BPlusTree t;
+  EXPECT_TRUE(t.insert(5, 500));  // NOLINT
+  EXPECT_TRUE(t.insert(3, 300));
+  EXPECT_TRUE(t.insert(8, 800));
+  EXPECT_EQ(t.size(), 3u);
+  EXPECT_EQ(t.find(5).value(), 500u);
+  EXPECT_EQ(t.find(3).value(), 300u);
+  EXPECT_FALSE(t.find(4).has_value());
+}
+
+TEST(BTree, DuplicateInsertOverwrites) {
+  BPlusTree t;
+  EXPECT_TRUE(t.insert(1, 10));
+  EXPECT_FALSE(t.insert(1, 20));
+  EXPECT_EQ(t.size(), 1u);
+  EXPECT_EQ(t.find(1).value(), 20u);
+}
+
+TEST(BTree, SplitsGrowHeight) {
+  BPlusTree t;
+  for (std::uint64_t k = 0; k < 10000; ++k) t.insert(k, k);
+  EXPECT_EQ(t.size(), 10000u);
+  EXPECT_GE(t.height(), 3);
+  EXPECT_GT(t.node_count(), 100u);
+  EXPECT_TRUE(t.validate());
+}
+
+TEST(BTree, OrderedInsertScanAscends) {
+  BPlusTree t;
+  for (std::uint64_t k = 0; k < 2000; ++k) t.insert(k * 2, k);
+  std::uint64_t prev = 0;
+  std::size_t count = 0;
+  t.scan(0, ~0ULL, [&](std::uint64_t key, std::uint64_t) {
+    if (count > 0) {
+      EXPECT_GT(key, prev);
+    }
+    prev = key;
+    ++count;
+  });
+  EXPECT_EQ(count, 2000u);
+}
+
+TEST(BTree, ScanRangeBoundsInclusive) {
+  BPlusTree t;
+  for (std::uint64_t k = 10; k <= 20; ++k) t.insert(k, k);
+  std::vector<std::uint64_t> seen;
+  t.scan(12, 15, [&](std::uint64_t key, std::uint64_t) {
+    seen.push_back(key);
+  });
+  EXPECT_EQ(seen, (std::vector<std::uint64_t>{12, 13, 14, 15}));
+}
+
+TEST(BTree, ScanEmptyRange) {
+  BPlusTree t;
+  t.insert(5, 5);
+  int n = 0;
+  t.scan(10, 3, [&](std::uint64_t, std::uint64_t) { ++n; });
+  t.scan(6, 9, [&](std::uint64_t, std::uint64_t) { ++n; });
+  EXPECT_EQ(n, 0);
+}
+
+TEST(BTree, EraseRemovesOnlyTarget) {
+  BPlusTree t;
+  for (std::uint64_t k = 0; k < 100; ++k) t.insert(k, k);
+  EXPECT_TRUE(t.erase(50));
+  EXPECT_FALSE(t.erase(50));
+  EXPECT_EQ(t.size(), 99u);
+  EXPECT_FALSE(t.find(50).has_value());
+  EXPECT_TRUE(t.find(49).has_value());
+  EXPECT_TRUE(t.find(51).has_value());
+}
+
+TEST(BTree, RandomisedPropertyAgainstStdMap) {
+  BPlusTree t;
+  std::map<std::uint64_t, std::uint64_t> model;
+  sim::Rng rng(2024);
+  for (int op = 0; op < 20000; ++op) {
+    const std::uint64_t key = rng.next_below(4000);
+    switch (rng.next_below(3)) {
+      case 0: {
+        const bool was_new = t.insert(key, op);
+        EXPECT_EQ(was_new, model.find(key) == model.end());
+        model[key] = static_cast<std::uint64_t>(op);
+        break;
+      }
+      case 1: {
+        const auto found = t.find(key);
+        const auto it = model.find(key);
+        EXPECT_EQ(found.has_value(), it != model.end());
+        if (found) {
+          EXPECT_EQ(*found, it->second);
+        }
+        break;
+      }
+      case 2:
+        EXPECT_EQ(t.erase(key), model.erase(key) > 0);
+        break;
+    }
+  }
+  EXPECT_EQ(t.size(), model.size());
+  EXPECT_TRUE(t.validate());
+  // Full scan must reproduce the model exactly.
+  std::vector<std::pair<std::uint64_t, std::uint64_t>> scanned;
+  t.scan(0, ~0ULL, [&](std::uint64_t k, std::uint64_t v) {
+    scanned.push_back({k, v});
+  });
+  EXPECT_EQ(scanned.size(), model.size());
+  auto it = model.begin();
+  for (const auto& [k, v] : scanned) {
+    EXPECT_EQ(k, it->first);
+    EXPECT_EQ(v, it->second);
+    ++it;
+  }
+}
+
+TEST(BTree, TouchAccountingDrains) {
+  BPlusTree t;
+  for (std::uint64_t k = 0; k < 100; ++k) t.insert(k, k);
+  auto touched = t.drain_touched();
+  EXPECT_GT(touched.size(), 100u);  // at least one node per insert
+  EXPECT_TRUE(t.drain_touched().empty());
+  [[maybe_unused]] auto found = t.find(5);
+  EXPECT_FALSE(t.drain_touched().empty());
+}
+
+// --- Database -------------------------------------------------------------------
+
+struct DbTest : ::testing::Test {
+  DbTest()
+      : ctx(tee::Registry::instance().create("tdx"), false, 1),
+        fs(ctx),
+        database(ctx, fs) {}
+  vm::ExecutionContext ctx;
+  vm::Vfs fs;
+  Database database;
+};
+
+TEST_F(DbTest, CreateAndDropTables) {
+  database.create_table("t");
+  EXPECT_NE(database.table("t"), nullptr);
+  EXPECT_THROW(database.create_table("t"), std::invalid_argument);
+  database.drop_table("t");
+  EXPECT_EQ(database.table("t"), nullptr);
+  EXPECT_THROW(database.drop_table("t"), std::invalid_argument);
+}
+
+TEST_F(DbTest, InsertLookupRoundTrip) {
+  Table& t = database.create_table("users");
+  t.insert({42, 128, 0});
+  const auto row = t.lookup(42);
+  ASSERT_TRUE(row.has_value());
+  EXPECT_EQ(row->key, 42u);
+  EXPECT_EQ(row->payload_bytes, 128u);
+  EXPECT_NE(row->checksum, 0u);  // populated by the engine
+  EXPECT_FALSE(t.lookup(43).has_value());
+}
+
+TEST_F(DbTest, ScanCountsAndChecksums) {
+  Table& t = database.create_table("t");
+  database.begin();
+  for (std::uint64_t k = 0; k < 500; ++k) t.insert({k, 64, 0});
+  database.commit();
+  const auto [count, sum] = t.scan(100, 199);
+  EXPECT_EQ(count, 100u);
+  EXPECT_NE(sum, 0u);
+}
+
+TEST_F(DbTest, UpdateRangeRewritesPayloads) {
+  Table& t = database.create_table("t");
+  for (std::uint64_t k = 0; k < 50; ++k) t.insert({k, 64, 0});
+  EXPECT_EQ(t.update_range(10, 19, 96), 10u);
+  EXPECT_EQ(t.lookup(15)->payload_bytes, 96u);
+  EXPECT_EQ(t.lookup(25)->payload_bytes, 64u);
+}
+
+TEST_F(DbTest, EraseShrinksTable) {
+  Table& t = database.create_table("t");
+  for (std::uint64_t k = 0; k < 50; ++k) t.insert({k, 64, 0});
+  EXPECT_TRUE(t.erase(25));
+  EXPECT_EQ(t.rows(), 49u);
+  EXPECT_FALSE(t.lookup(25).has_value());
+}
+
+TEST_F(DbTest, AutocommitFsyncsPerStatement) {
+  Table& t = database.create_table("t");
+  const double sys0 = ctx.counters().syscalls;
+  t.insert({1, 64, 0});
+  t.insert({2, 64, 0});
+  const double per_stmt = (ctx.counters().syscalls - sys0) / 2;
+  EXPECT_GE(per_stmt, 2.0);  // write + fsync (+ flush) each
+}
+
+TEST_F(DbTest, TransactionBatchesWal) {
+  Table& t = database.create_table("t");
+  database.begin();
+  EXPECT_TRUE(database.in_transaction());
+  const double io0 = ctx.counters().io_bytes;
+  for (std::uint64_t k = 0; k < 100; ++k) t.insert({k, 64, 0});
+  EXPECT_DOUBLE_EQ(ctx.counters().io_bytes, io0);  // nothing durable yet
+  database.commit();
+  EXPECT_FALSE(database.in_transaction());
+  EXPECT_GT(ctx.counters().io_bytes, io0);  // one batched WAL write
+}
+
+TEST_F(DbTest, WalCheckpointTruncatesLog) {
+  database.create_table("t");
+  database.begin();
+  database.log_mutation(Database::kCheckpointBytes + 1024);
+  database.commit();
+  EXPECT_LT(fs.file_size("/db/wal.log"), Database::kCheckpointBytes);
+}
+
+// --- speedtest -------------------------------------------------------------------
+
+TEST(Speedtest, RunsAllTests) {
+  vm::ExecutionContext ctx(tee::Registry::instance().create("tdx"), false, 1);
+  vm::Vfs fs(ctx);
+  const auto results = run_speedtest(ctx, fs, 10);
+  EXPECT_EQ(results.size(), speedtest_test_names().size());
+  for (const auto& r : results) {
+    EXPECT_GT(r.elapsed, 0) << r.name;
+    EXPECT_FALSE(r.name.empty());
+  }
+}
+
+TEST(Speedtest, ChecksumsIdenticalAcrossVmKinds) {
+  // The paper compares secure and normal execution of the same suite: the
+  // *answers* must match, only the timing differs.
+  auto run = [](bool secure) {
+    vm::ExecutionContext ctx(tee::Registry::instance().create("tdx"), secure,
+                             1);
+    vm::Vfs fs(ctx);
+    return run_speedtest(ctx, fs, 10);
+  };
+  const auto a = run(false);
+  const auto b = run(true);
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].checksum, b[i].checksum) << a[i].name;
+    EXPECT_EQ(a[i].id, b[i].id);
+  }
+}
+
+TEST(Speedtest, SecureSlowerInAggregateOnTdx) {
+  auto total = [](bool secure) {
+    vm::ExecutionContext ctx(tee::Registry::instance().create("tdx"), secure,
+                             1);
+    vm::Vfs fs(ctx);
+    double sum = 0;
+    for (const auto& r : run_speedtest(ctx, fs, 10)) sum += r.elapsed;
+    return sum;
+  };
+  EXPECT_GT(total(true), total(false));
+}
+
+TEST(Speedtest, SizeScalesWork) {
+  vm::ExecutionContext ctx(tee::Registry::instance().create("none"), false,
+                           1);
+  vm::Vfs fs(ctx);
+  const auto small = run_speedtest(ctx, fs, 5);
+  vm::ExecutionContext ctx2(tee::Registry::instance().create("none"), false,
+                            1);
+  vm::Vfs fs2(ctx2);
+  const auto large = run_speedtest(ctx2, fs2, 20);
+  double small_sum = 0, large_sum = 0;
+  for (const auto& r : small) small_sum += r.elapsed;
+  for (const auto& r : large) large_sum += r.elapsed;
+  EXPECT_GT(large_sum, 2 * small_sum);
+}
+
+}  // namespace
+}  // namespace confbench::wl::db

@@ -1,0 +1,147 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "rt/profile.h"
+#include "tee/registry.h"
+#include "wl/faas.h"
+
+namespace confbench::wl {
+namespace {
+
+TEST(FaasCatalogue, TwentyFiveWorkloads) {
+  EXPECT_EQ(faas_workloads().size(), 25u);
+}
+
+TEST(FaasCatalogue, NamesUnique) {
+  std::set<std::string> names;
+  for (const auto& w : faas_workloads()) names.insert(w.name);
+  EXPECT_EQ(names.size(), faas_workloads().size());
+}
+
+TEST(FaasCatalogue, PaperFunctionsPresent) {
+  // The six functions described in §IV-D plus 'ack' from Fig. 6.
+  for (const char* name : {"cpustress", "memstress", "iostress", "logging",
+                           "factors", "filesystem", "ack"}) {
+    EXPECT_NE(find_faas(name), nullptr) << name;
+  }
+}
+
+TEST(FaasCatalogue, FindUnknownReturnsNull) {
+  EXPECT_EQ(find_faas("not-a-function"), nullptr);
+}
+
+TEST(FaasCatalogue, CategoryNames) {
+  EXPECT_EQ(to_string(Category::kCpu), "cpu");
+  EXPECT_EQ(to_string(Category::kIo), "io");
+  EXPECT_EQ(find_faas("cpustress")->category, Category::kCpu);
+  EXPECT_EQ(find_faas("memstress")->category, Category::kMemory);
+  EXPECT_EQ(find_faas("iostress")->category, Category::kIo);
+}
+
+// Golden-output checks for the real computations.
+
+std::string run(const char* name, const char* lang = "lua") {
+  vm::ExecutionContext ctx(tee::Registry::instance().create("none"), false,
+                           1);
+  rt::RtContext env(ctx, *rt::find_profile(lang));
+  return find_faas(name)->body(env);
+}
+
+TEST(FaasOutputs, Factors) {
+  // 4999999937 is prime: the first of the 8 numbers yields itself.
+  const std::string out = run("factors");
+  EXPECT_EQ(out.rfind("factors:", 0), 0u) << out;
+}
+
+TEST(FaasOutputs, PrimesCountsCorrectly) {
+  // pi(400000) = 33860.
+  EXPECT_EQ(run("primes"), "primes:33860");
+}
+
+TEST(FaasOutputs, FibModulus) {
+  // fib(90) = 2880067194370816120; mod 1e9+7 computed independently.
+  EXPECT_EQ(run("fib"), "fib:" + std::to_string(2880067194370816120ULL %
+                                                1000000007ULL));
+}
+
+TEST(FaasOutputs, AckermannValue) {
+  // ackermann(3, 6) = 509.
+  EXPECT_EQ(run("ack"), "ack:509");
+}
+
+TEST(FaasOutputs, QuicksortSorted) {
+  const std::string out = run("quicksort");
+  EXPECT_EQ(out.rfind("quicksort:ok:", 0), 0u) << out;
+}
+
+TEST(FaasOutputs, JsonStructure) {
+  // 4001 objects (outer + 4000 records), 10000 string tokens, depth 2.
+  EXPECT_EQ(run("json"), "json:4001:10000:2");
+}
+
+TEST(FaasOutputs, Sha256StableDigestPrefix) {
+  const std::string a = run("sha256");
+  const std::string b = run("sha256", "python");
+  EXPECT_EQ(a, b);  // payload is deterministic, independent of runtime
+  EXPECT_EQ(a.rfind("sha256:", 0), 0u);
+  EXPECT_EQ(a.size(), std::string("sha256:").size() + 16);
+}
+
+TEST(FaasOutputs, IostressMovesRealBytes) {
+  const std::string out = run("iostress");
+  // "iostress:<written>:<read>" with 8 MiB each.
+  EXPECT_EQ(out, "iostress:" + std::to_string(8 << 20) + ":" +
+                     std::to_string(8 << 20));
+}
+
+TEST(FaasOutputs, FilesystemAllOpsSucceed) {
+  EXPECT_EQ(run("filesystem"), "filesystem:54/54");
+}
+
+TEST(FaasOutputs, LoggingCountsLines) {
+  EXPECT_EQ(run("logging"), "logging:3000");
+}
+
+// Parameterised sweep: every workload runs to completion under every
+// language profile, returns its name-prefixed output, and is deterministic.
+struct Cell {
+  const char* workload;
+  const char* lang;
+};
+
+class AllCells
+    : public ::testing::TestWithParam<std::tuple<int, const char*>> {};
+
+TEST_P(AllCells, RunsAndIsDeterministic) {
+  const auto [wl_idx, lang] = GetParam();
+  const FaasWorkload& w = faas_workloads()[static_cast<std::size_t>(wl_idx)];
+  auto run_once = [&] {
+    vm::ExecutionContext ctx(tee::Registry::instance().create("tdx"), true,
+                             7);
+    rt::RtContext env(ctx, *rt::find_profile(lang));
+    const std::string out = w.body(env);
+    return std::pair(out, ctx.now());
+  };
+  const auto [out1, t1] = run_once();
+  const auto [out2, t2] = run_once();
+  EXPECT_EQ(out1.rfind(w.name + ":", 0), 0u)
+      << w.name << " output: " << out1;
+  EXPECT_EQ(out1, out2);
+  EXPECT_DOUBLE_EQ(t1, t2);
+  EXPECT_GT(t1, 0.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, AllCells,
+    ::testing::Combine(::testing::Range(0, 25),
+                       ::testing::Values("python", "lua", "go")),
+    [](const ::testing::TestParamInfo<std::tuple<int, const char*>>& info) {
+      return faas_workloads()[static_cast<std::size_t>(
+                                  std::get<0>(info.param))]
+                 .name +
+             "_" + std::get<1>(info.param);
+    });
+
+}  // namespace
+}  // namespace confbench::wl

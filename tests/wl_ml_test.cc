@@ -1,0 +1,257 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numeric>
+
+#include "tee/registry.h"
+#include "vm/vfs.h"
+#include "wl/ml/model.h"
+#include "wl/ml/tensor.h"
+
+namespace confbench::wl::ml {
+namespace {
+
+vm::ExecutionContext make_ctx(bool secure = false) {
+  return vm::ExecutionContext(tee::Registry::instance().create("tdx"),
+                              secure, 1);
+}
+
+// --- tensor kernels -----------------------------------------------------------
+
+TEST(Tensor, ShapeAndIndexing) {
+  Tensor t(4, 5, 3);
+  EXPECT_EQ(t.size(), 60u);
+  t.at(3, 4, 2) = 7.0f;
+  EXPECT_FLOAT_EQ(t.at(3, 4, 2), 7.0f);
+  EXPECT_FLOAT_EQ(t.at(0, 0, 0), 0.0f);
+}
+
+TEST(Conv2d, OutputShapeSamePaddingStride1) {
+  Tensor in(8, 8, 2);
+  std::vector<float> w(4 * 9 * 2, 0.0f), b(4, 0.0f);
+  const Tensor out = conv2d(in, w, b, 3, 4, 1);
+  EXPECT_EQ(out.h, 8);
+  EXPECT_EQ(out.w, 8);
+  EXPECT_EQ(out.c, 4);
+}
+
+TEST(Conv2d, OutputShapeStride2) {
+  Tensor in(9, 9, 1);
+  std::vector<float> w(1 * 9 * 1, 0.0f), b(1, 0.0f);
+  const Tensor out = conv2d(in, w, b, 3, 1, 2);
+  EXPECT_EQ(out.h, 5);
+  EXPECT_EQ(out.w, 5);
+}
+
+TEST(Conv2d, IdentityKernelPreservesInterior) {
+  Tensor in(5, 5, 1);
+  for (int y = 0; y < 5; ++y)
+    for (int x = 0; x < 5; ++x) in.at(y, x, 0) = static_cast<float>(y * 5 + x);
+  // Kernel with only the centre tap set: [out=1][k=3][k=3][in=1].
+  std::vector<float> w(9, 0.0f), b(1, 0.0f);
+  w[4] = 1.0f;  // centre (ky=1, kx=1)
+  const Tensor out = conv2d(in, w, b, 3, 1, 1);
+  for (int y = 0; y < 5; ++y)
+    for (int x = 0; x < 5; ++x)
+      EXPECT_FLOAT_EQ(out.at(y, x, 0), in.at(y, x, 0));
+}
+
+TEST(Conv2d, BiasAdds) {
+  Tensor in(2, 2, 1);
+  std::vector<float> w(9, 0.0f), b{2.5f};
+  const Tensor out = conv2d(in, w, b, 3, 1, 1);
+  EXPECT_FLOAT_EQ(out.at(0, 0, 0), 2.5f);
+}
+
+TEST(DepthwiseConv, IdentityKernelPerChannel) {
+  Tensor in(4, 4, 3);
+  for (std::size_t i = 0; i < in.data.size(); ++i)
+    in.data[i] = static_cast<float>(i) * 0.5f;
+  std::vector<float> w(9 * 3, 0.0f), b(3, 0.0f);
+  for (int ch = 0; ch < 3; ++ch) w[4 * 3 + ch] = 1.0f;  // centre tap
+  const Tensor out = depthwise_conv2d(in, w, b, 3, 1);
+  for (std::size_t i = 0; i < in.data.size(); ++i)
+    EXPECT_FLOAT_EQ(out.data[i], in.data[i]);
+}
+
+TEST(DepthwiseConv, ChannelsStayIndependent) {
+  Tensor in(2, 2, 2);
+  in.at(0, 0, 0) = 1.0f;  // channel 0 only
+  std::vector<float> w(9 * 2, 0.0f), b(2, 0.0f);
+  for (int i = 0; i < 9; ++i) {
+    w[i * 2 + 0] = 1.0f;
+    w[i * 2 + 1] = 1.0f;
+  }
+  const Tensor out = depthwise_conv2d(in, w, b, 3, 1);
+  // Channel 1 never sees channel 0's energy.
+  for (int y = 0; y < 2; ++y)
+    for (int x = 0; x < 2; ++x) EXPECT_FLOAT_EQ(out.at(y, x, 1), 0.0f);
+}
+
+TEST(PointwiseConv, IsPerPixelMatMul) {
+  Tensor in(1, 1, 2);
+  in.at(0, 0, 0) = 2.0f;
+  in.at(0, 0, 1) = 3.0f;
+  // 2 outputs: [1 0; 0 1] identity and a bias.
+  std::vector<float> w{1, 0, 0, 1};
+  std::vector<float> b{10, 20};
+  const Tensor out = pointwise_conv2d(in, w, b, 2);
+  EXPECT_FLOAT_EQ(out.at(0, 0, 0), 12.0f);
+  EXPECT_FLOAT_EQ(out.at(0, 0, 1), 23.0f);
+}
+
+TEST(Relu6, ClampsBothEnds) {
+  Tensor t(1, 1, 3);
+  t.at(0, 0, 0) = -5.0f;
+  t.at(0, 0, 1) = 3.0f;
+  t.at(0, 0, 2) = 99.0f;
+  relu6(t);
+  EXPECT_FLOAT_EQ(t.at(0, 0, 0), 0.0f);
+  EXPECT_FLOAT_EQ(t.at(0, 0, 1), 3.0f);
+  EXPECT_FLOAT_EQ(t.at(0, 0, 2), 6.0f);
+}
+
+TEST(GlobalAvgPool, Averages) {
+  Tensor t(2, 2, 1);
+  t.at(0, 0, 0) = 1;
+  t.at(0, 1, 0) = 2;
+  t.at(1, 0, 0) = 3;
+  t.at(1, 1, 0) = 6;
+  const Tensor out = global_avg_pool(t);
+  EXPECT_EQ(out.h, 1);
+  EXPECT_EQ(out.c, 1);
+  EXPECT_FLOAT_EQ(out.at(0, 0, 0), 3.0f);
+}
+
+TEST(Dense, ComputesAffineMap) {
+  const std::vector<float> in{1, 2};
+  const std::vector<float> w{3, 4, 5, 6};  // rows: [3 4], [5 6]
+  const std::vector<float> b{0.5f, -0.5f};
+  const auto out = dense(in, w, b, 2);
+  EXPECT_FLOAT_EQ(out[0], 11.5f);
+  EXPECT_FLOAT_EQ(out[1], 16.5f);
+}
+
+TEST(Softmax, NormalisesAndOrders) {
+  const auto p = softmax({1.0f, 2.0f, 3.0f});
+  EXPECT_NEAR(std::accumulate(p.begin(), p.end(), 0.0), 1.0, 1e-6);
+  EXPECT_GT(p[2], p[1]);
+  EXPECT_GT(p[1], p[0]);
+}
+
+TEST(Softmax, StableForLargeLogits) {
+  const auto p = softmax({1000.0f, 1000.0f});
+  EXPECT_NEAR(p[0], 0.5, 1e-6);
+  EXPECT_FALSE(std::isnan(p[1]));
+}
+
+// --- MobileNet model ------------------------------------------------------------
+
+TEST(MobileNet, LayerTableMatchesThePaperModel) {
+  const auto& layers = mobilenet_v1_layers();
+  EXPECT_EQ(layers.size(), 27u);  // stem + 13 dw/pw pairs
+  double total_macs = 0, total_weights = 0;
+  for (const auto& l : layers) {
+    total_macs += l.macs();
+    total_weights += l.weight_bytes();
+  }
+  // MobileNetV1 @224: ~569M MACs, ~4.2M params (~16.8 MB fp32) before FC.
+  EXPECT_NEAR(total_macs, 568e6, 25e6);
+  EXPECT_NEAR(total_weights / 4.0, 3.2e6, 0.4e6);  // conv params only
+}
+
+TEST(MobileNet, ClassifyReturnsValidLabel) {
+  MobileNetModel model(1, 16);
+  auto ctx = make_ctx();
+  Tensor img(model.input_hw(), model.input_hw(), 3);
+  for (auto& v : img.data) v = 0.1f;
+  const MlResult r = model.classify(ctx, img);
+  EXPECT_GE(r.label, 0);
+  EXPECT_LT(r.label, model.num_classes());
+  EXPECT_GT(r.confidence, 0.0f);
+  EXPECT_LE(r.confidence, 1.0f);
+}
+
+TEST(MobileNet, DeterministicForSeed) {
+  MobileNetModel a(5, 16), b(5, 16);
+  auto ctx1 = make_ctx(), ctx2 = make_ctx();
+  Tensor img(a.input_hw(), a.input_hw(), 3);
+  for (std::size_t i = 0; i < img.data.size(); ++i)
+    img.data[i] = static_cast<float>(i % 13) * 0.07f;
+  EXPECT_EQ(a.classify(ctx1, img).label, b.classify(ctx2, img).label);
+}
+
+TEST(MobileNet, DifferentInputsUsuallyDiffer) {
+  MobileNetModel model(5, 16);
+  auto ctx = make_ctx();
+  Tensor a(model.input_hw(), model.input_hw(), 3);
+  Tensor b = a;
+  for (auto& v : a.data) v = 0.3f;
+  for (std::size_t i = 0; i < b.data.size(); ++i)
+    b.data[i] = (i % 2) ? 1.0f : -1.0f;
+  const int la = model.classify(ctx, a).label;
+  const int lb = model.classify(ctx, b).label;
+  // Random-weight network: not guaranteed, but these two inputs are far
+  // apart; assert confidences are sane instead of exact inequality.
+  EXPECT_GE(la, 0);
+  EXPECT_GE(lb, 0);
+}
+
+TEST(MobileNet, ClassifyChargesFullScaleCosts) {
+  MobileNetModel model(1, 16);
+  auto ctx = make_ctx();
+  Tensor img(model.input_hw(), model.input_hw(), 3);
+  [[maybe_unused]] auto r0 = model.classify(ctx, img);
+  // 2 FLOPs per MAC at 569M MACs dominates the instruction count.
+  EXPECT_GT(ctx.counters().instructions, 1.0e9);
+  EXPECT_GT(ctx.counters().cache_references, 1e5);
+  EXPECT_GT(ctx.now(), 0.1 * sim::kSec);
+}
+
+TEST(MobileNet, SecureInferenceSlightlySlower) {
+  MobileNetModel model(1, 16);
+  auto nrm = make_ctx(false);
+  auto sec = make_ctx(true);
+  Tensor img(model.input_hw(), model.input_hw(), 3);
+  [[maybe_unused]] auto r1 = model.classify(nrm, img);
+  [[maybe_unused]] auto r2 = model.classify(sec, img);
+  EXPECT_GT(sec.now(), nrm.now());
+  EXPECT_LT(sec.now(), nrm.now() * 1.15);  // near-native (Fig. 3)
+}
+
+// --- dataset + decode --------------------------------------------------------------
+
+TEST(Dataset, InstallsFortyOneMegabyteImages) {
+  auto ctx = make_ctx();
+  vm::Vfs fs(ctx);
+  install_image_dataset(fs, 40);
+  EXPECT_EQ(fs.list_dir("/data").size(), 40u);
+  EXPECT_EQ(fs.file_size("/data/img_0.bin"), 1u << 20);
+  EXPECT_EQ(fs.file_size("/data/img_39.bin"), 1u << 20);
+}
+
+TEST(Dataset, LoadAndDecodeChargesIoAndCompute) {
+  auto ctx = make_ctx();
+  vm::Vfs fs(ctx);
+  install_image_dataset(fs, 2);
+  const double io0 = ctx.counters().io_bytes;
+  const Tensor t = load_and_decode(ctx, fs, 0, 28);
+  EXPECT_EQ(t.h, 28);
+  EXPECT_EQ(t.c, 3);
+  EXPECT_GT(ctx.counters().io_bytes, io0);  // cold read from the device
+  EXPECT_GT(ctx.counters().instructions, 1e6);  // JPEG-ish decode work
+}
+
+TEST(Dataset, DecodedPixelsDeterministicPerIndex) {
+  auto ctx = make_ctx();
+  vm::Vfs fs(ctx);
+  install_image_dataset(fs, 2);
+  const Tensor a = load_and_decode(ctx, fs, 0, 16);
+  const Tensor b = load_and_decode(ctx, fs, 0, 16);
+  const Tensor c = load_and_decode(ctx, fs, 1, 16);
+  EXPECT_EQ(a.data, b.data);
+  EXPECT_NE(a.data, c.data);
+}
+
+}  // namespace
+}  // namespace confbench::wl::ml

@@ -1,0 +1,113 @@
+#include <gtest/gtest.h>
+
+#include "tee/registry.h"
+#include "vm/vfs.h"
+#include "wl/ub/unixbench.h"
+
+namespace confbench::wl::ub {
+namespace {
+
+std::vector<UbResult> run_on(const char* platform, bool secure) {
+  vm::ExecutionContext ctx(tee::Registry::instance().create(platform),
+                           secure, 1);
+  vm::Vfs fs(ctx);
+  return run_unixbench(ctx, fs);
+}
+
+TEST(UnixBench, ElevenTests) {
+  const auto r = run_on("none", false);
+  ASSERT_EQ(r.size(), 11u);
+  for (const auto& t : r) {
+    EXPECT_GT(t.score, 0) << t.name;
+    EXPECT_GT(t.baseline, 0) << t.name;
+    EXPECT_FALSE(t.unit.empty()) << t.name;
+  }
+}
+
+TEST(UnixBench, ClassicTestNamesPresent) {
+  const auto r = run_on("none", false);
+  std::vector<std::string> names;
+  for (const auto& t : r) names.push_back(t.name);
+  for (const char* expected :
+       {"Dhrystone 2 using register variables", "Double-Precision Whetstone",
+        "Execl Throughput", "Pipe Throughput",
+        "Pipe-based Context Switching", "Process Creation",
+        "Shell Scripts (1 concurrent)", "System Call Overhead"}) {
+    EXPECT_NE(std::find(names.begin(), names.end(), expected), names.end())
+        << expected;
+  }
+}
+
+TEST(UnixBench, SparcBaselinesFromTheSuite) {
+  const auto r = run_on("none", false);
+  // Spot-check the published reference scores (SPARCstation 20-61).
+  EXPECT_DOUBLE_EQ(r[0].baseline, 116700.0);  // dhrystone
+  EXPECT_DOUBLE_EQ(r[1].baseline, 55.0);      // whetstone
+  EXPECT_DOUBLE_EQ(r[2].baseline, 43.0);      // execl
+  EXPECT_DOUBLE_EQ(r[6].baseline, 12440.0);   // pipe throughput
+  EXPECT_DOUBLE_EQ(r[10].baseline, 15000.0);  // syscall overhead
+}
+
+TEST(UnixBench, IndexIsScoreOverBaselineTimesTen) {
+  UbResult r{"x", 233400.0, 116700.0, "lps"};
+  EXPECT_DOUBLE_EQ(r.index(), 20.0);
+}
+
+TEST(UnixBench, AggregateIsGeometricMean) {
+  std::vector<UbResult> rs;
+  rs.push_back({"a", 10, 10, "lps"});   // index 10
+  rs.push_back({"b", 4000, 1000, "lps"});  // index 40
+  EXPECT_DOUBLE_EQ(aggregate_index(rs), 20.0);
+}
+
+TEST(UnixBench, SecureSlowsEveryExitHeavyTest) {
+  const auto nrm = run_on("tdx", false);
+  const auto sec = run_on("tdx", true);
+  auto index_of = [](const std::vector<UbResult>& rs, const char* name) {
+    for (const auto& r : rs)
+      if (r.name == name) return r.index();
+    ADD_FAILURE() << "missing " << name;
+    return 0.0;
+  };
+  for (const char* t : {"System Call Overhead", "Pipe Throughput",
+                        "Pipe-based Context Switching", "Process Creation",
+                        "Execl Throughput"}) {
+    EXPECT_GT(index_of(nrm, t), index_of(sec, t)) << t;
+  }
+}
+
+TEST(UnixBench, ComputeTestsNearNative) {
+  const auto nrm = run_on("tdx", false);
+  const auto sec = run_on("tdx", true);
+  // Dhrystone/Whetstone: pure compute, within a few percent.
+  for (int i : {0, 1}) {
+    const double ratio = nrm[i].index() / sec[i].index();
+    EXPECT_GT(ratio, 0.97) << nrm[i].name;
+    EXPECT_LT(ratio, 1.08) << nrm[i].name;
+  }
+}
+
+TEST(UnixBench, AggregateOrderingMatchesFig4) {
+  // TDX least overhead, SEV-SNP analogous (slightly worse), CCA worst.
+  auto slowdown = [](const char* platform) {
+    const double n = aggregate_index(run_on(platform, false));
+    const double s = aggregate_index(run_on(platform, true));
+    return n / s;
+  };
+  const double tdx = slowdown("tdx");
+  const double snp = slowdown("sev-snp");
+  const double cca = slowdown("cca");
+  EXPECT_LT(tdx, snp);
+  EXPECT_LT(snp, cca * 0.7);
+  EXPECT_GT(tdx, 1.1);  // UnixBench overheads exceed ML/DBMS levels
+}
+
+TEST(UnixBench, DeterministicPerSeed) {
+  const auto a = run_on("sev-snp", true);
+  const auto b = run_on("sev-snp", true);
+  for (std::size_t i = 0; i < a.size(); ++i)
+    EXPECT_DOUBLE_EQ(a[i].score, b[i].score) << a[i].name;
+}
+
+}  // namespace
+}  // namespace confbench::wl::ub
