@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_bounce.dir/abl_bounce.cc.o"
+  "CMakeFiles/abl_bounce.dir/abl_bounce.cc.o.d"
+  "abl_bounce"
+  "abl_bounce.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_bounce.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

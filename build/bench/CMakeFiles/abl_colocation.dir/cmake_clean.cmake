@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_colocation.dir/abl_colocation.cc.o"
+  "CMakeFiles/abl_colocation.dir/abl_colocation.cc.o.d"
+  "abl_colocation"
+  "abl_colocation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_colocation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

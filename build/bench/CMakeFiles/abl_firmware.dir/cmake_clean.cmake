@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_firmware.dir/abl_firmware.cc.o"
+  "CMakeFiles/abl_firmware.dir/abl_firmware.cc.o.d"
+  "abl_firmware"
+  "abl_firmware.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_firmware.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_sgx_vs_vm.dir/abl_sgx_vs_vm.cc.o"
+  "CMakeFiles/abl_sgx_vs_vm.dir/abl_sgx_vs_vm.cc.o.d"
+  "abl_sgx_vs_vm"
+  "abl_sgx_vs_vm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_sgx_vs_vm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

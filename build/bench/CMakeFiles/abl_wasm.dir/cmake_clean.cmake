@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_wasm.dir/abl_wasm.cc.o"
+  "CMakeFiles/abl_wasm.dir/abl_wasm.cc.o.d"
+  "abl_wasm"
+  "abl_wasm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_wasm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig3_ml.dir/fig3_ml.cc.o"
+  "CMakeFiles/fig3_ml.dir/fig3_ml.cc.o.d"
+  "fig3_ml"
+  "fig3_ml.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig3_ml.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig4_unixbench.dir/fig4_unixbench.cc.o"
+  "CMakeFiles/fig4_unixbench.dir/fig4_unixbench.cc.o.d"
+  "fig4_unixbench"
+  "fig4_unixbench.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig4_unixbench.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig5_attestation.dir/fig5_attestation.cc.o"
+  "CMakeFiles/fig5_attestation.dir/fig5_attestation.cc.o.d"
+  "fig5_attestation"
+  "fig5_attestation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig5_attestation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig6_faas_tdx_sev.dir/fig6_faas_tdx_sev.cc.o"
+  "CMakeFiles/fig6_faas_tdx_sev.dir/fig6_faas_tdx_sev.cc.o.d"
+  "fig6_faas_tdx_sev"
+  "fig6_faas_tdx_sev.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig6_faas_tdx_sev.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for fig6_faas_tdx_sev.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig7_faas_cca.dir/fig7_faas_cca.cc.o"
+  "CMakeFiles/fig7_faas_cca.dir/fig7_faas_cca.cc.o.d"
+  "fig7_faas_cca"
+  "fig7_faas_cca.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig7_faas_cca.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig8_cca_dist.dir/fig8_cca_dist.cc.o"
+  "CMakeFiles/fig8_cca_dist.dir/fig8_cca_dist.cc.o.d"
+  "fig8_cca_dist"
+  "fig8_cca_dist.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig8_cca_dist.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tab_dbms.dir/tab_dbms.cc.o"
+  "CMakeFiles/tab_dbms.dir/tab_dbms.cc.o.d"
+  "tab_dbms"
+  "tab_dbms.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tab_dbms.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/attestation_demo.dir/attestation_demo.cpp.o"
+  "CMakeFiles/attestation_demo.dir/attestation_demo.cpp.o.d"
+  "attestation_demo"
+  "attestation_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/attestation_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

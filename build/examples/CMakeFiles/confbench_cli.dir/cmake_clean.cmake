@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/confbench_cli.dir/confbench_cli.cpp.o"
+  "CMakeFiles/confbench_cli.dir/confbench_cli.cpp.o.d"
+  "confbench_cli"
+  "confbench_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/confbench_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

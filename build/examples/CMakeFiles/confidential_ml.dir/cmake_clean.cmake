@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/confidential_ml.dir/confidential_ml.cpp.o"
+  "CMakeFiles/confidential_ml.dir/confidential_ml.cpp.o.d"
+  "confidential_ml"
+  "confidential_ml.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/confidential_ml.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

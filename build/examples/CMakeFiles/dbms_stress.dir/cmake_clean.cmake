@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dbms_stress.dir/dbms_stress.cpp.o"
+  "CMakeFiles/dbms_stress.dir/dbms_stress.cpp.o.d"
+  "dbms_stress"
+  "dbms_stress.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dbms_stress.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/faas_compare.dir/faas_compare.cpp.o"
+  "CMakeFiles/faas_compare.dir/faas_compare.cpp.o.d"
+  "faas_compare"
+  "faas_compare.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/faas_compare.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

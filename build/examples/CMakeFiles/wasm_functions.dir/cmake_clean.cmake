@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wasm_functions.dir/wasm_functions.cpp.o"
+  "CMakeFiles/wasm_functions.dir/wasm_functions.cpp.o.d"
+  "wasm_functions"
+  "wasm_functions.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wasm_functions.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/attest/bytes.cc" "src/attest/CMakeFiles/cb_attest.dir/bytes.cc.o" "gcc" "src/attest/CMakeFiles/cb_attest.dir/bytes.cc.o.d"
+  "/root/repo/src/attest/hmac.cc" "src/attest/CMakeFiles/cb_attest.dir/hmac.cc.o" "gcc" "src/attest/CMakeFiles/cb_attest.dir/hmac.cc.o.d"
+  "/root/repo/src/attest/measurement.cc" "src/attest/CMakeFiles/cb_attest.dir/measurement.cc.o" "gcc" "src/attest/CMakeFiles/cb_attest.dir/measurement.cc.o.d"
+  "/root/repo/src/attest/pcs.cc" "src/attest/CMakeFiles/cb_attest.dir/pcs.cc.o" "gcc" "src/attest/CMakeFiles/cb_attest.dir/pcs.cc.o.d"
+  "/root/repo/src/attest/quote.cc" "src/attest/CMakeFiles/cb_attest.dir/quote.cc.o" "gcc" "src/attest/CMakeFiles/cb_attest.dir/quote.cc.o.d"
+  "/root/repo/src/attest/realm_token.cc" "src/attest/CMakeFiles/cb_attest.dir/realm_token.cc.o" "gcc" "src/attest/CMakeFiles/cb_attest.dir/realm_token.cc.o.d"
+  "/root/repo/src/attest/report.cc" "src/attest/CMakeFiles/cb_attest.dir/report.cc.o" "gcc" "src/attest/CMakeFiles/cb_attest.dir/report.cc.o.d"
+  "/root/repo/src/attest/service.cc" "src/attest/CMakeFiles/cb_attest.dir/service.cc.o" "gcc" "src/attest/CMakeFiles/cb_attest.dir/service.cc.o.d"
+  "/root/repo/src/attest/sha256.cc" "src/attest/CMakeFiles/cb_attest.dir/sha256.cc.o" "gcc" "src/attest/CMakeFiles/cb_attest.dir/sha256.cc.o.d"
+  "/root/repo/src/attest/signer.cc" "src/attest/CMakeFiles/cb_attest.dir/signer.cc.o" "gcc" "src/attest/CMakeFiles/cb_attest.dir/signer.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/cb_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/tee/CMakeFiles/cb_tee.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,29 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cb_attest.dir/bytes.cc.o"
+  "CMakeFiles/cb_attest.dir/bytes.cc.o.d"
+  "CMakeFiles/cb_attest.dir/hmac.cc.o"
+  "CMakeFiles/cb_attest.dir/hmac.cc.o.d"
+  "CMakeFiles/cb_attest.dir/measurement.cc.o"
+  "CMakeFiles/cb_attest.dir/measurement.cc.o.d"
+  "CMakeFiles/cb_attest.dir/pcs.cc.o"
+  "CMakeFiles/cb_attest.dir/pcs.cc.o.d"
+  "CMakeFiles/cb_attest.dir/quote.cc.o"
+  "CMakeFiles/cb_attest.dir/quote.cc.o.d"
+  "CMakeFiles/cb_attest.dir/realm_token.cc.o"
+  "CMakeFiles/cb_attest.dir/realm_token.cc.o.d"
+  "CMakeFiles/cb_attest.dir/report.cc.o"
+  "CMakeFiles/cb_attest.dir/report.cc.o.d"
+  "CMakeFiles/cb_attest.dir/service.cc.o"
+  "CMakeFiles/cb_attest.dir/service.cc.o.d"
+  "CMakeFiles/cb_attest.dir/sha256.cc.o"
+  "CMakeFiles/cb_attest.dir/sha256.cc.o.d"
+  "CMakeFiles/cb_attest.dir/signer.cc.o"
+  "CMakeFiles/cb_attest.dir/signer.cc.o.d"
+  "libcb_attest.a"
+  "libcb_attest.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cb_attest.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cb_core.dir/confbench.cc.o"
+  "CMakeFiles/cb_core.dir/confbench.cc.o.d"
+  "CMakeFiles/cb_core.dir/config.cc.o"
+  "CMakeFiles/cb_core.dir/config.cc.o.d"
+  "CMakeFiles/cb_core.dir/gateway.cc.o"
+  "CMakeFiles/cb_core.dir/gateway.cc.o.d"
+  "CMakeFiles/cb_core.dir/host_agent.cc.o"
+  "CMakeFiles/cb_core.dir/host_agent.cc.o.d"
+  "CMakeFiles/cb_core.dir/launcher.cc.o"
+  "CMakeFiles/cb_core.dir/launcher.cc.o.d"
+  "CMakeFiles/cb_core.dir/native.cc.o"
+  "CMakeFiles/cb_core.dir/native.cc.o.d"
+  "CMakeFiles/cb_core.dir/pool.cc.o"
+  "CMakeFiles/cb_core.dir/pool.cc.o.d"
+  "libcb_core.a"
+  "libcb_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cb_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/metrics/boxplot.cc" "src/metrics/CMakeFiles/cb_metrics.dir/boxplot.cc.o" "gcc" "src/metrics/CMakeFiles/cb_metrics.dir/boxplot.cc.o.d"
+  "/root/repo/src/metrics/counters.cc" "src/metrics/CMakeFiles/cb_metrics.dir/counters.cc.o" "gcc" "src/metrics/CMakeFiles/cb_metrics.dir/counters.cc.o.d"
+  "/root/repo/src/metrics/csv.cc" "src/metrics/CMakeFiles/cb_metrics.dir/csv.cc.o" "gcc" "src/metrics/CMakeFiles/cb_metrics.dir/csv.cc.o.d"
+  "/root/repo/src/metrics/heatmap.cc" "src/metrics/CMakeFiles/cb_metrics.dir/heatmap.cc.o" "gcc" "src/metrics/CMakeFiles/cb_metrics.dir/heatmap.cc.o.d"
+  "/root/repo/src/metrics/json.cc" "src/metrics/CMakeFiles/cb_metrics.dir/json.cc.o" "gcc" "src/metrics/CMakeFiles/cb_metrics.dir/json.cc.o.d"
+  "/root/repo/src/metrics/stats.cc" "src/metrics/CMakeFiles/cb_metrics.dir/stats.cc.o" "gcc" "src/metrics/CMakeFiles/cb_metrics.dir/stats.cc.o.d"
+  "/root/repo/src/metrics/table.cc" "src/metrics/CMakeFiles/cb_metrics.dir/table.cc.o" "gcc" "src/metrics/CMakeFiles/cb_metrics.dir/table.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/cb_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/tee/CMakeFiles/cb_tee.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

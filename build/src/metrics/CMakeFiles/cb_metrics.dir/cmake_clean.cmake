@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cb_metrics.dir/boxplot.cc.o"
+  "CMakeFiles/cb_metrics.dir/boxplot.cc.o.d"
+  "CMakeFiles/cb_metrics.dir/counters.cc.o"
+  "CMakeFiles/cb_metrics.dir/counters.cc.o.d"
+  "CMakeFiles/cb_metrics.dir/csv.cc.o"
+  "CMakeFiles/cb_metrics.dir/csv.cc.o.d"
+  "CMakeFiles/cb_metrics.dir/heatmap.cc.o"
+  "CMakeFiles/cb_metrics.dir/heatmap.cc.o.d"
+  "CMakeFiles/cb_metrics.dir/json.cc.o"
+  "CMakeFiles/cb_metrics.dir/json.cc.o.d"
+  "CMakeFiles/cb_metrics.dir/stats.cc.o"
+  "CMakeFiles/cb_metrics.dir/stats.cc.o.d"
+  "CMakeFiles/cb_metrics.dir/table.cc.o"
+  "CMakeFiles/cb_metrics.dir/table.cc.o.d"
+  "libcb_metrics.a"
+  "libcb_metrics.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cb_metrics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cb_net.dir/http.cc.o"
+  "CMakeFiles/cb_net.dir/http.cc.o.d"
+  "CMakeFiles/cb_net.dir/network.cc.o"
+  "CMakeFiles/cb_net.dir/network.cc.o.d"
+  "CMakeFiles/cb_net.dir/router.cc.o"
+  "CMakeFiles/cb_net.dir/router.cc.o.d"
+  "libcb_net.a"
+  "libcb_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cb_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/rt/gc.cc" "src/rt/CMakeFiles/cb_rt.dir/gc.cc.o" "gcc" "src/rt/CMakeFiles/cb_rt.dir/gc.cc.o.d"
+  "/root/repo/src/rt/heap.cc" "src/rt/CMakeFiles/cb_rt.dir/heap.cc.o" "gcc" "src/rt/CMakeFiles/cb_rt.dir/heap.cc.o.d"
+  "/root/repo/src/rt/profile.cc" "src/rt/CMakeFiles/cb_rt.dir/profile.cc.o" "gcc" "src/rt/CMakeFiles/cb_rt.dir/profile.cc.o.d"
+  "/root/repo/src/rt/runtime.cc" "src/rt/CMakeFiles/cb_rt.dir/runtime.cc.o" "gcc" "src/rt/CMakeFiles/cb_rt.dir/runtime.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/vm/CMakeFiles/cb_vm.dir/DependInfo.cmake"
+  "/root/repo/build/src/metrics/CMakeFiles/cb_metrics.dir/DependInfo.cmake"
+  "/root/repo/build/src/tee/CMakeFiles/cb_tee.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/cb_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cb_rt.dir/gc.cc.o"
+  "CMakeFiles/cb_rt.dir/gc.cc.o.d"
+  "CMakeFiles/cb_rt.dir/heap.cc.o"
+  "CMakeFiles/cb_rt.dir/heap.cc.o.d"
+  "CMakeFiles/cb_rt.dir/profile.cc.o"
+  "CMakeFiles/cb_rt.dir/profile.cc.o.d"
+  "CMakeFiles/cb_rt.dir/runtime.cc.o"
+  "CMakeFiles/cb_rt.dir/runtime.cc.o.d"
+  "libcb_rt.a"
+  "libcb_rt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cb_rt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sim/cache.cc" "src/sim/CMakeFiles/cb_sim.dir/cache.cc.o" "gcc" "src/sim/CMakeFiles/cb_sim.dir/cache.cc.o.d"
+  "/root/repo/src/sim/clock.cc" "src/sim/CMakeFiles/cb_sim.dir/clock.cc.o" "gcc" "src/sim/CMakeFiles/cb_sim.dir/clock.cc.o.d"
+  "/root/repo/src/sim/costs.cc" "src/sim/CMakeFiles/cb_sim.dir/costs.cc.o" "gcc" "src/sim/CMakeFiles/cb_sim.dir/costs.cc.o.d"
+  "/root/repo/src/sim/memenc.cc" "src/sim/CMakeFiles/cb_sim.dir/memenc.cc.o" "gcc" "src/sim/CMakeFiles/cb_sim.dir/memenc.cc.o.d"
+  "/root/repo/src/sim/rng.cc" "src/sim/CMakeFiles/cb_sim.dir/rng.cc.o" "gcc" "src/sim/CMakeFiles/cb_sim.dir/rng.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

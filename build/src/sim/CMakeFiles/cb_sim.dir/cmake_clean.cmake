@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cb_sim.dir/cache.cc.o"
+  "CMakeFiles/cb_sim.dir/cache.cc.o.d"
+  "CMakeFiles/cb_sim.dir/clock.cc.o"
+  "CMakeFiles/cb_sim.dir/clock.cc.o.d"
+  "CMakeFiles/cb_sim.dir/costs.cc.o"
+  "CMakeFiles/cb_sim.dir/costs.cc.o.d"
+  "CMakeFiles/cb_sim.dir/memenc.cc.o"
+  "CMakeFiles/cb_sim.dir/memenc.cc.o.d"
+  "CMakeFiles/cb_sim.dir/rng.cc.o"
+  "CMakeFiles/cb_sim.dir/rng.cc.o.d"
+  "libcb_sim.a"
+  "libcb_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cb_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/tee/cca.cc" "src/tee/CMakeFiles/cb_tee.dir/cca.cc.o" "gcc" "src/tee/CMakeFiles/cb_tee.dir/cca.cc.o.d"
+  "/root/repo/src/tee/colocation.cc" "src/tee/CMakeFiles/cb_tee.dir/colocation.cc.o" "gcc" "src/tee/CMakeFiles/cb_tee.dir/colocation.cc.o.d"
+  "/root/repo/src/tee/none.cc" "src/tee/CMakeFiles/cb_tee.dir/none.cc.o" "gcc" "src/tee/CMakeFiles/cb_tee.dir/none.cc.o.d"
+  "/root/repo/src/tee/platform.cc" "src/tee/CMakeFiles/cb_tee.dir/platform.cc.o" "gcc" "src/tee/CMakeFiles/cb_tee.dir/platform.cc.o.d"
+  "/root/repo/src/tee/registry.cc" "src/tee/CMakeFiles/cb_tee.dir/registry.cc.o" "gcc" "src/tee/CMakeFiles/cb_tee.dir/registry.cc.o.d"
+  "/root/repo/src/tee/sev_snp.cc" "src/tee/CMakeFiles/cb_tee.dir/sev_snp.cc.o" "gcc" "src/tee/CMakeFiles/cb_tee.dir/sev_snp.cc.o.d"
+  "/root/repo/src/tee/sgx.cc" "src/tee/CMakeFiles/cb_tee.dir/sgx.cc.o" "gcc" "src/tee/CMakeFiles/cb_tee.dir/sgx.cc.o.d"
+  "/root/repo/src/tee/tdx.cc" "src/tee/CMakeFiles/cb_tee.dir/tdx.cc.o" "gcc" "src/tee/CMakeFiles/cb_tee.dir/tdx.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/cb_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cb_tee.dir/cca.cc.o"
+  "CMakeFiles/cb_tee.dir/cca.cc.o.d"
+  "CMakeFiles/cb_tee.dir/colocation.cc.o"
+  "CMakeFiles/cb_tee.dir/colocation.cc.o.d"
+  "CMakeFiles/cb_tee.dir/none.cc.o"
+  "CMakeFiles/cb_tee.dir/none.cc.o.d"
+  "CMakeFiles/cb_tee.dir/platform.cc.o"
+  "CMakeFiles/cb_tee.dir/platform.cc.o.d"
+  "CMakeFiles/cb_tee.dir/registry.cc.o"
+  "CMakeFiles/cb_tee.dir/registry.cc.o.d"
+  "CMakeFiles/cb_tee.dir/sev_snp.cc.o"
+  "CMakeFiles/cb_tee.dir/sev_snp.cc.o.d"
+  "CMakeFiles/cb_tee.dir/sgx.cc.o"
+  "CMakeFiles/cb_tee.dir/sgx.cc.o.d"
+  "CMakeFiles/cb_tee.dir/tdx.cc.o"
+  "CMakeFiles/cb_tee.dir/tdx.cc.o.d"
+  "libcb_tee.a"
+  "libcb_tee.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cb_tee.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/vm/block_device.cc" "src/vm/CMakeFiles/cb_vm.dir/block_device.cc.o" "gcc" "src/vm/CMakeFiles/cb_vm.dir/block_device.cc.o.d"
+  "/root/repo/src/vm/exec_context.cc" "src/vm/CMakeFiles/cb_vm.dir/exec_context.cc.o" "gcc" "src/vm/CMakeFiles/cb_vm.dir/exec_context.cc.o.d"
+  "/root/repo/src/vm/guest_vm.cc" "src/vm/CMakeFiles/cb_vm.dir/guest_vm.cc.o" "gcc" "src/vm/CMakeFiles/cb_vm.dir/guest_vm.cc.o.d"
+  "/root/repo/src/vm/host.cc" "src/vm/CMakeFiles/cb_vm.dir/host.cc.o" "gcc" "src/vm/CMakeFiles/cb_vm.dir/host.cc.o.d"
+  "/root/repo/src/vm/vfs.cc" "src/vm/CMakeFiles/cb_vm.dir/vfs.cc.o" "gcc" "src/vm/CMakeFiles/cb_vm.dir/vfs.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/cb_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/tee/CMakeFiles/cb_tee.dir/DependInfo.cmake"
+  "/root/repo/build/src/metrics/CMakeFiles/cb_metrics.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cb_vm.dir/block_device.cc.o"
+  "CMakeFiles/cb_vm.dir/block_device.cc.o.d"
+  "CMakeFiles/cb_vm.dir/exec_context.cc.o"
+  "CMakeFiles/cb_vm.dir/exec_context.cc.o.d"
+  "CMakeFiles/cb_vm.dir/guest_vm.cc.o"
+  "CMakeFiles/cb_vm.dir/guest_vm.cc.o.d"
+  "CMakeFiles/cb_vm.dir/host.cc.o"
+  "CMakeFiles/cb_vm.dir/host.cc.o.d"
+  "CMakeFiles/cb_vm.dir/vfs.cc.o"
+  "CMakeFiles/cb_vm.dir/vfs.cc.o.d"
+  "libcb_vm.a"
+  "libcb_vm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cb_vm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/wasm/builder.cc" "src/wasm/CMakeFiles/cb_wasm.dir/builder.cc.o" "gcc" "src/wasm/CMakeFiles/cb_wasm.dir/builder.cc.o.d"
+  "/root/repo/src/wasm/interp.cc" "src/wasm/CMakeFiles/cb_wasm.dir/interp.cc.o" "gcc" "src/wasm/CMakeFiles/cb_wasm.dir/interp.cc.o.d"
+  "/root/repo/src/wasm/module.cc" "src/wasm/CMakeFiles/cb_wasm.dir/module.cc.o" "gcc" "src/wasm/CMakeFiles/cb_wasm.dir/module.cc.o.d"
+  "/root/repo/src/wasm/text.cc" "src/wasm/CMakeFiles/cb_wasm.dir/text.cc.o" "gcc" "src/wasm/CMakeFiles/cb_wasm.dir/text.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/vm/CMakeFiles/cb_vm.dir/DependInfo.cmake"
+  "/root/repo/build/src/metrics/CMakeFiles/cb_metrics.dir/DependInfo.cmake"
+  "/root/repo/build/src/tee/CMakeFiles/cb_tee.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/cb_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

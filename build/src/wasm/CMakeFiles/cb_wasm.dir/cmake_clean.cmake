@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cb_wasm.dir/builder.cc.o"
+  "CMakeFiles/cb_wasm.dir/builder.cc.o.d"
+  "CMakeFiles/cb_wasm.dir/interp.cc.o"
+  "CMakeFiles/cb_wasm.dir/interp.cc.o.d"
+  "CMakeFiles/cb_wasm.dir/module.cc.o"
+  "CMakeFiles/cb_wasm.dir/module.cc.o.d"
+  "CMakeFiles/cb_wasm.dir/text.cc.o"
+  "CMakeFiles/cb_wasm.dir/text.cc.o.d"
+  "libcb_wasm.a"
+  "libcb_wasm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cb_wasm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,34 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/wl/db/btree.cc" "src/wl/CMakeFiles/cb_wl.dir/db/btree.cc.o" "gcc" "src/wl/CMakeFiles/cb_wl.dir/db/btree.cc.o.d"
+  "/root/repo/src/wl/db/db.cc" "src/wl/CMakeFiles/cb_wl.dir/db/db.cc.o" "gcc" "src/wl/CMakeFiles/cb_wl.dir/db/db.cc.o.d"
+  "/root/repo/src/wl/db/speedtest.cc" "src/wl/CMakeFiles/cb_wl.dir/db/speedtest.cc.o" "gcc" "src/wl/CMakeFiles/cb_wl.dir/db/speedtest.cc.o.d"
+  "/root/repo/src/wl/faas.cc" "src/wl/CMakeFiles/cb_wl.dir/faas.cc.o" "gcc" "src/wl/CMakeFiles/cb_wl.dir/faas.cc.o.d"
+  "/root/repo/src/wl/faas_cpu.cc" "src/wl/CMakeFiles/cb_wl.dir/faas_cpu.cc.o" "gcc" "src/wl/CMakeFiles/cb_wl.dir/faas_cpu.cc.o.d"
+  "/root/repo/src/wl/faas_io.cc" "src/wl/CMakeFiles/cb_wl.dir/faas_io.cc.o" "gcc" "src/wl/CMakeFiles/cb_wl.dir/faas_io.cc.o.d"
+  "/root/repo/src/wl/faas_mem.cc" "src/wl/CMakeFiles/cb_wl.dir/faas_mem.cc.o" "gcc" "src/wl/CMakeFiles/cb_wl.dir/faas_mem.cc.o.d"
+  "/root/repo/src/wl/ml/model.cc" "src/wl/CMakeFiles/cb_wl.dir/ml/model.cc.o" "gcc" "src/wl/CMakeFiles/cb_wl.dir/ml/model.cc.o.d"
+  "/root/repo/src/wl/ml/tensor.cc" "src/wl/CMakeFiles/cb_wl.dir/ml/tensor.cc.o" "gcc" "src/wl/CMakeFiles/cb_wl.dir/ml/tensor.cc.o.d"
+  "/root/repo/src/wl/ub/unixbench.cc" "src/wl/CMakeFiles/cb_wl.dir/ub/unixbench.cc.o" "gcc" "src/wl/CMakeFiles/cb_wl.dir/ub/unixbench.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/rt/CMakeFiles/cb_rt.dir/DependInfo.cmake"
+  "/root/repo/build/src/vm/CMakeFiles/cb_vm.dir/DependInfo.cmake"
+  "/root/repo/build/src/attest/CMakeFiles/cb_attest.dir/DependInfo.cmake"
+  "/root/repo/build/src/metrics/CMakeFiles/cb_metrics.dir/DependInfo.cmake"
+  "/root/repo/build/src/tee/CMakeFiles/cb_tee.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/cb_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,29 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cb_wl.dir/db/btree.cc.o"
+  "CMakeFiles/cb_wl.dir/db/btree.cc.o.d"
+  "CMakeFiles/cb_wl.dir/db/db.cc.o"
+  "CMakeFiles/cb_wl.dir/db/db.cc.o.d"
+  "CMakeFiles/cb_wl.dir/db/speedtest.cc.o"
+  "CMakeFiles/cb_wl.dir/db/speedtest.cc.o.d"
+  "CMakeFiles/cb_wl.dir/faas.cc.o"
+  "CMakeFiles/cb_wl.dir/faas.cc.o.d"
+  "CMakeFiles/cb_wl.dir/faas_cpu.cc.o"
+  "CMakeFiles/cb_wl.dir/faas_cpu.cc.o.d"
+  "CMakeFiles/cb_wl.dir/faas_io.cc.o"
+  "CMakeFiles/cb_wl.dir/faas_io.cc.o.d"
+  "CMakeFiles/cb_wl.dir/faas_mem.cc.o"
+  "CMakeFiles/cb_wl.dir/faas_mem.cc.o.d"
+  "CMakeFiles/cb_wl.dir/ml/model.cc.o"
+  "CMakeFiles/cb_wl.dir/ml/model.cc.o.d"
+  "CMakeFiles/cb_wl.dir/ml/tensor.cc.o"
+  "CMakeFiles/cb_wl.dir/ml/tensor.cc.o.d"
+  "CMakeFiles/cb_wl.dir/ub/unixbench.cc.o"
+  "CMakeFiles/cb_wl.dir/ub/unixbench.cc.o.d"
+  "libcb_wl.a"
+  "libcb_wl.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cb_wl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

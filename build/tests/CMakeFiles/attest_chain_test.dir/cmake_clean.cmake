@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/attest_chain_test.dir/attest_chain_test.cc.o"
+  "CMakeFiles/attest_chain_test.dir/attest_chain_test.cc.o.d"
+  "attest_chain_test"
+  "attest_chain_test.pdb"
+  "attest_chain_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/attest_chain_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

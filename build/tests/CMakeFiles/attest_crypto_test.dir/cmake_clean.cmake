@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/attest_crypto_test.dir/attest_crypto_test.cc.o"
+  "CMakeFiles/attest_crypto_test.dir/attest_crypto_test.cc.o.d"
+  "attest_crypto_test"
+  "attest_crypto_test.pdb"
+  "attest_crypto_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/attest_crypto_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

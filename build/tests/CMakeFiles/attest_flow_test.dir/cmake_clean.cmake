@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/attest_flow_test.dir/attest_flow_test.cc.o"
+  "CMakeFiles/attest_flow_test.dir/attest_flow_test.cc.o.d"
+  "attest_flow_test"
+  "attest_flow_test.pdb"
+  "attest_flow_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/attest_flow_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

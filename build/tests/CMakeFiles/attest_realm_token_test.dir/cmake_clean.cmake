@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/attest_realm_token_test.dir/attest_realm_token_test.cc.o"
+  "CMakeFiles/attest_realm_token_test.dir/attest_realm_token_test.cc.o.d"
+  "attest_realm_token_test"
+  "attest_realm_token_test.pdb"
+  "attest_realm_token_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/attest_realm_token_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

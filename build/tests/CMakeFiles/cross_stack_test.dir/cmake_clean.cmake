@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cross_stack_test.dir/cross_stack_test.cc.o"
+  "CMakeFiles/cross_stack_test.dir/cross_stack_test.cc.o.d"
+  "cross_stack_test"
+  "cross_stack_test.pdb"
+  "cross_stack_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cross_stack_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

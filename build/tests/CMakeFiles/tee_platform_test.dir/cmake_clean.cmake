@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tee_platform_test.dir/tee_platform_test.cc.o"
+  "CMakeFiles/tee_platform_test.dir/tee_platform_test.cc.o.d"
+  "tee_platform_test"
+  "tee_platform_test.pdb"
+  "tee_platform_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tee_platform_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/time_breakdown_test.dir/time_breakdown_test.cc.o"
+  "CMakeFiles/time_breakdown_test.dir/time_breakdown_test.cc.o.d"
+  "time_breakdown_test"
+  "time_breakdown_test.pdb"
+  "time_breakdown_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/time_breakdown_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vm_exec_context_test.dir/vm_exec_context_test.cc.o"
+  "CMakeFiles/vm_exec_context_test.dir/vm_exec_context_test.cc.o.d"
+  "vm_exec_context_test"
+  "vm_exec_context_test.pdb"
+  "vm_exec_context_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vm_exec_context_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/vm_guest_host_test.cc" "tests/CMakeFiles/vm_guest_host_test.dir/vm_guest_host_test.cc.o" "gcc" "tests/CMakeFiles/vm_guest_host_test.dir/vm_guest_host_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/cb_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/wasm/CMakeFiles/cb_wasm.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/cb_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/wl/CMakeFiles/cb_wl.dir/DependInfo.cmake"
+  "/root/repo/build/src/rt/CMakeFiles/cb_rt.dir/DependInfo.cmake"
+  "/root/repo/build/src/attest/CMakeFiles/cb_attest.dir/DependInfo.cmake"
+  "/root/repo/build/src/vm/CMakeFiles/cb_vm.dir/DependInfo.cmake"
+  "/root/repo/build/src/metrics/CMakeFiles/cb_metrics.dir/DependInfo.cmake"
+  "/root/repo/build/src/tee/CMakeFiles/cb_tee.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/cb_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

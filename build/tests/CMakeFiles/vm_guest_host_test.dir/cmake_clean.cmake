@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vm_guest_host_test.dir/vm_guest_host_test.cc.o"
+  "CMakeFiles/vm_guest_host_test.dir/vm_guest_host_test.cc.o.d"
+  "vm_guest_host_test"
+  "vm_guest_host_test.pdb"
+  "vm_guest_host_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vm_guest_host_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vm_vfs_test.dir/vm_vfs_test.cc.o"
+  "CMakeFiles/vm_vfs_test.dir/vm_vfs_test.cc.o.d"
+  "vm_vfs_test"
+  "vm_vfs_test.pdb"
+  "vm_vfs_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vm_vfs_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

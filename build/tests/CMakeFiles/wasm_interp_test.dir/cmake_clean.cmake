@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wasm_interp_test.dir/wasm_interp_test.cc.o"
+  "CMakeFiles/wasm_interp_test.dir/wasm_interp_test.cc.o.d"
+  "wasm_interp_test"
+  "wasm_interp_test.pdb"
+  "wasm_interp_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wasm_interp_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

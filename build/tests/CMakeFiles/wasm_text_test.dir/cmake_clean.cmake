@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wasm_text_test.dir/wasm_text_test.cc.o"
+  "CMakeFiles/wasm_text_test.dir/wasm_text_test.cc.o.d"
+  "wasm_text_test"
+  "wasm_text_test.pdb"
+  "wasm_text_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wasm_text_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wl_db_test.dir/wl_db_test.cc.o"
+  "CMakeFiles/wl_db_test.dir/wl_db_test.cc.o.d"
+  "wl_db_test"
+  "wl_db_test.pdb"
+  "wl_db_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wl_db_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

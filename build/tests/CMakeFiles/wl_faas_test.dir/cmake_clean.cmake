@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wl_faas_test.dir/wl_faas_test.cc.o"
+  "CMakeFiles/wl_faas_test.dir/wl_faas_test.cc.o.d"
+  "wl_faas_test"
+  "wl_faas_test.pdb"
+  "wl_faas_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wl_faas_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

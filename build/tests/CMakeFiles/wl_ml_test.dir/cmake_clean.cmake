@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wl_ml_test.dir/wl_ml_test.cc.o"
+  "CMakeFiles/wl_ml_test.dir/wl_ml_test.cc.o.d"
+  "wl_ml_test"
+  "wl_ml_test.pdb"
+  "wl_ml_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wl_ml_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

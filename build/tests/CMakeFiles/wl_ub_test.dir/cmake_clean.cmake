@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wl_ub_test.dir/wl_ub_test.cc.o"
+  "CMakeFiles/wl_ub_test.dir/wl_ub_test.cc.o.d"
+  "wl_ub_test"
+  "wl_ub_test.pdb"
+  "wl_ub_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wl_ub_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

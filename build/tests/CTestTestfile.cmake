@@ -1,0 +1,34 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/sim_rng_test[1]_include.cmake")
+include("/root/repo/build/tests/sim_cache_test[1]_include.cmake")
+include("/root/repo/build/tests/sim_costs_test[1]_include.cmake")
+include("/root/repo/build/tests/tee_platform_test[1]_include.cmake")
+include("/root/repo/build/tests/vm_exec_context_test[1]_include.cmake")
+include("/root/repo/build/tests/vm_vfs_test[1]_include.cmake")
+include("/root/repo/build/tests/vm_guest_host_test[1]_include.cmake")
+include("/root/repo/build/tests/metrics_test[1]_include.cmake")
+include("/root/repo/build/tests/attest_crypto_test[1]_include.cmake")
+include("/root/repo/build/tests/attest_chain_test[1]_include.cmake")
+include("/root/repo/build/tests/attest_flow_test[1]_include.cmake")
+include("/root/repo/build/tests/rt_runtime_test[1]_include.cmake")
+include("/root/repo/build/tests/wl_faas_test[1]_include.cmake")
+include("/root/repo/build/tests/wl_ml_test[1]_include.cmake")
+include("/root/repo/build/tests/wl_db_test[1]_include.cmake")
+include("/root/repo/build/tests/wl_ub_test[1]_include.cmake")
+include("/root/repo/build/tests/net_http_test[1]_include.cmake")
+include("/root/repo/build/tests/net_router_test[1]_include.cmake")
+include("/root/repo/build/tests/net_network_test[1]_include.cmake")
+include("/root/repo/build/tests/core_config_test[1]_include.cmake")
+include("/root/repo/build/tests/core_gateway_test[1]_include.cmake")
+include("/root/repo/build/tests/integration_figures_test[1]_include.cmake")
+include("/root/repo/build/tests/wasm_interp_test[1]_include.cmake")
+include("/root/repo/build/tests/wasm_text_test[1]_include.cmake")
+include("/root/repo/build/tests/model_properties_test[1]_include.cmake")
+include("/root/repo/build/tests/cross_stack_test[1]_include.cmake")
+include("/root/repo/build/tests/time_breakdown_test[1]_include.cmake")
+include("/root/repo/build/tests/attest_realm_token_test[1]_include.cmake")
