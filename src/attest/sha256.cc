@@ -87,11 +87,9 @@ void Sha256::update(const void* data, std::size_t len) {
 
 Digest Sha256::finalize() {
   assert(!finalized_);
-  finalized_ = true;
   const std::uint64_t bits = bit_len_;
   const std::uint8_t pad = 0x80;
   update(&pad, 1);
-  finalized_ = false;  // update() asserts; restore after padding writes
   const std::uint8_t zero = 0;
   while (buf_len_ != 56) update(&zero, 1);
   std::uint8_t len_be[8];
@@ -100,7 +98,7 @@ Digest Sha256::finalize() {
   // The length bytes were already counted into bit_len_ by update(); that is
   // harmless because bit_len_ is no longer read after this point.
   update(len_be, 8);
-  finalized_ = true;
+  finalized_ = true;  // only now: the padding itself goes through update()
 
   Digest out;
   for (int i = 0; i < 8; ++i) {

@@ -1,31 +1,61 @@
 #include "core/pool.h"
 
-#include <algorithm>
-#include <utility>
+#include <tuple>
 
 namespace confbench::core {
 
+PoolMember& TeePool::add_member(PoolMember m) {
+  m.index = static_cast<std::uint32_t>(members_.size());
+  members_.push_back(std::move(m));
+  return members_.back();
+}
+
+std::size_t TeePool::enabled_count() const {
+  std::size_t n = 0;
+  for (const auto& m : members_) n += m.enabled;
+  return n;
+}
+
+void TeePool::set_enabled(std::uint32_t index, bool enabled) {
+  if (index < members_.size()) members_[index].enabled = enabled;
+}
+
 PoolMember* TeePool::acquire() {
-  if (members_.empty()) return nullptr;
+  const std::size_t enabled = enabled_count();
+  if (enabled == 0) return nullptr;
   PoolMember* picked = nullptr;
   switch (policy_) {
     case LoadBalancePolicy::kRoundRobin:
-      picked = &members_[rr_next_ % members_.size()];
-      ++rr_next_;
+      // Advance past disabled members; `enabled > 0` bounds the scan.
+      do {
+        picked = &members_[rr_next_ % members_.size()];
+        ++rr_next_;
+      } while (!picked->enabled);
       break;
     case LoadBalancePolicy::kLeastLoaded: {
-      picked = &members_[0];
+      // Documented deterministic total order: (in_flight, served, index).
       for (auto& m : members_) {
-        // Tie-break on lifetime counts so sequential traffic still spreads.
-        if (std::pair(m.in_flight, m.served) <
-            std::pair(picked->in_flight, picked->served))
+        if (!m.enabled) continue;
+        if (!picked || std::tuple(m.in_flight, m.served, m.index) <
+                           std::tuple(picked->in_flight, picked->served,
+                                      picked->index))
           picked = &m;
       }
       break;
     }
-    case LoadBalancePolicy::kRandom:
-      picked = &members_[rng_.next_below(members_.size())];
+    case LoadBalancePolicy::kRandom: {
+      // Pick the k-th enabled member; one RNG draw per acquire keeps the
+      // stream aligned regardless of which members are parked.
+      std::uint64_t k = rng_.next_below(enabled);
+      for (auto& m : members_) {
+        if (!m.enabled) continue;
+        if (k-- == 0) {
+          picked = &m;
+          break;
+        }
+      }
       break;
+    }
   }
   ++picked->in_flight;
   ++picked->served;

@@ -4,11 +4,24 @@
 // hosts able to serve that platform and picks one per request according to
 // the configured policy. Cloud operators would tune the policy to their
 // SLAs; we ship round-robin, least-loaded and (deterministic) random.
+//
+// Determinism contract: every policy is a pure function of the pool state
+// and (for kRandom) the pool's own seeded RNG, so identical call sequences
+// pick identical members on every run, machine and compiler. Least-loaded
+// uses the documented total order (in_flight, served, index): fewest
+// requests currently assigned wins; on equal in_flight the member with the
+// lower lifetime served count wins (so sequential traffic still spreads
+// round-robin-style); on a full tie the lowest-index member wins.
+//
+// Members live in a deque, so pointers returned by acquire() stay valid
+// across add_member() — the scheduler's autoscaler (src/sched) grows pools
+// at runtime while requests are in flight. Members can be administratively
+// disabled (a parked warm-pool VM); every policy skips disabled members.
 #pragma once
 
 #include <cstdint>
+#include <deque>
 #include <string>
-#include <vector>
 
 #include "core/config.h"
 #include "sim/rng.h"
@@ -21,6 +34,8 @@ struct PoolMember {
   std::uint16_t secure_port = 8200;
   std::uint64_t in_flight = 0;   ///< currently assigned requests
   std::uint64_t served = 0;      ///< lifetime counter
+  bool enabled = true;           ///< disabled members are never picked
+  std::uint32_t index = 0;       ///< position in the pool (set by add_member)
 };
 
 class TeePool {
@@ -28,17 +43,27 @@ class TeePool {
   TeePool(std::string tee, LoadBalancePolicy policy)
       : tee_(std::move(tee)), policy_(policy), rng_(tee_) {}
 
-  void add_member(PoolMember m) { members_.push_back(std::move(m)); }
+  /// Appends a member; assigns its index. Existing PoolMember pointers
+  /// remain valid (deque storage).
+  PoolMember& add_member(PoolMember m);
 
-  /// Picks a member per the policy; nullptr when the pool is empty.
+  /// Picks an enabled member per the policy; nullptr when none is enabled.
   /// The caller must pair every acquire() with a release().
   PoolMember* acquire();
   void release(PoolMember* m);
 
+  /// Administrative enable/disable (warm-pool park/unpark). Disabling does
+  /// not affect requests already in flight on the member.
+  void set_enabled(std::uint32_t index, bool enabled);
+
   [[nodiscard]] const std::string& tee() const { return tee_; }
   [[nodiscard]] std::size_t size() const { return members_.size(); }
-  [[nodiscard]] const std::vector<PoolMember>& members() const {
+  [[nodiscard]] std::size_t enabled_count() const;
+  [[nodiscard]] const std::deque<PoolMember>& members() const {
     return members_;
+  }
+  [[nodiscard]] PoolMember& member(std::uint32_t index) {
+    return members_[index];
   }
   [[nodiscard]] LoadBalancePolicy policy() const { return policy_; }
   void set_policy(LoadBalancePolicy p) { policy_ = p; }
@@ -46,7 +71,7 @@ class TeePool {
  private:
   std::string tee_;
   LoadBalancePolicy policy_;
-  std::vector<PoolMember> members_;
+  std::deque<PoolMember> members_;
   std::size_t rr_next_ = 0;
   sim::Rng rng_;
 };

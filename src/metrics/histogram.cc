@@ -1,0 +1,77 @@
+#include "metrics/histogram.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+
+namespace confbench::metrics {
+
+double LogHistogram::bucket_lo(int i) {
+  return std::pow(10.0, static_cast<double>(i) / kBucketsPerDecade);
+}
+
+int LogHistogram::bucket_index(double ns) {
+  if (!(ns > 1.0)) return 0;  // also catches NaN
+  const int i = static_cast<int>(std::log10(ns) * kBucketsPerDecade);
+  return std::clamp(i, 0, kBuckets - 1);
+}
+
+void LogHistogram::record(double ns) {
+  ++buckets_[static_cast<std::size_t>(bucket_index(ns))];
+  if (count_ == 0) {
+    min_ = max_ = ns;
+  } else {
+    min_ = std::min(min_, ns);
+    max_ = std::max(max_, ns);
+  }
+  ++count_;
+  sum_ += ns;
+}
+
+void LogHistogram::merge(const LogHistogram& other) {
+  if (other.count_ == 0) return;
+  for (int i = 0; i < kBuckets; ++i)
+    buckets_[static_cast<std::size_t>(i)] +=
+        other.buckets_[static_cast<std::size_t>(i)];
+  if (count_ == 0) {
+    min_ = other.min_;
+    max_ = other.max_;
+  } else {
+    min_ = std::min(min_, other.min_);
+    max_ = std::max(max_, other.max_);
+  }
+  count_ += other.count_;
+  sum_ += other.sum_;
+}
+
+double LogHistogram::quantile(double q) const {
+  if (count_ == 0) return 0.0;
+  q = std::clamp(q, 0.0, 1.0);
+  // Rank of the q-th order statistic (nearest-rank, 1-based).
+  const std::uint64_t rank = std::max<std::uint64_t>(
+      1, static_cast<std::uint64_t>(
+             std::ceil(q * static_cast<double>(count_))));
+  std::uint64_t seen = 0;
+  for (int i = 0; i < kBuckets; ++i) {
+    seen += buckets_[static_cast<std::size_t>(i)];
+    if (seen >= rank) {
+      // Geometric midpoint halves the worst-case relative error.
+      const double est = std::sqrt(bucket_lo(i) * bucket_hi(i));
+      return std::clamp(est, min_, max_);
+    }
+  }
+  return max_;
+}
+
+std::string LogHistogram::summary() const {
+  char buf[192];
+  std::snprintf(buf, sizeof buf,
+                "n=%llu mean=%.3fms p50=%.3fms p95=%.3fms p99=%.3fms "
+                "p999=%.3fms max=%.3fms",
+                static_cast<unsigned long long>(count_), mean() / 1e6,
+                p50() / 1e6, p95() / 1e6, p99() / 1e6, p999() / 1e6,
+                max() / 1e6);
+  return buf;
+}
+
+}  // namespace confbench::metrics

@@ -1,0 +1,76 @@
+// Fixed-bucket log-scale latency histogram.
+//
+// The cluster experiments (src/sched) record millions of per-request
+// latencies; keeping raw samples would dominate memory and make quantile
+// extraction O(n log n). This histogram uses a fixed logarithmic bucket
+// layout — kBucketsPerDecade buckets per power of ten, spanning 1 ns to
+// 10^kDecades ns — so any two instances are mergeable bucket-for-bucket and
+// quantile estimates carry a bounded *relative* error of at most half a
+// bucket width (≈ 10^(1/(2*kBucketsPerDecade)) - 1, under 3% with the
+// default layout). Recording and merging are deterministic: no sampling,
+// no dynamic rebucketing.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string>
+
+namespace confbench::metrics {
+
+class LogHistogram {
+ public:
+  /// Bucket layout constants. Compile-time fixed so every LogHistogram is
+  /// merge-compatible with every other.
+  static constexpr int kBucketsPerDecade = 40;
+  static constexpr int kDecades = 12;  ///< 1 ns .. 10^12 ns (~16.7 min)
+  static constexpr int kBuckets = kBucketsPerDecade * kDecades;
+
+  LogHistogram() = default;
+
+  /// Records one value (nanoseconds). Values below 1 ns clamp into the
+  /// first bucket, values beyond the top of the range into the last.
+  void record(double ns);
+
+  /// Adds all of `other`'s samples into this histogram. Associative and
+  /// commutative on bucket counts, counts, min and max.
+  void merge(const LogHistogram& other);
+
+  /// Quantile estimate, q in [0, 1]. Returns the geometric midpoint of the
+  /// bucket containing the q-th sample, clamped to the exact observed
+  /// [min, max]. Empty histogram returns 0.
+  [[nodiscard]] double quantile(double q) const;
+
+  [[nodiscard]] double p50() const { return quantile(0.50); }
+  [[nodiscard]] double p95() const { return quantile(0.95); }
+  [[nodiscard]] double p99() const { return quantile(0.99); }
+  [[nodiscard]] double p999() const { return quantile(0.999); }
+
+  [[nodiscard]] std::uint64_t count() const { return count_; }
+  [[nodiscard]] double sum() const { return sum_; }
+  [[nodiscard]] double mean() const {
+    return count_ ? sum_ / static_cast<double>(count_) : 0.0;
+  }
+  [[nodiscard]] double min() const { return count_ ? min_ : 0.0; }
+  [[nodiscard]] double max() const { return count_ ? max_ : 0.0; }
+
+  [[nodiscard]] std::uint64_t bucket_count(int i) const {
+    return buckets_[static_cast<std::size_t>(i)];
+  }
+  /// Lower bound of bucket i in nanoseconds (10^(i/kBucketsPerDecade)).
+  [[nodiscard]] static double bucket_lo(int i);
+  [[nodiscard]] static double bucket_hi(int i) { return bucket_lo(i + 1); }
+  /// Bucket index a value lands in (after clamping to the layout range).
+  [[nodiscard]] static int bucket_index(double ns);
+
+  /// One-line deterministic summary: count/mean/p50/p95/p99/p999/max in ms.
+  [[nodiscard]] std::string summary() const;
+
+ private:
+  std::array<std::uint64_t, kBuckets> buckets_{};
+  std::uint64_t count_ = 0;
+  double sum_ = 0;
+  double min_ = 0;
+  double max_ = 0;
+};
+
+}  // namespace confbench::metrics

@@ -4,8 +4,8 @@
 
 namespace confbench::net {
 
-Network::Network(double rtt_us, double per_kb_us)
-    : rtt_us_(rtt_us), per_kb_us_(per_kb_us) {}
+Network::Network(double rtt_us, double per_kb_us, std::uint64_t seed)
+    : rtt_us_(rtt_us), per_kb_us_(per_kb_us), rng_(seed) {}
 
 std::string Network::key(const std::string& host, std::uint16_t port) {
   return host + ":" + std::to_string(port);

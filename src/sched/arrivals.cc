@@ -1,0 +1,39 @@
+#include "sched/arrivals.h"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace confbench::sched {
+
+std::string_view to_string(ArrivalKind k) {
+  switch (k) {
+    case ArrivalKind::kPoisson:
+      return "poisson";
+    case ArrivalKind::kFixedRate:
+      return "fixed-rate";
+  }
+  return "?";
+}
+
+ArrivalProcess::ArrivalProcess(ArrivalKind kind, double rate_rps,
+                               std::uint64_t seed)
+    : kind_(kind), rate_rps_(rate_rps), rng_(seed) {
+  if (!(rate_rps > 0)) throw std::invalid_argument("arrival rate must be > 0");
+}
+
+sim::Ns ArrivalProcess::next_gap() {
+  const sim::Ns mean_gap = sim::kSec / rate_rps_;
+  switch (kind_) {
+    case ArrivalKind::kPoisson: {
+      // Inverse-CDF exponential; -log1p(-u) is exact for u near 0 and
+      // finite for every u in [0, 1).
+      const double u = rng_.next_double();
+      return -std::log1p(-u) * mean_gap;
+    }
+    case ArrivalKind::kFixedRate:
+      return mean_gap;
+  }
+  return mean_gap;
+}
+
+}  // namespace confbench::sched

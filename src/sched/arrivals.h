@@ -1,0 +1,45 @@
+// Open-loop arrival generators.
+//
+// An open-loop load generator issues requests on its own schedule,
+// independent of how the system keeps up — the only honest way to measure
+// tail latency under load (closed-loop clients self-throttle and hide the
+// queueing blow-up; coordinated omission). Two processes are provided:
+//
+//   kPoisson    memoryless arrivals at `rate_rps` (exponential gaps drawn
+//               from a sim::Rng, so the trace is seed-reproducible)
+//   kFixedRate  perfectly paced arrivals every 1/rate_rps seconds
+//
+// Closed-loop load (N clients, think time) is a property of the experiment
+// loop, not of the gap distribution: see ClusterConfig::closed_loop_clients.
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+
+#include "sim/rng.h"
+#include "sim/time.h"
+
+namespace confbench::sched {
+
+enum class ArrivalKind : std::uint8_t { kPoisson, kFixedRate };
+
+std::string_view to_string(ArrivalKind k);
+
+class ArrivalProcess {
+ public:
+  /// `rate_rps` must be > 0 (requests per virtual second).
+  ArrivalProcess(ArrivalKind kind, double rate_rps, std::uint64_t seed);
+
+  /// The gap to the next arrival, in virtual nanoseconds.
+  [[nodiscard]] sim::Ns next_gap();
+
+  [[nodiscard]] ArrivalKind kind() const { return kind_; }
+  [[nodiscard]] double rate_rps() const { return rate_rps_; }
+
+ private:
+  ArrivalKind kind_;
+  double rate_rps_;
+  sim::Rng rng_;
+};
+
+}  // namespace confbench::sched

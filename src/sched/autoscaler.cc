@@ -1,0 +1,43 @@
+#include "sched/autoscaler.h"
+
+#include <algorithm>
+
+namespace confbench::sched {
+
+int Autoscaler::evaluate(int warm, int booting, std::uint64_t in_service,
+                         std::uint64_t queued, int concurrency_per_vm,
+                         sim::Ns now) {
+  const double warm_capacity =
+      static_cast<double>(warm) * static_cast<double>(concurrency_per_vm);
+  const double utilization =
+      warm_capacity > 0 ? static_cast<double>(in_service) / warm_capacity
+                        : (in_service + queued > 0 ? 1.0 : 0.0);
+
+  int decision = 0;
+  const int total = warm + booting;
+  if ((utilization >= cfg_.scale_up_utilization || queued > 0) &&
+      total < cfg_.max_replicas) {
+    // Boot enough replicas to absorb the queued backlog, assuming each new
+    // replica contributes `concurrency` slots — but never more than the
+    // fleet cap, and count capacity that is already booting.
+    const std::uint64_t deficit =
+        queued / std::max(1, concurrency_per_vm) + 1;
+    decision = static_cast<int>(std::min<std::uint64_t>(
+        deficit, static_cast<std::uint64_t>(cfg_.max_replicas - total)));
+    low_ticks_ = 0;
+  } else if (utilization < cfg_.scale_down_utilization && queued == 0 &&
+             warm > cfg_.min_warm && booting == 0) {
+    if (++low_ticks_ >= cfg_.scale_down_patience) {
+      decision = -1;  // park one per decision; patience restarts
+      low_ticks_ = 0;
+    }
+  } else {
+    low_ticks_ = 0;
+  }
+
+  trace_.push_back(AutoscalerSample{now, warm, booting, in_service, queued,
+                                    utilization, decision});
+  return decision;
+}
+
+}  // namespace confbench::sched

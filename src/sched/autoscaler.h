@@ -1,0 +1,74 @@
+// Warm-pool autoscaler with TEE-specific cold starts.
+//
+// The autoscaler keeps between `min_warm` and `max_replicas` VM replicas
+// warm. Every `tick_ns` of virtual time it looks at fleet utilization
+// (in-service requests over warm capacity) and the queued backlog and
+// decides to boot parked replicas or park idle warm ones. A booted replica
+// only becomes schedulable after its platform's cold start elapses — and
+// cold starts differ mechanically per TEE: confidential VMs pay initial
+// memory acceptance / RMP population / realm delegation on top of firmware
+// and kernel boot (vm::GuestVm::boot), so a TDX or CCA fleet reacts to a
+// load spike more slowly than a plain-KVM fleet. That asymmetry is exactly
+// what the cluster experiments measure.
+//
+// The class is pure decision logic (no event wiring): the experiment loop
+// feeds it observations and applies the returned delta, which keeps the
+// policy unit-testable and the event schedule deterministic.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "sim/time.h"
+
+namespace confbench::sched {
+
+struct AutoscalerConfig {
+  int min_warm = 1;
+  int max_replicas = 4;
+  /// Boot more capacity above this utilization (or any sustained queue).
+  double scale_up_utilization = 0.85;
+  /// Park a replica below this utilization...
+  double scale_down_utilization = 0.25;
+  /// ...but only after this many consecutive low-utilization ticks.
+  int scale_down_patience = 4;
+  sim::Ns tick_ns = 50 * sim::kMs;
+  /// Platform cold start (vm::GuestVm::boot of the target platform/mode);
+  /// set by the experiment, consumed by its event loop.
+  sim::Ns cold_start_ns = 2.2 * sim::kSec;
+};
+
+/// One tick's observation + decision, kept for traces/CSV export.
+struct AutoscalerSample {
+  sim::Ns t = 0;
+  int warm = 0;
+  int booting = 0;
+  std::uint64_t in_service = 0;
+  std::uint64_t queued = 0;
+  double utilization = 0;
+  int decision = 0;  ///< +k: boot k replicas, -k: park k, 0: hold
+};
+
+class Autoscaler {
+ public:
+  explicit Autoscaler(AutoscalerConfig cfg) : cfg_(cfg) {}
+
+  /// One policy tick. Returns the replica-count delta to apply: positive =
+  /// start booting that many parked replicas, negative = park that many
+  /// idle warm ones. Accounts for capacity already booting so a slow
+  /// (confidential) cold start does not trigger a boot storm.
+  int evaluate(int warm, int booting, std::uint64_t in_service,
+               std::uint64_t queued, int concurrency_per_vm, sim::Ns now);
+
+  [[nodiscard]] const AutoscalerConfig& config() const { return cfg_; }
+  [[nodiscard]] const std::vector<AutoscalerSample>& trace() const {
+    return trace_;
+  }
+
+ private:
+  AutoscalerConfig cfg_;
+  int low_ticks_ = 0;
+  std::vector<AutoscalerSample> trace_;
+};
+
+}  // namespace confbench::sched

@@ -1,0 +1,325 @@
+#include "sched/cluster.h"
+
+#include <algorithm>
+#include <functional>
+#include <stdexcept>
+
+#include "metrics/json.h"
+#include "sim/clock.h"
+#include "tee/registry.h"
+#include "vm/guest_vm.h"
+
+namespace confbench::sched {
+
+double ServiceModel::replica_capacity_rps(int concurrency) const {
+  const double total_s = total_ns() / sim::kSec;
+  if (total_s <= 0) return 0;
+  // Workers overlap the parallel portion; the serialized (bounce-buffer)
+  // portion funnels through the per-VM slot pool and caps the VM's rate.
+  const double parallel_rate = static_cast<double>(concurrency) / total_s;
+  if (serialized_ns <= 0) return parallel_rate;
+  const double bounce_rate =
+      std::max(1, bounce_slots) * sim::kSec / serialized_ns;
+  return std::min(parallel_rate, bounce_rate);
+}
+
+ServiceModel ServiceModel::calibrate(core::ConfBench& system,
+                                     const std::string& function,
+                                     const std::string& language,
+                                     const std::string& platform, bool secure,
+                                     int probes) {
+  tee::PlatformPtr plat = tee::Registry::instance().create(platform);
+  if (!plat) throw std::invalid_argument("unknown platform: " + platform);
+  const sim::PlatformCosts& costs = plat->costs(secure);
+
+  double total = 0, io_share = 0;
+  int n = 0;
+  for (int t = 0; t < probes; ++t) {
+    const core::InvocationRecord rec =
+        system.gateway().invoke(function, language, platform, secure,
+                                static_cast<std::uint64_t>(t));
+    if (!rec.ok())
+      throw std::runtime_error("calibration invoke failed: " + rec.error);
+    total += rec.function_ns;
+    const metrics::PerfCounters& pc = rec.perf;
+    const double parts = pc.t_compute_ns + pc.t_memory_ns + pc.t_os_ns +
+                         pc.t_io_ns + pc.t_other_ns;
+    if (parts > 0) io_share += pc.t_io_ns / parts;
+    ++n;
+  }
+
+  ServiceModel m;
+  const double mean_total = n ? total / n : 1 * sim::kMs;
+  io_share = n ? io_share / n : 0;
+  // Only platforms that actually route DMA through bounce buffers (TDX
+  // swiotlb, CCA realm shared pages) serialize their I/O portion; SNP's
+  // shared-page path and every normal VM keep I/O on the parallel side.
+  const bool bounced = secure && costs.io.bounce_fixed_ns > 0;
+  m.serialized_ns = bounced ? mean_total * io_share : 0;
+  m.parallel_ns = mean_total - m.serialized_ns;
+  m.jitter_sigma = costs.trial_jitter_sigma;
+
+  // TEE-specific cold start: boot a throwaway VM of the same kind the
+  // autoscaler would add (firmware/kernel plus, on confidential VMs, the
+  // eager private-memory acceptance charged by GuestVm::boot).
+  vm::VmConfig vc{platform + "/coldstart", plat, secure, vm::UnitKind::kVm,
+                  8, 16ULL << 30};
+  m.cold_start_ns = vm::GuestVm(vc).boot();
+  return m;
+}
+
+double ClusterResult::throughput_rps() const {
+  return makespan_ns > 0
+             ? static_cast<double>(completed) / (makespan_ns / sim::kSec)
+             : 0.0;
+}
+
+std::string ClusterResult::to_json() const {
+  metrics::JsonWriter w;
+  w.begin_object();
+  w.key("function").value(cfg.function);
+  w.key("language").value(cfg.language);
+  w.key("platform").value(cfg.platform);
+  w.key("secure").value(cfg.secure);
+  w.key("arrival").value(std::string(to_string(cfg.arrival)));
+  w.key("rate_rps").value(cfg.rate_rps);
+  w.key("seed").value(cfg.seed);
+  w.key("model");
+  w.begin_object();
+  w.key("parallel_ns").value(model.parallel_ns);
+  w.key("serialized_ns").value(model.serialized_ns);
+  w.key("bounce_slots").value(model.bounce_slots);
+  w.key("jitter_sigma").value(model.jitter_sigma);
+  w.key("cold_start_ns").value(model.cold_start_ns);
+  w.end_object();
+  w.key("offered").value(offered);
+  w.key("completed").value(completed);
+  w.key("rejected").value(rejected);
+  w.key("makespan_ns").value(makespan_ns);
+  w.key("throughput_rps").value(throughput_rps());
+  w.key("peak_warm").value(peak_warm);
+  w.key("latency_ns");
+  w.begin_object();
+  w.key("p50").value(latency.p50());
+  w.key("p95").value(latency.p95());
+  w.key("p99").value(latency.p99());
+  w.key("p999").value(latency.p999());
+  w.key("mean").value(latency.mean());
+  w.key("max").value(latency.max());
+  w.end_object();
+  w.key("queue_wait_p99_ns").value(queue_wait.p99());
+  w.end_object();
+  return w.str();
+}
+
+double ClusterExperiment::fleet_capacity_rps(const ServiceModel& model) const {
+  return model.replica_capacity_rps(cfg_.queue.concurrency) *
+         cfg_.scaler.max_replicas;
+}
+
+ClusterResult ClusterExperiment::run(core::ConfBench& system) const {
+  const ServiceModel model =
+      ServiceModel::calibrate(system, cfg_.function, cfg_.language,
+                              cfg_.platform, cfg_.secure,
+                              cfg_.calibration_probes);
+  return run_with_model(model);
+}
+
+namespace {
+
+struct Replica {
+  enum class State : std::uint8_t { kParked, kBooting, kWarm };
+  ReplicaQueue queue;
+  State state = State::kParked;
+  /// Virtual time at which each swiotlb slot of this VM becomes free; a
+  /// request's serialized portion takes the earliest-free slot.
+  std::vector<sim::Ns> bounce_free;
+};
+
+}  // namespace
+
+ClusterResult ClusterExperiment::run_with_model(
+    const ServiceModel& model) const {
+  ClusterResult res;
+  res.cfg = cfg_;
+  res.model = model;
+
+  sim::VirtualClock clock;
+  EventQueue events(clock);
+
+  AutoscalerConfig scfg = cfg_.scaler;
+  scfg.cold_start_ns = model.cold_start_ns;
+  scfg.min_warm = std::clamp(scfg.min_warm, 1, scfg.max_replicas);
+  Autoscaler scaler(scfg);
+
+  // Replica fleet: a TeePool (least-loaded, documented deterministic
+  // tie-break) fronts the per-VM queues; parked replicas are disabled.
+  core::TeePool pool(cfg_.platform, core::LoadBalancePolicy::kLeastLoaded);
+  std::vector<Replica> replicas(static_cast<std::size_t>(scfg.max_replicas));
+  int warm = 0, booting = 0;
+  for (int i = 0; i < scfg.max_replicas; ++i) {
+    pool.add_member({.host = "replica-" + std::to_string(i)});
+    replicas[static_cast<std::size_t>(i)].queue = ReplicaQueue(cfg_.queue);
+    replicas[static_cast<std::size_t>(i)].bounce_free.assign(
+        static_cast<std::size_t>(std::max(1, model.bounce_slots)), 0.0);
+    const bool start_warm = i < scfg.min_warm;
+    pool.set_enabled(static_cast<std::uint32_t>(i), start_warm);
+    replicas[static_cast<std::size_t>(i)].state =
+        start_warm ? Replica::State::kWarm : Replica::State::kParked;
+    warm += start_warm;
+  }
+  res.peak_warm = warm;
+
+  sim::Rng jitter_rng(sim::hash_combine(cfg_.seed,
+                                        sim::stable_hash("service-jitter")));
+  ArrivalProcess arrivals(cfg_.arrival, std::max(cfg_.rate_rps, 1e-9),
+                          sim::hash_combine(cfg_.seed,
+                                            sim::stable_hash("arrivals")));
+
+  std::vector<double> arrival_ns;
+  std::vector<int> client_of;  // closed-loop only
+  arrival_ns.reserve(std::min<std::uint64_t>(cfg_.requests, 1 << 22));
+  std::uint64_t issued = 0;
+
+  const bool closed = cfg_.closed_loop_clients > 0;
+
+  // Mutually recursive handlers, declared up front.
+  std::function<void(std::uint32_t, std::uint64_t)> on_complete;
+  std::function<void(int)> client_issue;
+
+  auto start_service = [&](std::uint32_t idx, std::uint64_t id) {
+    Replica& r = replicas[idx];
+    if (id >= cfg_.warmup_requests)
+      res.queue_wait.record(clock.now() - arrival_ns[id]);
+    const double j = jitter_rng.jitter(model.jitter_sigma);
+    const sim::Ns parallel = model.parallel_ns * j;
+    sim::Ns finish;
+    if (model.serialized_ns > 0) {
+      // The I/O tail of the request contends on the VM's slot-limited
+      // bounce-buffer pool: it grabs the earliest-free slot, starting when
+      // both the parallel work and that slot are done.
+      auto slot = std::min_element(r.bounce_free.begin(),
+                                   r.bounce_free.end());
+      const sim::Ns io_start = std::max(clock.now() + parallel, *slot);
+      finish = io_start + model.serialized_ns * j;
+      *slot = finish;
+    } else {
+      finish = clock.now() + parallel;
+    }
+    events.at(finish, [&, idx, id] { on_complete(idx, id); });
+  };
+
+  auto try_start = [&](std::uint32_t idx) {
+    while (auto id = replicas[idx].queue.start_next()) start_service(idx, *id);
+  };
+
+  auto dispatch = [&](std::uint64_t id) -> bool {
+    core::PoolMember* m = pool.acquire();
+    if (!m) {  // no warm replica at all
+      ++res.rejected;
+      return false;
+    }
+    Replica& r = replicas[m->index];
+    if (!r.queue.admit(id)) {  // 429: replica backlog full
+      pool.release(m);
+      ++res.rejected;
+      return false;
+    }
+    try_start(m->index);
+    return true;
+  };
+
+  on_complete = [&](std::uint32_t idx, std::uint64_t id) {
+    if (id >= cfg_.warmup_requests)
+      res.latency.record(clock.now() - arrival_ns[id]);
+    ++res.completed;
+    replicas[idx].queue.complete();
+    pool.release(&pool.member(idx));
+    try_start(idx);
+    if (closed)
+      events.after(cfg_.think_ns,
+                   [&, c = client_of[id]] { client_issue(c); });
+  };
+
+  // --- load generation -----------------------------------------------------
+  std::function<void()> on_open_arrival = [&] {
+    const std::uint64_t id = issued++;
+    arrival_ns.push_back(clock.now());
+    ++res.offered;
+    dispatch(id);
+    if (issued < cfg_.requests) events.after(arrivals.next_gap(),
+                                             on_open_arrival);
+  };
+
+  client_issue = [&](int c) {
+    if (issued >= cfg_.requests) return;
+    const std::uint64_t id = issued++;
+    arrival_ns.push_back(clock.now());
+    client_of.push_back(c);
+    ++res.offered;
+    if (!dispatch(id))  // rejected: the client backs off one think time
+      events.after(cfg_.think_ns, [&, c] { client_issue(c); });
+  };
+
+  if (closed) {
+    client_of.reserve(arrival_ns.capacity());
+    for (int c = 0; c < cfg_.closed_loop_clients; ++c)
+      events.after(static_cast<double>(c) * sim::kUs,
+                   [&, c] { client_issue(c); });
+  } else if (cfg_.requests > 0) {
+    events.after(arrivals.next_gap(), on_open_arrival);
+  }
+
+  // --- autoscaler ticks ----------------------------------------------------
+  std::function<void()> tick = [&] {
+    std::uint64_t in_service = 0, queued = 0;
+    for (const Replica& r : replicas) {
+      in_service += static_cast<std::uint64_t>(r.queue.in_service());
+      queued += r.queue.queued();
+    }
+    const int delta = scaler.evaluate(warm, booting, in_service, queued,
+                                      cfg_.queue.concurrency, clock.now());
+    if (delta > 0) {
+      int to_boot = delta;
+      for (std::uint32_t i = 0;
+           i < replicas.size() && to_boot > 0; ++i) {
+        if (replicas[i].state != Replica::State::kParked) continue;
+        replicas[i].state = Replica::State::kBooting;
+        ++booting;
+        --to_boot;
+        events.after(scfg.cold_start_ns, [&, i] {
+          if (replicas[i].state != Replica::State::kBooting) return;
+          replicas[i].state = Replica::State::kWarm;
+          pool.set_enabled(i, true);
+          --booting;
+          ++warm;
+          res.peak_warm = std::max(res.peak_warm, warm);
+        });
+      }
+    } else if (delta < 0) {
+      // Park the highest-index warm replica that is fully idle.
+      for (std::uint32_t i = static_cast<std::uint32_t>(replicas.size());
+           i-- > 0;) {
+        if (replicas[i].state != Replica::State::kWarm) continue;
+        if (!replicas[i].queue.idle() || pool.member(i).in_flight != 0)
+          continue;
+        replicas[i].state = Replica::State::kParked;
+        pool.set_enabled(i, false);
+        --warm;
+        break;
+      }
+    }
+    const bool work_left =
+        issued < cfg_.requests || in_service + queued > 0 || booting > 0;
+    if (work_left) events.after(scfg.tick_ns, tick);
+  };
+  events.after(scfg.tick_ns, tick);
+
+  events.run();
+
+  res.makespan_ns = clock.now();
+  res.scaler_trace = scaler.trace();
+  return res;
+}
+
+}  // namespace confbench::sched

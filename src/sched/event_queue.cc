@@ -1,0 +1,31 @@
+#include "sched/event_queue.h"
+
+#include <algorithm>
+#include <utility>
+
+namespace confbench::sched {
+
+void EventQueue::at(sim::Ns t, Action a) {
+  if (t < clock_.now()) t = clock_.now();
+  heap_.push_back(Event{t, next_seq_++, std::move(a)});
+  std::push_heap(heap_.begin(), heap_.end(), Later{});
+}
+
+bool EventQueue::step() {
+  if (heap_.empty()) return false;
+  std::pop_heap(heap_.begin(), heap_.end(), Later{});
+  Event ev = std::move(heap_.back());
+  heap_.pop_back();
+  clock_.advance(ev.time - clock_.now());
+  ++processed_;
+  ev.act();
+  return true;
+}
+
+std::uint64_t EventQueue::run(std::uint64_t max_events) {
+  std::uint64_t n = 0;
+  while (n < max_events && step()) ++n;
+  return n;
+}
+
+}  // namespace confbench::sched

@@ -1,0 +1,73 @@
+// Deterministic discrete-event engine over sim::VirtualClock.
+//
+// The cluster experiments simulate millions of concurrent requests without
+// threads: every state change (request arrival, service completion,
+// autoscaler tick, VM boot finishing) is an event scheduled at a virtual
+// timestamp, and the engine executes events in nondecreasing time order.
+//
+// Determinism contract: events are totally ordered by (time, seq) where
+// `seq` is the monotonically increasing schedule order. Two events at the
+// same virtual time therefore run in exactly the order they were scheduled,
+// on every run, machine and compiler — there is no hash-order, pointer or
+// wall-clock dependence anywhere in the engine. Handlers may schedule
+// further events (at or after the current time); scheduling in the past is
+// clamped to "now" so virtual time never moves backwards.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "sim/clock.h"
+#include "sim/time.h"
+
+namespace confbench::sched {
+
+class EventQueue {
+ public:
+  using Action = std::function<void()>;
+
+  explicit EventQueue(sim::VirtualClock& clock) : clock_(clock) {}
+
+  EventQueue(const EventQueue&) = delete;
+  EventQueue& operator=(const EventQueue&) = delete;
+
+  /// Schedules `a` at absolute virtual time `t` (clamped to now()).
+  void at(sim::Ns t, Action a);
+  /// Schedules `a` at now() + d.
+  void after(sim::Ns d, Action a) { at(clock_.now() + d, std::move(a)); }
+
+  /// Runs the earliest pending event, advancing the clock to its time.
+  /// Returns false when no event is pending.
+  bool step();
+
+  /// Runs events until the queue drains or `max_events` have run; returns
+  /// the number executed. The cap is a runaway guard for tests.
+  std::uint64_t run(std::uint64_t max_events = UINT64_MAX);
+
+  [[nodiscard]] bool empty() const { return heap_.empty(); }
+  [[nodiscard]] std::size_t pending() const { return heap_.size(); }
+  [[nodiscard]] sim::Ns now() const { return clock_.now(); }
+  [[nodiscard]] std::uint64_t processed() const { return processed_; }
+
+ private:
+  struct Event {
+    sim::Ns time;
+    std::uint64_t seq;
+    Action act;
+  };
+  /// Max-heap comparator inverted into a min-heap on (time, seq).
+  struct Later {
+    bool operator()(const Event& a, const Event& b) const {
+      if (a.time != b.time) return a.time > b.time;
+      return a.seq > b.seq;
+    }
+  };
+
+  sim::VirtualClock& clock_;
+  std::vector<Event> heap_;  ///< std::push_heap / std::pop_heap managed
+  std::uint64_t next_seq_ = 0;
+  std::uint64_t processed_ = 0;
+};
+
+}  // namespace confbench::sched

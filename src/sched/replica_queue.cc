@@ -1,0 +1,33 @@
+#include "sched/replica_queue.h"
+
+#include <algorithm>
+
+namespace confbench::sched {
+
+bool ReplicaQueue::admit(std::uint64_t request_id) {
+  const std::uint64_t cap = static_cast<std::uint64_t>(cfg_.concurrency) +
+                            static_cast<std::uint64_t>(cfg_.queue_depth);
+  if (backlog() >= cap) {
+    ++rejected_;
+    return false;
+  }
+  pending_.push_back(request_id);
+  peak_queued_ = std::max(peak_queued_, pending_.size());
+  ++admitted_;
+  return true;
+}
+
+std::optional<std::uint64_t> ReplicaQueue::start_next() {
+  if (pending_.empty() || in_service_ >= cfg_.concurrency)
+    return std::nullopt;
+  const std::uint64_t id = pending_.front();
+  pending_.pop_front();
+  ++in_service_;
+  return id;
+}
+
+void ReplicaQueue::complete() {
+  if (in_service_ > 0) --in_service_;
+}
+
+}  // namespace confbench::sched

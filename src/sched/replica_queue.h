@@ -1,0 +1,60 @@
+// Per-VM concurrency-limited request queue.
+//
+// Each warm VM replica serves at most `concurrency` requests at once (one
+// per vCPU worker) and buffers at most `queue_depth` more. A request that
+// would exceed queued + in-service capacity is rejected at admission — the
+// 429-style back-pressure a production gateway applies instead of letting
+// queues grow without bound. The queue is strict FIFO, so service order is
+// deterministic given the admission order.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <optional>
+
+namespace confbench::sched {
+
+struct QueueConfig {
+  int concurrency = 8;   ///< simultaneous in-service requests per VM
+  int queue_depth = 32;  ///< pending requests buffered beyond that
+};
+
+class ReplicaQueue {
+ public:
+  explicit ReplicaQueue(QueueConfig cfg = {}) : cfg_(cfg) {}
+
+  /// Admits a request. Returns false (reject with 429) when the replica is
+  /// at queued + in-service capacity.
+  bool admit(std::uint64_t request_id);
+
+  /// Pops the next request to start serving, if a concurrency slot is free
+  /// and something is pending. The caller must mark the returned request
+  /// as started (this call occupies the slot).
+  std::optional<std::uint64_t> start_next();
+
+  /// Releases one in-service slot (a request finished).
+  void complete();
+
+  [[nodiscard]] int in_service() const { return in_service_; }
+  [[nodiscard]] std::size_t queued() const { return pending_.size(); }
+  [[nodiscard]] std::uint64_t backlog() const {
+    return static_cast<std::uint64_t>(in_service_) + pending_.size();
+  }
+  [[nodiscard]] bool idle() const { return backlog() == 0; }
+  [[nodiscard]] const QueueConfig& config() const { return cfg_; }
+
+  // Lifetime stats for reporting.
+  [[nodiscard]] std::uint64_t admitted() const { return admitted_; }
+  [[nodiscard]] std::uint64_t rejected() const { return rejected_; }
+  [[nodiscard]] std::size_t peak_queued() const { return peak_queued_; }
+
+ private:
+  QueueConfig cfg_;
+  std::deque<std::uint64_t> pending_;
+  int in_service_ = 0;
+  std::uint64_t admitted_ = 0;
+  std::uint64_t rejected_ = 0;
+  std::size_t peak_queued_ = 0;
+};
+
+}  // namespace confbench::sched

@@ -1,0 +1,113 @@
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "core/pool.h"
+
+namespace confbench::core {
+namespace {
+
+TeePool make_pool(LoadBalancePolicy policy, int n = 3) {
+  TeePool p("tdx", policy);
+  for (int i = 0; i < n; ++i)
+    p.add_member({.host = "h" + std::to_string(i)});
+  return p;
+}
+
+TEST(TeePool, LeastLoadedPrefersLowestIndexOnFullTie) {
+  TeePool p = make_pool(LoadBalancePolicy::kLeastLoaded);
+  // All members identical (in_flight=0, served=0): index breaks the tie.
+  PoolMember* m = p.acquire();
+  ASSERT_NE(m, nullptr);
+  EXPECT_EQ(m->index, 0u);
+}
+
+TEST(TeePool, LeastLoadedSpreadsSequentialTraffic) {
+  // acquire/release one at a time: in_flight always ties at 0, so the
+  // served tie-break rotates through the members.
+  TeePool p = make_pool(LoadBalancePolicy::kLeastLoaded);
+  std::vector<std::uint32_t> picks;
+  for (int i = 0; i < 6; ++i) {
+    PoolMember* m = p.acquire();
+    picks.push_back(m->index);
+    p.release(m);
+  }
+  EXPECT_EQ(picks, (std::vector<std::uint32_t>{0, 1, 2, 0, 1, 2}));
+}
+
+TEST(TeePool, LeastLoadedIsDeterministicAcrossRuns) {
+  // Concurrent traffic (no release between acquires): two identical pools
+  // must pick the identical member sequence.
+  TeePool a = make_pool(LoadBalancePolicy::kLeastLoaded);
+  TeePool b = make_pool(LoadBalancePolicy::kLeastLoaded);
+  for (int i = 0; i < 20; ++i) {
+    EXPECT_EQ(a.acquire()->index, b.acquire()->index) << "step " << i;
+  }
+}
+
+TEST(TeePool, RandomPolicyIsSeedDeterministic) {
+  // The RNG is seeded from the pool's TEE name: same name, same stream.
+  TeePool a = make_pool(LoadBalancePolicy::kRandom, 5);
+  TeePool b = make_pool(LoadBalancePolicy::kRandom, 5);
+  for (int i = 0; i < 50; ++i)
+    EXPECT_EQ(a.acquire()->index, b.acquire()->index);
+}
+
+TEST(TeePool, DisabledMembersAreSkippedByEveryPolicy) {
+  for (const auto policy :
+       {LoadBalancePolicy::kRoundRobin, LoadBalancePolicy::kLeastLoaded,
+        LoadBalancePolicy::kRandom}) {
+    TeePool p = make_pool(policy, 4);
+    p.set_enabled(0, false);
+    p.set_enabled(2, false);
+    EXPECT_EQ(p.enabled_count(), 2u);
+    for (int i = 0; i < 12; ++i) {
+      PoolMember* m = p.acquire();
+      ASSERT_NE(m, nullptr);
+      EXPECT_TRUE(m->index == 1 || m->index == 3)
+          << "policy " << static_cast<int>(policy);
+      p.release(m);
+    }
+  }
+}
+
+TEST(TeePool, AcquireReturnsNullWhenAllDisabled) {
+  TeePool p = make_pool(LoadBalancePolicy::kRoundRobin, 2);
+  p.set_enabled(0, false);
+  p.set_enabled(1, false);
+  EXPECT_EQ(p.acquire(), nullptr);
+  p.set_enabled(1, true);
+  ASSERT_NE(p.acquire(), nullptr);
+}
+
+TEST(TeePool, MemberPointersSurviveGrowth) {
+  // The autoscaler adds replicas while requests hold PoolMember pointers;
+  // deque storage keeps them valid.
+  TeePool p("tdx", LoadBalancePolicy::kLeastLoaded);
+  p.add_member({.host = "first"});
+  PoolMember* held = p.acquire();
+  ASSERT_NE(held, nullptr);
+  for (int i = 0; i < 200; ++i)
+    p.add_member({.host = "grown" + std::to_string(i)});
+  EXPECT_EQ(held->host, "first");
+  EXPECT_EQ(held->in_flight, 1u);
+  p.release(held);
+  EXPECT_EQ(held->in_flight, 0u);
+  EXPECT_EQ(p.size(), 201u);
+  EXPECT_EQ(p.member(5).index, 5u);
+}
+
+TEST(TeePool, ReleaseOnBusiestRebalances) {
+  TeePool p = make_pool(LoadBalancePolicy::kLeastLoaded);
+  PoolMember* a = p.acquire();  // h0
+  PoolMember* b = p.acquire();  // h1
+  PoolMember* c = p.acquire();  // h2
+  EXPECT_EQ(a->index, 0u);
+  EXPECT_EQ(b->index, 1u);
+  EXPECT_EQ(c->index, 2u);
+  p.release(b);  // h1 now least loaded (in_flight 0)
+  EXPECT_EQ(p.acquire()->index, 1u);
+}
+
+}  // namespace
+}  // namespace confbench::core

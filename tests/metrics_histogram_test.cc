@@ -1,0 +1,163 @@
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "metrics/histogram.h"
+#include "metrics/stats.h"
+#include "sim/rng.h"
+
+namespace confbench::metrics {
+namespace {
+
+// Worst-case relative error of a bucket-midpoint quantile estimate: half a
+// bucket in log space, i.e. 10^(1/(2*40)) - 1 ~ 2.92%. Allow 4% for the
+// nearest-rank-vs-interpolation difference at the distribution edges.
+constexpr double kQuantileTolerance = 0.04;
+
+void expect_quantiles_match(const LogHistogram& h, std::vector<double> xs) {
+  for (const double q : {0.50, 0.90, 0.95, 0.99, 0.999}) {
+    const double exact = percentile(xs, q * 100.0);
+    const double est = h.quantile(q);
+    EXPECT_NEAR(est / exact, 1.0, kQuantileTolerance)
+        << "q=" << q << " exact=" << exact << " est=" << est;
+  }
+}
+
+TEST(LogHistogram, CountsSumMinMax) {
+  LogHistogram h;
+  h.record(1000);
+  h.record(2000);
+  h.record(500);
+  EXPECT_EQ(h.count(), 3u);
+  EXPECT_DOUBLE_EQ(h.sum(), 3500);
+  EXPECT_DOUBLE_EQ(h.min(), 500);
+  EXPECT_DOUBLE_EQ(h.max(), 2000);
+  EXPECT_NEAR(h.mean(), 1166.67, 0.01);
+}
+
+TEST(LogHistogram, EmptyIsAllZero) {
+  const LogHistogram h;
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_DOUBLE_EQ(h.quantile(0.5), 0);
+  EXPECT_DOUBLE_EQ(h.min(), 0);
+  EXPECT_DOUBLE_EQ(h.max(), 0);
+}
+
+TEST(LogHistogram, SingleValueQuantilesAreExact) {
+  LogHistogram h;
+  h.record(3.7 * 1e6);
+  for (const double q : {0.0, 0.5, 0.99, 1.0})
+    EXPECT_DOUBLE_EQ(h.quantile(q), 3.7 * 1e6);  // clamped to [min, max]
+}
+
+TEST(LogHistogram, QuantileAccuracyUniform) {
+  sim::Rng rng(7);
+  LogHistogram h;
+  std::vector<double> xs;
+  for (int i = 0; i < 100000; ++i) {
+    const double v = 1e5 + rng.next_double() * 9.9e6;  // 0.1 .. 10 ms
+    xs.push_back(v);
+    h.record(v);
+  }
+  expect_quantiles_match(h, xs);
+}
+
+TEST(LogHistogram, QuantileAccuracyLognormal) {
+  // Heavy-tailed latencies: the regime the histogram exists for.
+  sim::Rng rng(11);
+  LogHistogram h;
+  std::vector<double> xs;
+  for (int i = 0; i < 100000; ++i) {
+    const double v = 1e6 * rng.jitter(0.8);  // median 1 ms, long tail
+    xs.push_back(v);
+    h.record(v);
+  }
+  expect_quantiles_match(h, xs);
+}
+
+TEST(LogHistogram, OutOfRangeValuesClampIntoEdgeBuckets) {
+  LogHistogram h;
+  h.record(0.001);  // below 1 ns
+  h.record(1e15);   // beyond the top decade
+  EXPECT_EQ(h.count(), 2u);
+  EXPECT_EQ(h.bucket_count(0), 1u);
+  EXPECT_EQ(h.bucket_count(LogHistogram::kBuckets - 1), 1u);
+  EXPECT_DOUBLE_EQ(h.min(), 0.001);  // exact extremes are preserved
+  EXPECT_DOUBLE_EQ(h.max(), 1e15);
+}
+
+LogHistogram sampled(std::uint64_t seed, double scale, int n) {
+  sim::Rng rng(seed);
+  LogHistogram h;
+  for (int i = 0; i < n; ++i) h.record(scale * rng.jitter(0.5));
+  return h;
+}
+
+TEST(LogHistogram, MergeMatchesCombinedRecording) {
+  sim::Rng rng(3);
+  LogHistogram all, left, right;
+  for (int i = 0; i < 20000; ++i) {
+    const double v = 5e5 * rng.jitter(0.6);
+    all.record(v);
+    (i % 2 ? left : right).record(v);
+  }
+  left.merge(right);
+  EXPECT_EQ(left.count(), all.count());
+  EXPECT_DOUBLE_EQ(left.min(), all.min());
+  EXPECT_DOUBLE_EQ(left.max(), all.max());
+  for (int i = 0; i < LogHistogram::kBuckets; ++i)
+    EXPECT_EQ(left.bucket_count(i), all.bucket_count(i)) << "bucket " << i;
+  for (const double q : {0.5, 0.99})
+    EXPECT_DOUBLE_EQ(left.quantile(q), all.quantile(q));
+}
+
+TEST(LogHistogram, MergeIsAssociative) {
+  const LogHistogram a = sampled(1, 1e5, 5000);
+  const LogHistogram b = sampled(2, 1e6, 7000);
+  const LogHistogram c = sampled(3, 1e7, 3000);
+
+  LogHistogram ab_c = a;  // (a + b) + c
+  ab_c.merge(b);
+  ab_c.merge(c);
+  LogHistogram bc = b;  // a + (b + c)
+  bc.merge(c);
+  LogHistogram a_bc = a;
+  a_bc.merge(bc);
+
+  EXPECT_EQ(ab_c.count(), a_bc.count());
+  EXPECT_DOUBLE_EQ(ab_c.min(), a_bc.min());
+  EXPECT_DOUBLE_EQ(ab_c.max(), a_bc.max());
+  for (int i = 0; i < LogHistogram::kBuckets; ++i)
+    EXPECT_EQ(ab_c.bucket_count(i), a_bc.bucket_count(i)) << "bucket " << i;
+  for (const double q : {0.5, 0.95, 0.999})
+    EXPECT_DOUBLE_EQ(ab_c.quantile(q), a_bc.quantile(q));
+  EXPECT_NEAR(ab_c.sum(), a_bc.sum(), 1e-6 * ab_c.sum());
+}
+
+TEST(LogHistogram, MergeWithEmptyIsIdentity) {
+  LogHistogram a = sampled(5, 1e6, 1000);
+  const double p99 = a.quantile(0.99);
+  a.merge(LogHistogram{});
+  EXPECT_EQ(a.count(), 1000u);
+  EXPECT_DOUBLE_EQ(a.quantile(0.99), p99);
+  LogHistogram empty;
+  empty.merge(a);
+  EXPECT_EQ(empty.count(), a.count());
+  EXPECT_DOUBLE_EQ(empty.quantile(0.99), a.quantile(0.99));
+}
+
+TEST(LogHistogram, BucketBoundsArePowersOfTen) {
+  EXPECT_DOUBLE_EQ(LogHistogram::bucket_lo(0), 1.0);
+  EXPECT_NEAR(LogHistogram::bucket_lo(LogHistogram::kBucketsPerDecade), 10.0,
+              1e-9);
+  EXPECT_NEAR(
+      LogHistogram::bucket_lo(3 * LogHistogram::kBucketsPerDecade), 1e3,
+      1e-6);
+  // A value strictly inside a bucket maps to it.
+  const int i = LogHistogram::bucket_index(1e6);
+  EXPECT_LE(LogHistogram::bucket_lo(i), 1e6 * (1 + 1e-12));
+  EXPECT_GT(LogHistogram::bucket_hi(i) * (1 + 1e-12), 1e6);
+}
+
+}  // namespace
+}  // namespace confbench::metrics

@@ -1,0 +1,133 @@
+// Network fault injection interacting with gateway retries: transport
+// failures (drops -> 504, corruption -> 502) must be retried with fresh
+// pool selection, surface in InvocationRecord::retries/error exactly as
+// documented, and be bit-deterministic run to run.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "core/confbench.h"
+
+namespace confbench::core {
+namespace {
+
+GatewayConfig single_tdx_config() {
+  GatewayConfig cfg;
+  cfg.endpoints.push_back({"tdx", "host-tdx", 8100, 8200});
+  return cfg;
+}
+
+struct Outcome {
+  int status;
+  int retries;
+  bool has_error;
+  bool operator==(const Outcome& o) const {
+    return status == o.status && retries == o.retries &&
+           has_error == o.has_error;
+  }
+};
+
+std::vector<Outcome> run_sequence(ConfBench& system,
+                                  const net::FaultConfig& faults, int n) {
+  system.network().set_faults(faults);
+  std::vector<Outcome> out;
+  for (int t = 0; t < n; ++t) {
+    const InvocationRecord rec = system.gateway().invoke(
+        "factors", "lua", "tdx", /*secure=*/false,
+        static_cast<std::uint64_t>(t));
+    out.push_back({rec.http_status, rec.retries, !rec.error.empty()});
+  }
+  return out;
+}
+
+TEST(GatewayFaults, NoFaultsMeansNoRetries) {
+  ConfBench system(single_tdx_config());
+  for (const Outcome& o : run_sequence(system, {}, 5)) {
+    EXPECT_EQ(o.status, 200);
+    EXPECT_EQ(o.retries, 0);
+    EXPECT_FALSE(o.has_error);
+  }
+}
+
+TEST(GatewayFaults, PermanentDropExhaustsRetriesWith504) {
+  ConfBench system(single_tdx_config());
+  const auto outcomes = run_sequence(
+      system, {.drop_rate = 1.0, .corrupt_rate = 0, .timeout_us = 500}, 3);
+  for (const Outcome& o : outcomes) {
+    EXPECT_EQ(o.status, 504);
+    EXPECT_EQ(o.retries, system.gateway().config().max_retries);
+    EXPECT_TRUE(o.has_error);
+  }
+}
+
+TEST(GatewayFaults, PermanentCorruptionExhaustsRetriesWith502) {
+  ConfBench system(single_tdx_config());
+  const auto outcomes = run_sequence(
+      system, {.drop_rate = 0, .corrupt_rate = 1.0, .timeout_us = 500}, 3);
+  for (const Outcome& o : outcomes) {
+    EXPECT_EQ(o.status, 502);
+    EXPECT_EQ(o.retries, system.gateway().config().max_retries);
+    EXPECT_TRUE(o.has_error);
+  }
+  EXPECT_GT(system.network().faults_injected(), 0u);
+}
+
+TEST(GatewayFaults, MixedFaultsRecoverThroughRetries) {
+  ConfBench system(single_tdx_config());
+  const auto outcomes = run_sequence(
+      system, {.drop_rate = 0.35, .corrupt_rate = 0.15, .timeout_us = 500},
+      40);
+  int recovered = 0, failed = 0;
+  for (const Outcome& o : outcomes) {
+    if (o.status == 200) {
+      EXPECT_FALSE(o.has_error);
+      recovered += o.retries > 0;  // succeeded after >= 1 transport retry
+    } else {
+      // Only transport statuses can leak out of the retry loop.
+      EXPECT_TRUE(o.status == 504 || o.status == 502);
+      EXPECT_TRUE(o.has_error);
+      ++failed;
+    }
+  }
+  // With P(fail) = 0.5 per attempt and 3 attempts, expect a healthy mix of
+  // clean wins, retried wins and exhausted failures. Deterministic seed:
+  // the exact split is fixed; these bounds document the regime.
+  EXPECT_GT(recovered, 0);
+  EXPECT_GT(failed, 0);
+  EXPECT_LT(failed, 40);
+}
+
+TEST(GatewayFaults, FaultInteractionIsDeterministic) {
+  const net::FaultConfig faults{.drop_rate = 0.3, .corrupt_rate = 0.2,
+                                .timeout_us = 700};
+  ConfBench a(single_tdx_config());
+  ConfBench b(single_tdx_config());
+  const auto ra = run_sequence(a, faults, 60);
+  const auto rb = run_sequence(b, faults, 60);
+  ASSERT_EQ(ra.size(), rb.size());
+  for (std::size_t i = 0; i < ra.size(); ++i)
+    EXPECT_TRUE(ra[i] == rb[i]) << "diverged at invocation " << i;
+  EXPECT_EQ(a.network().faults_injected(), b.network().faults_injected());
+  EXPECT_EQ(a.network().requests_sent(), b.network().requests_sent());
+}
+
+TEST(GatewayFaults, NetworkSeedDecorrelatesFaultPattern) {
+  // Same fault rates, different fabric seeds: the drop pattern must differ
+  // (while each seed remains individually reproducible).
+  auto pattern = [](std::uint64_t seed) {
+    net::Network net(180.0, 0.8, seed);
+    net.bind("h", 80, [](const net::HttpRequest&) {
+      return net::HttpResponse::make(200, "ok");
+    });
+    net.set_faults({.drop_rate = 0.5, .corrupt_rate = 0, .timeout_us = 100});
+    std::vector<int> statuses;
+    for (int i = 0; i < 64; ++i)
+      statuses.push_back(net.roundtrip("h", 80, net::HttpRequest{}).status);
+    return statuses;
+  };
+  EXPECT_EQ(pattern(1), pattern(1));
+  EXPECT_NE(pattern(1), pattern(2));
+}
+
+}  // namespace
+}  // namespace confbench::core

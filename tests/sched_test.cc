@@ -1,0 +1,298 @@
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "sched/arrivals.h"
+#include "sched/autoscaler.h"
+#include "sched/cluster.h"
+#include "sched/event_queue.h"
+#include "sched/replica_queue.h"
+#include "sim/clock.h"
+
+namespace confbench::sched {
+namespace {
+
+// --- EventQueue -------------------------------------------------------------
+
+TEST(EventQueue, RunsInTimeOrder) {
+  sim::VirtualClock clock;
+  EventQueue q(clock);
+  std::vector<int> order;
+  q.at(30, [&] { order.push_back(3); });
+  q.at(10, [&] { order.push_back(1); });
+  q.at(20, [&] { order.push_back(2); });
+  q.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_DOUBLE_EQ(clock.now(), 30);
+}
+
+TEST(EventQueue, EqualTimesRunInScheduleOrder) {
+  sim::VirtualClock clock;
+  EventQueue q(clock);
+  std::vector<int> order;
+  for (int i = 0; i < 8; ++i) q.at(100, [&order, i] { order.push_back(i); });
+  q.run();
+  ASSERT_EQ(order.size(), 8u);
+  for (int i = 0; i < 8; ++i) EXPECT_EQ(order[static_cast<std::size_t>(i)], i);
+}
+
+TEST(EventQueue, HandlersScheduleFurtherEvents) {
+  sim::VirtualClock clock;
+  EventQueue q(clock);
+  int hops = 0;
+  std::function<void()> hop = [&] {
+    if (++hops < 5) q.after(10, hop);
+  };
+  q.after(10, hop);
+  EXPECT_EQ(q.run(), 5u);
+  EXPECT_EQ(hops, 5);
+  EXPECT_DOUBLE_EQ(clock.now(), 50);
+}
+
+TEST(EventQueue, PastSchedulingClampsToNow) {
+  sim::VirtualClock clock;
+  EventQueue q(clock);
+  sim::Ns seen = -1;
+  q.at(100, [&] {
+    q.at(5, [&] { seen = clock.now(); });  // in the past: runs "now"
+  });
+  q.run();
+  EXPECT_DOUBLE_EQ(seen, 100);
+}
+
+TEST(EventQueue, RunRespectsEventCap) {
+  sim::VirtualClock clock;
+  EventQueue q(clock);
+  std::function<void()> forever = [&] { q.after(1, forever); };
+  q.after(1, forever);
+  EXPECT_EQ(q.run(1000), 1000u);
+  EXPECT_FALSE(q.empty());
+}
+
+// --- ArrivalProcess ---------------------------------------------------------
+
+TEST(Arrivals, FixedRateIsExact) {
+  ArrivalProcess a(ArrivalKind::kFixedRate, 1000.0, 7);  // 1k rps -> 1ms
+  for (int i = 0; i < 10; ++i) EXPECT_DOUBLE_EQ(a.next_gap(), 1 * sim::kMs);
+}
+
+TEST(Arrivals, PoissonMeanMatchesRate) {
+  ArrivalProcess a(ArrivalKind::kPoisson, 500.0, 42);
+  double sum = 0;
+  const int n = 50000;
+  for (int i = 0; i < n; ++i) sum += a.next_gap();
+  const double mean_ms = sum / n / sim::kMs;
+  EXPECT_NEAR(mean_ms, 2.0, 0.1);  // 500 rps -> 2 ms mean gap
+}
+
+TEST(Arrivals, SameSeedSameTrace) {
+  ArrivalProcess a(ArrivalKind::kPoisson, 100.0, 99);
+  ArrivalProcess b(ArrivalKind::kPoisson, 100.0, 99);
+  for (int i = 0; i < 100; ++i) EXPECT_DOUBLE_EQ(a.next_gap(), b.next_gap());
+}
+
+// --- ReplicaQueue -----------------------------------------------------------
+
+TEST(ReplicaQueue, RejectsBeyondCapacity) {
+  ReplicaQueue q({.concurrency = 2, .queue_depth = 3});
+  for (std::uint64_t i = 0; i < 5; ++i) EXPECT_TRUE(q.admit(i));
+  EXPECT_FALSE(q.admit(5));  // 429
+  EXPECT_EQ(q.admitted(), 5u);
+  EXPECT_EQ(q.rejected(), 1u);
+}
+
+TEST(ReplicaQueue, FifoServiceWithinConcurrencyLimit) {
+  ReplicaQueue q({.concurrency = 2, .queue_depth = 8});
+  for (std::uint64_t i = 0; i < 4; ++i) ASSERT_TRUE(q.admit(i));
+  EXPECT_EQ(q.start_next(), std::optional<std::uint64_t>(0));
+  EXPECT_EQ(q.start_next(), std::optional<std::uint64_t>(1));
+  EXPECT_EQ(q.start_next(), std::nullopt);  // both slots busy
+  q.complete();
+  EXPECT_EQ(q.start_next(), std::optional<std::uint64_t>(2));
+  EXPECT_EQ(q.in_service(), 2);
+  EXPECT_EQ(q.queued(), 1u);
+}
+
+TEST(ReplicaQueue, CompleteFreesCapacityForAdmission) {
+  ReplicaQueue q({.concurrency = 1, .queue_depth = 0});
+  ASSERT_TRUE(q.admit(0));
+  ASSERT_TRUE(q.start_next().has_value());
+  EXPECT_FALSE(q.admit(1));
+  q.complete();
+  EXPECT_TRUE(q.admit(1));
+}
+
+// --- Autoscaler -------------------------------------------------------------
+
+TEST(Autoscaler, BootsOnHighUtilization) {
+  Autoscaler s({.min_warm = 1, .max_replicas = 4});
+  // 1 warm replica, 8 slots all busy, backlog queued.
+  EXPECT_GT(s.evaluate(1, 0, 8, 20, 8, 0), 0);
+}
+
+TEST(Autoscaler, NeverExceedsMaxReplicas) {
+  Autoscaler s({.min_warm = 1, .max_replicas = 2});
+  EXPECT_EQ(s.evaluate(2, 0, 16, 100, 8, 0), 0);
+  EXPECT_EQ(s.evaluate(1, 1, 8, 100, 8, 0), 0);  // booting counts as capacity
+}
+
+TEST(Autoscaler, ParksOnlyAfterPatience) {
+  Autoscaler s({.min_warm = 1,
+                .max_replicas = 4,
+                .scale_down_patience = 3});
+  EXPECT_EQ(s.evaluate(3, 0, 0, 0, 8, 0), 0);
+  EXPECT_EQ(s.evaluate(3, 0, 0, 0, 8, 1), 0);
+  EXPECT_EQ(s.evaluate(3, 0, 0, 0, 8, 2), -1);
+  // Patience restarts after a decision.
+  EXPECT_EQ(s.evaluate(2, 0, 0, 0, 8, 3), 0);
+}
+
+TEST(Autoscaler, HoldsAtMinWarm) {
+  Autoscaler s({.min_warm = 2, .max_replicas = 4, .scale_down_patience = 1});
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(s.evaluate(2, 0, 0, 0, 8, i), 0);
+}
+
+// --- ClusterExperiment (pure simulation via run_with_model) -----------------
+
+ClusterConfig base_config() {
+  ClusterConfig cfg;
+  cfg.requests = 20000;
+  cfg.seed = 1234;
+  cfg.queue = {.concurrency = 8, .queue_depth = 16};
+  cfg.scaler = {.min_warm = 1, .max_replicas = 4, .tick_ns = 20 * sim::kMs};
+  return cfg;
+}
+
+ServiceModel cpu_model() {
+  ServiceModel m;
+  m.parallel_ns = 1 * sim::kMs;
+  m.serialized_ns = 0;
+  m.jitter_sigma = 0.02;
+  m.cold_start_ns = 0.5 * sim::kSec;
+  return m;
+}
+
+TEST(ClusterExperiment, DeterministicAcrossRuns) {
+  ClusterConfig cfg = base_config();
+  cfg.rate_rps = 6000;
+  const ClusterExperiment ex(cfg);
+  const ClusterResult a = ex.run_with_model(cpu_model());
+  const ClusterResult b = ex.run_with_model(cpu_model());
+  EXPECT_EQ(a.offered, b.offered);
+  EXPECT_EQ(a.completed, b.completed);
+  EXPECT_EQ(a.rejected, b.rejected);
+  EXPECT_DOUBLE_EQ(a.makespan_ns, b.makespan_ns);
+  EXPECT_DOUBLE_EQ(a.latency.p99(), b.latency.p99());
+  EXPECT_DOUBLE_EQ(a.latency.sum(), b.latency.sum());
+  EXPECT_EQ(a.peak_warm, b.peak_warm);
+}
+
+TEST(ClusterExperiment, LightLoadSeesNoQueueing) {
+  ClusterConfig cfg = base_config();
+  cfg.requests = 5000;
+  cfg.rate_rps = 500;  // one replica sustains 8000 rps of 1ms requests
+  const ClusterResult r = ClusterExperiment(cfg).run_with_model(cpu_model());
+  EXPECT_EQ(r.rejected, 0u);
+  EXPECT_EQ(r.completed, r.offered);
+  // p99 stays near the bare service time: almost no waiting.
+  EXPECT_LT(r.latency.p99(), 1.5 * sim::kMs);
+  EXPECT_LT(r.queue_wait.p99(), 0.2 * sim::kMs);
+}
+
+TEST(ClusterExperiment, OverloadRejectsAndThroughputSaturates) {
+  ClusterConfig cfg = base_config();
+  cfg.rate_rps = 100000;  // ~3x the 4-replica fleet capacity (32k rps)
+  cfg.scaler.min_warm = 4;  // pre-warmed: isolate steady-state saturation
+  const ClusterExperiment ex(cfg);
+  const ClusterResult r = ex.run_with_model(cpu_model());
+  EXPECT_GT(r.rejected, 0u);
+  const double cap = ex.fleet_capacity_rps(cpu_model());
+  EXPECT_NEAR(r.throughput_rps(), cap, 0.35 * cap);
+  // Latency is bounded by the queue depth, not the offered load.
+  const double worst_wait_ns =
+      (cfg.queue.queue_depth / 8.0 + 1.0) * 2 * sim::kMs;
+  EXPECT_LT(r.latency.p99(), worst_wait_ns + 2 * sim::kMs);
+}
+
+TEST(ClusterExperiment, AutoscalerAddsReplicasUnderLoad) {
+  ClusterConfig cfg = base_config();
+  cfg.rate_rps = 20000;  // needs ~3 replicas at 8k rps each
+  const ClusterResult r = ClusterExperiment(cfg).run_with_model(cpu_model());
+  EXPECT_GT(r.peak_warm, 1);
+  EXPECT_LE(r.peak_warm, cfg.scaler.max_replicas);
+  EXPECT_FALSE(r.scaler_trace.empty());
+  // Once scaled, the fleet should complete the large majority of traffic.
+  EXPECT_GT(static_cast<double>(r.completed),
+            0.6 * static_cast<double>(r.offered));
+}
+
+TEST(ClusterExperiment, SerializedPortionCapsThroughput) {
+  // Same total service time; one model funnels half of it through the
+  // per-VM bounce-buffer path. Under pressure the serialized fleet must
+  // deliver strictly less.
+  ServiceModel parallel = cpu_model();
+  ServiceModel bounced = cpu_model();
+  bounced.parallel_ns = 0.5 * sim::kMs;
+  bounced.serialized_ns = 0.5 * sim::kMs;
+  bounced.bounce_slots = 1;
+  ClusterConfig cfg = base_config();
+  cfg.rate_rps = 30000;
+  const ClusterExperiment ex(cfg);
+  const double tput_parallel =
+      ex.run_with_model(parallel).throughput_rps();
+  const double tput_bounced = ex.run_with_model(bounced).throughput_rps();
+  EXPECT_LT(tput_bounced, 0.5 * tput_parallel);
+  // And the model's capacity predicts it: 1/serialized = 2k rps per VM.
+  EXPECT_NEAR(bounced.replica_capacity_rps(8), 2000, 1);
+}
+
+TEST(ClusterExperiment, BounceSlotsScaleSerializedCapacity) {
+  ServiceModel m = cpu_model();
+  m.parallel_ns = 0.1 * sim::kMs;
+  m.serialized_ns = 0.9 * sim::kMs;
+  m.bounce_slots = 1;
+  const double one_slot = m.replica_capacity_rps(8);
+  m.bounce_slots = 4;
+  EXPECT_NEAR(m.replica_capacity_rps(8), 4 * one_slot, 1e-6);
+  // Enough slots: the parallel portion becomes the binding constraint.
+  m.bounce_slots = 64;
+  EXPECT_NEAR(m.replica_capacity_rps(8), 8 * sim::kSec / m.total_ns(), 1e-6);
+
+  // End to end: more slots -> strictly more delivered throughput under an
+  // overload that saturates the bounce path.
+  ClusterConfig cfg = base_config();
+  cfg.rate_rps = 30000;
+  cfg.scaler.min_warm = 4;
+  ServiceModel narrow = m, wide = m;
+  narrow.bounce_slots = 1;
+  wide.bounce_slots = 4;
+  const ClusterExperiment ex(cfg);
+  EXPECT_GT(ex.run_with_model(wide).throughput_rps(),
+            1.5 * ex.run_with_model(narrow).throughput_rps());
+}
+
+TEST(ClusterExperiment, ClosedLoopIssuesAllRequests) {
+  ClusterConfig cfg = base_config();
+  cfg.requests = 2000;
+  cfg.closed_loop_clients = 16;
+  cfg.think_ns = 0.5 * sim::kMs;
+  const ClusterResult r = ClusterExperiment(cfg).run_with_model(cpu_model());
+  EXPECT_EQ(r.offered, cfg.requests);
+  EXPECT_EQ(r.completed + r.rejected, r.offered);
+  // 16 clients over 8+ slots: no admission pressure.
+  EXPECT_EQ(r.rejected, 0u);
+}
+
+TEST(ClusterExperiment, ResultJsonIsComplete) {
+  ClusterConfig cfg = base_config();
+  cfg.requests = 500;
+  cfg.rate_rps = 1000;
+  const ClusterResult r = ClusterExperiment(cfg).run_with_model(cpu_model());
+  const std::string js = r.to_json();
+  EXPECT_NE(js.find("\"throughput_rps\""), std::string::npos);
+  EXPECT_NE(js.find("\"p999\""), std::string::npos);
+  EXPECT_NE(js.find("\"cold_start_ns\""), std::string::npos);
+}
+
+}  // namespace
+}  // namespace confbench::sched
