@@ -43,8 +43,11 @@ int main() {
     core::ConfBench system(three_host_config(policy));
     auto& gw = system.gateway();
     for (int i = 0; i < kRequests; ++i) {
-      const auto rec = gw.invoke("fib", "lua", "tdx", i % 2 == 0,
-                                 static_cast<std::uint64_t>(i));
+      const auto rec = gw.invoke({.function = "fib",
+                                  .language = "lua",
+                                  .platform = "tdx",
+                                  .secure = i % 2 == 0,
+                                  .trial = static_cast<std::uint64_t>(i)});
       if (!rec.ok()) {
         std::fprintf(stderr, "request failed: %s\n", rec.error.c_str());
         return 1;

@@ -1,0 +1,197 @@
+// Trace attribution — decomposing the secure-vs-normal latency delta.
+//
+// The heatmaps say a secure VM is N% slower; this bench says *where* the
+// extra time goes. Every invocation runs under the obs:: tracer, whose
+// category charges partition the trace timeline exactly, so the
+// secure-minus-normal difference of per-category means decomposes the
+// observed latency delta into named mechanisms: memory protection, VM
+// exits, bounce-buffer copies, OS assists, compute drift from different
+// cache layouts.
+//
+// Outputs (byte-identical across runs of the same build — the CI diff
+// depends on it):
+//   <outdir>/trace_attribution.json   Chrome trace-event dump of every
+//                                     trace (open in ui.perfetto.dev)
+//   <outdir>/trace_attribution.csv    per-trace per-category charge totals
+//
+// Exit status is non-zero unless the per-category deltas explain >= 90% of
+// the record-level latency delta on tdx/iostress (the paper's worst case).
+#include <array>
+#include <cmath>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "core/confbench.h"
+#include "metrics/table.h"
+#include "obs/export.h"
+#include "obs/trace.h"
+#include "sched/cluster.h"
+
+using namespace confbench;
+
+namespace {
+
+constexpr int kTrials = 4;
+constexpr std::size_t kNumCategories =
+    static_cast<std::size_t>(obs::Category::kCount);
+
+const char* kPlatforms[] = {"tdx", "sev-snp", "cca"};
+const char* kWorkloads[] = {"iostress", "fib", "primes"};
+
+struct ModeStats {
+  std::array<double, kNumCategories> mean_ns{};  ///< per-category trace mean
+  double trace_ns = 0;    ///< mean trace timeline (sum of all charges)
+  double latency_ns = 0;  ///< mean record-level latency (incl. trial jitter)
+};
+
+ModeStats run_mode(const std::string& platform, const std::string& function,
+                   bool secure, obs::Tracer& tracer) {
+  // A fresh deployment per mode keeps every combination's RNG streams
+  // independent of evaluation order.
+  core::ConfBench system(core::GatewayConfig::standard());
+  system.gateway().upload_all_builtin();
+  ModeStats stats;
+  for (int t = 0; t < kTrials; ++t) {
+    const core::InvocationRecord rec = system.gateway().invoke(
+        {.function = function,
+         .language = "go",
+         .platform = platform,
+         .secure = secure,
+         .trial = static_cast<std::uint64_t>(t),
+         .tracer = &tracer});
+    if (!rec.ok()) {
+      std::fprintf(stderr, "invoke failed (%s/%s): %s\n", platform.c_str(),
+                   function.c_str(), rec.error.c_str());
+      std::exit(1);
+    }
+    const obs::Trace* tr = tracer.find(rec.trace_id);
+    for (std::size_t c = 0; c < kNumCategories; ++c) {
+      const double ns = tr->charge_totals()[c].total_ns;
+      stats.mean_ns[c] += ns / kTrials;
+      stats.trace_ns += ns / kTrials;
+    }
+    stats.latency_ns += rec.latency_ns / kTrials;
+  }
+  return stats;
+}
+
+/// Attribution coverage: how much of the record-level delta the categorised
+/// trace deltas explain. The trace timeline is the unjittered charge sum,
+/// so coverage < 1 measures trial jitter plus anything uninstrumented.
+double coverage(const ModeStats& sec, const ModeStats& nrm) {
+  const double record_delta = sec.latency_ns - nrm.latency_ns;
+  if (record_delta == 0) return 1.0;
+  double attributed = 0;
+  for (std::size_t c = 0; c < kNumCategories; ++c)
+    attributed += sec.mean_ns[c] - nrm.mean_ns[c];
+  return attributed / record_delta;
+}
+
+void print_attribution(const char* platform, const char* function,
+                       const ModeStats& sec, const ModeStats& nrm) {
+  const double delta = sec.trace_ns - nrm.trace_ns;
+  std::printf("%s / %s (go): secure %.3f ms, normal %.3f ms, delta %+.3f ms "
+              "(record-level coverage %.1f%%)\n",
+              platform, function, sec.trace_ns / sim::kMs,
+              nrm.trace_ns / sim::kMs, delta / sim::kMs,
+              100.0 * coverage(sec, nrm));
+  metrics::Table table({"category", "secure ms", "normal ms", "delta ms",
+                        "share %"});
+  for (std::size_t c = 0; c < kNumCategories; ++c) {
+    const double d = sec.mean_ns[c] - nrm.mean_ns[c];
+    if (sec.mean_ns[c] == 0 && nrm.mean_ns[c] == 0) continue;
+    table.add_row(
+        {std::string(to_string(static_cast<obs::Category>(c))),
+         metrics::Table::num(sec.mean_ns[c] / sim::kMs, 3),
+         metrics::Table::num(nrm.mean_ns[c] / sim::kMs, 3),
+         metrics::Table::num(d / sim::kMs, 3),
+         delta != 0 ? metrics::Table::num(100.0 * d / delta, 1) : "-"});
+  }
+  std::printf("%s\n", table.render().c_str());
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const std::string outdir = argc > 1 ? argv[1] : ".";
+  std::printf("Trace attribution — where the secure-VM overhead lives\n");
+  std::printf("(%d trials per mode; categories partition the trace "
+              "timeline exactly)\n\n",
+              kTrials);
+
+  obs::Tracer tracer;
+  bool pass = true;
+
+  for (const char* platform : kPlatforms) {
+    for (const char* function : kWorkloads) {
+      const ModeStats sec = run_mode(platform, function, true, tracer);
+      const ModeStats nrm = run_mode(platform, function, false, tracer);
+      print_attribution(platform, function, sec, nrm);
+      if (std::string(platform) == "tdx" &&
+          std::string(function) == "iostress") {
+        const double cov = coverage(sec, nrm);
+        if (std::abs(cov - 1.0) > 0.10) {
+          std::fprintf(stderr,
+                       "FAIL: tdx/iostress attribution covers %.1f%% of the "
+                       "record-level delta (need >= 90%%)\n",
+                       100.0 * cov);
+          pass = false;
+        }
+      }
+    }
+  }
+
+  // --- cluster tail traces --------------------------------------------------
+  // A small load experiment on the worst case: the slowest steady-state
+  // requests become span trees showing queueing vs. bounce-slot contention.
+  std::printf("cluster tail traces (tdx/iostress secure, Poisson load)\n");
+  {
+    core::ConfBench system(core::GatewayConfig::standard());
+    system.gateway().upload_all_builtin();
+    sched::ClusterConfig cfg;
+    cfg.function = "iostress";
+    cfg.language = "go";
+    cfg.platform = "tdx";
+    cfg.secure = true;
+    cfg.rate_rps = 400;
+    cfg.requests = 2000;
+    cfg.warmup_requests = 200;
+    cfg.scaler.max_replicas = 4;
+    cfg.tracer = &tracer;
+    cfg.trace_tail = 4;
+    const sched::ClusterResult res = sched::ClusterExperiment(cfg).run(system);
+    std::printf("  completed %llu/%llu, p99 %.2f ms, traced %d tail "
+                "requests + 1 fleet trace\n",
+                static_cast<unsigned long long>(res.completed),
+                static_cast<unsigned long long>(res.offered),
+                res.latency.p99() / sim::kMs, cfg.trace_tail);
+    for (const obs::Trace& tr : tracer.traces()) {
+      if (tr.name().find("/tail#") == std::string::npos) continue;
+      std::printf("  %s:", tr.name().c_str());
+      for (const obs::Span& s : tr.spans())
+        if (s.parent != obs::Span::kNoParent)
+          std::printf(" %s=%.2fms", s.name.c_str(),
+                      s.duration_ns() / sim::kMs);
+      std::printf("\n");
+    }
+  }
+  std::printf("\n");
+
+  // --- registry snapshot ----------------------------------------------------
+  std::printf("metrics registry\n%s\n", tracer.registry().to_csv().c_str());
+
+  // --- exports --------------------------------------------------------------
+  const std::string json_path = outdir + "/trace_attribution.json";
+  const std::string csv_path = outdir + "/trace_attribution.csv";
+  if (!obs::write_text_file(json_path, obs::chrome_trace_json(tracer)) ||
+      !obs::write_text_file(csv_path, obs::charges_csv(tracer))) {
+    std::fprintf(stderr, "failed to write exports under %s\n",
+                 outdir.c_str());
+    return 1;
+  }
+  std::printf("wrote %s and %s (%zu traces)\n", json_path.c_str(),
+              csv_path.c_str(), tracer.traces().size());
+
+  return pass ? 0 : 1;
+}

@@ -105,7 +105,10 @@ int main(int argc, char** argv) {
   }
 
   if (cmd == "invoke") {
-    const auto rec = gw.invoke(function, lang, platform, secure, 0);
+    const auto rec = gw.invoke({.function = function,
+                                .language = lang,
+                                .platform = platform,
+                                .secure = secure});
     if (!rec.ok()) {
       std::fprintf(stderr, "HTTP %d: %s", rec.http_status, rec.error.c_str());
       return 1;

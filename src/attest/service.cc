@@ -1,5 +1,6 @@
 #include "attest/service.h"
 
+#include "obs/trace.h"
 #include "sim/rng.h"
 
 namespace confbench::attest {
@@ -41,9 +42,11 @@ AttestTiming AttestationService::run_tdx(const tee::Platform& platform,
   if (tamper) wire[wire.size() / 2] ^= 0x40;
 
   // --- check phase: collateral fetch + verification ----------------------
-  sim::Ns check = 0;
+  sim::Ns pcs_ns = 0;
   for (int i = 0; i < costs.collateral_round_trips; ++i)
-    check += costs.collateral_rtt * rng.jitter(kNetworkJitterSigma);
+    pcs_ns += costs.collateral_rtt * rng.jitter(kNetworkJitterSigma);
+  obs::charge(obs::Category::kPcs, pcs_ns, costs.collateral_round_trips);
+  sim::Ns check = pcs_ns;
   check += costs.verify_compute * rng.jitter(kAttestJitterSigma);
   t.check_ns = check;
 

@@ -55,12 +55,16 @@ OverheadMeasurement ConfBench::measure(const std::string& function,
   m.language = language;
   m.platform = platform;
   for (int t = 0; t < trials; ++t) {
-    const auto secure = gateway_->invoke(function, language, platform,
-                                         /*secure=*/true,
-                                         static_cast<std::uint64_t>(t));
-    const auto normal = gateway_->invoke(function, language, platform,
-                                         /*secure=*/false,
-                                         static_cast<std::uint64_t>(t));
+    const auto secure = gateway_->invoke({.function = function,
+                                          .language = language,
+                                          .platform = platform,
+                                          .secure = true,
+                                          .trial = static_cast<std::uint64_t>(t)});
+    const auto normal = gateway_->invoke({.function = function,
+                                          .language = language,
+                                          .platform = platform,
+                                          .secure = false,
+                                          .trial = static_cast<std::uint64_t>(t)});
     if (!secure.ok() || !normal.ok())
       throw std::runtime_error("invocation failed: " + secure.error +
                                normal.error);

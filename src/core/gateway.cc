@@ -9,6 +9,28 @@
 
 namespace confbench::core {
 
+std::string_view to_string(ErrorCode c) {
+  switch (c) {
+    case ErrorCode::kNone:
+      return "none";
+    case ErrorCode::kFunctionNotFound:
+      return "function_not_found";
+    case ErrorCode::kNoPool:
+      return "no_pool";
+    case ErrorCode::kNoCapacity:
+      return "no_capacity";
+    case ErrorCode::kTransport:
+      return "transport";
+    case ErrorCode::kUnparseablePerf:
+      return "unparseable_perf";
+    case ErrorCode::kDeadlineExceeded:
+      return "deadline_exceeded";
+    case ErrorCode::kApplication:
+      return "application";
+  }
+  return "?";
+}
+
 Gateway::Gateway(net::Network& net, GatewayConfig cfg)
     : net_(net), cfg_(std::move(cfg)) {
   for (const auto& ep : cfg_.endpoints) {
@@ -84,69 +106,131 @@ TeePool* Gateway::pool(const std::string& platform) {
   return it == pools_.end() ? nullptr : &it->second;
 }
 
+const TeePool* Gateway::pool(const std::string& platform) const {
+  const auto it = pools_.find(platform);
+  return it == pools_.end() ? nullptr : &it->second;
+}
+
+InvocationRecord Gateway::invoke(const InvocationRequest& req) {
+  obs::Tracer* tracer = req.tracer ? req.tracer : tracer_;
+  InvocationRecord rec;
+  if (tracer && tracer->enabled()) {
+    obs::Trace& tr = tracer->start_trace(
+        req.platform + "/" + req.language + "/" + req.function +
+        (req.secure ? "/secure" : "/normal") + "#" +
+        std::to_string(req.trial));
+    obs::TraceScope scope(&tr);
+    {
+      obs::SpanScope root(obs::Category::kInvoke, "gateway.invoke");
+      rec = invoke_traced(req);
+      root.set_attr("status", std::to_string(rec.http_status));
+      if (rec.code != ErrorCode::kNone)
+        root.set_attr("error", std::string(to_string(rec.code)));
+    }
+    rec.trace_id = tr.id();
+  } else {
+    rec = invoke_traced(req);
+  }
+  account(rec, tracer);
+  return rec;
+}
+
 InvocationRecord Gateway::invoke(const std::string& function,
                                  const std::string& language,
                                  const std::string& platform, bool secure,
                                  std::uint64_t trial) {
-  InvocationRecord rec;
-  rec.function = function;
-  rec.language = language;
-  rec.platform = platform;
-  rec.secure = secure;
-  rec.trial = trial;
+  InvocationRequest req;
+  req.function = function;
+  req.language = language;
+  req.platform = platform;
+  req.secure = secure;
+  req.trial = trial;
+  return invoke(req);
+}
 
-  if (!has_function(language, function)) {
-    rec.http_status = 404;
-    rec.error = "function not uploaded for language";
-    return rec;
-  }
-  TeePool* p = pool(platform);
-  if (!p) {
-    rec.http_status = 404;
-    rec.error = "no pool for platform " + platform;
-    return rec;
+InvocationRecord Gateway::invoke_traced(const InvocationRequest& inv) {
+  InvocationRecord rec;
+  rec.function = inv.function;
+  rec.language = inv.language;
+  rec.platform = inv.platform;
+  rec.secure = inv.secure;
+  rec.trial = inv.trial;
+  const sim::Ns net_start = net_.elapsed();
+
+  TeePool* p = nullptr;
+  {
+    obs::SpanScope route(obs::Category::kRoute, "gateway.route");
+    if (!has_function(inv.language, inv.function)) {
+      rec.http_status = 404;
+      rec.code = ErrorCode::kFunctionNotFound;
+      rec.error = "function not uploaded for language";
+      return rec;
+    }
+    p = pool(inv.platform);
+    if (!p) {
+      rec.http_status = 404;
+      rec.code = ErrorCode::kNoPool;
+      rec.error = "no pool for platform " + inv.platform;
+      return rec;
+    }
+    route.set_attr("pool", inv.platform);
   }
 
   net::HttpRequest req;
   req.method = "POST";
   req.path = "/run";
-  req.query = "function=" + net::url_encode(function) +
-              "&lang=" + net::url_encode(language) +
-              "&trial=" + std::to_string(trial);
+  req.query = "function=" + net::url_encode(inv.function) +
+              "&lang=" + net::url_encode(inv.language) +
+              "&trial=" + std::to_string(inv.trial);
+  // No trace header on this hop: the ambient trace already correlates the
+  // whole in-process path, and extra wire bytes would make tracing perturb
+  // the simulated latency it is supposed to observe.
   // User-supplied modules travel with the request; built-in workloads are
   // pre-installed on every VM (the shared-filesystem convention, §III-B).
-  if (language == "miniwasm") req.body = function_db_[language][function];
+  if (inv.language == "miniwasm")
+    req.body = function_db_[inv.language][inv.function];
 
   // Transport-level failures (timeout / corrupted response) are retried
   // with fresh pool selection; application errors (4xx) are not.
   net::HttpResponse resp;
   for (int attempt = 0; attempt <= cfg_.max_retries; ++attempt) {
+    obs::SpanScope span(obs::Category::kTransport,
+                        "transport.attempt" + std::to_string(attempt));
     PoolMember* member = p->acquire();
     if (!member) {
       rec.http_status = 503;
+      rec.code = ErrorCode::kNoCapacity;
       rec.error = "empty pool";
       return rec;
     }
     // The gateway selects the VM by rewriting the destination port (§III-B).
     const std::uint16_t port =
-        secure ? member->secure_port : member->normal_port;
+        inv.secure ? member->secure_port : member->normal_port;
     resp = net_.roundtrip(member->host, port, req);
     p->release(member);
     rec.http_status = resp.status;
     rec.served_by = member->host + ":" + std::to_string(port);
     rec.retries = attempt;
+    span.set_attr("endpoint", rec.served_by);
+    span.set_attr("status", std::to_string(resp.status));
     const bool transport_failure = resp.status == 504 || resp.status == 502;
     if (!transport_failure) break;
   }
   if (resp.status != 200) {
+    rec.code = (resp.status == 504 || resp.status == 502)
+                   ? ErrorCode::kTransport
+                   : ErrorCode::kApplication;
     rec.error = resp.body;
+    rec.latency_ns = net_.elapsed() - net_start;
     return rec;
   }
   rec.output = resp.body;
   if (!rec.output.empty() && rec.output.back() == '\n') rec.output.pop_back();
   if (const auto it = resp.headers.find("X-Perf"); it != resp.headers.end()) {
-    if (!metrics::PerfCounters::from_kv_string(it->second, &rec.perf))
+    if (!metrics::PerfCounters::from_kv_string(it->second, &rec.perf)) {
+      rec.code = ErrorCode::kUnparseablePerf;
       rec.error = "unparseable X-Perf header";
+    }
   }
   if (const auto it = resp.headers.find("X-Perf-Source");
       it != resp.headers.end())
@@ -162,7 +246,28 @@ InvocationRecord Gateway::invoke(const std::string& function,
   };
   rec.function_ns = ns_header("X-Function-Ns");
   rec.bootstrap_ns = ns_header("X-Bootstrap-Ns");
+  rec.latency_ns = (net_.elapsed() - net_start) + rec.perf.wall_ns;
+  if (inv.deadline_ns > 0 && rec.latency_ns > inv.deadline_ns) {
+    // The response arrived after the caller stopped waiting: the work was
+    // done (and is still billed in latency_ns) but the result is discarded.
+    rec.http_status = 504;
+    rec.code = ErrorCode::kDeadlineExceeded;
+    rec.error = "deadline exceeded";
+    rec.output.clear();
+  }
   return rec;
+}
+
+void Gateway::account(const InvocationRecord& rec, obs::Tracer* tracer) {
+  if (!tracer || !tracer->enabled()) return;
+  obs::Registry& reg = tracer->registry();
+  ++reg.counter("gateway.invocations");
+  if (rec.retries > 0)
+    reg.counter("gateway.retries") +=
+        static_cast<std::uint64_t>(rec.retries);
+  if (rec.code != ErrorCode::kNone)
+    ++reg.counter("gateway.errors." + std::string(to_string(rec.code)));
+  if (rec.ok()) reg.histogram("gateway.latency_ns").record(rec.latency_ns);
 }
 
 void Gateway::build_routes() {
@@ -199,26 +304,39 @@ void Gateway::build_routes() {
           const auto it = params.find(k);
           return it == params.end() ? "" : it->second;
         };
-        const std::string fn = get("function");
-        const std::string lang = get("lang");
-        const std::string platform = get("platform");
-        const bool secure = get("secure") == "1" || get("secure") == "true";
-        std::uint64_t trial = 0;
+        InvocationRequest inv;
+        inv.function = get("function");
+        inv.language = get("lang");
+        inv.platform = get("platform");
+        inv.secure = get("secure") == "1" || get("secure") == "true";
         try {
-          if (!get("trial").empty()) trial = std::stoull(get("trial"));
+          if (!get("trial").empty()) inv.trial = std::stoull(get("trial"));
         } catch (...) {
           return net::HttpResponse::make(400, "bad trial\n");
         }
-        if (fn.empty() || lang.empty() || platform.empty())
+        try {
+          if (!get("deadline_ns").empty())
+            inv.deadline_ns = std::stod(get("deadline_ns"));
+        } catch (...) {
+          return net::HttpResponse::make(400, "bad deadline_ns\n");
+        }
+        if (inv.function.empty() || inv.language.empty() ||
+            inv.platform.empty())
           return net::HttpResponse::make(
               400, "missing function/lang/platform\n");
-        const InvocationRecord rec = invoke(fn, lang, platform, secure, trial);
-        if (!rec.ok())
-          return net::HttpResponse::make(rec.http_status, rec.error + "\n");
+        const InvocationRecord rec = invoke(inv);
+        if (!rec.ok()) {
+          net::HttpResponse resp =
+              net::HttpResponse::make(rec.http_status, rec.error + "\n");
+          resp.headers["X-Error-Code"] = std::string(to_string(rec.code));
+          return resp;
+        }
         net::HttpResponse resp = net::HttpResponse::make(200, rec.output + "\n");
         resp.headers["X-Perf"] = rec.perf.to_kv_string();
         resp.headers["X-Function-Ns"] = std::to_string(rec.function_ns);
         resp.headers["X-Served-By"] = rec.served_by;
+        if (rec.trace_id != 0)
+          resp.headers["X-Trace-Id"] = std::to_string(rec.trace_id);
         return resp;
       });
   router_.add("GET", "/health",

@@ -6,8 +6,16 @@
 // rewrites the destination port to select the confidential vs. normal VM on
 // the chosen host, performs the HTTP round trip and returns the output with
 // the piggybacked perf metrics.
+//
+// Requests are described by an InvocationRequest (function, language,
+// platform, mode, trial, optional deadline and trace context); failures
+// carry a typed ErrorCode so callers never string-match `error`. When a
+// tracer is attached (per request or gateway-wide), every invocation
+// produces a deterministic span tree: route -> transport attempts ->
+// host handling -> bootstrap -> function, with per-category time charges.
 #pragma once
 
+#include <cstdint>
 #include <map>
 #include <optional>
 #include <set>
@@ -19,8 +27,42 @@
 #include "metrics/counters.h"
 #include "net/network.h"
 #include "net/router.h"
+#include "obs/trace.h"
 
 namespace confbench::core {
+
+/// Typed failure classes for InvocationRecord. kNone on success;
+/// kUnparseablePerf is the one "soft" failure that leaves http_status at
+/// 200 (the function ran; only the piggybacked counters were garbage).
+enum class ErrorCode : std::uint8_t {
+  kNone,              ///< success
+  kFunctionNotFound,  ///< function not uploaded for the language (404)
+  kNoPool,            ///< no pool configured for the platform (404)
+  kNoCapacity,        ///< pool has no enabled member (503)
+  kTransport,         ///< timeout / corrupted response after retries
+  kUnparseablePerf,   ///< 200 but the X-Perf header did not parse
+  kDeadlineExceeded,  ///< response arrived after the request deadline (504)
+  kApplication,       ///< host/VM-side application error (other non-200)
+};
+
+std::string_view to_string(ErrorCode c);
+
+/// One invocation, fully described. The old positional invoke() arguments
+/// map 1:1 onto the first five fields; deadline and tracing are new.
+struct InvocationRequest {
+  std::string function;
+  std::string language = "native";
+  std::string platform;
+  bool secure = false;
+  std::uint64_t trial = 0;
+  /// Reject the response (504 / kDeadlineExceeded) when the end-to-end
+  /// virtual latency exceeds this. 0 disables the deadline.
+  sim::Ns deadline_ns = 0;
+  /// Trace sink for this invocation; overrides the gateway-wide tracer set
+  /// with Gateway::set_tracer(). Tracing is purely observational: attaching
+  /// a tracer never changes the record.
+  obs::Tracer* tracer = nullptr;
+};
 
 struct InvocationRecord {
   std::string function;
@@ -29,14 +71,19 @@ struct InvocationRecord {
   bool secure = false;
   std::uint64_t trial = 0;
   int http_status = 0;
+  ErrorCode code = ErrorCode::kNone;
   std::string output;
   metrics::PerfCounters perf;
   bool perf_from_pmu = true;
   sim::Ns function_ns = 0;
   sim::Ns bootstrap_ns = 0;
+  /// End-to-end virtual latency the gateway observed: fabric time plus the
+  /// in-VM wall clock piggybacked on the response.
+  sim::Ns latency_ns = 0;
   std::string served_by;  ///< host that executed the request
   int retries = 0;        ///< transport-level retries performed
-  std::string error;      ///< non-empty on failure
+  std::string error;      ///< non-empty on failure (human-readable)
+  std::uint64_t trace_id = 0;  ///< 0 when the invocation was not traced
   [[nodiscard]] bool ok() const { return http_status == 200; }
 };
 
@@ -64,15 +111,25 @@ class Gateway {
   void upload_all_builtin();
 
   // --- invocation ------------------------------------------------------------
-  /// Dispatches one invocation; `platform` must name a configured pool.
+  /// Dispatches one invocation; `req.platform` must name a configured pool.
+  [[nodiscard]] InvocationRecord invoke(const InvocationRequest& req);
+
+  /// Positional legacy surface; forwards to the request form.
+  [[deprecated("use invoke(const InvocationRequest&)")]]
   InvocationRecord invoke(const std::string& function,
                           const std::string& language,
                           const std::string& platform, bool secure,
                           std::uint64_t trial = 0);
 
+  /// Gateway-wide trace sink for invocations that do not carry their own
+  /// (including requests arriving over the REST surface). May be null.
+  void set_tracer(obs::Tracer* tracer) { tracer_ = tracer; }
+  [[nodiscard]] obs::Tracer* tracer() const { return tracer_; }
+
   // --- introspection -----------------------------------------------------------
   [[nodiscard]] std::vector<std::string> platforms() const;
   [[nodiscard]] TeePool* pool(const std::string& platform);
+  [[nodiscard]] const TeePool* pool(const std::string& platform) const;
   [[nodiscard]] const GatewayConfig& config() const { return cfg_; }
 
   /// The gateway's own REST surface (bound on the network at
@@ -81,9 +138,13 @@ class Gateway {
 
  private:
   void build_routes();
+  InvocationRecord invoke_traced(const InvocationRequest& req);
+  /// Bumps the tracer registry's per-outcome counters; no-op untraced.
+  void account(const InvocationRecord& rec, obs::Tracer* tracer);
 
   net::Network& net_;
   GatewayConfig cfg_;
+  obs::Tracer* tracer_ = nullptr;
   std::map<std::string, TeePool> pools_;  ///< platform -> pool
   /// language -> function name -> uploaded source.
   std::map<std::string, std::map<std::string, std::string>> function_db_;

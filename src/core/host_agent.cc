@@ -4,6 +4,7 @@
 
 #include "core/launcher.h"
 #include "core/native.h"
+#include "obs/trace.h"
 #include "rt/profile.h"
 #include "wl/faas.h"
 #include "wasm/interp.h"
@@ -40,10 +41,16 @@ net::HttpResponse HostAgent::run_miniwasm(vm::GuestVm& vm,
   std::string trap_text;
   const vm::InvocationOutcome outcome = vm.run(
       [&](vm::ExecutionContext& ctx) -> std::string {
-        // Engine instantiation (validation + memory setup) is the wasm
-        // equivalent of runtime bootstrap and is excluded from timing.
-        ctx.charge(3.1 * sim::kMs * ctx.costs().cpu.sim_slowdown);
+        {
+          // Engine instantiation (validation + memory setup) is the wasm
+          // equivalent of runtime bootstrap and is excluded from timing.
+          obs::SpanScope boot(obs::Category::kBootstrap, "launcher.bootstrap",
+                              {{"runtime", "miniwasm"}});
+          ctx.charge(3.1 * sim::kMs * ctx.costs().cpu.sim_slowdown);
+        }
         bootstrap_ns = ctx.now();
+        obs::SpanScope body(obs::Category::kFunction, "function.body",
+                            {{"function", function}});
         wasm::Interpreter interp(*parsed.module);
         const sim::Ns start = ctx.now();
         const wasm::RunResult r = interp.invoke(function, {}, &ctx);
@@ -74,6 +81,9 @@ HostAgent::~HostAgent() {
 
 net::HttpResponse HostAgent::handle(std::uint16_t port,
                                     const net::HttpRequest& req) {
+  obs::SpanScope span(obs::Category::kHostHandle, "host.handle",
+                      {{"host", hostname_},
+                       {"port", std::to_string(port)}});
   vm::GuestVm* vm = host_.route(port);
   if (!vm) return net::HttpResponse::make(503, "no VM on port\n");
 

@@ -1,5 +1,6 @@
 #include "core/launcher.h"
 
+#include "obs/trace.h"
 #include "rt/runtime.h"
 
 namespace confbench::core {
@@ -27,10 +28,16 @@ LaunchResult FunctionLauncher::launch(vm::GuestVm& vm,
   sim::Ns body_fraction = 0.0;
   const vm::InvocationOutcome outcome = vm.run(
       [&](vm::ExecutionContext& ctx) -> std::string {
-        // Runtime bootstrap: interpreter startup + demand paging the image.
-        ctx.charge(profile_.bootstrap_ns * ctx.costs().cpu.sim_slowdown);
-        ctx.page_fault(profile_.bootstrap_ns / sim::kMs * 6.0);
+        {
+          // Runtime bootstrap: interpreter startup + demand paging the image.
+          obs::SpanScope boot(obs::Category::kBootstrap, "launcher.bootstrap",
+                              {{"runtime", profile_.name}});
+          ctx.charge(profile_.bootstrap_ns * ctx.costs().cpu.sim_slowdown);
+          ctx.page_fault(profile_.bootstrap_ns / sim::kMs * 6.0);
+        }
         const sim::Ns body_start = ctx.now();
+        obs::SpanScope body(obs::Category::kFunction, "function.body",
+                            {{"function", fn.name}});
         rt::RtContext env(ctx, profile_);
         std::string out = fn.body(env);
         const sim::Ns total = ctx.now();

@@ -2,6 +2,8 @@
 
 #include <tuple>
 
+#include "obs/trace.h"
+
 namespace confbench::core {
 
 PoolMember& TeePool::add_member(PoolMember m) {
@@ -59,6 +61,11 @@ PoolMember* TeePool::acquire() {
   }
   ++picked->in_flight;
   ++picked->served;
+  if (obs::Trace* tr = obs::current_trace())
+    tr->instant("pool.select",
+                {{"pool", tee_},
+                 {"member", picked->host},
+                 {"in_flight", std::to_string(picked->in_flight)}});
   return picked;
 }
 

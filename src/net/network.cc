@@ -2,6 +2,8 @@
 
 #include <stdexcept>
 
+#include "obs/trace.h"
+
 namespace confbench::net {
 
 Network::Network(double rtt_us, double per_kb_us, std::uint64_t seed)
@@ -34,11 +36,13 @@ HttpResponse Network::roundtrip(const std::string& host, std::uint16_t port,
   const auto it = endpoints_.find(key(host, port));
   if (it == endpoints_.end()) {
     elapsed_ += rtt_us_ * sim::kUs;  // connection attempt timeout path
+    obs::charge(obs::Category::kNetwork, rtt_us_ * sim::kUs);
     return HttpResponse::make(502, "no endpoint at " + key(host, port) + "\n");
   }
   if (faults_.drop_rate > 0 && rng_.next_double() < faults_.drop_rate) {
     ++faults_injected_;
     elapsed_ += faults_.timeout_us * sim::kUs;
+    obs::charge(obs::Category::kNetwork, faults_.timeout_us * sim::kUs);
     return HttpResponse::make(504, "request timed out\n");
   }
   // Re-parse on the "server" side: the wire format is load-bearing.
@@ -53,8 +57,10 @@ HttpResponse Network::roundtrip(const std::string& host, std::uint16_t port,
   }
   const double kb =
       static_cast<double>(wire.size() + resp_wire.size()) / 1024.0;
-  elapsed_ += (rtt_us_ + kb * per_kb_us_) * sim::kUs *
-              rng_.jitter(0.08);
+  const sim::Ns wire_ns = (rtt_us_ + kb * per_kb_us_) * sim::kUs *
+                          rng_.jitter(0.08);
+  elapsed_ += wire_ns;
+  obs::charge(obs::Category::kNetwork, wire_ns);
   const auto reparsed = parse_response(resp_wire);
   if (!reparsed) return HttpResponse::make(502, "malformed response\n");
   return *reparsed;

@@ -1,0 +1,128 @@
+#include "obs/export.h"
+
+#include <cstdio>
+
+#include "metrics/csv.h"
+#include "metrics/json.h"
+#include "metrics/table.h"
+
+namespace confbench::obs {
+
+namespace {
+
+void emit_trace_events(metrics::JsonWriter& w, const Trace& trace) {
+  const auto tid = static_cast<std::int64_t>(trace.id());
+  // Thread-name metadata: the trace renders as a named track.
+  w.begin_object();
+  w.key("ph").value("M");
+  w.key("name").value("thread_name");
+  w.key("pid").value(1);
+  w.key("tid").value(tid);
+  w.key("args");
+  w.begin_object();
+  w.key("name").value(trace.name());
+  w.end_object();
+  w.end_object();
+
+  for (const Span& s : trace.spans()) {
+    w.begin_object();
+    w.key("ph").value("X");
+    w.key("name").value(s.name);
+    w.key("cat").value(std::string(to_string(s.category)));
+    w.key("pid").value(1);
+    w.key("tid").value(tid);
+    w.key("ts").value(s.start_ns / 1e3);   // trace-event ts is microseconds
+    w.key("dur").value(s.duration_ns() / 1e3);
+    w.key("args");
+    w.begin_object();
+    for (const auto& [k, v] : s.attrs) w.key(k).value(v);
+    for (std::size_t c = 0; c < s.charges.size(); ++c) {
+      const ChargeStat& stat = s.charges[c];
+      if (stat.count == 0 && stat.total_ns == 0) continue;
+      w.key("charge." + std::string(to_string(static_cast<Category>(c))) +
+            "_ns")
+          .value(stat.total_ns);
+    }
+    for (const auto& [name, stat] : s.notes) {
+      w.key("note." + name + "_ns").value(stat.total_ns);
+      w.key("note." + name + "_n").value(stat.count);
+    }
+    w.end_object();
+    w.end_object();
+  }
+
+  for (const Instant& i : trace.instants()) {
+    w.begin_object();
+    w.key("ph").value("i");
+    w.key("name").value(i.name);
+    w.key("pid").value(1);
+    w.key("tid").value(tid);
+    w.key("ts").value(i.t / 1e3);
+    w.key("s").value("t");  // thread-scoped instant
+    w.key("args");
+    w.begin_object();
+    for (const auto& [k, v] : i.attrs) w.key(k).value(v);
+    w.end_object();
+    w.end_object();
+  }
+}
+
+}  // namespace
+
+std::string chrome_trace_json(const Tracer& tracer) {
+  metrics::JsonWriter w;
+  w.begin_array();
+  for (const Trace& t : tracer.traces()) emit_trace_events(w, t);
+  w.end_array();
+  return w.str();
+}
+
+std::string chrome_trace_json(const Trace& trace) {
+  metrics::JsonWriter w;
+  w.begin_array();
+  emit_trace_events(w, trace);
+  w.end_array();
+  return w.str();
+}
+
+std::string spans_csv(const Tracer& tracer) {
+  metrics::CsvWriter csv({"trace", "span", "parent", "category", "name",
+                          "start_ns", "dur_ns"});
+  for (const Trace& t : tracer.traces()) {
+    for (const Span& s : t.spans()) {
+      csv.add_row({std::to_string(t.id()), std::to_string(s.id),
+                   s.parent == Span::kNoParent ? ""
+                                               : std::to_string(s.parent),
+                   std::string(to_string(s.category)), s.name,
+                   metrics::Table::num(s.start_ns, 1),
+                   metrics::Table::num(s.duration_ns(), 1)});
+    }
+  }
+  return csv.str();
+}
+
+std::string charges_csv(const Tracer& tracer) {
+  metrics::CsvWriter csv({"trace", "trace_name", "category", "total_ns",
+                          "count"});
+  for (const Trace& t : tracer.traces()) {
+    const auto& totals = t.charge_totals();
+    for (std::size_t c = 0; c < totals.size(); ++c) {
+      if (totals[c].count == 0 && totals[c].total_ns == 0) continue;
+      csv.add_row({std::to_string(t.id()), t.name(),
+                   std::string(to_string(static_cast<Category>(c))),
+                   metrics::Table::num(totals[c].total_ns, 1),
+                   metrics::Table::num(totals[c].count, 2)});
+    }
+  }
+  return csv.str();
+}
+
+bool write_text_file(const std::string& path, const std::string& content) {
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  if (!f) return false;
+  const std::size_t n = std::fwrite(content.data(), 1, content.size(), f);
+  const int rc = std::fclose(f);
+  return n == content.size() && rc == 0;
+}
+
+}  // namespace confbench::obs

@@ -1,0 +1,32 @@
+// Trace exporters: Chrome trace-event JSON (Perfetto-loadable) and CSV.
+//
+// The JSON is the classic trace-event array format ("X" complete events,
+// "i" instants, "M" thread-name metadata), so a dump drops straight into
+// chrome://tracing or ui.perfetto.dev. Each trace renders as one named
+// track (pid 1, tid = trace id); timestamps are the trace's virtual
+// nanoseconds converted to microseconds. Both exporters inherit the
+// determinism contract: same seed, byte-identical output.
+#pragma once
+
+#include <string>
+
+#include "obs/trace.h"
+
+namespace confbench::obs {
+
+/// Chrome trace-event JSON for every trace in the tracer.
+[[nodiscard]] std::string chrome_trace_json(const Tracer& tracer);
+
+/// One trace only (tail-request dumps).
+[[nodiscard]] std::string chrome_trace_json(const Trace& trace);
+
+/// Per-span CSV: trace,span,parent,category,name,start_ns,dur_ns.
+[[nodiscard]] std::string spans_csv(const Tracer& tracer);
+
+/// Per-trace charge totals CSV: trace,trace_name,category,total_ns,count.
+[[nodiscard]] std::string charges_csv(const Tracer& tracer);
+
+/// Writes `content` to `path`; returns false on I/O error.
+bool write_text_file(const std::string& path, const std::string& content);
+
+}  // namespace confbench::obs

@@ -1,0 +1,38 @@
+#include "obs/registry.h"
+
+#include "metrics/csv.h"
+#include "metrics/table.h"
+
+namespace confbench::obs {
+
+void Registry::merge(const Registry& other) {
+  for (const auto& [name, v] : other.counters_) counters_[name] += v;
+  for (const auto& [name, v] : other.gauges_) gauges_[name] = v;
+  for (const auto& [name, h] : other.histograms_) histograms_[name].merge(h);
+}
+
+std::string Registry::to_csv() const {
+  metrics::CsvWriter csv({"kind", "name", "count", "sum", "mean", "p50",
+                          "p99", "max"});
+  for (const auto& [name, v] : counters_)
+    csv.add_row({"counter", name, std::to_string(v), "", "", "", "", ""});
+  for (const auto& [name, v] : gauges_)
+    csv.add_row({"gauge", name, "", metrics::Table::num(v, 4), "", "", "",
+                 ""});
+  for (const auto& [name, h] : histograms_)
+    csv.add_row({"histogram", name, std::to_string(h.count()),
+                 metrics::Table::num(h.sum(), 1),
+                 metrics::Table::num(h.mean(), 1),
+                 metrics::Table::num(h.p50(), 1),
+                 metrics::Table::num(h.p99(), 1),
+                 metrics::Table::num(h.max(), 1)});
+  return csv.str();
+}
+
+void Registry::clear() {
+  counters_.clear();
+  gauges_.clear();
+  histograms_.clear();
+}
+
+}  // namespace confbench::obs

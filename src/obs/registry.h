@@ -1,0 +1,56 @@
+// Central registry of named counters, gauges and histograms.
+//
+// Components publish operational metrics (invocation counts, error classes,
+// autoscaler decisions, latency distributions) under stable dotted names.
+// Storage is ordered maps, so every export iterates in byte-stable key
+// order; histograms reuse metrics::LogHistogram, so registry snapshots from
+// different runs or shards merge exactly.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+#include "metrics/histogram.h"
+
+namespace confbench::obs {
+
+class Registry {
+ public:
+  /// Returns the counter registered under `name`, creating it at zero.
+  std::uint64_t& counter(const std::string& name) { return counters_[name]; }
+  /// Returns the gauge registered under `name`, creating it at zero.
+  double& gauge(const std::string& name) { return gauges_[name]; }
+  /// Returns the histogram registered under `name`, creating it empty.
+  metrics::LogHistogram& histogram(const std::string& name) {
+    return histograms_[name];
+  }
+
+  [[nodiscard]] const std::map<std::string, std::uint64_t>& counters() const {
+    return counters_;
+  }
+  [[nodiscard]] const std::map<std::string, double>& gauges() const {
+    return gauges_;
+  }
+  [[nodiscard]] const std::map<std::string, metrics::LogHistogram>&
+  histograms() const {
+    return histograms_;
+  }
+
+  /// Adds every metric of `other` into this registry (counters and
+  /// histograms add; gauges take the other's value — last writer wins).
+  void merge(const Registry& other);
+
+  /// Deterministic CSV snapshot: kind,name,count,sum,mean,p50,p99,max.
+  /// Counters/gauges fill count (resp. sum) and leave quantiles empty.
+  [[nodiscard]] std::string to_csv() const;
+
+  void clear();
+
+ private:
+  std::map<std::string, std::uint64_t> counters_;
+  std::map<std::string, double> gauges_;
+  std::map<std::string, metrics::LogHistogram> histograms_;
+};
+
+}  // namespace confbench::obs

@@ -1,0 +1,168 @@
+#include "obs/trace.h"
+
+#include <cassert>
+
+namespace confbench::obs {
+
+namespace detail {
+Trace* g_current_trace = nullptr;
+}  // namespace detail
+
+std::string_view to_string(Category c) {
+  switch (c) {
+    case Category::kInvoke:
+      return "invoke";
+    case Category::kRoute:
+      return "route";
+    case Category::kTransport:
+      return "transport";
+    case Category::kHostHandle:
+      return "host";
+    case Category::kBootstrap:
+      return "bootstrap";
+    case Category::kFunction:
+      return "function";
+    case Category::kGc:
+      return "gc";
+    case Category::kCompute:
+      return "compute";
+    case Category::kMemory:
+      return "memory";
+    case Category::kOs:
+      return "os";
+    case Category::kVmExit:
+      return "vm_exit";
+    case Category::kIo:
+      return "io";
+    case Category::kBounce:
+      return "bounce";
+    case Category::kNetwork:
+      return "network";
+    case Category::kPcs:
+      return "pcs";
+    case Category::kQueueWait:
+      return "queue_wait";
+    case Category::kService:
+      return "service";
+    case Category::kBounceWait:
+      return "bounce_wait";
+    case Category::kColdStart:
+      return "cold_start";
+    case Category::kOther:
+      return "other";
+    case Category::kCount:
+      break;
+  }
+  return "?";
+}
+
+std::uint32_t Trace::begin_span(Category c, std::string name) {
+  Span s;
+  s.id = static_cast<std::uint32_t>(spans_.size());
+  s.parent = open_.empty() ? Span::kNoParent : open_.back();
+  s.category = c;
+  s.name = std::move(name);
+  s.start_ns = now_;
+  s.end_ns = now_;
+  spans_.push_back(std::move(s));
+  open_.push_back(spans_.back().id);
+  return spans_.back().id;
+}
+
+void Trace::end_span(std::uint32_t id) {
+  assert(!open_.empty() && open_.back() == id && "spans must close LIFO");
+  if (open_.empty() || open_.back() != id) return;  // tolerate in release
+  spans_[id].end_ns = now_;
+  open_.pop_back();
+}
+
+void Trace::set_attr(std::uint32_t id, std::string key, std::string value) {
+  if (id < spans_.size())
+    spans_[id].attrs.emplace_back(std::move(key), std::move(value));
+}
+
+std::uint32_t Trace::add_span(Category c, std::string name, sim::Ns start,
+                              sim::Ns end, std::uint32_t parent) {
+  Span s;
+  s.id = static_cast<std::uint32_t>(spans_.size());
+  s.parent = parent;
+  s.category = c;
+  s.name = std::move(name);
+  s.start_ns = start;
+  s.end_ns = end;
+  spans_.push_back(std::move(s));
+  return spans_.back().id;
+}
+
+Span& Trace::innermost() {
+  if (open_.empty()) {
+    // Charges outside any span land on a synthetic root covering the whole
+    // timeline, so no virtual time is ever lost from the totals.
+    begin_span(Category::kOther, "(trace)");
+  }
+  return spans_[open_.back()];
+}
+
+void Trace::charge(Category c, sim::Ns t, double count) {
+  Span& s = innermost();
+  auto& stat = s.charges[static_cast<std::size_t>(c)];
+  stat.total_ns += t;
+  stat.count += count;
+  auto& tot = totals_[static_cast<std::size_t>(c)];
+  tot.total_ns += t;
+  tot.count += count;
+  now_ += t;
+  // Keep every open span's end watermark current so an assertion/exception
+  // path still exports sane (if unclosed) spans.
+  for (const std::uint32_t id : open_) spans_[id].end_ns = now_;
+}
+
+void Trace::note(std::string_view name, sim::Ns t, double count) {
+  Span& s = innermost();
+  auto it = s.notes.find(name);
+  if (it == s.notes.end())
+    it = s.notes.emplace(std::string(name), ChargeStat{}).first;
+  it->second.total_ns += t;
+  it->second.count += count;
+}
+
+void Trace::instant(std::string name,
+                    std::vector<std::pair<std::string, std::string>> attrs) {
+  instants_.push_back({std::move(name), now_, std::move(attrs)});
+}
+
+void Trace::instant_at(std::string name, sim::Ns t,
+                       std::vector<std::pair<std::string, std::string>> attrs) {
+  instants_.push_back({std::move(name), t, std::move(attrs)});
+}
+
+std::map<std::string, ChargeStat, std::less<>> Trace::note_totals() const {
+  std::map<std::string, ChargeStat, std::less<>> out;
+  for (const Span& s : spans_) {
+    for (const auto& [name, stat] : s.notes) {
+      auto& dst = out[name];
+      dst.total_ns += stat.total_ns;
+      dst.count += stat.count;
+    }
+  }
+  return out;
+}
+
+Trace& Tracer::start_trace(std::string name) {
+  traces_.emplace_back(++next_id_, std::move(name));
+  return traces_.back();
+}
+
+Trace* Tracer::find(std::uint64_t id) {
+  for (Trace& t : traces_)
+    if (t.id() == id) return &t;
+  return nullptr;
+}
+
+const Trace* Tracer::find(std::uint64_t id) const {
+  for (const Trace& t : traces_)
+    if (t.id() == id) return &t;
+  return nullptr;
+}
+
+}  // namespace confbench::obs

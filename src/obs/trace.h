@@ -1,0 +1,276 @@
+// Deterministic end-to-end invocation tracing on the virtual clock.
+//
+// The aggregate metrics (mean ratios, heatmaps, tail percentiles) say *that*
+// a secure VM is slower; a trace says *where inside one request* the secure
+// overhead lives — bounce-buffer serialization vs. VM-exit classes vs. GC
+// pauses vs. queueing. Every invocation gets a trace ID and a well-nested
+// span tree (gateway route, transport attempts, host handling, runtime
+// bootstrap, function body, GC pauses), and every cost-model charge is
+// attributed to a fixed category on the innermost open span.
+//
+// Determinism contract: trace and span IDs are sequential counters, span
+// timestamps derive exclusively from virtual-clock charges, and all
+// containers iterate in insertion or key order — the same seed produces
+// byte-identical exported JSON/CSV on every run, machine and compiler.
+//
+// Cost contract: tracing is ambient (a single global current-trace pointer;
+// the simulation is single-threaded by design). When no trace is installed,
+// every hook is one pointer load and a predictable branch, so tracing can
+// stay compiled into every benchmark without changing its output.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "obs/registry.h"
+#include "sim/time.h"
+
+namespace confbench::obs {
+
+/// Fixed span/charge taxonomy. Categories partition virtual time: the sum
+/// of per-category charges of a trace equals the trace's timeline span, so
+/// secure-minus-normal deltas decompose exactly (bench/trace_attribution).
+enum class Category : std::uint8_t {
+  // Structural spans along the invocation path.
+  kInvoke,      ///< gateway entry: whole request
+  kRoute,       ///< function-db lookup + pool resolution
+  kTransport,   ///< one transport attempt (selection + HTTP round trip)
+  kHostHandle,  ///< host-agent request handling
+  kBootstrap,   ///< runtime/interpreter startup inside the VM
+  kFunction,    ///< function body execution
+  kGc,          ///< collector pause inside the function
+  // Charge categories (virtual-time attribution).
+  kCompute,     ///< ALU/FP work incl. interpreter dispatch
+  kMemory,      ///< cache hierarchy + DRAM + memory protection
+  kOs,          ///< syscalls, faults, scheduling (exit time excluded)
+  kVmExit,      ///< world-switch cost of VM exits, all classes
+  kIo,          ///< block/network device time (bounce share excluded)
+  kBounce,      ///< swiotlb/shared-page bounce-buffer copies and waits
+  kNetwork,     ///< gateway-side fabric latency
+  kPcs,         ///< attestation collateral round trips (PCS)
+  // Cluster-simulation spans.
+  kQueueWait,   ///< admission -> service start on a replica
+  kService,     ///< parallel (per-worker) portion of service
+  kBounceWait,  ///< waiting for a free bounce-buffer slot
+  kColdStart,   ///< replica boot (firmware/kernel + page acceptance)
+  kOther,       ///< direct charges: sleeps, bootstrap constants, misc
+  kCount
+};
+
+std::string_view to_string(Category c);
+
+/// Accumulated virtual time + event count for one charge bucket.
+struct ChargeStat {
+  sim::Ns total_ns = 0;
+  double count = 0;
+};
+
+struct Span {
+  static constexpr std::uint32_t kNoParent = 0xFFFFFFFFu;
+
+  std::uint32_t id = 0;
+  std::uint32_t parent = kNoParent;
+  Category category = Category::kOther;
+  std::string name;
+  sim::Ns start_ns = 0;
+  sim::Ns end_ns = 0;
+  /// Deterministically ordered key/value annotations (host, port, status).
+  std::vector<std::pair<std::string, std::string>> attrs;
+  /// Category charges attributed while this span was innermost.
+  std::array<ChargeStat, static_cast<std::size_t>(Category::kCount)> charges{};
+  /// Named fine-grained detail (per-exit-class time, encryption time).
+  std::map<std::string, ChargeStat, std::less<>> notes;
+
+  [[nodiscard]] sim::Ns duration_ns() const { return end_ns - start_ns; }
+};
+
+/// A point annotation on the trace timeline (pool pick, scaler decision).
+struct Instant {
+  std::string name;
+  sim::Ns t = 0;
+  std::vector<std::pair<std::string, std::string>> attrs;
+};
+
+/// One invocation's span tree on its own virtual timeline.
+///
+/// The timeline starts at zero and advances only through charge(): sites
+/// that charge virtual time to their local clocks mirror the same amount
+/// here, so the trace clock is the exact unjittered sum of all cost-model
+/// charges. Explicit-timestamp spans (add_span) serve the cluster
+/// simulation, whose events already live on a shared virtual clock.
+class Trace {
+ public:
+  Trace(std::uint64_t id, std::string name)
+      : id_(id), name_(std::move(name)) {}
+
+  [[nodiscard]] std::uint64_t id() const { return id_; }
+  [[nodiscard]] const std::string& name() const { return name_; }
+  [[nodiscard]] sim::Ns now() const { return now_; }
+
+  // --- nested spans (RAII via SpanScope) -----------------------------------
+  /// Opens a span starting at now(); returns its id.
+  std::uint32_t begin_span(Category c, std::string name);
+  /// Closes the innermost open span (spans close strictly LIFO, which is
+  /// what guarantees well-nested trees). `id` must be that span.
+  void end_span(std::uint32_t id);
+  void set_attr(std::uint32_t id, std::string key, std::string value);
+
+  // --- explicit-timestamp spans (cluster simulation) -----------------------
+  /// Appends a closed span with caller-supplied timestamps. The caller is
+  /// responsible for nesting children inside [start, end] of their parent.
+  std::uint32_t add_span(Category c, std::string name, sim::Ns start,
+                         sim::Ns end, std::uint32_t parent = Span::kNoParent);
+
+  // --- charges -------------------------------------------------------------
+  /// Advances the trace timeline by `t` and attributes it to `c` on the
+  /// innermost open span (or a synthetic trace-level root when none).
+  void charge(Category c, sim::Ns t, double count = 1);
+  /// Named detail on the innermost open span; does NOT advance the
+  /// timeline (the time is already covered by a category charge).
+  void note(std::string_view name, sim::Ns t, double count = 1);
+  /// Point annotation at the current timeline position.
+  void instant(std::string name,
+               std::vector<std::pair<std::string, std::string>> attrs = {});
+  /// Point annotation at an explicit timestamp (cluster simulation).
+  void instant_at(std::string name, sim::Ns t,
+                  std::vector<std::pair<std::string, std::string>> attrs = {});
+
+  // --- introspection -------------------------------------------------------
+  [[nodiscard]] const std::vector<Span>& spans() const { return spans_; }
+  [[nodiscard]] const std::vector<Instant>& instants() const {
+    return instants_;
+  }
+  [[nodiscard]] std::size_t open_depth() const { return open_.size(); }
+  /// Whole-trace charge totals (sum over spans), indexed by Category.
+  [[nodiscard]] const std::array<ChargeStat,
+                                 static_cast<std::size_t>(Category::kCount)>&
+  charge_totals() const {
+    return totals_;
+  }
+  [[nodiscard]] sim::Ns charged_ns(Category c) const {
+    return totals_[static_cast<std::size_t>(c)].total_ns;
+  }
+  /// Merged named notes across all spans (key order).
+  [[nodiscard]] std::map<std::string, ChargeStat, std::less<>> note_totals()
+      const;
+
+ private:
+  Span& innermost();
+
+  std::uint64_t id_;
+  std::string name_;
+  sim::Ns now_ = 0;
+  std::vector<Span> spans_;
+  std::vector<Instant> instants_;
+  std::vector<std::uint32_t> open_;  ///< stack of open span ids
+  std::array<ChargeStat, static_cast<std::size_t>(Category::kCount)> totals_{};
+};
+
+/// Owns the traces of one experiment plus the central metrics registry.
+/// Trace storage is a deque so Trace pointers stay valid across starts.
+class Tracer {
+ public:
+  explicit Tracer(bool enabled = true) : enabled_(enabled) {}
+
+  [[nodiscard]] bool enabled() const { return enabled_; }
+  void set_enabled(bool e) { enabled_ = e; }
+
+  /// Starts a new trace with the next sequential id (ids start at 1).
+  Trace& start_trace(std::string name);
+
+  [[nodiscard]] const std::deque<Trace>& traces() const { return traces_; }
+  [[nodiscard]] Trace* find(std::uint64_t id);
+  [[nodiscard]] const Trace* find(std::uint64_t id) const;
+  /// Drops all recorded traces (keeps the id sequence and the registry).
+  void clear_traces() { traces_.clear(); }
+
+  [[nodiscard]] Registry& registry() { return registry_; }
+  [[nodiscard]] const Registry& registry() const { return registry_; }
+
+ private:
+  bool enabled_;
+  std::uint64_t next_id_ = 0;
+  std::deque<Trace> traces_;
+  Registry registry_;
+};
+
+// --- ambient context ---------------------------------------------------------
+//
+// The simulation is single-threaded and synchronous: a gateway invocation
+// runs the host agent, launcher and workload inside one call stack. The
+// active trace is therefore a single global pointer, installed with RAII
+// for the duration of the invocation — no plumbing through constructors,
+// and a disabled hook costs one load + branch.
+
+namespace detail {
+extern Trace* g_current_trace;
+}  // namespace detail
+
+/// The trace the innermost TraceScope installed, or nullptr.
+inline Trace* current_trace() { return detail::g_current_trace; }
+
+/// Installs `t` as the ambient trace for the scope's lifetime.
+class TraceScope {
+ public:
+  explicit TraceScope(Trace* t) : prev_(detail::g_current_trace) {
+    detail::g_current_trace = t;
+  }
+  ~TraceScope() { detail::g_current_trace = prev_; }
+
+  TraceScope(const TraceScope&) = delete;
+  TraceScope& operator=(const TraceScope&) = delete;
+
+ private:
+  Trace* prev_;
+};
+
+/// RAII span on the ambient trace; a no-op when tracing is off.
+class SpanScope {
+ public:
+  SpanScope(Category c, std::string_view name) : trace_(current_trace()) {
+    if (trace_) id_ = trace_->begin_span(c, std::string(name));
+  }
+  SpanScope(Category c, std::string_view name,
+            std::vector<std::pair<std::string, std::string>> attrs)
+      : SpanScope(c, name) {
+    if (trace_)
+      for (auto& [k, v] : attrs)
+        trace_->set_attr(id_, std::move(k), std::move(v));
+  }
+  ~SpanScope() {
+    if (trace_) trace_->end_span(id_);
+  }
+
+  void set_attr(std::string key, std::string value) {
+    if (trace_) trace_->set_attr(id_, std::move(key), std::move(value));
+  }
+  [[nodiscard]] bool active() const { return trace_ != nullptr; }
+
+  SpanScope(const SpanScope&) = delete;
+  SpanScope& operator=(const SpanScope&) = delete;
+
+ private:
+  Trace* trace_;
+  std::uint32_t id_ = 0;
+};
+
+/// Ambient charge/note/instant helpers for instrumentation sites.
+inline void charge(Category c, sim::Ns t, double count = 1) {
+  if (Trace* tr = detail::g_current_trace) tr->charge(c, t, count);
+}
+inline void note(std::string_view name, sim::Ns t, double count = 1) {
+  if (Trace* tr = detail::g_current_trace) tr->note(name, t, count);
+}
+inline void instant(std::string_view name, std::string key,
+                    std::string value) {
+  if (Trace* tr = detail::g_current_trace)
+    tr->instant(std::string(name), {{std::move(key), std::move(value)}});
+}
+
+}  // namespace confbench::obs

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "obs/trace.h"
+
 namespace confbench::rt {
 
 bool MarkSweepGc::maybe_collect() {
@@ -15,6 +17,7 @@ bool MarkSweepGc::maybe_collect() {
 
 void MarkSweepGc::collect() {
   ++collections_;
+  obs::SpanScope gc(obs::Category::kGc, "rt.gc");
   auto& ctx = heap_.ctx();
   ctx.counters().gc_cycles += 1;
 

@@ -57,8 +57,9 @@ class Autoscaler {
   /// start booting that many parked replicas, negative = park that many
   /// idle warm ones. Accounts for capacity already booting so a slow
   /// (confidential) cold start does not trigger a boot storm.
-  int evaluate(int warm, int booting, std::uint64_t in_service,
-               std::uint64_t queued, int concurrency_per_vm, sim::Ns now);
+  [[nodiscard]] int evaluate(int warm, int booting, std::uint64_t in_service,
+                             std::uint64_t queued, int concurrency_per_vm,
+                             sim::Ns now);
 
   [[nodiscard]] const AutoscalerConfig& config() const { return cfg_; }
   [[nodiscard]] const std::vector<AutoscalerSample>& trace() const {

@@ -35,9 +35,12 @@ ServiceModel ServiceModel::calibrate(core::ConfBench& system,
   double total = 0, io_share = 0;
   int n = 0;
   for (int t = 0; t < probes; ++t) {
-    const core::InvocationRecord rec =
-        system.gateway().invoke(function, language, platform, secure,
-                                static_cast<std::uint64_t>(t));
+    const core::InvocationRecord rec = system.gateway().invoke(
+        {.function = function,
+         .language = language,
+         .platform = platform,
+         .secure = secure,
+         .trial = static_cast<std::uint64_t>(t)});
     if (!rec.ok())
       throw std::runtime_error("calibration invoke failed: " + rec.error);
     total += rec.function_ns;
@@ -136,6 +139,37 @@ struct Replica {
   std::vector<sim::Ns> bounce_free;
 };
 
+/// Per-request phase timestamps, recorded only when a tracer is attached;
+/// turned into span trees for the slowest requests after the run.
+struct TailSample {
+  sim::Ns arrival = 0;
+  sim::Ns start = 0;     ///< service start (queue wait ends)
+  sim::Ns par_end = 0;   ///< parallel portion done
+  sim::Ns io_start = 0;  ///< bounce slot acquired
+  sim::Ns finish = 0;
+  std::uint32_t replica = 0;
+  bool done = false;
+};
+
+struct BootEvent {
+  std::uint32_t replica = 0;
+  sim::Ns start = 0;
+  sim::Ns end = 0;
+};
+
+struct ScalerDecision {
+  sim::Ns t = 0;
+  int delta = 0;
+  int warm = 0;
+  int booting = 0;
+  std::uint64_t in_service = 0;
+  std::uint64_t queued = 0;
+};
+
+std::string fmt_ns(sim::Ns t) {
+  return std::to_string(static_cast<long long>(t));
+}
+
 }  // namespace
 
 ClusterResult ClusterExperiment::run_with_model(
@@ -146,6 +180,16 @@ ClusterResult ClusterExperiment::run_with_model(
 
   sim::VirtualClock clock;
   EventQueue events(clock);
+
+  // Tracing is purely observational: samples are collected on the side and
+  // converted to traces after the event loop drains, so the simulation's
+  // RNG streams and event order are identical with or without a tracer.
+  obs::Tracer* tracer =
+      (cfg_.tracer && cfg_.tracer->enabled()) ? cfg_.tracer : nullptr;
+  std::vector<TailSample> samples;
+  if (tracer) samples.resize(cfg_.requests);
+  std::vector<BootEvent> boots;
+  std::vector<ScalerDecision> decisions;
 
   AutoscalerConfig scfg = cfg_.scaler;
   scfg.cold_start_ns = model.cold_start_ns;
@@ -193,6 +237,8 @@ ClusterResult ClusterExperiment::run_with_model(
       res.queue_wait.record(clock.now() - arrival_ns[id]);
     const double j = jitter_rng.jitter(model.jitter_sigma);
     const sim::Ns parallel = model.parallel_ns * j;
+    const sim::Ns par_end = clock.now() + parallel;
+    sim::Ns io_start = par_end;
     sim::Ns finish;
     if (model.serialized_ns > 0) {
       // The I/O tail of the request contends on the VM's slot-limited
@@ -200,12 +246,15 @@ ClusterResult ClusterExperiment::run_with_model(
       // both the parallel work and that slot are done.
       auto slot = std::min_element(r.bounce_free.begin(),
                                    r.bounce_free.end());
-      const sim::Ns io_start = std::max(clock.now() + parallel, *slot);
+      io_start = std::max(par_end, *slot);
       finish = io_start + model.serialized_ns * j;
       *slot = finish;
     } else {
-      finish = clock.now() + parallel;
+      finish = par_end;
     }
+    if (tracer && id < samples.size())
+      samples[id] = {arrival_ns[id], clock.now(), par_end, io_start,
+                     finish,         idx,         true};
     events.at(finish, [&, idx, id] { on_complete(idx, id); });
   };
 
@@ -279,6 +328,9 @@ ClusterResult ClusterExperiment::run_with_model(
     }
     const int delta = scaler.evaluate(warm, booting, in_service, queued,
                                       cfg_.queue.concurrency, clock.now());
+    if (tracer && delta != 0)
+      decisions.push_back(
+          {clock.now(), delta, warm, booting, in_service, queued});
     if (delta > 0) {
       int to_boot = delta;
       for (std::uint32_t i = 0;
@@ -287,13 +339,15 @@ ClusterResult ClusterExperiment::run_with_model(
         replicas[i].state = Replica::State::kBooting;
         ++booting;
         --to_boot;
-        events.after(scfg.cold_start_ns, [&, i] {
+        const sim::Ns boot_start = clock.now();
+        events.after(scfg.cold_start_ns, [&, i, boot_start] {
           if (replicas[i].state != Replica::State::kBooting) return;
           replicas[i].state = Replica::State::kWarm;
           pool.set_enabled(i, true);
           --booting;
           ++warm;
           res.peak_warm = std::max(res.peak_warm, warm);
+          if (tracer) boots.push_back({i, boot_start, clock.now()});
         });
       }
     } else if (delta < 0) {
@@ -319,6 +373,70 @@ ClusterResult ClusterExperiment::run_with_model(
 
   res.makespan_ns = clock.now();
   res.scaler_trace = scaler.trace();
+
+  if (tracer) {
+    const std::string run_name =
+        cfg_.platform + "/" + cfg_.function +
+        (cfg_.secure ? "/secure" : "/normal");
+
+    // Tail traces: the trace_tail slowest steady-state requests, each a
+    // well-nested tree of queue-wait / service / bounce-wait / bounce.
+    std::vector<std::uint64_t> ids;
+    for (std::uint64_t id = cfg_.warmup_requests; id < samples.size(); ++id)
+      if (samples[id].done) ids.push_back(id);
+    std::sort(ids.begin(), ids.end(),
+              [&](std::uint64_t a, std::uint64_t b) {
+                const sim::Ns la = samples[a].finish - samples[a].arrival;
+                const sim::Ns lb = samples[b].finish - samples[b].arrival;
+                return la != lb ? la > lb : a < b;
+              });
+    const auto k = std::min<std::size_t>(
+        ids.size(), static_cast<std::size_t>(std::max(cfg_.trace_tail, 0)));
+    for (std::size_t i = 0; i < k; ++i) {
+      const TailSample& s = samples[ids[i]];
+      obs::Trace& tr = tracer->start_trace(
+          run_name + "/tail#" + std::to_string(ids[i]));
+      const std::uint32_t root = tr.add_span(
+          obs::Category::kInvoke, "request", s.arrival, s.finish);
+      tr.set_attr(root, "replica", "replica-" + std::to_string(s.replica));
+      tr.set_attr(root, "latency_ns", fmt_ns(s.finish - s.arrival));
+      if (s.start > s.arrival)
+        tr.add_span(obs::Category::kQueueWait, "queue.wait", s.arrival,
+                    s.start, root);
+      tr.add_span(obs::Category::kService, "service.parallel", s.start,
+                  s.par_end, root);
+      if (s.io_start > s.par_end)
+        tr.add_span(obs::Category::kBounceWait, "bounce.wait", s.par_end,
+                    s.io_start, root);
+      if (s.finish > s.io_start)
+        tr.add_span(obs::Category::kBounce, "bounce.io", s.io_start,
+                    s.finish, root);
+    }
+
+    // Fleet trace: cold-start spans plus every autoscaler decision.
+    obs::Trace& fleet = tracer->start_trace(run_name + "/fleet");
+    for (const BootEvent& b : boots) {
+      const std::uint32_t sp = fleet.add_span(
+          obs::Category::kColdStart, "replica.boot", b.start, b.end);
+      fleet.set_attr(sp, "replica", "replica-" + std::to_string(b.replica));
+    }
+    for (const ScalerDecision& d : decisions)
+      fleet.instant_at("scaler.decision", d.t,
+                       {{"delta", std::to_string(d.delta)},
+                        {"warm", std::to_string(d.warm)},
+                        {"booting", std::to_string(d.booting)},
+                        {"in_service", std::to_string(d.in_service)},
+                        {"queued", std::to_string(d.queued)}});
+
+    // Run aggregates into the central registry.
+    obs::Registry& reg = tracer->registry();
+    reg.counter("cluster.offered") += res.offered;
+    reg.counter("cluster.completed") += res.completed;
+    reg.counter("cluster.rejected") += res.rejected;
+    reg.gauge("cluster.peak_warm") = res.peak_warm;
+    reg.histogram("cluster.latency_ns").merge(res.latency);
+    reg.histogram("cluster.queue_wait_ns").merge(res.queue_wait);
+  }
   return res;
 }
 

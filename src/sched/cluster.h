@@ -26,6 +26,7 @@
 
 #include "core/confbench.h"
 #include "metrics/histogram.h"
+#include "obs/trace.h"
 #include "sched/arrivals.h"
 #include "sched/autoscaler.h"
 #include "sched/event_queue.h"
@@ -61,11 +62,11 @@ struct ServiceModel {
   /// Probes the deployment with real invocations and derives the model.
   /// The serialized share is the measured I/O fraction of the run, applied
   /// only where the platform actually routes DMA through bounce buffers.
-  static ServiceModel calibrate(core::ConfBench& system,
-                                const std::string& function,
-                                const std::string& language,
-                                const std::string& platform, bool secure,
-                                int probes = 4);
+  [[nodiscard]] static ServiceModel calibrate(core::ConfBench& system,
+                                              const std::string& function,
+                                              const std::string& language,
+                                              const std::string& platform,
+                                              bool secure, int probes = 4);
 };
 
 struct ClusterConfig {
@@ -91,6 +92,14 @@ struct ClusterConfig {
   QueueConfig queue;        ///< per-replica limits
   AutoscalerConfig scaler;  ///< fleet sizing (cold_start_ns comes from model)
   int calibration_probes = 4;
+
+  /// When set, the run records the `trace_tail` slowest steady-state
+  /// requests as span trees (queue wait / service / bounce wait / bounce)
+  /// plus one fleet trace (cold-start spans, autoscaler decisions), and
+  /// publishes run aggregates into the tracer's metrics registry. Null
+  /// disables all of it; results are bit-identical either way.
+  obs::Tracer* tracer = nullptr;
+  int trace_tail = 8;
 };
 
 struct ClusterResult {
@@ -120,10 +129,10 @@ class ClusterExperiment {
   explicit ClusterExperiment(ClusterConfig cfg) : cfg_(std::move(cfg)) {}
 
   /// Calibrates through `system`'s real invocation path, then simulates.
-  ClusterResult run(core::ConfBench& system) const;
+  [[nodiscard]] ClusterResult run(core::ConfBench& system) const;
 
   /// Simulates with an explicit model (tests; pre-calibrated sweeps).
-  ClusterResult run_with_model(const ServiceModel& model) const;
+  [[nodiscard]] ClusterResult run_with_model(const ServiceModel& model) const;
 
   /// Offered load (rps) that saturates the autoscaler's full fleet.
   [[nodiscard]] double fleet_capacity_rps(const ServiceModel& model) const;

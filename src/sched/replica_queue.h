@@ -25,12 +25,12 @@ class ReplicaQueue {
 
   /// Admits a request. Returns false (reject with 429) when the replica is
   /// at queued + in-service capacity.
-  bool admit(std::uint64_t request_id);
+  [[nodiscard]] bool admit(std::uint64_t request_id);
 
   /// Pops the next request to start serving, if a concurrency slot is free
   /// and something is pending. The caller must mark the returned request
   /// as started (this call occupies the slot).
-  std::optional<std::uint64_t> start_next();
+  [[nodiscard]] std::optional<std::uint64_t> start_next();
 
   /// Releases one in-service slot (a request finished).
   void complete();

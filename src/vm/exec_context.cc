@@ -27,7 +27,8 @@ ExecutionContext::ExecutionContext(tee::PlatformPtr platform, bool secure,
                                        (secure ? 0x5ecu : 0x00u))),
       memenc_(secure && (costs_.mem.enc_extra_ns > 0 ||
                          costs_.mem.integrity_extra_ns > 0)),
-      next_addr_(0) {
+      next_addr_(0),
+      trace_(obs::current_trace()) {
   // Salted base address: secure and normal VMs get different physical
   // layouts, hence slightly different cache-set conflict patterns.
   const std::uint64_t salt = sim::hash_combine(
@@ -47,6 +48,7 @@ void ExecutionContext::compute(double int_ops, double branches) {
                         costs_.cpu.sim_slowdown;
   counters_.t_compute_ns += t;
   clock_.advance(t);
+  trace_charge(obs::Category::kCompute, t);
 }
 
 void ExecutionContext::compute_fp(double fp_ops) {
@@ -54,6 +56,7 @@ void ExecutionContext::compute_fp(double fp_ops) {
   const sim::Ns t = sim::fp_time_ns(fp_ops, costs_.cpu);
   counters_.t_compute_ns += t;
   clock_.advance(t);
+  trace_charge(obs::Category::kCompute, t);
 }
 
 std::uint64_t ExecutionContext::alloc_region(std::uint64_t bytes,
@@ -77,10 +80,15 @@ void ExecutionContext::mem_access(const sim::RangeAccess& a) {
   counters_.instructions += c.accesses;
   counters_.cache_references += c.accesses;
   counters_.cache_misses += c.dram_fills;
-  counters_.mem_protection_ns += memenc_.record(c, costs_.mem);
+  const sim::Ns enc_ns = memenc_.record(c, costs_.mem);
+  counters_.mem_protection_ns += enc_ns;
   const sim::Ns t = sim::mem_time_ns(c, costs_.mem, costs_.cpu);
   counters_.t_memory_ns += t;
   clock_.advance(t);
+  // mem_time_ns already folds the protection overhead in, so the whole
+  // access is one kMemory charge; the encryption share rides as a note.
+  trace_charge(obs::Category::kMemory, t, c.accesses);
+  if (trace_ && enc_ns > 0) trace_->note("mem.encryption", enc_ns);
 }
 
 void ExecutionContext::mem_read(std::uint64_t base, std::uint64_t bytes,
@@ -107,6 +115,10 @@ void ExecutionContext::charge_exits(double exits, tee::ExitReason reason) {
       costs_.cpu.sim_slowdown;
   counters_.t_os_ns += t;
   clock_.advance(t);
+  trace_charge(obs::Category::kVmExit, t, exits);
+  if (trace_)
+    trace_->note(std::string("exit.") + std::string(tee::to_string(reason)),
+                 t, exits);
 }
 
 void ExecutionContext::syscall(tee::ExitReason reason) {
@@ -114,6 +126,7 @@ void ExecutionContext::syscall(tee::ExitReason reason) {
   const sim::Ns t = costs_.exit.syscall_ns * costs_.cpu.sim_slowdown;
   counters_.t_os_ns += t;
   clock_.advance(t);
+  trace_charge(obs::Category::kOs, t);
   charge_exits(costs_.exit.exit_rate_per_syscall, reason);
 }
 
@@ -121,6 +134,7 @@ void ExecutionContext::sleep(sim::Ns duration) {
   counters_.syscalls += 1;  // nanosleep
   counters_.t_other_ns += duration;
   clock_.advance(duration);
+  trace_charge(obs::Category::kOther, duration);
   charge_exits(costs_.exit.timer_wake_exit, tee::ExitReason::kTimer);
 }
 
@@ -129,6 +143,7 @@ void ExecutionContext::context_switch() {
   const sim::Ns t = costs_.exit.ctx_switch_ns * costs_.cpu.sim_slowdown;
   counters_.t_os_ns += t;
   clock_.advance(t);
+  trace_charge(obs::Category::kOs, t);
   charge_exits(costs_.exit.exit_rate_per_ctx_switch,
                tee::ExitReason::kInterrupt);
 }
@@ -142,8 +157,15 @@ void ExecutionContext::page_fault(double faults) {
       costs_.cpu.sim_slowdown;
   counters_.t_os_ns += t;
   clock_.advance(t);
-  if (costs_.exit.page_fault_extra_ns > 0)
+  trace_charge(obs::Category::kOs, t, faults);
+  if (costs_.exit.page_fault_extra_ns > 0) {
     counters_.add_exit(tee::ExitReason::kPageAccept, faults);
+    if (trace_)
+      trace_->note("exit.page_accept",
+                   faults * costs_.exit.page_fault_extra_ns *
+                       costs_.cpu.sim_slowdown,
+                   faults);
+  }
 }
 
 void ExecutionContext::spawn_process() {
@@ -151,6 +173,7 @@ void ExecutionContext::spawn_process() {
   const sim::Ns t = costs_.exit.spawn_ns * costs_.cpu.sim_slowdown;
   counters_.t_os_ns += t;
   clock_.advance(t);
+  trace_charge(obs::Category::kOs, t);
   page_fault(24);  // demand-paging the fresh image
   charge_exits(2.0 * costs_.exit.exit_rate_per_ctx_switch,
                tee::ExitReason::kInterrupt);
@@ -163,6 +186,7 @@ void ExecutionContext::pipe_transfer(std::uint64_t bytes) {
                     costs_.cpu.sim_slowdown;
   counters_.t_os_ns += t;
   clock_.advance(t);
+  trace_charge(obs::Category::kOs, t);
   charge_exits(2 * costs_.exit.exit_rate_per_syscall,
                tee::ExitReason::kSyscallAssist);
 }
@@ -171,11 +195,16 @@ void ExecutionContext::block_read(std::uint64_t bytes) {
   counters_.syscalls += 1;
   counters_.io_bytes += static_cast<double>(bytes);
   const auto& io = costs_.io;
-  sim::Ns t = io.blk_fixed_ns + static_cast<double>(bytes) * io.blk_byte_ns;
-  t += io.bounce_fixed_ns + static_cast<double>(bytes) * io.bounce_byte_ns;
-  t *= costs_.cpu.sim_slowdown;
-  counters_.t_io_ns += t;
-  clock_.advance(t);
+  const sim::Ns blk_ns =
+      (io.blk_fixed_ns + static_cast<double>(bytes) * io.blk_byte_ns) *
+      costs_.cpu.sim_slowdown;
+  const sim::Ns bounce_ns =
+      (io.bounce_fixed_ns + static_cast<double>(bytes) * io.bounce_byte_ns) *
+      costs_.cpu.sim_slowdown;
+  counters_.t_io_ns += blk_ns + bounce_ns;
+  clock_.advance(blk_ns + bounce_ns);
+  trace_charge(obs::Category::kIo, blk_ns);
+  if (bounce_ns > 0) trace_charge(obs::Category::kBounce, bounce_ns);
   charge_exits(1.0, tee::ExitReason::kMmio);  // virtio doorbell
 }
 
@@ -190,6 +219,7 @@ void ExecutionContext::block_flush() {
   const sim::Ns t = costs_.io.flush_ns * costs_.cpu.sim_slowdown;
   counters_.t_io_ns += t;
   clock_.advance(t);
+  trace_charge(obs::Category::kIo, t);
   charge_exits(1.0, tee::ExitReason::kMmio);
 }
 
@@ -197,11 +227,16 @@ void ExecutionContext::net_transfer(std::uint64_t bytes) {
   counters_.syscalls += 2;
   counters_.net_bytes += static_cast<double>(bytes);
   const auto& io = costs_.io;
-  sim::Ns t = io.net_rtt_ns + static_cast<double>(bytes) * io.net_byte_ns;
-  t += io.bounce_fixed_ns + static_cast<double>(bytes) * io.bounce_byte_ns;
-  t *= costs_.cpu.sim_slowdown;
-  counters_.t_io_ns += t;
-  clock_.advance(t);
+  const sim::Ns net_ns =
+      (io.net_rtt_ns + static_cast<double>(bytes) * io.net_byte_ns) *
+      costs_.cpu.sim_slowdown;
+  const sim::Ns bounce_ns =
+      (io.bounce_fixed_ns + static_cast<double>(bytes) * io.bounce_byte_ns) *
+      costs_.cpu.sim_slowdown;
+  counters_.t_io_ns += net_ns + bounce_ns;
+  clock_.advance(net_ns + bounce_ns);
+  trace_charge(obs::Category::kIo, net_ns);
+  if (bounce_ns > 0) trace_charge(obs::Category::kBounce, bounce_ns);
   charge_exits(2.0, tee::ExitReason::kMmio);
 }
 

@@ -19,6 +19,7 @@
 #include <string>
 
 #include "metrics/counters.h"
+#include "obs/trace.h"
 #include "sim/cache.h"
 #include "sim/clock.h"
 #include "sim/costs.h"
@@ -82,6 +83,7 @@ class ExecutionContext {
   void charge(sim::Ns t) {
     counters_.t_other_ns += t;
     clock_.advance(t);
+    trace_charge(obs::Category::kOther, t);
   }
 
   [[nodiscard]] sim::Ns now() const { return clock_.now(); }
@@ -103,6 +105,12 @@ class ExecutionContext {
  private:
   void charge_exits(double exits, tee::ExitReason reason);
 
+  /// Mirrors a virtual-clock charge onto the invocation's trace (captured
+  /// from the ambient context at construction). One branch when untraced.
+  void trace_charge(obs::Category c, sim::Ns t, double n = 1) {
+    if (trace_) trace_->charge(c, t, n);
+  }
+
   tee::PlatformPtr platform_;
   bool secure_;
   sim::PlatformCosts costs_;
@@ -113,6 +121,7 @@ class ExecutionContext {
   metrics::PerfCounters counters_;
   std::uint64_t next_addr_;
   std::uint64_t layout_state_;  ///< per-VM allocation-placement stream
+  obs::Trace* trace_;           ///< ambient trace at construction (or null)
   bool finished_ = false;
 };
 

@@ -36,7 +36,9 @@ TEST_F(GatewayTest, UploadValidation) {
 }
 
 TEST_F(GatewayTest, InvokeHappyPath) {
-  const auto rec = system.gateway().invoke("fib", "lua", "tdx", true, 3);
+  const auto rec = system.gateway().invoke(
+      {.function = "fib", .language = "lua", .platform = "tdx",
+       .secure = true, .trial = 3});
   ASSERT_TRUE(rec.ok()) << rec.error;
   EXPECT_EQ(rec.output.rfind("fib:", 0), 0u);
   EXPECT_GT(rec.function_ns, 0);
@@ -47,13 +49,17 @@ TEST_F(GatewayTest, InvokeHappyPath) {
 }
 
 TEST_F(GatewayTest, NormalVmUsesNormalPort) {
-  const auto rec = system.gateway().invoke("fib", "lua", "tdx", false, 0);
+  const auto rec = system.gateway().invoke(
+      {.function = "fib", .language = "lua", .platform = "tdx",
+       .secure = false});
   ASSERT_TRUE(rec.ok());
   EXPECT_EQ(rec.served_by, "host-tdx:8100");
 }
 
 TEST_F(GatewayTest, CcaRealmInvocationUsesCustomCollector) {
-  const auto rec = system.gateway().invoke("fib", "lua", "cca", true, 0);
+  const auto rec = system.gateway().invoke(
+      {.function = "fib", .language = "lua", .platform = "cca",
+       .secure = true});
   ASSERT_TRUE(rec.ok());
   EXPECT_FALSE(rec.perf_from_pmu);
   EXPECT_DOUBLE_EQ(rec.perf.instructions, 0);
@@ -61,15 +67,24 @@ TEST_F(GatewayTest, CcaRealmInvocationUsesCustomCollector) {
 }
 
 TEST_F(GatewayTest, InvokeErrorsAreDescriptive) {
-  EXPECT_EQ(system.gateway().invoke("nope", "lua", "tdx", true).http_status,
-            404);
-  EXPECT_EQ(system.gateway().invoke("fib", "lua", "sgx", true).http_status,
-            404);
+  const auto missing = system.gateway().invoke(
+      {.function = "nope", .language = "lua", .platform = "tdx",
+       .secure = true});
+  EXPECT_EQ(missing.http_status, 404);
+  EXPECT_EQ(missing.code, ErrorCode::kFunctionNotFound);
+  const auto no_pool = system.gateway().invoke(
+      {.function = "fib", .language = "lua", .platform = "sgx",
+       .secure = true});
+  EXPECT_EQ(no_pool.http_status, 404);
+  EXPECT_EQ(no_pool.code, ErrorCode::kNoPool);
 }
 
 TEST_F(GatewayTest, NativeClassicWorkloads) {
   const auto rec =
-      system.gateway().invoke("db-speedtest", "native", "sev-snp", true, 0);
+      system.gateway().invoke({.function = "db-speedtest",
+                               .language = "native",
+                               .platform = "sev-snp",
+                               .secure = true});
   ASSERT_TRUE(rec.ok()) << rec.error;
   EXPECT_EQ(rec.output.rfind("db-speedtest:", 0), 0u);
 }
@@ -147,7 +162,10 @@ TEST_F(GatewayTest, MeasureProducesConsistentSeries) {
 
 TEST_F(GatewayTest, PoolCountsRequests) {
   for (int i = 0; i < 6; ++i)
-    system.gateway().invoke("fib", "lua", "tdx", i % 2 == 0, 0);
+    (void)system.gateway().invoke({.function = "fib",
+                                   .language = "lua",
+                                   .platform = "tdx",
+                                   .secure = i % 2 == 0});
   const auto& members = system.gateway().pool("tdx")->members();
   ASSERT_EQ(members.size(), 1u);
   EXPECT_EQ(members[0].served, 6u);
@@ -218,8 +236,9 @@ TEST(GatewayRetries, TransientDropsAreRetried) {
       {.drop_rate = 0.4, .corrupt_rate = 0, .timeout_us = 500});
   int ok = 0, retried = 0;
   for (int i = 0; i < 30; ++i) {
-    const auto rec = system.gateway().invoke("fib", "lua", "tdx", true,
-                                             static_cast<std::uint64_t>(i));
+    const auto rec = system.gateway().invoke(
+        {.function = "fib", .language = "lua", .platform = "tdx",
+         .secure = true, .trial = static_cast<std::uint64_t>(i)});
     ok += rec.ok();
     retried += rec.retries > 0;
   }
@@ -234,9 +253,12 @@ TEST(GatewayRetries, ZeroRetriesSurfacesFailures) {
   system.gateway().upload_all_builtin();
   system.network().set_faults(
       {.drop_rate = 1.0, .corrupt_rate = 0, .timeout_us = 500});
-  const auto rec = system.gateway().invoke("fib", "lua", "tdx", true, 0);
+  const auto rec = system.gateway().invoke(
+      {.function = "fib", .language = "lua", .platform = "tdx",
+       .secure = true});
   EXPECT_FALSE(rec.ok());
   EXPECT_EQ(rec.http_status, 504);
+  EXPECT_EQ(rec.code, ErrorCode::kTransport);
   EXPECT_EQ(rec.retries, 0);
 }
 
@@ -246,7 +268,9 @@ TEST(GatewayRetries, ApplicationErrorsAreNotRetried) {
   // Unknown function reaches the host and 404s; no retries should happen.
   system.gateway().upload_function("lua", "fib", "src");
   const auto before = system.network().requests_sent();
-  const auto rec = system.gateway().invoke("fib", "lua", "tdx", true, 0);
+  const auto rec = system.gateway().invoke(
+      {.function = "fib", .language = "lua", .platform = "tdx",
+       .secure = true});
   EXPECT_TRUE(rec.ok());
   EXPECT_EQ(system.network().requests_sent(), before + 1);
 }
@@ -306,7 +330,10 @@ TEST_F(MiniWasmUpload, UploadValidatesModules) {
 TEST_F(MiniWasmUpload, InvokeRunsRealBytecodeInTheSecureVm) {
   auto& gw = system.gateway();
   ASSERT_TRUE(gw.upload_function("miniwasm", "collatz", kCollatzWat));
-  const auto rec = gw.invoke("collatz", "miniwasm", "tdx", true, 0);
+  const auto rec = gw.invoke({.function = "collatz",
+                              .language = "miniwasm",
+                              .platform = "tdx",
+                              .secure = true});
   ASSERT_TRUE(rec.ok()) << rec.error;
   EXPECT_EQ(rec.output, "collatz:111");  // collatz(27) takes 111 steps
   EXPECT_GT(rec.function_ns, 0);
@@ -319,8 +346,18 @@ TEST_F(MiniWasmUpload, SecureCostsMoreOnCca) {
   ASSERT_TRUE(gw.upload_function("miniwasm", "collatz", kCollatzWat));
   double secure = 0, normal = 0;
   for (std::uint64_t t = 0; t < 3; ++t) {
-    secure += gw.invoke("collatz", "miniwasm", "cca", true, t).function_ns;
-    normal += gw.invoke("collatz", "miniwasm", "cca", false, t).function_ns;
+    secure += gw.invoke({.function = "collatz",
+                         .language = "miniwasm",
+                         .platform = "cca",
+                         .secure = true,
+                         .trial = t})
+                  .function_ns;
+    normal += gw.invoke({.function = "collatz",
+                         .language = "miniwasm",
+                         .platform = "cca",
+                         .secure = false,
+                         .trial = t})
+                  .function_ns;
   }
   EXPECT_GT(secure, normal * 1.2);
 }
@@ -346,9 +383,135 @@ TEST_F(MiniWasmUpload, TrapsSurfaceAsServerErrors) {
       "miniwasm", "boom",
       "(module (func $boom (result i64) i64.const 1 i64.const 0 "
       "i64.div_s))"));
-  const auto rec = gw.invoke("boom", "miniwasm", "tdx", true, 0);
+  const auto rec = gw.invoke({.function = "boom",
+                              .language = "miniwasm",
+                              .platform = "tdx",
+                              .secure = true});
   EXPECT_FALSE(rec.ok());
+  EXPECT_EQ(rec.code, ErrorCode::kApplication);
   EXPECT_NE(rec.error.find("divide by zero"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace confbench::core
+// (appended) --- typed error codes, deadlines, and the request-struct API ----
+
+namespace confbench::core {
+namespace {
+
+TEST(GatewayErrors, EmptyPoolMapsToNoCapacity) {
+  ConfBench system(GatewayConfig::standard());
+  system.gateway().upload_all_builtin();
+  TeePool* pool = system.gateway().pool("tdx");
+  ASSERT_NE(pool, nullptr);
+  for (std::uint32_t i = 0; i < pool->members().size(); ++i)
+    pool->set_enabled(i, false);
+  const auto rec = system.gateway().invoke(
+      {.function = "fib", .language = "lua", .platform = "tdx",
+       .secure = true});
+  EXPECT_FALSE(rec.ok());
+  EXPECT_EQ(rec.http_status, 503);
+  EXPECT_EQ(rec.code, ErrorCode::kNoCapacity);
+}
+
+TEST(GatewayErrors, GarbagePerfHeaderIsSoftFailure) {
+  // A hand-bound endpoint that answers 200 but with an unparseable X-Perf:
+  // the function ran, so the invocation stays ok() with a typed code.
+  net::Network net;
+  GatewayConfig cfg;
+  cfg.endpoints = {{"tdx", "fake-host", 9100, 9200}};
+  net.bind("fake-host", 9200, [](const net::HttpRequest&) {
+    net::HttpResponse resp = net::HttpResponse::make(200, "fib:1\n");
+    resp.headers["X-Perf"] = "garbage";
+    return resp;
+  });
+  Gateway gw(net, cfg);
+  gw.upload_all_builtin();
+  const auto rec = gw.invoke({.function = "fib",
+                              .language = "lua",
+                              .platform = "tdx",
+                              .secure = true});
+  EXPECT_TRUE(rec.ok());
+  EXPECT_EQ(rec.code, ErrorCode::kUnparseablePerf);
+  EXPECT_NE(rec.error.find("X-Perf"), std::string::npos);
+}
+
+TEST(GatewayErrors, DeadlineExceededDiscardsTheResult) {
+  ConfBench system(GatewayConfig::standard());
+  system.gateway().upload_all_builtin();
+  const auto rec = system.gateway().invoke({.function = "fib",
+                                            .language = "lua",
+                                            .platform = "tdx",
+                                            .secure = true,
+                                            .deadline_ns = 1.0});
+  EXPECT_FALSE(rec.ok());
+  EXPECT_EQ(rec.http_status, 504);
+  EXPECT_EQ(rec.code, ErrorCode::kDeadlineExceeded);
+  EXPECT_TRUE(rec.output.empty());
+  EXPECT_GT(rec.latency_ns, 1.0);  // the work was still done and billed
+}
+
+TEST(GatewayErrors, GenerousDeadlineChangesNothing) {
+  ConfBench system(GatewayConfig::standard());
+  system.gateway().upload_all_builtin();
+  const auto rec = system.gateway().invoke({.function = "fib",
+                                            .language = "lua",
+                                            .platform = "tdx",
+                                            .secure = true,
+                                            .deadline_ns = 1e18});
+  EXPECT_TRUE(rec.ok());
+  EXPECT_EQ(rec.code, ErrorCode::kNone);
+}
+
+TEST(GatewayErrors, RestSurfaceCarriesTheErrorCode) {
+  ConfBench system(GatewayConfig::standard());
+  system.gateway().upload_all_builtin();
+  net::HttpRequest req;
+  req.method = "POST";
+  req.path = "/invoke";
+  req.query = "function=nope&lang=lua&platform=tdx&secure=1";
+  const auto resp = system.network().roundtrip("gateway", 8080, req);
+  EXPECT_EQ(resp.status, 404);
+  ASSERT_EQ(resp.headers.count("X-Error-Code"), 1u);
+  EXPECT_EQ(resp.headers.at("X-Error-Code"), "function_not_found");
+}
+
+TEST(GatewayShim, PositionalInvokeMatchesRequestStruct) {
+  // Two fresh systems see identical RNG/network streams, so the deprecated
+  // positional surface must produce a record identical to the request form.
+  ConfBench a(GatewayConfig::standard());
+  ConfBench b(GatewayConfig::standard());
+  a.gateway().upload_all_builtin();
+  b.gateway().upload_all_builtin();
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
+  const auto old_rec = a.gateway().invoke("primes", "go", "sev-snp", true, 7);
+#pragma GCC diagnostic pop
+  const auto new_rec = b.gateway().invoke({.function = "primes",
+                                           .language = "go",
+                                           .platform = "sev-snp",
+                                           .secure = true,
+                                           .trial = 7});
+  EXPECT_EQ(old_rec.http_status, new_rec.http_status);
+  EXPECT_EQ(old_rec.code, new_rec.code);
+  EXPECT_EQ(old_rec.output, new_rec.output);
+  EXPECT_EQ(old_rec.served_by, new_rec.served_by);
+  EXPECT_DOUBLE_EQ(old_rec.function_ns, new_rec.function_ns);
+  EXPECT_DOUBLE_EQ(old_rec.bootstrap_ns, new_rec.bootstrap_ns);
+  EXPECT_DOUBLE_EQ(old_rec.latency_ns, new_rec.latency_ns);
+  EXPECT_DOUBLE_EQ(old_rec.perf.wall_ns, new_rec.perf.wall_ns);
+  EXPECT_DOUBLE_EQ(old_rec.perf.instructions, new_rec.perf.instructions);
+}
+
+TEST(GatewayErrorCodeNames, AreStableStrings) {
+  EXPECT_EQ(to_string(ErrorCode::kNone), "none");
+  EXPECT_EQ(to_string(ErrorCode::kFunctionNotFound), "function_not_found");
+  EXPECT_EQ(to_string(ErrorCode::kNoPool), "no_pool");
+  EXPECT_EQ(to_string(ErrorCode::kNoCapacity), "no_capacity");
+  EXPECT_EQ(to_string(ErrorCode::kTransport), "transport");
+  EXPECT_EQ(to_string(ErrorCode::kUnparseablePerf), "unparseable_perf");
+  EXPECT_EQ(to_string(ErrorCode::kDeadlineExceeded), "deadline_exceeded");
+  EXPECT_EQ(to_string(ErrorCode::kApplication), "application");
 }
 
 }  // namespace

@@ -28,7 +28,10 @@ TEST(CrossStack, OutputsIdenticalAcrossPlatformsAndVmKinds) {
     std::string reference;
     for (const char* platform : {"tdx", "sev-snp", "cca", "none"}) {
       for (const bool secure : {false, true}) {
-        const auto rec = gw.invoke(fn, "lua", platform, secure, 0);
+        const auto rec = gw.invoke({.function = fn,
+                                    .language = "lua",
+                                    .platform = platform,
+                                    .secure = secure});
         ASSERT_TRUE(rec.ok()) << fn << " on " << platform << ": "
                               << rec.error;
         if (reference.empty()) {
@@ -50,7 +53,10 @@ TEST(CrossStack, OutputsIdenticalAcrossLanguages) {
   for (const char* fn : {"fib", "primes", "quicksort", "huffman"}) {
     std::string reference;
     for (const auto& profile : rt::builtin_profiles()) {
-      const auto rec = gw.invoke(fn, profile.name, "tdx", true, 0);
+      const auto rec = gw.invoke({.function = fn,
+                                  .language = profile.name,
+                                  .platform = "tdx",
+                                  .secure = true});
       ASSERT_TRUE(rec.ok()) << fn << "/" << profile.name;
       if (reference.empty()) {
         reference = rec.output;
@@ -65,7 +71,10 @@ TEST(CrossStack, TimingsDifferEvenWhenOutputsMatch) {
   auto& gw = system_instance().gateway();
   std::map<std::string, double> times;
   for (const char* platform : {"tdx", "cca"}) {
-    const auto rec = gw.invoke("fib", "lua", platform, true, 0);
+    const auto rec = gw.invoke({.function = "fib",
+                                .language = "lua",
+                                .platform = platform,
+                                .secure = true});
     ASSERT_TRUE(rec.ok());
     times[platform] = rec.function_ns;
   }
@@ -75,8 +84,16 @@ TEST(CrossStack, TimingsDifferEvenWhenOutputsMatch) {
 TEST(CrossStack, PerfCountersSurviveTheWireExactly) {
   // The kv piggyback format must not lose precision through HTTP.
   auto& gw = system_instance().gateway();
-  const auto a = gw.invoke("primes", "go", "sev-snp", true, 4);
-  const auto b = gw.invoke("primes", "go", "sev-snp", true, 4);
+  const auto a = gw.invoke({.function = "primes",
+                            .language = "go",
+                            .platform = "sev-snp",
+                            .secure = true,
+                            .trial = 4});
+  const auto b = gw.invoke({.function = "primes",
+                            .language = "go",
+                            .platform = "sev-snp",
+                            .secure = true,
+                            .trial = 4});
   ASSERT_TRUE(a.ok());
   ASSERT_TRUE(b.ok());
   EXPECT_DOUBLE_EQ(a.perf.instructions, b.perf.instructions);

@@ -33,8 +33,11 @@ std::vector<Outcome> run_sequence(ConfBench& system,
   std::vector<Outcome> out;
   for (int t = 0; t < n; ++t) {
     const InvocationRecord rec = system.gateway().invoke(
-        "factors", "lua", "tdx", /*secure=*/false,
-        static_cast<std::uint64_t>(t));
+        {.function = "factors",
+         .language = "lua",
+         .platform = "tdx",
+         .secure = false,
+         .trial = static_cast<std::uint64_t>(t)});
     out.push_back({rec.http_status, rec.retries, !rec.error.empty()});
   }
   return out;

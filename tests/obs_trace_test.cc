@@ -1,0 +1,329 @@
+#include <gtest/gtest.h>
+
+#include <functional>
+
+#include "core/confbench.h"
+#include "obs/export.h"
+#include "obs/registry.h"
+#include "obs/trace.h"
+#include "sched/cluster.h"
+
+namespace confbench::obs {
+namespace {
+
+// --- trace core --------------------------------------------------------------
+
+TEST(Trace, ChargesPartitionTheTimeline) {
+  Trace tr(1, "t");
+  TraceScope scope(&tr);
+  {
+    SpanScope outer(Category::kInvoke, "outer");
+    charge(Category::kCompute, 100);
+    {
+      SpanScope inner(Category::kFunction, "inner");
+      charge(Category::kMemory, 40);
+      charge(Category::kIo, 60);
+    }
+    charge(Category::kOs, 10);
+  }
+  EXPECT_DOUBLE_EQ(tr.now(), 210);
+  double total = 0;
+  for (const auto& stat : tr.charge_totals()) total += stat.total_ns;
+  EXPECT_DOUBLE_EQ(total, tr.now());  // exact partition, no time lost
+  EXPECT_DOUBLE_EQ(tr.charged_ns(Category::kMemory), 40);
+  // The outer span covers the whole timeline; the inner one only its part.
+  ASSERT_EQ(tr.spans().size(), 2u);
+  EXPECT_DOUBLE_EQ(tr.spans()[0].duration_ns(), 210);
+  EXPECT_DOUBLE_EQ(tr.spans()[1].start_ns, 100);
+  EXPECT_DOUBLE_EQ(tr.spans()[1].end_ns, 200);
+}
+
+TEST(Trace, ChargesAttributeToTheInnermostSpan) {
+  Trace tr(1, "t");
+  TraceScope scope(&tr);
+  SpanScope outer(Category::kInvoke, "outer");
+  charge(Category::kCompute, 5);
+  {
+    SpanScope inner(Category::kFunction, "inner");
+    charge(Category::kCompute, 7);
+  }
+  const Span& o = tr.spans()[0];
+  const Span& i = tr.spans()[1];
+  const auto idx = static_cast<std::size_t>(Category::kCompute);
+  EXPECT_DOUBLE_EQ(o.charges[idx].total_ns, 5);
+  EXPECT_DOUBLE_EQ(i.charges[idx].total_ns, 7);
+  EXPECT_DOUBLE_EQ(tr.charged_ns(Category::kCompute), 12);
+}
+
+TEST(Trace, ChargesOutsideAnySpanLandOnASyntheticRoot) {
+  Trace tr(1, "t");
+  TraceScope scope(&tr);
+  charge(Category::kNetwork, 33);
+  ASSERT_EQ(tr.spans().size(), 1u);
+  EXPECT_EQ(tr.spans()[0].name, "(trace)");
+  EXPECT_DOUBLE_EQ(tr.charged_ns(Category::kNetwork), 33);
+}
+
+TEST(Trace, NotesAccumulateWithoutAdvancingTime) {
+  Trace tr(1, "t");
+  TraceScope scope(&tr);
+  SpanScope s(Category::kFunction, "f");
+  charge(Category::kMemory, 100);
+  note("mem.encryption", 30);
+  note("mem.encryption", 12, 2);
+  EXPECT_DOUBLE_EQ(tr.now(), 100);  // notes are free
+  const auto totals = tr.note_totals();
+  ASSERT_EQ(totals.count("mem.encryption"), 1u);
+  EXPECT_DOUBLE_EQ(totals.at("mem.encryption").total_ns, 42);
+  EXPECT_DOUBLE_EQ(totals.at("mem.encryption").count, 3);
+}
+
+TEST(Trace, HooksAreNoOpsWithoutAnAmbientTrace) {
+  // No TraceScope installed: every hook must be safely inert.
+  EXPECT_EQ(current_trace(), nullptr);
+  charge(Category::kCompute, 100);
+  note("x", 5);
+  SpanScope s(Category::kFunction, "f");
+  EXPECT_FALSE(s.active());
+}
+
+TEST(Tracer, SequentialIdsAndLookup) {
+  Tracer tracer;
+  Trace& a = tracer.start_trace("a");
+  Trace& b = tracer.start_trace("b");
+  EXPECT_EQ(a.id(), 1u);
+  EXPECT_EQ(b.id(), 2u);
+  EXPECT_EQ(tracer.find(2u), &b);
+  EXPECT_EQ(tracer.find(99u), nullptr);
+}
+
+// --- registry ----------------------------------------------------------------
+
+TEST(Registry, CountersGaugesHistograms) {
+  Registry reg;
+  ++reg.counter("a.count");
+  reg.counter("a.count") += 4;
+  reg.gauge("b.level") = 2.5;
+  reg.histogram("c.ns").record(100);
+  reg.histogram("c.ns").record(1000);
+  EXPECT_EQ(reg.counters().at("a.count"), 5u);
+  EXPECT_DOUBLE_EQ(reg.gauges().at("b.level"), 2.5);
+  EXPECT_EQ(reg.histograms().at("c.ns").count(), 2u);
+}
+
+TEST(Registry, MergeAddsCountersAndHistograms) {
+  Registry a, b;
+  a.counter("n") = 2;
+  b.counter("n") = 3;
+  a.gauge("g") = 1;
+  b.gauge("g") = 9;
+  a.histogram("h").record(10);
+  b.histogram("h").record(20);
+  a.merge(b);
+  EXPECT_EQ(a.counters().at("n"), 5u);
+  EXPECT_DOUBLE_EQ(a.gauges().at("g"), 9);  // last writer wins
+  EXPECT_EQ(a.histograms().at("h").count(), 2u);
+}
+
+TEST(Registry, CsvIsKeyOrderedAndStable) {
+  Registry reg;
+  reg.counter("zz") = 1;
+  reg.counter("aa") = 2;
+  const std::string csv = reg.to_csv();
+  EXPECT_LT(csv.find("aa"), csv.find("zz"));
+  EXPECT_EQ(csv, reg.to_csv());
+}
+
+// --- gateway integration -----------------------------------------------------
+
+core::InvocationRecord traced_invoke(core::ConfBench& system, Tracer* tracer,
+                                     std::uint64_t trial = 0) {
+  return system.gateway().invoke({.function = "iostress",
+                                  .language = "go",
+                                  .platform = "tdx",
+                                  .secure = true,
+                                  .trial = trial,
+                                  .tracer = tracer});
+}
+
+TEST(GatewayTracing, ProducesAWellNestedSpanTree) {
+  core::ConfBench system(core::GatewayConfig::standard());
+  system.gateway().upload_all_builtin();
+  Tracer tracer;
+  const auto rec = traced_invoke(system, &tracer);
+  ASSERT_TRUE(rec.ok());
+  ASSERT_EQ(rec.trace_id, 1u);
+  const Trace* tr = tracer.find(rec.trace_id);
+  ASSERT_NE(tr, nullptr);
+  EXPECT_EQ(tr->open_depth(), 0u);  // everything closed
+  // Expected structural spans along the path.
+  std::map<std::string, int> names;
+  for (const Span& s : tr->spans()) ++names[s.name];
+  EXPECT_EQ(names["gateway.invoke"], 1);
+  EXPECT_EQ(names["gateway.route"], 1);
+  EXPECT_EQ(names["transport.attempt0"], 1);
+  EXPECT_EQ(names["host.handle"], 1);
+  EXPECT_EQ(names["launcher.bootstrap"], 1);
+  EXPECT_EQ(names["function.body"], 1);
+  // Well-nesting: every child interval lies inside its parent's.
+  for (const Span& s : tr->spans()) {
+    EXPECT_LE(s.start_ns, s.end_ns);
+    if (s.parent == Span::kNoParent) continue;
+    const Span& p = tr->spans()[s.parent];
+    EXPECT_GE(s.start_ns, p.start_ns) << s.name;
+    EXPECT_LE(s.end_ns, p.end_ns) << s.name;
+  }
+  // The root span covers the full timeline and all charges partition it
+  // (up to float summation order across ~1e5 charges).
+  double total = 0;
+  for (const auto& stat : tr->charge_totals()) total += stat.total_ns;
+  EXPECT_NEAR(total, tr->now(), tr->now() * 1e-12);
+  EXPECT_GT(tr->charged_ns(Category::kBounce), 0);  // TDX swiotlb visible
+  EXPECT_GT(tr->charged_ns(Category::kNetwork), 0);
+}
+
+TEST(GatewayTracing, TracingDoesNotPerturbRecords) {
+  core::ConfBench plain(core::GatewayConfig::standard());
+  core::ConfBench traced(core::GatewayConfig::standard());
+  plain.gateway().upload_all_builtin();
+  traced.gateway().upload_all_builtin();
+  Tracer tracer;
+  const auto a = traced_invoke(plain, nullptr, 3);
+  const auto b = traced_invoke(traced, &tracer, 3);
+  EXPECT_EQ(a.http_status, b.http_status);
+  EXPECT_EQ(a.output, b.output);
+  EXPECT_DOUBLE_EQ(a.perf.wall_ns, b.perf.wall_ns);
+  EXPECT_DOUBLE_EQ(a.perf.instructions, b.perf.instructions);
+  EXPECT_DOUBLE_EQ(a.function_ns, b.function_ns);
+  EXPECT_DOUBLE_EQ(a.latency_ns, b.latency_ns);
+  EXPECT_EQ(a.trace_id, 0u);
+  EXPECT_EQ(b.trace_id, 1u);
+}
+
+TEST(GatewayTracing, SameSeedSameExportedJson) {
+  auto run = [] {
+    core::ConfBench system(core::GatewayConfig::standard());
+    system.gateway().upload_all_builtin();
+    Tracer tracer;
+    for (std::uint64_t t = 0; t < 2; ++t)
+      (void)traced_invoke(system, &tracer, t);
+    return chrome_trace_json(tracer);
+  };
+  const std::string a = run();
+  const std::string b = run();
+  EXPECT_GT(a.size(), 1000u);
+  EXPECT_EQ(a, b);  // byte-identical
+}
+
+TEST(GatewayTracing, RegistryCountsInvocationsAndErrors) {
+  core::ConfBench system(core::GatewayConfig::standard());
+  system.gateway().upload_all_builtin();
+  Tracer tracer;
+  system.gateway().set_tracer(&tracer);
+  (void)traced_invoke(system, nullptr);  // falls back to the gateway tracer
+  const auto bad = system.gateway().invoke({.function = "nope",
+                                            .language = "lua",
+                                            .platform = "tdx",
+                                            .secure = true});
+  EXPECT_FALSE(bad.ok());
+  const Registry& reg = tracer.registry();
+  EXPECT_EQ(reg.counters().at("gateway.invocations"), 2u);
+  EXPECT_EQ(reg.counters().at("gateway.errors.function_not_found"), 1u);
+  EXPECT_EQ(reg.histograms().at("gateway.latency_ns").count(), 1u);
+}
+
+TEST(GatewayTracing, DisabledTracerProducesNoTraces) {
+  core::ConfBench system(core::GatewayConfig::standard());
+  system.gateway().upload_all_builtin();
+  Tracer tracer(/*enabled=*/false);
+  const auto rec = traced_invoke(system, &tracer);
+  ASSERT_TRUE(rec.ok());
+  EXPECT_EQ(rec.trace_id, 0u);
+  EXPECT_TRUE(tracer.traces().empty());
+}
+
+// --- exports -----------------------------------------------------------------
+
+TEST(Export, ChromeJsonShapeAndCsvHeaders) {
+  Tracer tracer;
+  Trace& tr = tracer.start_trace("demo");
+  {
+    TraceScope scope(&tr);
+    SpanScope s(Category::kInvoke, "root");
+    charge(Category::kCompute, 1000);
+    instant("pool.select", "member", "host-a");
+  }
+  const std::string json = chrome_trace_json(tracer);
+  EXPECT_EQ(json.front(), '[');
+  EXPECT_NE(json.find("\"ph\":\"X\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\":\"i\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\":\"M\""), std::string::npos);
+  EXPECT_NE(json.find("pool.select"), std::string::npos);
+  EXPECT_EQ(spans_csv(tracer).rfind(
+                "trace,span,parent,category,name,start_ns,dur_ns", 0),
+            0u);
+  EXPECT_EQ(charges_csv(tracer).rfind(
+                "trace,trace_name,category,total_ns,count", 0),
+            0u);
+}
+
+// --- cluster traces ----------------------------------------------------------
+
+TEST(ClusterTracing, TailAndFleetTracesAreDeterministic) {
+  const sched::ServiceModel model{.parallel_ns = 2 * sim::kMs,
+                                  .serialized_ns = 1 * sim::kMs,
+                                  .jitter_sigma = 0.05,
+                                  .cold_start_ns = 200 * sim::kMs,
+                                  .bounce_slots = 2};
+  auto run = [&](Tracer* tracer) {
+    sched::ClusterConfig cfg;
+    cfg.rate_rps = 900;
+    cfg.requests = 1500;
+    cfg.warmup_requests = 100;
+    cfg.scaler.max_replicas = 4;
+    cfg.tracer = tracer;
+    cfg.trace_tail = 3;
+    return sched::ClusterExperiment(cfg).run_with_model(model);
+  };
+
+  Tracer t1, t2;
+  const auto r1 = run(&t1);
+  const auto r2 = run(&t2);
+  EXPECT_EQ(chrome_trace_json(t1), chrome_trace_json(t2));
+
+  // Tracing must not change the simulation itself.
+  const auto r0 = run(nullptr);
+  EXPECT_EQ(r0.completed, r1.completed);
+  EXPECT_EQ(r0.rejected, r1.rejected);
+  EXPECT_DOUBLE_EQ(r0.makespan_ns, r1.makespan_ns);
+  EXPECT_DOUBLE_EQ(r0.latency.p99(), r1.latency.p99());
+
+  // 3 tail traces + 1 fleet trace; tail trees are contiguous partitions of
+  // the request interval (queue wait, service, bounce wait, bounce).
+  ASSERT_EQ(t1.traces().size(), 4u);
+  int tails = 0;
+  for (const Trace& tr : t1.traces()) {
+    if (tr.name().find("/tail#") == std::string::npos) continue;
+    ++tails;
+    ASSERT_GE(tr.spans().size(), 2u);
+    const Span& root = tr.spans()[0];
+    EXPECT_EQ(root.name, "request");
+    sim::Ns cursor = root.start_ns;
+    for (std::size_t i = 1; i < tr.spans().size(); ++i) {
+      EXPECT_DOUBLE_EQ(tr.spans()[i].start_ns, cursor);
+      cursor = tr.spans()[i].end_ns;
+    }
+    EXPECT_DOUBLE_EQ(cursor, root.end_ns);
+  }
+  EXPECT_EQ(tails, 3);
+  // The fleet trace shows cold starts (the load forces scale-up) and the
+  // registry carries the run aggregates.
+  const Trace& fleet = t1.traces().back();
+  EXPECT_NE(fleet.name().find("/fleet"), std::string::npos);
+  EXPECT_GT(fleet.spans().size(), 0u);
+  EXPECT_GT(fleet.instants().size(), 0u);
+  EXPECT_EQ(t1.registry().counters().at("cluster.offered"), r1.offered);
+}
+
+}  // namespace
+}  // namespace confbench::obs

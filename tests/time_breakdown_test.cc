@@ -83,7 +83,10 @@ TEST(Breakdown, SyscallStormIsOsDominated) {
 TEST(Breakdown, SurvivesTheHttpWire) {
   core::ConfBench system(core::GatewayConfig::standard());
   system.gateway().upload_all_builtin();
-  const auto rec = system.gateway().invoke("iostress", "go", "tdx", true, 0);
+  const auto rec = system.gateway().invoke({.function = "iostress",
+                                            .language = "go",
+                                            .platform = "tdx",
+                                            .secure = true});
   ASSERT_TRUE(rec.ok());
   EXPECT_GT(rec.perf.t_io_ns, 0);
   EXPECT_GT(rec.perf.t_compute_ns, 0);
