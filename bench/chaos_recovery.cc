@@ -1,0 +1,193 @@
+// Chaos experiment — availability and recovery of secure vs normal fleets
+// under injected failures (the robustness face of the CVM trade-off; the
+// paper's one-at-a-time evaluation never stresses it).
+//
+// For each (platform, mode) the bench calibrates an iostress service model
+// through the real gateway -> host-agent -> launcher path and measures the
+// replica replacement cost through the real boot + re-attestation machinery
+// (fault::measure_recovery). Two deterministic fault plans then run against
+// a pre-provisioned fleet:
+//   crash          periodic VM crashes across the fleet; victims' queued and
+//                  in-service requests fail over under the retry policy, the
+//                  breaker trips, and replacement pays boot (+ attest).
+//   attest_outage  the same crashes plus an attestation-service outage that
+//                  covers the re-attestation step: secure recovery stalls
+//                  until the outage lifts, normal recovery is untouched.
+// Expected shape:
+//   - time-to-recover(secure) > time-to-recover(normal) on every platform;
+//     the gap is the measured boot premium + attestation round;
+//   - availability dips deeper and p99-during-fault rises higher for secure
+//     fleets (fewer effective replicas for longer);
+//   - every offered request is accounted for (completed/rejected/failed);
+//   - identical seeds reproduce the CSV byte for byte.
+#include <cstdio>
+#include <cstdlib>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "bench/common.h"
+#include "core/confbench.h"
+#include "fault/fault.h"
+#include "fault/recovery.h"
+#include "metrics/csv.h"
+#include "metrics/table.h"
+#include "sched/cluster.h"
+
+using namespace confbench;
+
+namespace {
+
+std::uint64_t cell_requests() {
+  if (const char* env = std::getenv("CONFBENCH_CHAOS_REQUESTS")) {
+    const long long n = std::atoll(env);
+    if (n > 0) return static_cast<std::uint64_t>(n);
+  }
+  return 40000;
+}
+
+struct Key {
+  std::string platform;
+  bool secure;
+  bool operator<(const Key& o) const {
+    return std::tie(platform, secure) < std::tie(o.platform, o.secure);
+  }
+};
+
+}  // namespace
+
+int main() {
+  const std::uint64_t reqs = cell_requests();
+  const std::vector<std::string> platforms = {"tdx", "sev-snp", "cca"};
+
+  std::printf("Chaos & recovery — iostress, %llu requests/cell\n\n",
+              static_cast<unsigned long long>(reqs));
+
+  auto system = core::ConfBench::standard();
+
+  std::map<Key, sched::ServiceModel> models;
+  std::map<Key, fault::RecoveryCosts> recovery;
+  for (const auto& platform : platforms) {
+    for (const bool secure : {false, true}) {
+      models[{platform, secure}] = sched::ServiceModel::calibrate(
+          *system, "iostress", "go", platform, secure, 4);
+      recovery[{platform, secure}] = fault::measure_recovery(platform, secure);
+    }
+  }
+
+  metrics::CsvWriter csv(
+      {"scenario", "platform", "secure", "offered", "completed", "rejected",
+       "failed", "retries", "failovers", "crashes", "availability",
+       "p50_ms", "p99_ms", "p99_fault_ms", "ttr_ms", "boot_ms", "attest_ms",
+       "throughput_rps"});
+
+  // [scenario][platform][secure] -> mean TTR (ms), for the printed summary.
+  std::map<std::string, std::map<std::string, std::map<bool, double>>> ttr_ms;
+  std::map<std::string, std::map<bool, double>> avail;
+
+  const std::vector<std::string> scenarios = {"crash", "attest_outage"};
+  for (const auto& scenario : scenarios) {
+    for (const auto& platform : platforms) {
+      for (const bool secure : {false, true}) {
+        const sched::ServiceModel& model = models[{platform, secure}];
+
+        sched::ClusterConfig cfg;
+        cfg.function = "iostress";
+        cfg.language = "go";
+        cfg.platform = platform;
+        cfg.secure = secure;
+        cfg.requests = reqs;
+        cfg.queue = {.concurrency = 8, .queue_depth = 32};
+        // Pre-provisioned fleet: isolate failure handling from autoscaling
+        // (cluster_load covers the scaling transient separately).
+        cfg.scaler = {.min_warm = 6, .max_replicas = 6,
+                      .tick_ns = 20 * sim::kMs};
+        // Half the fleet's own capacity: losing one replica hurts the tail
+        // but does not brown the whole run out.
+        cfg.rate_rps = 0.5 * sched::ClusterExperiment(cfg).fleet_capacity_rps(
+                                 model);
+        cfg.seed = sim::hash_combine(
+            sim::stable_hash("chaos/" + scenario + "/" + platform), secure);
+        cfg.recovery = recovery[{platform, secure}];
+        cfg.retry.max_attempts = 4;
+        cfg.retry.budget_ns = 30 * sim::kSec;
+        cfg.faults.periodic_crashes(2 * sim::kSec, 10 * sim::kSec, 3, 6);
+        if (scenario == "attest_outage") {
+          // One outage per crash, opening just after the crash so every
+          // recovery's re-attestation step lands inside a window.
+          for (int i = 0; i < 3; ++i)
+            cfg.faults.attest_outage(2 * sim::kSec + i * 10 * sim::kSec,
+                                     8 * sim::kSec);
+        }
+
+        const sched::ClusterResult r =
+            sched::ClusterExperiment(cfg).run_with_model(model);
+        if (!r.accounted()) {
+          std::fprintf(stderr,
+                       "BUG: lost requests in %s/%s: offered=%llu "
+                       "completed=%llu rejected=%llu failed=%llu\n",
+                       scenario.c_str(), platform.c_str(),
+                       static_cast<unsigned long long>(r.offered),
+                       static_cast<unsigned long long>(r.completed),
+                       static_cast<unsigned long long>(r.rejected),
+                       static_cast<unsigned long long>(r.failed));
+          return 1;
+        }
+
+        ttr_ms[scenario][platform][secure] = r.mean_ttr_ns() / 1e6;
+        if (scenario == "crash") avail[platform][secure] = r.availability();
+        csv.add_row({scenario, platform, secure ? "1" : "0",
+                     std::to_string(r.offered), std::to_string(r.completed),
+                     std::to_string(r.rejected), std::to_string(r.failed),
+                     std::to_string(r.retries), std::to_string(r.failovers),
+                     std::to_string(r.crashes),
+                     metrics::Table::num(r.availability(), 6),
+                     metrics::Table::num(r.latency.p50() / 1e6, 4),
+                     metrics::Table::num(r.latency.p99() / 1e6, 4),
+                     metrics::Table::num(r.latency_fault.p99() / 1e6, 4),
+                     metrics::Table::num(r.mean_ttr_ns() / 1e6, 2),
+                     metrics::Table::num(cfg.recovery.boot_ns / 1e6, 2),
+                     metrics::Table::num(cfg.recovery.attest_ns / 1e6, 2),
+                     metrics::Table::num(r.throughput_rps(), 1)});
+      }
+    }
+  }
+
+  // Secure-vs-normal recovery summary with mechanical attribution.
+  std::printf(
+      "Time-to-recover, crash scenario (breaker detect + boot + attest + "
+      "readmit)\n");
+  std::printf("%-9s %10s %10s %9s %12s %12s %14s\n", "platform", "normal_s",
+              "secure_s", "gap_s", "boot_gap_s", "attest_s", "avail_secure");
+  for (const auto& platform : platforms) {
+    const double n = ttr_ms["crash"][platform][false] / 1e3;
+    const double s = ttr_ms["crash"][platform][true] / 1e3;
+    const double boot_gap = (recovery[{platform, true}].boot_ns -
+                             recovery[{platform, false}].boot_ns) /
+                            1e9;
+    const double attest = recovery[{platform, true}].attest_ns / 1e9;
+    std::printf("%-9s %10.2f %10.2f %9.2f %12.2f %12.2f %13.4f%%\n",
+                platform.c_str(), n, s, s - n, boot_gap, attest,
+                100.0 * avail[platform][true]);
+  }
+  std::printf(
+      "\nThe secure-normal TTR gap decomposes into the confidential boot "
+      "premium\n(eager page acceptance) plus the re-attestation round; both "
+      "appear as\nrecovery.boot / recovery.attest spans in the fleet "
+      "trace.\n");
+
+  std::printf("\nAttestation-service outage (same crashes + 8s PCS outage)\n");
+  std::printf("%-9s %14s %14s\n", "platform", "ttr_normal_s", "ttr_secure_s");
+  for (const auto& platform : platforms)
+    std::printf("%-9s %14.2f %14.2f\n", platform.c_str(),
+                ttr_ms["attest_outage"][platform][false] / 1e3,
+                ttr_ms["attest_outage"][platform][true] / 1e3);
+  std::printf(
+      "expected: the outage stalls only secure recovery (normal replicas "
+      "never\nre-attest), widening the gap far past the mechanical "
+      "boot+attest costs\n");
+
+  csv.write_file("chaos_recovery.csv");
+  std::printf("\nraw data -> chaos_recovery.csv\n");
+  return 0;
+}

@@ -36,6 +36,11 @@ class PcsService {
 
   void set_current_tcb(std::uint16_t tcb) { current_tcb_ = tcb; }
 
+  /// Fault injection: while unavailable, verifiers cannot fetch collateral
+  /// and TDX verification fails (SNP is unaffected — its certs are local).
+  void set_available(bool available) { available_ = available; }
+  [[nodiscard]] bool available() const { return available_; }
+
   /// go-tdx-guest performs: TCB info, QE identity and two CRL fetches.
   [[nodiscard]] static int round_trips_per_verification() { return 4; }
 
@@ -43,6 +48,7 @@ class PcsService {
   PubKey root_;
   std::vector<PubKey> crl_;
   std::uint16_t current_tcb_ = 5;
+  bool available_ = true;
 };
 
 }  // namespace confbench::attest

@@ -42,6 +42,17 @@ AttestTiming AttestationService::run_tdx(const tee::Platform& platform,
   if (tamper) wire[wire.size() / 2] ^= 0x40;
 
   // --- check phase: collateral fetch + verification ----------------------
+  if (!pcs_.available()) {
+    // PCS outage: every collateral fetch times out. Charge a conservative
+    // client timeout per round trip and fail verification — the quote may
+    // be genuine, but it cannot be checked.
+    const sim::Ns timeout_ns =
+        costs.collateral_round_trips * 10.0 * costs.collateral_rtt;
+    obs::charge(obs::Category::kPcs, timeout_ns, costs.collateral_round_trips);
+    t.check_ns = timeout_ns;
+    t.failure = "pcs unavailable";
+    return t;
+  }
   sim::Ns pcs_ns = 0;
   for (int i = 0; i < costs.collateral_round_trips; ++i)
     pcs_ns += costs.collateral_rtt * rng.jitter(kNetworkJitterSigma);

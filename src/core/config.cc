@@ -130,10 +130,21 @@ std::optional<GatewayConfig> GatewayConfig::from_ini(const IniFile& ini,
   }
   if (auto v = ini.get("gateway", "retries")) {
     try {
-      cfg.max_retries = std::stoi(*v);
-      if (cfg.max_retries < 0) throw std::invalid_argument("negative");
+      const int retries = std::stoi(*v);
+      if (retries < 0) throw std::invalid_argument("negative");
+      cfg.retry.max_attempts = retries + 1;
     } catch (...) {
       if (err) *err = "bad retries: " + *v;
+      return std::nullopt;
+    }
+  }
+  if (auto v = ini.get("gateway", "retry_budget_ms")) {
+    try {
+      const double ms = std::stod(*v);
+      if (ms < 0) throw std::invalid_argument("negative");
+      cfg.retry.budget_ns = ms * 1e6;
+    } catch (...) {
+      if (err) *err = "bad retry_budget_ms: " + *v;
       return std::nullopt;
     }
   }
@@ -182,7 +193,10 @@ IniFile GatewayConfig::to_ini() const {
   ini.set("gateway", "host", gateway_host);
   ini.set("gateway", "port", std::to_string(gateway_port));
   ini.set("gateway", "policy", std::string(to_string(policy)));
-  ini.set("gateway", "retries", std::to_string(max_retries));
+  ini.set("gateway", "retries", std::to_string(retry.max_attempts - 1));
+  if (retry.budget_ns > 0)
+    ini.set("gateway", "retry_budget_ms",
+            std::to_string(retry.budget_ns / 1e6));
   for (const auto& ep : endpoints) {
     const std::string s = "tee." + ep.tee;
     ini.set(s, "host", ep.host);

@@ -19,6 +19,8 @@
 #include <string>
 #include <vector>
 
+#include "fault/retry.h"
+
 namespace confbench::core {
 
 /// Raw parsed INI: section -> key -> value. Sections of the form
@@ -59,8 +61,11 @@ struct GatewayConfig {
   std::uint16_t gateway_port = 8080;
   LoadBalancePolicy policy = LoadBalancePolicy::kRoundRobin;
   /// Transport-level failures (timeouts, corrupted responses) are retried
-  /// this many times, re-running pool selection each attempt.
-  int max_retries = 2;
+  /// under this policy: exponential backoff with deterministic jitter,
+  /// optional per-request budget, deadline-aware give-up. The INI key
+  /// `retries = N` maps to `retry.max_attempts = N + 1` (N retries after
+  /// the initial attempt), preserving the old config surface.
+  fault::RetryConfig retry;
   std::vector<TeeEndpoint> endpoints;
 
   /// Typed view over an IniFile; reports the first problem in `err`.

@@ -3,6 +3,8 @@
 #include <sstream>
 
 #include "core/native.h"
+#include "fault/retry.h"
+#include "sim/rng.h"
 #include "wasm/text.h"
 #include "rt/profile.h"
 #include "wl/faas.h"
@@ -135,19 +137,6 @@ InvocationRecord Gateway::invoke(const InvocationRequest& req) {
   return rec;
 }
 
-InvocationRecord Gateway::invoke(const std::string& function,
-                                 const std::string& language,
-                                 const std::string& platform, bool secure,
-                                 std::uint64_t trial) {
-  InvocationRequest req;
-  req.function = function;
-  req.language = language;
-  req.platform = platform;
-  req.secure = secure;
-  req.trial = trial;
-  return invoke(req);
-}
-
 InvocationRecord Gateway::invoke_traced(const InvocationRequest& inv) {
   InvocationRecord rec;
   rec.function = inv.function;
@@ -191,9 +180,14 @@ InvocationRecord Gateway::invoke_traced(const InvocationRequest& inv) {
     req.body = function_db_[inv.language][inv.function];
 
   // Transport-level failures (timeout / corrupted response) are retried
-  // with fresh pool selection; application errors (4xx) are not.
+  // with fresh pool selection under the configured RetryPolicy; application
+  // errors (4xx) are not. Backoff between attempts is charged as virtual
+  // time and included in the record's end-to-end latency.
+  const fault::RetryPolicy policy(
+      cfg_.retry,
+      sim::hash_combine(sim::stable_hash(inv.function), inv.trial));
   net::HttpResponse resp;
-  for (int attempt = 0; attempt <= cfg_.max_retries; ++attempt) {
+  for (int attempt = 0;; ++attempt) {
     obs::SpanScope span(obs::Category::kTransport,
                         "transport.attempt" + std::to_string(attempt));
     PoolMember* member = p->acquire();
@@ -215,13 +209,18 @@ InvocationRecord Gateway::invoke_traced(const InvocationRequest& inv) {
     span.set_attr("status", std::to_string(resp.status));
     const bool transport_failure = resp.status == 504 || resp.status == 502;
     if (!transport_failure) break;
+    const sim::Ns spent = (net_.elapsed() - net_start) + rec.backoff_ns;
+    if (!policy.should_retry(attempt + 1, spent, inv.deadline_ns)) break;
+    const sim::Ns wait = policy.backoff_ns(attempt + 1);
+    rec.backoff_ns += wait;
+    obs::charge(obs::Category::kRetryBackoff, wait);
   }
   if (resp.status != 200) {
     rec.code = (resp.status == 504 || resp.status == 502)
                    ? ErrorCode::kTransport
                    : ErrorCode::kApplication;
     rec.error = resp.body;
-    rec.latency_ns = net_.elapsed() - net_start;
+    rec.latency_ns = (net_.elapsed() - net_start) + rec.backoff_ns;
     return rec;
   }
   rec.output = resp.body;
@@ -246,7 +245,8 @@ InvocationRecord Gateway::invoke_traced(const InvocationRequest& inv) {
   };
   rec.function_ns = ns_header("X-Function-Ns");
   rec.bootstrap_ns = ns_header("X-Bootstrap-Ns");
-  rec.latency_ns = (net_.elapsed() - net_start) + rec.perf.wall_ns;
+  rec.latency_ns =
+      (net_.elapsed() - net_start) + rec.backoff_ns + rec.perf.wall_ns;
   if (inv.deadline_ns > 0 && rec.latency_ns > inv.deadline_ns) {
     // The response arrived after the caller stopped waiting: the work was
     // done (and is still billed in latency_ns) but the result is discarded.

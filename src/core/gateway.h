@@ -82,6 +82,7 @@ struct InvocationRecord {
   sim::Ns latency_ns = 0;
   std::string served_by;  ///< host that executed the request
   int retries = 0;        ///< transport-level retries performed
+  sim::Ns backoff_ns = 0; ///< total retry backoff waited (part of latency)
   std::string error;      ///< non-empty on failure (human-readable)
   std::uint64_t trace_id = 0;  ///< 0 when the invocation was not traced
   [[nodiscard]] bool ok() const { return http_status == 200; }
@@ -112,14 +113,8 @@ class Gateway {
 
   // --- invocation ------------------------------------------------------------
   /// Dispatches one invocation; `req.platform` must name a configured pool.
+  /// (The old positional overload is gone: build an InvocationRequest.)
   [[nodiscard]] InvocationRecord invoke(const InvocationRequest& req);
-
-  /// Positional legacy surface; forwards to the request form.
-  [[deprecated("use invoke(const InvocationRequest&)")]]
-  InvocationRecord invoke(const std::string& function,
-                          const std::string& language,
-                          const std::string& platform, bool secure,
-                          std::uint64_t trial = 0);
 
   /// Gateway-wide trace sink for invocations that do not carry their own
   /// (including requests arriving over the REST surface). May be null.

@@ -84,6 +84,7 @@ net::HttpResponse HostAgent::handle(std::uint16_t port,
   obs::SpanScope span(obs::Category::kHostHandle, "host.handle",
                       {{"host", hostname_},
                        {"port", std::to_string(port)}});
+  if (hung_) return net::HttpResponse::make(504, "host agent hung\n");
   vm::GuestVm* vm = host_.route(port);
   if (!vm) return net::HttpResponse::make(503, "no VM on port\n");
 
@@ -97,6 +98,11 @@ net::HttpResponse HostAgent::handle(std::uint16_t port,
 
   if (req.method != "POST" || req.path != "/run")
     return net::HttpResponse::make(404, "no such route\n");
+
+  if (vm->state() != vm::VmState::kRunning)
+    return net::HttpResponse::make(
+        503, "vm not running (state=" + std::string(to_string(vm->state())) +
+                 ")\n");
 
   const auto params = req.query_params();
   const auto fn_it = params.find("function");

@@ -26,6 +26,12 @@ class HostAgent {
 
   [[nodiscard]] const std::string& hostname() const { return hostname_; }
 
+  /// Fault injection: while hung, the agent answers every request —
+  /// including health probes — with 504, without touching the VMs. Work
+  /// already running inside a VM is unaffected.
+  void set_hung(bool hung) { hung_ = hung; }
+  [[nodiscard]] bool hung() const { return hung_; }
+
  private:
   net::HttpResponse handle(std::uint16_t port, const net::HttpRequest& req);
   /// Executes a user-uploaded MiniWasm module (shipped in the request body)
@@ -38,6 +44,7 @@ class HostAgent {
   std::string hostname_;
   net::Network& net_;
   std::vector<std::uint16_t> bound_ports_;
+  bool hung_ = false;
 };
 
 }  // namespace confbench::core

@@ -1,0 +1,76 @@
+#include "fault/breaker.h"
+
+namespace confbench::fault {
+
+std::string_view to_string(BreakerState s) {
+  switch (s) {
+    case BreakerState::kClosed:
+      return "closed";
+    case BreakerState::kOpen:
+      return "open";
+    case BreakerState::kHalfOpen:
+      return "half_open";
+  }
+  return "?";
+}
+
+bool CircuitBreaker::allow(sim::Ns now) {
+  switch (state_) {
+    case BreakerState::kClosed:
+      return true;
+    case BreakerState::kOpen:
+      if (now - opened_at_ < cfg_.open_cooldown_ns) return false;
+      state_ = BreakerState::kHalfOpen;
+      half_open_ok_ = 0;
+      probe_in_flight_ = true;
+      return true;
+    case BreakerState::kHalfOpen:
+      if (probe_in_flight_) return false;
+      probe_in_flight_ = true;
+      return true;
+  }
+  return false;
+}
+
+void CircuitBreaker::record_success(sim::Ns now) {
+  (void)now;
+  failures_ = 0;
+  switch (state_) {
+    case BreakerState::kClosed:
+      break;
+    case BreakerState::kOpen:
+      // A success while nominally open (e.g. a late reply from before the
+      // trip) is not probe evidence; stay open until the cooldown probe.
+      break;
+    case BreakerState::kHalfOpen:
+      probe_in_flight_ = false;
+      if (++half_open_ok_ >= cfg_.success_threshold)
+        state_ = BreakerState::kClosed;
+      break;
+  }
+}
+
+void CircuitBreaker::record_failure(sim::Ns now) {
+  switch (state_) {
+    case BreakerState::kClosed:
+      if (++failures_ >= cfg_.failure_threshold) open(now);
+      break;
+    case BreakerState::kOpen:
+      break;  // already open; the cooldown clock keeps running
+    case BreakerState::kHalfOpen:
+      probe_in_flight_ = false;
+      open(now);  // failed probe: re-open and restart the cooldown
+      break;
+  }
+}
+
+void CircuitBreaker::open(sim::Ns now) {
+  state_ = BreakerState::kOpen;
+  opened_at_ = now;
+  failures_ = 0;
+  half_open_ok_ = 0;
+  probe_in_flight_ = false;
+  ++times_opened_;
+}
+
+}  // namespace confbench::fault

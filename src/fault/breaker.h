@@ -1,0 +1,66 @@
+// Per-replica circuit breaker (closed / open / half-open).
+//
+// The cluster scheduler otherwise keeps routing to a dead replica until
+// every request has personally timed out on it. The breaker aggregates
+// failure evidence (failed health probes, request timeouts) and trips after
+// `failure_threshold` consecutive failures; while open, the replica is
+// taken out of rotation. After `open_cooldown_ns` the breaker lets a single
+// probe through (half-open); `success_threshold` consecutive successes
+// close it again, any failure re-opens it and restarts the cooldown.
+//
+// Like the autoscaler, this is pure decision logic on the virtual clock —
+// no event wiring — so the policy is unit-testable and the experiment loop
+// stays deterministic.
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+
+#include "sim/time.h"
+
+namespace confbench::fault {
+
+struct BreakerConfig {
+  int failure_threshold = 3;  ///< consecutive failures that open the breaker
+  int success_threshold = 1;  ///< half-open successes required to close
+  sim::Ns open_cooldown_ns = 250 * sim::kMs;  ///< open -> half-open delay
+};
+
+enum class BreakerState : std::uint8_t { kClosed, kOpen, kHalfOpen };
+
+std::string_view to_string(BreakerState s);
+
+class CircuitBreaker {
+ public:
+  explicit CircuitBreaker(BreakerConfig cfg = {}) : cfg_(cfg) {}
+
+  /// May traffic (or a probe) be sent now? Closed: always. Open: only once
+  /// the cooldown has elapsed, which transitions to half-open and admits
+  /// exactly one in-flight probe. Half-open: only while no probe is
+  /// outstanding.
+  [[nodiscard]] bool allow(sim::Ns now);
+
+  /// Outcome reporting. Failures in closed count toward the threshold;
+  /// any failure in half-open re-opens; successes reset the failure streak
+  /// and (in half-open) count toward closing.
+  void record_success(sim::Ns now);
+  void record_failure(sim::Ns now);
+
+  [[nodiscard]] BreakerState state() const { return state_; }
+  [[nodiscard]] int consecutive_failures() const { return failures_; }
+  [[nodiscard]] std::uint64_t times_opened() const { return times_opened_; }
+  [[nodiscard]] const BreakerConfig& config() const { return cfg_; }
+
+ private:
+  void open(sim::Ns now);
+
+  BreakerConfig cfg_;
+  BreakerState state_ = BreakerState::kClosed;
+  int failures_ = 0;        ///< consecutive failures (closed)
+  int half_open_ok_ = 0;    ///< consecutive successes (half-open)
+  bool probe_in_flight_ = false;
+  sim::Ns opened_at_ = 0;
+  std::uint64_t times_opened_ = 0;
+};
+
+}  // namespace confbench::fault

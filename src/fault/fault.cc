@@ -1,0 +1,94 @@
+#include "fault/fault.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace confbench::fault {
+
+std::string_view to_string(FaultKind k) {
+  switch (k) {
+    case FaultKind::kVmCrash:
+      return "vm_crash";
+    case FaultKind::kAgentHang:
+      return "agent_hang";
+    case FaultKind::kBrownout:
+      return "brownout";
+    case FaultKind::kAttestOutage:
+      return "attest_outage";
+    case FaultKind::kPartition:
+      return "partition";
+  }
+  return "?";
+}
+
+FaultPlan& FaultPlan::add(FaultEvent e) {
+  if (e.at_ns < 0) throw std::invalid_argument("fault at_ns must be >= 0");
+  if (e.duration_ns < 0)
+    throw std::invalid_argument("fault duration_ns must be >= 0");
+  if (e.kind != FaultKind::kVmCrash && e.duration_ns <= 0)
+    throw std::invalid_argument("windowed fault needs duration_ns > 0");
+  if (e.kind == FaultKind::kBrownout && e.severity < 1.0)
+    throw std::invalid_argument("brownout severity must be >= 1");
+  // Stable insertion keeps equal-time events in authoring order, which is
+  // the order the experiment replays them (matching EventQueue's seq rule).
+  const auto pos = std::upper_bound(
+      events_.begin(), events_.end(), e.at_ns,
+      [](sim::Ns t, const FaultEvent& ev) { return t < ev.at_ns; });
+  events_.insert(pos, e);
+  return *this;
+}
+
+FaultPlan& FaultPlan::crash(sim::Ns at, std::uint32_t replica) {
+  return add({.kind = FaultKind::kVmCrash, .at_ns = at, .replica = replica});
+}
+
+FaultPlan& FaultPlan::hang(sim::Ns at, sim::Ns duration,
+                           std::uint32_t replica) {
+  return add({.kind = FaultKind::kAgentHang,
+              .at_ns = at,
+              .duration_ns = duration,
+              .replica = replica});
+}
+
+FaultPlan& FaultPlan::brownout(sim::Ns at, sim::Ns duration,
+                               std::uint32_t replica, double severity) {
+  return add({.kind = FaultKind::kBrownout,
+              .at_ns = at,
+              .duration_ns = duration,
+              .replica = replica,
+              .severity = severity});
+}
+
+FaultPlan& FaultPlan::attest_outage(sim::Ns at, sim::Ns duration) {
+  return add({.kind = FaultKind::kAttestOutage,
+              .at_ns = at,
+              .duration_ns = duration});
+}
+
+FaultPlan& FaultPlan::partition(sim::Ns at, sim::Ns duration,
+                                std::uint32_t replica) {
+  return add({.kind = FaultKind::kPartition,
+              .at_ns = at,
+              .duration_ns = duration,
+              .replica = replica});
+}
+
+FaultPlan& FaultPlan::periodic_crashes(sim::Ns first_at, sim::Ns period,
+                                       int count, std::uint32_t fleet_size) {
+  if (period <= 0) throw std::invalid_argument("crash period must be > 0");
+  if (fleet_size == 0) throw std::invalid_argument("fleet_size must be > 0");
+  for (int i = 0; i < count; ++i)
+    crash(first_at + static_cast<double>(i) * period,
+          static_cast<std::uint32_t>(i) % fleet_size);
+  return *this;
+}
+
+std::vector<std::pair<sim::Ns, sim::Ns>> FaultPlan::attest_outages() const {
+  std::vector<std::pair<sim::Ns, sim::Ns>> out;
+  for (const FaultEvent& e : events_)
+    if (e.kind == FaultKind::kAttestOutage)
+      out.emplace_back(e.at_ns, e.at_ns + e.duration_ns);
+  return out;
+}
+
+}  // namespace confbench::fault

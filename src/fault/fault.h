@@ -1,0 +1,96 @@
+// Deterministic fault injection plans for chaos experiments.
+//
+// A FaultPlan is a validated, time-ordered list of typed fault events to be
+// replayed against a running deployment or the discrete-event cluster
+// simulation. Plans carry no randomness of their own: a plan is data, and
+// the same plan against the same seed produces byte-identical experiment
+// output. Helpers exist to lay faults out deterministically (periodic
+// crashes across a fleet) so chaos sweeps stay reproducible.
+//
+// Fault taxonomy (what each kind means to the cluster layer):
+//   kVmCrash      the replica's VM dies instantly; queued and in-service
+//                 requests are lost and must fail over; recovery re-runs the
+//                 real boot + (secure) re-attestation path, which is why
+//                 confidential fleets recover mechanically slower.
+//   kAgentHang    the host agent stops answering for `duration_ns`; new
+//                 dispatches and health probes time out, work already
+//                 executing inside the VM completes normally.
+//   kBrownout     the replica serves `severity`x slower for `duration_ns`
+//                 (thermal throttling, noisy neighbour, failing disk).
+//   kAttestOutage the attestation service (PCS / AMD-SP reachability) is
+//                 down for `duration_ns`: secure replicas whose recovery
+//                 reaches the re-attestation step must wait the outage out;
+//                 normal replicas are untouched.
+//   kPartition    the network path to the replica drops for `duration_ns`;
+//                 like a hang, but injected at the fabric rather than the
+//                 agent (the distinction matters for traces and for the
+//                 real-path injection hooks).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "sim/time.h"
+
+namespace confbench::fault {
+
+enum class FaultKind : std::uint8_t {
+  kVmCrash,
+  kAgentHang,
+  kBrownout,
+  kAttestOutage,
+  kPartition,
+};
+
+std::string_view to_string(FaultKind k);
+
+struct FaultEvent {
+  FaultKind kind = FaultKind::kVmCrash;
+  sim::Ns at_ns = 0;        ///< injection time (virtual)
+  sim::Ns duration_ns = 0;  ///< window length; ignored for kVmCrash (the
+                            ///< fault lasts until recovery completes)
+  std::uint32_t replica = 0;  ///< target replica; ignored for kAttestOutage
+  double severity = 2.0;      ///< kBrownout service-time multiplier (>= 1)
+};
+
+/// A validated, time-ordered fault schedule. add() keeps events sorted by
+/// (at_ns, insertion order) and rejects malformed events, so consumers can
+/// replay the list front to back against an event queue.
+class FaultPlan {
+ public:
+  /// Appends a validated event. Throws std::invalid_argument on negative
+  /// times/durations or a brownout severity below 1.
+  FaultPlan& add(FaultEvent e);
+
+  // Convenience builders (all forward to add()).
+  FaultPlan& crash(sim::Ns at, std::uint32_t replica);
+  FaultPlan& hang(sim::Ns at, sim::Ns duration, std::uint32_t replica);
+  FaultPlan& brownout(sim::Ns at, sim::Ns duration, std::uint32_t replica,
+                      double severity);
+  FaultPlan& attest_outage(sim::Ns at, sim::Ns duration);
+  FaultPlan& partition(sim::Ns at, sim::Ns duration, std::uint32_t replica);
+
+  /// Lays `count` crashes out at a fixed period starting at `first_at`,
+  /// cycling deterministically over `fleet_size` replicas. The workhorse of
+  /// reproducible chaos sweeps: no RNG anywhere.
+  FaultPlan& periodic_crashes(sim::Ns first_at, sim::Ns period, int count,
+                              std::uint32_t fleet_size);
+
+  [[nodiscard]] const std::vector<FaultEvent>& events() const {
+    return events_;
+  }
+  [[nodiscard]] bool empty() const { return events_.empty(); }
+  [[nodiscard]] std::size_t size() const { return events_.size(); }
+
+  /// Windows [start, end) of every kAttestOutage event, time-ordered.
+  [[nodiscard]] std::vector<std::pair<sim::Ns, sim::Ns>> attest_outages()
+      const;
+
+ private:
+  std::vector<FaultEvent> events_;  ///< sorted by (at_ns, insertion order)
+};
+
+}  // namespace confbench::fault

@@ -1,0 +1,50 @@
+#include "fault/recovery.h"
+
+#include <stdexcept>
+
+#include "attest/service.h"
+#include "tee/registry.h"
+#include "vm/guest_vm.h"
+
+namespace confbench::fault {
+
+RecoveryCosts measure_recovery(const std::string& platform, bool secure) {
+  tee::PlatformPtr plat = tee::Registry::instance().create(platform);
+  if (!plat)
+    throw std::invalid_argument("measure_recovery: unknown platform '" +
+                                platform + "'");
+
+  RecoveryCosts costs;
+  vm::GuestVm probe({.name = "recovery-probe",
+                     .platform = plat,
+                     .secure = secure});
+  costs.boot_ns = probe.boot();
+
+  if (secure) {
+    const tee::AttestationCosts ac = plat->attestation();
+    if (ac.supported) {
+      attest::AttestationService svc;
+      attest::AttestTiming t;
+      switch (plat->kind()) {
+        case tee::TeeKind::kTdx:
+          t = svc.run_tdx(*plat, /*trial=*/0);
+          break;
+        case tee::TeeKind::kSevSnp:
+          t = svc.run_snp(*plat, /*trial=*/0);
+          break;
+        default:
+          // No end-to-end flow modelled for this TEE: fall back to the
+          // platform's declared cost table.
+          t.attest_ns = ac.report_request + ac.measurement + ac.sign;
+          t.check_ns = ac.collateral_round_trips * ac.collateral_rtt +
+                       ac.collateral_local_fetch + ac.verify_compute;
+          t.ok = true;
+          break;
+      }
+      if (t.ok) costs.attest_ns = t.attest_ns + t.check_ns;
+    }
+  }
+  return costs;
+}
+
+}  // namespace confbench::fault

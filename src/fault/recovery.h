@@ -1,0 +1,37 @@
+// Replica recovery cost model.
+//
+// When the cluster replaces a crashed replica it pays the *mechanical*
+// recovery path: boot a fresh guest VM and, for confidential VMs, re-attest
+// it before admitting traffic. Rather than invent constants, the costs are
+// measured once per (platform, secure) through the real machinery — an
+// actual `vm::GuestVm::boot()` (which charges secure platforms their eager
+// page-acceptance premium) and an actual `attest::AttestationService`
+// attest+verify round (TDX pays its PCS collateral round-trips, SNP its
+// local cert fetch). This is why time-to-recover(secure) exceeds
+// time-to-recover(normal) in the chaos experiments: the gap is exactly the
+// boot premium plus the attestation round, and both show up as spans in the
+// fleet trace.
+#pragma once
+
+#include <string>
+
+#include "sim/time.h"
+
+namespace confbench::fault {
+
+struct RecoveryCosts {
+  sim::Ns boot_ns = 0;    ///< guest VM boot (incl. secure memory acceptance)
+  sim::Ns attest_ns = 0;  ///< attest + verify round (0 for normal VMs)
+  [[nodiscard]] sim::Ns total_ns() const { return boot_ns + attest_ns; }
+};
+
+/// Measures the recovery path for one platform by booting a throwaway
+/// GuestVm and — when `secure` and the platform supports attestation —
+/// running a real attest+verify round at trial 0. Platforms without
+/// attestation hardware (CCA under FVP) recover secure replicas with
+/// attest_ns == 0 but still pay the slower confidential boot. Throws
+/// std::invalid_argument for an unknown platform name.
+[[nodiscard]] RecoveryCosts measure_recovery(const std::string& platform,
+                                             bool secure);
+
+}  // namespace confbench::fault

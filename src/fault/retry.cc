@@ -1,0 +1,39 @@
+#include "fault/retry.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "sim/rng.h"
+
+namespace confbench::fault {
+
+sim::Ns RetryPolicy::backoff_ns(int retry) const {
+  if (retry < 1) return 0;
+  double b = cfg_.base_backoff_ns *
+             std::pow(cfg_.multiplier, static_cast<double>(retry - 1));
+  b = std::min(b, static_cast<double>(cfg_.max_backoff_ns));
+  if (cfg_.jitter > 0) {
+    // Stateless deterministic jitter: hash (seed, retry) to a uniform in
+    // [1 - jitter, 1 + jitter]. No shared RNG stream is consumed.
+    const std::uint64_t h = sim::SplitMix64(sim::hash_combine(
+                                seed_, static_cast<std::uint64_t>(retry)))
+                                .next();
+    const double u =
+        static_cast<double>(h >> 11) / static_cast<double>(1ULL << 53);
+    b *= 1.0 + cfg_.jitter * (2.0 * u - 1.0);
+  }
+  return b;
+}
+
+bool RetryPolicy::should_retry(int retry, sim::Ns spent_ns,
+                               sim::Ns deadline_ns) const {
+  if (retry >= cfg_.max_attempts) return false;  // attempts exhausted
+  if (cfg_.budget_ns > 0 && spent_ns >= cfg_.budget_ns) return false;
+  // Deadline-aware give-up: if even starting the next attempt (after its
+  // backoff) cannot beat the deadline, fail now instead of burning time.
+  if (deadline_ns > 0 && spent_ns + backoff_ns(retry) >= deadline_ns)
+    return false;
+  return true;
+}
+
+}  // namespace confbench::fault

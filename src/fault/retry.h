@@ -1,0 +1,63 @@
+// Retry policy: exponential backoff with deterministic jitter, per-request
+// retry budgets and deadline-aware give-up.
+//
+// Replaces the gateway's original fixed-attempt loop. The policy is pure
+// decision logic over (attempt number, time already spent, deadline): it
+// holds no mutable state and draws from no shared RNG stream — jitter is
+// derived by hashing (seed, retry index) through SplitMix64, so retry
+// schedules are reproducible per request and adding a retrying caller never
+// perturbs any other consumer's random sequence.
+//
+// Budget semantics: `budget_ns` caps the *total* virtual time a request may
+// spend across all attempts and backoffs (0 = unlimited). A retry is only
+// granted when (a) attempts remain, (b) the budget would not already be
+// exceeded, and (c) waiting out the next backoff could still beat the
+// caller's deadline — retrying into a certain deadline miss is wasted work
+// and is refused up front.
+#pragma once
+
+#include <cstdint>
+
+#include "sim/time.h"
+
+namespace confbench::fault {
+
+struct RetryConfig {
+  /// Total attempts (1 initial + max_attempts-1 retries). 1 disables
+  /// retries entirely.
+  int max_attempts = 3;
+  sim::Ns base_backoff_ns = 2 * sim::kMs;  ///< backoff before retry #1
+  double multiplier = 2.0;                 ///< exponential growth per retry
+  sim::Ns max_backoff_ns = 200 * sim::kMs; ///< backoff ceiling
+  /// Deterministic jitter fraction: each backoff is scaled by a factor in
+  /// [1 - jitter, 1 + jitter] derived from (seed, retry). 0 disables.
+  double jitter = 0.25;
+  /// Per-request retry budget: total virtual time (attempts + backoffs)
+  /// this request may consume before the policy gives up. 0 = unlimited.
+  sim::Ns budget_ns = 0;
+};
+
+class RetryPolicy {
+ public:
+  /// `seed` individualises the jitter sequence (callers derive it from the
+  /// request identity so concurrent retriers do not synchronise).
+  RetryPolicy(RetryConfig cfg, std::uint64_t seed) : cfg_(cfg), seed_(seed) {}
+
+  /// Backoff to wait before retry number `retry` (1-based), jittered and
+  /// capped. Deterministic in (config, seed, retry).
+  [[nodiscard]] sim::Ns backoff_ns(int retry) const;
+
+  /// Whether retry number `retry` (1-based) may proceed after `spent_ns`
+  /// of virtual time has elapsed since the request started. `deadline_ns`
+  /// is the request's absolute latency budget (0 = none).
+  [[nodiscard]] bool should_retry(int retry, sim::Ns spent_ns,
+                                  sim::Ns deadline_ns) const;
+
+  [[nodiscard]] const RetryConfig& config() const { return cfg_; }
+
+ private:
+  RetryConfig cfg_;
+  std::uint64_t seed_;
+};
+
+}  // namespace confbench::fault

@@ -1,5 +1,6 @@
 #include "net/network.h"
 
+#include <algorithm>
 #include <stdexcept>
 
 #include "obs/trace.h"
@@ -11,6 +12,21 @@ Network::Network(double rtt_us, double per_kb_us, std::uint64_t seed)
 
 std::string Network::key(const std::string& host, std::uint16_t port) {
   return host + ":" + std::to_string(port);
+}
+
+void Network::set_faults(const FaultConfig& f) {
+  if (f.timeout_us < 0)
+    throw std::invalid_argument("FaultConfig::timeout_us must be >= 0");
+  faults_ = f;
+  faults_.drop_rate = std::clamp(f.drop_rate, 0.0, 1.0);
+  faults_.corrupt_rate = std::clamp(f.corrupt_rate, 0.0, 1.0);
+}
+
+void Network::set_partitioned(const std::string& host, bool partitioned) {
+  if (partitioned)
+    partitioned_.insert(host);
+  else
+    partitioned_.erase(host);
 }
 
 void Network::bind(const std::string& host, std::uint16_t port,
@@ -32,6 +48,13 @@ bool Network::bound(const std::string& host, std::uint16_t port) const {
 HttpResponse Network::roundtrip(const std::string& host, std::uint16_t port,
                                 const HttpRequest& req) {
   ++requests_;
+  if (partitioned_.count(host)) {
+    // Partitioned paths bypass the RNG entirely (see set_partitioned).
+    ++faults_injected_;
+    elapsed_ += faults_.timeout_us * sim::kUs;
+    obs::charge(obs::Category::kNetwork, faults_.timeout_us * sim::kUs);
+    return HttpResponse::make(504, "host unreachable (partitioned)\n");
+  }
   const std::string wire = req.serialize();
   const auto it = endpoints_.find(key(host, port));
   if (it == endpoints_.end()) {

@@ -13,6 +13,7 @@
 
 #include <functional>
 #include <map>
+#include <set>
 #include <string>
 
 #include "net/http.h"
@@ -41,9 +42,21 @@ class Network {
 
   /// Installs (or clears, with a default-constructed config) fault
   /// injection. Faults are drawn from the network's deterministic RNG.
-  void set_faults(const FaultConfig& f) { faults_ = f; }
+  /// Rates are clamped to [0, 1]; a negative timeout_us throws
+  /// std::invalid_argument.
+  void set_faults(const FaultConfig& f);
+  [[nodiscard]] const FaultConfig& faults() const { return faults_; }
   [[nodiscard]] std::uint64_t faults_injected() const {
     return faults_injected_;
+  }
+
+  /// Marks a host (all its ports) unreachable / reachable again. Round
+  /// trips to a partitioned host charge the fault timeout and return 504
+  /// without consuming any RNG draws, so lifting the partition restores the
+  /// exact unpartitioned random sequence.
+  void set_partitioned(const std::string& host, bool partitioned);
+  [[nodiscard]] bool partitioned(const std::string& host) const {
+    return partitioned_.count(host) > 0;
   }
 
   /// Binds a handler to "host:port". Throws if already bound.
@@ -65,6 +78,7 @@ class Network {
   static std::string key(const std::string& host, std::uint16_t port);
 
   std::map<std::string, EndpointHandler> endpoints_;
+  std::set<std::string> partitioned_;
   double rtt_us_;
   double per_kb_us_;
   FaultConfig faults_;

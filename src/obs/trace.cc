@@ -48,6 +48,16 @@ std::string_view to_string(Category c) {
       return "bounce_wait";
     case Category::kColdStart:
       return "cold_start";
+    case Category::kRetryBackoff:
+      return "retry_backoff";
+    case Category::kFailover:
+      return "failover";
+    case Category::kFault:
+      return "fault";
+    case Category::kRecovery:
+      return "recovery";
+    case Category::kAttest:
+      return "attest";
     case Category::kOther:
       return "other";
     case Category::kCount:

@@ -59,6 +59,12 @@ enum class Category : std::uint8_t {
   kService,     ///< parallel (per-worker) portion of service
   kBounceWait,  ///< waiting for a free bounce-buffer slot
   kColdStart,   ///< replica boot (firmware/kernel + page acceptance)
+  // Failure/recovery spans (fault injection, retries, failover).
+  kRetryBackoff,  ///< waiting out a retry backoff between attempts
+  kFailover,      ///< re-dispatching a request off a failed replica
+  kFault,         ///< an injected fault window (crash/hang/brownout/...)
+  kRecovery,      ///< replica replacement: boot + (secure) re-attestation
+  kAttest,        ///< attestation round during recovery
   kOther,       ///< direct charges: sleeps, bootstrap constants, misc
   kCount
 };

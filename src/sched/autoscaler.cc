@@ -6,7 +6,7 @@ namespace confbench::sched {
 
 int Autoscaler::evaluate(int warm, int booting, std::uint64_t in_service,
                          std::uint64_t queued, int concurrency_per_vm,
-                         sim::Ns now) {
+                         sim::Ns now, std::uint64_t rejected_delta) {
   const double warm_capacity =
       static_cast<double>(warm) * static_cast<double>(concurrency_per_vm);
   const double utilization =
@@ -15,13 +15,15 @@ int Autoscaler::evaluate(int warm, int booting, std::uint64_t in_service,
 
   int decision = 0;
   const int total = warm + booting;
-  if ((utilization >= cfg_.scale_up_utilization || queued > 0) &&
+  if ((utilization >= cfg_.scale_up_utilization || queued > 0 ||
+       rejected_delta > 0) &&
       total < cfg_.max_replicas) {
-    // Boot enough replicas to absorb the queued backlog, assuming each new
-    // replica contributes `concurrency` slots — but never more than the
-    // fleet cap, and count capacity that is already booting.
+    // Boot enough replicas to absorb the queued backlog and the requests
+    // turned away since the last tick, assuming each new replica
+    // contributes `concurrency` slots — but never more than the fleet cap,
+    // and count capacity that is already booting.
     const std::uint64_t deficit =
-        queued / std::max(1, concurrency_per_vm) + 1;
+        (queued + rejected_delta) / std::max(1, concurrency_per_vm) + 1;
     decision = static_cast<int>(std::min<std::uint64_t>(
         deficit, static_cast<std::uint64_t>(cfg_.max_replicas - total)));
     low_ticks_ = 0;

@@ -57,9 +57,12 @@ class Autoscaler {
   /// start booting that many parked replicas, negative = park that many
   /// idle warm ones. Accounts for capacity already booting so a slow
   /// (confidential) cold start does not trigger a boot storm.
+  /// `rejected_delta` is the number of admission rejections since the last
+  /// tick: with a zero-warm pool every request is rejected rather than
+  /// queued, so rejections are the only scale-up signal a cold fleet emits.
   [[nodiscard]] int evaluate(int warm, int booting, std::uint64_t in_service,
                              std::uint64_t queued, int concurrency_per_vm,
-                             sim::Ns now);
+                             sim::Ns now, std::uint64_t rejected_delta = 0);
 
   [[nodiscard]] const AutoscalerConfig& config() const { return cfg_; }
   [[nodiscard]] const std::vector<AutoscalerSample>& trace() const {

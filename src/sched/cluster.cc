@@ -4,6 +4,7 @@
 #include <functional>
 #include <stdexcept>
 
+#include "fault/retry.h"
 #include "metrics/json.h"
 #include "sim/clock.h"
 #include "tee/registry.h"
@@ -77,6 +78,13 @@ double ClusterResult::throughput_rps() const {
              : 0.0;
 }
 
+sim::Ns ClusterResult::mean_ttr_ns() const {
+  if (recoveries.empty()) return 0;
+  sim::Ns sum = 0;
+  for (const RecoverySample& r : recoveries) sum += r.ttr_ns();
+  return sum / static_cast<double>(recoveries.size());
+}
+
 std::string ClusterResult::to_json() const {
   metrics::JsonWriter w;
   w.begin_object();
@@ -98,6 +106,13 @@ std::string ClusterResult::to_json() const {
   w.key("offered").value(offered);
   w.key("completed").value(completed);
   w.key("rejected").value(rejected);
+  w.key("failed").value(failed);
+  w.key("retries").value(retries);
+  w.key("failovers").value(failovers);
+  w.key("crashes").value(crashes);
+  w.key("availability").value(availability());
+  w.key("mean_ttr_ns").value(mean_ttr_ns());
+  w.key("latency_fault_p99_ns").value(latency_fault.p99());
   w.key("makespan_ns").value(makespan_ns);
   w.key("throughput_rps").value(throughput_rps());
   w.key("peak_warm").value(peak_warm);
@@ -125,18 +140,43 @@ ClusterResult ClusterExperiment::run(core::ConfBench& system) const {
       ServiceModel::calibrate(system, cfg_.function, cfg_.language,
                               cfg_.platform, cfg_.secure,
                               cfg_.calibration_probes);
+  if (!cfg_.faults.empty() && cfg_.recovery.total_ns() <= 0) {
+    // Measure replica replacement through the real boot + re-attestation
+    // path, so secure fleets recover mechanically slower for the same
+    // reasons their VMs boot and attest slower.
+    ClusterConfig patched = cfg_;
+    patched.recovery = fault::measure_recovery(cfg_.platform, cfg_.secure);
+    return ClusterExperiment(patched).run_with_model(model);
+  }
   return run_with_model(model);
 }
 
 namespace {
 
 struct Replica {
-  enum class State : std::uint8_t { kParked, kBooting, kWarm };
+  enum class State : std::uint8_t {
+    kParked,
+    kBooting,
+    kWarm,
+    kDown,       ///< crashed; breaker must open before replacement starts
+    kRecovering  ///< replacement booting (+ re-attesting when secure)
+  };
   ReplicaQueue queue;
   State state = State::kParked;
   /// Virtual time at which each swiotlb slot of this VM becomes free; a
   /// request's serialized portion takes the earliest-free slot.
   std::vector<sim::Ns> bounce_free;
+  /// Bumped on crash so completion events scheduled against the previous
+  /// incarnation become no-ops (the event queue has no cancellation).
+  std::uint64_t epoch = 0;
+  /// Requests currently in service here; a crash kills all of them.
+  std::vector<std::uint64_t> active;
+  double slow_factor = 1.0;  ///< >1 during a brownout window
+  bool reachable = true;     ///< false while partitioned or down
+  bool agent_hung = false;   ///< host agent black-holes requests
+  /// Crash not yet healed: set by the crash, cleared when the breaker
+  /// closes again and traffic is readmitted (the TTR endpoint).
+  bool down_pending = false;
 };
 
 /// Per-request phase timestamps, recorded only when a tracer is attached;
@@ -193,8 +233,22 @@ ClusterResult ClusterExperiment::run_with_model(
 
   AutoscalerConfig scfg = cfg_.scaler;
   scfg.cold_start_ns = model.cold_start_ns;
-  scfg.min_warm = std::clamp(scfg.min_warm, 1, scfg.max_replicas);
+  // min_warm = 0 is legal: a fully cold fleet boots on demand, using
+  // admission rejections as its only scale-up signal.
+  scfg.min_warm = std::clamp(scfg.min_warm, 0, scfg.max_replicas);
   Autoscaler scaler(scfg);
+
+  // All fault machinery is gated on a non-empty plan: with no faults the
+  // run schedules no probes, consults no breakers, and produces an event
+  // stream identical to a build without fault injection.
+  const bool chaos = !cfg_.faults.empty();
+  fault::RecoveryCosts recovery = cfg_.recovery;
+  if (recovery.total_ns() <= 0) recovery.boot_ns = model.cold_start_ns;
+  res.cfg.recovery = recovery;  // record the effective costs
+  const std::vector<std::pair<sim::Ns, sim::Ns>> outages =
+      cfg_.faults.attest_outages();
+  int crashes_outstanding = 0;  ///< crashes whose breaker has not re-closed
+  int windows_active = 0;       ///< open hang/partition/brownout/outage windows
 
   // Replica fleet: a TeePool (least-loaded, documented deterministic
   // tie-break) fronts the per-VM queues; parked replicas are disabled.
@@ -214,6 +268,10 @@ ClusterResult ClusterExperiment::run_with_model(
   }
   res.peak_warm = warm;
 
+  std::vector<fault::CircuitBreaker> breakers(
+      replicas.size(), fault::CircuitBreaker(cfg_.breaker));
+  std::vector<RecoverySample> rec_pending(replicas.size());
+
   sim::Rng jitter_rng(sim::hash_combine(cfg_.seed,
                                         sim::stable_hash("service-jitter")));
   ArrivalProcess arrivals(cfg_.arrival, std::max(cfg_.rate_rps, 1e-9),
@@ -221,7 +279,8 @@ ClusterResult ClusterExperiment::run_with_model(
                                             sim::stable_hash("arrivals")));
 
   std::vector<double> arrival_ns;
-  std::vector<int> client_of;  // closed-loop only
+  std::vector<int> attempt_of;  ///< failover attempts per request id
+  std::vector<int> client_of;   // closed-loop only
   arrival_ns.reserve(std::min<std::uint64_t>(cfg_.requests, 1 << 22));
   std::uint64_t issued = 0;
 
@@ -230,13 +289,17 @@ ClusterResult ClusterExperiment::run_with_model(
   // Mutually recursive handlers, declared up front.
   std::function<void(std::uint32_t, std::uint64_t)> on_complete;
   std::function<void(int)> client_issue;
+  std::function<bool(std::uint64_t)> dispatch;
+  std::function<void(std::uint64_t)> failover;
 
   auto start_service = [&](std::uint32_t idx, std::uint64_t id) {
     Replica& r = replicas[idx];
     if (id >= cfg_.warmup_requests)
       res.queue_wait.record(clock.now() - arrival_ns[id]);
     const double j = jitter_rng.jitter(model.jitter_sigma);
-    const sim::Ns parallel = model.parallel_ns * j;
+    // slow_factor is 1.0 outside brownout windows, so the baseline service
+    // times are bit-identical to a run without fault support.
+    const sim::Ns parallel = model.parallel_ns * j * r.slow_factor;
     const sim::Ns par_end = clock.now() + parallel;
     sim::Ns io_start = par_end;
     sim::Ns finish;
@@ -247,42 +310,71 @@ ClusterResult ClusterExperiment::run_with_model(
       auto slot = std::min_element(r.bounce_free.begin(),
                                    r.bounce_free.end());
       io_start = std::max(par_end, *slot);
-      finish = io_start + model.serialized_ns * j;
+      finish = io_start + model.serialized_ns * j * r.slow_factor;
       *slot = finish;
     } else {
       finish = par_end;
     }
+    r.active.push_back(id);
     if (tracer && id < samples.size())
       samples[id] = {arrival_ns[id], clock.now(), par_end, io_start,
                      finish,         idx,         true};
-    events.at(finish, [&, idx, id] { on_complete(idx, id); });
+    events.at(finish, [&, idx, id, ep = r.epoch] {
+      // A crash bumped the epoch and already failed this request over.
+      if (replicas[idx].epoch != ep) return;
+      on_complete(idx, id);
+    });
   };
 
   auto try_start = [&](std::uint32_t idx) {
     while (auto id = replicas[idx].queue.start_next()) start_service(idx, *id);
   };
 
-  auto dispatch = [&](std::uint64_t id) -> bool {
+  dispatch = [&](std::uint64_t id) -> bool {
     core::PoolMember* m = pool.acquire();
     if (!m) {  // no warm replica at all
       ++res.rejected;
       return false;
     }
-    Replica& r = replicas[m->index];
+    const std::uint32_t idx = m->index;
+    Replica& r = replicas[idx];
+    if (chaos && (!r.reachable || r.agent_hung ||
+                  r.state == Replica::State::kDown ||
+                  r.state == Replica::State::kRecovering)) {
+      // The balancer has not noticed the failure yet: the dispatch
+      // black-holes, the client times out after detect_timeout_ns, and the
+      // timeout feeds the replica's breaker before failing over.
+      events.after(cfg_.detect_timeout_ns, [&, idx, id] {
+        pool.release(&pool.member(idx));
+        breakers[idx].record_failure(clock.now());
+        if (breakers[idx].state() == fault::BreakerState::kOpen)
+          pool.set_enabled(idx, false);
+        failover(id);
+      });
+      return true;  // in flight (will time out), not rejected
+    }
     if (!r.queue.admit(id)) {  // 429: replica backlog full
       pool.release(m);
       ++res.rejected;
       return false;
     }
-    try_start(m->index);
+    try_start(idx);
     return true;
   };
 
   on_complete = [&](std::uint32_t idx, std::uint64_t id) {
-    if (id >= cfg_.warmup_requests)
-      res.latency.record(clock.now() - arrival_ns[id]);
+    const sim::Ns lat = clock.now() - arrival_ns[id];
+    if (id >= cfg_.warmup_requests) {
+      res.latency.record(lat);
+      if (chaos && (crashes_outstanding > 0 || windows_active > 0))
+        res.latency_fault.record(lat);
+    }
     ++res.completed;
-    replicas[idx].queue.complete();
+    Replica& r = replicas[idx];
+    r.queue.complete();
+    if (auto it = std::find(r.active.begin(), r.active.end(), id);
+        it != r.active.end())
+      r.active.erase(it);
     pool.release(&pool.member(idx));
     try_start(idx);
     if (closed)
@@ -290,10 +382,154 @@ ClusterResult ClusterExperiment::run_with_model(
                    [&, c = client_of[id]] { client_issue(c); });
   };
 
+  // --- fault handling ------------------------------------------------------
+  auto give_up = [&](std::uint64_t id) {
+    ++res.failed;
+    ++res.failure_codes[std::string(
+        core::to_string(core::ErrorCode::kTransport))];
+    if (closed)
+      events.after(cfg_.think_ns,
+                   [&, c = client_of[id]] { client_issue(c); });
+  };
+
+  failover = [&](std::uint64_t id) {
+    ++res.failovers;
+    const int attempt = ++attempt_of[id];
+    // Per-request deterministic jitter stream, independent of event order.
+    const fault::RetryPolicy policy(
+        cfg_.retry,
+        sim::hash_combine(cfg_.seed,
+                          sim::hash_combine(sim::stable_hash("failover"),
+                                            id)));
+    if (!policy.should_retry(attempt, clock.now() - arrival_ns[id], 0)) {
+      give_up(id);
+      return;
+    }
+    ++res.retries;
+    events.after(policy.backoff_ns(attempt), [&, id] {
+      if (!dispatch(id) && closed)
+        events.after(cfg_.think_ns,
+                     [&, c = client_of[id]] { client_issue(c); });
+    });
+  };
+
+  auto apply_crash = [&](std::uint32_t idx) {
+    Replica& r = replicas[idx];
+    if (r.state == Replica::State::kParked ||
+        r.state == Replica::State::kDown ||
+        r.state == Replica::State::kRecovering)
+      return;  // nothing to kill, or already dead
+    ++res.crashes;
+    ++crashes_outstanding;
+    if (r.state == Replica::State::kBooting) --booting;
+    if (r.state == Replica::State::kWarm) --warm;
+    r.state = Replica::State::kDown;
+    r.down_pending = true;
+    ++r.epoch;  // orphan this incarnation's scheduled completions
+    r.reachable = false;
+    rec_pending[idx] = RecoverySample{};
+    rec_pending[idx].replica = idx;
+    rec_pending[idx].crash_ns = clock.now();
+    std::fill(r.bounce_free.begin(), r.bounce_free.end(), 0.0);
+    // Everything on the replica dies with it: queued requests and the ones
+    // mid-service. Their clients notice after the detection timeout and
+    // fail over. The pool keeps routing here until the breaker opens —
+    // failure detection is observational, not oracle knowledge.
+    std::vector<std::uint64_t> victims = r.queue.evict_all();
+    victims.insert(victims.end(), r.active.begin(), r.active.end());
+    r.active.clear();
+    for (std::size_t k = 0; k < victims.size(); ++k)
+      pool.release(&pool.member(idx));
+    for (const std::uint64_t id : victims)
+      events.after(cfg_.detect_timeout_ns, [&, id] { failover(id); });
+  };
+
+  auto start_recovery = [&](std::uint32_t idx) {
+    Replica& r = replicas[idx];
+    if (r.state != Replica::State::kDown) return;
+    r.state = Replica::State::kRecovering;
+    RecoverySample& rs = rec_pending[idx];
+    rs.boot_start_ns = clock.now();
+    rs.boot_end_ns = clock.now() + recovery.boot_ns;
+    // Re-attestation (secure fleets only) stalls behind any attestation-
+    // service outage window — normal replicas skip the step entirely,
+    // which is exactly the availability asymmetry the chaos bench reports.
+    sim::Ns attest_start = rs.boot_end_ns;
+    if (recovery.attest_ns > 0) {
+      for (const auto& [s, e] : outages)
+        if (attest_start >= s && attest_start < e) attest_start = e;
+    }
+    rs.attest_start_ns = attest_start;
+    rs.attest_end_ns =
+        attest_start + (recovery.attest_ns > 0 ? recovery.attest_ns : 0.0);
+    events.at(rs.attest_end_ns, [&, idx] {
+      Replica& r2 = replicas[idx];
+      if (r2.state != Replica::State::kRecovering) return;
+      r2.state = Replica::State::kWarm;
+      r2.reachable = true;
+      r2.agent_hung = false;
+      r2.slow_factor = 1.0;
+      // Still pool-disabled: traffic is readmitted only once a half-open
+      // health probe closes the breaker (that close stamps recovered_ns).
+    });
+  };
+
+  std::function<void()> probe = [&] {
+    const sim::Ns now = clock.now();
+    for (std::uint32_t i = 0; i < replicas.size(); ++i) {
+      Replica& r = replicas[i];
+      if (r.state == Replica::State::kParked ||
+          r.state == Replica::State::kBooting)
+        continue;
+      fault::CircuitBreaker& br = breakers[i];
+      const bool healthy = r.state == Replica::State::kWarm && r.reachable &&
+                           !r.agent_hung;
+      if (br.state() == fault::BreakerState::kClosed) {
+        if (healthy) {
+          br.record_success(now);
+        } else {
+          br.record_failure(now);
+          if (br.state() == fault::BreakerState::kOpen)
+            pool.set_enabled(i, false);
+        }
+      } else if (br.allow(now)) {  // open past cooldown, or half-open idle
+        if (healthy) {
+          br.record_success(now);
+          if (br.state() == fault::BreakerState::kClosed &&
+              r.state == Replica::State::kWarm) {
+            pool.set_enabled(i, true);
+            if (r.down_pending) {
+              r.down_pending = false;
+              --crashes_outstanding;
+              ++warm;
+              res.peak_warm = std::max(res.peak_warm, warm);
+              rec_pending[i].recovered_ns = now;
+              res.recoveries.push_back(rec_pending[i]);
+            }
+          }
+        } else {
+          br.record_failure(now);
+        }
+      }
+      if (r.state == Replica::State::kDown &&
+          br.state() == fault::BreakerState::kOpen)
+        start_recovery(i);
+    }
+    bool breakers_open = false;
+    for (const fault::CircuitBreaker& b : breakers)
+      if (b.state() != fault::BreakerState::kClosed) breakers_open = true;
+    std::uint64_t busy = 0;
+    for (const Replica& r : replicas) busy += r.queue.backlog();
+    if (issued < cfg_.requests || busy > 0 || crashes_outstanding > 0 ||
+        windows_active > 0 || breakers_open)
+      events.after(cfg_.probe_interval_ns, probe);
+  };
+
   // --- load generation -----------------------------------------------------
   std::function<void()> on_open_arrival = [&] {
     const std::uint64_t id = issued++;
     arrival_ns.push_back(clock.now());
+    attempt_of.push_back(0);
     ++res.offered;
     dispatch(id);
     if (issued < cfg_.requests) events.after(arrivals.next_gap(),
@@ -304,6 +540,7 @@ ClusterResult ClusterExperiment::run_with_model(
     if (issued >= cfg_.requests) return;
     const std::uint64_t id = issued++;
     arrival_ns.push_back(clock.now());
+    attempt_of.push_back(0);
     client_of.push_back(c);
     ++res.offered;
     if (!dispatch(id))  // rejected: the client backs off one think time
@@ -320,14 +557,18 @@ ClusterResult ClusterExperiment::run_with_model(
   }
 
   // --- autoscaler ticks ----------------------------------------------------
+  std::uint64_t last_rejected = 0;
   std::function<void()> tick = [&] {
     std::uint64_t in_service = 0, queued = 0;
     for (const Replica& r : replicas) {
       in_service += static_cast<std::uint64_t>(r.queue.in_service());
       queued += r.queue.queued();
     }
+    const std::uint64_t rejected_delta = res.rejected - last_rejected;
+    last_rejected = res.rejected;
     const int delta = scaler.evaluate(warm, booting, in_service, queued,
-                                      cfg_.queue.concurrency, clock.now());
+                                      cfg_.queue.concurrency, clock.now(),
+                                      rejected_delta);
     if (tracer && delta != 0)
       decisions.push_back(
           {clock.now(), delta, warm, booting, in_service, queued});
@@ -357,6 +598,11 @@ ClusterResult ClusterExperiment::run_with_model(
         if (replicas[i].state != Replica::State::kWarm) continue;
         if (!replicas[i].queue.idle() || pool.member(i).in_flight != 0)
           continue;
+        // Never park a replica mid-recovery: it looks idle only because
+        // its breaker still holds traffic off it.
+        if (chaos && (replicas[i].down_pending ||
+                      breakers[i].state() != fault::BreakerState::kClosed))
+          continue;
         replicas[i].state = Replica::State::kParked;
         pool.set_enabled(i, false);
         --warm;
@@ -364,10 +610,70 @@ ClusterResult ClusterExperiment::run_with_model(
       }
     }
     const bool work_left =
-        issued < cfg_.requests || in_service + queued > 0 || booting > 0;
+        issued < cfg_.requests || in_service + queued > 0 || booting > 0 ||
+        (chaos && (crashes_outstanding > 0 || windows_active > 0));
     if (work_left) events.after(scfg.tick_ns, tick);
   };
   events.after(scfg.tick_ns, tick);
+
+  // --- fault replay --------------------------------------------------------
+  if (chaos) {
+    events.after(cfg_.probe_interval_ns, probe);
+    for (const fault::FaultEvent& e : cfg_.faults.events()) {
+      const std::uint32_t idx = e.replica;
+      switch (e.kind) {
+        case fault::FaultKind::kVmCrash:
+          if (idx < replicas.size())
+            events.at(e.at_ns, [&, idx] { apply_crash(idx); });
+          break;
+        case fault::FaultKind::kAgentHang:
+        case fault::FaultKind::kPartition:
+          if (idx < replicas.size()) {
+            const bool hang = e.kind == fault::FaultKind::kAgentHang;
+            events.at(e.at_ns, [&, idx, hang] {
+              ++windows_active;
+              if (hang)
+                replicas[idx].agent_hung = true;
+              else
+                replicas[idx].reachable = false;
+            });
+            events.at(e.at_ns + e.duration_ns, [&, idx, hang] {
+              --windows_active;
+              // If a crash superseded the window, recovery owns the flags.
+              if (replicas[idx].state == Replica::State::kDown ||
+                  replicas[idx].state == Replica::State::kRecovering)
+                return;
+              if (hang)
+                replicas[idx].agent_hung = false;
+              else
+                replicas[idx].reachable = true;
+            });
+          }
+          break;
+        case fault::FaultKind::kBrownout:
+          if (idx < replicas.size()) {
+            events.at(e.at_ns, [&, idx, s = e.severity] {
+              ++windows_active;
+              replicas[idx].slow_factor = s;
+            });
+            events.at(e.at_ns + e.duration_ns, [&, idx] {
+              --windows_active;
+              if (replicas[idx].state == Replica::State::kDown ||
+                  replicas[idx].state == Replica::State::kRecovering)
+                return;
+              replicas[idx].slow_factor = 1.0;
+            });
+          }
+          break;
+        case fault::FaultKind::kAttestOutage:
+          // Consulted via `outages` when scheduling re-attestation; the
+          // window only needs to keep the probe/tick chains alive.
+          events.at(e.at_ns, [&] { ++windows_active; });
+          events.at(e.at_ns + e.duration_ns, [&] { --windows_active; });
+          break;
+      }
+    }
+  }
 
   events.run();
 
@@ -428,6 +734,42 @@ ClusterResult ClusterExperiment::run_with_model(
                         {"in_service", std::to_string(d.in_service)},
                         {"queued", std::to_string(d.queued)}});
 
+    if (chaos) {
+      // Every injected fault as a span; crashes stretch to the matching
+      // recovery so the outage is visible at a glance.
+      for (const fault::FaultEvent& e : cfg_.faults.events()) {
+        sim::Ns end = e.at_ns + e.duration_ns;
+        if (e.kind == fault::FaultKind::kVmCrash) {
+          end = e.at_ns;
+          for (const RecoverySample& rs : res.recoveries)
+            if (rs.replica == e.replica && rs.crash_ns == e.at_ns) {
+              end = rs.recovered_ns;
+              break;
+            }
+        }
+        const std::uint32_t sp = fleet.add_span(
+            obs::Category::kFault,
+            "fault." + std::string(fault::to_string(e.kind)), e.at_ns, end);
+        fleet.set_attr(sp, "replica",
+                       "replica-" + std::to_string(e.replica));
+      }
+      // Recovery spans with boot + re-attest children: the boot/attest
+      // sub-intervals are what attribute the secure-vs-normal TTR gap.
+      for (const RecoverySample& rs : res.recoveries) {
+        const std::uint32_t sp =
+            fleet.add_span(obs::Category::kRecovery, "replica.recovery",
+                           rs.crash_ns, rs.recovered_ns);
+        fleet.set_attr(sp, "replica",
+                       "replica-" + std::to_string(rs.replica));
+        fleet.set_attr(sp, "ttr_ns", fmt_ns(rs.ttr_ns()));
+        fleet.add_span(obs::Category::kColdStart, "recovery.boot",
+                       rs.boot_start_ns, rs.boot_end_ns, sp);
+        if (rs.attest_end_ns > rs.attest_start_ns)
+          fleet.add_span(obs::Category::kAttest, "recovery.attest",
+                         rs.attest_start_ns, rs.attest_end_ns, sp);
+      }
+    }
+
     // Run aggregates into the central registry.
     obs::Registry& reg = tracer->registry();
     reg.counter("cluster.offered") += res.offered;
@@ -436,6 +778,13 @@ ClusterResult ClusterExperiment::run_with_model(
     reg.gauge("cluster.peak_warm") = res.peak_warm;
     reg.histogram("cluster.latency_ns").merge(res.latency);
     reg.histogram("cluster.queue_wait_ns").merge(res.queue_wait);
+    if (chaos) {
+      reg.counter("cluster.failed") += res.failed;
+      reg.counter("cluster.retries") += res.retries;
+      reg.counter("cluster.failovers") += res.failovers;
+      reg.counter("cluster.crashes") += res.crashes;
+      reg.histogram("cluster.latency_fault_ns").merge(res.latency_fault);
+    }
   }
   return res;
 }

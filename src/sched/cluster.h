@@ -21,10 +21,15 @@
 #pragma once
 
 #include <cstdint>
+#include <map>
 #include <string>
 #include <vector>
 
 #include "core/confbench.h"
+#include "fault/breaker.h"
+#include "fault/fault.h"
+#include "fault/recovery.h"
+#include "fault/retry.h"
 #include "metrics/histogram.h"
 #include "obs/trace.h"
 #include "sched/arrivals.h"
@@ -93,6 +98,22 @@ struct ClusterConfig {
   AutoscalerConfig scaler;  ///< fleet sizing (cold_start_ns comes from model)
   int calibration_probes = 4;
 
+  /// Chaos schedule. When empty (the default) no fault machinery runs at
+  /// all — no health probes, no breakers — and the event stream is
+  /// identical to a build without fault injection.
+  fault::FaultPlan faults;
+  /// Failover retry policy for requests lost to a fault (crash victims and
+  /// timed-out dispatches): exponential backoff, budget, attempt cap.
+  fault::RetryConfig retry;
+  fault::BreakerConfig breaker;  ///< per-replica circuit breaker policy
+  sim::Ns probe_interval_ns = 50 * sim::kMs;   ///< health-check period
+  sim::Ns detect_timeout_ns = 100 * sim::kMs;  ///< client dispatch timeout
+  /// Replica replacement cost. run() measures it through the real
+  /// boot + re-attestation path (fault::measure_recovery); run_with_model
+  /// falls back to the model's cold start with zero attestation when left
+  /// at its all-zero default.
+  fault::RecoveryCosts recovery;
+
   /// When set, the run records the `trace_tail` slowest steady-state
   /// requests as span trees (queue wait / service / bounce wait / bounce)
   /// plus one fleet trace (cold-start spans, autoscaler decisions), and
@@ -102,14 +123,39 @@ struct ClusterConfig {
   int trace_tail = 8;
 };
 
+/// One replica's crash -> traffic-readmitted recovery, fully timestamped.
+/// The boot/attest sub-intervals are what attribute the secure-vs-normal
+/// time-to-recover gap in the fleet trace.
+struct RecoverySample {
+  std::uint32_t replica = 0;
+  sim::Ns crash_ns = 0;         ///< the fault fired
+  sim::Ns boot_start_ns = 0;    ///< breaker tripped; replacement boot began
+  sim::Ns boot_end_ns = 0;
+  sim::Ns attest_start_ns = 0;  ///< == boot_end for normal VMs
+  sim::Ns attest_end_ns = 0;
+  sim::Ns recovered_ns = 0;     ///< breaker closed; traffic readmitted
+  [[nodiscard]] sim::Ns ttr_ns() const { return recovered_ns - crash_ns; }
+};
+
 struct ClusterResult {
   ClusterConfig cfg;
   ServiceModel model;
   metrics::LogHistogram latency;     ///< sojourn time (wait + service)
   metrics::LogHistogram queue_wait;  ///< admission -> service start
+  /// Latency of requests that completed while a fault was active (a crash
+  /// unrecovered or a hang/brownout/partition/outage window open) — the
+  /// "p99 during fault" the chaos experiments report. Empty without faults.
+  metrics::LogHistogram latency_fault;
   std::uint64_t offered = 0;
   std::uint64_t completed = 0;
   std::uint64_t rejected = 0;  ///< 429-style admission rejections
+  std::uint64_t failed = 0;    ///< gave up after fault-driven retries
+  std::uint64_t retries = 0;   ///< failover re-dispatch attempts
+  std::uint64_t failovers = 0; ///< requests that had to leave a replica
+  std::uint64_t crashes = 0;   ///< replica crashes applied
+  /// Terminal failure reasons -> count (typed, never string-matched).
+  std::map<std::string, std::uint64_t> failure_codes;
+  std::vector<RecoverySample> recoveries;
   sim::Ns makespan_ns = 0;
   int peak_warm = 0;
   std::vector<AutoscalerSample> scaler_trace;
@@ -119,6 +165,19 @@ struct ClusterResult {
     return offered ? static_cast<double>(rejected) /
                          static_cast<double>(offered)
                    : 0.0;
+  }
+  /// Fraction of offered requests that completed successfully (rejections
+  /// and terminal failures both count against availability).
+  [[nodiscard]] double availability() const {
+    return offered ? static_cast<double>(completed) /
+                         static_cast<double>(offered)
+                   : 1.0;
+  }
+  [[nodiscard]] sim::Ns mean_ttr_ns() const;
+  /// Every offered request must end in exactly one bucket; the chaos tests
+  /// assert this "zero lost requests" invariant after every run.
+  [[nodiscard]] bool accounted() const {
+    return completed + rejected + failed == offered;
   }
   /// Structured export (metrics::JsonWriter).
   [[nodiscard]] std::string to_json() const;

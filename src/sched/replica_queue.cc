@@ -30,4 +30,11 @@ void ReplicaQueue::complete() {
   if (in_service_ > 0) --in_service_;
 }
 
+std::vector<std::uint64_t> ReplicaQueue::evict_all() {
+  std::vector<std::uint64_t> out(pending_.begin(), pending_.end());
+  pending_.clear();
+  in_service_ = 0;
+  return out;
+}
+
 }  // namespace confbench::sched

@@ -11,6 +11,7 @@
 #include <cstdint>
 #include <deque>
 #include <optional>
+#include <vector>
 
 namespace confbench::sched {
 
@@ -34,6 +35,12 @@ class ReplicaQueue {
 
   /// Releases one in-service slot (a request finished).
   void complete();
+
+  /// Empties the queue (fault injection: the replica's VM died). Returns
+  /// the evicted *pending* request ids in FIFO order and zeroes the
+  /// in-service count — callers track in-service ids themselves and must
+  /// fail those over too.
+  [[nodiscard]] std::vector<std::uint64_t> evict_all();
 
   [[nodiscard]] int in_service() const { return in_service_; }
   [[nodiscard]] std::size_t queued() const { return pending_.size(); }

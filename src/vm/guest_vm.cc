@@ -22,6 +22,8 @@ std::string_view to_string(VmState s) {
       return "running";
     case VmState::kStopped:
       return "stopped";
+    case VmState::kCrashed:
+      return "crashed";
   }
   return "?";
 }
@@ -61,6 +63,8 @@ sim::Ns GuestVm::boot() {
 }
 
 void GuestVm::stop() { state_ = VmState::kStopped; }
+
+void GuestVm::crash() { state_ = VmState::kCrashed; }
 
 InvocationOutcome GuestVm::run(const WorkloadFn& fn, std::uint64_t trial) {
   if (state_ != VmState::kRunning)

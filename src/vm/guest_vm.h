@@ -39,7 +39,7 @@ struct VmConfig {
   std::uint64_t ram_bytes = 16ULL << 30;
 };
 
-enum class VmState { kCreated, kRunning, kStopped };
+enum class VmState { kCreated, kRunning, kStopped, kCrashed };
 
 std::string_view to_string(VmState s);
 
@@ -58,9 +58,15 @@ class GuestVm {
 
   explicit GuestVm(VmConfig cfg);
 
-  /// Boots the VM; idempotent. Returns the virtual boot latency.
+  /// Boots the VM; idempotent. Returns the virtual boot latency. Booting a
+  /// crashed VM restarts it and pays the full boot cost again.
   sim::Ns boot();
   void stop();
+
+  /// Hard-kills the VM (fault injection): it loses all in-flight work and
+  /// must pay a full boot() — plus re-attestation, for confidential VMs —
+  /// before it can run() again.
+  void crash();
 
   /// Runs one workload invocation. `trial` seeds the trial-specific RNG so
   /// repeated invocations see independent (but reproducible) jitter.

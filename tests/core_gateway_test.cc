@@ -248,7 +248,7 @@ TEST(GatewayRetries, TransientDropsAreRetried) {
 
 TEST(GatewayRetries, ZeroRetriesSurfacesFailures) {
   GatewayConfig cfg = GatewayConfig::standard();
-  cfg.max_retries = 0;
+  cfg.retry.max_attempts = 1;
   ConfBench system(cfg);
   system.gateway().upload_all_builtin();
   system.network().set_faults(
@@ -277,13 +277,70 @@ TEST(GatewayRetries, ApplicationErrorsAreNotRetried) {
 
 TEST(GatewayRetries, ConfigRoundTripsRetries) {
   GatewayConfig cfg;
-  cfg.max_retries = 7;
+  cfg.retry.max_attempts = 8;  // serialized as "retries = 7"
+  cfg.retry.budget_ns = 250 * sim::kMs;
   const auto round = GatewayConfig::from_ini(cfg.to_ini());
   ASSERT_TRUE(round.has_value());
-  EXPECT_EQ(round->max_retries, 7);
+  EXPECT_EQ(round->retry.max_attempts, 8);
+  EXPECT_DOUBLE_EQ(round->retry.budget_ns, 250 * sim::kMs);
   std::string err;
   auto bad = IniFile::parse("[gateway]\nretries = -3\n");
   EXPECT_FALSE(GatewayConfig::from_ini(*bad, &err).has_value());
+  auto bad_budget = IniFile::parse("[gateway]\nretry_budget_ms = -1\n");
+  EXPECT_FALSE(GatewayConfig::from_ini(*bad_budget, &err).has_value());
+}
+
+TEST(GatewayRetries, BackoffIsChargedIntoLatency) {
+  // With a 100% drop rate every attempt times out; the record's latency
+  // must include the (deterministic, jittered) backoff between attempts.
+  GatewayConfig cfg = GatewayConfig::standard();
+  cfg.retry.max_attempts = 3;
+  ConfBench system(cfg);
+  system.gateway().upload_all_builtin();
+  system.network().set_faults(
+      {.drop_rate = 1.0, .corrupt_rate = 0, .timeout_us = 500});
+  const auto rec = system.gateway().invoke(
+      {.function = "fib", .language = "lua", .platform = "tdx",
+       .secure = true});
+  EXPECT_FALSE(rec.ok());
+  EXPECT_EQ(rec.retries, 2);
+  EXPECT_GT(rec.backoff_ns, 0);
+  // 3 attempts x 500us timeout + the two backoffs.
+  EXPECT_DOUBLE_EQ(rec.latency_ns, 3 * 500 * sim::kUs + rec.backoff_ns);
+}
+
+TEST(GatewayRetries, DeadlineAwareGiveUpSkipsHopelessRetries) {
+  // The deadline is shorter than the first backoff, so after the first
+  // failed attempt the policy refuses to retry into a certain miss.
+  GatewayConfig cfg = GatewayConfig::standard();
+  cfg.retry.max_attempts = 5;
+  cfg.retry.base_backoff_ns = 50 * sim::kMs;
+  ConfBench system(cfg);
+  system.gateway().upload_all_builtin();
+  system.network().set_faults(
+      {.drop_rate = 1.0, .corrupt_rate = 0, .timeout_us = 500});
+  const auto rec = system.gateway().invoke(
+      {.function = "fib", .language = "lua", .platform = "tdx",
+       .secure = true, .deadline_ns = 10 * sim::kMs});
+  EXPECT_FALSE(rec.ok());
+  EXPECT_EQ(rec.retries, 0);
+  EXPECT_DOUBLE_EQ(rec.backoff_ns, 0);
+}
+
+TEST(GatewayRetries, RetryBudgetCapsTotalSpend) {
+  // A budget smaller than one network timeout allows no retries at all.
+  GatewayConfig cfg = GatewayConfig::standard();
+  cfg.retry.max_attempts = 5;
+  cfg.retry.budget_ns = 100 * sim::kUs;
+  ConfBench system(cfg);
+  system.gateway().upload_all_builtin();
+  system.network().set_faults(
+      {.drop_rate = 1.0, .corrupt_rate = 0, .timeout_us = 500});
+  const auto rec = system.gateway().invoke(
+      {.function = "fib", .language = "lua", .platform = "tdx",
+       .secure = true});
+  EXPECT_FALSE(rec.ok());
+  EXPECT_EQ(rec.retries, 0);
 }
 
 }  // namespace
@@ -476,31 +533,31 @@ TEST(GatewayErrors, RestSurfaceCarriesTheErrorCode) {
   EXPECT_EQ(resp.headers.at("X-Error-Code"), "function_not_found");
 }
 
-TEST(GatewayShim, PositionalInvokeMatchesRequestStruct) {
-  // Two fresh systems see identical RNG/network streams, so the deprecated
-  // positional surface must produce a record identical to the request form.
+TEST(GatewayDeterminism, IdenticalSystemsProduceIdenticalRecords) {
+  // Two fresh systems see identical RNG/network streams, so the same
+  // request must produce bit-identical records. (This replaced the old
+  // positional-shim equivalence test when the deprecated overload was
+  // removed.)
   ConfBench a(GatewayConfig::standard());
   ConfBench b(GatewayConfig::standard());
   a.gateway().upload_all_builtin();
   b.gateway().upload_all_builtin();
-#pragma GCC diagnostic push
-#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
-  const auto old_rec = a.gateway().invoke("primes", "go", "sev-snp", true, 7);
-#pragma GCC diagnostic pop
-  const auto new_rec = b.gateway().invoke({.function = "primes",
-                                           .language = "go",
-                                           .platform = "sev-snp",
-                                           .secure = true,
-                                           .trial = 7});
-  EXPECT_EQ(old_rec.http_status, new_rec.http_status);
-  EXPECT_EQ(old_rec.code, new_rec.code);
-  EXPECT_EQ(old_rec.output, new_rec.output);
-  EXPECT_EQ(old_rec.served_by, new_rec.served_by);
-  EXPECT_DOUBLE_EQ(old_rec.function_ns, new_rec.function_ns);
-  EXPECT_DOUBLE_EQ(old_rec.bootstrap_ns, new_rec.bootstrap_ns);
-  EXPECT_DOUBLE_EQ(old_rec.latency_ns, new_rec.latency_ns);
-  EXPECT_DOUBLE_EQ(old_rec.perf.wall_ns, new_rec.perf.wall_ns);
-  EXPECT_DOUBLE_EQ(old_rec.perf.instructions, new_rec.perf.instructions);
+  const InvocationRequest req{.function = "primes",
+                              .language = "go",
+                              .platform = "sev-snp",
+                              .secure = true,
+                              .trial = 7};
+  const auto rec_a = a.gateway().invoke(req);
+  const auto rec_b = b.gateway().invoke(req);
+  EXPECT_EQ(rec_a.http_status, rec_b.http_status);
+  EXPECT_EQ(rec_a.code, rec_b.code);
+  EXPECT_EQ(rec_a.output, rec_b.output);
+  EXPECT_EQ(rec_a.served_by, rec_b.served_by);
+  EXPECT_DOUBLE_EQ(rec_a.function_ns, rec_b.function_ns);
+  EXPECT_DOUBLE_EQ(rec_a.bootstrap_ns, rec_b.bootstrap_ns);
+  EXPECT_DOUBLE_EQ(rec_a.latency_ns, rec_b.latency_ns);
+  EXPECT_DOUBLE_EQ(rec_a.perf.wall_ns, rec_b.perf.wall_ns);
+  EXPECT_DOUBLE_EQ(rec_a.perf.instructions, rec_b.perf.instructions);
 }
 
 TEST(GatewayErrorCodeNames, AreStableStrings) {

@@ -1,0 +1,399 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <stdexcept>
+#include <string>
+
+#include "fault/breaker.h"
+#include "fault/fault.h"
+#include "fault/recovery.h"
+#include "fault/retry.h"
+#include "sched/cluster.h"
+#include "sim/time.h"
+
+namespace confbench::fault {
+namespace {
+
+using sim::kMs;
+using sim::kSec;
+
+// --- FaultPlan --------------------------------------------------------------
+
+TEST(FaultPlan, KeepsEventsTimeOrdered) {
+  FaultPlan p;
+  p.crash(3 * kSec, 1).crash(1 * kSec, 0).hang(2 * kSec, 100 * kMs, 2);
+  ASSERT_EQ(p.size(), 3u);
+  EXPECT_DOUBLE_EQ(p.events()[0].at_ns, 1 * kSec);
+  EXPECT_DOUBLE_EQ(p.events()[1].at_ns, 2 * kSec);
+  EXPECT_DOUBLE_EQ(p.events()[2].at_ns, 3 * kSec);
+}
+
+TEST(FaultPlan, EqualTimesKeepInsertionOrder) {
+  FaultPlan p;
+  p.crash(1 * kSec, 7).hang(1 * kSec, 10 * kMs, 8);
+  EXPECT_EQ(p.events()[0].replica, 7u);
+  EXPECT_EQ(p.events()[1].replica, 8u);
+}
+
+TEST(FaultPlan, RejectsMalformedEvents) {
+  FaultPlan p;
+  EXPECT_THROW(p.crash(-1, 0), std::invalid_argument);
+  EXPECT_THROW(p.hang(0, 0, 0), std::invalid_argument);  // windowed: dur > 0
+  EXPECT_THROW(p.brownout(0, 10 * kMs, 0, 0.5), std::invalid_argument);
+  EXPECT_THROW(p.partition(5, -1, 0), std::invalid_argument);
+  // A crash has no window; zero duration is fine.
+  EXPECT_NO_THROW(p.crash(0, 0));
+}
+
+TEST(FaultPlan, PeriodicCrashesCycleTheFleet) {
+  FaultPlan p;
+  p.periodic_crashes(1 * kSec, 500 * kMs, 5, 3);
+  ASSERT_EQ(p.size(), 5u);
+  for (std::size_t i = 0; i < 5; ++i) {
+    EXPECT_EQ(p.events()[i].kind, FaultKind::kVmCrash);
+    EXPECT_DOUBLE_EQ(p.events()[i].at_ns,
+                     1 * kSec + static_cast<double>(i) * 500 * kMs);
+    EXPECT_EQ(p.events()[i].replica, static_cast<std::uint32_t>(i % 3));
+  }
+  EXPECT_THROW(p.periodic_crashes(0, 0, 1, 3), std::invalid_argument);
+  EXPECT_THROW(p.periodic_crashes(0, 1, 1, 0), std::invalid_argument);
+}
+
+TEST(FaultPlan, AttestOutageWindows) {
+  FaultPlan p;
+  p.crash(1 * kSec, 0)
+      .attest_outage(2 * kSec, 300 * kMs)
+      .attest_outage(5 * kSec, 100 * kMs);
+  const auto w = p.attest_outages();
+  ASSERT_EQ(w.size(), 2u);
+  EXPECT_DOUBLE_EQ(w[0].first, 2 * kSec);
+  EXPECT_DOUBLE_EQ(w[0].second, 2 * kSec + 300 * kMs);
+  EXPECT_DOUBLE_EQ(w[1].first, 5 * kSec);
+}
+
+// --- RetryPolicy ------------------------------------------------------------
+
+TEST(RetryPolicy, BackoffGrowsExponentiallyWithinJitterBounds) {
+  RetryConfig cfg;
+  cfg.base_backoff_ns = 10 * kMs;
+  cfg.multiplier = 2.0;
+  cfg.max_backoff_ns = 1 * kSec;
+  cfg.jitter = 0.25;
+  const RetryPolicy p(cfg, 42);
+  for (int retry = 1; retry <= 5; ++retry) {
+    const sim::Ns nominal = 10 * kMs * std::pow(2.0, retry - 1);
+    const sim::Ns b = p.backoff_ns(retry);
+    EXPECT_GE(b, 0.75 * nominal) << "retry " << retry;
+    EXPECT_LE(b, 1.25 * nominal) << "retry " << retry;
+  }
+}
+
+TEST(RetryPolicy, BackoffIsCappedAndDeterministic) {
+  RetryConfig cfg;
+  cfg.base_backoff_ns = 100 * kMs;
+  cfg.max_backoff_ns = 150 * kMs;
+  cfg.jitter = 0;
+  const RetryPolicy p(cfg, 1);
+  EXPECT_DOUBLE_EQ(p.backoff_ns(1), 100 * kMs);
+  EXPECT_DOUBLE_EQ(p.backoff_ns(2), 150 * kMs);  // capped
+  EXPECT_DOUBLE_EQ(p.backoff_ns(9), 150 * kMs);
+
+  cfg.jitter = 0.5;
+  const RetryPolicy a(cfg, 77), b(cfg, 77), c(cfg, 78);
+  for (int r = 1; r < 6; ++r) {
+    EXPECT_DOUBLE_EQ(a.backoff_ns(r), b.backoff_ns(r));  // same seed
+  }
+  // Different seeds decorrelate (at least one backoff differs).
+  bool differs = false;
+  for (int r = 1; r < 6; ++r)
+    if (a.backoff_ns(r) != c.backoff_ns(r)) differs = true;
+  EXPECT_TRUE(differs);
+}
+
+TEST(RetryPolicy, StopsAtMaxAttempts) {
+  RetryConfig cfg;
+  cfg.max_attempts = 3;  // 1 initial + 2 retries
+  const RetryPolicy p(cfg, 0);
+  EXPECT_TRUE(p.should_retry(1, 0, 0));
+  EXPECT_TRUE(p.should_retry(2, 0, 0));
+  EXPECT_FALSE(p.should_retry(3, 0, 0));
+}
+
+TEST(RetryPolicy, BudgetCapsTotalSpend) {
+  RetryConfig cfg;
+  cfg.max_attempts = 10;
+  cfg.budget_ns = 50 * kMs;
+  const RetryPolicy p(cfg, 0);
+  EXPECT_TRUE(p.should_retry(1, 49 * kMs, 0));
+  EXPECT_FALSE(p.should_retry(1, 50 * kMs, 0));
+}
+
+TEST(RetryPolicy, RefusesRetriesThatCannotBeatTheDeadline) {
+  RetryConfig cfg;
+  cfg.max_attempts = 10;
+  cfg.base_backoff_ns = 40 * kMs;
+  cfg.jitter = 0;
+  const RetryPolicy p(cfg, 0);
+  // 30ms spent, 40ms backoff ahead, 100ms deadline: 70 < 100, proceed.
+  EXPECT_TRUE(p.should_retry(1, 30 * kMs, 100 * kMs));
+  // 70ms spent: waiting the backoff lands at 110ms >= deadline — refuse.
+  EXPECT_FALSE(p.should_retry(1, 70 * kMs, 100 * kMs));
+}
+
+// --- CircuitBreaker ---------------------------------------------------------
+
+TEST(CircuitBreaker, OpensAfterConsecutiveFailures) {
+  CircuitBreaker br({.failure_threshold = 3, .open_cooldown_ns = 100 * kMs});
+  EXPECT_TRUE(br.allow(0));
+  br.record_failure(0);
+  br.record_failure(1);
+  EXPECT_EQ(br.state(), BreakerState::kClosed);
+  // A success resets the streak.
+  br.record_success(2);
+  br.record_failure(3);
+  br.record_failure(4);
+  EXPECT_EQ(br.state(), BreakerState::kClosed);
+  br.record_failure(5);
+  EXPECT_EQ(br.state(), BreakerState::kOpen);
+  EXPECT_EQ(br.times_opened(), 1u);
+  EXPECT_FALSE(br.allow(6));  // cooldown not elapsed
+}
+
+TEST(CircuitBreaker, HalfOpenAdmitsOneProbeThenCloses) {
+  CircuitBreaker br({.failure_threshold = 1,
+                     .success_threshold = 1,
+                     .open_cooldown_ns = 100 * kMs});
+  br.record_failure(0);
+  ASSERT_EQ(br.state(), BreakerState::kOpen);
+  EXPECT_TRUE(br.allow(100 * kMs));  // cooldown elapsed -> half-open probe
+  EXPECT_EQ(br.state(), BreakerState::kHalfOpen);
+  EXPECT_FALSE(br.allow(101 * kMs));  // one probe at a time
+  br.record_success(102 * kMs);
+  EXPECT_EQ(br.state(), BreakerState::kClosed);
+}
+
+TEST(CircuitBreaker, HalfOpenFailureReopensAndRestartsCooldown) {
+  CircuitBreaker br({.failure_threshold = 1, .open_cooldown_ns = 100 * kMs});
+  br.record_failure(0);
+  ASSERT_TRUE(br.allow(100 * kMs));
+  br.record_failure(110 * kMs);
+  EXPECT_EQ(br.state(), BreakerState::kOpen);
+  EXPECT_EQ(br.times_opened(), 2u);
+  EXPECT_FALSE(br.allow(150 * kMs));  // new cooldown from 110ms
+  EXPECT_TRUE(br.allow(210 * kMs));
+}
+
+// --- measure_recovery -------------------------------------------------------
+
+TEST(Recovery, SecureRecoveryIsSlowerOnEveryPlatform) {
+  for (const char* plat : {"tdx", "sev-snp", "cca"}) {
+    const RecoveryCosts normal = measure_recovery(plat, false);
+    const RecoveryCosts secure = measure_recovery(plat, true);
+    EXPECT_GT(normal.boot_ns, 0) << plat;
+    EXPECT_DOUBLE_EQ(normal.attest_ns, 0) << plat;  // nothing to re-attest
+    EXPECT_GT(secure.boot_ns, normal.boot_ns) << plat;  // memory acceptance
+    EXPECT_GT(secure.total_ns(), normal.total_ns()) << plat;
+  }
+  // TDX and SNP re-attest; CCA under FVP has no attestation service but
+  // still pays the slower confidential boot.
+  EXPECT_GT(measure_recovery("tdx", true).attest_ns, 0);
+  EXPECT_GT(measure_recovery("sev-snp", true).attest_ns, 0);
+  EXPECT_DOUBLE_EQ(measure_recovery("cca", true).attest_ns, 0);
+}
+
+TEST(Recovery, UnknownPlatformThrows) {
+  EXPECT_THROW(measure_recovery("sgx-enclave-9000", true),
+               std::invalid_argument);
+}
+
+// --- Cluster chaos ----------------------------------------------------------
+
+sched::ClusterConfig chaos_config() {
+  sched::ClusterConfig cfg;
+  cfg.requests = 20000;
+  cfg.rate_rps = 6000;
+  cfg.seed = 99;
+  cfg.queue = {.concurrency = 8, .queue_depth = 16};
+  // Pre-warmed fixed fleet: isolate failure handling from autoscaling.
+  cfg.scaler = {.min_warm = 4, .max_replicas = 4, .tick_ns = 20 * kMs};
+  return cfg;
+}
+
+sched::ServiceModel fast_model() {
+  sched::ServiceModel m;
+  m.parallel_ns = 1 * kMs;
+  m.serialized_ns = 0;
+  m.jitter_sigma = 0.02;
+  m.cold_start_ns = 0.5 * kSec;
+  return m;
+}
+
+TEST(ClusterChaos, CrashLosesNoRequests) {
+  sched::ClusterConfig cfg = chaos_config();
+  cfg.faults.crash(1 * kSec + 1 * kMs, 0);
+  cfg.recovery = {.boot_ns = 1 * kSec, .attest_ns = 200 * kMs};
+  const sched::ClusterResult r =
+      sched::ClusterExperiment(cfg).run_with_model(fast_model());
+
+  EXPECT_EQ(r.offered, cfg.requests);
+  EXPECT_EQ(r.crashes, 1u);
+  EXPECT_GT(r.failovers, 0u);
+  // The zero-lost-requests invariant: every offered request ends in exactly
+  // one of completed / rejected / failed (typed), nothing vanishes.
+  EXPECT_TRUE(r.accounted())
+      << "completed=" << r.completed << " rejected=" << r.rejected
+      << " failed=" << r.failed << " offered=" << r.offered;
+  for (const auto& [code, n] : r.failure_codes) {
+    EXPECT_FALSE(code.empty());
+    EXPECT_GT(n, 0u);
+  }
+  // The fleet recovers and the vast majority of traffic still completes.
+  ASSERT_EQ(r.recoveries.size(), 1u);
+  EXPECT_GT(r.recoveries[0].ttr_ns(), cfg.recovery.total_ns());
+  EXPECT_GT(r.availability(), 0.95);
+  EXPECT_GT(r.latency_fault.count(), 0u);
+}
+
+TEST(ClusterChaos, ChaosRunsAreDeterministic) {
+  sched::ClusterConfig cfg = chaos_config();
+  cfg.faults.periodic_crashes(800 * kMs, 700 * kMs, 3, 4);
+  cfg.faults.hang(1 * kSec, 150 * kMs, 2);
+  cfg.recovery = {.boot_ns = 900 * kMs, .attest_ns = 100 * kMs};
+  const sched::ClusterExperiment ex(cfg);
+  const sched::ClusterResult a = ex.run_with_model(fast_model());
+  const sched::ClusterResult b = ex.run_with_model(fast_model());
+  EXPECT_EQ(a.completed, b.completed);
+  EXPECT_EQ(a.rejected, b.rejected);
+  EXPECT_EQ(a.failed, b.failed);
+  EXPECT_EQ(a.retries, b.retries);
+  EXPECT_EQ(a.failovers, b.failovers);
+  EXPECT_EQ(a.crashes, b.crashes);
+  EXPECT_DOUBLE_EQ(a.latency.sum(), b.latency.sum());
+  EXPECT_DOUBLE_EQ(a.latency_fault.sum(), b.latency_fault.sum());
+  ASSERT_EQ(a.recoveries.size(), b.recoveries.size());
+  for (std::size_t i = 0; i < a.recoveries.size(); ++i)
+    EXPECT_DOUBLE_EQ(a.recoveries[i].recovered_ns,
+                     b.recoveries[i].recovered_ns);
+  EXPECT_DOUBLE_EQ(a.makespan_ns, b.makespan_ns);
+}
+
+TEST(ClusterChaos, EmptyPlanDisablesAllFaultMachinery) {
+  // Two configs that differ only in fault-handling *parameters* but share
+  // an empty plan must produce identical runs: with no faults scheduled,
+  // none of the machinery (probes, breakers, retry policies) may touch the
+  // event stream.
+  sched::ClusterConfig plain = chaos_config();
+  sched::ClusterConfig tuned = chaos_config();
+  tuned.retry.max_attempts = 9;
+  tuned.breaker.failure_threshold = 1;
+  tuned.probe_interval_ns = 1 * kMs;
+  tuned.detect_timeout_ns = 1 * kMs;
+  tuned.recovery = {.boot_ns = 5 * kSec, .attest_ns = 5 * kSec};
+  const sched::ClusterResult a =
+      sched::ClusterExperiment(plain).run_with_model(fast_model());
+  const sched::ClusterResult b =
+      sched::ClusterExperiment(tuned).run_with_model(fast_model());
+  EXPECT_EQ(a.completed, b.completed);
+  EXPECT_EQ(a.rejected, b.rejected);
+  EXPECT_DOUBLE_EQ(a.latency.sum(), b.latency.sum());
+  EXPECT_DOUBLE_EQ(a.makespan_ns, b.makespan_ns);
+  EXPECT_EQ(a.failed, 0u);
+  EXPECT_EQ(b.crashes, 0u);
+  EXPECT_EQ(b.latency_fault.count(), 0u);
+  EXPECT_TRUE(b.recoveries.empty());
+}
+
+TEST(ClusterChaos, SecureFleetsRecoverSlowerWithTheSamePlan) {
+  for (const char* plat : {"tdx", "sev-snp", "cca"}) {
+    sched::ClusterConfig cfg = chaos_config();
+    cfg.platform = plat;
+    cfg.faults.crash(1 * kSec + 1 * kMs, 0);
+
+    cfg.secure = false;
+    cfg.recovery = measure_recovery(plat, false);
+    const sched::ClusterResult normal =
+        sched::ClusterExperiment(cfg).run_with_model(fast_model());
+
+    cfg.secure = true;
+    cfg.recovery = measure_recovery(plat, true);
+    const sched::ClusterResult secure =
+        sched::ClusterExperiment(cfg).run_with_model(fast_model());
+
+    ASSERT_EQ(normal.recoveries.size(), 1u) << plat;
+    ASSERT_EQ(secure.recoveries.size(), 1u) << plat;
+    EXPECT_GT(secure.mean_ttr_ns(), normal.mean_ttr_ns()) << plat;
+    // The gap is attributable to the boot premium + re-attestation, up to
+    // breaker-cooldown + health-probe quantisation of the readmission edge.
+    const sim::Ns gap = secure.mean_ttr_ns() - normal.mean_ttr_ns();
+    const sim::Ns mech = (measure_recovery(plat, true).total_ns() -
+                          measure_recovery(plat, false).total_ns());
+    EXPECT_NEAR(gap, mech,
+                cfg.breaker.open_cooldown_ns + 2 * cfg.probe_interval_ns)
+        << plat;
+    // And the per-sample attribution matches the measured costs exactly.
+    const sched::RecoverySample& rs = secure.recoveries[0];
+    EXPECT_NEAR(rs.boot_end_ns - rs.boot_start_ns, cfg.recovery.boot_ns, 1.0);
+    EXPECT_NEAR(rs.attest_end_ns - rs.attest_start_ns, cfg.recovery.attest_ns,
+                1.0);
+  }
+}
+
+TEST(ClusterChaos, AttestOutageStallsOnlySecureRecovery) {
+  // Crash at 1s; recovery boots for 1s; an attestation outage covers the
+  // moment re-attestation would start. Secure recovery waits the outage
+  // out; normal recovery (no attest step) is untouched by the same plan.
+  auto run = [](RecoveryCosts costs, bool with_outage) {
+    sched::ClusterConfig cfg = chaos_config();
+    cfg.faults.crash(1 * kSec + 1 * kMs, 0);
+    if (with_outage) cfg.faults.attest_outage(1 * kSec, 4 * kSec);
+    cfg.recovery = costs;
+    return sched::ClusterExperiment(cfg).run_with_model(fast_model());
+  };
+  const RecoveryCosts secure{.boot_ns = 1 * kSec, .attest_ns = 200 * kMs};
+  const RecoveryCosts normal{.boot_ns = 1 * kSec, .attest_ns = 0};
+
+  const sim::Ns secure_plain = run(secure, false).mean_ttr_ns();
+  const sim::Ns secure_outage = run(secure, true).mean_ttr_ns();
+  EXPECT_GT(secure_outage, secure_plain + 1 * kSec);  // waited for 5s edge
+
+  const sim::Ns normal_plain = run(normal, false).mean_ttr_ns();
+  const sim::Ns normal_outage = run(normal, true).mean_ttr_ns();
+  EXPECT_DOUBLE_EQ(normal_outage, normal_plain);
+}
+
+TEST(ClusterChaos, BrownoutStretchesServiceTimesInsideTheWindow) {
+  sched::ClusterConfig cfg = chaos_config();
+  cfg.rate_rps = 2000;  // light load: latency ~ service time
+  cfg.faults.brownout(1 * kSec, 1 * kSec, 0, 4.0);
+  cfg.faults.brownout(1 * kSec, 1 * kSec, 1, 4.0);
+  cfg.faults.brownout(1 * kSec, 1 * kSec, 2, 4.0);
+  cfg.faults.brownout(1 * kSec, 1 * kSec, 3, 4.0);
+  const sched::ClusterResult r =
+      sched::ClusterExperiment(cfg).run_with_model(fast_model());
+  sched::ClusterConfig calm = chaos_config();
+  calm.rate_rps = 2000;
+  const sched::ClusterResult base =
+      sched::ClusterExperiment(calm).run_with_model(fast_model());
+  EXPECT_TRUE(r.accounted());
+  EXPECT_EQ(r.crashes, 0u);
+  // Fleet-wide 4x brownout: the during-fault tail must sit far above the
+  // calm run's tail (4ms service vs ~1ms).
+  EXPECT_GT(r.latency_fault.count(), 0u);
+  EXPECT_GT(r.latency_fault.p50(), 2 * base.latency.p99());
+}
+
+TEST(ClusterChaos, ResultJsonCarriesFailureAggregates) {
+  sched::ClusterConfig cfg = chaos_config();
+  cfg.requests = 5000;
+  cfg.faults.crash(200 * kMs, 0);
+  cfg.recovery = {.boot_ns = 500 * kMs, .attest_ns = 0};
+  const std::string js =
+      sched::ClusterExperiment(cfg).run_with_model(fast_model()).to_json();
+  for (const char* key : {"\"availability\"", "\"failed\"", "\"failovers\"",
+                          "\"crashes\"", "\"mean_ttr_ns\"",
+                          "\"latency_fault_p99_ns\""})
+    EXPECT_NE(js.find(key), std::string::npos) << key;
+}
+
+}  // namespace
+}  // namespace confbench::fault

@@ -58,7 +58,7 @@ TEST(GatewayFaults, PermanentDropExhaustsRetriesWith504) {
       system, {.drop_rate = 1.0, .corrupt_rate = 0, .timeout_us = 500}, 3);
   for (const Outcome& o : outcomes) {
     EXPECT_EQ(o.status, 504);
-    EXPECT_EQ(o.retries, system.gateway().config().max_retries);
+    EXPECT_EQ(o.retries, system.gateway().config().retry.max_attempts - 1);
     EXPECT_TRUE(o.has_error);
   }
 }
@@ -69,7 +69,7 @@ TEST(GatewayFaults, PermanentCorruptionExhaustsRetriesWith502) {
       system, {.drop_rate = 0, .corrupt_rate = 1.0, .timeout_us = 500}, 3);
   for (const Outcome& o : outcomes) {
     EXPECT_EQ(o.status, 502);
-    EXPECT_EQ(o.retries, system.gateway().config().max_retries);
+    EXPECT_EQ(o.retries, system.gateway().config().retry.max_attempts - 1);
     EXPECT_TRUE(o.has_error);
   }
   EXPECT_GT(system.network().faults_injected(), 0u);

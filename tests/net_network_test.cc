@@ -1,6 +1,9 @@
 #include <gtest/gtest.h>
 
+#include <stdexcept>
+
 #include "net/network.h"
+#include "sim/time.h"
 
 namespace confbench::net {
 namespace {
@@ -131,6 +134,67 @@ TEST(NetworkFaults, ClearingFaultsRestoresService) {
   net.set_faults({.drop_rate = 1.0, .corrupt_rate = 0, .timeout_us = 1});
   EXPECT_EQ(net.roundtrip("h", 80, HttpRequest{}).status, 504);
   net.set_faults({});
+  EXPECT_EQ(net.roundtrip("h", 80, HttpRequest{}).status, 200);
+}
+
+}  // namespace
+}  // namespace confbench::net
+
+namespace confbench::net {
+namespace {
+
+TEST(NetworkFaults, RatesAreClampedToProbabilityRange) {
+  Network net;
+  net.bind("h", 80,
+           [](const HttpRequest&) { return HttpResponse::make(200, "x"); });
+  // Out-of-range rates clamp rather than corrupt the Bernoulli draws: 7.0
+  // behaves as certain drop, a negative corrupt rate as never.
+  net.set_faults({.drop_rate = 7.0, .corrupt_rate = -3.0, .timeout_us = 10});
+  EXPECT_DOUBLE_EQ(net.faults().drop_rate, 1.0);
+  EXPECT_DOUBLE_EQ(net.faults().corrupt_rate, 0.0);
+  for (int i = 0; i < 50; ++i)
+    EXPECT_EQ(net.roundtrip("h", 80, HttpRequest{}).status, 504);
+
+  net.set_faults({.drop_rate = -1.0, .corrupt_rate = 9.0, .timeout_us = 10});
+  EXPECT_DOUBLE_EQ(net.faults().drop_rate, 0.0);
+  EXPECT_DOUBLE_EQ(net.faults().corrupt_rate, 1.0);
+  EXPECT_EQ(net.roundtrip("h", 80, HttpRequest{}).status, 502);
+}
+
+TEST(NetworkFaults, NegativeTimeoutIsRejected) {
+  Network net;
+  EXPECT_THROW(
+      net.set_faults({.drop_rate = 0, .corrupt_rate = 0, .timeout_us = -1}),
+      std::invalid_argument);
+}
+
+TEST(NetworkFaults, PartitionedHostIsUnreachableWithoutRngDraws) {
+  Network net;
+  net.bind("h", 80,
+           [](const HttpRequest&) { return HttpResponse::make(200, "x"); });
+  net.bind("other", 80,
+           [](const HttpRequest&) { return HttpResponse::make(200, "y"); });
+  // Reference run: no partition, record the jitter-driven elapsed time of
+  // two calls to "other".
+  Network ref;
+  ref.bind("other", 80,
+           [](const HttpRequest&) { return HttpResponse::make(200, "y"); });
+  ref.roundtrip("other", 80, HttpRequest{});
+  ref.roundtrip("other", 80, HttpRequest{});
+
+  net.set_partitioned("h", true);
+  EXPECT_TRUE(net.partitioned("h"));
+  const auto resp = net.roundtrip("h", 80, HttpRequest{});
+  EXPECT_EQ(resp.status, 504);
+  EXPECT_EQ(net.faults_injected(), 1u);
+  // The partitioned path must not consume RNG: the next calls to the
+  // healthy host see the same latency sequence as the reference fabric.
+  net.roundtrip("other", 80, HttpRequest{});
+  net.roundtrip("other", 80, HttpRequest{});
+  EXPECT_DOUBLE_EQ(net.elapsed() - net.faults().timeout_us * sim::kUs,
+                   ref.elapsed());
+
+  net.set_partitioned("h", false);
   EXPECT_EQ(net.roundtrip("h", 80, HttpRequest{}).status, 200);
 }
 

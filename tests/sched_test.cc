@@ -283,6 +283,65 @@ TEST(ClusterExperiment, ClosedLoopIssuesAllRequests) {
   EXPECT_EQ(r.rejected, 0u);
 }
 
+// --- Autoscaler edge cases --------------------------------------------------
+
+TEST(ClusterScalingEdges, SpikeWhileRepliasMidBootDoesNotBootStorm) {
+  // A sustained spike with a slow (confidential-style) cold start: ticks
+  // fire many times while replicas are still mid-boot. Capacity already
+  // booting must count, so the fleet never boots more than it can use.
+  ClusterConfig cfg = base_config();
+  cfg.rate_rps = 30000;  // needs the whole 4-replica fleet
+  ServiceModel m = cpu_model();
+  m.cold_start_ns = 2 * sim::kSec;  // ~100 ticks elapse while booting
+  const ClusterResult r = ClusterExperiment(cfg).run_with_model(m);
+  int booted = 0;
+  for (const AutoscalerSample& s : r.scaler_trace)
+    if (s.decision > 0) booted += s.decision;
+  // min_warm=1: at most 3 replicas may ever be booted, no matter how many
+  // ticks observed pressure while they were mid-boot.
+  EXPECT_LE(booted, cfg.scaler.max_replicas - cfg.scaler.min_warm);
+  EXPECT_EQ(r.peak_warm, cfg.scaler.max_replicas);
+}
+
+TEST(ClusterScalingEdges, ParkRacingQueuedInvocationsLosesNothing) {
+  // Closed loop with long think times and an eager scale-down policy: the
+  // autoscaler repeatedly tries to park replicas exactly while stragglers
+  // are still arriving. A park may only take an idle replica, so every
+  // request must still be admitted and completed.
+  ClusterConfig cfg = base_config();
+  cfg.requests = 4000;
+  cfg.closed_loop_clients = 8;
+  cfg.think_ns = 5 * sim::kMs;
+  cfg.scaler.min_warm = 1;
+  cfg.scaler.max_replicas = 4;
+  cfg.scaler.scale_down_patience = 1;  // park at the first idle tick
+  cfg.scaler.tick_ns = 5 * sim::kMs;
+  const ClusterResult r = ClusterExperiment(cfg).run_with_model(cpu_model());
+  EXPECT_EQ(r.offered, cfg.requests);
+  EXPECT_EQ(r.completed, r.offered);  // nothing swallowed by a park
+  EXPECT_EQ(r.rejected, 0u);
+}
+
+TEST(ClusterScalingEdges, ZeroWarmPoolScalesUpFromColdStartStorm) {
+  // min_warm = 0: the fleet starts fully parked, so the opening burst is
+  // rejected wholesale (nothing queues on a nonexistent replica) and those
+  // rejections are the only scale-up signal the autoscaler gets.
+  ClusterConfig cfg = base_config();
+  cfg.requests = 30000;
+  cfg.rate_rps = 5000;
+  cfg.scaler.min_warm = 0;
+  cfg.scaler.tick_ns = 20 * sim::kMs;
+  ServiceModel m = cpu_model();
+  m.cold_start_ns = 0.3 * sim::kSec;
+  const ClusterResult r = ClusterExperiment(cfg).run_with_model(m);
+  EXPECT_GT(r.rejected, 0u);  // the storm before the first boot finishes
+  EXPECT_GT(r.peak_warm, 0);  // rejections did trigger boots
+  EXPECT_EQ(r.completed + r.rejected, r.offered);
+  // Once warm, the fleet absorbs the offered load.
+  EXPECT_GT(static_cast<double>(r.completed),
+            0.7 * static_cast<double>(r.offered));
+}
+
 TEST(ClusterExperiment, ResultJsonIsComplete) {
   ClusterConfig cfg = base_config();
   cfg.requests = 500;
