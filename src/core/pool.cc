@@ -22,22 +22,29 @@ void TeePool::set_enabled(std::uint32_t index, bool enabled) {
   if (index < members_.size()) members_[index].enabled = enabled;
 }
 
-PoolMember* TeePool::acquire() {
-  const std::size_t enabled = enabled_count();
-  if (enabled == 0) return nullptr;
+PoolMember* TeePool::acquire() { return acquire_excluding(kNoExclude); }
+
+PoolMember* TeePool::acquire_excluding(std::uint32_t exclude) {
+  // Eligible = enabled and not the excluded index. With the kNoExclude
+  // sentinel this is exactly enabled_count(), so the plain acquire() path
+  // is unchanged draw-for-draw.
+  std::size_t eligible = 0;
+  for (const auto& m : members_)
+    if (m.enabled && m.index != exclude) ++eligible;
+  if (eligible == 0) return nullptr;
   PoolMember* picked = nullptr;
   switch (policy_) {
     case LoadBalancePolicy::kRoundRobin:
-      // Advance past disabled members; `enabled > 0` bounds the scan.
+      // Advance past ineligible members; `eligible > 0` bounds the scan.
       do {
         picked = &members_[rr_next_ % members_.size()];
         ++rr_next_;
-      } while (!picked->enabled);
+      } while (!picked->enabled || picked->index == exclude);
       break;
     case LoadBalancePolicy::kLeastLoaded: {
       // Documented deterministic total order: (in_flight, served, index).
       for (auto& m : members_) {
-        if (!m.enabled) continue;
+        if (!m.enabled || m.index == exclude) continue;
         if (!picked || std::tuple(m.in_flight, m.served, m.index) <
                            std::tuple(picked->in_flight, picked->served,
                                       picked->index))
@@ -46,11 +53,11 @@ PoolMember* TeePool::acquire() {
       break;
     }
     case LoadBalancePolicy::kRandom: {
-      // Pick the k-th enabled member; one RNG draw per acquire keeps the
+      // Pick the k-th eligible member; one RNG draw per acquire keeps the
       // stream aligned regardless of which members are parked.
-      std::uint64_t k = rng_.next_below(enabled);
+      std::uint64_t k = rng_.next_below(eligible);
       for (auto& m : members_) {
-        if (!m.enabled) continue;
+        if (!m.enabled || m.index == exclude) continue;
         if (k-- == 0) {
           picked = &m;
           break;

@@ -50,6 +50,16 @@ class TeePool {
   /// Picks an enabled member per the policy; nullptr when none is enabled.
   /// The caller must pair every acquire() with a release().
   PoolMember* acquire();
+
+  /// acquire() that refuses one member index — the hedged-request path,
+  /// where the backup must land on a *different* replica than the primary.
+  /// Passing an index no enabled member has (e.g. the kNoExclude sentinel)
+  /// makes this behave exactly like acquire(), draw-for-draw, so hedging
+  /// support changes nothing for non-hedged callers. Returns nullptr when
+  /// no enabled member other than `exclude` exists.
+  static constexpr std::uint32_t kNoExclude = 0xFFFFFFFFu;
+  PoolMember* acquire_excluding(std::uint32_t exclude);
+
   void release(PoolMember* m);
 
   /// Administrative enable/disable (warm-pool park/unpark). Disabling does

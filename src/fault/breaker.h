@@ -11,6 +11,19 @@
 // Like the autoscaler, this is pure decision logic on the virtual clock —
 // no event wiring — so the policy is unit-testable and the experiment loop
 // stays deterministic.
+//
+// Half-open race invariant. Outcomes can arrive out of order: a dispatch
+// that timed out *before* the trip may only be reported while the breaker is
+// already half-open with a probe outstanding. The state machine guarantees
+// that (a) any failure observed in half-open re-opens exactly once —
+// `open()` is only reachable from kClosed (threshold) and kHalfOpen, and it
+// moves to kOpen where further failures are absorbed, so a stale timeout
+// followed by the probe's own failure increments `times_opened()` by one,
+// not two — and (b) the probe slot can never leak: `probe_in_flight_` is
+// cleared by every half-open outcome *and* by `open()` itself, and is only
+// set by `allow()` when it grants the single half-open probe. Late
+// successes from before the trip land in kOpen and are deliberately not
+// treated as probe evidence (see record_success).
 #pragma once
 
 #include <cstdint>

@@ -17,6 +17,10 @@ std::string_view to_string(FaultKind k) {
       return "attest_outage";
     case FaultKind::kPartition:
       return "partition";
+    case FaultKind::kLinkSlow:
+      return "link_slow";
+    case FaultKind::kLinkDown:
+      return "link_down";
   }
   return "?";
 }
@@ -29,6 +33,17 @@ FaultPlan& FaultPlan::add(FaultEvent e) {
     throw std::invalid_argument("windowed fault needs duration_ns > 0");
   if (e.kind == FaultKind::kBrownout && e.severity < 1.0)
     throw std::invalid_argument("brownout severity must be >= 1");
+  if (e.kind == FaultKind::kLinkSlow) {
+    if (e.severity < 1.0)
+      throw std::invalid_argument("slow-link latency factor must be >= 1");
+    if (e.src.empty() && e.dst.empty() && e.delay_ns <= 0)
+      throw std::invalid_argument(
+          "replica-addressed slow link needs delay_ns > 0");
+  }
+  if ((e.kind == FaultKind::kLinkSlow || e.kind == FaultKind::kLinkDown) &&
+      (e.src.empty() != e.dst.empty()))
+    throw std::invalid_argument("link events need both src and dst, or "
+                                "neither (replica-addressed)");
   // Stable insertion keeps equal-time events in authoring order, which is
   // the order the experiment replays them (matching EventQueue's seq rule).
   const auto pos = std::upper_bound(
@@ -71,6 +86,45 @@ FaultPlan& FaultPlan::partition(sim::Ns at, sim::Ns duration,
               .at_ns = at,
               .duration_ns = duration,
               .replica = replica});
+}
+
+FaultPlan& FaultPlan::slow_link(sim::Ns at, sim::Ns duration,
+                                std::uint32_t replica, sim::Ns delay) {
+  return add({.kind = FaultKind::kLinkSlow,
+              .at_ns = at,
+              .duration_ns = duration,
+              .replica = replica,
+              .severity = 1.0,
+              .delay_ns = delay});
+}
+
+FaultPlan& FaultPlan::slow_link(sim::Ns at, sim::Ns duration, std::string src,
+                                std::string dst, double factor) {
+  return add({.kind = FaultKind::kLinkSlow,
+              .at_ns = at,
+              .duration_ns = duration,
+              .replica = FaultEvent::kNoReplica,
+              .severity = factor,
+              .src = std::move(src),
+              .dst = std::move(dst)});
+}
+
+FaultPlan& FaultPlan::link_down(sim::Ns at, sim::Ns duration,
+                                std::uint32_t replica) {
+  return add({.kind = FaultKind::kLinkDown,
+              .at_ns = at,
+              .duration_ns = duration,
+              .replica = replica});
+}
+
+FaultPlan& FaultPlan::link_down(sim::Ns at, sim::Ns duration, std::string src,
+                                std::string dst) {
+  return add({.kind = FaultKind::kLinkDown,
+              .at_ns = at,
+              .duration_ns = duration,
+              .replica = FaultEvent::kNoReplica,
+              .src = std::move(src),
+              .dst = std::move(dst)});
 }
 
 FaultPlan& FaultPlan::periodic_crashes(sim::Ns first_at, sim::Ns period,

@@ -25,10 +25,25 @@
 //                 like a hang, but injected at the fabric rather than the
 //                 agent (the distinction matters for traces and for the
 //                 real-path injection hooks).
+//
+// Gray-failure kinds (directed-link events; see net::Network::set_link):
+//   kLinkSlow     the link stays up but delivers slowly for `duration_ns`.
+//                 Replica-addressed events add `delay_ns` to every response
+//                 from the replica in the cluster simulation; host-addressed
+//                 events (src/dst set) multiply a fabric link's latency by
+//                 `severity`. Requests still succeed — only timeouts never
+//                 fire, which is exactly why binary failure detectors miss
+//                 gray failures and an OutlierDetector is needed.
+//   kLinkDown     one *direction* of a link drops for `duration_ns`.
+//                 Replica-addressed events kill the replica's response path
+//                 in the simulation (work completes, answers vanish);
+//                 host-addressed events down the directed fabric link
+//                 src -> dst, expressing asymmetric and subset partitions.
 #pragma once
 
 #include <cstddef>
 #include <cstdint>
+#include <string>
 #include <string_view>
 #include <utility>
 #include <vector>
@@ -43,17 +58,30 @@ enum class FaultKind : std::uint8_t {
   kBrownout,
   kAttestOutage,
   kPartition,
+  kLinkSlow,
+  kLinkDown,
 };
 
 std::string_view to_string(FaultKind k);
 
 struct FaultEvent {
+  /// Sentinel for `replica` on host-addressed link events.
+  static constexpr std::uint32_t kNoReplica = 0xFFFFFFFFu;
+
   FaultKind kind = FaultKind::kVmCrash;
   sim::Ns at_ns = 0;        ///< injection time (virtual)
   sim::Ns duration_ns = 0;  ///< window length; ignored for kVmCrash (the
                             ///< fault lasts until recovery completes)
   std::uint32_t replica = 0;  ///< target replica; ignored for kAttestOutage
-  double severity = 2.0;      ///< kBrownout service-time multiplier (>= 1)
+  double severity = 2.0;      ///< kBrownout service-time multiplier (>= 1);
+                              ///< host-addressed kLinkSlow latency factor
+  /// kLinkSlow (replica-addressed): extra response latency charged by the
+  /// cluster simulation on every request the replica answers.
+  sim::Ns delay_ns = 0;
+  /// Directed-link endpoints for host-addressed kLinkSlow / kLinkDown
+  /// events replayed against a net::Network fabric; empty for all other
+  /// kinds (and for replica-addressed link events).
+  std::string src = {}, dst = {};
 };
 
 /// A validated, time-ordered fault schedule. add() keeps events sorted by
@@ -62,7 +90,8 @@ struct FaultEvent {
 class FaultPlan {
  public:
   /// Appends a validated event. Throws std::invalid_argument on negative
-  /// times/durations or a brownout severity below 1.
+  /// times/durations, a brownout severity below 1, or a replica-addressed
+  /// kLinkSlow without a positive delay.
   FaultPlan& add(FaultEvent e);
 
   // Convenience builders (all forward to add()).
@@ -72,6 +101,20 @@ class FaultPlan {
                       double severity);
   FaultPlan& attest_outage(sim::Ns at, sim::Ns duration);
   FaultPlan& partition(sim::Ns at, sim::Ns duration, std::uint32_t replica);
+  /// Gray failure against a cluster replica: every response it produces
+  /// inside the window arrives `delay` late (the replica itself is healthy).
+  FaultPlan& slow_link(sim::Ns at, sim::Ns duration, std::uint32_t replica,
+                       sim::Ns delay);
+  /// Gray failure on a fabric link: src -> dst latency multiplied by
+  /// `factor` (>= 1) for the window. Either side may be net's "*" wildcard.
+  FaultPlan& slow_link(sim::Ns at, sim::Ns duration, std::string src,
+                       std::string dst, double factor);
+  /// Asymmetric partition against a cluster replica: its responses are
+  /// lost for the window while requests still reach it (wasted work).
+  FaultPlan& link_down(sim::Ns at, sim::Ns duration, std::uint32_t replica);
+  /// Directed fabric link down: src -> dst drops while dst -> src stays up.
+  FaultPlan& link_down(sim::Ns at, sim::Ns duration, std::string src,
+                       std::string dst);
 
   /// Lays `count` crashes out at a fixed period starting at `first_at`,
   /// cycling deterministically over `fleet_size` replicas. The workhorse of

@@ -1,0 +1,27 @@
+#include "fault/hedge.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace confbench::fault {
+
+sim::Ns HedgePolicy::threshold_ns() const {
+  if (!cfg_.enabled || hist_.count() < cfg_.warmup) return 0;
+  // The median floor keeps the arm delay out of the latency bulk even when
+  // bucket quantization collapses the configured quantile onto it.
+  const double q = std::max(hist_.quantile(cfg_.quantile),
+                            cfg_.min_median_mult * hist_.quantile(0.5));
+  return std::max(cfg_.min_delay_ns,
+                  static_cast<sim::Ns>(std::llround(q)));
+}
+
+bool HedgePolicy::allow(std::uint64_t hedges_fired,
+                        std::uint64_t offered) const {
+  if (!cfg_.enabled || hist_.count() < cfg_.warmup) return false;
+  // Fleet-wide amplification cap: hedges may not exceed budget_fraction of
+  // offered load. Strict '<' so a zero fraction disables hedging outright.
+  return static_cast<double>(hedges_fired) <
+         cfg_.budget_fraction * static_cast<double>(offered);
+}
+
+}  // namespace confbench::fault

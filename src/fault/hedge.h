@@ -1,0 +1,88 @@
+// Hedged requests: tail-tolerance by backup dispatch.
+//
+// The classic "tail at scale" defence: once a request has waited longer
+// than a high quantile of recent latency, fire a second copy to a different
+// replica; the first response wins and the loser is cancelled. Hedging
+// converts rare stragglers (gray failures, brownouts, queue collisions)
+// into a small amount of duplicated work — but only if the trigger
+// threshold tracks the fleet's *actual* latency distribution, which differs
+// between secure and normal fleets (memory-protection overheads shift every
+// quantile up), so the threshold is learned online from a LogHistogram of
+// completed-request latencies rather than configured as a constant.
+//
+// Load-amplification guard rails (hedges must not melt a browning-out
+// fleet):
+//   * a hedge consumes one attempt from the request's RetryPolicy budget,
+//     so retries + hedges share the same per-request allowance;
+//   * `budget_fraction` caps fleet-wide hedges to a fraction of offered
+//     load — once hedges_fired exceeds the cap no more fire until offered
+//     load catches up;
+//   * no threshold is produced until `warmup` samples have been observed
+//     (an empty histogram would hedge everything).
+//
+// The policy itself is pure decision logic: deterministic, no RNG, no event
+// wiring. The cluster scheduler owns the timers.
+#pragma once
+
+#include <cstdint>
+
+#include "metrics/histogram.h"
+#include "sim/time.h"
+
+namespace confbench::fault {
+
+struct HedgeConfig {
+  bool enabled = false;
+  /// Latency quantile that arms the hedge timer: a request still waiting at
+  /// quantile(q) of recent completions gets a backup dispatch.
+  double quantile = 0.95;
+  /// Floor under the learned threshold, so a fast warm fleet does not hedge
+  /// on scheduling noise.
+  sim::Ns min_delay_ns = 1 * sim::kMs;
+  /// Second floor: the threshold never drops below this multiple of the
+  /// learned median. Guards against a tight latency distribution whose
+  /// high quantile lands inside the bulk (log-histogram buckets are ~6%
+  /// wide, so p50 and p95 can share a bucket) — hedging the bulk of
+  /// traffic drains the budget on requests that were never stragglers.
+  double min_median_mult = 1.5;
+  /// Fleet-wide cap: hedges fired may not exceed this fraction of offered
+  /// requests.
+  double budget_fraction = 0.05;
+  /// Completed-latency samples required before any hedge fires.
+  std::uint64_t warmup = 100;
+};
+
+class HedgePolicy {
+ public:
+  explicit HedgePolicy(HedgeConfig cfg = {}) : cfg_(cfg) {}
+
+  /// Feeds one completed-request latency into the online histogram.
+  void observe(sim::Ns latency_ns) { hist_.record(latency_ns); }
+
+  /// Current hedge-arm delay: quantile(cfg.quantile) of observed latencies,
+  /// floored at both min_delay_ns and min_median_mult * median. Returns 0
+  /// ("do not arm") while disabled or during warmup.
+  [[nodiscard]] sim::Ns threshold_ns() const;
+
+  /// May a hedge fire now, given fleet-wide counters? Checks enablement,
+  /// warmup and the budget_fraction cap (callers separately charge the
+  /// per-request RetryPolicy attempt). Pure — does not count the hedge;
+  /// call record_fired() once the backup is actually dispatched.
+  [[nodiscard]] bool allow(std::uint64_t hedges_fired,
+                           std::uint64_t offered) const;
+
+  void record_fired() { ++fired_; }
+  [[nodiscard]] std::uint64_t fired() const { return fired_; }
+
+  [[nodiscard]] const HedgeConfig& config() const { return cfg_; }
+  [[nodiscard]] const metrics::LogHistogram& histogram() const {
+    return hist_;
+  }
+
+ private:
+  HedgeConfig cfg_;
+  metrics::LogHistogram hist_;
+  std::uint64_t fired_ = 0;
+};
+
+}  // namespace confbench::fault

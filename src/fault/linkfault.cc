@@ -1,0 +1,49 @@
+#include "fault/linkfault.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace confbench::fault {
+
+void LinkFaultDriver::advance(sim::Ns now) {
+  if (now < last_now_)
+    throw std::invalid_argument("LinkFaultDriver::advance: time went back");
+  last_now_ = now;
+
+  // Desired state per directed link from the currently-active windows.
+  LinkMap want;
+  for (const FaultEvent& e : plan_.events()) {
+    if (e.kind != FaultKind::kLinkSlow && e.kind != FaultKind::kLinkDown)
+      continue;
+    if (e.src.empty()) continue;  // replica-addressed: cluster sim's job
+    if (!(e.at_ns <= now && now < e.at_ns + e.duration_ns)) continue;
+    auto& slot = want.emplace(std::make_pair(e.src, e.dst),
+                              std::make_pair(net::LinkState::kUp, 1.0))
+                     .first->second;
+    if (e.kind == FaultKind::kLinkDown) {
+      slot.first = net::LinkState::kDown;
+      slot.second = 1.0;
+    } else if (slot.first != net::LinkState::kDown) {
+      slot.first = net::LinkState::kSlow;
+      slot.second = std::max(slot.second, e.severity);
+    }
+  }
+
+  // Compare against what *this driver* applied last time — not against the
+  // network's resolved view, which folds in wildcard rules owned by other
+  // callers (e.g. set_partitioned).
+  for (const auto& [key, state] : want) {
+    const auto it = applied_.find(key);
+    if (it != applied_.end() && it->second == state) continue;
+    net_.set_link(key.first, key.second, state.first, state.second);
+    ++transitions_;
+  }
+  for (const auto& [key, state] : applied_) {
+    if (want.count(key)) continue;
+    net_.set_link(key.first, key.second, net::LinkState::kUp);
+    ++transitions_;
+  }
+  applied_ = std::move(want);
+}
+
+}  // namespace confbench::fault

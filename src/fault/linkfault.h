@@ -1,0 +1,55 @@
+// Replays FaultPlan link events against a net::Network fabric.
+//
+// Host-addressed kLinkSlow / kLinkDown events (src/dst set) describe the
+// fabric's directed-link failures over virtual time; this driver applies
+// them to a live Network as the clock advances. It recomputes the desired
+// state of every affected link from the set of currently-active windows —
+// any active kDown wins, otherwise active kSlow factors combine by max —
+// so overlapping windows on the same link compose instead of the first
+// expiry clobbering the second. advance() is idempotent and requires a
+// monotone `now`.
+//
+// Replica-addressed link events are the cluster simulation's business and
+// are ignored here.
+#pragma once
+
+#include <cstddef>
+#include <map>
+#include <string>
+#include <utility>
+
+#include "fault/fault.h"
+#include "net/network.h"
+#include "sim/time.h"
+
+namespace confbench::fault {
+
+class LinkFaultDriver {
+ public:
+  /// Keeps a reference to both: the plan must outlive the driver.
+  LinkFaultDriver(net::Network& net, const FaultPlan& plan)
+      : net_(net), plan_(plan) {}
+
+  /// Applies the fabric state implied by all host-addressed link windows
+  /// active at `now` (start <= now < start + duration). Throws
+  /// std::invalid_argument if `now` moves backwards.
+  void advance(sim::Ns now);
+
+  /// Number of set_link() transitions applied so far.
+  [[nodiscard]] std::size_t transitions() const { return transitions_; }
+
+ private:
+  using LinkMap = std::map<std::pair<std::string, std::string>,
+                           std::pair<net::LinkState, double>>;
+
+  net::Network& net_;
+  const FaultPlan& plan_;
+  /// Directed-link state this driver applied last advance(); diffed against
+  /// the desired state so rules owned by other callers (set_partitioned)
+  /// are never touched and idle links are restored exactly once.
+  LinkMap applied_;
+  sim::Ns last_now_ = -1;
+  std::size_t transitions_ = 0;
+};
+
+}  // namespace confbench::fault

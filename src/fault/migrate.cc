@@ -1,0 +1,88 @@
+#include "fault/migrate.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "fault/recovery.h"
+#include "tee/registry.h"
+#include "vm/guest_vm.h"
+
+namespace confbench::fault {
+
+namespace {
+
+constexpr std::uint64_t kPageBytes = 4096;
+/// Per-page cryptographic export cost on the source (integrity-tagged
+/// AEAD of one 4 KiB page through the TEE's export primitive).
+constexpr double kPageExportCryptoNs = 2 * sim::kUs;
+
+}  // namespace
+
+MigrationCosts measure_migration(const std::string& platform, bool secure,
+                                 const MigrationConfig& cfg) {
+  tee::PlatformPtr plat = tee::Registry::instance().create(platform);
+  if (!plat)
+    throw std::invalid_argument("measure_migration: unknown platform '" +
+                                platform + "'");
+  if (cfg.stream_bytes_per_ns <= 0)
+    throw std::invalid_argument("migration stream bandwidth must be > 0");
+
+  const sim::PlatformCosts& costs = plat->costs(secure);
+  const double slowdown = costs.cpu.sim_slowdown;
+
+  // Raw copy time of `bytes` over the migration stream; secure VMs add the
+  // per-page encrypted-export path (the VMM cannot read private memory).
+  const auto transfer_ns = [&](std::uint64_t bytes) -> sim::Ns {
+    double ns = static_cast<double>(bytes) / cfg.stream_bytes_per_ns;
+    if (secure) {
+      const double pages =
+          static_cast<double>((bytes + kPageBytes - 1) / kPageBytes);
+      ns += pages *
+            (2.0 * costs.exit.page_fault_extra_ns + kPageExportCryptoNs);
+    }
+    return ns * slowdown;
+  };
+
+  MigrationCosts out;
+  out.pre_copy_ns = transfer_ns(cfg.ram_bytes);
+  out.stop_copy_ns = transfer_ns(cfg.dirty_bytes);
+
+  if (secure) {
+    // Target-side re-acceptance: every private page must be measured back
+    // into the guest on the target, the same eager-acceptance machinery a
+    // secure boot pays. Price it as the measured boot gap of a real
+    // GuestVm pair so the premium tracks the platform's cost tables.
+    vm::GuestVm sec({.name = "migrate-probe-secure",
+                     .platform = plat,
+                     .secure = true});
+    vm::GuestVm norm({.name = "migrate-probe-normal",
+                      .platform = plat,
+                      .secure = false});
+    const sim::Ns gap = sec.boot() - norm.boot();
+    out.reaccept_ns = std::max<sim::Ns>(gap, 0);
+    out.reattest_ns = measure_attest_ns(*plat);
+  }
+  return out;
+}
+
+MigrationSchedule MigrationPlanner::plan(sim::Ns detect_ns,
+                                         sim::Ns drain_end_ns) const {
+  MigrationSchedule s;
+  s.detect_ns = detect_ns;
+  s.precopy_end_ns = detect_ns + costs_.pre_copy_ns;
+  s.drain_end_ns = std::max(detect_ns, drain_end_ns);
+  s.blackout_start_ns = std::max(s.precopy_end_ns, s.drain_end_ns);
+  s.reattest_start_ns =
+      s.blackout_start_ns + costs_.stop_copy_ns + costs_.reaccept_ns;
+  // Attestation outages stall the re-attest step just like crash recovery:
+  // if the round would start inside an outage window, it waits the window
+  // out (windows are time-ordered and non-overlapping by construction).
+  if (costs_.reattest_ns > 0)
+    for (const auto& [start, end] : outages_)
+      if (s.reattest_start_ns >= start && s.reattest_start_ns < end)
+        s.reattest_start_ns = end;
+  s.blackout_end_ns = s.reattest_start_ns + costs_.reattest_ns;
+  return s;
+}
+
+}  // namespace confbench::fault

@@ -1,0 +1,108 @@
+// Live-migration cost model and drain planner.
+//
+// The graceful alternative to crash-and-reboot: a degraded (gray-failing)
+// replica is drained — admissions stop, its backlog finishes — while its
+// memory pre-copies to a target host in the background, then a short
+// blackout transfers the dirty residue and the replica resumes on the
+// target. For a normal VM the blackout is just the dirty-page copy; a
+// confidential VM additionally pays, on the target:
+//   * private-memory re-acceptance — every migrated page must be
+//     re-encrypted under the target's key and re-accepted into the guest
+//     (TDX TDH.IMPORT / SNP SNP_PAGE_MOVE / CCA granule delegation), priced
+//     from the same measured boot machinery as crash recovery: the
+//     re-acceptance premium is the measured (secure boot - normal boot)
+//     gap of a real vm::GuestVm pair;
+//   * encrypted export of every transferred page on the source (the VMM
+//     cannot read private memory, so each page funnels through the TEE's
+//     export primitive), charged per 4 KiB page on both pre-copy and
+//     stop-copy streams;
+//   * re-attestation — the migrated guest's measurement must be re-verified
+//     on the target before traffic is admitted, priced by the same
+//     measure_attest_ns() round as crash recovery (and stalled by any
+//     scheduled attestation-service outage, like recovery is).
+//
+// This is exactly why "migrate beats reboot" flips between fleets: the
+// normal-VM blackout is tiny next to a cold boot, while TEE re-acceptance +
+// re-attest grow the secure blackout until the gap narrows — or inverts on
+// slow platforms (CCA's simulated boot premium is enormous, but so is its
+// per-page cost).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "sim/time.h"
+
+namespace confbench::fault {
+
+struct MigrationConfig {
+  std::uint64_t ram_bytes = 1ULL << 30;    ///< migrated guest footprint
+  std::uint64_t dirty_bytes = 64ULL << 20; ///< residue re-copied in blackout
+  double stream_bytes_per_ns = 2.5;        ///< migration stream (~2.5 GB/s)
+};
+
+/// Measured/derived costs of one live migration. Pre-copy overlaps service
+/// (the source keeps draining its backlog); the blackout is the
+/// unavailability window.
+struct MigrationCosts {
+  sim::Ns pre_copy_ns = 0;   ///< background bulk transfer (overlaps drain)
+  sim::Ns stop_copy_ns = 0;  ///< blackout: dirty-page transfer
+  sim::Ns reaccept_ns = 0;   ///< target-side private-memory re-acceptance
+  sim::Ns reattest_ns = 0;   ///< target-side re-attestation round
+  [[nodiscard]] sim::Ns blackout_ns() const {
+    return stop_copy_ns + reaccept_ns + reattest_ns;
+  }
+  [[nodiscard]] sim::Ns total_ns() const {
+    return pre_copy_ns + blackout_ns();
+  }
+};
+
+/// Prices a live migration for one (platform, secure) pair through the real
+/// machinery: re-acceptance is the measured boot gap between a secure and a
+/// normal GuestVm (the same eager page-acceptance path crash recovery
+/// pays), re-attestation is a real measure_attest_ns() round, and both
+/// transfer phases scale with the platform's simulator slowdown. Normal VMs
+/// pay only the two copy phases. Throws std::invalid_argument for an
+/// unknown platform name.
+[[nodiscard]] MigrationCosts measure_migration(const std::string& platform,
+                                               bool secure,
+                                               const MigrationConfig& cfg = {});
+
+/// Phase boundaries of one planned migration, all absolute virtual times.
+struct MigrationSchedule {
+  sim::Ns detect_ns = 0;         ///< degradation detected; pre-copy starts
+  sim::Ns precopy_end_ns = 0;    ///< bulk transfer done
+  sim::Ns drain_end_ns = 0;      ///< source backlog drained
+  sim::Ns blackout_start_ns = 0; ///< max(precopy_end, drain_end)
+  sim::Ns reattest_start_ns = 0; ///< after stop-copy + re-accept (+ stall)
+  sim::Ns blackout_end_ns = 0;   ///< replica live on target
+  /// Time-to-restore: detection to target live.
+  [[nodiscard]] sim::Ns ttr_ns() const { return blackout_end_ns - detect_ns; }
+};
+
+/// Turns MigrationCosts into absolute phase times, stalling the
+/// re-attestation step behind scheduled attestation-service outages exactly
+/// like crash recovery does — a migration is not an escape hatch from an
+/// attestation outage.
+class MigrationPlanner {
+ public:
+  MigrationPlanner(MigrationCosts costs,
+                   std::vector<std::pair<sim::Ns, sim::Ns>> attest_outages)
+      : costs_(costs), outages_(std::move(attest_outages)) {}
+
+  /// Plans one migration detected at `detect_ns` whose source backlog
+  /// drains at `drain_end_ns` (callers pass detect_ns when the queue is
+  /// already empty).
+  [[nodiscard]] MigrationSchedule plan(sim::Ns detect_ns,
+                                       sim::Ns drain_end_ns) const;
+
+  [[nodiscard]] const MigrationCosts& costs() const { return costs_; }
+
+ private:
+  MigrationCosts costs_;
+  std::vector<std::pair<sim::Ns, sim::Ns>> outages_;  ///< [start, end)
+};
+
+}  // namespace confbench::fault

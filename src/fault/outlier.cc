@@ -1,0 +1,62 @@
+#include "fault/outlier.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace confbench::fault {
+
+OutlierDetector::OutlierDetector(OutlierConfig cfg, std::size_t replicas)
+    : cfg_(cfg), tracks_(replicas) {
+  if (cfg.alpha <= 0.0 || cfg.alpha > 1.0)
+    throw std::invalid_argument("OutlierConfig::alpha must be in (0, 1]");
+  if (cfg.ratio < 1.0)
+    throw std::invalid_argument("OutlierConfig::ratio must be >= 1");
+}
+
+void OutlierDetector::observe(std::size_t replica, sim::Ns latency_ns) {
+  if (replica >= tracks_.size()) tracks_.resize(replica + 1);
+  Track& t = tracks_[replica];
+  const double x = static_cast<double>(latency_ns);
+  t.ewma_ns = t.samples == 0 ? x : cfg_.alpha * x + (1 - cfg_.alpha) * t.ewma_ns;
+  ++t.samples;
+}
+
+bool OutlierDetector::outlier(std::size_t replica) const {
+  if (!cfg_.enabled || replica >= tracks_.size()) return false;
+  const Track& t = tracks_[replica];
+  if (t.samples < cfg_.min_samples) return false;
+  // Need at least one warmed-up *peer*: the median of a one-replica fleet
+  // is the replica itself and can never deviate from it.
+  std::size_t warmed = 0;
+  for (const Track& other : tracks_)
+    if (other.samples >= cfg_.min_samples) ++warmed;
+  if (warmed < 2) return false;
+  const sim::Ns median = fleet_median_ns();
+  return median > 0 &&
+         t.ewma_ns > cfg_.ratio * static_cast<double>(median);
+}
+
+void OutlierDetector::forgive(std::size_t replica) {
+  if (replica < tracks_.size()) tracks_[replica] = Track{};
+}
+
+sim::Ns OutlierDetector::ewma_ns(std::size_t replica) const {
+  if (replica >= tracks_.size()) return 0;
+  return static_cast<sim::Ns>(tracks_[replica].ewma_ns);
+}
+
+sim::Ns OutlierDetector::fleet_median_ns() const {
+  std::vector<double> warm;
+  warm.reserve(tracks_.size());
+  for (const Track& t : tracks_)
+    if (t.samples >= cfg_.min_samples) warm.push_back(t.ewma_ns);
+  if (warm.empty()) return 0;
+  // Lower median: deterministic for even counts without averaging floats
+  // in an order-dependent way.
+  const std::size_t mid = (warm.size() - 1) / 2;
+  std::nth_element(warm.begin(), warm.begin() + static_cast<std::ptrdiff_t>(mid),
+                   warm.end());
+  return static_cast<sim::Ns>(warm[mid]);
+}
+
+}  // namespace confbench::fault

@@ -1,0 +1,75 @@
+// Gray-failure outlier detection from per-replica latency EWMAs.
+//
+// Binary failure detectors (health probes, dispatch timeouts) only see
+// fail-stop behaviour. A gray-failing replica — slow link, degrading disk,
+// noisy neighbour — answers every probe in time while serving real traffic
+// several times slower than its peers, so nothing ever trips. The
+// OutlierDetector closes that gap: it keeps an exponentially weighted
+// moving average of completed-request latency per replica and flags a
+// replica whose EWMA exceeds `ratio` times the fleet median EWMA. The
+// cluster feeds flags into the replica's CircuitBreaker as failure
+// evidence, so gray failures trip the same machinery as crashes.
+//
+// Comparing against the fleet *median* (not a fixed bound) makes the
+// detector self-calibrating across platforms: a secure CCA fleet is
+// uniformly ~7x slower than a normal TDX fleet, but an outlier within
+// either fleet still stands out by the same ratio.
+//
+// `forgive()` resets a replica's EWMA when it re-enters rotation (breaker
+// half-open) — otherwise the stale pre-recovery average would instantly
+// re-trip the breaker on a now-healthy replica.
+//
+// Deterministic, no RNG, no event wiring; the cluster owns when observe()
+// and outlier() are called.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "sim/time.h"
+
+namespace confbench::fault {
+
+struct OutlierConfig {
+  bool enabled = false;
+  /// EWMA smoothing factor in (0, 1]; higher reacts faster.
+  double alpha = 0.2;
+  /// Flag a replica when its EWMA exceeds ratio * fleet-median EWMA.
+  double ratio = 3.0;
+  /// Samples a replica must accumulate before it can be flagged (and
+  /// before it participates in the fleet median).
+  std::uint64_t min_samples = 20;
+};
+
+class OutlierDetector {
+ public:
+  OutlierDetector(OutlierConfig cfg, std::size_t replicas);
+
+  /// Feeds one completed-request latency for `replica`.
+  void observe(std::size_t replica, sim::Ns latency_ns);
+
+  /// Is `replica` currently a latency outlier? False while disabled, while
+  /// the replica (or the fleet) lacks min_samples, or when fewer than two
+  /// replicas have warmed up (a lone replica has no peers to deviate from).
+  [[nodiscard]] bool outlier(std::size_t replica) const;
+
+  /// Resets a replica's EWMA and sample count (readmission after recovery
+  /// or migration, or fleet growth reusing a slot).
+  void forgive(std::size_t replica);
+
+  [[nodiscard]] sim::Ns ewma_ns(std::size_t replica) const;
+  /// Median EWMA across replicas with >= min_samples; 0 if fewer than one.
+  [[nodiscard]] sim::Ns fleet_median_ns() const;
+  [[nodiscard]] const OutlierConfig& config() const { return cfg_; }
+
+ private:
+  struct Track {
+    double ewma_ns = 0;
+    std::uint64_t samples = 0;
+  };
+  OutlierConfig cfg_;
+  std::vector<Track> tracks_;
+};
+
+}  // namespace confbench::fault

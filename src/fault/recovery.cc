@@ -8,6 +8,30 @@
 
 namespace confbench::fault {
 
+sim::Ns measure_attest_ns(const tee::Platform& plat) {
+  const tee::AttestationCosts ac = plat.attestation();
+  if (!ac.supported) return 0;
+  attest::AttestationService svc;
+  attest::AttestTiming t;
+  switch (plat.kind()) {
+    case tee::TeeKind::kTdx:
+      t = svc.run_tdx(plat, /*trial=*/0);
+      break;
+    case tee::TeeKind::kSevSnp:
+      t = svc.run_snp(plat, /*trial=*/0);
+      break;
+    default:
+      // No end-to-end flow modelled for this TEE: fall back to the
+      // platform's declared cost table.
+      t.attest_ns = ac.report_request + ac.measurement + ac.sign;
+      t.check_ns = ac.collateral_round_trips * ac.collateral_rtt +
+                   ac.collateral_local_fetch + ac.verify_compute;
+      t.ok = true;
+      break;
+  }
+  return t.ok ? t.attest_ns + t.check_ns : 0;
+}
+
 RecoveryCosts measure_recovery(const std::string& platform, bool secure) {
   tee::PlatformPtr plat = tee::Registry::instance().create(platform);
   if (!plat)
@@ -20,30 +44,7 @@ RecoveryCosts measure_recovery(const std::string& platform, bool secure) {
                      .secure = secure});
   costs.boot_ns = probe.boot();
 
-  if (secure) {
-    const tee::AttestationCosts ac = plat->attestation();
-    if (ac.supported) {
-      attest::AttestationService svc;
-      attest::AttestTiming t;
-      switch (plat->kind()) {
-        case tee::TeeKind::kTdx:
-          t = svc.run_tdx(*plat, /*trial=*/0);
-          break;
-        case tee::TeeKind::kSevSnp:
-          t = svc.run_snp(*plat, /*trial=*/0);
-          break;
-        default:
-          // No end-to-end flow modelled for this TEE: fall back to the
-          // platform's declared cost table.
-          t.attest_ns = ac.report_request + ac.measurement + ac.sign;
-          t.check_ns = ac.collateral_round_trips * ac.collateral_rtt +
-                       ac.collateral_local_fetch + ac.verify_compute;
-          t.ok = true;
-          break;
-      }
-      if (t.ok) costs.attest_ns = t.attest_ns + t.check_ns;
-    }
-  }
+  if (secure) costs.attest_ns = measure_attest_ns(*plat);
   return costs;
 }
 

@@ -16,6 +16,7 @@
 #include <string>
 
 #include "sim/time.h"
+#include "tee/platform.h"
 
 namespace confbench::fault {
 
@@ -33,5 +34,13 @@ struct RecoveryCosts {
 /// std::invalid_argument for an unknown platform name.
 [[nodiscard]] RecoveryCosts measure_recovery(const std::string& platform,
                                              bool secure);
+
+/// Measures one attest+verify round on `plat` through the real
+/// AttestationService flow (TDX/SNP), falling back to the platform's
+/// declared cost table for TEEs without an end-to-end flow. Returns 0 when
+/// the platform lacks attestation hardware (CCA under FVP). Shared by the
+/// crash-recovery and live-migration cost models so both charge the same
+/// re-attestation price.
+[[nodiscard]] sim::Ns measure_attest_ns(const tee::Platform& plat);
 
 }  // namespace confbench::fault

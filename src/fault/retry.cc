@@ -25,15 +25,35 @@ sim::Ns RetryPolicy::backoff_ns(int retry) const {
   return b;
 }
 
-bool RetryPolicy::should_retry(int retry, sim::Ns spent_ns,
-                               sim::Ns deadline_ns) const {
-  if (retry >= cfg_.max_attempts) return false;  // attempts exhausted
-  if (cfg_.budget_ns > 0 && spent_ns >= cfg_.budget_ns) return false;
+std::string_view to_string(RetryVerdict v) {
+  switch (v) {
+    case RetryVerdict::kRetry:
+      return "retry";
+    case RetryVerdict::kAttemptsExhausted:
+      return "attempts_exhausted";
+    case RetryVerdict::kBudgetExhausted:
+      return "budget_exhausted";
+    case RetryVerdict::kDeadlineExceeded:
+      return "deadline_exceeded";
+  }
+  return "?";
+}
+
+RetryVerdict RetryPolicy::verdict(int retry, sim::Ns spent_ns,
+                                  sim::Ns deadline_ns) const {
+  if (retry >= cfg_.max_attempts) return RetryVerdict::kAttemptsExhausted;
+  if (cfg_.budget_ns > 0 && spent_ns >= cfg_.budget_ns)
+    return RetryVerdict::kBudgetExhausted;
   // Deadline-aware give-up: if even starting the next attempt (after its
   // backoff) cannot beat the deadline, fail now instead of burning time.
   if (deadline_ns > 0 && spent_ns + backoff_ns(retry) >= deadline_ns)
-    return false;
-  return true;
+    return RetryVerdict::kDeadlineExceeded;
+  return RetryVerdict::kRetry;
+}
+
+bool RetryPolicy::should_retry(int retry, sim::Ns spent_ns,
+                               sim::Ns deadline_ns) const {
+  return verdict(retry, spent_ns, deadline_ns) == RetryVerdict::kRetry;
 }
 
 }  // namespace confbench::fault

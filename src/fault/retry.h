@@ -17,10 +17,24 @@
 #pragma once
 
 #include <cstdint>
+#include <string_view>
 
 #include "sim/time.h"
 
 namespace confbench::fault {
+
+/// Typed outcome of a retry decision. Callers that give up must attribute
+/// the failure (map the verdict to a core::ErrorCode) rather than silently
+/// dropping the request — the chaos experiments assert that every offered
+/// request is accounted for with a reason.
+enum class RetryVerdict : std::uint8_t {
+  kRetry,              ///< the retry may proceed
+  kAttemptsExhausted,  ///< max_attempts reached
+  kBudgetExhausted,    ///< per-request retry budget spent
+  kDeadlineExceeded,   ///< next backoff cannot beat the caller's deadline
+};
+
+std::string_view to_string(RetryVerdict v);
 
 struct RetryConfig {
   /// Total attempts (1 initial + max_attempts-1 retries). 1 disables
@@ -47,9 +61,16 @@ class RetryPolicy {
   /// capped. Deterministic in (config, seed, retry).
   [[nodiscard]] sim::Ns backoff_ns(int retry) const;
 
-  /// Whether retry number `retry` (1-based) may proceed after `spent_ns`
-  /// of virtual time has elapsed since the request started. `deadline_ns`
-  /// is the request's absolute latency budget (0 = none).
+  /// Decides retry number `retry` (1-based) after `spent_ns` of virtual
+  /// time has elapsed since the request started. `deadline_ns` is the
+  /// request's absolute latency budget (0 = none). Checks run in a fixed
+  /// order — attempts, then budget, then deadline — so the verdict for a
+  /// given input is stable and test-assertable.
+  [[nodiscard]] RetryVerdict verdict(int retry, sim::Ns spent_ns,
+                                     sim::Ns deadline_ns) const;
+
+  /// Whether retry number `retry` (1-based) may proceed; equivalent to
+  /// `verdict(...) == RetryVerdict::kRetry`.
   [[nodiscard]] bool should_retry(int retry, sim::Ns spent_ns,
                                   sim::Ns deadline_ns) const;
 

@@ -7,6 +7,18 @@
 
 namespace confbench::net {
 
+std::string_view to_string(LinkState s) {
+  switch (s) {
+    case LinkState::kUp:
+      return "up";
+    case LinkState::kDown:
+      return "down";
+    case LinkState::kSlow:
+      return "slow";
+  }
+  return "?";
+}
+
 Network::Network(double rtt_us, double per_kb_us, std::uint64_t seed)
     : rtt_us_(rtt_us), per_kb_us_(per_kb_us), rng_(seed) {}
 
@@ -22,11 +34,56 @@ void Network::set_faults(const FaultConfig& f) {
   faults_.corrupt_rate = std::clamp(f.corrupt_rate, 0.0, 1.0);
 }
 
-void Network::set_partitioned(const std::string& host, bool partitioned) {
-  if (partitioned)
-    partitioned_.insert(host);
+void Network::set_link(const std::string& src, const std::string& dst,
+                       LinkState s, double latency_factor) {
+  if (s == LinkState::kSlow && latency_factor < 1.0)
+    throw std::invalid_argument("slow-link latency_factor must be >= 1");
+  const auto k = std::make_pair(src, dst);
+  if (s == LinkState::kUp)
+    links_.erase(k);
   else
-    partitioned_.erase(host);
+    links_[k] = {s, s == LinkState::kSlow ? latency_factor : 1.0};
+}
+
+std::pair<LinkState, double> Network::resolve_link(
+    const std::string& src, const std::string& dst) const {
+  // Any matching kDown rule wins; otherwise kSlow rules combine by max
+  // factor. Wildcards participate on either side.
+  LinkState state = LinkState::kUp;
+  double factor = 1.0;
+  const std::pair<std::string, std::string> keys[] = {
+      {src, dst}, {src, kAnyHost}, {kAnyHost, dst}, {kAnyHost, kAnyHost}};
+  for (const auto& k : keys) {
+    const auto it = links_.find(k);
+    if (it == links_.end()) continue;
+    if (it->second.first == LinkState::kDown) return {LinkState::kDown, 1.0};
+    state = LinkState::kSlow;
+    factor = std::max(factor, it->second.second);
+  }
+  return {state, factor};
+}
+
+LinkState Network::link_state(const std::string& src,
+                              const std::string& dst) const {
+  return resolve_link(src, dst).first;
+}
+
+double Network::link_factor(const std::string& src,
+                            const std::string& dst) const {
+  return resolve_link(src, dst).second;
+}
+
+void Network::set_partitioned(const std::string& host, bool partitioned) {
+  const LinkState s = partitioned ? LinkState::kDown : LinkState::kUp;
+  set_link(kAnyHost, host, s);
+  set_link(host, kAnyHost, s);
+}
+
+bool Network::partitioned(const std::string& host) const {
+  const auto in = links_.find({std::string(kAnyHost), host});
+  const auto out = links_.find({host, std::string(kAnyHost)});
+  return in != links_.end() && in->second.first == LinkState::kDown &&
+         out != links_.end() && out->second.first == LinkState::kDown;
 }
 
 void Network::bind(const std::string& host, std::uint16_t port,
@@ -45,15 +102,28 @@ bool Network::bound(const std::string& host, std::uint16_t port) const {
   return endpoints_.count(key(host, port)) > 0;
 }
 
+HttpResponse Network::timeout_response(const char* why) {
+  ++faults_injected_;
+  elapsed_ += faults_.timeout_us * sim::kUs;
+  obs::charge(obs::Category::kNetwork, faults_.timeout_us * sim::kUs);
+  return HttpResponse::make(504, std::string(why) + "\n");
+}
+
 HttpResponse Network::roundtrip(const std::string& host, std::uint16_t port,
                                 const HttpRequest& req) {
+  return roundtrip_from(kClientHost, host, port, req);
+}
+
+HttpResponse Network::roundtrip_from(const std::string& src,
+                                     const std::string& host,
+                                     std::uint16_t port,
+                                     const HttpRequest& req) {
   ++requests_;
-  if (partitioned_.count(host)) {
-    // Partitioned paths bypass the RNG entirely (see set_partitioned).
-    ++faults_injected_;
-    elapsed_ += faults_.timeout_us * sim::kUs;
-    obs::charge(obs::Category::kNetwork, faults_.timeout_us * sim::kUs);
-    return HttpResponse::make(504, "host unreachable (partitioned)\n");
+  const auto [req_state, req_factor] = resolve_link(src, host);
+  if (req_state == LinkState::kDown) {
+    // Down request paths bypass the RNG entirely (see set_partitioned), so
+    // lifting the link restores the exact unaffected random sequence.
+    return timeout_response("host unreachable (link down)");
   }
   const std::string wire = req.serialize();
   const auto it = endpoints_.find(key(host, port));
@@ -72,6 +142,12 @@ HttpResponse Network::roundtrip(const std::string& host, std::uint16_t port,
   const auto parsed = parse_request(wire);
   if (!parsed) return HttpResponse::make(400, "malformed request\n");
   const HttpResponse resp = it->second(*parsed);
+  const auto [resp_state, resp_factor] = resolve_link(host, src);
+  if (resp_state == LinkState::kDown) {
+    // Asymmetric partition: the server did the work but its answer never
+    // arrives. No further RNG draws, same as the request-path drop.
+    return timeout_response("response lost (return link down)");
+  }
   std::string resp_wire = resp.serialize();
   if (faults_.corrupt_rate > 0 && rng_.next_double() < faults_.corrupt_rate) {
     ++faults_injected_;
@@ -80,8 +156,12 @@ HttpResponse Network::roundtrip(const std::string& host, std::uint16_t port,
   }
   const double kb =
       static_cast<double>(wire.size() + resp_wire.size()) / 1024.0;
-  const sim::Ns wire_ns = (rtt_us_ + kb * per_kb_us_) * sim::kUs *
-                          rng_.jitter(0.08);
+  // Gray failure: slow links inflate the wire time deterministically. The
+  // jitter draw happens regardless of the factor, so slowing or restoring
+  // a link never perturbs the fabric's random sequence.
+  const double slow = std::max(req_factor, resp_factor);
+  const sim::Ns wire_ns =
+      (rtt_us_ + kb * per_kb_us_) * sim::kUs * rng_.jitter(0.08) * slow;
   elapsed_ += wire_ns;
   obs::charge(obs::Category::kNetwork, wire_ns);
   const auto reparsed = parse_response(resp_wire);

@@ -9,12 +9,20 @@
 // The fabric keeps its own virtual latency accounting (gateway-side time is
 // *not* part of the in-VM perf measurements, matching the paper's
 // methodology of measuring inside the guest).
+//
+// Failure topology is a *directed link* model: set_link(src, dst, state)
+// controls the path from one host to another independently of the reverse
+// path, which expresses asymmetric partitions (A reaches B, B cannot answer
+// A), subset partitions (A sees B but not C) and gray failures — kSlow
+// links deliver every byte but inflate latency by a deterministic factor.
+// The wildcard host "*" matches any endpoint, and the legacy per-host
+// set_partitioned() is a thin wrapper that downs both wildcard directions.
 #pragma once
 
 #include <functional>
 #include <map>
-#include <set>
 #include <string>
+#include <utility>
 
 #include "net/http.h"
 #include "sim/rng.h"
@@ -32,8 +40,23 @@ struct FaultConfig {
   double timeout_us = 2000.0; ///< client-side timeout charged on a drop
 };
 
+/// State of one directed link. kDown drops everything (the affected round
+/// trip charges the fault timeout and consumes no RNG draws, preserving the
+/// partition determinism guarantee); kSlow delivers with its latency
+/// multiplied by `latency_factor` — packet loss free, which is what makes
+/// it a *gray* failure rather than a crash-style one.
+enum class LinkState : std::uint8_t { kUp, kDown, kSlow };
+
+std::string_view to_string(LinkState s);
+
 class Network {
  public:
+  /// Wildcard host for set_link: matches any source/destination.
+  static constexpr const char* kAnyHost = "*";
+  /// Source identity used by the single-argument roundtrip() (the gateway
+  /// client); link rules against it model client-side partitions.
+  static constexpr const char* kClientHost = "client";
+
   /// `seed` drives the fabric's deterministic RNG (latency jitter + fault
   /// draws); experiments use distinct seeds to decorrelate repetitions
   /// while staying reproducible.
@@ -50,14 +73,29 @@ class Network {
     return faults_injected_;
   }
 
-  /// Marks a host (all its ports) unreachable / reachable again. Round
-  /// trips to a partitioned host charge the fault timeout and return 504
-  /// without consuming any RNG draws, so lifting the partition restores the
-  /// exact unpartitioned random sequence.
+  /// Sets the state of the directed link src -> dst (either side may be
+  /// kAnyHost). kUp removes the rule. For kSlow, `latency_factor` (>= 1)
+  /// multiplies the wire latency of traffic over the link; it throws
+  /// std::invalid_argument below 1. Resolution when several rules match a
+  /// path: any kDown rule wins, then kSlow (factors of all matching slow
+  /// rules combine by max), else the link is up.
+  void set_link(const std::string& src, const std::string& dst, LinkState s,
+                double latency_factor = 1.0);
+  /// Effective state of src -> dst after wildcard resolution.
+  [[nodiscard]] LinkState link_state(const std::string& src,
+                                     const std::string& dst) const;
+  /// Effective latency factor of src -> dst (1.0 unless kSlow).
+  [[nodiscard]] double link_factor(const std::string& src,
+                                   const std::string& dst) const;
+
+  /// Marks a host (all its ports) unreachable / reachable again: a thin
+  /// wrapper over the link model that downs (or restores) both wildcard
+  /// directions "*" -> host and host -> "*". Round trips to a partitioned
+  /// host charge the fault timeout and return 504 without consuming any
+  /// RNG draws, so lifting the partition restores the exact unpartitioned
+  /// random sequence.
   void set_partitioned(const std::string& host, bool partitioned);
-  [[nodiscard]] bool partitioned(const std::string& host) const {
-    return partitioned_.count(host) > 0;
-  }
+  [[nodiscard]] bool partitioned(const std::string& host) const;
 
   /// Binds a handler to "host:port". Throws if already bound.
   void bind(const std::string& host, std::uint16_t port,
@@ -65,10 +103,19 @@ class Network {
   void unbind(const std::string& host, std::uint16_t port);
   [[nodiscard]] bool bound(const std::string& host, std::uint16_t port) const;
 
-  /// Performs one HTTP round trip: serializes the request, delivers it to
-  /// the endpoint, parses the response bytes. Unbound endpoints yield 502.
+  /// Performs one HTTP round trip from kClientHost: serializes the request,
+  /// delivers it to the endpoint, parses the response bytes. Unbound
+  /// endpoints yield 502.
   HttpResponse roundtrip(const std::string& host, std::uint16_t port,
                          const HttpRequest& req);
+
+  /// Round trip with an explicit source identity, subject to the directed
+  /// links src -> host (request path) and host -> src (response path). A
+  /// down request path short-circuits before the handler runs; a down
+  /// response path runs the handler (the server did the work) but the
+  /// client still times out with 504 — the asymmetric-partition signature.
+  HttpResponse roundtrip_from(const std::string& src, const std::string& host,
+                              std::uint16_t port, const HttpRequest& req);
 
   /// Virtual network time accumulated by this client (gateway-side).
   [[nodiscard]] sim::Ns elapsed() const { return elapsed_; }
@@ -76,9 +123,15 @@ class Network {
 
  private:
   static std::string key(const std::string& host, std::uint16_t port);
+  /// (state, combined latency factor) of the directed path src -> dst.
+  [[nodiscard]] std::pair<LinkState, double> resolve_link(
+      const std::string& src, const std::string& dst) const;
+  HttpResponse timeout_response(const char* why);
 
   std::map<std::string, EndpointHandler> endpoints_;
-  std::set<std::string> partitioned_;
+  /// Directed link rules, keyed (src, dst); kUp rules are never stored.
+  std::map<std::pair<std::string, std::string>, std::pair<LinkState, double>>
+      links_;
   double rtt_us_;
   double per_kb_us_;
   FaultConfig faults_;

@@ -58,6 +58,10 @@ std::string_view to_string(Category c) {
       return "recovery";
     case Category::kAttest:
       return "attest";
+    case Category::kHedge:
+      return "hedge";
+    case Category::kMigration:
+      return "migration";
     case Category::kOther:
       return "other";
     case Category::kCount:

@@ -65,6 +65,9 @@ enum class Category : std::uint8_t {
   kFault,         ///< an injected fault window (crash/hang/brownout/...)
   kRecovery,      ///< replica replacement: boot + (secure) re-attestation
   kAttest,        ///< attestation round during recovery
+  // Tail-tolerance spans (hedged requests, live migration).
+  kHedge,         ///< hedge fire/win/waste of a backup dispatch
+  kMigration,     ///< live-migration phase (pre-copy/drain/blackout)
   kOther,       ///< direct charges: sleeps, bootstrap constants, misc
   kCount
 };

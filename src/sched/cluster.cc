@@ -12,6 +12,18 @@
 
 namespace confbench::sched {
 
+std::string_view to_string(DegradeResponse r) {
+  switch (r) {
+    case DegradeResponse::kNone:
+      return "none";
+    case DegradeResponse::kReboot:
+      return "reboot";
+    case DegradeResponse::kMigrate:
+      return "migrate";
+  }
+  return "?";
+}
+
 double ServiceModel::replica_capacity_rps(int concurrency) const {
   const double total_s = total_ns() / sim::kSec;
   if (total_s <= 0) return 0;
@@ -85,6 +97,13 @@ sim::Ns ClusterResult::mean_ttr_ns() const {
   return sum / static_cast<double>(recoveries.size());
 }
 
+sim::Ns ClusterResult::mean_migration_ttr_ns() const {
+  if (migrations.empty()) return 0;
+  sim::Ns sum = 0;
+  for (const MigrationSample& m : migrations) sum += m.ttr_ns();
+  return sum / static_cast<double>(migrations.size());
+}
+
 std::string ClusterResult::to_json() const {
   metrics::JsonWriter w;
   w.begin_object();
@@ -126,6 +145,15 @@ std::string ClusterResult::to_json() const {
   w.key("max").value(latency.max());
   w.end_object();
   w.key("queue_wait_p99_ns").value(queue_wait.p99());
+  w.key("hedges").value(hedges);
+  w.key("hedge_wins").value(hedge_wins);
+  w.key("hedge_waste").value(hedge_waste);
+  w.key("hedge_cancelled").value(hedge_cancelled);
+  w.key("hedge_threshold_ns").value(hedge_threshold_ns);
+  w.key("gray_trips").value(gray_trips);
+  w.key("responses_lost").value(responses_lost);
+  w.key("migrations").value(static_cast<std::uint64_t>(migrations.size()));
+  w.key("mean_migration_ttr_ns").value(mean_migration_ttr_ns());
   w.end_object();
   return w.str();
 }
@@ -140,14 +168,22 @@ ClusterResult ClusterExperiment::run(core::ConfBench& system) const {
       ServiceModel::calibrate(system, cfg_.function, cfg_.language,
                               cfg_.platform, cfg_.secure,
                               cfg_.calibration_probes);
+  ClusterConfig patched = cfg_;
+  bool changed = false;
   if (!cfg_.faults.empty() && cfg_.recovery.total_ns() <= 0) {
     // Measure replica replacement through the real boot + re-attestation
     // path, so secure fleets recover mechanically slower for the same
     // reasons their VMs boot and attest slower.
-    ClusterConfig patched = cfg_;
     patched.recovery = fault::measure_recovery(cfg_.platform, cfg_.secure);
-    return ClusterExperiment(patched).run_with_model(model);
+    changed = true;
   }
+  if (!cfg_.faults.empty() &&
+      cfg_.degrade_response == DegradeResponse::kMigrate &&
+      cfg_.migration.total_ns() <= 0) {
+    patched.migration = fault::measure_migration(cfg_.platform, cfg_.secure);
+    changed = true;
+  }
+  if (changed) return ClusterExperiment(patched).run_with_model(model);
   return run_with_model(model);
 }
 
@@ -169,14 +205,52 @@ struct Replica {
   /// Bumped on crash so completion events scheduled against the previous
   /// incarnation become no-ops (the event queue has no cancellation).
   std::uint64_t epoch = 0;
-  /// Requests currently in service here; a crash kills all of them.
+  /// Copy tokens (request id * 2 + copy index) in service here; a crash
+  /// kills all of them.
   std::vector<std::uint64_t> active;
   double slow_factor = 1.0;  ///< >1 during a brownout window
   bool reachable = true;     ///< false while partitioned or down
   bool agent_hung = false;   ///< host agent black-holes requests
+  /// Gray failures (replica-addressed link events): responses leave this
+  /// replica `link_delay` late, or not at all while the return link is
+  /// down. The replica itself stays healthy — work completes, probes pass.
+  sim::Ns link_delay = 0;
+  bool resp_link_down = false;
   /// Crash not yet healed: set by the crash, cleared when the breaker
   /// closes again and traffic is readmitted (the TTR endpoint).
   bool down_pending = false;
+  // Live-migration state (DegradeResponse::kMigrate).
+  bool migrating = false;    ///< drain or blackout in progress
+  bool mig_pending = false;  ///< migrated; breaker close stamps readmission
+};
+
+/// One in-flight copy of a request. A request has at most two: the primary
+/// dispatch (copy 0) and, if hedging fires, the backup (copy 1).
+struct Copy {
+  enum class Where : std::uint8_t {
+    kNone,       ///< not dispatched / already resolved
+    kQueued,     ///< admitted, waiting for a worker slot
+    kActive,     ///< in service (or response in flight)
+    kBlackhole,  ///< dispatched into a dead/unreachable replica
+    kDone        ///< this copy's response was delivered
+  };
+  std::uint32_t replica = 0;
+  sim::Ns dispatched_ns = 0;
+  Where where = Where::kNone;
+};
+
+struct Req {
+  sim::Ns arrival = 0;
+  int attempts = 0;  ///< failover attempts + hedges (shared retry budget)
+  int client = 0;    ///< closed-loop issuer
+  bool done = false;
+  bool hedged = false;  ///< hedge already fired for the current attempt
+  Copy copy[2];
+  [[nodiscard]] bool outstanding(int cid) const {
+    return copy[cid].where == Copy::Where::kQueued ||
+           copy[cid].where == Copy::Where::kActive ||
+           copy[cid].where == Copy::Where::kBlackhole;
+  }
 };
 
 /// Per-request phase timestamps, recorded only when a tracer is attached;
@@ -206,6 +280,14 @@ struct ScalerDecision {
   std::uint64_t queued = 0;
 };
 
+/// Hedge lifecycle notes for the fleet trace (tracer-only).
+struct HedgeEvent {
+  std::uint64_t id = 0;
+  sim::Ns fire_ns = 0;
+  std::uint32_t primary = 0;
+  std::uint32_t backup = 0;
+};
+
 std::string fmt_ns(sim::Ns t) {
   return std::to_string(static_cast<long long>(t));
 }
@@ -230,6 +312,7 @@ ClusterResult ClusterExperiment::run_with_model(
   if (tracer) samples.resize(cfg_.requests);
   std::vector<BootEvent> boots;
   std::vector<ScalerDecision> decisions;
+  std::vector<HedgeEvent> hedge_events;
 
   AutoscalerConfig scfg = cfg_.scaler;
   scfg.cold_start_ns = model.cold_start_ns;
@@ -249,6 +332,24 @@ ClusterResult ClusterExperiment::run_with_model(
       cfg_.faults.attest_outages();
   int crashes_outstanding = 0;  ///< crashes whose breaker has not re-closed
   int windows_active = 0;       ///< open hang/partition/brownout/outage windows
+  int migrations_active = 0;    ///< drains/blackouts still pending readmission
+
+  // Tail-tolerance policies. All default-off: with hedging and outlier
+  // detection disabled the decision points below reduce to the plain
+  // dispatch path and the run is bit-identical to one without them.
+  fault::HedgePolicy hedge(cfg_.hedge);
+  fault::OutlierDetector detector(cfg_.outlier,
+                                  static_cast<std::size_t>(scfg.max_replicas));
+  fault::MigrationCosts mig_costs = cfg_.migration;
+  if (cfg_.degrade_response == DegradeResponse::kMigrate &&
+      mig_costs.total_ns() <= 0) {
+    // Unmeasured fallback (tests): pre-copy a fifth of a cold start, a
+    // short stop-copy blackout, no TEE costs.
+    mig_costs.pre_copy_ns = model.cold_start_ns * 0.2;
+    mig_costs.stop_copy_ns = model.cold_start_ns * 0.0125;
+  }
+  res.cfg.migration = mig_costs;  // record the effective costs
+  const fault::MigrationPlanner mig_planner(mig_costs, outages);
 
   // Replica fleet: a TeePool (least-loaded, documented deterministic
   // tie-break) fronts the per-VM queues; parked replicas are disabled.
@@ -271,6 +372,7 @@ ClusterResult ClusterExperiment::run_with_model(
   std::vector<fault::CircuitBreaker> breakers(
       replicas.size(), fault::CircuitBreaker(cfg_.breaker));
   std::vector<RecoverySample> rec_pending(replicas.size());
+  std::vector<MigrationSample> mig_pending(replicas.size());
 
   sim::Rng jitter_rng(sim::hash_combine(cfg_.seed,
                                         sim::stable_hash("service-jitter")));
@@ -278,24 +380,37 @@ ClusterResult ClusterExperiment::run_with_model(
                           sim::hash_combine(cfg_.seed,
                                             sim::stable_hash("arrivals")));
 
-  std::vector<double> arrival_ns;
-  std::vector<int> attempt_of;  ///< failover attempts per request id
-  std::vector<int> client_of;   // closed-loop only
-  arrival_ns.reserve(std::min<std::uint64_t>(cfg_.requests, 1 << 22));
+  std::vector<Req> reqs;
+  reqs.reserve(std::min<std::uint64_t>(cfg_.requests, 1 << 22));
   std::uint64_t issued = 0;
 
   const bool closed = cfg_.closed_loop_clients > 0;
 
-  // Mutually recursive handlers, declared up front.
-  std::function<void(std::uint32_t, std::uint64_t)> on_complete;
-  std::function<void(int)> client_issue;
-  std::function<bool(std::uint64_t)> dispatch;
-  std::function<void(std::uint64_t)> failover;
+  const auto retry_policy = [&](std::uint64_t id) {
+    // Per-request deterministic jitter stream, independent of event order.
+    return fault::RetryPolicy(
+        cfg_.retry,
+        sim::hash_combine(cfg_.seed,
+                          sim::hash_combine(sim::stable_hash("failover"),
+                                            id)));
+  };
 
-  auto start_service = [&](std::uint32_t idx, std::uint64_t id) {
+  // Mutually recursive handlers, declared up front.
+  std::function<void(std::uint32_t, std::uint64_t)> service_done;
+  std::function<void(std::uint64_t, int)> respond;
+  std::function<void(std::uint64_t, int)> copy_failed;
+  std::function<void(int)> client_issue;
+  std::function<bool(std::uint64_t, int)> dispatch;
+  std::function<void(std::uint64_t)> failover;
+  std::function<void(std::uint32_t)> begin_migration;
+  std::function<void(std::uint32_t)> check_drained;
+
+  auto start_service = [&](std::uint32_t idx, std::uint64_t token) {
     Replica& r = replicas[idx];
-    if (id >= cfg_.warmup_requests)
-      res.queue_wait.record(clock.now() - arrival_ns[id]);
+    const std::uint64_t id = token >> 1;
+    const int cid = static_cast<int>(token & 1);
+    if (cid == 0 && id >= cfg_.warmup_requests)
+      res.queue_wait.record(clock.now() - reqs[id].arrival);
     const double j = jitter_rng.jitter(model.jitter_sigma);
     // slow_factor is 1.0 outside brownout windows, so the baseline service
     // times are bit-identical to a run without fault support.
@@ -315,102 +430,221 @@ ClusterResult ClusterExperiment::run_with_model(
     } else {
       finish = par_end;
     }
-    r.active.push_back(id);
-    if (tracer && id < samples.size())
-      samples[id] = {arrival_ns[id], clock.now(), par_end, io_start,
-                     finish,         idx,         true};
-    events.at(finish, [&, idx, id, ep = r.epoch] {
+    r.active.push_back(token);
+    reqs[id].copy[cid].where = Copy::Where::kActive;
+    if (tracer && cid == 0 && id < samples.size())
+      samples[id] = {reqs[id].arrival, clock.now(), par_end, io_start,
+                     finish,           idx,         true};
+    events.at(finish, [&, idx, token, ep = r.epoch] {
       // A crash bumped the epoch and already failed this request over.
       if (replicas[idx].epoch != ep) return;
-      on_complete(idx, id);
+      service_done(idx, token);
     });
   };
 
   auto try_start = [&](std::uint32_t idx) {
-    while (auto id = replicas[idx].queue.start_next()) start_service(idx, *id);
+    while (auto t = replicas[idx].queue.start_next()) start_service(idx, *t);
   };
 
-  dispatch = [&](std::uint64_t id) -> bool {
-    core::PoolMember* m = pool.acquire();
-    if (!m) {  // no warm replica at all
-      ++res.rejected;
+  // Arms the hedge timer for the primary copy of `id` dispatched at `now`.
+  // Decision state is captured at fire time, not arm time: the request may
+  // have completed, failed over, or already hedged by then.
+  auto arm_hedge = [&](std::uint64_t id) {
+    const sim::Ns delay = hedge.threshold_ns();
+    if (delay <= 0) return;  // disabled or still warming up
+    events.after(delay, [&, id] {
+      Req& rq = reqs[id];
+      if (rq.done || rq.hedged || !rq.outstanding(0)) return;
+      if (!hedge.allow(res.hedges, res.offered)) return;
+      // Compose with the retry budget: a hedge spends an attempt, so
+      // hedges + failovers together can never exceed the per-request
+      // allowance — the brownout amplification guard.
+      if (!retry_policy(id).should_retry(rq.attempts + 1,
+                                         clock.now() - rq.arrival,
+                                         cfg_.deadline_ns))
+        return;
+      rq.hedged = true;
+      if (dispatch(id, 1)) {
+        ++rq.attempts;
+        ++res.hedges;
+        hedge.record_fired();
+        if (tracer)
+          hedge_events.push_back({id, clock.now(), rq.copy[0].replica,
+                                  rq.copy[1].replica});
+      }
+    });
+  };
+
+  dispatch = [&](std::uint64_t id, int cid) -> bool {
+    Req& rq = reqs[id];
+    // The backup must land on a different replica than the other copy.
+    const std::uint32_t exclude =
+        cfg_.hedge.enabled && rq.outstanding(1 - cid)
+            ? rq.copy[1 - cid].replica
+            : core::TeePool::kNoExclude;
+    core::PoolMember* m = pool.acquire_excluding(exclude);
+    if (!m) {  // no warm replica at all (or only the excluded one)
+      if (cid == 0) ++res.rejected;
       return false;
     }
     const std::uint32_t idx = m->index;
     Replica& r = replicas[idx];
+    rq.copy[cid].replica = idx;
+    rq.copy[cid].dispatched_ns = clock.now();
     if (chaos && (!r.reachable || r.agent_hung ||
                   r.state == Replica::State::kDown ||
                   r.state == Replica::State::kRecovering)) {
       // The balancer has not noticed the failure yet: the dispatch
       // black-holes, the client times out after detect_timeout_ns, and the
       // timeout feeds the replica's breaker before failing over.
-      events.after(cfg_.detect_timeout_ns, [&, idx, id] {
+      rq.copy[cid].where = Copy::Where::kBlackhole;
+      events.after(cfg_.detect_timeout_ns, [&, idx, id, cid] {
         pool.release(&pool.member(idx));
         breakers[idx].record_failure(clock.now());
         if (breakers[idx].state() == fault::BreakerState::kOpen)
           pool.set_enabled(idx, false);
-        failover(id);
+        copy_failed(id, cid);
       });
+      if (cid == 0) arm_hedge(id);
       return true;  // in flight (will time out), not rejected
     }
-    if (!r.queue.admit(id)) {  // 429: replica backlog full
+    if (!r.queue.admit(id * 2 + static_cast<std::uint64_t>(cid))) {
+      // 429: replica backlog full
       pool.release(m);
-      ++res.rejected;
+      if (cid == 0) ++res.rejected;
+      rq.copy[cid].where = Copy::Where::kNone;
       return false;
     }
+    rq.copy[cid].where = Copy::Where::kQueued;
+    if (cid == 0) arm_hedge(id);
     try_start(idx);
     return true;
   };
 
-  on_complete = [&](std::uint32_t idx, std::uint64_t id) {
-    const sim::Ns lat = clock.now() - arrival_ns[id];
-    if (id >= cfg_.warmup_requests) {
-      res.latency.record(lat);
-      if (chaos && (crashes_outstanding > 0 || windows_active > 0))
-        res.latency_fault.record(lat);
-    }
-    ++res.completed;
+  // The replica-side end of service: frees the worker slot, then hands the
+  // response to the return path — delivered now, delayed behind a slow
+  // link, or lost to an asymmetric partition.
+  service_done = [&](std::uint32_t idx, std::uint64_t token) {
     Replica& r = replicas[idx];
+    const std::uint64_t id = token >> 1;
+    const int cid = static_cast<int>(token & 1);
     r.queue.complete();
-    if (auto it = std::find(r.active.begin(), r.active.end(), id);
+    if (auto it = std::find(r.active.begin(), r.active.end(), token);
         it != r.active.end())
       r.active.erase(it);
     pool.release(&pool.member(idx));
     try_start(idx);
+    if (chaos && r.migrating) check_drained(idx);
+    if (chaos && r.resp_link_down) {
+      // Asymmetric partition: the work is done but the answer never leaves
+      // the replica. The client notices at its detection timeout, charges
+      // the breaker, and fails over — unless a hedge already won.
+      ++res.responses_lost;
+      const sim::Ns deadline = std::max(
+          clock.now(), reqs[id].copy[cid].dispatched_ns +
+                           cfg_.detect_timeout_ns);
+      events.at(deadline, [&, idx, id, cid] {
+        if (!reqs[id].done) {
+          breakers[idx].record_failure(clock.now());
+          if (breakers[idx].state() == fault::BreakerState::kOpen)
+            pool.set_enabled(idx, false);
+        }
+        copy_failed(id, cid);
+      });
+      return;
+    }
+    if (chaos && r.link_delay > 0) {
+      // Gray slow link: the response transits late but intact. The delay is
+      // charged after the jitter draw, so slowing a link never perturbs the
+      // service-time random sequence.
+      events.after(r.link_delay, [&, id, cid] { respond(id, cid); });
+      return;
+    }
+    respond(id, cid);
+  };
+
+  respond = [&](std::uint64_t id, int cid) {
+    Req& rq = reqs[id];
+    if (rq.done) {
+      // The other copy already answered: this response is hedge waste
+      // (service burned for a result nobody needs).
+      rq.copy[cid].where = Copy::Where::kDone;
+      ++res.hedge_waste;
+      return;
+    }
+    rq.done = true;
+    rq.copy[cid].where = Copy::Where::kDone;
+    const sim::Ns lat = clock.now() - rq.arrival;
+    if (id >= cfg_.warmup_requests) {
+      res.latency.record(lat);
+      if (chaos && (crashes_outstanding > 0 || windows_active > 0 ||
+                    migrations_active > 0))
+        res.latency_fault.record(lat);
+    }
+    ++res.completed;
+    if (cid == 1) ++res.hedge_wins;
+    if (cfg_.hedge.enabled) hedge.observe(lat);
+    if (cfg_.outlier.enabled) detector.observe(rq.copy[cid].replica, lat);
+    // First response wins: cancel the losing copy. A queued loser gives its
+    // buffer slot back; an active one becomes waste when it finishes; a
+    // black-holed one is dropped by its own timeout event.
+    Copy& other = rq.copy[1 - cid];
+    if (other.where == Copy::Where::kQueued) {
+      if (replicas[other.replica].queue.cancel(
+              id * 2 + static_cast<std::uint64_t>(1 - cid))) {
+        pool.release(&pool.member(other.replica));
+        ++res.hedge_cancelled;
+        other.where = Copy::Where::kNone;
+      }
+    }
     if (closed)
       events.after(cfg_.think_ns,
-                   [&, c = client_of[id]] { client_issue(c); });
+                   [&, c = rq.client] { client_issue(c); });
   };
 
   // --- fault handling ------------------------------------------------------
-  auto give_up = [&](std::uint64_t id) {
+  auto give_up = [&](std::uint64_t id, fault::RetryVerdict verdict) {
+    reqs[id].done = true;  // a straggler copy's response must not complete it
     ++res.failed;
-    ++res.failure_codes[std::string(
-        core::to_string(core::ErrorCode::kTransport))];
+    const core::ErrorCode code =
+        verdict == fault::RetryVerdict::kDeadlineExceeded
+            ? core::ErrorCode::kDeadlineExceeded
+            : core::ErrorCode::kTransport;
+    ++res.failure_codes[std::string(core::to_string(code))];
     if (closed)
       events.after(cfg_.think_ns,
-                   [&, c = client_of[id]] { client_issue(c); });
+                   [&, c = reqs[id].client] { client_issue(c); });
   };
 
   failover = [&](std::uint64_t id) {
     ++res.failovers;
-    const int attempt = ++attempt_of[id];
-    // Per-request deterministic jitter stream, independent of event order.
-    const fault::RetryPolicy policy(
-        cfg_.retry,
-        sim::hash_combine(cfg_.seed,
-                          sim::hash_combine(sim::stable_hash("failover"),
-                                            id)));
-    if (!policy.should_retry(attempt, clock.now() - arrival_ns[id], 0)) {
-      give_up(id);
+    Req& rq = reqs[id];
+    const int attempt = ++rq.attempts;
+    const fault::RetryPolicy policy = retry_policy(id);
+    const fault::RetryVerdict v =
+        policy.verdict(attempt, clock.now() - rq.arrival, cfg_.deadline_ns);
+    if (v != fault::RetryVerdict::kRetry) {
+      give_up(id, v);
       return;
     }
     ++res.retries;
     events.after(policy.backoff_ns(attempt), [&, id] {
-      if (!dispatch(id) && closed)
+      reqs[id].hedged = false;  // the new attempt may hedge afresh
+      if (!dispatch(id, 0) && closed)
         events.after(cfg_.think_ns,
-                     [&, c = client_of[id]] { client_issue(c); });
+                     [&, c = reqs[id].client] { client_issue(c); });
     });
+  };
+
+  // One copy died (black-hole timeout, lost response, crash eviction).
+  // Only when it was the *last* outstanding copy does the request fail
+  // over — a surviving hedge copy keeps the request alive on its own.
+  copy_failed = [&](std::uint64_t id, int cid) {
+    Req& rq = reqs[id];
+    rq.copy[cid].where = Copy::Where::kNone;
+    if (rq.done) return;                 // the other copy already won
+    if (rq.outstanding(1 - cid)) return; // still racing on another replica
+    failover(id);
   };
 
   auto apply_crash = [&](std::uint32_t idx) {
@@ -425,6 +659,13 @@ ClusterResult ClusterExperiment::run_with_model(
     if (r.state == Replica::State::kWarm) --warm;
     r.state = Replica::State::kDown;
     r.down_pending = true;
+    if (r.migrating) {  // a crash mid-migration aborts the migration
+      r.migrating = false;
+      if (r.mig_pending) {
+        r.mig_pending = false;
+        --migrations_active;
+      }
+    }
     ++r.epoch;  // orphan this incarnation's scheduled completions
     r.reachable = false;
     rec_pending[idx] = RecoverySample{};
@@ -440,8 +681,12 @@ ClusterResult ClusterExperiment::run_with_model(
     r.active.clear();
     for (std::size_t k = 0; k < victims.size(); ++k)
       pool.release(&pool.member(idx));
-    for (const std::uint64_t id : victims)
-      events.after(cfg_.detect_timeout_ns, [&, id] { failover(id); });
+    for (const std::uint64_t token : victims) {
+      const std::uint64_t id = token >> 1;
+      const int cid = static_cast<int>(token & 1);
+      events.after(cfg_.detect_timeout_ns,
+                   [&, id, cid] { copy_failed(id, cid); });
+    }
   };
 
   auto start_recovery = [&](std::uint32_t idx) {
@@ -469,9 +714,51 @@ ClusterResult ClusterExperiment::run_with_model(
       r2.reachable = true;
       r2.agent_hung = false;
       r2.slow_factor = 1.0;
+      r2.link_delay = 0;
+      r2.resp_link_down = false;
       // Still pool-disabled: traffic is readmitted only once a half-open
       // health probe closes the breaker (that close stamps recovered_ns).
     });
+  };
+
+  // --- live migration ------------------------------------------------------
+  check_drained = [&](std::uint32_t idx) {
+    Replica& r = replicas[idx];
+    if (!r.migrating || r.mig_pending) return;
+    if (!r.queue.idle() || !r.active.empty()) return;
+    // Backlog drained: plan the blackout. Pre-copy has been running since
+    // detection; stop-copy + (secure) re-accept + re-attest start once both
+    // the drain and the pre-copy are done.
+    MigrationSample& ms = mig_pending[idx];
+    ms.sched = mig_planner.plan(ms.sched.detect_ns, clock.now());
+    r.mig_pending = true;
+    events.at(ms.sched.blackout_end_ns, [&, idx] {
+      Replica& r2 = replicas[idx];
+      if (!r2.migrating) return;  // aborted by a crash
+      r2.migrating = false;
+      // The replica now runs on the target host: the degraded source's
+      // gray condition no longer applies to it.
+      r2.slow_factor = 1.0;
+      r2.link_delay = 0;
+      r2.resp_link_down = false;
+      detector.forgive(idx);
+      // Still pool-disabled: the breaker's half-open probe readmits
+      // traffic and stamps readmitted_ns, symmetrical with recovery.
+    });
+  };
+
+  begin_migration = [&](std::uint32_t idx) {
+    Replica& r = replicas[idx];
+    if (r.migrating || r.state != Replica::State::kWarm) return;
+    r.migrating = true;
+    ++migrations_active;
+    MigrationSample& ms = mig_pending[idx];
+    ms = MigrationSample{};
+    ms.replica = idx;
+    ms.sched.detect_ns = clock.now();
+    // Admissions are already stopped (the gray trip disabled the pool
+    // member); the backlog keeps serving while pre-copy runs underneath.
+    check_drained(idx);
   };
 
   std::function<void()> probe = [&] {
@@ -482,33 +769,60 @@ ClusterResult ClusterExperiment::run_with_model(
           r.state == Replica::State::kBooting)
         continue;
       fault::CircuitBreaker& br = breakers[i];
+      // Binary health: a migrating replica reports unhealthy so the
+      // breaker cannot re-close mid-drain. Gray failures pass this check —
+      // that is the point — and are caught by the outlier branch below.
       const bool healthy = r.state == Replica::State::kWarm && r.reachable &&
-                           !r.agent_hung;
+                           !r.agent_hung && !r.migrating;
       if (br.state() == fault::BreakerState::kClosed) {
-        if (healthy) {
+        if (healthy && detector.outlier(i)) {
+          // Slow-but-alive: feed the EWMA verdict into the breaker as
+          // failure evidence. Consecutive flagged probes trip it.
+          br.record_failure(now);
+          if (br.state() == fault::BreakerState::kOpen) {
+            pool.set_enabled(i, false);
+            ++res.gray_trips;
+            if (cfg_.degrade_response == DegradeResponse::kReboot)
+              apply_crash(i);
+            else if (cfg_.degrade_response == DegradeResponse::kMigrate)
+              begin_migration(i);
+            // kNone: sit out the cooldown; forgiveness below gives the
+            // replica a fresh EWMA when it is probed again.
+          }
+        } else if (healthy) {
           br.record_success(now);
         } else {
           br.record_failure(now);
           if (br.state() == fault::BreakerState::kOpen)
             pool.set_enabled(i, false);
         }
-      } else if (br.allow(now)) {  // open past cooldown, or half-open idle
-        if (healthy) {
-          br.record_success(now);
-          if (br.state() == fault::BreakerState::kClosed &&
-              r.state == Replica::State::kWarm) {
-            pool.set_enabled(i, true);
-            if (r.down_pending) {
-              r.down_pending = false;
-              --crashes_outstanding;
-              ++warm;
-              res.peak_warm = std::max(res.peak_warm, warm);
-              rec_pending[i].recovered_ns = now;
-              res.recoveries.push_back(rec_pending[i]);
+      } else {
+        const bool was_open = br.state() == fault::BreakerState::kOpen;
+        if (br.allow(now)) {  // open past cooldown, or half-open idle
+          if (was_open) detector.forgive(i);  // fresh EWMA for readmission
+          if (healthy) {
+            br.record_success(now);
+            if (br.state() == fault::BreakerState::kClosed &&
+                r.state == Replica::State::kWarm) {
+              pool.set_enabled(i, true);
+              if (r.down_pending) {
+                r.down_pending = false;
+                --crashes_outstanding;
+                ++warm;
+                res.peak_warm = std::max(res.peak_warm, warm);
+                rec_pending[i].recovered_ns = now;
+                res.recoveries.push_back(rec_pending[i]);
+              }
+              if (r.mig_pending) {
+                r.mig_pending = false;
+                --migrations_active;
+                mig_pending[i].readmitted_ns = now;
+                res.migrations.push_back(mig_pending[i]);
+              }
             }
+          } else {
+            br.record_failure(now);
           }
-        } else {
-          br.record_failure(now);
         }
       }
       if (r.state == Replica::State::kDown &&
@@ -521,17 +835,18 @@ ClusterResult ClusterExperiment::run_with_model(
     std::uint64_t busy = 0;
     for (const Replica& r : replicas) busy += r.queue.backlog();
     if (issued < cfg_.requests || busy > 0 || crashes_outstanding > 0 ||
-        windows_active > 0 || breakers_open)
+        windows_active > 0 || breakers_open || migrations_active > 0)
       events.after(cfg_.probe_interval_ns, probe);
   };
 
   // --- load generation -----------------------------------------------------
   std::function<void()> on_open_arrival = [&] {
     const std::uint64_t id = issued++;
-    arrival_ns.push_back(clock.now());
-    attempt_of.push_back(0);
+    Req rq;
+    rq.arrival = clock.now();
+    reqs.push_back(rq);
     ++res.offered;
-    dispatch(id);
+    dispatch(id, 0);
     if (issued < cfg_.requests) events.after(arrivals.next_gap(),
                                              on_open_arrival);
   };
@@ -539,16 +854,16 @@ ClusterResult ClusterExperiment::run_with_model(
   client_issue = [&](int c) {
     if (issued >= cfg_.requests) return;
     const std::uint64_t id = issued++;
-    arrival_ns.push_back(clock.now());
-    attempt_of.push_back(0);
-    client_of.push_back(c);
+    Req rq;
+    rq.arrival = clock.now();
+    rq.client = c;
+    reqs.push_back(rq);
     ++res.offered;
-    if (!dispatch(id))  // rejected: the client backs off one think time
+    if (!dispatch(id, 0))  // rejected: the client backs off one think time
       events.after(cfg_.think_ns, [&, c] { client_issue(c); });
   };
 
   if (closed) {
-    client_of.reserve(arrival_ns.capacity());
     for (int c = 0; c < cfg_.closed_loop_clients; ++c)
       events.after(static_cast<double>(c) * sim::kUs,
                    [&, c] { client_issue(c); });
@@ -598,9 +913,10 @@ ClusterResult ClusterExperiment::run_with_model(
         if (replicas[i].state != Replica::State::kWarm) continue;
         if (!replicas[i].queue.idle() || pool.member(i).in_flight != 0)
           continue;
-        // Never park a replica mid-recovery: it looks idle only because
-        // its breaker still holds traffic off it.
-        if (chaos && (replicas[i].down_pending ||
+        // Never park a replica mid-recovery or mid-migration: it looks
+        // idle only because its breaker still holds traffic off it.
+        if (chaos && (replicas[i].down_pending || replicas[i].migrating ||
+                      replicas[i].mig_pending ||
                       breakers[i].state() != fault::BreakerState::kClosed))
           continue;
         replicas[i].state = Replica::State::kParked;
@@ -611,7 +927,8 @@ ClusterResult ClusterExperiment::run_with_model(
     }
     const bool work_left =
         issued < cfg_.requests || in_service + queued > 0 || booting > 0 ||
-        (chaos && (crashes_outstanding > 0 || windows_active > 0));
+        (chaos && (crashes_outstanding > 0 || windows_active > 0 ||
+                   migrations_active > 0));
     if (work_left) events.after(scfg.tick_ns, tick);
   };
   events.after(scfg.tick_ns, tick);
@@ -665,6 +982,42 @@ ClusterResult ClusterExperiment::run_with_model(
             });
           }
           break;
+        case fault::FaultKind::kLinkSlow:
+          // Replica-addressed only: the fabric-level (src/dst) form is for
+          // net::Network via fault::LinkFaultDriver, not the cluster sim.
+          if (e.src.empty() && idx < replicas.size()) {
+            events.at(e.at_ns, [&, idx, d = e.delay_ns] {
+              ++windows_active;
+              replicas[idx].link_delay = d;
+            });
+            events.at(e.at_ns + e.duration_ns, [&, idx] {
+              --windows_active;
+              if (replicas[idx].state == Replica::State::kDown ||
+                  replicas[idx].state == Replica::State::kRecovering)
+                return;
+              if (replicas[idx].migrating || replicas[idx].mig_pending)
+                return;  // migration already moved it off the slow host
+              replicas[idx].link_delay = 0;
+            });
+          }
+          break;
+        case fault::FaultKind::kLinkDown:
+          if (e.src.empty() && idx < replicas.size()) {
+            events.at(e.at_ns, [&, idx] {
+              ++windows_active;
+              replicas[idx].resp_link_down = true;
+            });
+            events.at(e.at_ns + e.duration_ns, [&, idx] {
+              --windows_active;
+              if (replicas[idx].state == Replica::State::kDown ||
+                  replicas[idx].state == Replica::State::kRecovering)
+                return;
+              if (replicas[idx].migrating || replicas[idx].mig_pending)
+                return;
+              replicas[idx].resp_link_down = false;
+            });
+          }
+          break;
         case fault::FaultKind::kAttestOutage:
           // Consulted via `outages` when scheduling re-attestation; the
           // window only needs to keep the probe/tick chains alive.
@@ -679,6 +1032,7 @@ ClusterResult ClusterExperiment::run_with_model(
 
   res.makespan_ns = clock.now();
   res.scaler_trace = scaler.trace();
+  res.hedge_threshold_ns = hedge.threshold_ns();
 
   if (tracer) {
     const std::string run_name =
@@ -750,8 +1104,11 @@ ClusterResult ClusterExperiment::run_with_model(
         const std::uint32_t sp = fleet.add_span(
             obs::Category::kFault,
             "fault." + std::string(fault::to_string(e.kind)), e.at_ns, end);
-        fleet.set_attr(sp, "replica",
-                       "replica-" + std::to_string(e.replica));
+        if (e.src.empty())
+          fleet.set_attr(sp, "replica",
+                         "replica-" + std::to_string(e.replica));
+        else
+          fleet.set_attr(sp, "link", e.src + "->" + e.dst);
       }
       // Recovery spans with boot + re-attest children: the boot/attest
       // sub-intervals are what attribute the secure-vs-normal TTR gap.
@@ -767,6 +1124,41 @@ ClusterResult ClusterExperiment::run_with_model(
         if (rs.attest_end_ns > rs.attest_start_ns)
           fleet.add_span(obs::Category::kAttest, "recovery.attest",
                          rs.attest_start_ns, rs.attest_end_ns, sp);
+      }
+      // Hedge lifecycle: fires as instants (wins/waste are run aggregates;
+      // per-fire attribution names both contenders).
+      for (const HedgeEvent& h : hedge_events)
+        fleet.instant_at(
+            "hedge.fire", h.fire_ns,
+            {{"request", std::to_string(h.id)},
+             {"primary", "replica-" + std::to_string(h.primary)},
+             {"backup", "replica-" + std::to_string(h.backup)}});
+      // Migration phase trees, symmetrical with recovery spans.
+      for (const MigrationSample& ms : res.migrations) {
+        const fault::MigrationSchedule& sc = ms.sched;
+        const std::uint32_t sp =
+            fleet.add_span(obs::Category::kMigration, "replica.migration",
+                           sc.detect_ns, ms.readmitted_ns);
+        fleet.set_attr(sp, "replica",
+                       "replica-" + std::to_string(ms.replica));
+        fleet.set_attr(sp, "ttr_ns", fmt_ns(ms.ttr_ns()));
+        fleet.add_span(obs::Category::kMigration, "migrate.precopy",
+                       sc.detect_ns, sc.precopy_end_ns, sp);
+        if (sc.drain_end_ns > sc.detect_ns)
+          fleet.add_span(obs::Category::kMigration, "migrate.drain",
+                         sc.detect_ns, sc.drain_end_ns, sp);
+        fleet.add_span(obs::Category::kMigration, "migrate.stopcopy",
+                       sc.blackout_start_ns,
+                       sc.blackout_start_ns + mig_costs.stop_copy_ns, sp);
+        if (mig_costs.reaccept_ns > 0)
+          fleet.add_span(obs::Category::kMigration, "migrate.reaccept",
+                         sc.blackout_start_ns + mig_costs.stop_copy_ns,
+                         sc.blackout_start_ns + mig_costs.stop_copy_ns +
+                             mig_costs.reaccept_ns,
+                         sp);
+        if (sc.blackout_end_ns > sc.reattest_start_ns)
+          fleet.add_span(obs::Category::kAttest, "migrate.reattest",
+                         sc.reattest_start_ns, sc.blackout_end_ns, sp);
       }
     }
 
@@ -784,6 +1176,15 @@ ClusterResult ClusterExperiment::run_with_model(
       reg.counter("cluster.failovers") += res.failovers;
       reg.counter("cluster.crashes") += res.crashes;
       reg.histogram("cluster.latency_fault_ns").merge(res.latency_fault);
+      if (cfg_.hedge.enabled) {
+        reg.counter("cluster.hedges") += res.hedges;
+        reg.counter("cluster.hedge_wins") += res.hedge_wins;
+        reg.counter("cluster.hedge_waste") += res.hedge_waste;
+      }
+      if (cfg_.outlier.enabled)
+        reg.counter("cluster.gray_trips") += res.gray_trips;
+      if (!res.migrations.empty())
+        reg.counter("cluster.migrations") += res.migrations.size();
     }
   }
   return res;

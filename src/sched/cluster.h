@@ -28,6 +28,9 @@
 #include "core/confbench.h"
 #include "fault/breaker.h"
 #include "fault/fault.h"
+#include "fault/hedge.h"
+#include "fault/migrate.h"
+#include "fault/outlier.h"
 #include "fault/recovery.h"
 #include "fault/retry.h"
 #include "metrics/histogram.h"
@@ -74,6 +77,17 @@ struct ServiceModel {
                                               bool secure, int probes = 4);
 };
 
+/// What the cluster does with a replica whose breaker tripped on *gray*
+/// evidence (OutlierDetector flag on a live replica) rather than fail-stop
+/// evidence.
+enum class DegradeResponse : std::uint8_t {
+  kNone,     ///< take it out of rotation until the breaker re-closes
+  kReboot,   ///< treat like a crash: kill + cold recovery (boot + attest)
+  kMigrate,  ///< planned drain + live-migrate (fault::MigrationPlanner)
+};
+
+std::string_view to_string(DegradeResponse r);
+
 struct ClusterConfig {
   std::string function = "iostress";
   std::string language = "go";
@@ -114,6 +128,25 @@ struct ClusterConfig {
   /// at its all-zero default.
   fault::RecoveryCosts recovery;
 
+  /// Hedged requests: backup dispatch to a second replica once a request
+  /// outlives the learned latency quantile. Disabled by default — the
+  /// event stream is then bit-identical to a build without hedging.
+  fault::HedgeConfig hedge;
+  /// Gray-failure detection from per-replica latency EWMAs; feeds the
+  /// replica's breaker. Disabled by default.
+  fault::OutlierConfig outlier;
+  /// Response to a gray-tripped replica (only reachable with
+  /// outlier.enabled).
+  DegradeResponse degrade_response = DegradeResponse::kNone;
+  /// Live-migration costs for DegradeResponse::kMigrate. run() measures
+  /// them through the real boot-pair + re-attestation path
+  /// (fault::measure_migration) when left at the all-zero default;
+  /// run_with_model falls back to fractions of the model's cold start.
+  fault::MigrationCosts migration;
+  /// End-to-end request deadline (0 = none): failover attempts whose next
+  /// backoff cannot beat it give up with ErrorCode::kDeadlineExceeded.
+  sim::Ns deadline_ns = 0;
+
   /// When set, the run records the `trace_tail` slowest steady-state
   /// requests as span trees (queue wait / service / bounce wait / bounce)
   /// plus one fleet trace (cold-start spans, autoscaler decisions), and
@@ -137,6 +170,16 @@ struct RecoverySample {
   [[nodiscard]] sim::Ns ttr_ns() const { return recovered_ns - crash_ns; }
 };
 
+/// One replica's planned live migration, detection to traffic readmitted.
+struct MigrationSample {
+  std::uint32_t replica = 0;
+  fault::MigrationSchedule sched;
+  sim::Ns readmitted_ns = 0;  ///< breaker closed on the target
+  [[nodiscard]] sim::Ns ttr_ns() const {
+    return readmitted_ns - sched.detect_ns;
+  }
+};
+
 struct ClusterResult {
   ClusterConfig cfg;
   ServiceModel model;
@@ -153,9 +196,22 @@ struct ClusterResult {
   std::uint64_t retries = 0;   ///< failover re-dispatch attempts
   std::uint64_t failovers = 0; ///< requests that had to leave a replica
   std::uint64_t crashes = 0;   ///< replica crashes applied
+  // Hedged-request accounting. Hedges are *copies*, not requests: they
+  // never enter offered/completed/rejected/failed, so the accounted()
+  // invariant is unchanged by hedging.
+  std::uint64_t hedges = 0;          ///< backup dispatches fired
+  std::uint64_t hedge_wins = 0;      ///< request completed via its hedge
+  std::uint64_t hedge_waste = 0;     ///< losing copies that burned service
+  std::uint64_t hedge_cancelled = 0; ///< losing copies cancelled in-queue
+  /// Final learned hedge-arm delay (0 when hedging is off) — the
+  /// per-fleet threshold criterion (b) of the tail bench compares.
+  sim::Ns hedge_threshold_ns = 0;
+  std::uint64_t gray_trips = 0;  ///< breaker opens on outlier evidence
+  std::uint64_t responses_lost = 0;  ///< asymmetric-partition losses
   /// Terminal failure reasons -> count (typed, never string-matched).
   std::map<std::string, std::uint64_t> failure_codes;
   std::vector<RecoverySample> recoveries;
+  std::vector<MigrationSample> migrations;
   sim::Ns makespan_ns = 0;
   int peak_warm = 0;
   std::vector<AutoscalerSample> scaler_trace;
@@ -174,6 +230,7 @@ struct ClusterResult {
                    : 1.0;
   }
   [[nodiscard]] sim::Ns mean_ttr_ns() const;
+  [[nodiscard]] sim::Ns mean_migration_ttr_ns() const;
   /// Every offered request must end in exactly one bucket; the chaos tests
   /// assert this "zero lost requests" invariant after every run.
   [[nodiscard]] bool accounted() const {

@@ -30,6 +30,13 @@ void ReplicaQueue::complete() {
   if (in_service_ > 0) --in_service_;
 }
 
+bool ReplicaQueue::cancel(std::uint64_t request_id) {
+  const auto it = std::find(pending_.begin(), pending_.end(), request_id);
+  if (it == pending_.end()) return false;
+  pending_.erase(it);
+  return true;
+}
+
 std::vector<std::uint64_t> ReplicaQueue::evict_all() {
   std::vector<std::uint64_t> out(pending_.begin(), pending_.end());
   pending_.clear();

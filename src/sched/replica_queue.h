@@ -36,6 +36,11 @@ class ReplicaQueue {
   /// Releases one in-service slot (a request finished).
   void complete();
 
+  /// Removes one *pending* (not yet in-service) request, reclaiming its
+  /// buffer slot — the hedge-loser cancellation path. Returns false when
+  /// the id is not pending (already started or never admitted here).
+  [[nodiscard]] bool cancel(std::uint64_t request_id);
+
   /// Empties the queue (fault injection: the replica's VM died). Returns
   /// the evicted *pending* request ids in FIFO order and zeroes the
   /// in-service count — callers track in-service ids themselves and must

@@ -1,0 +1,435 @@
+// Tail-tolerance machinery: hedged requests, gray-failure outlier
+// detection, live-migration drain, typed retry verdicts and the fabric
+// link-fault driver — unit tests plus cluster integration runs mirroring
+// bench/tail_tolerance.
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "fault/fault.h"
+#include "fault/hedge.h"
+#include "fault/linkfault.h"
+#include "fault/migrate.h"
+#include "fault/outlier.h"
+#include "fault/retry.h"
+#include "net/network.h"
+#include "sched/cluster.h"
+#include "sim/time.h"
+
+namespace confbench::fault {
+namespace {
+
+using sim::kMs;
+using sim::kSec;
+using sim::kUs;
+
+// --- HedgePolicy ------------------------------------------------------------
+
+TEST(HedgePolicy, DisabledOrColdProducesNoThresholdAndNoHedges) {
+  HedgePolicy off;  // default config: disabled
+  for (int i = 0; i < 500; ++i) off.observe(10 * kMs);
+  EXPECT_DOUBLE_EQ(off.threshold_ns(), 0);
+  EXPECT_FALSE(off.allow(0, 1000));
+
+  HedgeConfig cfg;
+  cfg.enabled = true;
+  cfg.warmup = 10;
+  HedgePolicy warm(cfg);
+  for (int i = 0; i < 9; ++i) warm.observe(10 * kMs);
+  EXPECT_DOUBLE_EQ(warm.threshold_ns(), 0);  // still warming up
+  EXPECT_FALSE(warm.allow(0, 1000));
+  warm.observe(10 * kMs);
+  EXPECT_GT(warm.threshold_ns(), 0);
+  EXPECT_TRUE(warm.allow(0, 1000));
+}
+
+TEST(HedgePolicy, ThresholdTracksTheLatencyTail) {
+  HedgeConfig cfg;
+  cfg.enabled = true;
+  cfg.quantile = 0.9;
+  cfg.warmup = 10;
+  HedgePolicy p(cfg);
+  // Bimodal fleet: 90% fast, 10% straggling 10x slower. The learned arm
+  // delay must sit above the bulk and at-or-below the straggler mode.
+  for (int i = 0; i < 90; ++i) p.observe(10 * kMs);
+  for (int i = 0; i < 10; ++i) p.observe(100 * kMs);
+  const sim::Ns t = p.threshold_ns();
+  EXPECT_GT(t, 15 * kMs);   // above the bulk (and the 1.5x median floor)
+  EXPECT_LT(t, 120 * kMs);  // not beyond the stragglers
+}
+
+TEST(HedgePolicy, MedianFloorKeepsThresholdOutOfTheBulk) {
+  // Tight unimodal distribution: the configured quantile collapses onto
+  // the median bucket, so without the floor the fleet would hedge its own
+  // bulk. The floor pins the threshold at min_median_mult * median.
+  HedgeConfig cfg;
+  cfg.enabled = true;
+  cfg.quantile = 0.9;
+  cfg.warmup = 10;
+  cfg.min_median_mult = 1.5;
+  HedgePolicy p(cfg);
+  for (int i = 0; i < 200; ++i) p.observe(10 * kMs);
+  const double median = p.histogram().quantile(0.5);
+  EXPECT_GE(p.threshold_ns(), 1.5 * median - 1.0);
+}
+
+TEST(HedgePolicy, MinDelayFloorsFastFleets) {
+  HedgeConfig cfg;
+  cfg.enabled = true;
+  cfg.warmup = 1;
+  cfg.min_delay_ns = 1 * kMs;
+  HedgePolicy p(cfg);
+  for (int i = 0; i < 50; ++i) p.observe(2 * kUs);  // scheduling noise
+  EXPECT_DOUBLE_EQ(p.threshold_ns(), 1 * kMs);
+}
+
+TEST(HedgePolicy, BudgetFractionCapsFleetWideHedges) {
+  HedgeConfig cfg;
+  cfg.enabled = true;
+  cfg.warmup = 1;
+  cfg.budget_fraction = 0.05;
+  HedgePolicy p(cfg);
+  p.observe(10 * kMs);
+  EXPECT_TRUE(p.allow(0, 100));
+  EXPECT_TRUE(p.allow(4, 100));
+  EXPECT_FALSE(p.allow(5, 100));  // 5 >= 0.05 * 100 — cap reached
+  EXPECT_TRUE(p.allow(5, 200));   // offered load caught up
+
+  cfg.budget_fraction = 0;  // zero budget disables hedging outright
+  HedgePolicy none(cfg);
+  none.observe(10 * kMs);
+  EXPECT_FALSE(none.allow(0, 1000));
+}
+
+// --- OutlierDetector --------------------------------------------------------
+
+OutlierConfig detector_config() {
+  OutlierConfig cfg;
+  cfg.enabled = true;
+  cfg.alpha = 0.5;
+  cfg.ratio = 3.0;
+  cfg.min_samples = 5;
+  return cfg;
+}
+
+TEST(OutlierDetector, FlagsTheGraySlowReplicaOnly) {
+  OutlierDetector d(detector_config(), 3);
+  for (int i = 0; i < 10; ++i) {
+    d.observe(0, 10 * kMs);  // gray: answers, but 10x slower
+    d.observe(1, 1 * kMs);
+    d.observe(2, 1 * kMs);
+  }
+  EXPECT_TRUE(d.outlier(0));
+  EXPECT_FALSE(d.outlier(1));
+  EXPECT_FALSE(d.outlier(2));
+  EXPECT_GT(d.ewma_ns(0), 3.0 * d.fleet_median_ns());
+}
+
+TEST(OutlierDetector, RequiresMinSamplesAndPeers) {
+  OutlierDetector d(detector_config(), 3);
+  for (int i = 0; i < 4; ++i) {
+    d.observe(0, 100 * kMs);
+    d.observe(1, 1 * kMs);
+  }
+  EXPECT_FALSE(d.outlier(0));  // below min_samples
+  d.observe(0, 100 * kMs);
+  d.observe(1, 1 * kMs);
+  EXPECT_TRUE(d.outlier(0));  // both warmed: flags
+
+  // A lone warmed replica has no peers to deviate from.
+  OutlierDetector lone(detector_config(), 3);
+  for (int i = 0; i < 10; ++i) lone.observe(0, 100 * kMs);
+  EXPECT_FALSE(lone.outlier(0));
+}
+
+TEST(OutlierDetector, ForgiveResetsReadmittedReplicas) {
+  OutlierDetector d(detector_config(), 2);
+  for (int i = 0; i < 10; ++i) {
+    d.observe(0, 10 * kMs);
+    d.observe(1, 1 * kMs);
+  }
+  ASSERT_TRUE(d.outlier(0));
+  d.forgive(0);
+  EXPECT_FALSE(d.outlier(0));  // stale EWMA gone: no instant re-trip
+  EXPECT_DOUBLE_EQ(d.ewma_ns(0), 0);
+}
+
+TEST(OutlierDetector, DisabledNeverFlags) {
+  OutlierConfig cfg = detector_config();
+  cfg.enabled = false;
+  OutlierDetector d(cfg, 2);
+  for (int i = 0; i < 50; ++i) {
+    d.observe(0, 100 * kMs);
+    d.observe(1, 1 * kMs);
+  }
+  EXPECT_FALSE(d.outlier(0));
+}
+
+// --- MigrationPlanner / measure_migration -----------------------------------
+
+TEST(MigrationPlanner, PhasesAreOrderedAndDrainOverlapsPrecopy) {
+  const MigrationCosts costs{.pre_copy_ns = 100 * kMs,
+                             .stop_copy_ns = 10 * kMs,
+                             .reaccept_ns = 5 * kMs,
+                             .reattest_ns = 20 * kMs};
+  const MigrationPlanner planner(costs, {});
+  // Backlog drains while pre-copy streams: blackout starts at the later of
+  // the two, here the pre-copy end.
+  const MigrationSchedule s = planner.plan(1 * kSec, 1 * kSec + 40 * kMs);
+  EXPECT_DOUBLE_EQ(s.precopy_end_ns, 1 * kSec + 100 * kMs);
+  EXPECT_DOUBLE_EQ(s.drain_end_ns, 1 * kSec + 40 * kMs);
+  EXPECT_DOUBLE_EQ(s.blackout_start_ns, s.precopy_end_ns);
+  EXPECT_DOUBLE_EQ(s.reattest_start_ns, s.blackout_start_ns + 15 * kMs);
+  EXPECT_DOUBLE_EQ(s.blackout_end_ns, s.reattest_start_ns + 20 * kMs);
+  EXPECT_DOUBLE_EQ(s.ttr_ns(), 135 * kMs);
+
+  // A slow drain pushes the blackout past the pre-copy end instead.
+  const MigrationSchedule slow = planner.plan(1 * kSec, 1 * kSec + 300 * kMs);
+  EXPECT_DOUBLE_EQ(slow.blackout_start_ns, 1 * kSec + 300 * kMs);
+}
+
+TEST(MigrationPlanner, AttestOutageStallsOnlyTheReattestStep) {
+  const MigrationCosts secure{.pre_copy_ns = 100 * kMs,
+                              .stop_copy_ns = 10 * kMs,
+                              .reaccept_ns = 5 * kMs,
+                              .reattest_ns = 20 * kMs};
+  // Re-attest would start at 115ms, inside the [110ms, 200ms) outage: it
+  // waits the window out, exactly like crash recovery.
+  const MigrationPlanner stalled(secure, {{110 * kMs, 200 * kMs}});
+  const MigrationSchedule s = stalled.plan(0, 0);
+  EXPECT_DOUBLE_EQ(s.reattest_start_ns, 200 * kMs);
+  EXPECT_DOUBLE_EQ(s.blackout_end_ns, 220 * kMs);
+
+  // A normal VM (no re-attestation) sails through the same outage.
+  MigrationCosts normal = secure;
+  normal.reaccept_ns = 0;
+  normal.reattest_ns = 0;
+  const MigrationPlanner unaffected(normal, {{110 * kMs, 200 * kMs}});
+  EXPECT_DOUBLE_EQ(unaffected.plan(0, 0).blackout_end_ns, 110 * kMs);
+}
+
+TEST(Migration, SecureMigrationPaysReacceptanceAndReattestation) {
+  for (const char* plat : {"tdx", "sev-snp", "cca"}) {
+    const MigrationCosts normal = measure_migration(plat, false);
+    const MigrationCosts secure = measure_migration(plat, true);
+    EXPECT_GT(normal.pre_copy_ns, 0) << plat;
+    EXPECT_DOUBLE_EQ(normal.reaccept_ns, 0) << plat;
+    EXPECT_DOUBLE_EQ(normal.reattest_ns, 0) << plat;
+    // Encrypted per-page export makes every secure copy phase dearer, and
+    // re-acceptance + re-attest widen the blackout beyond stop-copy alone.
+    EXPECT_GT(secure.stop_copy_ns, normal.stop_copy_ns) << plat;
+    EXPECT_GT(secure.reaccept_ns, 0) << plat;
+    EXPECT_GT(secure.blackout_ns(), normal.blackout_ns()) << plat;
+    EXPECT_GT(secure.total_ns(), normal.total_ns()) << plat;
+  }
+  EXPECT_THROW(measure_migration("not-a-platform", true),
+               std::invalid_argument);
+}
+
+// --- RetryVerdict -----------------------------------------------------------
+
+TEST(RetryVerdict, ChecksRunInAttemptsBudgetDeadlineOrder) {
+  RetryConfig cfg;
+  cfg.max_attempts = 3;
+  cfg.budget_ns = 50 * kMs;
+  cfg.base_backoff_ns = 40 * kMs;
+  cfg.jitter = 0;
+  const RetryPolicy p(cfg, 0);
+  EXPECT_EQ(p.verdict(1, 10 * kMs, 0), RetryVerdict::kRetry);
+  // Attempts exhausted wins even when budget and deadline are also blown.
+  EXPECT_EQ(p.verdict(3, 60 * kMs, 10 * kMs),
+            RetryVerdict::kAttemptsExhausted);
+  // Budget beats deadline when both would refuse.
+  EXPECT_EQ(p.verdict(1, 50 * kMs, 10 * kMs), RetryVerdict::kBudgetExhausted);
+  // Deadline refusal: 30ms spent + 40ms backoff cannot beat 60ms.
+  EXPECT_EQ(p.verdict(1, 30 * kMs, 60 * kMs), RetryVerdict::kDeadlineExceeded);
+  EXPECT_TRUE(p.should_retry(1, 10 * kMs, 0));
+  EXPECT_FALSE(p.should_retry(3, 0, 0));
+}
+
+TEST(RetryVerdict, VerdictsHaveStableNames) {
+  EXPECT_EQ(to_string(RetryVerdict::kRetry), "retry");
+  EXPECT_EQ(to_string(RetryVerdict::kAttemptsExhausted), "attempts_exhausted");
+  EXPECT_EQ(to_string(RetryVerdict::kBudgetExhausted), "budget_exhausted");
+  EXPECT_EQ(to_string(RetryVerdict::kDeadlineExceeded), "deadline_exceeded");
+}
+
+// --- LinkFaultDriver --------------------------------------------------------
+
+TEST(LinkFaultDriver, RepaysWindowsOntoTheFabricAndRestoresThem) {
+  net::Network fabric;
+  FaultPlan plan;
+  plan.slow_link(1 * kSec, 1 * kSec, "client", "h", 4.0)
+      .link_down(1 * kSec, 500 * kMs, "h", "client")
+      .slow_link(0, 2 * kSec, /*replica=*/0, 5 * kMs);  // cluster's business
+  LinkFaultDriver drv(fabric, plan);
+
+  drv.advance(0);  // replica-addressed event only: fabric untouched
+  EXPECT_EQ(fabric.link_state("client", "h"), net::LinkState::kUp);
+  EXPECT_EQ(drv.transitions(), 0u);
+
+  drv.advance(1200 * kMs);  // both windows active
+  EXPECT_EQ(fabric.link_state("client", "h"), net::LinkState::kSlow);
+  EXPECT_DOUBLE_EQ(fabric.link_factor("client", "h"), 4.0);
+  EXPECT_EQ(fabric.link_state("h", "client"), net::LinkState::kDown);
+
+  drv.advance(1600 * kMs);  // down window expired, slow still active
+  EXPECT_EQ(fabric.link_state("h", "client"), net::LinkState::kUp);
+  EXPECT_EQ(fabric.link_state("client", "h"), net::LinkState::kSlow);
+
+  drv.advance(2500 * kMs);  // everything restored
+  EXPECT_EQ(fabric.link_state("client", "h"), net::LinkState::kUp);
+  EXPECT_EQ(drv.transitions(), 4u);
+
+  EXPECT_THROW(drv.advance(1 * kSec), std::invalid_argument);
+}
+
+// --- Cluster integration ----------------------------------------------------
+
+sched::ClusterConfig tail_config() {
+  sched::ClusterConfig cfg;
+  cfg.requests = 4000;
+  cfg.rate_rps = 4000;
+  cfg.warmup_requests = 200;
+  cfg.seed = 7;
+  cfg.queue = {.concurrency = 8, .queue_depth = 32};
+  // Pre-warmed fixed fleet of 12: one slow replica is 8.3% of traffic,
+  // safely under the hedge quantile's tail mass (no threshold ratchet).
+  cfg.scaler = {.min_warm = 12, .max_replicas = 12, .tick_ns = 20 * kMs};
+  cfg.retry.max_attempts = 4;
+  return cfg;
+}
+
+sched::ServiceModel tail_model() {
+  sched::ServiceModel m;
+  m.parallel_ns = 1 * kMs;
+  m.serialized_ns = 0;
+  m.jitter_sigma = 0.02;
+  m.cold_start_ns = 0.5 * kSec;
+  return m;
+}
+
+TEST(ClusterTail, HedgingCutsGrayFailureTailWithinBudget) {
+  sched::ClusterConfig cfg = tail_config();
+  // One replica's responses arrive 20ms late for most of the run: gray —
+  // no timeout fires (20ms << detect_timeout), only the tail bloats.
+  cfg.faults.slow_link(100 * kMs, 800 * kMs, 0, 20 * kMs);
+
+  const sched::ClusterResult base =
+      sched::ClusterExperiment(cfg).run_with_model(tail_model());
+
+  cfg.hedge.enabled = true;
+  cfg.hedge.quantile = 0.9;
+  cfg.hedge.budget_fraction = 0.25;
+  const sched::ClusterResult hedged =
+      sched::ClusterExperiment(cfg).run_with_model(tail_model());
+
+  ASSERT_GT(base.latency_fault.count(), 0u);
+  ASSERT_GT(hedged.latency_fault.count(), 0u);
+  // Criterion (a): the backup dispatch hides the slow link's delay.
+  EXPECT_LT(hedged.latency_fault.quantile(0.99),
+            0.6 * base.latency_fault.quantile(0.99));
+  EXPECT_GT(hedged.hedges, 0u);
+  EXPECT_GT(hedged.hedge_wins, 0u);
+  EXPECT_LE(hedged.hedge_wins, hedged.hedges);
+  EXPECT_GT(hedged.hedge_threshold_ns, 0);
+  // Fleet-wide amplification stayed within the budget fraction.
+  EXPECT_LE(static_cast<double>(hedged.hedges),
+            cfg.hedge.budget_fraction * static_cast<double>(hedged.offered));
+  // Hedges are copies, not requests: zero-lost-requests holds throughout.
+  EXPECT_TRUE(base.accounted());
+  EXPECT_TRUE(hedged.accounted());
+  EXPECT_EQ(hedged.offered, cfg.requests);
+}
+
+TEST(ClusterTail, AsymmetricPartitionLosesResponsesNotRequests) {
+  sched::ClusterConfig cfg = tail_config();
+  // Replica 0 keeps serving but its answers vanish: clients time out,
+  // breakers trip on the timeout evidence, hedges mask the wait.
+  cfg.faults.link_down(100 * kMs, 600 * kMs, 0);
+  cfg.hedge.enabled = true;
+  cfg.hedge.quantile = 0.9;
+  cfg.hedge.budget_fraction = 0.25;
+  const sched::ClusterResult r =
+      sched::ClusterExperiment(cfg).run_with_model(tail_model());
+  EXPECT_GT(r.responses_lost, 0u);
+  EXPECT_TRUE(r.accounted())
+      << "completed=" << r.completed << " rejected=" << r.rejected
+      << " failed=" << r.failed << " offered=" << r.offered;
+  EXPECT_GT(r.availability(), 0.95);
+}
+
+TEST(ClusterTail, GrayTripMigrationBeatsRebootForNormalVms) {
+  sched::ClusterConfig cfg = tail_config();
+  // Severe gray failure: 50ms extra on every response from replica 0. The
+  // outlier detector must trip the breaker even though nothing times out.
+  cfg.faults.slow_link(100 * kMs, 800 * kMs, 0, 50 * kMs);
+  cfg.outlier.enabled = true;
+  cfg.outlier.alpha = 0.3;
+  cfg.outlier.min_samples = 20;
+  cfg.recovery = {.boot_ns = 2 * kSec, .attest_ns = 0};  // normal VM reboot
+  cfg.migration = {.pre_copy_ns = 100 * kMs, .stop_copy_ns = 20 * kMs};
+
+  sched::ClusterConfig reboot_cfg = cfg;
+  reboot_cfg.degrade_response = sched::DegradeResponse::kReboot;
+  const sched::ClusterResult reboot =
+      sched::ClusterExperiment(reboot_cfg).run_with_model(tail_model());
+
+  sched::ClusterConfig mig_cfg = cfg;
+  mig_cfg.degrade_response = sched::DegradeResponse::kMigrate;
+  const sched::ClusterResult migrated =
+      sched::ClusterExperiment(mig_cfg).run_with_model(tail_model());
+
+  ASSERT_GT(reboot.gray_trips, 0u);
+  ASSERT_GT(migrated.gray_trips, 0u);
+  ASSERT_FALSE(reboot.recoveries.empty());
+  ASSERT_FALSE(migrated.migrations.empty());
+  // Criterion (c): a planned drain + tiny blackout restores the replica
+  // faster than a cold reboot for a normal VM.
+  EXPECT_GT(reboot.mean_ttr_ns(), 0);
+  EXPECT_GT(migrated.mean_migration_ttr_ns(), 0);
+  EXPECT_LT(migrated.mean_migration_ttr_ns(), reboot.mean_ttr_ns());
+  EXPECT_TRUE(reboot.accounted());
+  EXPECT_TRUE(migrated.accounted());
+}
+
+TEST(ClusterTail, DeadlineGiveUpsAreTypedNotSilent) {
+  sched::ClusterConfig cfg = tail_config();
+  cfg.scaler = {.min_warm = 2, .max_replicas = 2, .tick_ns = 20 * kMs};
+  cfg.rate_rps = 2000;
+  cfg.faults.crash(300 * kMs, 0);
+  cfg.recovery = {.boot_ns = 1 * kSec, .attest_ns = 0};
+  // Every failover backoff (40ms, no jitter) lands past the 30ms deadline,
+  // so each crash victim must give up with a typed deadline verdict.
+  cfg.retry.max_attempts = 10;
+  cfg.retry.base_backoff_ns = 40 * kMs;
+  cfg.retry.jitter = 0;
+  cfg.deadline_ns = 30 * kMs;
+  const sched::ClusterResult r =
+      sched::ClusterExperiment(cfg).run_with_model(tail_model());
+  EXPECT_GT(r.failed, 0u);
+  ASSERT_EQ(r.failure_codes.count("deadline_exceeded"), 1u)
+      << "give-ups must be attributed with core::ErrorCode";
+  EXPECT_GT(r.failure_codes.at("deadline_exceeded"), 0u);
+  EXPECT_TRUE(r.accounted());
+}
+
+TEST(ClusterTail, TailMachineryDefaultsOffLeavesChaosRunsUntouched) {
+  // The entire tail-tolerance layer is opt-in: a plain chaos run must not
+  // record a single hedge, gray trip, migration or lost response.
+  sched::ClusterConfig cfg = tail_config();
+  cfg.faults.crash(300 * kMs, 1);
+  cfg.recovery = {.boot_ns = 1 * kSec, .attest_ns = 0};
+  const sched::ClusterResult r =
+      sched::ClusterExperiment(cfg).run_with_model(tail_model());
+  EXPECT_EQ(r.hedges, 0u);
+  EXPECT_EQ(r.hedge_wins + r.hedge_waste + r.hedge_cancelled, 0u);
+  EXPECT_DOUBLE_EQ(r.hedge_threshold_ns, 0);
+  EXPECT_EQ(r.gray_trips, 0u);
+  EXPECT_EQ(r.responses_lost, 0u);
+  EXPECT_TRUE(r.migrations.empty());
+  EXPECT_TRUE(r.accounted());
+}
+
+}  // namespace
+}  // namespace confbench::fault

@@ -183,6 +183,42 @@ TEST(CircuitBreaker, HalfOpenFailureReopensAndRestartsCooldown) {
   EXPECT_TRUE(br.allow(210 * kMs));
 }
 
+TEST(CircuitBreaker, HalfOpenRaceStaleTimeoutReopensExactlyOnce) {
+  // Out-of-order outcomes: a dispatch that timed out *before* the trip is
+  // reported while the breaker is already half-open with the probe still in
+  // flight. The stale failure re-opens once; the probe's own failure then
+  // lands in kOpen and is absorbed — times_opened() must not double-count.
+  CircuitBreaker br({.failure_threshold = 1, .open_cooldown_ns = 100 * kMs});
+  br.record_failure(0);
+  ASSERT_EQ(br.times_opened(), 1u);
+  ASSERT_TRUE(br.allow(100 * kMs));  // half-open, probe in flight
+  br.record_failure(105 * kMs);      // stale pre-trip timeout arrives
+  EXPECT_EQ(br.state(), BreakerState::kOpen);
+  EXPECT_EQ(br.times_opened(), 2u);
+  br.record_failure(110 * kMs);  // the probe's own failure: absorbed
+  EXPECT_EQ(br.times_opened(), 2u);
+  EXPECT_EQ(br.state(), BreakerState::kOpen);
+  // The probe slot did not leak: after the new cooldown (from 105ms)
+  // exactly one probe is admitted, and a second ask is refused.
+  EXPECT_FALSE(br.allow(204 * kMs));
+  EXPECT_TRUE(br.allow(205 * kMs));
+  EXPECT_FALSE(br.allow(206 * kMs));
+  br.record_success(210 * kMs);
+  EXPECT_EQ(br.state(), BreakerState::kClosed);
+}
+
+TEST(CircuitBreaker, LateSuccessWhileOpenIsNotProbeEvidence) {
+  // A reply from before the trip that arrives while open must not close
+  // the breaker or free a probe slot that was never granted.
+  CircuitBreaker br({.failure_threshold = 1, .open_cooldown_ns = 100 * kMs});
+  br.record_failure(0);
+  br.record_success(50 * kMs);  // late reply from before the trip
+  EXPECT_EQ(br.state(), BreakerState::kOpen);
+  EXPECT_FALSE(br.allow(60 * kMs));  // still cooling down
+  EXPECT_TRUE(br.allow(100 * kMs));  // normal half-open probe grant
+  EXPECT_FALSE(br.allow(101 * kMs));
+}
+
 // --- measure_recovery -------------------------------------------------------
 
 TEST(Recovery, SecureRecoveryIsSlowerOnEveryPlatform) {

@@ -198,5 +198,106 @@ TEST(NetworkFaults, PartitionedHostIsUnreachableWithoutRngDraws) {
   EXPECT_EQ(net.roundtrip("h", 80, HttpRequest{}).status, 200);
 }
 
+// (appended) --- directed links: gray failures and asymmetric partitions ----
+
+TEST(NetworkLinks, AsymmetricPartitionRunsHandlerButLosesResponse) {
+  Network net;
+  int served = 0;
+  net.bind("h", 80, [&served](const HttpRequest&) {
+    ++served;
+    return HttpResponse::make(200, "x");
+  });
+  // Down response path h -> client: the server does the work, the answer
+  // never arrives — the asymmetric-partition signature.
+  net.set_link("h", Network::kClientHost, LinkState::kDown);
+  EXPECT_EQ(net.roundtrip("h", 80, HttpRequest{}).status, 504);
+  EXPECT_EQ(served, 1);
+  EXPECT_EQ(net.faults_injected(), 1u);
+
+  // Down request path client -> h: short-circuits before the handler.
+  net.set_link("h", Network::kClientHost, LinkState::kUp);
+  net.set_link(Network::kClientHost, "h", LinkState::kDown);
+  EXPECT_EQ(net.roundtrip("h", 80, HttpRequest{}).status, 504);
+  EXPECT_EQ(served, 1);  // handler did not run this time
+
+  net.set_link(Network::kClientHost, "h", LinkState::kUp);
+  EXPECT_EQ(net.roundtrip("h", 80, HttpRequest{}).status, 200);
+  EXPECT_EQ(served, 2);
+}
+
+TEST(NetworkLinks, SubsetPartitionAffectsOnlyTheNamedPath) {
+  Network net;
+  auto ok = [](const HttpRequest&) { return HttpResponse::make(200, "y"); };
+  net.bind("b", 80, ok);
+  net.bind("c", 80, ok);
+  net.set_link(Network::kClientHost, "c", LinkState::kDown);
+  EXPECT_EQ(net.roundtrip("c", 80, HttpRequest{}).status, 504);
+  EXPECT_EQ(net.roundtrip("b", 80, HttpRequest{}).status, 200);
+  EXPECT_EQ(net.link_state(Network::kClientHost, "b"), LinkState::kUp);
+  EXPECT_EQ(net.link_state(Network::kClientHost, "c"), LinkState::kDown);
+}
+
+TEST(NetworkLinks, SlowLinkScalesLatencyWithoutPerturbingRng) {
+  // Same seed, same traffic: a factor-3 slow link must produce exactly 3x
+  // the reference wire time, because the jitter draw happens regardless of
+  // the factor (the slow path consumes the same RNG sequence).
+  auto ok = [](const HttpRequest&) { return HttpResponse::make(200, "z"); };
+  Network ref;
+  ref.bind("h", 80, ok);
+  ref.roundtrip("h", 80, HttpRequest{});
+  const sim::Ns first = ref.elapsed();
+
+  Network slow;
+  slow.bind("h", 80, ok);
+  slow.set_link(Network::kAnyHost, "h", LinkState::kSlow, 3.0);
+  EXPECT_EQ(slow.roundtrip("h", 80, HttpRequest{}).status, 200);
+  EXPECT_DOUBLE_EQ(slow.elapsed(), 3.0 * first);
+
+  // Restoring the link restores the unscaled latency AND the sequence.
+  ref.roundtrip("h", 80, HttpRequest{});
+  slow.set_link(Network::kAnyHost, "h", LinkState::kUp);
+  slow.roundtrip("h", 80, HttpRequest{});
+  EXPECT_DOUBLE_EQ(slow.elapsed() - 3.0 * first, ref.elapsed() - first);
+}
+
+TEST(NetworkLinks, DownWinsOverSlowAndFactorsCombineByMax) {
+  Network net;
+  net.set_link(Network::kAnyHost, "h", LinkState::kSlow, 2.0);
+  net.set_link(Network::kClientHost, "h", LinkState::kSlow, 5.0);
+  EXPECT_EQ(net.link_state(Network::kClientHost, "h"), LinkState::kSlow);
+  EXPECT_DOUBLE_EQ(net.link_factor(Network::kClientHost, "h"), 5.0);
+  // A down rule on any matching key beats every slow rule.
+  net.set_link(Network::kAnyHost, Network::kAnyHost, LinkState::kDown);
+  EXPECT_EQ(net.link_state(Network::kClientHost, "h"), LinkState::kDown);
+  EXPECT_DOUBLE_EQ(net.link_factor(Network::kClientHost, "h"), 1.0);
+  net.set_link(Network::kAnyHost, Network::kAnyHost, LinkState::kUp);
+  EXPECT_DOUBLE_EQ(net.link_factor(Network::kClientHost, "h"), 5.0);
+  EXPECT_THROW(net.set_link("a", "b", LinkState::kSlow, 0.5),
+               std::invalid_argument);
+}
+
+TEST(NetworkLinks, LiftingPartitionRestoresUnpartitionedRandomSequence) {
+  // Regression: a lifted partition must leave the fabric's RNG exactly
+  // where an never-partitioned fabric would be, so experiments that heal
+  // are byte-comparable to experiments that never failed.
+  auto ok = [](const HttpRequest&) { return HttpResponse::make(200, "w"); };
+  Network ref;
+  ref.bind("h", 80, ok);
+  for (int i = 0; i < 4; ++i) ref.roundtrip("h", 80, HttpRequest{});
+
+  Network net;
+  net.bind("h", 80, ok);
+  net.roundtrip("h", 80, HttpRequest{});
+  net.set_link(Network::kClientHost, "h", LinkState::kDown);
+  net.roundtrip("h", 80, HttpRequest{});  // 504, no RNG draw
+  net.roundtrip("h", 80, HttpRequest{});  // 504, no RNG draw
+  net.set_link(Network::kClientHost, "h", LinkState::kUp);
+  for (int i = 0; i < 3; ++i)
+    EXPECT_EQ(net.roundtrip("h", 80, HttpRequest{}).status, 200);
+  // 4 successful trips each; the two timeouts only added the fault charge.
+  EXPECT_DOUBLE_EQ(net.elapsed() - 2 * net.faults().timeout_us * sim::kUs,
+                   ref.elapsed());
+}
+
 }  // namespace
 }  // namespace confbench::net
