@@ -5,19 +5,38 @@
 
 namespace confbench::fault {
 
-sim::Ns HedgePolicy::threshold_ns() const {
-  if (!cfg_.enabled || hist_.count() < cfg_.warmup) return 0;
+HedgePolicy::HedgePolicy(HedgeConfig cfg)
+    : cfg_(cfg), hists_(static_cast<std::size_t>(std::max(1, cfg.cost_classes))) {}
+
+std::size_t HedgePolicy::clamp_class(std::uint32_t cost_class) const {
+  return std::min<std::size_t>(cost_class, hists_.size() - 1);
+}
+
+void HedgePolicy::observe(std::uint32_t cost_class, sim::Ns latency_ns) {
+  hists_[clamp_class(cost_class)].record(latency_ns);
+}
+
+sim::Ns HedgePolicy::threshold_ns(std::uint32_t cost_class) const {
+  const auto& hist = hists_[clamp_class(cost_class)];
+  if (!cfg_.enabled || hist.count() < cfg_.warmup) return 0;
   // The median floor keeps the arm delay out of the latency bulk even when
   // bucket quantization collapses the configured quantile onto it.
-  const double q = std::max(hist_.quantile(cfg_.quantile),
-                            cfg_.min_median_mult * hist_.quantile(0.5));
+  const double q = std::max(hist.quantile(cfg_.quantile),
+                            cfg_.min_median_mult * hist.quantile(0.5));
   return std::max(cfg_.min_delay_ns,
                   static_cast<sim::Ns>(std::llround(q)));
 }
 
 bool HedgePolicy::allow(std::uint64_t hedges_fired,
                         std::uint64_t offered) const {
-  if (!cfg_.enabled || hist_.count() < cfg_.warmup) return false;
+  if (!cfg_.enabled) return false;
+  // Any warm class may hedge; cold classes are already gated by their zero
+  // threshold_ns(), so the fleet-wide check only needs one warm histogram.
+  const bool any_warm =
+      std::any_of(hists_.begin(), hists_.end(), [&](const auto& h) {
+        return h.count() >= cfg_.warmup;
+      });
+  if (!any_warm) return false;
   // Fleet-wide amplification cap: hedges may not exceed budget_fraction of
   // offered load. Strict '<' so a zero fraction disables hedging outright.
   return static_cast<double>(hedges_fired) <

@@ -20,11 +20,22 @@
 //   * no threshold is produced until `warmup` samples have been observed
 //     (an empty histogram would hedge everything).
 //
+// Workload-aware thresholds: on a mixed fleet a single fleet-global
+// histogram lets a heavy cost-class (an ML batch with 100x the service
+// time) inflate the learned threshold of every light one (FaaS calls that
+// should hedge at a few ms wait out the batch quantile instead). The
+// policy therefore keys its quantile histograms by *workload cost-class*:
+// observe() and threshold_ns() take a class index, each class learns its
+// own arm delay, and `cost_classes = 1` (the default) collapses to the old
+// fleet-global behaviour. The hedge budget stays fleet-wide — duplicated
+// work amplifies fleet load no matter which class burned it.
+//
 // The policy itself is pure decision logic: deterministic, no RNG, no event
 // wiring. The cluster scheduler owns the timers.
 #pragma once
 
 #include <cstdint>
+#include <vector>
 
 #include "metrics/histogram.h"
 #include "sim/time.h"
@@ -48,24 +59,35 @@ struct HedgeConfig {
   /// Fleet-wide cap: hedges fired may not exceed this fraction of offered
   /// requests.
   double budget_fraction = 0.05;
-  /// Completed-latency samples required before any hedge fires.
+  /// Completed-latency samples required before any hedge fires. Applies
+  /// per cost-class: a class produces no threshold (and so never arms)
+  /// until it has observed this many of its own completions.
   std::uint64_t warmup = 100;
+  /// Independent quantile histograms, one per workload cost-class. 1 keeps
+  /// the fleet-global behaviour; class indices at or above the count clamp
+  /// to the last class.
+  int cost_classes = 1;
 };
 
 class HedgePolicy {
  public:
-  explicit HedgePolicy(HedgeConfig cfg = {}) : cfg_(cfg) {}
+  explicit HedgePolicy(HedgeConfig cfg = {});
 
-  /// Feeds one completed-request latency into the online histogram.
-  void observe(sim::Ns latency_ns) { hist_.record(latency_ns); }
+  /// Feeds one completed-request latency into `cost_class`'s histogram.
+  void observe(std::uint32_t cost_class, sim::Ns latency_ns);
+  /// Single-class convenience (class 0): the pre-cost-class API.
+  void observe(sim::Ns latency_ns) { observe(0, latency_ns); }
 
-  /// Current hedge-arm delay: quantile(cfg.quantile) of observed latencies,
-  /// floored at both min_delay_ns and min_median_mult * median. Returns 0
-  /// ("do not arm") while disabled or during warmup.
-  [[nodiscard]] sim::Ns threshold_ns() const;
+  /// Current hedge-arm delay for `cost_class`: quantile(cfg.quantile) of
+  /// that class's observed latencies, floored at both min_delay_ns and
+  /// min_median_mult * its median. Returns 0 ("do not arm") while disabled
+  /// or while the class is still warming up — a cold class never hedges
+  /// off another class's distribution.
+  [[nodiscard]] sim::Ns threshold_ns(std::uint32_t cost_class = 0) const;
 
   /// May a hedge fire now, given fleet-wide counters? Checks enablement,
-  /// warmup and the budget_fraction cap (callers separately charge the
+  /// warmup (any class warm) and the budget_fraction cap — the budget is
+  /// deliberately fleet-wide, not per class (callers separately charge the
   /// per-request RetryPolicy attempt). Pure — does not count the hedge;
   /// call record_fired() once the backup is actually dispatched.
   [[nodiscard]] bool allow(std::uint64_t hedges_fired,
@@ -75,13 +97,16 @@ class HedgePolicy {
   [[nodiscard]] std::uint64_t fired() const { return fired_; }
 
   [[nodiscard]] const HedgeConfig& config() const { return cfg_; }
-  [[nodiscard]] const metrics::LogHistogram& histogram() const {
-    return hist_;
+  [[nodiscard]] const metrics::LogHistogram& histogram(
+      std::uint32_t cost_class = 0) const {
+    return hists_[clamp_class(cost_class)];
   }
 
  private:
+  [[nodiscard]] std::size_t clamp_class(std::uint32_t cost_class) const;
+
   HedgeConfig cfg_;
-  metrics::LogHistogram hist_;
+  std::vector<metrics::LogHistogram> hists_;  ///< one per cost-class
   std::uint64_t fired_ = 0;
 };
 

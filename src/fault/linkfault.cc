@@ -5,6 +5,21 @@
 
 namespace confbench::fault {
 
+std::optional<ReplicaLinkWindow> replica_link_view(const FaultEvent& e) {
+  if (e.kind != FaultKind::kLinkSlow && e.kind != FaultKind::kLinkDown)
+    return std::nullopt;
+  if (!e.src.empty()) return std::nullopt;  // host-addressed
+  return ReplicaLinkWindow{.down = e.kind == FaultKind::kLinkDown,
+                           .delay_ns = e.delay_ns};
+}
+
+LinkFaultDriver::LinkFaultDriver(net::Network& net, const FaultPlan& plan,
+                                 std::optional<ReplicaAddressing> replicas)
+    : net_(net), plan_(plan), replicas_(std::move(replicas)) {
+  if (replicas_ && replicas_->hop_ns <= 0)
+    throw std::invalid_argument("ReplicaAddressing::hop_ns must be > 0");
+}
+
 void LinkFaultDriver::advance(sim::Ns now) {
   if (now < last_now_)
     throw std::invalid_argument("LinkFaultDriver::advance: time went back");
@@ -15,17 +30,34 @@ void LinkFaultDriver::advance(sim::Ns now) {
   for (const FaultEvent& e : plan_.events()) {
     if (e.kind != FaultKind::kLinkSlow && e.kind != FaultKind::kLinkDown)
       continue;
-    if (e.src.empty()) continue;  // replica-addressed: cluster sim's job
     if (!(e.at_ns <= now && now < e.at_ns + e.duration_ns)) continue;
-    auto& slot = want.emplace(std::make_pair(e.src, e.dst),
-                              std::make_pair(net::LinkState::kUp, 1.0))
-                     .first->second;
-    if (e.kind == FaultKind::kLinkDown) {
+    std::pair<std::string, std::string> key;
+    bool down;
+    double factor = 1.0;
+    if (const auto view = replica_link_view(e)) {
+      if (!replicas_) continue;  // default: cluster sim's job
+      // Response path of the replica's fabric host: requests still arrive,
+      // answers are lost (down) or delayed (slow).
+      key = {replicas_->host_prefix + std::to_string(e.replica),
+             net::Network::kAnyHost};
+      down = view->down;
+      if (!down)
+        factor = 1.0 + static_cast<double>(view->delay_ns) /
+                           static_cast<double>(replicas_->hop_ns);
+    } else {
+      key = {e.src, e.dst};
+      down = e.kind == FaultKind::kLinkDown;
+      factor = e.severity;
+    }
+    auto& slot =
+        want.emplace(key, std::make_pair(net::LinkState::kUp, 1.0))
+            .first->second;
+    if (down) {
       slot.first = net::LinkState::kDown;
       slot.second = 1.0;
     } else if (slot.first != net::LinkState::kDown) {
       slot.first = net::LinkState::kSlow;
-      slot.second = std::max(slot.second, e.severity);
+      slot.second = std::max(slot.second, factor);
     }
   }
 

@@ -9,12 +9,22 @@
 // expiry clobbering the second. advance() is idempotent and requires a
 // monotone `now`.
 //
-// Replica-addressed link events are the cluster simulation's business and
-// are ignored here.
+// Replica-addressed link events (src empty) are by default the cluster
+// simulation's business and are ignored here. Pass a ReplicaAddressing to
+// unify the two: the driver then folds replica-addressed windows onto the
+// fabric as directed rules on the replica's *response* path —
+// link_down(r) downs "<prefix>r" -> "*" (requests still arrive, answers
+// vanish: the asymmetric-partition signature), and slow_link(r, delay)
+// slows the same link by factor 1 + delay/hop_ns, so a fixed per-hop
+// latency of hop_ns reproduces exactly the extra `delay` the cluster sim
+// used to charge out of band. One FaultPlan, one replay mechanism, and
+// host-addressed windows on shard or client links compose with the
+// replica-addressed ones through ordinary link resolution.
 #pragma once
 
 #include <cstddef>
 #include <map>
+#include <optional>
 #include <string>
 #include <utility>
 
@@ -24,15 +34,43 @@
 
 namespace confbench::fault {
 
+/// Classified view of a replica-addressed link event: the response-path
+/// effect the cluster layer must apply during the window.
+struct ReplicaLinkWindow {
+  bool down = false;     ///< kLinkDown: responses lost entirely
+  sim::Ns delay_ns = 0;  ///< kLinkSlow: extra latency per response
+};
+
+/// Classifies `e` as a replica-addressed link event. Returns nullopt for
+/// host-addressed link events and for every non-link kind, so both the
+/// cluster simulation and the LinkFaultDriver consume one shared predicate
+/// instead of each hand-rolling `kind == ... && src.empty()` checks.
+[[nodiscard]] std::optional<ReplicaLinkWindow> replica_link_view(
+    const FaultEvent& e);
+
+/// Opt-in mapping from replica indices to fabric hosts, enabling the driver
+/// to replay replica-addressed windows as directed link rules.
+struct ReplicaAddressing {
+  /// Replica r lives at host "<host_prefix>r" on the fabric.
+  std::string host_prefix = "replica-";
+  /// Base one-way latency of the replica's response hop; slow windows map
+  /// to factor 1 + delay/hop_ns. Must be > 0.
+  sim::Ns hop_ns = 100 * sim::kUs;
+};
+
 class LinkFaultDriver {
  public:
-  /// Keeps a reference to both: the plan must outlive the driver.
-  LinkFaultDriver(net::Network& net, const FaultPlan& plan)
-      : net_(net), plan_(plan) {}
+  /// Keeps a reference to both: the plan must outlive the driver. With the
+  /// default (no ReplicaAddressing) the driver replays only host-addressed
+  /// windows; pass an addressing to also fold replica-addressed windows
+  /// onto the fabric (see the header comment). Throws
+  /// std::invalid_argument for a non-positive hop_ns.
+  LinkFaultDriver(net::Network& net, const FaultPlan& plan,
+                  std::optional<ReplicaAddressing> replicas = std::nullopt);
 
-  /// Applies the fabric state implied by all host-addressed link windows
-  /// active at `now` (start <= now < start + duration). Throws
-  /// std::invalid_argument if `now` moves backwards.
+  /// Applies the fabric state implied by all link windows active at `now`
+  /// (start <= now < start + duration). Throws std::invalid_argument if
+  /// `now` moves backwards.
   void advance(sim::Ns now);
 
   /// Number of set_link() transitions applied so far.
@@ -44,6 +82,7 @@ class LinkFaultDriver {
 
   net::Network& net_;
   const FaultPlan& plan_;
+  std::optional<ReplicaAddressing> replicas_;
   /// Directed-link state this driver applied last advance(); diffed against
   /// the desired state so rules owned by other callers (set_partitioned)
   /// are never touched and idle links are restored exactly once.

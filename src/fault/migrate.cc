@@ -18,6 +18,40 @@ constexpr double kPageExportCryptoNs = 2 * sim::kUs;
 
 }  // namespace
 
+std::string_view to_string(PlacementPolicy p) {
+  switch (p) {
+    case PlacementPolicy::kLeastLoaded:
+      return "least-loaded";
+    case PlacementPolicy::kAntiAffinity:
+      return "anti-affinity";
+  }
+  return "?";
+}
+
+std::size_t choose_target(PlacementPolicy policy,
+                          const std::vector<PlacementCandidate>& candidates,
+                          std::string_view source_rack) {
+  // Least-loaded over an index subset; strict '<' keeps ties on the lowest
+  // index, which is what makes the pick deterministic.
+  const auto least_loaded = [&](bool off_rack_only) -> std::size_t {
+    std::size_t best = candidates.size();
+    for (std::size_t i = 0; i < candidates.size(); ++i) {
+      if (off_rack_only && candidates[i].rack == source_rack) continue;
+      if (best == candidates.size() ||
+          candidates[i].load < candidates[best].load)
+        best = i;
+    }
+    return best;
+  };
+  if (policy == PlacementPolicy::kAntiAffinity) {
+    const std::size_t off_rack = least_loaded(/*off_rack_only=*/true);
+    if (off_rack != candidates.size()) return off_rack;
+    // Every candidate shares the source's rack: anti-affinity cannot be
+    // satisfied, degrade to plain least-loaded rather than refuse.
+  }
+  return least_loaded(/*off_rack_only=*/false);
+}
+
 MigrationCosts measure_migration(const std::string& platform, bool secure,
                                  const MigrationConfig& cfg) {
   tee::PlatformPtr plat = tee::Registry::instance().create(platform);

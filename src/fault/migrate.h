@@ -30,12 +30,40 @@
 
 #include <cstdint>
 #include <string>
+#include <string_view>
 #include <utility>
 #include <vector>
 
 #include "sim/time.h"
 
 namespace confbench::fault {
+
+/// Where a migrating guest lands. kLeastLoaded minimizes the target's
+/// post-migration backlog; kAntiAffinity keeps the guest off the source's
+/// rack first (a rack-level fault should not take out both incarnations)
+/// and breaks ties least-loaded. Both are deterministic: equal candidates
+/// resolve by list order.
+enum class PlacementPolicy : std::uint8_t { kLeastLoaded, kAntiAffinity };
+
+std::string_view to_string(PlacementPolicy p);
+
+/// One candidate target host for a migration.
+struct PlacementCandidate {
+  std::string host;        ///< target host name (exported in the trace note)
+  std::uint64_t load = 0;  ///< current backlog / in-flight work on the host
+  std::string rack;        ///< failure-domain label for anti-affinity
+};
+
+/// Picks the index of the migration target among `candidates` under
+/// `policy`. Anti-affinity prefers hosts outside `source_rack` (falling
+/// back to least-loaded across all candidates when every host shares the
+/// source's rack); least-loaded ignores racks entirely. Ties break by the
+/// lowest index, so the choice is deterministic for a fixed candidate
+/// order. Returns 0 for a single candidate; behaviour is undefined for an
+/// empty list (callers always have at least the source's pool peers).
+[[nodiscard]] std::size_t choose_target(
+    PlacementPolicy policy, const std::vector<PlacementCandidate>& candidates,
+    std::string_view source_rack);
 
 struct MigrationConfig {
   std::uint64_t ram_bytes = 1ULL << 30;    ///< migrated guest footprint

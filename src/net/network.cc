@@ -47,6 +47,11 @@ void Network::set_link(const std::string& src, const std::string& dst,
 
 std::pair<LinkState, double> Network::resolve_link(
     const std::string& src, const std::string& dst) const {
+  // The partition overlay outranks every explicit rule: a partitioned
+  // endpoint downs the path no matter what set_link installed for it, and
+  // lifting the overlay re-exposes those rules unchanged.
+  if (partitioned_.count(src) || partitioned_.count(dst))
+    return {LinkState::kDown, 1.0};
   // Any matching kDown rule wins; otherwise kSlow rules combine by max
   // factor. Wildcards participate on either side.
   LinkState state = LinkState::kUp;
@@ -73,17 +78,30 @@ double Network::link_factor(const std::string& src,
   return resolve_link(src, dst).second;
 }
 
+std::pair<LinkState, double> Network::path_state(
+    const std::vector<std::string>& hops) const {
+  LinkState state = LinkState::kUp;
+  double factor = 1.0;
+  for (std::size_t i = 0; i + 1 < hops.size(); ++i) {
+    const auto [s, f] = resolve_link(hops[i], hops[i + 1]);
+    if (s == LinkState::kDown) return {LinkState::kDown, 1.0};
+    if (s == LinkState::kSlow) {
+      state = LinkState::kSlow;
+      factor = std::max(factor, f);
+    }
+  }
+  return {state, factor};
+}
+
 void Network::set_partitioned(const std::string& host, bool partitioned) {
-  const LinkState s = partitioned ? LinkState::kDown : LinkState::kUp;
-  set_link(kAnyHost, host, s);
-  set_link(host, kAnyHost, s);
+  if (partitioned)
+    partitioned_.insert(host);
+  else
+    partitioned_.erase(host);
 }
 
 bool Network::partitioned(const std::string& host) const {
-  const auto in = links_.find({std::string(kAnyHost), host});
-  const auto out = links_.find({host, std::string(kAnyHost)});
-  return in != links_.end() && in->second.first == LinkState::kDown &&
-         out != links_.end() && out->second.first == LinkState::kDown;
+  return partitioned_.count(host) > 0;
 }
 
 void Network::bind(const std::string& host, std::uint16_t port,

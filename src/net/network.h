@@ -15,14 +15,25 @@
 // path, which expresses asymmetric partitions (A reaches B, B cannot answer
 // A), subset partitions (A sees B but not C) and gray failures — kSlow
 // links deliver every byte but inflate latency by a deterministic factor.
-// The wildcard host "*" matches any endpoint, and the legacy per-host
-// set_partitioned() is a thin wrapper that downs both wildcard directions.
+// The wildcard host "*" matches any endpoint.
+//
+// Precedence (defined, not last-writer-wins): set_partitioned() is an
+// *overlay*, not a pair of wildcard set_link rules. While a host is
+// partitioned every path touching it resolves kDown regardless of any
+// explicit set_link rule for the same (src, dst) pair; lifting the
+// partition restores the explicit rules exactly as they were. Explicit
+// rules never clobber the overlay and the overlay never erases explicit
+// rules — the two layers are independent, so a LinkFaultDriver window and
+// an operator partition on the same host compose instead of corrupting
+// each other.
 #pragma once
 
 #include <functional>
 #include <map>
+#include <set>
 #include <string>
 #include <utility>
+#include <vector>
 
 #include "net/http.h"
 #include "sim/rng.h"
@@ -88,13 +99,25 @@ class Network {
   [[nodiscard]] double link_factor(const std::string& src,
                                    const std::string& dst) const;
 
-  /// Marks a host (all its ports) unreachable / reachable again: a thin
-  /// wrapper over the link model that downs (or restores) both wildcard
-  /// directions "*" -> host and host -> "*". Round trips to a partitioned
+  /// Combined state of a directed multi-hop path, hops listed front to
+  /// back (e.g. {client, shard, replica} for a two-hop dispatch). Any down
+  /// hop downs the path; otherwise the path is slow with the factor of the
+  /// slowest hop (factors combine by max, matching resolve_link); an empty
+  /// or single-host path is trivially up.
+  [[nodiscard]] std::pair<LinkState, double> path_state(
+      const std::vector<std::string>& hops) const;
+
+  /// Marks a host (all its ports) unreachable / reachable again. This is a
+  /// partition *overlay*: while set, every path touching the host resolves
+  /// kDown — taking precedence over explicit set_link rules for the same
+  /// pair — and clearing it restores those rules untouched (see the header
+  /// comment for the precedence contract). Round trips to a partitioned
   /// host charge the fault timeout and return 504 without consuming any
   /// RNG draws, so lifting the partition restores the exact unpartitioned
   /// random sequence.
   void set_partitioned(const std::string& host, bool partitioned);
+  /// True while the overlay from set_partitioned(host, true) is active
+  /// (explicit set_link kDown rules do not count as a partition).
   [[nodiscard]] bool partitioned(const std::string& host) const;
 
   /// Binds a handler to "host:port". Throws if already bound.
@@ -132,6 +155,8 @@ class Network {
   /// Directed link rules, keyed (src, dst); kUp rules are never stored.
   std::map<std::pair<std::string, std::string>, std::pair<LinkState, double>>
       links_;
+  /// Hosts under a set_partitioned overlay (takes precedence over links_).
+  std::set<std::string> partitioned_;
   double rtt_us_;
   double per_kb_us_;
   FaultConfig faults_;

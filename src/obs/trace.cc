@@ -62,6 +62,8 @@ std::string_view to_string(Category c) {
       return "hedge";
     case Category::kMigration:
       return "migration";
+    case Category::kShard:
+      return "shard";
     case Category::kOther:
       return "other";
     case Category::kCount:

@@ -68,6 +68,7 @@ enum class Category : std::uint8_t {
   // Tail-tolerance spans (hedged requests, live migration).
   kHedge,         ///< hedge fire/win/waste of a backup dispatch
   kMigration,     ///< live-migration phase (pre-copy/drain/blackout)
+  kShard,         ///< sharded-frontend admission / cross-shard failover
   kOther,       ///< direct charges: sleeps, bootstrap constants, misc
   kCount
 };

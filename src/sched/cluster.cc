@@ -4,6 +4,7 @@
 #include <functional>
 #include <stdexcept>
 
+#include "fault/linkfault.h"
 #include "fault/retry.h"
 #include "metrics/json.h"
 #include "sim/clock.h"
@@ -756,6 +757,23 @@ ClusterResult ClusterExperiment::run_with_model(
     ms = MigrationSample{};
     ms.replica = idx;
     ms.sched.detect_ns = clock.now();
+    // Pick the landing host now, from the fleet's backlog at detection
+    // time: warm non-migrating peers are candidates, the source is not.
+    std::vector<fault::PlacementCandidate> cands;
+    for (std::uint32_t i = 0; i < replicas.size(); ++i) {
+      if (i == idx || replicas[i].state != Replica::State::kWarm ||
+          replicas[i].migrating)
+        continue;
+      cands.push_back(
+          {.host = "replica-" + std::to_string(i),
+           .load = static_cast<std::uint64_t>(replicas[i].queue.backlog()),
+           .rack = "rack-" + std::to_string(i / 4)});
+    }
+    if (!cands.empty())
+      ms.target_host =
+          cands[fault::choose_target(cfg_.placement, cands,
+                                     "rack-" + std::to_string(idx / 4))]
+              .host;
     // Admissions are already stopped (the gray trip disabled the pool
     // member); the backlog keeps serving while pre-copy runs underneath.
     check_drained(idx);
@@ -983,38 +1001,31 @@ ClusterResult ClusterExperiment::run_with_model(
           }
           break;
         case fault::FaultKind::kLinkSlow:
-          // Replica-addressed only: the fabric-level (src/dst) form is for
-          // net::Network via fault::LinkFaultDriver, not the cluster sim.
-          if (e.src.empty() && idx < replicas.size()) {
-            events.at(e.at_ns, [&, idx, d = e.delay_ns] {
-              ++windows_active;
-              replicas[idx].link_delay = d;
-            });
-            events.at(e.at_ns + e.duration_ns, [&, idx] {
-              --windows_active;
-              if (replicas[idx].state == Replica::State::kDown ||
-                  replicas[idx].state == Replica::State::kRecovering)
-                return;
-              if (replicas[idx].migrating || replicas[idx].mig_pending)
-                return;  // migration already moved it off the slow host
-              replicas[idx].link_delay = 0;
-            });
-          }
-          break;
         case fault::FaultKind::kLinkDown:
-          if (e.src.empty() && idx < replicas.size()) {
-            events.at(e.at_ns, [&, idx] {
+          // The shared classifier decides which link windows belong here:
+          // replica-addressed ones only. Host-addressed (src/dst) windows
+          // are net::Network's business via fault::LinkFaultDriver — and
+          // the sharded frontend replays *both* kinds through the fabric.
+          if (const auto view = fault::replica_link_view(e);
+              view && idx < replicas.size()) {
+            events.at(e.at_ns, [&, idx, v = *view] {
               ++windows_active;
-              replicas[idx].resp_link_down = true;
+              if (v.down)
+                replicas[idx].resp_link_down = true;
+              else
+                replicas[idx].link_delay = v.delay_ns;
             });
-            events.at(e.at_ns + e.duration_ns, [&, idx] {
+            events.at(e.at_ns + e.duration_ns, [&, idx, down = view->down] {
               --windows_active;
               if (replicas[idx].state == Replica::State::kDown ||
                   replicas[idx].state == Replica::State::kRecovering)
                 return;
               if (replicas[idx].migrating || replicas[idx].mig_pending)
-                return;
-              replicas[idx].resp_link_down = false;
+                return;  // migration already moved it off the bad host
+              if (down)
+                replicas[idx].resp_link_down = false;
+              else
+                replicas[idx].link_delay = 0;
             });
           }
           break;
@@ -1142,6 +1153,11 @@ ClusterResult ClusterExperiment::run_with_model(
         fleet.set_attr(sp, "replica",
                        "replica-" + std::to_string(ms.replica));
         fleet.set_attr(sp, "ttr_ns", fmt_ns(ms.ttr_ns()));
+        if (!ms.target_host.empty()) {
+          fleet.set_attr(sp, "target", ms.target_host);
+          fleet.set_attr(sp, "placement",
+                         std::string(fault::to_string(cfg_.placement)));
+        }
         fleet.add_span(obs::Category::kMigration, "migrate.precopy",
                        sc.detect_ns, sc.precopy_end_ns, sp);
         if (sc.drain_end_ns > sc.detect_ns)

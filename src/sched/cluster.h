@@ -143,6 +143,12 @@ struct ClusterConfig {
   /// (fault::measure_migration) when left at the all-zero default;
   /// run_with_model falls back to fractions of the model's cold start.
   fault::MigrationCosts migration;
+  /// Target selection for kMigrate: least-loaded (default) or anti-affinity
+  /// against the source's rack. Replica i lives on host "replica-i" in rack
+  /// "rack-<i/4>"; candidate load is the peer's current backlog at
+  /// detection time. The chosen host lands in MigrationSample::target_host
+  /// and in the fleet trace's migration span.
+  fault::PlacementPolicy placement = fault::PlacementPolicy::kLeastLoaded;
   /// End-to-end request deadline (0 = none): failover attempts whose next
   /// backoff cannot beat it give up with ErrorCode::kDeadlineExceeded.
   sim::Ns deadline_ns = 0;
@@ -173,6 +179,7 @@ struct RecoverySample {
 /// One replica's planned live migration, detection to traffic readmitted.
 struct MigrationSample {
   std::uint32_t replica = 0;
+  std::string target_host;  ///< placement choice (ClusterConfig::placement)
   fault::MigrationSchedule sched;
   sim::Ns readmitted_ns = 0;  ///< breaker closed on the target
   [[nodiscard]] sim::Ns ttr_ns() const {

@@ -1,0 +1,867 @@
+#include "sched/shard.h"
+
+#include <algorithm>
+#include <cmath>
+#include <deque>
+#include <functional>
+#include <stdexcept>
+#include <utility>
+
+#include "core/gateway.h"
+#include "core/pool.h"
+#include "fault/linkfault.h"
+#include "metrics/json.h"
+#include "net/network.h"
+#include "sched/event_queue.h"
+#include "sim/clock.h"
+#include "sim/rng.h"
+
+namespace confbench::sched {
+
+// --- HashRing ----------------------------------------------------------------
+
+HashRing::HashRing(const std::vector<std::string>& nodes, int vnodes)
+    : node_count_(nodes.size()) {
+  if (nodes.empty())
+    throw std::invalid_argument("HashRing: at least one node required");
+  if (vnodes <= 0) throw std::invalid_argument("HashRing: vnodes must be > 0");
+  points_.reserve(nodes.size() * static_cast<std::size_t>(vnodes));
+  for (std::uint32_t n = 0; n < nodes.size(); ++n)
+    for (int v = 0; v < vnodes; ++v)
+      points_.emplace_back(
+          sim::stable_hash(nodes[n] + "#" + std::to_string(v)), n);
+  // Sorting the (hash, node) pairs makes a hash collision between two
+  // nodes' points resolve by node index — identical on every platform.
+  std::sort(points_.begin(), points_.end());
+}
+
+std::uint32_t HashRing::owner(std::uint64_t key_hash) const {
+  auto it = std::lower_bound(points_.begin(), points_.end(),
+                             std::make_pair(key_hash, std::uint32_t{0}));
+  if (it == points_.end()) it = points_.begin();  // wrap
+  return it->second;
+}
+
+std::vector<std::uint32_t> HashRing::chain(std::uint64_t key_hash) const {
+  std::vector<std::uint32_t> out;
+  out.reserve(node_count_);
+  std::vector<bool> seen(node_count_, false);
+  auto it = std::lower_bound(points_.begin(), points_.end(),
+                             std::make_pair(key_hash, std::uint32_t{0}));
+  for (std::size_t step = 0;
+       step < points_.size() && out.size() < node_count_; ++step) {
+    if (it == points_.end()) it = points_.begin();
+    if (!seen[it->second]) {
+      seen[it->second] = true;
+      out.push_back(it->second);
+    }
+    ++it;
+  }
+  return out;
+}
+
+// --- ShardedFrontend ---------------------------------------------------------
+
+namespace {
+
+std::vector<std::string> make_shard_names(const ShardConfig& cfg,
+                                          int replicas) {
+  if (cfg.shards <= 0)
+    throw std::invalid_argument("ShardedFrontend: shards must be > 0");
+  if (replicas <= 0)
+    throw std::invalid_argument("ShardedFrontend: replicas must be > 0");
+  if (cfg.load_factor < 1.0)
+    throw std::invalid_argument("ShardedFrontend: load_factor must be >= 1");
+  std::vector<std::string> names;
+  names.reserve(static_cast<std::size_t>(cfg.shards));
+  for (int s = 0; s < cfg.shards; ++s)
+    names.push_back(ShardedFrontend::shard_host(s));
+  return names;
+}
+
+}  // namespace
+
+std::string ShardedFrontend::shard_host(int s) {
+  return "shard-" + std::to_string(s);
+}
+
+std::string ShardedFrontend::replica_host(std::uint32_t r) {
+  return "replica-" + std::to_string(r);
+}
+
+ShardedFrontend::ShardedFrontend(const ShardConfig& cfg, int replicas)
+    : ring_(make_shard_names(cfg, replicas), cfg.vnodes) {
+  slices_.resize(static_cast<std::size_t>(cfg.shards));
+  owner_.resize(static_cast<std::size_t>(replicas));
+  // Bounded-load cap: ceil(mean slice size * load_factor). The sum of caps
+  // is >= replicas, so the spill walk below always terminates on a shard
+  // with room.
+  const auto cap = static_cast<std::size_t>(std::ceil(
+      static_cast<double>(replicas) / cfg.shards * cfg.load_factor));
+  for (std::uint32_t r = 0; r < static_cast<std::uint32_t>(replicas); ++r) {
+    const auto ch = ring_.chain(sim::stable_hash(replica_host(r)));
+    std::uint32_t s = ch.front();
+    for (const std::uint32_t cand : ch)
+      if (slices_[cand].size() < cap) {
+        s = cand;
+        break;
+      }
+    slices_[s].push_back(r);
+    owner_[r] = s;
+  }
+}
+
+std::vector<std::uint32_t> ShardedFrontend::route(std::uint64_t id) const {
+  // SplitMix-style dispersion of the sequential ids, so consecutive
+  // requests spread over the whole ring instead of marching around it.
+  return ring_.chain(
+      sim::hash_combine(sim::stable_hash("shard-route"), id));
+}
+
+// --- ShardedResult -----------------------------------------------------------
+
+double ShardedResult::throughput_rps() const {
+  if (makespan_ns <= 0) return 0;
+  return static_cast<double>(completed) / (makespan_ns / sim::kSec);
+}
+
+std::string ShardedResult::to_json() const {
+  metrics::JsonWriter w;
+  w.begin_object();
+  w.key("platform").value(cfg.platform);
+  w.key("secure").value(cfg.secure);
+  w.key("rate_rps").value(cfg.rate_rps);
+  w.key("seed").value(cfg.seed);
+  w.key("shards").value(cfg.shard.shards);
+  w.key("replicas").value(cfg.replicas);
+  w.key("cross_admit_ns").value(cfg.shard.cross_admit_ns);
+  w.key("offered").value(offered);
+  w.key("completed").value(completed);
+  w.key("rejected").value(rejected);
+  w.key("failed").value(failed);
+  w.key("retries").value(retries);
+  w.key("failovers").value(failovers);
+  w.key("cross_failovers").value(cross_failovers);
+  w.key("shed").value(shed);
+  w.key("hedges").value(hedges);
+  w.key("hedge_wins").value(hedge_wins);
+  w.key("responses_lost").value(responses_lost);
+  w.key("availability").value(availability());
+  w.key("throughput_rps").value(throughput_rps());
+  w.key("makespan_ns").value(makespan_ns);
+  w.key("latency_ns");
+  w.begin_object();
+  w.key("p50").value(latency.p50());
+  w.key("p95").value(latency.p95());
+  w.key("p99").value(latency.p99());
+  w.key("mean").value(latency.mean());
+  w.end_object();
+  w.key("latency_intra_p99_ns").value(latency_intra.p99());
+  w.key("latency_cross_p99_ns").value(latency_cross.p99());
+  w.key("latency_fault_p99_ns").value(latency_fault.p99());
+  w.end_object();
+  return w.str();
+}
+
+// --- ShardedExperiment -------------------------------------------------------
+
+namespace {
+
+/// One in-flight copy of a request (primary + optional hedge backup).
+struct SCopy {
+  enum class Where : std::uint8_t {
+    kNone,
+    kQueued,
+    kActive,
+    kBlackhole,
+    kDone
+  };
+  std::uint32_t replica = 0;  ///< global replica index
+  std::uint32_t shard = 0;    ///< shard that dispatched this copy
+  sim::Ns dispatched_ns = 0;
+  sim::Ns req_hop_ns = 0;  ///< request-path fabric latency (charged with the
+                           ///< response so queue dynamics stay simple)
+  Where where = Where::kNone;
+};
+
+struct SReq {
+  sim::Ns arrival = 0;
+  std::uint32_t cls = 0;  ///< workload cost-class index
+  int attempts = 0;       ///< failovers + hedges (shared retry budget)
+  int chain_pos = 0;      ///< current position in `chain`
+  bool done = false;
+  bool hedged = false;
+  bool crossed = false;        ///< ever admitted off the home shard
+  bool retried_intra = false;  ///< ever re-dispatched within a shard
+  std::vector<std::uint32_t> chain;  ///< deterministic shard failover order
+  SCopy copy[2];
+  [[nodiscard]] bool outstanding(int cid) const {
+    return copy[cid].where == SCopy::Where::kQueued ||
+           copy[cid].where == SCopy::Where::kActive ||
+           copy[cid].where == SCopy::Where::kBlackhole;
+  }
+};
+
+struct SReplica {
+  enum class St : std::uint8_t { kParked, kBooting, kWarm };
+  ReplicaQueue queue;
+  std::vector<sim::Ns> bounce_free;
+  std::vector<std::uint64_t> active;  ///< copy tokens in service
+  St state = St::kWarm;
+  std::uint32_t shard = 0;  ///< owning shard
+  std::uint32_t local = 0;  ///< index within the shard's slice/pool
+};
+
+struct ShardState {
+  core::TeePool pool;
+  std::vector<fault::CircuitBreaker> breakers;  ///< per slice member
+  fault::HedgePolicy hedge;
+  Autoscaler scaler;
+  AutoscalerConfig scfg;
+  int warm = 0;
+  int booting = 0;
+  std::uint64_t rejected = 0;       ///< scaler signal (queue-full 429s)
+  std::uint64_t last_rejected = 0;
+  std::uint64_t dispatches = 0;     ///< hedge budget denominator
+  ShardStats stats;
+
+  ShardState(std::string tee, const fault::HedgeConfig& h,
+             const AutoscalerConfig& a)
+      : pool(std::move(tee), core::LoadBalancePolicy::kLeastLoaded),
+        hedge(h),
+        scaler(a),
+        scfg(a) {}
+};
+
+}  // namespace
+
+ShardedResult ShardedExperiment::run_with_model(
+    const ServiceModel& model) const {
+  ShardedResult res;
+  res.cfg = cfg_;
+  res.model = model;
+
+  const ShardedFrontend frontend(cfg_.shard, cfg_.replicas);
+  const int S = frontend.shards();
+
+  sim::VirtualClock clock;
+  EventQueue events(clock);
+
+  // The live topology. Only link *state* is consulted (path_state); the
+  // fabric's RNG and HTTP machinery are never touched, so hop checks
+  // consume no random draws — partition determinism by construction.
+  net::Network fabric;
+  fault::LinkFaultDriver driver(
+      fabric, cfg_.faults,
+      fault::ReplicaAddressing{.host_prefix = "replica-",
+                               .hop_ns = cfg_.shard.hop_ns});
+  const bool chaos = !cfg_.faults.empty();
+
+  // Workload mix: class index keys the per-shard hedge histograms.
+  std::vector<WorkloadClass> classes = cfg_.classes;
+  if (classes.empty()) classes.push_back({});
+  double weight_sum = 0;
+  for (const WorkloadClass& c : classes) {
+    if (c.weight <= 0 || c.service_mult <= 0)
+      throw std::invalid_argument(
+          "ShardedConfig: class weight and service_mult must be > 0");
+    weight_sum += c.weight;
+  }
+  fault::HedgeConfig hcfg = cfg_.hedge;
+  hcfg.cost_classes = static_cast<int>(classes.size());
+
+  // Host-name tables, precomputed: fabric checks are string-keyed.
+  std::vector<std::string> shost(static_cast<std::size_t>(S));
+  for (int s = 0; s < S; ++s) shost[s] = ShardedFrontend::shard_host(s);
+  std::vector<std::string> rhost(static_cast<std::size_t>(cfg_.replicas));
+  for (int r = 0; r < cfg_.replicas; ++r)
+    rhost[r] = ShardedFrontend::replica_host(static_cast<std::uint32_t>(r));
+
+  // Shard + replica fleets.
+  std::deque<ShardState> shards;
+  std::vector<SReplica> reps(static_cast<std::size_t>(cfg_.replicas));
+  for (int s = 0; s < S; ++s) {
+    const auto& slice = frontend.slice(s);
+    AutoscalerConfig sc = cfg_.scaler;
+    sc.cold_start_ns = model.cold_start_ns;
+    sc.max_replicas = static_cast<int>(slice.size());
+    sc.min_warm = cfg_.prewarm
+                      ? sc.max_replicas
+                      : std::clamp(sc.min_warm, 0, sc.max_replicas);
+    shards.emplace_back(cfg_.platform + ":" + shost[s], hcfg, sc);
+    ShardState& sh = shards.back();
+    sh.stats.host = shost[s];
+    sh.stats.slice = static_cast<std::uint32_t>(slice.size());
+    for (std::uint32_t local = 0; local < slice.size(); ++local) {
+      const std::uint32_t r = slice[local];
+      sh.pool.add_member({.host = rhost[r]});
+      reps[r].queue = ReplicaQueue(cfg_.queue);
+      reps[r].bounce_free.assign(
+          static_cast<std::size_t>(std::max(1, model.bounce_slots)), 0.0);
+      reps[r].shard = static_cast<std::uint32_t>(s);
+      reps[r].local = local;
+      const bool start_warm = static_cast<int>(local) < sc.min_warm;
+      sh.pool.set_enabled(local, start_warm);
+      reps[r].state = start_warm ? SReplica::St::kWarm : SReplica::St::kParked;
+      sh.warm += start_warm;
+    }
+    sh.stats.peak_warm = sh.warm;
+    sh.breakers.assign(slice.size(), fault::CircuitBreaker(cfg_.breaker));
+  }
+
+  sim::Rng jitter_rng(
+      sim::hash_combine(cfg_.seed, sim::stable_hash("shard-service-jitter")));
+  sim::Rng class_rng(
+      sim::hash_combine(cfg_.seed, sim::stable_hash("shard-class")));
+  ArrivalProcess arrivals(
+      cfg_.arrival, std::max(cfg_.rate_rps, 1e-9),
+      sim::hash_combine(cfg_.seed, sim::stable_hash("shard-arrivals")));
+
+  std::vector<SReq> reqs;
+  reqs.reserve(static_cast<std::size_t>(
+      std::min<std::uint64_t>(cfg_.requests, 1 << 22)));
+  std::uint64_t issued = 0;
+  int windows_active = 0;
+
+  const auto retry_policy = [&](std::uint64_t id) {
+    return fault::RetryPolicy(
+        cfg_.retry,
+        sim::hash_combine(
+            cfg_.seed, sim::hash_combine(sim::stable_hash("shard-failover"),
+                                         id)));
+  };
+
+  // Fabric views. Degraded-mode and probe checks look at both directions:
+  // a shard that can send but never hears back is as partitioned as one
+  // that cannot send at all.
+  const auto replica_reachable = [&](std::uint32_t s, std::uint32_t r) {
+    return fabric.path_state({shost[s], rhost[r]}).first !=
+               net::LinkState::kDown &&
+           fabric.path_state({rhost[r], shost[s]}).first !=
+               net::LinkState::kDown;
+  };
+  const auto reachable_fraction = [&](std::uint32_t s) {
+    const auto& slice = frontend.slice(static_cast<int>(s));
+    if (slice.empty()) return 0.0;
+    std::size_t up = 0;
+    for (const std::uint32_t r : slice) up += replica_reachable(s, r);
+    return static_cast<double>(up) / static_cast<double>(slice.size());
+  };
+
+  // Mutually recursive handlers.
+  std::function<void(std::uint32_t, std::uint64_t)> service_done;
+  std::function<void(std::uint64_t, int)> respond;
+  std::function<void(std::uint64_t, int)> copy_failed;
+  std::function<bool(std::uint64_t, int)> dispatch;
+  std::function<void(std::uint64_t, bool)> failover;
+  std::function<void(std::uint64_t)> send_to_shard;
+  std::function<void(std::uint64_t)> admit;
+
+  const auto give_up = [&](std::uint64_t id, core::ErrorCode code) {
+    reqs[id].done = true;  // straggler copies must not complete it later
+    ++res.failed;
+    ++res.failure_codes[std::string(core::to_string(code))];
+  };
+
+  const auto breaker_failure = [&](std::uint32_t s, std::uint32_t local) {
+    ShardState& sh = shards[s];
+    sh.breakers[local].record_failure(clock.now());
+    if (sh.breakers[local].state() == fault::BreakerState::kOpen)
+      sh.pool.set_enabled(local, false);
+  };
+
+  auto start_service = [&](std::uint32_t r, std::uint64_t token) {
+    SReplica& rep = reps[r];
+    const std::uint64_t id = token >> 1;
+    const int cid = static_cast<int>(token & 1);
+    const double j = jitter_rng.jitter(model.jitter_sigma);
+    const double mult = classes[reqs[id].cls].service_mult;
+    const sim::Ns parallel = model.parallel_ns * mult * j;
+    const sim::Ns par_end = clock.now() + parallel;
+    sim::Ns finish;
+    if (model.serialized_ns > 0) {
+      auto slot =
+          std::min_element(rep.bounce_free.begin(), rep.bounce_free.end());
+      const sim::Ns io_start = std::max(par_end, *slot);
+      finish = io_start + model.serialized_ns * mult * j;
+      *slot = finish;
+    } else {
+      finish = par_end;
+    }
+    rep.active.push_back(token);
+    reqs[id].copy[cid].where = SCopy::Where::kActive;
+    events.at(finish, [&, r, token] { service_done(r, token); });
+  };
+
+  auto try_start = [&](std::uint32_t r) {
+    while (auto t = reps[r].queue.start_next()) start_service(r, *t);
+  };
+
+  // Hedge timer for the primary copy, armed per shard with the request's
+  // cost-class threshold (satellite: workload-aware hedging).
+  auto arm_hedge = [&](std::uint64_t id) {
+    const std::uint32_t s = reqs[id].chain[reqs[id].chain_pos];
+    const sim::Ns delay = shards[s].hedge.threshold_ns(reqs[id].cls);
+    if (delay <= 0) return;
+    events.after(delay, [&, id, s] {
+      SReq& rq = reqs[id];
+      if (rq.done || rq.hedged || !rq.outstanding(0)) return;
+      if (rq.chain[rq.chain_pos] != s) return;  // failed over meanwhile
+      ShardState& sh = shards[s];
+      // Per-shard budget: a partition-stressed shard may exhaust its own
+      // hedge allowance without silencing the healthy shards.
+      if (!sh.hedge.allow(sh.stats.hedges, sh.dispatches)) return;
+      if (!retry_policy(id).should_retry(rq.attempts + 1,
+                                         clock.now() - rq.arrival,
+                                         cfg_.deadline_ns))
+        return;
+      rq.hedged = true;
+      if (dispatch(id, 1)) {
+        ++rq.attempts;
+        ++res.hedges;
+        ++sh.stats.hedges;
+        sh.hedge.record_fired();
+      }
+    });
+  };
+
+  dispatch = [&](std::uint64_t id, int cid) -> bool {
+    SReq& rq = reqs[id];
+    const std::uint32_t s = rq.chain[rq.chain_pos];
+    ShardState& sh = shards[s];
+    const std::uint32_t exclude =
+        hcfg.enabled && rq.outstanding(1 - cid) && rq.copy[1 - cid].shard == s
+            ? reps[rq.copy[1 - cid].replica].local
+            : core::TeePool::kNoExclude;
+    core::PoolMember* m = sh.pool.acquire_excluding(exclude);
+    if (!m) {
+      // Slice exhausted mid-flight (breakers opened since admission): a
+      // primary escalates to the next shard, a hedge just doesn't fire.
+      if (cid == 0) {
+        if (rq.chain_pos + 1 <
+            static_cast<int>(rq.chain.size())) {
+          ++rq.chain_pos;
+          rq.crossed = true;
+          ++res.cross_failovers;
+          send_to_shard(id);
+        } else {
+          give_up(id, core::ErrorCode::kNoCapacity);
+        }
+      }
+      return false;
+    }
+    const std::uint32_t local = m->index;
+    const std::uint32_t r = frontend.slice(static_cast<int>(s))[local];
+    rq.copy[cid].replica = r;
+    rq.copy[cid].shard = s;
+    rq.copy[cid].dispatched_ns = clock.now();
+    const auto [st, f] = fabric.path_state({shost[s], rhost[r]});
+    if (st == net::LinkState::kDown) {
+      // The shard has not noticed the partition yet: the dispatch
+      // black-holes, the timeout feeds this slice member's breaker, and
+      // the request retries — intra-shard first.
+      rq.copy[cid].where = SCopy::Where::kBlackhole;
+      if (cid == 0) ++sh.dispatches;
+      events.after(cfg_.detect_timeout_ns, [&, s, local, id, cid] {
+        ShardState& sh2 = shards[s];
+        sh2.pool.release(&sh2.pool.member(local));
+        breaker_failure(s, local);
+        copy_failed(id, cid);
+      });
+      if (cid == 0) arm_hedge(id);
+      return true;
+    }
+    if (!reps[r].queue.admit(id * 2 + static_cast<std::uint64_t>(cid))) {
+      sh.pool.release(m);
+      if (cid == 0) {
+        // 429 back to the client: typed, terminal, accounted.
+        ++res.rejected;
+        ++sh.rejected;
+        reqs[id].done = true;
+      }
+      rq.copy[cid].where = SCopy::Where::kNone;
+      return false;
+    }
+    rq.copy[cid].where = SCopy::Where::kQueued;
+    rq.copy[cid].req_hop_ns = cfg_.shard.hop_ns * f;
+    if (cid == 0) {
+      ++sh.dispatches;
+      arm_hedge(id);
+    }
+    try_start(r);
+    return true;
+  };
+
+  service_done = [&](std::uint32_t r, std::uint64_t token) {
+    SReplica& rep = reps[r];
+    const std::uint64_t id = token >> 1;
+    const int cid = static_cast<int>(token & 1);
+    rep.queue.complete();
+    if (auto it = std::find(rep.active.begin(), rep.active.end(), token);
+        it != rep.active.end())
+      rep.active.erase(it);
+    ShardState& sh = shards[rep.shard];
+    sh.pool.release(&sh.pool.member(rep.local));
+    try_start(r);
+    // Response path: replica -> shard -> client. Any down hop loses the
+    // answer after the work was done — the asymmetric-partition signature;
+    // a slow hop delivers late by the slowest hop's factor.
+    const auto [st, f] =
+        fabric.path_state({rhost[r], shost[rep.shard], "client"});
+    if (st == net::LinkState::kDown) {
+      ++res.responses_lost;
+      const sim::Ns deadline =
+          std::max(clock.now(), reqs[id].copy[cid].dispatched_ns +
+                                    cfg_.detect_timeout_ns);
+      events.at(deadline, [&, id, cid, s = rep.shard, local = rep.local] {
+        if (!reqs[id].done) breaker_failure(s, local);
+        copy_failed(id, cid);
+      });
+      return;
+    }
+    const sim::Ns wire =
+        reqs[id].copy[cid].req_hop_ns + 2 * cfg_.shard.hop_ns * f;
+    events.after(wire, [&, id, cid] { respond(id, cid); });
+  };
+
+  respond = [&](std::uint64_t id, int cid) {
+    SReq& rq = reqs[id];
+    if (rq.done) {
+      rq.copy[cid].where = SCopy::Where::kDone;  // hedge-losing copy
+      return;
+    }
+    rq.done = true;
+    rq.copy[cid].where = SCopy::Where::kDone;
+    const sim::Ns lat = clock.now() - rq.arrival;
+    const std::uint32_t s = rq.copy[cid].shard;
+    if (id >= cfg_.warmup_requests) {
+      res.latency.record(lat);
+      if (chaos && windows_active > 0) res.latency_fault.record(lat);
+      if (rq.crossed)
+        res.latency_cross.record(lat);
+      else if (rq.retried_intra)
+        res.latency_intra.record(lat);
+    }
+    ++res.completed;
+    ++shards[s].stats.completed;
+    if (cid == 1) ++res.hedge_wins;
+    if (hcfg.enabled) shards[s].hedge.observe(rq.cls, lat);
+    // First response wins: a queued loser gives its slot back.
+    SCopy& other = rq.copy[1 - cid];
+    if (other.where == SCopy::Where::kQueued) {
+      SReplica& orep = reps[other.replica];
+      if (orep.queue.cancel(id * 2 + static_cast<std::uint64_t>(1 - cid))) {
+        ShardState& osh = shards[orep.shard];
+        osh.pool.release(&osh.pool.member(orep.local));
+        other.where = SCopy::Where::kNone;
+      }
+    }
+  };
+
+  copy_failed = [&](std::uint64_t id, int cid) {
+    SReq& rq = reqs[id];
+    rq.copy[cid].where = SCopy::Where::kNone;
+    if (rq.done) return;
+    if (rq.outstanding(1 - cid)) return;  // a hedge copy is still racing
+    failover(id, /*advance_shard=*/false);
+  };
+
+  failover = [&](std::uint64_t id, bool advance_shard) {
+    SReq& rq = reqs[id];
+    ++res.failovers;
+    const int attempt = ++rq.attempts;
+    const fault::RetryPolicy policy = retry_policy(id);
+    const fault::RetryVerdict v =
+        policy.verdict(attempt, clock.now() - rq.arrival, cfg_.deadline_ns);
+    if (v != fault::RetryVerdict::kRetry) {
+      give_up(id, v == fault::RetryVerdict::kDeadlineExceeded
+                      ? core::ErrorCode::kDeadlineExceeded
+                      : core::ErrorCode::kTransport);
+      return;
+    }
+    ++res.retries;
+    events.after(policy.backoff_ns(attempt), [&, id, advance_shard] {
+      SReq& rq2 = reqs[id];
+      if (rq2.done) return;
+      rq2.hedged = false;  // the fresh attempt may hedge again
+      bool adv = advance_shard;
+      // A shard whose whole slice is breaker-open cannot serve the retry.
+      if (!adv &&
+          shards[rq2.chain[rq2.chain_pos]].pool.enabled_count() == 0)
+        adv = true;
+      if (adv) {
+        if (rq2.chain_pos + 1 >= static_cast<int>(rq2.chain.size())) {
+          give_up(id, core::ErrorCode::kNoCapacity);
+          return;
+        }
+        ++rq2.chain_pos;
+        rq2.crossed = true;
+        ++res.cross_failovers;
+        send_to_shard(id);  // re-admission: hop + handshake + attest
+      } else {
+        rq2.retried_intra = true;
+        dispatch(id, 0);  // shard-internal re-dispatch
+      }
+    });
+  };
+
+  // Client (or forwarding shard) delivers the request to its current chain
+  // shard over the fabric; cross-shard admissions pay the re-establishment
+  // costs on top of the hop.
+  send_to_shard = [&](std::uint64_t id) {
+    SReq& rq = reqs[id];
+    const std::uint32_t s = rq.chain[rq.chain_pos];
+    const auto [st, f] = fabric.path_state({"client", shost[s]});
+    if (st == net::LinkState::kDown) {
+      // Black-holed admission: the client notices at its detection timeout
+      // and walks the chain — the cross-shard failover trigger.
+      events.after(cfg_.detect_timeout_ns, [&, id] {
+        if (!reqs[id].done) failover(id, /*advance_shard=*/true);
+      });
+      return;
+    }
+    sim::Ns lat = cfg_.shard.hop_ns * f;
+    if (rq.chain_pos > 0)
+      lat += cfg_.shard.handshake_ns + cfg_.shard.cross_admit_ns;
+    events.after(lat, [&, id] { admit(id); });
+  };
+
+  admit = [&](std::uint64_t id) {
+    SReq& rq = reqs[id];
+    if (rq.done) return;
+    const std::uint32_t s = rq.chain[rq.chain_pos];
+    ShardState& sh = shards[s];
+    if (rq.chain_pos == 0)
+      ++sh.stats.admitted;
+    else
+      ++sh.stats.cross_admitted;
+    // Degraded mode: a shard seeing under degraded_min_reachable of its
+    // slice sheds the admission to its ring successor instead of
+    // dispatching into a mostly-partitioned slice (and instead of
+    // black-holing). Shedding advances the chain without burning a retry
+    // attempt, so it is bounded by the shard count.
+    const bool degraded =
+        chaos && rq.chain_pos + 1 < static_cast<int>(rq.chain.size()) &&
+        reachable_fraction(s) < cfg_.shard.degraded_min_reachable;
+    if (degraded || sh.pool.enabled_count() == 0) {
+      if (rq.chain_pos + 1 >= static_cast<int>(rq.chain.size())) {
+        give_up(id, core::ErrorCode::kNoCapacity);
+        return;
+      }
+      ++sh.stats.shed;
+      ++res.shed;
+      ++rq.chain_pos;
+      rq.crossed = true;
+      const std::uint32_t to = rq.chain[rq.chain_pos];
+      const auto [st, f] = fabric.path_state({shost[s], shost[to]});
+      if (st == net::LinkState::kDown) {
+        // Successor unreachable from here: degenerate to the client
+        // timeout, which retries further down the chain.
+        events.after(cfg_.detect_timeout_ns, [&, id] {
+          if (!reqs[id].done) failover(id, /*advance_shard=*/true);
+        });
+        return;
+      }
+      events.after(cfg_.shard.hop_ns * f + cfg_.shard.handshake_ns +
+                       cfg_.shard.cross_admit_ns,
+                   [&, id] { admit(id); });
+      return;
+    }
+    dispatch(id, 0);
+  };
+
+  // --- load generation -------------------------------------------------------
+  std::function<void()> on_arrival = [&] {
+    const std::uint64_t id = issued++;
+    SReq rq;
+    rq.arrival = clock.now();
+    if (classes.size() > 1) {
+      double u = class_rng.next_double() * weight_sum;
+      std::uint32_t cls = 0;
+      for (; cls + 1 < classes.size(); ++cls) {
+        u -= classes[cls].weight;
+        if (u < 0) break;
+      }
+      rq.cls = cls;
+    }
+    rq.chain = frontend.route(id);
+    reqs.push_back(std::move(rq));
+    ++res.offered;
+    send_to_shard(id);
+    if (issued < cfg_.requests)
+      events.after(arrivals.next_gap(), on_arrival);
+  };
+
+  // --- probes + per-shard autoscaler ticks -----------------------------------
+  const auto backlog_total = [&] {
+    std::uint64_t busy = 0;
+    for (const SReplica& rep : reps) busy += rep.queue.backlog();
+    return busy;
+  };
+
+  std::function<void()> probe = [&] {
+    const sim::Ns now = clock.now();
+    bool any_open = false;
+    for (int s = 0; s < S; ++s) {
+      ShardState& sh = shards[static_cast<std::size_t>(s)];
+      const auto& slice = frontend.slice(s);
+      for (std::uint32_t local = 0; local < slice.size(); ++local) {
+        const std::uint32_t r = slice[local];
+        if (reps[r].state == SReplica::St::kParked ||
+            reps[r].state == SReplica::St::kBooting)
+          continue;
+        fault::CircuitBreaker& br = sh.breakers[local];
+        const bool healthy = reps[r].state == SReplica::St::kWarm &&
+                             replica_reachable(static_cast<std::uint32_t>(s),
+                                               r);
+        if (br.state() == fault::BreakerState::kClosed) {
+          if (healthy) {
+            br.record_success(now);
+          } else {
+            br.record_failure(now);
+            if (br.state() == fault::BreakerState::kOpen)
+              sh.pool.set_enabled(local, false);
+          }
+        } else if (br.allow(now)) {  // open past cooldown / half-open idle
+          if (healthy) {
+            br.record_success(now);
+            if (br.state() == fault::BreakerState::kClosed)
+              sh.pool.set_enabled(local, true);
+          } else {
+            br.record_failure(now);
+          }
+        }
+        if (br.state() != fault::BreakerState::kClosed) any_open = true;
+      }
+    }
+    if (issued < cfg_.requests || backlog_total() > 0 ||
+        windows_active > 0 || any_open)
+      events.after(cfg_.probe_interval_ns, probe);
+  };
+
+  std::function<void()> tick = [&] {
+    int booting_total = 0;
+    for (int s = 0; s < S; ++s) {
+      ShardState& sh = shards[static_cast<std::size_t>(s)];
+      const auto& slice = frontend.slice(s);
+      if (slice.empty()) continue;
+      std::uint64_t in_service = 0, queued = 0;
+      for (const std::uint32_t r : slice) {
+        in_service += static_cast<std::uint64_t>(reps[r].queue.in_service());
+        queued += reps[r].queue.queued();
+      }
+      const std::uint64_t rejected_delta = sh.rejected - sh.last_rejected;
+      sh.last_rejected = sh.rejected;
+      const int delta =
+          sh.scaler.evaluate(sh.warm, sh.booting, in_service, queued,
+                             cfg_.queue.concurrency, clock.now(),
+                             rejected_delta);
+      if (delta > 0) {
+        int to_boot = delta;
+        for (std::uint32_t local = 0;
+             local < slice.size() && to_boot > 0; ++local) {
+          const std::uint32_t r = slice[local];
+          if (reps[r].state != SReplica::St::kParked) continue;
+          reps[r].state = SReplica::St::kBooting;
+          ++sh.booting;
+          --to_boot;
+          events.after(sh.scfg.cold_start_ns, [&, r, s] {
+            if (reps[r].state != SReplica::St::kBooting) return;
+            ShardState& sh2 = shards[static_cast<std::size_t>(s)];
+            reps[r].state = SReplica::St::kWarm;
+            sh2.pool.set_enabled(reps[r].local, true);
+            --sh2.booting;
+            ++sh2.warm;
+            sh2.stats.peak_warm = std::max(sh2.stats.peak_warm, sh2.warm);
+          });
+        }
+      } else if (delta < 0) {
+        // Park the highest-index idle warm slice member.
+        for (std::uint32_t local = static_cast<std::uint32_t>(slice.size());
+             local-- > 0;) {
+          const std::uint32_t r = slice[local];
+          if (reps[r].state != SReplica::St::kWarm) continue;
+          if (!reps[r].queue.idle() || sh.pool.member(local).in_flight != 0)
+            continue;
+          if (chaos &&
+              sh.breakers[local].state() != fault::BreakerState::kClosed)
+            continue;
+          reps[r].state = SReplica::St::kParked;
+          sh.pool.set_enabled(local, false);
+          --sh.warm;
+          break;
+        }
+      }
+      booting_total += sh.booting;
+    }
+    if (issued < cfg_.requests || backlog_total() > 0 || booting_total > 0 ||
+        (chaos && windows_active > 0))
+      events.after(cfg_.scaler.tick_ns, tick);
+  };
+
+  // --- fault replay ----------------------------------------------------------
+  // Every link window — host- and replica-addressed alike — replays onto
+  // the fabric at its boundaries; there is no replica special-casing here.
+  if (chaos) {
+    for (const fault::FaultEvent& e : cfg_.faults.events()) {
+      if (e.kind != fault::FaultKind::kLinkSlow &&
+          e.kind != fault::FaultKind::kLinkDown)
+        continue;
+      events.at(e.at_ns, [&] {
+        ++windows_active;
+        driver.advance(clock.now());
+      });
+      events.at(e.at_ns + e.duration_ns, [&] {
+        --windows_active;
+        driver.advance(clock.now());
+      });
+    }
+    events.after(cfg_.probe_interval_ns, probe);
+  }
+  events.after(cfg_.scaler.tick_ns, tick);
+  if (cfg_.requests > 0) events.after(arrivals.next_gap(), on_arrival);
+
+  events.run();
+
+  res.makespan_ns = clock.now();
+  for (int s = 0; s < S; ++s) {
+    ShardState& sh = shards[static_cast<std::size_t>(s)];
+    for (const fault::CircuitBreaker& br : sh.breakers)
+      sh.stats.breaker_trips += br.times_opened();
+    sh.stats.scaler_trace = sh.scaler.trace();
+    res.shards.push_back(std::move(sh.stats));
+  }
+
+  // --- observability ---------------------------------------------------------
+  if (cfg_.tracer && cfg_.tracer->enabled()) {
+    obs::Trace& fleet = cfg_.tracer->start_trace(
+        "shard-fabric/" + cfg_.platform +
+        (cfg_.secure ? "/secure" : "/normal"));
+    for (const ShardStats& st : res.shards) {
+      const std::uint32_t sp =
+          fleet.add_span(obs::Category::kShard, "shard.run", 0,
+                         res.makespan_ns);
+      fleet.set_attr(sp, "host", st.host);
+      fleet.set_attr(sp, "slice", std::to_string(st.slice));
+      fleet.set_attr(sp, "admitted", std::to_string(st.admitted));
+      fleet.set_attr(sp, "cross_admitted",
+                     std::to_string(st.cross_admitted));
+      fleet.set_attr(sp, "shed", std::to_string(st.shed));
+      fleet.set_attr(sp, "completed", std::to_string(st.completed));
+      fleet.set_attr(sp, "breaker_trips",
+                     std::to_string(st.breaker_trips));
+    }
+    obs::Registry& reg = cfg_.tracer->registry();
+    reg.counter("shard.offered") += res.offered;
+    reg.counter("shard.completed") += res.completed;
+    reg.counter("shard.rejected") += res.rejected;
+    reg.counter("shard.failed") += res.failed;
+    reg.counter("shard.cross_failovers") += res.cross_failovers;
+    reg.counter("shard.shed") += res.shed;
+    reg.counter("shard.responses_lost") += res.responses_lost;
+    reg.histogram("shard.latency_ns").merge(res.latency);
+  }
+  return res;
+}
+
+}  // namespace confbench::sched

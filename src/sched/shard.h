@@ -1,0 +1,269 @@
+// Sharded gateway fabric: consistent-hash admission over a live topology.
+//
+// The single-gateway cluster experiments answer "what does a fault cost a
+// fleet"; this runner answers the ROADMAP's follow-up: what does losing a
+// *gateway* cost, when the control plane itself is sharded? N gateway
+// shards each own a consistent-hash slice of the replica fleet (bounded-
+// load spill keeps slices balanced even when the ring hashes unevenly), a
+// deterministic client-side router hashes every request id onto the shard
+// ring, and — unlike ClusterExperiment, which models replica links as
+// per-replica flags — every dispatch and completion here traverses a live
+// net::Network topology:
+//
+//     client ── shard-s ── replica-r      (request path, two directed hops)
+//     replica-r ── shard-s ── client      (response path)
+//
+// fault::LinkFaultDriver replays the FaultPlan's link windows (both the
+// host-addressed and, via ReplicaAddressing, the replica-addressed form)
+// onto that fabric, so subset partitions between shards and replicas are
+// *emergent* — a window on client -> shard-0 strands one shard's admission
+// path while the other shards keep serving, with no shard-aware special
+// case anywhere in the replay.
+//
+// Failover semantics (the tail costs bench/shard_failover measures):
+//   * replica-level failure (black-holed dispatch, lost response): the
+//     shard retries on another slice replica under the request's
+//     RetryPolicy budget — the *intra-shard* path;
+//   * shard-level failure (client cannot reach the shard, or the shard's
+//     slice is exhausted): the client re-routes to the next distinct shard
+//     on the ring — the *cross-shard* path, which pays a re-admission
+//     handshake plus, on secure fleets, a real attestation-verify round
+//     (ShardConfig::cross_admit_ns, priced by fault::measure_attest_ns),
+//     because the successor shard shares no session state with the home
+//     shard and must re-establish trust in the client's claims;
+//   * degraded mode: a shard that can reach only a minority of its slice
+//     *sheds* incoming admissions to its ring successor instead of
+//     black-holing them — shedding advances the request's shard chain
+//     without burning a retry attempt, so it is bounded by the shard count
+//     and every accepted request still ends in exactly one of
+//     completed / rejected / failed (the zero-lost-requests invariant).
+//
+// Determinism contract: identical to the cluster sim — all randomness
+// derives from cfg.seed via named sim::Rng streams, fabric hop checks
+// consume no RNG, and event order is (time, seq). Same seed, same bytes.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "fault/breaker.h"
+#include "fault/fault.h"
+#include "fault/hedge.h"
+#include "fault/retry.h"
+#include "metrics/histogram.h"
+#include "obs/trace.h"
+#include "sched/arrivals.h"
+#include "sched/autoscaler.h"
+#include "sched/cluster.h"
+#include "sched/replica_queue.h"
+#include "sim/time.h"
+
+namespace confbench::sched {
+
+/// Consistent-hash ring over named nodes. Each node projects `vnodes`
+/// points onto the ring (stable_hash of "name#k"), a key is owned by the
+/// first point clockwise of its hash, and chain() walks further clockwise
+/// collecting *distinct* nodes — the deterministic failover order. Pure
+/// data structure: no RNG, no clock.
+class HashRing {
+ public:
+  HashRing(const std::vector<std::string>& nodes, int vnodes);
+
+  /// Index (into the constructor's node list) owning `key_hash`.
+  [[nodiscard]] std::uint32_t owner(std::uint64_t key_hash) const;
+
+  /// All nodes in clockwise order starting from owner(key_hash), each
+  /// exactly once: chain[0] is the primary, chain[1] the first failover
+  /// target, and so on.
+  [[nodiscard]] std::vector<std::uint32_t> chain(std::uint64_t key_hash) const;
+
+  [[nodiscard]] std::size_t nodes() const { return node_count_; }
+
+ private:
+  std::size_t node_count_;
+  /// (point hash, node index), sorted by hash; ties broken by node index
+  /// at construction so the ring is identical on every platform.
+  std::vector<std::pair<std::uint64_t, std::uint32_t>> points_;
+};
+
+/// Static topology parameters of the sharded admission plane.
+struct ShardConfig {
+  int shards = 4;
+  int vnodes = 64;  ///< ring points per shard (smooths slice imbalance)
+  /// Bounded-load cap: no shard owns more than
+  /// ceil(replicas / shards * load_factor) slice members; overflow spills
+  /// to the ring successor (the classic consistent-hashing-with-bounded-
+  /// loads rule, which is what keeps one hot shard from owning half the
+  /// fleet on an unlucky ring).
+  double load_factor = 1.25;
+  /// A shard reaching strictly fewer than this fraction of its slice over
+  /// the fabric sheds new admissions to its successor instead of
+  /// dispatching into a mostly-partitioned slice.
+  double degraded_min_reachable = 0.5;
+  /// One-way latency of each fabric hop (client->shard, shard->replica,
+  /// and the reverse hops). Slow-link windows multiply it.
+  sim::Ns hop_ns = 100 * sim::kUs;
+  /// Session re-establishment when a request is admitted by a shard other
+  /// than its home shard (TLS-style handshake; paid secure and normal).
+  sim::Ns handshake_ns = 200 * sim::kUs;
+  /// Extra cross-admission cost on *secure* fleets: the successor shard
+  /// re-verifies the fleet attestation evidence before accepting traffic
+  /// for a slice it does not own (bench: fault::measure_attest_ns, which
+  /// is PCS-bound on TDX and free on CCA). 0 = no TEE cost.
+  sim::Ns cross_admit_ns = 0;
+};
+
+/// One workload cost-class of the offered mix: `weight` is its share of
+/// arrivals, `service_mult` scales the calibrated service model. Classes
+/// key the per-shard HedgePolicy histograms, so a heavy class learns its
+/// own hedge threshold instead of inflating the light ones'.
+struct WorkloadClass {
+  double weight = 1.0;
+  double service_mult = 1.0;
+};
+
+struct ShardedConfig {
+  std::string platform = "tdx";
+  bool secure = true;
+
+  ArrivalKind arrival = ArrivalKind::kPoisson;
+  double rate_rps = 2000;
+  std::uint64_t requests = 20000;
+  /// Excluded from latency histograms (autoscaler/hedge warm-up), still
+  /// counted in offered/completed.
+  std::uint64_t warmup_requests = 0;
+  std::uint64_t seed = 1;
+
+  int replicas = 16;        ///< fleet size, sliced across the shards
+  QueueConfig queue;        ///< per-replica limits
+  ShardConfig shard;        ///< topology + failover costs
+  /// Per-shard autoscaler, evaluated against each shard's own slice
+  /// (min_warm/max_replicas clamp to the slice size). With `prewarm` the
+  /// whole fleet starts warm and the scaler only parks/reboots.
+  AutoscalerConfig scaler;
+  bool prewarm = true;
+  /// Offered workload mix; empty means one unit class. Order is the class
+  /// index used by HedgePolicy and ShardedResult.
+  std::vector<WorkloadClass> classes;
+
+  /// Chaos schedule. Only link windows (host- or replica-addressed) are
+  /// consumed — they replay onto the fabric via fault::LinkFaultDriver;
+  /// crash/brownout chaos stays ClusterExperiment's domain. Empty plan =
+  /// no probes, no breakers, event stream identical to a fault-free build.
+  fault::FaultPlan faults;
+  fault::RetryConfig retry;      ///< per-request failover budget
+  fault::BreakerConfig breaker;  ///< per-(shard, slice replica) breakers
+  fault::HedgeConfig hedge;      ///< per-shard policy; cost_classes is set
+                                 ///< from `classes` automatically
+  sim::Ns probe_interval_ns = 50 * sim::kMs;
+  sim::Ns detect_timeout_ns = 100 * sim::kMs;
+  sim::Ns deadline_ns = 0;
+
+  obs::Tracer* tracer = nullptr;  ///< per-shard spans + fleet metrics
+};
+
+/// Per-shard counters, exported for the bench CSV and the fleet trace.
+struct ShardStats {
+  std::string host;                ///< "shard-<s>"
+  std::uint32_t slice = 0;         ///< replicas in this shard's slice
+  std::uint64_t admitted = 0;      ///< home admissions
+  std::uint64_t cross_admitted = 0;///< admissions on behalf of other shards
+  std::uint64_t completed = 0;
+  std::uint64_t shed = 0;          ///< degraded-mode forwards to successor
+  std::uint64_t hedges = 0;
+  std::uint64_t breaker_trips = 0;
+  int peak_warm = 0;
+  std::vector<AutoscalerSample> scaler_trace;
+};
+
+struct ShardedResult {
+  ShardedConfig cfg;
+  ServiceModel model;
+  metrics::LogHistogram latency;      ///< all completed steady-state reqs
+  metrics::LogHistogram latency_fault;///< completed while a window was open
+  /// Completed after >= 1 intra-shard retry but no shard change — the
+  /// intra-shard failover tail.
+  metrics::LogHistogram latency_intra;
+  /// Completed after crossing to a non-home shard — the cross-shard
+  /// failover tail the bench compares against latency_intra.
+  metrics::LogHistogram latency_cross;
+  std::uint64_t offered = 0;
+  std::uint64_t completed = 0;
+  std::uint64_t rejected = 0;   ///< 429-style replica admission rejections
+  std::uint64_t failed = 0;     ///< typed give-ups (see failure_codes)
+  std::uint64_t retries = 0;    ///< failover re-dispatch attempts
+  std::uint64_t failovers = 0;  ///< copies that died and left a replica
+  std::uint64_t cross_failovers = 0;  ///< requests that changed shard
+  std::uint64_t shed = 0;             ///< degraded-mode forwards
+  std::uint64_t hedges = 0;
+  std::uint64_t hedge_wins = 0;
+  std::uint64_t responses_lost = 0;   ///< asymmetric-partition losses
+  /// Terminal failure reasons -> count (typed core::ErrorCode names).
+  std::map<std::string, std::uint64_t> failure_codes;
+  std::vector<ShardStats> shards;
+  sim::Ns makespan_ns = 0;
+
+  [[nodiscard]] double throughput_rps() const;
+  [[nodiscard]] double availability() const {
+    return offered ? static_cast<double>(completed) /
+                         static_cast<double>(offered)
+                   : 1.0;
+  }
+  /// Zero-lost-requests invariant: every offered request ends in exactly
+  /// one bucket, even when whole shards are partitioned away.
+  [[nodiscard]] bool accounted() const {
+    return completed + rejected + failed == offered;
+  }
+  [[nodiscard]] std::string to_json() const;
+};
+
+/// The admission plane: shard ring, slice assignment, request router.
+/// Pure topology — the experiment owns the clock, fabric and queues.
+class ShardedFrontend {
+ public:
+  /// Builds the shard ring and assigns `replicas` fleet members to slices
+  /// with the bounded-load spill rule. Throws std::invalid_argument for
+  /// non-positive shards/vnodes/replicas or load_factor < 1.
+  ShardedFrontend(const ShardConfig& cfg, int replicas);
+
+  [[nodiscard]] int shards() const { return static_cast<int>(slices_.size()); }
+  /// Global replica indices owned by shard `s` (deterministic order).
+  [[nodiscard]] const std::vector<std::uint32_t>& slice(int s) const {
+    return slices_[static_cast<std::size_t>(s)];
+  }
+  /// Fabric host name of shard `s` ("shard-<s>") / replica `r`.
+  [[nodiscard]] static std::string shard_host(int s);
+  [[nodiscard]] static std::string replica_host(std::uint32_t r);
+
+  /// Deterministic failover chain of request `id`: chain[0] is the home
+  /// shard, later entries the clockwise successors (each shard once).
+  [[nodiscard]] std::vector<std::uint32_t> route(std::uint64_t id) const;
+  /// The shard owning replica `r`'s slice.
+  [[nodiscard]] std::uint32_t owner_of_replica(std::uint32_t r) const {
+    return owner_[r];
+  }
+
+  [[nodiscard]] const HashRing& ring() const { return ring_; }
+
+ private:
+  HashRing ring_;
+  std::vector<std::vector<std::uint32_t>> slices_;  ///< shard -> replicas
+  std::vector<std::uint32_t> owner_;                ///< replica -> shard
+};
+
+class ShardedExperiment {
+ public:
+  explicit ShardedExperiment(ShardedConfig cfg) : cfg_(std::move(cfg)) {}
+
+  /// Simulates the sharded fabric with an explicit service model (tests
+  /// and pre-calibrated bench sweeps; ServiceModel::calibrate provides the
+  /// model for real platform/mode cells).
+  [[nodiscard]] ShardedResult run_with_model(const ServiceModel& model) const;
+
+ private:
+  ShardedConfig cfg_;
+};
+
+}  // namespace confbench::sched

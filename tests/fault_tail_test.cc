@@ -5,6 +5,8 @@
 #include <gtest/gtest.h>
 
 #include <stdexcept>
+#include <string>
+#include <vector>
 
 #include "fault/fault.h"
 #include "fault/hedge.h"
@@ -110,6 +112,49 @@ OutlierConfig detector_config() {
   cfg.ratio = 3.0;
   cfg.min_samples = 5;
   return cfg;
+}
+
+TEST(HedgePolicy, CostClassesLearnSeparateThresholds) {
+  // Mixed traffic: 80% light requests, 20% heavy (10x). A single shared
+  // histogram arms the light class at the mixed tail — which is the heavy
+  // mode — so light stragglers never hedge. Per-class histograms give each
+  // class its own arm delay.
+  HedgeConfig cfg;
+  cfg.enabled = true;
+  cfg.quantile = 0.9;
+  cfg.warmup = 10;
+  cfg.cost_classes = 2;
+  HedgePolicy per_class(cfg);
+  HedgeConfig shared = cfg;
+  shared.cost_classes = 1;
+  HedgePolicy mixed(shared);
+  for (int i = 0; i < 100; ++i) {
+    const sim::Ns lat = (i % 5 == 4) ? 100 * kMs : 10 * kMs;
+    per_class.observe(i % 5 == 4 ? 1 : 0, lat);
+    mixed.observe(0, lat);
+  }
+  // The light class arms near its own (tight) tail...
+  EXPECT_LT(per_class.threshold_ns(0), 30 * kMs);
+  // ...the heavy class near its own, an order of magnitude higher...
+  EXPECT_GT(per_class.threshold_ns(1), 90 * kMs);
+  // ...while the shared histogram would stall light hedges at the mixed
+  // p90, i.e. the heavy mode.
+  EXPECT_GT(mixed.threshold_ns(0), 3 * per_class.threshold_ns(0));
+  // Out-of-range classes clamp to the last (catch-all) histogram.
+  EXPECT_DOUBLE_EQ(per_class.threshold_ns(7), per_class.threshold_ns(1));
+}
+
+TEST(HedgePolicy, ColdClassStaysUnarmedWhileWarmClassesHedge) {
+  HedgeConfig cfg;
+  cfg.enabled = true;
+  cfg.warmup = 10;
+  cfg.cost_classes = 2;
+  HedgePolicy p(cfg);
+  for (int i = 0; i < 50; ++i) p.observe(0, 10 * kMs);
+  EXPECT_GT(p.threshold_ns(0), 0);
+  EXPECT_DOUBLE_EQ(p.threshold_ns(1), 0) << "cold class must not arm";
+  // The fleet-wide budget gate only needs one warm class.
+  EXPECT_TRUE(p.allow(0, 1000));
 }
 
 TEST(OutlierDetector, FlagsTheGraySlowReplicaOnly) {
@@ -256,6 +301,60 @@ TEST(RetryVerdict, VerdictsHaveStableNames) {
 
 // --- LinkFaultDriver --------------------------------------------------------
 
+TEST(CircuitBreaker, HalfOpenProbeDuringActiveWindowReopensOnceThenReadmits) {
+  // The forgive/readmission sequence during a partition that outlives the
+  // breaker cooldown: trip -> cooldown elapses mid-window -> the half-open
+  // probe fails against the still-down link -> exactly one re-open (stale
+  // failures are absorbed) -> window lifts -> next probe closes it.
+  CircuitBreaker br(BreakerConfig{.failure_threshold = 2,
+                                  .success_threshold = 1,
+                                  .open_cooldown_ns = 100 * kMs});
+  br.record_failure(0);
+  br.record_failure(1 * kMs);
+  ASSERT_EQ(br.state(), BreakerState::kOpen);
+  EXPECT_EQ(br.times_opened(), 1u);
+  EXPECT_FALSE(br.allow(50 * kMs)) << "cooldown still running";
+
+  EXPECT_TRUE(br.allow(110 * kMs));  // half-open, single probe granted
+  EXPECT_EQ(br.state(), BreakerState::kHalfOpen);
+  EXPECT_FALSE(br.allow(111 * kMs)) << "one probe in flight at a time";
+  br.record_failure(112 * kMs);  // the window is still active: probe dies
+  EXPECT_EQ(br.state(), BreakerState::kOpen);
+  EXPECT_EQ(br.times_opened(), 2u);
+  // A stale pre-trip timeout reported now must not double-count the open.
+  br.record_failure(113 * kMs);
+  EXPECT_EQ(br.times_opened(), 2u);
+
+  EXPECT_TRUE(br.allow(220 * kMs));  // second cooldown over; window lifted
+  br.record_success(221 * kMs);
+  EXPECT_EQ(br.state(), BreakerState::kClosed);
+  EXPECT_TRUE(br.allow(222 * kMs)) << "readmitted traffic flows again";
+}
+
+TEST(OutlierDetector, ForgiveDuringReadmissionDropsStaleGrayEvidence) {
+  OutlierConfig cfg;
+  cfg.enabled = true;
+  cfg.alpha = 0.3;
+  cfg.min_samples = 5;
+  OutlierDetector det(cfg, 3);
+  for (int i = 0; i < 20; ++i) {
+    det.observe(0, 100 * kMs);  // gray-slow through the partition window
+    det.observe(1, 10 * kMs);
+    det.observe(2, 10 * kMs);
+  }
+  ASSERT_TRUE(det.outlier(0));
+  // Readmission mid-run: forgiveness wipes the EWMA so the replica is
+  // judged on post-recovery latencies, not the partition-era ones.
+  det.forgive(0);
+  EXPECT_FALSE(det.outlier(0)) << "forgiven replica has no samples yet";
+  for (int i = 0; i < 20; ++i) {
+    det.observe(0, 10 * kMs);
+    det.observe(1, 10 * kMs);
+    det.observe(2, 10 * kMs);
+  }
+  EXPECT_FALSE(det.outlier(0)) << "healthy again: stale evidence is gone";
+}
+
 TEST(LinkFaultDriver, RepaysWindowsOntoTheFabricAndRestoresThem) {
   net::Network fabric;
   FaultPlan plan;
@@ -393,6 +492,69 @@ TEST(ClusterTail, GrayTripMigrationBeatsRebootForNormalVms) {
   EXPECT_TRUE(migrated.accounted());
 }
 
+TEST(Placement, ChoosesLeastLoadedAndHonorsAntiAffinity) {
+  const std::vector<PlacementCandidate> cands = {
+      {.host = "a", .load = 5, .rack = "rack-0"},
+      {.host = "b", .load = 2, .rack = "rack-0"},
+      {.host = "c", .load = 2, .rack = "rack-0"},  // ties with b; b wins
+      {.host = "d", .load = 9, .rack = "rack-1"},
+  };
+  EXPECT_EQ(choose_target(PlacementPolicy::kLeastLoaded, cands, "rack-0"), 1u);
+  // Anti-affinity pays load for failure-domain diversity: the only
+  // off-rack host wins despite the heaviest backlog.
+  EXPECT_EQ(choose_target(PlacementPolicy::kAntiAffinity, cands, "rack-0"), 3u);
+  // Off-rack ties still break by the lowest index.
+  const std::vector<PlacementCandidate> off = {
+      {.host = "a", .load = 1, .rack = "rack-1"},
+      {.host = "b", .load = 1, .rack = "rack-2"},
+  };
+  EXPECT_EQ(choose_target(PlacementPolicy::kAntiAffinity, off, "rack-0"), 0u);
+  // Every candidate shares the source's rack: degrade to least-loaded
+  // rather than refuse the migration.
+  const std::vector<PlacementCandidate> same = {
+      {.host = "a", .load = 4, .rack = "rack-0"},
+      {.host = "b", .load = 3, .rack = "rack-0"},
+  };
+  EXPECT_EQ(choose_target(PlacementPolicy::kAntiAffinity, same, "rack-0"), 1u);
+  EXPECT_EQ(to_string(PlacementPolicy::kAntiAffinity), "anti-affinity");
+  EXPECT_EQ(to_string(PlacementPolicy::kLeastLoaded), "least-loaded");
+}
+
+TEST(ClusterTail, MigrationPlacementRecordsTargetAndAntiAffinityLeavesRack) {
+  sched::ClusterConfig cfg = tail_config();
+  cfg.faults.slow_link(100 * kMs, 800 * kMs, 0, 50 * kMs);
+  cfg.outlier.enabled = true;
+  cfg.outlier.alpha = 0.3;
+  cfg.outlier.min_samples = 20;
+  cfg.recovery = {.boot_ns = 2 * kSec, .attest_ns = 0};
+  cfg.migration = {.pre_copy_ns = 100 * kMs, .stop_copy_ns = 20 * kMs};
+  cfg.degrade_response = sched::DegradeResponse::kMigrate;
+
+  for (const auto policy : {PlacementPolicy::kLeastLoaded,
+                            PlacementPolicy::kAntiAffinity}) {
+    sched::ClusterConfig pcfg = cfg;
+    pcfg.placement = policy;
+    const sched::ClusterResult r =
+        sched::ClusterExperiment(pcfg).run_with_model(tail_model());
+    ASSERT_FALSE(r.migrations.empty()) << to_string(policy);
+    for (const auto& ms : r.migrations) {
+      // The landing host is chosen at detection time and recorded in the
+      // migration trace; the source never hosts its own incarnation.
+      ASSERT_FALSE(ms.target_host.empty()) << to_string(policy);
+      EXPECT_NE(ms.target_host, "replica-" + std::to_string(ms.replica));
+      if (policy == PlacementPolicy::kAntiAffinity) {
+        // Racks group replicas in fours; with 12 warm peers there is
+        // always an off-rack candidate, so the guest must leave the
+        // source's failure domain.
+        const int target = std::stoi(ms.target_host.substr(8));
+        EXPECT_NE(target / 4, static_cast<int>(ms.replica) / 4)
+            << ms.target_host;
+      }
+    }
+    EXPECT_TRUE(r.accounted());
+  }
+}
+
 TEST(ClusterTail, DeadlineGiveUpsAreTypedNotSilent) {
   sched::ClusterConfig cfg = tail_config();
   cfg.scaler = {.min_warm = 2, .max_replicas = 2, .tick_ns = 20 * kMs};
@@ -412,6 +574,34 @@ TEST(ClusterTail, DeadlineGiveUpsAreTypedNotSilent) {
       << "give-ups must be attributed with core::ErrorCode";
   EXPECT_GT(r.failure_codes.at("deadline_exceeded"), 0u);
   EXPECT_TRUE(r.accounted());
+}
+
+TEST(ClusterTail, GrayTripAndBreakerChurnDuringActivePartitionStayAccounted) {
+  // Two overlapping windows: replica 0 goes gray-slow (outlier evidence,
+  // nothing times out) while replica 1's responses vanish entirely. The
+  // link_down window (600ms) outlives the breaker cooldown (150ms), so
+  // replica 1's breaker reaches half-open *during* the partition, its
+  // probe-readmitted dispatches time out again, and it re-opens — the
+  // readmission churn must neither lose requests nor wedge the run.
+  sched::ClusterConfig cfg = tail_config();
+  cfg.breaker.open_cooldown_ns = 150 * kMs;
+  cfg.faults.slow_link(100 * kMs, 700 * kMs, 0, 50 * kMs)
+      .link_down(100 * kMs, 600 * kMs, 1);
+  cfg.outlier.enabled = true;
+  cfg.outlier.alpha = 0.3;
+  cfg.outlier.min_samples = 20;
+  cfg.hedge.enabled = true;
+  cfg.hedge.quantile = 0.9;
+  cfg.hedge.budget_fraction = 0.25;
+  const sched::ClusterResult r =
+      sched::ClusterExperiment(cfg).run_with_model(tail_model());
+  EXPECT_GT(r.gray_trips, 0u)
+      << "the outlier trip must land while the other partition is active";
+  EXPECT_GT(r.responses_lost, 0u);
+  EXPECT_TRUE(r.accounted())
+      << "completed=" << r.completed << " rejected=" << r.rejected
+      << " failed=" << r.failed << " offered=" << r.offered;
+  EXPECT_GT(r.availability(), 0.9);
 }
 
 TEST(ClusterTail, TailMachineryDefaultsOffLeavesChaosRunsUntouched) {

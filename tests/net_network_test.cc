@@ -299,5 +299,60 @@ TEST(NetworkLinks, LiftingPartitionRestoresUnpartitionedRandomSequence) {
                    ref.elapsed());
 }
 
+// (appended) --- partition-overlay precedence + multi-hop paths -------------
+
+TEST(NetworkLinks, PartitionOverlayBeatsExplicitRulesAndRestoresThem) {
+  // The precedence contract: set_partitioned is an overlay, not a rule
+  // write. It wins over any explicit rule while active and leaves the rule
+  // table untouched when lifted — no last-writer-wins ambiguity.
+  Network net;
+  net.set_link(Network::kClientHost, "h", LinkState::kSlow, 3.0);
+  net.set_partitioned("h", true);
+  EXPECT_EQ(net.link_state(Network::kClientHost, "h"), LinkState::kDown);
+  // Rule writes under the overlay are retained, not clobbered or lost.
+  net.set_link(Network::kClientHost, "h", LinkState::kSlow, 7.0);
+  EXPECT_EQ(net.link_state(Network::kClientHost, "h"), LinkState::kDown);
+  net.set_partitioned("h", false);
+  EXPECT_EQ(net.link_state(Network::kClientHost, "h"), LinkState::kSlow);
+  EXPECT_DOUBLE_EQ(net.link_factor(Network::kClientHost, "h"), 7.0);
+}
+
+TEST(NetworkLinks, ExplicitDownSurvivesPartitionCycle) {
+  Network net;
+  net.set_link("h", Network::kClientHost, LinkState::kDown);
+  net.set_partitioned("h", true);
+  net.set_partitioned("h", false);
+  // Lifting the overlay must not heal an explicitly-downed link.
+  EXPECT_EQ(net.link_state("h", Network::kClientHost), LinkState::kDown);
+  EXPECT_FALSE(net.partitioned("h"));
+}
+
+TEST(NetworkLinks, PartitionedReflectsOnlyTheOverlay) {
+  Network net;
+  net.set_link(Network::kAnyHost, "h", LinkState::kDown);
+  EXPECT_FALSE(net.partitioned("h"))
+      << "an explicit down rule is not the partition overlay";
+  net.set_partitioned("h", true);
+  EXPECT_TRUE(net.partitioned("h"));
+  EXPECT_FALSE(net.partitioned("other"));
+}
+
+TEST(NetworkLinks, PathStateDownWinsAndSlowFactorsTakeTheMax) {
+  Network net;
+  EXPECT_EQ(net.path_state({"a", "b", "c"}).first, LinkState::kUp);
+  EXPECT_DOUBLE_EQ(net.path_state({"a", "b", "c"}).second, 1.0);
+  net.set_link("a", "b", LinkState::kSlow, 2.0);
+  net.set_link("b", "c", LinkState::kSlow, 5.0);
+  const auto [st, f] = net.path_state({"a", "b", "c"});
+  EXPECT_EQ(st, LinkState::kSlow);
+  EXPECT_DOUBLE_EQ(f, 5.0) << "end-to-end slowdown is the slowest hop's";
+  net.set_link("b", "c", LinkState::kDown);
+  EXPECT_EQ(net.path_state({"a", "b", "c"}).first, LinkState::kDown);
+  // A partitioned mid-hop downs every path through it.
+  net.set_link("b", "c", LinkState::kUp);
+  net.set_partitioned("b", true);
+  EXPECT_EQ(net.path_state({"a", "b", "c"}).first, LinkState::kDown);
+}
+
 }  // namespace
 }  // namespace confbench::net

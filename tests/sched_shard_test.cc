@@ -1,0 +1,277 @@
+// Sharded gateway fabric: hash-ring determinism, bounded-load slice
+// assignment, topology-born subset partitions, cross-shard failover and the
+// zero-lost-requests invariant under full shard partitions.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+#include <stdexcept>
+#include <vector>
+
+#include "sched/shard.h"
+#include "sim/rng.h"
+#include "sim/time.h"
+
+namespace confbench::sched {
+namespace {
+
+using sim::kMs;
+using sim::kSec;
+using sim::kUs;
+
+// --- HashRing ----------------------------------------------------------------
+
+TEST(HashRing, OwnerHeadsTheChainAndChainsArePermutations) {
+  const std::vector<std::string> nodes = {"shard-0", "shard-1", "shard-2",
+                                          "shard-3"};
+  HashRing ring(nodes, 64);
+  HashRing again(nodes, 64);
+  EXPECT_EQ(ring.nodes(), 4u);
+  for (std::uint64_t k = 0; k < 200; ++k) {
+    const std::uint64_t h = sim::stable_hash("key-" + std::to_string(k));
+    const auto chain = ring.chain(h);
+    ASSERT_EQ(chain.size(), 4u);
+    EXPECT_EQ(chain.front(), ring.owner(h));
+    // Every node appears exactly once: the chain is the failover order.
+    std::set<std::uint32_t> distinct(chain.begin(), chain.end());
+    EXPECT_EQ(distinct.size(), 4u);
+    // Same nodes, same vnodes => same ring, independent of instance.
+    EXPECT_EQ(again.chain(h), chain);
+  }
+}
+
+TEST(HashRing, RejectsDegenerateConfigurations) {
+  EXPECT_THROW(HashRing({}, 8), std::invalid_argument);
+  EXPECT_THROW(HashRing({"a"}, 0), std::invalid_argument);
+}
+
+// --- ShardedFrontend ---------------------------------------------------------
+
+TEST(ShardedFrontend, BoundedLoadSpillCapsEverySlice) {
+  ShardConfig sc;
+  sc.shards = 4;
+  sc.load_factor = 1.25;
+  const int replicas = 16;
+  ShardedFrontend fe(sc, replicas);
+  // cap = ceil(16 / 4 * 1.25) = 5
+  std::size_t assigned = 0;
+  for (int s = 0; s < fe.shards(); ++s) {
+    EXPECT_LE(fe.slice(s).size(), 5u) << "bounded-load cap violated";
+    for (const std::uint32_t r : fe.slice(s))
+      EXPECT_EQ(fe.owner_of_replica(r), static_cast<std::uint32_t>(s));
+    assigned += fe.slice(s).size();
+  }
+  EXPECT_EQ(assigned, static_cast<std::size_t>(replicas))
+      << "every replica lands in exactly one slice";
+  EXPECT_THROW(ShardedFrontend(ShardConfig{.shards = 0}, 4),
+               std::invalid_argument);
+  EXPECT_THROW(ShardedFrontend(ShardConfig{.load_factor = 0.5}, 4),
+               std::invalid_argument);
+}
+
+TEST(ShardedFrontend, RouteIsDeterministicAndSpreadsHomeShards) {
+  ShardConfig sc;
+  ShardedFrontend fe(sc, 16);
+  ShardedFrontend fe2(sc, 16);
+  std::vector<std::uint64_t> per_shard(static_cast<std::size_t>(fe.shards()));
+  for (std::uint64_t id = 0; id < 4000; ++id) {
+    const auto chain = fe.route(id);
+    ASSERT_EQ(chain.size(), static_cast<std::size_t>(fe.shards()));
+    EXPECT_EQ(fe2.route(id), chain);
+    ++per_shard[chain.front()];
+  }
+  // Sequential ids must not all march onto one shard: every shard homes a
+  // material share of traffic (vnodes smooth the ring).
+  for (const std::uint64_t n : per_shard)
+    EXPECT_GT(n, 4000u / (static_cast<std::uint64_t>(fe.shards()) * 4));
+}
+
+// --- Sharded experiment ------------------------------------------------------
+
+ShardedConfig shard_config() {
+  ShardedConfig cfg;
+  cfg.requests = 3000;
+  cfg.rate_rps = 3000;
+  cfg.seed = 11;
+  cfg.replicas = 16;
+  cfg.shard.shards = 4;
+  cfg.queue = {.concurrency = 8, .queue_depth = 32};
+  cfg.scaler.tick_ns = 20 * kMs;
+  cfg.retry.max_attempts = 4;
+  return cfg;
+}
+
+ServiceModel shard_model() {
+  ServiceModel m;
+  m.parallel_ns = 1 * kMs;
+  m.serialized_ns = 0;
+  m.jitter_sigma = 0.02;
+  m.cold_start_ns = 0.5 * kSec;
+  return m;
+}
+
+TEST(ShardedFabric, FaultFreeRunCompletesEverythingByteIdentically) {
+  const ShardedConfig cfg = shard_config();
+  const ShardedResult a =
+      ShardedExperiment(cfg).run_with_model(shard_model());
+  const ShardedResult b =
+      ShardedExperiment(cfg).run_with_model(shard_model());
+  EXPECT_EQ(a.offered, cfg.requests);
+  EXPECT_EQ(a.completed, a.offered) << "fault-free fleet must not shed";
+  EXPECT_TRUE(a.accounted());
+  EXPECT_EQ(a.failovers, 0u);
+  EXPECT_EQ(a.cross_failovers, 0u);
+  EXPECT_EQ(a.shed, 0u);
+  EXPECT_EQ(a.responses_lost, 0u);
+  // Determinism contract: same seed, same bytes.
+  EXPECT_EQ(a.to_json(), b.to_json());
+  // Every shard served its home traffic.
+  for (const ShardStats& s : a.shards) {
+    EXPECT_GT(s.admitted, 0u) << s.host;
+    EXPECT_EQ(s.cross_admitted, 0u) << s.host;
+  }
+}
+
+TEST(ShardedFabric, ClientShardWindowEmergesAsSubsetPartition) {
+  // One host-addressed window on client -> shard-0. Nothing in the replay
+  // knows about shards; the subset partition *emerges* from the topology:
+  // only shard-0's home admissions detour, the other shards are untouched.
+  ShardedConfig cfg = shard_config();
+  cfg.faults.link_down(200 * kMs, 400 * kMs, "client",
+                       ShardedFrontend::shard_host(0));
+  const ShardedResult r =
+      ShardedExperiment(cfg).run_with_model(shard_model());
+  EXPECT_TRUE(r.accounted())
+      << "completed=" << r.completed << " rejected=" << r.rejected
+      << " failed=" << r.failed << " offered=" << r.offered;
+  EXPECT_GT(r.cross_failovers, 0u)
+      << "shard-0 admissions must fail over across the ring";
+  EXPECT_GT(r.latency_cross.count(), 0u);
+  // The successors absorbed shard-0's traffic on its behalf.
+  std::uint64_t cross_admitted = 0;
+  for (const ShardStats& s : r.shards) cross_admitted += s.cross_admitted;
+  EXPECT_GT(cross_admitted, 0u);
+  EXPECT_GT(r.availability(), 0.95);
+}
+
+TEST(ShardedFabric, FullyPartitionedShardLosesZeroAcceptedRequests) {
+  // shard-0 is cut off in both directions: client cannot reach it, it can
+  // reach neither its replicas nor the client. Every request homed there
+  // must still terminate — completed via a successor shard or failed with
+  // a typed core::ErrorCode. Nothing may black-hole.
+  ShardedConfig cfg = shard_config();
+  const std::string s0 = ShardedFrontend::shard_host(0);
+  cfg.faults.link_down(200 * kMs, 500 * kMs, "*", s0)
+      .link_down(200 * kMs, 500 * kMs, s0, "*");
+  const ShardedResult r =
+      ShardedExperiment(cfg).run_with_model(shard_model());
+  EXPECT_TRUE(r.accounted())
+      << "zero-lost-requests invariant: completed=" << r.completed
+      << " rejected=" << r.rejected << " failed=" << r.failed
+      << " offered=" << r.offered;
+  EXPECT_GT(r.cross_failovers, 0u);
+  // Terminal failures, if any, carry a typed reason.
+  std::uint64_t coded = 0;
+  for (const auto& [code, n] : r.failure_codes) {
+    EXPECT_FALSE(code.empty());
+    coded += n;
+  }
+  EXPECT_EQ(coded, r.failed);
+  EXPECT_GT(r.availability(), 0.9)
+      << "three healthy shards must absorb the fourth's slice";
+}
+
+TEST(ShardedFabric, MinorityReachableSliceShedsInsteadOfBlackholing) {
+  // Down shard-0 -> most of its own slice: the shard sees reachability
+  // below degraded_min_reachable and sheds admissions to its successor
+  // instead of dispatching into the partitioned slice.
+  ShardedConfig cfg = shard_config();
+  cfg.shard.degraded_min_reachable = 0.5;
+  const ShardedFrontend fe(cfg.shard, cfg.replicas);
+  const std::string s0 = ShardedFrontend::shard_host(0);
+  const auto& slice = fe.slice(0);
+  ASSERT_GE(slice.size(), 2u);
+  const std::size_t cut = slice.size() - slice.size() / 4;  // > half
+  for (std::size_t i = 0; i < cut; ++i)
+    cfg.faults.link_down(200 * kMs, 400 * kMs, s0,
+                         ShardedFrontend::replica_host(slice[i]));
+  const ShardedResult r =
+      ShardedExperiment(cfg).run_with_model(shard_model());
+  EXPECT_GT(r.shed, 0u) << "degraded shard must shed, not black-hole";
+  EXPECT_EQ(r.shed, r.shards[0].shed)
+      << "only the degraded shard sheds";
+  EXPECT_TRUE(r.accounted());
+  EXPECT_GT(r.availability(), 0.95);
+}
+
+TEST(ShardedFabric, ReplicaAddressedPlanReplaysThroughTheFabric) {
+  // The cluster sim's replica-addressed plan form, replayed through the
+  // sharded fabric via ReplicaAddressing: replica 0's responses vanish
+  // (asymmetric partition), its shard retries intra-slice first.
+  ShardedConfig cfg = shard_config();
+  cfg.faults.link_down(200 * kMs, 400 * kMs, /*replica=*/0);
+  const ShardedResult r =
+      ShardedExperiment(cfg).run_with_model(shard_model());
+  EXPECT_GT(r.responses_lost, 0u)
+      << "the replica serves but its answers are lost";
+  EXPECT_GT(r.failovers, 0u);
+  EXPECT_GT(r.retries, 0u);
+  EXPECT_TRUE(r.accounted());
+  EXPECT_GT(r.availability(), 0.95);
+}
+
+TEST(ShardedFabric, PerShardAutoscalerSizesEachSliceIndependently) {
+  ShardedConfig cfg = shard_config();
+  cfg.prewarm = false;
+  cfg.scaler.min_warm = 1;
+  cfg.scaler.scale_up_utilization = 0.7;
+  const ShardedResult r =
+      ShardedExperiment(cfg).run_with_model(shard_model());
+  EXPECT_TRUE(r.accounted());
+  EXPECT_GT(r.completed, 0u);
+  ASSERT_EQ(r.shards.size(), 4u);
+  for (const ShardStats& s : r.shards) {
+    EXPECT_FALSE(s.scaler_trace.empty())
+        << s.host << " must run its own autoscaler";
+    EXPECT_GE(s.peak_warm, 1) << s.host;
+    EXPECT_LE(s.peak_warm, static_cast<int>(s.slice)) << s.host;
+  }
+}
+
+TEST(ShardedFabric, CrossAdmissionCostShowsUpInTheCrossTail) {
+  // Same partition, same seed; only the cross-admission cost differs. The
+  // cross-shard latency tail must price it in (the TEE re-attestation cost
+  // bench/shard_failover charges on secure fleets).
+  ShardedConfig cheap = shard_config();
+  cheap.faults.link_down(200 * kMs, 400 * kMs, "client",
+                         ShardedFrontend::shard_host(0));
+  ShardedConfig dear = cheap;
+  dear.shard.cross_admit_ns = 50 * kMs;
+  const ShardedResult a =
+      ShardedExperiment(cheap).run_with_model(shard_model());
+  const ShardedResult b =
+      ShardedExperiment(dear).run_with_model(shard_model());
+  ASSERT_GT(a.latency_cross.count(), 0u);
+  ASSERT_GT(b.latency_cross.count(), 0u);
+  EXPECT_GT(b.latency_cross.p99(), a.latency_cross.p99() + 40 * kMs);
+  EXPECT_TRUE(a.accounted());
+  EXPECT_TRUE(b.accounted());
+}
+
+TEST(ShardedFabric, MixedWorkloadClassesStayDeterministicAndAccounted) {
+  ShardedConfig cfg = shard_config();
+  cfg.classes = {{.weight = 0.8, .service_mult = 1.0},
+                 {.weight = 0.2, .service_mult = 4.0}};
+  cfg.hedge.enabled = true;
+  cfg.hedge.quantile = 0.9;
+  cfg.hedge.budget_fraction = 0.25;
+  const ShardedResult a = ShardedExperiment(cfg).run_with_model(shard_model());
+  const ShardedResult b = ShardedExperiment(cfg).run_with_model(shard_model());
+  EXPECT_TRUE(a.accounted());
+  EXPECT_EQ(a.to_json(), b.to_json());
+  // Hedge copies never enter the request accounting.
+  EXPECT_EQ(a.completed + a.rejected + a.failed, a.offered);
+}
+
+}  // namespace
+}  // namespace confbench::sched
