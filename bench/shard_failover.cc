@@ -5,8 +5,8 @@
 //
 // For each (platform, mode) the bench calibrates an iostress service model
 // through the real gateway -> host-agent -> launcher path, prices the
-// cross-shard re-admission attestation round through the real
-// AttestationService flow (fault::measure_attest_ns: PCS-bound on TDX,
+// cross-shard re-admission attestation round through the verification
+// service's cost model (attest::svc::CostModel: PCS-bound on TDX,
 // local certs on SNP, free on CCA/FVP), then runs four deterministic
 // scenarios through sched::ShardedFrontend — four gateway shards, each
 // owning a bounded-load consistent-hash slice of a 16-replica fleet, every
@@ -45,6 +45,7 @@
 #include <string>
 #include <vector>
 
+#include "attest/svc/cost_model.h"
 #include "bench/common.h"
 #include "core/confbench.h"
 #include "fault/fault.h"
@@ -95,9 +96,12 @@ int main() {
       models[{platform, secure}] = sched::ServiceModel::calibrate(
           *system, "iostress", "go", platform, secure, 4);
       // Secure fleets re-verify the fleet's attestation evidence when a
-      // successor shard admits traffic for a slice it does not own.
+      // successor shard admits traffic for a slice it does not own. Priced
+      // by the verification service's cost model — the same full-round
+      // figure crash recovery and live migration charge.
       cross_admit[{platform, secure}] =
-          secure && plat ? fault::measure_attest_ns(*plat) : 0;
+          secure && plat ? attest::svc::CostModel::measure(*plat).full_round_ns
+                         : 0;
     }
   }
 

@@ -1,6 +1,6 @@
 // Simulated digital signatures and certificate chains.
 //
-// DESIGN.md §8: we do not ship real ECDSA. SimSigner provides keypairs with
+// DESIGN.md §10: we do not ship real ECDSA. SimSigner provides keypairs with
 // public-key *semantics* — sign with the secret, verify with the public key
 // — implemented as HMAC over the message with the secret key, where a
 // process-global authority maps public-key ids to their secrets for

@@ -1,0 +1,70 @@
+#include "attest/svc/collateral_cache.h"
+
+#include "obs/registry.h"
+
+namespace confbench::attest::svc {
+
+std::string_view to_string(CacheOutcome o) {
+  switch (o) {
+    case CacheOutcome::kHit:
+      return "hit";
+    case CacheOutcome::kStale:
+      return "stale";
+    case CacheOutcome::kMiss:
+      return "miss";
+  }
+  return "?";
+}
+
+CacheOutcome CollateralCache::lookup(const CollateralKey& key, sim::Ns now) {
+  const auto it = entries_.find(key);
+  if (it == entries_.end()) {
+    ++misses_;
+    return CacheOutcome::kMiss;
+  }
+  if (now < it->second + ttl_ns_) {
+    ++hits_;
+    return CacheOutcome::kHit;
+  }
+  ++stale_;
+  return CacheOutcome::kStale;
+}
+
+void CollateralCache::insert(const CollateralKey& key, sim::Ns now) {
+  if (ttl_ns_ <= 0) return;
+  entries_[key] = now;
+}
+
+bool CollateralCache::warm(const CollateralKey& key, sim::Ns now) const {
+  const auto it = entries_.find(key);
+  return it != entries_.end() && now < it->second + ttl_ns_;
+}
+
+sim::Ns CollateralCache::fetched_at(const CollateralKey& key) const {
+  const auto it = entries_.find(key);
+  return it == entries_.end() ? 0 : it->second;
+}
+
+std::size_t CollateralCache::revoke(const std::string& platform) {
+  std::size_t flushed = 0;
+  for (auto it = entries_.begin(); it != entries_.end();) {
+    if (it->first.platform == platform) {
+      it = entries_.erase(it);
+      ++flushed;
+    } else {
+      ++it;
+    }
+  }
+  revocation_flushes_ += flushed;
+  return flushed;
+}
+
+void CollateralCache::publish(obs::Registry& reg,
+                              const std::string& prefix) const {
+  reg.counter(prefix + ".hit") += hits_;
+  reg.counter(prefix + ".miss") += misses_;
+  reg.counter(prefix + ".stale") += stale_;
+  reg.counter(prefix + ".revoked") += revocation_flushes_;
+}
+
+}  // namespace confbench::attest::svc

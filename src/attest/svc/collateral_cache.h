@@ -1,0 +1,104 @@
+// Verification-collateral cache with TTL and explicit revocation flushes.
+//
+// TDX verification is PCS-bound: every cold verification pays four WAN
+// round trips for TCB info, QE identity and CRLs (~1.24 s of the ~1.46 s
+// round). The collateral is the same for every quote from the same
+// platform at the same TCB level, so a shared verifier caches it under the
+// (platform, tcb) key with a TTL. Three outcomes matter and are counted
+// separately:
+//
+//   hit    a live entry — the verification skips the network entirely;
+//   stale  an entry past its TTL — the fetch is re-paid, but the verifier
+//          knows the key (distinguishing stale from miss is what lets the
+//          operator size the TTL from the counters);
+//   miss   the key has never been fetched (or was flushed by revocation).
+//
+// Revocation is an *event*, not a TTL: when a key is revoked mid-run the
+// CRL the cached collateral embeds is wrong, so every entry for the
+// platform is flushed immediately — cached-but-revoked collateral must
+// never validate a quote. The flush is counted so experiments can see
+// revocation storms in the registry snapshot.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <utility>
+
+#include "sim/time.h"
+
+namespace confbench::obs {
+class Registry;
+}
+
+namespace confbench::attest::svc {
+
+enum class CacheOutcome : std::uint8_t { kHit, kStale, kMiss };
+
+std::string_view to_string(CacheOutcome o);
+
+/// Cache key: collateral is shared by every quote from one platform at one
+/// TCB level (a TCB recovery bumps the level and naturally misses).
+struct CollateralKey {
+  std::string platform;
+  std::uint16_t tcb = 0;
+  bool operator<(const CollateralKey& o) const {
+    return std::tie(platform, tcb) < std::tie(o.platform, o.tcb);
+  }
+};
+
+class CollateralCache {
+ public:
+  /// `ttl_ns` <= 0 disables caching entirely: every lookup is a miss and
+  /// inserts are dropped (the cold-cache baseline configuration).
+  explicit CollateralCache(sim::Ns ttl_ns) : ttl_ns_(ttl_ns) {}
+
+  /// Classifies a lookup at virtual time `now` and bumps the matching
+  /// counter. An entry is live while now < fetched_at + ttl — an entry
+  /// whose TTL expires exactly at the lookup instant is already stale.
+  CacheOutcome lookup(const CollateralKey& key, sim::Ns now);
+
+  /// Records a completed fetch (overwrites any stale entry). No-op when
+  /// the TTL is non-positive.
+  void insert(const CollateralKey& key, sim::Ns now);
+
+  /// Non-counting peek: true when a lookup at `now` would hit. Cost-model
+  /// callers (migration planning) use this to price a re-attest without
+  /// perturbing the hit/miss statistics of the serving path.
+  [[nodiscard]] bool warm(const CollateralKey& key, sim::Ns now) const;
+
+  /// Completion time of the entry's fetch (0 when absent). Entries are
+  /// inserted when their fetch is *booked*, stamped with its completion
+  /// time — a hit against an in-flight fetch must wait for it, not time-
+  /// travel past it, so hit consumers pay max(now, fetched_at).
+  [[nodiscard]] sim::Ns fetched_at(const CollateralKey& key) const;
+
+  /// Revocation event: flushes every entry of `platform` (all TCB levels)
+  /// so subsequent verifications re-fetch a CRL that includes the revoked
+  /// key. Returns the number of entries flushed.
+  std::size_t revoke(const std::string& platform);
+
+  [[nodiscard]] std::size_t size() const { return entries_.size(); }
+  [[nodiscard]] sim::Ns ttl_ns() const { return ttl_ns_; }
+
+  [[nodiscard]] std::uint64_t hits() const { return hits_; }
+  [[nodiscard]] std::uint64_t misses() const { return misses_; }
+  [[nodiscard]] std::uint64_t stale() const { return stale_; }
+  [[nodiscard]] std::uint64_t revocation_flushes() const {
+    return revocation_flushes_;
+  }
+
+  /// Publishes the counters as `<prefix>.hit/miss/stale/revoked` into a
+  /// metrics registry (additive, so shard snapshots merge exactly).
+  void publish(obs::Registry& reg, const std::string& prefix) const;
+
+ private:
+  sim::Ns ttl_ns_;
+  std::map<CollateralKey, sim::Ns> entries_;  ///< key -> fetched_at
+  std::uint64_t hits_ = 0;
+  std::uint64_t misses_ = 0;
+  std::uint64_t stale_ = 0;
+  std::uint64_t revocation_flushes_ = 0;  ///< entries flushed by revoke()
+};
+
+}  // namespace confbench::attest::svc

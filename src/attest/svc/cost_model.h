@@ -1,0 +1,73 @@
+// Decomposed attestation cost model — the single pricing authority.
+//
+// Before this service existed, three call sites (crash recovery, live
+// migration, shard cross-admission) each priced a re-attestation round by
+// calling fault::measure_attest_ns directly, so any cost-model change had
+// to be made three times. CostModel centralizes the pricing and, crucially,
+// *decomposes* the round into the parts the verification service can skip
+// or amortize:
+//
+//   evidence_ns    guest-side evidence generation (report + measure + sign)
+//   collateral_ns  verifier-side collateral fetch (PCS round trips on TDX,
+//                  local cert retrieval on SNP) — the cacheable part, and
+//                  the only part an attestation-service outage can stall
+//   verify_ns      verifier-side signature + TCB compute — always paid on
+//                  a full verification, cache or no cache
+//   full_round_ns  the whole attest+verify round, measured through the real
+//                  attest::AttestationService flow at trial 0 — byte-for-
+//                  byte the value the legacy call sites charged, so every
+//                  pre-service bench output is preserved exactly
+//
+// plus the two cheap paths the service unlocks:
+//
+//   warm_verify_ns()  full verification with warm collateral: evidence +
+//                     verify, no network — what a cache hit pays
+//   ticket_check_ns   session-ticket resumption: one MAC check over the
+//                     ticket plus a freshness lookup — what a repeat
+//                     crossing to a ticketed subject pays
+//   evtpm_round_ns    e-vTPM-backed verification (SNP only): once the SVSM
+//                     vTPM's initial binding to an SNP report is verified,
+//                     repeat verification is a TPM quote against the
+//                     already-trusted vTPM AK — no AMD-SP round, no cert
+//                     fetch (models the e-vTPM paper's path, PAPERS.md)
+#pragma once
+
+#include <string>
+
+#include "sim/time.h"
+#include "tee/platform.h"
+
+namespace confbench::attest::svc {
+
+struct CostModel {
+  std::string platform;    ///< tee registry name ("tdx", "sev-snp", ...)
+  bool supported = false;  ///< false: no attestation hardware (CCA/FVP)
+
+  sim::Ns evidence_ns = 0;    ///< report request + measurement + sign
+  sim::Ns collateral_ns = 0;  ///< network collateral fetch (cacheable)
+  sim::Ns verify_ns = 0;      ///< local verify compute (+ local cert fetch)
+  sim::Ns full_round_ns = 0;  ///< measured end-to-end round (legacy value)
+
+  sim::Ns ticket_check_ns = 150 * sim::kUs;  ///< ticket MAC + freshness
+
+  bool evtpm_available = false;  ///< SNP only: SVSM-hosted vTPM modeled
+  sim::Ns evtpm_round_ns = 0;    ///< vTPM quote + local verify
+
+  /// Full verification against warm collateral: everything but the
+  /// network. Clamped into [0, full_round_ns] so a heavily jittered
+  /// measured round can never make the warm path the more expensive one.
+  [[nodiscard]] sim::Ns warm_verify_ns() const;
+
+  /// Measures the model for one platform. `full_round_ns` runs the real
+  /// AttestationService flow (identical to the pre-service
+  /// fault::measure_attest_ns); the decomposed parts come from the
+  /// platform's declared AttestationCosts table, jitter-free, so cache and
+  /// ticket savings are deterministic.
+  [[nodiscard]] static CostModel measure(const tee::Platform& plat);
+
+  /// Registry-lookup convenience. Throws std::invalid_argument for an
+  /// unknown platform name.
+  [[nodiscard]] static CostModel measure(const std::string& platform);
+};
+
+}  // namespace confbench::attest::svc

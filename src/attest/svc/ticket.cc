@@ -1,0 +1,73 @@
+#include "attest/svc/ticket.h"
+
+#include "obs/registry.h"
+
+namespace confbench::attest::svc {
+
+std::string_view to_string(TicketInvalidation why) {
+  switch (why) {
+    case TicketInvalidation::kRevocation:
+      return "revocation";
+    case TicketInvalidation::kMigration:
+      return "migration";
+    case TicketInvalidation::kReboot:
+      return "reboot";
+  }
+  return "?";
+}
+
+void TicketTable::mint(std::uint64_t subject, sim::Ns now) {
+  if (ttl_ns_ <= 0) return;
+  tickets_[subject] = now;
+  ++minted_;
+}
+
+bool TicketTable::resume(std::uint64_t subject, sim::Ns now) {
+  const auto it = tickets_.find(subject);
+  if (it == tickets_.end()) return false;
+  if (now < it->second + ttl_ns_) {
+    ++resumed_;
+    return true;
+  }
+  // Strict expiry: a ticket ending exactly now is already dead.
+  tickets_.erase(it);
+  ++expired_;
+  return false;
+}
+
+bool TicketTable::valid(std::uint64_t subject, sim::Ns now) const {
+  const auto it = tickets_.find(subject);
+  return it != tickets_.end() && now < it->second + ttl_ns_;
+}
+
+void TicketTable::invalidate(std::uint64_t subject, TicketInvalidation why) {
+  if (tickets_.erase(subject) > 0)
+    ++invalidated_[static_cast<std::size_t>(why)];
+}
+
+void TicketTable::invalidate_all(TicketInvalidation why) {
+  invalidated_[static_cast<std::size_t>(why)] += tickets_.size();
+  tickets_.clear();
+}
+
+std::uint64_t TicketTable::invalidated(TicketInvalidation why) const {
+  return invalidated_[static_cast<std::size_t>(why)];
+}
+
+std::uint64_t TicketTable::invalidated_total() const {
+  return invalidated_[0] + invalidated_[1] + invalidated_[2];
+}
+
+void TicketTable::publish(obs::Registry& reg,
+                          const std::string& prefix) const {
+  reg.counter(prefix + ".mint") += minted_;
+  reg.counter(prefix + ".resume") += resumed_;
+  reg.counter(prefix + ".expire") += expired_;
+  for (const auto why :
+       {TicketInvalidation::kRevocation, TicketInvalidation::kMigration,
+        TicketInvalidation::kReboot})
+    reg.counter(prefix + ".invalidate." + std::string(to_string(why))) +=
+        invalidated(why);
+}
+
+}  // namespace confbench::attest::svc

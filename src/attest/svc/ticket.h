@@ -1,0 +1,93 @@
+// Session-ticket resumption for repeat attestation verifications.
+//
+// The first successful verification of a subject (a replica, or a shard's
+// slice evidence bundle) mints a ticket: a MAC'd statement "subject S
+// verified OK at T, valid until T + ttl". A repeat verification of a
+// ticketed subject pays only the ticket check (~µs) instead of a full
+// quote round (~1.46 s cold on TDX) — the TLS-session-resumption idea
+// applied to attestation, and the mechanism that makes steady-state
+// cross-shard crossings approach intra-shard cost.
+//
+// Tickets are *capabilities over stale evidence*, so everything that
+// invalidates the evidence invalidates the ticket immediately:
+//
+//   kRevocation  a signing key was revoked — every outstanding ticket in
+//                the table may chain to it, so all are dropped;
+//   kMigration   the subject live-migrated — the TDX migration security
+//                model requires a fresh verification on the target before
+//                traffic is admitted; a ticket must not bypass it;
+//   kReboot      the subject crashed or rebooted — its launch measurement
+//                may have changed, the old evidence proves nothing.
+//
+// Expiry is strict: a ticket whose TTL ends exactly at the crossing
+// instant is already invalid (now < expiry, not <=) — the race the ticket
+// lifecycle tests pin down.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <string_view>
+
+#include "sim/time.h"
+
+namespace confbench::obs {
+class Registry;
+}
+
+namespace confbench::attest::svc {
+
+enum class TicketInvalidation : std::uint8_t {
+  kRevocation,
+  kMigration,
+  kReboot,
+};
+
+std::string_view to_string(TicketInvalidation why);
+
+class TicketTable {
+ public:
+  /// `ttl_ns` <= 0 disables tickets: mint() is a no-op and resume() always
+  /// fails (the cold baseline configuration).
+  explicit TicketTable(sim::Ns ttl_ns) : ttl_ns_(ttl_ns) {}
+
+  /// Mints (or refreshes) the subject's ticket at virtual time `now`.
+  void mint(std::uint64_t subject, sim::Ns now);
+
+  /// Attempts resumption at `now`: true only for a live ticket
+  /// (now strictly before mint + ttl). An expired ticket is erased on the
+  /// spot and counted as an expiry, not an invalidation.
+  bool resume(std::uint64_t subject, sim::Ns now);
+
+  /// Non-counting peek at resumability.
+  [[nodiscard]] bool valid(std::uint64_t subject, sim::Ns now) const;
+
+  /// Drops the subject's ticket for `why`; counted per reason. No-op
+  /// (and uncounted) when the subject holds no ticket.
+  void invalidate(std::uint64_t subject, TicketInvalidation why);
+
+  /// Drops every ticket (revocation storms): each live ticket counts one
+  /// invalidation of `why`.
+  void invalidate_all(TicketInvalidation why);
+
+  [[nodiscard]] std::size_t size() const { return tickets_.size(); }
+  [[nodiscard]] std::uint64_t minted() const { return minted_; }
+  [[nodiscard]] std::uint64_t resumed() const { return resumed_; }
+  [[nodiscard]] std::uint64_t expired() const { return expired_; }
+  [[nodiscard]] std::uint64_t invalidated(TicketInvalidation why) const;
+  [[nodiscard]] std::uint64_t invalidated_total() const;
+
+  /// Publishes `<prefix>.mint/resume/expire` plus one
+  /// `<prefix>.invalidate.<reason>` counter per reason.
+  void publish(obs::Registry& reg, const std::string& prefix) const;
+
+ private:
+  sim::Ns ttl_ns_;
+  std::map<std::uint64_t, sim::Ns> tickets_;  ///< subject -> minted_at
+  std::uint64_t minted_ = 0;
+  std::uint64_t resumed_ = 0;
+  std::uint64_t expired_ = 0;
+  std::uint64_t invalidated_[3] = {0, 0, 0};  ///< per TicketInvalidation
+};
+
+}  // namespace confbench::attest::svc

@@ -1,0 +1,235 @@
+#include "attest/svc/verify_service.h"
+
+#include <algorithm>
+#include <map>
+#include <stdexcept>
+
+#include "obs/registry.h"
+
+namespace confbench::attest::svc {
+
+std::string_view to_string(VerifyMode m) {
+  switch (m) {
+    case VerifyMode::kFull:
+      return "full";
+    case VerifyMode::kEvtpm:
+      return "evtpm";
+  }
+  return "?";
+}
+
+std::string_view to_string(VerifyStatus s) {
+  switch (s) {
+    case VerifyStatus::kVerified:
+      return "verified";
+    case VerifyStatus::kResumed:
+      return "resumed";
+    case VerifyStatus::kDeadlineExceeded:
+      return "deadline-exceeded";
+    case VerifyStatus::kCollateralUnavailable:
+      return "collateral-unavailable";
+    case VerifyStatus::kQueueFull:
+      return "queue-full";
+  }
+  return "?";
+}
+
+VerifyService::VerifyService(const VerifyConfig& cfg, CostModel model,
+                             NowFn now, ScheduleAt at,
+                             std::vector<std::pair<sim::Ns, sim::Ns>> outages)
+    : cfg_(cfg),
+      model_(std::move(model)),
+      now_(std::move(now)),
+      at_(std::move(at)),
+      outages_(std::move(outages)),
+      cache_(cfg.collateral_ttl_ns),
+      tickets_(cfg.ticket_ttl_ns) {
+  if (at_)
+    for (const sim::Ns t : cfg_.revoke_at)
+      at_(t, [this] { on_revocation(); });
+  if (!cfg_.prewarm_subjects.empty() && model_.supported) {
+    cache_.insert(CollateralKey{model_.platform, 0}, 0);
+    for (const std::uint64_t s : cfg_.prewarm_subjects) tickets_.mint(s, 0);
+  }
+}
+
+bool VerifyService::outage_at(sim::Ns t) const {
+  for (const auto& [s, e] : outages_)
+    if (t >= s && t < e) return true;
+  return false;
+}
+
+bool VerifyService::outage_overlaps(sim::Ns from, sim::Ns to) const {
+  for (const auto& [s, e] : outages_)
+    if (s < to && e > from) return true;
+  return false;
+}
+
+void VerifyService::deliver(sim::Ns at_ns, VerifyStatus status,
+                            const Callback& cb) {
+  if (!cb) return;
+  at_(at_ns, [status, at_ns, cb] { cb({status, at_ns}); });
+}
+
+void VerifyService::finish_request(const Pending& p, sim::Ns t) {
+  if (p.deadline_ns > 0 && t > p.deadline_ns) {
+    ++deadline_giveups_;
+    deliver(std::max(now_(), p.deadline_ns), VerifyStatus::kDeadlineExceeded,
+            p.cb);
+    return;
+  }
+  tickets_.mint(p.subject, t);
+  deliver(t, VerifyStatus::kVerified, p.cb);
+}
+
+void VerifyService::verify(std::uint64_t subject, std::uint16_t tcb,
+                           sim::Ns deadline_ns, Callback cb) {
+  if (!now_ || !at_)
+    throw std::logic_error(
+        "VerifyService::verify requires scheduling callables");
+  const sim::Ns now = now_();
+  // No attestation hardware (CCA/FVP): nothing to verify, nothing to pay.
+  if (!model_.supported) {
+    deliver(now, VerifyStatus::kVerified, cb);
+    return;
+  }
+  if (tickets_.resume(subject, now)) {
+    deliver(now + model_.ticket_check_ns, VerifyStatus::kResumed, cb);
+    return;
+  }
+  if (static_cast<int>(pending_.size()) >= cfg_.max_queue) {
+    ++queue_rejects_;
+    deliver(now, VerifyStatus::kQueueFull, cb);
+    return;
+  }
+  pending_.push_back({subject, tcb, deadline_ns, std::move(cb)});
+  if (static_cast<int>(pending_.size()) >= cfg_.max_batch) {
+    flush_batch();
+    return;
+  }
+  if (pending_.size() == 1) {
+    // First request opens the batch window; the epoch guard turns the
+    // timer into a no-op when the batch already flushed via max_batch.
+    const std::uint64_t epoch = batch_epoch_;
+    at_(now + cfg_.batch_window_ns, [this, epoch] {
+      if (epoch == batch_epoch_ && !pending_.empty()) flush_batch();
+    });
+  }
+}
+
+void VerifyService::flush_batch() {
+  ++batch_epoch_;
+  std::vector<Pending> batch;
+  batch.swap(pending_);
+  const sim::Ns now = now_();
+  ++batches_;
+  batched_ += batch.size();
+
+  // e-vTPM mode: local TPM quote checks, no collateral, outage-immune.
+  if (cfg_.mode == VerifyMode::kEvtpm && model_.evtpm_available) {
+    for (const Pending& p : batch) {
+      ++evtpm_;
+      finish_request(p, now + model_.evtpm_round_ns);
+    }
+    return;
+  }
+
+  // One collateral fetch per distinct (platform, tcb) key, amortized over
+  // every request in the batch that shares it. All fetches of the batch
+  // run concurrently over [now, now + collateral_ns); an outage window
+  // overlapping that interval — including one that opens mid-flight —
+  // fails exactly the fetched keys, never the cache hits.
+  struct KeyState {
+    sim::Ns ready_ns = 0;
+    bool failed = false;
+  };
+  std::map<std::uint16_t, KeyState> keys;
+  for (const Pending& p : batch) {
+    if (keys.count(p.tcb)) continue;
+    KeyState st;
+    const CollateralKey key{model_.platform, p.tcb};
+    if (cache_.lookup(key, now) == CacheOutcome::kHit) {
+      // A hit against a fetch still in flight (a previous batch booked it)
+      // waits for that fetch to land; a settled entry costs nothing.
+      st.ready_ns = std::max(now, cache_.fetched_at(key));
+    } else {
+      ++fetches_;
+      const sim::Ns fetch_end = now + model_.collateral_ns;
+      if (outage_overlaps(now, fetch_end) ||
+          (model_.collateral_ns <= 0 && outage_at(now))) {
+        st.failed = true;
+        ++fetch_failures_;
+        st.ready_ns = fetch_end;  // the caller learns at the fetch timeout
+      } else {
+        st.ready_ns = fetch_end;
+        cache_.insert(key, fetch_end);
+      }
+    }
+    keys.emplace(p.tcb, st);
+  }
+  for (const Pending& p : batch) {
+    const KeyState& st = keys.at(p.tcb);
+    if (st.failed) {
+      deliver(std::max(st.ready_ns, now), VerifyStatus::kCollateralUnavailable,
+              p.cb);
+      continue;
+    }
+    ++full_;
+    finish_request(p, st.ready_ns + model_.warm_verify_ns());
+  }
+}
+
+sim::Ns VerifyService::reverify_done_ns(sim::Ns start_ns, std::uint16_t tcb) {
+  if (!model_.supported) return start_ns;
+  if (cfg_.mode == VerifyMode::kEvtpm && model_.evtpm_available) {
+    ++evtpm_;
+    return start_ns + model_.evtpm_round_ns;
+  }
+  const CollateralKey key{model_.platform, tcb};
+  if (cache_.lookup(key, start_ns) == CacheOutcome::kHit) {
+    ++full_;
+    return std::max(start_ns, cache_.fetched_at(key)) +
+           model_.warm_verify_ns();
+  }
+  // Cold: the fetch stalls behind any outage window it would start inside
+  // (windows are time-ordered, so one pass resolves cascades).
+  sim::Ns t = start_ns;
+  for (const auto& [s, e] : outages_)
+    if (t >= s && t < e) t = e;
+  ++fetches_;
+  const sim::Ns fetch_end = t + model_.collateral_ns;
+  cache_.insert(key, fetch_end);
+  ++full_;
+  return fetch_end + model_.warm_verify_ns();
+}
+
+void VerifyService::on_reboot(std::uint64_t subject) {
+  tickets_.invalidate(subject, TicketInvalidation::kReboot);
+}
+
+void VerifyService::on_migration(std::uint64_t subject) {
+  tickets_.invalidate(subject, TicketInvalidation::kMigration);
+}
+
+void VerifyService::on_revocation() {
+  ++revocations_;
+  cache_.revoke(model_.platform);
+  tickets_.invalidate_all(TicketInvalidation::kRevocation);
+}
+
+void VerifyService::publish(obs::Registry& reg,
+                            const std::string& prefix) const {
+  cache_.publish(reg, prefix + ".cache");
+  tickets_.publish(reg, prefix + ".ticket");
+  reg.counter(prefix + ".verify.full") += full_;
+  reg.counter(prefix + ".verify.evtpm") += evtpm_;
+  reg.counter(prefix + ".verify.batches") += batches_;
+  reg.counter(prefix + ".verify.batched") += batched_;
+  reg.counter(prefix + ".verify.fetch") += fetches_;
+  reg.counter(prefix + ".verify.fetch_failed") += fetch_failures_;
+  reg.counter(prefix + ".verify.deadline_giveups") += deadline_giveups_;
+  reg.counter(prefix + ".verify.queue_rejects") += queue_rejects_;
+  reg.counter(prefix + ".verify.revocations") += revocations_;
+}
+
+}  // namespace confbench::attest::svc

@@ -1,0 +1,215 @@
+// Shared attestation verification service: collateral cache + batched
+// quote verification + session-ticket resumption.
+//
+// Sits between the cluster/shard fabric and the raw attest:: flows. The
+// fabric's problem: a full re-attestation round on every cross-shard
+// crossing (TDX ~1.46 s of PCS collateral) is untenable at production
+// crossing rates. The service's answer, in descending order of savings:
+//
+//   1. session tickets — a subject verified once resumes for ~ticket-check
+//      cost until TTL/revocation/migration/reboot (ticket.h);
+//   2. collateral cache — an unticketed verification with warm collateral
+//      skips the network share and pays only evidence + verify compute
+//      (collateral_cache.h);
+//   3. batching — concurrent unticketed verifications form a bounded
+//      queue; one collateral fetch per (platform, tcb) key is amortized
+//      across the whole batch instead of being paid per request.
+//
+// Verification requests are asynchronous: verify() books the work on the
+// caller's event scheduler and delivers a VerifyOutcome at the priced
+// completion time. Per-request deadlines produce kDeadlineExceeded
+// give-ups at the deadline instant, which callers feed into their existing
+// fault::RetryVerdict accounting.
+//
+// Outage semantics (the PR-3 kAttestOutage windows): an outage stalls or
+// fails only collateral *fetches*. Ticket resumptions and cache hits are
+// local operations and proceed — this is precisely what turns a PCS outage
+// from a full attestation blackout into a cold-miss-only brownout. An
+// outage that opens while a batch's fetch is in flight fails that fetch
+// (and only the requests needing it); requests verifying against
+// already-cached collateral in the same batch complete normally.
+//
+// Modes: kFull replays the platform's real quote-verification pricing;
+// kEvtpm (SNP only) models the e-vTPM path — after the SVSM vTPM's AK is
+// bound to an SNP report once, each verification is a local TPM quote
+// check with no AMD-SP round and no collateral fetch at all, so it is
+// outage-immune by construction.
+//
+// Determinism: the service draws no randomness; completion times are
+// arithmetic over the CostModel, so runs embedding it stay byte-stable.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "attest/svc/collateral_cache.h"
+#include "attest/svc/cost_model.h"
+#include "attest/svc/ticket.h"
+#include "sim/time.h"
+
+namespace confbench::obs {
+class Registry;
+}
+
+namespace confbench::attest::svc {
+
+enum class VerifyMode : std::uint8_t { kFull, kEvtpm };
+
+std::string_view to_string(VerifyMode m);
+
+struct VerifyConfig {
+  /// Master switch consumed by embedders (sched::ShardedConfig): false
+  /// preserves their legacy fixed-cost paths byte-for-byte.
+  bool enabled = false;
+  VerifyMode mode = VerifyMode::kFull;
+  sim::Ns collateral_ttl_ns = 600 * sim::kSec;  ///< <= 0: cache disabled
+  sim::Ns ticket_ttl_ns = 300 * sim::kSec;      ///< <= 0: tickets disabled
+  /// A batch closes batch_window_ns after its first request arrives, or
+  /// immediately when max_batch requests are pending.
+  sim::Ns batch_window_ns = 2 * sim::kMs;
+  int max_batch = 16;
+  /// Bound on the verify queue: requests arriving beyond it are refused
+  /// with kQueueFull instead of building an unbounded backlog.
+  int max_queue = 256;
+  /// Scheduled revocation events (virtual times): each flushes the
+  /// collateral cache and invalidates every outstanding ticket mid-run.
+  std::vector<sim::Ns> revoke_at;
+  /// Subjects whose session tickets (and the tcb-0 collateral entry) are
+  /// pre-established at t=0 — the steady-state entry point: the fabric ran
+  /// before the measured window, so repeat crossings resume from the first
+  /// event. Pre-minted tickets still expire, revoke, and invalidate like
+  /// any other.
+  std::vector<std::uint64_t> prewarm_subjects;
+  /// Explicit cost model (tests, pre-measured sweeps). When
+  /// cost.platform is empty, embedders measure it via CostModel::measure.
+  CostModel cost;
+};
+
+enum class VerifyStatus : std::uint8_t {
+  kVerified,               ///< full verification succeeded (ticket minted)
+  kResumed,                ///< session ticket accepted
+  kDeadlineExceeded,       ///< gave up waiting (feed RetryVerdict path)
+  kCollateralUnavailable,  ///< fetch failed inside an attest-outage window
+  kQueueFull,              ///< bounded verify queue refused the request
+};
+
+std::string_view to_string(VerifyStatus s);
+
+struct VerifyOutcome {
+  VerifyStatus status = VerifyStatus::kVerified;
+  sim::Ns done_ns = 0;  ///< virtual completion time of the outcome
+  [[nodiscard]] bool ok() const {
+    return status == VerifyStatus::kVerified ||
+           status == VerifyStatus::kResumed;
+  }
+};
+
+/// The service. Scheduling is injected as two thin callables so the
+/// service binds to sched::EventQueue (or any deterministic scheduler)
+/// without attest:: depending on sched:: — synchronous users (migration
+/// planning, recovery pricing) may pass null callables and use only
+/// reverify_done_ns() and the fault hooks.
+class VerifyService {
+ public:
+  using NowFn = std::function<sim::Ns()>;
+  using ScheduleAt = std::function<void(sim::Ns, std::function<void()>)>;
+  using Callback = std::function<void(const VerifyOutcome&)>;
+
+  /// `outages` are the FaultPlan's attestation-outage windows [start, end),
+  /// time-ordered (fault::FaultPlan::attest_outages()). Scheduled
+  /// revocations (cfg.revoke_at) are booked onto `at` immediately when it
+  /// is provided; the service must outlive the scheduler's run.
+  VerifyService(const VerifyConfig& cfg, CostModel model, NowFn now,
+                ScheduleAt at,
+                std::vector<std::pair<sim::Ns, sim::Ns>> outages = {});
+
+  /// Asynchronous verification of `subject` at TCB level `tcb`.
+  /// `deadline_ns` (absolute, 0 = none) produces a kDeadlineExceeded
+  /// outcome at the deadline when the priced completion would land after
+  /// it. Requires scheduling callables; throws std::logic_error otherwise.
+  void verify(std::uint64_t subject, std::uint16_t tcb, sim::Ns deadline_ns,
+              Callback cb);
+
+  /// Synchronous re-verification pricing for recovery/migration: a full
+  /// round is mandatory (tickets never cover a migrated or rebooted
+  /// subject), but warm collateral skips the network share — and, because
+  /// only fetches stall, an attest-outage window delays the round only on
+  /// a cache miss. Returns the absolute completion time; mutates cache
+  /// contents and counters.
+  sim::Ns reverify_done_ns(sim::Ns start_ns, std::uint16_t tcb = 0);
+
+  // Fault hooks (the fault:: integration points).
+  void on_reboot(std::uint64_t subject);     ///< crash/reboot: drop ticket
+  void on_migration(std::uint64_t subject);  ///< live-migrate: drop ticket
+  void on_revocation();  ///< flush cache + invalidate all tickets
+
+  [[nodiscard]] bool outage_at(sim::Ns t) const;
+  /// True when any outage window [s, e) overlaps [from, to).
+  [[nodiscard]] bool outage_overlaps(sim::Ns from, sim::Ns to) const;
+
+  [[nodiscard]] const CostModel& model() const { return model_; }
+  [[nodiscard]] const VerifyConfig& config() const { return cfg_; }
+  [[nodiscard]] const CollateralCache& cache() const { return cache_; }
+  [[nodiscard]] CollateralCache& cache() { return cache_; }
+  [[nodiscard]] const TicketTable& tickets() const { return tickets_; }
+  [[nodiscard]] TicketTable& tickets() { return tickets_; }
+
+  [[nodiscard]] std::uint64_t full_verifies() const { return full_; }
+  [[nodiscard]] std::uint64_t evtpm_verifies() const { return evtpm_; }
+  [[nodiscard]] std::uint64_t batches() const { return batches_; }
+  [[nodiscard]] std::uint64_t batched_requests() const { return batched_; }
+  [[nodiscard]] std::uint64_t collateral_fetches() const { return fetches_; }
+  [[nodiscard]] std::uint64_t fetch_failures() const {
+    return fetch_failures_;
+  }
+  [[nodiscard]] std::uint64_t deadline_giveups() const {
+    return deadline_giveups_;
+  }
+  [[nodiscard]] std::uint64_t queue_rejects() const { return queue_rejects_; }
+  [[nodiscard]] std::uint64_t revocations() const { return revocations_; }
+
+  /// Publishes every cache/ticket/service counter under
+  /// `<prefix>.cache.*`, `<prefix>.ticket.*` and `<prefix>.verify.*`.
+  void publish(obs::Registry& reg,
+               const std::string& prefix = "attest_svc") const;
+
+ private:
+  struct Pending {
+    std::uint64_t subject = 0;
+    std::uint16_t tcb = 0;
+    sim::Ns deadline_ns = 0;
+    Callback cb;
+  };
+
+  void flush_batch();
+  void deliver(sim::Ns at_ns, VerifyStatus status, const Callback& cb);
+  /// Applies the request's deadline to a priced success: either mints and
+  /// delivers at `t`, or gives up at the deadline.
+  void finish_request(const Pending& p, sim::Ns t);
+
+  VerifyConfig cfg_;
+  CostModel model_;
+  NowFn now_;
+  ScheduleAt at_;
+  std::vector<std::pair<sim::Ns, sim::Ns>> outages_;
+  CollateralCache cache_;
+  TicketTable tickets_;
+  std::vector<Pending> pending_;
+  std::uint64_t batch_epoch_ = 0;  ///< invalidates stale window timers
+
+  std::uint64_t full_ = 0;
+  std::uint64_t evtpm_ = 0;
+  std::uint64_t batches_ = 0;
+  std::uint64_t batched_ = 0;
+  std::uint64_t fetches_ = 0;
+  std::uint64_t fetch_failures_ = 0;
+  std::uint64_t deadline_giveups_ = 0;
+  std::uint64_t queue_rejects_ = 0;
+  std::uint64_t revocations_ = 0;
+};
+
+}  // namespace confbench::attest::svc

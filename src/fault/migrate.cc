@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <stdexcept>
 
+#include "attest/svc/verify_service.h"
 #include "fault/recovery.h"
 #include "tee/registry.h"
 #include "vm/guest_vm.h"
@@ -108,6 +109,14 @@ MigrationSchedule MigrationPlanner::plan(sim::Ns detect_ns,
   s.blackout_start_ns = std::max(s.precopy_end_ns, s.drain_end_ns);
   s.reattest_start_ns =
       s.blackout_start_ns + costs_.stop_copy_ns + costs_.reaccept_ns;
+  if (svc_ != nullptr && costs_.reattest_ns > 0) {
+    // Service-backed re-attest: the verification service prices the round.
+    // Warm collateral skips the network share entirely — and, because the
+    // fetch is the only part that needs the attestation service, a warm
+    // round also sails through an outage window. Only cache misses stall.
+    s.blackout_end_ns = svc_->reverify_done_ns(s.reattest_start_ns);
+    return s;
+  }
   // Attestation outages stall the re-attest step just like crash recovery:
   // if the round would start inside an outage window, it waits the window
   // out (windows are time-ordered and non-overlapping by construction).

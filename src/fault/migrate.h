@@ -36,6 +36,10 @@
 
 #include "sim/time.h"
 
+namespace confbench::attest::svc {
+class VerifyService;
+}
+
 namespace confbench::fault {
 
 /// Where a migrating guest lands. kLeastLoaded minimizes the target's
@@ -120,6 +124,15 @@ class MigrationPlanner {
                    std::vector<std::pair<sim::Ns, sim::Ns>> attest_outages)
       : costs_(costs), outages_(std::move(attest_outages)) {}
 
+  /// Routes the re-attestation step through a shared attestation
+  /// verification service instead of the flat reattest_ns + outage-stall
+  /// model. Migration re-attest stays a *full* quote round — the TDX
+  /// live-migration security model forbids resuming a session ticket for a
+  /// migrated guest — but warm collateral skips the network share, and an
+  /// attestation outage stalls the round only on a cache miss. Pass
+  /// nullptr to restore the legacy behaviour (the default).
+  void attach_service(attest::svc::VerifyService* svc) { svc_ = svc; }
+
   /// Plans one migration detected at `detect_ns` whose source backlog
   /// drains at `drain_end_ns` (callers pass detect_ns when the queue is
   /// already empty).
@@ -131,6 +144,10 @@ class MigrationPlanner {
  private:
   MigrationCosts costs_;
   std::vector<std::pair<sim::Ns, sim::Ns>> outages_;  ///< [start, end)
+  /// Optional shared verification service (non-owning); plan() prices the
+  /// re-attest through it when attached. Mutated by pricing (cache fills),
+  /// which is the point: one migration's fetch warms the next one's round.
+  attest::svc::VerifyService* svc_ = nullptr;
 };
 
 }  // namespace confbench::fault

@@ -2,34 +2,18 @@
 
 #include <stdexcept>
 
-#include "attest/service.h"
+#include "attest/svc/cost_model.h"
 #include "tee/registry.h"
 #include "vm/guest_vm.h"
 
 namespace confbench::fault {
 
 sim::Ns measure_attest_ns(const tee::Platform& plat) {
-  const tee::AttestationCosts ac = plat.attestation();
-  if (!ac.supported) return 0;
-  attest::AttestationService svc;
-  attest::AttestTiming t;
-  switch (plat.kind()) {
-    case tee::TeeKind::kTdx:
-      t = svc.run_tdx(plat, /*trial=*/0);
-      break;
-    case tee::TeeKind::kSevSnp:
-      t = svc.run_snp(plat, /*trial=*/0);
-      break;
-    default:
-      // No end-to-end flow modelled for this TEE: fall back to the
-      // platform's declared cost table.
-      t.attest_ns = ac.report_request + ac.measurement + ac.sign;
-      t.check_ns = ac.collateral_round_trips * ac.collateral_rtt +
-                   ac.collateral_local_fetch + ac.verify_compute;
-      t.ok = true;
-      break;
-  }
-  return t.ok ? t.attest_ns + t.check_ns : 0;
+  // All attestation pricing lives in one place now: the verification
+  // service's CostModel. full_round_ns is measured through the same
+  // AttestationService flow this function ran before the service existed,
+  // so every legacy consumer charges the identical value.
+  return attest::svc::CostModel::measure(plat).full_round_ns;
 }
 
 RecoveryCosts measure_recovery(const std::string& platform, bool secure) {

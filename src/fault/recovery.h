@@ -38,9 +38,11 @@ struct RecoveryCosts {
 /// Measures one attest+verify round on `plat` through the real
 /// AttestationService flow (TDX/SNP), falling back to the platform's
 /// declared cost table for TEEs without an end-to-end flow. Returns 0 when
-/// the platform lacks attestation hardware (CCA under FVP). Shared by the
-/// crash-recovery and live-migration cost models so both charge the same
-/// re-attestation price.
+/// the platform lacks attestation hardware (CCA under FVP). Thin wrapper
+/// over attest::svc::CostModel::measure().full_round_ns — the verification
+/// service is the single pricing authority; crash recovery, live migration
+/// and shard cross-admission all charge the same re-attestation price
+/// through it.
 [[nodiscard]] sim::Ns measure_attest_ns(const tee::Platform& plat);
 
 }  // namespace confbench::fault

@@ -4,6 +4,7 @@
 #include <functional>
 #include <stdexcept>
 
+#include "attest/svc/verify_service.h"
 #include "fault/linkfault.h"
 #include "fault/retry.h"
 #include "metrics/json.h"
@@ -350,7 +351,9 @@ ClusterResult ClusterExperiment::run_with_model(
     mig_costs.stop_copy_ns = model.cold_start_ns * 0.0125;
   }
   res.cfg.migration = mig_costs;  // record the effective costs
-  const fault::MigrationPlanner mig_planner(mig_costs, outages);
+  fault::MigrationPlanner mig_planner(mig_costs, outages);
+  if (cfg_.attest_svc != nullptr)
+    mig_planner.attach_service(cfg_.attest_svc);
 
   // Replica fleet: a TeePool (least-loaded, documented deterministic
   // tie-break) fronts the per-VM queues; parked replicas are disabled.
@@ -656,6 +659,8 @@ ClusterResult ClusterExperiment::run_with_model(
       return;  // nothing to kill, or already dead
     ++res.crashes;
     ++crashes_outstanding;
+    // A dead incarnation's session ticket must not verify its replacement.
+    if (cfg_.attest_svc != nullptr) cfg_.attest_svc->on_reboot(idx);
     if (r.state == Replica::State::kBooting) --booting;
     if (r.state == Replica::State::kWarm) --warm;
     r.state = Replica::State::kDown;
@@ -701,13 +706,20 @@ ClusterResult ClusterExperiment::run_with_model(
     // service outage window — normal replicas skip the step entirely,
     // which is exactly the availability asymmetry the chaos bench reports.
     sim::Ns attest_start = rs.boot_end_ns;
-    if (recovery.attest_ns > 0) {
-      for (const auto& [s, e] : outages)
-        if (attest_start >= s && attest_start < e) attest_start = e;
+    if (recovery.attest_ns > 0 && cfg_.attest_svc != nullptr) {
+      // Service-backed: warm collateral skips the network share and sails
+      // through an outage window; only a cache miss stalls behind it.
+      rs.attest_start_ns = attest_start;
+      rs.attest_end_ns = cfg_.attest_svc->reverify_done_ns(attest_start);
+    } else {
+      if (recovery.attest_ns > 0) {
+        for (const auto& [s, e] : outages)
+          if (attest_start >= s && attest_start < e) attest_start = e;
+      }
+      rs.attest_start_ns = attest_start;
+      rs.attest_end_ns =
+          attest_start + (recovery.attest_ns > 0 ? recovery.attest_ns : 0.0);
     }
-    rs.attest_start_ns = attest_start;
-    rs.attest_end_ns =
-        attest_start + (recovery.attest_ns > 0 ? recovery.attest_ns : 0.0);
     events.at(rs.attest_end_ns, [&, idx] {
       Replica& r2 = replicas[idx];
       if (r2.state != Replica::State::kRecovering) return;
@@ -753,6 +765,9 @@ ClusterResult ClusterExperiment::run_with_model(
     if (r.migrating || r.state != Replica::State::kWarm) return;
     r.migrating = true;
     ++migrations_active;
+    // The target host is a different TEE instance: the source's session
+    // ticket dies at detection, re-attest mints a fresh one on the target.
+    if (cfg_.attest_svc != nullptr) cfg_.attest_svc->on_migration(idx);
     MigrationSample& ms = mig_pending[idx];
     ms = MigrationSample{};
     ms.replica = idx;

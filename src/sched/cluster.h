@@ -41,6 +41,10 @@
 #include "sched/replica_queue.h"
 #include "sim/time.h"
 
+namespace confbench::attest::svc {
+class VerifyService;
+}
+
 namespace confbench::sched {
 
 /// Per-request service-time model, calibrated through the real invocation
@@ -152,6 +156,16 @@ struct ClusterConfig {
   /// End-to-end request deadline (0 = none): failover attempts whose next
   /// backoff cannot beat it give up with ErrorCode::kDeadlineExceeded.
   sim::Ns deadline_ns = 0;
+
+  /// Optional shared attestation verification service (non-owning). When
+  /// attached, crash-recovery and live-migration re-attestation rounds are
+  /// priced through the service's collateral cache — warm collateral skips
+  /// the network share and an attestation outage stalls only cache misses —
+  /// and the fault hooks fire: a crash or kReboot gray response invalidates
+  /// the replica's session ticket via on_reboot, a kMigrate drain via
+  /// on_migration. Null (the default) keeps the legacy flat-cost model and
+  /// a byte-identical event stream.
+  attest::svc::VerifyService* attest_svc = nullptr;
 
   /// When set, the run records the `trace_tail` slowest steady-state
   /// requests as span trees (queue wait / service / bounce wait / bounce)

@@ -4,6 +4,7 @@
 #include <cmath>
 #include <deque>
 #include <functional>
+#include <memory>
 #include <stdexcept>
 #include <utility>
 
@@ -159,6 +160,26 @@ std::string ShardedResult::to_json() const {
   w.key("latency_intra_p99_ns").value(latency_intra.p99());
   w.key("latency_cross_p99_ns").value(latency_cross.p99());
   w.key("latency_fault_p99_ns").value(latency_fault.p99());
+  w.key("attest_svc");
+  w.begin_object();
+  w.key("enabled").value(cfg.attest_svc.enabled);
+  w.key("full").value(attest.full);
+  w.key("evtpm").value(attest.evtpm);
+  w.key("batches").value(attest.batches);
+  w.key("batched").value(attest.batched);
+  w.key("fetches").value(attest.fetches);
+  w.key("fetch_failures").value(attest.fetch_failures);
+  w.key("cache_hits").value(attest.cache_hits);
+  w.key("cache_misses").value(attest.cache_misses);
+  w.key("cache_stale").value(attest.cache_stale);
+  w.key("ticket_mints").value(attest.ticket_mints);
+  w.key("ticket_resumes").value(attest.ticket_resumes);
+  w.key("ticket_expired").value(attest.ticket_expired);
+  w.key("ticket_invalidated").value(attest.ticket_invalidated);
+  w.key("deadline_giveups").value(attest.deadline_giveups);
+  w.key("queue_rejects").value(attest.queue_rejects);
+  w.key("revocations").value(attest.revocations);
+  w.end_object();
   w.end_object();
   return w.str();
 }
@@ -270,6 +291,25 @@ ShardedResult ShardedExperiment::run_with_model(
   fault::HedgeConfig hcfg = cfg_.hedge;
   hcfg.cost_classes = static_cast<int>(classes.size());
 
+  // Shared verification service (attest-at-scale tentpole): one instance
+  // fronts every shard's cross-admission trust decision, so collateral
+  // fetched for a crossing into shard A also serves a crossing into shard
+  // B, and a ticket minted by one crossing resumes all later ones. Normal
+  // fleets have no attestation evidence to verify and never construct it.
+  std::unique_ptr<attest::svc::VerifyService> vsvc;
+  if (cfg_.attest_svc.enabled && cfg_.secure) {
+    attest::svc::CostModel cm =
+        cfg_.attest_svc.cost.platform.empty()
+            ? attest::svc::CostModel::measure(cfg_.platform)
+            : cfg_.attest_svc.cost;
+    vsvc = std::make_unique<attest::svc::VerifyService>(
+        cfg_.attest_svc, std::move(cm), [&clock] { return clock.now(); },
+        [&events](sim::Ns t, std::function<void()> fn) {
+          events.at(t, std::move(fn));
+        },
+        cfg_.faults.attest_outages());
+  }
+
   // Host-name tables, precomputed: fabric checks are string-keyed.
   std::vector<std::string> shost(static_cast<std::size_t>(S));
   for (int s = 0; s < S; ++s) shost[s] = ShardedFrontend::shard_host(s);
@@ -356,6 +396,7 @@ ShardedResult ShardedExperiment::run_with_model(
   std::function<void(std::uint64_t, bool)> failover;
   std::function<void(std::uint64_t)> send_to_shard;
   std::function<void(std::uint64_t)> admit;
+  std::function<void(std::uint64_t, sim::Ns)> cross_admit;
 
   const auto give_up = [&](std::uint64_t id, core::ErrorCode code) {
     reqs[id].done = true;  // straggler copies must not complete it later
@@ -605,6 +646,41 @@ ShardedResult ShardedExperiment::run_with_model(
     });
   };
 
+  // Cross-shard trust establishment after `wire_ns` of fabric transit
+  // (hop + handshake). Without the verification service the successor
+  // shard charges the flat cross_admit_ns — a single event at the same
+  // instant as before the service existed, so the legacy stream is
+  // byte-identical. With it, the crossing verifies through the shared
+  // service: ticket resumptions and cache hits make repeat crossings
+  // cheap, and every non-ok outcome feeds the existing failover path,
+  // whose RetryVerdict decides between another shard and a typed give-up.
+  cross_admit = [&](std::uint64_t id, sim::Ns wire_ns) {
+    if (!vsvc) {
+      events.after(wire_ns + cfg_.shard.cross_admit_ns,
+                   [&, id] { admit(id); });
+      return;
+    }
+    events.after(wire_ns, [&, id] {
+      SReq& rq = reqs[id];
+      if (rq.done) return;
+      const std::uint32_t s = rq.chain[rq.chain_pos];
+      const sim::Ns deadline =
+          cfg_.deadline_ns > 0 ? rq.arrival + cfg_.deadline_ns : 0;
+      // Subject = the target shard: its slice evidence bundle is what the
+      // crossing re-verifies, so one ticket covers all later crossings
+      // into the same shard.
+      vsvc->verify(s, /*tcb=*/0, deadline,
+                   [&, id](const attest::svc::VerifyOutcome& out) {
+                     if (reqs[id].done) return;
+                     if (out.ok()) {
+                       admit(id);
+                       return;
+                     }
+                     failover(id, /*advance_shard=*/true);
+                   });
+    });
+  };
+
   // Client (or forwarding shard) delivers the request to its current chain
   // shard over the fabric; cross-shard admissions pay the re-establishment
   // costs on top of the hop.
@@ -620,9 +696,11 @@ ShardedResult ShardedExperiment::run_with_model(
       });
       return;
     }
-    sim::Ns lat = cfg_.shard.hop_ns * f;
-    if (rq.chain_pos > 0)
-      lat += cfg_.shard.handshake_ns + cfg_.shard.cross_admit_ns;
+    const sim::Ns lat = cfg_.shard.hop_ns * f;
+    if (rq.chain_pos > 0) {
+      cross_admit(id, lat + cfg_.shard.handshake_ns);
+      return;
+    }
     events.after(lat, [&, id] { admit(id); });
   };
 
@@ -662,9 +740,7 @@ ShardedResult ShardedExperiment::run_with_model(
         });
         return;
       }
-      events.after(cfg_.shard.hop_ns * f + cfg_.shard.handshake_ns +
-                       cfg_.shard.cross_admit_ns,
-                   [&, id] { admit(id); });
+      cross_admit(id, cfg_.shard.hop_ns * f + cfg_.shard.handshake_ns);
       return;
     }
     dispatch(id, 0);
@@ -831,6 +907,24 @@ ShardedResult ShardedExperiment::run_with_model(
     sh.stats.scaler_trace = sh.scaler.trace();
     res.shards.push_back(std::move(sh.stats));
   }
+  if (vsvc) {
+    res.attest.full = vsvc->full_verifies();
+    res.attest.evtpm = vsvc->evtpm_verifies();
+    res.attest.batches = vsvc->batches();
+    res.attest.batched = vsvc->batched_requests();
+    res.attest.fetches = vsvc->collateral_fetches();
+    res.attest.fetch_failures = vsvc->fetch_failures();
+    res.attest.cache_hits = vsvc->cache().hits();
+    res.attest.cache_misses = vsvc->cache().misses();
+    res.attest.cache_stale = vsvc->cache().stale();
+    res.attest.ticket_mints = vsvc->tickets().minted();
+    res.attest.ticket_resumes = vsvc->tickets().resumed();
+    res.attest.ticket_expired = vsvc->tickets().expired();
+    res.attest.ticket_invalidated = vsvc->tickets().invalidated_total();
+    res.attest.deadline_giveups = vsvc->deadline_giveups();
+    res.attest.queue_rejects = vsvc->queue_rejects();
+    res.attest.revocations = vsvc->revocations();
+  }
 
   // --- observability ---------------------------------------------------------
   if (cfg_.tracer && cfg_.tracer->enabled()) {
@@ -850,6 +944,24 @@ ShardedResult ShardedExperiment::run_with_model(
       fleet.set_attr(sp, "completed", std::to_string(st.completed));
       fleet.set_attr(sp, "breaker_trips",
                      std::to_string(st.breaker_trips));
+    }
+    if (vsvc) {
+      // Attribute the service in the fleet timeline: one summary span
+      // carrying the cache/ticket split every crossing paid into.
+      const std::uint32_t sp = fleet.add_span(
+          obs::Category::kAttest, "attest_svc.verify", 0, res.makespan_ns);
+      fleet.set_attr(sp, "mode", std::string(to_string(cfg_.attest_svc.mode)));
+      fleet.set_attr(sp, "full", std::to_string(res.attest.full));
+      fleet.set_attr(sp, "evtpm", std::to_string(res.attest.evtpm));
+      fleet.set_attr(sp, "ticket_resumes",
+                     std::to_string(res.attest.ticket_resumes));
+      fleet.set_attr(sp, "cache_hits", std::to_string(res.attest.cache_hits));
+      fleet.set_attr(sp, "cache_misses",
+                     std::to_string(res.attest.cache_misses));
+      fleet.set_attr(sp, "batches", std::to_string(res.attest.batches));
+      fleet.set_attr(sp, "deadline_giveups",
+                     std::to_string(res.attest.deadline_giveups));
+      vsvc->publish(cfg_.tracer->registry());
     }
     obs::Registry& reg = cfg_.tracer->registry();
     reg.counter("shard.offered") += res.offered;

@@ -48,6 +48,7 @@
 #include <string>
 #include <vector>
 
+#include "attest/svc/verify_service.h"
 #include "fault/breaker.h"
 #include "fault/fault.h"
 #include "fault/hedge.h"
@@ -161,6 +162,18 @@ struct ShardedConfig {
   sim::Ns detect_timeout_ns = 100 * sim::kMs;
   sim::Ns deadline_ns = 0;
 
+  /// Shared attestation verification service fronting cross-shard trust.
+  /// Disabled (the default): the successor shard charges the flat
+  /// ShardConfig::cross_admit_ns and the event stream is byte-identical to
+  /// builds without the service. Enabled on a secure fleet: every
+  /// cross-shard admission verifies through one fabric-wide service — the
+  /// first crossing to a shard pays a batched full round (collateral cache
+  /// + amortized fetch), repeat crossings resume that shard's session
+  /// ticket for ~ticket-check cost, and verification give-ups feed the
+  /// existing failover / fault::RetryVerdict path. An empty
+  /// attest_svc.cost.platform measures the model via CostModel::measure.
+  attest::svc::VerifyConfig attest_svc;
+
   obs::Tracer* tracer = nullptr;  ///< per-shard spans + fleet metrics
 };
 
@@ -176,6 +189,27 @@ struct ShardStats {
   std::uint64_t breaker_trips = 0;
   int peak_warm = 0;
   std::vector<AutoscalerSample> scaler_trace;
+};
+
+/// Verification-service counters exported per run (all zero when
+/// ShardedConfig::attest_svc is disabled); mirrors VerifyService::publish.
+struct AttestSvcStats {
+  std::uint64_t full = 0;     ///< batched full verification rounds
+  std::uint64_t evtpm = 0;    ///< e-vTPM local quote checks
+  std::uint64_t batches = 0;  ///< batch flushes
+  std::uint64_t batched = 0;  ///< requests that went through a batch
+  std::uint64_t fetches = 0;  ///< collateral fetches (amortized per batch)
+  std::uint64_t fetch_failures = 0;  ///< fetches lost to an outage window
+  std::uint64_t cache_hits = 0;
+  std::uint64_t cache_misses = 0;
+  std::uint64_t cache_stale = 0;
+  std::uint64_t ticket_mints = 0;
+  std::uint64_t ticket_resumes = 0;
+  std::uint64_t ticket_expired = 0;
+  std::uint64_t ticket_invalidated = 0;  ///< all reasons
+  std::uint64_t deadline_giveups = 0;
+  std::uint64_t queue_rejects = 0;
+  std::uint64_t revocations = 0;
 };
 
 struct ShardedResult {
@@ -203,6 +237,7 @@ struct ShardedResult {
   /// Terminal failure reasons -> count (typed core::ErrorCode names).
   std::map<std::string, std::uint64_t> failure_codes;
   std::vector<ShardStats> shards;
+  AttestSvcStats attest;  ///< verification-service counters (see above)
   sim::Ns makespan_ns = 0;
 
   [[nodiscard]] double throughput_rps() const;

@@ -1,0 +1,698 @@
+// Attestation verification service: cost-model centralization, collateral
+// cache TTL/revocation semantics, session-ticket lifecycle edges, batched
+// verification with outage-mid-batch behaviour, and the fault/cluster/shard
+// integrations (hooks, migration re-attest, cross-shard crossings).
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "attest/svc/collateral_cache.h"
+#include "attest/svc/cost_model.h"
+#include "attest/svc/ticket.h"
+#include "attest/svc/verify_service.h"
+#include "core/gateway.h"
+#include "fault/fault.h"
+#include "fault/migrate.h"
+#include "fault/recovery.h"
+#include "sched/cluster.h"
+#include "sched/event_queue.h"
+#include "sched/shard.h"
+#include "sim/clock.h"
+#include "sim/time.h"
+#include "tee/registry.h"
+
+namespace confbench::attest::svc {
+namespace {
+
+using sim::kMs;
+using sim::kSec;
+using sim::kUs;
+
+// --- CostModel ---------------------------------------------------------------
+
+TEST(CostModel, SinglePricingAuthorityMatchesLegacyMeasureAttest) {
+  // The legacy fault:: entry point and every new consumer must charge the
+  // same full-round price — that is the point of centralizing the three
+  // call sites behind the service.
+  for (const std::string name : {"tdx", "sev-snp", "cca"}) {
+    const tee::PlatformPtr plat = tee::Registry::instance().create(name);
+    ASSERT_TRUE(plat);
+    const CostModel m = CostModel::measure(*plat);
+    EXPECT_EQ(m.platform, name);
+    EXPECT_DOUBLE_EQ(m.full_round_ns, fault::measure_attest_ns(*plat));
+    // The registry-lookup overload prices identically.
+    EXPECT_DOUBLE_EQ(CostModel::measure(name).full_round_ns, m.full_round_ns);
+  }
+  EXPECT_THROW(CostModel::measure("no-such-tee"), std::invalid_argument);
+}
+
+TEST(CostModel, DecompositionMatchesPlatformCharacter) {
+  const CostModel tdx = CostModel::measure("tdx");
+  EXPECT_TRUE(tdx.supported);
+  // TDX is PCS-bound: the collateral share dominates the round.
+  EXPECT_GT(tdx.collateral_ns, tdx.evidence_ns + tdx.verify_ns);
+  EXPECT_GT(tdx.full_round_ns, 1 * kSec);
+  EXPECT_LT(tdx.warm_verify_ns(), tdx.full_round_ns);
+  EXPECT_FALSE(tdx.evtpm_available);
+
+  const CostModel snp = CostModel::measure("sev-snp");
+  EXPECT_TRUE(snp.supported);
+  EXPECT_LT(snp.full_round_ns, tdx.full_round_ns);
+  // e-vTPM (SVSM vTPM at VMPL0) is an SNP-only verification mode, and a
+  // local quote check beats re-deriving trust from the AMD-SP.
+  EXPECT_TRUE(snp.evtpm_available);
+  EXPECT_GT(snp.evtpm_round_ns, 0);
+  EXPECT_LT(snp.evtpm_round_ns, snp.full_round_ns);
+
+  const CostModel cca = CostModel::measure("cca");
+  EXPECT_FALSE(cca.supported);
+  EXPECT_DOUBLE_EQ(cca.full_round_ns, 0);
+  EXPECT_DOUBLE_EQ(cca.warm_verify_ns(), 0);
+}
+
+// --- CollateralCache ---------------------------------------------------------
+
+TEST(CollateralCache, TtlClassifiesHitStaleMissAndExpiryIsStrict) {
+  CollateralCache cache(100 * kMs);
+  const CollateralKey k{"tdx", 0};
+  EXPECT_EQ(cache.lookup(k, 0), CacheOutcome::kMiss);
+  cache.insert(k, 10 * kMs);
+  EXPECT_EQ(cache.lookup(k, 109 * kMs), CacheOutcome::kHit);
+  // An entry whose TTL ends exactly at the lookup instant is already stale.
+  EXPECT_EQ(cache.lookup(k, 110 * kMs), CacheOutcome::kStale);
+  cache.insert(k, 110 * kMs);  // refetch overwrites the stale entry
+  EXPECT_EQ(cache.lookup(k, 111 * kMs), CacheOutcome::kHit);
+  EXPECT_EQ(cache.hits(), 2u);
+  EXPECT_EQ(cache.misses(), 1u);
+  EXPECT_EQ(cache.stale(), 1u);
+  EXPECT_DOUBLE_EQ(cache.fetched_at(k), 110 * kMs);
+  EXPECT_DOUBLE_EQ(cache.fetched_at({"tdx", 9}), 0);
+}
+
+TEST(CollateralCache, NonPositiveTtlDisablesCaching) {
+  CollateralCache off(0);
+  const CollateralKey k{"tdx", 0};
+  off.insert(k, 0);
+  EXPECT_EQ(off.lookup(k, 1), CacheOutcome::kMiss);
+  EXPECT_EQ(off.size(), 0u);
+}
+
+TEST(CollateralCache, RevocationFlushesEveryTcbLevelOfThePlatform) {
+  CollateralCache cache(1 * kSec);
+  cache.insert({"tdx", 0}, 0);
+  cache.insert({"tdx", 7}, 0);
+  cache.insert({"sev-snp", 0}, 0);
+  EXPECT_EQ(cache.revoke("tdx"), 2u);
+  // Cached-but-revoked collateral must never validate a quote.
+  EXPECT_EQ(cache.lookup({"tdx", 0}, 1 * kMs), CacheOutcome::kMiss);
+  EXPECT_EQ(cache.lookup({"tdx", 7}, 1 * kMs), CacheOutcome::kMiss);
+  EXPECT_EQ(cache.lookup({"sev-snp", 0}, 1 * kMs), CacheOutcome::kHit);
+  EXPECT_EQ(cache.revocation_flushes(), 2u);
+}
+
+// --- TicketTable -------------------------------------------------------------
+
+TEST(TicketTable, ExpiryExactlyAtTheCrossingInstantIsDead) {
+  TicketTable t(100 * kMs);
+  t.mint(7, 0);
+  EXPECT_TRUE(t.valid(7, 99 * kMs));
+  EXPECT_TRUE(t.resume(7, 99 * kMs));
+  // now == mint + ttl: strictly invalid, erased, counted as expiry.
+  EXPECT_FALSE(t.valid(7, 100 * kMs));
+  EXPECT_FALSE(t.resume(7, 100 * kMs));
+  EXPECT_EQ(t.resumed(), 1u);
+  EXPECT_EQ(t.expired(), 1u);
+  EXPECT_EQ(t.invalidated_total(), 0u) << "expiry is not an invalidation";
+  EXPECT_EQ(t.size(), 0u);
+}
+
+TEST(TicketTable, InvalidationReasonsAreCountedSeparately) {
+  TicketTable t(1 * kSec);
+  t.mint(1, 0);
+  t.mint(2, 0);
+  t.mint(3, 0);
+  t.invalidate(1, TicketInvalidation::kMigration);
+  t.invalidate(2, TicketInvalidation::kReboot);
+  t.invalidate(9, TicketInvalidation::kReboot);  // no ticket: uncounted
+  EXPECT_EQ(t.invalidated(TicketInvalidation::kMigration), 1u);
+  EXPECT_EQ(t.invalidated(TicketInvalidation::kReboot), 1u);
+  EXPECT_FALSE(t.resume(1, 1 * kMs));
+  EXPECT_FALSE(t.resume(2, 1 * kMs));
+  t.invalidate_all(TicketInvalidation::kRevocation);
+  EXPECT_EQ(t.invalidated(TicketInvalidation::kRevocation), 1u);
+  EXPECT_EQ(t.invalidated_total(), 3u);
+  EXPECT_EQ(t.size(), 0u);
+
+  TicketTable off(0);
+  off.mint(1, 0);
+  EXPECT_FALSE(off.resume(1, 0));
+  EXPECT_EQ(off.minted(), 0u);
+}
+
+// --- VerifyService (unit, against a real event queue) ------------------------
+
+/// Synthetic model: numbers chosen so every phase is visible in the
+/// completion times (collateral 100ms dominates, verify phases are exact).
+CostModel unit_model() {
+  CostModel m;
+  m.platform = "tdx";
+  m.supported = true;
+  m.evidence_ns = 10 * kMs;
+  m.collateral_ns = 100 * kMs;
+  m.verify_ns = 5 * kMs;
+  m.full_round_ns = 130 * kMs;
+  m.ticket_check_ns = 1 * kMs;
+  m.evtpm_available = true;
+  m.evtpm_round_ns = 20 * kMs;
+  return m;
+}
+
+struct Harness {
+  sim::VirtualClock clock;
+  sched::EventQueue events{clock};
+  VerifyService svc;
+  Harness(VerifyConfig cfg, CostModel m,
+          std::vector<std::pair<sim::Ns, sim::Ns>> outages = {})
+      : svc(cfg, std::move(m), [this] { return clock.now(); },
+            [this](sim::Ns t, std::function<void()> fn) {
+              events.at(t, std::move(fn));
+            },
+            std::move(outages)) {}
+};
+
+TEST(VerifyService, FirstCrossingPaysFullRoundRepeatResumesTicket) {
+  VerifyConfig cfg;
+  cfg.enabled = true;
+  Harness h(cfg, unit_model());
+  std::vector<VerifyOutcome> out;
+  h.events.at(0, [&] {
+    h.svc.verify(7, 0, 0, [&](const VerifyOutcome& o) { out.push_back(o); });
+  });
+  h.events.at(1 * kSec, [&] {
+    h.svc.verify(7, 0, 0, [&](const VerifyOutcome& o) { out.push_back(o); });
+  });
+  h.events.run();
+  ASSERT_EQ(out.size(), 2u);
+  EXPECT_EQ(out[0].status, VerifyStatus::kVerified);
+  // window (2ms) + collateral (100ms) + evidence + verify (15ms).
+  EXPECT_DOUBLE_EQ(out[0].done_ns, 117 * kMs);
+  EXPECT_EQ(out[1].status, VerifyStatus::kResumed);
+  EXPECT_DOUBLE_EQ(out[1].done_ns, 1 * kSec + 1 * kMs);
+  EXPECT_EQ(h.svc.tickets().minted(), 1u);
+  EXPECT_EQ(h.svc.tickets().resumed(), 1u);
+  EXPECT_EQ(h.svc.collateral_fetches(), 1u);
+}
+
+TEST(VerifyService, BatchAmortizesOneFetchAcrossTheSharedKey) {
+  VerifyConfig cfg;
+  cfg.enabled = true;
+  cfg.ticket_ttl_ns = 0;  // no tickets: every request is a full verify
+  Harness h(cfg, unit_model());
+  std::vector<VerifyOutcome> out;
+  for (int i = 0; i < 5; ++i)
+    h.events.at(i * 0.1 * kMs, [&, i] {
+      h.svc.verify(static_cast<std::uint64_t>(i), 0, 0,
+                   [&](const VerifyOutcome& o) { out.push_back(o); });
+    });
+  h.events.run();
+  ASSERT_EQ(out.size(), 5u);
+  EXPECT_EQ(h.svc.batches(), 1u);
+  EXPECT_EQ(h.svc.batched_requests(), 5u);
+  EXPECT_EQ(h.svc.collateral_fetches(), 1u) << "one fetch per key per batch";
+  EXPECT_EQ(h.svc.full_verifies(), 5u);
+  for (const VerifyOutcome& o : out) {
+    EXPECT_EQ(o.status, VerifyStatus::kVerified);
+    EXPECT_DOUBLE_EQ(o.done_ns, 117 * kMs);  // all share the batch's fetch
+  }
+}
+
+TEST(VerifyService, MaxBatchFlushesWithoutWaitingForTheWindow) {
+  VerifyConfig cfg;
+  cfg.enabled = true;
+  cfg.ticket_ttl_ns = 0;
+  cfg.max_batch = 2;
+  Harness h(cfg, unit_model());
+  std::vector<VerifyOutcome> out;
+  h.events.at(0, [&] {
+    h.svc.verify(1, 0, 0, [&](const VerifyOutcome& o) { out.push_back(o); });
+    h.svc.verify(2, 0, 0, [&](const VerifyOutcome& o) { out.push_back(o); });
+  });
+  h.events.run();
+  ASSERT_EQ(out.size(), 2u);
+  // No 2ms window wait: the batch filled and flushed at t=0.
+  EXPECT_DOUBLE_EQ(out[0].done_ns, 115 * kMs);
+  EXPECT_EQ(h.svc.batches(), 1u);
+}
+
+TEST(VerifyService, DeadlineGiveupDeliversAtTheDeadlineInstant) {
+  VerifyConfig cfg;
+  cfg.enabled = true;
+  cfg.ticket_ttl_ns = 0;
+  Harness h(cfg, unit_model());
+  std::vector<VerifyOutcome> out;
+  h.events.at(0, [&] {
+    // Priced completion would be 117ms; the deadline at 50ms beats it.
+    h.svc.verify(1, 0, 50 * kMs,
+                 [&](const VerifyOutcome& o) { out.push_back(o); });
+  });
+  h.events.run();
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0].status, VerifyStatus::kDeadlineExceeded);
+  EXPECT_DOUBLE_EQ(out[0].done_ns, 50 * kMs);
+  EXPECT_EQ(h.svc.deadline_giveups(), 1u);
+  EXPECT_EQ(h.svc.tickets().minted(), 0u) << "a give-up mints no ticket";
+}
+
+TEST(VerifyService, BoundedQueueRefusesOverflow) {
+  VerifyConfig cfg;
+  cfg.enabled = true;
+  cfg.ticket_ttl_ns = 0;
+  cfg.max_queue = 1;
+  Harness h(cfg, unit_model());
+  std::vector<VerifyOutcome> out;
+  h.events.at(0, [&] {
+    h.svc.verify(1, 0, 0, [&](const VerifyOutcome& o) { out.push_back(o); });
+    h.svc.verify(2, 0, 0, [&](const VerifyOutcome& o) { out.push_back(o); });
+  });
+  h.events.run();
+  ASSERT_EQ(out.size(), 2u);
+  EXPECT_EQ(out[0].status, VerifyStatus::kQueueFull);
+  EXPECT_EQ(out[1].status, VerifyStatus::kVerified);
+  EXPECT_EQ(h.svc.queue_rejects(), 1u);
+}
+
+TEST(VerifyService, OutageOpeningMidBatchFailsOnlyUnfetchedCollateral) {
+  // Regression (satellite): a PCS outage window that opens while a batch's
+  // fetch is in flight must fail exactly the requests that needed the
+  // fetch; requests verifying against already-cached collateral in the
+  // same batch are local and complete.
+  VerifyConfig cfg;
+  cfg.enabled = true;
+  cfg.ticket_ttl_ns = 0;
+  cfg.prewarm_subjects = {99};  // warms the tcb-0 collateral entry at t=0
+  // Fetch interval for the cold key is [2ms, 102ms): the outage opens
+  // mid-flight at 50ms.
+  Harness h(cfg, unit_model(), {{50 * kMs, 500 * kMs}});
+  std::vector<std::pair<std::uint64_t, VerifyOutcome>> out;
+  h.events.at(0, [&] {
+    h.svc.verify(1, /*tcb=*/0, 0, [&](const VerifyOutcome& o) {
+      out.push_back({1, o});
+    });
+    h.svc.verify(2, /*tcb=*/1, 0, [&](const VerifyOutcome& o) {
+      out.push_back({2, o});
+    });
+  });
+  h.events.run();
+  ASSERT_EQ(out.size(), 2u);
+  for (const auto& [subject, o] : out) {
+    if (subject == 1) {
+      EXPECT_EQ(o.status, VerifyStatus::kVerified)
+          << "cached collateral is local: the outage must not touch it";
+      EXPECT_DOUBLE_EQ(o.done_ns, 17 * kMs);  // window + evidence + verify
+    } else {
+      EXPECT_EQ(o.status, VerifyStatus::kCollateralUnavailable);
+      EXPECT_DOUBLE_EQ(o.done_ns, 102 * kMs);  // learned at the fetch timeout
+    }
+  }
+  EXPECT_EQ(h.svc.fetch_failures(), 1u);
+  EXPECT_EQ(h.svc.cache().hits(), 1u);
+}
+
+TEST(VerifyService, EvtpmModeSkipsCollateralAndIgnoresOutages) {
+  VerifyConfig cfg;
+  cfg.enabled = true;
+  cfg.ticket_ttl_ns = 0;
+  cfg.mode = VerifyMode::kEvtpm;
+  Harness h(cfg, unit_model(), {{0, 10 * kSec}});  // outage the whole run
+  std::vector<VerifyOutcome> out;
+  h.events.at(0, [&] {
+    h.svc.verify(1, 0, 0, [&](const VerifyOutcome& o) { out.push_back(o); });
+  });
+  h.events.run();
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0].status, VerifyStatus::kVerified);
+  EXPECT_DOUBLE_EQ(out[0].done_ns, 22 * kMs);  // window + evtpm round
+  EXPECT_EQ(h.svc.collateral_fetches(), 0u);
+  EXPECT_EQ(h.svc.evtpm_verifies(), 1u);
+  EXPECT_EQ(h.svc.fetch_failures(), 0u);
+}
+
+TEST(VerifyService, HitAgainstInFlightFetchWaitsForItsCompletion) {
+  // Batch 1 books the fetch at t=0 (completes at 102ms). Batch 2 flushes
+  // at 12ms, hits the booked entry — and must wait for the fetch to land,
+  // not verify against collateral that has not arrived yet.
+  VerifyConfig cfg;
+  cfg.enabled = true;
+  cfg.ticket_ttl_ns = 0;
+  Harness h(cfg, unit_model());
+  std::vector<VerifyOutcome> out;
+  h.events.at(0, [&] {
+    h.svc.verify(1, 0, 0, [&](const VerifyOutcome& o) { out.push_back(o); });
+  });
+  h.events.at(10 * kMs, [&] {
+    h.svc.verify(2, 0, 0, [&](const VerifyOutcome& o) { out.push_back(o); });
+  });
+  h.events.run();
+  ASSERT_EQ(out.size(), 2u);
+  EXPECT_DOUBLE_EQ(out[0].done_ns, 117 * kMs);
+  EXPECT_DOUBLE_EQ(out[1].done_ns, 117 * kMs)
+      << "the second batch rides the in-flight fetch, not a time machine";
+  EXPECT_EQ(h.svc.collateral_fetches(), 1u);
+}
+
+TEST(VerifyService, ScheduledRevocationRacingACrossingWinsTheInstant) {
+  // Ticket lifecycle edge (satellite): a revocation and a cross-shard
+  // forward land at the same virtual instant. The revocation was booked
+  // first (at construction), so the crossing must NOT resume the dead
+  // ticket — it pays a full round against refetched collateral.
+  VerifyConfig cfg;
+  cfg.enabled = true;
+  cfg.revoke_at = {200 * kMs};
+  cfg.prewarm_subjects = {7};
+  Harness h(cfg, unit_model());
+  std::vector<VerifyOutcome> out;
+  h.events.at(100 * kMs, [&] {
+    h.svc.verify(7, 0, 0, [&](const VerifyOutcome& o) { out.push_back(o); });
+  });
+  h.events.at(200 * kMs, [&] {  // booked after the ctor's revocation event
+    h.svc.verify(7, 0, 0, [&](const VerifyOutcome& o) { out.push_back(o); });
+  });
+  h.events.run();
+  ASSERT_EQ(out.size(), 2u);
+  EXPECT_EQ(out[0].status, VerifyStatus::kResumed) << "before revocation";
+  EXPECT_EQ(out[1].status, VerifyStatus::kVerified)
+      << "the racing crossing re-verifies from scratch";
+  EXPECT_GT(out[1].done_ns, 200 * kMs + unit_model().collateral_ns)
+      << "revocation also flushed the collateral cache";
+  EXPECT_EQ(h.svc.tickets().invalidated(TicketInvalidation::kRevocation), 1u);
+  EXPECT_EQ(h.svc.revocations(), 1u);
+  EXPECT_GE(h.svc.cache().revocation_flushes(), 1u);
+}
+
+TEST(VerifyService, ReverifyStallsOnlyOnAColdCache) {
+  const std::vector<std::pair<sim::Ns, sim::Ns>> outage = {
+      {100 * kMs, 500 * kMs}};
+  VerifyConfig warm_cfg;
+  warm_cfg.enabled = true;
+  warm_cfg.prewarm_subjects = {0};
+  Harness warm(warm_cfg, unit_model(), outage);
+  // Warm collateral: the round is local — it sails through the window.
+  EXPECT_DOUBLE_EQ(warm.svc.reverify_done_ns(150 * kMs), 165 * kMs);
+
+  VerifyConfig cold_cfg;
+  cold_cfg.enabled = true;
+  Harness cold(cold_cfg, unit_model(), outage);
+  // Cold: the fetch cannot start inside the outage; it stalls to the end
+  // of the window, then pays collateral + evidence + verify.
+  EXPECT_DOUBLE_EQ(cold.svc.reverify_done_ns(150 * kMs), 615 * kMs);
+  // The stall warmed the cache: a second re-attest after the fetch lands
+  // is local again.
+  EXPECT_DOUBLE_EQ(cold.svc.reverify_done_ns(700 * kMs), 715 * kMs);
+}
+
+TEST(VerifyService, UnsupportedPlatformVerifiesForFree) {
+  CostModel cca;
+  cca.platform = "cca";
+  cca.supported = false;
+  VerifyConfig cfg;
+  cfg.enabled = true;
+  Harness h(cfg, cca);
+  std::vector<VerifyOutcome> out;
+  h.events.at(0, [&] {
+    h.svc.verify(1, 0, 0, [&](const VerifyOutcome& o) { out.push_back(o); });
+  });
+  h.events.run();
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0].status, VerifyStatus::kVerified);
+  EXPECT_DOUBLE_EQ(out[0].done_ns, 0);
+  EXPECT_EQ(h.svc.tickets().minted(), 0u);
+  EXPECT_DOUBLE_EQ(h.svc.reverify_done_ns(5 * kMs), 5 * kMs);
+}
+
+// --- MigrationPlanner integration --------------------------------------------
+
+TEST(MigrationPlanner, ServiceBackedReattestStallsOnlyOnCacheMiss) {
+  fault::MigrationCosts costs;
+  costs.pre_copy_ns = 50 * kMs;
+  costs.stop_copy_ns = 10 * kMs;
+  costs.reaccept_ns = 20 * kMs;
+  costs.reattest_ns = 130 * kMs;
+  // Outage covers the re-attest start (blackout_start 50 + 30 = 80ms).
+  const std::vector<std::pair<sim::Ns, sim::Ns>> outage = {
+      {70 * kMs, 300 * kMs}};
+
+  fault::MigrationPlanner legacy(costs, outage);
+  const fault::MigrationSchedule l = legacy.plan(0, 0);
+  EXPECT_DOUBLE_EQ(l.reattest_start_ns, 300 * kMs) << "legacy stalls flat";
+  EXPECT_DOUBLE_EQ(l.blackout_end_ns, 430 * kMs);
+
+  VerifyConfig warm_cfg;
+  warm_cfg.enabled = true;
+  warm_cfg.prewarm_subjects = {0};
+  Harness warm(warm_cfg, unit_model(), outage);
+  fault::MigrationPlanner warm_planner(costs, outage);
+  warm_planner.attach_service(&warm.svc);
+  const fault::MigrationSchedule w = warm_planner.plan(0, 0);
+  // Warm collateral: no network share, no outage stall — the blackout ends
+  // evidence + verify after re-attest starts.
+  EXPECT_DOUBLE_EQ(w.blackout_end_ns, 95 * kMs);
+  EXPECT_LT(w.blackout_end_ns, l.blackout_end_ns);
+
+  VerifyConfig cold_cfg;
+  cold_cfg.enabled = true;
+  Harness cold(cold_cfg, unit_model(), outage);
+  fault::MigrationPlanner cold_planner(costs, outage);
+  cold_planner.attach_service(&cold.svc);
+  const fault::MigrationSchedule c = cold_planner.plan(0, 0);
+  // Cold: the fetch stalls to the window end, then pays the full
+  // decomposed round.
+  EXPECT_DOUBLE_EQ(c.blackout_end_ns, 415 * kMs);
+}
+
+// --- Cluster integration (fault hooks) ---------------------------------------
+
+sched::ClusterConfig gray_config() {
+  sched::ClusterConfig cfg;
+  cfg.requests = 4000;
+  cfg.rate_rps = 4000;
+  cfg.warmup_requests = 200;
+  cfg.seed = 7;
+  cfg.queue = {.concurrency = 8, .queue_depth = 32};
+  cfg.scaler = {.min_warm = 12, .max_replicas = 12, .tick_ns = 20 * kMs};
+  cfg.retry.max_attempts = 4;
+  cfg.faults.slow_link(100 * kMs, 800 * kMs, 0, 50 * kMs);
+  cfg.outlier.enabled = true;
+  cfg.outlier.alpha = 0.3;
+  cfg.outlier.min_samples = 20;
+  cfg.recovery = {.boot_ns = 2 * kSec, .attest_ns = 0};
+  cfg.migration = {.pre_copy_ns = 100 * kMs, .stop_copy_ns = 20 * kMs};
+  return cfg;
+}
+
+sched::ServiceModel gray_model() {
+  sched::ServiceModel m;
+  m.parallel_ns = 1 * kMs;
+  m.serialized_ns = 0;
+  m.jitter_sigma = 0.02;
+  m.cold_start_ns = 0.5 * kSec;
+  return m;
+}
+
+TEST(ClusterHooks, MigrateAndRebootInvalidateTicketsForDistinctReasons) {
+  // Ticket lifecycle edge (satellite): DegradeResponse::kMigrate must
+  // invalidate the gray replica's ticket as a migration, kReboot as a
+  // reboot — the reasons are distinct counters in the registry.
+  for (const bool migrate : {false, true}) {
+    VerifyConfig vcfg;
+    vcfg.enabled = true;
+    for (std::uint64_t r = 0; r < 12; ++r) vcfg.prewarm_subjects.push_back(r);
+    VerifyService svc(vcfg, unit_model(), nullptr, nullptr, {});
+    ASSERT_TRUE(svc.tickets().valid(0, 1 * kMs));
+
+    sched::ClusterConfig cfg = gray_config();
+    cfg.degrade_response = migrate ? sched::DegradeResponse::kMigrate
+                                   : sched::DegradeResponse::kReboot;
+    cfg.attest_svc = &svc;
+    const sched::ClusterResult r =
+        sched::ClusterExperiment(cfg).run_with_model(gray_model());
+    ASSERT_GT(r.gray_trips, 0u);
+    EXPECT_TRUE(r.accounted());
+    if (migrate) {
+      ASSERT_FALSE(r.migrations.empty());
+      EXPECT_GT(svc.tickets().invalidated(TicketInvalidation::kMigration), 0u);
+      EXPECT_EQ(svc.tickets().invalidated(TicketInvalidation::kReboot), 0u);
+    } else {
+      ASSERT_FALSE(r.recoveries.empty());
+      EXPECT_GT(svc.tickets().invalidated(TicketInvalidation::kReboot), 0u);
+      EXPECT_EQ(svc.tickets().invalidated(TicketInvalidation::kMigration),
+                0u);
+    }
+    // The dead incarnation's ticket no longer verifies its replacement.
+    EXPECT_FALSE(svc.tickets().valid(0, 900 * kMs));
+  }
+}
+
+TEST(ClusterHooks, ServiceBackedRecoveryReattestSkipsOutageWhenWarm) {
+  // Secure recovery under an attestation outage: the legacy path stalls
+  // the re-attest behind the window; the service path with warm
+  // collateral is local and does not.
+  sched::ClusterConfig cfg;
+  cfg.requests = 2000;
+  cfg.rate_rps = 4000;
+  cfg.seed = 3;
+  cfg.queue = {.concurrency = 8, .queue_depth = 32};
+  cfg.scaler = {.min_warm = 8, .max_replicas = 8, .tick_ns = 20 * kMs};
+  cfg.retry.max_attempts = 4;
+  cfg.faults.crash(100 * kMs, 0);
+  cfg.faults.attest_outage(100 * kMs, 2 * kSec);
+  cfg.recovery = {.boot_ns = 200 * kMs, .attest_ns = 130 * kMs};
+
+  const sched::ClusterResult legacy =
+      sched::ClusterExperiment(cfg).run_with_model(gray_model());
+  ASSERT_FALSE(legacy.recoveries.empty());
+  // Boot ends ~300ms inside the outage: the flat model stalls to 2.1s.
+  EXPECT_GE(legacy.recoveries[0].attest_start_ns, 2.1 * kSec);
+
+  VerifyConfig vcfg;
+  vcfg.enabled = true;
+  vcfg.prewarm_subjects = {0};
+  VerifyService svc(vcfg, unit_model(), nullptr, nullptr,
+                    cfg.faults.attest_outages());
+  sched::ClusterConfig warm_cfg = cfg;
+  warm_cfg.attest_svc = &svc;
+  const sched::ClusterResult warm =
+      sched::ClusterExperiment(warm_cfg).run_with_model(gray_model());
+  ASSERT_FALSE(warm.recoveries.empty());
+  EXPECT_LT(warm.recoveries[0].attest_end_ns,
+            legacy.recoveries[0].attest_end_ns)
+      << "warm collateral must not stall behind the outage";
+  EXPECT_TRUE(warm.accounted());
+}
+
+// --- Sharded fabric integration ----------------------------------------------
+
+sched::ShardedConfig sharded_config() {
+  sched::ShardedConfig cfg;
+  cfg.requests = 3000;
+  cfg.rate_rps = 3000;
+  cfg.seed = 11;
+  cfg.replicas = 16;
+  cfg.shard.shards = 4;
+  cfg.queue = {.concurrency = 8, .queue_depth = 32};
+  cfg.scaler.tick_ns = 20 * kMs;
+  cfg.retry.max_attempts = 4;
+  return cfg;
+}
+
+sched::ServiceModel sharded_model() {
+  sched::ServiceModel m;
+  m.parallel_ns = 1 * kMs;
+  m.serialized_ns = 0;
+  m.jitter_sigma = 0.02;
+  m.cold_start_ns = 0.5 * kSec;
+  return m;
+}
+
+/// Sheds shard 0's admissions for most of the run by cutting it off from
+/// 3/4 of its slice (minority-reachable => forwards to the successor).
+void add_shed_faults(sched::ShardedConfig& cfg) {
+  const sched::ShardedFrontend fe(cfg.shard, cfg.replicas);
+  const auto& slice = fe.slice(0);
+  const std::size_t cut = slice.size() - slice.size() / 4;
+  for (std::size_t i = 0; i < cut; ++i)
+    cfg.faults.link_down(100 * kMs, 800 * kMs,
+                         sched::ShardedFrontend::shard_host(0),
+                         sched::ShardedFrontend::replica_host(slice[i]));
+}
+
+TEST(ShardedAttest, DisabledServiceKeepsLegacyCountersAtZero) {
+  sched::ShardedConfig cfg = sharded_config();
+  add_shed_faults(cfg);
+  cfg.shard.cross_admit_ns = 130 * kMs;
+  const sched::ShardedResult a =
+      sched::ShardedExperiment(cfg).run_with_model(sharded_model());
+  const sched::ShardedResult b =
+      sched::ShardedExperiment(cfg).run_with_model(sharded_model());
+  EXPECT_TRUE(a.accounted());
+  EXPECT_GT(a.shed, 0u);
+  EXPECT_EQ(a.attest.full, 0u);
+  EXPECT_EQ(a.attest.ticket_mints, 0u);
+  EXPECT_EQ(a.attest.cache_misses, 0u);
+  EXPECT_EQ(a.to_json(), b.to_json());
+}
+
+TEST(ShardedAttest, WarmTicketsCollapseTheCrossShardTail) {
+  sched::ShardedConfig cold_cfg = sharded_config();
+  cold_cfg.secure = true;
+  add_shed_faults(cold_cfg);
+  cold_cfg.attest_svc.enabled = true;
+  cold_cfg.attest_svc.cost = unit_model();
+  cold_cfg.attest_svc.collateral_ttl_ns = 0;
+  cold_cfg.attest_svc.ticket_ttl_ns = 0;
+  const sched::ShardedResult cold =
+      sched::ShardedExperiment(cold_cfg).run_with_model(sharded_model());
+  EXPECT_TRUE(cold.accounted());
+  EXPECT_GT(cold.shed, 0u);
+  EXPECT_GT(cold.attest.full, 0u);
+  EXPECT_GT(cold.attest.fetches, 0u);
+  EXPECT_EQ(cold.attest.ticket_resumes, 0u);
+
+  sched::ShardedConfig warm_cfg = cold_cfg;
+  warm_cfg.attest_svc.collateral_ttl_ns = 600 * kSec;
+  warm_cfg.attest_svc.ticket_ttl_ns = 300 * kSec;
+  for (int s = 0; s < 4; ++s)
+    warm_cfg.attest_svc.prewarm_subjects.push_back(
+        static_cast<std::uint64_t>(s));
+  const sched::ShardedResult warm =
+      sched::ShardedExperiment(warm_cfg).run_with_model(sharded_model());
+  EXPECT_TRUE(warm.accounted());
+  EXPECT_GT(warm.attest.ticket_resumes, 0u);
+  EXPECT_EQ(warm.attest.fetches, 0u) << "prewarmed cache, ticketed subjects";
+  // The tentpole claim at unit scale: ticket resumption collapses the
+  // crossing tail the cold service pays in full rounds.
+  EXPECT_LT(warm.latency_cross.p99(), cold.latency_cross.p99());
+
+  // Determinism with the service enabled: same seed, same bytes.
+  const sched::ShardedResult again =
+      sched::ShardedExperiment(warm_cfg).run_with_model(sharded_model());
+  EXPECT_EQ(warm.to_json(), again.to_json());
+}
+
+TEST(ShardedAttest, VerifyDeadlineGiveupsFeedTheTypedRetryPath) {
+  sched::ShardedConfig cfg = sharded_config();
+  cfg.secure = true;
+  add_shed_faults(cfg);
+  cfg.deadline_ns = 60 * kMs;  // far below the 117ms cold round
+  cfg.attest_svc.enabled = true;
+  cfg.attest_svc.cost = unit_model();
+  cfg.attest_svc.collateral_ttl_ns = 0;
+  cfg.attest_svc.ticket_ttl_ns = 0;
+  const sched::ShardedResult r =
+      sched::ShardedExperiment(cfg).run_with_model(sharded_model());
+  EXPECT_TRUE(r.accounted());
+  EXPECT_GT(r.attest.deadline_giveups, 0u);
+  // The give-ups surface as typed kDeadlineExceeded failures through the
+  // existing RetryVerdict accounting — no new failure channel.
+  const auto it = r.failure_codes.find(
+      std::string(core::to_string(core::ErrorCode::kDeadlineExceeded)));
+  ASSERT_NE(it, r.failure_codes.end());
+  EXPECT_GT(it->second, 0u);
+}
+
+TEST(ShardedAttest, NormalFleetsNeverConstructTheService) {
+  sched::ShardedConfig cfg = sharded_config();
+  cfg.secure = false;
+  add_shed_faults(cfg);
+  cfg.attest_svc.enabled = true;  // requested, but nothing to verify
+  cfg.attest_svc.cost = unit_model();
+  const sched::ShardedResult r =
+      sched::ShardedExperiment(cfg).run_with_model(sharded_model());
+  EXPECT_TRUE(r.accounted());
+  EXPECT_EQ(r.attest.full, 0u);
+  EXPECT_EQ(r.attest.ticket_mints, 0u);
+}
+
+}  // namespace
+}  // namespace confbench::attest::svc
