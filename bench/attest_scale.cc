@@ -43,23 +43,21 @@
 //     than re-deriving trust from the AMD-SP per crossing.
 //
 // Determinism: same seeds, same bytes — CI runs the bench twice and
-// byte-compares attest_scale.csv. A BENCH_attest_scale.json snapshot
-// (wall-clock + the key p99s) records the perf trajectory per run; the
-// wall-clock field is real time and is not part of the determinism
-// contract.
-#include <chrono>
+// byte-compares attest_scale.csv. The bench::Harness BENCH_attest_scale
+// .json snapshot (wall-clock + the key p99s) records the perf trajectory
+// per run; the wall-clock field is real time and is not part of the
+// determinism contract.
 #include <cstdio>
-#include <cstdlib>
 #include <map>
 #include <string>
 #include <vector>
 
 #include "attest/svc/cost_model.h"
 #include "bench/common.h"
+#include "bench/harness.h"
 #include "core/confbench.h"
 #include "fault/fault.h"
 #include "metrics/csv.h"
-#include "metrics/json.h"
 #include "metrics/table.h"
 #include "sched/cluster.h"
 #include "sched/shard.h"
@@ -67,14 +65,6 @@
 using namespace confbench;
 
 namespace {
-
-std::uint64_t cell_requests() {
-  if (const char* env = std::getenv("CONFBENCH_ATTEST_REQUESTS")) {
-    const long long n = std::atoll(env);
-    if (n > 0) return static_cast<std::uint64_t>(n);
-  }
-  return 8000;
-}
 
 /// Service configuration of one mode cell.
 attest::svc::VerifyConfig mode_config(const std::string& mode, int shards) {
@@ -101,8 +91,8 @@ attest::svc::VerifyConfig mode_config(const std::string& mode, int shards) {
 }  // namespace
 
 int main() {
-  const auto t0 = std::chrono::steady_clock::now();
-  const std::uint64_t reqs = cell_requests();
+  bench::Harness h("attest_scale");
+  const std::uint64_t reqs = h.requests("CONFBENCH_ATTEST_REQUESTS", 8000);
   const std::vector<std::string> platforms = {"tdx", "sev-snp", "cca"};
 
   std::printf("Attestation verification service at scale — iostress secure "
@@ -192,17 +182,8 @@ int main() {
 
         const sched::ShardedResult r =
             sched::ShardedExperiment(cfg).run_with_model(model);
-        if (!r.accounted()) {
-          std::fprintf(stderr,
-                       "BUG: lost requests in %s/%s/%s: offered=%llu "
-                       "completed=%llu rejected=%llu failed=%llu\n",
-                       scenario.c_str(), platform.c_str(), mode.c_str(),
-                       static_cast<unsigned long long>(r.offered),
-                       static_cast<unsigned long long>(r.completed),
-                       static_cast<unsigned long long>(r.rejected),
-                       static_cast<unsigned long long>(r.failed));
-          return 1;
-        }
+        h.check(r.accounted(), "zero lost requests in " + scenario + "/" +
+                                   platform + "/" + mode);
 
         p99_ms[scenario][platform][mode] = r.latency.p99() / 1e6;
         cross_ms[scenario][platform][mode] = r.latency_cross.p99() / 1e6;
@@ -268,83 +249,39 @@ int main() {
   std::printf("\n");
 
   // --- exit checks -----------------------------------------------------------
-  bool ok = true;
   for (const auto& platform : {std::string("tdx"), std::string("sev-snp")})
     for (const auto& scenario : {std::string("x1"), std::string("x2")})
-      if (svc_stats[scenario][platform]["warm"].ticket_resumes == 0) {
-        std::fprintf(stderr,
-                     "BUG: %s/%s warm cell resumed no tickets — crossings "
-                     "are not exercising the service\n",
-                     scenario.c_str(), platform.c_str());
-        ok = false;
-      }
+      h.check(svc_stats[scenario][platform]["warm"].ticket_resumes > 0,
+              scenario + "/" + platform +
+                  " warm cell resumes tickets (crossings exercise the "
+                  "service)");
   for (const auto& platform : platforms) {
     const double base = p99_ms["baseline"][platform]["warm"];
     const double warm = cross_ms["x1"][platform]["warm"];
-    if (!(warm > 0.0) || warm > 2.0 * base) {
-      std::fprintf(stderr,
-                   "BUG: %s warm cross-shard p99 (%.2f ms) not within 2x of "
-                   "intra-shard p99 (%.2f ms)\n",
-                   platform.c_str(), warm, base);
-      ok = false;
-    }
+    h.check(warm > 0.0 && warm <= 2.0 * base,
+            platform + " warm cross-shard p99 within 2x of intra-shard p99");
   }
   {
     const double base = p99_ms["baseline"]["tdx"]["warm"];
     const double cold = cross_ms["x1"]["tdx"]["cold"];
     const double round_ms = costs["tdx"].full_round_ns / 1e6;
-    if (cold - base < 0.5 * round_ms) {
-      std::fprintf(stderr,
-                   "BUG: cold TDX lost the collateral cliff: cross p99 %.2f "
-                   "ms vs base %.2f ms (full round %.1f ms)\n",
-                   cold, base, round_ms);
-      ok = false;
-    }
+    h.check(cold - base >= 0.5 * round_ms,
+            "cold TDX keeps the collateral cliff (cross p99 at least half "
+            "a full round above baseline)");
   }
-  if (cross_ms["x1"]["sev-snp"]["evtpm"] >= cross_ms["x1"]["sev-snp"]["cold"]) {
-    std::fprintf(stderr,
-                 "BUG: e-vTPM cross p99 (%.2f ms) should beat cold SNP "
-                 "(%.2f ms)\n",
-                 cross_ms["x1"]["sev-snp"]["evtpm"],
-                 cross_ms["x1"]["sev-snp"]["cold"]);
-    ok = false;
-  }
-  if (!ok) return 1;
+  h.check(cross_ms["x1"]["sev-snp"]["evtpm"] < cross_ms["x1"]["sev-snp"]["cold"],
+          "e-vTPM cross p99 beats cold SNP");
 
-  csv.write_file("attest_scale.csv");
-
-  // Perf-trajectory snapshot: wall-clock (real time, non-deterministic by
-  // design) plus the key deterministic p99s CI tracks across commits.
-  const double wall_s =
-      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
-          .count();
-  metrics::JsonWriter jw;
-  jw.begin_object();
-  jw.key("bench").value("attest_scale");
-  jw.key("requests_per_cell").value(reqs);
-  jw.key("wall_clock_s").value(wall_s);
-  jw.key("cells");
-  jw.begin_object();
+  // Perf-trajectory snapshot: the key deterministic p99s CI tracks across
+  // commits, alongside the Harness's (real-time) wall clock.
   for (const auto& platform : platforms) {
-    jw.key(platform);
-    jw.begin_object();
-    jw.key("base_p99_ms").value(p99_ms["baseline"][platform]["warm"]);
-    jw.key("cold_cross_p99_ms").value(cross_ms["x1"][platform]["cold"]);
-    jw.key("warm_cross_p99_ms").value(cross_ms["x1"][platform]["warm"]);
-    if (platform == "sev-snp")
-      jw.key("evtpm_cross_p99_ms").value(cross_ms["x1"][platform]["evtpm"]);
-    jw.key("full_round_ms").value(costs[platform].full_round_ns / 1e6);
-    jw.end_object();
+    h.metric(platform + "_base_p99_ms", p99_ms["baseline"][platform]["warm"]);
+    h.metric(platform + "_cold_cross_p99_ms", cross_ms["x1"][platform]["cold"]);
+    h.metric(platform + "_warm_cross_p99_ms", cross_ms["x1"][platform]["warm"]);
+    h.metric(platform + "_full_round_ms", costs[platform].full_round_ns / 1e6);
   }
-  jw.end_object();
-  jw.end_object();
-  if (FILE* f = std::fopen("BENCH_attest_scale.json", "w")) {
-    std::fputs(jw.str().c_str(), f);
-    std::fputc('\n', f);
-    std::fclose(f);
-  }
+  h.metric("sev-snp_evtpm_cross_p99_ms", cross_ms["x1"]["sev-snp"]["evtpm"]);
 
-  std::printf("all exit checks passed\nraw data -> attest_scale.csv, "
-              "snapshot -> BENCH_attest_scale.json\n");
-  return 0;
+  h.write_csv(csv, "attest_scale.csv");
+  return h.finish();
 }

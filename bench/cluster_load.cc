@@ -14,13 +14,19 @@
 //     load* (bounce-buffer serialization queues under concurrency) while
 //     the CPU-bound workload stays near-flat;
 //   - identical seeds reproduce the CSV byte for byte.
+//
+// Execution is two-phase: calibration resolves every sweep cell into a
+// ClusterExperiment::Trial sequentially (the real invocation path is
+// stateful), then run_trials() simulates the independent cells — in
+// parallel when CONFBENCH_THREADS allows — and rows are emitted in fixed
+// cell order, so the CSV is byte-identical at any thread count.
 #include <cstdio>
-#include <cstdlib>
 #include <map>
 #include <string>
 #include <vector>
 
 #include "bench/common.h"
+#include "bench/harness.h"
 #include "core/confbench.h"
 #include "metrics/csv.h"
 #include "metrics/table.h"
@@ -29,15 +35,6 @@
 using namespace confbench;
 
 namespace {
-
-// Requests per sweep cell; 64 cells x 16k = 1.02M requests by default.
-std::uint64_t cell_requests() {
-  if (const char* env = std::getenv("CONFBENCH_CLUSTER_REQUESTS")) {
-    const long long n = std::atoll(env);
-    if (n > 0) return static_cast<std::uint64_t>(n);
-  }
-  return 16000;
-}
 
 struct CellKey {
   std::string platform, workload;
@@ -51,7 +48,9 @@ struct CellKey {
 }  // namespace
 
 int main() {
-  const std::uint64_t reqs = cell_requests();
+  bench::Harness h("cluster_load");
+  // Requests per sweep cell; 64 cells x 16k = 1.02M requests by default.
+  const std::uint64_t reqs = h.requests("CONFBENCH_CLUSTER_REQUESTS", 16000);
   const std::vector<std::string> platforms = {"tdx", "sev-snp"};
   const std::vector<std::string> workloads = {"cpustress", "iostress"};
   // Fractions of the *normal-mode* fleet capacity: the secure fleet knees
@@ -87,107 +86,146 @@ int main() {
   std::map<std::string, std::map<std::string, std::map<double, double>>>
       p99_secure, p99_normal;
 
-  for (const auto& platform : platforms) {
-    for (const auto& workload : workloads) {
-      // Offered load is a fraction of the *normal-mode* max-fleet
-      // capacity: the operator provisions for plaintext service rates and
-      // we measure what confidentiality does to the same traffic.
-      sched::ClusterConfig base;
-      base.function = workload;
-      base.language = "go";
-      base.platform = platform;
-      base.requests = reqs;
-      base.warmup_requests = reqs / 8;  // tail stats exclude residual ramp
-      base.queue = {.concurrency = 8, .queue_depth = 32};
-      // The latency sweep measures a pre-provisioned fleet (min_warm ==
-      // max_replicas) so every cell is steady state; the cold-start ramp
-      // experiment below exercises the autoscaler separately.
-      base.scaler = {.min_warm = 8, .max_replicas = 8,
-                     .tick_ns = 20 * sim::kMs};
-      const double normal_cap =
-          sched::ClusterExperiment(base).fleet_capacity_rps(
-              models[{platform, workload, false}]);
-      for (const bool secure : {false, true}) {
-        for (const double load : loads) {
-          sched::ClusterConfig cfg = base;
-          cfg.secure = secure;
-          cfg.rate_rps = load * normal_cap;
-          cfg.seed = sim::hash_combine(
-              sim::stable_hash(platform + "/" + workload),
-              sim::hash_combine(secure, static_cast<std::uint64_t>(
-                                            load * 1000)));
-          const sched::ClusterResult r =
-              sched::ClusterExperiment(cfg).run_with_model(
-                  models[{platform, workload, secure}]);
-          const double p99_ms = r.latency.p99() / 1e6;
-          (secure ? p99_secure : p99_normal)[platform][workload][load] =
-              p99_ms;
-          csv.add_row({platform, workload, secure ? "1" : "0",
-                       metrics::Table::num(load, 2),
-                       metrics::Table::num(cfg.rate_rps, 1),
-                       std::to_string(r.offered),
-                       std::to_string(r.completed),
-                       std::to_string(r.rejected),
-                       metrics::Table::num(r.throughput_rps(), 1),
-                       metrics::Table::num(r.latency.p50() / 1e6, 4),
-                       metrics::Table::num(r.latency.p95() / 1e6, 4),
-                       metrics::Table::num(p99_ms, 4),
-                       metrics::Table::num(r.latency.p999() / 1e6, 4),
-                       metrics::Table::num(r.queue_wait.mean() / 1e6, 4),
-                       std::to_string(r.peak_warm)});
+  // Normal-mode fleet capacity per (platform, workload): the operator
+  // provisions for plaintext service rates and we measure what
+  // confidentiality does to the same traffic.
+  std::map<std::string, double> normal_caps;
+
+  std::vector<sched::ClusterExperiment::Trial> cells;
+  h.scenario("latency-sweep", [&] {
+    for (const auto& platform : platforms) {
+      for (const auto& workload : workloads) {
+        sched::ClusterConfig base;
+        base.function = workload;
+        base.language = "go";
+        base.platform = platform;
+        base.requests = reqs;
+        base.warmup_requests = reqs / 8;  // tail stats exclude residual ramp
+        base.queue = {.concurrency = 8, .queue_depth = 32};
+        // The latency sweep measures a pre-provisioned fleet (min_warm ==
+        // max_replicas) so every cell is steady state; the cold-start ramp
+        // scenario exercises the autoscaler separately.
+        base.scaler = {.min_warm = 8, .max_replicas = 8,
+                       .tick_ns = 20 * sim::kMs};
+        const double normal_cap =
+            sched::ClusterExperiment(base).fleet_capacity_rps(
+                models[{platform, workload, false}]);
+        normal_caps[platform + "/" + workload] = normal_cap;
+        for (const bool secure : {false, true}) {
+          for (const double load : loads) {
+            sched::ClusterConfig cfg = base;
+            cfg.secure = secure;
+            cfg.rate_rps = load * normal_cap;
+            cfg.seed = sim::hash_combine(
+                sim::stable_hash(platform + "/" + workload),
+                sim::hash_combine(secure, static_cast<std::uint64_t>(
+                                              load * 1000)));
+            cells.push_back({cfg, models[{platform, workload, secure}]});
+          }
         }
       }
-      std::printf("calibrated %s/%s: normal %.3f ms, secure %.3f ms "
-                  "(serialized %.3f ms), fleet capacity %.0f rps\n",
-                  platform.c_str(), workload.c_str(),
-                  models[{platform, workload, false}].total_ns() / 1e6,
-                  models[{platform, workload, true}].total_ns() / 1e6,
-                  models[{platform, workload, true}].serialized_ns / 1e6,
-                  normal_cap);
     }
-  }
+    const std::vector<sched::ClusterResult> results =
+        sched::ClusterExperiment::run_trials(cells);
+    // Emit rows in cell order — identical bytes at any thread count.
+    std::size_t cell = 0;
+    for (const auto& platform : platforms) {
+      for (const auto& workload : workloads) {
+        for (const bool secure : {false, true}) {
+          for (const double load : loads) {
+            const sched::ClusterResult& r = results[cell];
+            const sched::ClusterConfig& cfg = cells[cell].cfg;
+            ++cell;
+            h.check(r.accounted(),
+                    platform + "/" + workload + " accounted at load " +
+                        metrics::Table::num(load, 2));
+            const double p99_ms = r.latency.p99() / 1e6;
+            (secure ? p99_secure : p99_normal)[platform][workload][load] =
+                p99_ms;
+            csv.add_row({platform, workload, secure ? "1" : "0",
+                         metrics::Table::num(load, 2),
+                         metrics::Table::num(cfg.rate_rps, 1),
+                         std::to_string(r.offered),
+                         std::to_string(r.completed),
+                         std::to_string(r.rejected),
+                         metrics::Table::num(r.throughput_rps(), 1),
+                         metrics::Table::num(r.latency.p50() / 1e6, 4),
+                         metrics::Table::num(r.latency.p95() / 1e6, 4),
+                         metrics::Table::num(p99_ms, 4),
+                         metrics::Table::num(r.latency.p999() / 1e6, 4),
+                         metrics::Table::num(r.queue_wait.mean() / 1e6, 4),
+                         std::to_string(r.peak_warm)});
+          }
+        }
+        std::printf("calibrated %s/%s: normal %.3f ms, secure %.3f ms "
+                    "(serialized %.3f ms), fleet capacity %.0f rps\n",
+                    platform.c_str(), workload.c_str(),
+                    models[{platform, workload, false}].total_ns() / 1e6,
+                    models[{platform, workload, true}].total_ns() / 1e6,
+                    models[{platform, workload, true}].serialized_ns / 1e6,
+                    normal_caps[platform + "/" + workload]);
+      }
+    }
+  });
 
   // Cold-start ramp: a step of traffic hits a minimally-warm fleet and the
   // autoscaler must grow it, paying each platform's measured boot cost
   // (eager page acceptance makes confidential VMs slower to add). Rejected
   // requests and the transient-inclusive p99 quantify the scramble.
-  std::printf("\nCold-start ramp (step to 0.5x normal capacity, min_warm=2)\n");
-  std::printf("%-9s %-7s %10s %10s %10s %9s\n", "platform", "mode",
-              "rejected%", "p99_ms", "peak_warm", "boot_s");
-  for (const auto& platform : platforms) {
-    sched::ClusterConfig cfg;
-    cfg.function = "iostress";
-    cfg.platform = platform;
-    cfg.requests = reqs;
-    cfg.queue = {.concurrency = 8, .queue_depth = 32};
-    cfg.scaler = {.min_warm = 2, .max_replicas = 8, .tick_ns = 20 * sim::kMs};
-    const double cap = sched::ClusterExperiment(cfg).fleet_capacity_rps(
-        models[{platform, "iostress", false}]);
-    for (const bool secure : {false, true}) {
-      cfg.secure = secure;
-      cfg.rate_rps = 0.5 * cap;
-      cfg.seed = sim::hash_combine(sim::stable_hash("ramp/" + platform),
-                                   secure);
-      const auto& model = models[{platform, "iostress", secure}];
-      const sched::ClusterResult r =
-          sched::ClusterExperiment(cfg).run_with_model(model);
-      std::printf("%-9s %-7s %9.2f%% %10.2f %10d %9.2f\n", platform.c_str(),
-                  secure ? "secure" : "normal", 100.0 * r.reject_rate(),
-                  r.latency.p99() / 1e6, r.peak_warm,
-                  model.cold_start_ns / 1e9);
-      csv.add_row({platform, "iostress", secure ? "1" : "0", "ramp",
-                   metrics::Table::num(cfg.rate_rps, 1),
-                   std::to_string(r.offered), std::to_string(r.completed),
-                   std::to_string(r.rejected),
-                   metrics::Table::num(r.throughput_rps(), 1),
-                   metrics::Table::num(r.latency.p50() / 1e6, 4),
-                   metrics::Table::num(r.latency.p95() / 1e6, 4),
-                   metrics::Table::num(r.latency.p99() / 1e6, 4),
-                   metrics::Table::num(r.latency.p999() / 1e6, 4),
-                   metrics::Table::num(r.queue_wait.mean() / 1e6, 4),
-                   std::to_string(r.peak_warm)});
+  h.scenario("cold-start-ramp", [&] {
+    std::printf(
+        "\nCold-start ramp (step to 0.5x normal capacity, min_warm=2)\n");
+    std::printf("%-9s %-7s %10s %10s %10s %9s\n", "platform", "mode",
+                "rejected%", "p99_ms", "peak_warm", "boot_s");
+    std::vector<sched::ClusterExperiment::Trial> ramp;
+    for (const auto& platform : platforms) {
+      sched::ClusterConfig cfg;
+      cfg.function = "iostress";
+      cfg.platform = platform;
+      cfg.requests = reqs;
+      cfg.queue = {.concurrency = 8, .queue_depth = 32};
+      cfg.scaler = {.min_warm = 2, .max_replicas = 8,
+                    .tick_ns = 20 * sim::kMs};
+      const double cap = sched::ClusterExperiment(cfg).fleet_capacity_rps(
+          models[{platform, "iostress", false}]);
+      for (const bool secure : {false, true}) {
+        cfg.secure = secure;
+        cfg.rate_rps = 0.5 * cap;
+        cfg.seed = sim::hash_combine(sim::stable_hash("ramp/" + platform),
+                                     secure);
+        ramp.push_back({cfg, models[{platform, "iostress", secure}]});
+      }
     }
-  }
+    const std::vector<sched::ClusterResult> results =
+        sched::ClusterExperiment::run_trials(ramp);
+    std::size_t cell = 0;
+    for (const auto& platform : platforms) {
+      for (const bool secure : {false, true}) {
+        const sched::ClusterResult& r = results[cell];
+        const sched::ClusterConfig& cfg = ramp[cell].cfg;
+        const sched::ServiceModel& model = ramp[cell].model;
+        ++cell;
+        h.check(r.accounted(), "ramp/" + platform + " accounted");
+        std::printf("%-9s %-7s %9.2f%% %10.2f %10d %9.2f\n",
+                    platform.c_str(), secure ? "secure" : "normal",
+                    100.0 * r.reject_rate(), r.latency.p99() / 1e6,
+                    r.peak_warm, model.cold_start_ns / 1e9);
+        csv.add_row({platform, "iostress", secure ? "1" : "0", "ramp",
+                     metrics::Table::num(cfg.rate_rps, 1),
+                     std::to_string(r.offered), std::to_string(r.completed),
+                     std::to_string(r.rejected),
+                     metrics::Table::num(r.throughput_rps(), 1),
+                     metrics::Table::num(r.latency.p50() / 1e6, 4),
+                     metrics::Table::num(r.latency.p95() / 1e6, 4),
+                     metrics::Table::num(r.latency.p99() / 1e6, 4),
+                     metrics::Table::num(r.latency.p999() / 1e6, 4),
+                     metrics::Table::num(r.queue_wait.mean() / 1e6, 4),
+                     std::to_string(r.peak_warm)});
+      }
+    }
+  });
+
+  h.run_scenarios();
 
   // Secure/normal p99 overhead vs offered load.
   std::printf("\nSecure/normal p99 overhead vs offered load\n");
@@ -210,7 +248,6 @@ int main() {
       "queueing);\ncpustress stays near-flat; throughput knees at the "
       "autoscaler max fleet\n");
 
-  csv.write_file("cluster_load.csv");
-  std::printf("raw data -> cluster_load.csv\n");
-  return 0;
+  h.write_csv(csv, "cluster_load.csv");
+  return h.finish();
 }

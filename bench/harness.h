@@ -1,0 +1,167 @@
+// bench::Harness — the shared skeleton of the figure-reproduction benches.
+//
+// Every bench does the same four things: size itself from an environment
+// variable, run a fixed list of scenarios, assert exit-check invariants
+// (zero lost requests, expected orderings), and ship raw data as a CSV
+// plus a BENCH_<name>.json snapshot for the perf-trajectory CI job. The
+// Harness owns that skeleton so each bench body is only its scenarios.
+//
+// Determinism contract: everything that lands in the CSV is a pure
+// function of configs and seeds — scenario wall-clock timings and the
+// total wall_clock_s go only into the JSON snapshot, which the CI
+// determinism diff deliberately ignores (timings are machine facts, not
+// simulation facts). Scenarios run in registration order; a filter can
+// skip scenarios but never reorders them, so filtered CSV output is a
+// prefix-stable subset of the full run.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <functional>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "bench/common.h"
+#include "metrics/csv.h"
+#include "metrics/json.h"
+
+namespace confbench::bench {
+
+class Harness {
+ public:
+  explicit Harness(std::string name)
+      : name_(std::move(name)), start_(std::chrono::steady_clock::now()) {}
+
+  /// Per-cell request count: `env_var` when set (> 0), else `dflt`.
+  /// Recorded into the JSON snapshot so a baseline comparison knows what
+  /// size the numbers were taken at.
+  std::uint64_t requests(const char* env_var, std::uint64_t dflt) {
+    std::uint64_t n = dflt;
+    if (const char* env = std::getenv(env_var)) {
+      const long long v = std::atoll(env);
+      if (v > 0) n = static_cast<std::uint64_t>(v);
+    }
+    metric("requests_per_cell", n);
+    return n;
+  }
+
+  /// Registers a named scenario. Scenarios run in registration order.
+  void scenario(std::string label, std::function<void()> fn) {
+    scenarios_.push_back({std::move(label), std::move(fn)});
+  }
+
+  /// Runs the registered scenarios, timing each. CONFBENCH_SCENARIO, when
+  /// set, selects by substring match (skips, never reorders).
+  void run_scenarios() {
+    const char* filter = std::getenv("CONFBENCH_SCENARIO");
+    for (auto& s : scenarios_) {
+      if (filter != nullptr && s.label.find(filter) == std::string::npos) {
+        ++skipped_;
+        continue;
+      }
+      const auto t0 = std::chrono::steady_clock::now();
+      s.fn();
+      phases_.emplace_back(
+          s.label,
+          std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+              .count());
+    }
+  }
+
+  /// Exit-check assertion: a failed check makes finish() return 1 (and
+  /// prints what failed), but never aborts the run — later checks and the
+  /// data export still happen, so a red CI run ships its evidence.
+  void check(bool ok, const std::string& what) {
+    ++checks_run_;
+    if (!ok) {
+      failures_.push_back(what);
+      std::fprintf(stderr, "CHECK FAILED: %s\n", what.c_str());
+    }
+  }
+
+  void metric(const std::string& key, double v) {
+    num_metrics_.emplace_back(key, v);
+  }
+  void metric(const std::string& key, std::uint64_t v) {
+    num_metrics_.emplace_back(key, static_cast<double>(v));
+  }
+  void metric(const std::string& key, const std::string& v) {
+    str_metrics_.emplace_back(key, v);
+  }
+
+  /// Writes the raw dataset; failure to write is itself a failed check.
+  void write_csv(const metrics::CsvWriter& csv, const std::string& path) {
+    check(csv.write_file(path), "write " + path);
+    std::printf("raw data -> %s\n", path.c_str());
+  }
+
+  /// Emits BENCH_<name>.json and returns the process exit code (1 when
+  /// any check failed). Call once, last.
+  int finish() {
+    const double wall_s =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                      start_)
+            .count();
+    metrics::JsonWriter w;
+    w.begin_object();
+    w.key("bench").value(name_);
+    w.key("wall_clock_s").value(wall_s);  // machine fact: JSON only
+    w.key("scenarios_skipped").value(skipped_);
+    w.key("phases_s");
+    w.begin_object();
+    for (const auto& [label, secs] : phases_) w.key(label).value(secs);
+    w.end_object();
+    w.key("metrics");
+    w.begin_object();
+    for (const auto& [k, v] : num_metrics_) w.key(k).value(v);
+    for (const auto& [k, v] : str_metrics_) w.key(k).value(v);
+    w.end_object();
+    w.key("checks");
+    w.begin_object();
+    w.key("run").value(checks_run_);
+    w.key("failed").value(static_cast<std::uint64_t>(failures_.size()));
+    w.key("failures");
+    w.begin_array();
+    for (const auto& f : failures_) w.value(f);
+    w.end_array();
+    w.end_object();
+    w.end_object();
+    const std::string path = "BENCH_" + name_ + ".json";
+    if (FILE* f = std::fopen(path.c_str(), "w")) {
+      std::fputs(w.str().c_str(), f);
+      std::fputc('\n', f);
+      std::fclose(f);
+      std::printf("snapshot -> %s (wall %.2fs)\n", path.c_str(), wall_s);
+    } else {
+      std::fprintf(stderr, "cannot write %s\n", path.c_str());
+      return 1;
+    }
+    if (!failures_.empty()) {
+      std::fprintf(stderr, "%zu of %llu checks failed\n", failures_.size(),
+                   static_cast<unsigned long long>(checks_run_));
+      return 1;
+    }
+    return 0;
+  }
+
+ private:
+  struct Scenario {
+    std::string label;
+    std::function<void()> fn;
+  };
+
+  std::string name_;
+  std::chrono::steady_clock::time_point start_;
+  std::vector<Scenario> scenarios_;
+  std::vector<std::pair<std::string, double>> phases_;
+  std::vector<std::pair<std::string, double>> num_metrics_;
+  std::vector<std::pair<std::string, std::string>> str_metrics_;
+  std::vector<std::string> failures_;
+  std::uint64_t checks_run_ = 0;
+  std::uint64_t skipped_ = 0;
+};
+
+}  // namespace confbench::bench

@@ -1,0 +1,86 @@
+// The discrete-event engine exactly as this repo shipped it through PR 6,
+// kept verbatim as the perf baseline for bench/sim_engine.
+//
+// Two properties make it the honest "before" of the timer-wheel redesign:
+//   - the binary heap stores {time, seq, std::function} elements directly,
+//     so every std::push_heap/std::pop_heap sift moves 48-byte nodes with
+//     non-trivial move constructors through log(n) levels;
+//   - std::function heap-allocates every closure larger than its 16-byte
+//     inline buffer — which is every cluster handler.
+//
+// It predates EventId, so it cannot run cancellation workloads — the old
+// code emulated cancellation by letting events fire as flag-checked
+// no-ops. sched::ReferenceEventQueue (src/sched/reference_queue.h) is the
+// separate *oracle* baseline: same storage idea but with the new EventId
+// API grafted on, used for order-equivalence checks. This file is the
+// *speed* baseline: what a trial actually cost before the wheel.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "sim/clock.h"
+#include "sim/time.h"
+
+namespace confbench::bench {
+
+class LegacyEventQueue {
+ public:
+  using Action = std::function<void()>;
+
+  explicit LegacyEventQueue(sim::VirtualClock& clock) : clock_(clock) {}
+
+  LegacyEventQueue(const LegacyEventQueue&) = delete;
+  LegacyEventQueue& operator=(const LegacyEventQueue&) = delete;
+
+  void at(sim::Ns t, Action a) {
+    if (t < clock_.now()) t = clock_.now();
+    heap_.push_back(Event{t, next_seq_++, std::move(a)});
+    std::push_heap(heap_.begin(), heap_.end(), Later{});
+  }
+  void after(sim::Ns d, Action a) { at(clock_.now() + d, std::move(a)); }
+
+  bool step() {
+    if (heap_.empty()) return false;
+    std::pop_heap(heap_.begin(), heap_.end(), Later{});
+    Event e = std::move(heap_.back());
+    heap_.pop_back();
+    clock_.advance(e.time - clock_.now());
+    ++processed_;
+    e.act();
+    return true;
+  }
+
+  std::uint64_t run(std::uint64_t max_events = UINT64_MAX) {
+    std::uint64_t n = 0;
+    while (n < max_events && step()) ++n;
+    return n;
+  }
+
+  [[nodiscard]] bool empty() const { return heap_.empty(); }
+  [[nodiscard]] std::size_t pending() const { return heap_.size(); }
+  [[nodiscard]] sim::Ns now() const { return clock_.now(); }
+  [[nodiscard]] std::uint64_t processed() const { return processed_; }
+
+ private:
+  struct Event {
+    sim::Ns time;
+    std::uint64_t seq;
+    Action act;
+  };
+  struct Later {
+    bool operator()(const Event& a, const Event& b) const {
+      if (a.time != b.time) return a.time > b.time;
+      return a.seq > b.seq;
+    }
+  };
+
+  sim::VirtualClock& clock_;
+  std::vector<Event> heap_;
+  std::uint64_t next_seq_ = 0;
+  std::uint64_t processed_ = 0;
+};
+
+}  // namespace confbench::bench

@@ -40,13 +40,13 @@
 //     rejected or typed-failed — even with a shard fully partitioned;
 //   - identical seeds reproduce the CSV byte for byte.
 #include <cstdio>
-#include <cstdlib>
 #include <map>
 #include <string>
 #include <vector>
 
 #include "attest/svc/cost_model.h"
 #include "bench/common.h"
+#include "bench/harness.h"
 #include "core/confbench.h"
 #include "fault/fault.h"
 #include "fault/recovery.h"
@@ -60,14 +60,6 @@ using namespace confbench;
 
 namespace {
 
-std::uint64_t cell_requests() {
-  if (const char* env = std::getenv("CONFBENCH_SHARD_REQUESTS")) {
-    const long long n = std::atoll(env);
-    if (n > 0) return static_cast<std::uint64_t>(n);
-  }
-  return 12000;
-}
-
 struct Key {
   std::string platform;
   bool secure;
@@ -79,7 +71,8 @@ struct Key {
 }  // namespace
 
 int main() {
-  const std::uint64_t reqs = cell_requests();
+  bench::Harness h("shard_failover");
+  const std::uint64_t reqs = h.requests("CONFBENCH_SHARD_REQUESTS", 12000);
   const std::vector<std::string> platforms = {"tdx", "sev-snp", "cca"};
 
   std::printf("Sharded gateway fabric under topology faults — iostress, "
@@ -194,18 +187,9 @@ int main() {
 
         const sched::ShardedResult r =
             sched::ShardedExperiment(cfg).run_with_model(model);
-        if (!r.accounted()) {
-          std::fprintf(stderr,
-                       "BUG: lost requests in %s/%s/%s: offered=%llu "
-                       "completed=%llu rejected=%llu failed=%llu\n",
-                       scenario.c_str(), platform.c_str(),
-                       secure ? "secure" : "normal",
-                       static_cast<unsigned long long>(r.offered),
-                       static_cast<unsigned long long>(r.completed),
-                       static_cast<unsigned long long>(r.rejected),
-                       static_cast<unsigned long long>(r.failed));
-          return 1;
-        }
+        h.check(r.accounted(),
+                "zero lost requests in " + scenario + "/" + platform +
+                    (secure ? "/secure" : "/normal"));
 
         p99_ms[scenario][platform][secure] = r.latency.p99() / 1e6;
         tail_ms[scenario][platform][secure] =
@@ -292,21 +276,15 @@ int main() {
       "expected: shedding saves the client's detection timeout — the shard\n"
       "knows its slice is gone before the client's timer does\n");
 
-  if (!order_ok) {
-    std::fprintf(stderr,
-                 "BUG: cross-shard failover p99 not above intra-shard retry "
-                 "p99 in every cell\n");
-    return 1;
-  }
-  if (gap_ms["tdx"] <= gap_ms["cca"]) {
-    std::fprintf(stderr,
-                 "BUG: secure cross-failover premium on TDX (%.2f ms) should "
-                 "exceed CCA's (%.2f ms)\n",
-                 gap_ms["tdx"], gap_ms["cca"]);
-    return 1;
-  }
+  h.check(order_ok,
+          "cross-shard failover p99 above intra-shard retry p99 in every "
+          "cell");
+  h.check(gap_ms["tdx"] > gap_ms["cca"],
+          "secure cross-failover premium on TDX exceeds CCA's");
+  h.metric("gap_tdx_ms", gap_ms["tdx"]);
+  h.metric("gap_cca_ms", gap_ms["cca"]);
 
-  csv.write_file("shard_failover.csv");
-  std::printf("\nraw data -> shard_failover.csv\n");
-  return 0;
+  std::printf("\n");
+  h.write_csv(csv, "shard_failover.csv");
+  return h.finish();
 }

@@ -38,14 +38,16 @@
 //   - every offered request is accounted for, including cancelled hedge
 //     losers (completed + rejected + failed == offered; hedges are copies,
 //     not requests);
-//   - identical seeds reproduce the CSV byte for byte.
+//   - identical seeds reproduce the CSV byte for byte, at any
+//     CONFBENCH_THREADS value (cells simulate in parallel, rows are
+//     emitted in fixed cell order).
 #include <cstdio>
-#include <cstdlib>
 #include <map>
 #include <string>
 #include <vector>
 
 #include "bench/common.h"
+#include "bench/harness.h"
 #include "core/confbench.h"
 #include "fault/fault.h"
 #include "fault/migrate.h"
@@ -57,14 +59,6 @@
 using namespace confbench;
 
 namespace {
-
-std::uint64_t cell_requests() {
-  if (const char* env = std::getenv("CONFBENCH_TAIL_REQUESTS")) {
-    const long long n = std::atoll(env);
-    if (n > 0) return static_cast<std::uint64_t>(n);
-  }
-  return 20000;
-}
 
 struct Key {
   std::string platform;
@@ -79,7 +73,8 @@ constexpr sim::Ns kMinLinkDelay = 200 * sim::kMs;
 }  // namespace
 
 int main() {
-  const std::uint64_t reqs = cell_requests();
+  bench::Harness h("tail_tolerance");
+  const std::uint64_t reqs = h.requests("CONFBENCH_TAIL_REQUESTS", 20000);
   const std::vector<std::string> platforms = {"tdx", "sev-snp", "cca"};
 
   std::printf("Tail tolerance under gray failures — iostress, %llu "
@@ -114,126 +109,132 @@ int main() {
   std::map<std::string, std::map<bool, double>> thresh_ms;
   std::map<std::string, std::map<bool, std::uint64_t>> hedges_fired;
 
+  const auto make_cell = [&](const std::string& scenario,
+                             const std::string& platform, bool secure) {
+    const sched::ServiceModel& model = models[{platform, secure}];
+
+    sched::ClusterConfig cfg;
+    cfg.function = "iostress";
+    cfg.language = "go";
+    cfg.platform = platform;
+    cfg.secure = secure;
+    cfg.requests = reqs;
+    cfg.queue = {.concurrency = 8, .queue_depth = 32};
+    // Pre-provisioned fleet: isolate tail tolerance from autoscaling
+    // (cluster_load covers the scaling transient separately). Twelve
+    // replicas put one slow replica at ~8% of traffic — the regime
+    // quantile-armed hedging is designed for (see below).
+    cfg.scaler = {.min_warm = 12, .max_replicas = 12,
+                  .tick_ns = 20 * sim::kMs};
+    cfg.rate_rps = 0.5 * sched::ClusterExperiment(cfg).fleet_capacity_rps(
+                             model);
+    cfg.seed = sim::hash_combine(
+        sim::stable_hash("tail/" + scenario + "/" + platform), secure);
+    cfg.recovery = recovery[{platform, secure}];
+    cfg.retry.max_attempts = 4;
+    cfg.retry.budget_ns = 120 * sim::kSec;
+    cfg.warmup_requests = reqs / 20;  // exclude the fleet's settling-in
+
+    // Per-cell fault timing: cells differ by orders of magnitude in
+    // service time (CCA's simulated premium), so the window covers the
+    // same *fraction* of every run — [10%, 70%] of the expected
+    // duration — and the injected delay is far enough past the cell's
+    // own latency scale to be a gray failure everywhere (well above the
+    // outlier ratio, well above the learned hedge threshold).
+    const sim::Ns expect_ns =
+        static_cast<double>(reqs) / cfg.rate_rps * sim::kSec;
+    const sim::Ns fault_at = 0.1 * expect_ns;
+    const sim::Ns fault_for = 0.6 * expect_ns;
+    const sim::Ns delay =
+        std::max<sim::Ns>(kMinLinkDelay, 6.0 * model.total_ns());
+    // The slow link touches ~1/12 of traffic. The hedge quantile must
+    // leave more tail mass than the affected fraction (1 - q > 1/12),
+    // or the learned threshold ratchets up to the injected delay — the
+    // threshold is a quantile of latencies hedging itself produces,
+    // and once the affected mass crosses the quantile's tail the loop
+    // has no good equilibrium. q = 0.9 keeps the threshold pinned to
+    // the clean distribution; the budget is sized for the natural
+    // above-threshold tail (~10%) plus the affected share.
+    cfg.hedge.quantile = 0.9;
+    cfg.hedge.budget_fraction = 0.25;
+
+    if (scenario == "slowlink" || scenario == "slowlink_hedge") {
+      cfg.faults.slow_link(fault_at, fault_for, 0, delay);
+      if (scenario == "slowlink_hedge") cfg.hedge.enabled = true;
+    } else if (scenario == "asympart") {
+      cfg.faults.link_down(fault_at, fault_for, 0);
+      cfg.hedge.enabled = true;
+    } else {  // gray_reboot / gray_migrate
+      // Hedging off: a winning hedge hides the slow replica's latency
+      // from the detector — the two mitigations are run separately so
+      // each one's effect is attributable.
+      cfg.faults.slow_link(fault_at, fault_for, 0, delay);
+      cfg.outlier.enabled = true;
+      cfg.degrade_response = scenario == "gray_reboot"
+                                 ? sched::DegradeResponse::kReboot
+                                 : sched::DegradeResponse::kMigrate;
+      cfg.migration = migration[{platform, secure}];
+    }
+    return sched::ClusterExperiment::Trial{cfg, model};
+  };
+
   const std::vector<std::string> scenarios = {
       "slowlink", "slowlink_hedge", "asympart", "gray_reboot",
       "gray_migrate"};
   for (const auto& scenario : scenarios) {
-    for (const auto& platform : platforms) {
-      for (const bool secure : {false, true}) {
-        const sched::ServiceModel& model = models[{platform, secure}];
-
-        sched::ClusterConfig cfg;
-        cfg.function = "iostress";
-        cfg.language = "go";
-        cfg.platform = platform;
-        cfg.secure = secure;
-        cfg.requests = reqs;
-        cfg.queue = {.concurrency = 8, .queue_depth = 32};
-        // Pre-provisioned fleet: isolate tail tolerance from autoscaling
-        // (cluster_load covers the scaling transient separately). Twelve
-        // replicas put one slow replica at ~8% of traffic — the regime
-        // quantile-armed hedging is designed for (see below).
-        cfg.scaler = {.min_warm = 12, .max_replicas = 12,
-                      .tick_ns = 20 * sim::kMs};
-        cfg.rate_rps = 0.5 * sched::ClusterExperiment(cfg).fleet_capacity_rps(
-                                 model);
-        cfg.seed = sim::hash_combine(
-            sim::stable_hash("tail/" + scenario + "/" + platform), secure);
-        cfg.recovery = recovery[{platform, secure}];
-        cfg.retry.max_attempts = 4;
-        cfg.retry.budget_ns = 120 * sim::kSec;
-        cfg.warmup_requests = reqs / 20;  // exclude the fleet's settling-in
-
-        // Per-cell fault timing: cells differ by orders of magnitude in
-        // service time (CCA's simulated premium), so the window covers the
-        // same *fraction* of every run — [10%, 70%] of the expected
-        // duration — and the injected delay is far enough past the cell's
-        // own latency scale to be a gray failure everywhere (well above the
-        // outlier ratio, well above the learned hedge threshold).
-        const sim::Ns expect_ns =
-            static_cast<double>(reqs) / cfg.rate_rps * sim::kSec;
-        const sim::Ns fault_at = 0.1 * expect_ns;
-        const sim::Ns fault_for = 0.6 * expect_ns;
-        const sim::Ns delay =
-            std::max<sim::Ns>(kMinLinkDelay, 6.0 * model.total_ns());
-        // The slow link touches ~1/12 of traffic. The hedge quantile must
-        // leave more tail mass than the affected fraction (1 - q > 1/12),
-        // or the learned threshold ratchets up to the injected delay — the
-        // threshold is a quantile of latencies hedging itself produces,
-        // and once the affected mass crosses the quantile's tail the loop
-        // has no good equilibrium. q = 0.9 keeps the threshold pinned to
-        // the clean distribution; the budget is sized for the natural
-        // above-threshold tail (~10%) plus the affected share.
-        cfg.hedge.quantile = 0.9;
-        cfg.hedge.budget_fraction = 0.25;
-
-        if (scenario == "slowlink" || scenario == "slowlink_hedge") {
-          cfg.faults.slow_link(fault_at, fault_for, 0, delay);
-          if (scenario == "slowlink_hedge") cfg.hedge.enabled = true;
-        } else if (scenario == "asympart") {
-          cfg.faults.link_down(fault_at, fault_for, 0);
-          cfg.hedge.enabled = true;
-        } else {  // gray_reboot / gray_migrate
-          // Hedging off: a winning hedge hides the slow replica's latency
-          // from the detector — the two mitigations are run separately so
-          // each one's effect is attributable.
-          cfg.faults.slow_link(fault_at, fault_for, 0, delay);
-          cfg.outlier.enabled = true;
-          cfg.degrade_response = scenario == "gray_reboot"
-                                     ? sched::DegradeResponse::kReboot
-                                     : sched::DegradeResponse::kMigrate;
-          cfg.migration = migration[{platform, secure}];
+    h.scenario(scenario, [&, scenario] {
+      std::vector<sched::ClusterExperiment::Trial> cells;
+      for (const auto& platform : platforms)
+        for (const bool secure : {false, true})
+          cells.push_back(make_cell(scenario, platform, secure));
+      const std::vector<sched::ClusterResult> results =
+          sched::ClusterExperiment::run_trials(cells);
+      std::size_t cell = 0;
+      for (const auto& platform : platforms) {
+        for (const bool secure : {false, true}) {
+          const sched::ClusterResult& r = results[cell];
+          const sched::ClusterConfig& cfg = cells[cell].cfg;
+          ++cell;
+          h.check(r.accounted(),
+                  "zero lost requests in " + scenario + "/" + platform +
+                      (secure ? "/secure" : "/normal"));
+          const double ttr = scenario == "gray_migrate"
+                                 ? r.mean_migration_ttr_ns() / 1e6
+                                 : r.mean_ttr_ns() / 1e6;
+          p99f_ms[scenario][platform][secure] = r.latency_fault.p99() / 1e6;
+          ttr_ms[scenario][platform][secure] = ttr;
+          if (scenario == "slowlink_hedge") {
+            thresh_ms[platform][secure] = r.hedge_threshold_ns / 1e6;
+            hedges_fired[platform][secure] = r.hedges;
+          }
+          csv.add_row(
+              {scenario, platform, secure ? "1" : "0",
+               std::to_string(r.offered), std::to_string(r.completed),
+               std::to_string(r.rejected), std::to_string(r.failed),
+               std::to_string(r.retries), std::to_string(r.failovers),
+               std::to_string(r.hedges), std::to_string(r.hedge_wins),
+               std::to_string(r.hedge_waste),
+               std::to_string(r.hedge_cancelled),
+               metrics::Table::num(r.hedge_threshold_ns / 1e6, 3),
+               std::to_string(r.gray_trips),
+               std::to_string(r.responses_lost),
+               std::to_string(r.migrations.size()),
+               metrics::Table::num(r.availability(), 6),
+               metrics::Table::num(r.latency.p50() / 1e6, 4),
+               metrics::Table::num(r.latency.p99() / 1e6, 4),
+               metrics::Table::num(r.latency_fault.p99() / 1e6, 4),
+               metrics::Table::num(ttr, 2),
+               metrics::Table::num(
+                   scenario == "gray_migrate"
+                       ? cfg.migration.blackout_ns() / 1e6
+                       : 0.0,
+                   2),
+               metrics::Table::num(r.throughput_rps(), 1)});
         }
-
-        const sched::ClusterResult r =
-            sched::ClusterExperiment(cfg).run_with_model(model);
-        if (!r.accounted()) {
-          std::fprintf(stderr,
-                       "BUG: lost requests in %s/%s: offered=%llu "
-                       "completed=%llu rejected=%llu failed=%llu\n",
-                       scenario.c_str(), platform.c_str(),
-                       static_cast<unsigned long long>(r.offered),
-                       static_cast<unsigned long long>(r.completed),
-                       static_cast<unsigned long long>(r.rejected),
-                       static_cast<unsigned long long>(r.failed));
-          return 1;
-        }
-
-        const double ttr = scenario == "gray_migrate"
-                               ? r.mean_migration_ttr_ns() / 1e6
-                               : r.mean_ttr_ns() / 1e6;
-        p99f_ms[scenario][platform][secure] = r.latency_fault.p99() / 1e6;
-        ttr_ms[scenario][platform][secure] = ttr;
-        if (scenario == "slowlink_hedge") {
-          thresh_ms[platform][secure] = r.hedge_threshold_ns / 1e6;
-          hedges_fired[platform][secure] = r.hedges;
-        }
-        csv.add_row(
-            {scenario, platform, secure ? "1" : "0",
-             std::to_string(r.offered), std::to_string(r.completed),
-             std::to_string(r.rejected), std::to_string(r.failed),
-             std::to_string(r.retries), std::to_string(r.failovers),
-             std::to_string(r.hedges), std::to_string(r.hedge_wins),
-             std::to_string(r.hedge_waste),
-             std::to_string(r.hedge_cancelled),
-             metrics::Table::num(r.hedge_threshold_ns / 1e6, 3),
-             std::to_string(r.gray_trips),
-             std::to_string(r.responses_lost),
-             std::to_string(r.migrations.size()),
-             metrics::Table::num(r.availability(), 6),
-             metrics::Table::num(r.latency.p50() / 1e6, 4),
-             metrics::Table::num(r.latency.p99() / 1e6, 4),
-             metrics::Table::num(r.latency_fault.p99() / 1e6, 4),
-             metrics::Table::num(ttr, 2),
-             metrics::Table::num(
-                 scenario == "gray_migrate"
-                     ? cfg.migration.blackout_ns() / 1e6
-                     : 0.0,
-                 2),
-             metrics::Table::num(r.throughput_rps(), 1)});
       }
-    }
+    });
   }
+  h.run_scenarios();
 
   // (a) Hedging cuts the during-fault p99.
   std::printf("Gray slow link (200 ms), p99 during the fault window\n");
@@ -280,9 +281,8 @@ int main() {
   std::printf(
       "expected: migration wins big for normal VMs (no cold boot); secure\n"
       "fleets pay per-page encrypted export + re-acceptance + re-attest in\n"
-      "the blackout, narrowing — or inverting — the gap\n");
+      "the blackout, narrowing — or inverting — the gap\n\n");
 
-  csv.write_file("tail_tolerance.csv");
-  std::printf("\nraw data -> tail_tolerance.csv\n");
-  return 0;
+  h.write_csv(csv, "tail_tolerance.csv");
+  return h.finish();
 }

@@ -1,0 +1,169 @@
+// Small-buffer event closure for the discrete-event engine.
+//
+// std::function<void()> gives every scheduled event a 16-byte inline buffer
+// (libstdc++), so the cluster handlers — which capture half a dozen
+// references plus ids — heap-allocate on every schedule and free on every
+// fire. At millions of events per trial that churn dominates the engine.
+//
+// Action fixes the two common cases:
+//   - a 64-byte inline buffer fits every handler the cluster schedules;
+//     larger closures spill into the queue's per-trial Arena (bump
+//     allocation, memory reclaimed wholesale when the trial ends);
+//   - Action::ref() wraps a long-lived callable (the probe/tick/arrival
+//     chains that reschedule themselves every interval) by reference, so a
+//     recurring event costs zero copies of its closure.
+//
+// Move-only, like the events it carries.
+#pragma once
+
+#include <cstddef>
+#include <cstring>
+#include <new>
+#include <type_traits>
+#include <utility>
+
+#include "sim/arena.h"
+
+namespace confbench::sched {
+
+class Action {
+ public:
+  static constexpr std::size_t kInlineBytes = 64;
+
+  Action() = default;
+
+  /// Wraps any void() callable; spills to the heap when it outgrows the
+  /// inline buffer.
+  template <typename F,
+            typename = std::enable_if_t<
+                !std::is_same_v<std::remove_cvref_t<F>, Action> &&
+                std::is_invocable_v<std::remove_cvref_t<F>&>>>
+  Action(F&& f) {  // NOLINT(google-explicit-constructor)
+    emplace(std::forward<F>(f), nullptr);
+  }
+
+  /// Same, but oversized closures spill into `arena` instead of the heap
+  /// (destructors still run at invoke/destroy; memory returns with the
+  /// arena). Used by EventQueue so trial teardown frees all spills at once.
+  template <typename F,
+            typename = std::enable_if_t<
+                !std::is_same_v<std::remove_cvref_t<F>, Action> &&
+                std::is_invocable_v<std::remove_cvref_t<F>&>>>
+  Action(F&& f, sim::Arena& arena) {
+    emplace(std::forward<F>(f), &arena);
+  }
+
+  /// Non-owning view of a long-lived callable. The caller guarantees `f`
+  /// outlives every scheduled fire — the recurring-chain contract.
+  template <typename F>
+  static Action ref(F& f) {
+    Action a;
+    F* p = &f;
+    std::memcpy(a.buf_, &p, sizeof(p));
+    a.ops_ = &RefOps<F>::ops;
+    return a;
+  }
+
+  Action(Action&& o) noexcept { move_from(o); }
+  Action& operator=(Action&& o) noexcept {
+    if (this != &o) {
+      destroy();
+      move_from(o);
+    }
+    return *this;
+  }
+  Action(const Action&) = delete;
+  Action& operator=(const Action&) = delete;
+  ~Action() { destroy(); }
+
+  void operator()() { ops_->invoke(buf_); }
+  explicit operator bool() const { return ops_ != nullptr; }
+
+ private:
+  struct Ops {
+    void (*invoke)(void* self);
+    /// Move-construct into dst from src and destroy src's payload.
+    void (*relocate)(void* dst, void* src);
+    void (*destroy)(void* self);
+  };
+
+  template <typename D>
+  struct InlineOps {
+    static void invoke(void* s) { (*static_cast<D*>(s))(); }
+    static void relocate(void* dst, void* src) {
+      ::new (dst) D(std::move(*static_cast<D*>(src)));
+      static_cast<D*>(src)->~D();
+    }
+    static void destroy(void* s) { static_cast<D*>(s)->~D(); }
+    static constexpr Ops ops{&invoke, &relocate, &destroy};
+  };
+
+  template <typename D>
+  static D* loaded(void* s) {
+    D* p;
+    std::memcpy(&p, s, sizeof(p));
+    return p;
+  }
+  static void relocate_ptr(void* dst, void* src) {
+    std::memcpy(dst, src, sizeof(void*));
+  }
+
+  template <typename D>
+  struct HeapOps {
+    static void invoke(void* s) { (*loaded<D>(s))(); }
+    static void destroy(void* s) { delete loaded<D>(s); }
+    static constexpr Ops ops{&invoke, &relocate_ptr, &destroy};
+  };
+
+  template <typename D>
+  struct ArenaOps {
+    static void invoke(void* s) { (*loaded<D>(s))(); }
+    // Destructor only; the arena reclaims the bytes wholesale.
+    static void destroy(void* s) { loaded<D>(s)->~D(); }
+    static constexpr Ops ops{&invoke, &relocate_ptr, &destroy};
+  };
+
+  template <typename F>
+  struct RefOps {
+    static void invoke(void* s) { (*loaded<F>(s))(); }
+    static void destroy(void*) {}
+    static constexpr Ops ops{&invoke, &relocate_ptr, &destroy};
+  };
+
+  template <typename F>
+  void emplace(F&& f, sim::Arena* arena) {
+    using D = std::decay_t<F>;
+    if constexpr (sizeof(D) <= kInlineBytes &&
+                  alignof(D) <= alignof(std::max_align_t) &&
+                  std::is_nothrow_move_constructible_v<D>) {
+      ::new (static_cast<void*>(buf_)) D(std::forward<F>(f));
+      ops_ = &InlineOps<D>::ops;
+    } else if (arena != nullptr) {
+      void* mem = arena->allocate(sizeof(D), alignof(D));
+      D* p = ::new (mem) D(std::forward<F>(f));
+      std::memcpy(buf_, &p, sizeof(p));
+      ops_ = &ArenaOps<D>::ops;
+    } else {
+      D* p = new D(std::forward<F>(f));
+      std::memcpy(buf_, &p, sizeof(p));
+      ops_ = &HeapOps<D>::ops;
+    }
+  }
+
+  void move_from(Action& o) noexcept {
+    ops_ = o.ops_;
+    if (ops_ != nullptr) ops_->relocate(buf_, o.buf_);
+    o.ops_ = nullptr;
+  }
+  void destroy() noexcept {
+    if (ops_ != nullptr) {
+      ops_->destroy(buf_);
+      ops_ = nullptr;
+    }
+  }
+
+  const Ops* ops_ = nullptr;
+  alignas(std::max_align_t) unsigned char buf_[kInlineBytes];
+};
+
+}  // namespace confbench::sched

@@ -3,12 +3,15 @@
 #include <algorithm>
 #include <functional>
 #include <stdexcept>
+#include <type_traits>
+#include <utility>
 
 #include "attest/svc/verify_service.h"
 #include "fault/linkfault.h"
 #include "fault/retry.h"
 #include "metrics/json.h"
 #include "sim/clock.h"
+#include "sim/parallel.h"
 #include "tee/registry.h"
 #include "vm/guest_vm.h"
 
@@ -165,28 +168,49 @@ double ClusterExperiment::fleet_capacity_rps(const ServiceModel& model) const {
          cfg_.scaler.max_replicas;
 }
 
-ClusterResult ClusterExperiment::run(core::ConfBench& system) const {
-  const ServiceModel model =
+ClusterExperiment::Trial ClusterExperiment::prepare(
+    core::ConfBench& system) const {
+  Trial t;
+  t.model =
       ServiceModel::calibrate(system, cfg_.function, cfg_.language,
                               cfg_.platform, cfg_.secure,
                               cfg_.calibration_probes);
-  ClusterConfig patched = cfg_;
-  bool changed = false;
+  t.cfg = cfg_;
   if (!cfg_.faults.empty() && cfg_.recovery.total_ns() <= 0) {
     // Measure replica replacement through the real boot + re-attestation
     // path, so secure fleets recover mechanically slower for the same
     // reasons their VMs boot and attest slower.
-    patched.recovery = fault::measure_recovery(cfg_.platform, cfg_.secure);
-    changed = true;
+    t.cfg.recovery = fault::measure_recovery(cfg_.platform, cfg_.secure);
   }
   if (!cfg_.faults.empty() &&
       cfg_.degrade_response == DegradeResponse::kMigrate &&
       cfg_.migration.total_ns() <= 0) {
-    patched.migration = fault::measure_migration(cfg_.platform, cfg_.secure);
-    changed = true;
+    t.cfg.migration = fault::measure_migration(cfg_.platform, cfg_.secure);
   }
-  if (changed) return ClusterExperiment(patched).run_with_model(model);
-  return run_with_model(model);
+  return t;
+}
+
+ClusterResult ClusterExperiment::run(core::ConfBench& system) const {
+  const Trial t = prepare(system);
+  return ClusterExperiment(t.cfg).run_with_model(t.model);
+}
+
+std::vector<ClusterResult> ClusterExperiment::run_trials(
+    const std::vector<Trial>& trials, int threads) {
+  if (threads <= 0) threads = sim::default_threads();
+  // A tracer or an attestation service is shared mutable state across
+  // trials; concurrent trials would interleave writes into it and the
+  // merged result would stop being schedule-independent. Those sweeps run
+  // sequentially — same results, just no fan-out.
+  for (const Trial& t : trials)
+    if ((t.cfg.tracer != nullptr && t.cfg.tracer->enabled()) ||
+        t.cfg.attest_svc != nullptr)
+      threads = 1;
+  std::vector<ClusterResult> out(trials.size());
+  sim::parallel_for_ordered(trials.size(), threads, [&](std::size_t i) {
+    out[i] = ClusterExperiment(trials[i].cfg).run_with_model(trials[i].model);
+  });
+  return out;
 }
 
 namespace {
@@ -204,12 +228,10 @@ struct Replica {
   /// Virtual time at which each swiotlb slot of this VM becomes free; a
   /// request's serialized portion takes the earliest-free slot.
   std::vector<sim::Ns> bounce_free;
-  /// Bumped on crash so completion events scheduled against the previous
-  /// incarnation become no-ops (the event queue has no cancellation).
-  std::uint64_t epoch = 0;
-  /// Copy tokens (request id * 2 + copy index) in service here; a crash
-  /// kills all of them.
-  std::vector<std::uint64_t> active;
+  /// Copy tokens (request id * 2 + copy index) in service here, paired
+  /// with the completion event's handle; a crash kills all of them by
+  /// cancelling those events directly.
+  std::vector<std::pair<std::uint64_t, EventId>> active;
   double slow_factor = 1.0;  ///< >1 during a brownout window
   bool reachable = true;     ///< false while partitioned or down
   bool agent_hung = false;   ///< host agent black-holes requests
@@ -238,6 +260,9 @@ struct Copy {
   };
   std::uint32_t replica = 0;
   sim::Ns dispatched_ns = 0;
+  /// Admission handle while kQueued; lets the hedge-loser path cancel the
+  /// copy in O(1) instead of scanning the replica's pending queue.
+  ReplicaQueue::Ticket ticket;
   Where where = Where::kNone;
 };
 
@@ -384,7 +409,12 @@ ClusterResult ClusterExperiment::run_with_model(
                           sim::hash_combine(cfg_.seed,
                                             sim::stable_hash("arrivals")));
 
-  std::vector<Req> reqs;
+  // Request state lives in the engine's trial arena: one bump allocation
+  // stream, freed wholesale when the queue (and its arena) dies with this
+  // trial. Req is trivially destructible so skipping per-element teardown
+  // is sound.
+  static_assert(std::is_trivially_destructible_v<Req>);
+  sim::ArenaVector<Req> reqs{sim::ArenaAllocator<Req>(events.arena())};
   reqs.reserve(std::min<std::uint64_t>(cfg_.requests, 1 << 22));
   std::uint64_t issued = 0;
 
@@ -434,16 +464,13 @@ ClusterResult ClusterExperiment::run_with_model(
     } else {
       finish = par_end;
     }
-    r.active.push_back(token);
     reqs[id].copy[cid].where = Copy::Where::kActive;
     if (tracer && cid == 0 && id < samples.size())
       samples[id] = {reqs[id].arrival, clock.now(), par_end, io_start,
                      finish,           idx,         true};
-    events.at(finish, [&, idx, token, ep = r.epoch] {
-      // A crash bumped the epoch and already failed this request over.
-      if (replicas[idx].epoch != ep) return;
-      service_done(idx, token);
-    });
+    const EventId done_ev =
+        events.at(finish, [&, idx, token] { service_done(idx, token); });
+    r.active.emplace_back(token, done_ev);
   };
 
   auto try_start = [&](std::uint32_t idx) {
@@ -512,13 +539,16 @@ ClusterResult ClusterExperiment::run_with_model(
       if (cid == 0) arm_hedge(id);
       return true;  // in flight (will time out), not rejected
     }
-    if (!r.queue.admit(id * 2 + static_cast<std::uint64_t>(cid))) {
+    const ReplicaQueue::Ticket tk =
+        r.queue.admit(id * 2 + static_cast<std::uint64_t>(cid));
+    if (!tk.valid()) {
       // 429: replica backlog full
       pool.release(m);
       if (cid == 0) ++res.rejected;
       rq.copy[cid].where = Copy::Where::kNone;
       return false;
     }
+    rq.copy[cid].ticket = tk;
     rq.copy[cid].where = Copy::Where::kQueued;
     if (cid == 0) arm_hedge(id);
     try_start(idx);
@@ -533,7 +563,10 @@ ClusterResult ClusterExperiment::run_with_model(
     const std::uint64_t id = token >> 1;
     const int cid = static_cast<int>(token & 1);
     r.queue.complete();
-    if (auto it = std::find(r.active.begin(), r.active.end(), token);
+    if (auto it = std::find_if(r.active.begin(), r.active.end(),
+                               [token](const auto& a) {
+                                 return a.first == token;
+                               });
         it != r.active.end())
       r.active.erase(it);
     pool.release(&pool.member(idx));
@@ -594,8 +627,7 @@ ClusterResult ClusterExperiment::run_with_model(
     // black-holed one is dropped by its own timeout event.
     Copy& other = rq.copy[1 - cid];
     if (other.where == Copy::Where::kQueued) {
-      if (replicas[other.replica].queue.cancel(
-              id * 2 + static_cast<std::uint64_t>(1 - cid))) {
+      if (replicas[other.replica].queue.cancel(other.ticket)) {
         pool.release(&pool.member(other.replica));
         ++res.hedge_cancelled;
         other.where = Copy::Where::kNone;
@@ -672,7 +704,6 @@ ClusterResult ClusterExperiment::run_with_model(
         --migrations_active;
       }
     }
-    ++r.epoch;  // orphan this incarnation's scheduled completions
     r.reachable = false;
     rec_pending[idx] = RecoverySample{};
     rec_pending[idx].replica = idx;
@@ -681,9 +712,15 @@ ClusterResult ClusterExperiment::run_with_model(
     // Everything on the replica dies with it: queued requests and the ones
     // mid-service. Their clients notice after the detection timeout and
     // fail over. The pool keeps routing here until the breaker opens —
-    // failure detection is observational, not oracle knowledge.
+    // failure detection is observational, not oracle knowledge. The dead
+    // incarnation's scheduled completions are cancelled outright; recovery
+    // and the probe chain always outlast their orphaned finish times, so
+    // the run's makespan is unaffected.
     std::vector<std::uint64_t> victims = r.queue.evict_all();
-    victims.insert(victims.end(), r.active.begin(), r.active.end());
+    for (const auto& [token, done_ev] : r.active) {
+      events.cancel(done_ev);
+      victims.push_back(token);
+    }
     r.active.clear();
     for (std::size_t k = 0; k < victims.size(); ++k)
       pool.release(&pool.member(idx));
@@ -869,7 +906,7 @@ ClusterResult ClusterExperiment::run_with_model(
     for (const Replica& r : replicas) busy += r.queue.backlog();
     if (issued < cfg_.requests || busy > 0 || crashes_outstanding > 0 ||
         windows_active > 0 || breakers_open || migrations_active > 0)
-      events.after(cfg_.probe_interval_ns, probe);
+      events.after(cfg_.probe_interval_ns, Action::ref(probe));
   };
 
   // --- load generation -----------------------------------------------------
@@ -880,8 +917,8 @@ ClusterResult ClusterExperiment::run_with_model(
     reqs.push_back(rq);
     ++res.offered;
     dispatch(id, 0);
-    if (issued < cfg_.requests) events.after(arrivals.next_gap(),
-                                             on_open_arrival);
+    if (issued < cfg_.requests)
+      events.after(arrivals.next_gap(), Action::ref(on_open_arrival));
   };
 
   client_issue = [&](int c) {
@@ -901,7 +938,7 @@ ClusterResult ClusterExperiment::run_with_model(
       events.after(static_cast<double>(c) * sim::kUs,
                    [&, c] { client_issue(c); });
   } else if (cfg_.requests > 0) {
-    events.after(arrivals.next_gap(), on_open_arrival);
+    events.after(arrivals.next_gap(), Action::ref(on_open_arrival));
   }
 
   // --- autoscaler ticks ----------------------------------------------------
@@ -962,13 +999,13 @@ ClusterResult ClusterExperiment::run_with_model(
         issued < cfg_.requests || in_service + queued > 0 || booting > 0 ||
         (chaos && (crashes_outstanding > 0 || windows_active > 0 ||
                    migrations_active > 0));
-    if (work_left) events.after(scfg.tick_ns, tick);
+    if (work_left) events.after(scfg.tick_ns, Action::ref(tick));
   };
-  events.after(scfg.tick_ns, tick);
+  events.after(scfg.tick_ns, Action::ref(tick));
 
   // --- fault replay --------------------------------------------------------
   if (chaos) {
-    events.after(cfg_.probe_interval_ns, probe);
+    events.after(cfg_.probe_interval_ns, Action::ref(probe));
     for (const fault::FaultEvent& e : cfg_.faults.events()) {
       const std::uint32_t idx = e.replica;
       switch (e.kind) {

@@ -263,6 +263,15 @@ struct ClusterResult {
 
 class ClusterExperiment {
  public:
+  /// A fully-resolved simulation cell: the config with measured recovery/
+  /// migration costs patched in, plus the calibrated service model. Two
+  /// trials share nothing, which is what makes run_trials() safe to fan
+  /// out across threads.
+  struct Trial {
+    ClusterConfig cfg;
+    ServiceModel model;
+  };
+
   explicit ClusterExperiment(ClusterConfig cfg) : cfg_(std::move(cfg)) {}
 
   /// Calibrates through `system`'s real invocation path, then simulates.
@@ -270,6 +279,21 @@ class ClusterExperiment {
 
   /// Simulates with an explicit model (tests; pre-calibrated sweeps).
   [[nodiscard]] ClusterResult run_with_model(const ServiceModel& model) const;
+
+  /// The calibration + cost-measurement half of run(), split out so sweeps
+  /// can resolve every cell sequentially (calibration drives the real,
+  /// stateful invocation path) and then simulate the cells in parallel.
+  /// run(system) == run_trials({prepare(system)})[0].
+  [[nodiscard]] Trial prepare(core::ConfBench& system) const;
+
+  /// Simulates independent trials, possibly concurrently, and returns
+  /// results in trial order — merged output is byte-identical to running
+  /// the same trials sequentially, because each trial's event stream,
+  /// RNG streams and histograms are private to it. threads <= 0 means
+  /// sim::default_threads(); trials that share cross-trial state (an
+  /// attached tracer or attestation service) force a sequential run.
+  [[nodiscard]] static std::vector<ClusterResult> run_trials(
+      const std::vector<Trial>& trials, int threads = 0);
 
   /// Offered load (rps) that saturates the autoscaler's full fleet.
   [[nodiscard]] double fleet_capacity_rps(const ServiceModel& model) const;

@@ -1,25 +1,201 @@
 #include "sched/event_queue.h"
 
 #include <algorithm>
+#include <bit>
 #include <utility>
 
 namespace confbench::sched {
 
-void EventQueue::at(sim::Ns t, Action a) {
-  if (t < clock_.now()) t = clock_.now();
-  heap_.push_back(Event{t, next_seq_++, std::move(a)});
-  std::push_heap(heap_.begin(), heap_.end(), Later{});
+namespace {
+
+/// Truncates a virtual timestamp to integer nanoseconds. Exact for every
+/// non-negative double below 2^63; bucket k at shift b then holds exactly
+/// the times in [k·2^b, (k+1)·2^b).
+inline std::uint64_t to_int_ns(sim::Ns t) {
+  return static_cast<std::uint64_t>(t);
+}
+
+}  // namespace
+
+void EventQueue::ready_push(const Entry& e) {
+  ready_.push_back(e);
+  std::push_heap(ready_.begin(), ready_.end(), Later{});
+}
+
+EventId EventQueue::schedule(sim::Ns t, Action a) {
+  if (t < clock_.now()) {
+    ++clamped_;
+    assert(!strict_past_ && "event scheduled in the past");
+    t = clock_.now();
+  }
+  std::uint32_t slot;
+  if (free_.empty()) {
+    slot = static_cast<std::uint32_t>(slots_.size());
+    slots_.emplace_back();
+  } else {
+    slot = free_.back();
+    free_.pop_back();
+  }
+  const std::uint64_t seq = next_seq_++;
+  Slot& s = slots_[slot];
+  s.act = std::move(a);
+  s.time = t;
+  s.seq = seq;
+  insert(Entry{t, seq, slot});
+  ++live_;
+  return EventId{slot, seq};
+}
+
+void EventQueue::insert(const Entry& e) {
+  const std::uint64_t it = to_int_ns(e.time);
+  const std::uint64_t k0 = it >> kL0Shift;
+  if (k0 < ready_end0_) {
+    ready_push(e);
+  } else if (k0 < l0_limit_) {
+    l0_.put(k0, e);
+  } else if (const std::uint64_t k1 = it >> kL1Shift; k1 < l1_limit_) {
+    l1_.put(k1, e);
+  } else {
+    overflow_.push_back(e);
+    std::push_heap(overflow_.begin(), overflow_.end(), Later{});
+  }
+}
+
+bool EventQueue::cancel(EventId id) {
+  if (!id.valid() || id.slot >= slots_.size()) return false;
+  Slot& s = slots_[id.slot];
+  if (s.seq != id.seq) return false;
+  s.act = Action();  // run the closure's destructor now
+  s.seq = 0;
+  free_.push_back(id.slot);
+  --live_;
+  ++cancelled_;
+  // The wheel entry stays behind as a stale (slot, seq) pair and is
+  // skipped in O(1) when its bucket drains.
+  return true;
+}
+
+EventId EventQueue::reschedule(EventId id, sim::Ns t) {
+  if (!id.valid() || id.slot >= slots_.size()) return EventId{};
+  Slot& s = slots_[id.slot];
+  if (s.seq != id.seq) return EventId{};
+  if (t < clock_.now()) {
+    ++clamped_;
+    assert(!strict_past_ && "event rescheduled into the past");
+    t = clock_.now();
+  }
+  const std::uint64_t seq = next_seq_++;
+  s.seq = seq;
+  s.time = t;
+  insert(Entry{t, seq, id.slot});  // old entry goes stale in place
+  return EventId{id.slot, seq};
+}
+
+std::uint64_t EventQueue::next_nonempty(const Level& lv, std::uint64_t from) {
+  // The window starting at `from` spans at most kSlots buckets, so a
+  // single wrap over the ring bitmap visits each word at most twice.
+  std::uint64_t s = from & kMask;
+  for (std::uint64_t scanned = 0; scanned < 2 * kSlots;) {
+    const std::uint64_t word = lv.bits[s >> 6] >> (s & 63);
+    if (word != 0) {
+      const std::uint64_t hit =
+          s + static_cast<std::uint64_t>(std::countr_zero(word));
+      return from + ((hit - (from & kMask)) & kMask);
+    }
+    const std::uint64_t step = 64 - (s & 63);
+    s = (s + step) & kMask;
+    scanned += step;
+  }
+  assert(false && "next_nonempty on an empty level");
+  return from;
+}
+
+void EventQueue::drain_overflow() {
+  while (!overflow_.empty() &&
+         (to_int_ns(overflow_.front().time) >> kL1Shift) < l1_limit_) {
+    std::pop_heap(overflow_.begin(), overflow_.end(), Later{});
+    const Entry e = overflow_.back();
+    overflow_.pop_back();
+    const std::uint64_t it = to_int_ns(e.time);
+    const std::uint64_t k0 = it >> kL0Shift;
+    if (k0 < ready_end0_) {
+      ready_push(e);
+    } else if (k0 < l0_limit_) {
+      l0_.put(k0, e);
+    } else {
+      l1_.put(it >> kL1Shift, e);
+    }
+  }
+}
+
+bool EventQueue::refill_ready() {
+  for (;;) {
+    if (!ready_.empty()) return true;
+    if (l0_.count > 0) {
+      // Open the next nonempty near bucket: dump it into the ready heap
+      // and advance the window edge past it. Everything still in L0/L1/
+      // overflow is strictly later than everything in this bucket.
+      const std::uint64_t k = next_nonempty(l0_, ready_end0_);
+      const std::uint64_t s = k & kMask;
+      std::vector<Entry>& b = l0_.bucket[s];
+      for (const Entry& e : b) ready_push(e);
+      l0_.count -= b.size();
+      b.clear();
+      l0_.bits[s >> 6] &= ~(std::uint64_t{1} << (s & 63));
+      ready_end0_ = k + 1;
+      return true;
+    }
+    if (l1_.count > 0) {
+      // Cascade one calendar bucket down into the (now empty) near wheel.
+      const std::uint64_t k1 = next_nonempty(l1_, l1_start_);
+      const std::uint64_t s = k1 & kMask;
+      ready_end0_ = k1 << (kL1Shift - kL0Shift);
+      l0_limit_ = (k1 + 1) << (kL1Shift - kL0Shift);
+      std::vector<Entry>& b = l1_.bucket[s];
+      for (const Entry& e : b) l0_.put(to_int_ns(e.time) >> kL0Shift, e);
+      l1_.count -= b.size();
+      b.clear();
+      l1_.bits[s >> 6] &= ~(std::uint64_t{1} << (s & 63));
+      l1_start_ = k1 + 1;
+      l1_limit_ = l1_start_ + kSlots;
+      drain_overflow();
+      continue;
+    }
+    if (!overflow_.empty()) {
+      // Everything pending is far future: re-anchor the calendar at the
+      // earliest overflow event instead of spinning through empty buckets.
+      const std::uint64_t k1 = to_int_ns(overflow_.front().time) >> kL1Shift;
+      l1_start_ = k1;
+      l1_limit_ = k1 + kSlots;
+      ready_end0_ = k1 << (kL1Shift - kL0Shift);
+      l0_limit_ = ready_end0_;  // empty near window until the cascade
+      drain_overflow();
+      continue;
+    }
+    return false;
+  }
 }
 
 bool EventQueue::step() {
-  if (heap_.empty()) return false;
-  std::pop_heap(heap_.begin(), heap_.end(), Later{});
-  Event ev = std::move(heap_.back());
-  heap_.pop_back();
-  clock_.advance(ev.time - clock_.now());
-  ++processed_;
-  ev.act();
-  return true;
+  for (;;) {
+    if (!refill_ready()) return false;
+    std::pop_heap(ready_.begin(), ready_.end(), Later{});
+    const Entry e = ready_.back();
+    ready_.pop_back();
+    Slot& s = slots_[e.slot];
+    if (s.seq != e.seq) continue;  // cancelled or rescheduled: skip, O(1)
+    // Move the action out before running it: the handler may schedule new
+    // events and grow the slab under our feet, and freeing the slot first
+    // makes cancel(own id) from inside the handler a clean no-op.
+    Action act = std::move(s.act);
+    s.seq = 0;
+    free_.push_back(e.slot);
+    --live_;
+    clock_.advance(e.time - clock_.now());
+    ++processed_;
+    act();
+    return true;
+  }
 }
 
 std::uint64_t EventQueue::run(std::uint64_t max_events) {

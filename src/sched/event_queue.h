@@ -11,31 +11,93 @@
 // on every run, machine and compiler — there is no hash-order, pointer or
 // wall-clock dependence anywhere in the engine. Handlers may schedule
 // further events (at or after the current time); scheduling in the past is
-// clamped to "now" so virtual time never moves backwards.
+// clamped to "now", counted by clamped(), and — when assert_on_past(true)
+// is set — trapped by a debug assert, so engine bugs that try to move
+// virtual time backwards stop being invisible.
+//
+// Storage is a two-level hierarchical timer wheel instead of one binary
+// heap over all pending events:
+//   - L0: 1024 buckets of 2^14 ns (≈16 µs), a ≈16.8 ms near horizon;
+//   - L1: 1024 buckets of 2^24 ns (≈16.8 ms), a ≈17 s calendar horizon,
+//     redistributed into L0 one bucket at a time as the cursor reaches it;
+//   - a min-heap overflow for the far future (cold boots, long probes),
+//     refilled into the calendar as the horizon advances.
+// Bucket classification truncates the (double) timestamp to integer
+// nanoseconds and shifts, so bucket k holds exactly [k·2^b, (k+1)·2^b) with
+// no floating-point boundary hazards. The bucket being drained feeds a
+// small (time, seq)-ordered ready heap, which restores the total order
+// among same-bucket events and absorbs handler-scheduled events that land
+// inside the open window — FIFO within a tick is preserved bit-for-bit
+// against the reference heap engine (see tests/sched_wheel_test.cc).
+//
+// at()/after() return a typed EventId; cancel(EventId) and
+// reschedule(EventId, Ns) are O(1): the slot is invalidated (generation
+// mismatch) and any stale wheel entry is lazily skipped when popped.
+// Cancelled events never execute and never advance the clock.
 #pragma once
 
+#include <array>
+#include <cassert>
 #include <cstdint>
-#include <functional>
+#include <type_traits>
 #include <vector>
 
+#include "sched/action.h"
+#include "sim/arena.h"
 #include "sim/clock.h"
 #include "sim/time.h"
 
 namespace confbench::sched {
 
+/// Handle to a pending event. Valid until the event fires, is cancelled,
+/// or is rescheduled (reschedule returns the replacement handle). A
+/// default-constructed EventId is never valid.
+struct EventId {
+  std::uint32_t slot = 0;
+  std::uint64_t seq = 0;
+  [[nodiscard]] constexpr bool valid() const { return seq != 0; }
+};
+
 class EventQueue {
  public:
-  using Action = std::function<void()>;
+  using Action = sched::Action;
 
   explicit EventQueue(sim::VirtualClock& clock) : clock_(clock) {}
 
   EventQueue(const EventQueue&) = delete;
   EventQueue& operator=(const EventQueue&) = delete;
 
-  /// Schedules `a` at absolute virtual time `t` (clamped to now()).
-  void at(sim::Ns t, Action a);
-  /// Schedules `a` at now() + d.
-  void after(sim::Ns d, Action a) { at(clock_.now() + d, std::move(a)); }
+  /// Schedules `f` at absolute virtual time `t` (clamped to now()).
+  /// Oversized closures spill into the queue's trial arena.
+  template <typename F,
+            typename = std::enable_if_t<
+                !std::is_same_v<std::remove_cvref_t<F>, Action>>>
+  EventId at(sim::Ns t, F&& f) {
+    return schedule(t, Action(std::forward<F>(f), arena_));
+  }
+  EventId at(sim::Ns t, Action a) { return schedule(t, std::move(a)); }
+
+  /// Schedules at now() + d.
+  template <typename F,
+            typename = std::enable_if_t<
+                !std::is_same_v<std::remove_cvref_t<F>, Action>>>
+  EventId after(sim::Ns d, F&& f) {
+    return schedule(clock_.now() + d, Action(std::forward<F>(f), arena_));
+  }
+  EventId after(sim::Ns d, Action a) {
+    return schedule(clock_.now() + d, std::move(a));
+  }
+
+  /// Cancels a pending event in O(1). Returns false when the handle is no
+  /// longer valid (already fired, cancelled, or rescheduled). A cancelled
+  /// event never runs and never advances the clock.
+  bool cancel(EventId id);
+
+  /// Moves a pending event to virtual time `t` (clamped to now()),
+  /// keeping its action. The event reorders as if newly scheduled (fresh
+  /// seq — it runs after existing events at the same time). Returns the
+  /// replacement handle, or an invalid EventId when `id` is stale.
+  EventId reschedule(EventId id, sim::Ns t);
 
   /// Runs the earliest pending event, advancing the clock to its time.
   /// Returns false when no event is pending.
@@ -45,29 +107,103 @@ class EventQueue {
   /// the number executed. The cap is a runaway guard for tests.
   std::uint64_t run(std::uint64_t max_events = UINT64_MAX);
 
-  [[nodiscard]] bool empty() const { return heap_.empty(); }
-  [[nodiscard]] std::size_t pending() const { return heap_.size(); }
+  [[nodiscard]] bool empty() const { return live_ == 0; }
+  [[nodiscard]] std::size_t pending() const { return live_; }
   [[nodiscard]] sim::Ns now() const { return clock_.now(); }
   [[nodiscard]] std::uint64_t processed() const { return processed_; }
+  [[nodiscard]] std::uint64_t cancelled() const { return cancelled_; }
+  /// How many at()/after()/reschedule() calls asked for a time in the past
+  /// and were clamped to now(). Zero in a well-behaved simulation.
+  [[nodiscard]] std::uint64_t clamped() const { return clamped_; }
+  /// Debug trap: assert (debug builds) when a schedule lands in the past
+  /// instead of silently clamping. Off by default — some callers clamp by
+  /// design (e.g. deadlines computed from dispatch timestamps).
+  void assert_on_past(bool on) { strict_past_ = on; }
+
+  /// The trial-scoped bump arena backing spilled closures; exposed so
+  /// callers can co-locate other per-trial allocations with the queue.
+  [[nodiscard]] sim::Arena& arena() { return arena_; }
 
  private:
-  struct Event {
+  // L0 bucket = 2^14 ns (≈16 µs); L1 bucket = 2^24 ns (≈16.8 ms); both
+  // levels have 1024 slots. Shifts operate on the timestamp truncated to
+  // integer nanoseconds, so classification is exact.
+  static constexpr unsigned kL0Shift = 14;
+  static constexpr unsigned kL1Shift = 24;
+  static constexpr std::uint64_t kSlots = 1024;
+  static constexpr std::uint64_t kMask = kSlots - 1;
+  static constexpr std::size_t kWords = kSlots / 64;
+
+  struct Slot {
+    Action act;
+    sim::Ns time = 0;
+    std::uint64_t seq = 0;  ///< 0 = free; matches live wheel entries
+  };
+  /// What the wheel stores: enough to order and validate without touching
+  /// the slot slab until the event actually fires.
+  struct Entry {
     sim::Ns time;
     std::uint64_t seq;
-    Action act;
+    std::uint32_t slot;
   };
   /// Max-heap comparator inverted into a min-heap on (time, seq).
   struct Later {
-    bool operator()(const Event& a, const Event& b) const {
+    bool operator()(const Entry& a, const Entry& b) const {
       if (a.time != b.time) return a.time > b.time;
       return a.seq > b.seq;
     }
   };
 
+  struct Level {
+    std::array<std::vector<Entry>, kSlots> bucket;
+    std::array<std::uint64_t, kWords> bits{};
+    std::uint64_t count = 0;
+
+    void put(std::uint64_t k, const Entry& e) {
+      const std::uint64_t s = k & kMask;
+      bucket[s].push_back(e);
+      bits[s >> 6] |= std::uint64_t{1} << (s & 63);
+      ++count;
+    }
+  };
+
+  EventId schedule(sim::Ns t, Action a);
+  void insert(const Entry& e);
+  /// Ensures ready_ holds the next window of entries; false = no entries
+  /// anywhere (live or stale).
+  bool refill_ready();
+  /// First nonempty bucket index ≥ `from` on `lv` (absolute; caller
+  /// guarantees lv.count > 0 and the window is ≤ kSlots wide).
+  static std::uint64_t next_nonempty(const Level& lv, std::uint64_t from);
+  void drain_overflow();
+  void ready_push(const Entry& e);
+
   sim::VirtualClock& clock_;
-  std::vector<Event> heap_;  ///< std::push_heap / std::pop_heap managed
-  std::uint64_t next_seq_ = 0;
+  sim::Arena arena_;
+
+  std::vector<Slot> slots_;
+  std::vector<std::uint32_t> free_;
+
+  std::vector<Entry> ready_;  ///< (time, seq) min-heap of the open window
+  Level l0_, l1_;
+  std::vector<Entry> overflow_;  ///< (time, seq) min-heap beyond L1
+
+  // Window bookkeeping (absolute bucket indices; see insert()):
+  //   time < ready_end0_·2^14            -> ready_
+  //   k0 ∈ [ready_end0_, l0_limit_)      -> L0
+  //   k1 ∈ [l1_start_,  l1_limit_)       -> L1
+  //   otherwise                          -> overflow_
+  std::uint64_t ready_end0_ = 0;
+  std::uint64_t l0_limit_ = kSlots;
+  std::uint64_t l1_start_ = 1;
+  std::uint64_t l1_limit_ = 1 + kSlots;
+
+  std::size_t live_ = 0;
+  std::uint64_t next_seq_ = 1;
   std::uint64_t processed_ = 0;
+  std::uint64_t cancelled_ = 0;
+  std::uint64_t clamped_ = 0;
+  bool strict_past_ = false;
 };
 
 }  // namespace confbench::sched

@@ -1,0 +1,153 @@
+// Reference discrete-event engine: one std::push_heap-managed binary heap
+// over std::function closures — the storage the timer-wheel EventQueue
+// replaced, kept alive behind the same EventId API.
+//
+// Two jobs:
+//   - the *oracle* for the determinism regression suite: the wheel must
+//     execute randomized schedules (including same-tick cancel/reschedule
+//     races) in exactly this engine's order, because both implement the
+//     same (time, seq) total-order contract;
+//   - the *baseline* for bench/sim_engine: the engine speedup recorded in
+//     BENCH_sim_engine.json is wheel-vs-this on identical event streams.
+//
+// Cancellation here is the lazy-tombstone variant: the heap node stays and
+// is skipped on pop when its (slot, seq) no longer matches — semantically
+// identical to the wheel (cancelled events never run, never advance the
+// clock), just O(log n) per pop instead of near-O(1).
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "sched/event_queue.h"  // EventId
+#include "sim/clock.h"
+#include "sim/time.h"
+
+namespace confbench::sched {
+
+class ReferenceEventQueue {
+ public:
+  using Action = std::function<void()>;
+
+  explicit ReferenceEventQueue(sim::VirtualClock& clock) : clock_(clock) {}
+
+  ReferenceEventQueue(const ReferenceEventQueue&) = delete;
+  ReferenceEventQueue& operator=(const ReferenceEventQueue&) = delete;
+
+  EventId at(sim::Ns t, Action a) {
+    if (t < clock_.now()) {
+      ++clamped_;
+      t = clock_.now();
+    }
+    std::uint32_t slot;
+    if (free_.empty()) {
+      slot = static_cast<std::uint32_t>(slots_.size());
+      slots_.emplace_back();
+    } else {
+      slot = free_.back();
+      free_.pop_back();
+    }
+    const std::uint64_t seq = next_seq_++;
+    slots_[slot] = Slot{std::move(a), t, seq};
+    heap_.push_back(Entry{t, seq, slot});
+    std::push_heap(heap_.begin(), heap_.end(), Later{});
+    ++live_;
+    return EventId{slot, seq};
+  }
+  EventId after(sim::Ns d, Action a) {
+    return at(clock_.now() + d, std::move(a));
+  }
+
+  bool cancel(EventId id) {
+    if (!id.valid() || id.slot >= slots_.size()) return false;
+    Slot& s = slots_[id.slot];
+    if (s.seq != id.seq) return false;
+    s.act = nullptr;
+    s.seq = 0;
+    free_.push_back(id.slot);
+    --live_;
+    ++cancelled_;
+    return true;
+  }
+
+  EventId reschedule(EventId id, sim::Ns t) {
+    if (!id.valid() || id.slot >= slots_.size()) return EventId{};
+    Slot& s = slots_[id.slot];
+    if (s.seq != id.seq) return EventId{};
+    if (t < clock_.now()) {
+      ++clamped_;
+      t = clock_.now();
+    }
+    const std::uint64_t seq = next_seq_++;
+    s.seq = seq;
+    s.time = t;
+    heap_.push_back(Entry{t, seq, id.slot});
+    std::push_heap(heap_.begin(), heap_.end(), Later{});
+    return EventId{id.slot, seq};
+  }
+
+  bool step() {
+    for (;;) {
+      if (heap_.empty()) return false;
+      std::pop_heap(heap_.begin(), heap_.end(), Later{});
+      const Entry e = heap_.back();
+      heap_.pop_back();
+      Slot& s = slots_[e.slot];
+      if (s.seq != e.seq) continue;  // tombstoned
+      Action act = std::move(s.act);
+      s.act = nullptr;
+      s.seq = 0;
+      free_.push_back(e.slot);
+      --live_;
+      clock_.advance(e.time - clock_.now());
+      ++processed_;
+      act();
+      return true;
+    }
+  }
+
+  std::uint64_t run(std::uint64_t max_events = UINT64_MAX) {
+    std::uint64_t n = 0;
+    while (n < max_events && step()) ++n;
+    return n;
+  }
+
+  [[nodiscard]] bool empty() const { return live_ == 0; }
+  [[nodiscard]] std::size_t pending() const { return live_; }
+  [[nodiscard]] sim::Ns now() const { return clock_.now(); }
+  [[nodiscard]] std::uint64_t processed() const { return processed_; }
+  [[nodiscard]] std::uint64_t cancelled() const { return cancelled_; }
+  [[nodiscard]] std::uint64_t clamped() const { return clamped_; }
+
+ private:
+  struct Slot {
+    Action act;
+    sim::Ns time = 0;
+    std::uint64_t seq = 0;
+  };
+  struct Entry {
+    sim::Ns time;
+    std::uint64_t seq;
+    std::uint32_t slot;
+  };
+  struct Later {
+    bool operator()(const Entry& a, const Entry& b) const {
+      if (a.time != b.time) return a.time > b.time;
+      return a.seq > b.seq;
+    }
+  };
+
+  sim::VirtualClock& clock_;
+  std::vector<Slot> slots_;
+  std::vector<std::uint32_t> free_;
+  std::vector<Entry> heap_;
+  std::size_t live_ = 0;
+  std::uint64_t next_seq_ = 1;
+  std::uint64_t processed_ = 0;
+  std::uint64_t cancelled_ = 0;
+  std::uint64_t clamped_ = 0;
+};
+
+}  // namespace confbench::sched

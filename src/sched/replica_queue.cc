@@ -4,24 +4,40 @@
 
 namespace confbench::sched {
 
-bool ReplicaQueue::admit(std::uint64_t request_id) {
+void ReplicaQueue::grow() {
+  const std::size_t cap = ring_.empty() ? 8 : ring_.size() * 2;
+  std::vector<Pending> next(cap);
+  for (std::uint64_t p = head_; p < tail_; ++p)
+    next[p & (cap - 1)] = ring_[p & (ring_.size() - 1)];
+  ring_ = std::move(next);
+}
+
+ReplicaQueue::Ticket ReplicaQueue::admit(std::uint64_t request_id) {
   const std::uint64_t cap = static_cast<std::uint64_t>(cfg_.concurrency) +
                             static_cast<std::uint64_t>(cfg_.queue_depth);
   if (backlog() >= cap) {
     ++rejected_;
-    return false;
+    return Ticket{};
   }
-  pending_.push_back(request_id);
-  peak_queued_ = std::max(peak_queued_, pending_.size());
+  if (ring_.empty() || tail_ - head_ == ring_.size()) grow();
+  ring_[tail_ & (ring_.size() - 1)] = Pending{request_id, true};
+  const Ticket t{tail_++};
+  ++live_queued_;
+  peak_queued_ = std::max(peak_queued_, live_queued_);
   ++admitted_;
-  return true;
+  return t;
 }
 
 std::optional<std::uint64_t> ReplicaQueue::start_next() {
-  if (pending_.empty() || in_service_ >= cfg_.concurrency)
+  if (live_queued_ == 0 || in_service_ >= cfg_.concurrency)
     return std::nullopt;
-  const std::uint64_t id = pending_.front();
-  pending_.pop_front();
+  // Cancelled entries park at the front until the FIFO head walks over
+  // them — each is skipped exactly once, so the cost stays O(1) amortized.
+  while (head_ < tail_ && !ring_[head_ & (ring_.size() - 1)].live) ++head_;
+  const std::uint64_t id = ring_[head_ & (ring_.size() - 1)].id;
+  ring_[head_ & (ring_.size() - 1)].live = false;
+  ++head_;
+  --live_queued_;
   ++in_service_;
   return id;
 }
@@ -30,16 +46,25 @@ void ReplicaQueue::complete() {
   if (in_service_ > 0) --in_service_;
 }
 
-bool ReplicaQueue::cancel(std::uint64_t request_id) {
-  const auto it = std::find(pending_.begin(), pending_.end(), request_id);
-  if (it == pending_.end()) return false;
-  pending_.erase(it);
+bool ReplicaQueue::cancel(Ticket t) {
+  if (!t.valid() || t.pos < head_ || t.pos >= tail_) return false;
+  Pending& p = ring_[t.pos & (ring_.size() - 1)];
+  if (!p.live) return false;
+  p.live = false;
+  --live_queued_;
   return true;
 }
 
 std::vector<std::uint64_t> ReplicaQueue::evict_all() {
-  std::vector<std::uint64_t> out(pending_.begin(), pending_.end());
-  pending_.clear();
+  std::vector<std::uint64_t> out;
+  out.reserve(live_queued_);
+  for (std::uint64_t p = head_; p < tail_; ++p) {
+    Pending& e = ring_[p & (ring_.size() - 1)];
+    if (e.live) out.push_back(e.id);
+    e.live = false;
+  }
+  head_ = tail_;
+  live_queued_ = 0;
   in_service_ = 0;
   return out;
 }

@@ -6,10 +6,15 @@
 // 429-style back-pressure a production gateway applies instead of letting
 // queues grow without bound. The queue is strict FIFO, so service order is
 // deterministic given the admission order.
+//
+// Admission returns a typed Ticket, mirroring EventQueue's EventId: the
+// hedge-loser path cancels a still-queued copy in O(1) by invalidating its
+// ring entry instead of scanning the pending deque for its id (the old
+// tombstone walk). A dead entry is skipped for free when the FIFO head
+// reaches it.
 #pragma once
 
 #include <cstdint>
-#include <deque>
 #include <optional>
 #include <vector>
 
@@ -22,11 +27,18 @@ struct QueueConfig {
 
 class ReplicaQueue {
  public:
+  /// Handle to a pending (not yet in-service) admission. Valid until the
+  /// request starts service, is cancelled, or the queue is evicted.
+  struct Ticket {
+    std::uint64_t pos = kInvalidPos;
+    [[nodiscard]] constexpr bool valid() const { return pos != kInvalidPos; }
+  };
+
   explicit ReplicaQueue(QueueConfig cfg = {}) : cfg_(cfg) {}
 
-  /// Admits a request. Returns false (reject with 429) when the replica is
-  /// at queued + in-service capacity.
-  [[nodiscard]] bool admit(std::uint64_t request_id);
+  /// Admits a request. Returns an invalid ticket (reject with 429) when
+  /// the replica is at queued + in-service capacity.
+  [[nodiscard]] Ticket admit(std::uint64_t request_id);
 
   /// Pops the next request to start serving, if a concurrency slot is free
   /// and something is pending. The caller must mark the returned request
@@ -36,10 +48,10 @@ class ReplicaQueue {
   /// Releases one in-service slot (a request finished).
   void complete();
 
-  /// Removes one *pending* (not yet in-service) request, reclaiming its
-  /// buffer slot — the hedge-loser cancellation path. Returns false when
-  /// the id is not pending (already started or never admitted here).
-  [[nodiscard]] bool cancel(std::uint64_t request_id);
+  /// Cancels one *pending* admission in O(1) — the hedge-loser path.
+  /// Returns false when the ticket is stale (the request already started
+  /// service, was cancelled, or was evicted).
+  [[nodiscard]] bool cancel(Ticket t);
 
   /// Empties the queue (fault injection: the replica's VM died). Returns
   /// the evicted *pending* request ids in FIFO order and zeroes the
@@ -48,9 +60,9 @@ class ReplicaQueue {
   [[nodiscard]] std::vector<std::uint64_t> evict_all();
 
   [[nodiscard]] int in_service() const { return in_service_; }
-  [[nodiscard]] std::size_t queued() const { return pending_.size(); }
+  [[nodiscard]] std::size_t queued() const { return live_queued_; }
   [[nodiscard]] std::uint64_t backlog() const {
-    return static_cast<std::uint64_t>(in_service_) + pending_.size();
+    return static_cast<std::uint64_t>(in_service_) + live_queued_;
   }
   [[nodiscard]] bool idle() const { return backlog() == 0; }
   [[nodiscard]] const QueueConfig& config() const { return cfg_; }
@@ -61,8 +73,22 @@ class ReplicaQueue {
   [[nodiscard]] std::size_t peak_queued() const { return peak_queued_; }
 
  private:
+  static constexpr std::uint64_t kInvalidPos = ~std::uint64_t{0};
+
+  struct Pending {
+    std::uint64_t id = 0;
+    bool live = false;
+  };
+
+  void grow();
+
   QueueConfig cfg_;
-  std::deque<std::uint64_t> pending_;
+  /// Power-of-two ring indexed by absolute admission position; a Ticket is
+  /// that position, so staleness is a range check plus a live flag.
+  std::vector<Pending> ring_;
+  std::uint64_t head_ = 0;  ///< absolute position of the FIFO front
+  std::uint64_t tail_ = 0;  ///< absolute position one past the FIFO back
+  std::size_t live_queued_ = 0;
   int in_service_ = 0;
   std::uint64_t admitted_ = 0;
   std::uint64_t rejected_ = 0;

@@ -202,6 +202,8 @@ struct SCopy {
   sim::Ns dispatched_ns = 0;
   sim::Ns req_hop_ns = 0;  ///< request-path fabric latency (charged with the
                            ///< response so queue dynamics stay simple)
+  /// Admission handle while kQueued; O(1) hedge-loser cancellation.
+  ReplicaQueue::Ticket ticket;
   Where where = Where::kNone;
 };
 
@@ -512,7 +514,9 @@ ShardedResult ShardedExperiment::run_with_model(
       if (cid == 0) arm_hedge(id);
       return true;
     }
-    if (!reps[r].queue.admit(id * 2 + static_cast<std::uint64_t>(cid))) {
+    const ReplicaQueue::Ticket tk =
+        reps[r].queue.admit(id * 2 + static_cast<std::uint64_t>(cid));
+    if (!tk.valid()) {
       sh.pool.release(m);
       if (cid == 0) {
         // 429 back to the client: typed, terminal, accounted.
@@ -523,6 +527,7 @@ ShardedResult ShardedExperiment::run_with_model(
       rq.copy[cid].where = SCopy::Where::kNone;
       return false;
     }
+    rq.copy[cid].ticket = tk;
     rq.copy[cid].where = SCopy::Where::kQueued;
     rq.copy[cid].req_hop_ns = cfg_.shard.hop_ns * f;
     if (cid == 0) {
@@ -591,7 +596,7 @@ ShardedResult ShardedExperiment::run_with_model(
     SCopy& other = rq.copy[1 - cid];
     if (other.where == SCopy::Where::kQueued) {
       SReplica& orep = reps[other.replica];
-      if (orep.queue.cancel(id * 2 + static_cast<std::uint64_t>(1 - cid))) {
+      if (orep.queue.cancel(other.ticket)) {
         ShardState& osh = shards[orep.shard];
         osh.pool.release(&osh.pool.member(orep.local));
         other.where = SCopy::Where::kNone;
@@ -765,7 +770,7 @@ ShardedResult ShardedExperiment::run_with_model(
     ++res.offered;
     send_to_shard(id);
     if (issued < cfg_.requests)
-      events.after(arrivals.next_gap(), on_arrival);
+      events.after(arrivals.next_gap(), Action::ref(on_arrival));
   };
 
   // --- probes + per-shard autoscaler ticks -----------------------------------
@@ -812,7 +817,7 @@ ShardedResult ShardedExperiment::run_with_model(
     }
     if (issued < cfg_.requests || backlog_total() > 0 ||
         windows_active > 0 || any_open)
-      events.after(cfg_.probe_interval_ns, probe);
+      events.after(cfg_.probe_interval_ns, Action::ref(probe));
   };
 
   std::function<void()> tick = [&] {
@@ -872,7 +877,7 @@ ShardedResult ShardedExperiment::run_with_model(
     }
     if (issued < cfg_.requests || backlog_total() > 0 || booting_total > 0 ||
         (chaos && windows_active > 0))
-      events.after(cfg_.scaler.tick_ns, tick);
+      events.after(cfg_.scaler.tick_ns, Action::ref(tick));
   };
 
   // --- fault replay ----------------------------------------------------------
@@ -892,10 +897,11 @@ ShardedResult ShardedExperiment::run_with_model(
         driver.advance(clock.now());
       });
     }
-    events.after(cfg_.probe_interval_ns, probe);
+    events.after(cfg_.probe_interval_ns, Action::ref(probe));
   }
-  events.after(cfg_.scaler.tick_ns, tick);
-  if (cfg_.requests > 0) events.after(arrivals.next_gap(), on_arrival);
+  events.after(cfg_.scaler.tick_ns, Action::ref(tick));
+  if (cfg_.requests > 0)
+    events.after(arrivals.next_gap(), Action::ref(on_arrival));
 
   events.run();
 

@@ -1,0 +1,120 @@
+// Bump allocator with trial-scoped lifetime.
+//
+// A simulation trial allocates millions of short-lived objects (request
+// records, spilled event closures, tail samples) whose lifetimes all end
+// together when the trial's event queue drains. Arena hands out pointers by
+// bumping a cursor through geometrically-growing blocks and never frees
+// individually: the whole arena is released wholesale at destruction (or
+// rewound with reset()). Allocation is a pointer bump — no malloc metadata,
+// no per-object free, no churn in the engine hot path.
+//
+// Lifetime rule: anything allocated from an Arena must not be touched after
+// the Arena is reset or destroyed. Non-trivially-destructible objects must
+// have their destructors run by whoever placed them (the arena only
+// reclaims memory). sched::EventQueue follows this rule for spilled
+// actions; ArenaVector runs element destructors through the allocator
+// protocol as usual.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+namespace confbench::sim {
+
+class Arena {
+ public:
+  /// First block size; subsequent blocks double up to kMaxBlockBytes.
+  explicit Arena(std::size_t first_block_bytes = 1 << 14)
+      : next_block_bytes_(first_block_bytes) {}
+
+  Arena(const Arena&) = delete;
+  Arena& operator=(const Arena&) = delete;
+
+  /// Returns `bytes` of storage aligned to `align` (a power of two).
+  void* allocate(std::size_t bytes, std::size_t align) {
+    std::uintptr_t p = reinterpret_cast<std::uintptr_t>(cur_);
+    p = (p + (align - 1)) & ~static_cast<std::uintptr_t>(align - 1);
+    if (p + bytes > reinterpret_cast<std::uintptr_t>(end_)) {
+      grow(bytes + align);
+      p = reinterpret_cast<std::uintptr_t>(cur_);
+      p = (p + (align - 1)) & ~static_cast<std::uintptr_t>(align - 1);
+    }
+    cur_ = reinterpret_cast<unsigned char*>(p + bytes);
+    bytes_served_ += bytes;
+    return reinterpret_cast<void*>(p);
+  }
+
+  /// Rewinds to empty, keeping the largest block for reuse. Everything
+  /// previously allocated becomes invalid at once — the wholesale free.
+  void reset() {
+    if (blocks_.empty()) return;
+    // Keep only the last (largest) block; rewind the cursor to its start.
+    Block last = std::move(blocks_.back());
+    blocks_.clear();
+    cur_ = last.data.get();
+    end_ = cur_ + last.size;
+    blocks_.push_back(std::move(last));
+    bytes_served_ = 0;
+  }
+
+  [[nodiscard]] std::size_t bytes_served() const { return bytes_served_; }
+  [[nodiscard]] std::size_t blocks() const { return blocks_.size(); }
+
+ private:
+  static constexpr std::size_t kMaxBlockBytes = std::size_t{1} << 22;
+
+  struct Block {
+    std::unique_ptr<unsigned char[]> data;
+    std::size_t size = 0;
+  };
+
+  void grow(std::size_t at_least) {
+    std::size_t size = next_block_bytes_;
+    while (size < at_least) size *= 2;
+    next_block_bytes_ = std::min(size * 2, kMaxBlockBytes);
+    Block b{std::make_unique<unsigned char[]>(size), size};
+    cur_ = b.data.get();
+    end_ = cur_ + size;
+    blocks_.push_back(std::move(b));
+  }
+
+  std::vector<Block> blocks_;
+  unsigned char* cur_ = nullptr;
+  unsigned char* end_ = nullptr;
+  std::size_t next_block_bytes_;
+  std::size_t bytes_served_ = 0;
+};
+
+/// Standard-library allocator over an Arena: deallocate is a no-op, the
+/// memory comes back when the arena does. Lets per-trial containers
+/// (request tables, samples) live in the trial's arena.
+template <typename T>
+class ArenaAllocator {
+ public:
+  using value_type = T;
+
+  explicit ArenaAllocator(Arena& arena) : arena_(&arena) {}
+  template <typename U>
+  ArenaAllocator(const ArenaAllocator<U>& o) : arena_(o.arena()) {}
+
+  T* allocate(std::size_t n) {
+    return static_cast<T*>(arena_->allocate(n * sizeof(T), alignof(T)));
+  }
+  void deallocate(T*, std::size_t) {}  // wholesale free at arena reset
+
+  [[nodiscard]] Arena* arena() const { return arena_; }
+
+  friend bool operator==(const ArenaAllocator& a, const ArenaAllocator& b) {
+    return a.arena_ == b.arena_;
+  }
+
+ private:
+  Arena* arena_;
+};
+
+template <typename T>
+using ArenaVector = std::vector<T, ArenaAllocator<T>>;
+
+}  // namespace confbench::sim

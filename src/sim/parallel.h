@@ -1,0 +1,59 @@
+// Deterministic ordered fan-out for independent simulation trials.
+//
+// The engine itself is single-threaded by design (the determinism contract
+// lives in one totally-ordered event stream), but *trials* — independent
+// (config, model) cells with their own clock, RNG streams and event queue —
+// share nothing and can run concurrently. parallel_for_ordered() runs
+// fn(0..n-1) on up to `threads` workers and returns only when all have
+// finished; the caller writes result[i] from fn(i), so merged output is in
+// index order regardless of which worker ran which trial or when. With
+// threads <= 1 (or n <= 1) it degenerates to a plain sequential loop — the
+// reference schedule the determinism suite compares against.
+#pragma once
+
+#include <atomic>
+#include <cstdlib>
+#include <thread>
+#include <utility>
+#include <vector>
+
+namespace confbench::sim {
+
+/// Worker count for trial fan-out: CONFBENCH_THREADS when set (0 or 1
+/// disables), else the hardware concurrency.
+inline int default_threads() {
+  if (const char* env = std::getenv("CONFBENCH_THREADS")) {
+    const int t = std::atoi(env);
+    return t > 0 ? t : 1;
+  }
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw > 0 ? static_cast<int>(hw) : 1;
+}
+
+/// Invokes fn(i) for every i in [0, n) and blocks until all complete.
+/// Work is claimed from a shared atomic counter, so scheduling is
+/// nondeterministic — fn must only touch state owned by trial i (write
+/// results by index, never append). Exceptions from fn terminate (workers
+/// are plain threads); trial code reports failure through its result.
+template <typename Fn>
+void parallel_for_ordered(std::size_t n, int threads, Fn&& fn) {
+  if (threads <= 1 || n <= 1) {
+    for (std::size_t i = 0; i < n; ++i) fn(i);
+    return;
+  }
+  const std::size_t workers =
+      std::min<std::size_t>(static_cast<std::size_t>(threads), n);
+  std::atomic<std::size_t> next{0};
+  std::vector<std::thread> pool;
+  pool.reserve(workers);
+  for (std::size_t w = 0; w < workers; ++w) {
+    pool.emplace_back([&] {
+      for (std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
+           i < n; i = next.fetch_add(1, std::memory_order_relaxed))
+        fn(i);
+    });
+  }
+  for (std::thread& t : pool) t.join();
+}
+
+}  // namespace confbench::sim

@@ -95,15 +95,15 @@ TEST(Arrivals, SameSeedSameTrace) {
 
 TEST(ReplicaQueue, RejectsBeyondCapacity) {
   ReplicaQueue q({.concurrency = 2, .queue_depth = 3});
-  for (std::uint64_t i = 0; i < 5; ++i) EXPECT_TRUE(q.admit(i));
-  EXPECT_FALSE(q.admit(5));  // 429
+  for (std::uint64_t i = 0; i < 5; ++i) EXPECT_TRUE(q.admit(i).valid());
+  EXPECT_FALSE(q.admit(5).valid());  // 429
   EXPECT_EQ(q.admitted(), 5u);
   EXPECT_EQ(q.rejected(), 1u);
 }
 
 TEST(ReplicaQueue, FifoServiceWithinConcurrencyLimit) {
   ReplicaQueue q({.concurrency = 2, .queue_depth = 8});
-  for (std::uint64_t i = 0; i < 4; ++i) ASSERT_TRUE(q.admit(i));
+  for (std::uint64_t i = 0; i < 4; ++i) ASSERT_TRUE(q.admit(i).valid());
   EXPECT_EQ(q.start_next(), std::optional<std::uint64_t>(0));
   EXPECT_EQ(q.start_next(), std::optional<std::uint64_t>(1));
   EXPECT_EQ(q.start_next(), std::nullopt);  // both slots busy
@@ -115,11 +115,47 @@ TEST(ReplicaQueue, FifoServiceWithinConcurrencyLimit) {
 
 TEST(ReplicaQueue, CompleteFreesCapacityForAdmission) {
   ReplicaQueue q({.concurrency = 1, .queue_depth = 0});
-  ASSERT_TRUE(q.admit(0));
+  ASSERT_TRUE(q.admit(0).valid());
   ASSERT_TRUE(q.start_next().has_value());
-  EXPECT_FALSE(q.admit(1));
+  EXPECT_FALSE(q.admit(1).valid());
   q.complete();
-  EXPECT_TRUE(q.admit(1));
+  EXPECT_TRUE(q.admit(1).valid());
+}
+
+TEST(ReplicaQueue, CancelTicketFreesSlotAndSkipsDeadEntry) {
+  ReplicaQueue q({.concurrency = 1, .queue_depth = 4});
+  const auto t0 = q.admit(0);
+  const auto t1 = q.admit(1);
+  const auto t2 = q.admit(2);
+  ASSERT_TRUE(t0.valid() && t1.valid() && t2.valid());
+  EXPECT_TRUE(q.cancel(t1));
+  EXPECT_FALSE(q.cancel(t1));  // already dead
+  EXPECT_EQ(q.queued(), 2u);
+  EXPECT_EQ(q.start_next(), std::optional<std::uint64_t>(0));
+  q.complete();
+  // The cancelled middle entry is skipped; FIFO order is otherwise intact.
+  EXPECT_EQ(q.start_next(), std::optional<std::uint64_t>(2));
+}
+
+TEST(ReplicaQueue, TicketGoesStaleOnServiceStartAndEviction) {
+  ReplicaQueue q({.concurrency = 2, .queue_depth = 4});
+  const auto t0 = q.admit(0);
+  ASSERT_TRUE(q.start_next().has_value());
+  EXPECT_FALSE(q.cancel(t0));  // already in service
+  const auto t1 = q.admit(1);
+  EXPECT_EQ(q.evict_all(), std::vector<std::uint64_t>{1});
+  EXPECT_FALSE(q.cancel(t1));  // evicted
+  EXPECT_FALSE(q.cancel({}));  // default ticket is never valid
+}
+
+TEST(ReplicaQueue, CancelledEntriesFreeCapacityImmediately) {
+  ReplicaQueue q({.concurrency = 1, .queue_depth = 1});
+  ASSERT_TRUE(q.admit(0).valid());
+  const auto t1 = q.admit(1);
+  ASSERT_TRUE(t1.valid());
+  EXPECT_FALSE(q.admit(2).valid());  // full
+  EXPECT_TRUE(q.cancel(t1));
+  EXPECT_TRUE(q.admit(2).valid());  // slot reclaimed without a pop
 }
 
 // --- Autoscaler -------------------------------------------------------------

@@ -1,0 +1,424 @@
+// Determinism regression suite for the timer-wheel engine.
+//
+// The wheel's contract is exact equivalence with the reference heap
+// engine: both implement the (time, seq) total order, so any schedule —
+// including adversarial same-tick cancel/reschedule races — must execute
+// in the identical event order on both. These tests drive randomized and
+// hand-built schedules through EventQueue and ReferenceEventQueue side by
+// side and require the fire sequences to match exactly, then pin down the
+// clamped() counter, EventId staleness semantics, Arena/Action behavior,
+// and parallel-vs-sequential trial identity for the cluster experiments.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <memory>
+#include <random>
+#include <string>
+#include <vector>
+
+#include "fault/fault.h"
+#include "sched/action.h"
+#include "sched/cluster.h"
+#include "sched/event_queue.h"
+#include "sched/reference_queue.h"
+#include "sim/arena.h"
+#include "sim/clock.h"
+#include "sim/parallel.h"
+
+namespace confbench::sched {
+namespace {
+
+// --- wheel vs reference equivalence -----------------------------------------
+
+/// Drives one engine through a deterministic random script and records the
+/// exact fire order. The script mixes at()/after(), same-tick bursts,
+/// cancels and reschedules — all decisions come from the shared RNG stream,
+/// so both engines replay the identical script.
+template <typename Q>
+struct Script {
+  Q& q;
+  std::mt19937_64 rng;
+  std::vector<std::uint64_t> fired;
+  std::vector<EventId> handles;
+  std::uint64_t next_token = 0;
+  std::uint64_t budget;  ///< events the handlers may still schedule
+
+  Script(Q& queue, std::uint64_t seed, std::uint64_t total)
+      : q(queue), rng(seed), budget(total) {}
+
+  void seed_initial(std::uint64_t n) {
+    for (std::uint64_t i = 0; i < n && budget > 0; ++i) schedule_one();
+  }
+
+  void schedule_one() {
+    --budget;
+    const std::uint64_t token = next_token++;
+    const std::uint64_t shape = rng();
+    // Delays cluster at a handful of exact values so same-tick collisions
+    // are common, with occasional far jumps to cross bucket levels.
+    sim::Ns d;
+    switch (shape % 8) {
+      case 0: d = 0; break;                       // same tick as now
+      case 1: d = 100; break;                     // collides constantly
+      case 2: d = 100; break;
+      case 3: d = 16'384; break;                  // exactly one L0 bucket
+      case 4: d = 1'000'000; break;               // ~60 L0 buckets
+      case 5: d = 40'000'000; break;              // into L1
+      case 6: d = static_cast<sim::Ns>(shape % 97); break;
+      default: d = 20'000'000'000; break;         // beyond the calendar
+    }
+    const EventId id =
+        (shape & 1) ? q.after(d, [this, token] { fire(token); })
+                    : q.at(q.now() + d, [this, token] { fire(token); });
+    handles.push_back(id);
+  }
+
+  void fire(std::uint64_t token) {
+    fired.push_back(token);
+    if (budget == 0) return;
+    const std::uint64_t r = rng();
+    switch (r % 10) {
+      case 0:  // same-tick cancel race: try to kill a pseudo-random event,
+               // possibly one also due at this exact tick.
+        if (!handles.empty() && q.cancel(handles[r / 16 % handles.size()]))
+          schedule_one();  // backfill so the run keeps going
+        break;
+      case 1:
+      case 2: {  // reschedule race, sometimes to *this* tick (fresh seq:
+                 // must run after everything already queued at now()).
+        if (handles.empty()) break;
+        const std::size_t v = r / 16 % handles.size();
+        const sim::Ns t = (r & 32) ? q.now() : q.now() + r % 3'000'000;
+        const EventId moved = q.reschedule(handles[v], t);
+        if (moved.valid()) handles[v] = moved;
+        break;
+      }
+      case 3:  // same-tick burst: several events at one timestamp.
+        for (int i = 0; i < 3 && budget > 0; ++i) schedule_one();
+        break;
+      default:
+        schedule_one();
+        break;
+    }
+  }
+};
+
+/// Runs the same script on both engines and expects identical execution.
+void expect_equivalent(std::uint64_t seed, std::uint64_t total) {
+  sim::VirtualClock wheel_clock, ref_clock;
+  EventQueue wheel(wheel_clock);
+  ReferenceEventQueue ref(ref_clock);
+
+  Script<EventQueue> ws(wheel, seed, total);
+  Script<ReferenceEventQueue> rs(ref, seed, total);
+  ws.seed_initial(total / 4);
+  rs.seed_initial(total / 4);
+  wheel.run();
+  ref.run();
+
+  ASSERT_EQ(ws.fired, rs.fired) << "seed " << seed;
+  EXPECT_DOUBLE_EQ(wheel_clock.now(), ref_clock.now()) << "seed " << seed;
+  EXPECT_EQ(wheel.processed(), ref.processed());
+  EXPECT_EQ(wheel.cancelled(), ref.cancelled());
+  EXPECT_EQ(wheel.clamped(), ref.clamped());
+  EXPECT_TRUE(wheel.empty());
+  EXPECT_TRUE(ref.empty());
+}
+
+TEST(WheelEquivalence, RandomizedSchedulesMatchReferenceOrder) {
+  for (const std::uint64_t seed : {1ULL, 7ULL, 42ULL, 1337ULL, 99991ULL})
+    expect_equivalent(seed, 4000);
+}
+
+TEST(WheelEquivalence, LongRandomizedScheduleMatches) {
+  expect_equivalent(123456789, 40000);
+}
+
+TEST(WheelEquivalence, HandBuiltSameTickRaces) {
+  // Four events at t=100. The first handler cancels the third and
+  // reschedules the second to t=100 again — the reschedule takes a fresh
+  // seq, so the moved event runs after the surviving original order.
+  auto run = [](auto& q) {
+    std::vector<std::string> order;
+    std::vector<EventId> ids;
+    ids.push_back(q.at(100, [&] {
+      order.push_back("a");
+      EXPECT_TRUE(q.cancel(ids[2]));
+      const EventId moved = q.reschedule(ids[1], 100);
+      EXPECT_TRUE(moved.valid());
+    }));
+    ids.push_back(q.at(100, [&] { order.push_back("b"); }));
+    ids.push_back(q.at(100, [&] { order.push_back("c"); }));
+    ids.push_back(q.at(100, [&] { order.push_back("d"); }));
+    q.run();
+    return order;
+  };
+  sim::VirtualClock wc, rc;
+  EventQueue wheel(wc);
+  ReferenceEventQueue ref(rc);
+  const std::vector<std::string> expected = {"a", "d", "b"};
+  EXPECT_EQ(run(wheel), expected);
+  EXPECT_EQ(run(ref), expected);
+}
+
+// --- clamped() / past-time scheduling (satellite bugfix) --------------------
+
+TEST(WheelClamping, PastSchedulesAreCountedAndRunAtNow) {
+  sim::VirtualClock clock;
+  EventQueue q(clock);
+  std::vector<int> order;
+  q.at(1000, [&] {
+    order.push_back(1);
+    // now() == 1000: both forms of past scheduling clamp to now and count.
+    q.at(10, [&] { order.push_back(2); });
+    EXPECT_EQ(q.clamped(), 1u);
+  });
+  q.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2}));
+  EXPECT_DOUBLE_EQ(clock.now(), 1000);  // clamped event did not move time back
+  EXPECT_EQ(q.clamped(), 1u);
+}
+
+TEST(WheelClamping, RescheduleIntoPastClampsAndCounts) {
+  sim::VirtualClock clock;
+  EventQueue q(clock);
+  bool late_ran = false;
+  const EventId late = q.at(5000, [&] { late_ran = true; });
+  q.at(1000, [&] {
+    const EventId moved = q.reschedule(late, 10);  // past: clamps to 1000
+    EXPECT_TRUE(moved.valid());
+  });
+  q.run();
+  EXPECT_TRUE(late_ran);
+  EXPECT_DOUBLE_EQ(clock.now(), 1000);
+  EXPECT_EQ(q.clamped(), 1u);
+}
+
+// --- EventId staleness ------------------------------------------------------
+
+TEST(WheelEventId, HandlesGoStaleExactlyOnce) {
+  sim::VirtualClock clock;
+  EventQueue q(clock);
+  EXPECT_FALSE(q.cancel(EventId{}));  // default handle is never valid
+
+  int runs = 0;
+  const EventId id = q.at(100, [&] { ++runs; });
+  EXPECT_TRUE(q.cancel(id));
+  EXPECT_FALSE(q.cancel(id));                     // double cancel
+  EXPECT_FALSE(q.reschedule(id, 200).valid());    // stale reschedule
+  q.run();
+  EXPECT_EQ(runs, 0);  // cancelled events never run
+  EXPECT_EQ(q.cancelled(), 1u);
+
+  const EventId fired = q.at(300, [&] { ++runs; });
+  q.run();
+  EXPECT_EQ(runs, 1);
+  EXPECT_FALSE(q.cancel(fired));  // fired events are stale too
+}
+
+TEST(WheelEventId, RescheduleInvalidatesTheOldHandle) {
+  sim::VirtualClock clock;
+  EventQueue q(clock);
+  std::vector<int> order;
+  const EventId a = q.at(100, [&] { order.push_back(1); });
+  q.at(150, [&] { order.push_back(2); });
+  const EventId moved = q.reschedule(a, 400);
+  ASSERT_TRUE(moved.valid());
+  EXPECT_FALSE(q.cancel(a));  // old handle died with the reschedule
+  q.run();
+  EXPECT_EQ(order, (std::vector<int>{2, 1}));
+  EXPECT_DOUBLE_EQ(clock.now(), 400);
+  // The replacement handle is stale after the event fires.
+  EXPECT_FALSE(q.cancel(moved));
+}
+
+TEST(WheelEventId, CancelledEventsNeverAdvanceTheClock) {
+  sim::VirtualClock clock;
+  EventQueue q(clock);
+  q.at(100, [] {});
+  const EventId far = q.at(50'000'000'000, [] {});  // deep in the calendar
+  EXPECT_TRUE(q.cancel(far));
+  q.run();
+  EXPECT_DOUBLE_EQ(clock.now(), 100);  // drained without visiting t=50s
+}
+
+// --- Arena / Action ---------------------------------------------------------
+
+TEST(Arena, AlignsAndResets) {
+  sim::Arena arena(64);
+  void* a = arena.allocate(1, 1);
+  void* b = arena.allocate(8, 8);
+  void* c = arena.allocate(200, 16);  // forces block growth
+  EXPECT_EQ(reinterpret_cast<std::uintptr_t>(b) % 8, 0u);
+  EXPECT_EQ(reinterpret_cast<std::uintptr_t>(c) % 16, 0u);
+  EXPECT_NE(a, b);
+  EXPECT_GE(arena.bytes_served(), 209u);
+  arena.reset();
+  EXPECT_EQ(arena.bytes_served(), 0u);
+  EXPECT_EQ(arena.blocks(), 1u);  // keeps the largest block for reuse
+}
+
+TEST(Arena, VectorUsesArenaStorage) {
+  sim::Arena arena;
+  sim::ArenaVector<std::uint64_t> v{sim::ArenaAllocator<std::uint64_t>(arena)};
+  for (std::uint64_t i = 0; i < 1000; ++i) v.push_back(i);
+  EXPECT_EQ(v[999], 999u);
+  EXPECT_GE(arena.bytes_served(), 1000 * sizeof(std::uint64_t));
+}
+
+TEST(Action, SmallClosuresStayInline) {
+  sim::Arena arena;
+  const std::size_t before = arena.bytes_served();
+  std::uint64_t x = 0, y = 0, z = 0;
+  Action a([&x, &y, &z] { x = y = z = 7; }, arena);  // 24 bytes: inline
+  a();
+  EXPECT_EQ(x, 7u);
+  EXPECT_EQ(arena.bytes_served(), before);  // no spill
+}
+
+TEST(Action, OversizedClosuresSpillToTheArena) {
+  sim::Arena arena;
+  struct Big {
+    std::uint64_t pad[12];  // 96 bytes > kInlineBytes
+    std::uint64_t* out;
+    void operator()() const { *out = pad[0]; }
+  };
+  std::uint64_t result = 0;
+  Big big{};
+  big.pad[0] = 42;
+  big.out = &result;
+  Action a(big, arena);
+  EXPECT_GE(arena.bytes_served(), sizeof(Big));
+  Action b = std::move(a);  // spilled actions relocate by pointer
+  b();
+  EXPECT_EQ(result, 42u);
+}
+
+TEST(Action, RefWrapsWithoutCopying) {
+  int count = 0;
+  auto recurring = [&count] { ++count; };
+  Action a = Action::ref(recurring);
+  Action b = Action::ref(recurring);
+  a();
+  b();
+  EXPECT_EQ(count, 2);
+}
+
+TEST(Action, MoveTransfersOwnershipOnce) {
+  auto counter = std::make_shared<int>(0);
+  Action a([counter] { ++*counter; });
+  Action b = std::move(a);
+  EXPECT_FALSE(static_cast<bool>(a));  // NOLINT(bugprone-use-after-move)
+  EXPECT_TRUE(static_cast<bool>(b));
+  b();
+  EXPECT_EQ(*counter, 1);
+  EXPECT_EQ(counter.use_count(), 2);  // exactly one owning copy left
+}
+
+// --- parallel trials vs sequential (determinism regression) -----------------
+
+/// Full scalar-field and histogram comparison between two results. CSV
+/// rows are pure functions of these fields, so equality here is equality
+/// of the emitted bytes.
+void expect_same_result(const ClusterResult& a, const ClusterResult& b) {
+  EXPECT_EQ(a.offered, b.offered);
+  EXPECT_EQ(a.completed, b.completed);
+  EXPECT_EQ(a.rejected, b.rejected);
+  EXPECT_EQ(a.failed, b.failed);
+  EXPECT_EQ(a.retries, b.retries);
+  EXPECT_EQ(a.failovers, b.failovers);
+  EXPECT_EQ(a.crashes, b.crashes);
+  EXPECT_EQ(a.hedges, b.hedges);
+  EXPECT_EQ(a.hedge_wins, b.hedge_wins);
+  EXPECT_EQ(a.hedge_cancelled, b.hedge_cancelled);
+  EXPECT_EQ(a.latency.count(), b.latency.count());
+  EXPECT_DOUBLE_EQ(a.latency.sum(), b.latency.sum());
+  EXPECT_DOUBLE_EQ(a.latency.p50(), b.latency.p50());
+  EXPECT_DOUBLE_EQ(a.latency.p99(), b.latency.p99());
+  EXPECT_DOUBLE_EQ(a.latency.p999(), b.latency.p999());
+  EXPECT_EQ(a.queue_wait.count(), b.queue_wait.count());
+  EXPECT_DOUBLE_EQ(a.queue_wait.sum(), b.queue_wait.sum());
+}
+
+ServiceModel test_model() {
+  ServiceModel m;
+  m.parallel_ns = 1 * sim::kMs;
+  m.serialized_ns = 0.2 * sim::kMs;
+  m.jitter_sigma = 0.02;
+  m.cold_start_ns = 0.5 * sim::kSec;
+  return m;
+}
+
+TEST(ParallelTrials, ClusterLoadShapeMatchesSequential) {
+  // A miniature of the cluster_load sweep: several independent cells at
+  // different offered loads and seeds.
+  std::vector<ClusterExperiment::Trial> trials;
+  for (const double rate : {2000.0, 4000.0, 6000.0}) {
+    for (const std::uint64_t seed : {11ULL, 12ULL}) {
+      ClusterConfig cfg;
+      cfg.rate_rps = rate;
+      cfg.requests = 6000;
+      cfg.warmup_requests = 500;
+      cfg.seed = seed;
+      cfg.queue = {.concurrency = 8, .queue_depth = 16};
+      cfg.scaler = {.min_warm = 4, .max_replicas = 4,
+                    .tick_ns = 20 * sim::kMs};
+      trials.push_back({cfg, test_model()});
+    }
+  }
+  const std::vector<ClusterResult> seq =
+      ClusterExperiment::run_trials(trials, 1);
+  const std::vector<ClusterResult> par =
+      ClusterExperiment::run_trials(trials, 4);
+  ASSERT_EQ(seq.size(), par.size());
+  for (std::size_t i = 0; i < seq.size(); ++i) {
+    SCOPED_TRACE(i);
+    expect_same_result(seq[i], par[i]);
+    EXPECT_TRUE(par[i].accounted());
+  }
+}
+
+TEST(ParallelTrials, ChaosRecoveryShapeMatchesSequential) {
+  // A miniature of the chaos_recovery bench: crashes mid-run, retries,
+  // hedging — the paths that exercise EventQueue::cancel under faults.
+  std::vector<ClusterExperiment::Trial> trials;
+  for (const std::uint64_t seed : {21ULL, 22ULL, 23ULL}) {
+    ClusterConfig cfg;
+    cfg.rate_rps = 3000;
+    cfg.requests = 6000;
+    cfg.seed = seed;
+    cfg.queue = {.concurrency = 8, .queue_depth = 16};
+    cfg.scaler = {.min_warm = 4, .max_replicas = 4, .tick_ns = 20 * sim::kMs};
+    cfg.faults.crash(0.4 * sim::kSec, 1).crash(0.9 * sim::kSec, 2);
+    cfg.retry = {.max_attempts = 3, .base_backoff_ns = 5 * sim::kMs};
+    cfg.hedge.enabled = true;
+    cfg.hedge.quantile = 0.9;
+    cfg.recovery = {.boot_ns = 0.5 * sim::kSec};
+    trials.push_back({cfg, test_model()});
+  }
+  const std::vector<ClusterResult> seq =
+      ClusterExperiment::run_trials(trials, 1);
+  const std::vector<ClusterResult> par =
+      ClusterExperiment::run_trials(trials, 4);
+  ASSERT_EQ(seq.size(), par.size());
+  for (std::size_t i = 0; i < seq.size(); ++i) {
+    SCOPED_TRACE(i);
+    expect_same_result(seq[i], par[i]);
+    EXPECT_GT(par[i].crashes, 0u);
+    EXPECT_GT(par[i].hedges, 0u);
+  }
+}
+
+TEST(ParallelTrials, ParallelForOrderedCoversEveryIndexOnce) {
+  std::vector<int> hits(257, 0);
+  sim::parallel_for_ordered(hits.size(), 4,
+                            [&](std::size_t i) { hits[i] += 1; });
+  for (const int h : hits) EXPECT_EQ(h, 1);
+  // Sequential fallback path.
+  sim::parallel_for_ordered(hits.size(), 1,
+                            [&](std::size_t i) { hits[i] += 1; });
+  for (const int h : hits) EXPECT_EQ(h, 2);
+}
+
+}  // namespace
+}  // namespace confbench::sched

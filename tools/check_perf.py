@@ -1,0 +1,110 @@
+#!/usr/bin/env python3
+"""Perf-trajectory gate for the engine self-benchmark.
+
+Compares a fresh BENCH_sim_engine.json against the committed baseline
+(bench/baseline/BENCH_sim_engine.baseline.json) and fails CI when the
+engine regresses.
+
+Two classes of metric, treated differently:
+
+  - Speedup ratios (wheel vs the legacy/reference engines measured in the
+    same process on the same core seconds) are machine-independent: a
+    slower runner slows both sides. These are HARD-gated — a ratio more
+    than TOLERANCE below its baseline fails, and scale_speedup_vs_legacy
+    additionally has an absolute floor of 5.0 (the redesign's headline
+    claim, also asserted inside the bench itself).
+
+  - Absolute numbers (events/sec, wall clocks) are machine facts. They are
+    compared and printed for the trajectory record, but only warn.
+
+The bench's own exit checks ride along in the JSON; checks.failed != 0
+fails here too, so a green perf job implies the checksums matched and the
+event order was equivalent across engines.
+"""
+
+import json
+import sys
+
+TOLERANCE = 0.25  # fail when a gated ratio drops >25% below baseline
+
+# Machine-independent ratios: hard-gated against baseline * (1 - TOLERANCE).
+GATED_RATIOS = [
+    "mix_speedup_vs_reference",
+    "scale_speedup_vs_legacy",
+    "scale_speedup_vs_reference",
+]
+
+# Absolute floors independent of any baseline drift.
+HARD_FLOORS = {
+    "scale_speedup_vs_legacy": 5.0,
+}
+
+# Machine-dependent absolutes: tracked and printed, never fatal.
+ADVISORY = [
+    "mix_wheel_events_per_sec",
+    "mix_reference_events_per_sec",
+    "scale_wheel_events_per_sec",
+    "scale_legacy_events_per_sec",
+    "scale_reference_events_per_sec",
+    "cluster_cell_simulate_s",
+]
+
+
+def main() -> int:
+    if len(sys.argv) != 3:
+        print("usage: check_perf.py <current.json> <baseline.json>",
+              file=sys.stderr)
+        return 2
+    with open(sys.argv[1], encoding="utf-8") as f:
+        current = json.load(f)
+    with open(sys.argv[2], encoding="utf-8") as f:
+        baseline = json.load(f)
+
+    cur = current.get("metrics", {})
+    base = baseline.get("metrics", {})
+    failures = []
+
+    failed_checks = current.get("checks", {}).get("failed", 0)
+    if failed_checks:
+        for what in current["checks"].get("failures", []):
+            failures.append(f"bench exit check failed: {what}")
+
+    print(f"{'metric':<36} {'baseline':>12} {'current':>12}  verdict")
+    for key in GATED_RATIOS:
+        b, c = base.get(key), cur.get(key)
+        if b is None or c is None:
+            failures.append(f"{key}: missing from "
+                            f"{'baseline' if b is None else 'current'} run")
+            continue
+        floor = b * (1.0 - TOLERANCE)
+        hard = HARD_FLOORS.get(key)
+        ok = c >= floor and (hard is None or c >= hard)
+        verdict = "ok" if ok else "REGRESSION"
+        print(f"{key:<36} {b:>12.2f} {c:>12.2f}  {verdict}")
+        if c < floor:
+            failures.append(
+                f"{key}: {c:.2f} is more than {TOLERANCE:.0%} below "
+                f"baseline {b:.2f} (floor {floor:.2f})")
+        if hard is not None and c < hard:
+            failures.append(f"{key}: {c:.2f} is below the hard floor {hard}")
+
+    for key in ADVISORY:
+        b, c = base.get(key), cur.get(key)
+        if b is None or c is None:
+            continue
+        drift = (c - b) / b if b else 0.0
+        note = "advisory" if abs(drift) <= TOLERANCE else \
+            f"advisory, {drift:+.0%} (machine fact, not gated)"
+        print(f"{key:<36} {b:>12.0f} {c:>12.0f}  {note}")
+
+    if failures:
+        print(f"\n{len(failures)} perf gate failure(s):", file=sys.stderr)
+        for f_ in failures:
+            print(f"  - {f_}", file=sys.stderr)
+        return 1
+    print("\nperf trajectory ok")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
