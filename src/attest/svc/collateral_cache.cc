@@ -59,12 +59,19 @@ std::size_t CollateralCache::revoke(const std::string& platform) {
   return flushed;
 }
 
+std::uint16_t CollateralCache::tcb_recovery() {
+  ++current_tcb_;
+  ++tcb_recoveries_;
+  return current_tcb_;
+}
+
 void CollateralCache::publish(obs::Registry& reg,
                               const std::string& prefix) const {
   reg.counter(prefix + ".hit") += hits_;
   reg.counter(prefix + ".miss") += misses_;
   reg.counter(prefix + ".stale") += stale_;
   reg.counter(prefix + ".revoked") += revocation_flushes_;
+  reg.counter(prefix + ".tcb_recovery") += tcb_recoveries_;
 }
 
 }  // namespace confbench::attest::svc

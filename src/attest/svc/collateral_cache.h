@@ -78,6 +78,15 @@ class CollateralCache {
   /// key. Returns the number of entries flushed.
   std::size_t revoke(const std::string& platform);
 
+  /// TCB-recovery event: the platform's current TCB level bumps by one, so
+  /// warm entries keyed at the old level stop matching and the next
+  /// verification re-fetches at the new level. Softer than revoke():
+  /// nothing is flushed — old-level collateral stays valid for old-level
+  /// quotes, it just stops being looked up. Returns the new level.
+  std::uint16_t tcb_recovery();
+  /// Current TCB level offset verifiers add to their callers' base level.
+  [[nodiscard]] std::uint16_t current_tcb() const { return current_tcb_; }
+
   [[nodiscard]] std::size_t size() const { return entries_.size(); }
   [[nodiscard]] sim::Ns ttl_ns() const { return ttl_ns_; }
 
@@ -87,18 +96,24 @@ class CollateralCache {
   [[nodiscard]] std::uint64_t revocation_flushes() const {
     return revocation_flushes_;
   }
+  [[nodiscard]] std::uint64_t tcb_recoveries() const {
+    return tcb_recoveries_;
+  }
 
-  /// Publishes the counters as `<prefix>.hit/miss/stale/revoked` into a
-  /// metrics registry (additive, so shard snapshots merge exactly).
+  /// Publishes the counters as `<prefix>.hit/miss/stale/revoked/
+  /// tcb_recovery` into a metrics registry (additive, so shard snapshots
+  /// merge exactly).
   void publish(obs::Registry& reg, const std::string& prefix) const;
 
  private:
   sim::Ns ttl_ns_;
   std::map<CollateralKey, sim::Ns> entries_;  ///< key -> fetched_at
+  std::uint16_t current_tcb_ = 0;  ///< level offset (tcb_recovery bumps)
   std::uint64_t hits_ = 0;
   std::uint64_t misses_ = 0;
   std::uint64_t stale_ = 0;
   std::uint64_t revocation_flushes_ = 0;  ///< entries flushed by revoke()
+  std::uint64_t tcb_recoveries_ = 0;      ///< level bumps applied
 };
 
 }  // namespace confbench::attest::svc

@@ -44,9 +44,12 @@ VerifyService::VerifyService(const VerifyConfig& cfg, CostModel model,
       outages_(std::move(outages)),
       cache_(cfg.collateral_ttl_ns),
       tickets_(cfg.ticket_ttl_ns) {
-  if (at_)
+  if (at_) {
     for (const sim::Ns t : cfg_.revoke_at)
       at_(t, [this] { on_revocation(); });
+    for (const sim::Ns t : cfg_.tcb_recovery_at)
+      at_(t, [this] { cache_.tcb_recovery(); });
+  }
   if (!cfg_.prewarm_subjects.empty() && model_.supported) {
     cache_.insert(CollateralKey{model_.platform, 0}, 0);
     for (const std::uint64_t s : cfg_.prewarm_subjects) tickets_.mint(s, 0);
@@ -147,7 +150,12 @@ void VerifyService::flush_batch() {
   for (const Pending& p : batch) {
     if (keys.count(p.tcb)) continue;
     KeyState st;
-    const CollateralKey key{model_.platform, p.tcb};
+    // Effective level = caller's base + platform TCB-recovery offset: a
+    // mid-run recovery shifts every later batch onto fresh keys, so the
+    // old warm entries stop matching exactly as the real PCS would.
+    const CollateralKey key{
+        model_.platform,
+        static_cast<std::uint16_t>(p.tcb + cache_.current_tcb())};
     if (cache_.lookup(key, now) == CacheOutcome::kHit) {
       // A hit against a fetch still in flight (a previous batch booked it)
       // waits for that fetch to land; a settled entry costs nothing.
@@ -185,7 +193,9 @@ sim::Ns VerifyService::reverify_done_ns(sim::Ns start_ns, std::uint16_t tcb) {
     ++evtpm_;
     return start_ns + model_.evtpm_round_ns;
   }
-  const CollateralKey key{model_.platform, tcb};
+  const CollateralKey key{
+      model_.platform,
+      static_cast<std::uint16_t>(tcb + cache_.current_tcb())};
   if (cache_.lookup(key, start_ns) == CacheOutcome::kHit) {
     ++full_;
     return std::max(start_ns, cache_.fetched_at(key)) +

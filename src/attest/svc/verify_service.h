@@ -78,6 +78,12 @@ struct VerifyConfig {
   /// Scheduled revocation events (virtual times): each flushes the
   /// collateral cache and invalidates every outstanding ticket mid-run.
   std::vector<sim::Ns> revoke_at;
+  /// Scheduled TCB-recovery events (virtual times): each bumps the
+  /// platform's current TCB level, so warm collateral keyed at the old
+  /// level stops matching and the next crossing pays a fresh fetch at the
+  /// new level. Softer than revoke_at — nothing is flushed or invalidated
+  /// (tickets survive; old-level entries just stop being looked up).
+  std::vector<sim::Ns> tcb_recovery_at;
   /// Subjects whose session tickets (and the tcb-0 collateral entry) are
   /// pre-established at t=0 — the steady-state entry point: the fabric ran
   /// before the measured window, so repeat crossings resume from the first

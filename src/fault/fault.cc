@@ -21,16 +21,36 @@ std::string_view to_string(FaultKind k) {
       return "link_slow";
     case FaultKind::kLinkDown:
       return "link_down";
+    case FaultKind::kShardJoin:
+      return "shard_join";
+    case FaultKind::kShardLeave:
+      return "shard_leave";
+    case FaultKind::kReplicaAdd:
+      return "replica_add";
+    case FaultKind::kReplicaRemove:
+      return "replica_remove";
   }
   return "?";
 }
+
+namespace {
+
+bool is_churn(FaultKind k) {
+  return k == FaultKind::kShardJoin || k == FaultKind::kShardLeave ||
+         k == FaultKind::kReplicaAdd || k == FaultKind::kReplicaRemove;
+}
+
+}  // namespace
 
 FaultPlan& FaultPlan::add(FaultEvent e) {
   if (e.at_ns < 0) throw std::invalid_argument("fault at_ns must be >= 0");
   if (e.duration_ns < 0)
     throw std::invalid_argument("fault duration_ns must be >= 0");
-  if (e.kind != FaultKind::kVmCrash && e.duration_ns <= 0)
+  if (e.kind != FaultKind::kVmCrash && !is_churn(e.kind) &&
+      e.duration_ns <= 0)
     throw std::invalid_argument("windowed fault needs duration_ns > 0");
+  if (e.kind == FaultKind::kReplicaAdd && e.replica == 0)
+    throw std::invalid_argument("replica_add count must be >= 1");
   if (e.kind == FaultKind::kBrownout && e.severity < 1.0)
     throw std::invalid_argument("brownout severity must be >= 1");
   if (e.kind == FaultKind::kLinkSlow) {
@@ -127,6 +147,23 @@ FaultPlan& FaultPlan::link_down(sim::Ns at, sim::Ns duration, std::string src,
               .dst = std::move(dst)});
 }
 
+FaultPlan& FaultPlan::shard_join(sim::Ns at) {
+  return add({.kind = FaultKind::kShardJoin, .at_ns = at});
+}
+
+FaultPlan& FaultPlan::shard_leave(sim::Ns at, std::uint32_t shard) {
+  return add({.kind = FaultKind::kShardLeave, .at_ns = at, .replica = shard});
+}
+
+FaultPlan& FaultPlan::replica_add(sim::Ns at, std::uint32_t count) {
+  return add({.kind = FaultKind::kReplicaAdd, .at_ns = at, .replica = count});
+}
+
+FaultPlan& FaultPlan::replica_remove(sim::Ns at, std::uint32_t replica) {
+  return add(
+      {.kind = FaultKind::kReplicaRemove, .at_ns = at, .replica = replica});
+}
+
 FaultPlan& FaultPlan::periodic_crashes(sim::Ns first_at, sim::Ns period,
                                        int count, std::uint32_t fleet_size) {
   if (period <= 0) throw std::invalid_argument("crash period must be > 0");
@@ -135,6 +172,11 @@ FaultPlan& FaultPlan::periodic_crashes(sim::Ns first_at, sim::Ns period,
     crash(first_at + static_cast<double>(i) * period,
           static_cast<std::uint32_t>(i) % fleet_size);
   return *this;
+}
+
+bool FaultPlan::has_churn() const {
+  return std::any_of(events_.begin(), events_.end(),
+                     [](const FaultEvent& e) { return is_churn(e.kind); });
 }
 
 std::vector<std::pair<sim::Ns, sim::Ns>> FaultPlan::attest_outages() const {

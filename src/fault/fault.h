@@ -39,6 +39,18 @@
 //                 in the simulation (work completes, answers vanish);
 //                 host-addressed events down the directed fabric link
 //                 src -> dst, expressing asymmetric and subset partitions.
+//
+// Churn kinds (instantaneous topology-membership events; the sharded
+// fabric is the consumer — see sched::ShardedExperiment):
+//   kShardJoin     a new gateway shard joins the consistent-hash ring at
+//                  `at_ns` and takes over ~1/N of the keyspace.
+//   kShardLeave    shard `replica` (a shard index here) leaves the ring:
+//                  its in-flight requests drain in place, its queued ones
+//                  hand off to the new owners, its slice re-shards.
+//   kReplicaAdd    `replica` (a count here) fresh fleet replicas scale out
+//                  mid-run; each boots a real cold start before serving.
+//   kReplicaRemove replica `replica` is forcibly scaled in: no new
+//                  dispatches, queued work re-dispatches, in-flight drains.
 #pragma once
 
 #include <cstddef>
@@ -60,6 +72,10 @@ enum class FaultKind : std::uint8_t {
   kPartition,
   kLinkSlow,
   kLinkDown,
+  kShardJoin,
+  kShardLeave,
+  kReplicaAdd,
+  kReplicaRemove,
 };
 
 std::string_view to_string(FaultKind k);
@@ -71,8 +87,11 @@ struct FaultEvent {
   FaultKind kind = FaultKind::kVmCrash;
   sim::Ns at_ns = 0;        ///< injection time (virtual)
   sim::Ns duration_ns = 0;  ///< window length; ignored for kVmCrash (the
-                            ///< fault lasts until recovery completes)
-  std::uint32_t replica = 0;  ///< target replica; ignored for kAttestOutage
+                            ///< fault lasts until recovery completes) and
+                            ///< the instantaneous churn kinds
+  /// Target replica. Overloaded by the churn kinds: the departing shard
+  /// index for kShardLeave, the scale-out count for kReplicaAdd.
+  std::uint32_t replica = 0;
   double severity = 2.0;      ///< kBrownout service-time multiplier (>= 1);
                               ///< host-addressed kLinkSlow latency factor
   /// kLinkSlow (replica-addressed): extra response latency charged by the
@@ -116,6 +135,18 @@ class FaultPlan {
   FaultPlan& link_down(sim::Ns at, sim::Ns duration, std::string src,
                        std::string dst);
 
+  // Topology churn (consumed by sched::ShardedExperiment; instantaneous).
+  /// A fresh gateway shard joins the ring, taking over ~1/N of the keys.
+  FaultPlan& shard_join(sim::Ns at);
+  /// Gateway shard `shard` leaves the ring: queued requests hand off to
+  /// the new owners, in-flight requests drain in place.
+  FaultPlan& shard_leave(sim::Ns at, std::uint32_t shard);
+  /// `count` fresh replicas scale out mid-run (each pays a real cold
+  /// start before serving).
+  FaultPlan& replica_add(sim::Ns at, std::uint32_t count = 1);
+  /// Replica `replica` is forcibly scaled in mid-run.
+  FaultPlan& replica_remove(sim::Ns at, std::uint32_t replica);
+
   /// Lays `count` crashes out at a fixed period starting at `first_at`,
   /// cycling deterministically over `fleet_size` replicas. The workhorse of
   /// reproducible chaos sweeps: no RNG anywhere.
@@ -131,6 +162,10 @@ class FaultPlan {
   /// Windows [start, end) of every kAttestOutage event, time-ordered.
   [[nodiscard]] std::vector<std::pair<sim::Ns, sim::Ns>> attest_outages()
       const;
+
+  /// True when the plan schedules any topology-churn event (the sharded
+  /// experiment pre-sizes its fleet from them).
+  [[nodiscard]] bool has_churn() const;
 
  private:
   std::vector<FaultEvent> events_;  ///< sorted by (at_ns, insertion order)

@@ -64,6 +64,14 @@ class Autoscaler {
                              std::uint64_t queued, int concurrency_per_vm,
                              sim::Ns now, std::uint64_t rejected_delta = 0);
 
+  /// Live-churn resize: re-clamps the warm band to the shard's current
+  /// slice after a handoff moves members in or out. Pure config update —
+  /// the next evaluate() tick acts on the new limits.
+  void set_limits(int min_warm, int max_replicas) {
+    cfg_.min_warm = min_warm;
+    cfg_.max_replicas = max_replicas;
+  }
+
   [[nodiscard]] const AutoscalerConfig& config() const { return cfg_; }
   [[nodiscard]] const std::vector<AutoscalerSample>& trace() const {
     return trace_;

@@ -1087,6 +1087,13 @@ ClusterResult ClusterExperiment::run_with_model(
           events.at(e.at_ns, [&] { ++windows_active; });
           events.at(e.at_ns + e.duration_ns, [&] { --windows_active; });
           break;
+        case fault::FaultKind::kShardJoin:
+        case fault::FaultKind::kShardLeave:
+        case fault::FaultKind::kReplicaAdd:
+        case fault::FaultKind::kReplicaRemove:
+          // Topology churn addresses the sharded admission plane; the
+          // single-gateway cluster has no ring to change.
+          break;
       }
     }
   }

@@ -21,16 +21,30 @@ namespace confbench::sched {
 
 // --- HashRing ----------------------------------------------------------------
 
-HashRing::HashRing(const std::vector<std::string>& nodes, int vnodes)
-    : node_count_(nodes.size()) {
+std::uint64_t HashRing::point_value(const std::string& name, int v) const {
+  const std::uint64_t raw =
+      sim::stable_hash(name + "#" + std::to_string(v));
+  // The splitmix finalizer spreads FNV's clustered values uniformly around
+  // the ring, so every node's keyspace share concentrates near 1/N and the
+  // churn bound (moved keys <= ~1.5/N) actually holds. Raw FNV is the
+  // legacy placement every pre-churn experiment routes by.
+  return mix_points_ ? sim::hash_combine(raw, 0) : raw;
+}
+
+HashRing::HashRing(const std::vector<std::string>& nodes, int vnodes,
+                   bool mix_points)
+    : vnodes_(vnodes),
+      mix_points_(mix_points),
+      live_count_(nodes.size()),
+      names_(nodes) {
   if (nodes.empty())
     throw std::invalid_argument("HashRing: at least one node required");
   if (vnodes <= 0) throw std::invalid_argument("HashRing: vnodes must be > 0");
-  points_.reserve(nodes.size() * static_cast<std::size_t>(vnodes));
-  for (std::uint32_t n = 0; n < nodes.size(); ++n)
+  live_.assign(names_.size(), true);
+  points_.reserve(names_.size() * static_cast<std::size_t>(vnodes));
+  for (std::uint32_t n = 0; n < names_.size(); ++n)
     for (int v = 0; v < vnodes; ++v)
-      points_.emplace_back(
-          sim::stable_hash(nodes[n] + "#" + std::to_string(v)), n);
+      points_.emplace_back(point_value(names_[n], v), n);
   // Sorting the (hash, node) pairs makes a hash collision between two
   // nodes' points resolve by node index — identical on every platform.
   std::sort(points_.begin(), points_.end());
@@ -45,12 +59,12 @@ std::uint32_t HashRing::owner(std::uint64_t key_hash) const {
 
 std::vector<std::uint32_t> HashRing::chain(std::uint64_t key_hash) const {
   std::vector<std::uint32_t> out;
-  out.reserve(node_count_);
-  std::vector<bool> seen(node_count_, false);
+  out.reserve(live_count_);
+  std::vector<bool> seen(names_.size(), false);
   auto it = std::lower_bound(points_.begin(), points_.end(),
                              std::make_pair(key_hash, std::uint32_t{0}));
   for (std::size_t step = 0;
-       step < points_.size() && out.size() < node_count_; ++step) {
+       step < points_.size() && out.size() < live_count_; ++step) {
     if (it == points_.end()) it = points_.begin();
     if (!seen[it->second]) {
       seen[it->second] = true;
@@ -59,6 +73,76 @@ std::vector<std::uint32_t> HashRing::chain(std::uint64_t key_hash) const {
     ++it;
   }
   return out;
+}
+
+void HashRing::insert_points(std::uint32_t idx) {
+  // Sorted insertion, one point at a time: the surrounding points never
+  // move, so only the keys hashing into the new point's arc change owner.
+  for (int v = 0; v < vnodes_; ++v) {
+    const std::pair<std::uint64_t, std::uint32_t> p{
+        point_value(names_[idx], v), idx};
+    points_.insert(std::upper_bound(points_.begin(), points_.end(), p), p);
+  }
+}
+
+std::uint32_t HashRing::add_node(const std::string& name) {
+  for (std::uint32_t i = 0; i < names_.size(); ++i)
+    if (live_[i] && names_[i] == name)
+      throw std::invalid_argument("HashRing: duplicate live node name");
+  const auto idx = static_cast<std::uint32_t>(names_.size());
+  names_.push_back(name);
+  live_.push_back(true);
+  ++live_count_;
+  insert_points(idx);
+  return idx;
+}
+
+void HashRing::remove_node(std::uint32_t idx) {
+  if (idx >= names_.size() || !live_[idx])
+    throw std::invalid_argument("HashRing: remove of dead or unknown node");
+  if (live_count_ <= 1)
+    throw std::invalid_argument("HashRing: cannot remove the last live node");
+  live_[idx] = false;
+  --live_count_;
+  // Erase by node *index*, never by re-hashing the name: a name collision
+  // (or a dead slot sharing a name with a live one) can therefore never
+  // orphan another node's vnodes on the ring.
+  points_.erase(std::remove_if(points_.begin(), points_.end(),
+                               [idx](const std::pair<std::uint64_t,
+                                                     std::uint32_t>& p) {
+                                 return p.second == idx;
+                               }),
+                points_.end());
+}
+
+bool HashRing::validate(bool repair) {
+  bool ok = std::is_sorted(points_.begin(), points_.end()) &&
+            points_.size() ==
+                live_count_ * static_cast<std::size_t>(vnodes_);
+  if (ok) {
+    std::vector<int> counts(names_.size(), 0);
+    for (const auto& [hash, n] : points_) {
+      if (n >= names_.size() || !live_[n]) {
+        ok = false;
+        break;
+      }
+      ++counts[n];
+    }
+    if (ok)
+      for (std::uint32_t i = 0; i < names_.size(); ++i)
+        if (counts[i] != (live_[i] ? vnodes_ : 0)) {
+          ok = false;
+          break;
+        }
+  }
+  if (!ok && repair) {
+    points_.clear();
+    points_.reserve(live_count_ * static_cast<std::size_t>(vnodes_));
+    for (std::uint32_t i = 0; i < static_cast<std::uint32_t>(names_.size());
+         ++i)
+      if (live_[i]) insert_points(i);
+  }
+  return ok;
 }
 
 // --- ShardedFrontend ---------------------------------------------------------
@@ -91,25 +175,86 @@ std::string ShardedFrontend::replica_host(std::uint32_t r) {
 }
 
 ShardedFrontend::ShardedFrontend(const ShardConfig& cfg, int replicas)
-    : ring_(make_shard_names(cfg, replicas), cfg.vnodes) {
+    : load_factor_(cfg.load_factor),
+      live_replicas_(replicas),
+      ring_(make_shard_names(cfg, replicas), cfg.vnodes,
+            cfg.ring_mix_points) {
   slices_.resize(static_cast<std::size_t>(cfg.shards));
-  owner_.resize(static_cast<std::size_t>(replicas));
-  // Bounded-load cap: ceil(mean slice size * load_factor). The sum of caps
-  // is >= replicas, so the spill walk below always terminates on a shard
-  // with room.
+  owner_.assign(static_cast<std::size_t>(replicas), SliceMove::kUnowned);
+  replica_live_.assign(static_cast<std::size_t>(replicas), true);
+  rebuild_slices(nullptr);
+}
+
+void ShardedFrontend::rebuild_slices(std::vector<SliceMove>* moves) {
+  std::vector<std::vector<std::uint32_t>> next(slices_.size());
+  std::vector<std::uint32_t> next_owner(owner_.size(), SliceMove::kUnowned);
+  // Bounded-load cap: ceil(mean live slice size * load_factor). The sum of
+  // caps is >= live replicas, so the spill walk below always terminates on
+  // a shard with room.
   const auto cap = static_cast<std::size_t>(std::ceil(
-      static_cast<double>(replicas) / cfg.shards * cfg.load_factor));
-  for (std::uint32_t r = 0; r < static_cast<std::uint32_t>(replicas); ++r) {
+      static_cast<double>(live_replicas_) /
+      static_cast<double>(ring_.live_nodes()) * load_factor_));
+  for (std::uint32_t r = 0; r < static_cast<std::uint32_t>(owner_.size());
+       ++r) {
+    if (!replica_live_[r]) continue;
     const auto ch = ring_.chain(sim::stable_hash(replica_host(r)));
     std::uint32_t s = ch.front();
     for (const std::uint32_t cand : ch)
-      if (slices_[cand].size() < cap) {
+      if (next[cand].size() < cap) {
         s = cand;
         break;
       }
-    slices_[s].push_back(r);
-    owner_[r] = s;
+    next[s].push_back(r);
+    next_owner[r] = s;
   }
+  if (moves)
+    for (std::uint32_t r = 0; r < static_cast<std::uint32_t>(owner_.size());
+         ++r)
+      if (owner_[r] != next_owner[r])
+        moves->push_back({.replica = r, .from = owner_[r],
+                          .to = next_owner[r]});
+  slices_ = std::move(next);
+  owner_ = std::move(next_owner);
+}
+
+int ShardedFrontend::add_shard(std::vector<SliceMove>* moves) {
+  const std::uint32_t s =
+      ring_.add_node(shard_host(static_cast<int>(ring_.nodes())));
+  slices_.emplace_back();
+  rebuild_slices(moves);
+  return static_cast<int>(s);
+}
+
+std::vector<ShardedFrontend::SliceMove> ShardedFrontend::remove_shard(
+    std::uint32_t s) {
+  std::vector<SliceMove> moves;
+  ring_.remove_node(s);  // throws on dead / unknown / last live
+  rebuild_slices(&moves);
+  return moves;
+}
+
+std::uint32_t ShardedFrontend::add_replica(std::vector<SliceMove>* moves) {
+  const auto r = static_cast<std::uint32_t>(owner_.size());
+  owner_.push_back(SliceMove::kUnowned);
+  replica_live_.push_back(true);
+  ++live_replicas_;
+  rebuild_slices(moves);
+  return r;
+}
+
+std::vector<ShardedFrontend::SliceMove> ShardedFrontend::remove_replica(
+    std::uint32_t r) {
+  if (r >= replica_live_.size() || !replica_live_[r])
+    throw std::invalid_argument(
+        "ShardedFrontend: remove of dead or unknown replica");
+  if (live_replicas_ <= 1)
+    throw std::invalid_argument(
+        "ShardedFrontend: cannot remove the last live replica");
+  replica_live_[r] = false;
+  --live_replicas_;
+  std::vector<SliceMove> moves;
+  rebuild_slices(&moves);
+  return moves;
 }
 
 std::vector<std::uint32_t> ShardedFrontend::route(std::uint64_t id) const {
@@ -179,6 +324,20 @@ std::string ShardedResult::to_json() const {
   w.key("deadline_giveups").value(attest.deadline_giveups);
   w.key("queue_rejects").value(attest.queue_rejects);
   w.key("revocations").value(attest.revocations);
+  w.key("tcb_recoveries").value(attest.tcb_recoveries);
+  w.end_object();
+  w.key("churn");
+  w.begin_object();
+  w.key("shard_joins").value(churn.shard_joins);
+  w.key("shard_leaves").value(churn.shard_leaves);
+  w.key("replica_adds").value(churn.replica_adds);
+  w.key("replica_removes").value(churn.replica_removes);
+  w.key("replicas_moved").value(churn.replicas_moved);
+  w.key("handoff_forwarded").value(churn.handoff_forwarded);
+  w.key("handoff_drained").value(churn.handoff_drained);
+  w.key("early_rejected").value(churn.early_rejected);
+  w.key("max_moved_fraction").value(churn.max_moved_fraction);
+  w.key("max_moved_x_n").value(churn.max_moved_x_n);
   w.end_object();
   w.end_object();
   return w.str();
@@ -231,13 +390,22 @@ struct SReplica {
   std::vector<sim::Ns> bounce_free;
   std::vector<std::uint64_t> active;  ///< copy tokens in service
   St state = St::kWarm;
-  std::uint32_t shard = 0;  ///< owning shard
-  std::uint32_t local = 0;  ///< index within the shard's slice/pool
+  /// Owning shard (churn moves it); SliceMove::kUnowned when scaled in or
+  /// not yet scaled out. Pool accounting never uses this — copies acquire
+  /// and release against the shard that *dispatched* them, so a mid-flight
+  /// ownership move cannot unbalance any pool.
+  std::uint32_t shard = ShardedFrontend::SliceMove::kUnowned;
 };
 
 struct ShardState {
+  /// Holds every fleet slot (member index == global replica index), with
+  /// only this shard's warm, breaker-closed slice members enabled. Indexing
+  /// by global replica keeps acquire/release stable across slice handoffs
+  /// — and for a fixed topology the least-loaded order (in_flight, served,
+  /// index) picks the identical replica it picked when pools held only the
+  /// slice, because a slice is an ascending run of global indices.
   core::TeePool pool;
-  std::vector<fault::CircuitBreaker> breakers;  ///< per slice member
+  std::vector<fault::CircuitBreaker> breakers;  ///< per global replica
   fault::HedgePolicy hedge;
   Autoscaler scaler;
   AutoscalerConfig scfg;
@@ -246,6 +414,8 @@ struct ShardState {
   std::uint64_t rejected = 0;       ///< scaler signal (queue-full 429s)
   std::uint64_t last_rejected = 0;
   std::uint64_t dispatches = 0;     ///< hedge budget denominator
+  double ewma_service = 0;          ///< learned service time (early reject)
+  std::uint64_t ewma_samples = 0;
   ShardStats stats;
 
   ShardState(std::string tee, const fault::HedgeConfig& h,
@@ -264,8 +434,23 @@ ShardedResult ShardedExperiment::run_with_model(
   res.cfg = cfg_;
   res.model = model;
 
-  const ShardedFrontend frontend(cfg_.shard, cfg_.replicas);
-  const int S = frontend.shards();
+  ShardedFrontend frontend(cfg_.shard, cfg_.replicas);
+  using SliceMove = ShardedFrontend::SliceMove;
+
+  // Pre-size the fleet from the churn schedule: every shard that will ever
+  // join and every replica that will ever scale out gets its slot (state,
+  // queue, host name, pool member) up front, so churn never reallocates
+  // anything the event handlers hold references into. Indices are stable
+  // for the run — exactly the HashRing contract.
+  const bool churn = cfg_.faults.has_churn();
+  int s_max = frontend.shards();
+  auto r_max = static_cast<std::uint32_t>(cfg_.replicas);
+  if (churn)
+    for (const fault::FaultEvent& e : cfg_.faults.events()) {
+      if (e.kind == fault::FaultKind::kShardJoin) ++s_max;
+      if (e.kind == fault::FaultKind::kReplicaAdd) r_max += e.replica;
+    }
+  const int S = s_max;
 
   sim::VirtualClock clock;
   EventQueue events(clock);
@@ -315,40 +500,51 @@ ShardedResult ShardedExperiment::run_with_model(
   // Host-name tables, precomputed: fabric checks are string-keyed.
   std::vector<std::string> shost(static_cast<std::size_t>(S));
   for (int s = 0; s < S; ++s) shost[s] = ShardedFrontend::shard_host(s);
-  std::vector<std::string> rhost(static_cast<std::size_t>(cfg_.replicas));
-  for (int r = 0; r < cfg_.replicas; ++r)
-    rhost[r] = ShardedFrontend::replica_host(static_cast<std::uint32_t>(r));
+  std::vector<std::string> rhost(static_cast<std::size_t>(r_max));
+  for (std::uint32_t r = 0; r < r_max; ++r)
+    rhost[r] = ShardedFrontend::replica_host(r);
 
-  // Shard + replica fleets.
+  // Shard + replica fleets, every slot pre-created (see pre-sizing above).
+  // Spare shard slots (join targets) start dead with an empty slice; spare
+  // replica slots start parked and unowned.
   std::deque<ShardState> shards;
-  std::vector<SReplica> reps(static_cast<std::size_t>(cfg_.replicas));
+  std::vector<SReplica> reps(static_cast<std::size_t>(r_max));
+  for (std::uint32_t r = 0; r < r_max; ++r) {
+    reps[r].queue = ReplicaQueue(cfg_.queue);
+    reps[r].bounce_free.assign(
+        static_cast<std::size_t>(std::max(1, model.bounce_slots)), 0.0);
+    reps[r].state = SReplica::St::kParked;
+  }
   for (int s = 0; s < S; ++s) {
-    const auto& slice = frontend.slice(s);
+    const bool live0 = s < frontend.shards();
     AutoscalerConfig sc = cfg_.scaler;
     sc.cold_start_ns = model.cold_start_ns;
-    sc.max_replicas = static_cast<int>(slice.size());
+    sc.max_replicas =
+        live0 ? static_cast<int>(frontend.slice(s).size()) : 0;
     sc.min_warm = cfg_.prewarm
                       ? sc.max_replicas
                       : std::clamp(sc.min_warm, 0, sc.max_replicas);
     shards.emplace_back(cfg_.platform + ":" + shost[s], hcfg, sc);
     ShardState& sh = shards.back();
     sh.stats.host = shost[s];
+    sh.stats.live = live0;
+    sh.breakers.assign(r_max, fault::CircuitBreaker(cfg_.breaker));
+    for (std::uint32_t r = 0; r < r_max; ++r) {
+      sh.pool.add_member({.host = rhost[r]});
+      sh.pool.set_enabled(r, false);
+    }
+    if (!live0) continue;
+    const auto& slice = frontend.slice(s);
     sh.stats.slice = static_cast<std::uint32_t>(slice.size());
     for (std::uint32_t local = 0; local < slice.size(); ++local) {
       const std::uint32_t r = slice[local];
-      sh.pool.add_member({.host = rhost[r]});
-      reps[r].queue = ReplicaQueue(cfg_.queue);
-      reps[r].bounce_free.assign(
-          static_cast<std::size_t>(std::max(1, model.bounce_slots)), 0.0);
       reps[r].shard = static_cast<std::uint32_t>(s);
-      reps[r].local = local;
       const bool start_warm = static_cast<int>(local) < sc.min_warm;
-      sh.pool.set_enabled(local, start_warm);
+      sh.pool.set_enabled(r, start_warm);
       reps[r].state = start_warm ? SReplica::St::kWarm : SReplica::St::kParked;
       sh.warm += start_warm;
     }
     sh.stats.peak_warm = sh.warm;
-    sh.breakers.assign(slice.size(), fault::CircuitBreaker(cfg_.breaker));
   }
 
   sim::Rng jitter_rng(
@@ -406,11 +602,11 @@ ShardedResult ShardedExperiment::run_with_model(
     ++res.failure_codes[std::string(core::to_string(code))];
   };
 
-  const auto breaker_failure = [&](std::uint32_t s, std::uint32_t local) {
+  const auto breaker_failure = [&](std::uint32_t s, std::uint32_t r) {
     ShardState& sh = shards[s];
-    sh.breakers[local].record_failure(clock.now());
-    if (sh.breakers[local].state() == fault::BreakerState::kOpen)
-      sh.pool.set_enabled(local, false);
+    sh.breakers[r].record_failure(clock.now());
+    if (sh.breakers[r].state() == fault::BreakerState::kOpen)
+      sh.pool.set_enabled(r, false);
   };
 
   auto start_service = [&](std::uint32_t r, std::uint64_t token) {
@@ -430,6 +626,19 @@ ShardedResult ShardedExperiment::run_with_model(
       *slot = finish;
     } else {
       finish = par_end;
+    }
+    // The overload guard learns the shard's service time as an EWMA over
+    // every start it dispatched (duration is known at start in the
+    // simulation — the model already rolled the jitter).
+    if (cfg_.shard.early_reject) {
+      ShardState& dsh = shards[reqs[id].copy[cid].shard];
+      const auto dur = static_cast<double>(finish - clock.now());
+      dsh.ewma_service =
+          dsh.ewma_samples == 0
+              ? dur
+              : cfg_.shard.early_reject_alpha * dur +
+                    (1.0 - cfg_.shard.early_reject_alpha) * dsh.ewma_service;
+      ++dsh.ewma_samples;
     }
     rep.active.push_back(token);
     reqs[id].copy[cid].where = SCopy::Where::kActive;
@@ -474,7 +683,7 @@ ShardedResult ShardedExperiment::run_with_model(
     ShardState& sh = shards[s];
     const std::uint32_t exclude =
         hcfg.enabled && rq.outstanding(1 - cid) && rq.copy[1 - cid].shard == s
-            ? reps[rq.copy[1 - cid].replica].local
+            ? rq.copy[1 - cid].replica
             : core::TeePool::kNoExclude;
     core::PoolMember* m = sh.pool.acquire_excluding(exclude);
     if (!m) {
@@ -493,8 +702,7 @@ ShardedResult ShardedExperiment::run_with_model(
       }
       return false;
     }
-    const std::uint32_t local = m->index;
-    const std::uint32_t r = frontend.slice(static_cast<int>(s))[local];
+    const std::uint32_t r = m->index;  // member index == global replica
     rq.copy[cid].replica = r;
     rq.copy[cid].shard = s;
     rq.copy[cid].dispatched_ns = clock.now();
@@ -505,10 +713,10 @@ ShardedResult ShardedExperiment::run_with_model(
       // the request retries — intra-shard first.
       rq.copy[cid].where = SCopy::Where::kBlackhole;
       if (cid == 0) ++sh.dispatches;
-      events.after(cfg_.detect_timeout_ns, [&, s, local, id, cid] {
+      events.after(cfg_.detect_timeout_ns, [&, s, r, id, cid] {
         ShardState& sh2 = shards[s];
-        sh2.pool.release(&sh2.pool.member(local));
-        breaker_failure(s, local);
+        sh2.pool.release(&sh2.pool.member(r));
+        breaker_failure(s, r);
         copy_failed(id, cid);
       });
       if (cid == 0) arm_hedge(id);
@@ -546,21 +754,25 @@ ShardedResult ShardedExperiment::run_with_model(
     if (auto it = std::find(rep.active.begin(), rep.active.end(), token);
         it != rep.active.end())
       rep.active.erase(it);
-    ShardState& sh = shards[rep.shard];
-    sh.pool.release(&sh.pool.member(rep.local));
+    // Release against the shard that *dispatched* this copy: a slice
+    // handoff may have moved the replica to a new owner mid-service, but
+    // the acquire was charged to the old one.
+    const std::uint32_t ds = reqs[id].copy[cid].shard;
+    ShardState& sh = shards[ds];
+    sh.pool.release(&sh.pool.member(r));
     try_start(r);
     // Response path: replica -> shard -> client. Any down hop loses the
     // answer after the work was done — the asymmetric-partition signature;
     // a slow hop delivers late by the slowest hop's factor.
     const auto [st, f] =
-        fabric.path_state({rhost[r], shost[rep.shard], "client"});
+        fabric.path_state({rhost[r], shost[ds], "client"});
     if (st == net::LinkState::kDown) {
       ++res.responses_lost;
       const sim::Ns deadline =
           std::max(clock.now(), reqs[id].copy[cid].dispatched_ns +
                                     cfg_.detect_timeout_ns);
-      events.at(deadline, [&, id, cid, s = rep.shard, local = rep.local] {
-        if (!reqs[id].done) breaker_failure(s, local);
+      events.at(deadline, [&, id, cid, ds, r] {
+        if (!reqs[id].done) breaker_failure(ds, r);
         copy_failed(id, cid);
       });
       return;
@@ -592,13 +804,14 @@ ShardedResult ShardedExperiment::run_with_model(
     ++shards[s].stats.completed;
     if (cid == 1) ++res.hedge_wins;
     if (hcfg.enabled) shards[s].hedge.observe(rq.cls, lat);
-    // First response wins: a queued loser gives its slot back.
+    // First response wins: a queued loser gives its slot back (to the
+    // shard that dispatched it).
     SCopy& other = rq.copy[1 - cid];
     if (other.where == SCopy::Where::kQueued) {
       SReplica& orep = reps[other.replica];
       if (orep.queue.cancel(other.ticket)) {
-        ShardState& osh = shards[orep.shard];
-        osh.pool.release(&osh.pool.member(orep.local));
+        ShardState& osh = shards[other.shard];
+        osh.pool.release(&osh.pool.member(other.replica));
         other.where = SCopy::Where::kNone;
       }
     }
@@ -713,7 +926,44 @@ ShardedResult ShardedExperiment::run_with_model(
     SReq& rq = reqs[id];
     if (rq.done) return;
     const std::uint32_t s = rq.chain[rq.chain_pos];
+    // The shard left the ring while the request was in transit: re-route
+    // from scratch over the live membership (route() only ever returns
+    // live shards, so this cannot loop on a stable topology).
+    if (churn && !frontend.shard_live(s)) {
+      rq.chain = frontend.route(id);
+      rq.chain_pos = 0;
+      send_to_shard(id);
+      return;
+    }
     ShardState& sh = shards[s];
+    // Overload guard: reject at admission when the predicted queueing
+    // delay — live slice queue depth times the learned EWMA service time
+    // over the warm capacity — exceeds the budget. A terminal, typed 429:
+    // cheaper for the client than an unbounded queue wait, and every
+    // rejection feeds the autoscaler's rejected_delta scale-up signal.
+    if (cfg_.shard.early_reject &&
+        sh.ewma_samples >= cfg_.shard.early_reject_min_samples) {
+      std::uint64_t queued = 0;
+      std::uint64_t cap = 0;
+      for (const std::uint32_t r : frontend.slice(static_cast<int>(s))) {
+        queued += reps[r].queue.queued();
+        if (reps[r].state == SReplica::St::kWarm)
+          cap += static_cast<std::uint64_t>(cfg_.queue.concurrency);
+      }
+      if (cap > 0) {
+        const double wait_ns = static_cast<double>(queued) *
+                               sh.ewma_service / static_cast<double>(cap);
+        if (wait_ns >
+            static_cast<double>(cfg_.shard.early_reject_budget_ns)) {
+          ++res.rejected;
+          ++sh.rejected;  // autoscaler signal
+          ++sh.stats.early_rejected;
+          ++res.churn.early_rejected;
+          rq.done = true;
+          return;
+        }
+      }
+    }
     if (rq.chain_pos == 0)
       ++sh.stats.admitted;
     else
@@ -783,15 +1033,16 @@ ShardedResult ShardedExperiment::run_with_model(
   std::function<void()> probe = [&] {
     const sim::Ns now = clock.now();
     bool any_open = false;
-    for (int s = 0; s < S; ++s) {
+    // Dynamic bound: joined shards probe from their first interval after
+    // the join; departed shards have empty slices and drop out naturally.
+    for (int s = 0; s < frontend.shards(); ++s) {
       ShardState& sh = shards[static_cast<std::size_t>(s)];
       const auto& slice = frontend.slice(s);
-      for (std::uint32_t local = 0; local < slice.size(); ++local) {
-        const std::uint32_t r = slice[local];
+      for (const std::uint32_t r : slice) {
         if (reps[r].state == SReplica::St::kParked ||
             reps[r].state == SReplica::St::kBooting)
           continue;
-        fault::CircuitBreaker& br = sh.breakers[local];
+        fault::CircuitBreaker& br = sh.breakers[r];
         const bool healthy = reps[r].state == SReplica::St::kWarm &&
                              replica_reachable(static_cast<std::uint32_t>(s),
                                                r);
@@ -801,13 +1052,13 @@ ShardedResult ShardedExperiment::run_with_model(
           } else {
             br.record_failure(now);
             if (br.state() == fault::BreakerState::kOpen)
-              sh.pool.set_enabled(local, false);
+              sh.pool.set_enabled(r, false);
           }
         } else if (br.allow(now)) {  // open past cooldown / half-open idle
           if (healthy) {
             br.record_success(now);
             if (br.state() == fault::BreakerState::kClosed)
-              sh.pool.set_enabled(local, true);
+              sh.pool.set_enabled(r, true);
           } else {
             br.record_failure(now);
           }
@@ -820,9 +1071,28 @@ ShardedResult ShardedExperiment::run_with_model(
       events.after(cfg_.probe_interval_ns, Action::ref(probe));
   };
 
+  // Boot completion, shared by the scaler tick and the scale-out churn
+  // path. Looks the owner up at completion time: a slice handoff may have
+  // moved the replica while it booted, and a scale-in may have orphaned it
+  // (in which case it parks straight back).
+  const auto boot_done = [&](std::uint32_t r) {
+    if (reps[r].state != SReplica::St::kBooting) return;
+    const std::uint32_t os = reps[r].shard;
+    if (os == SliceMove::kUnowned) {
+      reps[r].state = SReplica::St::kParked;
+      return;
+    }
+    ShardState& sh2 = shards[os];
+    reps[r].state = SReplica::St::kWarm;
+    sh2.pool.set_enabled(r, true);
+    --sh2.booting;
+    ++sh2.warm;
+    sh2.stats.peak_warm = std::max(sh2.stats.peak_warm, sh2.warm);
+  };
+
   std::function<void()> tick = [&] {
     int booting_total = 0;
-    for (int s = 0; s < S; ++s) {
+    for (int s = 0; s < frontend.shards(); ++s) {
       ShardState& sh = shards[static_cast<std::size_t>(s)];
       const auto& slice = frontend.slice(s);
       if (slice.empty()) continue;
@@ -846,15 +1116,7 @@ ShardedResult ShardedExperiment::run_with_model(
           reps[r].state = SReplica::St::kBooting;
           ++sh.booting;
           --to_boot;
-          events.after(sh.scfg.cold_start_ns, [&, r, s] {
-            if (reps[r].state != SReplica::St::kBooting) return;
-            ShardState& sh2 = shards[static_cast<std::size_t>(s)];
-            reps[r].state = SReplica::St::kWarm;
-            sh2.pool.set_enabled(reps[r].local, true);
-            --sh2.booting;
-            ++sh2.warm;
-            sh2.stats.peak_warm = std::max(sh2.stats.peak_warm, sh2.warm);
-          });
+          events.after(sh.scfg.cold_start_ns, [&, r] { boot_done(r); });
         }
       } else if (delta < 0) {
         // Park the highest-index idle warm slice member.
@@ -862,13 +1124,13 @@ ShardedResult ShardedExperiment::run_with_model(
              local-- > 0;) {
           const std::uint32_t r = slice[local];
           if (reps[r].state != SReplica::St::kWarm) continue;
-          if (!reps[r].queue.idle() || sh.pool.member(local).in_flight != 0)
+          if (!reps[r].queue.idle() || sh.pool.member(r).in_flight != 0)
             continue;
           if (chaos &&
-              sh.breakers[local].state() != fault::BreakerState::kClosed)
+              sh.breakers[r].state() != fault::BreakerState::kClosed)
             continue;
           reps[r].state = SReplica::St::kParked;
-          sh.pool.set_enabled(local, false);
+          sh.pool.set_enabled(r, false);
           --sh.warm;
           break;
         }
@@ -880,22 +1142,255 @@ ShardedResult ShardedExperiment::run_with_model(
       events.after(cfg_.scaler.tick_ns, Action::ref(tick));
   };
 
+  // --- churn driver ----------------------------------------------------------
+  // Topology-membership events from the FaultPlan, replayed on the virtual
+  // clock. Every handler preserves the zero-loss invariant: a request's
+  // copies either drain in place on the departing owner or are forwarded /
+  // re-dispatched, never dropped.
+
+  // Deterministic probe-key set measuring how much keyspace each ring
+  // event actually moved (the ~1/N minimal-disruption bound the bench
+  // asserts). Fixed keys, fixed count — no RNG, no clock.
+  std::vector<std::uint64_t> probe_keys;
+  if (churn) {
+    probe_keys.reserve(2048);
+    for (std::uint64_t i = 0; i < 2048; ++i)
+      probe_keys.push_back(
+          sim::hash_combine(sim::stable_hash("churn-probe"), i));
+  }
+  const auto ring_owners = [&] {
+    std::vector<std::uint32_t> o;
+    o.reserve(probe_keys.size());
+    for (const std::uint64_t k : probe_keys)
+      o.push_back(frontend.ring().owner(k));
+    return o;
+  };
+  const auto record_movement = [&](const std::vector<std::uint32_t>& before,
+                                   std::size_t n_ref) {
+    const auto after = ring_owners();
+    std::size_t moved = 0;
+    for (std::size_t i = 0; i < before.size(); ++i)
+      moved += before[i] != after[i];
+    const double frac =
+        static_cast<double>(moved) / static_cast<double>(before.size());
+    res.churn.max_moved_fraction =
+        std::max(res.churn.max_moved_fraction, frac);
+    res.churn.max_moved_x_n =
+        std::max(res.churn.max_moved_x_n,
+                 frac * static_cast<double>(n_ref));
+  };
+
+  // Re-clamp a shard's autoscaler band to its post-handoff slice.
+  const auto update_shard_limits = [&](std::uint32_t s) {
+    ShardState& sh = shards[s];
+    const auto sz = static_cast<int>(frontend.slice(static_cast<int>(s))
+                                         .size());
+    const int mn =
+        cfg_.prewarm ? sz : std::clamp(cfg_.scaler.min_warm, 0, sz);
+    sh.scfg.max_replicas = sz;
+    sh.scfg.min_warm = mn;
+    sh.scaler.set_limits(mn, sz);
+    sh.stats.slice = static_cast<std::uint32_t>(sz);
+  };
+
+  // Apply a rebuild's ownership changes to the running fleet: disable the
+  // member in the old owner's pool, transfer warm/booting accounting, and
+  // enable it in the new owner's (breaker permitting). Copies already
+  // dispatched keep draining against the old owner's pool — see SReplica.
+  const auto apply_moves = [&](const std::vector<SliceMove>& moves) {
+    for (const SliceMove& mv : moves) {
+      const std::uint32_t r = mv.replica;
+      if (mv.from != SliceMove::kUnowned) {
+        ShardState& fs = shards[mv.from];
+        fs.pool.set_enabled(r, false);
+        if (reps[r].state == SReplica::St::kWarm) --fs.warm;
+        if (reps[r].state == SReplica::St::kBooting) --fs.booting;
+      }
+      reps[r].shard = mv.to;
+      if (mv.to != SliceMove::kUnowned) {
+        ShardState& ts = shards[mv.to];
+        if (reps[r].state == SReplica::St::kWarm) {
+          if (ts.breakers[r].state() == fault::BreakerState::kClosed)
+            ts.pool.set_enabled(r, true);
+          ++ts.warm;
+          ts.stats.peak_warm = std::max(ts.stats.peak_warm, ts.warm);
+        }
+        if (reps[r].state == SReplica::St::kBooting) ++ts.booting;
+        if (mv.from != SliceMove::kUnowned) ++res.churn.replicas_moved;
+      }
+    }
+    for (int s = 0; s < frontend.shards(); ++s)
+      update_shard_limits(static_cast<std::uint32_t>(s));
+  };
+
+  // Slice handoff of one queued-but-unstarted request off a departing
+  // shard: fresh route over the live ring, then shard-to-shard forwarding
+  // over the fabric — a handshake plus, on secure fleets, the warm-ticket
+  // re-attestation (through the live verify service when it is on). Does
+  // not burn a retry attempt: the handoff is the fabric's fault, not the
+  // request's.
+  const auto handoff_forward = [&](std::uint64_t id, std::uint32_t from) {
+    SReq& rq = reqs[id];
+    rq.chain = frontend.route(id);
+    rq.chain_pos = 0;
+    rq.hedged = false;
+    ++res.churn.handoff_forwarded;
+    const std::uint32_t to = rq.chain.front();
+    const auto [st, f] = fabric.path_state({shost[from], shost[to]});
+    if (st == net::LinkState::kDown) {
+      events.after(cfg_.detect_timeout_ns, [&, id] {
+        if (!reqs[id].done) failover(id, /*advance_shard=*/true);
+      });
+      return;
+    }
+    const sim::Ns wire = cfg_.shard.hop_ns * f + cfg_.shard.handshake_ns;
+    if (vsvc) {
+      events.after(wire, [&, id, to] {
+        if (reqs[id].done) return;
+        const sim::Ns deadline =
+            cfg_.deadline_ns > 0 ? reqs[id].arrival + cfg_.deadline_ns : 0;
+        vsvc->verify(to, /*tcb=*/0, deadline,
+                     [&, id](const attest::svc::VerifyOutcome& out) {
+                       if (reqs[id].done) return;
+                       if (out.ok()) {
+                         admit(id);
+                         return;
+                       }
+                       failover(id, /*advance_shard=*/true);
+                     });
+      });
+      return;
+    }
+    const sim::Ns attest_ns =
+        cfg_.secure ? cfg_.shard.handoff_attest_ns : 0;
+    events.after(wire + attest_ns, [&, id] { admit(id); });
+  };
+
+  const auto apply_churn = [&](const fault::FaultEvent& e) {
+    switch (e.kind) {
+      case fault::FaultKind::kShardJoin: {
+        const auto before = ring_owners();
+        std::vector<SliceMove> moves;
+        const int s = frontend.add_shard(&moves);
+        record_movement(before,
+                        static_cast<std::size_t>(frontend.live_shards()));
+        ++res.churn.shard_joins;
+        shards[static_cast<std::size_t>(s)].stats.live = true;
+        apply_moves(moves);
+        break;
+      }
+      case fault::FaultKind::kShardLeave: {
+        const std::uint32_t s = e.replica;  // shard index (see FaultEvent)
+        if (s >= static_cast<std::uint32_t>(frontend.shards()) ||
+            !frontend.shard_live(s) || frontend.live_shards() <= 1)
+          break;  // nothing to leave — ignore rather than wedge the run
+        const auto n_before =
+            static_cast<std::size_t>(frontend.live_shards());
+        const auto before = ring_owners();
+        const auto moves = frontend.remove_shard(s);
+        record_movement(before, n_before);
+        ++res.churn.shard_leaves;
+        shards[s].stats.live = false;
+        apply_moves(moves);
+        // Handoff protocol: queued-but-unstarted copies this shard
+        // dispatched leave its queues and forward to the new owners;
+        // active (and black-holed) copies drain in place and release
+        // against this shard's pool when they finish.
+        for (std::uint64_t id = 0; id < reqs.size(); ++id) {
+          for (int cid = 0; cid < 2; ++cid) {
+            SCopy& cp = reqs[id].copy[cid];
+            if (cp.shard != s) continue;
+            if (cp.where == SCopy::Where::kActive ||
+                cp.where == SCopy::Where::kBlackhole) {
+              ++res.churn.handoff_drained;
+              continue;
+            }
+            if (cp.where != SCopy::Where::kQueued) continue;
+            if (!reps[cp.replica].queue.cancel(cp.ticket)) continue;
+            shards[s].pool.release(&shards[s].pool.member(cp.replica));
+            cp.where = SCopy::Where::kNone;
+            // A hedge backup dies with its shard; the primary forwards.
+            if (cid == 0 && !reqs[id].done) handoff_forward(id, s);
+          }
+        }
+        break;
+      }
+      case fault::FaultKind::kReplicaAdd: {
+        for (std::uint32_t i = 0; i < e.replica; ++i) {  // count (see doc)
+          std::vector<SliceMove> moves;
+          const std::uint32_t r = frontend.add_replica(&moves);
+          ++res.churn.replica_adds;
+          apply_moves(moves);
+          // Scale-out pays the real platform cold start before serving.
+          reps[r].state = SReplica::St::kBooting;
+          ++shards[reps[r].shard].booting;
+          events.after(model.cold_start_ns, [&, r] { boot_done(r); });
+        }
+        break;
+      }
+      case fault::FaultKind::kReplicaRemove: {
+        const std::uint32_t r = e.replica;
+        if (!frontend.replica_live(r) || frontend.live_replicas() <= 1)
+          break;
+        const auto moves = frontend.remove_replica(r);
+        ++res.churn.replica_removes;
+        apply_moves(moves);
+        // Queued copies re-dispatch through their shard's current slice;
+        // active work drains in place (the VM finishes what it started).
+        for (std::uint64_t id = 0; id < reqs.size(); ++id) {
+          for (int cid = 0; cid < 2; ++cid) {
+            SCopy& cp = reqs[id].copy[cid];
+            if (cp.replica != r) continue;
+            if (cp.where == SCopy::Where::kActive) {
+              ++res.churn.handoff_drained;
+              continue;
+            }
+            if (cp.where != SCopy::Where::kQueued) continue;
+            if (!reps[r].queue.cancel(cp.ticket)) continue;
+            shards[cp.shard].pool.release(
+                &shards[cp.shard].pool.member(r));
+            cp.where = SCopy::Where::kNone;
+            if (cid == 0 && !reqs[id].done) {
+              ++res.churn.handoff_forwarded;
+              dispatch(id, 0);
+            }
+          }
+        }
+        reps[r].state = SReplica::St::kParked;
+        break;
+      }
+      default:
+        break;
+    }
+  };
+
   // --- fault replay ----------------------------------------------------------
   // Every link window — host- and replica-addressed alike — replays onto
-  // the fabric at its boundaries; there is no replica special-casing here.
+  // the fabric at its boundaries; churn events fire their topology handler
+  // at the scheduled instant. There is no replica special-casing here.
   if (chaos) {
     for (const fault::FaultEvent& e : cfg_.faults.events()) {
-      if (e.kind != fault::FaultKind::kLinkSlow &&
-          e.kind != fault::FaultKind::kLinkDown)
-        continue;
-      events.at(e.at_ns, [&] {
-        ++windows_active;
-        driver.advance(clock.now());
-      });
-      events.at(e.at_ns + e.duration_ns, [&] {
-        --windows_active;
-        driver.advance(clock.now());
-      });
+      switch (e.kind) {
+        case fault::FaultKind::kLinkSlow:
+        case fault::FaultKind::kLinkDown:
+          events.at(e.at_ns, [&] {
+            ++windows_active;
+            driver.advance(clock.now());
+          });
+          events.at(e.at_ns + e.duration_ns, [&] {
+            --windows_active;
+            driver.advance(clock.now());
+          });
+          break;
+        case fault::FaultKind::kShardJoin:
+        case fault::FaultKind::kShardLeave:
+        case fault::FaultKind::kReplicaAdd:
+        case fault::FaultKind::kReplicaRemove:
+          events.at(e.at_ns, [&, e] { apply_churn(e); });
+          break;
+        default:
+          break;
+      }
     }
     events.after(cfg_.probe_interval_ns, Action::ref(probe));
   }
@@ -906,7 +1401,7 @@ ShardedResult ShardedExperiment::run_with_model(
   events.run();
 
   res.makespan_ns = clock.now();
-  for (int s = 0; s < S; ++s) {
+  for (int s = 0; s < frontend.shards(); ++s) {
     ShardState& sh = shards[static_cast<std::size_t>(s)];
     for (const fault::CircuitBreaker& br : sh.breakers)
       sh.stats.breaker_trips += br.times_opened();
@@ -930,6 +1425,7 @@ ShardedResult ShardedExperiment::run_with_model(
     res.attest.deadline_giveups = vsvc->deadline_giveups();
     res.attest.queue_rejects = vsvc->queue_rejects();
     res.attest.revocations = vsvc->revocations();
+    res.attest.tcb_recoveries = vsvc->cache().tcb_recoveries();
   }
 
   // --- observability ---------------------------------------------------------
@@ -977,6 +1473,20 @@ ShardedResult ShardedExperiment::run_with_model(
     reg.counter("shard.cross_failovers") += res.cross_failovers;
     reg.counter("shard.shed") += res.shed;
     reg.counter("shard.responses_lost") += res.responses_lost;
+    if (churn) {
+      reg.counter("shard.churn.shard_joins") += res.churn.shard_joins;
+      reg.counter("shard.churn.shard_leaves") += res.churn.shard_leaves;
+      reg.counter("shard.churn.replica_adds") += res.churn.replica_adds;
+      reg.counter("shard.churn.replica_removes") +=
+          res.churn.replica_removes;
+      reg.counter("shard.churn.replicas_moved") += res.churn.replicas_moved;
+      reg.counter("shard.churn.handoff_forwarded") +=
+          res.churn.handoff_forwarded;
+      reg.counter("shard.churn.handoff_drained") +=
+          res.churn.handoff_drained;
+    }
+    if (cfg_.shard.early_reject)
+      reg.counter("shard.early_rejected") += res.churn.early_rejected;
     reg.histogram("shard.latency_ns").merge(res.latency);
   }
   return res;

@@ -68,24 +68,73 @@ namespace confbench::sched {
 /// first point clockwise of its hash, and chain() walks further clockwise
 /// collecting *distinct* nodes — the deterministic failover order. Pure
 /// data structure: no RNG, no clock.
+///
+/// Membership is incremental: add_node()/remove_node() insert or erase one
+/// node's vnode points, so only the keys adjacent to those points change
+/// owner — the classic ~1/N minimal-disruption property the churn bench
+/// asserts. Node indices are stable for the ring's lifetime: a removed
+/// node's slot stays dead (live(i) == false) and is never reused, so
+/// external tables keyed by node index survive churn. Removal erases
+/// points by node *index*, never by re-hashing the node's name — two
+/// nodes that happen to share a name (or collide) can therefore never
+/// orphan each other's vnodes; validate() asserts exactly that invariant.
 class HashRing {
  public:
-  HashRing(const std::vector<std::string>& nodes, int vnodes);
+  /// `mix_points` finalizes every vnode point through a splitmix round.
+  /// The legacy placement (false) hashes `name#v` with FNV-1a directly,
+  /// whose points cluster for short sequential names — individual nodes
+  /// can own >2x their fair keyspace share, which breaks the ~1/N
+  /// minimal-disruption bound under churn. Mixed placement restores
+  /// uniform shares; the legacy default is kept because every existing
+  /// experiment's routing (and byte-reproducible output) depends on it.
+  HashRing(const std::vector<std::string>& nodes, int vnodes,
+           bool mix_points = false);
 
-  /// Index (into the constructor's node list) owning `key_hash`.
+  /// Index (into the node list) owning `key_hash`.
   [[nodiscard]] std::uint32_t owner(std::uint64_t key_hash) const;
 
-  /// All nodes in clockwise order starting from owner(key_hash), each
+  /// All live nodes in clockwise order starting from owner(key_hash), each
   /// exactly once: chain[0] is the primary, chain[1] the first failover
   /// target, and so on.
   [[nodiscard]] std::vector<std::uint32_t> chain(std::uint64_t key_hash) const;
 
-  [[nodiscard]] std::size_t nodes() const { return node_count_; }
+  /// Inserts a new node's vnode points; keys hashing just before them move
+  /// from their old owner (~1/(N+1) of the keyspace in total). Returns the
+  /// new node's index. Throws on a duplicate live name.
+  std::uint32_t add_node(const std::string& name);
+
+  /// Erases node `idx`'s vnode points: the keys it owned fall through to
+  /// the next point clockwise (~1/N of the keyspace), everything else is
+  /// untouched. The slot stays dead forever. Throws when `idx` is out of
+  /// range, already dead, or the last live node.
+  void remove_node(std::uint32_t idx);
+
+  /// Total node slots ever created (live + dead); indices are < nodes().
+  [[nodiscard]] std::size_t nodes() const { return names_.size(); }
+  [[nodiscard]] std::size_t live_nodes() const { return live_count_; }
+  [[nodiscard]] bool live(std::uint32_t idx) const {
+    return idx < live_.size() && live_[idx];
+  }
+
+  /// Invariant check (tests + debug builds): every live node owns exactly
+  /// `vnodes` points, no point references a dead or out-of-range node, and
+  /// the point list is sorted. With `repair` any violation is fixed by
+  /// rebuilding the point list from the live membership. Returns true when
+  /// the ring was already consistent.
+  bool validate(bool repair = false);
 
  private:
-  std::size_t node_count_;
+  void insert_points(std::uint32_t idx);
+  [[nodiscard]] std::uint64_t point_value(const std::string& name,
+                                          int v) const;
+
+  int vnodes_;
+  bool mix_points_;
+  std::size_t live_count_;
+  std::vector<std::string> names_;
+  std::vector<bool> live_;
   /// (point hash, node index), sorted by hash; ties broken by node index
-  /// at construction so the ring is identical on every platform.
+  /// so the ring is identical on every platform.
   std::vector<std::pair<std::uint64_t, std::uint32_t>> points_;
 };
 
@@ -93,6 +142,12 @@ class HashRing {
 struct ShardConfig {
   int shards = 4;
   int vnodes = 64;  ///< ring points per shard (smooths slice imbalance)
+  /// Splitmix-finalized vnode placement (HashRing mix_points): required
+  /// for the ~1.5/N moved-keys bound under churn, because the legacy FNV
+  /// placement clusters points and lets one shard own >2x its fair share.
+  /// Default off — legacy experiments route (and reproduce) byte-for-byte
+  /// on the unmixed ring.
+  bool ring_mix_points = false;
   /// Bounded-load cap: no shard owns more than
   /// ceil(replicas / shards * load_factor) slice members; overflow spills
   /// to the ring successor (the classic consistent-hashing-with-bounded-
@@ -114,6 +169,29 @@ struct ShardConfig {
   /// for a slice it does not own (bench: fault::measure_attest_ns, which
   /// is PCS-bound on TDX and free on CCA). 0 = no TEE cost.
   sim::Ns cross_admit_ns = 0;
+
+  // --- live churn / handoff (FaultPlan shard_join/shard_leave/...) ---
+  /// Re-attestation a slice handoff pays per forwarded request on *secure*
+  /// fleets when the verification service is off: the departing and
+  /// receiving owners already share fabric trust state, so this is the
+  /// warm-ticket resumption check (attest::svc::CostModel::ticket_check_ns),
+  /// not a full round. With ShardedConfig::attest_svc enabled the handoff
+  /// verifies through the live service instead and this field is unused.
+  sim::Ns handoff_attest_ns = 0;
+
+  // --- overload guard (queue-depth-aware early rejection) ---
+  /// Reject at admission when the shard's predicted queueing delay — its
+  /// live queue depth times a learned EWMA of observed service times over
+  /// its warm capacity — crosses early_reject_budget_ns. Trades
+  /// availability for tail latency under overload; every rejection feeds
+  /// the autoscaler's rejected_delta scale-up signal. Default off: the
+  /// admission path is byte-identical to builds without the guard.
+  bool early_reject = false;
+  sim::Ns early_reject_budget_ns = 0;
+  double early_reject_alpha = 0.1;  ///< EWMA smoothing of service times
+  /// Completions observed before the learned threshold is trusted (a cold
+  /// EWMA must not reject the first burst).
+  std::uint64_t early_reject_min_samples = 32;
 };
 
 /// One workload cost-class of the offered mix: `weight` is its share of
@@ -187,8 +265,33 @@ struct ShardStats {
   std::uint64_t shed = 0;          ///< degraded-mode forwards to successor
   std::uint64_t hedges = 0;
   std::uint64_t breaker_trips = 0;
+  std::uint64_t early_rejected = 0;  ///< overload-guard admission rejects
+  bool live = true;                  ///< false once the shard left the ring
   int peak_warm = 0;
   std::vector<AutoscalerSample> scaler_trace;
+};
+
+/// Live-topology churn counters (all zero when the FaultPlan schedules no
+/// churn events — the default, byte-identical configuration).
+struct ChurnStats {
+  std::uint64_t shard_joins = 0;
+  std::uint64_t shard_leaves = 0;
+  std::uint64_t replica_adds = 0;
+  std::uint64_t replica_removes = 0;
+  /// Slice members whose owning shard changed across any churn event.
+  std::uint64_t replicas_moved = 0;
+  /// Queued-but-unstarted requests handed off to a new owner (shard leave)
+  /// or re-dispatched off a scaled-in replica.
+  std::uint64_t handoff_forwarded = 0;
+  /// In-flight requests drained in place on the departing owner.
+  std::uint64_t handoff_drained = 0;
+  std::uint64_t early_rejected = 0;  ///< overload-guard rejections, fleetwide
+  /// Worst keyspace fraction a single ring-membership event moved,
+  /// measured over a deterministic probe-key set...
+  double max_moved_fraction = 0;
+  /// ...and that fraction times the relevant live shard count N — ~1 for a
+  /// minimal-disruption ring, and the quantity the bench bounds by 1.5.
+  double max_moved_x_n = 0;
 };
 
 /// Verification-service counters exported per run (all zero when
@@ -210,6 +313,7 @@ struct AttestSvcStats {
   std::uint64_t deadline_giveups = 0;
   std::uint64_t queue_rejects = 0;
   std::uint64_t revocations = 0;
+  std::uint64_t tcb_recoveries = 0;  ///< scheduled TCB-level bumps applied
 };
 
 struct ShardedResult {
@@ -238,6 +342,7 @@ struct ShardedResult {
   std::map<std::string, std::uint64_t> failure_codes;
   std::vector<ShardStats> shards;
   AttestSvcStats attest;  ///< verification-service counters (see above)
+  ChurnStats churn;       ///< live-topology churn counters (see above)
   sim::Ns makespan_ns = 0;
 
   [[nodiscard]] double throughput_rps() const;
@@ -256,14 +361,44 @@ struct ShardedResult {
 
 /// The admission plane: shard ring, slice assignment, request router.
 /// Pure topology — the experiment owns the clock, fabric and queues.
+///
+/// The topology is *elastic*: shards join and leave the ring and replicas
+/// scale in and out mid-run. Every membership change rebuilds the
+/// bounded-load slice assignment over the live fleet and reports exactly
+/// which replicas changed owner, so the experiment can run the handoff
+/// protocol for them (and only them). Shard and replica indices are stable
+/// across churn — departed slots stay dead, new members append.
 class ShardedFrontend {
  public:
+  /// One slice member whose owning shard changed across a churn event.
+  /// `from`/`to` are shard indices, or kUnowned for a replica entering
+  /// (scale-out) or leaving (scale-in) the fleet.
+  struct SliceMove {
+    static constexpr std::uint32_t kUnowned = 0xFFFFFFFFu;
+    std::uint32_t replica = 0;
+    std::uint32_t from = kUnowned;
+    std::uint32_t to = kUnowned;
+  };
+
   /// Builds the shard ring and assigns `replicas` fleet members to slices
   /// with the bounded-load spill rule. Throws std::invalid_argument for
   /// non-positive shards/vnodes/replicas or load_factor < 1.
   ShardedFrontend(const ShardConfig& cfg, int replicas);
 
+  /// Total shard slots ever created (live + dead).
   [[nodiscard]] int shards() const { return static_cast<int>(slices_.size()); }
+  [[nodiscard]] int live_shards() const {
+    return static_cast<int>(ring_.live_nodes());
+  }
+  [[nodiscard]] bool shard_live(std::uint32_t s) const {
+    return ring_.live(s);
+  }
+  /// Total replica slots ever created (live + scaled-in).
+  [[nodiscard]] int replicas() const { return static_cast<int>(owner_.size()); }
+  [[nodiscard]] int live_replicas() const { return live_replicas_; }
+  [[nodiscard]] bool replica_live(std::uint32_t r) const {
+    return r < replica_live_.size() && replica_live_[r];
+  }
   /// Global replica indices owned by shard `s` (deterministic order).
   [[nodiscard]] const std::vector<std::uint32_t>& slice(int s) const {
     return slices_[static_cast<std::size_t>(s)];
@@ -273,19 +408,42 @@ class ShardedFrontend {
   [[nodiscard]] static std::string replica_host(std::uint32_t r);
 
   /// Deterministic failover chain of request `id`: chain[0] is the home
-  /// shard, later entries the clockwise successors (each shard once).
+  /// shard, later entries the clockwise successors (each live shard once).
   [[nodiscard]] std::vector<std::uint32_t> route(std::uint64_t id) const;
-  /// The shard owning replica `r`'s slice.
+  /// The shard owning replica `r`'s slice (SliceMove::kUnowned when the
+  /// replica is scaled in or was never added).
   [[nodiscard]] std::uint32_t owner_of_replica(std::uint32_t r) const {
     return owner_[r];
   }
 
+  // Churn operations. Each mutates the ring membership, rebuilds the
+  // bounded-load slice assignment over the live fleet, and returns the
+  // replicas whose owner changed.
+  /// A fresh shard joins the ring ("shard-<index>"). Returns its index.
+  int add_shard(std::vector<SliceMove>* moves = nullptr);
+  /// Shard `s` leaves the ring; its slice re-shards onto the survivors.
+  /// Throws when `s` is dead or the last live shard.
+  std::vector<SliceMove> remove_shard(std::uint32_t s);
+  /// A fresh replica scales out (assigned to a slice immediately; the
+  /// experiment decides when it is warm). Returns its global index.
+  std::uint32_t add_replica(std::vector<SliceMove>* moves = nullptr);
+  /// Replica `r` scales in: removed from its slice, slot stays dead.
+  std::vector<SliceMove> remove_replica(std::uint32_t r);
+
   [[nodiscard]] const HashRing& ring() const { return ring_; }
+  [[nodiscard]] HashRing& ring() { return ring_; }
 
  private:
+  /// Recomputes the whole bounded-load assignment over the live fleet and
+  /// appends every ownership change to `moves` (may be null).
+  void rebuild_slices(std::vector<SliceMove>* moves);
+
+  double load_factor_;
+  int live_replicas_ = 0;
   HashRing ring_;
   std::vector<std::vector<std::uint32_t>> slices_;  ///< shard -> replicas
   std::vector<std::uint32_t> owner_;                ///< replica -> shard
+  std::vector<bool> replica_live_;
 };
 
 class ShardedExperiment {

@@ -112,6 +112,22 @@ TEST(CollateralCache, RevocationFlushesEveryTcbLevelOfThePlatform) {
   EXPECT_EQ(cache.revocation_flushes(), 2u);
 }
 
+TEST(CollateralCache, TcbRecoveryBumpsTheLevelWithoutFlushing) {
+  CollateralCache cache(1 * kSec);
+  cache.insert({"tdx", 0}, 0);
+  EXPECT_EQ(cache.current_tcb(), 0);
+  EXPECT_EQ(cache.tcb_recovery(), 1);
+  EXPECT_EQ(cache.current_tcb(), 1);
+  // Softer than revocation: nothing is flushed — the old-level entry stays
+  // valid for old-level quotes, it just stops being looked up once
+  // verifiers add the new offset to their callers' base level.
+  EXPECT_EQ(cache.size(), 1u);
+  EXPECT_EQ(cache.lookup({"tdx", 0}, 1 * kMs), CacheOutcome::kHit);
+  EXPECT_EQ(cache.lookup({"tdx", 1}, 1 * kMs), CacheOutcome::kMiss);
+  EXPECT_EQ(cache.tcb_recovery(), 2);
+  EXPECT_EQ(cache.tcb_recoveries(), 2u);
+}
+
 // --- TicketTable -------------------------------------------------------------
 
 TEST(TicketTable, ExpiryExactlyAtTheCrossingInstantIsDead) {
@@ -203,6 +219,34 @@ TEST(VerifyService, FirstCrossingPaysFullRoundRepeatResumesTicket) {
   EXPECT_EQ(h.svc.tickets().minted(), 1u);
   EXPECT_EQ(h.svc.tickets().resumed(), 1u);
   EXPECT_EQ(h.svc.collateral_fetches(), 1u);
+}
+
+TEST(VerifyService, TcbRecoveryForcesFreshCollateralButSparesTickets) {
+  VerifyConfig cfg;
+  cfg.enabled = true;
+  cfg.tcb_recovery_at = {500 * kMs};
+  Harness h(cfg, unit_model());
+  std::vector<VerifyOutcome> out;
+  h.events.at(0, [&] {
+    h.svc.verify(7, 0, 0, [&](const VerifyOutcome& o) { out.push_back(o); });
+  });
+  h.events.at(600 * kMs, [&] {
+    // Recovery is softer than revocation: 7's session ticket survives...
+    h.svc.verify(7, 0, 0, [&](const VerifyOutcome& o) { out.push_back(o); });
+    // ...but an unticketed verification keys collateral at the bumped
+    // level, misses the warm old-level entry, and re-fetches.
+    h.svc.verify(8, 0, 0, [&](const VerifyOutcome& o) { out.push_back(o); });
+  });
+  h.events.run();
+  ASSERT_EQ(out.size(), 3u);
+  EXPECT_EQ(out[0].status, VerifyStatus::kVerified);
+  EXPECT_EQ(out[1].status, VerifyStatus::kResumed);
+  EXPECT_EQ(out[2].status, VerifyStatus::kVerified);
+  // Full price again from the 600ms dispatch: window + collateral +
+  // evidence + verify — the warm old-level entry did not help.
+  EXPECT_DOUBLE_EQ(out[2].done_ns, 600 * kMs + 117 * kMs);
+  EXPECT_EQ(h.svc.collateral_fetches(), 2u);
+  EXPECT_EQ(h.svc.cache().tcb_recoveries(), 1u);
 }
 
 TEST(VerifyService, BatchAmortizesOneFetchAcrossTheSharedKey) {

@@ -1,0 +1,380 @@
+// Elastic shard fabric: incremental ring membership (minimal-disruption
+// bound, orphan-proof removal, validate/repair), slice handoff across live
+// churn, scale-out cold starts, forced scale-in, overload-aware early
+// rejection — and the zero-lost-requests invariant through all of it.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+#include <stdexcept>
+#include <vector>
+
+#include "fault/fault.h"
+#include "sched/shard.h"
+#include "sim/rng.h"
+#include "sim/time.h"
+
+namespace confbench::sched {
+namespace {
+
+using sim::kMs;
+using sim::kSec;
+
+std::vector<std::string> node_names(int n) {
+  std::vector<std::string> names;
+  names.reserve(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i) names.push_back("shard-" + std::to_string(i));
+  return names;
+}
+
+std::vector<std::uint64_t> probe_keys(std::size_t n) {
+  std::vector<std::uint64_t> keys;
+  keys.reserve(n);
+  for (std::uint64_t i = 0; i < n; ++i)
+    keys.push_back(sim::hash_combine(sim::stable_hash("ring-probe"), i));
+  return keys;
+}
+
+std::vector<std::uint32_t> owners(const HashRing& ring,
+                                  const std::vector<std::uint64_t>& keys) {
+  std::vector<std::uint32_t> out;
+  out.reserve(keys.size());
+  for (const std::uint64_t k : keys) out.push_back(ring.owner(k));
+  return out;
+}
+
+// --- HashRing incremental membership ----------------------------------------
+
+TEST(HashRingChurn, AddNodeMovesOnlyKeysOntoTheNewNode) {
+  HashRing ring(node_names(4), 64, /*mix_points=*/true);
+  const auto keys = probe_keys(4096);
+  const auto before = owners(ring, keys);
+  const std::uint32_t idx = ring.add_node("shard-4");
+  EXPECT_EQ(idx, 4u);
+  EXPECT_EQ(ring.live_nodes(), 5u);
+  const auto after = owners(ring, keys);
+  std::size_t moved = 0;
+  for (std::size_t i = 0; i < keys.size(); ++i) {
+    if (before[i] == after[i]) continue;
+    ++moved;
+    // Minimal disruption: a key may only move *onto* the new node. Any key
+    // bouncing between the old nodes would mean the old points shifted.
+    EXPECT_EQ(after[i], idx) << "key moved between pre-existing nodes";
+  }
+  const double frac = static_cast<double>(moved) / keys.size();
+  EXPECT_GT(moved, 0u);
+  EXPECT_LE(frac * ring.live_nodes(), 1.5) << "moved fraction above 1.5/N";
+}
+
+TEST(HashRingChurn, RemoveNodeMovesOnlyTheDepartedKeys) {
+  HashRing ring(node_names(5), 64, /*mix_points=*/true);
+  const auto keys = probe_keys(4096);
+  const auto before = owners(ring, keys);
+  const std::size_t n_before = ring.live_nodes();
+  ring.remove_node(2);
+  EXPECT_FALSE(ring.live(2));
+  EXPECT_EQ(ring.live_nodes(), 4u);
+  const auto after = owners(ring, keys);
+  std::size_t moved = 0;
+  for (std::size_t i = 0; i < keys.size(); ++i) {
+    if (before[i] == after[i]) continue;
+    ++moved;
+    // Only keys the departed node owned may move, and never onto it.
+    EXPECT_EQ(before[i], 2u) << "unaffected key changed owner";
+    EXPECT_NE(after[i], 2u);
+  }
+  const double frac = static_cast<double>(moved) / keys.size();
+  EXPECT_GT(moved, 0u);
+  EXPECT_LE(frac * static_cast<double>(n_before), 1.5);
+}
+
+TEST(HashRingChurn, RandomizedJoinLeaveKeepsTheMinimalDisruptionBound) {
+  sim::Rng rng(sim::stable_hash("churn-sequence"));
+  HashRing ring(node_names(4), 64, /*mix_points=*/true);
+  const auto keys = probe_keys(2048);
+  int next_name = 4;
+  for (int step = 0; step < 40; ++step) {
+    const auto before = owners(ring, keys);
+    const std::size_t n_before = ring.live_nodes();
+    const bool join = ring.live_nodes() <= 2 || rng.next_double() < 0.5;
+    std::size_t n_ref;
+    if (join) {
+      ring.add_node("shard-" + std::to_string(next_name++));
+      n_ref = ring.live_nodes();  // join moves ~1/(N+1)
+    } else {
+      // Remove a deterministic-random live node.
+      std::vector<std::uint32_t> live;
+      for (std::uint32_t i = 0; i < ring.nodes(); ++i)
+        if (ring.live(i)) live.push_back(i);
+      ring.remove_node(live[rng.next_below(live.size())]);
+      n_ref = n_before;  // leave moves ~1/N of the old membership
+    }
+    const auto after = owners(ring, keys);
+    std::size_t moved = 0;
+    for (std::size_t i = 0; i < keys.size(); ++i)
+      moved += before[i] != after[i];
+    const double frac = static_cast<double>(moved) / keys.size();
+    EXPECT_LE(frac * static_cast<double>(n_ref), 1.5)
+        << "step " << step << " moved " << frac << " with N=" << n_ref;
+    EXPECT_TRUE(ring.validate()) << "ring inconsistent after step " << step;
+  }
+}
+
+TEST(HashRingChurn, UnmovedKeysRouteBitIdenticallyThroughTheirChains) {
+  HashRing ring(node_names(6), 64, /*mix_points=*/true);
+  const auto keys = probe_keys(512);
+  std::vector<std::vector<std::uint32_t>> chains_before;
+  chains_before.reserve(keys.size());
+  for (const std::uint64_t k : keys) chains_before.push_back(ring.chain(k));
+  ring.remove_node(3);
+  for (std::size_t i = 0; i < keys.size(); ++i) {
+    // Every key's post-churn chain must be its old chain with the departed
+    // node deleted — clockwise order over the survivors is untouched, so
+    // failover targets stay stable across membership changes.
+    auto expect = chains_before[i];
+    expect.erase(std::remove(expect.begin(), expect.end(), 3u),
+                 expect.end());
+    EXPECT_EQ(ring.chain(keys[i]), expect) << "chain reordered for key " << i;
+  }
+}
+
+TEST(HashRingChurn, DeadSlotNameReuseCannotOrphanVnodes) {
+  // The orphan regression: removal must erase points by node *index*. A new
+  // live node reusing a dead slot's name projects byte-identical point
+  // hashes; erasing the new node by re-hashed name would strip (or leave
+  // behind) the wrong points. Index-keyed removal keeps both disjoint.
+  HashRing ring(node_names(3), 32, /*mix_points=*/true);
+  ring.remove_node(1);
+  const std::uint32_t reborn = ring.add_node("shard-1");  // same name, new slot
+  EXPECT_EQ(reborn, 3u);
+  EXPECT_TRUE(ring.validate());
+  ring.remove_node(reborn);
+  EXPECT_TRUE(ring.validate()) << "name-collision removal orphaned vnodes";
+  EXPECT_EQ(ring.live_nodes(), 2u);
+  // And the surviving membership still owns the whole keyspace.
+  for (const std::uint64_t k : probe_keys(256)) {
+    const std::uint32_t o = ring.owner(k);
+    EXPECT_TRUE(ring.live(o));
+  }
+}
+
+TEST(HashRingChurn, ValidateRepairRebuildsFromLiveMembership) {
+  HashRing ring(node_names(4), 16, /*mix_points=*/true);
+  EXPECT_TRUE(ring.validate());
+  ring.remove_node(0);
+  EXPECT_TRUE(ring.validate());
+  // repair on a consistent ring is a no-op that leaves routing unchanged.
+  const auto keys = probe_keys(512);
+  const auto before = owners(ring, keys);
+  EXPECT_TRUE(ring.validate(/*repair=*/true));
+  EXPECT_EQ(owners(ring, keys), before);
+}
+
+TEST(HashRingChurn, MembershipGuardsThrow) {
+  HashRing ring(node_names(2), 16, /*mix_points=*/true);
+  EXPECT_THROW(ring.add_node("shard-0"), std::invalid_argument);
+  EXPECT_THROW(ring.remove_node(7), std::invalid_argument);
+  ring.remove_node(0);
+  EXPECT_THROW(ring.remove_node(0), std::invalid_argument);  // already dead
+  EXPECT_THROW(ring.remove_node(1), std::invalid_argument);  // last live
+}
+
+// --- ShardedFrontend churn ---------------------------------------------------
+
+TEST(FrontendChurn, AddShardReportsExactlyTheMovedReplicas) {
+  ShardConfig sc;
+  sc.shards = 4;
+  ShardedFrontend fe(sc, 16);
+  std::vector<std::uint32_t> owner_before(16);
+  for (std::uint32_t r = 0; r < 16; ++r)
+    owner_before[r] = fe.owner_of_replica(r);
+  std::vector<ShardedFrontend::SliceMove> moves;
+  const int s = fe.add_shard(&moves);
+  EXPECT_EQ(s, 4);
+  EXPECT_EQ(fe.live_shards(), 5);
+  std::set<std::uint32_t> moved;
+  for (const auto& mv : moves) {
+    EXPECT_TRUE(moved.insert(mv.replica).second) << "duplicate move";
+    EXPECT_EQ(mv.from, owner_before[mv.replica]);
+    EXPECT_EQ(mv.to, fe.owner_of_replica(mv.replica));
+  }
+  std::size_t assigned = 0;
+  for (int i = 0; i < fe.shards(); ++i) {
+    for (const std::uint32_t r : fe.slice(i)) {
+      EXPECT_EQ(fe.owner_of_replica(r), static_cast<std::uint32_t>(i));
+      // Replicas the moves list does not mention kept their owner.
+      if (!moved.count(r)) {
+        EXPECT_EQ(owner_before[r], fe.owner_of_replica(r));
+      }
+    }
+    assigned += fe.slice(i).size();
+  }
+  EXPECT_EQ(assigned, 16u) << "handoff lost or duplicated a replica";
+}
+
+TEST(FrontendChurn, RemoveShardReshardsItsSliceOntoSurvivors) {
+  ShardConfig sc;
+  sc.shards = 4;
+  ShardedFrontend fe(sc, 16);
+  const auto moves = fe.remove_shard(1);
+  EXPECT_FALSE(fe.shard_live(1));
+  EXPECT_TRUE(fe.slice(1).empty());
+  for (const auto& mv : moves) EXPECT_NE(mv.to, 1u);
+  std::size_t assigned = 0;
+  for (int i = 0; i < fe.shards(); ++i) assigned += fe.slice(i).size();
+  EXPECT_EQ(assigned, 16u);
+  EXPECT_THROW(fe.remove_shard(1), std::invalid_argument);
+}
+
+TEST(FrontendChurn, ReplicaScaleOutAndInKeepIndicesStable) {
+  ShardConfig sc;
+  sc.shards = 3;
+  ShardedFrontend fe(sc, 6);
+  std::vector<ShardedFrontend::SliceMove> moves;
+  const std::uint32_t r = fe.add_replica(&moves);
+  EXPECT_EQ(r, 6u);
+  EXPECT_TRUE(fe.replica_live(r));
+  EXPECT_EQ(fe.live_replicas(), 7);
+  EXPECT_NE(fe.owner_of_replica(r), ShardedFrontend::SliceMove::kUnowned);
+  const auto out = fe.remove_replica(r);
+  EXPECT_FALSE(fe.replica_live(r));
+  EXPECT_EQ(fe.owner_of_replica(r), ShardedFrontend::SliceMove::kUnowned);
+  EXPECT_EQ(fe.live_replicas(), 6);
+  bool saw_departure = false;
+  for (const auto& mv : out)
+    if (mv.replica == r) {
+      EXPECT_EQ(mv.to, ShardedFrontend::SliceMove::kUnowned);
+      saw_departure = true;
+    }
+  EXPECT_TRUE(saw_departure);
+  EXPECT_THROW(fe.remove_replica(r), std::invalid_argument);
+}
+
+// --- Live-churn experiments --------------------------------------------------
+
+ShardedConfig churn_config() {
+  ShardedConfig cfg;
+  cfg.requests = 3000;
+  cfg.rate_rps = 3000;
+  cfg.seed = 11;
+  cfg.replicas = 16;
+  cfg.shard.shards = 4;
+  cfg.shard.ring_mix_points = true;
+  cfg.queue = {.concurrency = 8, .queue_depth = 32};
+  cfg.scaler.tick_ns = 20 * kMs;
+  cfg.retry.max_attempts = 4;
+  return cfg;
+}
+
+ServiceModel churn_model() {
+  ServiceModel m;
+  m.parallel_ns = 1 * kMs;
+  m.serialized_ns = 0;
+  m.jitter_sigma = 0.02;
+  m.cold_start_ns = 0.5 * kSec;
+  return m;
+}
+
+TEST(ShardedChurn, ShardLeaveHandsOffWithoutLosingAcceptedRequests) {
+  ShardedConfig cfg = churn_config();
+  cfg.faults.shard_leave(300 * kMs, 1);
+  const ShardedResult res =
+      ShardedExperiment(cfg).run_with_model(churn_model());
+  EXPECT_TRUE(res.accounted()) << "churn lost a request";
+  EXPECT_EQ(res.churn.shard_leaves, 1u);
+  EXPECT_GT(res.churn.replicas_moved, 0u);
+  EXPECT_GT(res.churn.handoff_forwarded + res.churn.handoff_drained, 0u)
+      << "a mid-ramp leave should find in-flight or queued work";
+  EXPECT_LE(res.churn.max_moved_x_n, 1.5);
+  ASSERT_GT(res.shards.size(), 1u);
+  EXPECT_FALSE(res.shards[1].live);
+  EXPECT_EQ(res.completed + res.rejected + res.failed, res.offered);
+}
+
+TEST(ShardedChurn, ShardJoinTakesOverTrafficAndKeepsTheBound) {
+  ShardedConfig cfg = churn_config();
+  cfg.faults.shard_join(300 * kMs);
+  const ShardedResult res =
+      ShardedExperiment(cfg).run_with_model(churn_model());
+  EXPECT_TRUE(res.accounted());
+  EXPECT_EQ(res.churn.shard_joins, 1u);
+  EXPECT_GT(res.churn.replicas_moved, 0u);
+  EXPECT_LE(res.churn.max_moved_x_n, 1.5);
+  ASSERT_EQ(res.shards.size(), 5u) << "joined shard must be exported";
+  EXPECT_TRUE(res.shards[4].live);
+  EXPECT_GT(res.shards[4].admitted, 0u)
+      << "traffic arriving after the join must home onto the new shard";
+}
+
+TEST(ShardedChurn, ReplicaScaleOutPaysColdStartBeforeServing) {
+  ShardedConfig cfg = churn_config();
+  cfg.faults.replica_add(200 * kMs, 4);
+  const ShardedResult res =
+      ShardedExperiment(cfg).run_with_model(churn_model());
+  EXPECT_TRUE(res.accounted());
+  EXPECT_EQ(res.churn.replica_adds, 4u);
+  EXPECT_EQ(res.completed, res.offered);
+}
+
+TEST(ShardedChurn, ForcedScaleInRedispatchesQueuedWork) {
+  ShardedConfig cfg = churn_config();
+  cfg.queue = {.concurrency = 2, .queue_depth = 64};  // force queueing
+  cfg.faults.replica_remove(300 * kMs, 3).replica_remove(320 * kMs, 9);
+  const ShardedResult res =
+      ShardedExperiment(cfg).run_with_model(churn_model());
+  EXPECT_TRUE(res.accounted());
+  EXPECT_EQ(res.churn.replica_removes, 2u);
+  EXPECT_EQ(res.completed + res.rejected + res.failed, res.offered);
+}
+
+TEST(ShardedChurn, ChurnRunsAreByteReproducible) {
+  ShardedConfig cfg = churn_config();
+  cfg.faults.shard_join(250 * kMs)
+      .shard_leave(500 * kMs, 0)
+      .replica_add(300 * kMs, 2);
+  const ShardedResult a =
+      ShardedExperiment(cfg).run_with_model(churn_model());
+  const ShardedResult b =
+      ShardedExperiment(cfg).run_with_model(churn_model());
+  EXPECT_EQ(a.to_json(), b.to_json());
+  EXPECT_EQ(a.makespan_ns, b.makespan_ns);
+  EXPECT_TRUE(a.accounted());
+}
+
+TEST(ShardedChurn, EarlyRejectionShedsUnderOverloadAndStaysAccounted) {
+  ShardedConfig base = churn_config();
+  base.rate_rps = 40000;  // ~3x the 16-replica, 1 ms-service capacity
+  base.requests = 6000;
+  base.queue = {.concurrency = 8, .queue_depth = 256};
+
+  ShardedConfig guarded = base;
+  guarded.shard.early_reject = true;
+  guarded.shard.early_reject_budget_ns = 20 * kMs;
+
+  const ShardedResult queued =
+      ShardedExperiment(base).run_with_model(churn_model());
+  const ShardedResult rejected =
+      ShardedExperiment(guarded).run_with_model(churn_model());
+  EXPECT_TRUE(queued.accounted());
+  EXPECT_TRUE(rejected.accounted());
+  EXPECT_EQ(queued.churn.early_rejected, 0u) << "guard must be opt-in";
+  EXPECT_GT(rejected.churn.early_rejected, 0u);
+  // The traded-off pair: the guard sacrifices availability to cap the
+  // completed requests' tail below the unbounded-queue run's.
+  EXPECT_LT(rejected.latency.p99(), queued.latency.p99());
+  EXPECT_LT(rejected.availability(), queued.availability());
+}
+
+TEST(ShardedChurn, DefaultConfigKeepsChurnCountersAtZero) {
+  const ShardedResult res =
+      ShardedExperiment(churn_config()).run_with_model(churn_model());
+  EXPECT_EQ(res.churn.shard_joins, 0u);
+  EXPECT_EQ(res.churn.shard_leaves, 0u);
+  EXPECT_EQ(res.churn.replicas_moved, 0u);
+  EXPECT_EQ(res.churn.handoff_forwarded, 0u);
+  EXPECT_EQ(res.churn.early_rejected, 0u);
+  EXPECT_EQ(res.churn.max_moved_fraction, 0.0);
+}
+
+}  // namespace
+}  // namespace confbench::sched

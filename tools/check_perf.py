@@ -1,53 +1,76 @@
 #!/usr/bin/env python3
-"""Perf-trajectory gate for the engine self-benchmark.
+"""Perf-trajectory gate for the self-benchmarks.
 
-Compares a fresh BENCH_sim_engine.json against the committed baseline
-(bench/baseline/BENCH_sim_engine.baseline.json) and fails CI when the
-engine regresses.
+Compares a fresh BENCH_<name>.json against its committed baseline
+(bench/baseline/BENCH_<name>.baseline.json) and fails CI when the bench
+regresses. The gating config is selected by the "bench" field of the
+current snapshot, so one script serves every gated bench.
 
 Two classes of metric, treated differently:
 
-  - Speedup ratios (wheel vs the legacy/reference engines measured in the
-    same process on the same core seconds) are machine-independent: a
-    slower runner slows both sides. These are HARD-gated — a ratio more
-    than TOLERANCE below its baseline fails, and scale_speedup_vs_legacy
-    additionally has an absolute floor of 5.0 (the redesign's headline
-    claim, also asserted inside the bench itself).
+  - Gated metrics are machine-independent (speedup ratios measured in the
+    same process, or pure simulation facts like keyspace-movement bounds
+    and virtual-time latency ratios): a slower runner does not move them.
+    Each is HARD-gated against baseline drift in its stated direction —
+    "higher" is better (fails when it drops more than TOLERANCE below
+    baseline), "lower" is better (fails when it rises more than TOLERANCE
+    above). Absolute floors/ceilings add baseline-independent backstops
+    for the headline claims, which the benches also assert internally.
 
-  - Absolute numbers (events/sec, wall clocks) are machine facts. They are
-    compared and printed for the trajectory record, but only warn.
+  - Advisory metrics (events/sec, wall clocks, raw counters) are machine
+    or size facts. They are compared and printed for the trajectory
+    record, but only warn.
 
 The bench's own exit checks ride along in the JSON; checks.failed != 0
-fails here too, so a green perf job implies the checksums matched and the
-event order was equivalent across engines.
+fails here too, so a green perf job implies every in-bench invariant
+(zero lost requests, ordering claims, checksums) held.
 """
 
 import json
 import sys
 
-TOLERANCE = 0.25  # fail when a gated ratio drops >25% below baseline
+TOLERANCE = 0.25  # fail when a gated metric drifts >25% the wrong way
 
-# Machine-independent ratios: hard-gated against baseline * (1 - TOLERANCE).
-GATED_RATIOS = [
-    "mix_speedup_vs_reference",
-    "scale_speedup_vs_legacy",
-    "scale_speedup_vs_reference",
-]
-
-# Absolute floors independent of any baseline drift.
-HARD_FLOORS = {
-    "scale_speedup_vs_legacy": 5.0,
+BENCHES = {
+    "sim_engine": {
+        # Speedup ratios: wheel vs the legacy/reference engines measured
+        # in the same process on the same core seconds.
+        "gated": {
+            "mix_speedup_vs_reference": "higher",
+            "scale_speedup_vs_legacy": "higher",
+            "scale_speedup_vs_reference": "higher",
+        },
+        # The redesign's headline claim, independent of baseline drift.
+        "floors": {"scale_speedup_vs_legacy": 5.0},
+        "ceilings": {},
+        "advisory": [
+            "mix_wheel_events_per_sec",
+            "mix_reference_events_per_sec",
+            "scale_wheel_events_per_sec",
+            "scale_legacy_events_per_sec",
+            "scale_reference_events_per_sec",
+            "cluster_cell_simulate_s",
+        ],
+    },
+    "shard_churn": {
+        # Pure simulation facts (virtual-time ratios over fixed seeds).
+        "gated": {
+            # Worst keyspace fraction moved by one membership event, times
+            # the live shard count — ~1 for a minimal-disruption ring.
+            "moved_x_n_worst": "lower",
+            # Queue-only overload p99 / early-reject overload p99, worst
+            # cell: how much tail the admission guard buys.
+            "overload_p99_ratio_min": "higher",
+        },
+        # The bench's two headline claims, also asserted in-bench.
+        "floors": {"overload_p99_ratio_min": 1.0},
+        "ceilings": {"moved_x_n_worst": 1.5},
+        "advisory": [
+            "handoff_forwarded_total",
+            "handoff_drained_total",
+        ],
+    },
 }
-
-# Machine-dependent absolutes: tracked and printed, never fatal.
-ADVISORY = [
-    "mix_wheel_events_per_sec",
-    "mix_reference_events_per_sec",
-    "scale_wheel_events_per_sec",
-    "scale_legacy_events_per_sec",
-    "scale_reference_events_per_sec",
-    "cluster_cell_simulate_s",
-]
 
 
 def main() -> int:
@@ -60,6 +83,16 @@ def main() -> int:
     with open(sys.argv[2], encoding="utf-8") as f:
         baseline = json.load(f)
 
+    bench = current.get("bench")
+    if bench not in BENCHES:
+        print(f"no gating config for bench '{bench}'", file=sys.stderr)
+        return 2
+    if baseline.get("bench") != bench:
+        print(f"baseline is for '{baseline.get('bench')}', current is for "
+              f"'{bench}'", file=sys.stderr)
+        return 2
+    cfg = BENCHES[bench]
+
     cur = current.get("metrics", {})
     base = baseline.get("metrics", {})
     failures = []
@@ -69,32 +102,45 @@ def main() -> int:
         for what in current["checks"].get("failures", []):
             failures.append(f"bench exit check failed: {what}")
 
+    print(f"bench: {bench}")
     print(f"{'metric':<36} {'baseline':>12} {'current':>12}  verdict")
-    for key in GATED_RATIOS:
+    for key, direction in cfg["gated"].items():
         b, c = base.get(key), cur.get(key)
         if b is None or c is None:
             failures.append(f"{key}: missing from "
                             f"{'baseline' if b is None else 'current'} run")
             continue
-        floor = b * (1.0 - TOLERANCE)
-        hard = HARD_FLOORS.get(key)
-        ok = c >= floor and (hard is None or c >= hard)
+        if direction == "higher":
+            limit = b * (1.0 - TOLERANCE)
+            drifted = c < limit
+            drift_msg = (f"{key}: {c:.3f} is more than {TOLERANCE:.0%} below "
+                         f"baseline {b:.3f} (floor {limit:.3f})")
+        else:
+            limit = b * (1.0 + TOLERANCE)
+            drifted = c > limit
+            drift_msg = (f"{key}: {c:.3f} is more than {TOLERANCE:.0%} above "
+                         f"baseline {b:.3f} (ceiling {limit:.3f})")
+        floor = cfg["floors"].get(key)
+        ceiling = cfg["ceilings"].get(key)
+        ok = (not drifted and (floor is None or c >= floor) and
+              (ceiling is None or c <= ceiling))
         verdict = "ok" if ok else "REGRESSION"
-        print(f"{key:<36} {b:>12.2f} {c:>12.2f}  {verdict}")
-        if c < floor:
+        print(f"{key:<36} {b:>12.3f} {c:>12.3f}  {verdict}")
+        if drifted:
+            failures.append(drift_msg)
+        if floor is not None and c < floor:
+            failures.append(f"{key}: {c:.3f} is below the hard floor {floor}")
+        if ceiling is not None and c > ceiling:
             failures.append(
-                f"{key}: {c:.2f} is more than {TOLERANCE:.0%} below "
-                f"baseline {b:.2f} (floor {floor:.2f})")
-        if hard is not None and c < hard:
-            failures.append(f"{key}: {c:.2f} is below the hard floor {hard}")
+                f"{key}: {c:.3f} is above the hard ceiling {ceiling}")
 
-    for key in ADVISORY:
+    for key in cfg["advisory"]:
         b, c = base.get(key), cur.get(key)
         if b is None or c is None:
             continue
         drift = (c - b) / b if b else 0.0
         note = "advisory" if abs(drift) <= TOLERANCE else \
-            f"advisory, {drift:+.0%} (machine fact, not gated)"
+            f"advisory, {drift:+.0%} (not gated)"
         print(f"{key:<36} {b:>12.0f} {c:>12.0f}  {note}")
 
     if failures:
