@@ -29,6 +29,8 @@ std::string_view to_string(FaultKind k) {
       return "replica_add";
     case FaultKind::kReplicaRemove:
       return "replica_remove";
+    case FaultKind::kJoinCrash:
+      return "join_crash";
   }
   return "?";
 }
@@ -164,6 +166,12 @@ FaultPlan& FaultPlan::replica_remove(sim::Ns at, std::uint32_t replica) {
       {.kind = FaultKind::kReplicaRemove, .at_ns = at, .replica = replica});
 }
 
+FaultPlan& FaultPlan::join_crash(sim::Ns at, sim::Ns duration) {
+  return add({.kind = FaultKind::kJoinCrash,
+              .at_ns = at,
+              .duration_ns = duration});
+}
+
 FaultPlan& FaultPlan::periodic_crashes(sim::Ns first_at, sim::Ns period,
                                        int count, std::uint32_t fleet_size) {
   if (period <= 0) throw std::invalid_argument("crash period must be > 0");
@@ -183,6 +191,14 @@ std::vector<std::pair<sim::Ns, sim::Ns>> FaultPlan::attest_outages() const {
   std::vector<std::pair<sim::Ns, sim::Ns>> out;
   for (const FaultEvent& e : events_)
     if (e.kind == FaultKind::kAttestOutage)
+      out.emplace_back(e.at_ns, e.at_ns + e.duration_ns);
+  return out;
+}
+
+std::vector<std::pair<sim::Ns, sim::Ns>> FaultPlan::join_crashes() const {
+  std::vector<std::pair<sim::Ns, sim::Ns>> out;
+  for (const FaultEvent& e : events_)
+    if (e.kind == FaultKind::kJoinCrash)
       out.emplace_back(e.at_ns, e.at_ns + e.duration_ns);
   return out;
 }

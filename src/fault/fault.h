@@ -51,6 +51,12 @@
 //                  mid-run; each boots a real cold start before serving.
 //   kReplicaRemove replica `replica` is forcibly scaled in: no new
 //                  dispatches, queued work re-dispatches, in-flight drains.
+//   kJoinCrash     a windowed fault against *controller-originated* scale
+//                  events (sched::ElasticController): any elastic joiner
+//                  whose cold start begins inside [at_ns, at_ns+duration)
+//                  crashes mid-boot — the failure is detected when the
+//                  join deadline passes, charged, and retried with backoff.
+//                  Scripted churn and the serving fleet are untouched.
 #pragma once
 
 #include <cstddef>
@@ -76,6 +82,7 @@ enum class FaultKind : std::uint8_t {
   kShardLeave,
   kReplicaAdd,
   kReplicaRemove,
+  kJoinCrash,
 };
 
 std::string_view to_string(FaultKind k);
@@ -146,6 +153,9 @@ class FaultPlan {
   FaultPlan& replica_add(sim::Ns at, std::uint32_t count = 1);
   /// Replica `replica` is forcibly scaled in mid-run.
   FaultPlan& replica_remove(sim::Ns at, std::uint32_t replica);
+  /// Elastic joiners whose cold start begins inside the window crash
+  /// mid-boot (controller-originated scale events only; see taxonomy).
+  FaultPlan& join_crash(sim::Ns at, sim::Ns duration);
 
   /// Lays `count` crashes out at a fixed period starting at `first_at`,
   /// cycling deterministically over `fleet_size` replicas. The workhorse of
@@ -161,6 +171,10 @@ class FaultPlan {
 
   /// Windows [start, end) of every kAttestOutage event, time-ordered.
   [[nodiscard]] std::vector<std::pair<sim::Ns, sim::Ns>> attest_outages()
+      const;
+
+  /// Windows [start, end) of every kJoinCrash event, time-ordered.
+  [[nodiscard]] std::vector<std::pair<sim::Ns, sim::Ns>> join_crashes()
       const;
 
   /// True when the plan schedules any topology-churn event (the sharded

@@ -21,6 +21,12 @@ ArrivalProcess::ArrivalProcess(ArrivalKind kind, double rate_rps,
   if (!(rate_rps > 0)) throw std::invalid_argument("arrival rate must be > 0");
 }
 
+void ArrivalProcess::set_rate(double rate_rps) {
+  if (!(rate_rps > 0))
+    throw std::invalid_argument("arrival rate must be > 0");
+  rate_rps_ = rate_rps;
+}
+
 sim::Ns ArrivalProcess::next_gap() {
   const sim::Ns mean_gap = sim::kSec / rate_rps_;
   switch (kind_) {

@@ -33,6 +33,11 @@ class ArrivalProcess {
   /// The gap to the next arrival, in virtual nanoseconds.
   [[nodiscard]] sim::Ns next_gap();
 
+  /// Live rate change (flash-crowd ramps, oscillating load): gaps drawn
+  /// after the change use the new rate; the RNG stream is untouched, so a
+  /// run with rate steps stays seed-reproducible. Throws on rate <= 0.
+  void set_rate(double rate_rps);
+
   [[nodiscard]] ArrivalKind kind() const { return kind_; }
   [[nodiscard]] double rate_rps() const { return rate_rps_; }
 

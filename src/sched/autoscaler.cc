@@ -38,7 +38,7 @@ int Autoscaler::evaluate(int warm, int booting, std::uint64_t in_service,
   }
 
   trace_.push_back(AutoscalerSample{now, warm, booting, in_service, queued,
-                                    utilization, decision});
+                                    rejected_delta, utilization, decision});
   return decision;
 }
 

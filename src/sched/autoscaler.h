@@ -45,6 +45,9 @@ struct AutoscalerSample {
   int booting = 0;
   std::uint64_t in_service = 0;
   std::uint64_t queued = 0;
+  /// Admission rejections since the previous tick — recorded so a scale-up
+  /// can be attributed to rejection pressure vs utilization vs backlog.
+  std::uint64_t rejected_delta = 0;
   double utilization = 0;
   int decision = 0;  ///< +k: boot k replicas, -k: park k, 0: hold
 };
@@ -65,11 +68,15 @@ class Autoscaler {
                              sim::Ns now, std::uint64_t rejected_delta = 0);
 
   /// Live-churn resize: re-clamps the warm band to the shard's current
-  /// slice after a handoff moves members in or out. Pure config update —
-  /// the next evaluate() tick acts on the new limits.
+  /// slice after a handoff moves members in or out. Also restarts the
+  /// scale-down patience: low-utilization ticks accumulated against the
+  /// *old* band must not carry over, or a shard could park a replica one
+  /// tick after a handoff shrank its slice — utilization against the new
+  /// band has not been low for even one full tick yet.
   void set_limits(int min_warm, int max_replicas) {
     cfg_.min_warm = min_warm;
     cfg_.max_replicas = max_replicas;
+    low_ticks_ = 0;
   }
 
   [[nodiscard]] const AutoscalerConfig& config() const { return cfg_; }

@@ -305,6 +305,7 @@ struct ScalerDecision {
   int booting = 0;
   std::uint64_t in_service = 0;
   std::uint64_t queued = 0;
+  std::uint64_t rejected_delta = 0;
 };
 
 /// Hedge lifecycle notes for the fleet trace (tracer-only).
@@ -955,8 +956,8 @@ ClusterResult ClusterExperiment::run_with_model(
                                       cfg_.queue.concurrency, clock.now(),
                                       rejected_delta);
     if (tracer && delta != 0)
-      decisions.push_back(
-          {clock.now(), delta, warm, booting, in_service, queued});
+      decisions.push_back({clock.now(), delta, warm, booting, in_service,
+                           queued, rejected_delta});
     if (delta > 0) {
       int to_boot = delta;
       for (std::uint32_t i = 0;
@@ -1091,8 +1092,10 @@ ClusterResult ClusterExperiment::run_with_model(
         case fault::FaultKind::kShardLeave:
         case fault::FaultKind::kReplicaAdd:
         case fault::FaultKind::kReplicaRemove:
-          // Topology churn addresses the sharded admission plane; the
-          // single-gateway cluster has no ring to change.
+        case fault::FaultKind::kJoinCrash:
+          // Topology churn (and faults against controller-originated scale
+          // events) address the sharded admission plane; the single-gateway
+          // cluster has no ring to change.
           break;
       }
     }
@@ -1156,7 +1159,9 @@ ClusterResult ClusterExperiment::run_with_model(
                         {"warm", std::to_string(d.warm)},
                         {"booting", std::to_string(d.booting)},
                         {"in_service", std::to_string(d.in_service)},
-                        {"queued", std::to_string(d.queued)}});
+                        {"queued", std::to_string(d.queued)},
+                        {"rejected_delta",
+                         std::to_string(d.rejected_delta)}});
 
     if (chaos) {
       // Every injected fault as a span; crashes stretch to the matching

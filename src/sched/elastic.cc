@@ -1,0 +1,168 @@
+#include "sched/elastic.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace confbench::sched {
+
+ElasticController::ElasticController(ElasticConfig cfg) : cfg_(cfg) {
+  if (cfg_.tick_ns <= 0)
+    throw std::invalid_argument("ElasticConfig: tick_ns must be > 0");
+  if (cfg_.target_utilization <= 0 || cfg_.target_utilization > 1.0)
+    throw std::invalid_argument(
+        "ElasticConfig: target_utilization must be in (0, 1]");
+  if (cfg_.level_alpha <= 0 || cfg_.level_alpha > 1.0 ||
+      cfg_.trend_beta < 0 || cfg_.trend_beta > 1.0)
+    throw std::invalid_argument(
+        "ElasticConfig: Holt smoothing factors out of range");
+  if (cfg_.down_threshold < 0 || cfg_.down_threshold >= 1.0)
+    throw std::invalid_argument(
+        "ElasticConfig: down_threshold must be in [0, 1) — the hysteresis "
+        "band needs the scale-in point strictly below the scale-out point");
+  if (cfg_.join_max_attempts < 1)
+    throw std::invalid_argument(
+        "ElasticConfig: join_max_attempts must be >= 1");
+  if (cfg_.join_backoff_mult < 1.0)
+    throw std::invalid_argument(
+        "ElasticConfig: join_backoff_mult must be >= 1");
+}
+
+int ElasticController::governor_admit(sim::Ns now, int want) {
+  if (cfg_.max_events_per_window <= 0) return want;  // governor off
+  while (!churn_events_.empty() &&
+         churn_events_.front() <= now - cfg_.churn_window_ns)
+    churn_events_.pop_front();
+  const int room = cfg_.max_events_per_window -
+                   static_cast<int>(churn_events_.size());
+  const int granted = std::clamp(want, 0, std::max(0, room));
+  for (int i = 0; i < granted; ++i) churn_events_.push_back(now);
+  return granted;
+}
+
+ElasticDecision ElasticController::evaluate(const ElasticSignals& sig) {
+  const double tick_s = cfg_.tick_ns / sim::kSec;
+  const double rate = static_cast<double>(sig.arrivals_delta) / tick_s;
+
+  // Holt linear exponential smoothing on the per-tick arrival rate. The
+  // trend is per-tick; the forecast extrapolates lead_time_ns ahead so a
+  // ramp detected now orders the capacity the *peak* will need, one
+  // cold-start-plus-re-attest early.
+  if (!seen_) {
+    level_ = rate;
+    trend_ = 0;
+    seen_ = true;
+  } else {
+    const double prev_level = level_;
+    level_ = cfg_.level_alpha * rate +
+             (1.0 - cfg_.level_alpha) * (level_ + trend_);
+    trend_ = cfg_.trend_beta * (level_ - prev_level) +
+             (1.0 - cfg_.trend_beta) * trend_;
+  }
+  const double horizon_ticks = cfg_.lead_time_ns / cfg_.tick_ns;
+  const double forecast = std::max(0.0, level_ + trend_ * horizon_ticks);
+  const double demand = cfg_.predictive ? std::max(rate, forecast) : rate;
+
+  const double slot_rps =
+      std::max(sig.per_replica_rps * cfg_.target_utilization, 1e-9);
+  int needed = static_cast<int>(std::ceil(demand / slot_rps));
+  const int have = sig.warm + sig.pending;
+  // Rejection kick: the fabric turning requests away is ground truth that
+  // capacity is short, whatever the rate model believes. A zero-warm fleet
+  // emits *only* this signal.
+  if (sig.rejected_delta > 0) needed = std::max(needed, have + 1);
+
+  ElasticDecision d;
+  ElasticSample sample;
+  sample.t = sig.now;
+  sample.rate_rps = rate;
+  sample.level_rps = level_;
+  sample.trend_rps = trend_;
+  sample.demand_rps = demand;
+  sample.rejected_delta = sig.rejected_delta;
+  sample.queued = sig.queued;
+  sample.warm = sig.warm;
+  sample.pending = sig.pending;
+  sample.needed = needed;
+
+  if (needed > have) {
+    low_ticks_ = 0;
+    int want = needed - have;
+    const int budget = cfg_.max_extra_replicas - ordered_replicas_;
+    if (want > budget) want = budget;
+    if (want > 0 && up_ever_ &&
+        sig.now - last_up_ns_ < cfg_.up_cooldown_ns) {
+      sample.suppressed_cooldown += static_cast<std::uint64_t>(want);
+      want = 0;
+    }
+    if (want > 0) {
+      // Grow the admission plane with the fleet: one shard join per
+      // replicas_per_shard joiners ordered (cumulative), shard-budget
+      // permitting. Shards and replicas share the churn governor — both
+      // are ring membership events.
+      int want_shards = 0;
+      if (cfg_.replicas_per_shard > 0) {
+        const int target_shards =
+            std::min(cfg_.max_extra_shards,
+                     (ordered_replicas_ + want) / cfg_.replicas_per_shard);
+        want_shards = std::max(0, target_shards - ordered_shards_);
+      }
+      const int granted = governor_admit(sig.now, want + want_shards);
+      sample.suppressed_governor +=
+          static_cast<std::uint64_t>(want + want_shards - granted);
+      d.add_replicas = std::min(want, granted);
+      d.add_shards = granted - d.add_replicas;
+      if (granted > 0) {
+        ordered_replicas_ += d.add_replicas;
+        live_extra_replicas_ += d.add_replicas;
+        ordered_shards_ += d.add_shards;
+        live_extra_shards_ += d.add_shards;
+        last_up_ns_ = sig.now;
+        up_ever_ = true;
+      }
+    }
+  } else if (static_cast<double>(needed) <
+                 static_cast<double>(sig.warm) * cfg_.down_threshold &&
+             sig.queued == 0 && sig.rejected_delta == 0 &&
+             sig.pending == 0 &&
+             (live_extra_replicas_ > 0 || live_extra_shards_ > 0)) {
+    if (++low_ticks_ >= cfg_.down_patience) {
+      const bool cooled =
+          !down_ever_ || sig.now - last_down_ns_ >= cfg_.down_cooldown_ns;
+      if (!cooled) {
+        ++sample.suppressed_cooldown;
+      } else if (governor_admit(sig.now, 1) < 1) {
+        ++sample.suppressed_governor;
+      } else {
+        // One step per decision, replicas before shards: the admission
+        // plane shrinks only after every joiner it was grown for is gone.
+        if (live_extra_replicas_ > 0) {
+          d.remove_replicas = 1;
+          --live_extra_replicas_;
+        } else {
+          d.remove_shards = 1;
+          --live_extra_shards_;
+        }
+        last_down_ns_ = sig.now;
+        down_ever_ = true;
+        low_ticks_ = 0;
+      }
+    }
+  } else {
+    low_ticks_ = 0;  // the lull was interrupted: patience restarts
+  }
+
+  sample.decision = d;
+  trace_.push_back(sample);
+  return d;
+}
+
+void ElasticController::on_join_abandoned() {
+  if (live_extra_replicas_ > 0) --live_extra_replicas_;
+}
+
+void ElasticController::on_scale_in_aborted() { ++live_extra_replicas_; }
+
+void ElasticController::on_shard_retire_aborted() { ++live_extra_shards_; }
+
+}  // namespace confbench::sched

@@ -1,0 +1,202 @@
+// Closed-loop elastic scaling for the sharded fabric.
+//
+// PR 8 gave the shard fabric live membership, but every scale event was
+// still *scripted* in a FaultPlan. ElasticController closes the loop: it
+// consumes the signals the fabric already emits — rejected_delta (queue-full
+// 429s plus overload-guard early rejections), queue depth, the learned EWMA
+// service time — and *originates* churn events (replica joins, shard joins,
+// replica scale-in) on the virtual clock.
+//
+// Why a naive loop fails on confidential fleets: capacity reacts slowly.
+// A joiner pays the platform cold start (initial memory acceptance / RMP
+// population / realm delegation on TDX and SNP) *plus* a join-time
+// re-attestation before it may serve — ~3.7 virtual seconds on TDX. A
+// purely reactive loop therefore either arrives long after the flash crowd
+// (every request in the gap is rejected) or, chasing an oscillating load,
+// flaps the ring and pays the churn cost forever. The controller addresses
+// both by construction:
+//
+//   * predictive mode — a Holt linear-trend forecast of the arrival rate
+//     (level + trend exponential smoothing) sizes the fleet for the demand
+//     expected `lead_time_ns` ahead (cold start + measured join re-attest),
+//     so capacity ordered on the ramp's first ticks is warm when the peak
+//     arrives. Reactive mode sizes for current demand only; the bench
+//     compares the two head-to-head.
+//   * anti-flapping brakes — per-direction cooldowns (a scale-out does not
+//     suppress a scale-in and vice versa), a hysteresis band between the
+//     scale-out and scale-in thresholds, scale-down patience, and a
+//     max-churn-rate governor bounding membership events per sliding
+//     window, so an oscillating load cannot thrash the ring.
+//   * bounded, self-owned capacity — the controller only ever removes
+//     capacity it added (the experiment's base fleet is its floor), and
+//     cumulative orders are capped, which is also what lets the experiment
+//     pre-size every slot a run can ever need (the HashRing contract).
+//
+// Like Autoscaler, this class is pure decision logic: the experiment feeds
+// it one ElasticSignals snapshot per tick and applies the returned orders,
+// which keeps the policy unit-testable and the event schedule
+// deterministic. Join failures (cold-start crash, attest outage during the
+// join re-attest) are the *experiment's* to detect and retry; the
+// controller only hears about permanently abandoned joins and aborted
+// scale-ins so its capacity ledger stays truthful.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <vector>
+
+#include "sim/time.h"
+
+namespace confbench::sched {
+
+struct ElasticConfig {
+  bool enabled = false;
+  /// Holt-forecast lead-time sizing (see header comment). Off = reactive:
+  /// size for the current tick's demand only.
+  bool predictive = false;
+  sim::Ns tick_ns = 50 * sim::kMs;
+  /// How far ahead predictive mode sizes capacity. Set it to the measured
+  /// cold start plus the measured join re-attest: that is exactly how long
+  /// an order takes to become warm capacity.
+  sim::Ns lead_time_ns = 0;
+  /// Fleet is sized so demand_rps / capacity_rps stays at or below this.
+  double target_utilization = 0.80;
+  /// Holt smoothing: level_alpha on the per-tick rate, trend_beta on the
+  /// level's first difference.
+  double level_alpha = 0.4;
+  double trend_beta = 0.2;
+
+  // --- anti-flapping brakes -------------------------------------------------
+  /// Scale in only when needed capacity falls below warm * down_threshold
+  /// (the hysteresis band between this and the scale-out point at
+  /// needed > have keeps a borderline fleet from oscillating).
+  double down_threshold = 0.6;
+  /// Consecutive low ticks before one replica is removed.
+  int down_patience = 4;
+  /// Minimum gap between scale-out orders / between scale-in orders.
+  sim::Ns up_cooldown_ns = 0;
+  sim::Ns down_cooldown_ns = 0;
+  /// Max-churn-rate governor: at most this many membership events ordered
+  /// in any sliding churn_window_ns (0 = unlimited).
+  int max_events_per_window = 0;
+  sim::Ns churn_window_ns = 2 * sim::kSec;
+
+  // --- capacity budget ------------------------------------------------------
+  /// Cumulative cap on controller-ordered joiners beyond the base fleet
+  /// (also the experiment's pre-sizing bound). 0 disables scale-out.
+  int max_extra_replicas = 0;
+  /// Order one gateway shard join per this many joiners ordered, so the
+  /// admission plane grows with the fleet (0 = replicas only).
+  int replicas_per_shard = 0;
+  int max_extra_shards = 0;
+
+  // --- join fault handling (consumed by the experiment) ---------------------
+  /// Attempts per joiner before the join is abandoned.
+  int join_max_attempts = 4;
+  /// Backoff after a failed attempt: join_backoff_ns * mult^(attempt-1).
+  sim::Ns join_backoff_ns = 100 * sim::kMs;
+  double join_backoff_mult = 2.0;
+  /// Join-time re-attestation charged per attempt on secure fleets when no
+  /// verification service is wired (with ShardedConfig::attest_svc the
+  /// join verifies through the live service instead).
+  sim::Ns join_attest_ns = 0;
+};
+
+/// One controller tick's observations, assembled by the experiment.
+struct ElasticSignals {
+  sim::Ns now = 0;
+  std::uint64_t arrivals_delta = 0;  ///< requests offered since last tick
+  std::uint64_t rejected_delta = 0;  ///< 429s + early rejections since last
+  std::uint64_t queued = 0;          ///< fleetwide queued-but-unstarted
+  std::uint64_t in_service = 0;
+  int warm = 0;     ///< live warm replicas, fleetwide
+  int pending = 0;  ///< ordered capacity not yet warm (booting + joining)
+  /// Modeled throughput of one warm replica; the experiment substitutes
+  /// the learned EWMA-derived capacity once enough completions exist.
+  double per_replica_rps = 0;
+};
+
+/// What the experiment should do this tick.
+struct ElasticDecision {
+  int add_replicas = 0;     ///< order this many joiners
+  int add_shards = 0;       ///< order this many gateway shard joins
+  int remove_replicas = 0;  ///< scale in one controller-added replica
+  int remove_shards = 0;    ///< retire one controller-added shard
+  [[nodiscard]] bool any() const {
+    return add_replicas || add_shards || remove_replicas || remove_shards;
+  }
+};
+
+/// One tick's observation + forecast + decision, kept for traces/CSV.
+struct ElasticSample {
+  sim::Ns t = 0;
+  double rate_rps = 0;      ///< raw per-tick arrival rate
+  double level_rps = 0;     ///< Holt level
+  double trend_rps = 0;     ///< Holt trend (per tick)
+  double demand_rps = 0;    ///< rate the decision sized for
+  std::uint64_t rejected_delta = 0;
+  std::uint64_t queued = 0;
+  int warm = 0;
+  int pending = 0;
+  int needed = 0;  ///< replicas the demand requires at target utilization
+  ElasticDecision decision;
+  std::uint64_t suppressed_cooldown = 0;  ///< orders a cooldown swallowed
+  std::uint64_t suppressed_governor = 0;  ///< orders the governor swallowed
+};
+
+class ElasticController {
+ public:
+  explicit ElasticController(ElasticConfig cfg);
+
+  /// One policy tick: updates the forecast, applies the brakes, returns
+  /// the orders. The experiment applies them (and later reports permanent
+  /// failures through the on_* feedback calls).
+  [[nodiscard]] ElasticDecision evaluate(const ElasticSignals& sig);
+
+  /// A joiner exhausted its attempts and was abandoned: the capacity will
+  /// never arrive, so the live-extra ledger shrinks (the cumulative order
+  /// budget stays spent — an abandoned slot is not reusable, because the
+  /// experiment pre-sized exactly max_extra_replicas slots).
+  void on_join_abandoned();
+  /// A scale-in order was aborted (drain target tripped its breaker): the
+  /// replica stays in the fleet, so the ledger grows back.
+  void on_scale_in_aborted();
+  void on_shard_retire_aborted();
+
+  [[nodiscard]] const ElasticConfig& config() const { return cfg_; }
+  [[nodiscard]] const std::vector<ElasticSample>& trace() const {
+    return trace_;
+  }
+  /// Cumulative joiners ordered (never refunded; bounds pre-sizing).
+  [[nodiscard]] int ordered_replicas() const { return ordered_replicas_; }
+  [[nodiscard]] int ordered_shards() const { return ordered_shards_; }
+  /// Controller-added capacity currently alive (orders - removes -
+  /// abandons); the only capacity scale-in may target.
+  [[nodiscard]] int live_extra_replicas() const {
+    return live_extra_replicas_;
+  }
+  [[nodiscard]] int live_extra_shards() const { return live_extra_shards_; }
+
+ private:
+  /// Governor admission: how many of `want` membership events fit in the
+  /// sliding window right now. Records the granted ones.
+  int governor_admit(sim::Ns now, int want);
+
+  ElasticConfig cfg_;
+  bool seen_ = false;
+  double level_ = 0;
+  double trend_ = 0;
+  int low_ticks_ = 0;
+  int ordered_replicas_ = 0;
+  int ordered_shards_ = 0;
+  int live_extra_replicas_ = 0;
+  int live_extra_shards_ = 0;
+  sim::Ns last_up_ns_ = 0;
+  bool up_ever_ = false;
+  sim::Ns last_down_ns_ = 0;
+  bool down_ever_ = false;
+  std::deque<sim::Ns> churn_events_;  ///< governor's sliding window
+  std::vector<ElasticSample> trace_;
+};
+
+}  // namespace confbench::sched

@@ -326,6 +326,28 @@ std::string ShardedResult::to_json() const {
   w.key("revocations").value(attest.revocations);
   w.key("tcb_recoveries").value(attest.tcb_recoveries);
   w.end_object();
+  w.key("elastic");
+  w.begin_object();
+  w.key("enabled").value(cfg.elastic.enabled);
+  w.key("predictive").value(cfg.elastic.predictive);
+  w.key("ticks").value(elastic.ticks);
+  w.key("replica_orders").value(elastic.replica_orders);
+  w.key("shard_orders").value(elastic.shard_orders);
+  w.key("joins_completed").value(elastic.joins_completed);
+  w.key("shard_joins_completed").value(elastic.shard_joins_completed);
+  w.key("join_crashes").value(elastic.join_crashes);
+  w.key("join_attest_failures").value(elastic.join_attest_failures);
+  w.key("join_retries").value(elastic.join_retries);
+  w.key("joins_abandoned").value(elastic.joins_abandoned);
+  w.key("scale_ins").value(elastic.scale_ins);
+  w.key("scale_in_aborts").value(elastic.scale_in_aborts);
+  w.key("shard_retires").value(elastic.shard_retires);
+  w.key("suppressed_cooldown").value(elastic.suppressed_cooldown);
+  w.key("suppressed_governor").value(elastic.suppressed_governor);
+  w.key("warm_replica_seconds").value(elastic.warm_replica_seconds);
+  w.key("last_reject_ns").value(last_reject_ns);
+  w.key("latency_window_p99_ns").value(latency_window.p99());
+  w.end_object();
   w.key("churn");
   w.begin_object();
   w.key("shard_joins").value(churn.shard_joins);
@@ -443,6 +465,11 @@ ShardedResult ShardedExperiment::run_with_model(
   // anything the event handlers hold references into. Indices are stable
   // for the run — exactly the HashRing contract.
   const bool churn = cfg_.faults.has_churn();
+  const bool elastic_on = cfg_.elastic.enabled;
+  /// Paths that must survive live membership changes (re-routing onto a
+  /// dead shard, ring-movement probes) are needed by scripted churn and
+  /// controller-originated churn alike.
+  const bool topo_dynamic = churn || elastic_on;
   int s_max = frontend.shards();
   auto r_max = static_cast<std::uint32_t>(cfg_.replicas);
   if (churn)
@@ -450,6 +477,13 @@ ShardedResult ShardedExperiment::run_with_model(
       if (e.kind == fault::FaultKind::kShardJoin) ++s_max;
       if (e.kind == fault::FaultKind::kReplicaAdd) r_max += e.replica;
     }
+  // The controller's capacity budget bounds everything it can ever order,
+  // so elastic joiners pre-size the same way scripted churn does.
+  if (elastic_on) {
+    s_max += cfg_.elastic.max_extra_shards;
+    r_max += static_cast<std::uint32_t>(
+        std::max(0, cfg_.elastic.max_extra_replicas));
+  }
   const int S = s_max;
 
   sim::VirtualClock clock;
@@ -630,7 +664,7 @@ ShardedResult ShardedExperiment::run_with_model(
     // The overload guard learns the shard's service time as an EWMA over
     // every start it dispatched (duration is known at start in the
     // simulation — the model already rolled the jitter).
-    if (cfg_.shard.early_reject) {
+    if (cfg_.shard.early_reject || elastic_on) {
       ShardState& dsh = shards[reqs[id].copy[cid].shard];
       const auto dur = static_cast<double>(finish - clock.now());
       dsh.ewma_service =
@@ -730,6 +764,7 @@ ShardedResult ShardedExperiment::run_with_model(
         // 429 back to the client: typed, terminal, accounted.
         ++res.rejected;
         ++sh.rejected;
+        res.last_reject_ns = clock.now();
         reqs[id].done = true;
       }
       rq.copy[cid].where = SCopy::Where::kNone;
@@ -794,6 +829,10 @@ ShardedResult ShardedExperiment::run_with_model(
     const std::uint32_t s = rq.copy[cid].shard;
     if (id >= cfg_.warmup_requests) {
       res.latency.record(lat);
+      if (cfg_.measure_end_ns > cfg_.measure_start_ns &&
+          clock.now() >= cfg_.measure_start_ns &&
+          clock.now() < cfg_.measure_end_ns)
+        res.latency_window.record(lat);
       if (chaos && windows_active > 0) res.latency_fault.record(lat);
       if (rq.crossed)
         res.latency_cross.record(lat);
@@ -929,7 +968,7 @@ ShardedResult ShardedExperiment::run_with_model(
     // The shard left the ring while the request was in transit: re-route
     // from scratch over the live membership (route() only ever returns
     // live shards, so this cannot loop on a stable topology).
-    if (churn && !frontend.shard_live(s)) {
+    if (topo_dynamic && !frontend.shard_live(s)) {
       rq.chain = frontend.route(id);
       rq.chain_pos = 0;
       send_to_shard(id);
@@ -959,6 +998,7 @@ ShardedResult ShardedExperiment::run_with_model(
           ++sh.rejected;  // autoscaler signal
           ++sh.stats.early_rejected;
           ++res.churn.early_rejected;
+          res.last_reject_ns = clock.now();
           rq.done = true;
           return;
         }
@@ -1152,7 +1192,7 @@ ShardedResult ShardedExperiment::run_with_model(
   // event actually moved (the ~1/N minimal-disruption bound the bench
   // asserts). Fixed keys, fixed count — no RNG, no clock.
   std::vector<std::uint64_t> probe_keys;
-  if (churn) {
+  if (topo_dynamic) {
     probe_keys.reserve(2048);
     for (std::uint64_t i = 0; i < 2048; ++i)
       probe_keys.push_back(
@@ -1266,55 +1306,98 @@ ShardedResult ShardedExperiment::run_with_model(
     events.after(wire + attest_ns, [&, id] { admit(id); });
   };
 
+  // Membership-change bodies, shared between the scripted FaultPlan replay
+  // and the elastic controller's self-originated events. Both return false
+  // when the structural guards refuse the change (nothing to remove, last
+  // live member) — the scripted path ignores that, the controller path
+  // turns it into an abort it reports back to its ledger.
+  const auto do_shard_join = [&] {
+    const auto before = ring_owners();
+    std::vector<SliceMove> moves;
+    const int s = frontend.add_shard(&moves);
+    record_movement(before,
+                    static_cast<std::size_t>(frontend.live_shards()));
+    ++res.churn.shard_joins;
+    shards[static_cast<std::size_t>(s)].stats.live = true;
+    apply_moves(moves);
+    return static_cast<std::uint32_t>(s);
+  };
+
+  const auto do_shard_leave = [&](std::uint32_t s) -> bool {
+    if (s >= static_cast<std::uint32_t>(frontend.shards()) ||
+        !frontend.shard_live(s) || frontend.live_shards() <= 1)
+      return false;  // nothing to leave — refuse rather than wedge the run
+    const auto n_before =
+        static_cast<std::size_t>(frontend.live_shards());
+    const auto before = ring_owners();
+    const auto moves = frontend.remove_shard(s);
+    record_movement(before, n_before);
+    ++res.churn.shard_leaves;
+    shards[s].stats.live = false;
+    apply_moves(moves);
+    // Handoff protocol: queued-but-unstarted copies this shard
+    // dispatched leave its queues and forward to the new owners;
+    // active (and black-holed) copies drain in place and release
+    // against this shard's pool when they finish.
+    for (std::uint64_t id = 0; id < reqs.size(); ++id) {
+      for (int cid = 0; cid < 2; ++cid) {
+        SCopy& cp = reqs[id].copy[cid];
+        if (cp.shard != s) continue;
+        if (cp.where == SCopy::Where::kActive ||
+            cp.where == SCopy::Where::kBlackhole) {
+          ++res.churn.handoff_drained;
+          continue;
+        }
+        if (cp.where != SCopy::Where::kQueued) continue;
+        if (!reps[cp.replica].queue.cancel(cp.ticket)) continue;
+        shards[s].pool.release(&shards[s].pool.member(cp.replica));
+        cp.where = SCopy::Where::kNone;
+        // A hedge backup dies with its shard; the primary forwards.
+        if (cid == 0 && !reqs[id].done) handoff_forward(id, s);
+      }
+    }
+    return true;
+  };
+
+  const auto do_replica_remove = [&](std::uint32_t r) -> bool {
+    if (!frontend.replica_live(r) || frontend.live_replicas() <= 1)
+      return false;
+    const auto moves = frontend.remove_replica(r);
+    ++res.churn.replica_removes;
+    apply_moves(moves);
+    // Queued copies re-dispatch through their shard's current slice;
+    // active work drains in place (the VM finishes what it started).
+    for (std::uint64_t id = 0; id < reqs.size(); ++id) {
+      for (int cid = 0; cid < 2; ++cid) {
+        SCopy& cp = reqs[id].copy[cid];
+        if (cp.replica != r) continue;
+        if (cp.where == SCopy::Where::kActive) {
+          ++res.churn.handoff_drained;
+          continue;
+        }
+        if (cp.where != SCopy::Where::kQueued) continue;
+        if (!reps[r].queue.cancel(cp.ticket)) continue;
+        shards[cp.shard].pool.release(
+            &shards[cp.shard].pool.member(r));
+        cp.where = SCopy::Where::kNone;
+        if (cid == 0 && !reqs[id].done) {
+          ++res.churn.handoff_forwarded;
+          dispatch(id, 0);
+        }
+      }
+    }
+    reps[r].state = SReplica::St::kParked;
+    return true;
+  };
+
   const auto apply_churn = [&](const fault::FaultEvent& e) {
     switch (e.kind) {
-      case fault::FaultKind::kShardJoin: {
-        const auto before = ring_owners();
-        std::vector<SliceMove> moves;
-        const int s = frontend.add_shard(&moves);
-        record_movement(before,
-                        static_cast<std::size_t>(frontend.live_shards()));
-        ++res.churn.shard_joins;
-        shards[static_cast<std::size_t>(s)].stats.live = true;
-        apply_moves(moves);
+      case fault::FaultKind::kShardJoin:
+        do_shard_join();
         break;
-      }
-      case fault::FaultKind::kShardLeave: {
-        const std::uint32_t s = e.replica;  // shard index (see FaultEvent)
-        if (s >= static_cast<std::uint32_t>(frontend.shards()) ||
-            !frontend.shard_live(s) || frontend.live_shards() <= 1)
-          break;  // nothing to leave — ignore rather than wedge the run
-        const auto n_before =
-            static_cast<std::size_t>(frontend.live_shards());
-        const auto before = ring_owners();
-        const auto moves = frontend.remove_shard(s);
-        record_movement(before, n_before);
-        ++res.churn.shard_leaves;
-        shards[s].stats.live = false;
-        apply_moves(moves);
-        // Handoff protocol: queued-but-unstarted copies this shard
-        // dispatched leave its queues and forward to the new owners;
-        // active (and black-holed) copies drain in place and release
-        // against this shard's pool when they finish.
-        for (std::uint64_t id = 0; id < reqs.size(); ++id) {
-          for (int cid = 0; cid < 2; ++cid) {
-            SCopy& cp = reqs[id].copy[cid];
-            if (cp.shard != s) continue;
-            if (cp.where == SCopy::Where::kActive ||
-                cp.where == SCopy::Where::kBlackhole) {
-              ++res.churn.handoff_drained;
-              continue;
-            }
-            if (cp.where != SCopy::Where::kQueued) continue;
-            if (!reps[cp.replica].queue.cancel(cp.ticket)) continue;
-            shards[s].pool.release(&shards[s].pool.member(cp.replica));
-            cp.where = SCopy::Where::kNone;
-            // A hedge backup dies with its shard; the primary forwards.
-            if (cid == 0 && !reqs[id].done) handoff_forward(id, s);
-          }
-        }
+      case fault::FaultKind::kShardLeave:
+        do_shard_leave(e.replica);  // shard index (see FaultEvent)
         break;
-      }
       case fault::FaultKind::kReplicaAdd: {
         for (std::uint32_t i = 0; i < e.replica; ++i) {  // count (see doc)
           std::vector<SliceMove> moves;
@@ -1328,40 +1411,228 @@ ShardedResult ShardedExperiment::run_with_model(
         }
         break;
       }
-      case fault::FaultKind::kReplicaRemove: {
-        const std::uint32_t r = e.replica;
-        if (!frontend.replica_live(r) || frontend.live_replicas() <= 1)
-          break;
-        const auto moves = frontend.remove_replica(r);
-        ++res.churn.replica_removes;
-        apply_moves(moves);
-        // Queued copies re-dispatch through their shard's current slice;
-        // active work drains in place (the VM finishes what it started).
-        for (std::uint64_t id = 0; id < reqs.size(); ++id) {
-          for (int cid = 0; cid < 2; ++cid) {
-            SCopy& cp = reqs[id].copy[cid];
-            if (cp.replica != r) continue;
-            if (cp.where == SCopy::Where::kActive) {
-              ++res.churn.handoff_drained;
-              continue;
-            }
-            if (cp.where != SCopy::Where::kQueued) continue;
-            if (!reps[r].queue.cancel(cp.ticket)) continue;
-            shards[cp.shard].pool.release(
-                &shards[cp.shard].pool.member(r));
-            cp.where = SCopy::Where::kNone;
-            if (cid == 0 && !reqs[id].done) {
-              ++res.churn.handoff_forwarded;
-              dispatch(id, 0);
-            }
-          }
-        }
-        reps[r].state = SReplica::St::kParked;
+      case fault::FaultKind::kReplicaRemove:
+        do_replica_remove(e.replica);
         break;
-      }
       default:
         break;
     }
+  };
+
+  // --- elastic controller ----------------------------------------------------
+  // Closed-loop scaling: the controller observes the fabric's own signals
+  // each tick and originates the same membership events the FaultPlan
+  // scripts, through the shared do_* bodies above. Joins are fault-
+  // tolerant and zero-loss by construction: a joiner boots and attests
+  // entirely *outside* the topology and only a fully verified one touches
+  // the ring, so a crash mid-cold-start or a failed join re-attest strands
+  // nothing — it is detected when the join deadline passes, charged, and
+  // retried with backoff until the attempt budget runs out.
+  std::unique_ptr<ElasticController> ctrl;
+  if (elastic_on) ctrl = std::make_unique<ElasticController>(cfg_.elastic);
+  const auto crash_windows = cfg_.faults.join_crashes();
+  const auto outage_windows = cfg_.faults.attest_outages();
+  std::vector<std::uint32_t> elastic_added;   ///< joiners on the ring
+  std::vector<std::uint32_t> elastic_shards;  ///< controller-added shards
+  int joins_in_flight = 0;
+  int joiner_seq = 0;
+
+  std::function<void(int, int)> join_attempt;
+
+  const auto join_complete = [&] {
+    std::vector<SliceMove> moves;
+    const std::uint32_t r = frontend.add_replica(&moves);
+    ++res.churn.replica_adds;
+    ++res.elastic.joins_completed;
+    elastic_added.push_back(r);
+    // Warm *before* the ownership move: the joiner booted and attested
+    // outside the topology, so apply_moves transfers it as live capacity.
+    reps[r].state = SReplica::St::kWarm;
+    apply_moves(moves);
+    --joins_in_flight;
+  };
+
+  const auto join_failed = [&](int j, int attempt) {
+    if (attempt >= cfg_.elastic.join_max_attempts) {
+      ++res.elastic.joins_abandoned;
+      ctrl->on_join_abandoned();
+      --joins_in_flight;
+      return;
+    }
+    ++res.elastic.join_retries;
+    const sim::Ns backoff =
+        cfg_.elastic.join_backoff_ns *
+        std::pow(cfg_.elastic.join_backoff_mult, attempt - 1);
+    events.after(backoff, [&, j, attempt] { join_attempt(j, attempt + 1); });
+  };
+
+  join_attempt = [&](int j, int attempt) {
+    // A cold start begun inside a join-crash window dies mid-boot. The
+    // control plane only finds out when the join deadline (the full cold
+    // start) passes — the crash is charged in full, never short-circuited.
+    bool crashed = false;
+    for (const auto& w : crash_windows)
+      if (clock.now() >= w.first && clock.now() < w.second) {
+        crashed = true;
+        break;
+      }
+    if (crashed) {
+      events.after(model.cold_start_ns, [&, j, attempt] {
+        ++res.elastic.join_crashes;
+        join_failed(j, attempt);
+      });
+      return;
+    }
+    events.after(model.cold_start_ns, [&, j, attempt] {
+      // Join-time re-attestation. Normal fleets have no evidence to
+      // verify; secure fleets verify through the live service when it is
+      // wired, else pay the flat per-attempt cost — failing the attempt
+      // when an attest outage overlaps it.
+      if (!cfg_.secure) {
+        join_complete();
+        return;
+      }
+      if (vsvc) {
+        // The joiner's evidence is its own subject, distinct from the
+        // shard subjects 0..S-1 the cross-admissions verify — a retry
+        // must re-verify, not resume a ticket it never earned.
+        vsvc->verify(
+            static_cast<std::uint64_t>(S) + static_cast<std::uint64_t>(j),
+            /*tcb=*/0, /*deadline=*/0,
+            [&, j, attempt](const attest::svc::VerifyOutcome& out) {
+              if (out.ok()) {
+                join_complete();
+                return;
+              }
+              ++res.elastic.join_attest_failures;
+              join_failed(j, attempt);
+            });
+        return;
+      }
+      const sim::Ns a = std::max<sim::Ns>(cfg_.elastic.join_attest_ns, 0.0);
+      const sim::Ns t0 = clock.now();
+      bool fail = false;
+      for (const auto& w : outage_windows)
+        if (t0 < w.second && t0 + a > w.first) {
+          fail = true;
+          break;
+        }
+      events.after(a, [&, j, attempt, fail] {
+        if (fail) {
+          ++res.elastic.join_attest_failures;
+          join_failed(j, attempt);
+        } else {
+          join_complete();
+        }
+      });
+    });
+  };
+
+  const auto elastic_scale_in = [&] {
+    // Scale-in only ever targets controller-added capacity, newest first;
+    // the base fleet is the controller's floor.
+    std::uint32_t victim = SliceMove::kUnowned;
+    for (auto it = elastic_added.rbegin(); it != elastic_added.rend(); ++it)
+      if (frontend.replica_live(*it)) {
+        victim = *it;
+        break;
+      }
+    bool abort = victim == SliceMove::kUnowned;
+    if (!abort) {
+      const std::uint32_t os = reps[victim].shard;
+      // The drain target must be healthy: a breaker-open replica is
+      // already failing its work, and removing it would re-dispatch its
+      // queue into a shard that just proved it cannot absorb it.
+      abort = os == SliceMove::kUnowned ||
+              shards[os].breakers[victim].state() !=
+                  fault::BreakerState::kClosed;
+    }
+    if (abort || !do_replica_remove(victim)) {
+      ++res.elastic.scale_in_aborts;
+      ctrl->on_scale_in_aborted();
+      return;
+    }
+    ++res.elastic.scale_ins;
+  };
+
+  const auto elastic_shard_retire = [&] {
+    std::uint32_t victim = SliceMove::kUnowned;
+    for (auto it = elastic_shards.rbegin(); it != elastic_shards.rend();
+         ++it)
+      if (frontend.shard_live(*it)) {
+        victim = *it;
+        break;
+      }
+    if (victim == SliceMove::kUnowned || !do_shard_leave(victim)) {
+      ctrl->on_shard_retire_aborted();
+      return;
+    }
+    ++res.elastic.shard_retires;
+  };
+
+  std::uint64_t e_last_offered = 0;
+  std::uint64_t e_last_rejected = 0;
+  const double model_rps =
+      model.replica_capacity_rps(cfg_.queue.concurrency);
+  std::function<void()> etick = [&] {
+    ++res.elastic.ticks;
+    int fleet_warm = 0;
+    int fleet_booting = 0;
+    for (const ShardState& sh : shards) {
+      fleet_warm += sh.warm;
+      fleet_booting += sh.booting;
+    }
+    std::uint64_t queued = 0;
+    std::uint64_t in_service = 0;
+    for (const SReplica& rep : reps) {
+      queued += rep.queue.queued();
+      in_service += static_cast<std::uint64_t>(rep.queue.in_service());
+    }
+    res.elastic.warm_replica_seconds +=
+        static_cast<double>(fleet_warm) * (cfg_.elastic.tick_ns / sim::kSec);
+    // Capacity per warm replica: the model's value until enough real
+    // completions exist, then the fleetwide learned EWMA service time —
+    // the same signal the overload guard trusts.
+    double per_rps = model_rps;
+    double wsvc = 0;
+    std::uint64_t wn = 0;
+    for (const ShardState& sh : shards) {
+      if (sh.ewma_samples == 0) continue;
+      wsvc += sh.ewma_service * static_cast<double>(sh.ewma_samples);
+      wn += sh.ewma_samples;
+    }
+    if (wn >= 64 && wsvc > 0)
+      per_rps = static_cast<double>(cfg_.queue.concurrency) * sim::kSec *
+                static_cast<double>(wn) / wsvc;
+    ElasticSignals sig;
+    sig.now = clock.now();
+    sig.arrivals_delta = res.offered - e_last_offered;
+    e_last_offered = res.offered;
+    sig.rejected_delta = res.rejected - e_last_rejected;
+    e_last_rejected = res.rejected;
+    sig.queued = queued;
+    sig.in_service = in_service;
+    sig.warm = fleet_warm;
+    sig.pending = fleet_booting + joins_in_flight;
+    sig.per_replica_rps = per_rps;
+    const ElasticDecision d = ctrl->evaluate(sig);
+    // Gateway shards join instantly (the admission plane is conventional
+    // infrastructure, no TEE boot), so new joiners slice onto them.
+    for (int i = 0; i < d.add_shards; ++i) {
+      ++res.elastic.shard_orders;
+      elastic_shards.push_back(do_shard_join());
+      ++res.elastic.shard_joins_completed;
+    }
+    for (int i = 0; i < d.add_replicas; ++i) {
+      ++res.elastic.replica_orders;
+      ++joins_in_flight;
+      join_attempt(joiner_seq++, 1);
+    }
+    if (d.remove_replicas > 0) elastic_scale_in();
+    if (d.remove_shards > 0) elastic_shard_retire();
+    if (issued < cfg_.requests || backlog_total() > 0 ||
+        joins_in_flight > 0)
+      events.after(cfg_.elastic.tick_ns, Action::ref(etick));
   };
 
   // --- fault replay ----------------------------------------------------------
@@ -1395,12 +1666,25 @@ ShardedResult ShardedExperiment::run_with_model(
     events.after(cfg_.probe_interval_ns, Action::ref(probe));
   }
   events.after(cfg_.scaler.tick_ns, Action::ref(tick));
+  if (elastic_on) events.after(cfg_.elastic.tick_ns, Action::ref(etick));
+  // Scheduled rate changes (flash-crowd ramps, oscillating load): gaps
+  // drawn after the step use the new rate; the arrival RNG stream is
+  // untouched, so stepped runs stay seed-reproducible.
+  for (const RateStep& st : cfg_.rate_steps)
+    events.at(st.at_ns, [&, st] { arrivals.set_rate(st.rate_rps); });
   if (cfg_.requests > 0)
     events.after(arrivals.next_gap(), Action::ref(on_arrival));
 
   events.run();
 
   res.makespan_ns = clock.now();
+  if (ctrl) {
+    for (const ElasticSample& s : ctrl->trace()) {
+      res.elastic.suppressed_cooldown += s.suppressed_cooldown;
+      res.elastic.suppressed_governor += s.suppressed_governor;
+    }
+    res.elastic_trace = ctrl->trace();
+  }
   for (int s = 0; s < frontend.shards(); ++s) {
     ShardState& sh = shards[static_cast<std::size_t>(s)];
     for (const fault::CircuitBreaker& br : sh.breakers)
@@ -1487,6 +1771,20 @@ ShardedResult ShardedExperiment::run_with_model(
     }
     if (cfg_.shard.early_reject)
       reg.counter("shard.early_rejected") += res.churn.early_rejected;
+    if (elastic_on) {
+      reg.counter("shard.elastic.replica_orders") +=
+          res.elastic.replica_orders;
+      reg.counter("shard.elastic.joins_completed") +=
+          res.elastic.joins_completed;
+      reg.counter("shard.elastic.join_crashes") += res.elastic.join_crashes;
+      reg.counter("shard.elastic.join_attest_failures") +=
+          res.elastic.join_attest_failures;
+      reg.counter("shard.elastic.joins_abandoned") +=
+          res.elastic.joins_abandoned;
+      reg.counter("shard.elastic.scale_ins") += res.elastic.scale_ins;
+      reg.counter("shard.elastic.scale_in_aborts") +=
+          res.elastic.scale_in_aborts;
+    }
     reg.histogram("shard.latency_ns").merge(res.latency);
   }
   return res;

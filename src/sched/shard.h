@@ -58,6 +58,7 @@
 #include "sched/arrivals.h"
 #include "sched/autoscaler.h"
 #include "sched/cluster.h"
+#include "sched/elastic.h"
 #include "sched/replica_queue.h"
 #include "sim/time.h"
 
@@ -203,12 +204,24 @@ struct WorkloadClass {
   double service_mult = 1.0;
 };
 
+/// One scheduled arrival-rate change (flash-crowd ramps, oscillating
+/// load). Steps fire on the virtual clock; the arrival RNG stream is
+/// untouched, so stepped runs stay seed-reproducible.
+struct RateStep {
+  sim::Ns at_ns = 0;
+  double rate_rps = 0;
+};
+
 struct ShardedConfig {
   std::string platform = "tdx";
   bool secure = true;
 
   ArrivalKind arrival = ArrivalKind::kPoisson;
   double rate_rps = 2000;
+  /// Scheduled rate changes applied on top of rate_rps (time-ordered by
+  /// the experiment; empty = constant rate, byte-identical to before the
+  /// field existed).
+  std::vector<RateStep> rate_steps;
   std::uint64_t requests = 20000;
   /// Excluded from latency histograms (autoscaler/hedge warm-up), still
   /// counted in offered/completed.
@@ -251,6 +264,20 @@ struct ShardedConfig {
   /// existing failover / fault::RetryVerdict path. An empty
   /// attest_svc.cost.platform measures the model via CostModel::measure.
   attest::svc::VerifyConfig attest_svc;
+
+  /// Closed-loop elastic controller (sched::ElasticController): consumes
+  /// the fabric's rejection/backlog signals and *originates* churn events
+  /// — replica joins paying cold start + join re-attest, shard joins,
+  /// replica scale-in — alongside any scripted churn. Disabled (the
+  /// default): no controller ticks are scheduled and the event stream is
+  /// byte-identical to builds without the controller.
+  ElasticConfig elastic;
+
+  /// Transition-measurement window [measure_start_ns, measure_end_ns):
+  /// completions inside it land in ShardedResult::latency_window (the
+  /// p99-during-transition the elastic bench compares). 0,0 = off.
+  sim::Ns measure_start_ns = 0;
+  sim::Ns measure_end_ns = 0;
 
   obs::Tracer* tracer = nullptr;  ///< per-shard spans + fleet metrics
 };
@@ -316,6 +343,28 @@ struct AttestSvcStats {
   std::uint64_t tcb_recoveries = 0;  ///< scheduled TCB-level bumps applied
 };
 
+/// Closed-loop scaling counters (all zero when ShardedConfig::elastic is
+/// disabled — the default, byte-identical configuration).
+struct ElasticStats {
+  std::uint64_t ticks = 0;            ///< controller evaluations
+  std::uint64_t replica_orders = 0;   ///< joiners ordered
+  std::uint64_t shard_orders = 0;     ///< gateway shard joins ordered
+  std::uint64_t joins_completed = 0;  ///< joiners that reached the ring
+  std::uint64_t shard_joins_completed = 0;
+  std::uint64_t join_crashes = 0;   ///< cold-start crashes detected
+  std::uint64_t join_attest_failures = 0;  ///< join re-attests failed
+  std::uint64_t join_retries = 0;   ///< failed attempts retried w/ backoff
+  std::uint64_t joins_abandoned = 0;  ///< gave up after max attempts
+  std::uint64_t scale_ins = 0;        ///< controller-ordered removals done
+  std::uint64_t scale_in_aborts = 0;  ///< drain target tripped its breaker
+  std::uint64_t shard_retires = 0;    ///< controller-ordered shard leaves
+  std::uint64_t suppressed_cooldown = 0;  ///< brake: per-direction cooldown
+  std::uint64_t suppressed_governor = 0;  ///< brake: max-churn-rate cap
+  /// Warm capacity integrated over controller ticks (replica-seconds of
+  /// virtual time) — the over-provisioning cost predictive mode pays.
+  double warm_replica_seconds = 0;
+};
+
 struct ShardedResult {
   ShardedConfig cfg;
   ServiceModel model;
@@ -327,6 +376,9 @@ struct ShardedResult {
   /// Completed after crossing to a non-home shard — the cross-shard
   /// failover tail the bench compares against latency_intra.
   metrics::LogHistogram latency_cross;
+  /// Completions inside the cfg measurement window (empty when the window
+  /// is unset) — the p99-during-transition of the elastic bench.
+  metrics::LogHistogram latency_window;
   std::uint64_t offered = 0;
   std::uint64_t completed = 0;
   std::uint64_t rejected = 0;   ///< 429-style replica admission rejections
@@ -341,8 +393,14 @@ struct ShardedResult {
   /// Terminal failure reasons -> count (typed core::ErrorCode names).
   std::map<std::string, std::uint64_t> failure_codes;
   std::vector<ShardStats> shards;
-  AttestSvcStats attest;  ///< verification-service counters (see above)
-  ChurnStats churn;       ///< live-topology churn counters (see above)
+  AttestSvcStats attest;   ///< verification-service counters (see above)
+  ChurnStats churn;        ///< live-topology churn counters (see above)
+  ElasticStats elastic;    ///< closed-loop scaling counters (see above)
+  std::vector<ElasticSample> elastic_trace;  ///< one row per controller tick
+  /// Instant of the run's last admission rejection (429 or early reject);
+  /// negative when nothing was ever rejected. Time-to-absorb = this minus
+  /// the ramp start, for runs whose overload ends once capacity arrives.
+  sim::Ns last_reject_ns = -1;
   sim::Ns makespan_ns = 0;
 
   [[nodiscard]] double throughput_rps() const;

@@ -1,0 +1,376 @@
+// Closed-loop elastic control: the controller's policy (Holt forecast,
+// rejection kick, hysteresis/cooldown/governor brakes, capacity budget),
+// and the fabric integration — fault-tolerant controller-originated joins
+// (cold-start crashes, attest outages during the join re-attest, retry
+// with backoff, abandonment), scale-in aborts on unhealthy drain targets,
+// and the zero-lost-requests invariant through all of it.
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "fault/fault.h"
+#include "sched/elastic.h"
+#include "sched/shard.h"
+#include "sim/time.h"
+
+namespace confbench::sched {
+namespace {
+
+using sim::kMs;
+using sim::kSec;
+
+// --- ElasticController policy ------------------------------------------------
+
+ElasticConfig policy_config() {
+  ElasticConfig cfg;
+  cfg.enabled = true;
+  cfg.tick_ns = 100 * kMs;
+  cfg.max_extra_replicas = 16;
+  return cfg;
+}
+
+ElasticSignals steady(sim::Ns now, std::uint64_t arrivals, int warm,
+                      double per_replica_rps = 100.0) {
+  ElasticSignals sig;
+  sig.now = now;
+  sig.arrivals_delta = arrivals;
+  sig.warm = warm;
+  sig.per_replica_rps = per_replica_rps;
+  return sig;
+}
+
+TEST(ElasticController, ValidatesConfig) {
+  ElasticConfig bad = policy_config();
+  bad.tick_ns = 0;
+  EXPECT_THROW(ElasticController{bad}, std::invalid_argument);
+  bad = policy_config();
+  bad.target_utilization = 1.5;
+  EXPECT_THROW(ElasticController{bad}, std::invalid_argument);
+  bad = policy_config();
+  bad.down_threshold = 1.0;  // hysteresis band must stay open
+  EXPECT_THROW(ElasticController{bad}, std::invalid_argument);
+  bad = policy_config();
+  bad.join_backoff_mult = 0.5;
+  EXPECT_THROW(ElasticController{bad}, std::invalid_argument);
+}
+
+TEST(ElasticController, RejectionKickOrdersAboveCurrentCapacity) {
+  // Rejections are ground truth, whatever the rate model believes: a tick
+  // with zero observed arrivals but fresh rejections must still scale out.
+  ElasticController c(policy_config());
+  ElasticSignals sig = steady(0, 0, 3);
+  sig.rejected_delta = 5;
+  const ElasticDecision d = c.evaluate(sig);
+  EXPECT_EQ(d.add_replicas, 1);
+  EXPECT_EQ(c.live_extra_replicas(), 1);
+  EXPECT_EQ(c.ordered_replicas(), 1);
+}
+
+TEST(ElasticController, PredictiveOrdersBeforeReactiveOnARamp) {
+  // Arrival rate ramps linearly; one warm replica serves 100 rps. The
+  // predictive controller extrapolates the Holt trend lead_time ahead and
+  // must order strictly earlier than the reactive one.
+  ElasticConfig reactive = policy_config();
+  reactive.target_utilization = 1.0;
+  ElasticConfig predictive = reactive;
+  predictive.predictive = true;
+  predictive.lead_time_ns = 10 * reactive.tick_ns;
+  ElasticController cr(reactive);
+  ElasticController cp(predictive);
+  int first_reactive = -1;
+  int first_predictive = -1;
+  for (int t = 0; t < 40; ++t) {
+    // +2 arrivals per tick per tick: rate(t) = 20*t rps at 100ms ticks.
+    const auto arrivals = static_cast<std::uint64_t>(2 * t);
+    const sim::Ns now = t * reactive.tick_ns;
+    if (cr.evaluate(steady(now, arrivals, 1)).add_replicas > 0 &&
+        first_reactive < 0)
+      first_reactive = t;
+    if (cp.evaluate(steady(now, arrivals, 1)).add_replicas > 0 &&
+        first_predictive < 0)
+      first_predictive = t;
+  }
+  ASSERT_GE(first_reactive, 0);
+  ASSERT_GE(first_predictive, 0);
+  EXPECT_LT(first_predictive, first_reactive)
+      << "lead-time forecast must order capacity ahead of need";
+}
+
+TEST(ElasticController, HysteresisBandHoldsABorderlineFleet) {
+  ElasticConfig cfg = policy_config();
+  cfg.target_utilization = 1.0;
+  cfg.down_threshold = 0.5;
+  cfg.down_patience = 1;
+  ElasticController c(cfg);
+  // Acquire one extra so scale-in has something to target.
+  ElasticSignals kick = steady(0, 0, 4);
+  kick.rejected_delta = 1;
+  ASSERT_EQ(c.evaluate(kick).add_replicas, 1);
+  // needed = 3 with warm = 5: below the scale-out point, above the
+  // scale-in point (5 * 0.5 = 2.5) — the band must hold both directions.
+  for (int t = 1; t <= 20; ++t) {
+    const ElasticDecision d =
+        c.evaluate(steady(t * cfg.tick_ns, 30, /*warm=*/5));
+    EXPECT_FALSE(d.any()) << "borderline fleet churned at tick " << t;
+  }
+  // A genuine lull (needed = 1 < 2.5) scales in after patience.
+  EXPECT_EQ(c.evaluate(steady(21 * cfg.tick_ns, 10, 5)).remove_replicas, 1);
+  EXPECT_EQ(c.live_extra_replicas(), 0);
+}
+
+TEST(ElasticController, DownPatienceAndCooldownBrakeScaleIn) {
+  ElasticConfig cfg = policy_config();
+  cfg.down_patience = 3;
+  cfg.down_cooldown_ns = 100 * cfg.tick_ns;
+  ElasticConfig nobrakes = cfg;
+  ElasticController c(cfg);
+  ElasticSignals kick = steady(0, 0, 2);
+  kick.rejected_delta = 9;  // needed = have+1: order two extras over 2 ticks
+  ASSERT_EQ(c.evaluate(kick).add_replicas, 1);
+  kick.now = cfg.tick_ns;
+  ASSERT_EQ(c.evaluate(kick).add_replicas, 1);
+  // Idle fleet: the first removal waits out the patience...
+  int removed = 0;
+  std::uint64_t suppressed = 0;
+  for (int t = 2; t < 20; ++t) {
+    removed += c.evaluate(steady(t * cfg.tick_ns, 0, 4)).remove_replicas;
+    suppressed = c.trace().back().suppressed_cooldown;
+  }
+  // ...and the second is held by the down-cooldown for the whole horizon.
+  EXPECT_EQ(removed, 1);
+  EXPECT_GT(suppressed, 0u) << "cooldown suppressions must be attributed";
+  EXPECT_EQ(c.live_extra_replicas(), 1);
+  (void)nobrakes;
+}
+
+TEST(ElasticController, GovernorCapsMembershipEventsPerWindow) {
+  ElasticConfig cfg = policy_config();
+  cfg.max_events_per_window = 2;
+  cfg.churn_window_ns = 10 * kSec;  // wider than the test horizon
+  ElasticController c(cfg);
+  int ordered = 0;
+  std::uint64_t suppressed = 0;
+  for (int t = 0; t < 10; ++t) {
+    ElasticSignals sig = steady(t * cfg.tick_ns, 0, 2);
+    sig.rejected_delta = 7;  // wants one more every tick
+    ordered += c.evaluate(sig).add_replicas;
+    suppressed += c.trace().back().suppressed_governor;
+  }
+  EXPECT_EQ(ordered, 2) << "governor must cap churn events per window";
+  EXPECT_GT(suppressed, 0u);
+}
+
+TEST(ElasticController, CumulativeOrderBudgetIsNeverRefunded) {
+  ElasticConfig cfg = policy_config();
+  cfg.max_extra_replicas = 3;
+  ElasticController c(cfg);
+  for (int t = 0; t < 10; ++t) {
+    ElasticSignals sig = steady(t * cfg.tick_ns, 0, 2);
+    sig.rejected_delta = 4;
+    (void)c.evaluate(sig);
+  }
+  EXPECT_EQ(c.ordered_replicas(), 3);
+  // An abandoned join shrinks the live ledger but not the spent budget:
+  // its pre-sized slot is not reusable.
+  c.on_join_abandoned();
+  EXPECT_EQ(c.live_extra_replicas(), 2);
+  EXPECT_EQ(c.ordered_replicas(), 3);
+}
+
+TEST(ElasticController, ShardJoinsTrackReplicasOrdered) {
+  ElasticConfig cfg = policy_config();
+  cfg.target_utilization = 1.0;
+  cfg.replicas_per_shard = 2;
+  cfg.max_extra_shards = 2;
+  ElasticController c(cfg);
+  // Demand jumping to 6 replicas' worth against 2 warm wants 4 joiners at
+  // once — and one admission-plane shard per two joiners ordered.
+  ElasticSignals sig = steady(0, 60, 2);  // 600 rps, 100 rps per replica
+  const ElasticDecision d = c.evaluate(sig);
+  EXPECT_EQ(d.add_replicas, 4);
+  EXPECT_EQ(d.add_shards, 2);
+  EXPECT_EQ(c.ordered_shards(), 2);
+}
+
+TEST(ElasticController, NeverRemovesBaseFleetCapacity) {
+  ElasticConfig cfg = policy_config();
+  cfg.down_patience = 1;
+  ElasticController c(cfg);
+  // Deep lull with zero controller-added capacity: nothing to remove.
+  for (int t = 0; t < 20; ++t)
+    EXPECT_FALSE(c.evaluate(steady(t * cfg.tick_ns, 0, 5)).any());
+}
+
+// --- Fabric integration ------------------------------------------------------
+
+ShardedConfig elastic_config() {
+  ShardedConfig cfg;
+  cfg.requests = 6000;
+  cfg.seed = 23;
+  cfg.secure = false;
+  cfg.replicas = 2;
+  cfg.shard.shards = 2;
+  cfg.shard.ring_mix_points = true;
+  cfg.queue = {.concurrency = 2, .queue_depth = 8};
+  cfg.scaler.tick_ns = 20 * kMs;
+  cfg.retry.max_attempts = 4;
+  // Base capacity ~4000 rps (2 replicas x 2 slots x 1ms service); the ramp
+  // below triples the load, so absorbing it needs controller joins.
+  cfg.rate_rps = 2000;
+  cfg.rate_steps.push_back({.at_ns = 300 * kMs, .rate_rps = 12000});
+  cfg.rate_steps.push_back({.at_ns = 600 * kMs, .rate_rps = 1000});
+  cfg.elastic.enabled = true;
+  cfg.elastic.tick_ns = 20 * kMs;
+  cfg.elastic.max_extra_replicas = 6;
+  cfg.elastic.join_backoff_ns = 20 * kMs;
+  cfg.elastic.join_max_attempts = 8;
+  return cfg;
+}
+
+ServiceModel elastic_model() {
+  ServiceModel m;
+  m.parallel_ns = 1 * kMs;
+  m.serialized_ns = 0;
+  m.jitter_sigma = 0.02;
+  m.cold_start_ns = 150 * kMs;
+  return m;
+}
+
+TEST(ShardedElastic, FlashRampOrdersJoinsThatCompleteAndStayAccounted) {
+  ShardedConfig cfg = elastic_config();
+  cfg.measure_start_ns = 300 * kMs;
+  cfg.measure_end_ns = 700 * kMs;
+  const ShardedResult res =
+      ShardedExperiment(cfg).run_with_model(elastic_model());
+  EXPECT_TRUE(res.accounted()) << "elastic churn lost a request";
+  EXPECT_GT(res.elastic.ticks, 0u);
+  EXPECT_GT(res.rejected, 0u) << "the ramp should overload the base fleet";
+  EXPECT_GT(res.elastic.replica_orders, 0u);
+  EXPECT_GT(res.elastic.joins_completed, 0u);
+  EXPECT_EQ(res.elastic.joins_completed, res.churn.replica_adds);
+  EXPECT_EQ(res.elastic.join_crashes, 0u);
+  EXPECT_GT(res.last_reject_ns, 300 * kMs);
+  EXPECT_FALSE(res.elastic_trace.empty());
+  EXPECT_GT(res.elastic.warm_replica_seconds, 0.0);
+  // The measurement window saw completions, and only a subset of them.
+  EXPECT_GT(res.latency_window.count(), 0u);
+  EXPECT_LT(res.latency_window.count(), res.latency.count());
+}
+
+TEST(ShardedElastic, JoinCrashesAreDetectedChargedAndRetried) {
+  ShardedConfig cfg = elastic_config();
+  // Every cold start begun in the first 450ms of the ramp crashes mid-boot;
+  // retries with backoff land after the window and complete.
+  cfg.faults.join_crash(300 * kMs, 150 * kMs);
+  const ShardedResult res =
+      ShardedExperiment(cfg).run_with_model(elastic_model());
+  EXPECT_TRUE(res.accounted()) << "a crashed join must strand nothing";
+  EXPECT_GT(res.elastic.join_crashes, 0u);
+  EXPECT_GT(res.elastic.join_retries, 0u);
+  EXPECT_GT(res.elastic.joins_completed, 0u);
+}
+
+TEST(ShardedElastic, AbandonedJoinsShrinkTheLedgerAndStayAccounted) {
+  ShardedConfig cfg = elastic_config();
+  cfg.elastic.join_max_attempts = 2;
+  cfg.elastic.join_backoff_ns = 10 * kMs;
+  cfg.faults.join_crash(0, 30 * kSec);  // crashes for the whole run
+  const ShardedResult res =
+      ShardedExperiment(cfg).run_with_model(elastic_model());
+  EXPECT_TRUE(res.accounted());
+  EXPECT_GT(res.elastic.joins_abandoned, 0u);
+  EXPECT_EQ(res.elastic.joins_completed, 0u);
+}
+
+TEST(ShardedElastic, AttestOutageFailsTheFlatJoinReattest) {
+  ShardedConfig cfg = elastic_config();
+  cfg.secure = true;
+  cfg.elastic.join_attest_ns = 50 * kMs;
+  // The outage covers the first wave of join re-attestations (orders from
+  // ~320ms + 150ms cold start); retries complete once it lifts.
+  cfg.faults.attest_outage(400 * kMs, 300 * kMs);
+  const ShardedResult res =
+      ShardedExperiment(cfg).run_with_model(elastic_model());
+  EXPECT_TRUE(res.accounted());
+  EXPECT_GT(res.elastic.join_attest_failures, 0u);
+  EXPECT_GT(res.elastic.join_retries, 0u);
+  EXPECT_GT(res.elastic.joins_completed, 0u);
+}
+
+TEST(ShardedElastic, JoinReattestsThroughTheVerifyService) {
+  ShardedConfig cfg = elastic_config();
+  cfg.secure = true;
+  cfg.attest_svc.enabled = true;
+  const ShardedResult base =
+      ShardedExperiment([] {
+        ShardedConfig c = elastic_config();
+        c.secure = true;
+        c.attest_svc.enabled = true;
+        c.elastic.enabled = false;
+        c.elastic.max_extra_replicas = 0;
+        return c;
+      }()).run_with_model(elastic_model());
+  const ShardedResult res =
+      ShardedExperiment(cfg).run_with_model(elastic_model());
+  EXPECT_TRUE(res.accounted());
+  EXPECT_GT(res.elastic.joins_completed, 0u);
+  // Each joiner is its own verification subject: the service must do more
+  // work than the same run without elastic joins.
+  EXPECT_GT(res.attest.full + res.attest.evtpm,
+            base.attest.full + base.attest.evtpm);
+}
+
+TEST(ShardedElastic, ScaleInAbortsWhenTheDrainTargetTripsItsBreaker) {
+  ShardedConfig cfg = elastic_config();
+  cfg.elastic.max_extra_replicas = 1;  // the only joiner is replica 2
+  cfg.elastic.down_patience = 2;
+  // The joiner's link goes down shortly after it joins (still mid-ramp):
+  // probes trip its breaker well before the post-ramp lull, and every
+  // scale-in decision against it must abort (the controller's ledger grows
+  // back, so it keeps retrying while the lull lasts).
+  cfg.faults.link_down(500 * kMs, 2500 * kMs, /*replica=*/2);
+  const ShardedResult res =
+      ShardedExperiment(cfg).run_with_model(elastic_model());
+  EXPECT_TRUE(res.accounted());
+  ASSERT_GT(res.elastic.joins_completed, 0u);
+  EXPECT_GT(res.elastic.scale_in_aborts, 0u)
+      << "an unhealthy drain target must abort the scale-in";
+}
+
+TEST(ShardedElastic, ScaleInRemovesControllerCapacityOnLull) {
+  ShardedConfig cfg = elastic_config();
+  cfg.elastic.down_patience = 2;
+  const ShardedResult res =
+      ShardedExperiment(cfg).run_with_model(elastic_model());
+  EXPECT_TRUE(res.accounted());
+  ASSERT_GT(res.elastic.joins_completed, 0u);
+  EXPECT_GT(res.elastic.scale_ins, 0u)
+      << "the post-ramp lull should scale the extras back in";
+  EXPECT_EQ(res.elastic.scale_ins, res.churn.replica_removes);
+}
+
+TEST(ShardedElastic, ElasticRunsAreByteReproducible) {
+  ShardedConfig cfg = elastic_config();
+  cfg.faults.join_crash(300 * kMs, 150 * kMs);
+  const ShardedResult a =
+      ShardedExperiment(cfg).run_with_model(elastic_model());
+  const ShardedResult b =
+      ShardedExperiment(cfg).run_with_model(elastic_model());
+  EXPECT_EQ(a.to_json(), b.to_json());
+  EXPECT_TRUE(a.accounted());
+}
+
+TEST(ShardedElastic, DisabledControllerLeavesEveryCounterAtZero) {
+  ShardedConfig cfg = elastic_config();
+  cfg.elastic.enabled = false;
+  const ShardedResult res =
+      ShardedExperiment(cfg).run_with_model(elastic_model());
+  EXPECT_TRUE(res.accounted());
+  EXPECT_EQ(res.elastic.ticks, 0u);
+  EXPECT_EQ(res.elastic.replica_orders, 0u);
+  EXPECT_EQ(res.churn.replica_adds, 0u);
+  EXPECT_TRUE(res.elastic_trace.empty());
+}
+
+}  // namespace
+}  // namespace confbench::sched

@@ -188,6 +188,44 @@ TEST(Autoscaler, HoldsAtMinWarm) {
   for (int i = 0; i < 10; ++i) EXPECT_EQ(s.evaluate(2, 0, 0, 0, 8, i), 0);
 }
 
+TEST(Autoscaler, RejectionsScaleUpAZeroWarmPool) {
+  // A cold pool queues nothing — every request is turned away, so
+  // rejected_delta is the only scale-up signal it ever emits.
+  Autoscaler s({.min_warm = 0, .max_replicas = 4});
+  EXPECT_EQ(s.evaluate(0, 0, 0, 0, 8, 0, /*rejected_delta=*/5), 1);
+  // The sample records the attribution (satellite: trace column).
+  ASSERT_EQ(s.trace().size(), 1u);
+  EXPECT_EQ(s.trace().back().rejected_delta, 5u);
+  EXPECT_EQ(s.trace().back().decision, 1);
+}
+
+TEST(Autoscaler, DeficitClampsAtMaxWithBootingCapacity) {
+  // Backlog wants 100/8+1 = 13 replicas, but 2 are already booting and the
+  // cap is 4: the decision must be exactly the remaining headroom.
+  Autoscaler s({.min_warm = 0, .max_replicas = 4});
+  EXPECT_EQ(s.evaluate(1, 2, 8, 100, 8, 0), 1);
+}
+
+TEST(Autoscaler, PatienceRestartsAfterANonLowTick) {
+  Autoscaler s({.min_warm = 1, .max_replicas = 4, .scale_down_patience = 3});
+  EXPECT_EQ(s.evaluate(3, 0, 0, 0, 8, 0), 0);   // low tick 1
+  EXPECT_EQ(s.evaluate(3, 0, 0, 0, 8, 1), 0);   // low tick 2
+  EXPECT_EQ(s.evaluate(3, 0, 12, 0, 8, 2), 0);  // util 0.5: band middle
+  EXPECT_EQ(s.evaluate(3, 0, 0, 0, 8, 3), 0);   // low tick 1 again
+  EXPECT_EQ(s.evaluate(3, 0, 0, 0, 8, 4), 0);   // low tick 2
+  EXPECT_EQ(s.evaluate(3, 0, 0, 0, 8, 5), -1);  // low tick 3: park
+}
+
+TEST(Autoscaler, SetLimitsRestartsPatience) {
+  // A churn resize re-clamps the band; low ticks accumulated against the
+  // old band must not count toward parking under the new one.
+  Autoscaler s({.min_warm = 1, .max_replicas = 4, .scale_down_patience = 2});
+  EXPECT_EQ(s.evaluate(3, 0, 0, 0, 8, 0), 0);  // low tick 1
+  s.set_limits(1, 3);
+  EXPECT_EQ(s.evaluate(3, 0, 0, 0, 8, 1), 0);  // low tick 1, not 2
+  EXPECT_EQ(s.evaluate(3, 0, 0, 0, 8, 2), -1);
+}
+
 // --- ClusterExperiment (pure simulation via run_with_model) -----------------
 
 ClusterConfig base_config() {

@@ -70,6 +70,42 @@ BENCHES = {
             "handoff_drained_total",
         ],
     },
+    "elastic_control": {
+        # Pure simulation facts (virtual-time ratios over fixed seeds,
+        # paired variants sharing identical arrival streams).
+        "gated": {
+            # Worst secure-cell reactive-minus-predictive time-to-absorb:
+            # how much sooner forecast-ahead ordering ends rejections.
+            "tta_margin_min_s": "higher",
+            # Predictive's slowest secure absorption — the time-to-absorb
+            # ceiling (dominated by cca's ~68 s cold start).
+            "tta_pred_worst_s": "lower",
+            # Worst secure-cell reactive-minus-predictive transition p99.
+            "p99_margin_min_ms": "higher",
+            # Predictive / reactive warm replica-seconds, worst secure
+            # cell — the over-provisioning cost of ordering ahead.
+            "replica_s_ratio_worst": "lower",
+            # Brakes-off / braked membership events, worst cell.
+            "osc_brake_ratio_min": "higher",
+        },
+        # The bench's headline claims, also asserted in-bench.
+        "floors": {
+            "tta_margin_min_s": 0.0,
+            "p99_margin_min_ms": 0.0,
+            "osc_brake_ratio_min": 1.0,
+        },
+        "ceilings": {
+            "tta_pred_worst_s": 120.0,
+            "replica_s_ratio_worst": 1.25,
+        },
+        "advisory": [
+            "storm_join_crashes_total",
+            "storm_join_retries_total",
+            "storm_attest_failures_total",
+            "storm_joins_completed_total",
+            "joins_completed_total",
+        ],
+    },
 }
 
 
