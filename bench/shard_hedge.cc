@@ -1,0 +1,295 @@
+// Speculative cross-shard hedging vs reactive failover under gray-slow
+// shards — the robustness face of the verification service's cheap repeat
+// crossings (warm session tickets make a speculative crossing ~free;
+// revocations and cold caches make it cost a full attestation round).
+//
+// For each (platform, mode) the bench calibrates an iostress service model,
+// then runs one *gray* failure — a slow-link window on a single member of
+// shard-0's slice that multiplies its response-path latency while the
+// request path, the replica and every health signal stay clean — through
+// three regimes:
+//   reactive     hedging off: the PR-3-style machinery (detection timeouts,
+//                breakers, cross-shard failover) is armed but blind — a
+//                gray-slow response is merely late, nothing trips, and the
+//                p99 eats the whole gray tail. This is the floor hedging
+//                is priced against.
+//   hedged_warm  speculative cross-shard hedging with a prewarmed
+//                verification service: a straggler that outlives its shard's
+//                learned quantile launches a backup at the ring-successor
+//                shard, the crossing resumes the successor's session ticket
+//                (~ticket-check), first response wins, the loser's in-flight
+//                hop is cancelled.
+//   hedged_cold  the same policy against a cold service (no tickets, no
+//                cached collateral): every crossing would pay the full
+//                collateral round, so the learned-benefit gate compares
+//                that price against the residual gray tail per platform —
+//                TDX (~1.46 s PCS round) must *decline* every hedge, while
+//                SEV-SNP's local-cert round (~42 ms) stays worth paying.
+// Expected shape (hard exit checks):
+//   - hedged_warm p99 < reactive p99 on every secure platform — warm
+//     crossings convert the gray tail into ~threshold-sized latency;
+//   - in the TDX cold regime zero hedges fire and the cost gate's
+//     declined counter is hot: the policy knows a 1.46 s crossing cannot
+//     rescue a ~300 ms straggler;
+//   - reactive failover never fires in any cell (gray slowness is
+//     invisible to it — the motivation for hedging at all);
+//   - every offered request terminates in exactly one bucket across every
+//     hedge/cancel/race path, and identical seeds reproduce the CSV byte
+//     for byte.
+#include <algorithm>
+#include <cstdio>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "attest/svc/cost_model.h"
+#include "bench/common.h"
+#include "bench/harness.h"
+#include "core/confbench.h"
+#include "fault/fault.h"
+#include "metrics/csv.h"
+#include "metrics/table.h"
+#include "sched/shard.h"
+#include "sim/rng.h"
+
+using namespace confbench;
+
+namespace {
+
+struct Key {
+  std::string platform;
+  bool secure;
+  bool operator<(const Key& o) const {
+    return std::tie(platform, secure) < std::tie(o.platform, o.secure);
+  }
+};
+
+}  // namespace
+
+int main() {
+  bench::Harness h("shard_hedge");
+  const std::uint64_t reqs = h.requests("CONFBENCH_HEDGE_REQUESTS", 9000);
+  const std::vector<std::string> platforms = {"tdx", "sev-snp", "cca"};
+
+  std::printf("Speculative cross-shard hedging vs reactive failover under "
+              "gray-slow shards — iostress, %llu requests/cell\n\n",
+              static_cast<unsigned long long>(reqs));
+
+  auto system = core::ConfBench::standard();
+
+  std::map<Key, sched::ServiceModel> models;
+  for (const auto& platform : platforms)
+    for (const bool secure : {false, true})
+      models[{platform, secure}] = sched::ServiceModel::calibrate(
+          *system, "iostress", "go", platform, secure, 4);
+
+  // What a speculative crossing costs through the verification service,
+  // per platform: the warm price is a session-ticket check, the cold price
+  // is the collateral fetch plus the local verify (what the service's
+  // batch path actually charges on a cache miss).
+  std::printf("Crossing price through the verification service\n");
+  std::printf("%-9s %12s %12s\n", "platform", "warm_ms", "cold_ms");
+  std::map<std::string, attest::svc::CostModel> costs;
+  for (const auto& platform : platforms) {
+    const attest::svc::CostModel cm = attest::svc::CostModel::measure(platform);
+    costs[platform] = cm;
+    std::printf("%-9s %12.3f %12.3f\n", platform.c_str(),
+                cm.supported ? cm.ticket_check_ns / 1e6 : 0.0,
+                cm.supported ? (cm.collateral_ns + cm.warm_verify_ns()) / 1e6
+                             : 0.0);
+  }
+  std::printf("\n");
+
+  metrics::CsvWriter csv(
+      {"regime", "platform", "secure", "offered", "completed", "rejected",
+       "failed", "failovers", "hedges_fired", "hedges_cross", "hedge_wins",
+       "cross_wins", "cancelled_queue", "cancelled_inflight",
+       "declined_budget", "declined_breaker", "declined_degraded",
+       "declined_cost", "ticket_resumes", "full_verifies", "availability",
+       "p50_ms", "p99_ms", "p99_hedged_ms", "throughput_rps"});
+
+  // [regime][platform][secure] -> run result for the summary + checks.
+  std::map<std::string, std::map<std::string, std::map<bool, double>>> p99_ms;
+  std::map<std::string, std::map<std::string, std::map<bool, sched::HedgeStats>>>
+      hstats;
+
+  double waste_ratio_max = 0;  // warm-regime duplicated work that lost
+  const std::vector<std::string> regimes = {"reactive", "hedged_warm",
+                                            "hedged_cold"};
+  for (const auto& regime : regimes) {
+    for (const auto& platform : platforms) {
+      for (const bool secure : {false, true}) {
+        const sched::ServiceModel& model = models[{platform, secure}];
+
+        sched::ShardedConfig cfg;
+        cfg.platform = platform;
+        cfg.secure = secure;
+        cfg.requests = reqs;
+        cfg.warmup_requests = reqs / 20;
+        cfg.replicas = 16;
+        cfg.shard.shards = 4;
+        cfg.queue = {.concurrency = 8, .queue_depth = 32};
+        cfg.scaler.tick_ns = 20 * sim::kMs;
+        cfg.probe_interval_ns =
+            std::max<sim::Ns>(50 * sim::kMs, model.total_ns());
+        cfg.retry.max_attempts = 4;
+        cfg.retry.budget_ns = 120 * sim::kSec;
+        // 30% of sustainable rate: queues stay shallow, so the hedged tail
+        // measures the crossing + race, not queueing at the successor.
+        cfg.rate_rps = 0.3 * cfg.replicas *
+                       model.replica_capacity_rps(cfg.queue.concurrency);
+        cfg.seed = sim::hash_combine(
+            sim::stable_hash("shardhedge/" + regime + "/" + platform), secure);
+
+        if (regime != "reactive") {
+          cfg.hedge.enabled = true;
+          cfg.hedge.cross_shard = true;
+          // Arm just above the clean bulk: the 25% gray minority never
+          // drags the median, so stragglers hedge while their answer
+          // crawls back through the slowed link.
+          cfg.hedge.quantile = 0.55;
+          cfg.hedge.budget_fraction = 0.5;
+          cfg.hedge.warmup = 64;
+          if (secure) {
+            // Crossings verify through the live service (the cost model is
+            // measured from cfg.platform). Warm regime: prewarmed
+            // collateral + live session tickets for every shard subject.
+            // Cold regime: no tickets, no cache — every crossing would pay
+            // collateral + verify, and the benefit gate decides per
+            // platform whether that can still win.
+            cfg.attest_svc.enabled = true;
+            if (regime == "hedged_warm") {
+              cfg.attest_svc.collateral_ttl_ns = 600 * sim::kSec;
+              cfg.attest_svc.ticket_ttl_ns = 300 * sim::kSec;
+              for (int s = 0; s < cfg.shard.shards; ++s)
+                cfg.attest_svc.prewarm_subjects.push_back(
+                    static_cast<std::uint64_t>(s));
+            } else {
+              cfg.attest_svc.collateral_ttl_ns = 0;
+              cfg.attest_svc.ticket_ttl_ns = 0;
+            }
+          }
+        }
+
+        // The gray failure: one member of shard-0's slice answers through a
+        // slowed link for [10%, 70%] of the run. The response-path factor
+        // adds ~10 service times of pure latency — far above any warm
+        // crossing, below TDX's cold collateral round — while the request
+        // path, the replica and the breakers see nothing.
+        const sim::Ns expect_ns =
+            static_cast<double>(reqs) / cfg.rate_rps * sim::kSec;
+        const sim::Ns gray_extra = 10 * model.total_ns();
+        const double factor =
+            1.0 + static_cast<double>(gray_extra) /
+                      static_cast<double>(2 * cfg.shard.hop_ns);
+        const sched::ShardedFrontend fe(cfg.shard, cfg.replicas);
+        cfg.faults.slow_link(0.1 * expect_ns, 0.6 * expect_ns,
+                             sched::ShardedFrontend::replica_host(
+                                 fe.slice(0)[0]),
+                             sched::ShardedFrontend::shard_host(0), factor);
+
+        const sched::ShardedResult r =
+            sched::ShardedExperiment(cfg).run_with_model(model);
+        const std::string cell =
+            regime + "/" + platform + (secure ? "/secure" : "/normal");
+        h.check(r.accounted(), "zero lost requests in " + cell);
+
+        p99_ms[regime][platform][secure] = r.latency.p99() / 1e6;
+        hstats[regime][platform][secure] = r.hedging;
+        if (regime == "hedged_warm" && r.hedging.fired > 0)
+          waste_ratio_max = std::max(
+              waste_ratio_max,
+              static_cast<double>(r.hedging.fired - r.hedging.wins) /
+                  static_cast<double>(r.hedging.fired));
+
+        csv.add_row(
+            {regime, platform, secure ? "1" : "0", std::to_string(r.offered),
+             std::to_string(r.completed), std::to_string(r.rejected),
+             std::to_string(r.failed), std::to_string(r.failovers),
+             std::to_string(r.hedging.fired), std::to_string(r.hedging.cross),
+             std::to_string(r.hedging.wins),
+             std::to_string(r.hedging.cross_wins),
+             std::to_string(r.hedging.cancelled_queue),
+             std::to_string(r.hedging.cancelled_inflight),
+             std::to_string(r.hedging.declined_budget),
+             std::to_string(r.hedging.declined_breaker),
+             std::to_string(r.hedging.declined_degraded),
+             std::to_string(r.hedging.declined_cost),
+             std::to_string(r.hedging.ticket_resumes),
+             std::to_string(r.hedging.full_verifies),
+             metrics::Table::num(r.availability(), 6),
+             metrics::Table::num(r.latency.p50() / 1e6, 4),
+             metrics::Table::num(r.latency.p99() / 1e6, 4),
+             metrics::Table::num(r.latency_hedged.p99() / 1e6, 4),
+             metrics::Table::num(r.throughput_rps(), 1)});
+
+        // Gray slowness must be invisible to the reactive machinery in
+        // every regime — if a breaker or failover fired, the scenario is
+        // not the pure-latency failure this bench prices.
+        h.check(r.failovers == 0, "no reactive failover in " + cell);
+      }
+    }
+  }
+
+  // (a) Warm-ticket hedging vs reactive waiting, per secure platform.
+  std::printf("Gray-slow tail: reactive waiting vs speculative crossing "
+              "(fleet p99)\n");
+  std::printf("%-9s %7s %12s %12s %12s %10s %10s\n", "platform", "mode",
+              "reactive_ms", "hedged_ms", "saved_ms", "fired", "cross_wins");
+  bool warm_wins = true;
+  double ratio_worst = 0;  // hedged/reactive, worst secure cell
+  for (const auto& platform : platforms)
+    for (const bool secure : {false, true}) {
+      const double reactive = p99_ms["reactive"][platform][secure];
+      const double hedged = p99_ms["hedged_warm"][platform][secure];
+      const sched::HedgeStats& hs = hstats["hedged_warm"][platform][secure];
+      if (secure) {
+        warm_wins = warm_wins && hedged < reactive && hs.cross_wins > 0;
+        if (reactive > 0)
+          ratio_worst = std::max(ratio_worst, hedged / reactive);
+      }
+      std::printf("%-9s %7s %12.2f %12.2f %12.2f %10llu %10llu\n",
+                  platform.c_str(), secure ? "secure" : "normal", reactive,
+                  hedged, reactive - hedged,
+                  static_cast<unsigned long long>(hs.fired),
+                  static_cast<unsigned long long>(hs.cross_wins));
+    }
+  std::printf(
+      "expected: hedged < reactive everywhere — a warm crossing costs a\n"
+      "ticket check, a gray straggler costs ~10 service times of waiting\n\n");
+
+  // (b) The cold regime: the benefit gate prices per platform.
+  std::printf("Cold-service regime: what the cost gate decided (secure)\n");
+  std::printf("%-9s %12s %12s %14s %12s\n", "platform", "fired",
+              "decl_cost", "cold_price_ms", "p99_ms");
+  for (const auto& platform : platforms) {
+    const sched::HedgeStats& hs = hstats["hedged_cold"][platform][true];
+    const attest::svc::CostModel& cm = costs[platform];
+    std::printf("%-9s %12llu %12llu %14.1f %12.2f\n", platform.c_str(),
+                static_cast<unsigned long long>(hs.fired),
+                static_cast<unsigned long long>(hs.declined_cost),
+                cm.supported ? (cm.collateral_ns + cm.warm_verify_ns()) / 1e6
+                             : 0.0,
+                p99_ms["hedged_cold"][platform][true]);
+  }
+  std::printf(
+      "expected: TDX declines everything (a 1.46s PCS round cannot rescue\n"
+      "a ~300ms straggler); SEV-SNP's local-cert round stays worth paying;\n"
+      "CCA crossings are free under FVP\n\n");
+
+  const sched::HedgeStats& tdx_cold = hstats["hedged_cold"]["tdx"][true];
+  h.check(warm_wins,
+          "warm-ticket hedging beats reactive p99 (with cross wins) on every "
+          "secure platform");
+  h.check(tdx_cold.fired == 0 && tdx_cold.declined_cost > 0,
+          "TDX cold regime: the cost gate declines every crossing");
+  h.metric("hedged_vs_reactive_p99_ratio_worst", ratio_worst);
+  h.metric("hedge_waste_ratio_max", waste_ratio_max);
+  h.metric("tdx_warm_saved_ms", p99_ms["reactive"]["tdx"][true] -
+                                    p99_ms["hedged_warm"]["tdx"][true]);
+  h.metric("tdx_cold_declined",
+           static_cast<double>(tdx_cold.declined_cost));
+
+  h.write_csv(csv, "shard_hedge.csv");
+  return h.finish();
+}

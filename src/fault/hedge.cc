@@ -27,6 +27,22 @@ sim::Ns HedgePolicy::threshold_ns(std::uint32_t cost_class) const {
                   static_cast<sim::Ns>(std::llround(q)));
 }
 
+sim::Ns HedgePolicy::expected_benefit_ns(std::uint32_t cost_class) const {
+  const sim::Ns arm = threshold_ns(cost_class);
+  if (arm <= 0) return 0;
+  const auto& hist = hists_[clamp_class(cost_class)];
+  const auto tail =
+      static_cast<sim::Ns>(std::llround(hist.quantile(cfg_.benefit_quantile)));
+  return std::max<sim::Ns>(tail - arm, 0);
+}
+
+bool HedgePolicy::worth_hedging(std::uint32_t cost_class,
+                                sim::Ns crossing_cost_ns) const {
+  const sim::Ns floor = std::max(cfg_.min_benefit_ns, crossing_cost_ns);
+  if (floor <= 0) return true;  // free backup: the legacy always-launch path
+  return expected_benefit_ns(cost_class) > floor;
+}
+
 bool HedgePolicy::allow(std::uint64_t hedges_fired,
                         std::uint64_t offered) const {
   if (!cfg_.enabled) return false;

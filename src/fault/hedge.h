@@ -67,6 +67,25 @@ struct HedgeConfig {
   /// the fleet-global behaviour; class indices at or above the count clamp
   /// to the last class.
   int cost_classes = 1;
+
+  // --- speculative cross-shard hedging (consumed by sched::Sharded*) ---
+  /// Launch the backup copy at the request's *ring-successor shard* instead
+  /// of a sibling replica on the home shard, paying the real crossing cost
+  /// (fabric hop + handshake + attestation re-verify) before it can queue.
+  /// Off (the default): the legacy intra-shard backup, byte-identical.
+  bool cross_shard = false;
+  /// Cost-awareness floor: a hedge only fires when its expected benefit —
+  /// the learned residual tail beyond the arm threshold — exceeds the
+  /// larger of this floor and the measured crossing cost the caller passes
+  /// to worth_hedging(). Callers price the crossing from
+  /// attest::svc::CostModel (warm ticket-check vs cold full round), so a
+  /// TDX cold crossing (~1.46 s) declines hedges a warm one would launch.
+  /// 0 with a zero crossing cost keeps the legacy always-launch behaviour.
+  sim::Ns min_benefit_ns = 0;
+  /// Quantile whose residual above the arm threshold is the expected
+  /// benefit: how much tail latency a straggler still has left to lose
+  /// once it has already waited out threshold_ns().
+  double benefit_quantile = 0.999;
 };
 
 class HedgePolicy {
@@ -92,6 +111,22 @@ class HedgePolicy {
   /// call record_fired() once the backup is actually dispatched.
   [[nodiscard]] bool allow(std::uint64_t hedges_fired,
                            std::uint64_t offered) const;
+
+  /// Expected benefit of hedging a `cost_class` straggler: the learned
+  /// residual tail quantile(benefit_quantile) - threshold_ns() — the
+  /// latency a request that already outlived the arm threshold can still
+  /// expect to lose by waiting instead of hedging. 0 while the class is
+  /// cold or unarmed.
+  [[nodiscard]] sim::Ns expected_benefit_ns(std::uint32_t cost_class = 0) const;
+
+  /// The min_benefit_ns clamp (satellite fix): may a hedge that must pay
+  /// `crossing_cost_ns` up front ever win? The floor is the larger of the
+  /// configured min_benefit_ns and the measured crossing cost; a
+  /// non-positive floor always allows (legacy behaviour, and the
+  /// intra-shard path where the backup dispatch is free). Pure — budget
+  /// and warmup gates stay in allow()/threshold_ns().
+  [[nodiscard]] bool worth_hedging(std::uint32_t cost_class,
+                                   sim::Ns crossing_cost_ns = 0) const;
 
   void record_fired() { ++fired_; }
   [[nodiscard]] std::uint64_t fired() const { return fired_; }

@@ -348,6 +348,25 @@ std::string ShardedResult::to_json() const {
   w.key("last_reject_ns").value(last_reject_ns);
   w.key("latency_window_p99_ns").value(latency_window.p99());
   w.end_object();
+  w.key("hedging");
+  w.begin_object();
+  w.key("cross_shard").value(cfg.hedge.cross_shard);
+  w.key("fired").value(hedging.fired);
+  w.key("cross").value(hedging.cross);
+  w.key("intra").value(hedging.intra);
+  w.key("wins").value(hedging.wins);
+  w.key("cross_wins").value(hedging.cross_wins);
+  w.key("cancelled_queue").value(hedging.cancelled_queue);
+  w.key("cancelled_inflight").value(hedging.cancelled_inflight);
+  w.key("declined_budget").value(hedging.declined_budget);
+  w.key("declined_breaker").value(hedging.declined_breaker);
+  w.key("declined_degraded").value(hedging.declined_degraded);
+  w.key("declined_cost").value(hedging.declined_cost);
+  w.key("ticket_resumes").value(hedging.ticket_resumes);
+  w.key("full_verifies").value(hedging.full_verifies);
+  w.key("attest_failures").value(hedging.attest_failures);
+  w.key("latency_hedged_p99_ns").value(latency_hedged.p99());
+  w.end_object();
   w.key("churn");
   w.begin_object();
   w.key("shard_joins").value(churn.shard_joins);
@@ -370,12 +389,19 @@ std::string ShardedResult::to_json() const {
 namespace {
 
 /// One in-flight copy of a request (primary + optional hedge backup).
+/// kCrossing and kResponding exist only in speculative cross-shard hedging
+/// mode: the former is a hedge copy in shard-to-shard transit or inside the
+/// verification service, the latter a copy whose service finished and whose
+/// response is on the wire — both cancellable mid-flight through net_event
+/// when the other copy wins.
 struct SCopy {
   enum class Where : std::uint8_t {
     kNone,
     kQueued,
     kActive,
     kBlackhole,
+    kCrossing,
+    kResponding,
     kDone
   };
   std::uint32_t replica = 0;  ///< global replica index
@@ -385,6 +411,10 @@ struct SCopy {
                            ///< response so queue dynamics stay simple)
   /// Admission handle while kQueued; O(1) hedge-loser cancellation.
   ReplicaQueue::Ticket ticket;
+  /// Cancellable in-flight hop while kCrossing / kResponding (invalid once
+  /// the hop lands or while the crossing sits inside the verify service,
+  /// whose callback observes the request's done flag instead).
+  EventId net_event;
   Where where = Where::kNone;
 };
 
@@ -402,7 +432,9 @@ struct SReq {
   [[nodiscard]] bool outstanding(int cid) const {
     return copy[cid].where == SCopy::Where::kQueued ||
            copy[cid].where == SCopy::Where::kActive ||
-           copy[cid].where == SCopy::Where::kBlackhole;
+           copy[cid].where == SCopy::Where::kBlackhole ||
+           copy[cid].where == SCopy::Where::kCrossing ||
+           copy[cid].where == SCopy::Where::kResponding;
   }
 };
 
@@ -436,6 +468,11 @@ struct ShardState {
   std::uint64_t rejected = 0;       ///< scaler signal (queue-full 429s)
   std::uint64_t last_rejected = 0;
   std::uint64_t dispatches = 0;     ///< hedge budget denominator
+  /// Speculative hedge copies currently queued against this shard's
+  /// dispatch accounting: subtracted from the queue-depth demand signals
+  /// (overload guard, elastic sample) so hedge duplicates never read as
+  /// arrival pressure — a request counts once, at its home shard.
+  std::uint64_t hedge_queued = 0;
   double ewma_service = 0;          ///< learned service time (early reject)
   std::uint64_t ewma_samples = 0;
   ShardStats stats;
@@ -511,6 +548,10 @@ ShardedResult ShardedExperiment::run_with_model(
   }
   fault::HedgeConfig hcfg = cfg_.hedge;
   hcfg.cost_classes = static_cast<int>(classes.size());
+  /// Speculative cross-shard hedging (the tentpole): backups launch at the
+  /// ring successor, priced per crossing. Off: every hedge path below is
+  /// the legacy intra-shard backup, byte-identical.
+  const bool spec = hcfg.enabled && hcfg.cross_shard;
 
   // Shared verification service (attest-at-scale tentpole): one instance
   // fronts every shard's cross-admission trust decision, so collateral
@@ -620,15 +661,51 @@ ShardedResult ShardedExperiment::run_with_model(
     return static_cast<double>(up) / static_cast<double>(slice.size());
   };
 
-  // Mutually recursive handlers.
+  // Mutually recursive handlers. dispatch() takes the explicit target
+  // shard: primaries pass their current chain shard, speculative hedges
+  // the ring successor they crossed into.
   std::function<void(std::uint32_t, std::uint64_t)> service_done;
   std::function<void(std::uint64_t, int)> respond;
   std::function<void(std::uint64_t, int)> copy_failed;
-  std::function<bool(std::uint64_t, int)> dispatch;
+  std::function<bool(std::uint64_t, int, std::uint32_t)> dispatch;
   std::function<void(std::uint64_t, bool)> failover;
   std::function<void(std::uint64_t)> send_to_shard;
   std::function<void(std::uint64_t)> admit;
   std::function<void(std::uint64_t, sim::Ns)> cross_admit;
+  std::function<void(std::uint64_t, std::uint32_t)> hedge_arrive;
+  std::function<void(std::uint64_t, std::uint32_t)> launch_spec_hedge;
+
+  // Fleet-wide count of queued speculative hedge copies (the per-shard
+  // split lives in ShardState::hedge_queued): the elastic controller's
+  // queue-depth sample subtracts it so a hedge storm never reads as
+  // demand.
+  std::uint64_t hedge_q_fleet = 0;
+  const auto hedge_dequeued = [&](const SCopy& cp) {
+    ShardState& sh = shards[cp.shard];
+    if (sh.hedge_queued > 0) --sh.hedge_queued;
+    if (hedge_q_fleet > 0) --hedge_q_fleet;
+  };
+
+  // Measured price of a speculative crossing into shard `to` right now:
+  // handshake + the trust re-establishment the verification service would
+  // charge at arrival — a warm ticket-check when `to`'s session ticket is
+  // live, a warm-collateral verify after a miss, the full collateral round
+  // after a revocation / TCB-recovery flush. A non-counting peek (the
+  // launch pays the real, possibly different, cost on arrival); the fabric
+  // hop is added by the caller, which knows the live link factor.
+  const auto trust_price = [&](std::uint32_t to) -> sim::Ns {
+    if (!vsvc) return cfg_.secure ? cfg_.shard.cross_admit_ns : 0;
+    const attest::svc::CostModel& cm = vsvc->model();
+    if (!cm.supported) return 0;
+    if (vsvc->tickets().valid(to, clock.now())) return cm.ticket_check_ns;
+    if (cfg_.attest_svc.mode == attest::svc::VerifyMode::kEvtpm &&
+        cm.evtpm_available)
+      return cm.evtpm_round_ns;
+    const attest::svc::CollateralKey key{cm.platform,
+                                         vsvc->cache().current_tcb()};
+    if (vsvc->cache().warm(key, clock.now())) return cm.warm_verify_ns();
+    return cm.collateral_ns + cm.warm_verify_ns();
+  };
 
   const auto give_up = [&](std::uint64_t id, core::ErrorCode code) {
     reqs[id].done = true;  // straggler copies must not complete it later
@@ -647,6 +724,7 @@ ShardedResult ShardedExperiment::run_with_model(
     SReplica& rep = reps[r];
     const std::uint64_t id = token >> 1;
     const int cid = static_cast<int>(token & 1);
+    if (spec && cid == 1) hedge_dequeued(reqs[id].copy[cid]);
     const double j = jitter_rng.jitter(model.jitter_sigma);
     const double mult = classes[reqs[id].cls].service_mult;
     const sim::Ns parallel = model.parallel_ns * mult * j;
@@ -683,8 +761,142 @@ ShardedResult ShardedExperiment::run_with_model(
     while (auto t = reps[r].queue.start_next()) start_service(r, *t);
   };
 
+  // Speculative crossing landed: the hedge copy queues at the successor.
+  // Failure (shard left the ring mid-flight, queue full, slice exhausted)
+  // kills only this copy — copy_failed escalates to failover solely when
+  // the primary is gone too, so accounted() holds on every path.
+  hedge_arrive = [&](std::uint64_t id, std::uint32_t to) {
+    SReq& rq = reqs[id];
+    rq.copy[1].where = SCopy::Where::kNone;
+    if (rq.done) return;
+    if ((topo_dynamic && !frontend.shard_live(to)) ||
+        frontend.slice(static_cast<int>(to)).empty()) {
+      copy_failed(id, 1);
+      return;
+    }
+    if (!dispatch(id, 1, to)) copy_failed(id, 1);
+  };
+
+  // Speculative cross-shard hedge launch (the tentpole). Gates, in order:
+  // a live ring successor exists (else fall back to the legacy sibling
+  // backup); never hedge *to* a shard that is already failing — an open
+  // breaker on its slice, an exhausted pool, a degraded (shedding) or
+  // unreachable successor would amplify load exactly where the fleet is
+  // weakest; and the measured crossing price must be worth paying against
+  // the class's learned residual tail (the min_benefit_ns clamp), which is
+  // what declines hedges on a cold TDX crossing (~1.46 s) that a warm
+  // ticket-check (~150 us) regime launches freely.
+  launch_spec_hedge = [&](std::uint64_t id, std::uint32_t s) {
+    SReq& rq = reqs[id];
+    ShardState& sh = shards[s];
+    std::uint32_t to = ShardedFrontend::SliceMove::kUnowned;
+    for (std::size_t p = static_cast<std::size_t>(rq.chain_pos) + 1;
+         p < rq.chain.size(); ++p)
+      if (frontend.shard_live(rq.chain[p])) {
+        to = rq.chain[p];
+        break;
+      }
+    if (to == ShardedFrontend::SliceMove::kUnowned) {
+      rq.hedged = true;  // single-shard ring: legacy sibling backup
+      if (dispatch(id, 1, s)) {
+        ++rq.attempts;
+        ++res.hedges;
+        ++res.hedging.fired;
+        ++res.hedging.intra;
+        ++sh.stats.hedges;
+        sh.hedge.record_fired();
+      }
+      return;
+    }
+    const auto& tslice = frontend.slice(static_cast<int>(to));
+    bool failing = tslice.empty() || shards[to].pool.enabled_count() == 0;
+    if (!failing)
+      for (const std::uint32_t r : tslice)
+        if (shards[to].breakers[r].state() != fault::BreakerState::kClosed) {
+          failing = true;
+          break;
+        }
+    if (failing) {
+      ++res.hedging.declined_breaker;
+      return;
+    }
+    if (chaos &&
+        reachable_fraction(to) < cfg_.shard.degraded_min_reachable) {
+      ++res.hedging.declined_degraded;
+      return;
+    }
+    const auto [st, f] = fabric.path_state({shost[s], shost[to]});
+    if (st == net::LinkState::kDown) {
+      ++res.hedging.declined_degraded;
+      return;
+    }
+    const sim::Ns wire = cfg_.shard.hop_ns * f + cfg_.shard.handshake_ns;
+    if (!sh.hedge.worth_hedging(rq.cls, wire + trust_price(to))) {
+      ++res.hedging.declined_cost;
+      return;
+    }
+    rq.hedged = true;
+    ++rq.attempts;
+    ++res.hedges;
+    ++res.hedging.fired;
+    ++res.hedging.cross;
+    ++sh.stats.hedges;
+    sh.hedge.record_fired();
+    SCopy& cp = rq.copy[1];
+    cp.replica = 0;
+    cp.shard = to;
+    cp.dispatched_ns = clock.now();
+    cp.req_hop_ns = 0;
+    cp.where = SCopy::Where::kCrossing;
+    cp.net_event = events.after(wire, [&, id, to] {
+      SReq& rq2 = reqs[id];
+      rq2.copy[1].net_event = EventId{};
+      if (rq2.done) {  // loser cancel raced the hop landing
+        rq2.copy[1].where = SCopy::Where::kDone;
+        return;
+      }
+      if (!vsvc) {
+        const sim::Ns extra = cfg_.secure ? cfg_.shard.cross_admit_ns : 0;
+        if (extra > 0)
+          rq2.copy[1].net_event =
+              events.after(extra, [&, id, to] { hedge_arrive(id, to); });
+        else
+          hedge_arrive(id, to);
+        return;
+      }
+      const sim::Ns deadline =
+          cfg_.deadline_ns > 0 ? rq2.arrival + cfg_.deadline_ns : 0;
+      // Trust is established at *arrival*, not launch: a ticket that
+      // expired, was revoked, or was TCB-recovery-flushed while the hedge
+      // was in flight falls back to the full verify right here — the
+      // lifecycle races the attest tests pin down.
+      vsvc->verify(to, /*tcb=*/0, deadline,
+                   [&, id](const attest::svc::VerifyOutcome& out) {
+                     SReq& rq3 = reqs[id];
+                     if (rq3.done) {
+                       rq3.copy[1].where = SCopy::Where::kDone;
+                       return;
+                     }
+                     const std::uint32_t dest = rq3.copy[1].shard;
+                     if (out.ok()) {
+                       if (out.status == attest::svc::VerifyStatus::kResumed)
+                         ++res.hedging.ticket_resumes;
+                       else
+                         ++res.hedging.full_verifies;
+                       hedge_arrive(id, dest);
+                       return;
+                     }
+                     ++res.hedging.attest_failures;
+                     rq3.copy[1].where = SCopy::Where::kNone;
+                     copy_failed(id, 1);
+                   });
+    });
+  };
+
   // Hedge timer for the primary copy, armed per shard with the request's
-  // cost-class threshold (satellite: workload-aware hedging).
+  // cost-class threshold (satellite: workload-aware hedging). In
+  // cross-shard mode the backup races from the ring successor instead of
+  // a home-shard sibling.
   auto arm_hedge = [&](std::uint64_t id) {
     const std::uint32_t s = reqs[id].chain[reqs[id].chain_pos];
     const sim::Ns delay = shards[s].hedge.threshold_ns(reqs[id].cls);
@@ -696,13 +908,20 @@ ShardedResult ShardedExperiment::run_with_model(
       ShardState& sh = shards[s];
       // Per-shard budget: a partition-stressed shard may exhaust its own
       // hedge allowance without silencing the healthy shards.
-      if (!sh.hedge.allow(sh.stats.hedges, sh.dispatches)) return;
+      if (!sh.hedge.allow(sh.stats.hedges, sh.dispatches)) {
+        if (spec) ++res.hedging.declined_budget;
+        return;
+      }
       if (!retry_policy(id).should_retry(rq.attempts + 1,
                                          clock.now() - rq.arrival,
                                          cfg_.deadline_ns))
         return;
+      if (spec) {
+        launch_spec_hedge(id, s);
+        return;
+      }
       rq.hedged = true;
-      if (dispatch(id, 1)) {
+      if (dispatch(id, 1, s)) {
         ++rq.attempts;
         ++res.hedges;
         ++sh.stats.hedges;
@@ -711,9 +930,8 @@ ShardedResult ShardedExperiment::run_with_model(
     });
   };
 
-  dispatch = [&](std::uint64_t id, int cid) -> bool {
+  dispatch = [&](std::uint64_t id, int cid, std::uint32_t s) -> bool {
     SReq& rq = reqs[id];
-    const std::uint32_t s = rq.chain[rq.chain_pos];
     ShardState& sh = shards[s];
     const std::uint32_t exclude =
         hcfg.enabled && rq.outstanding(1 - cid) && rq.copy[1 - cid].shard == s
@@ -776,6 +994,9 @@ ShardedResult ShardedExperiment::run_with_model(
     if (cid == 0) {
       ++sh.dispatches;
       arm_hedge(id);
+    } else if (spec) {
+      ++sh.hedge_queued;
+      ++hedge_q_fleet;
     }
     try_start(r);
     return true;
@@ -814,6 +1035,15 @@ ShardedResult ShardedExperiment::run_with_model(
     }
     const sim::Ns wire =
         reqs[id].copy[cid].req_hop_ns + 2 * cfg_.shard.hop_ns * f;
+    if (spec) {
+      // Track the response wire as a cancellable hop, so a copy that
+      // loses the hedge race while its answer crawls back through a
+      // gray-slow link is cancelled instead of delivered twice.
+      reqs[id].copy[cid].where = SCopy::Where::kResponding;
+      reqs[id].copy[cid].net_event =
+          events.after(wire, [&, id, cid] { respond(id, cid); });
+      return;
+    }
     events.after(wire, [&, id, cid] { respond(id, cid); });
   };
 
@@ -834,6 +1064,7 @@ ShardedResult ShardedExperiment::run_with_model(
           clock.now() < cfg_.measure_end_ns)
         res.latency_window.record(lat);
       if (chaos && windows_active > 0) res.latency_fault.record(lat);
+      if (spec && rq.hedged) res.latency_hedged.record(lat);
       if (rq.crossed)
         res.latency_cross.record(lat);
       else if (rq.retried_intra)
@@ -841,17 +1072,41 @@ ShardedResult ShardedExperiment::run_with_model(
     }
     ++res.completed;
     ++shards[s].stats.completed;
-    if (cid == 1) ++res.hedge_wins;
+    if (cid == 1) {
+      ++res.hedge_wins;
+      if (spec) {
+        ++res.hedging.wins;
+        if (rq.copy[1].shard != rq.copy[0].shard) ++res.hedging.cross_wins;
+      }
+    }
     if (hcfg.enabled) shards[s].hedge.observe(rq.cls, lat);
     // First response wins: a queued loser gives its slot back (to the
-    // shard that dispatched it).
+    // shard that dispatched it); a speculative loser still in fabric
+    // transit — crossing to the successor, or response on the wire — has
+    // its in-flight hop cancelled outright. A crossing parked inside the
+    // verification service has no event to cancel; its verify callback
+    // observes the done flag instead. Active losers drain in place.
     SCopy& other = rq.copy[1 - cid];
     if (other.where == SCopy::Where::kQueued) {
       SReplica& orep = reps[other.replica];
       if (orep.queue.cancel(other.ticket)) {
         ShardState& osh = shards[other.shard];
         osh.pool.release(&osh.pool.member(other.replica));
+        if (spec && (1 - cid) == 1) {
+          hedge_dequeued(other);
+          ++res.hedging.cancelled_queue;
+        }
         other.where = SCopy::Where::kNone;
+      }
+    } else if (other.where == SCopy::Where::kCrossing) {
+      if (events.cancel(other.net_event)) {
+        other.where = SCopy::Where::kNone;
+        ++res.hedging.cancelled_inflight;
+      }
+    } else if (other.where == SCopy::Where::kResponding) {
+      if (events.cancel(other.net_event)) {
+        other.where = SCopy::Where::kDone;
+        ++res.hedging.cancelled_inflight;
       }
     }
   };
@@ -898,7 +1153,7 @@ ShardedResult ShardedExperiment::run_with_model(
         send_to_shard(id);  // re-admission: hop + handshake + attest
       } else {
         rq2.retried_intra = true;
-        dispatch(id, 0);  // shard-internal re-dispatch
+        dispatch(id, 0, rq2.chain[rq2.chain_pos]);  // intra re-dispatch
       }
     });
   };
@@ -989,6 +1244,10 @@ ShardedResult ShardedExperiment::run_with_model(
         if (reps[r].state == SReplica::St::kWarm)
           cap += static_cast<std::uint64_t>(cfg_.queue.concurrency);
       }
+      // Hedge duplicates are not demand: a hedged request counts once, at
+      // its home shard, so the overload guard must not 429 primaries off
+      // the back of speculative copies parked in the successor's queues.
+      if (spec) queued -= std::min(queued, sh.hedge_queued);
       if (cap > 0) {
         const double wait_ns = static_cast<double>(queued) *
                                sh.ewma_service / static_cast<double>(cap);
@@ -1038,7 +1297,7 @@ ShardedResult ShardedExperiment::run_with_model(
       cross_admit(id, cfg_.shard.hop_ns * f + cfg_.shard.handshake_ns);
       return;
     }
-    dispatch(id, 0);
+    dispatch(id, 0, s);
   };
 
   // --- load generation -------------------------------------------------------
@@ -1343,14 +1602,20 @@ ShardedResult ShardedExperiment::run_with_model(
       for (int cid = 0; cid < 2; ++cid) {
         SCopy& cp = reqs[id].copy[cid];
         if (cp.shard != s) continue;
+        // kResponding finished its service; like kActive work it drains —
+        // the answer is already on the wire. A kCrossing hedge has not
+        // reached the departing shard yet: hedge_arrive notices the dead
+        // ring slot when the hop lands and kills the copy there.
         if (cp.where == SCopy::Where::kActive ||
-            cp.where == SCopy::Where::kBlackhole) {
+            cp.where == SCopy::Where::kBlackhole ||
+            cp.where == SCopy::Where::kResponding) {
           ++res.churn.handoff_drained;
           continue;
         }
         if (cp.where != SCopy::Where::kQueued) continue;
         if (!reps[cp.replica].queue.cancel(cp.ticket)) continue;
         shards[s].pool.release(&shards[s].pool.member(cp.replica));
+        if (spec && cid == 1) hedge_dequeued(cp);
         cp.where = SCopy::Where::kNone;
         // A hedge backup dies with its shard; the primary forwards.
         if (cid == 0 && !reqs[id].done) handoff_forward(id, s);
@@ -1379,10 +1644,11 @@ ShardedResult ShardedExperiment::run_with_model(
         if (!reps[r].queue.cancel(cp.ticket)) continue;
         shards[cp.shard].pool.release(
             &shards[cp.shard].pool.member(r));
+        if (spec && cid == 1) hedge_dequeued(cp);
         cp.where = SCopy::Where::kNone;
         if (cid == 0 && !reqs[id].done) {
           ++res.churn.handoff_forwarded;
-          dispatch(id, 0);
+          dispatch(id, 0, reqs[id].chain[reqs[id].chain_pos]);
         }
       }
     }
@@ -1604,6 +1870,12 @@ ShardedResult ShardedExperiment::run_with_model(
     if (wn >= 64 && wsvc > 0)
       per_rps = static_cast<double>(cfg_.queue.concurrency) * sim::kSec *
                 static_cast<double>(wn) / wsvc;
+    // Dedupe the per-tick sample (satellite): arrivals_delta derives from
+    // res.offered, which counts each request once at client arrival — a
+    // hedge copy never touches it — and the queue-depth signal subtracts
+    // the fleet's queued speculative copies, so a hedge storm can neither
+    // inflate the demand estimate nor hold off scale-in.
+    if (spec) queued -= std::min(queued, hedge_q_fleet);
     ElasticSignals sig;
     sig.now = clock.now();
     sig.arrivals_delta = res.offered - e_last_offered;
@@ -1749,6 +2021,36 @@ ShardedResult ShardedExperiment::run_with_model(
                      std::to_string(res.attest.deadline_giveups));
       vsvc->publish(cfg_.tracer->registry());
     }
+    if (spec) {
+      // One fleet-timeline span per run summarizing the speculative
+      // hedging economics: what fired, what won, what each interlock
+      // declined, and the warm/cold split of the crossings' trust costs.
+      const std::uint32_t sp = fleet.add_span(
+          obs::Category::kHedge, "hedge.speculative", 0, res.makespan_ns);
+      fleet.set_attr(sp, "fired", std::to_string(res.hedging.fired));
+      fleet.set_attr(sp, "cross", std::to_string(res.hedging.cross));
+      fleet.set_attr(sp, "wins", std::to_string(res.hedging.wins));
+      fleet.set_attr(sp, "cross_wins",
+                     std::to_string(res.hedging.cross_wins));
+      fleet.set_attr(sp, "cancelled_queue",
+                     std::to_string(res.hedging.cancelled_queue));
+      fleet.set_attr(sp, "cancelled_inflight",
+                     std::to_string(res.hedging.cancelled_inflight));
+      fleet.set_attr(sp, "declined_budget",
+                     std::to_string(res.hedging.declined_budget));
+      fleet.set_attr(sp, "declined_breaker",
+                     std::to_string(res.hedging.declined_breaker));
+      fleet.set_attr(sp, "declined_degraded",
+                     std::to_string(res.hedging.declined_degraded));
+      fleet.set_attr(sp, "declined_cost",
+                     std::to_string(res.hedging.declined_cost));
+      fleet.set_attr(sp, "ticket_resumes",
+                     std::to_string(res.hedging.ticket_resumes));
+      fleet.set_attr(sp, "full_verifies",
+                     std::to_string(res.hedging.full_verifies));
+      fleet.set_attr(sp, "attest_failures",
+                     std::to_string(res.hedging.attest_failures));
+    }
     obs::Registry& reg = cfg_.tracer->registry();
     reg.counter("shard.offered") += res.offered;
     reg.counter("shard.completed") += res.completed;
@@ -1771,6 +2073,29 @@ ShardedResult ShardedExperiment::run_with_model(
     }
     if (cfg_.shard.early_reject)
       reg.counter("shard.early_rejected") += res.churn.early_rejected;
+    if (spec) {
+      reg.counter("shard.hedge.fired") += res.hedging.fired;
+      reg.counter("shard.hedge.cross") += res.hedging.cross;
+      reg.counter("shard.hedge.wins") += res.hedging.wins;
+      reg.counter("shard.hedge.cross_wins") += res.hedging.cross_wins;
+      reg.counter("shard.hedge.cancelled_queue") +=
+          res.hedging.cancelled_queue;
+      reg.counter("shard.hedge.cancelled_inflight") +=
+          res.hedging.cancelled_inflight;
+      reg.counter("shard.hedge.declined_budget") +=
+          res.hedging.declined_budget;
+      reg.counter("shard.hedge.declined_breaker") +=
+          res.hedging.declined_breaker;
+      reg.counter("shard.hedge.declined_degraded") +=
+          res.hedging.declined_degraded;
+      reg.counter("shard.hedge.declined_cost") += res.hedging.declined_cost;
+      reg.counter("shard.hedge.ticket_resumes") +=
+          res.hedging.ticket_resumes;
+      reg.counter("shard.hedge.full_verifies") +=
+          res.hedging.full_verifies;
+      reg.counter("shard.hedge.attest_failures") +=
+          res.hedging.attest_failures;
+    }
     if (elastic_on) {
       reg.counter("shard.elastic.replica_orders") +=
           res.elastic.replica_orders;

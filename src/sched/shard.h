@@ -247,8 +247,15 @@ struct ShardedConfig {
   fault::FaultPlan faults;
   fault::RetryConfig retry;      ///< per-request failover budget
   fault::BreakerConfig breaker;  ///< per-(shard, slice replica) breakers
-  fault::HedgeConfig hedge;      ///< per-shard policy; cost_classes is set
-                                 ///< from `classes` automatically
+  /// Per-shard hedge policy; cost_classes is set from `classes`
+  /// automatically. With hedge.cross_shard the backup copy is launched at
+  /// the request's *ring-successor shard* over the live fabric —
+  /// speculative crossing priced through the verification service (warm
+  /// ticket-check vs cold full round) and gated by the learned-benefit
+  /// floor, the fleet hedge budget, the successor's breakers and its
+  /// degraded state. Off (the default): the legacy intra-shard sibling
+  /// backup, byte-identical.
+  fault::HedgeConfig hedge;
   sim::Ns probe_interval_ns = 50 * sim::kMs;
   sim::Ns detect_timeout_ns = 100 * sim::kMs;
   sim::Ns deadline_ns = 0;
@@ -365,6 +372,33 @@ struct ElasticStats {
   double warm_replica_seconds = 0;
 };
 
+/// Speculative cross-shard hedging counters (all zero unless
+/// HedgeConfig::cross_shard is set — the default, byte-identical
+/// configuration). `fired = wins + waste`; the declined_* counters record
+/// stragglers whose backup never launched, each naming the interlock that
+/// refused it.
+struct HedgeStats {
+  std::uint64_t fired = 0;  ///< backups launched (cross + intra fallback)
+  std::uint64_t cross = 0;  ///< launched at the ring-successor shard
+  std::uint64_t intra = 0;  ///< fell back to a home sibling (no successor)
+  std::uint64_t wins = 0;   ///< backup copy responded first
+  std::uint64_t cross_wins = 0;  ///< ...and it came from the successor
+  /// First-response-wins cleanup: losers cancelled out of a replica queue
+  /// vs losers whose in-flight network hop (crossing or response wire)
+  /// was cancelled mid-transit.
+  std::uint64_t cancelled_queue = 0;
+  std::uint64_t cancelled_inflight = 0;
+  /// Launch-gate declines (the budget/breaker/shed/cost interlocks).
+  std::uint64_t declined_budget = 0;    ///< fleet hedge budget exhausted
+  std::uint64_t declined_breaker = 0;   ///< successor slice had an open breaker
+  std::uint64_t declined_degraded = 0;  ///< successor degraded or unreachable
+  std::uint64_t declined_cost = 0;  ///< crossing price exceeded learned benefit
+  /// What the crossings actually paid through the verification service.
+  std::uint64_t ticket_resumes = 0;  ///< warm ticket-check crossings
+  std::uint64_t full_verifies = 0;   ///< cold / post-revocation full rounds
+  std::uint64_t attest_failures = 0; ///< crossing verify non-ok, copy died
+};
+
 struct ShardedResult {
   ShardedConfig cfg;
   ServiceModel model;
@@ -379,6 +413,10 @@ struct ShardedResult {
   /// Completions inside the cfg measurement window (empty when the window
   /// is unset) — the p99-during-transition of the elastic bench.
   metrics::LogHistogram latency_window;
+  /// Completions of requests that launched a speculative hedge (empty
+  /// unless hedge.cross_shard) — the straggler population the hedging
+  /// bench prices against reactive failover.
+  metrics::LogHistogram latency_hedged;
   std::uint64_t offered = 0;
   std::uint64_t completed = 0;
   std::uint64_t rejected = 0;   ///< 429-style replica admission rejections
@@ -394,6 +432,7 @@ struct ShardedResult {
   std::map<std::string, std::uint64_t> failure_codes;
   std::vector<ShardStats> shards;
   AttestSvcStats attest;   ///< verification-service counters (see above)
+  HedgeStats hedging;      ///< speculative cross-shard hedging (see above)
   ChurnStats churn;        ///< live-topology churn counters (see above)
   ElasticStats elastic;    ///< closed-loop scaling counters (see above)
   std::vector<ElasticSample> elastic_trace;  ///< one row per controller tick

@@ -198,6 +198,23 @@ struct Harness {
             std::move(outages)) {}
 };
 
+TEST(TicketTable, ValidIsANonCountingPeek) {
+  // Speculative hedging prices a crossing at *launch* by peeking the
+  // successor's ticket; the peek must not disturb the lifecycle counters
+  // the arrival-time resume() pays for real.
+  TicketTable t(100 * kMs);
+  t.mint(7, 0);
+  EXPECT_TRUE(t.valid(7, 99 * kMs));
+  EXPECT_TRUE(t.valid(7, 99 * kMs));
+  EXPECT_EQ(t.resumed(), 0u);
+  // Peeking a dead ticket neither erases nor counts it.
+  EXPECT_FALSE(t.valid(7, 100 * kMs));
+  EXPECT_EQ(t.expired(), 0u);
+  EXPECT_EQ(t.size(), 1u);
+  EXPECT_TRUE(t.resume(7, 99 * kMs));
+  EXPECT_EQ(t.resumed(), 1u);
+}
+
 TEST(VerifyService, FirstCrossingPaysFullRoundRepeatResumesTicket) {
   VerifyConfig cfg;
   cfg.enabled = true;
@@ -433,6 +450,87 @@ TEST(VerifyService, ScheduledRevocationRacingACrossingWinsTheInstant) {
   EXPECT_EQ(h.svc.tickets().invalidated(TicketInvalidation::kRevocation), 1u);
   EXPECT_EQ(h.svc.revocations(), 1u);
   EXPECT_GE(h.svc.cache().revocation_flushes(), 1u);
+}
+
+// --- Ticket lifecycle races between hedge launch and hedge arrival ----------
+//
+// A speculative hedge peeks the successor's trust state when it *launches*
+// and establishes trust when it *arrives*, one fabric hop later. Everything
+// that can kill the peeked state in between — TTL expiry, a revocation, a
+// TCB recovery — must make the arrival fall back to the full verify, never
+// resume dead state, and leave the lifecycle counters consistent.
+
+TEST(VerifyService, TicketExpiringBetweenLaunchPeekAndArrivalPaysFullVerify) {
+  VerifyConfig cfg;
+  cfg.enabled = true;
+  cfg.ticket_ttl_ns = 150 * kMs;
+  cfg.prewarm_subjects = {7};  // ticket minted at t=0, dead at 150ms
+  Harness h(cfg, unit_model());
+  std::vector<VerifyOutcome> out;
+  h.events.at(100 * kMs, [&] {
+    // Launch-time price check: the ticket is still live.
+    EXPECT_TRUE(h.svc.tickets().valid(7, h.clock.now()));
+  });
+  h.events.at(160 * kMs, [&] {  // the hedge lands after the hop: too late
+    h.svc.verify(7, 0, 0, [&](const VerifyOutcome& o) { out.push_back(o); });
+  });
+  h.events.run();
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0].status, VerifyStatus::kVerified) << "full verify, no resume";
+  EXPECT_EQ(h.svc.tickets().resumed(), 0u);
+  EXPECT_EQ(h.svc.tickets().expired(), 1u);
+  // Prewarmed collateral keeps the fallback warm: window + evidence+verify.
+  EXPECT_EQ(h.svc.collateral_fetches(), 0u);
+  EXPECT_DOUBLE_EQ(out[0].done_ns, 177 * kMs);
+  EXPECT_EQ(h.svc.tickets().minted(), 2u) << "the fallback re-mints";
+}
+
+TEST(VerifyService, RevocationBetweenLaunchPeekAndArrivalForcesRefetch) {
+  VerifyConfig cfg;
+  cfg.enabled = true;
+  cfg.prewarm_subjects = {7};
+  cfg.revoke_at = {150 * kMs};
+  Harness h(cfg, unit_model());
+  std::vector<VerifyOutcome> out;
+  h.events.at(100 * kMs, [&] {
+    EXPECT_TRUE(h.svc.tickets().valid(7, h.clock.now()));
+  });
+  h.events.at(160 * kMs, [&] {
+    h.svc.verify(7, 0, 0, [&](const VerifyOutcome& o) { out.push_back(o); });
+  });
+  h.events.run();
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0].status, VerifyStatus::kVerified);
+  EXPECT_EQ(h.svc.tickets().invalidated(TicketInvalidation::kRevocation), 1u);
+  // The revocation also flushed the prewarmed collateral: the fallback
+  // pays the whole round — window + collateral + evidence + verify.
+  EXPECT_EQ(h.svc.collateral_fetches(), 1u);
+  EXPECT_DOUBLE_EQ(out[0].done_ns, 277 * kMs);
+}
+
+TEST(VerifyService, TcbRecoveryBetweenLaunchPeekAndArrivalRekeysCollateral) {
+  VerifyConfig cfg;
+  cfg.enabled = true;
+  cfg.ticket_ttl_ns = 0;  // isolate the collateral-key race
+  cfg.prewarm_subjects = {7};  // warms the tcb-0 entry at t=0
+  cfg.tcb_recovery_at = {150 * kMs};
+  Harness h(cfg, unit_model());
+  std::vector<VerifyOutcome> out;
+  h.events.at(100 * kMs, [&] {
+    // Launch-time price check: the current-level collateral is warm.
+    EXPECT_TRUE(h.svc.cache().warm({"tdx", h.svc.cache().current_tcb()},
+                                   h.clock.now()));
+  });
+  h.events.at(160 * kMs, [&] {  // arrival keys at the bumped level: cold
+    h.svc.verify(8, 0, 0, [&](const VerifyOutcome& o) { out.push_back(o); });
+  });
+  h.events.run();
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0].status, VerifyStatus::kVerified);
+  EXPECT_EQ(h.svc.cache().tcb_recoveries(), 1u);
+  EXPECT_EQ(h.svc.collateral_fetches(), 1u)
+      << "the warm old-level entry must not satisfy the new-level key";
+  EXPECT_DOUBLE_EQ(out[0].done_ns, 277 * kMs);
 }
 
 TEST(VerifyService, ReverifyStallsOnlyOnAColdCache) {

@@ -1,0 +1,290 @@
+// Speculative cross-shard hedging: the learned-benefit cost gate, the
+// ring-successor race with first-response-wins cancellation, the
+// budget/breaker/degraded interlocks, ticket lifecycle races through the
+// verification service, and the satellite regression that hedge duplicates
+// never read as demand to the elastic controller.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "attest/svc/cost_model.h"
+#include "attest/svc/verify_service.h"
+#include "fault/hedge.h"
+#include "sched/shard.h"
+#include "sim/time.h"
+
+namespace confbench::sched {
+namespace {
+
+using sim::kMs;
+using sim::kSec;
+using sim::kUs;
+
+// --- HedgePolicy cost gate (satellite: min_benefit_ns) -----------------------
+
+/// Bimodal latency feed: `clean_n` fast completions plus `slow_n` stragglers,
+/// the distribution a gray-slow link produces.
+fault::HedgePolicy bimodal_policy(fault::HedgeConfig cfg, int clean_n = 900,
+                                  int slow_n = 100) {
+  cfg.enabled = true;
+  fault::HedgePolicy p(cfg);
+  for (int i = 0; i < clean_n; ++i) p.observe(0, 10 * kMs);
+  for (int i = 0; i < slow_n; ++i) p.observe(0, 100 * kMs);
+  return p;
+}
+
+TEST(HedgePolicyBenefit, ExpectedBenefitIsTheResidualTailBeyondTheArm) {
+  fault::HedgeConfig cfg;
+  cfg.quantile = 0.5;
+  cfg.min_median_mult = 1.0;
+  cfg.min_delay_ns = 1 * kMs;
+  const fault::HedgePolicy p = bimodal_policy(cfg);
+  // Arm sits in the clean bulk (~10ms); the 0.999 quantile sits in the
+  // slow mode (~100ms): a straggler still has ~90ms left to lose.
+  const sim::Ns arm = p.threshold_ns(0);
+  EXPECT_GT(arm, 5 * kMs);
+  EXPECT_LT(arm, 20 * kMs);
+  const sim::Ns benefit = p.expected_benefit_ns(0);
+  EXPECT_GT(benefit, 60 * kMs);
+  EXPECT_LT(benefit, 120 * kMs);
+
+  // Unarmed (disabled / warming) classes promise nothing.
+  fault::HedgePolicy cold(cfg);
+  EXPECT_EQ(cold.expected_benefit_ns(0), 0);
+}
+
+TEST(HedgePolicyBenefit, WorthHedgingClampsAtCrossingCostAndConfiguredFloor) {
+  fault::HedgeConfig cfg;
+  cfg.quantile = 0.5;
+  cfg.min_median_mult = 1.0;
+  cfg.min_delay_ns = 1 * kMs;
+  const fault::HedgePolicy p = bimodal_policy(cfg);
+  // A free backup (the legacy intra-shard path) always launches.
+  EXPECT_TRUE(p.worth_hedging(0, 0));
+  // A warm ticket-check (~µs..ms) is far below the ~90ms residual tail.
+  EXPECT_TRUE(p.worth_hedging(0, 1 * kMs));
+  // A TDX-style cold crossing exceeds anything a straggler can recover.
+  EXPECT_FALSE(p.worth_hedging(0, 1460 * kMs));
+
+  // The configured floor binds even when the measured crossing is cheap.
+  cfg.min_benefit_ns = 200 * kMs;
+  const fault::HedgePolicy floored = bimodal_policy(cfg);
+  EXPECT_FALSE(floored.worth_hedging(0, 1 * kMs));
+}
+
+TEST(HedgePolicyBenefit, ColdClassNeverPaysACrossing) {
+  fault::HedgeConfig cfg;
+  cfg.cost_classes = 2;
+  cfg.quantile = 0.5;
+  cfg.min_median_mult = 1.0;
+  const fault::HedgePolicy p = bimodal_policy(cfg);  // class 0 warm only
+  EXPECT_EQ(p.expected_benefit_ns(1), 0);
+  EXPECT_FALSE(p.worth_hedging(1, 1)) << "a cold class has no learned tail";
+  EXPECT_TRUE(p.worth_hedging(1, 0)) << "...but the free backup still may";
+}
+
+// --- Sharded experiment ------------------------------------------------------
+
+ShardedConfig hedge_config() {
+  ShardedConfig cfg;
+  cfg.requests = 3000;
+  cfg.rate_rps = 3000;
+  cfg.seed = 11;
+  cfg.replicas = 16;
+  cfg.shard.shards = 4;
+  cfg.queue = {.concurrency = 8, .queue_depth = 32};
+  cfg.scaler.tick_ns = 20 * kMs;
+  cfg.retry.max_attempts = 4;
+  // Arm in the clean bulk: with a gray-slow minority the low quantile plus
+  // the median floor stays out of the slow mode, so stragglers hedge while
+  // their answer crawls back through the slowed link.
+  cfg.hedge.enabled = true;
+  cfg.hedge.cross_shard = true;
+  cfg.hedge.quantile = 0.55;
+  cfg.hedge.budget_fraction = 0.5;
+  return cfg;
+}
+
+ServiceModel hedge_model() {
+  ServiceModel m;
+  m.parallel_ns = 1 * kMs;
+  m.serialized_ns = 0;
+  m.jitter_sigma = 0.02;
+  m.cold_start_ns = 0.5 * kSec;
+  return m;
+}
+
+/// Gray-slows one member of shard-0's slice: its responses toward the
+/// shard crawl (factor x the 100us hop), the request path stays clean —
+/// pure tail latency, nothing for breakers or reactive failover to see.
+void add_gray_slow(ShardedConfig& cfg, double factor, sim::Ns from = 300 * kMs,
+                   sim::Ns until = 900 * kMs) {
+  const ShardedFrontend fe(cfg.shard, cfg.replicas);
+  cfg.faults.slow_link(from, until - from,
+                       ShardedFrontend::replica_host(fe.slice(0)[0]),
+                       ShardedFrontend::shard_host(0), factor);
+}
+
+TEST(SpecHedge, GraySlowRaceBeatsReactiveWaitingAndCancelsTheLosers) {
+  ShardedConfig cfg = hedge_config();
+  cfg.secure = false;  // crossing price: fabric hop + handshake only
+  add_gray_slow(cfg, 500);  // ~100ms response tail on 1/4 of shard-0
+  const ShardedResult hedged =
+      ShardedExperiment(cfg).run_with_model(hedge_model());
+  EXPECT_TRUE(hedged.accounted())
+      << "completed=" << hedged.completed << " rejected=" << hedged.rejected
+      << " failed=" << hedged.failed << " offered=" << hedged.offered;
+  EXPECT_GT(hedged.hedging.fired, 20u);
+  EXPECT_GT(hedged.hedging.cross, 20u);
+  EXPECT_GT(hedged.hedging.cross_wins, 20u);
+  EXPECT_EQ(hedged.hedging.attest_failures, 0u);
+  // Every cross win cancels the primary's answer mid-wire on the slowed
+  // link — the cancel-of-inflight-network-hop path.
+  EXPECT_GT(hedged.hedging.cancelled_inflight, 20u);
+  EXPECT_GT(hedged.latency_hedged.count(), 0u);
+
+  // Reactive comparator: same gray failure, no hedging. The slowed
+  // responses are merely late — links are up, so no breaker trips, no
+  // failover fires, and the p99 eats the full gray tail.
+  ShardedConfig reactive_cfg = cfg;
+  reactive_cfg.hedge = {};
+  const ShardedResult reactive =
+      ShardedExperiment(reactive_cfg).run_with_model(hedge_model());
+  EXPECT_TRUE(reactive.accounted());
+  EXPECT_EQ(reactive.failovers, 0u);
+  EXPECT_EQ(reactive.hedging.fired, 0u);
+  EXPECT_LT(hedged.latency.p99() * 2, reactive.latency.p99())
+      << "hedged=" << hedged.latency.p99()
+      << " reactive=" << reactive.latency.p99();
+
+  // Determinism with the race, cancels and all: same seed, same bytes.
+  const ShardedResult again =
+      ShardedExperiment(cfg).run_with_model(hedge_model());
+  EXPECT_EQ(hedged.to_json(), again.to_json());
+}
+
+TEST(SpecHedge, BenefitFloorDeclinesEveryCrossingItCannotWin) {
+  ShardedConfig cfg = hedge_config();
+  cfg.secure = false;
+  cfg.hedge.min_benefit_ns = 10 * kSec;  // no straggler can recover this
+  add_gray_slow(cfg, 500);
+  const ShardedResult r = ShardedExperiment(cfg).run_with_model(hedge_model());
+  EXPECT_TRUE(r.accounted());
+  EXPECT_GT(r.hedging.declined_cost, 20u);
+  EXPECT_EQ(r.hedging.fired, 0u);
+  EXPECT_EQ(r.hedging.wins, 0u);
+  EXPECT_EQ(r.hedge_wins, 0u);
+}
+
+TEST(SpecHedge, NeverHedgesIntoAFailingSuccessor) {
+  // Two-shard ring: shard-1 is the only possible successor for shard-0's
+  // stragglers, and shard-1 -> slice links are down for most of the run.
+  // Early declines hit the degraded gate (reachability 0); once shard-1's
+  // own black-holed home traffic opens its slice breakers, the breaker
+  // gate refuses first. Either way: zero crossings into the failing shard.
+  ShardedConfig cfg = hedge_config();
+  cfg.secure = false;
+  cfg.shard.shards = 2;
+  cfg.replicas = 8;
+  add_gray_slow(cfg, 500, 250 * kMs, 950 * kMs);
+  const ShardedFrontend fe(cfg.shard, cfg.replicas);
+  for (const std::uint32_t r : fe.slice(1))
+    cfg.faults.link_down(200 * kMs, 1300 * kMs,
+                         ShardedFrontend::shard_host(1),
+                         ShardedFrontend::replica_host(r));
+  const ShardedResult r = ShardedExperiment(cfg).run_with_model(hedge_model());
+  EXPECT_TRUE(r.accounted())
+      << "completed=" << r.completed << " rejected=" << r.rejected
+      << " failed=" << r.failed << " offered=" << r.offered;
+  EXPECT_EQ(r.hedging.cross, 0u) << "never hedge toward a failing shard";
+  EXPECT_GT(r.hedging.declined_degraded, 0u);
+  EXPECT_GT(r.hedging.declined_breaker, 0u);
+}
+
+TEST(SpecHedge, HedgeStormNeverReadsAsDemandToTheElasticController) {
+  // Satellite regression: an aggressive policy hedging the upper half of
+  // *clean* traffic floods the successors with duplicates. Each duplicate
+  // occupies a real queue slot, but the per-tick demand sample and the
+  // overload guard's predicted wait both subtract the hedge-queued count —
+  // so the storm must produce zero scale-out orders and zero early
+  // rejections on a fleet whose genuine demand is flat and well-provisioned.
+  ShardedConfig cfg = hedge_config();
+  cfg.secure = false;
+  cfg.hedge.quantile = 0.5;
+  cfg.hedge.min_median_mult = 1.0;
+  cfg.hedge.min_delay_ns = 100 * kUs;
+  cfg.hedge.budget_fraction = 1.0;
+  {
+    // One gray member per slice: every shard produces stragglers, every
+    // shard receives its neighbours' hedge duplicates.
+    const ShardedFrontend fe(cfg.shard, cfg.replicas);
+    for (int s = 0; s < cfg.shard.shards; ++s)
+      cfg.faults.slow_link(300 * kMs, 600 * kMs,
+                           ShardedFrontend::replica_host(fe.slice(s)[0]),
+                           ShardedFrontend::shard_host(s), 500);
+  }
+  cfg.shard.early_reject = true;
+  cfg.shard.early_reject_budget_ns = 50 * kMs;
+  cfg.elastic.enabled = true;
+  cfg.elastic.tick_ns = 50 * kMs;
+  cfg.elastic.max_extra_replicas = 8;
+  cfg.elastic.down_patience = 1000000;  // isolate the scale-out signal
+  const ShardedResult r = ShardedExperiment(cfg).run_with_model(hedge_model());
+  EXPECT_TRUE(r.accounted());
+  EXPECT_GT(r.hedging.fired, 200u) << "the storm must actually blow";
+  EXPECT_GT(r.elastic.ticks, 0u);
+  EXPECT_EQ(r.elastic.replica_orders, 0u)
+      << "hedge duplicates must not inflate the arrival/backlog signal";
+  EXPECT_EQ(r.elastic.shard_orders, 0u);
+  EXPECT_EQ(r.rejected, 0u);
+  EXPECT_EQ(r.churn.early_rejected, 0u)
+      << "duplicates must not trip the overload guard's predicted wait";
+}
+
+TEST(SpecHedge, TicketLifecycleRacesFallBackToFullVerifyAndStayAccounted) {
+  // Crossings priced through the live verification service across every
+  // ticket regime in one run: prewarmed tickets resume (~1ms) until their
+  // TTL lapses mid-flight, expiry falls back to warm-collateral full
+  // verifies that re-mint, a TCB recovery re-keys the collateral, and the
+  // revocation storm flushes tickets and cache so late crossings pay the
+  // full fetch — and still win, because the gray tail exceeds even that.
+  ShardedConfig cfg = hedge_config();
+  cfg.secure = true;
+  add_gray_slow(cfg, 2000, 250 * kMs, 950 * kMs);  // ~400ms response tail
+  cfg.attest_svc.enabled = true;
+  attest::svc::CostModel cm;
+  cm.platform = "tdx";
+  cm.supported = true;
+  cm.evidence_ns = 10 * kMs;
+  cm.collateral_ns = 100 * kMs;
+  cm.verify_ns = 5 * kMs;
+  cm.full_round_ns = 130 * kMs;
+  cm.ticket_check_ns = 1 * kMs;
+  cfg.attest_svc.cost = cm;
+  cfg.attest_svc.collateral_ttl_ns = 600 * kSec;
+  cfg.attest_svc.ticket_ttl_ns = 400 * kMs;
+  for (int s = 0; s < 4; ++s)
+    cfg.attest_svc.prewarm_subjects.push_back(static_cast<std::uint64_t>(s));
+  cfg.attest_svc.tcb_recovery_at = {450 * kMs};
+  cfg.attest_svc.revoke_at = {650 * kMs};
+  const ShardedResult r = ShardedExperiment(cfg).run_with_model(hedge_model());
+  EXPECT_TRUE(r.accounted())
+      << "completed=" << r.completed << " rejected=" << r.rejected
+      << " failed=" << r.failed << " offered=" << r.offered;
+  EXPECT_GT(r.hedging.fired, 20u);
+  EXPECT_GT(r.hedging.cross_wins, 0u);
+  EXPECT_GT(r.hedging.ticket_resumes, 0u) << "warm regime crossings";
+  EXPECT_GT(r.hedging.full_verifies, 0u) << "expiry/revocation fallbacks";
+  EXPECT_EQ(r.hedging.fired,
+            r.hedging.cross + r.hedging.intra);
+  EXPECT_GT(r.attest.fetches, 0u) << "post-flush crossings refetch";
+  EXPECT_EQ(r.attest.revocations, 1u);
+  EXPECT_EQ(r.attest.tcb_recoveries, 1u);
+
+  const ShardedResult again =
+      ShardedExperiment(cfg).run_with_model(hedge_model());
+  EXPECT_EQ(r.to_json(), again.to_json());
+}
+
+}  // namespace
+}  // namespace confbench::sched

@@ -106,6 +106,29 @@ BENCHES = {
             "joins_completed_total",
         ],
     },
+    "shard_hedge": {
+        # Pure simulation facts (virtual-time ratios over fixed seeds).
+        "gated": {
+            # Worst secure-cell hedged-warm p99 / reactive p99 under the
+            # gray-slow window — below 1.0 means hedging paid for itself.
+            "hedged_vs_reactive_p99_ratio_worst": "lower",
+            # Worst warm-cell fraction of launched hedges that lost the
+            # race — the duplicated-work price of the tail rescue.
+            "hedge_waste_ratio_max": "lower",
+        },
+        # The bench's headline claims, also asserted in-bench: hedging
+        # must beat reactive waiting in every secure warm cell, and the
+        # duplicated work must stay a small fraction of launches.
+        "floors": {},
+        "ceilings": {
+            "hedged_vs_reactive_p99_ratio_worst": 1.0,
+            "hedge_waste_ratio_max": 0.5,
+        },
+        "advisory": [
+            "tdx_warm_saved_ms",
+            "tdx_cold_declined",
+        ],
+    },
 }
 
 
